@@ -1,0 +1,145 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each bench times one arm of an ablation and asserts the comparison's
+expected direction against the other arm (computed outside the timer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    BillingEngine,
+    Contract,
+    DemandCharge,
+    DynamicTariff,
+    FixedTariff,
+    PeakMetering,
+    Powerband,
+)
+from repro.contracts.components import BillingContext
+from repro.facility import (
+    PowerCapPolicy,
+    Scheduler,
+    SchedulerConfig,
+    Supercomputer,
+    WorkloadModel,
+    it_power_series,
+)
+from repro.grid import PriceModel
+from repro.timeseries import BillingPeriod, PowerSeries
+
+WEEK_S = 7 * 86_400.0
+WEEK = [BillingPeriod("week", 0.0, WEEK_S)]
+
+
+# -- ablation 1: demand-charge metering convention ---------------------------
+
+@pytest.fixture(scope="module")
+def spiky_week():
+    rng = np.random.default_rng(5)
+    values = rng.uniform(3_000.0, 5_000.0, 7 * 96)
+    # a handful of sharp single-interval peaks
+    values[rng.integers(0, len(values), size=5)] = 9_000.0
+    return PowerSeries(values, 900.0)
+
+
+def bench_demand_metering_single_max(benchmark, spiky_week):
+    c = Contract("single", [FixedTariff(0.0), DemandCharge(10.0)])
+    engine = BillingEngine()
+    bill = benchmark(engine.bill, c, spiky_week, WEEK)
+    # comparison arm: top-3 averaging never bills more than the single max
+    c3 = Contract(
+        "top3",
+        [FixedTariff(0.0), DemandCharge(10.0, metering=PeakMetering.TOP_K_MEAN, k=3)],
+    )
+    top3 = engine.bill(c3, spiky_week, WEEK)
+    assert top3.total <= bill.total + 1e-9
+
+
+def bench_demand_metering_vs_powerband(benchmark, spiky_week):
+    """The §3.2.2 contrast: a powerband continuously samples and so fines
+    short excursions the 15-minute demand meter cannot even see."""
+    band = Contract(
+        "band",
+        [FixedTariff(0.0), Powerband(8_000.0, penalty_per_kwh_outside=1.0)],
+        allow_no_tariff=True,
+    )
+    engine = BillingEngine()
+    bill = benchmark(engine.bill, band, spiky_week, WEEK)
+    assert bill.other_cost == 0.0
+    assert bill.demand_cost > 0  # excursions over 8 MW are fined
+
+
+# -- ablation 2: backfill on/off → peakiness → demand charges ------------------
+
+@pytest.fixture(scope="module")
+def backfill_inputs():
+    machine = Supercomputer("abl", n_nodes=256, base_overhead_kw=20.0)
+    jobs = WorkloadModel(machine=machine, target_utilization=0.95).generate(
+        WEEK_S, seed=23
+    )
+    return machine, jobs
+
+
+def bench_backfill_effect_on_bill(benchmark, backfill_inputs):
+    machine, jobs = backfill_inputs
+
+    def run_with_backfill():
+        res = Scheduler(machine, SchedulerConfig(backfill=True)).schedule(
+            jobs, WEEK_S
+        )
+        return it_power_series(res, 900.0)
+
+    series_on = benchmark(run_with_backfill)
+    res_off = Scheduler(machine, SchedulerConfig(backfill=False)).schedule(
+        jobs, WEEK_S
+    )
+    series_off = it_power_series(res_off, 900.0)
+    # backfill packs more work into the same wall-clock: more delivered
+    # energy inside the horizon
+    assert series_on.energy_kwh() >= series_off.energy_kwh() - 1e-6
+
+
+# -- ablation 3: power-cap level sweep ----------------------------------------
+
+def bench_power_cap_sweep(benchmark, backfill_inputs):
+    machine, jobs = backfill_inputs
+    engine = BillingEngine()
+    contract = Contract("fd", [FixedTariff(0.07), DemandCharge(12.0)])
+
+    def bill_under_cap(fraction):
+        config = PowerCapPolicy(fraction).scheduler_config(machine)
+        res = Scheduler(machine, config).schedule(jobs, WEEK_S)
+        series = it_power_series(res, 900.0)
+        return engine.bill(contract, series, WEEK), res
+
+    (bill_tight, res_tight) = benchmark(bill_under_cap, 0.85)
+    (bill_loose, res_loose) = bill_under_cap(1.0)
+    cap_kw = PowerCapPolicy(0.85).cap_kw(machine)
+    # the cap binds the billed peak ...
+    assert bill_tight.max_peak_kw <= cap_kw + 1e-6
+    assert bill_tight.demand_cost <= bill_loose.demand_cost + 1e-6
+    # ... and costs utilization (the trade the paper's sites refuse)
+    assert res_tight.utilization() <= res_loose.utilization() + 1e-9
+
+
+# -- ablation 4: price spikes on/off → dynamic-tariff exposure ------------------
+
+def bench_spike_ablation(benchmark, annual_sc_load):
+    contract = Contract("dyn", [DynamicTariff()])
+    engine = BillingEngine()
+    spiky_model = PriceModel()
+
+    def settle_with_spikes():
+        prices = spiky_model.generate(365 * 24, seed=31)
+        return engine.annual_bill(
+            contract, annual_sc_load, BillingContext(price_series=prices)
+        )
+
+    bill_spiky = benchmark(settle_with_spikes)
+    calm_prices = spiky_model.without_spikes().generate(365 * 24, seed=31)
+    bill_calm = engine.annual_bill(
+        contract, annual_sc_load, BillingContext(price_series=calm_prices)
+    )
+    # scarcity spikes are pure upside risk for an unresponsive consumer
+    assert bill_spiky.total > bill_calm.total

@@ -1,0 +1,46 @@
+"""Throughput: the billing engine on a year of 15-minute telemetry.
+
+The billing engine is the library's hottest path (every study sweeps it);
+this bench pins its cost on the canonical workload — a full survey-style
+contract (fixed + TOU service charge + demand charge + powerband) settled
+monthly over 35 040 metering intervals.
+"""
+
+from repro.contracts import (
+    BillingEngine,
+    Contract,
+    DemandCharge,
+    FixedTariff,
+    Powerband,
+    TOUServiceCharge,
+)
+from repro.timeseries import TOUWindow
+
+
+def _contract(peak_kw: float) -> Contract:
+    return Contract(
+        "bench",
+        [
+            FixedTariff(0.07),
+            TOUServiceCharge([(TOUWindow("peak", 8, 20, weekdays_only=True), 0.02)]),
+            DemandCharge(12.0),
+            Powerband(0.95 * peak_kw, 0.3 * peak_kw, penalty_per_kwh_outside=0.5),
+        ],
+    )
+
+
+def bench_annual_bill(benchmark, annual_sc_load):
+    contract = _contract(annual_sc_load.max_kw())
+    engine = BillingEngine()
+    bill = benchmark(engine.annual_bill, contract, annual_sc_load)
+    assert len(bill.period_bills) == 12
+    assert bill.total > 0
+    assert bill.energy_cost > bill.demand_cost > 0
+
+
+def bench_annual_bill_fixed_only(benchmark, annual_sc_load):
+    """Baseline: the cheapest possible contract structure to settle."""
+    contract = Contract("flat", [FixedTariff(0.07)])
+    engine = BillingEngine()
+    bill = benchmark(engine.annual_bill, contract, annual_sc_load)
+    assert bill.demand_cost == 0

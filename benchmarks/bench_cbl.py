@@ -1,0 +1,45 @@
+"""Baseline (CBL) accuracy and throughput.
+
+Shape assertions: on a stationary load the X-of-Y baseline recovers the
+true counterfactual within noise, so M&V pays (almost exactly) the true
+delivered reduction — baseline-settled DR is honest in both directions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.contracts import CBLConfig, compute_cbl, measured_reduction_kwh
+from repro.timeseries import PowerSeries
+
+PER_DAY = 96
+DAY_S = 86_400.0
+
+
+@pytest.fixture(scope="module")
+def event_history():
+    """30 noisy days around 2 MW with a genuine 600 kW × 2 h shed on day 29."""
+    rng = np.random.default_rng(11)
+    values = rng.normal(2_000.0, 40.0, 30 * PER_DAY)
+    start = 29 * PER_DAY + 14 * 4
+    values[start : start + 8] -= 600.0
+    return PowerSeries(np.maximum(values, 0.0), 900.0)
+
+
+def bench_cbl_settlement(benchmark, event_history):
+    event_start = 29 * DAY_S + 14 * 3600.0
+    event_end = event_start + 2 * 3600.0
+
+    def settle():
+        baseline = compute_cbl(
+            event_history, event_start, event_end,
+            CBLConfig(window_days=10, top_days=10, weekdays_only=False),
+        )
+        return baseline, measured_reduction_kwh(
+            event_history, baseline, event_start, event_end
+        )
+
+    baseline, paid_kwh = benchmark(settle)
+    true_kwh = 600.0 * 2.0
+    # M&V recovers the true reduction within the load's noise envelope
+    assert paid_kwh == pytest.approx(true_kwh, rel=0.05)
+    assert baseline.mean_baseline_kw == pytest.approx(2_000.0, rel=0.02)

@@ -1,0 +1,16 @@
+"""Experiment ``lanl``: DR potential lives in the office buildings.
+
+Shape assertion (§4): the same DR event is uneconomic served from the
+machine (hardware depreciation dominates) but economic served from the
+general office buildings — LANL's observed opportunity at the
+15-minute-to-1-hour timescale.
+"""
+
+from repro.reporting import run_experiment
+
+
+def bench_lanl_office_dr(benchmark):
+    result = benchmark(run_experiment, "lanl")
+    assert result.payload["office_case_closes"]
+    assert result.payload["machine_net_benefit"] < 0
+    assert result.payload["office_net_benefit"] > 0

@@ -1,0 +1,18 @@
+"""The §5 evolution projection: adaptation value grows with peak costs.
+
+Shape assertions: under annually rising demand rates the passive bill's
+kW-branch share climbs and the adaptive SC's benefit grows monotonically
+— the quantitative version of "SCs should ... prepare for more
+sophisticated grid integration."
+"""
+
+from repro.analysis import contract_evolution_study
+
+
+def bench_contract_evolution(benchmark):
+    study = benchmark(contract_evolution_study, 15.0, 8)
+    shares = [y.passive_demand_share for y in study.years]
+    assert all(b > a for a, b in zip(shares, shares[1:]))
+    assert study.benefit_growing
+    # over the horizon the annual adaptation benefit grows materially
+    assert study.benefit_trajectory[-1] > 1.3 * study.benefit_trajectory[0]

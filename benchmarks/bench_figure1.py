@@ -1,0 +1,25 @@
+"""Experiment ``figure1``: regenerate the contract-typology tree."""
+
+from repro.contracts import build_typology_tree
+from repro.reporting import run_experiment
+
+
+def bench_figure1(benchmark):
+    result = benchmark(run_experiment, "figure1")
+    text = result.text
+    # the three branches and six leaves of Figure 1
+    for label in (
+        "Tariffs",
+        "Demand charges",
+        "Other",
+        "Fixed",
+        "Time-of-use",
+        "Dynamic",
+        "Demand charge",
+        "Powerband",
+        "Emergency DR",
+    ):
+        assert label in text
+    tree = build_typology_tree()
+    assert len(tree.leaves()) == 6
+    assert tree.depth() == 3

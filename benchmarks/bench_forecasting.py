@@ -1,0 +1,51 @@
+"""Forecasting value: the §3.4 "good neighbor" behaviour, priced.
+
+Shape assertions: the day-profile forecaster beats persistence on a
+rhythmic facility load, and a better forecast costs less on the real-time
+imbalance market — quantifying why six of ten sites communicate their
+swings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.facility import (
+    DayProfileForecaster,
+    PersistenceForecaster,
+    forecast_errors,
+    imbalance_cost_of_forecast,
+)
+from repro.grid import PriceModel
+from repro.timeseries import PowerSeries
+
+PER_DAY = 96  # 15-minute intervals
+
+
+@pytest.fixture(scope="module")
+def rhythmic_load():
+    """Thirty days of load with a daily rhythm plus noise."""
+    rng = np.random.default_rng(3)
+    t = np.arange(30 * PER_DAY)
+    values = (
+        5_000.0
+        + 1_200.0 * np.sin(2 * np.pi * (t % PER_DAY) / PER_DAY)
+        + rng.normal(0.0, 120.0, len(t))
+    )
+    return PowerSeries(np.maximum(values, 0.0), 900.0)
+
+
+def bench_day_profile_forecast(benchmark, rhythmic_load):
+    history = rhythmic_load.slice_intervals(0, 29 * PER_DAY)
+    actual = rhythmic_load.slice_intervals(29 * PER_DAY, 30 * PER_DAY)
+    forecaster = DayProfileForecaster(k_days=7)
+    predicted = benchmark(forecaster.forecast, history, PER_DAY)
+
+    naive = PersistenceForecaster().forecast(history, PER_DAY)
+    good = forecast_errors(actual, predicted)
+    bad = forecast_errors(actual, naive)
+    assert good["rmse_kw"] < bad["rmse_kw"]
+
+    prices = PriceModel().generate(PER_DAY, 900.0, actual.start_s, seed=5)
+    cost_good = imbalance_cost_of_forecast(actual, predicted, prices)
+    cost_bad = imbalance_cost_of_forecast(actual, naive, prices)
+    assert cost_good < cost_bad

@@ -1,0 +1,18 @@
+"""Experiment ``incentive_threshold``: the missing DR business case.
+
+Shape assertion (§4 / [7]): across realistic machine-cost levels, the
+break-even DR incentive exceeds the most generous program payment — "the
+business case for the grid integration of SCs remains to be demonstrated"
+— and the break-even grows monotonically with hardware cost.
+"""
+
+from repro.reporting import run_experiment
+
+
+def bench_incentive_threshold(benchmark):
+    result = benchmark(run_experiment, "incentive_threshold")
+    assert result.payload["any_business_case"] is False
+    break_evens = result.payload["break_evens"]
+    assert all(b > a for a, b in zip(break_evens, break_evens[1:]))
+    # at leadership-class capex the gap is an order of magnitude
+    assert break_evens[-1] > 10 * 0.25

@@ -1,0 +1,39 @@
+"""Throughput: price-process generation and merit-order clearing."""
+
+import numpy as np
+
+from repro.grid import (
+    DayAheadMarket,
+    Generator,
+    GridLoadModel,
+    PriceModel,
+    SupplyStack,
+    WindModel,
+)
+
+YEAR_HOURS = 365 * 24
+
+
+def bench_price_process_year(benchmark):
+    model = PriceModel()
+    series = benchmark(model.generate, YEAR_HOURS, 3600.0, 0.0, 3)
+    assert len(series) == YEAR_HOURS
+    assert series.values_kw.mean() > 0
+
+
+def bench_market_clearing_year(benchmark):
+    stack = SupplyStack(
+        [
+            Generator("nuclear", 50_000.0, 0.01),
+            Generator("coal", 30_000.0, 0.04),
+            Generator("gas", 20_000.0, 0.07),
+            Generator("peaker", 10_000.0, 0.30),
+        ]
+    )
+    market = DayAheadMarket(stack)
+    demand = GridLoadModel(base_kw=80_000.0).generate(YEAR_HOURS, seed=1)
+    wind = WindModel(capacity_kw=15_000.0).generate(YEAR_HOURS, seed=2)
+    outcome = benchmark(market.clear, demand, wind)
+    assert outcome.mean_price_per_kwh > 0
+    # renewables must sometimes push the clearing price to the cheap end
+    assert outcome.prices.values_kw.min() <= 0.04

@@ -1,0 +1,21 @@
+"""Experiment ``peak_ratio``: the [34] study's shape.
+
+Paper claim (§2, citing Xu & Li): "the share of the power charge within
+the electricity bill increases with the ratio of peak versus average
+power consumption."  Shape assertion: at constant energy, the
+demand-charge share is strictly monotone increasing in the peak/average
+ratio.
+"""
+
+from repro.reporting import run_experiment
+
+
+def bench_peak_ratio(benchmark):
+    result = benchmark(run_experiment, "peak_ratio")
+    shares = result.payload["shares"]
+    assert result.payload["monotone_increasing"]
+    assert len(shares) == 7
+    # the effect is material, not cosmetic: the share roughly doubles from
+    # flat load to 4× peaky load
+    assert shares[-1] > 2 * shares[0]
+    assert 0.0 < shares[0] < shares[-1] < 1.0

@@ -1,0 +1,20 @@
+"""Extension experiment ``portfolio``: the survey population, billed.
+
+Shape assertions: all ten sites settle; kW-exposed sites carry a material
+demand-branch share while the kW-free rows (sites 8, 10) carry none; the
+CSCS-like site 6 (no demand charges after its re-procurement) pays a lower
+effective rate than its fixed+demand peers.
+"""
+
+from repro.reporting import run_experiment
+
+
+def bench_survey_portfolio(benchmark):
+    result = benchmark(run_experiment, "portfolio")
+    payload = result.payload
+    assert payload["n_sites"] == 10
+    assert payload["exposure_gap"] > 0.1
+    rates = payload["effective_rates"]
+    assert rates["Site 8"] < rates["Site 5"]   # pure-dynamic vs fixed+demand
+    assert rates["Site 6"] < rates["Site 5"]   # the §4 CSCS benefit
+    assert all(0.02 < r < 0.30 for r in rates.values())

@@ -1,0 +1,18 @@
+"""Experiment ``cscs``: the §4 procurement redesign.
+
+Shape assertions: the redesigned (tendered, demand-charge-free,
+≥80 %-renewable) contract beats the legacy one on the same load; the
+cheap-but-dirty bid is rejected; the saving is material ("this process can
+yield a direct economic benefit to the supercomputing site").
+"""
+
+from repro.reporting import run_experiment
+
+
+def bench_cscs_procurement(benchmark):
+    result = benchmark(run_experiment, "cscs")
+    assert result.payload["redesign_wins"]
+    assert result.payload["meets_renewable_policy"]
+    assert result.payload["n_rejected_bids"] == 1
+    assert result.payload["savings"] > 0
+    assert "legacy" in result.text

@@ -1,0 +1,43 @@
+"""Throughput: scheduler + telemetry on a week of high-utilization load."""
+
+import pytest
+
+from repro.facility import (
+    Scheduler,
+    SchedulerConfig,
+    Supercomputer,
+    WorkloadModel,
+    it_power_series,
+)
+
+WEEK_S = 7 * 86_400.0
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Supercomputer("bench", n_nodes=1024, base_overhead_kw=100.0)
+
+
+@pytest.fixture(scope="module")
+def jobs(machine):
+    model = WorkloadModel(machine=machine, target_utilization=0.9)
+    return model.generate(WEEK_S, seed=17)
+
+
+def bench_schedule_week(benchmark, machine, jobs):
+    result = benchmark(Scheduler(machine).schedule, jobs, WEEK_S)
+    assert len(result.scheduled) == len(jobs)
+    assert 0.4 < result.utilization() <= 1.0
+
+
+def bench_schedule_week_no_backfill(benchmark, machine, jobs):
+    scheduler = Scheduler(machine, SchedulerConfig(backfill=False))
+    result = benchmark(scheduler.schedule, jobs, WEEK_S)
+    assert len(result.scheduled) == len(jobs)
+
+
+def bench_telemetry_from_schedule(benchmark, machine, jobs):
+    result = Scheduler(machine).schedule(jobs, WEEK_S)
+    series = benchmark(it_power_series, result, 900.0)
+    assert len(series) == 7 * 96
+    assert series.max_kw() <= machine.peak_power_kw + 1e-9

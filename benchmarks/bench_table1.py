@@ -1,0 +1,25 @@
+"""Experiment ``table1``: regenerate Table 1 (sites × countries)."""
+
+from repro.reporting import run_experiment
+
+
+def bench_table1(benchmark):
+    result = benchmark(run_experiment, "table1")
+    text = result.text
+    # the ten institutions and four countries, as printed
+    for name in (
+        "European Centre for Medium-range Weather Forecasts",
+        "GSI Helmholtz Center",
+        "Jülich Supercomputing Centre",
+        "High Performance Computing Center Stuttgart",
+        "Leibniz Supercomputing Centre",
+        "Swiss National Supercomputing Centre",
+        "Los Alamos National Laboratory",
+        "National Center for Supercomputing Applications",
+        "Oak Ridge National Laboratory",
+        "Lawrence Livermore National Laboratory",
+    ):
+        assert name in text
+    assert text.count("United States") == 4
+    assert text.count("Germany") == 4
+    assert result.payload["n_sites"] == 10

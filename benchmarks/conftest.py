@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates a paper artifact (or exercises a hot path) inside
+``benchmark(...)`` and then asserts the artifact's *shape* — who wins, what
+is monotone, what matches the printed table — so the harness doubles as the
+reproduction check for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import synthetic_sc_load
+from repro.timeseries import PowerSeries
+
+
+@pytest.fixture(scope="session")
+def annual_sc_load() -> PowerSeries:
+    """One year of 15-minute SC telemetry at ~8 MW peak (shared)."""
+    return synthetic_sc_load(peak_mw=8.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def annual_flat_load() -> PowerSeries:
+    """A flat year, for paired comparisons."""
+    return PowerSeries.constant(5_000.0, 365 * 96, 900.0)

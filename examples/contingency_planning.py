@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Contingency planning — the paper's §5 future work, made runnable.
+
+Derives a default escalation ladder from a machine's power anatomy
+(sleep idle nodes → suspend checkpointable jobs → kill and drain), then
+performs the impact analysis the paper calls for: for each grid-condition
+severity and required reduction, which rungs fire, what is delivered, how
+fast, and what it costs the mission in forfeited node-hours.
+
+Run:  python examples/contingency_planning.py
+"""
+
+from repro.dr import CostModel, ContingencyPlan, evaluate_plan
+from repro.dr.contingency import Severity
+from repro.facility import Supercomputer
+from repro.reporting import render_table
+
+
+def main() -> None:
+    machine = Supercomputer("contingency-demo", n_nodes=4096, base_overhead_kw=400.0)
+    cost_model = CostModel(machine_capex=2.5e8, annual_operations_cost=1.2e7)
+    plan = ContingencyPlan.default_plan(machine)
+
+    print(f"Machine: {machine.n_nodes} nodes, "
+          f"peak {machine.peak_power_kw / 1000:.1f} MW, "
+          f"idle {machine.idle_power_kw / 1000:.1f} MW")
+    print(f"Plan: {plan.name}\n")
+
+    rows = [
+        (
+            a.name,
+            a.severity.name,
+            f"{a.reduction_kw:,.0f}",
+            f"{a.ramp_time_s / 60:.0f} min",
+            f"{a.node_hours_cost_per_hour:,.0f}",
+            "yes" if a.reversible else "no",
+        )
+        for a in plan.actions
+    ]
+    print(
+        render_table(
+            headers=("Action", "Armed at", "Reduction kW", "Ramp",
+                     "Node-h lost/h", "Reversible"),
+            rows=rows,
+            title="Escalation ladder",
+        )
+    )
+
+    print("\nImpact analysis: 2-hour grid events of increasing depth")
+    rows = []
+    for severity, required_kw in (
+        (Severity.ADVISORY, 300.0),
+        (Severity.WARNING, 1_000.0),
+        (Severity.EMERGENCY, 1_500.0),
+        (Severity.EMERGENCY, 3_000.0),
+    ):
+        ev = evaluate_plan(
+            plan, severity, required_kw, duration_h=2.0,
+            machine=machine, cost_model=cost_model,
+        )
+        rows.append(
+            (
+                severity.name,
+                f"{required_kw:,.0f}",
+                f"{ev.delivered_kw:,.0f}",
+                "yes" if ev.sufficient else f"short {ev.shortfall_kw:,.0f} kW",
+                f"{ev.worst_ramp_s / 60:.0f} min",
+                f"{ev.mission_cost:,.0f}",
+                " + ".join(a.name for a in ev.fired),
+            )
+        )
+    print(
+        render_table(
+            headers=("Severity", "Required kW", "Delivered kW", "Met?",
+                     "Ramp", "Mission cost $", "Rungs fired"),
+            rows=rows,
+        )
+    )
+    print(
+        "\nThe ladder meets shallow events almost for free (sleeping idle\n"
+        "nodes), but deep emergency curtailments forfeit node-hours whose\n"
+        "depreciation cost dwarfs any DR payment — the paper's conclusion,\n"
+        "now with the numbers attached."
+    )
+
+
+if __name__ == "__main__":
+    main()

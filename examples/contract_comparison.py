@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Which contract structure suits which load shape?
+
+The question every responsible negotiating party implicitly answers (§3.3).
+This example settles the same two loads — one flat, one peaky, identical
+annual energy — under four contract structures drawn from the typology, and
+shows how the ranking flips with load shape:
+
+* the flat load barely notices demand charges;
+* the peaky load bleeds through them, and a powerband fines it further;
+* the dynamic tariff's value depends on whether peaks coincide with price
+  spikes (here they are independent, so it mostly adds variance).
+
+Run:  python examples/contract_comparison.py
+"""
+
+from repro.analysis import compare_contracts, shaped_load
+from repro.contracts import (
+    Contract,
+    DemandCharge,
+    DynamicTariff,
+    FixedTariff,
+    Powerband,
+    TOUServiceCharge,
+)
+from repro.grid import PriceModel
+from repro.reporting import render_table
+from repro.timeseries import TOUWindow
+
+
+def candidate_contracts(peak_kw: float):
+    peak_window = TOUWindow("peak", 8, 20, weekdays_only=True)
+    return [
+        Contract("A: fixed only", [FixedTariff(0.085)]),
+        Contract(
+            "B: fixed + demand charge",
+            [FixedTariff(0.068), DemandCharge(12.0)],
+        ),
+        Contract(
+            "C: fixed + TOU service charge + powerband",
+            [
+                FixedTariff(0.065),
+                TOUServiceCharge([(peak_window, 0.02)]),
+                Powerband(0.9 * peak_kw, penalty_per_kwh_outside=0.5),
+            ],
+        ),
+        Contract("D: dynamic (real-time price + adder)", [DynamicTariff(0.018)]),
+    ]
+
+
+def show(label: str, load) -> None:
+    comparison = compare_contracts(
+        load, candidate_contracts(load.max_kw()), PriceModel(), price_seed=7
+    )
+    rows = [
+        (
+            r.spec.name,
+            f"{r.total:,.0f}",
+            f"{r.decomposition.demand_share:.1%}",
+            f"{r.decomposition.effective_rate_per_kwh:.4f}",
+        )
+        for r in comparison.ranked()
+    ]
+    print(
+        render_table(
+            headers=("Contract", "Annual bill", "kW-branch share", "Eff. $/kWh"),
+            rows=rows,
+            title=(
+                f"{label}: peak {load.max_kw() / 1000:.1f} MW, "
+                f"mean {load.mean_kw() / 1000:.1f} MW, "
+                f"{load.energy_kwh() / 1e6:.1f} GWh/yr "
+                f"(cheapest first; structure spread "
+                f"{comparison.spread_fraction():.1%})"
+            ),
+        )
+    )
+    print()
+
+
+def main() -> None:
+    mean_kw = 5_000.0
+    flat = shaped_load(mean_kw, peak_ratio=1.05, seed=1)
+    peaky = shaped_load(mean_kw, peak_ratio=3.0, peak_hours_per_day=3.0, seed=1)
+    show("FLAT LOAD", flat)
+    show("PEAKY LOAD (same energy)", peaky)
+    print(
+        "Note how the kW-branch share explodes with peakiness — the [34]\n"
+        "result the paper cites — and how contract ranking depends on the\n"
+        "load the negotiating party brings to the table."
+    )
+
+
+if __name__ == "__main__":
+    main()

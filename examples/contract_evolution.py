@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Where the relationship is heading — the §5 projection, with numbers.
+
+The paper closes by forecasting that "electricity procurement contracts
+are likely to continue their evolution in response to increasing peak
+electricity demand and renewables" and urging SCs to build adaptation
+capability *now*.  This example runs that forecast: eight years of
+annually rising demand rates, one passive SC and one that caps its billed
+peak at 92 % with off-peak recovery.
+
+Run:  python examples/contract_evolution.py
+"""
+
+from repro.analysis import contract_evolution_study
+from repro.reporting import render_table, sparkline
+
+
+def main() -> None:
+    study = contract_evolution_study(peak_mw=15.0, n_years=8)
+    rows = [
+        (
+            y.year,
+            f"{y.energy_rate_per_kwh:.4f}",
+            f"{y.demand_rate_per_kw:.2f}",
+            f"{y.passive_total / 1e6:.2f} M",
+            f"{y.passive_demand_share:.1%}",
+            f"{y.adaptive_total / 1e6:.2f} M",
+            f"{y.adaptation_benefit / 1e3:,.0f} k",
+        )
+        for y in study.years
+    ]
+    print(
+        render_table(
+            headers=("Year", "$/kWh", "$/kW-mo", "Passive bill",
+                     "kW share", "Adaptive bill", "Benefit/yr"),
+            rows=rows,
+            title="Eight years of tariff evolution (demand rate +12 %/yr), "
+                  "15 MW site, 92 % peak cap with off-peak recovery.",
+        )
+    )
+    print(
+        "\nAdaptation benefit trajectory: "
+        + sparkline(study.benefit_trajectory)
+    )
+    print(
+        "\nThe benefit is real on day one and grows every year as the kW\n"
+        "branch swallows more of the bill — the §5 argument for building\n"
+        "power-management capability before the incentive forces it."
+    )
+
+
+if __name__ == "__main__":
+    main()

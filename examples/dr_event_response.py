@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""A full grid-integration loop: stress → dispatch → response → settlement.
+
+Simulates an ESP under reserve stress, lets it dispatch voluntary DR and
+mandatory emergency events at a supercomputing center, runs the facility's
+DR controller (which appraises each voluntary event against hardware
+depreciation — the paper's missing business case), and settles the bill
+including emergency-DR compliance.
+
+Run:  python examples/dr_event_response.py
+"""
+
+from repro.analysis import synthetic_sc_load
+from repro.contracts import Contract, DemandCharge, EmergencyDRObligation, FixedTariff
+from repro.dr import CostModel, DRController, LoadShedStrategy, estimate_flexibility
+from repro.facility import Scheduler, Supercomputer, WorkloadModel, facility_power_series
+from repro.grid import ESP, Generator, GridLoadModel, SupplyStack
+from repro.timeseries import BillingPeriod
+
+WEEK_S = 7 * 86_400.0
+
+
+def main() -> None:
+    # --- facility side: one scheduled week of telemetry -------------------
+    machine = Supercomputer("dr-demo", n_nodes=2048, base_overhead_kw=200.0)
+    jobs = WorkloadModel(machine=machine, target_utilization=0.9).generate(
+        WEEK_S, seed=3
+    )
+    schedule = Scheduler(machine).schedule(jobs, WEEK_S)
+    telemetry = facility_power_series(schedule)
+    print(
+        f"Facility: {machine.n_nodes} nodes, telemetry mean "
+        f"{telemetry.mean_kw() / 1000:.2f} MW, peak {telemetry.max_kw() / 1000:.2f} MW"
+    )
+
+    # §3.1.6: what could this site shed for one hour tomorrow afternoon?
+    window = (2 * 86_400.0 + 14 * 3600.0, 2 * 86_400.0 + 15 * 3600.0)
+    flex = estimate_flexibility(schedule, *window)
+    print(
+        f"Flexibility for 1 h (meter-side): "
+        f"no-impact {flex.no_impact_kw:.0f} kW, "
+        f"low-impact {flex.low_impact_kw:.0f} kW, "
+        f"high-impact {flex.high_impact_kw:.0f} kW "
+        f"({flex.shiftable_fraction:.0%} of baseline)"
+    )
+
+    # --- grid side: a stressed ESP -----------------------------------------
+    esp = ESP(
+        name="regional-esp",
+        stack=SupplyStack(
+            [
+                Generator("baseload", 55_000.0, 0.02),
+                Generator("mid-merit", 22_000.0, 0.06),
+                Generator("peaker", 8_000.0, 0.30),
+            ]
+        ),
+        system_load_model=GridLoadModel(base_kw=72_000.0),
+    )
+    system = esp.simulate_system(7 * 24, seed=4)
+    events = esp.dispatch_events(
+        system["load"], customer_baseline_kw=telemetry.mean_kw(),
+        participant_share=0.10,
+    )
+    print(
+        f"\nESP dispatched {len(events['dr'])} voluntary DR event(s) and "
+        f"{len(events['emergency'])} emergency call(s) this week"
+    )
+
+    # --- the facility's controller decides and acts --------------------------
+    controller = DRController(
+        machine,
+        CostModel(machine_capex=1.5e8, annual_operations_cost=8e6),
+        LoadShedStrategy(floor_kw=machine.idle_power_kw * 1.25),
+    )
+    final_load, outcomes = controller.run(
+        telemetry, dr_events=events["dr"], emergency_events=events["emergency"]
+    )
+    for outcome in outcomes:
+        kind = type(outcome.event).__name__
+        if outcome.participated:
+            print(
+                f"  {kind}: participated, payment {outcome.payment:,.0f}, "
+                f"operational cost {outcome.curtailment_cost:,.0f}, "
+                f"net {outcome.net_benefit:,.0f}"
+            )
+        else:
+            print(f"  {kind}: declined (business case negative — §4)")
+
+    # --- settlement -----------------------------------------------------------
+    contract = Contract(
+        "dr-demo site",
+        [
+            FixedTariff(0.07),
+            DemandCharge(12.0),
+            EmergencyDRObligation(noncompliance_penalty_per_kwh=1.0),
+        ],
+    )
+    record = esp.settle(
+        customer="dr-demo",
+        contract=contract,
+        load=final_load,
+        periods=[BillingPeriod("week", 0.0, WEEK_S)],
+        emergency_events=events["emergency"],
+        dr_events=events["dr"],
+    )
+    print(f"\nWeekly bill after response: {record.total:,.0f} USD")
+    print(f"Collaboration score: {esp.collaboration_score(record):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Being a good neighbor, quantified (§3.4).
+
+Six of the ten surveyed sites communicate load swings to their ESP; the
+prior EE HPC survey mentions forecasting of deviations as the concrete
+collaboration.  This example prices that behaviour end to end:
+
+1. **Forecasting** — a day-profile forecast of the facility's load is
+   scheduled day-ahead; the real-time market settles the error.  A better
+   forecast is directly worth money.
+2. **Signaling** — maintenance and benchmark swings are announced over the
+   ESP ↔ SC channel with proper notice; the channel's audit shows the
+   opt-in discipline an automated-DR rollout would need.
+3. **Baseline-settled DR** — when the ESP calls an event, payment follows
+   measured reduction against an X-of-Y customer baseline, not the
+   requested number.
+
+Run:  python examples/good_neighbor.py
+"""
+
+import numpy as np
+
+from repro.contracts import CBLConfig, compute_cbl, measured_reduction_kwh
+from repro.facility import (
+    DayProfileForecaster,
+    PersistenceForecaster,
+    forecast_errors,
+    imbalance_cost_of_forecast,
+)
+from repro.grid import OptDecision, PriceModel, SignalChannel, SignalKind
+from repro.timeseries import PowerSeries
+
+PER_DAY = 96
+DAY_S = 86_400.0
+
+
+def facility_load(n_days: int, seed: int = 0) -> PowerSeries:
+    """A month of rhythmic SC load with noise."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_days * PER_DAY)
+    values = (
+        9_000.0
+        + 1_500.0 * np.sin(2 * np.pi * (t % PER_DAY) / PER_DAY - np.pi / 2)
+        + rng.normal(0.0, 250.0, len(t))
+    )
+    return PowerSeries(np.maximum(values, 0.0), 900.0)
+
+
+def main() -> None:
+    load = facility_load(30)
+
+    # ---- 1. forecasting value ------------------------------------------------
+    history = load.slice_intervals(0, 29 * PER_DAY)
+    actual = load.slice_intervals(29 * PER_DAY, 30 * PER_DAY)
+    prices = PriceModel().generate(PER_DAY, 900.0, actual.start_s, seed=2)
+    print("1. Forecasting the next day (day-ahead schedule vs realized):")
+    for forecaster in (PersistenceForecaster(), DayProfileForecaster(k_days=7)):
+        predicted = forecaster.forecast(history, PER_DAY)
+        err = forecast_errors(actual, predicted)
+        cost = imbalance_cost_of_forecast(actual, predicted, prices)
+        print(
+            f"   {forecaster.name:<12} rmse {err['rmse_kw']:>7.0f} kW   "
+            f"imbalance cost {cost:>8,.0f} $/day"
+        )
+
+    # ---- 2. announcing swings over the channel --------------------------------
+    print("\n2. Announcing swings over the ESP ↔ SC channel:")
+    channel = SignalChannel("regional-esp", "good-neighbor-sc", min_notice_s=1800.0)
+    # the SC announces a maintenance drain two days ahead (advisory)
+    maint = channel.send(
+        SignalKind.ADVISORY,
+        issued_s=27 * DAY_S,
+        event_start_s=29 * DAY_S + 8 * 3600.0,
+        event_end_s=29 * DAY_S + 14 * 3600.0,
+        payload=-6_000.0,
+    )
+    channel.auto_respond(maint)
+    # the ESP calls a DR event with generous notice...
+    generous = channel.send(
+        SignalKind.EVENT_NOTIFICATION,
+        issued_s=29 * DAY_S + 10 * 3600.0,
+        event_start_s=29 * DAY_S + 14 * 3600.0,
+        event_end_s=29 * DAY_S + 16 * 3600.0,
+        payload=800.0,
+    )
+    channel.auto_respond(generous, committed_kw=800.0)
+    # ...and one with five minutes of notice, which physics declines
+    rushed = channel.send(
+        SignalKind.EVENT_NOTIFICATION,
+        issued_s=29 * DAY_S + 17 * 3600.0,
+        event_start_s=29 * DAY_S + 17 * 3600.0 + 300.0,
+        event_end_s=29 * DAY_S + 18 * 3600.0,
+        payload=800.0,
+    )
+    channel.auto_respond(rushed)
+    print(f"   signals sent: {len(channel.sent)}, "
+          f"opt-in rate on voluntary events: {channel.opt_in_rate():.0%}, "
+          f"mean notice: {channel.mean_notice_s() / 3600:.1f} h")
+    for sid, ack in sorted(channel.replies.items()):
+        print(f"   signal {sid}: {ack.decision.value}"
+              + (f" ({ack.committed_kw:.0f} kW committed)"
+                 if ack.decision is OptDecision.OPT_IN else ""))
+
+    # ---- 3. baseline-settled DR ------------------------------------------------
+    print("\n3. Settling the opted-in event against an X-of-Y baseline:")
+    event_start, event_end = generous.event_start_s, generous.event_end_s
+    # the facility actually sheds ~700 kW of its 800 kW commitment
+    responded = load.values_kw.copy()
+    i0 = int(event_start / 900.0)
+    i1 = int(event_end / 900.0)
+    responded[i0:i1] -= 700.0
+    responded_load = PowerSeries(np.maximum(responded, 0.0), 900.0)
+    baseline = compute_cbl(
+        responded_load, event_start, event_end,
+        CBLConfig(window_days=10, top_days=5, weekdays_only=False),
+    )
+    paid_kwh = measured_reduction_kwh(responded_load, baseline, event_start, event_end)
+    print(f"   baseline (high-5-of-10): {baseline.mean_baseline_kw:,.0f} kW "
+          f"(adjustment ×{baseline.adjustment_factor:.3f})")
+    print(f"   measured reduction:      {paid_kwh:,.0f} kWh "
+          f"(true shed ≈ {700.0 * 2:.0f} kWh)")
+    print(f"   payment at 0.30 $/kWh:   {0.30 * paid_kwh:,.2f} $")
+    print("\nM&V pays what the meter proves — which is how a collaborative"
+          "\nSC–ESP relationship stays honest in both directions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so the package installs editable in
+offline environments where the ``wheel`` package (required by PEP 660
+editable builds on older setuptools) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — an executable reproduction of *"An Analysis of Contracts and
+Relationships between Supercomputing Centers and Electricity Service
+Providers"* (Clausen et al., ICPP 2019 Workshops).
+
+The paper is a qualitative survey of the electricity service contracts of
+ten large supercomputing centers (SCs).  This library makes the paper's
+subject matter executable:
+
+* :mod:`repro.contracts` — the contract typology (Figure 1) as composable,
+  priceable components, plus a billing engine and the CSCS-style tender;
+* :mod:`repro.grid` — the ESP substrate: markets, price processes,
+  renewables, DR programs, event dispatch, balancing;
+* :mod:`repro.facility` — the SC substrate: machine, workload, scheduler,
+  power management, telemetry;
+* :mod:`repro.dr` — facility-side demand response and its economics;
+* :mod:`repro.survey` — the survey reconstruction (Tables 1 & 2 as data);
+* :mod:`repro.analysis` — the quantitative studies behind §2–§4's claims;
+* :mod:`repro.reporting` — regenerators for every table and figure.
+
+Quickstart::
+
+    from repro.contracts import Contract, FixedTariff, DemandCharge, BillingEngine
+    from repro.analysis import synthetic_sc_load
+
+    load = synthetic_sc_load(peak_mw=15.0, seed=0)
+    contract = Contract("my SC", [FixedTariff(0.07), DemandCharge(12.0)])
+    bill = BillingEngine().annual_bill(contract, load)
+    print(bill.summary())
+"""
+
+from . import analysis, contracts, dr, facility, grid, reporting, survey, timeseries
+from .exceptions import ReproError
+from .units import Money
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "contracts",
+    "dr",
+    "facility",
+    "grid",
+    "reporting",
+    "survey",
+    "timeseries",
+    "ReproError",
+    "Money",
+    "__version__",
+]

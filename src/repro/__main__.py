@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro``.
+
+Regenerates the paper's artifacts from the terminal::
+
+    python -m repro list                 # experiment ids + descriptions
+    python -m repro run table2           # one experiment
+    python -m repro run all              # everything, in registry order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .reporting.experiments import EXPERIMENTS, experiment_ids, run_experiment
+
+_DESCRIPTIONS = {
+    "table1": "Table 1: interview sites × countries",
+    "table2": "Table 2: site × typology matrix (round-trip verified)",
+    "figure1": "Figure 1: the contract typology tree",
+    "text_aggregates": "§3.2.4–§3.4 in-text claims, recomputed",
+    "peak_ratio": "[34]: demand-charge share vs peak/average ratio",
+    "cscs": "§4: the CSCS procurement redesign",
+    "lanl": "§4: office-building vs machine DR",
+    "incentive_threshold": "§4: DR break-even vs program payments",
+    "portfolio": "extension: the survey population, billed for a year",
+}
+
+
+def main(argv: list = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate artifacts of the ICPP 2019 SC/ESP contracts paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id or 'all'")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for eid in experiment_ids():
+            print(f"{eid:<20} {_DESCRIPTIONS.get(eid, '')}")
+        return 0
+
+    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for eid in targets:
+        if eid not in EXPERIMENTS:
+            print(
+                f"unknown experiment {eid!r}; known: {', '.join(experiment_ids())}",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_experiment(eid)
+        print(f"{'=' * 78}\nexperiment: {eid}\n{'=' * 78}")
+        print(result.text)
+        if result.payload:
+            print(f"\npayload: {result.payload}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

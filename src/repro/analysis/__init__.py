@@ -1,0 +1,58 @@
+"""Evaluation studies built on the library.
+
+Each module implements one of the quantitative arguments the paper makes
+(or cites) in prose, as a runnable experiment:
+
+* :mod:`~repro.analysis.cost` — bill decomposition by typology branch;
+* :mod:`~repro.analysis.scenarios` — the facility × contract × grid
+  scenario runner behind the other studies;
+* :mod:`~repro.analysis.comparison` — contract structures compared on one
+  fixed load;
+* :mod:`~repro.analysis.peak_ratio` — the [34] result: demand-charge
+  share of the bill grows with the peak-to-average ratio;
+* :mod:`~repro.analysis.procurement` — the CSCS tender redesign (§4);
+* :mod:`~repro.analysis.savings` — DR savings and the incentive threshold
+  behind "the business case ... remains to be demonstrated".
+"""
+
+from .cost import BillDecomposition, decompose_bill
+from .scenarios import ScenarioSpec, ScenarioResult, run_scenario, synthetic_sc_load
+from .comparison import ContractComparison, compare_contracts
+from .peak_ratio import PeakRatioPoint, peak_ratio_study, shaped_load
+from .procurement import ProcurementStudy, cscs_procurement_study
+from .savings import IncentiveSweepPoint, incentive_threshold_sweep, lanl_office_dr_study
+from .tariff_design import (
+    TariffDesign,
+    design_two_part_tariff,
+    cross_subsidy_check,
+)
+from .portfolio import SitePortfolioEntry, PortfolioStudy, run_survey_portfolio
+from .evolution import EvolutionYear, EvolutionStudy, contract_evolution_study
+
+__all__ = [
+    "BillDecomposition",
+    "decompose_bill",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "run_scenario",
+    "synthetic_sc_load",
+    "ContractComparison",
+    "compare_contracts",
+    "PeakRatioPoint",
+    "peak_ratio_study",
+    "shaped_load",
+    "ProcurementStudy",
+    "cscs_procurement_study",
+    "IncentiveSweepPoint",
+    "incentive_threshold_sweep",
+    "lanl_office_dr_study",
+    "TariffDesign",
+    "design_two_part_tariff",
+    "cross_subsidy_check",
+    "SitePortfolioEntry",
+    "PortfolioStudy",
+    "run_survey_portfolio",
+    "EvolutionYear",
+    "EvolutionStudy",
+    "contract_evolution_study",
+]

@@ -1,0 +1,99 @@
+"""Contract structures compared on one fixed load.
+
+The question every site implicitly answers when negotiating (§3.3): given
+*our* load shape, which contract structure is cheapest?  The comparison
+holds the load and grid context fixed and settles the same profile under
+each candidate contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..contracts.contract import Contract
+from ..exceptions import AnalysisError
+from ..grid.prices import PriceModel
+from ..timeseries.series import PowerSeries
+from .scenarios import ScenarioResult, ScenarioSpec, run_scenario
+
+__all__ = ["ContractComparison", "compare_contracts"]
+
+
+@dataclass(frozen=True)
+class ContractComparison:
+    """Results of settling one load under several contracts."""
+
+    load_peak_kw: float
+    load_energy_kwh: float
+    results: Tuple[ScenarioResult, ...]
+
+    def ranked(self) -> List[ScenarioResult]:
+        """Results from cheapest to most expensive."""
+        return sorted(self.results, key=lambda r: r.total)
+
+    @property
+    def cheapest(self) -> ScenarioResult:
+        """The winning contract structure."""
+        return self.ranked()[0]
+
+    @property
+    def most_expensive(self) -> ScenarioResult:
+        """The losing contract structure."""
+        return self.ranked()[-1]
+
+    def savings_vs(self, baseline_name: str) -> Dict[str, float]:
+        """Savings of every contract relative to a named baseline.
+
+        Positive = cheaper than the baseline.
+        """
+        by_name = {r.spec.name: r for r in self.results}
+        if baseline_name not in by_name:
+            raise AnalysisError(
+                f"no scenario named {baseline_name!r}; have {sorted(by_name)}"
+            )
+        base = by_name[baseline_name].total
+        return {name: base - r.total for name, r in by_name.items()}
+
+    def spread_fraction(self) -> float:
+        """(max − min) / min across the candidates — how much structure matters."""
+        cheapest = self.cheapest.total
+        if cheapest <= 0:
+            raise AnalysisError("cheapest bill is non-positive")
+        return (self.most_expensive.total - cheapest) / cheapest
+
+
+def compare_contracts(
+    load: PowerSeries,
+    contracts: Sequence[Contract],
+    price_model: Optional[PriceModel] = None,
+    price_seed: int = 0,
+) -> ContractComparison:
+    """Settle ``load`` under each contract with a shared price realization.
+
+    Sharing ``price_seed`` across scenarios makes the comparison paired:
+    dynamic-tariff contracts see the same price path, so differences are
+    structural, not luck.
+    """
+    if not contracts:
+        raise AnalysisError("need at least one contract to compare")
+    names = [c.name for c in contracts]
+    if len(set(names)) != len(names):
+        raise AnalysisError("contract names must be unique for comparison")
+    results = tuple(
+        run_scenario(
+            ScenarioSpec(
+                name=c.name,
+                contract=c,
+                load=load,
+                price_model=price_model,
+                price_seed=price_seed,
+            )
+        )
+        for c in contracts
+    )
+    return ContractComparison(
+        load_peak_kw=load.max_kw(),
+        load_energy_kwh=load.energy_kwh(),
+        results=results,
+    )

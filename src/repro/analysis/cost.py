@@ -1,0 +1,83 @@
+"""Bill decomposition by typology branch.
+
+The typology's three branches partition a bill into energy, demand and
+other charges; the decomposition is the basic measurement underlying the
+peak-ratio study and every contract comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..contracts.billing import Bill
+from ..contracts.components import ChargeDomain
+from ..exceptions import AnalysisError
+
+__all__ = ["BillDecomposition", "decompose_bill"]
+
+
+@dataclass(frozen=True)
+class BillDecomposition:
+    """A settled bill split along the typology branches."""
+
+    total: float
+    energy_cost: float
+    demand_cost: float
+    other_cost: float
+    energy_kwh: float
+    max_peak_kw: float
+    per_component: Dict[str, float]
+
+    @property
+    def demand_share(self) -> float:
+        """Demand-branch share of positive charges — the [34] y-axis."""
+        positive = (
+            max(self.energy_cost, 0.0)
+            + max(self.demand_cost, 0.0)
+            + max(self.other_cost, 0.0)
+        )
+        if positive <= 0:
+            raise AnalysisError("bill has no positive charges")
+        return max(self.demand_cost, 0.0) / positive
+
+    @property
+    def effective_rate_per_kwh(self) -> float:
+        """All-in average price per kWh."""
+        if self.energy_kwh <= 0:
+            raise AnalysisError("no metered energy")
+        return self.total / self.energy_kwh
+
+    def branch_shares(self) -> Dict[str, float]:
+        """Shares of the three branches (of positive charges)."""
+        positive = (
+            max(self.energy_cost, 0.0)
+            + max(self.demand_cost, 0.0)
+            + max(self.other_cost, 0.0)
+        )
+        if positive <= 0:
+            raise AnalysisError("bill has no positive charges")
+        return {
+            "energy": max(self.energy_cost, 0.0) / positive,
+            "demand": max(self.demand_cost, 0.0) / positive,
+            "other": max(self.other_cost, 0.0) / positive,
+        }
+
+
+def decompose_bill(bill: Bill) -> BillDecomposition:
+    """Split a settled bill along the typology branches."""
+    per_component: Dict[str, float] = {}
+    for pb in bill.period_bills:
+        for item in pb.line_items:
+            per_component[item.component] = (
+                per_component.get(item.component, 0.0) + item.amount
+            )
+    return BillDecomposition(
+        total=bill.total,
+        energy_cost=bill.energy_cost,
+        demand_cost=bill.demand_cost,
+        other_cost=bill.other_cost,
+        energy_kwh=bill.total_energy_kwh,
+        max_peak_kw=bill.max_peak_kw,
+        per_component=per_component,
+    )

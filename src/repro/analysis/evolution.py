@@ -1,0 +1,142 @@
+"""Contract evolution — §5's forecast, simulated forward.
+
+The conclusion: "electricity procurement contracts are likely to continue
+their evolution in response to increasing peak electricity demand and
+renewables in the generation portfolio," and SCs should prepare
+contingency/adaptation strategies *now* to "have an influence on their
+future role."
+
+This study runs that forecast: over a multi-year horizon, the ESP
+re-designs its two-part tariff annually, shifting revenue recovery toward
+the kW branch as system peaks grow (peak capacity is the binding cost,
+§1).  Two SC trajectories are settled under each year's tariff:
+
+* **passive** — operate as always (the surveyed sites' stance);
+* **adaptive** — apply a mild power cap that flattens the billed peak at a
+  small utilization cost.
+
+Expected shape: the adaptation premium starts negligible (the paper's
+"economic incentive ... is not high enough" today) and grows year over
+year as the demand-rate share climbs — precisely why §5 says the time to
+build the capability is before the incentive arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..contracts.billing import BillingEngine
+from ..contracts.contract import Contract
+from ..contracts.demand_charges import DemandCharge
+from ..contracts.tariffs import FixedTariff
+from ..exceptions import AnalysisError
+from ..timeseries.series import PowerSeries
+from .cost import decompose_bill
+from .scenarios import synthetic_sc_load
+
+__all__ = ["EvolutionYear", "EvolutionStudy", "contract_evolution_study"]
+
+
+@dataclass(frozen=True)
+class EvolutionYear:
+    """One simulated year of the evolving relationship."""
+
+    year: int
+    energy_rate_per_kwh: float
+    demand_rate_per_kw: float
+    passive_total: float
+    adaptive_total: float
+    passive_demand_share: float
+
+    @property
+    def adaptation_benefit(self) -> float:
+        """Annual saving of the adaptive trajectory ($)."""
+        return self.passive_total - self.adaptive_total
+
+
+@dataclass(frozen=True)
+class EvolutionStudy:
+    """The full multi-year trajectory."""
+
+    years: Tuple[EvolutionYear, ...]
+
+    @property
+    def benefit_trajectory(self) -> List[float]:
+        """Adaptation benefit per year, in year order."""
+        return [y.adaptation_benefit for y in self.years]
+
+    @property
+    def benefit_growing(self) -> bool:
+        """The §5 shape: does the benefit grow monotonically?"""
+        b = self.benefit_trajectory
+        return all(later >= earlier for earlier, later in zip(b, b[1:]))
+
+    def crossover_year(self, threshold: float) -> Optional[int]:
+        """First year the benefit exceeds ``threshold`` ($), if any."""
+        for y in self.years:
+            if y.adaptation_benefit > threshold:
+                return y.year
+        return None
+
+
+def contract_evolution_study(
+    peak_mw: float = 15.0,
+    n_years: int = 8,
+    base_energy_rate: float = 0.07,
+    base_demand_rate: float = 8.0,
+    demand_rate_growth: float = 0.12,
+    energy_rate_growth: float = 0.0,
+    adaptive_cap_fraction: float = 0.92,
+    cap_energy_loss_fraction: float = 0.0,
+    seed: int = 0,
+) -> EvolutionStudy:
+    """Simulate ``n_years`` of tariff evolution and two SC responses.
+
+    Parameters
+    ----------
+    demand_rate_growth / energy_rate_growth:
+        Annual growth of the two rates; the defaults encode the paper's
+        premise (peak costs rising, energy roughly flat).
+    adaptive_cap_fraction:
+        The adaptive SC's billed peak as a fraction of its natural peak.
+    cap_energy_loss_fraction:
+        Throughput lost to the cap, modeled as a uniform energy haircut.
+        Defaults to 0 (capped work fully recovered off-peak), which keeps
+        the benefit a pure demand-charge effect; set it positive to model
+        residual loss — the resulting energy-cost reduction is a billing
+        saving, not a welfare gain, so interpret with care.
+    """
+    if n_years < 1:
+        raise AnalysisError("need at least one year")
+    if not 0.0 < adaptive_cap_fraction <= 1.0:
+        raise AnalysisError("adaptive_cap_fraction must be in (0, 1]")
+    if not 0.0 <= cap_energy_loss_fraction < 1.0:
+        raise AnalysisError("cap_energy_loss_fraction must be in [0, 1)")
+    if demand_rate_growth < 0 or energy_rate_growth < 0:
+        raise AnalysisError("growth rates must be non-negative")
+    engine = BillingEngine()
+    load = synthetic_sc_load(peak_mw, seed=seed)
+    cap_kw = adaptive_cap_fraction * load.max_kw()
+    adapted = load.clip(upper_kw=cap_kw).scale(1.0 - cap_energy_loss_fraction)
+    years: List[EvolutionYear] = []
+    for year in range(n_years):
+        energy_rate = base_energy_rate * (1.0 + energy_rate_growth) ** year
+        demand_rate = base_demand_rate * (1.0 + demand_rate_growth) ** year
+        contract = Contract(
+            f"year-{year}",
+            [FixedTariff(energy_rate), DemandCharge(demand_rate)],
+        )
+        passive = decompose_bill(engine.annual_bill(contract, load))
+        adaptive = decompose_bill(engine.annual_bill(contract, adapted))
+        years.append(
+            EvolutionYear(
+                year=year,
+                energy_rate_per_kwh=energy_rate,
+                demand_rate_per_kw=demand_rate,
+                passive_total=passive.total,
+                adaptive_total=adaptive.total,
+                passive_demand_share=passive.demand_share,
+            )
+        )
+    return EvolutionStudy(years=tuple(years))

@@ -1,0 +1,158 @@
+"""DR savings and the incentive threshold — §4's economics, swept.
+
+Two studies:
+
+* :func:`incentive_threshold_sweep` — the break-even DR incentive for an
+  SC as a function of hardware cost, against the payment range of real
+  program types.  Expected shape: for any realistically priced machine the
+  break-even sits far above program payments — "the economic incentive
+  offered through tariffs and DR programs is not high enough to alter
+  operation strategies in SCs, due to high hardware depreciation costs."
+* :func:`lanl_office_dr_study` — the LANL observation that DR potential
+  lives in the *office buildings*, not the machine: office curtailment
+  forfeits no compute node-hours, so its business case closes where the
+  machine's does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dr.incentives import CostModel, break_even_incentive_per_kwh, dr_business_case
+from ..exceptions import AnalysisError
+from ..facility.machine import Supercomputer
+from ..grid.dr_programs import IncentiveBasedProgram, standard_program_catalog
+
+__all__ = [
+    "IncentiveSweepPoint",
+    "incentive_threshold_sweep",
+    "OfficeDRStudy",
+    "lanl_office_dr_study",
+]
+
+
+@dataclass(frozen=True)
+class IncentiveSweepPoint:
+    """One machine-cost level and its DR break-even."""
+
+    machine_capex: float
+    node_hour_cost: float
+    break_even_per_kwh: float
+    best_program_payment_per_kwh: float
+
+    @property
+    def business_case_exists(self) -> bool:
+        """True when some catalog program pays above break-even."""
+        return self.best_program_payment_per_kwh >= self.break_even_per_kwh
+
+
+def incentive_threshold_sweep(
+    machine: Optional[Supercomputer] = None,
+    capex_levels: Sequence[float] = (2e7, 5e7, 1e8, 2e8, 4e8),
+    lifetime_years: float = 5.0,
+    electricity_rate_per_kwh: float = 0.08,
+    utilization: float = 0.9,
+) -> List[IncentiveSweepPoint]:
+    """Sweep machine capex; compare DR break-even against program payments.
+
+    ``best_program_payment_per_kwh`` is the highest per-kWh energy payment
+    in the standard program catalog — the most generous realistic offer.
+    """
+    if machine is None:
+        machine = Supercomputer("sweep machine", n_nodes=4096, base_overhead_kw=300.0)
+    if not capex_levels:
+        raise AnalysisError("need at least one capex level")
+    catalog = standard_program_catalog()
+    best_payment = max(
+        p.energy_payment_per_kwh
+        for p in catalog.values()
+        if isinstance(p, IncentiveBasedProgram)
+    )
+    points: List[IncentiveSweepPoint] = []
+    for capex in capex_levels:
+        cost_model = CostModel(
+            machine_capex=capex,
+            lifetime_years=lifetime_years,
+            electricity_rate_per_kwh=electricity_rate_per_kwh,
+            utilization=utilization,
+        )
+        points.append(
+            IncentiveSweepPoint(
+                machine_capex=float(capex),
+                node_hour_cost=cost_model.node_hour_cost(machine),
+                break_even_per_kwh=break_even_incentive_per_kwh(machine, cost_model),
+                best_program_payment_per_kwh=best_payment,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class OfficeDRStudy:
+    """LANL-style comparison: machine DR vs office-building DR."""
+
+    machine_net_benefit: float
+    office_net_benefit: float
+    shed_kw: float
+    duration_h: float
+    payment_per_kwh: float
+
+    @property
+    def office_case_closes(self) -> bool:
+        """True when office DR pays while machine DR does not — the §4
+        LANL finding."""
+        return self.office_net_benefit > 0 > self.machine_net_benefit
+
+
+def lanl_office_dr_study(
+    machine: Optional[Supercomputer] = None,
+    machine_capex: float = 1.5e8,
+    shed_kw: float = 500.0,
+    duration_h: float = 1.0,
+    payment_per_kwh: float = 0.30,
+    office_comfort_cost_per_kwh: float = 0.02,
+    electricity_rate_per_kwh: float = 0.08,
+) -> OfficeDRStudy:
+    """Same DR event, two sources of flexibility.
+
+    Machine side: shedding ``shed_kw`` forfeits node-hours priced by the
+    depreciation model.  Office side: shedding HVAC/lighting costs only a
+    small comfort/productivity allowance per kWh (and avoids buying the
+    energy).  §4: LANL "identified DR potential in their general office
+    buildings and see opportunities in providing DR services in the 15 min
+    to 1 hour timescale."
+    """
+    if machine is None:
+        machine = Supercomputer("lanl-like", n_nodes=4096, base_overhead_kw=300.0)
+    if office_comfort_cost_per_kwh < 0:
+        raise AnalysisError("comfort cost must be non-negative")
+    cost_model = CostModel(
+        machine_capex=machine_capex,
+        electricity_rate_per_kwh=electricity_rate_per_kwh,
+    )
+    machine_case = dr_business_case(
+        machine,
+        cost_model,
+        payment_per_kwh=payment_per_kwh,
+        shed_kw=shed_kw,
+        duration_h=duration_h,
+    )
+    # Office side: the program pays for the shed energy, the un-bought
+    # energy is saved outright (HVAC/lighting need not be "re-run"), and
+    # the only cost is the comfort/productivity allowance.  The machine
+    # case nets its avoided-energy value inside dr_business_case the same
+    # way, so the two net benefits are directly comparable.
+    shed_kwh = shed_kw * duration_h
+    office_net = (
+        payment_per_kwh * shed_kwh
+        + electricity_rate_per_kwh * shed_kwh
+        - office_comfort_cost_per_kwh * shed_kwh
+    )
+    return OfficeDRStudy(
+        machine_net_benefit=machine_case.net_benefit,
+        office_net_benefit=office_net,
+        shed_kw=shed_kw,
+        duration_h=duration_h,
+        payment_per_kwh=payment_per_kwh,
+    )

@@ -1,0 +1,95 @@
+"""The paper's primary contribution, made executable.
+
+This subpackage implements the contract typology of Figure 1 as a family of
+composable, priceable contract components:
+
+* **kWh domain (tariffs, §3.2.1)** — :class:`FixedTariff`,
+  :class:`TOUTariff`, :class:`DynamicTariff`, plus the
+  :class:`TOUServiceCharge` adder that explains how two surveyed sites hold
+  both a fixed and a variable component.
+* **kW domain (§3.2.2)** — :class:`DemandCharge` (billing-period peaks) and
+  :class:`Powerband` (continuously sampled upper/lower bounds).
+* **other (§3.2.3)** — :class:`EmergencyDRObligation` (mandatory
+  emergency-DR service).
+
+A :class:`Contract` composes components with responsible-negotiating-party
+(RNP) metadata; the :class:`BillingEngine` prices any metered
+:class:`~repro.timeseries.PowerSeries` under it, producing a
+:class:`Bill` whose line items decompose by typology branch.
+"""
+
+from .components import ChargeDomain, LineItem, BillingContext, ContractComponent
+from .typology import (
+    TypologyBranch,
+    TypologyNode,
+    TypologyFlags,
+    build_typology_tree,
+    DSM_ENCOURAGEMENT,
+)
+from .tariffs import FixedTariff, TOUTariff, DynamicTariff, TOUServiceCharge
+from .demand_charges import DemandCharge, PeakMetering
+from .powerband import Powerband
+from .emergency import EmergencyDRObligation, EmergencyCall
+from .contract import Contract
+from .billing import Bill, PeriodBill, BillingEngine
+from .tariff_library import (
+    us_industrial_tou,
+    german_industrial,
+    nordic_spot_passthrough,
+    swiss_post_tender,
+    us_federal_with_emergency,
+)
+from .baselines import (
+    CBLConfig,
+    BaselineResult,
+    compute_cbl,
+    measured_reduction_kwh,
+)
+from .negotiation import (
+    ResponsibleParty,
+    NegotiatingActor,
+    PriceFormula,
+    SupplyBid,
+    ProcurementTender,
+    run_tender,
+)
+
+__all__ = [
+    "ChargeDomain",
+    "LineItem",
+    "BillingContext",
+    "ContractComponent",
+    "TypologyBranch",
+    "TypologyNode",
+    "TypologyFlags",
+    "build_typology_tree",
+    "DSM_ENCOURAGEMENT",
+    "FixedTariff",
+    "TOUTariff",
+    "DynamicTariff",
+    "TOUServiceCharge",
+    "DemandCharge",
+    "PeakMetering",
+    "Powerband",
+    "EmergencyDRObligation",
+    "EmergencyCall",
+    "Contract",
+    "Bill",
+    "PeriodBill",
+    "BillingEngine",
+    "ResponsibleParty",
+    "NegotiatingActor",
+    "PriceFormula",
+    "SupplyBid",
+    "ProcurementTender",
+    "run_tender",
+    "CBLConfig",
+    "BaselineResult",
+    "compute_cbl",
+    "measured_reduction_kwh",
+    "us_industrial_tou",
+    "german_industrial",
+    "nordic_spot_passthrough",
+    "swiss_post_tender",
+    "us_federal_with_emergency",
+]

@@ -1,0 +1,222 @@
+"""Customer baseline load (CBL) and measurement & verification (M&V).
+
+Incentive-based DR pays for *reduction against a baseline* — the
+counterfactual consumption the meter cannot observe.  Real programs
+compute it from recent similar days (the "X-of-Y" family: average the X
+highest of the last Y non-event weekdays, same hours), optionally with a
+same-day adjustment for weather/load drift.  Baseline quality decides who
+captures value: a baseline that overstates the counterfactual pays for
+phantom reductions; one that understates it punishes genuine response.
+
+This module implements the X-of-Y CBL with same-day adjustment and the
+settlement arithmetic on top, so DR payments in the library can be
+baseline-accurate rather than trusting the requested reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import BillingError
+from ..timeseries.calendar import SimCalendar
+from ..timeseries.series import PowerSeries
+from ..units import SECONDS_PER_DAY
+
+__all__ = ["CBLConfig", "BaselineResult", "compute_cbl", "measured_reduction_kwh"]
+
+
+@dataclass(frozen=True)
+class CBLConfig:
+    """X-of-Y baseline configuration.
+
+    Attributes
+    ----------
+    window_days:
+        Y: how many eligible prior days to look back over.
+    top_days:
+        X: how many of the highest-consumption lookback days to average.
+        ``top_days == window_days`` is the plain Y-day average.
+    weekdays_only:
+        Restrict lookback to weekdays (standard for C&I programs).
+    adjustment_hours:
+        Length of the same-day adjustment window ending one hour before
+        the event; 0 disables adjustment.
+    adjustment_cap:
+        Bound on the multiplicative adjustment (e.g. 0.2 → factor in
+        [0.8, 1.2]), as real programs cap gaming headroom.
+    """
+
+    window_days: int = 10
+    top_days: int = 5
+    weekdays_only: bool = True
+    adjustment_hours: float = 2.0
+    adjustment_cap: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.window_days < 1:
+            raise BillingError("window_days must be >= 1")
+        if not 1 <= self.top_days <= self.window_days:
+            raise BillingError("need 1 <= top_days <= window_days")
+        if self.adjustment_hours < 0:
+            raise BillingError("adjustment_hours must be >= 0")
+        if not 0.0 <= self.adjustment_cap <= 1.0:
+            raise BillingError("adjustment_cap must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """A computed baseline for one event window."""
+
+    baseline_kw: np.ndarray        # per event interval
+    lookback_days_used: Tuple[int, ...]
+    adjustment_factor: float
+
+    @property
+    def mean_baseline_kw(self) -> float:
+        """Average baseline power over the event."""
+        return float(self.baseline_kw.mean())
+
+
+def _eligible_days(
+    event_day: int,
+    calendar: SimCalendar,
+    intervals_per_day: int,
+    config: CBLConfig,
+    n_days_available: int,
+    event_days: Sequence[int],
+) -> List[int]:
+    """Prior days eligible for the lookback, most recent first."""
+    excluded = set(event_days)
+    days: List[int] = []
+    day = event_day - 1
+    while day >= 0 and len(days) < config.window_days:
+        if day not in excluded:
+            if config.weekdays_only:
+                dow = calendar.day_of_week(
+                    np.array([day * intervals_per_day])
+                )[0]
+                if dow >= 5:
+                    day -= 1
+                    continue
+            days.append(day)
+        day -= 1
+    return days
+
+
+def compute_cbl(
+    load: PowerSeries,
+    event_start_s: float,
+    event_end_s: float,
+    config: Optional[CBLConfig] = None,
+    prior_event_days: Sequence[int] = (),
+) -> BaselineResult:
+    """Compute the X-of-Y baseline for an event window.
+
+    Parameters
+    ----------
+    load:
+        Metered history including the event day(s) and enough lookback.
+    event_start_s / event_end_s:
+        The event window (must lie within one day and on interval edges).
+    config:
+        Baseline rules; defaults to high-5-of-10 weekday with a 2-hour
+        capped same-day adjustment.
+    prior_event_days:
+        Day indices of earlier DR events, excluded from the lookback
+        (events must not contaminate their own counterfactual).
+    """
+    config = config or CBLConfig()
+    if event_end_s <= event_start_s:
+        raise BillingError("event must have positive duration")
+    if event_start_s < load.start_s or event_end_s > load.end_s:
+        raise BillingError("event window outside the metered history")
+    calendar = SimCalendar.for_series(load)
+    per_day = calendar.intervals_per_day
+    i0 = int(round((event_start_s - load.start_s) / load.interval_s))
+    i1 = int(round((event_end_s - load.start_s) / load.interval_s))
+    if i1 <= i0:
+        raise BillingError("event window shorter than one metering interval")
+    event_day = i0 // per_day
+    if (i1 - 1) // per_day != event_day:
+        raise BillingError("event window must lie within a single day")
+    offset0 = i0 - event_day * per_day
+    offset1 = i1 - event_day * per_day
+
+    days = _eligible_days(
+        event_day, calendar, per_day, config,
+        len(load) // per_day, [event_day, *prior_event_days],
+    )
+    if not days:
+        raise BillingError(
+            "no eligible lookback days before the event; need more history"
+        )
+    values = load.values_kw
+    # per-lookback-day slices of the event hours
+    profiles = np.stack(
+        [values[d * per_day + offset0 : d * per_day + offset1] for d in days]
+    )
+    # X-of-Y selection: rank days by their event-window consumption
+    consumption = profiles.sum(axis=1)
+    top = np.argsort(consumption)[::-1][: config.top_days]
+    selected = profiles[top]
+    baseline = selected.mean(axis=0)
+    used = tuple(days[i] for i in top)
+
+    factor = 1.0
+    if config.adjustment_hours > 0:
+        adj_intervals = int(round(
+            config.adjustment_hours * 3600.0 / load.interval_s
+        ))
+        # adjustment window ends one hour before the event
+        gap = int(round(3600.0 / load.interval_s))
+        adj_end = i0 - gap
+        adj_start = adj_end - adj_intervals
+        if adj_start >= 0 and adj_intervals > 0:
+            actual = values[adj_start:adj_end].mean()
+            offsets = (adj_start - event_day * per_day, adj_end - event_day * per_day)
+            if offsets[0] >= 0:
+                hist = np.stack(
+                    [
+                        values[d * per_day + offsets[0] : d * per_day + offsets[1]]
+                        for d in used
+                    ]
+                ).mean()
+                if hist > 0:
+                    factor = float(
+                        np.clip(
+                            actual / hist,
+                            1.0 - config.adjustment_cap,
+                            1.0 + config.adjustment_cap,
+                        )
+                    )
+    return BaselineResult(
+        baseline_kw=baseline * factor,
+        lookback_days_used=used,
+        adjustment_factor=factor,
+    )
+
+
+def measured_reduction_kwh(
+    load: PowerSeries,
+    baseline: BaselineResult,
+    event_start_s: float,
+    event_end_s: float,
+) -> float:
+    """M&V: baseline-minus-actual energy over the event (kWh, floored at 0).
+
+    This is the quantity an incentive-based program actually pays on —
+    negative "reductions" (consumption above baseline) earn nothing rather
+    than owing money under most program rules; the non-delivery penalty is
+    settled against the *commitment*, separately.
+    """
+    event = load.slice_seconds(event_start_s, event_end_s)
+    if len(event) != len(baseline.baseline_kw):
+        raise BillingError(
+            "baseline and event window lengths differ "
+            f"({len(baseline.baseline_kw)} vs {len(event)})"
+        )
+    reduction_kw = np.maximum(baseline.baseline_kw - event.values_kw, 0.0)
+    return float(reduction_kw.sum() * event.interval_h)

@@ -1,0 +1,220 @@
+"""The billing engine: Contract × load profile → Bill.
+
+This is where the typology becomes money.  A :class:`Bill` settles a load
+profile against every component of a contract over a sequence of billing
+periods, and exposes the decomposition the paper's discussion relies on:
+the share of the bill in the kWh domain vs the kW domain (the axis of the
+[34] peak-ratio study) and the per-component audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import BillingError
+from ..timeseries.calendar import BillingPeriod, monthly_billing_periods
+from ..timeseries.series import PowerSeries
+from ..units import Money
+from .components import BillingContext, ChargeDomain, LineItem
+from .contract import Contract
+from .demand_charges import DemandCharge
+
+__all__ = ["PeriodBill", "Bill", "BillingEngine"]
+
+
+@dataclass(frozen=True)
+class PeriodBill:
+    """All line items for one billing period."""
+
+    period: BillingPeriod
+    line_items: Sequence[LineItem]
+    energy_kwh: float
+    peak_kw: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all line amounts (contract currency)."""
+        return sum(item.amount for item in self.line_items)
+
+    def domain_total(self, domain: ChargeDomain) -> float:
+        """Sum of line amounts in one typology branch."""
+        return sum(item.amount for item in self.line_items if item.domain is domain)
+
+
+class Bill:
+    """A settled bill: per-period line items plus decomposition helpers."""
+
+    def __init__(
+        self, contract: Contract, period_bills: Sequence[PeriodBill]
+    ) -> None:
+        if not period_bills:
+            raise BillingError("a bill requires at least one billing period")
+        self.contract = contract
+        self.period_bills: List[PeriodBill] = list(period_bills)
+
+    # -- totals ---------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Grand total across all periods (contract currency)."""
+        return sum(pb.total for pb in self.period_bills)
+
+    def total_money(self) -> Money:
+        """Grand total as :class:`~repro.units.Money`."""
+        return Money(self.total, self.contract.currency)
+
+    def domain_total(self, domain: ChargeDomain) -> float:
+        """Grand total of one typology branch."""
+        return sum(pb.domain_total(domain) for pb in self.period_bills)
+
+    @property
+    def energy_cost(self) -> float:
+        """Total of the kWh-domain (tariff) branch."""
+        return self.domain_total(ChargeDomain.ENERGY_KWH)
+
+    @property
+    def demand_cost(self) -> float:
+        """Total of the kW-domain (demand charge / powerband) branch."""
+        return self.domain_total(ChargeDomain.POWER_KW)
+
+    @property
+    def other_cost(self) -> float:
+        """Total of the "other" branch (emergency DR credits/penalties)."""
+        return self.domain_total(ChargeDomain.OTHER)
+
+    def domain_share(self, domain: ChargeDomain) -> float:
+        """Fraction of the bill in one branch — the [34] study's y-axis.
+
+        Shares are computed against the sum of positive branch totals so a
+        credit-carrying "other" branch cannot push shares above one.
+        """
+        positive = sum(
+            max(self.domain_total(d), 0.0) for d in ChargeDomain
+        )
+        if positive <= 0:
+            raise BillingError("bill has no positive charges; shares undefined")
+        return max(self.domain_total(domain), 0.0) / positive
+
+    @property
+    def demand_charge_share(self) -> float:
+        """Share of the bill paid in the kW domain."""
+        return self.domain_share(ChargeDomain.POWER_KW)
+
+    # -- audit ------------------------------------------------------------------
+
+    @property
+    def total_energy_kwh(self) -> float:
+        """Metered energy across all periods (kWh)."""
+        return sum(pb.energy_kwh for pb in self.period_bills)
+
+    @property
+    def max_peak_kw(self) -> float:
+        """Highest billing-period peak across the bill (kW)."""
+        return max(pb.peak_kw for pb in self.period_bills)
+
+    def effective_rate_per_kwh(self) -> float:
+        """All-in average price paid per kWh."""
+        energy = self.total_energy_kwh
+        if energy <= 0:
+            raise BillingError("no metered energy; effective rate undefined")
+        return self.total / energy
+
+    def line_items_for(self, component_name: str) -> List[LineItem]:
+        """Every period's line item from one component, in period order."""
+        return [
+            item
+            for pb in self.period_bills
+            for item in pb.line_items
+            if item.component == component_name
+        ]
+
+    def component_total(self, component_name: str) -> float:
+        """Grand total charged by one component."""
+        return sum(item.amount for item in self.line_items_for(component_name))
+
+    def summary(self) -> Dict[str, float]:
+        """Headline figures, for reports and tests."""
+        return {
+            "total": self.total,
+            "energy_cost": self.energy_cost,
+            "demand_cost": self.demand_cost,
+            "other_cost": self.other_cost,
+            "total_energy_kwh": self.total_energy_kwh,
+            "max_peak_kw": self.max_peak_kw,
+            "effective_rate_per_kwh": self.effective_rate_per_kwh(),
+        }
+
+
+class BillingEngine:
+    """Settles load profiles against contracts.
+
+    The engine is stateless across bills; per-bill component state (the
+    demand-charge ratchet) is reset at the start of every settlement.
+    """
+
+    def __init__(self, demand_interval_s: float = 900.0) -> None:
+        if demand_interval_s <= 0:
+            raise BillingError("demand_interval_s must be positive")
+        self.demand_interval_s = float(demand_interval_s)
+
+    def bill(
+        self,
+        contract: Contract,
+        load: PowerSeries,
+        periods: Optional[Sequence[BillingPeriod]] = None,
+        context: Optional[BillingContext] = None,
+    ) -> Bill:
+        """Settle ``load`` under ``contract`` over ``periods``.
+
+        Parameters
+        ----------
+        contract:
+            The contract to price under.
+        load:
+            Metered facility load.  Must cover every billing period.
+        periods:
+            Billing periods; defaults to the twelve calendar months of the
+            canonical year starting at the load's start time (which must
+            then be 0, i.e. January 1st).
+        context:
+            Out-of-band billing facts (real-time prices, emergency calls).
+        """
+        if periods is None:
+            periods = monthly_billing_periods(start_s=load.start_s)
+        for period in periods:
+            if not period.covers(load):
+                raise BillingError(
+                    f"load profile [{load.start_s}, {load.end_s}) s does not "
+                    f"cover billing period {period.label!r} "
+                    f"[{period.start_s}, {period.end_s}) s"
+                )
+        # reset per-bill component state (demand-charge ratchets)
+        for comp in contract.components:
+            if isinstance(comp, DemandCharge):
+                comp.reset()
+        period_bills: List[PeriodBill] = []
+        for period in periods:
+            period_load = period.slice(load)
+            items: List[LineItem] = []
+            for comp in contract.components:
+                metered = comp.metered(period_load)
+                items.append(comp.charge(metered, period, context))
+            period_bills.append(
+                PeriodBill(
+                    period=period,
+                    line_items=tuple(items),
+                    energy_kwh=period_load.energy_kwh(),
+                    peak_kw=period_load.max_kw(),
+                )
+            )
+        return Bill(contract, period_bills)
+
+    def annual_bill(
+        self,
+        contract: Contract,
+        load: PowerSeries,
+        context: Optional[BillingContext] = None,
+    ) -> Bill:
+        """Convenience: settle a full canonical year on monthly periods."""
+        return self.bill(contract, load, None, context)

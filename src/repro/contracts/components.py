@@ -1,0 +1,146 @@
+"""Base machinery shared by all contract components.
+
+The survey found power contracts to be "large and complex" and unique per
+site; the typology tames that by reducing every contract to components that
+each map a metered load profile to money in one of three domains (kWh, kW,
+other).  :class:`ContractComponent` is that mapping's interface.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
+
+from ..exceptions import MeteringError
+from ..timeseries.calendar import BillingPeriod
+from ..timeseries.resample import resample_mean
+from ..timeseries.series import PowerSeries
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .emergency import EmergencyCall
+
+__all__ = ["ChargeDomain", "LineItem", "BillingContext", "ContractComponent"]
+
+
+class ChargeDomain(enum.Enum):
+    """The three branches of the typology (Figure 1)."""
+
+    ENERGY_KWH = "tariffs (kWh)"
+    POWER_KW = "demand charges (kW)"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class LineItem:
+    """One priced line on a bill.
+
+    Attributes
+    ----------
+    component:
+        Name of the contract component that produced this line.
+    domain:
+        Typology branch the charge belongs to.
+    amount:
+        Charge in the contract's currency (negative = credit).
+    quantity / unit:
+        The billed physical quantity and its unit, for auditability
+        (e.g. ``quantity=1.2e6, unit="kWh"`` or ``quantity=14.8, unit="MW"``).
+    details:
+        Free-form numeric diagnostics (peak values, violation counts, ...).
+    """
+
+    component: str
+    domain: ChargeDomain
+    amount: float
+    quantity: float = 0.0
+    unit: str = ""
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class BillingContext:
+    """Out-of-band facts a component may need beyond the load profile.
+
+    * ``price_series`` — real-time energy prices for dynamic tariffs
+      ($/kWh on the same time base as the metered load, or resampleable
+      onto it).
+    * ``emergency_calls`` — emergency-DR dispatches during the billing
+      horizon, used by :class:`~repro.contracts.emergency.EmergencyDRObligation`
+      to assess compliance.
+    """
+
+    price_series: Optional["PriceSeries"] = None
+    emergency_calls: Sequence["EmergencyCall"] = ()
+
+
+# A price series reuses PowerSeries mechanics (values over equal intervals),
+# but the values are $/kWh.  An alias keeps signatures honest without a
+# parallel class hierarchy.
+PriceSeries = PowerSeries
+
+
+class ContractComponent(abc.ABC):
+    """A priceable element of an electricity service contract.
+
+    Subclasses declare the metering interval they bill on; the billing
+    engine resamples telemetry accordingly before calling :meth:`charge`.
+    """
+
+    #: Human-readable component name (set by subclasses).
+    name: str = "component"
+
+    #: Typology branch (set by subclasses).
+    domain: ChargeDomain = ChargeDomain.OTHER
+
+    #: Metering interval the component bills on, or ``None`` to accept the
+    #: telemetry's native interval.
+    metering_interval_s: Optional[float] = None
+
+    def metered(self, series: PowerSeries) -> PowerSeries:
+        """Resample telemetry onto this component's metering interval."""
+        if self.metering_interval_s is None:
+            return series
+        if series.interval_s > self.metering_interval_s + 1e-9:
+            raise MeteringError(
+                f"{self.name}: telemetry interval {series.interval_s} s is "
+                f"coarser than the required metering interval "
+                f"{self.metering_interval_s} s"
+            )
+        return resample_mean(series, self.metering_interval_s)
+
+    @abc.abstractmethod
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        """Price the (already period-sliced, already metered) ``series``.
+
+        Parameters
+        ----------
+        series:
+            Metered load for exactly this billing period, at this
+            component's metering interval.
+        period:
+            The billing period being settled.
+        context:
+            Optional out-of-band billing facts.
+        """
+
+    # -- typology hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def typology_labels(self) -> Sequence[str]:
+        """Leaf labels this component contributes to the typology matrix.
+
+        Labels are drawn from the Table 2 column vocabulary:
+        ``"demand_charge"``, ``"powerband"``, ``"fixed"``, ``"variable"``,
+        ``"dynamic"``, ``"emergency_dr"``.
+        """
+
+    def describe(self) -> str:
+        """One-line human description (used by contract listings)."""
+        return self.name

@@ -1,0 +1,140 @@
+"""Contract composition.
+
+A :class:`Contract` is a named bundle of
+:class:`~repro.contracts.components.ContractComponent` plus the negotiation
+metadata the survey collects: the responsible negotiating party (§3.3) and
+whether the site communicates load swings to its ESP (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..exceptions import ContractError
+from .components import ChargeDomain, ContractComponent
+from .negotiation import ResponsibleParty
+from .typology import TypologyFlags
+
+__all__ = ["Contract"]
+
+
+class Contract:
+    """An electricity service contract between an SC (site) and its ESP.
+
+    Parameters
+    ----------
+    name:
+        Contract label (usually the site name).
+    components:
+        The priceable components.  At least one kWh-domain component is
+        required unless ``allow_no_tariff=True``; the survey's Site 4,
+        Site 7 and Site 8 hold *only* dynamic tariffs, and every surveyed
+        contract prices energy somehow.
+    rnp:
+        The responsible negotiating party (§3.3); defaults to
+        ``ResponsibleParty.INTERNAL``, the survey's majority case.
+    communicates_swings:
+        §3.4 "good neighbor" flag: whether the site reports significant
+        load deviations to its ESP.
+    currency:
+        Currency label carried onto bills.
+    metadata:
+        Free-form annotations (country, institution type, ...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        components: Sequence[ContractComponent],
+        rnp: ResponsibleParty = ResponsibleParty.INTERNAL,
+        communicates_swings: bool = False,
+        currency: str = "USD",
+        metadata: Optional[Dict[str, str]] = None,
+        allow_no_tariff: bool = False,
+    ) -> None:
+        if not name:
+            raise ContractError("a contract requires a non-empty name")
+        components = list(components)
+        if not components:
+            raise ContractError(f"contract {name!r} has no components")
+        flags = TypologyFlags.from_leaves(
+            leaf for comp in components for leaf in comp.typology_labels()
+        )
+        if not flags.has_any_tariff() and not allow_no_tariff:
+            raise ContractError(
+                f"contract {name!r} prices no energy (no kWh-domain component); "
+                "pass allow_no_tariff=True if intentional"
+            )
+        self.name = name
+        self.components: List[ContractComponent] = components
+        self.rnp = rnp
+        self.communicates_swings = bool(communicates_swings)
+        self.currency = currency
+        self.metadata: Dict[str, str] = dict(metadata or {})
+        self._flags = flags
+
+    # -- typology ------------------------------------------------------------
+
+    def typology_flags(self) -> TypologyFlags:
+        """Classify this contract against the Figure 1 typology."""
+        return self._flags
+
+    def components_in_domain(self, domain: ChargeDomain) -> List[ContractComponent]:
+        """Components belonging to one typology branch."""
+        return [c for c in self.components if c.domain is domain]
+
+    def has_component(self, leaf: str) -> bool:
+        """True when any component carries the given typology leaf."""
+        return leaf in self._flags.leaves()
+
+    # -- composition ---------------------------------------------------------
+
+    def with_component(self, component: ContractComponent) -> "Contract":
+        """A new contract with ``component`` appended (contracts are treated
+        as immutable once billed)."""
+        return Contract(
+            name=self.name,
+            components=[*self.components, component],
+            rnp=self.rnp,
+            communicates_swings=self.communicates_swings,
+            currency=self.currency,
+            metadata=self.metadata,
+            allow_no_tariff=True,
+        )
+
+    def without_components(self, leaf: str) -> "Contract":
+        """A new contract with every component carrying ``leaf`` removed.
+
+        This is the CSCS move from §4: "removing demand charges (an element
+        of their existing contract)".
+        """
+        kept = [c for c in self.components if leaf not in c.typology_labels()]
+        if len(kept) == len(self.components):
+            raise ContractError(
+                f"contract {self.name!r} has no component with leaf {leaf!r}"
+            )
+        return Contract(
+            name=self.name,
+            components=kept,
+            rnp=self.rnp,
+            communicates_swings=self.communicates_swings,
+            currency=self.currency,
+            metadata=self.metadata,
+            allow_no_tariff=True,
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable listing of the contract."""
+        lines = [
+            f"Contract {self.name!r} (RNP: {self.rnp.value}, "
+            f"swing communication: {'yes' if self.communicates_swings else 'no'})"
+        ]
+        for comp in self.components:
+            lines.append(f"  - {comp.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Contract(name={self.name!r}, leaves={self._flags.leaves()}, "
+            f"rnp={self.rnp.value!r})"
+        )

@@ -1,0 +1,147 @@
+"""kW-domain component: the demand charge.
+
+§3.2.2: "part of the electricity price is determined based on the peak
+consumption of a consumer across a billing period. For example, in a case
+with three 15 MW peaks in a billing period, demand charges are calculated
+based on these peaks and added to the electricity bill after the billing
+period. In the next billing period, if the peaks are 12 MW instead, the
+demand charges are lowered accordingly."
+
+Two metering conventions are implemented (and ablated in the benchmarks):
+
+* ``SINGLE_MAX`` — bill on the single highest demand-interval mean, the
+  most common utility practice;
+* ``TOP_K_MEAN`` — bill on the mean of the ``k`` highest demand-interval
+  means, matching the paper's "three 15 MW peaks" example.
+
+A *ratchet* is optionally supported: the billed demand is at least a
+fraction of the highest demand billed in the preceding periods of the same
+bill, a common industrial-tariff feature that strengthens the incentive to
+avoid even a single peak.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import TariffError
+from ..timeseries.calendar import BillingPeriod
+from ..timeseries.series import PowerSeries
+from ..timeseries.stats import top_k_peaks
+from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+
+__all__ = ["PeakMetering", "DemandCharge"]
+
+
+class PeakMetering(enum.Enum):
+    """How billing-period peaks are turned into a billed-demand figure."""
+
+    SINGLE_MAX = "single_max"
+    TOP_K_MEAN = "top_k_mean"
+
+
+class DemandCharge(ContractComponent):
+    """A peak-demand charge billed per billing period.
+
+    Parameters
+    ----------
+    rate_per_kw:
+        Price per kW of billed demand, per billing period.
+    metering:
+        Peak-metering convention (see :class:`PeakMetering`).
+    k:
+        Number of peaks averaged under ``TOP_K_MEAN`` (ignored otherwise).
+    demand_interval_s:
+        The demand-metering interval; 900 s (15 min) by default.
+    ratchet_fraction:
+        If positive, billed demand is at least ``ratchet_fraction`` times
+        the highest demand billed so far in the same bill (state is carried
+        by the billing engine via :meth:`reset` / sequential calls).
+    """
+
+    domain = ChargeDomain.POWER_KW
+
+    def __init__(
+        self,
+        rate_per_kw: float,
+        metering: PeakMetering = PeakMetering.SINGLE_MAX,
+        k: int = 3,
+        demand_interval_s: float = 900.0,
+        ratchet_fraction: float = 0.0,
+        name: str = "demand charge",
+    ) -> None:
+        rate_per_kw = float(rate_per_kw)
+        if not np.isfinite(rate_per_kw) or rate_per_kw < 0:
+            raise TariffError(f"demand-charge rate must be non-negative, got {rate_per_kw!r}")
+        if metering is PeakMetering.TOP_K_MEAN and k < 1:
+            raise TariffError(f"k must be >= 1 for TOP_K_MEAN metering, got {k}")
+        if not 0.0 <= float(ratchet_fraction) <= 1.0:
+            raise TariffError(
+                f"ratchet_fraction must be in [0, 1], got {ratchet_fraction!r}"
+            )
+        if demand_interval_s <= 0:
+            raise TariffError("demand_interval_s must be positive")
+        self.rate_per_kw = rate_per_kw
+        self.metering = metering
+        self.k = int(k)
+        self.metering_interval_s = float(demand_interval_s)
+        self.ratchet_fraction = float(ratchet_fraction)
+        self.name = name
+        self._ratchet_base_kw = 0.0
+
+    # -- ratchet state ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear ratchet state (called by the engine at the start of a bill)."""
+        self._ratchet_base_kw = 0.0
+
+    # -- pricing -----------------------------------------------------------
+
+    def measured_demand_kw(self, series: PowerSeries) -> float:
+        """The raw (pre-ratchet) billed-demand figure for ``series``."""
+        if self.metering is PeakMetering.SINGLE_MAX:
+            return series.max_kw()
+        peaks = top_k_peaks(series, self.k)
+        return float(peaks.mean())
+
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        measured = self.measured_demand_kw(series)
+        ratchet_floor = self.ratchet_fraction * self._ratchet_base_kw
+        billed = max(measured, ratchet_floor)
+        self._ratchet_base_kw = max(self._ratchet_base_kw, measured)
+        return LineItem(
+            component=self.name,
+            domain=self.domain,
+            amount=billed * self.rate_per_kw,
+            quantity=billed,
+            unit="kW",
+            details={
+                "measured_demand_kw": measured,
+                "ratchet_floor_kw": ratchet_floor,
+                "rate_per_kw": self.rate_per_kw,
+                "mean_load_kw": series.mean_kw(),
+            },
+        )
+
+    def typology_labels(self) -> Sequence[str]:
+        return ("demand_charge",)
+
+    def describe(self) -> str:
+        how = (
+            "max demand interval"
+            if self.metering is PeakMetering.SINGLE_MAX
+            else f"mean of top {self.k} demand intervals"
+        )
+        extra = f", {self.ratchet_fraction:.0%} ratchet" if self.ratchet_fraction else ""
+        return (
+            f"{self.name}: {self.rate_per_kw:.2f}/kW on {how} "
+            f"({self.metering_interval_s / 60:.0f}-min intervals){extra}"
+        )

@@ -1,0 +1,159 @@
+"""The "other" branch: mandatory emergency-DR obligations.
+
+§3.2.3: "The survey identified emergency response program elements in some
+contracts.  In a DR context, these services constitute Emergency DR
+programs, a specific type of incentive-based DR program which imposes a
+reduction in consumption or a consumption up to a certain limit in order to
+preserve grid reliability.  However, as opposed to commercial DR programs,
+these are mandatory and imposed upon the SCs."
+
+Two of the ten surveyed sites carry such an element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import TariffError
+from ..timeseries.calendar import BillingPeriod
+from ..timeseries.series import PowerSeries
+from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+
+__all__ = ["EmergencyCall", "EmergencyDRObligation"]
+
+
+@dataclass(frozen=True)
+class EmergencyCall:
+    """One emergency-DR dispatch by the ESP.
+
+    Attributes
+    ----------
+    start_s / end_s:
+        Span of the emergency, in simulation time.
+    limit_kw:
+        The consumption limit imposed for the duration ("a consumption up
+        to a certain limit in order to preserve grid reliability").
+    """
+
+    start_s: float
+    end_s: float
+    limit_kw: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise TariffError("emergency call must have positive duration")
+        if self.limit_kw < 0:
+            raise TariffError("emergency consumption limit must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        """Call duration (s)."""
+        return self.end_s - self.start_s
+
+
+class EmergencyDRObligation(ContractComponent):
+    """A mandatory curtail-to-limit obligation during grid emergencies.
+
+    Billing semantics: the site earns a capacity ``availability_credit``
+    per billing period for standing ready, and pays
+    ``noncompliance_penalty_per_kwh`` for every kWh consumed above the
+    imposed limit during a call.  Both sides can be zero — some contracts
+    simply impose the obligation ("mandatory and imposed upon the SCs")
+    without paying for it.
+
+    Parameters
+    ----------
+    availability_credit_per_period:
+        Credit (positive number; applied as a negative line amount) per
+        billing period.
+    noncompliance_penalty_per_kwh:
+        Penalty per kWh above the imposed limit during calls.
+    max_calls_per_period:
+        Declared maximum dispatches per billing period; exceeding it is an
+        ESP-side contract violation, surfaced in the line-item details so
+        analyses can flag it (the SC is not charged for those kWh).
+    """
+
+    domain = ChargeDomain.OTHER
+
+    def __init__(
+        self,
+        availability_credit_per_period: float = 0.0,
+        noncompliance_penalty_per_kwh: float = 0.0,
+        max_calls_per_period: int = 4,
+        name: str = "emergency DR obligation",
+    ) -> None:
+        if availability_credit_per_period < 0:
+            raise TariffError("availability credit must be non-negative")
+        if noncompliance_penalty_per_kwh < 0:
+            raise TariffError("non-compliance penalty must be non-negative")
+        if max_calls_per_period < 0:
+            raise TariffError("max_calls_per_period must be non-negative")
+        self.availability_credit_per_period = float(availability_credit_per_period)
+        self.noncompliance_penalty_per_kwh = float(noncompliance_penalty_per_kwh)
+        self.max_calls_per_period = int(max_calls_per_period)
+        self.name = name
+
+    def _calls_in(self, period: BillingPeriod, context: Optional[BillingContext]) -> List[EmergencyCall]:
+        if context is None:
+            return []
+        return [
+            c
+            for c in context.emergency_calls
+            if c.start_s < period.end_s and c.end_s > period.start_s
+        ]
+
+    def excess_energy_kwh(self, series: PowerSeries, call: EmergencyCall) -> float:
+        """Energy consumed above ``call.limit_kw`` during the call (kWh).
+
+        Partial interval overlaps are weighted by covered fraction, so a
+        call that starts mid-interval is not over- or under-counted.
+        """
+        edges = series.start_s + series.interval_s * np.arange(len(series) + 1)
+        lo = np.clip(call.start_s, edges[:-1], edges[1:])
+        hi = np.clip(call.end_s, edges[:-1], edges[1:])
+        frac = (hi - lo) / series.interval_s
+        excess_kw = np.maximum(series.values_kw - call.limit_kw, 0.0)
+        return float(np.dot(excess_kw, frac) * series.interval_h)
+
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        calls = self._calls_in(period, context)
+        billable = calls[: self.max_calls_per_period]
+        overflow = len(calls) - len(billable)
+        excess = sum(self.excess_energy_kwh(series, c) for c in billable)
+        amount = (
+            excess * self.noncompliance_penalty_per_kwh
+            - self.availability_credit_per_period
+        )
+        return LineItem(
+            component=self.name,
+            domain=self.domain,
+            amount=amount,
+            quantity=excess,
+            unit="kWh above limit",
+            details={
+                "n_calls": float(len(calls)),
+                "n_calls_billable": float(len(billable)),
+                "n_calls_over_contract_max": float(max(overflow, 0)),
+                "availability_credit": self.availability_credit_per_period,
+                "penalty_per_kwh": self.noncompliance_penalty_per_kwh,
+            },
+        )
+
+    def typology_labels(self) -> Sequence[str]:
+        return ("emergency_dr",)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: mandatory curtailment, ≤{self.max_calls_per_period} "
+            f"calls/period, credit {self.availability_credit_per_period:.2f}, "
+            f"penalty {self.noncompliance_penalty_per_kwh:.3f}/kWh over limit"
+        )

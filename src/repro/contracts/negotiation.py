@@ -1,0 +1,238 @@
+"""Responsible negotiating parties and the CSCS-style procurement process.
+
+§3.3 identifies three actors who can hold the main responsibility for
+negotiating electricity procurement: the *supercomputing center* itself
+(1 of 10 sites), an *internal organization* of a multi-function site
+(6 of 10), and an *external organization* spanning multiple sites
+(3 of 10, two of which have the U.S. Department of Energy in that role).
+Domain knowledge about SC operation decreases along that order.
+
+§4 describes the Swiss National Supercomputing Centre (CSCS) putting its
+procurement through a public tender: external experts defined a contract
+model that removed demand charges, required an 80 %-renewable supply mix,
+and fixed a price *formula* in which four variables were left for bidding
+ESPs to fill in.  :class:`PriceFormula`, :class:`SupplyBid` and
+:func:`run_tender` make that process executable so the §4 case study can
+be reproduced quantitatively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ContractError
+from ..timeseries.series import PowerSeries
+
+__all__ = [
+    "ResponsibleParty",
+    "NegotiatingActor",
+    "PriceFormula",
+    "SupplyBid",
+    "ProcurementTender",
+    "TenderResult",
+    "run_tender",
+]
+
+
+class ResponsibleParty(enum.Enum):
+    """The RNP taxonomy of §3.3 (column "RNP" of Table 2)."""
+
+    SC = "SC"
+    INTERNAL = "Internal"
+    EXTERNAL = "External"
+
+
+#: Qualitative domain-knowledge level per actor, from §3.3 ("The *external
+#: organization* actor is sufficiently removed from the SC that operational
+#: characteristics and domain knowledge is minimal").  Scale 0..2.
+_DOMAIN_KNOWLEDGE = {
+    ResponsibleParty.SC: 2,
+    ResponsibleParty.INTERNAL: 1,
+    ResponsibleParty.EXTERNAL: 0,
+}
+
+
+@dataclass(frozen=True)
+class NegotiatingActor:
+    """A party negotiating an electricity procurement contract.
+
+    Attributes
+    ----------
+    kind:
+        Which of the three §3.3 actor types this is.
+    label:
+        Concrete identity ("Utility Division", "U.S. Department of Energy").
+    sites_represented:
+        Number of sites the actor negotiates for; >1 is typical for
+        external organizations.
+    """
+
+    kind: ResponsibleParty
+    label: str = ""
+    sites_represented: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sites_represented < 1:
+            raise ContractError("an actor must represent at least one site")
+        if self.kind is not ResponsibleParty.EXTERNAL and self.sites_represented > 1:
+            raise ContractError(
+                "only external organizations represent multiple sites (§3.3)"
+            )
+
+    @property
+    def domain_knowledge(self) -> int:
+        """SC-operations knowledge on a 0 (minimal) .. 2 (full) scale."""
+        return _DOMAIN_KNOWLEDGE[self.kind]
+
+    def tailoring_likelihood(self) -> float:
+        """Heuristic probability that the negotiated contract is tailored
+        to SC needs, monotone in domain knowledge (§3.1.1: "the more the SC
+        participates in the actual negotiation ... the greater the
+        likelihood that the contract would be tailored").
+        """
+        return (1 + self.domain_knowledge) / 3.0
+
+
+@dataclass(frozen=True)
+class PriceFormula:
+    """The CSCS-style four-variable price formula.
+
+    Effective energy price ($/kWh) for a supply mix is::
+
+        price = base + renewable_premium * renewable_fraction
+              + volatility_share * market_volatility
+              + service_fee
+
+    The four coefficients are exactly "the 4 variables left to the ESPs to
+    decide, thereby defining their bids on the power contract" (§4).  The
+    tendering site fixes the *formula*; bidders fill in the variables.
+    """
+
+    base_per_kwh: float
+    renewable_premium_per_kwh: float
+    volatility_share: float
+    service_fee_per_kwh: float
+
+    def __post_init__(self) -> None:
+        for value, what in (
+            (self.base_per_kwh, "base_per_kwh"),
+            (self.renewable_premium_per_kwh, "renewable_premium_per_kwh"),
+            (self.volatility_share, "volatility_share"),
+            (self.service_fee_per_kwh, "service_fee_per_kwh"),
+        ):
+            if not np.isfinite(value):
+                raise ContractError(f"{what} must be finite, got {value!r}")
+            if value < 0:
+                raise ContractError(f"{what} must be non-negative, got {value!r}")
+
+    def effective_rate_per_kwh(
+        self, renewable_fraction: float, market_volatility_per_kwh: float
+    ) -> float:
+        """Evaluate the formula for a supply mix and market condition."""
+        if not 0.0 <= renewable_fraction <= 1.0:
+            raise ContractError(
+                f"renewable_fraction must be in [0, 1], got {renewable_fraction!r}"
+            )
+        if market_volatility_per_kwh < 0:
+            raise ContractError("market volatility must be non-negative")
+        return (
+            self.base_per_kwh
+            + self.renewable_premium_per_kwh * renewable_fraction
+            + self.volatility_share * market_volatility_per_kwh
+            + self.service_fee_per_kwh
+        )
+
+
+@dataclass(frozen=True)
+class SupplyBid:
+    """One ESP's bid: a filled-in price formula plus the offered mix."""
+
+    bidder: str
+    formula: PriceFormula
+    renewable_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.renewable_fraction <= 1.0:
+            raise ContractError(
+                f"renewable_fraction must be in [0, 1], got {self.renewable_fraction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ProcurementTender:
+    """A public procurement tender in the CSCS mould.
+
+    Attributes
+    ----------
+    min_renewable_fraction:
+        Supply-mix requirement; CSCS required 0.8.
+    forbid_demand_charges:
+        Contract-model requirement; CSCS removed demand charges.
+    market_volatility_per_kwh:
+        The volatility figure at which bids are evaluated (same for all
+        bidders — the tender evaluates formulas, not luck).
+    """
+
+    name: str
+    min_renewable_fraction: float = 0.8
+    forbid_demand_charges: bool = True
+    market_volatility_per_kwh: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_renewable_fraction <= 1.0:
+            raise ContractError("min_renewable_fraction must be in [0, 1]")
+        if self.market_volatility_per_kwh < 0:
+            raise ContractError("market volatility must be non-negative")
+
+    def admissible(self, bid: SupplyBid) -> bool:
+        """Whether a bid satisfies the tender's supply-mix requirement."""
+        return bid.renewable_fraction >= self.min_renewable_fraction - 1e-12
+
+    def evaluate(self, bid: SupplyBid) -> float:
+        """Effective $/kWh of a bid under this tender's market conditions."""
+        return bid.formula.effective_rate_per_kwh(
+            bid.renewable_fraction, self.market_volatility_per_kwh
+        )
+
+
+@dataclass(frozen=True)
+class TenderResult:
+    """Outcome of :func:`run_tender`."""
+
+    winner: SupplyBid
+    winning_rate_per_kwh: float
+    admissible_bids: Tuple[SupplyBid, ...]
+    rejected_bids: Tuple[SupplyBid, ...]
+
+    def annual_cost(self, load: PowerSeries) -> float:
+        """Energy cost of serving ``load`` at the winning rate."""
+        return load.energy_kwh() * self.winning_rate_per_kwh
+
+
+def run_tender(tender: ProcurementTender, bids: Sequence[SupplyBid]) -> TenderResult:
+    """Run a tender: filter inadmissible bids, pick the cheapest formula.
+
+    Raises :class:`~repro.exceptions.ContractError` when no admissible bid
+    exists (a tender that attracts none has failed and must be re-issued).
+    """
+    if not bids:
+        raise ContractError(f"tender {tender.name!r} received no bids")
+    admissible = tuple(b for b in bids if tender.admissible(b))
+    rejected = tuple(b for b in bids if not tender.admissible(b))
+    if not admissible:
+        raise ContractError(
+            f"tender {tender.name!r}: no bid meets the "
+            f"{tender.min_renewable_fraction:.0%} renewable requirement"
+        )
+    rates = [tender.evaluate(b) for b in admissible]
+    best = int(np.argmin(rates))
+    return TenderResult(
+        winner=admissible[best],
+        winning_rate_per_kwh=rates[best],
+        admissible_bids=admissible,
+        rejected_bids=rejected,
+    )

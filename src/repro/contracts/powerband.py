@@ -1,0 +1,154 @@
+"""kW-domain component: the powerband.
+
+§3.2.2: "A powerband dictates electricity consumption boundaries (upper
+and, optionally, lower).  Consumption outside the specified powerband
+limits is associated with high additional electricity costs.  Thus,
+powerbands may be considered as a variation over demand charges with
+upper- and lower limit and continuous sampling of consumption as opposed
+to measuring a fixed number of peaks."
+
+Five of the ten surveyed sites were subject to one as a mandatory
+obligation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..exceptions import TariffError
+from ..timeseries.calendar import BillingPeriod
+from ..timeseries.series import PowerSeries
+from ..timeseries.stats import excursions_outside_band
+from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+
+__all__ = ["Powerband"]
+
+
+class Powerband(ContractComponent):
+    """Upper (and optionally lower) consumption bounds, continuously sampled.
+
+    Parameters
+    ----------
+    upper_kw:
+        The upper consumption bound (kW).
+    lower_kw:
+        Optional lower bound (kW); ``None`` disables it (the paper marks
+        the lower bound "optionally").
+    penalty_per_kwh_outside:
+        Price per kWh of energy outside the band — the "high additional
+        electricity costs" of §3.2.2.  Applied to above-band excess energy
+        and below-band shortfall energy alike.
+    penalty_per_violation:
+        Optional flat charge per metering interval that leaves the band,
+        modelling contracts that fine events rather than energy.
+    sampling_interval_s:
+        The continuous-sampling interval; finer than demand metering
+        (default 60 s) to honour the paper's contrast with peak-count
+        demand charges.
+    """
+
+    domain = ChargeDomain.POWER_KW
+
+    def __init__(
+        self,
+        upper_kw: float,
+        lower_kw: Optional[float] = None,
+        penalty_per_kwh_outside: float = 0.0,
+        penalty_per_violation: float = 0.0,
+        sampling_interval_s: float = 60.0,
+        name: str = "powerband",
+    ) -> None:
+        upper_kw = float(upper_kw)
+        if not math.isfinite(upper_kw) or upper_kw <= 0:
+            raise TariffError(f"powerband upper bound must be positive, got {upper_kw!r}")
+        if lower_kw is not None:
+            lower_kw = float(lower_kw)
+            if not math.isfinite(lower_kw) or lower_kw < 0:
+                raise TariffError(
+                    f"powerband lower bound must be non-negative, got {lower_kw!r}"
+                )
+            if lower_kw >= upper_kw:
+                raise TariffError(
+                    f"powerband lower bound {lower_kw} kW must be below the "
+                    f"upper bound {upper_kw} kW"
+                )
+        for value, what in (
+            (penalty_per_kwh_outside, "penalty_per_kwh_outside"),
+            (penalty_per_violation, "penalty_per_violation"),
+        ):
+            if float(value) < 0:
+                raise TariffError(f"{what} must be non-negative, got {value!r}")
+        if sampling_interval_s <= 0:
+            raise TariffError("sampling_interval_s must be positive")
+        self.upper_kw = upper_kw
+        self.lower_kw = lower_kw
+        self.penalty_per_kwh_outside = float(penalty_per_kwh_outside)
+        self.penalty_per_violation = float(penalty_per_violation)
+        self.metering_interval_s = float(sampling_interval_s)
+        self.name = name
+
+    def metered(self, series: PowerSeries) -> PowerSeries:
+        """Continuous sampling: use telemetry at the contractual sampling
+        interval when finer telemetry is available, else at the telemetry's
+        native resolution (a coarser meter cannot be sharpened, and unlike a
+        demand charge the band is defined on whatever is observed)."""
+        if series.interval_s >= self.metering_interval_s:
+            return series
+        from ..timeseries.resample import resample_mean
+
+        return resample_mean(series, self.metering_interval_s)
+
+    @property
+    def width_kw(self) -> float:
+        """Band width (kW); infinite when no lower bound is set."""
+        if self.lower_kw is None:
+            return math.inf
+        return self.upper_kw - self.lower_kw
+
+    def contains(self, power_kw: float) -> bool:
+        """True when a power level lies inside the band."""
+        if power_kw > self.upper_kw:
+            return False
+        return self.lower_kw is None or power_kw >= self.lower_kw
+
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        lower = self.lower_kw if self.lower_kw is not None else -math.inf
+        exc = excursions_outside_band(series, lower, self.upper_kw)
+        energy_outside = exc.energy_over_kwh + exc.energy_under_kwh
+        amount = (
+            energy_outside * self.penalty_per_kwh_outside
+            + exc.n_outside * self.penalty_per_violation
+        )
+        return LineItem(
+            component=self.name,
+            domain=self.domain,
+            amount=amount,
+            quantity=energy_outside,
+            unit="kWh outside band",
+            details={
+                "upper_kw": self.upper_kw,
+                "lower_kw": lower,
+                "n_over": float(exc.n_over),
+                "n_under": float(exc.n_under),
+                "worst_over_kw": exc.worst_over_kw,
+                "worst_under_kw": exc.worst_under_kw,
+                "fraction_outside": exc.fraction_outside,
+            },
+        )
+
+    def typology_labels(self) -> Sequence[str]:
+        return ("powerband",)
+
+    def describe(self) -> str:
+        lo = f"{self.lower_kw:.0f}" if self.lower_kw is not None else "-"
+        return (
+            f"{self.name}: [{lo}, {self.upper_kw:.0f}] kW, "
+            f"{self.penalty_per_kwh_outside:.3f}/kWh outside, "
+            f"sampled every {self.metering_interval_s:.0f} s"
+        )

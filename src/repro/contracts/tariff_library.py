@@ -1,0 +1,215 @@
+"""A library of realistic, named contract structures.
+
+The survey's contracts are anonymized, but their *shapes* follow
+recognizable regional archetypes.  This module provides parameterized
+constructors for those archetypes so examples, tests and studies can
+instantiate realistic contracts in one line.  Rates default to plausible
+magnitudes; every constructor scales power-denominated terms to the
+facility's expected peak.
+
+Archetypes:
+
+* :func:`us_industrial_tou` — the classic US large-industrial schedule:
+  seasonal time-of-use energy + a ratcheted demand charge (the structure
+  behind sites 1/9's fixed+variable+demand rows and the [34] analysis);
+* :func:`german_industrial` — fixed energy with grid fees folded in and a
+  contracted powerband (the structure behind sites 2/5's rows; German
+  *Leistungspreis/Jahresbenutzungsdauer* practice rewards flat profiles);
+* :func:`nordic_spot_passthrough` — spot-indexed dynamic pricing with a
+  retail adder (site 8's pure-dynamic row);
+* :func:`swiss_post_tender` — the CSCS §4 outcome: formula-priced fixed
+  energy, no demand charges, renewable-mix metadata;
+* :func:`us_federal_with_emergency` — fixed + demand + mandatory
+  emergency-DR rider (sites 3/7's "other" rows).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import ContractError
+from ..timeseries.calendar import Season, TOUWindow
+from .contract import Contract
+from .demand_charges import DemandCharge, PeakMetering
+from .emergency import EmergencyDRObligation
+from .negotiation import PriceFormula, ResponsibleParty
+from .powerband import Powerband
+from .tariffs import DynamicTariff, FixedTariff, TOUServiceCharge, TOUTariff
+
+__all__ = [
+    "us_industrial_tou",
+    "german_industrial",
+    "nordic_spot_passthrough",
+    "swiss_post_tender",
+    "us_federal_with_emergency",
+]
+
+
+def _check_peak(peak_kw: float) -> float:
+    peak_kw = float(peak_kw)
+    if peak_kw <= 0:
+        raise ContractError("expected facility peak must be positive")
+    return peak_kw
+
+
+def us_industrial_tou(
+    customer: str,
+    peak_kw: float,
+    summer_peak_rate: float = 0.14,
+    winter_peak_rate: float = 0.10,
+    offpeak_rate: float = 0.055,
+    demand_rate_per_kw: float = 14.0,
+    ratchet_fraction: float = 0.75,
+) -> Contract:
+    """US large-industrial schedule: seasonal TOU energy + ratcheted demand.
+
+    Peak windows are weekday 12:00–20:00; summer (Jun–Aug) peaks price
+    higher than winter ones, the standard cooling-driven pattern.
+    """
+    _check_peak(peak_kw)
+    summer_window = TOUWindow(
+        "summer peak", 12, 20, weekdays_only=True, seasons=(Season.SUMMER,)
+    )
+    other_peak = TOUWindow("peak", 12, 20, weekdays_only=True)
+    tou = TOUTariff(
+        windows=[(summer_window, summer_peak_rate), (other_peak, winter_peak_rate)],
+        default_rate_per_kwh=offpeak_rate,
+        name="seasonal TOU energy",
+    )
+    demand = DemandCharge(
+        demand_rate_per_kw,
+        metering=PeakMetering.SINGLE_MAX,
+        ratchet_fraction=ratchet_fraction,
+        name="ratcheted demand charge",
+    )
+    return Contract(
+        name=f"{customer} / US industrial TOU",
+        components=[tou, demand],
+        rnp=ResponsibleParty.INTERNAL,
+        metadata={"archetype": "us_industrial_tou"},
+    )
+
+
+def german_industrial(
+    customer: str,
+    peak_kw: float,
+    energy_rate_per_kwh: float = 0.11,
+    band_upper_fraction: float = 0.95,
+    band_lower_fraction: float = 0.35,
+    band_penalty_per_kwh: float = 0.40,
+    demand_rate_per_kw: float = 9.0,
+) -> Contract:
+    """German industrial structure: fixed energy (grid fees folded in), a
+    contracted powerband, and a capacity (Leistungspreis-style) charge.
+
+    The flat-profile reward of *Jahresbenutzungsdauer* pricing appears
+    here as the band: stay inside and the kW-branch cost is just the
+    capacity charge; leave it and penalties accrue continuously.
+    """
+    peak_kw = _check_peak(peak_kw)
+    if not 0.0 <= band_lower_fraction < band_upper_fraction <= 1.0:
+        raise ContractError("band fractions must satisfy 0 <= lower < upper <= 1")
+    return Contract(
+        name=f"{customer} / German industrial",
+        components=[
+            FixedTariff(energy_rate_per_kwh, name="fixed energy incl. grid fees"),
+            Powerband(
+                upper_kw=band_upper_fraction * peak_kw,
+                lower_kw=band_lower_fraction * peak_kw,
+                penalty_per_kwh_outside=band_penalty_per_kwh,
+                name="contracted powerband",
+            ),
+            DemandCharge(demand_rate_per_kw, name="capacity charge"),
+        ],
+        rnp=ResponsibleParty.INTERNAL,
+        metadata={"archetype": "german_industrial"},
+        currency="EUR",
+    )
+
+
+def nordic_spot_passthrough(
+    customer: str,
+    adder_per_kwh: float = 0.012,
+    floor_per_kwh: float = 0.0,
+) -> Contract:
+    """Spot-indexed supply: the day-ahead price passed through + margin.
+
+    Site 8's shape: a purely dynamic kWh-domain contract with no kW-domain
+    terms at all — all risk and all DR opportunity live in the price.
+    """
+    return Contract(
+        name=f"{customer} / spot passthrough",
+        components=[
+            DynamicTariff(
+                adder_per_kwh=adder_per_kwh,
+                floor_per_kwh=floor_per_kwh,
+                name="spot-indexed energy",
+            )
+        ],
+        rnp=ResponsibleParty.INTERNAL,
+        metadata={"archetype": "nordic_spot_passthrough"},
+        currency="EUR",
+    )
+
+
+def swiss_post_tender(
+    customer: str,
+    formula: Optional[PriceFormula] = None,
+    renewable_fraction: float = 0.9,
+    market_volatility_per_kwh: float = 0.004,
+) -> Contract:
+    """The CSCS §4 outcome: formula-priced energy, no demand charges.
+
+    The effective rate is the filled-in four-variable formula evaluated at
+    the contracted mix and reference volatility; the mix is carried as
+    auditable metadata (see
+    :func:`repro.grid.emissions.renewable_fraction_served`).
+    """
+    if formula is None:
+        formula = PriceFormula(
+            base_per_kwh=0.052,
+            renewable_premium_per_kwh=0.008,
+            volatility_share=0.15,
+            service_fee_per_kwh=0.004,
+        )
+    rate = formula.effective_rate_per_kwh(renewable_fraction, market_volatility_per_kwh)
+    return Contract(
+        name=f"{customer} / post-tender formula",
+        components=[FixedTariff(rate, name="formula-priced energy")],
+        rnp=ResponsibleParty.SC,
+        metadata={
+            "archetype": "swiss_post_tender",
+            "renewable_fraction": f"{renewable_fraction:.2f}",
+        },
+        currency="CHF",
+    )
+
+
+def us_federal_with_emergency(
+    customer: str,
+    peak_kw: float,
+    energy_rate_per_kwh: float = 0.065,
+    demand_rate_per_kw: float = 12.0,
+    emergency_penalty_per_kwh: float = 1.0,
+    max_emergency_calls: int = 4,
+) -> Contract:
+    """US federal-site structure: fixed + demand + mandatory emergency rider.
+
+    The emergency rider is imposed, not compensated (§3.2.3) — availability
+    credit zero, non-compliance penalized.
+    """
+    _check_peak(peak_kw)
+    return Contract(
+        name=f"{customer} / US federal with emergency rider",
+        components=[
+            FixedTariff(energy_rate_per_kwh),
+            DemandCharge(demand_rate_per_kw),
+            EmergencyDRObligation(
+                availability_credit_per_period=0.0,
+                noncompliance_penalty_per_kwh=emergency_penalty_per_kwh,
+                max_calls_per_period=max_emergency_calls,
+            ),
+        ],
+        rnp=ResponsibleParty.EXTERNAL,
+        metadata={"archetype": "us_federal_with_emergency"},
+    )

@@ -1,0 +1,216 @@
+"""kWh-domain contract components: the tariff branch of the typology.
+
+§3.2.1: tariffs map to a price per kWh and are fixed, time-of-use, or
+dynamically variable.  §3.2.4 additionally observes two sites holding a
+fixed tariff with a time-of-use *service charge* on top, which
+:class:`TOUServiceCharge` models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import BillingError, TariffError
+from ..timeseries.calendar import BillingPeriod, SimCalendar, TOUWindow
+from ..timeseries.resample import align
+from ..timeseries.series import PowerSeries
+from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+
+__all__ = ["FixedTariff", "TOUTariff", "DynamicTariff", "TOUServiceCharge"]
+
+
+def _check_rate(rate: float, what: str) -> float:
+    rate = float(rate)
+    if not np.isfinite(rate) or rate < 0.0:
+        raise TariffError(f"{what} must be a finite non-negative $/kWh rate, got {rate!r}")
+    return rate
+
+
+class FixedTariff(ContractComponent):
+    """A fixed price per kWh through the contractual period.
+
+    The dominant component in the survey (8 of 10 sites).  Encourages
+    energy efficiency but provides no incentive for demand-side management.
+    """
+
+    domain = ChargeDomain.ENERGY_KWH
+
+    def __init__(self, rate_per_kwh: float, name: str = "fixed energy") -> None:
+        self.rate_per_kwh = _check_rate(rate_per_kwh, "fixed tariff rate")
+        self.name = name
+
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        energy = series.energy_kwh()
+        return LineItem(
+            component=self.name,
+            domain=self.domain,
+            amount=energy * self.rate_per_kwh,
+            quantity=energy,
+            unit="kWh",
+            details={"rate_per_kwh": self.rate_per_kwh},
+        )
+
+    def typology_labels(self) -> Sequence[str]:
+        return ("fixed",)
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.rate_per_kwh:.4f}/kWh flat"
+
+
+class TOUTariff(ContractComponent):
+    """A time-of-use tariff: contractually fixed windows, each with a rate.
+
+    Windows are evaluated in order; the first matching window prices an
+    interval, and intervals matched by no window fall to ``default_rate``.
+    Seasonal pricing and day/night pricing (the variants the survey found)
+    are both expressible through :class:`~repro.timeseries.TOUWindow`.
+    """
+
+    domain = ChargeDomain.ENERGY_KWH
+
+    def __init__(
+        self,
+        windows: Sequence[Tuple[TOUWindow, float]],
+        default_rate_per_kwh: float,
+        name: str = "time-of-use energy",
+    ) -> None:
+        if not windows:
+            raise TariffError("a TOU tariff requires at least one window")
+        self.windows: List[Tuple[TOUWindow, float]] = [
+            (w, _check_rate(r, f"TOU rate for window {w.name!r}")) for w, r in windows
+        ]
+        self.default_rate_per_kwh = _check_rate(default_rate_per_kwh, "TOU default rate")
+        self.name = name
+
+    def rates_for(self, series: PowerSeries) -> np.ndarray:
+        """Per-interval $/kWh rates for ``series`` under this tariff."""
+        calendar = SimCalendar.for_series(series)
+        n = len(series)
+        rates = np.full(n, self.default_rate_per_kwh)
+        assigned = np.zeros(n, dtype=bool)
+        for window, rate in self.windows:
+            m = window.mask(calendar, n) & ~assigned
+            rates[m] = rate
+            assigned |= m
+        return rates
+
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        rates = self.rates_for(series)
+        energy_per_interval = series.energy_per_interval_kwh()
+        amount = float(np.dot(rates, energy_per_interval))
+        energy = float(energy_per_interval.sum())
+        return LineItem(
+            component=self.name,
+            domain=self.domain,
+            amount=amount,
+            quantity=energy,
+            unit="kWh",
+            details={
+                "effective_rate_per_kwh": amount / energy if energy else 0.0,
+                "n_windows": float(len(self.windows)),
+            },
+        )
+
+    def typology_labels(self) -> Sequence[str]:
+        return ("variable",)
+
+    def describe(self) -> str:
+        names = ", ".join(w.name for w, _ in self.windows)
+        return f"{self.name}: TOU windows [{names}], default {self.default_rate_per_kwh:.4f}/kWh"
+
+
+class TOUServiceCharge(TOUTariff):
+    """A time-of-use *service charge* applied on top of another tariff.
+
+    §3.2.4: "two of the sites have both a fixed and a variable rate
+    component ... a variable service-charge is applied on top of their
+    fixed rate tariff depending on the time of use."  Pricing-wise it is a
+    TOU tariff (typically with a zero default rate); it exists as its own
+    type so contracts read the way the survey describes them.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[Tuple[TOUWindow, float]],
+        default_rate_per_kwh: float = 0.0,
+        name: str = "time-of-use service charge",
+    ) -> None:
+        super().__init__(windows, default_rate_per_kwh, name=name)
+
+
+class DynamicTariff(ContractComponent):
+    """A dynamically variable tariff: price set in (near) real time.
+
+    §3.2.1: "the kWh price of electricity is subject to real-time
+    communication between the consumer and the provider."  The price signal
+    arrives through :class:`~repro.contracts.components.BillingContext` as a
+    series of $/kWh values; a fixed retail adder and a price floor model
+    the supplier's margin and regulatory minimum.
+    """
+
+    domain = ChargeDomain.ENERGY_KWH
+
+    def __init__(
+        self,
+        adder_per_kwh: float = 0.0,
+        floor_per_kwh: float = 0.0,
+        name: str = "dynamic energy",
+    ) -> None:
+        self.adder_per_kwh = _check_rate(adder_per_kwh, "dynamic tariff adder")
+        self.floor_per_kwh = _check_rate(floor_per_kwh, "dynamic tariff floor")
+        self.name = name
+
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        if context is None or context.price_series is None:
+            raise BillingError(
+                f"{self.name}: a dynamic tariff requires context.price_series"
+            )
+        prices = context.price_series
+        if not (prices.start_s <= period.start_s and prices.end_s >= period.end_s):
+            raise BillingError(
+                f"{self.name}: price series does not cover billing period "
+                f"{period.label!r}"
+            )
+        load, price = align(series, prices.slice_seconds(period.start_s, period.end_s))
+        rate = np.maximum(price.values_kw + self.adder_per_kwh, self.floor_per_kwh)
+        energy_per_interval = load.energy_per_interval_kwh()
+        amount = float(np.dot(rate, energy_per_interval))
+        energy = float(energy_per_interval.sum())
+        return LineItem(
+            component=self.name,
+            domain=self.domain,
+            amount=amount,
+            quantity=energy,
+            unit="kWh",
+            details={
+                "effective_rate_per_kwh": amount / energy if energy else 0.0,
+                "mean_price_per_kwh": float(rate.mean()),
+                "max_price_per_kwh": float(rate.max()),
+            },
+        )
+
+    def typology_labels(self) -> Sequence[str]:
+        return ("dynamic",)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: real-time price + {self.adder_per_kwh:.4f}/kWh adder "
+            f"(floor {self.floor_per_kwh:.4f}/kWh)"
+        )

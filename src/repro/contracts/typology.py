@@ -1,0 +1,240 @@
+"""The contract typology of Figure 1, as data.
+
+Figure 1 organizes SC electricity-contract components into three branches:
+
+* **Tariffs** (mapped to kWh): fixed, time-of-use, dynamically variable;
+* **Demand charges** (mapped to kW): demand charges, powerband;
+* **Other**: emergency DR.
+
+This module provides the tree itself (:func:`build_typology_tree`, rendered
+by :mod:`repro.reporting.figures` to regenerate Figure 1), the per-contract
+classification flags (:class:`TypologyFlags`, the row type of Table 2), and
+the demand-side-management encouragement mapping the paper attaches to each
+leaf (fixed → energy efficiency, TOU → static DSM, dynamic → DR, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import ContractError
+
+__all__ = [
+    "TypologyBranch",
+    "TypologyNode",
+    "TypologyFlags",
+    "TYPOLOGY_LEAVES",
+    "build_typology_tree",
+    "DSM_ENCOURAGEMENT",
+]
+
+
+class TypologyBranch(enum.Enum):
+    """The three top-level branches of Figure 1."""
+
+    TARIFFS = "Tariffs (kWh)"
+    DEMAND_CHARGES = "Demand charges (kW)"
+    OTHER = "Other"
+
+
+#: Leaf vocabulary shared by components, Table 2 and the survey synthesis.
+TYPOLOGY_LEAVES: Tuple[str, ...] = (
+    "fixed",
+    "variable",
+    "dynamic",
+    "demand_charge",
+    "powerband",
+    "emergency_dr",
+)
+
+_LEAF_BRANCH: Dict[str, TypologyBranch] = {
+    "fixed": TypologyBranch.TARIFFS,
+    "variable": TypologyBranch.TARIFFS,
+    "dynamic": TypologyBranch.TARIFFS,
+    "demand_charge": TypologyBranch.DEMAND_CHARGES,
+    "powerband": TypologyBranch.DEMAND_CHARGES,
+    "emergency_dr": TypologyBranch.OTHER,
+}
+
+#: What each leaf encourages on the demand side, per §3.2.1–§3.2.3.
+DSM_ENCOURAGEMENT: Dict[str, str] = {
+    "fixed": "energy efficiency",
+    "variable": "static demand-side management",
+    "dynamic": "demand response",
+    "demand_charge": "demand-side management (peak reduction)",
+    "powerband": "demand-side management (band compliance)",
+    "emergency_dr": "mandatory emergency curtailment capability",
+}
+
+
+@dataclass(frozen=True)
+class TypologyNode:
+    """A node of the typology tree.
+
+    The tree is small and static, but keeping it as a real data structure
+    (rather than a hard-coded drawing) lets the classification, the Table 2
+    synthesis and the Figure 1 rendering all derive from one source.
+    """
+
+    label: str
+    description: str = ""
+    children: Tuple["TypologyNode", ...] = ()
+    leaf_key: Optional[str] = None
+
+    def leaves(self) -> List["TypologyNode"]:
+        """All leaf nodes below (or at) this node, in tree order."""
+        if not self.children:
+            return [self]
+        out: List[TypologyNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def find(self, label: str) -> Optional["TypologyNode"]:
+        """Depth-first search by exact label."""
+        if self.label == label:
+            return self
+        for child in self.children:
+            hit = child.find(label)
+            if hit is not None:
+                return hit
+        return None
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a single node has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+def build_typology_tree() -> TypologyNode:
+    """Construct the Figure 1 typology tree.
+
+    Layout mirrors the figure: a root ("Contract components") with the
+    three branches and their leaves.  Location-specific service fees and
+    taxes are deliberately absent, as in the paper ("these are not included
+    in the typology as they cannot be generalized").
+    """
+    tariffs = TypologyNode(
+        label="Tariffs",
+        description="mapped to energy (kWh)",
+        children=(
+            TypologyNode(
+                "Fixed",
+                "price per kWh fixed through the contractual period; "
+                "encourages energy efficiency",
+                leaf_key="fixed",
+            ),
+            TypologyNode(
+                "Time-of-use",
+                "price varies over contractually defined windows "
+                "(seasonal, day/night); encourages static DSM",
+                leaf_key="variable",
+            ),
+            TypologyNode(
+                "Dynamic",
+                "price set by real-time communication with the provider; "
+                "encourages demand response",
+                leaf_key="dynamic",
+            ),
+        ),
+    )
+    demand = TypologyNode(
+        label="Demand charges",
+        description="mapped to peak power (kW)",
+        children=(
+            TypologyNode(
+                "Demand charge",
+                "billed on peak consumption across a billing period",
+                leaf_key="demand_charge",
+            ),
+            TypologyNode(
+                "Powerband",
+                "upper (and optionally lower) consumption bounds with "
+                "continuous sampling; excursions carry high cost",
+                leaf_key="powerband",
+            ),
+        ),
+    )
+    other = TypologyNode(
+        label="Other",
+        description="components outside the kWh/kW domains",
+        children=(
+            TypologyNode(
+                "Emergency DR",
+                "mandatory curtailment to preserve grid reliability; "
+                "imposed, unlike commercial DR programs",
+                leaf_key="emergency_dr",
+            ),
+        ),
+    )
+    return TypologyNode(
+        label="Contract components",
+        description="typology of SC electricity service contracts",
+        children=(tariffs, demand, other),
+    )
+
+
+@dataclass(frozen=True)
+class TypologyFlags:
+    """The classification of one contract — a row of Table 2.
+
+    Each flag marks the presence of the corresponding typology leaf in the
+    contract.  Flags are not exclusive: the survey found two sites holding
+    *both* fixed and variable components ("a variable service-charge is
+    applied on top of their fixed rate tariff").
+    """
+
+    demand_charge: bool = False
+    powerband: bool = False
+    fixed: bool = False
+    variable: bool = False
+    dynamic: bool = False
+    emergency_dr: bool = False
+
+    @classmethod
+    def from_leaves(cls, leaves: Iterable[str]) -> "TypologyFlags":
+        """Build flags from an iterable of leaf keys."""
+        leaves = set(leaves)
+        unknown = leaves - set(TYPOLOGY_LEAVES)
+        if unknown:
+            raise ContractError(f"unknown typology leaves: {sorted(unknown)}")
+        return cls(**{leaf: (leaf in leaves) for leaf in TYPOLOGY_LEAVES})
+
+    def leaves(self) -> Tuple[str, ...]:
+        """Leaf keys present, in Table 2 column order."""
+        return tuple(leaf for leaf in TYPOLOGY_LEAVES if getattr(self, leaf))
+
+    def branches(self) -> Tuple[TypologyBranch, ...]:
+        """Branches with at least one present leaf, in Figure 1 order."""
+        present = {_LEAF_BRANCH[leaf] for leaf in self.leaves()}
+        return tuple(b for b in TypologyBranch if b in present)
+
+    def has_any_tariff(self) -> bool:
+        """True when at least one kWh-domain component is present."""
+        return self.fixed or self.variable or self.dynamic
+
+    def has_kw_domain(self) -> bool:
+        """True when a demand charge or powerband is present."""
+        return self.demand_charge or self.powerband
+
+    def encourages(self) -> Tuple[str, ...]:
+        """Distinct DSM behaviours the contract encourages (§3.2)."""
+        seen: List[str] = []
+        for leaf in self.leaves():
+            behaviour = DSM_ENCOURAGEMENT[leaf]
+            if behaviour not in seen:
+                seen.append(behaviour)
+        return tuple(seen)
+
+    def union(self, other: "TypologyFlags") -> "TypologyFlags":
+        """Component-wise OR — classification of a merged contract."""
+        return TypologyFlags(
+            **{leaf: getattr(self, leaf) or getattr(other, leaf) for leaf in TYPOLOGY_LEAVES}
+        )
+
+    def count(self) -> int:
+        """Number of distinct leaves present."""
+        return len(self.leaves())

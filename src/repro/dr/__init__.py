@@ -1,0 +1,54 @@
+"""Facility-side demand response.
+
+§3.1.6 asks sites what load they could shed or shift, for how long, and at
+what incentive; §4 concludes the incentive on offer rarely beats the cost
+of idling depreciating hardware.  This subpackage makes both sides of that
+trade computable:
+
+* :mod:`~repro.dr.strategies` — shed / shift / cap transformations of a
+  load profile in response to an event;
+* :mod:`~repro.dr.flexibility` — §3.1.6 flexibility estimation from a
+  schedule;
+* :mod:`~repro.dr.incentives` — the cost side: hardware depreciation and
+  lost node-hours, and the break-even incentive;
+* :mod:`~repro.dr.controller` — an enrollment + dispatch-response loop;
+* :mod:`~repro.dr.contingency` — contingency planning (§5 future work).
+"""
+
+from .strategies import (
+    DRResponse,
+    LoadShedStrategy,
+    LoadShiftStrategy,
+    PowerCapStrategy,
+)
+from .flexibility import FlexibilityEstimate, estimate_flexibility
+from .incentives import (
+    CostModel,
+    break_even_incentive_per_kwh,
+    dr_business_case,
+    BusinessCase,
+)
+from .controller import DRController, EventOutcome
+from .contingency import ContingencyAction, ContingencyPlan, evaluate_plan
+from .price_response import PriceWindow, PriceResponsePolicy, PriceResponseResult
+
+__all__ = [
+    "DRResponse",
+    "LoadShedStrategy",
+    "LoadShiftStrategy",
+    "PowerCapStrategy",
+    "FlexibilityEstimate",
+    "estimate_flexibility",
+    "CostModel",
+    "break_even_incentive_per_kwh",
+    "dr_business_case",
+    "BusinessCase",
+    "DRController",
+    "EventOutcome",
+    "ContingencyAction",
+    "ContingencyPlan",
+    "evaluate_plan",
+    "PriceWindow",
+    "PriceResponsePolicy",
+    "PriceResponseResult",
+]

@@ -1,0 +1,218 @@
+"""Contingency planning — the paper's stated future work, implemented.
+
+§5: "we foresee a future need for contingency planning, where specific
+actions can be applied in SC operation, to adhere to grid conditions ...
+This approach will enable SCs to perform impact analysis of contingency
+planning on their operation."
+
+A :class:`ContingencyPlan` is an ordered escalation ladder: each rung is
+an action with a trigger severity and an achievable reduction (with its
+operational impact).  :func:`evaluate_plan` performs exactly the impact
+analysis the paper calls for: given a required reduction, which rungs
+fire, what is delivered, and what does it cost the mission.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import DemandResponseError
+from ..facility.machine import Supercomputer
+from ..facility.power_model import FacilityPowerModel
+from .incentives import CostModel
+
+__all__ = ["Severity", "ContingencyAction", "ContingencyPlan", "PlanEvaluation", "evaluate_plan"]
+
+
+class Severity(enum.IntEnum):
+    """Grid-condition severity an action is armed for."""
+
+    ADVISORY = 1      # ESP asks nicely (price signal, notice)
+    WARNING = 2       # reserve stress, voluntary DR dispatched
+    EMERGENCY = 3     # mandatory curtailment imposed
+
+
+@dataclass(frozen=True)
+class ContingencyAction:
+    """One rung of the escalation ladder.
+
+    Attributes
+    ----------
+    name:
+        Action label ("sleep idle nodes", "cap at 80 %", "drain queue",
+        "full checkpoint + drain").
+    severity:
+        Lowest severity at which the action fires.
+    reduction_kw:
+        Meter-side reduction the action achieves.
+    ramp_time_s:
+        Time to realize the reduction (§4: LANL sees the 15-min–1-h
+        timescale as its opportunity).
+    node_hours_cost_per_hour:
+        Mission impact while active: node-hours of delivery forfeited per
+        hour of activation.
+    reversible:
+        Whether ending the action restores normal operation immediately.
+    """
+
+    name: str
+    severity: Severity
+    reduction_kw: float
+    ramp_time_s: float = 900.0
+    node_hours_cost_per_hour: float = 0.0
+    reversible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.reduction_kw < 0:
+            raise DemandResponseError(f"action {self.name!r}: reduction must be >= 0")
+        if self.ramp_time_s < 0:
+            raise DemandResponseError(f"action {self.name!r}: ramp time must be >= 0")
+        if self.node_hours_cost_per_hour < 0:
+            raise DemandResponseError(
+                f"action {self.name!r}: impact rate must be >= 0"
+            )
+
+
+class ContingencyPlan:
+    """An ordered escalation ladder of contingency actions."""
+
+    def __init__(self, name: str, actions: Sequence[ContingencyAction]) -> None:
+        if not actions:
+            raise DemandResponseError("a plan requires at least one action")
+        self.name = name
+        # escalation order: by severity, then by impact (cheapest first)
+        self.actions: List[ContingencyAction] = sorted(
+            actions, key=lambda a: (a.severity, a.node_hours_cost_per_hour)
+        )
+
+    def actions_for(self, severity: Severity) -> List[ContingencyAction]:
+        """Rungs armed at (or below) a severity, in escalation order."""
+        return [a for a in self.actions if a.severity <= severity]
+
+    def max_reduction_kw(self, severity: Severity) -> float:
+        """Everything the plan can deliver at a severity."""
+        return sum(a.reduction_kw for a in self.actions_for(severity))
+
+    @staticmethod
+    def default_plan(
+        machine: Supercomputer,
+        power_model: Optional[FacilityPowerModel] = None,
+        idle_fraction: float = 0.15,
+        checkpointable_fraction: float = 0.7,
+        mean_power_fraction: float = 0.7,
+    ) -> "ContingencyPlan":
+        """A sensible ladder derived from the machine's power anatomy.
+
+        Rungs: sleep idle nodes (advisory) → suspend checkpointable jobs
+        (warning) → kill remaining work and drain (emergency).
+        """
+        if not 0.0 <= idle_fraction <= 1.0:
+            raise DemandResponseError("idle_fraction must be in [0, 1]")
+        if not 0.0 <= checkpointable_fraction <= 1.0:
+            raise DemandResponseError("checkpointable_fraction must be in [0, 1]")
+        model = power_model or FacilityPowerModel()
+        m = model.marginal_pue()
+        node = machine.node_power
+        idle_nodes = machine.n_nodes * idle_fraction
+        busy_nodes = machine.n_nodes - idle_nodes
+        sleep_kw = idle_nodes * (node.idle_w - node.sleep_w) / 1000.0
+        dynamic_kw = (
+            busy_nodes
+            * (node.active_w(mean_power_fraction) - node.idle_w)
+            / 1000.0
+        )
+        suspend_kw = dynamic_kw * checkpointable_fraction
+        kill_kw = dynamic_kw * (1.0 - checkpointable_fraction)
+        return ContingencyPlan(
+            name=f"{machine.name} default ladder",
+            actions=[
+                ContingencyAction(
+                    name="sleep idle nodes",
+                    severity=Severity.ADVISORY,
+                    reduction_kw=sleep_kw * m,
+                    ramp_time_s=300.0,
+                    node_hours_cost_per_hour=0.0,
+                ),
+                ContingencyAction(
+                    name="suspend checkpointable jobs",
+                    severity=Severity.WARNING,
+                    reduction_kw=suspend_kw * m,
+                    ramp_time_s=900.0,
+                    node_hours_cost_per_hour=busy_nodes * checkpointable_fraction,
+                ),
+                ContingencyAction(
+                    name="kill remaining jobs and drain",
+                    severity=Severity.EMERGENCY,
+                    reduction_kw=kill_kw * m,
+                    ramp_time_s=600.0,
+                    node_hours_cost_per_hour=busy_nodes
+                    * (1.0 - checkpointable_fraction),
+                    reversible=False,
+                ),
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """Impact analysis of exercising a plan — what §5 asks for."""
+
+    fired: Tuple[ContingencyAction, ...]
+    delivered_kw: float
+    required_kw: float
+    duration_h: float
+    node_hours_lost: float
+    mission_cost: float
+    worst_ramp_s: float
+
+    @property
+    def sufficient(self) -> bool:
+        """True when the fired rungs cover the requirement."""
+        return self.delivered_kw >= self.required_kw - 1e-9
+
+    @property
+    def shortfall_kw(self) -> float:
+        """Unmet reduction, zero when sufficient."""
+        return max(self.required_kw - self.delivered_kw, 0.0)
+
+
+def evaluate_plan(
+    plan: ContingencyPlan,
+    severity: Severity,
+    required_kw: float,
+    duration_h: float,
+    machine: Supercomputer,
+    cost_model: CostModel,
+) -> PlanEvaluation:
+    """Fire the minimal prefix of the ladder that meets ``required_kw``.
+
+    Actions fire in escalation order until the requirement is met (or the
+    ladder is exhausted); the mission cost is the forfeited node-hours
+    priced by the cost model.
+    """
+    if required_kw < 0:
+        raise DemandResponseError("required reduction must be non-negative")
+    if duration_h <= 0:
+        raise DemandResponseError("duration must be positive")
+    fired: List[ContingencyAction] = []
+    delivered = 0.0
+    node_hours = 0.0
+    worst_ramp = 0.0
+    for action in plan.actions_for(severity):
+        if delivered >= required_kw:
+            break
+        fired.append(action)
+        delivered += action.reduction_kw
+        node_hours += action.node_hours_cost_per_hour * duration_h
+        worst_ramp = max(worst_ramp, action.ramp_time_s)
+    return PlanEvaluation(
+        fired=tuple(fired),
+        delivered_kw=delivered,
+        required_kw=required_kw,
+        duration_h=duration_h,
+        node_hours_lost=node_hours,
+        mission_cost=cost_model.curtailment_cost(machine, node_hours),
+        worst_ramp_s=worst_ramp,
+    )

@@ -1,0 +1,265 @@
+"""The DR controller: enrollment, appraisal and dispatch response.
+
+Closes the loop between the grid side (events from
+:class:`~repro.grid.events.EventDispatcher`) and the facility side
+(strategies from :mod:`~repro.dr.strategies`): for each event the
+controller appraises the business case and either participates (applying
+its strategy and collecting the program payment/settlement) or declines —
+exactly the decision the surveyed sites answer qualitatively in §3.1.6.
+Mandatory emergency events are never declined (§3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from ..exceptions import DemandResponseError
+from ..facility.machine import Supercomputer
+from ..facility.onsite_generation import BackupGenerator, dispatch_generation
+from ..grid.dr_programs import IncentiveBasedProgram
+from ..grid.events import DREvent, EmergencyEvent
+from ..timeseries.series import PowerSeries
+from .incentives import CostModel, dr_business_case
+from .strategies import DRResponse, LoadShedStrategy, LoadShiftStrategy, PowerCapStrategy
+
+Strategy = Union[LoadShedStrategy, LoadShiftStrategy, PowerCapStrategy]
+
+__all__ = ["EventOutcome", "DRController"]
+
+
+@dataclass(frozen=True)
+class EventOutcome:
+    """What happened for one event.
+
+    ``served_by`` records the asset that delivered: ``"machine"`` (jobs
+    shed/shifted/capped), ``"generator"`` (on-site generation reduced the
+    metered load, §3.1.4), or ``"none"`` (declined).
+    """
+
+    event: Union[DREvent, EmergencyEvent]
+    participated: bool
+    response: Optional[DRResponse]
+    payment: float
+    curtailment_cost: float
+    served_by: str = "machine"
+
+    @property
+    def net_benefit(self) -> float:
+        """Payment minus operational cost for this event."""
+        return self.payment - self.curtailment_cost
+
+
+class DRController:
+    """Responds to a stream of grid events on behalf of a facility.
+
+    Parameters
+    ----------
+    machine:
+        The facility's machine (for cost arithmetic).
+    cost_model:
+        Sunk-cost model used in the appraisal.
+    strategy:
+        How the facility physically reduces load when it participates.
+    mean_power_fraction:
+        Workload power mix assumed in the node-hour mapping.
+    always_participate:
+        Override the appraisal (a site enrolled in a program with
+        non-delivery penalties may be contractually bound).
+    """
+
+    def __init__(
+        self,
+        machine: Supercomputer,
+        cost_model: CostModel,
+        strategy: Strategy,
+        mean_power_fraction: float = 0.7,
+        always_participate: bool = False,
+        generator: Optional[BackupGenerator] = None,
+    ) -> None:
+        self.machine = machine
+        self.cost_model = cost_model
+        self.strategy = strategy
+        self.mean_power_fraction = float(mean_power_fraction)
+        self.always_participate = bool(always_participate)
+        self.generator = generator
+
+    # -- voluntary DR -----------------------------------------------------
+
+    def _appraise(self, event: DREvent) -> bool:
+        duration_h = event.duration_s / 3600.0
+        payment = event.payment_if_delivered()
+        if event.requested_reduction_kw <= 0 or duration_h <= 0:
+            return False
+        per_kwh = payment / (event.requested_reduction_kw * duration_h)
+        case = dr_business_case(
+            self.machine,
+            self.cost_model,
+            payment_per_kwh=per_kwh,
+            shed_kw=event.requested_reduction_kw,
+            duration_h=duration_h,
+            mean_power_fraction=self.mean_power_fraction,
+        )
+        return case.worthwhile
+
+    def _try_generation(
+        self, load: PowerSeries, event: DREvent
+    ) -> Optional[EventOutcome]:
+        """Serve the event from on-site generation when that pays.
+
+        Generation carries no depreciation term, so it is preferred
+        whenever the unit can physically serve the request and the
+        program payment beats fuel (§3.1.4 / §4 LANL).
+        """
+        if self.generator is None:
+            return None
+        duration_s = event.duration_s
+        if not self.generator.can_serve(
+            max(event.requested_reduction_kw, self.generator.min_output_kw),
+            duration_s,
+            event.notice_s,
+        ):
+            return None
+        if event.start_s < load.start_s or event.end_s > load.end_s:
+            return None
+        dispatch = dispatch_generation(
+            load,
+            self.generator,
+            event.requested_reduction_kw,
+            event.start_s,
+            event.end_s,
+            notice_s=event.notice_s,
+        )
+        if isinstance(event.program, IncentiveBasedProgram):
+            payment = event.program.settlement(
+                committed_kw=event.requested_reduction_kw,
+                delivered_kw=dispatch.output_kw,
+                duration_s=duration_s,
+            )
+        else:
+            payment = event.program.event_payment(dispatch.output_kw, duration_s)
+        # avoided energy purchase nets against fuel
+        fuel_net = dispatch.fuel_cost - (
+            dispatch.generated_kwh * self.cost_model.electricity_rate_per_kwh
+        )
+        if payment - max(fuel_net, 0.0) <= 0 and not self.always_participate:
+            return None
+        response = DRResponse(
+            modified=dispatch.net_load,
+            delivered_reduction_kw=dispatch.output_kw,
+            shed_energy_kwh=0.0,
+            shifted_energy_kwh=0.0,
+            rebound_energy_kwh=0.0,
+        )
+        return EventOutcome(
+            event=event,
+            participated=True,
+            response=response,
+            payment=payment,
+            curtailment_cost=max(fuel_net, 0.0),
+            served_by="generator",
+        )
+
+    def respond_dr(self, load: PowerSeries, event: DREvent) -> EventOutcome:
+        """Decide on, and if positive execute, one voluntary DR event.
+
+        Preference order: on-site generation (no mission impact) when it
+        pays, else the machine-side strategy when its business case
+        closes, else decline.
+        """
+        generation = self._try_generation(load, event)
+        if generation is not None:
+            return generation
+        participate = self.always_participate or self._appraise(event)
+        if not participate:
+            return EventOutcome(
+                event=event,
+                participated=False,
+                response=None,
+                payment=0.0,
+                curtailment_cost=0.0,
+                served_by="none",
+            )
+        response = self.strategy.respond(load, event.start_s, event.end_s)
+        delivered = response.delivered_reduction_kw
+        duration_h = event.duration_s / 3600.0
+        if isinstance(event.program, IncentiveBasedProgram):
+            payment = event.program.settlement(
+                committed_kw=event.requested_reduction_kw,
+                delivered_kw=delivered,
+                duration_s=event.duration_s,
+            )
+        else:
+            payment = event.program.event_payment(delivered, event.duration_s)
+        cost = self._operational_cost(response, duration_h)
+        return EventOutcome(
+            event=event,
+            participated=True,
+            response=response,
+            payment=payment,
+            curtailment_cost=cost,
+        )
+
+    # -- mandatory emergency DR ---------------------------------------------
+
+    def respond_emergency(
+        self, load: PowerSeries, event: EmergencyEvent
+    ) -> EventOutcome:
+        """Comply with a mandatory emergency call (cap at the imposed limit)."""
+        cap = PowerCapStrategy(cap_kw=max(event.limit_kw, 1e-9))
+        response = cap.respond(load, event.start_s, event.end_s)
+        duration_h = (event.end_s - event.start_s) / 3600.0
+        cost = self._operational_cost(response, duration_h)
+        return EventOutcome(
+            event=event,
+            participated=True,
+            response=response,
+            payment=0.0,
+            curtailment_cost=cost,
+        )
+
+    # -- shared ----------------------------------------------------------------
+
+    def _operational_cost(self, response: DRResponse, duration_h: float) -> float:
+        """Sunk-cost of the response: shed energy forfeits node-hours; shifted
+        energy only pays the rebound overhead."""
+        dynamic_kw_per_node = (
+            self.machine.node_power.active_w(self.mean_power_fraction)
+            - self.machine.node_power.idle_w
+        ) / 1000.0
+        if dynamic_kw_per_node <= 0:
+            raise DemandResponseError("machine has no dynamic power range")
+        shed_node_hours = response.shed_energy_kwh / dynamic_kw_per_node
+        cost = self.cost_model.curtailment_cost(self.machine, shed_node_hours)
+        cost -= response.shed_energy_kwh * self.cost_model.electricity_rate_per_kwh
+        cost += (
+            response.rebound_energy_kwh * self.cost_model.electricity_rate_per_kwh
+        )
+        return max(cost, 0.0)
+
+    def run(
+        self,
+        load: PowerSeries,
+        dr_events: Sequence[DREvent] = (),
+        emergency_events: Sequence[EmergencyEvent] = (),
+    ) -> tuple:
+        """Process all events in time order against an evolving load.
+
+        Returns ``(final_load, [EventOutcome...])``.  Later events see the
+        load as modified by earlier responses, so overlapping events
+        compose physically rather than double-counting reductions.
+        """
+        timeline: List = sorted(
+            [*dr_events, *emergency_events], key=lambda e: e.start_s
+        )
+        outcomes: List[EventOutcome] = []
+        current = load
+        for event in timeline:
+            if isinstance(event, EmergencyEvent):
+                outcome = self.respond_emergency(current, event)
+            else:
+                outcome = self.respond_dr(current, event)
+            if outcome.response is not None:
+                current = outcome.response.modified
+            outcomes.append(outcome)
+        return current, outcomes

@@ -1,0 +1,132 @@
+"""Flexibility estimation — the §3.1.6 question, answered from a schedule.
+
+    "Is there some part of the load that you can reduce (or increase) for
+    a certain time-span (e.g., an hour) without negatively impacting on
+    your operations or your users/customers.  How much load do you
+    estimate (very roughly) you could shift?"
+
+Given a realized schedule and a window, the estimator decomposes the
+machine's power into tiers of increasing operational impact:
+
+1. **no-impact** — idle-node power manageable by shutdown (sleep the
+   nodes nobody is using) plus the marginal cooling it carries;
+2. **low-impact** — dynamic power of *checkpointable* jobs running in the
+   window (suspend/resume: users wait, work is not lost);
+3. **high-impact** — dynamic power of non-checkpointable jobs (killing
+   them loses work — the "tangible impact" case of §3.1.6).
+
+Upward flexibility (the "(or increase)" in the question) is the headroom
+between the window's actual power and the machine maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import FlexibilityError
+from ..facility.power_model import FacilityPowerModel
+from ..facility.scheduler import ScheduleResult
+from ..units import W_PER_KW
+
+__all__ = ["FlexibilityEstimate", "estimate_flexibility"]
+
+
+@dataclass(frozen=True)
+class FlexibilityEstimate:
+    """Tiered flexibility over one window, in meter-side kW.
+
+    All figures are time-averages over the window and include the
+    facility's marginal cooling factor (shedding IT power sheds more at
+    the meter).
+    """
+
+    window_start_s: float
+    window_end_s: float
+    no_impact_kw: float
+    low_impact_kw: float
+    high_impact_kw: float
+    upward_kw: float
+    baseline_kw: float
+
+    @property
+    def total_sheddable_kw(self) -> float:
+        """Everything sheddable, impact notwithstanding."""
+        return self.no_impact_kw + self.low_impact_kw + self.high_impact_kw
+
+    @property
+    def shiftable_fraction(self) -> float:
+        """Sheddable share of the baseline, in [0, 1]."""
+        if self.baseline_kw <= 0:
+            raise FlexibilityError("baseline is non-positive")
+        return min(self.total_sheddable_kw / self.baseline_kw, 1.0)
+
+
+def estimate_flexibility(
+    result: ScheduleResult,
+    window_start_s: float,
+    window_end_s: float,
+    power_model: Optional[FacilityPowerModel] = None,
+) -> FlexibilityEstimate:
+    """Estimate tiered DR flexibility over ``[window_start_s, window_end_s)``.
+
+    Powers are exact time-averages of the piecewise-constant schedule over
+    the window.
+    """
+    if window_end_s <= window_start_s:
+        raise FlexibilityError("window must have positive duration")
+    if window_start_s < 0 or window_end_s > result.horizon_s:
+        raise FlexibilityError(
+            f"window [{window_start_s}, {window_end_s}) outside the schedule "
+            f"horizon [0, {result.horizon_s})"
+        )
+    model = power_model or FacilityPowerModel()
+    machine = result.machine
+    node_power = machine.node_power
+    window_len = window_end_s - window_start_s
+
+    busy_node_seconds = 0.0
+    checkpointable_dynamic_kws = 0.0  # kW·s of suspendable dynamic power
+    fixed_dynamic_kws = 0.0
+    for sj in result.scheduled:
+        lo = max(sj.start_s, window_start_s)
+        hi = min(sj.end_s, window_end_s)
+        if hi <= lo:
+            continue
+        overlap = hi - lo
+        busy_node_seconds += sj.job.nodes * overlap
+        dynamic_kw = (
+            sj.job.nodes
+            * (node_power.active_w(sj.job.power_fraction) - node_power.idle_w)
+            / W_PER_KW
+        )
+        if sj.job.checkpointable:
+            checkpointable_dynamic_kws += dynamic_kw * overlap
+        else:
+            fixed_dynamic_kws += dynamic_kw * overlap
+
+    mean_busy_nodes = busy_node_seconds / window_len
+    mean_idle_nodes = max(machine.n_nodes - mean_busy_nodes, 0.0)
+    # tier 1: sleep the idle nodes
+    no_impact_it_kw = mean_idle_nodes * (
+        node_power.idle_w - node_power.sleep_w
+    ) / W_PER_KW
+    low_impact_it_kw = checkpointable_dynamic_kws / window_len
+    high_impact_it_kw = fixed_dynamic_kws / window_len
+    baseline_it_kw = (
+        machine.idle_power_kw
+        + (checkpointable_dynamic_kws + fixed_dynamic_kws) / window_len
+    )
+    upward_it_kw = max(machine.peak_power_kw - baseline_it_kw, 0.0)
+    m = model.marginal_pue()
+    return FlexibilityEstimate(
+        window_start_s=window_start_s,
+        window_end_s=window_end_s,
+        no_impact_kw=no_impact_it_kw * m,
+        low_impact_kw=low_impact_it_kw * m,
+        high_impact_kw=high_impact_it_kw * m,
+        upward_kw=upward_it_kw * m,
+        baseline_kw=model.facility_kw(baseline_it_kw),
+    )

@@ -1,0 +1,188 @@
+"""The cost side of the DR trade — and the paper's central economics.
+
+§4: "the economic incentive offered through tariffs and DR programs is
+not high enough to alter operation strategies in SCs, due to high
+hardware depreciation costs."  The machine depreciates whether or not it
+computes, so every idle node-hour forfeits sunk capital.  This module
+prices that forfeit and derives the break-even DR incentive, which the
+``incentive_threshold`` experiment compares against typical program
+payments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DemandResponseError
+from ..facility.machine import Supercomputer
+from ..units import HOURS_PER_DAY, DAYS_PER_YEAR, W_PER_KW
+
+__all__ = [
+    "CostModel",
+    "break_even_incentive_per_kwh",
+    "BusinessCase",
+    "dr_business_case",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Facility cost structure.
+
+    Parameters
+    ----------
+    machine_capex:
+        Machine acquisition cost ($).
+    lifetime_years:
+        Straight-line depreciation horizon (typically 4–6 years for HPC).
+    annual_operations_cost:
+        Staff, facility and maintenance cost per year, attributed to
+        compute delivery ($/yr).
+    electricity_rate_per_kwh:
+        All-in electricity price for marginal-energy arithmetic.
+    utilization:
+        Long-run utilization over which sunk costs amortize.
+    """
+
+    machine_capex: float
+    lifetime_years: float = 5.0
+    annual_operations_cost: float = 0.0
+    electricity_rate_per_kwh: float = 0.08
+    utilization: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.machine_capex <= 0:
+            raise DemandResponseError("machine capex must be positive")
+        if self.lifetime_years <= 0:
+            raise DemandResponseError("lifetime must be positive")
+        if self.annual_operations_cost < 0:
+            raise DemandResponseError("operations cost must be non-negative")
+        if self.electricity_rate_per_kwh < 0:
+            raise DemandResponseError("electricity rate must be non-negative")
+        if not 0.0 < self.utilization <= 1.0:
+            raise DemandResponseError("utilization must be in (0, 1]")
+
+    def node_hour_cost(self, machine: Supercomputer) -> float:
+        """Sunk cost of one delivered node-hour ($).
+
+        Depreciation plus operations, spread over the node-hours actually
+        delivered at the assumed utilization — the cost a DR curtailment
+        forfeits per node-hour it idles.
+        """
+        annual_sunk = (
+            self.machine_capex / self.lifetime_years + self.annual_operations_cost
+        )
+        delivered_node_hours = (
+            machine.n_nodes * HOURS_PER_DAY * DAYS_PER_YEAR * self.utilization
+        )
+        return annual_sunk / delivered_node_hours
+
+    def curtailment_cost(
+        self,
+        machine: Supercomputer,
+        curtailed_node_hours: float,
+        work_lost_fraction: float = 0.0,
+    ) -> float:
+        """Cost of idling ``curtailed_node_hours`` ($).
+
+        ``work_lost_fraction`` > 0 adds the replay cost of killed
+        (non-checkpointable) work: that fraction of the curtailed
+        node-hours must be re-run, doubling their sunk cost and re-buying
+        their energy.
+        """
+        if curtailed_node_hours < 0:
+            raise DemandResponseError("curtailed node-hours must be non-negative")
+        if not 0.0 <= work_lost_fraction <= 1.0:
+            raise DemandResponseError("work_lost_fraction must be in [0, 1]")
+        base = curtailed_node_hours * self.node_hour_cost(machine)
+        replay_nh = curtailed_node_hours * work_lost_fraction
+        replay_energy_kwh = (
+            replay_nh * machine.node_power.max_w / W_PER_KW
+        )
+        replay = replay_nh * self.node_hour_cost(machine) + (
+            replay_energy_kwh * self.electricity_rate_per_kwh
+        )
+        return base + replay
+
+
+def break_even_incentive_per_kwh(
+    machine: Supercomputer,
+    cost_model: CostModel,
+    mean_power_fraction: float = 0.7,
+    work_lost_fraction: float = 0.0,
+) -> float:
+    """Minimum DR payment per shed kWh that covers the forfeited value.
+
+    Shedding happens by idling nodes: each idle node-hour sheds the node's
+    dynamic power (active − idle) but forfeits a node-hour of sunk cost.
+    The avoided energy purchase offsets part of it.
+    """
+    dynamic_kw_per_node = (
+        machine.node_power.active_w(mean_power_fraction)
+        - machine.node_power.idle_w
+    ) / W_PER_KW
+    if dynamic_kw_per_node <= 0:
+        raise DemandResponseError(
+            "machine has no dynamic power range; nothing is sheddable"
+        )
+    cost_per_node_hour = cost_model.curtailment_cost(machine, 1.0, work_lost_fraction)
+    shed_kwh_per_node_hour = dynamic_kw_per_node  # kW × 1 h
+    avoided_energy_value = shed_kwh_per_node_hour * cost_model.electricity_rate_per_kwh
+    net_cost = cost_per_node_hour - avoided_energy_value
+    return max(net_cost, 0.0) / shed_kwh_per_node_hour
+
+
+@dataclass(frozen=True)
+class BusinessCase:
+    """Outcome of a DR participation appraisal."""
+
+    payment: float
+    curtailment_cost: float
+    shed_energy_kwh: float
+
+    @property
+    def net_benefit(self) -> float:
+        """Payment minus cost; negative = the paper's missing business case."""
+        return self.payment - self.curtailment_cost
+
+    @property
+    def worthwhile(self) -> bool:
+        """True when participation pays."""
+        return self.net_benefit > 0
+
+
+def dr_business_case(
+    machine: Supercomputer,
+    cost_model: CostModel,
+    payment_per_kwh: float,
+    shed_kw: float,
+    duration_h: float,
+    mean_power_fraction: float = 0.7,
+    work_lost_fraction: float = 0.0,
+) -> BusinessCase:
+    """Appraise one DR event: payment vs forfeited node-hours.
+
+    ``shed_kw`` of IT dynamic power for ``duration_h`` maps back to idled
+    node-hours through the per-node dynamic power; those node-hours carry
+    the cost model's sunk cost.
+    """
+    if payment_per_kwh < 0:
+        raise DemandResponseError("payment must be non-negative")
+    if shed_kw < 0 or duration_h <= 0:
+        raise DemandResponseError("shed power must be >= 0 and duration > 0")
+    dynamic_kw_per_node = (
+        machine.node_power.active_w(mean_power_fraction)
+        - machine.node_power.idle_w
+    ) / W_PER_KW
+    if dynamic_kw_per_node <= 0:
+        raise DemandResponseError("machine has no dynamic power range")
+    node_hours = (shed_kw / dynamic_kw_per_node) * duration_h
+    shed_kwh = shed_kw * duration_h
+    cost = cost_model.curtailment_cost(machine, node_hours, work_lost_fraction)
+    # shedding also avoids buying the shed energy
+    cost -= shed_kwh * cost_model.electricity_rate_per_kwh
+    return BusinessCase(
+        payment=payment_per_kwh * shed_kwh,
+        curtailment_cost=max(cost, 0.0),
+        shed_energy_kwh=shed_kwh,
+    )

@@ -1,0 +1,180 @@
+"""Price-responsive operation: energy-aware load shifting against a tariff.
+
+The related-work survey ([21], quoted in §2) finds "the majority of works
+dealing with energy aware scheduling"; §3.4 observes that despite three
+sites holding dynamic tariffs, "they do not employ any DR strategies to
+manage electricity costs."  This module implements the strategy those
+sites decline, so its value can be measured:
+
+1. pick the expensive windows of a price series (threshold or top-k hours);
+2. shift deferrable load out of them (via
+   :class:`~repro.dr.strategies.LoadShiftStrategy`);
+3. settle both profiles under the dynamic tariff and report the saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..contracts.billing import BillingContext, BillingEngine
+from ..contracts.contract import Contract
+from ..contracts.tariffs import DynamicTariff
+from ..exceptions import DemandResponseError
+from ..timeseries.calendar import BillingPeriod
+from ..timeseries.series import PowerSeries
+from .strategies import LoadShiftStrategy
+
+__all__ = ["PriceWindow", "PriceResponsePolicy", "PriceResponseResult"]
+
+
+@dataclass(frozen=True)
+class PriceWindow:
+    """One expensive window the policy responds to."""
+
+    start_s: float
+    end_s: float
+    mean_price_per_kwh: float
+
+    @property
+    def duration_s(self) -> float:
+        """Window length (s)."""
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class PriceResponseResult:
+    """Outcome of a price-response run."""
+
+    baseline_cost: float
+    responsive_cost: float
+    windows: Tuple[PriceWindow, ...]
+    shifted_energy_kwh: float
+    shed_energy_kwh: float
+
+    @property
+    def saving(self) -> float:
+        """Cost avoided by responding (positive = shifting paid off)."""
+        return self.baseline_cost - self.responsive_cost
+
+    @property
+    def saving_fraction(self) -> float:
+        """Relative saving against the unresponsive bill."""
+        if self.baseline_cost <= 0:
+            raise DemandResponseError("baseline cost is non-positive")
+        return self.saving / self.baseline_cost
+
+
+class PriceResponsePolicy:
+    """Shift deferrable load out of the most expensive price windows.
+
+    Parameters
+    ----------
+    strategy:
+        How load physically moves (floor, ceiling, recovery, rebound).
+    top_k_windows:
+        Respond to the k most expensive contiguous windows.
+    min_window_h / max_window_h:
+        Bounds on each responded window's length.
+    price_quantile:
+        Only windows whose mean price exceeds this quantile of the whole
+        horizon qualify (avoids chasing noise).
+    """
+
+    def __init__(
+        self,
+        strategy: LoadShiftStrategy,
+        top_k_windows: int = 10,
+        min_window_h: float = 1.0,
+        max_window_h: float = 6.0,
+        price_quantile: float = 0.9,
+    ) -> None:
+        if top_k_windows < 1:
+            raise DemandResponseError("top_k_windows must be >= 1")
+        if not 0.0 < min_window_h <= max_window_h:
+            raise DemandResponseError("need 0 < min_window_h <= max_window_h")
+        if not 0.0 <= price_quantile < 1.0:
+            raise DemandResponseError("price_quantile must be in [0, 1)")
+        self.strategy = strategy
+        self.top_k_windows = int(top_k_windows)
+        self.min_window_h = float(min_window_h)
+        self.max_window_h = float(max_window_h)
+        self.price_quantile = float(price_quantile)
+
+    # -- window detection ---------------------------------------------------
+
+    def expensive_windows(self, prices: PowerSeries) -> List[PriceWindow]:
+        """Maximal runs of above-quantile prices, ranked by mean price."""
+        p = prices.values_kw
+        threshold = float(np.quantile(p, self.price_quantile))
+        above = p > threshold
+        if not above.any():
+            return []
+        # maximal runs of True
+        edges = np.flatnonzero(np.diff(np.concatenate([[0], above.view(np.int8), [0]])))
+        starts, ends = edges[0::2], edges[1::2]
+        min_n = max(1, int(round(self.min_window_h * 3600.0 / prices.interval_s)))
+        max_n = max(min_n, int(round(self.max_window_h * 3600.0 / prices.interval_s)))
+        windows: List[PriceWindow] = []
+        for s, e in zip(starts, ends):
+            if e - s < min_n:
+                continue
+            e = min(e, s + max_n)
+            windows.append(
+                PriceWindow(
+                    start_s=prices.start_s + s * prices.interval_s,
+                    end_s=prices.start_s + e * prices.interval_s,
+                    mean_price_per_kwh=float(p[s:e].mean()),
+                )
+            )
+        windows.sort(key=lambda w: w.mean_price_per_kwh, reverse=True)
+        return windows[: self.top_k_windows]
+
+    # -- response -------------------------------------------------------------
+
+    def respond(self, load: PowerSeries, prices: PowerSeries) -> Tuple[PowerSeries, List[PriceWindow], float, float]:
+        """Shift load out of each detected window, earliest first.
+
+        Returns ``(modified_load, windows, shifted_kwh, shed_kwh)``.
+        """
+        windows = sorted(self.expensive_windows(prices), key=lambda w: w.start_s)
+        current = load
+        shifted = 0.0
+        shed = 0.0
+        applied: List[PriceWindow] = []
+        for w in windows:
+            start = max(w.start_s, load.start_s)
+            end = min(w.end_s, load.end_s)
+            if end <= start:
+                continue
+            response = self.strategy.respond(current, start, end)
+            current = response.modified
+            shifted += response.shifted_energy_kwh
+            shed += response.shed_energy_kwh
+            applied.append(w)
+        return current, applied, shifted, shed
+
+    def evaluate(
+        self,
+        load: PowerSeries,
+        prices: PowerSeries,
+        tariff: Optional[DynamicTariff] = None,
+    ) -> PriceResponseResult:
+        """Full study: respond, settle both profiles, report the saving."""
+        tariff = tariff or DynamicTariff()
+        contract = Contract("price-response study", [tariff])
+        period = [BillingPeriod("horizon", load.start_s, load.end_s)]
+        context = BillingContext(price_series=prices)
+        engine = BillingEngine()
+        baseline = engine.bill(contract, load, period, context).total
+        modified, windows, shifted, shed = self.respond(load, prices)
+        responsive = engine.bill(contract, modified, period, context).total
+        return PriceResponseResult(
+            baseline_cost=baseline,
+            responsive_cost=responsive,
+            windows=tuple(windows),
+            shifted_energy_kwh=shifted,
+            shed_energy_kwh=shed,
+        )

@@ -1,0 +1,211 @@
+"""Load-profile transformations in response to a DR event.
+
+Three strategies, matching the verbs of the survey's §3.1.6 question
+("shift or reduce some load"):
+
+* **shed** — reduce consumption during the event; the energy is gone
+  (jobs killed or the machine drained);
+* **shift** — reduce during the event and recover the energy afterwards
+  (checkpoint/resume, queue deferral), with an optional rebound premium
+  for checkpoint overhead;
+* **cap** — clip the profile at a limit during the event (the paper's
+  "load capping" example service in §3.1.4).
+
+Every strategy is a pure function of the input series — it returns a new
+profile plus an accounting record, never mutating its input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import DemandResponseError
+from ..timeseries.series import PowerSeries
+
+__all__ = ["DRResponse", "LoadShedStrategy", "LoadShiftStrategy", "PowerCapStrategy"]
+
+
+@dataclass(frozen=True)
+class DRResponse:
+    """Accounting record of one strategy application.
+
+    Attributes
+    ----------
+    modified:
+        The post-response load profile.
+    delivered_reduction_kw:
+        Mean reduction vs baseline over the event window (kW).
+    shed_energy_kwh:
+        Energy permanently removed.
+    shifted_energy_kwh:
+        Energy moved out of the window (recovered later).
+    rebound_energy_kwh:
+        Extra energy consumed in recovery beyond what was shifted
+        (checkpoint/restart overhead).
+    """
+
+    modified: PowerSeries
+    delivered_reduction_kw: float
+    shed_energy_kwh: float
+    shifted_energy_kwh: float
+    rebound_energy_kwh: float
+
+    @property
+    def net_energy_change_kwh(self) -> float:
+        """Total energy change vs baseline (negative = saved)."""
+        return self.rebound_energy_kwh - self.shed_energy_kwh
+
+
+def _event_indices(
+    load: PowerSeries, start_s: float, end_s: float
+) -> tuple:
+    """Interval index range [i0, i1) covering the event (must be inside)."""
+    if end_s <= start_s:
+        raise DemandResponseError("event must have positive duration")
+    if start_s < load.start_s - 1e-9 or end_s > load.end_s + 1e-9:
+        raise DemandResponseError(
+            f"event [{start_s}, {end_s}) s outside the load profile "
+            f"[{load.start_s}, {load.end_s}) s"
+        )
+    i0 = int(np.floor((start_s - load.start_s) / load.interval_s))
+    i1 = int(np.ceil((end_s - load.start_s) / load.interval_s))
+    i0 = max(i0, 0)
+    i1 = min(max(i1, i0 + 1), len(load))
+    return i0, i1
+
+
+@dataclass(frozen=True)
+class LoadShedStrategy:
+    """Shed down toward a floor during the event.
+
+    ``floor_kw`` is the lowest the facility can go (idle/sleep power plus
+    non-IT overhead); the strategy removes up to ``max_shed_kw`` of load
+    above that floor, uniformly across the window.
+    """
+
+    floor_kw: float
+    max_shed_kw: float = np.inf
+
+    def __post_init__(self) -> None:
+        if self.floor_kw < 0:
+            raise DemandResponseError("floor must be non-negative")
+        if self.max_shed_kw <= 0:
+            raise DemandResponseError("max shed must be positive")
+
+    def respond(
+        self, load: PowerSeries, start_s: float, end_s: float
+    ) -> DRResponse:
+        """Apply the shed over ``[start_s, end_s)``."""
+        i0, i1 = _event_indices(load, start_s, end_s)
+        values = load.values_kw.copy()
+        window = values[i0:i1]
+        sheddable = np.maximum(window - self.floor_kw, 0.0)
+        shed = np.minimum(sheddable, self.max_shed_kw)
+        values[i0:i1] = window - shed
+        shed_kwh = float(shed.sum() * load.interval_h)
+        return DRResponse(
+            modified=load.with_values(values),
+            delivered_reduction_kw=float(shed.mean()),
+            shed_energy_kwh=shed_kwh,
+            shifted_energy_kwh=0.0,
+            rebound_energy_kwh=0.0,
+        )
+
+
+@dataclass(frozen=True)
+class LoadShiftStrategy:
+    """Shift load out of the event window into the recovery period after.
+
+    The removed energy (above ``floor_kw``, up to ``max_shift_kw``) is
+    replayed over ``recovery_h`` hours after the event, scaled by
+    ``rebound_factor`` ≥ 1 (checkpoint/restart overhead), subject to the
+    facility ceiling ``max_power_kw``.  Energy that cannot be replayed
+    within the profile is counted as shed.
+    """
+
+    floor_kw: float
+    max_power_kw: float
+    max_shift_kw: float = np.inf
+    recovery_h: float = 4.0
+    rebound_factor: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.floor_kw < 0:
+            raise DemandResponseError("floor must be non-negative")
+        if self.max_power_kw <= self.floor_kw:
+            raise DemandResponseError("max power must exceed the floor")
+        if self.max_shift_kw <= 0:
+            raise DemandResponseError("max shift must be positive")
+        if self.recovery_h <= 0:
+            raise DemandResponseError("recovery window must be positive")
+        if self.rebound_factor < 1.0:
+            raise DemandResponseError("rebound factor must be >= 1")
+
+    def respond(
+        self, load: PowerSeries, start_s: float, end_s: float
+    ) -> DRResponse:
+        """Apply the shift over ``[start_s, end_s)``."""
+        i0, i1 = _event_indices(load, start_s, end_s)
+        values = load.values_kw.copy()
+        window = values[i0:i1]
+        shiftable = np.maximum(window - self.floor_kw, 0.0)
+        moved = np.minimum(shiftable, self.max_shift_kw)
+        values[i0:i1] = window - moved
+        moved_kwh = float(moved.sum() * load.interval_h)
+        to_replay_kwh = moved_kwh * self.rebound_factor
+        # replay into headroom after the event, greedily
+        n_recovery = int(round(self.recovery_h * 3600.0 / load.interval_s))
+        j0 = i1
+        j1 = min(j0 + max(n_recovery, 1), len(values))
+        replayed_kwh = 0.0
+        if j1 > j0 and to_replay_kwh > 0:
+            headroom = np.maximum(self.max_power_kw - values[j0:j1], 0.0)
+            headroom_kwh = headroom * load.interval_h
+            cum = np.cumsum(headroom_kwh)
+            take_kwh = np.minimum(headroom_kwh, np.maximum(
+                to_replay_kwh - (cum - headroom_kwh), 0.0
+            ))
+            values[j0:j1] += take_kwh / load.interval_h
+            replayed_kwh = float(take_kwh.sum())
+        unreplayed_kwh = max(to_replay_kwh - replayed_kwh, 0.0)
+        # of what moved, the fraction that truly returned is replayed/rebound
+        shifted_kwh = min(replayed_kwh / self.rebound_factor, moved_kwh)
+        return DRResponse(
+            modified=load.with_values(values),
+            delivered_reduction_kw=float(moved.mean()),
+            shed_energy_kwh=float(moved_kwh - shifted_kwh),
+            shifted_energy_kwh=shifted_kwh,
+            rebound_energy_kwh=max(replayed_kwh - shifted_kwh, 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class PowerCapStrategy:
+    """Clip the profile at a cap during the event (load capping, §3.1.4)."""
+
+    cap_kw: float
+
+    def __post_init__(self) -> None:
+        if self.cap_kw <= 0:
+            raise DemandResponseError("cap must be positive")
+
+    def respond(
+        self, load: PowerSeries, start_s: float, end_s: float
+    ) -> DRResponse:
+        """Apply the cap over ``[start_s, end_s)``."""
+        i0, i1 = _event_indices(load, start_s, end_s)
+        values = load.values_kw.copy()
+        window = values[i0:i1]
+        clipped = np.minimum(window, self.cap_kw)
+        shed = window - clipped
+        values[i0:i1] = clipped
+        return DRResponse(
+            modified=load.with_values(values),
+            delivered_reduction_kw=float(shed.mean()),
+            shed_energy_kwh=float(shed.sum() * load.interval_h),
+            shifted_energy_kwh=0.0,
+            rebound_energy_kwh=0.0,
+        )

@@ -1,0 +1,111 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the library can catch one type.  Subclasses are organized
+by subsystem so tests (and users) can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "UnitError",
+    "TimeSeriesError",
+    "IntervalMismatchError",
+    "CalendarError",
+    "ContractError",
+    "TariffError",
+    "BillingError",
+    "MeteringError",
+    "GridError",
+    "MarketError",
+    "DispatchError",
+    "FacilityError",
+    "SchedulerError",
+    "WorkloadError",
+    "DemandResponseError",
+    "FlexibilityError",
+    "SurveyError",
+    "AnalysisError",
+    "ReportingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class UnitError(ReproError):
+    """A quantity was constructed or combined with incompatible units."""
+
+
+class TimeSeriesError(ReproError):
+    """Invalid construction or use of a :class:`~repro.timeseries.PowerSeries`."""
+
+
+class IntervalMismatchError(TimeSeriesError):
+    """Two series with different metering intervals were combined."""
+
+
+class CalendarError(ReproError):
+    """Invalid billing-period or time-of-use calendar specification."""
+
+
+class ContractError(ReproError):
+    """Invalid contract composition (e.g. duplicate exclusive components)."""
+
+
+class TariffError(ContractError):
+    """Invalid tariff parameterization (negative rates, bad TOU windows)."""
+
+
+class BillingError(ReproError):
+    """The billing engine could not price a load profile."""
+
+
+class MeteringError(BillingError):
+    """The metered series is incompatible with a component's metering model."""
+
+
+class GridError(ReproError):
+    """Errors in the grid / ESP substrate."""
+
+
+class MarketError(GridError):
+    """Invalid market configuration or clearing failure."""
+
+
+class DispatchError(GridError):
+    """A demand-response or emergency event could not be dispatched."""
+
+
+class FacilityError(ReproError):
+    """Errors in the supercomputing-facility substrate."""
+
+
+class SchedulerError(FacilityError):
+    """Invalid scheduler configuration or an impossible job placement."""
+
+
+class WorkloadError(FacilityError):
+    """Invalid synthetic-workload parameterization."""
+
+
+class DemandResponseError(ReproError):
+    """Errors in the facility-side demand-response layer."""
+
+
+class FlexibilityError(DemandResponseError):
+    """Flexibility estimation failed (e.g. no shiftable load identified)."""
+
+
+class SurveyError(ReproError):
+    """Errors in the survey-reconstruction subsystem."""
+
+
+class AnalysisError(ReproError):
+    """Errors raised by the evaluation / analysis studies."""
+
+
+class ReportingError(ReproError):
+    """Errors raised while rendering tables or figures."""

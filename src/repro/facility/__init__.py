@@ -1,0 +1,77 @@
+"""The supercomputing-center (SC) side of the relationship.
+
+The paper characterizes SCs as "energy-intensive performance-oriented
+computing environments with high system utilization" whose loads range
+from 40 kW to beyond 10 MW (§1) and whose coarse-grained power-management
+options are "energy and power-aware job scheduling, power capping, and
+shutdown" (§2, citing [7]).  This subpackage simulates such a facility:
+
+* :mod:`~repro.facility.machine` — node-level power model and machine;
+* :mod:`~repro.facility.jobs` / :mod:`~repro.facility.workload` — jobs and
+  synthetic workload generation;
+* :mod:`~repro.facility.scheduler` — event-driven FCFS + EASY backfill
+  with optional power caps;
+* :mod:`~repro.facility.power_management` — the coarse-grained strategies;
+* :mod:`~repro.facility.power_model` — IT→facility power (PUE, cooling);
+* :mod:`~repro.facility.telemetry` — simulation → metered power series;
+* :mod:`~repro.facility.site` — the SC in its institutional context.
+"""
+
+from .machine import NodePowerModel, Supercomputer
+from .jobs import Job, JobState, ScheduledJob
+from .workload import WorkloadModel, benchmark_campaign, maintenance_window
+from .scheduler import Scheduler, SchedulerConfig, ScheduleResult
+from .power_management import (
+    PowerCapPolicy,
+    IdleShutdownPolicy,
+    FrequencyScalingPolicy,
+)
+from .power_model import FacilityPowerModel
+from .telemetry import it_power_series, facility_power_series
+from .site import Building, Site
+from .checkpointing import CheckpointModel
+from .onsite_generation import (
+    BackupGenerator,
+    GenerationDispatch,
+    dispatch_generation,
+)
+from .forecasting import (
+    Forecaster,
+    PersistenceForecaster,
+    DayProfileForecaster,
+    EWMAForecaster,
+    forecast_errors,
+    imbalance_cost_of_forecast,
+)
+
+__all__ = [
+    "NodePowerModel",
+    "Supercomputer",
+    "Job",
+    "JobState",
+    "ScheduledJob",
+    "WorkloadModel",
+    "benchmark_campaign",
+    "maintenance_window",
+    "Scheduler",
+    "SchedulerConfig",
+    "ScheduleResult",
+    "PowerCapPolicy",
+    "IdleShutdownPolicy",
+    "FrequencyScalingPolicy",
+    "FacilityPowerModel",
+    "it_power_series",
+    "facility_power_series",
+    "Building",
+    "Site",
+    "Forecaster",
+    "PersistenceForecaster",
+    "DayProfileForecaster",
+    "EWMAForecaster",
+    "forecast_errors",
+    "imbalance_cost_of_forecast",
+    "CheckpointModel",
+    "BackupGenerator",
+    "GenerationDispatch",
+    "dispatch_generation",
+]

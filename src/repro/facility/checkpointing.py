@@ -1,0 +1,132 @@
+"""Checkpoint/restart: the physics behind "shift" and DR ramp times.
+
+Every DR number upstream of this module — the shift strategy's
+``rebound_factor``, the contingency ladder's ``ramp_time_s``, §3.1.6's
+"15 min to 1 hour" answers — ultimately comes from how long it takes to
+checkpoint a job's state to storage and read it back.  This module derives
+those figures from first-order machine parameters (memory per node,
+storage bandwidth, restart recompute loss) so the DR layer can be
+parameterized from hardware instead of guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import FacilityError
+from ..units import W_PER_KW
+from .jobs import Job
+from .machine import Supercomputer
+
+__all__ = ["CheckpointModel"]
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """First-order checkpoint/restart cost model.
+
+    Parameters
+    ----------
+    memory_per_node_gb:
+        Application state to persist per node (resident set, not RAM size).
+    storage_bandwidth_gbps:
+        Aggregate parallel-filesystem bandwidth available to checkpoints
+        (GB/s); shared across the nodes being checkpointed.
+    recompute_fraction:
+        Work since the last periodic checkpoint that a *kill* loses and a
+        suspend does not, as a fraction of the checkpoint interval.
+    checkpoint_interval_h:
+        Periodic checkpoint cadence of resilient applications.
+    node_power_during_io_fraction:
+        Dynamic-power fraction nodes run at while doing checkpoint I/O
+        (mostly idle cores, busy NICs).
+    """
+
+    memory_per_node_gb: float = 256.0
+    storage_bandwidth_gbps: float = 500.0
+    recompute_fraction: float = 0.5
+    checkpoint_interval_h: float = 4.0
+    node_power_during_io_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.memory_per_node_gb <= 0:
+            raise FacilityError("memory per node must be positive")
+        if self.storage_bandwidth_gbps <= 0:
+            raise FacilityError("storage bandwidth must be positive")
+        if not 0.0 <= self.recompute_fraction <= 1.0:
+            raise FacilityError("recompute fraction must be in [0, 1]")
+        if self.checkpoint_interval_h <= 0:
+            raise FacilityError("checkpoint interval must be positive")
+        if not 0.0 <= self.node_power_during_io_fraction <= 1.0:
+            raise FacilityError("I/O power fraction must be in [0, 1]")
+
+    # -- times ---------------------------------------------------------------
+
+    def checkpoint_time_s(self, nodes: int) -> float:
+        """Time to drain ``nodes`` nodes' state to storage (s).
+
+        Bandwidth is shared: checkpointing more nodes at once takes
+        proportionally longer — why a full-machine shed cannot be
+        instantaneous, and where the §4 "15 min to 1 hour" timescale
+        comes from.
+        """
+        if nodes <= 0:
+            raise FacilityError("nodes must be positive")
+        total_gb = nodes * self.memory_per_node_gb
+        return total_gb / self.storage_bandwidth_gbps
+
+    def restart_time_s(self, nodes: int) -> float:
+        """Time to reload state (same bandwidth model)."""
+        return self.checkpoint_time_s(nodes)
+
+    def dr_ramp_time_s(self, machine: Supercomputer, shed_fraction: float = 1.0) -> float:
+        """Time to realize a shed of ``shed_fraction`` of the busy machine.
+
+        Checkpoint time for that many nodes plus a fixed coordination
+        allowance (scheduler drain, job signal propagation).
+        """
+        if not 0.0 < shed_fraction <= 1.0:
+            raise FacilityError("shed_fraction must be in (0, 1]")
+        nodes = max(1, int(machine.n_nodes * shed_fraction))
+        return 120.0 + self.checkpoint_time_s(nodes)
+
+    # -- energy / work ---------------------------------------------------------
+
+    def suspend_overhead_node_hours(self, job: Job) -> float:
+        """Node-hours consumed by one suspend/resume cycle of a job.
+
+        Checkpoint write + restart read, during which the nodes are held
+        but do no useful work.
+        """
+        io_s = self.checkpoint_time_s(job.nodes) + self.restart_time_s(job.nodes)
+        return job.nodes * io_s / 3600.0
+
+    def kill_loss_node_hours(self, job: Job) -> float:
+        """Expected node-hours of lost work when a job is killed.
+
+        Half a checkpoint interval of recompute in expectation, scaled by
+        the recompute fraction (periodically-checkpointing apps lose less).
+        """
+        lost_h = self.recompute_fraction * self.checkpoint_interval_h / 2.0
+        return job.nodes * min(lost_h, job.runtime_s / 3600.0)
+
+    def rebound_factor(self, job: Job) -> float:
+        """The shift strategy's rebound factor, derived.
+
+        Energy replayed / energy shifted: 1 plus the suspend overhead's
+        share of the job's (remaining) energy, approximated against its
+        full runtime.
+        """
+        overhead_nh = self.suspend_overhead_node_hours(job)
+        job_nh = job.nodes * job.runtime_s / 3600.0
+        return 1.0 + overhead_nh / job_nh
+
+    def checkpoint_energy_kwh(self, machine: Supercomputer, nodes: int) -> float:
+        """Energy consumed by the checkpoint I/O itself (kWh)."""
+        if nodes <= 0 or nodes > machine.n_nodes:
+            raise FacilityError("invalid node count for this machine")
+        power_w = nodes * machine.node_power.active_w(
+            self.node_power_during_io_fraction
+        )
+        return power_w / W_PER_KW * self.checkpoint_time_s(nodes) / 3600.0

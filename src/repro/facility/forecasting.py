@@ -1,0 +1,171 @@
+"""Facility load forecasting — the §3.4 "good neighbor" capability.
+
+The prior EE HPC survey found that "some SCs in Europe engage in
+collaboration with their ESPs in order to ensure minimal fluctuations as
+well as for forecasting of deviations from normal power consumption
+patterns."  A forecast is also exactly what a real-time market settles
+against: the day-ahead schedule is a forecast, and imbalance cost is the
+price of forecast error.
+
+Three reference forecasters, all strictly causal (a forecast for interval
+``t`` uses only intervals ``< t``):
+
+* :class:`PersistenceForecaster` — tomorrow looks like the last observed
+  interval (the naive floor every forecaster must beat);
+* :class:`DayProfileForecaster` — tomorrow looks like the average of the
+  same interval-of-day over the last ``k`` days (captures the facility's
+  daily rhythm);
+* :class:`EWMAForecaster` — exponentially weighted level tracking, the
+  classic low-cost smoother.
+
+Plus error metrics and :func:`imbalance_cost_of_forecast`, which prices a
+forecast on the real-time market — turning "being a good neighbor" into a
+number.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import FacilityError
+from ..grid.market import RealTimeMarket
+from ..timeseries.series import PowerSeries
+
+__all__ = [
+    "Forecaster",
+    "PersistenceForecaster",
+    "DayProfileForecaster",
+    "EWMAForecaster",
+    "forecast_errors",
+    "imbalance_cost_of_forecast",
+]
+
+
+class Forecaster(abc.ABC):
+    """Produces a one-horizon-ahead forecast series for a load history."""
+
+    name: str = "forecaster"
+
+    @abc.abstractmethod
+    def forecast(self, history: PowerSeries, horizon_intervals: int) -> PowerSeries:
+        """Forecast the ``horizon_intervals`` following ``history``.
+
+        The returned series starts exactly where the history ends.
+        """
+
+    def _check(self, history: PowerSeries, horizon_intervals: int) -> None:
+        if horizon_intervals < 1:
+            raise FacilityError("horizon must be at least one interval")
+        if len(history) < 1:
+            raise FacilityError("history must be non-empty")
+
+
+class PersistenceForecaster(Forecaster):
+    """Forecast = the last observed value, held flat."""
+
+    name = "persistence"
+
+    def forecast(self, history: PowerSeries, horizon_intervals: int) -> PowerSeries:
+        self._check(history, horizon_intervals)
+        last = history.values_kw[-1]
+        return PowerSeries(
+            np.full(horizon_intervals, last), history.interval_s, history.end_s
+        )
+
+
+class DayProfileForecaster(Forecaster):
+    """Forecast = mean of the same interval-of-day over the last ``k`` days."""
+
+    name = "day-profile"
+
+    def __init__(self, k_days: int = 5) -> None:
+        if k_days < 1:
+            raise FacilityError("k_days must be >= 1")
+        self.k_days = int(k_days)
+
+    def forecast(self, history: PowerSeries, horizon_intervals: int) -> PowerSeries:
+        self._check(history, horizon_intervals)
+        per_day = int(round(86_400.0 / history.interval_s))
+        if per_day < 1 or 86_400.0 % history.interval_s != 0:
+            raise FacilityError("interval must divide one day")
+        n_days = len(history) // per_day
+        if n_days < 1:
+            raise FacilityError(
+                "day-profile forecasting needs at least one full day of history"
+            )
+        k = min(self.k_days, n_days)
+        recent = history.values_kw[(n_days - k) * per_day : n_days * per_day]
+        profile = recent.reshape(k, per_day).mean(axis=0)
+        # phase: where in the day does the forecast start?
+        start_offset = int(round(history.end_s / history.interval_s)) % per_day
+        idx = (start_offset + np.arange(horizon_intervals)) % per_day
+        return PowerSeries(profile[idx], history.interval_s, history.end_s)
+
+
+class EWMAForecaster(Forecaster):
+    """Forecast = exponentially weighted mean of the history, held flat."""
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise FacilityError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+
+    def forecast(self, history: PowerSeries, horizon_intervals: int) -> PowerSeries:
+        self._check(history, horizon_intervals)
+        v = history.values_kw
+        # vectorized EWMA terminal level: weights (1-a)^j on the last values
+        n = len(v)
+        j = np.arange(n)[::-1]
+        weights = self.alpha * (1.0 - self.alpha) ** j
+        weights[0] += (1.0 - self.alpha) ** n  # mass of the implicit prior = v[0]
+        level = float(np.dot(weights / weights.sum(), v))
+        return PowerSeries(
+            np.full(horizon_intervals, level), history.interval_s, history.end_s
+        )
+
+
+def forecast_errors(actual: PowerSeries, predicted: PowerSeries) -> Dict[str, float]:
+    """Standard error metrics: MAE, RMSE, MAPE and bias (all in kW / %)."""
+    if (
+        actual.interval_s != predicted.interval_s
+        or actual.start_s != predicted.start_s
+        or len(actual) != len(predicted)
+    ):
+        raise FacilityError("actual and predicted series must align")
+    a = actual.values_kw
+    p = predicted.values_kw
+    err = p - a
+    metrics = {
+        "mae_kw": float(np.abs(err).mean()),
+        "rmse_kw": float(np.sqrt((err**2).mean())),
+        "bias_kw": float(err.mean()),
+    }
+    nonzero = np.abs(a) > 1e-9
+    if nonzero.any():
+        metrics["mape"] = float(np.abs(err[nonzero] / a[nonzero]).mean())
+    else:
+        metrics["mape"] = float("inf")
+    return metrics
+
+
+def imbalance_cost_of_forecast(
+    actual: PowerSeries,
+    predicted: PowerSeries,
+    prices: PowerSeries,
+    market: Optional[RealTimeMarket] = None,
+) -> float:
+    """Price a forecast on the real-time market ($).
+
+    The predicted series plays the day-ahead schedule; the actual series is
+    what the meter records; the asymmetric imbalance settlement prices the
+    error.  A perfect forecast costs zero; the worse the forecast, the more
+    the §3.4 swing-communication behaviour is worth.
+    """
+    market = market or RealTimeMarket()
+    return market.imbalance_cost(predicted, actual, prices)

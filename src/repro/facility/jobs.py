@@ -1,0 +1,145 @@
+"""Job model.
+
+Jobs are the atoms of SC load: each occupies a node count for a runtime
+and drives those nodes at a dynamic-power fraction.  The distinction
+between requested walltime and actual runtime matters for EASY backfill
+(reservations are made against walltime; holes appear when jobs finish
+early).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..exceptions import WorkloadError
+
+__all__ = ["JobState", "Job", "ScheduledJob"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job through the scheduler."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"
+
+
+@dataclass(frozen=True)
+class Job:
+    """An HPC batch job.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within a workload.
+    submit_s:
+        Submission time (simulation seconds).
+    nodes:
+        Number of nodes requested (exclusive allocation).
+    runtime_s:
+        Actual runtime if undisturbed.
+    walltime_s:
+        Requested (declared) walltime; must be ≥ ``runtime_s``.  Backfill
+        plans against this, as real schedulers must.
+    power_fraction:
+        Dynamic-power fraction in [0, 1] the job drives its nodes at
+        (compute-bound ≈ 0.9+, memory/IO-bound lower).
+    tag:
+        Free-form label ("hpl", "climate", ...), used by DR strategies to
+        decide what is deferrable.
+    checkpointable:
+        Whether the job can be suspended and resumed — the property that
+        turns "kill" into "shift" for DR purposes.
+    """
+
+    job_id: int
+    submit_s: float
+    nodes: int
+    runtime_s: float
+    walltime_s: float
+    power_fraction: float = 0.7
+    tag: str = "generic"
+    checkpointable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise WorkloadError(f"job {self.job_id}: nodes must be positive")
+        if self.runtime_s <= 0:
+            raise WorkloadError(f"job {self.job_id}: runtime must be positive")
+        if self.walltime_s < self.runtime_s:
+            raise WorkloadError(
+                f"job {self.job_id}: walltime ({self.walltime_s}) must be >= "
+                f"runtime ({self.runtime_s})"
+            )
+        if self.submit_s < 0:
+            raise WorkloadError(f"job {self.job_id}: submit time must be >= 0")
+        if not 0.0 <= self.power_fraction <= 1.0:
+            raise WorkloadError(
+                f"job {self.job_id}: power_fraction must be in [0, 1]"
+            )
+
+    @property
+    def node_seconds(self) -> float:
+        """Work volume: nodes × runtime."""
+        return self.nodes * self.runtime_s
+
+    def with_runtime_scaled(self, factor: float) -> "Job":
+        """A copy with runtime (and walltime) scaled — frequency scaling
+        trades power for time."""
+        if factor <= 0:
+            raise WorkloadError("runtime scale factor must be positive")
+        return replace(
+            self,
+            runtime_s=self.runtime_s * factor,
+            walltime_s=self.walltime_s * factor,
+        )
+
+    def with_power_fraction(self, power_fraction: float) -> "Job":
+        """A copy at a different dynamic-power fraction."""
+        return replace(self, power_fraction=power_fraction)
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """A job with its realized schedule.
+
+    ``start_s`` is assigned by the scheduler; ``end_s`` is
+    ``start_s + runtime_s`` unless the job was killed early.
+    """
+
+    job: Job
+    start_s: float
+    end_s: float
+    state: JobState = JobState.COMPLETED
+
+    def __post_init__(self) -> None:
+        if self.start_s < self.job.submit_s - 1e-9:
+            raise WorkloadError(
+                f"job {self.job.job_id}: started before submission"
+            )
+        if self.end_s <= self.start_s:
+            raise WorkloadError(
+                f"job {self.job.job_id}: non-positive scheduled duration"
+            )
+
+    @property
+    def wait_s(self) -> float:
+        """Queue wait time."""
+        return self.start_s - self.job.submit_s
+
+    @property
+    def duration_s(self) -> float:
+        """Realized execution span."""
+        return self.end_s - self.start_s
+
+    @property
+    def slowdown(self) -> float:
+        """Bounded slowdown: (wait + run) / run, ≥ 1."""
+        return (self.wait_s + self.duration_s) / self.duration_s
+
+    def active_at(self, t_s: float) -> bool:
+        """True when the job occupies nodes at time ``t_s``."""
+        return self.start_s <= t_s < self.end_s

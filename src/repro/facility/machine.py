@@ -1,0 +1,144 @@
+"""Machine and node power models.
+
+A supercomputer's IT power decomposes into a base overhead (interconnect,
+storage, service nodes), idle power of powered-on compute nodes, and the
+dynamic power of nodes actively running jobs.  The spread between idle and
+peak is what gives an SC its demand-response potential — and its
+grid-straining ramps (§1: "fast ramping variability in the demand of these
+SCs can strain the grid power systems").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import FacilityError
+from ..units import W_PER_KW
+
+__all__ = ["NodePowerModel", "Supercomputer"]
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Per-node power levels (watts).
+
+    Attributes
+    ----------
+    idle_w:
+        Powered-on but unoccupied node.
+    max_w:
+        Node running at full load (``power_fraction`` = 1).
+    sleep_w:
+        Node in a low-power state under a shutdown policy.
+    """
+
+    idle_w: float = 250.0
+    max_w: float = 700.0
+    sleep_w: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sleep_w <= self.idle_w <= self.max_w:
+            raise FacilityError(
+                "node power levels must satisfy 0 <= sleep <= idle <= max, got "
+                f"sleep={self.sleep_w}, idle={self.idle_w}, max={self.max_w}"
+            )
+        if self.max_w <= 0:
+            raise FacilityError("max node power must be positive")
+
+    def active_w(self, power_fraction: float) -> float:
+        """Power of a node running a job at the given dynamic fraction.
+
+        ``power_fraction`` scales the idle→max dynamic range: 0 means the
+        job keeps the node at idle power, 1 pins it at max.
+        """
+        if not 0.0 <= power_fraction <= 1.0:
+            raise FacilityError(
+                f"power_fraction must be in [0, 1], got {power_fraction!r}"
+            )
+        return self.idle_w + power_fraction * (self.max_w - self.idle_w)
+
+    @property
+    def dynamic_range_w(self) -> float:
+        """Idle→max dynamic range per node (W)."""
+        return self.max_w - self.idle_w
+
+
+@dataclass(frozen=True)
+class Supercomputer:
+    """A machine: nodes plus fixed IT overhead.
+
+    Attributes
+    ----------
+    name:
+        Machine label.
+    n_nodes:
+        Number of compute nodes.
+    node_power:
+        Per-node power model.
+    base_overhead_kw:
+        Always-on IT overhead (interconnect, storage, service) in kW.
+    """
+
+    name: str
+    n_nodes: int
+    node_power: NodePowerModel = NodePowerModel()
+    base_overhead_kw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise FacilityError("a machine needs at least one node")
+        if self.base_overhead_kw < 0:
+            raise FacilityError("base overhead must be non-negative")
+
+    @property
+    def peak_power_kw(self) -> float:
+        """All nodes at max dynamic power, plus overhead (kW)."""
+        return self.base_overhead_kw + self.n_nodes * self.node_power.max_w / W_PER_KW
+
+    @property
+    def idle_power_kw(self) -> float:
+        """All nodes idle (powered on), plus overhead (kW)."""
+        return self.base_overhead_kw + self.n_nodes * self.node_power.idle_w / W_PER_KW
+
+    @property
+    def sleep_power_kw(self) -> float:
+        """All nodes asleep, plus overhead (kW) — the shutdown-policy floor."""
+        return self.base_overhead_kw + self.n_nodes * self.node_power.sleep_w / W_PER_KW
+
+    def power_kw(
+        self,
+        busy_nodes: int,
+        mean_power_fraction: float = 0.7,
+        sleeping_nodes: int = 0,
+    ) -> float:
+        """IT power with ``busy_nodes`` active and ``sleeping_nodes`` asleep.
+
+        The remaining nodes idle.  This is the static (non-trace) view used
+        by capacity planning; the scheduler/telemetry path computes the
+        same decomposition per interval, vectorized.
+        """
+        if busy_nodes < 0 or sleeping_nodes < 0:
+            raise FacilityError("node counts must be non-negative")
+        if busy_nodes + sleeping_nodes > self.n_nodes:
+            raise FacilityError(
+                f"busy ({busy_nodes}) + sleeping ({sleeping_nodes}) exceeds "
+                f"machine size ({self.n_nodes})"
+            )
+        idle_nodes = self.n_nodes - busy_nodes - sleeping_nodes
+        watts = (
+            busy_nodes * self.node_power.active_w(mean_power_fraction)
+            + idle_nodes * self.node_power.idle_w
+            + sleeping_nodes * self.node_power.sleep_w
+        )
+        return self.base_overhead_kw + watts / W_PER_KW
+
+    def dr_sheddable_kw(self, mean_power_fraction: float = 0.7) -> float:
+        """Upper bound on sheddable IT power at full utilization (kW).
+
+        Killing (or suspending) all jobs drops every node from active to
+        idle — the instantaneous shed a full checkpoint-and-drain achieves.
+        """
+        per_node = (
+            self.node_power.active_w(mean_power_fraction) - self.node_power.idle_w
+        )
+        return self.n_nodes * per_node / W_PER_KW

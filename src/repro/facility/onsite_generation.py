@@ -1,0 +1,173 @@
+"""On-site and backup generation.
+
+§3.1.4 names "powering up backup generators" as an example DR service, and
+§4's LANL case "ha[s] on-site generation and participate[s] in generation
+and voltage control programs".  Running a generator reduces the *metered*
+load without touching the machine at all — DR with zero mission impact,
+bounded instead by fuel cost, start latency and runtime limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import FacilityError
+from ..timeseries.series import PowerSeries
+
+__all__ = ["BackupGenerator", "GenerationDispatch", "dispatch_generation"]
+
+
+@dataclass(frozen=True)
+class BackupGenerator:
+    """A dispatchable on-site unit (diesel/gas genset, fuel cell, ...).
+
+    Parameters
+    ----------
+    name:
+        Unit label.
+    capacity_kw:
+        Maximum electrical output.
+    fuel_cost_per_kwh:
+        Marginal cost of generated energy (fuel + wear).
+    start_time_s:
+        Time from dispatch to full output.
+    max_runtime_h_per_event:
+        Permit/fuel-storage bound per dispatch.
+    min_load_fraction:
+        Lowest stable output as a fraction of capacity (gensets cannot
+        idle at 2 %).
+    emissions_kg_per_kwh:
+        On-site CO2e per generated kWh (diesel ≈ 0.85) — backup-generator
+        DR is often *dirtier* than the grid it relieves, a real policy
+        tension.
+    """
+
+    name: str
+    capacity_kw: float
+    fuel_cost_per_kwh: float = 0.35
+    start_time_s: float = 120.0
+    max_runtime_h_per_event: float = 8.0
+    min_load_fraction: float = 0.3
+    emissions_kg_per_kwh: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_kw <= 0:
+            raise FacilityError(f"generator {self.name!r}: capacity must be positive")
+        if self.fuel_cost_per_kwh < 0:
+            raise FacilityError(f"generator {self.name!r}: fuel cost must be >= 0")
+        if self.start_time_s < 0:
+            raise FacilityError(f"generator {self.name!r}: start time must be >= 0")
+        if self.max_runtime_h_per_event <= 0:
+            raise FacilityError(
+                f"generator {self.name!r}: max runtime must be positive"
+            )
+        if not 0.0 <= self.min_load_fraction <= 1.0:
+            raise FacilityError(
+                f"generator {self.name!r}: min load fraction must be in [0, 1]"
+            )
+
+    @property
+    def min_output_kw(self) -> float:
+        """Lowest stable output (kW)."""
+        return self.min_load_fraction * self.capacity_kw
+
+    def can_serve(self, requested_kw: float, duration_s: float,
+                  notice_s: float) -> bool:
+        """Whether one dispatch can deliver the request."""
+        if requested_kw <= 0:
+            return False
+        if requested_kw < self.min_output_kw or requested_kw > self.capacity_kw:
+            return False
+        if duration_s > self.max_runtime_h_per_event * 3600.0:
+            return False
+        return notice_s >= self.start_time_s
+
+
+@dataclass(frozen=True)
+class GenerationDispatch:
+    """Accounting for one generation-backed DR event."""
+
+    generator: BackupGenerator
+    output_kw: float
+    start_s: float
+    end_s: float
+    net_load: PowerSeries
+
+    @property
+    def duration_h(self) -> float:
+        """Dispatch length (hours)."""
+        return (self.end_s - self.start_s) / 3600.0
+
+    @property
+    def generated_kwh(self) -> float:
+        """Energy produced."""
+        return self.output_kw * self.duration_h
+
+    @property
+    def fuel_cost(self) -> float:
+        """Fuel + wear cost of the dispatch ($)."""
+        return self.generated_kwh * self.generator.fuel_cost_per_kwh
+
+    @property
+    def onsite_emissions_kg(self) -> float:
+        """CO2e emitted on site."""
+        return self.generated_kwh * self.generator.emissions_kg_per_kwh
+
+    def net_benefit(self, payment_per_kwh: float,
+                    avoided_energy_rate_per_kwh: float = 0.0) -> float:
+        """DR payment plus avoided purchases minus fuel ($).
+
+        Generation-backed DR pays when ``payment + tariff > fuel cost`` —
+        a clean threshold with no hardware-depreciation term, which is why
+        backup generators are the easiest DR asset an SC owns.
+        """
+        if payment_per_kwh < 0 or avoided_energy_rate_per_kwh < 0:
+            raise FacilityError("rates must be non-negative")
+        revenue = (payment_per_kwh + avoided_energy_rate_per_kwh) * self.generated_kwh
+        return revenue - self.fuel_cost
+
+
+def dispatch_generation(
+    load: PowerSeries,
+    generator: BackupGenerator,
+    requested_kw: float,
+    start_s: float,
+    end_s: float,
+    notice_s: float = 3600.0,
+) -> GenerationDispatch:
+    """Dispatch a generator against an event window.
+
+    The delivered output is the request clipped into the unit's stable
+    operating range; the returned net load is what the meter (and any
+    baseline-based M&V) sees.  Raises when the unit cannot serve the
+    request at all (too long, too little notice, request below stable
+    minimum or above capacity).
+    """
+    if end_s <= start_s:
+        raise FacilityError("dispatch window must have positive duration")
+    if start_s < load.start_s or end_s > load.end_s:
+        raise FacilityError("dispatch window outside the load profile")
+    output = float(np.clip(requested_kw, generator.min_output_kw,
+                           generator.capacity_kw))
+    if not generator.can_serve(output, end_s - start_s, notice_s):
+        raise FacilityError(
+            f"generator {generator.name!r} cannot serve {requested_kw:.0f} kW "
+            f"for {(end_s - start_s) / 3600.0:.1f} h at {notice_s:.0f} s notice"
+        )
+    values = load.values_kw.copy()
+    edges = load.start_s + load.interval_s * np.arange(len(load) + 1)
+    lo = np.clip(start_s, edges[:-1], edges[1:])
+    hi = np.clip(end_s, edges[:-1], edges[1:])
+    frac = (hi - lo) / load.interval_s
+    values -= output * frac
+    np.maximum(values, 0.0, out=values)  # no export: net load floors at zero
+    return GenerationDispatch(
+        generator=generator,
+        output_kw=output,
+        start_s=start_s,
+        end_s=end_s,
+        net_load=load.with_values(values),
+    )

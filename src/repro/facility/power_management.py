@@ -1,0 +1,174 @@
+"""The coarse-grained power-management strategies of the paper's prior work.
+
+[7] (quoted in §2) identifies "energy and power-aware job scheduling,
+power capping, and shutdown" as the most effective strategies SCs could
+employ in response to ESP programs.  Each strategy here is a policy object
+that transforms scheduler inputs/outputs:
+
+* :class:`PowerCapPolicy` — configures the scheduler's admission cap and
+  prices the utilization it costs;
+* :class:`IdleShutdownPolicy` — derives, from a schedule, how many nodes
+  can sleep per metering interval without delaying any job start;
+* :class:`FrequencyScalingPolicy` — a DVFS-like power/time trade applied
+  to the workload before scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import FacilityError
+from .jobs import Job
+from .machine import Supercomputer
+from .scheduler import ScheduleResult, SchedulerConfig
+
+__all__ = ["PowerCapPolicy", "IdleShutdownPolicy", "FrequencyScalingPolicy"]
+
+
+@dataclass(frozen=True)
+class PowerCapPolicy:
+    """A static IT power cap, expressed relative to machine peak.
+
+    ``cap_fraction`` = 0.8 means jobs may not start if estimated IT power
+    would exceed 80 % of peak.  The cap is the classic demand-charge
+    defence: it bounds the billed peak at the cost of queue wait.
+    """
+
+    cap_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cap_fraction <= 1.0:
+            raise FacilityError("cap_fraction must be in (0, 1]")
+
+    def cap_kw(self, machine: Supercomputer) -> float:
+        """Absolute cap (kW) for a machine."""
+        cap = self.cap_fraction * machine.peak_power_kw
+        if cap < machine.idle_power_kw:
+            raise FacilityError(
+                f"cap {cap:.1f} kW is below idle power "
+                f"{machine.idle_power_kw:.1f} kW; the machine cannot comply"
+            )
+        return cap
+
+    def scheduler_config(
+        self, machine: Supercomputer, backfill: bool = True
+    ) -> SchedulerConfig:
+        """Scheduler configuration enforcing this cap."""
+        return SchedulerConfig(backfill=backfill, power_cap_kw=self.cap_kw(machine))
+
+
+@dataclass(frozen=True)
+class IdleShutdownPolicy:
+    """Sleep idle nodes after a grace delay, wake-ahead of demand.
+
+    Conservative offline derivation: for each metering interval, a node
+    may sleep only if it is idle through the whole interval *plus* the
+    grace delay before and the wake-up lead after — so no job start is
+    ever delayed by a sleeping node (the schedule is taken as fixed).
+
+    §2's survey notes SCs fear strategies that "might have an adverse
+    impact on their primary mission"; the zero-delay guarantee is what
+    makes this policy mission-safe.
+    """
+
+    grace_delay_s: float = 600.0
+    wake_lead_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.grace_delay_s < 0 or self.wake_lead_s < 0:
+            raise FacilityError("delays must be non-negative")
+
+    def sleeping_nodes(
+        self, result: ScheduleResult, interval_s: float = 900.0
+    ) -> np.ndarray:
+        """Per-interval count of nodes safely asleep.
+
+        A node-count view suffices (nodes are interchangeable here): in
+        any window, nodes asleep = machine size − max concurrent busy
+        nodes over the padded window.
+        """
+        if interval_s <= 0:
+            raise FacilityError("interval must be positive")
+        n_intervals = int(round(result.horizon_s / interval_s))
+        if abs(n_intervals * interval_s - result.horizon_s) > 1e-6 or n_intervals < 1:
+            raise FacilityError("interval must tile the horizon")
+        # busy-node step function from job starts/ends inside the horizon
+        events: List = []
+        for sj in result.scheduled:
+            events.append((sj.start_s, sj.job.nodes))
+            events.append((sj.end_s, -sj.job.nodes))
+        busy_max = np.zeros(n_intervals)
+        if events:
+            times = np.array([e[0] for e in events])
+            deltas = np.array([e[1] for e in events], dtype=np.float64)
+            order = np.argsort(times, kind="stable")
+            times = times[order]
+            deltas = deltas[order]
+            busy = np.cumsum(deltas)
+            # max busy level over each padded window [t0 - grace, t1 + lead]
+            starts = interval_s * np.arange(n_intervals) - self.grace_delay_s
+            ends = interval_s * (np.arange(n_intervals) + 1) + self.wake_lead_s
+            # busy level is a step function: level busy[k] holds on
+            # [times[k], times[k+1]).  For each window take the max level
+            # among steps intersecting it, plus the level just before it.
+            first = np.searchsorted(times, starts, side="right") - 1
+            last = np.searchsorted(times, ends, side="left") - 1
+            prefix_max = np.maximum.accumulate(busy)
+            for i in range(n_intervals):
+                lo, hi = first[i], last[i]
+                level_before = busy[lo] if lo >= 0 else 0.0
+                if hi > lo:
+                    window_max = prefix_max[hi] if lo < 0 else max(
+                        level_before, busy[lo + 1 : hi + 1].max()
+                    )
+                else:
+                    window_max = level_before
+                busy_max[i] = window_max
+        sleeping = np.maximum(result.machine.n_nodes - busy_max, 0.0)
+        return sleeping
+
+    def energy_saved_kwh(
+        self, result: ScheduleResult, interval_s: float = 900.0
+    ) -> float:
+        """Energy saved vs leaving idle nodes powered on (IT-side kWh)."""
+        sleeping = self.sleeping_nodes(result, interval_s)
+        node_power = result.machine.node_power
+        delta_kw = (node_power.idle_w - node_power.sleep_w) / 1000.0
+        return float(sleeping.sum() * delta_kw * interval_s / 3600.0)
+
+
+@dataclass(frozen=True)
+class FrequencyScalingPolicy:
+    """A DVFS-like knob: run jobs slower at lower dynamic power.
+
+    ``power_scale`` < 1 multiplies every job's dynamic-power fraction;
+    runtime grows by ``1 / performance_scale`` where performance follows
+    the cube-root rule of thumb (power ∝ frequency³ ⇒ performance ∝
+    power^{1/3}) unless overridden.
+    """
+
+    power_scale: float
+    performance_exponent: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.power_scale <= 1.0:
+            raise FacilityError("power_scale must be in (0, 1]")
+        if not 0.0 < self.performance_exponent <= 1.0:
+            raise FacilityError("performance_exponent must be in (0, 1]")
+
+    @property
+    def runtime_factor(self) -> float:
+        """Multiplicative runtime increase under this policy."""
+        return self.power_scale ** (-self.performance_exponent)
+
+    def apply(self, jobs: Sequence[Job]) -> List[Job]:
+        """Transform a workload: lower power fractions, longer runtimes."""
+        factor = self.runtime_factor
+        return [
+            job.with_power_fraction(job.power_fraction * self.power_scale)
+            .with_runtime_scaled(factor)
+            for job in jobs
+        ]

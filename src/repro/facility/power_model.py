@@ -1,0 +1,74 @@
+"""IT power to facility power: cooling and distribution overhead.
+
+What the ESP meters is not IT power but the feeder: IT plus cooling,
+power-distribution losses and house load.  The standard summary is PUE
+(power usage effectiveness = facility / IT), but PUE is load-dependent —
+fixed overheads dominate at partial load — so the model is affine:
+
+    facility = fixed_overhead + proportional_factor × IT
+
+with the familiar PUE recoverable at any operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import FacilityError
+from ..timeseries.series import PowerSeries
+
+__all__ = ["FacilityPowerModel"]
+
+
+@dataclass(frozen=True)
+class FacilityPowerModel:
+    """Affine IT→facility power model.
+
+    Parameters
+    ----------
+    fixed_overhead_kw:
+        Load-independent overhead (pumps, lighting, transformers at
+        no-load).
+    proportional_factor:
+        Marginal facility kW per IT kW (≥ 1; the excess over 1 is mostly
+        cooling that scales with heat rejected).
+    """
+
+    fixed_overhead_kw: float = 200.0
+    proportional_factor: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.fixed_overhead_kw < 0:
+            raise FacilityError("fixed overhead must be non-negative")
+        if self.proportional_factor < 1.0:
+            raise FacilityError(
+                "proportional factor must be >= 1 (facility power cannot be "
+                "below IT power)"
+            )
+
+    def facility_kw(self, it_kw: float) -> float:
+        """Feeder power for a given IT power (kW)."""
+        if it_kw < 0:
+            raise FacilityError("IT power must be non-negative")
+        return self.fixed_overhead_kw + self.proportional_factor * it_kw
+
+    def facility_series(self, it: PowerSeries) -> PowerSeries:
+        """Feeder power series for an IT power series."""
+        if it.min_kw() < 0:
+            raise FacilityError("IT power series must be non-negative")
+        return PowerSeries(
+            self.fixed_overhead_kw + self.proportional_factor * it.values_kw,
+            it.interval_s,
+            it.start_s,
+        )
+
+    def pue_at(self, it_kw: float) -> float:
+        """PUE at an operating point (undefined at zero IT load)."""
+        if it_kw <= 0:
+            raise FacilityError("PUE undefined at non-positive IT load")
+        return self.facility_kw(it_kw) / it_kw
+
+    def marginal_pue(self) -> float:
+        """PUE of the next IT kW — relevant for DR arithmetic: shedding
+        1 kW of IT load sheds ``marginal_pue`` kW at the meter."""
+        return self.proportional_factor

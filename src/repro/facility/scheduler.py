@@ -1,0 +1,333 @@
+"""Event-driven batch scheduler: FCFS with EASY backfill.
+
+The paper's prior work ([7]) identifies "energy and power-aware job
+scheduling, power capping, and shutdown" as the coarse-grained strategies
+SCs could deploy toward their ESP.  This scheduler provides the substrate
+for all three: it places a synthetic workload on a machine, optionally
+under an IT power cap (jobs whose start would exceed the cap wait), and
+around maintenance drains; telemetry derived from its schedule is what the
+billing engine meters.
+
+Algorithm
+---------
+Classic EASY backfill: jobs start FCFS while they fit; when the queue head
+does not fit, a *shadow time* is computed from the walltime-estimated ends
+of running jobs (the earliest time the head is guaranteed its nodes), and
+queued jobs behind the head may start early iff they fit in the currently
+free nodes and either (a) their walltime ends before the shadow time or
+(b) they use only nodes the head will not need (the "extra" nodes).
+Node release uses *actual* runtimes — early finishes open holes exactly as
+on a real system.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SchedulerError
+from ..units import W_PER_KW
+from .jobs import Job, JobState, ScheduledJob
+from .machine import Supercomputer
+
+__all__ = ["SchedulerConfig", "ScheduleResult", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler policy knobs.
+
+    Attributes
+    ----------
+    backfill:
+        Enable EASY backfill (the on/off ablation in DESIGN.md).
+    power_cap_kw:
+        Optional IT power cap: a job may not start if doing so would push
+        estimated IT power above the cap.  ``None`` disables capping.
+    max_backfill_candidates:
+        Bound on queue entries examined per backfill pass (keeps worst-case
+        cost linear, as production schedulers do).
+    relative_power_floor:
+        Safety check: the cap may not be set below the machine's idle
+        power × this factor, which would deadlock the queue.
+    """
+
+    backfill: bool = True
+    power_cap_kw: Optional[float] = None
+    max_backfill_candidates: int = 128
+    relative_power_floor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_backfill_candidates < 1:
+            raise SchedulerError("max_backfill_candidates must be >= 1")
+        if self.power_cap_kw is not None and self.power_cap_kw <= 0:
+            raise SchedulerError("power cap must be positive when set")
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a scheduling run."""
+
+    machine: Supercomputer
+    scheduled: List[ScheduledJob]
+    horizon_s: float
+    config: SchedulerConfig
+
+    def utilization(self) -> float:
+        """Delivered node-seconds inside the horizon over capacity."""
+        if self.horizon_s <= 0:
+            raise SchedulerError("horizon must be positive")
+        delivered = 0.0
+        for sj in self.scheduled:
+            start = max(sj.start_s, 0.0)
+            end = min(sj.end_s, self.horizon_s)
+            if end > start:
+                delivered += sj.job.nodes * (end - start)
+        return delivered / (self.machine.n_nodes * self.horizon_s)
+
+    def mean_wait_s(self) -> float:
+        """Average queue wait over all scheduled jobs."""
+        if not self.scheduled:
+            raise SchedulerError("no jobs were scheduled")
+        return float(np.mean([sj.wait_s for sj in self.scheduled]))
+
+    def mean_slowdown(self) -> float:
+        """Average bounded slowdown over all scheduled jobs."""
+        if not self.scheduled:
+            raise SchedulerError("no jobs were scheduled")
+        return float(np.mean([sj.slowdown for sj in self.scheduled]))
+
+    def jobs_started_by(self, t_s: float) -> int:
+        """Number of jobs with a start time ≤ ``t_s``."""
+        return sum(1 for sj in self.scheduled if sj.start_s <= t_s)
+
+
+class Scheduler:
+    """FCFS + EASY backfill over one machine."""
+
+    def __init__(
+        self,
+        machine: Supercomputer,
+        config: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or SchedulerConfig()
+        if self.config.power_cap_kw is not None:
+            floor = machine.idle_power_kw * self.config.relative_power_floor
+            if self.config.power_cap_kw < floor:
+                raise SchedulerError(
+                    f"power cap {self.config.power_cap_kw:.1f} kW is below the "
+                    f"machine idle floor {floor:.1f} kW; the queue would deadlock"
+                )
+
+    # -- power accounting -------------------------------------------------
+
+    def _start_delta_kw(self, job: Job) -> float:
+        """IT power increase if ``job`` starts now (idle→active on its nodes)."""
+        per_node_w = (
+            self.machine.node_power.active_w(job.power_fraction)
+            - self.machine.node_power.idle_w
+        )
+        return job.nodes * per_node_w / W_PER_KW
+
+    # -- maintenance ------------------------------------------------------------
+
+    @staticmethod
+    def _maintenance_ok(
+        t: float, walltime_s: float, windows: Sequence[dict]
+    ) -> bool:
+        """True when a job started at ``t`` cannot overlap any drain window."""
+        end = t + walltime_s
+        for w in windows:
+            if t < w["end_s"] and end > w["start_s"]:
+                return False
+        return True
+
+    @staticmethod
+    def _next_maintenance_release(t: float, windows: Sequence[dict]) -> Optional[float]:
+        """End of the window containing ``t``, if any."""
+        for w in windows:
+            if w["start_s"] <= t < w["end_s"]:
+                return w["end_s"]
+        return None
+
+    # -- main loop -----------------------------------------------------------------
+
+    def schedule(
+        self,
+        jobs: Sequence[Job],
+        horizon_s: float,
+        maintenance: Sequence[dict] = (),
+    ) -> ScheduleResult:
+        """Place ``jobs`` and return the realized schedule.
+
+        All submitted jobs are eventually placed (events may extend past
+        the horizon); analyses clip to the horizon.  ``maintenance`` is a
+        list of :func:`~repro.facility.workload.maintenance_window`
+        descriptors during which no job may run.
+        """
+        if horizon_s <= 0:
+            raise SchedulerError("horizon must be positive")
+        for w in maintenance:
+            if w["end_s"] <= w["start_s"]:
+                raise SchedulerError("maintenance window must have positive length")
+        jobs_sorted = sorted(jobs, key=lambda j: (j.submit_s, j.job_id))
+        n_jobs = len(jobs_sorted)
+        free_nodes = self.machine.n_nodes
+        it_power_kw = self.machine.idle_power_kw
+        cap = self.config.power_cap_kw
+
+        queue: List[Job] = []
+        # running: heap of (actual_end_s, seq, job); est_ends for reservations
+        running: List[Tuple[float, int, Job]] = []
+        est_end: Dict[int, Tuple[float, int]] = {}  # job_id -> (walltime end, nodes)
+        scheduled: List[ScheduledJob] = []
+        next_submit = 0
+        seq = 0
+
+        def can_start(job: Job, t: float) -> bool:
+            if job.nodes > free_nodes:
+                return False
+            if cap is not None and it_power_kw + self._start_delta_kw(job) > cap + 1e-9:
+                return False
+            return self._maintenance_ok(t, job.walltime_s, maintenance)
+
+        def start(job: Job, t: float) -> None:
+            nonlocal free_nodes, it_power_kw, seq
+            free_nodes -= job.nodes
+            it_power_kw += self._start_delta_kw(job)
+            heapq.heappush(running, (t + job.runtime_s, seq, job))
+            est_end[job.job_id] = (t + job.walltime_s, job.nodes)
+            scheduled.append(
+                ScheduledJob(job=job, start_s=t, end_s=t + job.runtime_s)
+            )
+            seq += 1
+
+        def shadow_and_extra(t: float) -> Tuple[float, int]:
+            """Earliest guaranteed start of the queue head, and the node
+            count free at that time beyond the head's need."""
+            head = queue[0]
+            releases = sorted(est_end.values())
+            avail = free_nodes
+            shadow = t
+            for end_time, nodes in releases:
+                if avail >= head.nodes:
+                    break
+                avail += nodes
+                shadow = max(shadow, end_time)
+            # maintenance can push the head later still
+            release = self._next_maintenance_release(shadow, maintenance)
+            while release is not None or not self._maintenance_ok(
+                shadow, head.walltime_s, maintenance
+            ):
+                if release is not None:
+                    shadow = release
+                else:
+                    # head would overlap an upcoming window: wait it out
+                    blocker = min(
+                        (
+                            w["end_s"]
+                            for w in maintenance
+                            if shadow < w["end_s"]
+                            and shadow + head.walltime_s > w["start_s"]
+                        ),
+                        default=None,
+                    )
+                    if blocker is None:
+                        break
+                    shadow = blocker
+                release = self._next_maintenance_release(shadow, maintenance)
+            extra = max(avail - head.nodes, 0)
+            return shadow, extra
+
+        def schedule_pass(t: float) -> None:
+            nonlocal free_nodes
+            # FCFS: start from the head while possible
+            while queue and can_start(queue[0], t):
+                start(queue.pop(0), t)
+            if not queue or not self.config.backfill or len(queue) < 2:
+                return
+            shadow, extra = shadow_and_extra(t)
+            started_any = True
+            while started_any:
+                started_any = False
+                candidates = queue[1 : 1 + self.config.max_backfill_candidates]
+                for job in candidates:
+                    if not can_start(job, t):
+                        continue
+                    fits_before_shadow = t + job.walltime_s <= shadow + 1e-9
+                    fits_in_extra = job.nodes <= extra
+                    if fits_before_shadow or fits_in_extra:
+                        queue.remove(job)
+                        start(job, t)
+                        if not fits_before_shadow:
+                            extra -= job.nodes
+                        started_any = True
+                        break  # re-scan: free_nodes changed
+
+        # -- event loop ------------------------------------------------------
+        while next_submit < n_jobs or running:
+            t_submit = (
+                jobs_sorted[next_submit].submit_s if next_submit < n_jobs else np.inf
+            )
+            t_end = running[0][0] if running else np.inf
+            t = min(t_submit, t_end)
+            if not np.isfinite(t):  # pragma: no cover - loop guard
+                raise SchedulerError("scheduler event loop stalled")
+            # process all submissions at t
+            while next_submit < n_jobs and jobs_sorted[next_submit].submit_s <= t:
+                queue.append(jobs_sorted[next_submit])
+                next_submit += 1
+            # process all completions at t
+            while running and running[0][0] <= t:
+                _, _, done = heapq.heappop(running)
+                free_nodes += done.nodes
+                it_power_kw -= self._start_delta_kw(done)
+                del est_end[done.job_id]
+            schedule_pass(t)
+            # Nothing running and a non-empty queue means the only things
+            # that can unblock us are future submissions or maintenance
+            # releases.  Step through releases before the next submission so
+            # blocked jobs start as soon as their window clears.
+            if not running and queue:
+                t_next_submit = (
+                    jobs_sorted[next_submit].submit_s
+                    if next_submit < n_jobs
+                    else np.inf
+                )
+                for release_s in sorted(
+                    w["end_s"]
+                    for w in maintenance
+                    if t < w["end_s"] < t_next_submit
+                ):
+                    schedule_pass(release_s)
+                    if running:
+                        break
+                if not running and queue and next_submit >= n_jobs:
+                    head = queue[0]
+                    if head.nodes > self.machine.n_nodes:
+                        raise SchedulerError(
+                            f"job {head.job_id} requests {head.nodes} nodes on "
+                            f"a {self.machine.n_nodes}-node machine"
+                        )
+                    if cap is not None and (
+                        self.machine.idle_power_kw + self._start_delta_kw(head)
+                        > cap
+                    ):
+                        raise SchedulerError(
+                            f"job {head.job_id} can never start under the "
+                            f"{cap:.1f} kW power cap"
+                        )
+                    raise SchedulerError(
+                        "queue is non-empty but no event can unblock it"
+                    )
+
+        return ScheduleResult(
+            machine=self.machine,
+            scheduled=sorted(scheduled, key=lambda sj: sj.start_s),
+            horizon_s=horizon_s,
+            config=self.config,
+        )

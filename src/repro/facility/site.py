@@ -1,0 +1,147 @@
+"""The site: an SC in its institutional context.
+
+§3.3: for internal-organization RNPs, "a 'site' would include the SC as
+well as other buildings.  The site may have other scientific equipment
+that consumes as much or even more electricity and with higher peak power
+draw than a supercomputer."  The meter the ESP bills is the *site* meter,
+so co-located loads shape the demand charges the SC is exposed to — and
+§4's LANL case finds DR potential precisely in "their general office
+buildings".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import FacilityError
+from ..timeseries.calendar import SimCalendar
+from ..timeseries.series import PowerSeries
+from .machine import Supercomputer
+
+__all__ = ["InstitutionType", "Building", "Site"]
+
+
+class InstitutionType(enum.Enum):
+    """The survey's population frame: government or academic (§3)."""
+
+    GOVERNMENT = "government"
+    ACADEMIC = "academic"
+
+
+@dataclass(frozen=True)
+class Building:
+    """A co-located non-SC load (offices, labs, other instruments).
+
+    A simple occupancy-shaped profile: base load around the clock, plus an
+    occupancy component during working hours on weekdays, plus optional
+    equipment spikes (accelerators and other "scientific equipment" with
+    high peak draw).
+    """
+
+    name: str
+    base_kw: float
+    occupied_extra_kw: float = 0.0
+    work_start_hour: int = 8
+    work_end_hour: int = 18
+    spike_kw: float = 0.0
+    spikes_per_week: float = 0.0
+    spike_duration_h: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.base_kw < 0 or self.occupied_extra_kw < 0 or self.spike_kw < 0:
+            raise FacilityError(f"building {self.name!r}: power levels must be >= 0")
+        if not 0 <= self.work_start_hour < self.work_end_hour <= 24:
+            raise FacilityError(
+                f"building {self.name!r}: invalid working hours "
+                f"{self.work_start_hour}..{self.work_end_hour}"
+            )
+        if self.spikes_per_week < 0 or self.spike_duration_h <= 0:
+            raise FacilityError(f"building {self.name!r}: invalid spike parameters")
+
+    def load_series(
+        self,
+        n_intervals: int,
+        interval_s: float = 900.0,
+        start_s: float = 0.0,
+        seed: int = 0,
+    ) -> PowerSeries:
+        """Occupancy-shaped load (kW) for this building."""
+        if n_intervals <= 0:
+            raise FacilityError("n_intervals must be positive")
+        rng = np.random.default_rng(seed)
+        cal = SimCalendar(interval_s, start_s)
+        idx = np.arange(n_intervals)
+        hours = cal.hour_of_day(idx)
+        occupied = (
+            (hours >= self.work_start_hour)
+            & (hours < self.work_end_hour)
+            & ~cal.is_weekend(idx)
+        )
+        values = self.base_kw + self.occupied_extra_kw * occupied
+        if self.spike_kw > 0 and self.spikes_per_week > 0:
+            weeks = n_intervals * interval_s / (7 * 86400.0)
+            n_spikes = rng.poisson(self.spikes_per_week * weeks)
+            span = max(1, int(round(self.spike_duration_h * 3600.0 / interval_s)))
+            starts = rng.integers(0, n_intervals, size=n_spikes)
+            values = values.astype(np.float64)
+            for s in starts:
+                values[s : s + span] += self.spike_kw
+        return PowerSeries(values, interval_s, start_s)
+
+
+@dataclass
+class Site:
+    """A metered site: one SC plus co-located buildings.
+
+    Attributes
+    ----------
+    name / country / institution:
+        Survey-facing identity.
+    machine:
+        The site's supercomputer.
+    buildings:
+        Co-located loads sharing the meter.
+    """
+
+    name: str
+    machine: Supercomputer
+    country: str = ""
+    institution: InstitutionType = InstitutionType.GOVERNMENT
+    buildings: List[Building] = field(default_factory=list)
+
+    def total_load(
+        self,
+        sc_load: PowerSeries,
+        seed: int = 0,
+    ) -> PowerSeries:
+        """Site-meter load: SC telemetry plus all building profiles."""
+        total = sc_load
+        for k, building in enumerate(self.buildings):
+            total = total + building.load_series(
+                len(sc_load), sc_load.interval_s, sc_load.start_s, seed=seed + k
+            )
+        return total
+
+    def building_peak_kw(self) -> float:
+        """Worst-case simultaneous building draw (base + occupancy + spikes)."""
+        return sum(
+            b.base_kw + b.occupied_extra_kw + b.spike_kw for b in self.buildings
+        )
+
+    def sc_share_of_peak(self, sc_load: PowerSeries, seed: int = 0) -> float:
+        """The SC's contribution to the site peak, in [0, 1].
+
+        When other equipment out-draws the machine (the §3.3 remark), this
+        falls below one half and demand-charge exposure decouples from SC
+        behaviour.
+        """
+        site = self.total_load(sc_load, seed=seed)
+        peak_index = int(np.argmax(site.values_kw))
+        site_peak = site.values_kw[peak_index]
+        if site_peak <= 0:
+            raise FacilityError("site peak is non-positive")
+        return float(sc_load.values_kw[peak_index] / site_peak)

@@ -1,0 +1,97 @@
+"""From schedule to metered power.
+
+Converts a :class:`~repro.facility.scheduler.ScheduleResult` into the
+:class:`~repro.timeseries.PowerSeries` the billing engine meters.  Each
+job adds its active-above-idle power to every interval it overlaps,
+weighted by the covered fraction, on top of the machine's idle baseline —
+an exact integral of the piecewise-constant power function, not a
+sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import FacilityError
+from ..timeseries.series import PowerSeries
+from ..units import W_PER_KW
+from .power_model import FacilityPowerModel
+from .scheduler import ScheduleResult
+
+__all__ = ["it_power_series", "facility_power_series"]
+
+
+def it_power_series(
+    result: ScheduleResult,
+    interval_s: float = 900.0,
+    sleeping_node_series: Optional[np.ndarray] = None,
+) -> PowerSeries:
+    """IT power (kW) over the schedule's horizon at a metering interval.
+
+    Parameters
+    ----------
+    result:
+        A completed scheduling run.
+    interval_s:
+        Metering interval; must tile the horizon.
+    sleeping_node_series:
+        Optional per-interval count of nodes an
+        :class:`~repro.facility.power_management.IdleShutdownPolicy` holds
+        in the sleep state; those nodes bill at sleep rather than idle
+        power.  Busy nodes always take precedence (the policy guarantees
+        it never sleeps nodes the schedule needs).
+    """
+    if interval_s <= 0:
+        raise FacilityError("interval must be positive")
+    n_intervals = int(round(result.horizon_s / interval_s))
+    if abs(n_intervals * interval_s - result.horizon_s) > 1e-6 or n_intervals < 1:
+        raise FacilityError(
+            f"interval {interval_s} s does not tile the horizon "
+            f"{result.horizon_s} s"
+        )
+    machine = result.machine
+    node_power = machine.node_power
+    # start from the all-idle baseline
+    values = np.full(n_intervals, machine.idle_power_kw)
+    edges = interval_s * np.arange(n_intervals + 1)
+    for sj in result.scheduled:
+        if sj.end_s <= 0.0 or sj.start_s >= result.horizon_s:
+            continue
+        i0 = max(int(sj.start_s // interval_s), 0)
+        i1 = min(int(np.ceil(sj.end_s / interval_s)), n_intervals)
+        if i1 <= i0:
+            continue
+        lo = np.clip(sj.start_s, edges[i0:i1], edges[i0 + 1 : i1 + 1])
+        hi = np.clip(sj.end_s, edges[i0:i1], edges[i0 + 1 : i1 + 1])
+        frac = (hi - lo) / interval_s
+        delta_kw = (
+            sj.job.nodes
+            * (node_power.active_w(sj.job.power_fraction) - node_power.idle_w)
+            / W_PER_KW
+        )
+        values[i0:i1] += delta_kw * frac
+    if sleeping_node_series is not None:
+        sleeping = np.asarray(sleeping_node_series, dtype=np.float64)
+        if sleeping.shape != (n_intervals,):
+            raise FacilityError(
+                f"sleeping_node_series must have shape ({n_intervals},), got "
+                f"{sleeping.shape}"
+            )
+        if np.any(sleeping < 0) or np.any(sleeping > machine.n_nodes):
+            raise FacilityError("sleeping node counts out of range")
+        values -= sleeping * (node_power.idle_w - node_power.sleep_w) / W_PER_KW
+    return PowerSeries(values, interval_s, 0.0)
+
+
+def facility_power_series(
+    result: ScheduleResult,
+    power_model: Optional[FacilityPowerModel] = None,
+    interval_s: float = 900.0,
+    sleeping_node_series: Optional[np.ndarray] = None,
+) -> PowerSeries:
+    """Facility power at the meter: IT power through the PUE model."""
+    model = power_model or FacilityPowerModel()
+    it = it_power_series(result, interval_s, sleeping_node_series)
+    return model.facility_series(it)

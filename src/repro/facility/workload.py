@@ -1,0 +1,209 @@
+"""Synthetic HPC workload generation.
+
+No production traces ship with this repository, so workloads are drawn
+from the distributions the parallel-workload literature has long used:
+Poisson arrivals with diurnal/weekly modulation, log-normal runtimes,
+power-of-two-biased node counts, and over-estimated walltimes.  The knobs
+that matter to this paper's experiments are load intensity (drives
+utilization and peaks) and the job power-fraction mix (drives the
+idle↔active swing the DR analyses trade on).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from ..units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from .jobs import Job
+from .machine import Supercomputer
+
+__all__ = ["WorkloadModel", "benchmark_campaign", "maintenance_window"]
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """A parameterized synthetic workload.
+
+    Parameters
+    ----------
+    machine:
+        Target machine (bounds node counts).
+    target_utilization:
+        Long-run fraction of node-seconds demanded, in (0, 1.5]; values
+        near or above 1 keep a deep queue, matching the paper's "high
+        system utilization" mission.
+    mean_runtime_s / runtime_sigma:
+        Log-normal runtime parameters (mean of the distribution and the
+        σ of the underlying normal).
+    max_nodes_fraction:
+        Largest job size as a fraction of the machine.
+    mean_power_fraction / power_fraction_concentration:
+        Beta-distributed per-job dynamic-power fraction with this mean;
+        higher concentration = narrower mix.
+    walltime_overestimate:
+        Mean multiplicative factor users pad their walltime requests by.
+    diurnal_amplitude:
+        Relative swing of the arrival rate over the day (submissions peak
+        in working hours).
+    weekend_reduction:
+        Relative drop of the arrival rate on weekends.
+    checkpointable_fraction:
+        Fraction of jobs that can be suspended/resumed for DR.
+    """
+
+    machine: Supercomputer
+    target_utilization: float = 0.9
+    mean_runtime_s: float = 4.0 * SECONDS_PER_HOUR
+    runtime_sigma: float = 1.2
+    max_nodes_fraction: float = 0.25
+    mean_power_fraction: float = 0.7
+    power_fraction_concentration: float = 12.0
+    walltime_overestimate: float = 1.8
+    diurnal_amplitude: float = 0.4
+    weekend_reduction: float = 0.3
+    checkpointable_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_utilization <= 1.5:
+            raise WorkloadError("target_utilization must be in (0, 1.5]")
+        if self.mean_runtime_s <= 0 or self.runtime_sigma <= 0:
+            raise WorkloadError("runtime parameters must be positive")
+        if not 0.0 < self.max_nodes_fraction <= 1.0:
+            raise WorkloadError("max_nodes_fraction must be in (0, 1]")
+        if not 0.0 < self.mean_power_fraction < 1.0:
+            raise WorkloadError("mean_power_fraction must be in (0, 1)")
+        if self.power_fraction_concentration <= 0:
+            raise WorkloadError("power_fraction_concentration must be positive")
+        if self.walltime_overestimate < 1.0:
+            raise WorkloadError("walltime_overestimate must be >= 1")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise WorkloadError("diurnal_amplitude must be in [0, 1)")
+        if not 0.0 <= self.weekend_reduction < 1.0:
+            raise WorkloadError("weekend_reduction must be in [0, 1)")
+        if not 0.0 <= self.checkpointable_fraction <= 1.0:
+            raise WorkloadError("checkpointable_fraction must be in [0, 1]")
+
+    # -- derived rates -------------------------------------------------------
+
+    def _mean_nodes(self) -> float:
+        """Expected node count under the size distribution (see _draw_nodes)."""
+        max_nodes = max(int(self.machine.n_nodes * self.max_nodes_fraction), 1)
+        k_max = int(math.floor(math.log2(max_nodes))) if max_nodes >= 1 else 0
+        sizes = 2.0 ** np.arange(k_max + 1)
+        return float(sizes.mean())
+
+    def base_arrival_rate_per_s(self) -> float:
+        """Arrival rate that hits the utilization target in expectation."""
+        demanded_per_job = self._mean_nodes() * self.mean_runtime_s
+        supply_per_s = self.machine.n_nodes * self.target_utilization
+        return supply_per_s / demanded_per_job
+
+    # -- generation ---------------------------------------------------------------
+
+    def _draw_nodes(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Power-of-two node counts, log-uniform up to the size cap."""
+        max_nodes = max(int(self.machine.n_nodes * self.max_nodes_fraction), 1)
+        k_max = int(math.floor(math.log2(max_nodes)))
+        ks = rng.integers(0, k_max + 1, size=size)
+        return (2**ks).astype(np.int64)
+
+    def generate(self, horizon_s: float, seed: int = 0) -> List[Job]:
+        """Draw a job list covering ``[0, horizon_s)`` submissions.
+
+        Arrivals are a thinned Poisson process: candidates at the peak rate
+        are kept with probability equal to the diurnal/weekly modulation —
+        an exact simulation of the inhomogeneous process.
+        """
+        if horizon_s <= 0:
+            raise WorkloadError("horizon must be positive")
+        rng = np.random.default_rng(seed)
+        base_rate = self.base_arrival_rate_per_s()
+        peak_rate = base_rate * (1.0 + self.diurnal_amplitude)
+        n_candidates = rng.poisson(peak_rate * horizon_s)
+        if n_candidates == 0:
+            return []
+        times = np.sort(rng.uniform(0.0, horizon_s, size=n_candidates))
+        hour = (times % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+        day = (times // SECONDS_PER_DAY).astype(np.int64)
+        modulation = 1.0 + self.diurnal_amplitude * np.cos(
+            2 * np.pi * (hour - 14.0) / 24.0
+        )
+        weekend = (day % 7) >= 5
+        modulation *= np.where(weekend, 1.0 - self.weekend_reduction, 1.0)
+        keep = rng.uniform(0.0, peak_rate, size=n_candidates) < base_rate * (
+            modulation / 1.0
+        )
+        times = times[keep]
+        n = len(times)
+        if n == 0:
+            return []
+        # log-normal runtimes with the requested mean
+        mu = math.log(self.mean_runtime_s) - 0.5 * self.runtime_sigma**2
+        runtimes = rng.lognormal(mu, self.runtime_sigma, size=n)
+        runtimes = np.clip(runtimes, 60.0, 7 * SECONDS_PER_DAY)
+        nodes = self._draw_nodes(rng, n)
+        # walltime padding: runtime × (1 + Exp(overestimate − 1))
+        pad = 1.0 + rng.exponential(self.walltime_overestimate - 1.0, size=n)
+        walltimes = runtimes * np.maximum(pad, 1.0)
+        a = self.mean_power_fraction * self.power_fraction_concentration
+        b = (1.0 - self.mean_power_fraction) * self.power_fraction_concentration
+        power_fractions = rng.beta(a, b, size=n)
+        checkpointable = rng.uniform(size=n) < self.checkpointable_fraction
+        return [
+            Job(
+                job_id=i,
+                submit_s=float(times[i]),
+                nodes=int(nodes[i]),
+                runtime_s=float(runtimes[i]),
+                walltime_s=float(walltimes[i]),
+                power_fraction=float(power_fractions[i]),
+                checkpointable=bool(checkpointable[i]),
+            )
+            for i in range(n)
+        ]
+
+
+def benchmark_campaign(
+    machine: Supercomputer,
+    submit_s: float,
+    duration_s: float = 6 * SECONDS_PER_HOUR,
+    first_job_id: int = 1_000_000,
+) -> List[Job]:
+    """A full-machine benchmark run (e.g. HPL before a Top500 submission).
+
+    §3.4 lists benchmarks among the events sites proactively report to
+    their ESP: the whole machine at ~max power is the largest upward swing
+    an SC produces.
+    """
+    if duration_s <= 0:
+        raise WorkloadError("benchmark duration must be positive")
+    return [
+        Job(
+            job_id=first_job_id,
+            submit_s=submit_s,
+            nodes=machine.n_nodes,
+            runtime_s=duration_s,
+            walltime_s=duration_s * 1.1,
+            power_fraction=0.98,
+            tag="benchmark",
+            checkpointable=False,
+        )
+    ]
+
+
+def maintenance_window(start_s: float, duration_s: float) -> dict:
+    """Descriptor for a maintenance outage (no jobs may run).
+
+    The scheduler accepts a list of these and drains the machine for each
+    span; telemetry then shows the downward swing §3.4's sites report.
+    """
+    if duration_s <= 0:
+        raise WorkloadError("maintenance duration must be positive")
+    if start_s < 0:
+        raise WorkloadError("maintenance start must be non-negative")
+    return {"start_s": float(start_s), "end_s": float(start_s + duration_s)}

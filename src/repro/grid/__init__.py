@@ -1,0 +1,108 @@
+"""The electricity-service-provider (ESP) side of the relationship.
+
+The paper's background (§1) motivates everything an ESP does to SC
+contracts: peak capacity has low investment efficiency, renewables make
+output intermittent and variable, and so ESPs reach for demand charges,
+variable tariffs and DR programs.  This subpackage simulates that side:
+
+* :mod:`~repro.grid.prices` — composable wholesale price processes
+  (diurnal/seasonal structure, mean-reverting noise, scarcity spikes);
+* :mod:`~repro.grid.market` — merit-order day-ahead clearing and a
+  real-time imbalance market;
+* :mod:`~repro.grid.renewables` — wind and solar generation with
+  intermittency;
+* :mod:`~repro.grid.load` — aggregate system load with peaks;
+* :mod:`~repro.grid.dr_programs` — the DR program taxonomy (price-based
+  vs incentive-based, per the related-work classification);
+* :mod:`~repro.grid.events` — DR and emergency event dispatch;
+* :mod:`~repro.grid.balancing` — a balancing authority with regulation
+  signals (the LANL §4 case participates in such programs);
+* :mod:`~repro.grid.esp` — the ESP actor tying it together.
+"""
+
+from .prices import (
+    PriceModel,
+    DiurnalShape,
+    SeasonalShape,
+    OUNoise,
+    SpikeProcess,
+    hourly_price_series,
+)
+from .market import Generator, SupplyStack, DayAheadMarket, RealTimeMarket, MarketOutcome
+from .renewables import WindModel, SolarModel, RenewablePortfolio
+from .load import GridLoadModel, ReserveAssessment, assess_reserves
+from .dr_programs import (
+    DRCategory,
+    DRProgram,
+    PriceBasedProgram,
+    IncentiveBasedProgram,
+    EmergencyProgram,
+    standard_program_catalog,
+)
+from .events import GridStress, DREvent, EmergencyEvent, EventDispatcher
+from .balancing import BalancingAuthority, RegulationSignal, follow_score
+from .esp import ESP, TariffOffer, SettlementRecord
+from .signals import (
+    SignalKind,
+    DRSignal,
+    Acknowledgment,
+    OptDecision,
+    SignalChannel,
+)
+from .reliability import AdequacyReport, assess_adequacy, renewable_capacity_credit
+from .emissions import (
+    EmissionsProfile,
+    emission_factor,
+    grid_intensity,
+    consumer_footprint_kg,
+    renewable_fraction_served,
+)
+
+__all__ = [
+    "PriceModel",
+    "DiurnalShape",
+    "SeasonalShape",
+    "OUNoise",
+    "SpikeProcess",
+    "hourly_price_series",
+    "Generator",
+    "SupplyStack",
+    "DayAheadMarket",
+    "RealTimeMarket",
+    "MarketOutcome",
+    "WindModel",
+    "SolarModel",
+    "RenewablePortfolio",
+    "GridLoadModel",
+    "ReserveAssessment",
+    "assess_reserves",
+    "DRCategory",
+    "DRProgram",
+    "PriceBasedProgram",
+    "IncentiveBasedProgram",
+    "EmergencyProgram",
+    "standard_program_catalog",
+    "GridStress",
+    "DREvent",
+    "EmergencyEvent",
+    "EventDispatcher",
+    "BalancingAuthority",
+    "RegulationSignal",
+    "follow_score",
+    "ESP",
+    "TariffOffer",
+    "SettlementRecord",
+    "SignalKind",
+    "DRSignal",
+    "Acknowledgment",
+    "OptDecision",
+    "SignalChannel",
+    "EmissionsProfile",
+    "emission_factor",
+    "grid_intensity",
+    "consumer_footprint_kg",
+    "renewable_fraction_served",
+    "AdequacyReport",
+    "assess_adequacy",
+    "renewable_capacity_credit",
+]

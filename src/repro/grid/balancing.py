@@ -1,0 +1,138 @@
+"""Balancing authority and regulation signals.
+
+§4 (LANL): "They have on-site generation and participate in generation and
+voltage control programs through coordination with their Balancing
+Authority" and see DR opportunity "in the 15 min to 1 hour timescale."
+This module supplies the regulation-signal mechanics that such
+participation follows: a bounded, zero-mean fast signal the participant
+tracks with part of its load, scored by tracking accuracy (the structure
+of real regulation-market performance scores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from ..exceptions import GridError
+from ..timeseries.series import PowerSeries
+
+__all__ = ["RegulationSignal", "BalancingAuthority", "follow_score"]
+
+
+@dataclass(frozen=True)
+class RegulationSignal:
+    """A normalized regulation signal in [-1, 1] at a fast interval.
+
+    ``values`` multiplied by the participant's committed regulation
+    capacity gives the requested deviation from baseline (positive =
+    consume more / generate less).
+    """
+
+    values: np.ndarray
+    interval_s: float
+    start_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        v = np.asarray(self.values, dtype=np.float64)
+        if v.ndim != 1 or v.size == 0:
+            raise GridError("regulation signal must be a non-empty 1-D array")
+        if np.any(np.abs(v) > 1.0 + 1e-9):
+            raise GridError("regulation signal must lie in [-1, 1]")
+        object.__setattr__(self, "values", v)
+        if self.interval_s <= 0:
+            raise GridError("signal interval must be positive")
+
+    def requested_deviation(self, committed_kw: float) -> PowerSeries:
+        """Requested load deviation (kW) for a committed capacity."""
+        if committed_kw < 0:
+            raise GridError("committed capacity must be non-negative")
+        return PowerSeries(self.values * committed_kw, self.interval_s, self.start_s)
+
+    @property
+    def energy_neutrality(self) -> float:
+        """|mean| of the signal — regulation is designed to be ≈ 0."""
+        return float(abs(self.values.mean()))
+
+
+class BalancingAuthority:
+    """Generates regulation signals and scores followers.
+
+    The signal is a mean-reverting AR(1) squashed into [-1, 1] with tanh —
+    zero-mean, bounded, and autocorrelated on the seconds-to-minutes scale,
+    like the real thing.
+    """
+
+    def __init__(
+        self,
+        signal_interval_s: float = 4.0,
+        correlation_s: float = 120.0,
+        intensity: float = 0.6,
+    ) -> None:
+        if signal_interval_s <= 0 or correlation_s <= 0:
+            raise GridError("signal and correlation times must be positive")
+        if not 0.0 < intensity <= 1.5:
+            raise GridError("intensity must be in (0, 1.5]")
+        self.signal_interval_s = float(signal_interval_s)
+        self.correlation_s = float(correlation_s)
+        self.intensity = float(intensity)
+
+    def generate_signal(
+        self, duration_s: float, start_s: float = 0.0, seed: int = 0
+    ) -> RegulationSignal:
+        """A regulation signal covering ``duration_s``."""
+        n = int(round(duration_s / self.signal_interval_s))
+        if n < 1:
+            raise GridError("duration shorter than one signal interval")
+        rng = np.random.default_rng(seed)
+        phi = np.exp(-self.signal_interval_s / self.correlation_s)
+        eps = rng.normal(0.0, self.intensity * np.sqrt(1 - phi * phi), n)
+        eps[0] = rng.normal(0.0, self.intensity)
+        x = sp_signal.lfilter([1.0], [1.0, -phi], eps)
+        return RegulationSignal(np.tanh(x), self.signal_interval_s, start_s)
+
+    def regulation_revenue(
+        self,
+        committed_kw: float,
+        score: float,
+        capacity_price_per_kw_year: float = 90.0,
+        horizon_fraction_of_year: float = 1.0,
+    ) -> float:
+        """Performance-scaled capacity revenue ($) for a commitment.
+
+        Real regulation markets pay capacity price × performance score;
+        poor followers earn proportionally less.
+        """
+        if not 0.0 <= score <= 1.0:
+            raise GridError("score must be in [0, 1]")
+        if committed_kw < 0 or capacity_price_per_kw_year < 0:
+            raise GridError("commitment and price must be non-negative")
+        if not 0.0 < horizon_fraction_of_year <= 1.0:
+            raise GridError("horizon fraction must be in (0, 1]")
+        return committed_kw * capacity_price_per_kw_year * score * horizon_fraction_of_year
+
+
+def follow_score(requested: PowerSeries, delivered: PowerSeries) -> float:
+    """Tracking score in [0, 1]: 1 − normalized mean absolute error.
+
+    ``requested`` and ``delivered`` are deviations from baseline (kW) on
+    the same time base.  A perfect follower scores 1; a nonresponsive one
+    (delivered ≡ 0) scores ``1 − mean|r| / max|r|``-ish, i.e. poorly when
+    the signal actually moved.
+    """
+    if (
+        requested.interval_s != delivered.interval_s
+        or requested.start_s != delivered.start_s
+        or len(requested) != len(delivered)
+    ):
+        raise GridError("requested and delivered series must align")
+    r = requested.values_kw
+    d = delivered.values_kw
+    scale = float(np.abs(r).max())
+    if scale == 0.0:
+        return 1.0  # nothing was requested; any follower is perfect
+    mae = float(np.abs(r - d).mean())
+    return float(np.clip(1.0 - mae / scale, 0.0, 1.0))

@@ -1,0 +1,248 @@
+"""The demand-response program taxonomy.
+
+The related-work survey the paper cites ([32]) "differentiate[s] research
+that deals with incentive-based versus price-based programs"; §3.2.3 adds
+the mandatory emergency programs found in two SC contracts.  This module
+encodes that taxonomy as program objects an ESP can offer and a facility
+can enroll in, with the incentive arithmetic needed by the §3.1.6
+DR-potential question ("what incentive would you expect for this effort?").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import DispatchError, GridError
+
+__all__ = [
+    "DRCategory",
+    "DRProgram",
+    "PriceBasedProgram",
+    "IncentiveBasedProgram",
+    "EmergencyProgram",
+    "standard_program_catalog",
+]
+
+
+class DRCategory(enum.Enum):
+    """Top-level split of DR programs (price-based vs incentive-based),
+    with mandatory emergency programs as their own category per §3.2.3."""
+
+    PRICE_BASED = "price-based"
+    INCENTIVE_BASED = "incentive-based"
+    EMERGENCY = "emergency (mandatory)"
+
+
+@dataclass(frozen=True)
+class DRProgram:
+    """Base description of a DR program offer.
+
+    Attributes
+    ----------
+    name:
+        Program label.
+    category:
+        Taxonomy position.
+    voluntary:
+        Whether enrollment is opt-in.  §3.1.4 distinguishes *services*
+        ("opt-in programs that the SCs choose to participate in") from
+        *obligations*; emergency programs are obligations.
+    notice_time_s:
+        Advance notice the participant receives before an event.
+    min_duration_s / max_duration_s:
+        Event duration bounds.
+    """
+
+    name: str
+    category: DRCategory
+    voluntary: bool = True
+    notice_time_s: float = 3600.0
+    min_duration_s: float = 900.0
+    max_duration_s: float = 4 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.min_duration_s <= 0 or self.max_duration_s < self.min_duration_s:
+            raise GridError(
+                f"program {self.name!r}: need 0 < min_duration <= max_duration"
+            )
+        if self.notice_time_s < 0:
+            raise GridError(f"program {self.name!r}: notice time must be >= 0")
+        if self.category is DRCategory.EMERGENCY and self.voluntary:
+            raise GridError(
+                f"program {self.name!r}: emergency programs are mandatory (§3.2.3)"
+            )
+
+    def event_payment(self, reduction_kw: float, duration_s: float) -> float:
+        """Payment to the participant for one event ($).
+
+        The base program pays nothing; subclasses implement their economics.
+        """
+        self._check_event(reduction_kw, duration_s)
+        return 0.0
+
+    def _check_event(self, reduction_kw: float, duration_s: float) -> None:
+        if reduction_kw < 0:
+            raise DispatchError("reduction must be non-negative")
+        if not self.min_duration_s <= duration_s <= self.max_duration_s:
+            raise DispatchError(
+                f"program {self.name!r}: event duration {duration_s} s outside "
+                f"[{self.min_duration_s}, {self.max_duration_s}] s"
+            )
+
+
+@dataclass(frozen=True)
+class PriceBasedProgram(DRProgram):
+    """Price-based DR: the participant's payment *is* avoided energy cost.
+
+    ``peak_price_per_kwh`` minus ``offpeak_price_per_kwh`` is the spread a
+    load shift captures; a pure shed captures the peak price itself.
+    """
+
+    category: DRCategory = DRCategory.PRICE_BASED
+    peak_price_per_kwh: float = 0.25
+    offpeak_price_per_kwh: float = 0.05
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.offpeak_price_per_kwh < 0 or self.peak_price_per_kwh < self.offpeak_price_per_kwh:
+            raise GridError(
+                f"program {self.name!r}: need 0 <= offpeak <= peak price"
+            )
+
+    @property
+    def shift_spread_per_kwh(self) -> float:
+        """Value of moving one kWh from peak to off-peak."""
+        return self.peak_price_per_kwh - self.offpeak_price_per_kwh
+
+    def event_payment(self, reduction_kw: float, duration_s: float) -> float:
+        """Avoided peak-price energy cost for shedding during the event."""
+        self._check_event(reduction_kw, duration_s)
+        return reduction_kw * (duration_s / 3600.0) * self.peak_price_per_kwh
+
+
+@dataclass(frozen=True)
+class IncentiveBasedProgram(DRProgram):
+    """Incentive-based DR: explicit capacity and/or energy payments.
+
+    ``capacity_payment_per_kw_year`` pays for standing availability
+    (capacity-market style); ``energy_payment_per_kwh`` pays per curtailed
+    kWh during events; ``non_delivery_penalty_per_kwh`` claws back
+    shortfalls against the committed reduction.
+    """
+
+    category: DRCategory = DRCategory.INCENTIVE_BASED
+    capacity_payment_per_kw_year: float = 40.0
+    energy_payment_per_kwh: float = 0.30
+    non_delivery_penalty_per_kwh: float = 0.60
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for value, what in (
+            (self.capacity_payment_per_kw_year, "capacity payment"),
+            (self.energy_payment_per_kwh, "energy payment"),
+            (self.non_delivery_penalty_per_kwh, "non-delivery penalty"),
+        ):
+            if value < 0:
+                raise GridError(f"program {self.name!r}: {what} must be >= 0")
+
+    def event_payment(self, reduction_kw: float, duration_s: float) -> float:
+        """Energy payment for one delivered event ($)."""
+        self._check_event(reduction_kw, duration_s)
+        return reduction_kw * (duration_s / 3600.0) * self.energy_payment_per_kwh
+
+    def annual_capacity_payment(self, committed_kw: float) -> float:
+        """Availability payment for a year of commitment ($)."""
+        if committed_kw < 0:
+            raise DispatchError("committed capacity must be non-negative")
+        return committed_kw * self.capacity_payment_per_kw_year
+
+    def settlement(
+        self, committed_kw: float, delivered_kw: float, duration_s: float
+    ) -> float:
+        """Event settlement: payment on delivery, penalty on shortfall ($).
+
+        Delivery beyond commitment is paid; shortfall is penalized at the
+        (higher) non-delivery rate — the standard asymmetry that makes
+        over-commitment dangerous for an SC whose "primary mission" limits
+        its real flexibility.
+        """
+        self._check_event(max(delivered_kw, 0.0), duration_s)
+        if committed_kw < 0:
+            raise DispatchError("committed capacity must be non-negative")
+        hours = duration_s / 3600.0
+        paid = min(delivered_kw, committed_kw) * hours * self.energy_payment_per_kwh
+        bonus = max(delivered_kw - committed_kw, 0.0) * hours * self.energy_payment_per_kwh
+        shortfall = max(committed_kw - delivered_kw, 0.0) * hours
+        return paid + bonus - shortfall * self.non_delivery_penalty_per_kwh
+
+
+@dataclass(frozen=True)
+class EmergencyProgram(DRProgram):
+    """Mandatory emergency DR (§3.2.3): imposed, not chosen.
+
+    No routine payment; failure to curtail to the imposed limit carries the
+    contract's non-compliance penalty, which lives on the contract side as
+    :class:`~repro.contracts.emergency.EmergencyDRObligation`.
+    """
+
+    category: DRCategory = DRCategory.EMERGENCY
+    voluntary: bool = False
+    notice_time_s: float = 600.0
+
+
+def standard_program_catalog() -> Dict[str, DRProgram]:
+    """A representative catalog of the program types named in the paper
+    and its related work: time-of-use and real-time pricing (price-based),
+    interruptible/curtailable and capacity-market participation
+    (incentive-based; cf. [3]), ancillary-services regulation (cf. [4, 9]),
+    and mandatory emergency response (§3.2.3)."""
+    programs: List[DRProgram] = [
+        PriceBasedProgram(
+            name="time-of-use arbitrage",
+            peak_price_per_kwh=0.18,
+            offpeak_price_per_kwh=0.06,
+            notice_time_s=0.0,
+            min_duration_s=900.0,
+            max_duration_s=8 * 3600.0,
+        ),
+        PriceBasedProgram(
+            name="real-time price response",
+            peak_price_per_kwh=0.40,
+            offpeak_price_per_kwh=0.03,
+            notice_time_s=900.0,
+            min_duration_s=900.0,
+            max_duration_s=4 * 3600.0,
+        ),
+        IncentiveBasedProgram(
+            name="interruptible load",
+            capacity_payment_per_kw_year=35.0,
+            energy_payment_per_kwh=0.25,
+            non_delivery_penalty_per_kwh=0.50,
+            notice_time_s=1800.0,
+        ),
+        IncentiveBasedProgram(
+            name="capacity market",
+            capacity_payment_per_kw_year=60.0,
+            energy_payment_per_kwh=0.10,
+            non_delivery_penalty_per_kwh=0.80,
+            notice_time_s=7200.0,
+            max_duration_s=6 * 3600.0,
+        ),
+        IncentiveBasedProgram(
+            name="regulation service",
+            capacity_payment_per_kw_year=90.0,
+            energy_payment_per_kwh=0.05,
+            non_delivery_penalty_per_kwh=0.40,
+            notice_time_s=0.0,
+            min_duration_s=60.0,
+            max_duration_s=3600.0,
+        ),
+        EmergencyProgram(
+            name="emergency load response",
+            min_duration_s=900.0,
+            max_duration_s=6 * 3600.0,
+        ),
+    ]
+    return {p.name: p for p in programs}

@@ -1,0 +1,189 @@
+"""Carbon accounting for the supply mix.
+
+§4's CSCS case makes the energy mix a *contract term* (80 % renewable);
+this module supplies the accounting that makes such a term auditable:
+per-generator emission factors, the grid's average and marginal intensity
+per interval from the merit order, a consumer's footprint for a load
+profile, and verification of a renewable-fraction requirement against
+realized generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import GridError
+from ..timeseries.series import PowerSeries
+from .market import Generator, SupplyStack
+
+__all__ = [
+    "EMISSION_FACTORS_KG_PER_KWH",
+    "EmissionsProfile",
+    "grid_intensity",
+    "consumer_footprint_kg",
+    "renewable_fraction_served",
+]
+
+#: Representative lifecycle-ish emission factors (kg CO2e per kWh) by fuel
+#: keyword found in the generator name.  Order matters: first match wins.
+EMISSION_FACTORS_KG_PER_KWH: Tuple[Tuple[str, float], ...] = (
+    ("coal", 0.95),
+    ("lignite", 1.05),
+    ("gas", 0.45),
+    ("peaker", 0.60),   # open-cycle gas
+    ("oil", 0.70),
+    ("nuclear", 0.012),
+    ("hydro", 0.024),
+    ("wind", 0.011),
+    ("solar", 0.045),
+    ("biomass", 0.23),
+)
+
+_DEFAULT_FACTOR = 0.5  # unknown fuel: assume mid-carbon thermal
+
+
+def emission_factor(generator: Generator) -> float:
+    """kg CO2e per kWh for a generator, keyed on its name."""
+    name = generator.name.lower()
+    for keyword, factor in EMISSION_FACTORS_KG_PER_KWH:
+        if keyword in name:
+            return factor
+    return _DEFAULT_FACTOR
+
+
+@dataclass(frozen=True)
+class EmissionsProfile:
+    """Grid carbon intensity over a horizon.
+
+    Attributes
+    ----------
+    average_kg_per_kwh:
+        Generation-weighted average intensity per interval.
+    marginal_kg_per_kwh:
+        Intensity of the marginal (price-setting) unit per interval — the
+        factor a *change* in consumption (i.e. DR) actually displaces.
+    """
+
+    average_kg_per_kwh: np.ndarray
+    marginal_kg_per_kwh: np.ndarray
+    interval_s: float
+    start_s: float
+
+    @property
+    def mean_average(self) -> float:
+        """Time-mean average intensity."""
+        return float(self.average_kg_per_kwh.mean())
+
+    @property
+    def mean_marginal(self) -> float:
+        """Time-mean marginal intensity."""
+        return float(self.marginal_kg_per_kwh.mean())
+
+
+def grid_intensity(
+    stack: SupplyStack,
+    demand: PowerSeries,
+    renewable: Optional[PowerSeries] = None,
+    renewable_factor_kg_per_kwh: float = 0.02,
+) -> EmissionsProfile:
+    """Per-interval average and marginal carbon intensity of the grid.
+
+    Dispatch follows the merit order: renewables (must-run) first, then the
+    stack in cost order up to residual demand.  The marginal unit is the
+    one serving the last kW; when renewables cover everything, the marginal
+    intensity is the renewable factor.
+    """
+    d = demand.values_kw
+    if np.any(d < 0):
+        raise GridError("demand must be non-negative")
+    r = np.zeros_like(d)
+    if renewable is not None:
+        if (
+            renewable.interval_s != demand.interval_s
+            or renewable.start_s != demand.start_s
+            or len(renewable) != len(demand)
+        ):
+            raise GridError("renewable series must align with demand")
+        r = np.minimum(renewable.values_kw, d)
+    residual = d - r
+    capacities = np.array([g.capacity_kw for g in stack.generators])
+    factors = np.array([emission_factor(g) for g in stack.generators])
+    cum = np.cumsum(capacities)
+    # dispatch_kw[i, t]: output of unit i at interval t (vectorized)
+    lower = np.concatenate([[0.0], cum[:-1]])
+    dispatch = np.clip(residual[None, :] - lower[:, None], 0.0,
+                       capacities[:, None])
+    thermal_emissions = (factors[:, None] * dispatch).sum(axis=0)
+    total_gen = r + dispatch.sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        average = np.where(
+            total_gen > 0,
+            (thermal_emissions + renewable_factor_kg_per_kwh * r) / np.maximum(total_gen, 1e-12),
+            renewable_factor_kg_per_kwh,
+        )
+    marginal_unit = np.searchsorted(cum, residual, side="left")
+    marginal = np.where(
+        residual <= 1e-12,
+        renewable_factor_kg_per_kwh,
+        factors[np.minimum(marginal_unit, len(factors) - 1)],
+    )
+    return EmissionsProfile(
+        average_kg_per_kwh=average,
+        marginal_kg_per_kwh=marginal,
+        interval_s=demand.interval_s,
+        start_s=demand.start_s,
+    )
+
+
+def consumer_footprint_kg(
+    load: PowerSeries,
+    profile: EmissionsProfile,
+    marginal: bool = False,
+) -> float:
+    """Carbon footprint of a consumer's load (kg CO2e).
+
+    ``marginal=False`` attributes average grid intensity (reporting
+    convention); ``marginal=True`` prices the consumption at the marginal
+    unit's intensity (the decision-relevant figure for DR: what a shed kWh
+    actually displaces).
+    """
+    if (
+        load.interval_s != profile.interval_s
+        or load.start_s != profile.start_s
+        or len(load) != len(profile.average_kg_per_kwh)
+    ):
+        raise GridError("load must align with the emissions profile")
+    intensity = profile.marginal_kg_per_kwh if marginal else profile.average_kg_per_kwh
+    return float(np.dot(load.values_kw * load.interval_h, intensity))
+
+
+def renewable_fraction_served(
+    load: PowerSeries,
+    renewable: PowerSeries,
+    total_demand: PowerSeries,
+) -> float:
+    """Verify a supply-mix term: the consumer's pro-rata renewable share.
+
+    Each interval, the consumer is served renewables in proportion to the
+    grid's renewable share of total demand (the standard attribution when
+    no dedicated PPA exists); the result is the consumer's energy-weighted
+    renewable fraction over the horizon — the number a CSCS-style 80 %
+    clause is audited against.
+    """
+    for other, what in ((renewable, "renewable"), (total_demand, "total demand")):
+        if (
+            other.interval_s != load.interval_s
+            or other.start_s != load.start_s
+            or len(other) != len(load)
+        ):
+            raise GridError(f"{what} series must align with load")
+    demand = np.maximum(total_demand.values_kw, 1e-12)
+    share = np.clip(renewable.values_kw / demand, 0.0, 1.0)
+    energy = load.energy_per_interval_kwh()
+    total = energy.sum()
+    if total <= 0:
+        raise GridError("load has no energy to attribute")
+    return float(np.dot(share, energy) / total)

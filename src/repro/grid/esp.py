@@ -1,0 +1,240 @@
+"""The electricity service provider (ESP) actor.
+
+Ties the grid substrate together: an ESP owns a supply stack and renewable
+portfolio, serves an aggregate system load, publishes wholesale-derived
+price signals, offers tariff structures and DR programs, dispatches events
+under stress, and settles customer bills.  It also keeps the relationship
+ledger — the "good neighbor" dynamics of §3.4 — by scoring customers on
+advance notification of load swings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..contracts.billing import Bill, BillingContext, BillingEngine
+from ..contracts.contract import Contract
+from ..contracts.components import ContractComponent
+from ..exceptions import GridError
+from ..timeseries.calendar import BillingPeriod
+from ..timeseries.events import EventTimeline
+from ..timeseries.series import PowerSeries
+from .dr_programs import DRProgram, EmergencyProgram, standard_program_catalog
+from .events import DREvent, EmergencyEvent, EventDispatcher
+from .load import GridLoadModel, assess_reserves
+from .market import DayAheadMarket, SupplyStack
+from .prices import PriceModel
+from .renewables import RenewablePortfolio
+
+__all__ = ["TariffOffer", "SettlementRecord", "ESP"]
+
+
+@dataclass(frozen=True)
+class TariffOffer:
+    """A named tariff structure the ESP offers to large customers."""
+
+    name: str
+    components: Sequence[ContractComponent]
+    description: str = ""
+
+    def to_contract(self, customer: str, **contract_kwargs) -> Contract:
+        """Instantiate the offer as a contract for a customer."""
+        return Contract(
+            name=f"{customer} / {self.name}", components=list(self.components),
+            **contract_kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class SettlementRecord:
+    """One settled bill plus the relationship facts around it."""
+
+    customer: str
+    bill: Bill
+    n_dr_events: int
+    n_emergency_calls: int
+    notified_swing_fraction: Optional[float]
+
+    @property
+    def total(self) -> float:
+        """Billed total."""
+        return self.bill.total
+
+
+class ESP:
+    """An electricity service provider.
+
+    Parameters
+    ----------
+    name:
+        Provider label.
+    stack:
+        Dispatchable supply stack (merit order).
+    renewables:
+        Optional renewable portfolio (must-run supply).
+    system_load_model:
+        The aggregate (non-SC) system load the ESP serves.
+    price_model:
+        Retail-facing price process for dynamic tariffs; when ``None``,
+        dynamic prices come from the day-ahead market clearing itself.
+    stress_threshold / emergency_threshold:
+        Reserve-margin thresholds for DR / emergency dispatch.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stack: SupplyStack,
+        system_load_model: GridLoadModel,
+        renewables: Optional[RenewablePortfolio] = None,
+        price_model: Optional[PriceModel] = None,
+        stress_threshold: float = 0.10,
+        emergency_threshold: float = 0.03,
+        scarcity_price_per_kwh: float = 3.0,
+    ) -> None:
+        if not name:
+            raise GridError("an ESP requires a name")
+        self.name = name
+        self.stack = stack
+        self.renewables = renewables
+        self.system_load_model = system_load_model
+        self.price_model = price_model
+        self.stress_threshold = float(stress_threshold)
+        self.emergency_threshold = float(emergency_threshold)
+        self.market = DayAheadMarket(stack, scarcity_price_per_kwh)
+        self.programs: Dict[str, DRProgram] = standard_program_catalog()
+        self.billing_engine = BillingEngine()
+        self.settlements: List[SettlementRecord] = []
+
+    # -- supply side -----------------------------------------------------------
+
+    def simulate_system(
+        self,
+        n_intervals: int,
+        interval_s: float = 3600.0,
+        start_s: float = 0.0,
+        seed: int = 0,
+    ) -> Dict[str, PowerSeries]:
+        """Simulate system load, renewable output and clearing prices.
+
+        Returns a dict with keys ``"load"``, ``"renewable"`` (absent when
+        the ESP has no portfolio) and ``"prices"`` ($/kWh).
+        """
+        load = self.system_load_model.generate(n_intervals, interval_s, start_s, seed)
+        renewable = None
+        if self.renewables is not None:
+            renewable = self.renewables.generate(
+                n_intervals, interval_s, start_s, seed + 7
+            )
+        if self.price_model is not None:
+            prices = self.price_model.generate(n_intervals, interval_s, start_s, seed + 13)
+        else:
+            prices = self.market.clear(load, renewable).prices
+        out = {"load": load, "prices": prices}
+        if renewable is not None:
+            out["renewable"] = renewable
+        return out
+
+    # -- event dispatch ----------------------------------------------------------
+
+    def dispatch_events(
+        self,
+        system_load: PowerSeries,
+        customer_baseline_kw: float,
+        renewable: Optional[PowerSeries] = None,
+        dr_program_name: str = "interruptible load",
+        participant_share: float = 0.05,
+    ) -> Dict[str, list]:
+        """Assess reserves and dispatch DR + emergency events.
+
+        Returns ``{"dr": [DREvent...], "emergency": [EmergencyEvent...]}``.
+        """
+        program = self.programs.get(dr_program_name)
+        if program is None:
+            raise GridError(
+                f"{self.name} offers no program named {dr_program_name!r}; "
+                f"available: {sorted(self.programs)}"
+            )
+        emergency = self.programs["emergency load response"]
+        if not isinstance(emergency, EmergencyProgram):  # pragma: no cover
+            raise GridError("catalog corrupted: emergency program has wrong type")
+        assessment = assess_reserves(
+            system_load,
+            self.stack.total_capacity_kw,
+            renewable,
+            self.stress_threshold,
+            self.emergency_threshold,
+        )
+        dispatcher = EventDispatcher(
+            dr_program=program,
+            emergency_program=emergency,
+            participant_share=participant_share,
+        )
+        dr_events = dispatcher.dispatch_dr(
+            assessment, system_load, self.stack.total_capacity_kw, self.stress_threshold
+        )
+        emergency_events = dispatcher.dispatch_emergencies(
+            assessment, system_load, customer_baseline_kw
+        )
+        return {"dr": dr_events, "emergency": emergency_events}
+
+    # -- settlement ---------------------------------------------------------------
+
+    def settle(
+        self,
+        customer: str,
+        contract: Contract,
+        load: PowerSeries,
+        periods: Optional[Sequence[BillingPeriod]] = None,
+        price_series: Optional[PowerSeries] = None,
+        emergency_events: Sequence[EmergencyEvent] = (),
+        dr_events: Sequence[DREvent] = (),
+        swing_timeline: Optional[EventTimeline] = None,
+    ) -> SettlementRecord:
+        """Settle a customer's load under their contract and record it."""
+        context = BillingContext(
+            price_series=price_series,
+            emergency_calls=tuple(e.as_contract_call() for e in emergency_events),
+        )
+        bill = self.billing_engine.bill(contract, load, periods, context)
+        notified = None
+        if swing_timeline is not None and len(swing_timeline) > 0:
+            notified = swing_timeline.notified_fraction()
+        record = SettlementRecord(
+            customer=customer,
+            bill=bill,
+            n_dr_events=len(dr_events),
+            n_emergency_calls=len(emergency_events),
+            notified_swing_fraction=notified,
+        )
+        self.settlements.append(record)
+        return record
+
+    def collaboration_score(self, record: SettlementRecord) -> float:
+        """Relationship quality in [0, 1] for one settlement.
+
+        Combines the §3.4 "good neighbor" notification behaviour (weight
+        0.6) with event compliance (weight 0.4: fraction of emergency calls
+        that produced no above-limit energy).  A customer with no events
+        and no recorded swings scores the neutral 0.5 prior on each part.
+        """
+        if record.notified_swing_fraction is None:
+            notify_part = 0.5
+        else:
+            notify_part = record.notified_swing_fraction
+        emergency_items = record.bill.line_items_for("emergency DR obligation")
+        calls = sum(item.details.get("n_calls", 0.0) for item in emergency_items)
+        if calls > 0:
+            violated = sum(
+                1.0 for item in emergency_items if item.quantity > 1e-9
+            )
+            periods_with_calls = sum(
+                1.0 for item in emergency_items if item.details.get("n_calls", 0) > 0
+            )
+            compliance_part = 1.0 - violated / max(periods_with_calls, 1.0)
+        else:
+            compliance_part = 0.5
+        return 0.6 * notify_part + 0.4 * compliance_part

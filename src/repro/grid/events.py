@@ -1,0 +1,230 @@
+"""Grid stress detection and DR / emergency event dispatch.
+
+The ESP watches its reserve posture; sustained stress becomes a voluntary
+DR event (with notice and an incentive), and a breach of the emergency
+threshold becomes a mandatory emergency call — the two interaction modes
+the surveyed contracts contain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..contracts.emergency import EmergencyCall
+from ..exceptions import DispatchError
+from ..timeseries.series import PowerSeries
+from .dr_programs import DRProgram, EmergencyProgram
+from .load import ReserveAssessment
+
+__all__ = ["GridStress", "DREvent", "EmergencyEvent", "EventDispatcher"]
+
+
+@dataclass(frozen=True)
+class GridStress:
+    """A maximal run of consecutive stressed intervals."""
+
+    start_index: int
+    end_index: int  # exclusive
+    min_margin: float
+
+    @property
+    def n_intervals(self) -> int:
+        """Length of the stress episode in intervals."""
+        return self.end_index - self.start_index
+
+
+def _runs(indices: np.ndarray) -> List[Tuple[int, int]]:
+    """Group a sorted index array into maximal consecutive runs [start, end)."""
+    if indices.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(indices) > 1)
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [indices.size - 1]])
+    return [(int(indices[s]), int(indices[e]) + 1) for s, e in zip(starts, ends)]
+
+
+@dataclass(frozen=True)
+class DREvent:
+    """A voluntary DR dispatch: please reduce by this much, for this long.
+
+    Attributes
+    ----------
+    start_s / end_s:
+        Event span in simulation time.
+    requested_reduction_kw:
+        Reduction the ESP asks of this participant.
+    program:
+        The program under which the event is called (sets the payment).
+    notice_s:
+        Advance notice actually given.
+    """
+
+    start_s: float
+    end_s: float
+    requested_reduction_kw: float
+    program: DRProgram
+    notice_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise DispatchError("DR event must have positive duration")
+        if self.requested_reduction_kw < 0:
+            raise DispatchError("requested reduction must be non-negative")
+        if self.notice_s < 0:
+            raise DispatchError("notice must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        """Event duration (s)."""
+        return self.end_s - self.start_s
+
+    def payment_if_delivered(self) -> float:
+        """Program payment if the full requested reduction is delivered."""
+        return self.program.event_payment(
+            self.requested_reduction_kw, self.duration_s
+        )
+
+
+@dataclass(frozen=True)
+class EmergencyEvent:
+    """A mandatory emergency dispatch, convertible to a contract-side call."""
+
+    start_s: float
+    end_s: float
+    limit_kw: float
+    program: EmergencyProgram
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise DispatchError("emergency event must have positive duration")
+        if self.limit_kw < 0:
+            raise DispatchError("emergency limit must be non-negative")
+
+    def as_contract_call(self) -> EmergencyCall:
+        """The billing-side view of this event."""
+        return EmergencyCall(start_s=self.start_s, end_s=self.end_s, limit_kw=self.limit_kw)
+
+
+class EventDispatcher:
+    """Turns a reserve assessment into concrete DR / emergency events.
+
+    Parameters
+    ----------
+    dr_program / emergency_program:
+        Programs under which events are dispatched.
+    min_event_intervals:
+        Stress episodes shorter than this are ignored (transients are the
+        balancing authority's problem, not DR's).
+    participant_share:
+        Fraction of the system shortfall asked of this participant —
+        stands in for the ESP's allocation across its DR portfolio.
+    """
+
+    def __init__(
+        self,
+        dr_program: DRProgram,
+        emergency_program: EmergencyProgram,
+        min_event_intervals: int = 2,
+        participant_share: float = 0.05,
+    ) -> None:
+        if min_event_intervals < 1:
+            raise DispatchError("min_event_intervals must be >= 1")
+        if not 0.0 < participant_share <= 1.0:
+            raise DispatchError("participant_share must be in (0, 1]")
+        self.dr_program = dr_program
+        self.emergency_program = emergency_program
+        self.min_event_intervals = int(min_event_intervals)
+        self.participant_share = float(participant_share)
+
+    def stress_episodes(self, assessment: ReserveAssessment) -> List[GridStress]:
+        """Maximal stressed runs, shortest transients filtered out."""
+        episodes = []
+        for start, end in _runs(assessment.stressed_intervals):
+            if end - start >= self.min_event_intervals:
+                episodes.append(
+                    GridStress(
+                        start_index=start,
+                        end_index=end,
+                        min_margin=float(assessment.margin_fraction[start:end].min()),
+                    )
+                )
+        return episodes
+
+    def dispatch_dr(
+        self,
+        assessment: ReserveAssessment,
+        load: PowerSeries,
+        capacity_kw: float,
+        stress_threshold: float = 0.10,
+    ) -> List[DREvent]:
+        """One DR event per qualifying stress episode.
+
+        The requested reduction is this participant's share of the power
+        needed to restore the stress-threshold margin at the episode's
+        worst interval, clipped into the program's duration limits.
+        """
+        events: List[DREvent] = []
+        for episode in self.stress_episodes(assessment):
+            start_s = load.start_s + episode.start_index * load.interval_s
+            end_s = load.start_s + episode.end_index * load.interval_s
+            duration = min(
+                max(end_s - start_s, self.dr_program.min_duration_s),
+                self.dr_program.max_duration_s,
+            )
+            worst = load.values_kw[
+                episode.start_index:episode.end_index
+            ].max()
+            # shortfall vs the load level that restores the threshold margin
+            target_load = capacity_kw * (1.0 - stress_threshold)
+            system_shortfall_kw = max(worst - target_load, 0.0)
+            request = self.participant_share * system_shortfall_kw
+            if request <= 0:
+                continue
+            events.append(
+                DREvent(
+                    start_s=start_s,
+                    end_s=start_s + duration,
+                    requested_reduction_kw=request,
+                    program=self.dr_program,
+                    notice_s=self.dr_program.notice_time_s,
+                )
+            )
+        return events
+
+    def dispatch_emergencies(
+        self,
+        assessment: ReserveAssessment,
+        load: PowerSeries,
+        participant_baseline_kw: float,
+        curtail_fraction: float = 0.5,
+    ) -> List[EmergencyEvent]:
+        """One emergency call per run of emergency-threshold breaches.
+
+        The imposed limit is a fraction of the participant's baseline —
+        "a reduction in consumption or a consumption up to a certain limit"
+        (§3.2.3).
+        """
+        if participant_baseline_kw < 0:
+            raise DispatchError("participant baseline must be non-negative")
+        if not 0.0 <= curtail_fraction <= 1.0:
+            raise DispatchError("curtail_fraction must be in [0, 1]")
+        events: List[EmergencyEvent] = []
+        for start, end in _runs(assessment.emergency_intervals):
+            start_s = load.start_s + start * load.interval_s
+            end_s = load.start_s + end * load.interval_s
+            duration = min(
+                max(end_s - start_s, self.emergency_program.min_duration_s),
+                self.emergency_program.max_duration_s,
+            )
+            events.append(
+                EmergencyEvent(
+                    start_s=start_s,
+                    end_s=start_s + duration,
+                    limit_kw=participant_baseline_kw * (1.0 - curtail_fraction),
+                    program=self.emergency_program,
+                )
+            )
+        return events

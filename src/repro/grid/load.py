@@ -1,0 +1,148 @@
+"""Aggregate grid load and reserve assessment.
+
+§1: "The transmission and distribution grid infrastructure is sized and
+operated to meet the peak demand needs (kW) of the consumers"; peak
+capacity "has low investment efficiency."  The grid load model produces
+the system demand the market clears and whose peaks stress reserves; the
+reserve assessment decides when the ESP calls DR or emergency events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import signal
+
+from ..exceptions import GridError
+from ..timeseries.calendar import SimCalendar
+from ..timeseries.series import PowerSeries
+from ..units import SECONDS_PER_HOUR
+
+__all__ = ["GridLoadModel", "ReserveAssessment", "assess_reserves"]
+
+
+@dataclass(frozen=True)
+class GridLoadModel:
+    """System load: base + diurnal + seasonal + weekday/weekend + noise.
+
+    The shape mirrors the price model deliberately: in a merit-order world,
+    price structure *is* load structure pushed through the supply stack.
+    """
+
+    base_kw: float
+    diurnal_amplitude: float = 0.25
+    seasonal_amplitude: float = 0.12
+    weekend_reduction: float = 0.10
+    noise_sigma: float = 0.04
+    noise_correlation_h: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.base_kw <= 0:
+            raise GridError("base load must be positive")
+        for value, what in (
+            (self.diurnal_amplitude, "diurnal_amplitude"),
+            (self.seasonal_amplitude, "seasonal_amplitude"),
+            (self.weekend_reduction, "weekend_reduction"),
+            (self.noise_sigma, "noise_sigma"),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise GridError(f"{what} must be in [0, 1), got {value!r}")
+
+    def generate(
+        self,
+        n_intervals: int,
+        interval_s: float = 3600.0,
+        start_s: float = 0.0,
+        seed: int = 0,
+    ) -> PowerSeries:
+        """System load series (kW), strictly positive."""
+        if n_intervals <= 0:
+            raise GridError("n_intervals must be positive")
+        rng = np.random.default_rng(seed)
+        cal = SimCalendar(interval_s, start_s)
+        idx = np.arange(n_intervals)
+        hour = cal.hour_of_day(idx).astype(np.float64)
+        doy = cal.day_of_year(idx).astype(np.float64)
+        diurnal = 1.0 + self.diurnal_amplitude * np.cos(
+            2 * np.pi * (hour - 18.0) / 24.0
+        )
+        seasonal = 1.0 + self.seasonal_amplitude * np.cos(
+            2 * np.pi * (doy - 15.0) / 365.0
+        )
+        weekend = np.where(cal.is_weekend(idx), 1.0 - self.weekend_reduction, 1.0)
+        load = self.base_kw * diurnal * seasonal * weekend
+        if self.noise_sigma > 0:
+            phi = np.exp(-(interval_s / SECONDS_PER_HOUR) / self.noise_correlation_h)
+            eps = rng.normal(0.0, self.noise_sigma * np.sqrt(1 - phi * phi), n_intervals)
+            eps[0] = rng.normal(0.0, self.noise_sigma)
+            noise = signal.lfilter([1.0], [1.0, -phi], eps)
+            load *= np.exp(noise - 0.5 * self.noise_sigma**2)
+        return PowerSeries(np.maximum(load, 1e-9), interval_s, start_s)
+
+
+@dataclass(frozen=True)
+class ReserveAssessment:
+    """Reserve posture of the system over a horizon.
+
+    Attributes
+    ----------
+    margin_fraction:
+        Per-interval reserve margin ``(capacity - load) / capacity``.
+    stressed_intervals:
+        Indices where the margin falls below the stress threshold.
+    emergency_intervals:
+        Indices where the margin falls below the emergency threshold.
+    """
+
+    margin_fraction: np.ndarray
+    stressed_intervals: np.ndarray
+    emergency_intervals: np.ndarray
+
+    @property
+    def min_margin(self) -> float:
+        """Worst reserve margin over the horizon."""
+        return float(self.margin_fraction.min())
+
+    @property
+    def any_emergency(self) -> bool:
+        """True when any interval breached the emergency threshold."""
+        return self.emergency_intervals.size > 0
+
+
+def assess_reserves(
+    load: PowerSeries,
+    capacity_kw: float,
+    renewable: Optional[PowerSeries] = None,
+    stress_threshold: float = 0.10,
+    emergency_threshold: float = 0.03,
+) -> ReserveAssessment:
+    """Compute reserve margins and flag stressed / emergency intervals.
+
+    ``capacity_kw`` is dispatchable capacity; ``renewable`` output (if
+    given, aligned with ``load``) adds to supply but its intermittency is
+    exactly what erodes the margin on calm, dark evenings.
+    """
+    if capacity_kw <= 0:
+        raise GridError("capacity must be positive")
+    if not 0.0 < emergency_threshold <= stress_threshold < 1.0:
+        raise GridError(
+            "thresholds must satisfy 0 < emergency <= stress < 1, got "
+            f"emergency={emergency_threshold}, stress={stress_threshold}"
+        )
+    supply = np.full(len(load), float(capacity_kw))
+    if renewable is not None:
+        if (
+            renewable.interval_s != load.interval_s
+            or renewable.start_s != load.start_s
+            or len(renewable) != len(load)
+        ):
+            raise GridError("renewable series must align with load")
+        supply = supply + renewable.values_kw
+    margin = (supply - load.values_kw) / supply
+    return ReserveAssessment(
+        margin_fraction=margin,
+        stressed_intervals=np.flatnonzero(margin < stress_threshold),
+        emergency_intervals=np.flatnonzero(margin < emergency_threshold),
+    )

@@ -1,0 +1,201 @@
+"""Merit-order market clearing.
+
+The day-ahead market clears hourly demand against a supply stack of
+generators ordered by marginal cost; the clearing price is the marginal
+unit's cost.  The real-time market settles the *imbalance* between
+day-ahead commitments and realized load at a price that moves against the
+imbalanced party.  This is the minimal structure needed for a dynamic
+tariff to reflect genuine scarcity (peaks clear expensive units) and for
+renewable output to depress prices (zero-marginal-cost supply shifts the
+stack), which together produce the grid challenges the paper's §1
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import MarketError
+from ..timeseries.series import PowerSeries
+
+__all__ = [
+    "Generator",
+    "SupplyStack",
+    "MarketOutcome",
+    "DayAheadMarket",
+    "RealTimeMarket",
+]
+
+
+@dataclass(frozen=True)
+class Generator:
+    """A dispatchable (or must-run renewable) generation unit."""
+
+    name: str
+    capacity_kw: float
+    marginal_cost_per_kwh: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_kw <= 0:
+            raise MarketError(f"generator {self.name!r} needs positive capacity")
+        if self.marginal_cost_per_kwh < 0:
+            raise MarketError(f"generator {self.name!r} needs non-negative cost")
+
+
+class SupplyStack:
+    """Generators sorted by marginal cost (the merit order)."""
+
+    def __init__(self, generators: Sequence[Generator]) -> None:
+        if not generators:
+            raise MarketError("a supply stack requires at least one generator")
+        self.generators: List[Generator] = sorted(
+            generators, key=lambda g: g.marginal_cost_per_kwh
+        )
+        self._cum_capacity = np.cumsum([g.capacity_kw for g in self.generators])
+        self._costs = np.array([g.marginal_cost_per_kwh for g in self.generators])
+
+    @property
+    def total_capacity_kw(self) -> float:
+        """Total installed capacity (kW)."""
+        return float(self._cum_capacity[-1])
+
+    def clearing_prices(
+        self, demand_kw: np.ndarray, scarcity_price_per_kwh: float
+    ) -> np.ndarray:
+        """Vectorized merit-order clearing price per interval ($/kWh).
+
+        Demand beyond the stack clears at ``scarcity_price_per_kwh`` (the
+        administrative cap / value of lost load).
+        """
+        demand = np.asarray(demand_kw, dtype=np.float64)
+        if np.any(demand < 0):
+            raise MarketError("demand must be non-negative")
+        marginal_unit = np.searchsorted(self._cum_capacity, demand, side="left")
+        prices = np.where(
+            marginal_unit >= len(self.generators),
+            scarcity_price_per_kwh,
+            self._costs[np.minimum(marginal_unit, len(self.generators) - 1)],
+        )
+        return prices
+
+
+def _residual_demand(demand_kw: np.ndarray, renewable_kw: np.ndarray) -> np.ndarray:
+    """Demand net of must-run renewable output, floored at zero."""
+    demand = np.asarray(demand_kw, dtype=np.float64)
+    renewable = np.asarray(renewable_kw, dtype=np.float64)
+    if demand.shape != renewable.shape:
+        raise MarketError(
+            f"demand and renewable series must align, got {demand.shape} vs "
+            f"{renewable.shape}"
+        )
+    return np.maximum(demand - renewable, 0.0)
+
+
+@dataclass(frozen=True)
+class MarketOutcome:
+    """Result of a market run: prices plus bookkeeping."""
+
+    prices: PowerSeries  # $/kWh per interval
+    residual_demand_kw: np.ndarray
+    scarcity_intervals: int
+
+    @property
+    def mean_price_per_kwh(self) -> float:
+        """Time-average clearing price."""
+        return float(self.prices.values_kw.mean())
+
+    @property
+    def max_price_per_kwh(self) -> float:
+        """Highest clearing price over the horizon."""
+        return float(self.prices.values_kw.max())
+
+
+class DayAheadMarket:
+    """Hourly merit-order clearing of forecast demand net of renewables."""
+
+    def __init__(
+        self,
+        stack: SupplyStack,
+        scarcity_price_per_kwh: float = 3.0,
+    ) -> None:
+        if scarcity_price_per_kwh <= 0:
+            raise MarketError("scarcity price must be positive")
+        self.stack = stack
+        self.scarcity_price_per_kwh = float(scarcity_price_per_kwh)
+
+    def clear(
+        self,
+        demand: PowerSeries,
+        renewable: Optional[PowerSeries] = None,
+    ) -> MarketOutcome:
+        """Clear every interval of ``demand`` (kW) against the stack.
+
+        ``renewable`` (kW, aligned with ``demand``) is treated as must-run
+        zero-marginal-cost supply netted off before the stack clears.
+        """
+        if renewable is not None:
+            if (
+                renewable.interval_s != demand.interval_s
+                or renewable.start_s != demand.start_s
+                or len(renewable) != len(demand)
+            ):
+                raise MarketError("renewable series must align with demand")
+            residual = _residual_demand(demand.values_kw, renewable.values_kw)
+        else:
+            residual = np.asarray(demand.values_kw, dtype=np.float64).copy()
+        prices = self.stack.clearing_prices(residual, self.scarcity_price_per_kwh)
+        scarcity = int(np.count_nonzero(residual > self.stack.total_capacity_kw))
+        return MarketOutcome(
+            prices=PowerSeries(prices, demand.interval_s, demand.start_s),
+            residual_demand_kw=residual,
+            scarcity_intervals=scarcity,
+        )
+
+
+class RealTimeMarket:
+    """Imbalance settlement against day-ahead commitments.
+
+    Realized load above the day-ahead schedule buys at a premium to the
+    day-ahead price; load below it sells back at a discount.  The asymmetry
+    (``premium ≥ 1 ≥ discount``) is what penalizes forecast errors and
+    rewards the swing-communication behaviour of §3.4.
+    """
+
+    def __init__(self, premium: float = 1.5, discount: float = 0.7) -> None:
+        if not premium >= 1.0:
+            raise MarketError("imbalance premium must be >= 1")
+        if not 0.0 <= discount <= 1.0:
+            raise MarketError("imbalance discount must be in [0, 1]")
+        self.premium = float(premium)
+        self.discount = float(discount)
+
+    def imbalance_cost(
+        self,
+        scheduled: PowerSeries,
+        realized: PowerSeries,
+        da_prices: PowerSeries,
+    ) -> float:
+        """Net imbalance cost ($) of ``realized`` vs ``scheduled`` load.
+
+        Positive result = the consumer pays extra; a negative component
+        (sell-back revenue) can offset but the discount keeps sell-backs
+        less valuable than avoided purchases.
+        """
+        for other, what in ((realized, "realized"), (da_prices, "da_prices")):
+            if (
+                other.interval_s != scheduled.interval_s
+                or other.start_s != scheduled.start_s
+                or len(other) != len(scheduled)
+            ):
+                raise MarketError(f"{what} series must align with scheduled")
+        diff_kw = realized.values_kw - scheduled.values_kw
+        over = np.maximum(diff_kw, 0.0)
+        under = np.maximum(-diff_kw, 0.0)
+        h = scheduled.interval_h
+        p = da_prices.values_kw
+        cost_over = float(np.dot(over * h, p * self.premium))
+        credit_under = float(np.dot(under * h, p * self.discount))
+        return cost_over - credit_under

@@ -1,0 +1,224 @@
+"""Composable wholesale electricity price processes.
+
+Dynamic tariffs in the typology expose an SC to a real-time price signal.
+No proprietary market data is available offline, so prices are produced by
+a structural model that reproduces the stylized facts dynamic-tariff
+economics depend on:
+
+* a **diurnal hump** — cheap nights, a morning ramp, an evening peak;
+* a **seasonal swell** — winter (heating) and summer (cooling) highs;
+* **mean-reverting noise** — an Ornstein–Uhlenbeck component, the standard
+  reduced-form model for power prices;
+* **scarcity spikes** — rare, short, very large excursions (the events
+  demand response exists to blunt).
+
+Every component is generated vectorized over the whole horizon; the model
+never loops over intervals in Python except for the O(#spikes) spike
+placement and the O(n) but NumPy-internal OU recursion via
+``scipy.signal.lfilter``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import signal
+
+from ..exceptions import MarketError
+from ..timeseries.calendar import SimCalendar
+from ..timeseries.series import PowerSeries
+from ..units import SECONDS_PER_HOUR
+
+__all__ = [
+    "DiurnalShape",
+    "SeasonalShape",
+    "OUNoise",
+    "SpikeProcess",
+    "PriceModel",
+    "hourly_price_series",
+]
+
+
+@dataclass(frozen=True)
+class DiurnalShape:
+    """Smooth two-peak daily shape, unit mean.
+
+    Modeled as a truncated Fourier series over hour-of-day with a morning
+    and an evening harmonic; amplitudes are fractions of the mean price.
+    """
+
+    morning_amplitude: float = 0.15
+    evening_amplitude: float = 0.25
+    morning_peak_hour: float = 9.0
+    evening_peak_hour: float = 19.0
+
+    def factor(self, hour_of_day: np.ndarray) -> np.ndarray:
+        """Multiplicative factor (mean ≈ 1) per interval."""
+        h = np.asarray(hour_of_day, dtype=np.float64)
+        morning = self.morning_amplitude * np.cos(
+            2 * np.pi * (h - self.morning_peak_hour) / 24.0
+        )
+        evening = self.evening_amplitude * np.cos(
+            4 * np.pi * (h - self.evening_peak_hour) / 24.0
+        )
+        return 1.0 + morning + evening
+
+
+@dataclass(frozen=True)
+class SeasonalShape:
+    """Annual shape with winter and summer highs, unit mean."""
+
+    winter_amplitude: float = 0.12
+    summer_amplitude: float = 0.08
+
+    def factor(self, day_of_year: np.ndarray) -> np.ndarray:
+        """Multiplicative factor (mean ≈ 1) per interval."""
+        d = np.asarray(day_of_year, dtype=np.float64)
+        # winter peak near day 15 (mid-January), summer near day 196 (mid-July)
+        winter = self.winter_amplitude * np.cos(2 * np.pi * (d - 15.0) / 365.0)
+        summer = self.summer_amplitude * np.cos(4 * np.pi * (d - 15.0) / 365.0)
+        return 1.0 + winter + summer
+
+
+@dataclass(frozen=True)
+class OUNoise:
+    """Mean-reverting (Ornstein–Uhlenbeck) multiplicative noise.
+
+    Discretized as an AR(1): ``x[t] = phi x[t-1] + eps`` with
+    ``phi = exp(-dt / correlation_time)``; the factor applied to the price
+    is ``exp(x - var/2)`` so its mean is 1.
+    """
+
+    sigma: float = 0.10
+    correlation_time_h: float = 12.0
+
+    def factor(self, n: int, interval_s: float, rng: np.random.Generator) -> np.ndarray:
+        """Multiplicative lognormal factor per interval (mean ≈ 1)."""
+        if self.sigma == 0.0:
+            return np.ones(n)
+        dt_h = interval_s / SECONDS_PER_HOUR
+        phi = np.exp(-dt_h / self.correlation_time_h)
+        # stationary innovation variance so Var[x] = sigma^2 at all t
+        eps_std = self.sigma * np.sqrt(1.0 - phi * phi)
+        eps = rng.normal(0.0, eps_std, size=n)
+        eps[0] = rng.normal(0.0, self.sigma)  # start in stationarity
+        x = signal.lfilter([1.0], [1.0, -phi], eps)
+        return np.exp(x - 0.5 * self.sigma**2)
+
+
+@dataclass(frozen=True)
+class SpikeProcess:
+    """Rare scarcity spikes: a Poisson arrival of short price excursions.
+
+    Attributes
+    ----------
+    spikes_per_year:
+        Expected arrivals per canonical year.
+    magnitude:
+        Mean multiplicative height of a spike (e.g. 8 → spike hours price
+        around 8× the base level); heights are exponentially distributed
+        around this mean, floored at 1 (a "spike" never lowers the price).
+    duration_h:
+        Mean spike duration in hours (geometric in whole intervals).
+    """
+
+    spikes_per_year: float = 12.0
+    magnitude: float = 8.0
+    duration_h: float = 2.0
+
+    def factor(self, n: int, interval_s: float, rng: np.random.Generator) -> np.ndarray:
+        """Multiplicative spike factor per interval (1 outside spikes)."""
+        out = np.ones(n)
+        if self.spikes_per_year <= 0 or n == 0:
+            return out
+        horizon_years = n * interval_s / (365.0 * 24.0 * SECONDS_PER_HOUR)
+        n_spikes = rng.poisson(self.spikes_per_year * horizon_years)
+        if n_spikes == 0:
+            return out
+        intervals_per_spike = max(
+            1, int(round(self.duration_h * SECONDS_PER_HOUR / interval_s))
+        )
+        starts = rng.integers(0, n, size=n_spikes)
+        heights = np.maximum(rng.exponential(self.magnitude, size=n_spikes), 1.0)
+        durations = np.maximum(
+            rng.geometric(1.0 / intervals_per_spike, size=n_spikes), 1
+        )
+        for start, height, dur in zip(starts, heights, durations):
+            stop = min(int(start + dur), n)
+            np.maximum(out[start:stop], height, out=out[start:stop])
+        return out
+
+
+@dataclass(frozen=True)
+class PriceModel:
+    """A complete wholesale price process.
+
+    ``mean_price_per_kwh`` anchors the level (e.g. 0.05 $/kWh wholesale);
+    the shape components multiply it.  Set a component to ``None`` to
+    ablate it (the spike ablation is one of the DESIGN.md bench targets).
+    """
+
+    mean_price_per_kwh: float = 0.05
+    diurnal: Optional[DiurnalShape] = DiurnalShape()
+    seasonal: Optional[SeasonalShape] = SeasonalShape()
+    noise: Optional[OUNoise] = OUNoise()
+    spikes: Optional[SpikeProcess] = SpikeProcess()
+    floor_per_kwh: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_price_per_kwh <= 0:
+            raise MarketError("mean price must be positive")
+        if self.floor_per_kwh < 0:
+            raise MarketError("price floor must be non-negative")
+
+    def generate(
+        self,
+        n_intervals: int,
+        interval_s: float = 3600.0,
+        start_s: float = 0.0,
+        seed: int = 0,
+    ) -> PowerSeries:
+        """Generate a price series ($/kWh per interval).
+
+        The container type is :class:`~repro.timeseries.PowerSeries` (the
+        library's uniform regular-interval series); its values carry $/kWh
+        here, as documented at the :class:`~repro.contracts.components
+        .BillingContext` boundary that consumes it.
+        """
+        if n_intervals <= 0:
+            raise MarketError("n_intervals must be positive")
+        rng = np.random.default_rng(seed)
+        calendar = SimCalendar(interval_s, start_s)
+        idx = np.arange(n_intervals)
+        price = np.full(n_intervals, self.mean_price_per_kwh)
+        if self.diurnal is not None:
+            price *= self.diurnal.factor(calendar.hour_of_day(idx))
+        if self.seasonal is not None:
+            price *= self.seasonal.factor(calendar.day_of_year(idx))
+        if self.noise is not None:
+            price *= self.noise.factor(n_intervals, interval_s, rng)
+        if self.spikes is not None:
+            price *= self.spikes.factor(n_intervals, interval_s, rng)
+        np.maximum(price, self.floor_per_kwh, out=price)
+        return PowerSeries(price, interval_s, start_s)
+
+    def without_spikes(self) -> "PriceModel":
+        """The same model with the spike component ablated."""
+        return PriceModel(
+            mean_price_per_kwh=self.mean_price_per_kwh,
+            diurnal=self.diurnal,
+            seasonal=self.seasonal,
+            noise=self.noise,
+            spikes=None,
+            floor_per_kwh=self.floor_per_kwh,
+        )
+
+
+def hourly_price_series(
+    n_days: int, mean_price_per_kwh: float = 0.05, seed: int = 0
+) -> PowerSeries:
+    """Convenience: an hourly price series for ``n_days`` under defaults."""
+    model = PriceModel(mean_price_per_kwh=mean_price_per_kwh)
+    return model.generate(n_days * 24, 3600.0, 0.0, seed)

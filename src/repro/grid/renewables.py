@@ -1,0 +1,182 @@
+"""Wind and solar generation with intermittency.
+
+§1: "the integration of renewable energy sources ... induce intermittency
+and variability in output generation."  These models exist to make that
+sentence executable: renewable output feeds the market as must-run supply
+(depressing prices when abundant) and its shortfalls trigger the grid
+stress that dispatches DR events.
+
+Both models are reduced-form but keep the features that matter here:
+
+* **solar** — a deterministic clear-sky diurnal/seasonal envelope
+  multiplied by an autocorrelated cloud factor (days are good or bad as
+  wholes, not i.i.d. hours);
+* **wind** — an autocorrelated process pushed through the standard
+  cut-in / rated / cut-out power curve, which is what makes wind output
+  *variable* (steep curve) and occasionally *absent* (cut-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import signal
+
+from ..exceptions import GridError
+from ..timeseries.calendar import SimCalendar
+from ..timeseries.series import PowerSeries
+from ..units import SECONDS_PER_HOUR
+
+__all__ = ["SolarModel", "WindModel", "RenewablePortfolio"]
+
+
+def _ar1(n: int, sigma: float, correlation_time_h: float, interval_s: float,
+         rng: np.random.Generator) -> np.ndarray:
+    """Stationary zero-mean AR(1) noise with the given marginal sigma."""
+    if sigma == 0.0:
+        return np.zeros(n)
+    phi = np.exp(-(interval_s / SECONDS_PER_HOUR) / correlation_time_h)
+    eps = rng.normal(0.0, sigma * np.sqrt(1 - phi * phi), size=n)
+    eps[0] = rng.normal(0.0, sigma)
+    return signal.lfilter([1.0], [1.0, -phi], eps)
+
+
+@dataclass(frozen=True)
+class SolarModel:
+    """PV plant: clear-sky envelope × autocorrelated cloud factor.
+
+    Parameters
+    ----------
+    capacity_kw:
+        Nameplate capacity.
+    latitude_factor:
+        Seasonal swing of day length / sun height, 0 (equator, no swing)
+        to ~0.8 (high latitude); scales the winter depression.
+    cloud_sigma:
+        Volatility of the cloud factor (lognormal-ish attenuation).
+    cloud_correlation_h:
+        Correlation time of cloudiness (hours); ~18 h makes whole days
+        good or bad together.
+    """
+
+    capacity_kw: float
+    latitude_factor: float = 0.4
+    cloud_sigma: float = 0.35
+    cloud_correlation_h: float = 18.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_kw <= 0:
+            raise GridError("solar capacity must be positive")
+        if not 0.0 <= self.latitude_factor < 1.0:
+            raise GridError("latitude_factor must be in [0, 1)")
+
+    def generate(
+        self, n_intervals: int, interval_s: float = 3600.0, start_s: float = 0.0,
+        seed: int = 0,
+    ) -> PowerSeries:
+        """Generation series (kW), non-negative, ≤ capacity."""
+        if n_intervals <= 0:
+            raise GridError("n_intervals must be positive")
+        rng = np.random.default_rng(seed)
+        cal = SimCalendar(interval_s, start_s)
+        idx = np.arange(n_intervals)
+        hour = cal.hour_of_day(idx).astype(np.float64)
+        doy = cal.day_of_year(idx).astype(np.float64)
+        # clear-sky: half-sine between sunrise and sunset, season-dependent
+        season = 1.0 - self.latitude_factor * 0.5 * (
+            1.0 - np.cos(2 * np.pi * (doy - 172.0) / 365.0)
+        )  # 1 at the summer solstice (day 172), 1 − latitude_factor in winter
+        half_day = 6.0 + 3.0 * (season - (1.0 - self.latitude_factor))  # hours
+        solar_angle = np.pi * (hour - 12.0) / (2.0 * np.maximum(half_day, 1e-6))
+        clear_sky = np.where(
+            np.abs(hour - 12.0) < half_day, np.cos(solar_angle), 0.0
+        )
+        cloud = np.exp(
+            _ar1(n_intervals, self.cloud_sigma, self.cloud_correlation_h, interval_s, rng)
+            - 0.5 * self.cloud_sigma**2
+        )
+        out = self.capacity_kw * np.clip(clear_sky * season * np.minimum(cloud, 1.0), 0.0, 1.0)
+        return PowerSeries(out, interval_s, start_s)
+
+
+@dataclass(frozen=True)
+class WindModel:
+    """Wind plant: AR(1) wind speed through a cut-in/rated/cut-out curve."""
+
+    capacity_kw: float
+    mean_speed_ms: float = 7.5
+    speed_sigma_ms: float = 2.5
+    correlation_h: float = 8.0
+    cut_in_ms: float = 3.0
+    rated_ms: float = 12.0
+    cut_out_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_kw <= 0:
+            raise GridError("wind capacity must be positive")
+        if not self.cut_in_ms < self.rated_ms < self.cut_out_ms:
+            raise GridError("power curve requires cut_in < rated < cut_out")
+        if self.mean_speed_ms <= 0 or self.speed_sigma_ms < 0:
+            raise GridError("wind-speed parameters must be positive")
+
+    def power_curve(self, speed_ms: np.ndarray) -> np.ndarray:
+        """Fraction of capacity produced at each wind speed (vectorized).
+
+        Cubic between cut-in and rated, flat at rated, zero beyond cut-out.
+        """
+        s = np.asarray(speed_ms, dtype=np.float64)
+        ramp = ((s - self.cut_in_ms) / (self.rated_ms - self.cut_in_ms)) ** 3
+        frac = np.clip(ramp, 0.0, 1.0)
+        frac = np.where(s < self.cut_in_ms, 0.0, frac)
+        frac = np.where(s >= self.cut_out_ms, 0.0, frac)
+        return frac
+
+    def generate(
+        self, n_intervals: int, interval_s: float = 3600.0, start_s: float = 0.0,
+        seed: int = 0,
+    ) -> PowerSeries:
+        """Generation series (kW), non-negative, ≤ capacity."""
+        if n_intervals <= 0:
+            raise GridError("n_intervals must be positive")
+        rng = np.random.default_rng(seed)
+        speed = self.mean_speed_ms + _ar1(
+            n_intervals, self.speed_sigma_ms, self.correlation_h, interval_s, rng
+        )
+        np.maximum(speed, 0.0, out=speed)
+        return PowerSeries(
+            self.capacity_kw * self.power_curve(speed), interval_s, start_s
+        )
+
+
+class RenewablePortfolio:
+    """A mixed portfolio whose aggregate output feeds the market."""
+
+    def __init__(self, solar: Sequence[SolarModel] = (), wind: Sequence[WindModel] = ()) -> None:
+        if not solar and not wind:
+            raise GridError("a renewable portfolio needs at least one plant")
+        self.solar = list(solar)
+        self.wind = list(wind)
+
+    @property
+    def capacity_kw(self) -> float:
+        """Total nameplate capacity (kW)."""
+        return sum(p.capacity_kw for p in self.solar) + sum(
+            p.capacity_kw for p in self.wind
+        )
+
+    def generate(
+        self, n_intervals: int, interval_s: float = 3600.0, start_s: float = 0.0,
+        seed: int = 0,
+    ) -> PowerSeries:
+        """Aggregate portfolio output (kW); plants get decorrelated seeds."""
+        total = np.zeros(n_intervals)
+        for k, plant in enumerate([*self.solar, *self.wind]):
+            series = plant.generate(n_intervals, interval_s, start_s, seed=seed + 1000 * k)
+            total += series.values_kw
+        return PowerSeries(total, interval_s, start_s)
+
+    def capacity_factor(self, output: PowerSeries) -> float:
+        """Realized mean output over nameplate capacity, in [0, 1]."""
+        return output.mean_kw() / self.capacity_kw

@@ -1,0 +1,249 @@
+"""ESP ↔ SC signaling: the "two-way communication" of §3.1.4.
+
+The survey distinguishes *obligations* ("static and 'pre-smart grid' in the
+sense that no real-time communication is needed") from *services*
+("characterized by two-way communication, where a consumer reacts to a
+signal sent by the ESP").  This module provides that communication channel
+in the style of automated-DR messaging (cf. the LBNL OpenADR work the
+paper's related research builds on [16, 24]): typed signals, delivery with
+notice accounting, explicit acknowledgment with opt-in/opt-out, and a log
+both parties can audit.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exceptions import DispatchError
+
+__all__ = [
+    "SignalKind",
+    "DRSignal",
+    "Acknowledgment",
+    "OptDecision",
+    "SignalChannel",
+]
+
+
+class SignalKind(enum.Enum):
+    """Message types on the channel."""
+
+    EVENT_NOTIFICATION = "event notification"     # voluntary DR event ahead
+    PRICE_UPDATE = "price update"                 # dynamic-tariff price tick
+    EMERGENCY_DISPATCH = "emergency dispatch"     # mandatory (§3.2.3)
+    EVENT_CANCELLATION = "event cancellation"
+    ADVISORY = "advisory"                         # grid-condition heads-up
+
+
+class OptDecision(enum.Enum):
+    """The consumer's response to a voluntary signal."""
+
+    OPT_IN = "opt-in"
+    OPT_OUT = "opt-out"
+    ACKNOWLEDGE = "acknowledge"  # receipt only (emergencies, advisories)
+
+
+@dataclass(frozen=True)
+class DRSignal:
+    """One message from the ESP to a consumer.
+
+    Attributes
+    ----------
+    signal_id:
+        Channel-unique id (assigned by the channel on send).
+    kind:
+        Message type.
+    issued_s:
+        Simulation time the signal was sent.
+    event_start_s / event_end_s:
+        Span of the referenced event (0-length for price ticks/advisories).
+    payload:
+        Numeric content — requested reduction (kW), imposed limit (kW) or
+        price ($/kWh), depending on ``kind``.
+    mandatory:
+        True for emergency dispatches; opting out is not available.
+    """
+
+    signal_id: int
+    kind: SignalKind
+    issued_s: float
+    event_start_s: float
+    event_end_s: float
+    payload: float
+    mandatory: bool = False
+
+    def __post_init__(self) -> None:
+        if self.event_end_s < self.event_start_s:
+            raise DispatchError("signal event span must be non-negative")
+        if self.issued_s > self.event_start_s:
+            raise DispatchError(
+                "a signal cannot be issued after its event starts "
+                f"(issued {self.issued_s}, start {self.event_start_s})"
+            )
+        if self.mandatory and self.kind not in (
+            SignalKind.EMERGENCY_DISPATCH,
+        ):
+            raise DispatchError("only emergency dispatches are mandatory")
+
+    @property
+    def notice_s(self) -> float:
+        """Advance notice the consumer received."""
+        return self.event_start_s - self.issued_s
+
+
+@dataclass(frozen=True)
+class Acknowledgment:
+    """The consumer's reply to a signal."""
+
+    signal_id: int
+    decision: OptDecision
+    replied_s: float
+    committed_kw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.committed_kw < 0:
+            raise DispatchError("commitment must be non-negative")
+
+
+class SignalChannel:
+    """A reliable, logged channel between one ESP and one consumer.
+
+    The channel enforces the protocol rules the survey's distinction
+    implies: voluntary events need an opt decision before their start;
+    mandatory dispatches can only be acknowledged; notice below the
+    consumer's declared minimum triggers an automatic opt-out (the SC
+    cannot physically respond — checkpointing takes time).
+    """
+
+    def __init__(self, esp_name: str, consumer_name: str,
+                 min_notice_s: float = 900.0) -> None:
+        if min_notice_s < 0:
+            raise DispatchError("minimum notice must be non-negative")
+        self.esp_name = esp_name
+        self.consumer_name = consumer_name
+        self.min_notice_s = float(min_notice_s)
+        self._ids = itertools.count(1)
+        self.sent: List[DRSignal] = []
+        self.replies: Dict[int, Acknowledgment] = {}
+
+    # -- ESP side --------------------------------------------------------
+
+    def send(
+        self,
+        kind: SignalKind,
+        issued_s: float,
+        event_start_s: float,
+        event_end_s: float,
+        payload: float,
+        mandatory: bool = False,
+    ) -> DRSignal:
+        """Issue a signal; returns it with its assigned id."""
+        signal = DRSignal(
+            signal_id=next(self._ids),
+            kind=kind,
+            issued_s=issued_s,
+            event_start_s=event_start_s,
+            event_end_s=event_end_s,
+            payload=payload,
+            mandatory=mandatory,
+        )
+        self.sent.append(signal)
+        return signal
+
+    def cancel(self, original: DRSignal, issued_s: float) -> DRSignal:
+        """Cancel a previously sent event signal."""
+        if original not in self.sent:
+            raise DispatchError("cannot cancel a signal not sent on this channel")
+        return self.send(
+            SignalKind.EVENT_CANCELLATION,
+            issued_s=issued_s,
+            event_start_s=max(original.event_start_s, issued_s),
+            event_end_s=max(original.event_end_s, issued_s),
+            payload=float(original.signal_id),
+        )
+
+    # -- consumer side ------------------------------------------------------
+
+    def respond(
+        self,
+        signal: DRSignal,
+        decision: OptDecision,
+        replied_s: float,
+        committed_kw: float = 0.0,
+    ) -> Acknowledgment:
+        """Record the consumer's decision, enforcing protocol rules."""
+        if signal.signal_id in self.replies:
+            raise DispatchError(f"signal {signal.signal_id} already answered")
+        if replied_s < signal.issued_s:
+            raise DispatchError("cannot reply before the signal was issued")
+        if signal.mandatory and decision is OptDecision.OPT_OUT:
+            raise DispatchError(
+                "mandatory emergency dispatches cannot be opted out (§3.2.3)"
+            )
+        if (
+            decision is OptDecision.OPT_IN
+            and replied_s > signal.event_start_s
+        ):
+            raise DispatchError("cannot opt in after the event started")
+        ack = Acknowledgment(
+            signal_id=signal.signal_id,
+            decision=decision,
+            replied_s=replied_s,
+            committed_kw=committed_kw,
+        )
+        self.replies[signal.signal_id] = ack
+        return ack
+
+    def auto_respond(self, signal: DRSignal, replied_s: Optional[float] = None,
+                     committed_kw: float = 0.0) -> Acknowledgment:
+        """Protocol-default response: acknowledge mandatory signals, opt in
+        to voluntary events with sufficient notice, opt out otherwise."""
+        replied_s = signal.issued_s if replied_s is None else replied_s
+        if signal.mandatory or signal.kind in (
+            SignalKind.PRICE_UPDATE,
+            SignalKind.ADVISORY,
+            SignalKind.EVENT_CANCELLATION,
+        ):
+            return self.respond(signal, OptDecision.ACKNOWLEDGE, replied_s)
+        if signal.notice_s < self.min_notice_s:
+            return self.respond(signal, OptDecision.OPT_OUT, replied_s)
+        return self.respond(
+            signal, OptDecision.OPT_IN, replied_s, committed_kw=committed_kw
+        )
+
+    # -- audit --------------------------------------------------------------
+
+    def unanswered(self) -> List[DRSignal]:
+        """Signals with no recorded reply."""
+        return [s for s in self.sent if s.signal_id not in self.replies]
+
+    def opt_in_rate(self) -> float:
+        """Fraction of answered voluntary event notifications opted into."""
+        voluntary = [
+            s
+            for s in self.sent
+            if s.kind is SignalKind.EVENT_NOTIFICATION and not s.mandatory
+            and s.signal_id in self.replies
+        ]
+        if not voluntary:
+            raise DispatchError("no answered voluntary events on the channel")
+        opted = sum(
+            1
+            for s in voluntary
+            if self.replies[s.signal_id].decision is OptDecision.OPT_IN
+        )
+        return opted / len(voluntary)
+
+    def mean_notice_s(self) -> float:
+        """Average advance notice over all event-class signals."""
+        events = [
+            s
+            for s in self.sent
+            if s.kind in (SignalKind.EVENT_NOTIFICATION, SignalKind.EMERGENCY_DISPATCH)
+        ]
+        if not events:
+            raise DispatchError("no event signals on the channel")
+        return sum(s.notice_s for s in events) / len(events)

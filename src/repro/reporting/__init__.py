@@ -1,0 +1,31 @@
+"""Rendering of the paper's tables and figures, and the experiment registry.
+
+* :mod:`~repro.reporting.tables` — plain-text table rendering (Table 1,
+  Table 2 and study tables);
+* :mod:`~repro.reporting.figures` — text rendering of Figure 1's typology
+  tree and simple series sparklines;
+* :mod:`~repro.reporting.experiments` — the registry mapping every
+  experiment id in DESIGN.md to the function that regenerates it.
+"""
+
+from .tables import render_table, render_table1, render_table2, CHECK, BLANK
+from .figures import render_typology_tree, render_figure1, sparkline
+from .experiments import EXPERIMENTS, run_experiment, experiment_ids
+from .export import bill_to_dict, bill_to_json, experiments_to_markdown
+
+__all__ = [
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "CHECK",
+    "BLANK",
+    "render_typology_tree",
+    "render_figure1",
+    "sparkline",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+    "bill_to_dict",
+    "bill_to_json",
+    "experiments_to_markdown",
+]

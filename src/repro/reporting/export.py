@@ -1,0 +1,118 @@
+"""Structured export of bills and experiment results.
+
+Bills are the library's primary output; downstream users want them as
+data, not prose.  :func:`bill_to_dict` flattens a settled bill into a
+JSON-safe structure (per-period line items included), and
+:func:`experiments_to_markdown` writes the full experiment registry to a
+single report file — the programmatic version of
+``examples/survey_reproduction.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..contracts.billing import Bill
+from ..exceptions import ReportingError
+from .experiments import EXPERIMENTS, ExperimentResult, experiment_ids, run_experiment
+
+__all__ = ["bill_to_dict", "bill_to_json", "experiments_to_markdown"]
+
+
+def bill_to_dict(bill: Bill) -> Dict[str, object]:
+    """A JSON-safe representation of a settled bill."""
+    return {
+        "format": "repro-bill-v1",
+        "contract": bill.contract.name,
+        "currency": bill.contract.currency,
+        "total": bill.total,
+        "energy_cost": bill.energy_cost,
+        "demand_cost": bill.demand_cost,
+        "other_cost": bill.other_cost,
+        "total_energy_kwh": bill.total_energy_kwh,
+        "max_peak_kw": bill.max_peak_kw,
+        "periods": [
+            {
+                "label": pb.period.label,
+                "start_s": pb.period.start_s,
+                "end_s": pb.period.end_s,
+                "energy_kwh": pb.energy_kwh,
+                "peak_kw": pb.peak_kw,
+                "total": pb.total,
+                "line_items": [
+                    {
+                        "component": item.component,
+                        "domain": item.domain.value,
+                        "amount": item.amount,
+                        "quantity": item.quantity,
+                        "unit": item.unit,
+                        "details": dict(item.details),
+                    }
+                    for item in pb.line_items
+                ],
+            }
+            for pb in bill.period_bills
+        ],
+    }
+
+
+def bill_to_json(bill: Bill, indent: Optional[int] = None) -> str:
+    """Serialize a bill to JSON."""
+    return json.dumps(bill_to_dict(bill), indent=indent)
+
+
+def experiments_to_markdown(
+    target: Union[str, Path],
+    ids: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Run experiments and write one markdown report.
+
+    Parameters
+    ----------
+    target:
+        Output file path.
+    ids:
+        Experiment ids to include; defaults to the full registry in order.
+
+    Returns the :class:`ExperimentResult` list for further use.
+    """
+    chosen = list(ids) if ids is not None else experiment_ids()
+    unknown = [eid for eid in chosen if eid not in EXPERIMENTS]
+    if unknown:
+        raise ReportingError(f"unknown experiments: {unknown}")
+    results = [run_experiment(eid) for eid in chosen]
+    lines: List[str] = [
+        "# Regenerated paper artifacts",
+        "",
+        "Produced by `repro.reporting.export.experiments_to_markdown`.",
+        "",
+    ]
+    for result in results:
+        lines.append(f"## `{result.experiment_id}`")
+        lines.append("")
+        lines.append("```text")
+        lines.append(result.text)
+        lines.append("```")
+        if result.payload:
+            lines.append("")
+            lines.append("payload:")
+            lines.append("")
+            lines.append("```json")
+            lines.append(json.dumps(_json_safe(result.payload), indent=2))
+            lines.append("```")
+        lines.append("")
+    Path(target).write_text("\n".join(lines), encoding="utf-8")
+    return results
+
+
+def _json_safe(value: object) -> object:
+    """Best-effort coercion of payload values to JSON-serializable types."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

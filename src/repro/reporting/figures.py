@@ -1,0 +1,74 @@
+"""Text rendering of figures.
+
+:func:`render_figure1` draws the Figure 1 typology tree from the live
+:func:`~repro.contracts.typology.build_typology_tree` structure — the
+figure and the classification logic cannot drift apart because they share
+one source.  :func:`sparkline` gives studies a cheap way to show series
+shapes in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..contracts.typology import TypologyNode, build_typology_tree
+from ..exceptions import ReportingError
+
+__all__ = ["render_typology_tree", "render_figure1", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def render_typology_tree(
+    node: TypologyNode, show_descriptions: bool = True
+) -> str:
+    """Render a typology (sub)tree as an indented text diagram."""
+    lines: List[str] = []
+
+    def walk(n: TypologyNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            label = n.label
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            label = prefix + connector + n.label
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        if show_descriptions and n.description:
+            label += f"  [{n.description}]"
+        lines.append(label)
+        for i, child in enumerate(n.children):
+            walk(child, child_prefix, i == len(n.children) - 1, False)
+
+    walk(node, "", True, True)
+    return "\n".join(lines)
+
+
+def render_figure1(show_descriptions: bool = True) -> str:
+    """Regenerate Figure 1: overview of the contract typology."""
+    tree = build_typology_tree()
+    body = render_typology_tree(tree, show_descriptions=show_descriptions)
+    return "Figure 1: Overview of contract typology.\n\n" + body
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A unicode sparkline of a series (downsampled to ``width`` buckets).
+
+    Useful for eyeballing load/price shapes in experiment output without a
+    plotting stack.
+    """
+    v = np.asarray(list(values), dtype=np.float64)
+    if v.size == 0:
+        raise ReportingError("cannot sparkline an empty series")
+    if not np.all(np.isfinite(v)):
+        raise ReportingError("sparkline values must be finite")
+    if width is not None and width > 0 and v.size > width:
+        # bucket means
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array([v[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    lo, hi = float(v.min()), float(v.max())
+    if hi - lo < 1e-12:
+        return _BLOCKS[0] * v.size
+    scaled = (v - lo) / (hi - lo) * (len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(s))] for s in scaled)

@@ -1,0 +1,98 @@
+"""Plain-text table rendering.
+
+A tiny fixed-width renderer (no external dependencies) plus the two
+paper-table regenerators.  Everything returns strings; printing is the
+caller's business.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..contracts.typology import TYPOLOGY_LEAVES
+from ..exceptions import ReportingError
+from ..survey.sites import SURVEYED_SITES, TABLE1_ROWS, SurveySite
+from ..survey.synthesis import table2_matrix
+
+__all__ = ["CHECK", "BLANK", "render_table", "render_table1", "render_table2"]
+
+#: Mark used for a present component (the paper uses a checkmark).
+CHECK = "X"
+#: Mark used for an absent component.
+BLANK = ""
+
+#: Table 2 column headers, in paper order.
+_TABLE2_COLUMNS = (
+    ("demand_charge", "Demand Charges"),
+    ("powerband", "Powerband"),
+    ("fixed", "Fixed"),
+    ("variable", "Variable"),
+    ("dynamic", "Dynamic"),
+    ("emergency_dr", "Emergency DR"),
+)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Cells are stringified; column widths fit the longest cell.  Floats are
+    formatted by the caller (this function does layout, not numerics).
+    """
+    if not headers:
+        raise ReportingError("a table requires headers")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ReportingError(
+                f"row {i} has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[j])), *(len(r[j]) for r in str_rows)) if str_rows
+        else len(str(headers[j]))
+        for j in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Regenerate Table 1: interview sites labeled with country of residence."""
+    return render_table(
+        headers=("Interview Site", "Country"),
+        rows=list(TABLE1_ROWS),
+        title="Table 1: Interview sites labeled with country of residence.",
+    )
+
+
+def render_table2(sites: Sequence[SurveySite] = SURVEYED_SITES) -> str:
+    """Regenerate Table 2 from the executable contracts.
+
+    The matrix is *derived* (contracts are built from the registry and
+    classified back through the typology), so this render exercises the
+    full pipeline, not a stored copy.
+    """
+    matrix = table2_matrix(sites)
+    headers = ["", *(label for _, label in _TABLE2_COLUMNS), "RNP"]
+    rows = []
+    for row in matrix:
+        cells = [row["site"]]
+        for leaf, _ in _TABLE2_COLUMNS:
+            cells.append(CHECK if row[leaf] else BLANK)
+        cells.append(row["rnp"])
+        rows.append(cells)
+    return render_table(
+        headers=headers,
+        rows=rows,
+        title="Table 2: Summary of survey results.",
+    )

@@ -1,0 +1,74 @@
+"""Synthetic reconstruction of the paper's survey study.
+
+The actual survey answers are confidential; what the paper publishes is
+Table 1 (sites × countries), Table 2 (sites × typology components × RNP)
+and a set of in-text aggregates.  This subpackage encodes exactly that
+published information as data (:mod:`~repro.survey.sites`), the survey
+instrument itself (:mod:`~repro.survey.instrument`), the synthesis that
+regenerates Table 2 from executable contracts
+(:mod:`~repro.survey.synthesis`), a generator for larger synthetic site
+populations (:mod:`~repro.survey.generator`), and the aggregate analyses
+(:mod:`~repro.survey.analysis`) that recompute every quantitative claim
+in §3.2.4–§3.4 — including the paper's own text-vs-table inconsistencies,
+which are surfaced rather than hidden.
+"""
+
+from .instrument import SurveyQuestion, SurveyResponse, SURVEY_QUESTIONS
+from .sites import (
+    SurveySite,
+    SURVEYED_SITES,
+    TABLE1_ROWS,
+    sites_by_region,
+    site_by_label,
+)
+from .synthesis import site_contract, table2_matrix, verify_table2
+from .generator import SitePopulationModel
+from .robustness import (
+    enumerate_clue_consistent_mappings,
+    MappingTrendReport,
+    trend_robustness,
+)
+from .coding import (
+    CodingRule,
+    code_pricing_answer,
+    code_rnp_answer,
+    synthetic_answers,
+    code_site_answers,
+)
+from .analysis import (
+    component_counts,
+    rnp_counts,
+    swing_communication_count,
+    text_claims_report,
+    geographic_trend_test,
+    GeographicTrendResult,
+)
+
+__all__ = [
+    "SurveyQuestion",
+    "SurveyResponse",
+    "SURVEY_QUESTIONS",
+    "SurveySite",
+    "SURVEYED_SITES",
+    "TABLE1_ROWS",
+    "sites_by_region",
+    "site_by_label",
+    "site_contract",
+    "table2_matrix",
+    "verify_table2",
+    "SitePopulationModel",
+    "component_counts",
+    "rnp_counts",
+    "swing_communication_count",
+    "text_claims_report",
+    "geographic_trend_test",
+    "GeographicTrendResult",
+    "CodingRule",
+    "code_pricing_answer",
+    "code_rnp_answer",
+    "synthetic_answers",
+    "code_site_answers",
+    "enumerate_clue_consistent_mappings",
+    "MappingTrendReport",
+    "trend_robustness",
+]

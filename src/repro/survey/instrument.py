@@ -1,0 +1,165 @@
+"""The survey instrument: the six open-ended questions of §3.1.
+
+The paper chose open-ended over multiple-choice "because ESP contracts
+are all unique and multiple-choice questions would be too restrictive";
+the structured :class:`SurveyResponse` here is the *coded* form of an
+answer — the coding step a qualitative study performs before synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..contracts.negotiation import ResponsibleParty
+from ..contracts.typology import TypologyFlags
+from ..exceptions import SurveyError
+
+__all__ = ["SurveyQuestion", "SURVEY_QUESTIONS", "SurveyResponse"]
+
+
+@dataclass(frozen=True)
+class SurveyQuestion:
+    """One survey question with its (unshared) motivation.
+
+    §3.1 notes "the sites answering the questions were not provided with
+    these motivations behind the questions" — hence the separation.
+    """
+
+    key: str
+    section: str
+    text: str
+    motivation: str
+
+
+#: The instrument, in §3.1 order.
+SURVEY_QUESTIONS: Tuple[SurveyQuestion, ...] = (
+    SurveyQuestion(
+        key="negotiation",
+        section="3.1.1 Contract Negotiation Responsibility",
+        text=(
+            "In your institution, who is responsible for negotiating the "
+            "contract between your HPC facility and your ESP? What role do "
+            "you play, if any, in this contract negotiation?"
+        ),
+        motivation=(
+            "The more the SC participates in the actual negotiation with "
+            "the ESP, the greater the likelihood that the contract would "
+            "be tailored to the needs and abilities of the SC."
+        ),
+    ),
+    SurveyQuestion(
+        key="pricing",
+        section="3.1.2 Details on Pricing Structure",
+        text=(
+            "Could you elaborate on the details of the pricing structure of "
+            "your electricity? What are the basic pricing components?"
+        ),
+        motivation=(
+            "Knowing what sort of tariffs exist among SCs helps understand "
+            "the degree to which SCs already participate in DR-like "
+            "programs and how they act in this context."
+        ),
+    ),
+    SurveyQuestion(
+        key="obligations",
+        section="3.1.3 Obligations Towards the ESP",
+        text=(
+            "Do you have any obligations towards your ESP, e.g. a "
+            "contractually agreed power band or requirement to deliver "
+            "power profiles? What is your incentive towards committing to "
+            "these obligations?"
+        ),
+        motivation=(
+            "Obligations range from none to very tightly coupled; they are "
+            "static and 'pre-smart-grid', needing no real-time communication."
+        ),
+    ),
+    SurveyQuestion(
+        key="services",
+        section="3.1.4 Services Provided to ESP",
+        text=(
+            "Do you offer any kind of services for your ESP (two-way "
+            "communication, reacting to a signal — load capping, backup "
+            "generators, ...)? What is your incentive for offering these "
+            "services?"
+        ),
+        motivation=(
+            "Services extend obligations to active, opt-in participation."
+        ),
+    ),
+    SurveyQuestion(
+        key="future",
+        section="3.1.5 Future Relationship with your ESP",
+        text=(
+            "How do you envision your future relationship with your "
+            "electricity provider? Tighter (e.g. selling local generation "
+            "capacity) or looser (e.g. self-sufficiency)?"
+        ),
+        motivation=(
+            "Current relationship plus envisioned evolution describes SC "
+            "readiness for the grid transition."
+        ),
+    ),
+    SurveyQuestion(
+        key="dr_potential",
+        section="3.1.6 DR Potential",
+        text=(
+            "Imagine your ESP offered a voluntary DR program. Is there some "
+            "part of the load that you can reduce (or increase) for a "
+            "certain time-span without negatively impacting operations? How "
+            "much load could you shift, and what incentive would you "
+            "expect — including for shifts with tangible impact on users?"
+        ),
+        motivation=(
+            "Understand how responsive SCs are to DR and what incentives or "
+            "removed barriers would change behavior."
+        ),
+    ),
+)
+
+_QUESTION_KEYS = {q.key for q in SURVEY_QUESTIONS}
+
+
+@dataclass(frozen=True)
+class SurveyResponse:
+    """A coded response from one site.
+
+    Attributes
+    ----------
+    site_label:
+        Anonymized label ("Site 1" ... "Site 10").
+    flags:
+        Typology coding of the pricing/obligation answers — a Table 2 row.
+    rnp:
+        Coded answer to the negotiation question.
+    communicates_swings:
+        Coded §3.4 behaviour.
+    employs_dr_strategies:
+        Whether the site actively manages cost with DR strategies (§3.4
+        finds none do, even the dynamically-tariffed ones).
+    free_text:
+        Optional verbatim-style answers per question key.
+    """
+
+    site_label: str
+    flags: TypologyFlags
+    rnp: ResponsibleParty
+    communicates_swings: bool
+    employs_dr_strategies: bool = False
+    free_text: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.site_label:
+            raise SurveyError("a response requires a site label")
+        unknown = set(self.free_text) - _QUESTION_KEYS
+        if unknown:
+            raise SurveyError(
+                f"free_text keyed by unknown questions: {sorted(unknown)}"
+            )
+
+    def answered(self, key: str) -> bool:
+        """True when a free-text answer exists for a question."""
+        if key not in _QUESTION_KEYS:
+            raise SurveyError(f"unknown question key {key!r}")
+        return key in self.free_text

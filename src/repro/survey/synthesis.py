@@ -1,0 +1,131 @@
+"""From Table 2 rows to executable contracts — and back.
+
+The typology's value claim is that every surveyed contract decomposes into
+the Figure 1 components.  This module makes the claim operational in both
+directions:
+
+* :func:`site_contract` *constructs* an executable
+  :class:`~repro.contracts.Contract` for each surveyed site with exactly
+  the components its Table 2 row marks, parameterized representatively at
+  the site's scale;
+* :func:`table2_matrix` *classifies* those contracts back through
+  :meth:`Contract.typology_flags` to regenerate Table 2;
+* :func:`verify_table2` asserts the round-trip is exact — the consistency
+  check behind the ``table2`` experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..contracts.contract import Contract
+from ..contracts.demand_charges import DemandCharge
+from ..contracts.emergency import EmergencyDRObligation
+from ..contracts.powerband import Powerband
+from ..contracts.tariffs import DynamicTariff, FixedTariff, TOUServiceCharge
+from ..contracts.typology import TYPOLOGY_LEAVES, TypologyFlags
+from ..exceptions import SurveyError
+from ..timeseries.calendar import TOUWindow
+from .sites import SURVEYED_SITES, SurveySite
+
+__all__ = ["site_contract", "table2_matrix", "verify_table2"]
+
+#: Representative component parameters (levels are not published; the
+#: typology deliberately abstracts them away, §3.1.2: "We do not need
+#: information on the actual price").
+_FIXED_RATE_PER_KWH = 0.07
+_TOU_PEAK_ADDER_PER_KWH = 0.03
+_DYNAMIC_ADDER_PER_KWH = 0.015
+_DEMAND_RATE_PER_KW = 12.0
+_BAND_PENALTY_PER_KWH = 0.50
+
+
+def site_contract(site: SurveySite) -> Contract:
+    """An executable contract with exactly the site's Table 2 components.
+
+    Power-denominated parameters scale with the site's (synthetic) peak:
+    the powerband brackets the typical operating range, and the emergency
+    obligation is sized to the §3.2.3 description.
+    """
+    peak_kw = site.synthetic_peak_mw * 1000.0
+    components: List = []
+    flags = site.flags
+    if flags.fixed:
+        components.append(FixedTariff(_FIXED_RATE_PER_KWH))
+    if flags.variable:
+        peak_window = TOUWindow(
+            name="peak", hour_start=8, hour_end=20, weekdays_only=True
+        )
+        components.append(
+            TOUServiceCharge([(peak_window, _TOU_PEAK_ADDER_PER_KWH)])
+        )
+    if flags.dynamic:
+        components.append(DynamicTariff(adder_per_kwh=_DYNAMIC_ADDER_PER_KWH))
+    if flags.demand_charge:
+        components.append(DemandCharge(_DEMAND_RATE_PER_KW))
+    if flags.powerband:
+        components.append(
+            Powerband(
+                upper_kw=0.95 * peak_kw,
+                lower_kw=0.30 * peak_kw,
+                penalty_per_kwh_outside=_BAND_PENALTY_PER_KWH,
+            )
+        )
+    if flags.emergency_dr:
+        components.append(
+            EmergencyDRObligation(
+                availability_credit_per_period=0.0,  # imposed, not paid (§3.2.3)
+                noncompliance_penalty_per_kwh=1.0,
+                max_calls_per_period=4,
+            )
+        )
+    if not components:
+        raise SurveyError(f"{site.label} has an empty Table 2 row")
+    return Contract(
+        name=site.label,
+        components=components,
+        rnp=site.rnp,
+        communicates_swings=site.communicates_swings,
+        metadata={
+            "institution": site.synthetic_institution,
+            "country": site.synthetic_country,
+            "region": site.region,
+        },
+        allow_no_tariff=not flags.has_any_tariff(),
+    )
+
+
+def table2_matrix(
+    sites: Sequence[SurveySite] = SURVEYED_SITES,
+) -> List[Dict[str, object]]:
+    """Regenerate Table 2 by classifying each site's executable contract.
+
+    Each row is ``{"site": label, <leaf>: bool..., "rnp": str}`` with leaf
+    keys in :data:`~repro.contracts.typology.TYPOLOGY_LEAVES` order.
+    """
+    rows: List[Dict[str, object]] = []
+    for site in sites:
+        contract = site_contract(site)
+        derived = contract.typology_flags()
+        row: Dict[str, object] = {"site": site.label}
+        for leaf in TYPOLOGY_LEAVES:
+            row[leaf] = getattr(derived, leaf)
+        row["rnp"] = contract.rnp.value
+        rows.append(row)
+    return rows
+
+
+def verify_table2(sites: Sequence[SurveySite] = SURVEYED_SITES) -> bool:
+    """Round-trip check: constructed contracts classify back to Table 2.
+
+    Raises :class:`~repro.exceptions.SurveyError` on any mismatch; returns
+    True when the regenerated matrix equals the encoded one exactly.
+    """
+    for site in sites:
+        derived = site_contract(site).typology_flags()
+        if derived != site.flags:
+            raise SurveyError(
+                f"{site.label}: classification round-trip failed "
+                f"(encoded {site.flags.leaves()}, derived {derived.leaves()})"
+            )
+    return True

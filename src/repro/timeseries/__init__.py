@@ -1,0 +1,76 @@
+"""Regular-interval power time series and calendars.
+
+This subpackage is the metering substrate shared by the contract billing
+engine (:mod:`repro.contracts`), the grid simulation (:mod:`repro.grid`) and
+the facility simulation (:mod:`repro.facility`).
+
+Time is epoch-free simulation time: a series is an array of mean power
+values (kW) over consecutive intervals of fixed length, starting at
+simulation second 0, which by convention is midnight of day 0 (a Monday) of
+a canonical 365-day year.  :class:`~repro.timeseries.calendar.SimCalendar`
+maps sample indices to hour-of-day / day-of-week / season, which is all the
+time-of-use tariffs in the paper's typology require.
+"""
+
+from .series import PowerSeries
+from .calendar import (
+    SimCalendar,
+    BillingPeriod,
+    monthly_billing_periods,
+    TOUWindow,
+    Season,
+)
+from .resample import resample_mean, demand_intervals, align
+from .stats import (
+    peak_kw,
+    top_k_peaks,
+    load_factor,
+    peak_to_average_ratio,
+    ramp_rates_kw_per_h,
+    max_ramp_kw_per_h,
+    coefficient_of_variation,
+    load_duration_curve,
+    excursions_outside_band,
+)
+from .events import Event, EventTimeline
+from .deviation import Deviation, detect_deviations, deviations_to_timeline
+from .io import (
+    series_to_dict,
+    series_from_dict,
+    series_to_json,
+    series_from_json,
+    write_series_csv,
+    read_series_csv,
+)
+
+__all__ = [
+    "PowerSeries",
+    "SimCalendar",
+    "BillingPeriod",
+    "monthly_billing_periods",
+    "TOUWindow",
+    "Season",
+    "resample_mean",
+    "demand_intervals",
+    "align",
+    "peak_kw",
+    "top_k_peaks",
+    "load_factor",
+    "peak_to_average_ratio",
+    "ramp_rates_kw_per_h",
+    "max_ramp_kw_per_h",
+    "coefficient_of_variation",
+    "load_duration_curve",
+    "excursions_outside_band",
+    "Event",
+    "EventTimeline",
+    "Deviation",
+    "detect_deviations",
+    "deviations_to_timeline",
+    "series_to_dict",
+    "series_from_dict",
+    "series_to_json",
+    "series_from_json",
+    "write_series_csv",
+    "read_series_csv",
+]

@@ -1,0 +1,120 @@
+"""Deviation detection: finding the swings worth reporting.
+
+§3.4: good-neighbor SCs report "maintenance periods, benchmarks and other
+events which make their power consumption deviate significantly from
+default operation."  Detecting those deviations *automatically* — actual
+vs forecast, sustained beyond a threshold — is the first step toward
+automating the phone call.  This module finds maximal sustained-deviation
+episodes and converts them into the event-timeline vocabulary the rest of
+the library (ESP settlement, collaboration scoring) already speaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import TimeSeriesError
+from .events import Event, EventKind, EventTimeline
+from .series import PowerSeries
+
+__all__ = ["Deviation", "detect_deviations", "deviations_to_timeline"]
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One sustained deviation of actual load from its reference."""
+
+    start_s: float
+    end_s: float
+    mean_delta_kw: float   # signed: positive = consuming above reference
+    peak_delta_kw: float   # largest |delta| in the episode
+
+    @property
+    def duration_s(self) -> float:
+        """Episode length (s)."""
+        return self.end_s - self.start_s
+
+    @property
+    def direction(self) -> str:
+        """"up" (benchmark-like) or "down" (maintenance-like)."""
+        return "up" if self.mean_delta_kw >= 0 else "down"
+
+
+def detect_deviations(
+    actual: PowerSeries,
+    reference: PowerSeries,
+    threshold_kw: float,
+    min_duration_s: float = 1800.0,
+) -> List[Deviation]:
+    """Maximal runs where |actual − reference| stays above ``threshold_kw``.
+
+    Parameters
+    ----------
+    actual / reference:
+        Aligned series (same interval, start, length); the reference is
+        typically a forecast or the facility's default-operation profile.
+    threshold_kw:
+        Significance threshold — "deviate significantly" made concrete.
+    min_duration_s:
+        Episodes shorter than this are operational noise, not events.
+    """
+    if (
+        actual.interval_s != reference.interval_s
+        or actual.start_s != reference.start_s
+        or len(actual) != len(reference)
+    ):
+        raise TimeSeriesError("actual and reference series must align")
+    if threshold_kw <= 0:
+        raise TimeSeriesError("threshold must be positive")
+    if min_duration_s < 0:
+        raise TimeSeriesError("min_duration_s must be non-negative")
+    delta = actual.values_kw - reference.values_kw
+    over = np.abs(delta) > threshold_kw
+    if not over.any():
+        return []
+    edges = np.flatnonzero(
+        np.diff(np.concatenate([[0], over.view(np.int8), [0]]))
+    )
+    starts, ends = edges[0::2], edges[1::2]
+    min_n = max(1, int(np.ceil(min_duration_s / actual.interval_s)))
+    episodes: List[Deviation] = []
+    for s, e in zip(starts, ends):
+        if e - s < min_n:
+            continue
+        window = delta[s:e]
+        episodes.append(
+            Deviation(
+                start_s=actual.start_s + s * actual.interval_s,
+                end_s=actual.start_s + e * actual.interval_s,
+                mean_delta_kw=float(window.mean()),
+                peak_delta_kw=float(np.abs(window).max()),
+            )
+        )
+    return episodes
+
+
+def deviations_to_timeline(
+    deviations: List[Deviation],
+    notified: bool = True,
+) -> EventTimeline:
+    """Convert detected deviations into the §3.4 event vocabulary.
+
+    Downward episodes become maintenance-like events, upward ones
+    benchmark-like; ``notified`` marks whether the site announced them
+    (the collaboration-score input).
+    """
+    events = [
+        Event(
+            kind=EventKind.MAINTENANCE if d.direction == "down" else EventKind.BENCHMARK,
+            start_s=d.start_s,
+            end_s=d.end_s,
+            delta_kw=d.mean_delta_kw,
+            notified=notified,
+            label=f"{d.direction} deviation, peak {d.peak_delta_kw:.0f} kW",
+        )
+        for d in deviations
+    ]
+    return EventTimeline(events)

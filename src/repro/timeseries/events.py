@@ -1,0 +1,144 @@
+"""Operational event timelines.
+
+Paper §3.4: SCs act as "good neighbors" by reporting maintenance periods,
+benchmark runs and other events that make their power consumption deviate
+significantly from default operation.  This module models those events so
+the facility simulation can superimpose them on telemetry and the ESP model
+can credit advance notification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import TimeSeriesError
+from .series import PowerSeries
+
+__all__ = ["EventKind", "Event", "EventTimeline"]
+
+
+class EventKind(enum.Enum):
+    """The event categories §3.4 names, plus DR actions from §3.1.6."""
+
+    MAINTENANCE = "maintenance"          # planned outage: load drops toward base
+    BENCHMARK = "benchmark"              # full-machine run (e.g. HPL): load spikes
+    DR_SHED = "dr_shed"                  # load shed in response to a DR signal
+    DR_SHIFT = "dr_shift"                # load moved in time
+    EMERGENCY_CURTAILMENT = "emergency"  # mandatory emergency-DR curtailment
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A power-relevant operational event.
+
+    Parameters
+    ----------
+    kind:
+        Category of the event.
+    start_s / end_s:
+        Simulation-time span of the event.
+    delta_kw:
+        Signed change to facility power while the event is active
+        (negative for maintenance/sheds, positive for benchmarks).
+    notified:
+        Whether the ESP was informed in advance — the "good neighbor"
+        behaviour six of ten surveyed sites practice.
+    label:
+        Free-text description.
+    """
+
+    kind: EventKind
+    start_s: float
+    end_s: float
+    delta_kw: float
+    notified: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise TimeSeriesError(
+                f"event {self.label or self.kind.value!r} must have positive "
+                f"duration ({self.start_s} .. {self.end_s})"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Event duration (s)."""
+        return self.end_s - self.start_s
+
+    def overlaps(self, start_s: float, end_s: float) -> bool:
+        """True when the event intersects ``[start_s, end_s)``."""
+        return self.start_s < end_s and self.end_s > start_s
+
+
+class EventTimeline:
+    """An ordered collection of :class:`Event` applied to power series."""
+
+    def __init__(self, events: Sequence[Event] = ()) -> None:
+        self._events: List[Event] = sorted(events, key=lambda e: e.start_s)
+
+    def add(self, event: Event) -> None:
+        """Insert an event, keeping start-time order."""
+        self._events.append(event)
+        self._events.sort(key=lambda e: e.start_s)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events_of_kind(self, kind: EventKind) -> List[Event]:
+        """All events of one category, in time order."""
+        return [e for e in self._events if e.kind is kind]
+
+    def active_during(self, start_s: float, end_s: float) -> List[Event]:
+        """Events intersecting ``[start_s, end_s)``."""
+        return [e for e in self._events if e.overlaps(start_s, end_s)]
+
+    def notified_fraction(self) -> float:
+        """Fraction of events for which the ESP was notified in advance.
+
+        This is the quantitative handle on the §3.4 "good neighbor" claim:
+        six of ten sites communicate swings to their ESP.
+        """
+        if not self._events:
+            raise TimeSeriesError("no events on the timeline")
+        return sum(e.notified for e in self._events) / len(self._events)
+
+    def apply(self, series: PowerSeries, floor_kw: float = 0.0) -> PowerSeries:
+        """Superimpose all events on ``series``.
+
+        Each event adds ``delta_kw`` to the intervals it overlaps; the
+        result is floored at ``floor_kw`` (a facility cannot draw negative
+        power unless it exports).  Partial overlaps are weighted by the
+        fraction of the interval covered, so metered energy reflects the
+        event's true span.
+        """
+        values = series.values_kw.copy()
+        edges = series.start_s + series.interval_s * np.arange(len(series) + 1)
+        for event in self._events:
+            # fraction of each interval covered by [event.start_s, event.end_s)
+            lo = np.clip(event.start_s, edges[:-1], edges[1:])
+            hi = np.clip(event.end_s, edges[:-1], edges[1:])
+            frac = (hi - lo) / series.interval_s
+            values += event.delta_kw * frac
+        np.maximum(values, floor_kw, out=values)
+        return series.with_values(values)
+
+    def unnotified_deviation_events(self, threshold_kw: float) -> List[Event]:
+        """Events with |delta| ≥ threshold that the ESP was *not* told about.
+
+        These are the surprises that strain the ESP relationship; the
+        grid-side model penalizes them in its collaboration score.
+        """
+        return [
+            e
+            for e in self._events
+            if abs(e.delta_kw) >= threshold_kw and not e.notified
+        ]

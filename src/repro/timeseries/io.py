@@ -1,0 +1,143 @@
+"""Serialization of power series: CSV and dict round-trips.
+
+Metered data enters and leaves real deployments as files.  The CSV dialect
+here is deliberately minimal — a two-column ``time_s,power_kw`` table with
+a comment header carrying the interval — so traces survive spreadsheet
+round-trips and diff cleanly under version control.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, TextIO, Union
+
+import numpy as np
+
+from ..exceptions import TimeSeriesError
+from .series import PowerSeries
+
+__all__ = [
+    "series_to_dict",
+    "series_from_dict",
+    "write_series_csv",
+    "read_series_csv",
+    "series_to_json",
+    "series_from_json",
+]
+
+_HEADER_PREFIX = "# repro-power-series"
+
+
+def series_to_dict(series: PowerSeries) -> Dict[str, object]:
+    """A JSON-safe dict representation."""
+    return {
+        "format": "repro-power-series-v1",
+        "interval_s": series.interval_s,
+        "start_s": series.start_s,
+        "values_kw": series.values_kw.tolist(),
+    }
+
+
+def series_from_dict(data: Dict[str, object]) -> PowerSeries:
+    """Inverse of :func:`series_to_dict`, with format validation."""
+    if not isinstance(data, dict):
+        raise TimeSeriesError(f"expected a dict, got {type(data).__name__}")
+    if data.get("format") != "repro-power-series-v1":
+        raise TimeSeriesError(
+            f"unrecognized series format {data.get('format')!r}"
+        )
+    for key in ("interval_s", "start_s", "values_kw"):
+        if key not in data:
+            raise TimeSeriesError(f"series dict missing key {key!r}")
+    return PowerSeries(
+        np.asarray(data["values_kw"], dtype=np.float64),
+        float(data["interval_s"]),
+        float(data["start_s"]),
+    )
+
+
+def series_to_json(series: PowerSeries) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(series_to_dict(series))
+
+
+def series_from_json(text: str) -> PowerSeries:
+    """Parse a JSON string produced by :func:`series_to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TimeSeriesError(f"invalid JSON: {exc}") from exc
+    return series_from_dict(data)
+
+
+def write_series_csv(series: PowerSeries, target: Union[str, Path, TextIO]) -> None:
+    """Write ``time_s,power_kw`` CSV with a metadata comment header."""
+    def _write(fh: TextIO) -> None:
+        fh.write(
+            f"{_HEADER_PREFIX} interval_s={series.interval_s:g} "
+            f"start_s={series.start_s:g}\n"
+        )
+        fh.write("time_s,power_kw\n")
+        times = series.times_s()
+        for t, v in zip(times, series.values_kw):
+            fh.write(f"{t:.6g},{v:.10g}\n")
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            _write(fh)
+    else:
+        _write(target)
+
+
+def read_series_csv(source: Union[str, Path, TextIO]) -> PowerSeries:
+    """Read a CSV produced by :func:`write_series_csv`.
+
+    The metadata header is authoritative for the interval; row times are
+    validated against it (a silent gap in the rows would mis-meter energy).
+    """
+    def _read(fh: TextIO) -> PowerSeries:
+        header = fh.readline().strip()
+        if not header.startswith(_HEADER_PREFIX):
+            raise TimeSeriesError(
+                "not a repro power-series CSV (missing metadata header)"
+            )
+        meta: Dict[str, float] = {}
+        for token in header[len(_HEADER_PREFIX):].split():
+            key, _, value = token.partition("=")
+            meta[key] = float(value)
+        if "interval_s" not in meta:
+            raise TimeSeriesError("CSV header missing interval_s")
+        column_line = fh.readline().strip()
+        if column_line != "time_s,power_kw":
+            raise TimeSeriesError(
+                f"unexpected CSV columns {column_line!r}"
+            )
+        times = []
+        values = []
+        for lineno, line in enumerate(fh, start=3):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise TimeSeriesError(f"malformed CSV row at line {lineno}: {line!r}")
+            times.append(float(parts[0]))
+            values.append(float(parts[1]))
+        if not values:
+            raise TimeSeriesError("CSV contains no data rows")
+        interval = meta["interval_s"]
+        start = meta.get("start_s", times[0])
+        expected = start + interval * np.arange(len(values))
+        if not np.allclose(times, expected, rtol=0.0, atol=1e-6 * interval):
+            raise TimeSeriesError(
+                "CSV row times are not a regular grid matching the header "
+                "interval; refusing to fabricate missing intervals"
+            )
+        return PowerSeries(np.asarray(values), interval, start)
+
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return _read(fh)
+    return _read(source)

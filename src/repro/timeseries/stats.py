@@ -1,0 +1,176 @@
+"""Load-profile statistics.
+
+These are the quantities the paper's discussion turns on: peak demand
+(demand charges bill on it), peak-to-average ratio (the [34] study's axis:
+"the share of the power charge within the electricity bill increases with
+the ratio of peak versus average power consumption"), ramp rates ("the fast
+ramping variability in the demand of these SCs can strain the grid"), and
+powerband excursions (§3.2.2).
+
+All functions are vectorized NumPy over :class:`~repro.timeseries.PowerSeries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import TimeSeriesError
+from ..units import SECONDS_PER_HOUR
+from .series import PowerSeries
+
+__all__ = [
+    "peak_kw",
+    "top_k_peaks",
+    "load_factor",
+    "peak_to_average_ratio",
+    "ramp_rates_kw_per_h",
+    "max_ramp_kw_per_h",
+    "coefficient_of_variation",
+    "load_duration_curve",
+    "BandExcursions",
+    "excursions_outside_band",
+]
+
+
+def peak_kw(series: PowerSeries) -> float:
+    """Maximum interval-mean power (kW): the billed demand quantity."""
+    return series.max_kw()
+
+
+def top_k_peaks(series: PowerSeries, k: int) -> np.ndarray:
+    """The ``k`` largest interval-mean powers, descending (kW).
+
+    Demand charges in some contracts bill on a fixed number of peaks per
+    billing period rather than the single maximum (the paper's example: "a
+    case with three 15 MW peaks in a billing period").
+    """
+    if k <= 0:
+        raise TimeSeriesError(f"k must be positive, got {k}")
+    v = series.values_kw
+    k = min(k, len(v))
+    # argpartition is O(n); sort only the selected k values.
+    top = np.partition(v, len(v) - k)[len(v) - k:]
+    return np.sort(top)[::-1]
+
+
+def load_factor(series: PowerSeries) -> float:
+    """Mean power divided by peak power, in (0, 1] for non-negative load.
+
+    High load factor (flat load) is what makes SCs attractive customers; low
+    load factor is what demand charges penalize.
+    """
+    peak = series.max_kw()
+    if peak <= 0:
+        raise TimeSeriesError("load factor undefined for non-positive peak")
+    return series.mean_kw() / peak
+
+
+def peak_to_average_ratio(series: PowerSeries) -> float:
+    """Peak power divided by mean power — the x-axis of the [34] study."""
+    mean = series.mean_kw()
+    if mean <= 0:
+        raise TimeSeriesError("peak/average ratio undefined for non-positive mean")
+    return series.max_kw() / mean
+
+
+def ramp_rates_kw_per_h(series: PowerSeries) -> np.ndarray:
+    """Signed power change between consecutive intervals, in kW per hour."""
+    if len(series) < 2:
+        raise TimeSeriesError("ramp rates require at least two intervals")
+    dt_h = series.interval_s / SECONDS_PER_HOUR
+    return np.diff(series.values_kw) / dt_h
+
+
+def max_ramp_kw_per_h(series: PowerSeries) -> float:
+    """Largest absolute ramp rate (kW/h) — the grid-straining quantity."""
+    return float(np.abs(ramp_rates_kw_per_h(series)).max())
+
+
+def coefficient_of_variation(series: PowerSeries) -> float:
+    """Standard deviation over mean — a scale-free variability measure."""
+    mean = series.mean_kw()
+    if mean == 0:
+        raise TimeSeriesError("coefficient of variation undefined for zero mean")
+    return float(series.values_kw.std() / abs(mean))
+
+
+def load_duration_curve(series: PowerSeries) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(exceedance_fraction, power_kw)`` sorted descending.
+
+    The standard utility view of a load: power levels sorted from highest
+    to lowest against the fraction of time each level is exceeded.
+    """
+    sorted_desc = np.sort(series.values_kw)[::-1]
+    n = len(sorted_desc)
+    exceedance = (np.arange(1, n + 1)) / n
+    return exceedance, sorted_desc
+
+
+@dataclass(frozen=True)
+class BandExcursions:
+    """Summary of consumption outside a powerband (paper §3.2.2).
+
+    Attributes
+    ----------
+    n_over / n_under:
+        Number of metering intervals above the upper / below the lower bound.
+    energy_over_kwh / energy_under_kwh:
+        Energy outside the band: above-bound excess and below-bound
+        shortfall, both non-negative kWh.
+    worst_over_kw / worst_under_kw:
+        Largest instantaneous excess / shortfall (kW), zero when none.
+    fraction_outside:
+        Fraction of intervals outside the band, in [0, 1].
+    """
+
+    n_over: int
+    n_under: int
+    energy_over_kwh: float
+    energy_under_kwh: float
+    worst_over_kw: float
+    worst_under_kw: float
+    fraction_outside: float
+
+    @property
+    def n_outside(self) -> int:
+        """Total number of intervals outside the band."""
+        return self.n_over + self.n_under
+
+    @property
+    def compliant(self) -> bool:
+        """True when the profile never left the band."""
+        return self.n_outside == 0
+
+
+def excursions_outside_band(
+    series: PowerSeries, lower_kw: float, upper_kw: float
+) -> BandExcursions:
+    """Measure consumption outside ``[lower_kw, upper_kw]``.
+
+    This is the continuous-sampling measurement the paper contrasts with
+    peak-count demand charges: "powerbands may be considered as a variation
+    over demand charges with upper- and lower limit and continuous sampling
+    of consumption".
+    """
+    if lower_kw > upper_kw:
+        raise TimeSeriesError(
+            f"lower bound {lower_kw} kW exceeds upper bound {upper_kw} kW"
+        )
+    v = series.values_kw
+    over = np.maximum(v - upper_kw, 0.0)
+    under = np.maximum(lower_kw - v, 0.0)
+    h = series.interval_h
+    n_over = int(np.count_nonzero(over))
+    n_under = int(np.count_nonzero(under))
+    return BandExcursions(
+        n_over=n_over,
+        n_under=n_under,
+        energy_over_kwh=float(over.sum() * h),
+        energy_under_kwh=float(under.sum() * h),
+        worst_over_kw=float(over.max()),
+        worst_under_kw=float(under.max()),
+        fraction_outside=(n_over + n_under) / len(v),
+    )

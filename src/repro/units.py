@@ -1,0 +1,212 @@
+"""Physical and monetary quantities used throughout the library.
+
+The paper's contract typology is organized around two physical domains:
+
+* **power** (kW / MW) — the domain of demand charges and powerbands
+  (paper §3.2.2), and
+* **energy** (kWh / MWh) — the domain of tariffs (paper §3.2.1),
+
+plus money for bills and incentives.  To keep hot numerical paths fast the
+library stores raw ``float`` / NumPy arrays in canonical units (kW, kWh,
+currency units) and uses the helpers in this module only at API boundaries
+— construction, display, and validation — never inside vectorized kernels.
+
+Canonical units:
+
+========  ===============
+quantity  canonical unit
+========  ===============
+power     kilowatt (kW)
+energy    kilowatt-hour (kWh)
+time      second (s)
+money     currency unit ("USD" by default; a label only)
+========  ===============
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .exceptions import UnitError
+
+__all__ = [
+    "KW_PER_MW",
+    "W_PER_KW",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "HOURS_PER_DAY",
+    "DAYS_PER_YEAR",
+    "kw",
+    "mw",
+    "watts",
+    "kwh",
+    "mwh",
+    "hours",
+    "minutes",
+    "days",
+    "energy_kwh",
+    "average_power_kw",
+    "Money",
+]
+
+#: Number of kilowatts in a megawatt.
+KW_PER_MW = 1_000.0
+#: Number of watts in a kilowatt.
+W_PER_KW = 1_000.0
+#: Number of seconds in an hour.
+SECONDS_PER_HOUR = 3_600.0
+#: Number of seconds in a day.
+SECONDS_PER_DAY = 86_400.0
+#: Number of hours in a day.
+HOURS_PER_DAY = 24
+#: Days in the library's canonical (non-leap) year.
+DAYS_PER_YEAR = 365
+
+
+def _require_finite(value: float, what: str) -> float:
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise UnitError(f"{what} must be finite, got {value!r}")
+    return value
+
+
+def _require_nonnegative(value: float, what: str) -> float:
+    value = _require_finite(value, what)
+    if value < 0.0:
+        raise UnitError(f"{what} must be non-negative, got {value!r}")
+    return value
+
+
+def kw(value: float) -> float:
+    """Return ``value`` kilowatts in canonical power units (identity).
+
+    Exists so call sites read ``kw(15_000)`` rather than a bare number, and
+    to centralize validation: power magnitudes must be finite.
+    """
+    return _require_finite(value, "power (kW)")
+
+
+def mw(value: float) -> float:
+    """Convert ``value`` megawatts to canonical kilowatts."""
+    return _require_finite(value, "power (MW)") * KW_PER_MW
+
+
+def watts(value: float) -> float:
+    """Convert ``value`` watts to canonical kilowatts."""
+    return _require_finite(value, "power (W)") / W_PER_KW
+
+
+def kwh(value: float) -> float:
+    """Return ``value`` kilowatt-hours in canonical energy units (identity)."""
+    return _require_finite(value, "energy (kWh)")
+
+
+def mwh(value: float) -> float:
+    """Convert ``value`` megawatt-hours to canonical kilowatt-hours."""
+    return _require_finite(value, "energy (MWh)") * KW_PER_MW
+
+
+def hours(value: float) -> float:
+    """Convert ``value`` hours to canonical seconds."""
+    return _require_nonnegative(value, "duration (h)") * SECONDS_PER_HOUR
+
+
+def minutes(value: float) -> float:
+    """Convert ``value`` minutes to canonical seconds."""
+    return _require_nonnegative(value, "duration (min)") * 60.0
+
+
+def days(value: float) -> float:
+    """Convert ``value`` days to canonical seconds."""
+    return _require_nonnegative(value, "duration (d)") * SECONDS_PER_DAY
+
+
+def energy_kwh(power_kw: float, duration_s: float) -> float:
+    """Energy (kWh) delivered at constant ``power_kw`` for ``duration_s``.
+
+    This is the single conversion between the paper's two physical domains
+    (kW ↔ kWh); every metering computation in the library reduces to it.
+    """
+    power_kw = _require_finite(power_kw, "power (kW)")
+    duration_s = _require_nonnegative(duration_s, "duration (s)")
+    return power_kw * duration_s / SECONDS_PER_HOUR
+
+
+def average_power_kw(energy: float, duration_s: float) -> float:
+    """Average power (kW) that delivers ``energy`` kWh over ``duration_s``."""
+    energy = _require_finite(energy, "energy (kWh)")
+    duration_s = _require_nonnegative(duration_s, "duration (s)")
+    if duration_s == 0.0:
+        raise UnitError("cannot average power over a zero-length duration")
+    return energy * SECONDS_PER_HOUR / duration_s
+
+
+@dataclass(frozen=True)
+class Money:
+    """An amount of money in a named currency.
+
+    The currency is a label, not an exchange-rate system: arithmetic between
+    two :class:`Money` values requires matching currencies and raises
+    :class:`~repro.exceptions.UnitError` otherwise.  Bills and incentives in
+    the library are expressed with this type at API boundaries; internal
+    kernels use raw floats in the bill's currency.
+    """
+
+    amount: float
+    currency: str = "USD"
+
+    def __post_init__(self) -> None:
+        _require_finite(self.amount, "money amount")
+        if not self.currency:
+            raise UnitError("currency label must be non-empty")
+
+    def _check(self, other: "Money") -> None:
+        if not isinstance(other, Money):
+            raise UnitError(f"expected Money, got {type(other).__name__}")
+        if other.currency != self.currency:
+            raise UnitError(
+                f"currency mismatch: {self.currency!r} vs {other.currency!r}"
+            )
+
+    def __add__(self, other: "Money") -> "Money":
+        self._check(other)
+        return Money(self.amount + other.amount, self.currency)
+
+    def __sub__(self, other: "Money") -> "Money":
+        self._check(other)
+        return Money(self.amount - other.amount, self.currency)
+
+    def __mul__(self, scalar: float) -> "Money":
+        return Money(self.amount * float(scalar), self.currency)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Money":
+        return Money(self.amount / float(scalar), self.currency)
+
+    def __neg__(self) -> "Money":
+        return Money(-self.amount, self.currency)
+
+    def __lt__(self, other: "Money") -> bool:
+        self._check(other)
+        return self.amount < other.amount
+
+    def __le__(self, other: "Money") -> bool:
+        self._check(other)
+        return self.amount <= other.amount
+
+    def __gt__(self, other: "Money") -> bool:
+        self._check(other)
+        return self.amount > other.amount
+
+    def __ge__(self, other: "Money") -> bool:
+        self._check(other)
+        return self.amount >= other.amount
+
+    def is_zero(self, tol: float = 1e-9) -> bool:
+        """True when the amount is zero to within ``tol``."""
+        return abs(self.amount) <= tol
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.amount:,.2f} {self.currency}"

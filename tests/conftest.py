@@ -1,0 +1,108 @@
+"""Shared fixtures.
+
+Horizons are kept short (days, not years) wherever the semantics allow, so
+the full suite stays fast; the annual fixtures are session-scoped and
+reused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    BillingEngine,
+    Contract,
+    DemandCharge,
+    FixedTariff,
+)
+from repro.facility import (
+    NodePowerModel,
+    Scheduler,
+    SchedulerConfig,
+    Supercomputer,
+    WorkloadModel,
+)
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY_S = 86_400.0
+WEEK_S = 7 * DAY_S
+QUARTER_H_S = 900.0
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for per-test randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def flat_day():
+    """A flat 1 MW day at 15-minute metering."""
+    return PowerSeries.constant(1000.0, 96, QUARTER_H_S)
+
+
+@pytest.fixture
+def noisy_week(rng):
+    """A noisy week between 1 and 2 MW at 15-minute metering."""
+    n = int(WEEK_S / QUARTER_H_S)
+    return PowerSeries(rng.uniform(1000.0, 2000.0, n), QUARTER_H_S)
+
+
+@pytest.fixture
+def week_periods():
+    """Seven daily billing periods covering the noisy week."""
+    return [
+        BillingPeriod(f"day{d}", d * DAY_S, (d + 1) * DAY_S) for d in range(7)
+    ]
+
+
+@pytest.fixture(scope="session")
+def annual_load():
+    """A year of 15-minute load around 5 MW (session-scoped; read-only)."""
+    rng = np.random.default_rng(7)
+    n = int(365 * DAY_S / QUARTER_H_S)
+    return PowerSeries(rng.uniform(4000.0, 6000.0, n), QUARTER_H_S)
+
+
+@pytest.fixture
+def small_machine():
+    """A 64-node machine with a simple power anatomy."""
+    return Supercomputer(
+        name="testbox",
+        n_nodes=64,
+        node_power=NodePowerModel(idle_w=200.0, max_w=600.0, sleep_w=20.0),
+        base_overhead_kw=10.0,
+    )
+
+
+@pytest.fixture
+def small_workload(small_machine):
+    """A two-day workload for the small machine."""
+    model = WorkloadModel(
+        machine=small_machine,
+        target_utilization=0.8,
+        mean_runtime_s=2 * 3600.0,
+    )
+    return model.generate(2 * DAY_S, seed=42)
+
+
+@pytest.fixture
+def small_schedule(small_machine, small_workload):
+    """A completed scheduling run on the small machine."""
+    return Scheduler(small_machine).schedule(small_workload, 2 * DAY_S)
+
+
+@pytest.fixture
+def basic_contract():
+    """Fixed tariff + demand charge — the survey's most common pairing."""
+    return Contract(
+        name="basic",
+        components=[FixedTariff(0.08), DemandCharge(12.0)],
+    )
+
+
+@pytest.fixture
+def engine():
+    """A billing engine."""
+    return BillingEngine()

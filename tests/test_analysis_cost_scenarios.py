@@ -1,0 +1,184 @@
+"""Bill decomposition and the scenario runner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ScenarioSpec,
+    compare_contracts,
+    decompose_bill,
+    run_scenario,
+    synthetic_sc_load,
+)
+from repro.contracts import (
+    BillingEngine,
+    Contract,
+    DemandCharge,
+    DynamicTariff,
+    FixedTariff,
+    Powerband,
+)
+from repro.exceptions import AnalysisError
+from repro.grid import PriceModel
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY_S = 86_400.0
+
+
+class TestDecomposition:
+    def _bill(self, noisy_week, week_periods):
+        c = Contract("mixed", [FixedTariff(0.08), DemandCharge(12.0)])
+        return BillingEngine().bill(c, noisy_week, week_periods)
+
+    def test_totals_consistent(self, noisy_week, week_periods):
+        bill = self._bill(noisy_week, week_periods)
+        dec = decompose_bill(bill)
+        assert dec.total == pytest.approx(bill.total)
+        assert dec.energy_cost + dec.demand_cost + dec.other_cost == pytest.approx(
+            dec.total
+        )
+
+    def test_per_component_sums(self, noisy_week, week_periods):
+        dec = decompose_bill(self._bill(noisy_week, week_periods))
+        assert sum(dec.per_component.values()) == pytest.approx(dec.total)
+        assert set(dec.per_component) == {"fixed energy", "demand charge"}
+
+    def test_branch_shares_sum_to_one(self, noisy_week, week_periods):
+        dec = decompose_bill(self._bill(noisy_week, week_periods))
+        assert sum(dec.branch_shares().values()) == pytest.approx(1.0)
+
+    def test_demand_share(self, noisy_week, week_periods):
+        dec = decompose_bill(self._bill(noisy_week, week_periods))
+        assert 0 < dec.demand_share < 1
+
+    def test_effective_rate(self, noisy_week, week_periods):
+        dec = decompose_bill(self._bill(noisy_week, week_periods))
+        assert dec.effective_rate_per_kwh == pytest.approx(
+            dec.total / dec.energy_kwh
+        )
+
+
+class TestSyntheticSCLoad:
+    def test_scale_and_shape(self):
+        load = synthetic_sc_load(peak_mw=10.0, n_days=30, seed=0)
+        assert len(load) == 30 * 96
+        assert load.max_kw() <= 10_000.0 + 1e-6
+        assert load.min_kw() >= 0.45 * 10_000.0 - 1e-6  # the idle floor
+
+    def test_high_utilization_mission(self):
+        load = synthetic_sc_load(peak_mw=10.0, n_days=60, seed=1)
+        # SCs run high and steady: mean well above half of peak
+        assert load.mean_kw() > 0.6 * 10_000.0
+
+    def test_benchmarks_pin_near_peak(self):
+        load = synthetic_sc_load(peak_mw=10.0, n_days=60, n_benchmarks=3, seed=2)
+        assert load.max_kw() >= 0.98 * 10_000.0
+
+    def test_maintenance_drops_to_floor(self):
+        load = synthetic_sc_load(
+            peak_mw=10.0, n_days=60, n_maintenance=3, idle_fraction=0.4, seed=3
+        )
+        assert load.min_kw() == pytest.approx(4_000.0, rel=1e-6)
+
+    def test_reproducible(self):
+        a = synthetic_sc_load(5.0, n_days=10, seed=4)
+        b = synthetic_sc_load(5.0, n_days=10, seed=4)
+        assert a.approx_equal(b)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            synthetic_sc_load(0.0)
+        with pytest.raises(AnalysisError):
+            synthetic_sc_load(1.0, idle_fraction=1.0)
+        with pytest.raises(AnalysisError):
+            synthetic_sc_load(1.0, n_days=0)
+
+
+class TestScenarioRunner:
+    def _spec(self, contract=None, days=365):
+        load = synthetic_sc_load(5.0, n_days=days, seed=0)
+        contract = contract or Contract(
+            "basic", [FixedTariff(0.07), DemandCharge(12.0)]
+        )
+        periods = None if days == 365 else [BillingPeriod("p", 0.0, days * DAY_S)]
+        return ScenarioSpec(name="s", contract=contract, load=load, periods=periods)
+
+    def test_runs_annual(self):
+        result = run_scenario(self._spec())
+        assert result.total > 0
+        assert len(result.bill.period_bills) == 12
+
+    def test_dynamic_contract_gets_prices(self):
+        c = Contract("dyn", [DynamicTariff()])
+        result = run_scenario(self._spec(contract=c, days=30))
+        assert result.decomposition.energy_cost > 0
+
+    def test_fixed_contract_skips_price_generation(self):
+        # runs without a price model and without a dynamic component
+        result = run_scenario(self._spec(days=30))
+        assert result.decomposition.demand_cost > 0
+
+    def test_decomposition_attached(self):
+        result = run_scenario(self._spec(days=30))
+        assert result.decomposition.total == pytest.approx(result.bill.total)
+
+
+class TestComparison:
+    def _contracts(self):
+        return [
+            Contract("fixed-only", [FixedTariff(0.09)]),
+            Contract("fixed+demand", [FixedTariff(0.07), DemandCharge(12.0)]),
+            Contract("dynamic", [DynamicTariff(adder_per_kwh=0.015)]),
+        ]
+
+    def test_ranked_and_extremes(self):
+        load = synthetic_sc_load(5.0, n_days=365, seed=1)
+        comp = compare_contracts(load, self._contracts(), PriceModel())
+        ranked = comp.ranked()
+        assert ranked[0].total <= ranked[-1].total
+        assert comp.cheapest.total == ranked[0].total
+        assert comp.most_expensive.total == ranked[-1].total
+
+    def test_savings_vs_baseline(self):
+        load = synthetic_sc_load(5.0, n_days=365, seed=1)
+        comp = compare_contracts(load, self._contracts(), PriceModel())
+        savings = comp.savings_vs("fixed-only")
+        assert savings["fixed-only"] == 0.0
+        assert len(savings) == 3
+
+    def test_unknown_baseline(self):
+        load = synthetic_sc_load(5.0, n_days=365, seed=1)
+        comp = compare_contracts(load, self._contracts(), PriceModel())
+        with pytest.raises(AnalysisError):
+            comp.savings_vs("nonsense")
+
+    def test_flat_load_dodges_demand_charges_better(self):
+        # flatter load → smaller spread between fixed-only and fixed+demand
+        contracts = self._contracts()[:2]
+        flat = PowerSeries.constant(5000.0, 365 * 96, 900.0)
+        peaky = synthetic_sc_load(
+            10.0, n_days=365, idle_fraction=0.1, mean_utilization=0.45,
+            utilization_sigma=0.25, seed=2,
+        )
+        comp_flat = compare_contracts(flat, contracts)
+        comp_peaky = compare_contracts(peaky, contracts)
+        def premium(comp):
+            by = {r.spec.name: r.total for r in comp.results}
+            return (by["fixed+demand"] - by["fixed-only"]) / by["fixed-only"]
+        assert premium(comp_peaky) != premium(comp_flat)
+
+    def test_duplicate_names_rejected(self):
+        load = PowerSeries.constant(1.0, 365 * 96, 900.0)
+        c = Contract("same", [FixedTariff(0.1)])
+        with pytest.raises(AnalysisError):
+            compare_contracts(load, [c, c])
+
+    def test_empty_contracts_rejected(self):
+        load = PowerSeries.constant(1.0, 96, 900.0)
+        with pytest.raises(AnalysisError):
+            compare_contracts(load, [])
+
+    def test_spread_fraction_positive(self):
+        load = synthetic_sc_load(5.0, n_days=365, seed=1)
+        comp = compare_contracts(load, self._contracts(), PriceModel())
+        assert comp.spread_fraction() > 0

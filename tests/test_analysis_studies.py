@@ -1,0 +1,161 @@
+"""The headline studies: peak-ratio, CSCS procurement, DR savings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cscs_procurement_study,
+    incentive_threshold_sweep,
+    lanl_office_dr_study,
+    peak_ratio_study,
+    shaped_load,
+)
+from repro.analysis.procurement import default_bid_field
+from repro.contracts import PriceFormula, SupplyBid
+from repro.exceptions import AnalysisError
+
+
+class TestShapedLoad:
+    def test_mean_controlled(self):
+        load = shaped_load(5000.0, 2.0, n_days=30, seed=0)
+        assert load.mean_kw() == pytest.approx(5000.0, rel=0.01)
+
+    def test_peak_ratio_controlled(self):
+        load = shaped_load(5000.0, 3.0, n_days=30, seed=0)
+        assert load.max_kw() / load.mean_kw() == pytest.approx(3.0, rel=0.03)
+
+    def test_flat_when_ratio_one(self):
+        load = shaped_load(5000.0, 1.0, n_days=10, seed=0)
+        assert load.values_kw.std() < 0.02 * load.mean_kw()
+
+    def test_energy_constant_across_ratios(self):
+        a = shaped_load(5000.0, 1.5, n_days=30, seed=0)
+        b = shaped_load(5000.0, 3.5, n_days=30, seed=0)
+        assert a.energy_kwh() == pytest.approx(b.energy_kwh(), rel=0.01)
+
+    def test_impossible_ratio_rejected(self):
+        with pytest.raises(AnalysisError):
+            # base load would go negative
+            shaped_load(1000.0, 13.0, peak_hours_per_day=2.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            shaped_load(0.0, 2.0)
+        with pytest.raises(AnalysisError):
+            shaped_load(1.0, 0.5)
+
+
+class TestPeakRatioStudy:
+    def test_monotone_demand_share(self):
+        """The [34] result: the demand-charge share strictly increases
+        with the peak-to-average ratio at constant energy."""
+        points = peak_ratio_study(n_days=90)
+        shares = [p.demand_share for p in points]
+        assert all(b > a for a, b in zip(shares, shares[1:]))
+
+    def test_effective_rate_increases(self):
+        points = peak_ratio_study(n_days=90)
+        rates = [p.effective_rate_per_kwh for p in points]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_realized_close_to_target(self):
+        for p in peak_ratio_study(n_days=90):
+            assert p.peak_ratio_realized == pytest.approx(
+                p.peak_ratio_target, rel=0.05
+            )
+
+    def test_higher_demand_rate_raises_shares(self):
+        low = peak_ratio_study(n_days=60, demand_rate_per_kw=5.0)
+        high = peak_ratio_study(n_days=60, demand_rate_per_kw=20.0)
+        for a, b in zip(low, high):
+            assert b.demand_share > a.demand_share
+
+    def test_empty_ratios_rejected(self):
+        with pytest.raises(AnalysisError):
+            peak_ratio_study(peak_ratios=())
+
+
+class TestCSCSStudy:
+    def test_redesign_wins(self):
+        """§4: the tendered contract beats the legacy one on the same load."""
+        study = cscs_procurement_study()
+        assert study.savings > 0
+        assert 0 < study.savings_fraction < 1
+
+    def test_renewable_policy_met(self):
+        study = cscs_procurement_study()
+        assert study.meets_renewable_policy
+        assert study.winning_renewable_fraction >= 0.8
+
+    def test_dirty_bid_rejected(self):
+        study = cscs_procurement_study()
+        assert len(study.tender.rejected_bids) == 1
+        assert study.tender.rejected_bids[0].bidder == "cheap fossil supplier"
+
+    def test_demand_charges_removed(self):
+        # the legacy demand-charge line exists; the redesigned bill has none
+        study = cscs_procurement_study()
+        assert study.legacy_demand_cost > 0
+
+    def test_volatility_can_change_winner(self):
+        calm = cscs_procurement_study(market_volatility_per_kwh=0.0)
+        wild = cscs_procurement_study(market_volatility_per_kwh=0.10)
+        assert (
+            calm.tender.winner.bidder != wild.tender.winner.bidder
+            or calm.redesigned_total != wild.redesigned_total
+        )
+
+    def test_custom_bids(self):
+        bids = [
+            SupplyBid("only", PriceFormula(0.05, 0.0, 0.0, 0.0), 0.9),
+        ]
+        study = cscs_procurement_study(bids=bids)
+        assert study.tender.winner.bidder == "only"
+
+    def test_default_bid_field_shape(self):
+        bids = default_bid_field()
+        assert len(bids) == 4
+        assert sum(1 for b in bids if b.renewable_fraction >= 0.8) == 3
+
+
+class TestIncentiveSweep:
+    def test_no_business_case_at_scale(self):
+        """§4: 'the economic incentive ... is not high enough'."""
+        points = incentive_threshold_sweep()
+        assert not any(p.business_case_exists for p in points)
+
+    def test_break_even_monotone_in_capex(self):
+        points = incentive_threshold_sweep()
+        bes = [p.break_even_per_kwh for p in points]
+        assert all(b > a for a, b in zip(bes, bes[1:]))
+
+    def test_cheap_hardware_could_close_case(self):
+        # with nearly-free hardware the break-even approaches zero
+        points = incentive_threshold_sweep(capex_levels=(1e4,))
+        assert points[0].break_even_per_kwh < points[0].best_program_payment_per_kwh
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(AnalysisError):
+            incentive_threshold_sweep(capex_levels=())
+
+
+class TestLANLStudy:
+    def test_office_case_closes_machine_does_not(self):
+        """§4: LANL finds DR potential in office buildings, not the machine."""
+        study = lanl_office_dr_study()
+        assert study.office_case_closes
+        assert study.machine_net_benefit < 0
+        assert study.office_net_benefit > 0
+
+    def test_timescale_is_paper_range(self):
+        # the study's default event is within LANL's 15 min – 1 h window
+        study = lanl_office_dr_study()
+        assert 0.25 <= study.duration_h <= 1.0
+
+    def test_huge_payment_closes_machine_case_too(self):
+        study = lanl_office_dr_study(payment_per_kwh=50.0)
+        assert study.machine_net_benefit > 0
+
+    def test_comfort_cost_validation(self):
+        with pytest.raises(AnalysisError):
+            lanl_office_dr_study(office_comfort_cost_per_kwh=-0.1)

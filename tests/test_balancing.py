@@ -1,0 +1,102 @@
+"""Balancing authority and regulation signals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GridError
+from repro.grid import BalancingAuthority, RegulationSignal, follow_score
+from repro.timeseries import PowerSeries
+
+
+class TestRegulationSignal:
+    def test_bounded(self):
+        ba = BalancingAuthority()
+        sig = ba.generate_signal(3600.0, seed=0)
+        assert np.all(np.abs(sig.values) <= 1.0)
+
+    def test_roughly_energy_neutral(self):
+        ba = BalancingAuthority()
+        sig = ba.generate_signal(24 * 3600.0, seed=1)
+        assert sig.energy_neutrality < 0.15
+
+    def test_autocorrelated(self):
+        ba = BalancingAuthority(signal_interval_s=4.0, correlation_s=120.0)
+        sig = ba.generate_signal(3600.0, seed=2)
+        lag1 = np.corrcoef(sig.values[:-1], sig.values[1:])[0, 1]
+        assert lag1 > 0.8
+
+    def test_requested_deviation_scales(self):
+        ba = BalancingAuthority()
+        sig = ba.generate_signal(600.0, seed=0)
+        dev = sig.requested_deviation(500.0)
+        assert isinstance(dev, PowerSeries)
+        assert np.abs(dev.values_kw).max() <= 500.0
+
+    def test_reproducible(self):
+        ba = BalancingAuthority()
+        a = ba.generate_signal(600.0, seed=5)
+        b = ba.generate_signal(600.0, seed=5)
+        assert np.allclose(a.values, b.values)
+
+    def test_validation(self):
+        with pytest.raises(GridError):
+            RegulationSignal(np.array([2.0]), 4.0)
+        with pytest.raises(GridError):
+            RegulationSignal(np.array([]), 4.0)
+        with pytest.raises(GridError):
+            BalancingAuthority(signal_interval_s=0.0)
+        with pytest.raises(GridError):
+            BalancingAuthority().generate_signal(1.0)
+        with pytest.raises(GridError):
+            RegulationSignal(np.array([0.5]), 4.0).requested_deviation(-1.0)
+
+
+class TestFollowScore:
+    def _sig(self, values):
+        return PowerSeries(np.array(values, dtype=float), 4.0)
+
+    def test_perfect_follower(self):
+        r = self._sig([100.0, -50.0, 25.0])
+        assert follow_score(r, r) == 1.0
+
+    def test_nonresponder_scores_poorly(self):
+        r = self._sig([100.0, -100.0, 100.0])
+        d = self._sig([0.0, 0.0, 0.0])
+        assert follow_score(r, d) == pytest.approx(0.0)
+
+    def test_partial_follower_between(self):
+        r = self._sig([100.0, -100.0])
+        d = self._sig([50.0, -50.0])
+        assert 0.0 < follow_score(r, d) < 1.0
+
+    def test_zero_request_scores_one(self):
+        r = self._sig([0.0, 0.0])
+        d = self._sig([5.0, -5.0])
+        assert follow_score(r, d) == 1.0
+
+    def test_alignment_enforced(self):
+        with pytest.raises(GridError):
+            follow_score(self._sig([1.0]), self._sig([1.0, 2.0]))
+
+
+class TestRevenue:
+    def test_score_scales_revenue(self):
+        ba = BalancingAuthority()
+        full = ba.regulation_revenue(1000.0, 1.0)
+        half = ba.regulation_revenue(1000.0, 0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_horizon_fraction(self):
+        ba = BalancingAuthority()
+        year = ba.regulation_revenue(1000.0, 1.0, horizon_fraction_of_year=1.0)
+        month = ba.regulation_revenue(1000.0, 1.0, horizon_fraction_of_year=1 / 12)
+        assert month == pytest.approx(year / 12)
+
+    def test_validation(self):
+        ba = BalancingAuthority()
+        with pytest.raises(GridError):
+            ba.regulation_revenue(1000.0, 1.5)
+        with pytest.raises(GridError):
+            ba.regulation_revenue(-1.0, 0.5)
+        with pytest.raises(GridError):
+            ba.regulation_revenue(1.0, 0.5, horizon_fraction_of_year=0.0)

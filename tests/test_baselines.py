@@ -1,0 +1,176 @@
+"""Customer baseline load (CBL) and M&V settlement."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    BaselineResult,
+    CBLConfig,
+    compute_cbl,
+    measured_reduction_kwh,
+)
+from repro.exceptions import BillingError
+from repro.timeseries import PowerSeries
+
+DAY_S = 86_400.0
+PER_DAY = 96  # 15-minute intervals
+
+
+def history(n_days=15, level=1000.0, event_day=None, event_level=None,
+            daily_pattern=False):
+    """Synthetic metered history; optionally an event-day depression."""
+    values = np.full(n_days * PER_DAY, float(level))
+    if daily_pattern:
+        hour = (np.arange(n_days * PER_DAY) % PER_DAY) / 4.0
+        values += 200.0 * np.sin(2 * np.pi * hour / 24.0)
+    if event_day is not None:
+        start = event_day * PER_DAY + 14 * 4  # 14:00
+        values[start : start + 8] = event_level  # two hours
+    return PowerSeries(values, 900.0)
+
+
+def event_window(day):
+    start = day * DAY_S + 14 * 3600.0
+    return start, start + 2 * 3600.0
+
+
+class TestCBL:
+    def test_flat_history_flat_baseline(self):
+        load = history(event_day=14, event_level=400.0)
+        start, end = event_window(14)
+        result = compute_cbl(load, start, end)
+        assert result.baseline_kw == pytest.approx(np.full(8, 1000.0))
+
+    def test_daily_pattern_tracked(self):
+        load = history(daily_pattern=True, event_day=14, event_level=100.0)
+        start, end = event_window(14)
+        result = compute_cbl(
+            load, start, end, CBLConfig(adjustment_hours=0.0)
+        )
+        # 14:00–16:00 of the sine pattern, not the flat mean
+        hour = 14.0 + np.arange(8) * 0.25
+        expected = 1000.0 + 200.0 * np.sin(2 * np.pi * hour / 24.0)
+        assert result.baseline_kw == pytest.approx(expected, rel=1e-6)
+
+    def test_event_day_excluded_from_lookback(self):
+        load = history(event_day=14, event_level=0.0)
+        start, end = event_window(14)
+        result = compute_cbl(load, start, end)
+        assert 14 not in result.lookback_days_used
+
+    def test_prior_events_excluded(self):
+        load = history(n_days=15, event_day=12, event_level=0.0)
+        start, end = event_window(14)
+        with_exclusion = compute_cbl(
+            load, start, end, CBLConfig(window_days=10, top_days=10,
+                                        adjustment_hours=0.0),
+            prior_event_days=[12],
+        )
+        assert 12 not in with_exclusion.lookback_days_used
+        # without exclusion the contaminated day drags the baseline down
+        without = compute_cbl(
+            load, start, end,
+            CBLConfig(window_days=10, top_days=10, adjustment_hours=0.0),
+        )
+        assert with_exclusion.mean_baseline_kw >= without.mean_baseline_kw
+
+    def test_weekdays_only_skips_weekends(self):
+        load = history(n_days=15)
+        start, end = event_window(14)  # day 14 = Monday (day 0 is Monday)
+        result = compute_cbl(
+            load, start, end, CBLConfig(window_days=5, top_days=5,
+                                        adjustment_hours=0.0)
+        )
+        # days 12, 13 are the weekend before day 14
+        assert 12 not in result.lookback_days_used
+        assert 13 not in result.lookback_days_used
+
+    def test_top_x_selection(self):
+        # three hot days in the lookback: high-3-of-10 picks exactly them
+        load_values = np.full(15 * PER_DAY, 1000.0)
+        for hot in (5, 6, 7):
+            load_values[hot * PER_DAY : (hot + 1) * PER_DAY] = 2000.0
+        load = PowerSeries(load_values, 900.0)
+        start, end = event_window(14)
+        result = compute_cbl(
+            load, start, end,
+            CBLConfig(window_days=10, top_days=3, weekdays_only=False,
+                      adjustment_hours=0.0),
+        )
+        assert set(result.lookback_days_used) == {5, 6, 7}
+        assert result.mean_baseline_kw == pytest.approx(2000.0)
+
+    def test_same_day_adjustment_scales(self):
+        # event day runs 10 % hotter than history before the event
+        values = np.full(15 * PER_DAY, 1000.0)
+        values[14 * PER_DAY : 15 * PER_DAY] = 1100.0
+        load = PowerSeries(values, 900.0)
+        start, end = event_window(14)
+        result = compute_cbl(
+            load, start, end,
+            CBLConfig(adjustment_hours=2.0, adjustment_cap=0.2),
+        )
+        assert result.adjustment_factor == pytest.approx(1.1)
+        assert result.mean_baseline_kw == pytest.approx(1100.0)
+
+    def test_adjustment_capped(self):
+        values = np.full(15 * PER_DAY, 1000.0)
+        values[14 * PER_DAY : 15 * PER_DAY] = 3000.0  # 3× hotter
+        load = PowerSeries(values, 900.0)
+        start, end = event_window(14)
+        result = compute_cbl(
+            load, start, end, CBLConfig(adjustment_cap=0.2)
+        )
+        assert result.adjustment_factor == pytest.approx(1.2)
+
+    def test_insufficient_history_rejected(self):
+        load = history(n_days=1)
+        start, end = event_window(0)
+        with pytest.raises(BillingError):
+            compute_cbl(load, start, end)
+
+    def test_multiday_event_rejected(self):
+        load = history()
+        with pytest.raises(BillingError):
+            compute_cbl(load, 13 * DAY_S + 23 * 3600.0, 14 * DAY_S + 3600.0)
+
+    def test_config_validation(self):
+        with pytest.raises(BillingError):
+            CBLConfig(window_days=0)
+        with pytest.raises(BillingError):
+            CBLConfig(window_days=5, top_days=6)
+        with pytest.raises(BillingError):
+            CBLConfig(adjustment_cap=1.5)
+
+
+class TestMeasurementVerification:
+    def test_reduction_measured_against_baseline(self):
+        load = history(event_day=14, event_level=400.0)
+        start, end = event_window(14)
+        baseline = compute_cbl(load, start, end)
+        reduction = measured_reduction_kwh(load, baseline, start, end)
+        # 600 kW below a 1000 kW baseline for 2 h
+        assert reduction == pytest.approx(1200.0)
+
+    def test_no_response_no_payment(self):
+        load = history()  # no event-day depression
+        start, end = event_window(14)
+        baseline = compute_cbl(load, start, end)
+        assert measured_reduction_kwh(load, baseline, start, end) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_consumption_above_baseline_floors_at_zero(self):
+        load = history(event_day=14, event_level=2000.0)  # consumed MORE
+        start, end = event_window(14)
+        baseline = compute_cbl(
+            load, start, end, CBLConfig(adjustment_hours=0.0)
+        )
+        assert measured_reduction_kwh(load, baseline, start, end) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        load = history(event_day=14, event_level=400.0)
+        start, end = event_window(14)
+        baseline = compute_cbl(load, start, end)
+        with pytest.raises(BillingError):
+            measured_reduction_kwh(load, baseline, start, end + 3600.0)

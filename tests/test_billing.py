@@ -1,0 +1,159 @@
+"""The billing engine: settlement, decomposition, audit trail."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    BillingContext,
+    BillingEngine,
+    ChargeDomain,
+    Contract,
+    DemandCharge,
+    DynamicTariff,
+    EmergencyCall,
+    EmergencyDRObligation,
+    FixedTariff,
+    Powerband,
+)
+from repro.exceptions import BillingError
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY_S = 86_400.0
+
+
+class TestBasicSettlement:
+    def test_fixed_tariff_week(self, noisy_week, week_periods, engine):
+        c = Contract("fixed", [FixedTariff(0.10)])
+        bill = engine.bill(c, noisy_week, week_periods)
+        assert bill.total == pytest.approx(noisy_week.energy_kwh() * 0.10)
+
+    def test_periods_partition_total(self, noisy_week, week_periods, engine):
+        c = Contract("fixed", [FixedTariff(0.10)])
+        bill = engine.bill(c, noisy_week, week_periods)
+        assert sum(pb.total for pb in bill.period_bills) == pytest.approx(bill.total)
+        assert len(bill.period_bills) == 7
+
+    def test_demand_charge_per_period(self, engine):
+        # a demand charge bills per billing period, so two periods with the
+        # same peak cost twice one period's charge
+        values = np.full(2 * 96, 1000.0)
+        values[[10, 96 + 50]] = 5000.0
+        load = PowerSeries(values, 900.0)
+        periods = [
+            BillingPeriod("d1", 0.0, DAY_S),
+            BillingPeriod("d2", DAY_S, 2 * DAY_S),
+        ]
+        c = Contract("dc", [FixedTariff(0.0), DemandCharge(10.0)])
+        bill = engine.bill(c, load, periods)
+        assert bill.demand_cost == pytest.approx(2 * 5000.0 * 10.0)
+
+    def test_load_must_cover_periods(self, engine, flat_day):
+        c = Contract("fixed", [FixedTariff(0.1)])
+        periods = [BillingPeriod("twodays", 0.0, 2 * DAY_S)]
+        with pytest.raises(BillingError):
+            engine.bill(c, flat_day, periods)
+
+    def test_annual_bill_defaults_to_months(self, annual_load, engine, basic_contract):
+        bill = engine.annual_bill(basic_contract, annual_load)
+        assert len(bill.period_bills) == 12
+        assert bill.period_bills[0].period.label == "Jan"
+
+    def test_requires_a_period(self, engine, basic_contract, flat_day):
+        with pytest.raises(BillingError):
+            engine.bill(basic_contract, flat_day, [])
+
+
+class TestDecomposition:
+    def _bill(self, engine, noisy_week, week_periods):
+        c = Contract(
+            "mixed",
+            [FixedTariff(0.08), DemandCharge(12.0), Powerband(1900.0, penalty_per_kwh_outside=0.5)],
+        )
+        return engine.bill(c, noisy_week, week_periods)
+
+    def test_domain_totals_sum(self, engine, noisy_week, week_periods):
+        bill = self._bill(engine, noisy_week, week_periods)
+        assert bill.energy_cost + bill.demand_cost + bill.other_cost == pytest.approx(
+            bill.total
+        )
+
+    def test_shares_sum_to_one(self, engine, noisy_week, week_periods):
+        bill = self._bill(engine, noisy_week, week_periods)
+        total = sum(bill.domain_share(d) for d in ChargeDomain)
+        assert total == pytest.approx(1.0)
+
+    def test_demand_charge_share(self, engine, noisy_week, week_periods):
+        bill = self._bill(engine, noisy_week, week_periods)
+        assert 0.0 < bill.demand_charge_share < 1.0
+
+    def test_effective_rate(self, engine, noisy_week, week_periods):
+        bill = self._bill(engine, noisy_week, week_periods)
+        assert bill.effective_rate_per_kwh() == pytest.approx(
+            bill.total / noisy_week.energy_kwh()
+        )
+
+    def test_summary_keys(self, engine, noisy_week, week_periods):
+        summary = self._bill(engine, noisy_week, week_periods).summary()
+        for key in ("total", "energy_cost", "demand_cost", "max_peak_kw"):
+            assert key in summary
+
+    def test_max_peak(self, engine, noisy_week, week_periods):
+        bill = self._bill(engine, noisy_week, week_periods)
+        assert bill.max_peak_kw <= noisy_week.max_kw() + 1e-9
+
+
+class TestAuditTrail:
+    def test_line_items_per_component(self, engine, noisy_week, week_periods):
+        c = Contract("mixed", [FixedTariff(0.08), DemandCharge(12.0)])
+        bill = engine.bill(c, noisy_week, week_periods)
+        items = bill.line_items_for("fixed energy")
+        assert len(items) == 7
+        assert bill.component_total("fixed energy") == pytest.approx(bill.energy_cost)
+
+    def test_component_total_demand(self, engine, noisy_week, week_periods):
+        c = Contract("mixed", [FixedTariff(0.08), DemandCharge(12.0)])
+        bill = engine.bill(c, noisy_week, week_periods)
+        assert bill.component_total("demand charge") == pytest.approx(bill.demand_cost)
+
+    def test_total_money_currency(self, engine, noisy_week, week_periods):
+        c = Contract("chf", [FixedTariff(0.08)], currency="CHF")
+        bill = engine.bill(c, noisy_week, week_periods)
+        assert bill.total_money().currency == "CHF"
+
+
+class TestRatchetAcrossBills:
+    def test_ratchet_reset_between_bills(self, engine):
+        # the ratchet must not leak from one settlement into the next
+        dc = DemandCharge(10.0, ratchet_fraction=0.9)
+        c = Contract("r", [FixedTariff(0.0), dc])
+        high = PowerSeries(np.full(96, 10_000.0), 900.0)
+        low = PowerSeries(np.full(96, 1_000.0), 900.0)
+        day = [BillingPeriod("d", 0.0, DAY_S)]
+        engine.bill(c, high, day)
+        bill2 = engine.bill(c, low, day)
+        assert bill2.demand_cost == pytest.approx(10_000.0)  # 1000 kW × 10
+
+
+class TestDynamicBilling:
+    def test_dynamic_with_prices(self, engine, noisy_week, week_periods):
+        c = Contract("dyn", [DynamicTariff()])
+        prices = PowerSeries.constant(0.05, 7 * 24, 3600.0)
+        bill = engine.bill(
+            c, noisy_week, week_periods, BillingContext(price_series=prices)
+        )
+        assert bill.total == pytest.approx(noisy_week.energy_kwh() * 0.05)
+
+    def test_emergency_in_context(self, engine, noisy_week, week_periods):
+        c = Contract(
+            "em",
+            [FixedTariff(0.05), EmergencyDRObligation(noncompliance_penalty_per_kwh=1.0)],
+        )
+        calls = [EmergencyCall(3600.0, 7200.0, limit_kw=0.0)]
+        bill = engine.bill(
+            c, noisy_week, week_periods, BillingContext(emergency_calls=calls)
+        )
+        assert bill.other_cost > 0
+
+    def test_invalid_engine_interval(self):
+        with pytest.raises(BillingError):
+            BillingEngine(demand_interval_s=0.0)

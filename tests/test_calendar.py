@@ -1,0 +1,197 @@
+"""Calendar, billing periods and TOU windows."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalendarError
+from repro.timeseries import (
+    BillingPeriod,
+    PowerSeries,
+    Season,
+    SimCalendar,
+    TOUWindow,
+    monthly_billing_periods,
+)
+from repro.timeseries.calendar import MONTH_LENGTHS_DAYS, MONTH_NAMES
+
+DAY_S = 86_400.0
+
+
+class TestSimCalendar:
+    def test_hour_of_day_hourly(self):
+        cal = SimCalendar(3600.0)
+        hours = cal.hour_of_day(np.arange(48))
+        assert list(hours[:3]) == [0, 1, 2]
+        assert hours[24] == 0
+        assert hours[47] == 23
+
+    def test_hour_of_day_15min(self):
+        cal = SimCalendar(900.0)
+        hours = cal.hour_of_day(np.arange(8))
+        assert list(hours) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_day_of_week_starts_monday(self):
+        cal = SimCalendar(3600.0)
+        dows = cal.day_of_week(np.array([0, 24, 5 * 24, 6 * 24, 7 * 24]))
+        assert list(dows) == [0, 1, 5, 6, 0]
+
+    def test_is_weekend(self):
+        cal = SimCalendar(3600.0)
+        idx = np.array([0, 5 * 24, 6 * 24])
+        assert list(cal.is_weekend(idx)) == [False, True, True]
+
+    def test_month_boundaries(self):
+        cal = SimCalendar(3600.0)
+        # first hour of February is day 31
+        assert cal.month(np.array([31 * 24]))[0] == 1
+        assert cal.month(np.array([31 * 24 - 1]))[0] == 0
+        # last hour of the year is December
+        assert cal.month(np.array([365 * 24 - 1]))[0] == 11
+
+    def test_year_wraps(self):
+        cal = SimCalendar(3600.0)
+        assert cal.day_of_year(np.array([365 * 24]))[0] == 0
+
+    def test_season_assignment(self):
+        cal = SimCalendar(3600.0)
+        assert cal.season(0) is Season.WINTER  # January
+        july_1 = sum(MONTH_LENGTHS_DAYS[:6]) * 24
+        assert cal.season(july_1) is Season.SUMMER
+        october_1 = sum(MONTH_LENGTHS_DAYS[:9]) * 24
+        assert cal.season(october_1) is Season.AUTUMN
+        april_1 = sum(MONTH_LENGTHS_DAYS[:3]) * 24
+        assert cal.season(april_1) is Season.SPRING
+
+    def test_nonaligned_interval_rejected(self):
+        with pytest.raises(CalendarError):
+            SimCalendar(7000.0)  # does not divide a day
+
+    def test_offset_start(self):
+        cal = SimCalendar(3600.0, start_s=3600.0)
+        assert cal.hour_of_day(np.array([0]))[0] == 1
+
+    def test_offset_not_on_edge_rejected(self):
+        with pytest.raises(CalendarError):
+            SimCalendar(3600.0, start_s=1800.0)
+
+    def test_for_series(self):
+        s = PowerSeries([1.0] * 4, 900.0, start_s=900.0)
+        cal = SimCalendar.for_series(s)
+        assert cal.intervals_per_day == 96
+
+    def test_intervals_per_hour(self):
+        assert SimCalendar(900.0).intervals_per_hour == 4.0
+
+
+class TestBillingPeriods:
+    def test_monthly_lengths(self):
+        periods = monthly_billing_periods()
+        assert len(periods) == 12
+        assert periods[0].label == "Jan"
+        assert periods[0].duration_s == 31 * DAY_S
+        assert periods[1].duration_s == 28 * DAY_S
+
+    def test_monthly_contiguous(self):
+        periods = monthly_billing_periods()
+        for a, b in zip(periods, periods[1:]):
+            assert b.start_s == a.end_s
+        assert periods[-1].end_s == 365 * DAY_S
+
+    def test_monthly_wrap_to_next_year(self):
+        periods = monthly_billing_periods(n_months=14, first_month=11)
+        assert periods[0].label == "Dec"
+        assert periods[1].label == "Jan+1y"
+        assert len(periods) == 14
+
+    def test_monthly_invalid_args(self):
+        with pytest.raises(CalendarError):
+            monthly_billing_periods(n_months=0)
+        with pytest.raises(CalendarError):
+            monthly_billing_periods(first_month=12)
+
+    def test_period_slice(self):
+        s = PowerSeries(np.arange(96, dtype=float), 900.0)
+        p = BillingPeriod("halfday", 0.0, DAY_S / 2)
+        assert len(p.slice(s)) == 48
+
+    def test_period_covers(self):
+        s = PowerSeries([1.0] * 96, 900.0)
+        assert BillingPeriod("d", 0.0, DAY_S).covers(s)
+        assert not BillingPeriod("d2", 0.0, 2 * DAY_S).covers(s)
+
+    def test_degenerate_period_rejected(self):
+        with pytest.raises(CalendarError):
+            BillingPeriod("bad", 10.0, 10.0)
+
+
+class TestTOUWindow:
+    def _mask(self, window, n=96, interval=900.0):
+        return window.mask(SimCalendar(interval), n)
+
+    def test_day_window(self):
+        w = TOUWindow("day", 8, 20)
+        m = self._mask(w)
+        # 8:00..20:00 at 15-min = 48 intervals
+        assert m.sum() == 48
+        assert not m[0]
+        assert m[8 * 4]
+
+    def test_wrapping_night_window(self):
+        w = TOUWindow("night", 22, 6)
+        m = self._mask(w)
+        assert m[0]          # midnight is night
+        assert m[23 * 4]     # 23:00 is night
+        assert not m[12 * 4] # noon is not
+
+    def test_day_and_night_partition(self):
+        day = TOUWindow("day", 6, 22)
+        night = TOUWindow("night", 22, 6)
+        md, mn = self._mask(day), self._mask(night)
+        assert np.all(md ^ mn)  # exact partition of every interval
+
+    def test_weekdays_only(self):
+        w = TOUWindow("peak", 8, 20, weekdays_only=True)
+        n = 7 * 96
+        m = w.mask(SimCalendar(900.0), n)
+        # Saturday (day 5) noon should be excluded
+        assert not m[5 * 96 + 12 * 4]
+        # Monday noon included
+        assert m[12 * 4]
+
+    def test_weekends_only(self):
+        w = TOUWindow("weekend", 0, 24, weekends_only=True)
+        m = w.mask(SimCalendar(900.0), 7 * 96)
+        assert m.sum() == 2 * 96
+
+    def test_seasonal_window(self):
+        w = TOUWindow("winter-day", 8, 20, seasons=(Season.WINTER,))
+        cal = SimCalendar(3600.0)
+        n = 365 * 24
+        m = w.mask(cal, n)
+        # mid-July noon excluded
+        july_noon = (sum(MONTH_LENGTHS_DAYS[:6]) + 14) * 24 + 12
+        assert not m[july_noon]
+        # mid-January noon included
+        assert m[15 * 24 + 12]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(CalendarError):
+            TOUWindow("empty", 8, 8)
+
+    def test_conflicting_daytype_rejected(self):
+        with pytest.raises(CalendarError):
+            TOUWindow("both", 0, 12, weekdays_only=True, weekends_only=True)
+
+    def test_empty_seasons_rejected(self):
+        with pytest.raises(CalendarError):
+            TOUWindow("none", 0, 12, seasons=())
+
+    def test_hours_per_day(self):
+        assert TOUWindow("d", 8, 20).hours_per_day() == 12
+        assert TOUWindow("n", 22, 6).hours_per_day() == 8
+
+    def test_out_of_range_hours_rejected(self):
+        with pytest.raises(CalendarError):
+            TOUWindow("bad", -1, 5)
+        with pytest.raises(CalendarError):
+            TOUWindow("bad", 0, 25)

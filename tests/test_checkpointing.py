@@ -1,0 +1,91 @@
+"""Checkpoint/restart cost model."""
+
+import pytest
+
+from repro.exceptions import FacilityError
+from repro.facility import CheckpointModel, Job, Supercomputer
+
+
+def job(nodes=64, runtime_h=4.0):
+    return Job(
+        job_id=1, submit_s=0.0, nodes=nodes,
+        runtime_s=runtime_h * 3600.0, walltime_s=runtime_h * 3600.0 * 1.5,
+    )
+
+
+class TestTimes:
+    def test_checkpoint_time_scales_with_nodes(self):
+        cm = CheckpointModel(memory_per_node_gb=256.0, storage_bandwidth_gbps=500.0)
+        assert cm.checkpoint_time_s(100) == pytest.approx(100 * 256 / 500)
+        assert cm.checkpoint_time_s(200) == pytest.approx(2 * cm.checkpoint_time_s(100))
+
+    def test_restart_symmetric(self):
+        cm = CheckpointModel()
+        assert cm.restart_time_s(64) == cm.checkpoint_time_s(64)
+
+    def test_ramp_time_in_paper_window(self):
+        """§4: LANL sees DR opportunity at the 15-min-to-1-hour timescale;
+        a leadership machine's full-shed ramp lands in that window."""
+        cm = CheckpointModel()
+        machine = Supercomputer("leader", n_nodes=4096)
+        ramp = cm.dr_ramp_time_s(machine)
+        assert 900.0 <= ramp <= 3600.0
+
+    def test_partial_shed_faster(self):
+        cm = CheckpointModel()
+        machine = Supercomputer("m", n_nodes=4096)
+        assert cm.dr_ramp_time_s(machine, 0.25) < cm.dr_ramp_time_s(machine, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(FacilityError):
+            CheckpointModel(memory_per_node_gb=0.0)
+        with pytest.raises(FacilityError):
+            CheckpointModel().checkpoint_time_s(0)
+        with pytest.raises(FacilityError):
+            CheckpointModel().dr_ramp_time_s(Supercomputer("m", n_nodes=4), 0.0)
+
+
+class TestWorkAndEnergy:
+    def test_suspend_overhead(self):
+        cm = CheckpointModel(memory_per_node_gb=250.0, storage_bandwidth_gbps=500.0)
+        j = job(nodes=100)
+        # write + read = 2 × (100×250/500) s = 100 s on 100 nodes
+        assert cm.suspend_overhead_node_hours(j) == pytest.approx(100 * 100 / 3600.0)
+
+    def test_kill_loses_more_than_suspend(self):
+        cm = CheckpointModel()
+        j = job(nodes=64, runtime_h=8.0)
+        assert cm.kill_loss_node_hours(j) > cm.suspend_overhead_node_hours(j)
+
+    def test_kill_loss_bounded_by_runtime(self):
+        cm = CheckpointModel(recompute_fraction=1.0, checkpoint_interval_h=100.0)
+        short = job(nodes=4, runtime_h=0.5)
+        assert cm.kill_loss_node_hours(short) <= 4 * 0.5 + 1e-9
+
+    def test_rebound_factor_above_one(self):
+        cm = CheckpointModel()
+        factor = cm.rebound_factor(job())
+        assert factor > 1.0
+        assert factor < 1.5  # overhead is a sliver of a multi-hour job
+
+    def test_rebound_smaller_for_longer_jobs(self):
+        cm = CheckpointModel()
+        assert cm.rebound_factor(job(runtime_h=24.0)) < cm.rebound_factor(
+            job(runtime_h=1.0)
+        )
+
+    def test_checkpoint_energy(self):
+        cm = CheckpointModel(
+            memory_per_node_gb=360.0, storage_bandwidth_gbps=100.0,
+            node_power_during_io_fraction=0.0,
+        )
+        machine = Supercomputer("m", n_nodes=1000)
+        # 100 nodes × 360 GB / 100 GB/s = 360 s at idle power (250 W)
+        kwh = cm.checkpoint_energy_kwh(machine, 100)
+        assert kwh == pytest.approx(100 * 0.25 * 0.1)
+
+    def test_energy_node_bounds(self):
+        cm = CheckpointModel()
+        machine = Supercomputer("m", n_nodes=10)
+        with pytest.raises(FacilityError):
+            cm.checkpoint_energy_kwh(machine, 11)

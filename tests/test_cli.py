@@ -1,0 +1,34 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.reporting import experiment_ids
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in experiment_ids():
+            assert eid in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_run_all(self, capsys):
+        assert main(["run", "all"]) == 0
+        out = capsys.readouterr().out
+        for eid in experiment_ids():
+            assert f"experiment: {eid}" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_payload_printed(self, capsys):
+        main(["run", "peak_ratio"])
+        assert "payload" in capsys.readouterr().out

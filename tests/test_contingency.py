@@ -1,0 +1,138 @@
+"""Contingency planning (§5 future work)."""
+
+import pytest
+
+from repro.dr import CostModel, ContingencyAction, ContingencyPlan, evaluate_plan
+from repro.dr.contingency import Severity
+from repro.exceptions import DemandResponseError
+from repro.facility import Supercomputer
+
+
+def machine():
+    return Supercomputer("m", n_nodes=1000)
+
+
+def cost_model():
+    return CostModel(machine_capex=1e8)
+
+
+def ladder():
+    return ContingencyPlan(
+        "test ladder",
+        [
+            ContingencyAction("sleep idle", Severity.ADVISORY, 100.0,
+                              node_hours_cost_per_hour=0.0),
+            ContingencyAction("suspend", Severity.WARNING, 300.0,
+                              node_hours_cost_per_hour=500.0),
+            ContingencyAction("drain", Severity.EMERGENCY, 200.0,
+                              node_hours_cost_per_hour=300.0, reversible=False),
+        ],
+    )
+
+
+class TestPlan:
+    def test_escalation_order(self):
+        plan = ladder()
+        assert [a.name for a in plan.actions] == ["sleep idle", "suspend", "drain"]
+
+    def test_actions_for_severity(self):
+        plan = ladder()
+        assert len(plan.actions_for(Severity.ADVISORY)) == 1
+        assert len(plan.actions_for(Severity.WARNING)) == 2
+        assert len(plan.actions_for(Severity.EMERGENCY)) == 3
+
+    def test_max_reduction_by_severity(self):
+        plan = ladder()
+        assert plan.max_reduction_kw(Severity.ADVISORY) == 100.0
+        assert plan.max_reduction_kw(Severity.EMERGENCY) == 600.0
+
+    def test_cheapest_first_within_severity(self):
+        plan = ContingencyPlan(
+            "p",
+            [
+                ContingencyAction("pricey", Severity.WARNING, 100.0,
+                                  node_hours_cost_per_hour=100.0),
+                ContingencyAction("cheap", Severity.WARNING, 100.0,
+                                  node_hours_cost_per_hour=1.0),
+            ],
+        )
+        assert plan.actions[0].name == "cheap"
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(DemandResponseError):
+            ContingencyPlan("empty", [])
+
+    def test_action_validation(self):
+        with pytest.raises(DemandResponseError):
+            ContingencyAction("bad", Severity.ADVISORY, -1.0)
+
+
+class TestDefaultPlan:
+    def test_three_rungs(self):
+        plan = ContingencyPlan.default_plan(machine())
+        assert len(plan.actions) == 3
+        severities = [a.severity for a in plan.actions]
+        assert severities == [Severity.ADVISORY, Severity.WARNING, Severity.EMERGENCY]
+
+    def test_advisory_rung_is_free(self):
+        plan = ContingencyPlan.default_plan(machine())
+        assert plan.actions[0].node_hours_cost_per_hour == 0.0
+
+    def test_reductions_scale_with_machine(self):
+        small = ContingencyPlan.default_plan(Supercomputer("s", n_nodes=100))
+        big = ContingencyPlan.default_plan(Supercomputer("b", n_nodes=10_000))
+        assert big.max_reduction_kw(Severity.EMERGENCY) > 50 * small.max_reduction_kw(
+            Severity.EMERGENCY
+        )
+
+    def test_invalid_fractions(self):
+        with pytest.raises(DemandResponseError):
+            ContingencyPlan.default_plan(machine(), idle_fraction=1.5)
+
+
+class TestEvaluation:
+    def test_minimal_prefix_fires(self):
+        ev = evaluate_plan(
+            ladder(), Severity.EMERGENCY, required_kw=50.0, duration_h=1.0,
+            machine=machine(), cost_model=cost_model(),
+        )
+        assert [a.name for a in ev.fired] == ["sleep idle"]
+        assert ev.sufficient
+
+    def test_escalates_until_met(self):
+        ev = evaluate_plan(
+            ladder(), Severity.EMERGENCY, required_kw=350.0, duration_h=1.0,
+            machine=machine(), cost_model=cost_model(),
+        )
+        assert [a.name for a in ev.fired] == ["sleep idle", "suspend"]
+        assert ev.delivered_kw == pytest.approx(400.0)
+
+    def test_severity_limits_available_rungs(self):
+        ev = evaluate_plan(
+            ladder(), Severity.ADVISORY, required_kw=350.0, duration_h=1.0,
+            machine=machine(), cost_model=cost_model(),
+        )
+        assert not ev.sufficient
+        assert ev.shortfall_kw == pytest.approx(250.0)
+
+    def test_mission_cost_scales_with_duration(self):
+        kwargs = dict(
+            plan=ladder(), severity=Severity.EMERGENCY, required_kw=350.0,
+            machine=machine(), cost_model=cost_model(),
+        )
+        short = evaluate_plan(duration_h=1.0, **kwargs)
+        long = evaluate_plan(duration_h=4.0, **kwargs)
+        assert long.mission_cost == pytest.approx(4 * short.mission_cost)
+
+    def test_worst_ramp_reported(self):
+        ev = evaluate_plan(
+            ladder(), Severity.EMERGENCY, required_kw=600.0, duration_h=1.0,
+            machine=machine(), cost_model=cost_model(),
+        )
+        assert ev.worst_ramp_s == max(a.ramp_time_s for a in ladder().actions)
+
+    def test_validation(self):
+        with pytest.raises(DemandResponseError):
+            evaluate_plan(ladder(), Severity.WARNING, -1.0, 1.0, machine(), cost_model())
+        with pytest.raises(DemandResponseError):
+            evaluate_plan(ladder(), Severity.WARNING, 1.0, 0.0, machine(), cost_model())

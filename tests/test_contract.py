@@ -1,0 +1,117 @@
+"""Contract composition and classification."""
+
+import pytest
+
+from repro.contracts import (
+    ChargeDomain,
+    Contract,
+    DemandCharge,
+    DynamicTariff,
+    EmergencyDRObligation,
+    FixedTariff,
+    Powerband,
+    ResponsibleParty,
+    TOUServiceCharge,
+)
+from repro.exceptions import ContractError
+from repro.timeseries import TOUWindow
+
+
+def full_contract():
+    return Contract(
+        name="everything",
+        components=[
+            FixedTariff(0.07),
+            TOUServiceCharge([(TOUWindow("peak", 8, 20), 0.02)]),
+            DynamicTariff(),
+            DemandCharge(12.0),
+            Powerband(10_000.0, 3_000.0),
+            EmergencyDRObligation(),
+        ],
+        rnp=ResponsibleParty.SC,
+        communicates_swings=True,
+    )
+
+
+class TestConstruction:
+    def test_requires_name(self):
+        with pytest.raises(ContractError):
+            Contract("", [FixedTariff(0.1)])
+
+    def test_requires_components(self):
+        with pytest.raises(ContractError):
+            Contract("empty", [])
+
+    def test_requires_energy_pricing_by_default(self):
+        with pytest.raises(ContractError):
+            Contract("kw-only", [DemandCharge(10.0)])
+
+    def test_allow_no_tariff_escape_hatch(self):
+        c = Contract("kw-only", [DemandCharge(10.0)], allow_no_tariff=True)
+        assert not c.typology_flags().has_any_tariff()
+
+    def test_defaults(self):
+        c = Contract("basic", [FixedTariff(0.1)])
+        assert c.rnp is ResponsibleParty.INTERNAL
+        assert not c.communicates_swings
+        assert c.currency == "USD"
+
+
+class TestTypology:
+    def test_full_contract_all_leaves(self):
+        flags = full_contract().typology_flags()
+        assert flags.count() == 6
+
+    def test_single_component(self):
+        flags = Contract("f", [FixedTariff(0.1)]).typology_flags()
+        assert flags.leaves() == ("fixed",)
+
+    def test_has_component(self):
+        c = full_contract()
+        assert c.has_component("powerband")
+        assert not Contract("f", [FixedTariff(0.1)]).has_component("powerband")
+
+    def test_components_in_domain(self):
+        c = full_contract()
+        assert len(c.components_in_domain(ChargeDomain.ENERGY_KWH)) == 3
+        assert len(c.components_in_domain(ChargeDomain.POWER_KW)) == 2
+        assert len(c.components_in_domain(ChargeDomain.OTHER)) == 1
+
+
+class TestComposition:
+    def test_with_component(self):
+        c = Contract("f", [FixedTariff(0.1)])
+        c2 = c.with_component(DemandCharge(10.0))
+        assert c2.has_component("demand_charge")
+        assert not c.has_component("demand_charge")  # original untouched
+        assert len(c.components) == 1
+
+    def test_without_components_cscs_move(self):
+        # §4: CSCS removed demand charges from their contract
+        c = Contract("cscs", [FixedTariff(0.1), DemandCharge(10.0)])
+        c2 = c.without_components("demand_charge")
+        assert not c2.has_component("demand_charge")
+        assert c2.has_component("fixed")
+
+    def test_without_missing_component_rejected(self):
+        c = Contract("f", [FixedTariff(0.1)])
+        with pytest.raises(ContractError):
+            c.without_components("powerband")
+
+    def test_metadata_carried(self):
+        c = Contract("f", [FixedTariff(0.1)], metadata={"country": "CH"})
+        c2 = c.with_component(DemandCharge(1.0))
+        assert c2.metadata["country"] == "CH"
+
+
+class TestDescribe:
+    def test_describe_lists_components(self):
+        text = full_contract().describe()
+        assert "everything" in text
+        assert text.count("\n") == 6  # header + 6 components
+        assert "SC" in text
+
+    def test_describe_swing_flag(self):
+        assert "swing communication: yes" in full_contract().describe()
+        c = Contract("f", [FixedTariff(0.1)])
+        assert "swing communication: no" in c.describe()

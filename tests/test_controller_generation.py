@@ -1,0 +1,117 @@
+"""The DR controller with an on-site generation asset."""
+
+import pytest
+
+from repro.dr import CostModel, DRController, LoadShedStrategy
+from repro.facility import BackupGenerator, Supercomputer
+from repro.grid import IncentiveBasedProgram
+from repro.grid.events import DREvent
+from repro.timeseries import PowerSeries
+
+HOUR = 3600.0
+
+
+def controller(generator=None, capex=5e8, always=False):
+    """An expensive machine (machine-side DR never pays) plus a genset."""
+    machine = Supercomputer("m", n_nodes=1000)
+    return DRController(
+        machine,
+        CostModel(machine_capex=capex, electricity_rate_per_kwh=0.08),
+        LoadShedStrategy(floor_kw=300.0),
+        always_participate=always,
+        generator=generator,
+    )
+
+
+def genset(fuel=0.30, start_s=120.0):
+    return BackupGenerator(
+        name="g", capacity_kw=2_000.0, fuel_cost_per_kwh=fuel,
+        start_time_s=start_s, min_load_fraction=0.2,
+    )
+
+
+def dr_event(reduction=800.0, payment=0.30, notice=1800.0,
+             start=HOUR, end=3 * HOUR):
+    program = IncentiveBasedProgram(
+        name="il", energy_payment_per_kwh=payment,
+        non_delivery_penalty_per_kwh=2 * payment,
+    )
+    return DREvent(start, end, reduction, program, notice_s=notice)
+
+
+def flat(level=5_000.0, hours=24):
+    return PowerSeries.constant(level, hours * 4, 900.0)
+
+
+class TestGenerationPreferred:
+    def test_generator_serves_when_machine_declines(self):
+        """The §4 LANL shape through the controller: the machine case is
+        negative, but the generator closes it."""
+        c = controller(generator=genset())
+        outcome = c.respond_dr(flat(), dr_event())
+        assert outcome.participated
+        assert outcome.served_by == "generator"
+        assert outcome.net_benefit > 0
+
+    def test_without_generator_same_event_declined(self):
+        c = controller(generator=None)
+        outcome = c.respond_dr(flat(), dr_event())
+        assert not outcome.participated
+        assert outcome.served_by == "none"
+
+    def test_net_load_reduced_by_output(self):
+        c = controller(generator=genset())
+        outcome = c.respond_dr(flat(), dr_event(reduction=800.0))
+        window = outcome.response.modified.values_kw[4:12]
+        assert window == pytest.approx([5_000.0 - 800.0] * 8)
+
+    def test_no_mission_cost(self):
+        c = controller(generator=genset())
+        outcome = c.respond_dr(flat(), dr_event())
+        # cost is fuel net of avoided purchases — no shed energy at all
+        assert outcome.response.shed_energy_kwh == 0.0
+
+
+class TestGenerationLimits:
+    def test_expensive_fuel_falls_back_to_decline(self):
+        c = controller(generator=genset(fuel=1.50))
+        outcome = c.respond_dr(flat(), dr_event(payment=0.30))
+        assert outcome.served_by == "none"
+
+    def test_insufficient_notice_skips_generator(self):
+        c = controller(generator=genset(start_s=3600.0))
+        outcome = c.respond_dr(flat(), dr_event(notice=60.0))
+        assert outcome.served_by == "none"
+
+    def test_event_longer_than_runtime_limit(self):
+        g = BackupGenerator(
+            name="g", capacity_kw=2_000.0, max_runtime_h_per_event=1.0
+        )
+        c = controller(generator=g)
+        outcome = c.respond_dr(flat(), dr_event(start=HOUR, end=5 * HOUR))
+        assert outcome.served_by == "none"
+
+    def test_cheap_machine_still_used_when_no_generator_case(self):
+        # cheap machine + pricey fuel: machine-side DR wins
+        c = controller(generator=genset(fuel=1.50), capex=1e6)
+        outcome = c.respond_dr(flat(), dr_event(payment=0.50))
+        assert outcome.participated
+        assert outcome.served_by == "machine"
+
+    def test_always_participate_uses_generator_even_at_loss(self):
+        c = controller(generator=genset(fuel=1.50), always=True)
+        outcome = c.respond_dr(flat(), dr_event(payment=0.10))
+        assert outcome.participated
+        assert outcome.served_by == "generator"
+
+
+class TestRunWithGeneration:
+    def test_mixed_timeline(self):
+        c = controller(generator=genset())
+        events = [
+            dr_event(start=2 * HOUR, end=4 * HOUR),
+            dr_event(start=10 * HOUR, end=12 * HOUR),
+        ]
+        final, outcomes = c.run(flat(), dr_events=events)
+        assert all(o.served_by == "generator" for o in outcomes)
+        assert final.energy_kwh() < flat().energy_kwh()

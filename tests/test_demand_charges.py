@@ -1,0 +1,129 @@
+"""kW-domain: demand charges, metering conventions, ratchet."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import ChargeDomain, DemandCharge, PeakMetering
+from repro.exceptions import TariffError
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY = BillingPeriod("day", 0.0, 86_400.0)
+
+
+def spiky_day(base=1000.0, peaks=(15_000.0,), peak_positions=(48,)):
+    values = np.full(96, base)
+    for pos, peak in zip(peak_positions, peaks):
+        values[pos] = peak
+    return PowerSeries(values, 900.0)
+
+
+class TestSingleMax:
+    def test_bills_on_peak(self):
+        dc = DemandCharge(rate_per_kw=10.0)
+        item = dc.charge(spiky_day(), DAY)
+        assert item.amount == pytest.approx(150_000.0)
+        assert item.quantity == pytest.approx(15_000.0)
+
+    def test_flat_load_bills_on_level(self):
+        dc = DemandCharge(10.0)
+        item = dc.charge(PowerSeries.constant(2000.0, 96, 900.0), DAY)
+        assert item.amount == pytest.approx(20_000.0)
+
+    def test_domain_is_kw(self):
+        assert DemandCharge(10.0).domain is ChargeDomain.POWER_KW
+
+    def test_typology_label(self):
+        assert tuple(DemandCharge(1.0).typology_labels()) == ("demand_charge",)
+
+    def test_metering_interval_default_15min(self):
+        assert DemandCharge(1.0).metering_interval_s == 900.0
+
+
+class TestTopKMean:
+    def test_paper_example(self):
+        # three 15 MW peaks → billed on their mean
+        dc = DemandCharge(10.0, metering=PeakMetering.TOP_K_MEAN, k=3)
+        load = spiky_day(
+            peaks=(15_000.0,) * 3, peak_positions=(10, 40, 70)
+        )
+        item = dc.charge(load, DAY)
+        assert item.quantity == pytest.approx(15_000.0)
+
+    def test_lower_peaks_lower_bill(self):
+        # "In the next billing period, if the peaks are 12 MW instead, the
+        # demand charges are lowered accordingly."
+        dc = DemandCharge(10.0, metering=PeakMetering.TOP_K_MEAN, k=3)
+        high = dc.charge(spiky_day(peaks=(15_000.0,) * 3, peak_positions=(10, 40, 70)), DAY)
+        dc.reset()
+        low = dc.charge(spiky_day(peaks=(12_000.0,) * 3, peak_positions=(10, 40, 70)), DAY)
+        assert low.amount < high.amount
+        assert low.quantity == pytest.approx(12_000.0)
+
+    def test_top_k_less_than_single_max_for_unequal_peaks(self):
+        load = spiky_day(peaks=(15_000.0, 9_000.0, 6_000.0), peak_positions=(10, 40, 70))
+        single = DemandCharge(10.0).charge(load, DAY)
+        topk = DemandCharge(10.0, metering=PeakMetering.TOP_K_MEAN, k=3).charge(load, DAY)
+        assert topk.amount < single.amount
+
+    def test_invalid_k(self):
+        with pytest.raises(TariffError):
+            DemandCharge(10.0, metering=PeakMetering.TOP_K_MEAN, k=0)
+
+
+class TestRatchet:
+    def test_ratchet_floors_later_periods(self):
+        dc = DemandCharge(10.0, ratchet_fraction=0.8)
+        dc.reset()
+        first = dc.charge(spiky_day(peaks=(10_000.0,)), DAY)
+        second = dc.charge(spiky_day(peaks=(2_000.0,)), DAY)
+        assert first.quantity == pytest.approx(10_000.0)
+        # second period billed at 80 % of the prior 10 MW peak, not 2 MW
+        assert second.quantity == pytest.approx(8_000.0)
+
+    def test_ratchet_not_binding_when_new_peak_higher(self):
+        dc = DemandCharge(10.0, ratchet_fraction=0.8)
+        dc.reset()
+        dc.charge(spiky_day(peaks=(10_000.0,)), DAY)
+        item = dc.charge(spiky_day(peaks=(12_000.0,)), DAY)
+        assert item.quantity == pytest.approx(12_000.0)
+
+    def test_reset_clears_state(self):
+        dc = DemandCharge(10.0, ratchet_fraction=0.9)
+        dc.charge(spiky_day(peaks=(10_000.0,)), DAY)
+        dc.reset()
+        item = dc.charge(spiky_day(peaks=(2_000.0,)), DAY)
+        assert item.quantity == pytest.approx(2_000.0)
+
+    def test_invalid_ratchet_rejected(self):
+        with pytest.raises(TariffError):
+            DemandCharge(10.0, ratchet_fraction=1.5)
+
+
+class TestValidationAndMetering:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(TariffError):
+            DemandCharge(-1.0)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(TariffError):
+            DemandCharge(1.0, demand_interval_s=0.0)
+
+    def test_metered_smooths_subinterval_spikes(self):
+        # a 1-minute spike should NOT set the billed demand at 15-min metering
+        dc = DemandCharge(10.0)
+        values = np.full(900, 1000.0)  # one-minute telemetry for 15 h
+        values[0] = 20_000.0
+        fine = PowerSeries(values, 60.0)
+        metered = dc.metered(fine)
+        assert metered.interval_s == 900.0
+        assert metered.max_kw() < 20_000.0
+
+    def test_describe_mentions_convention(self):
+        assert "top 3" in DemandCharge(
+            1.0, metering=PeakMetering.TOP_K_MEAN, k=3
+        ).describe()
+        assert "ratchet" in DemandCharge(1.0, ratchet_fraction=0.5).describe()
+
+    def test_details_include_measured_demand(self):
+        item = DemandCharge(10.0).charge(spiky_day(), DAY)
+        assert item.details["measured_demand_kw"] == pytest.approx(15_000.0)

@@ -1,0 +1,101 @@
+"""Deviation detection (automating the §3.4 phone call)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TimeSeriesError
+from repro.timeseries import (
+    PowerSeries,
+    detect_deviations,
+    deviations_to_timeline,
+)
+from repro.timeseries.events import EventKind
+
+HOUR_INTERVALS = 4  # at 15-min metering
+
+
+def reference(n=96, level=5000.0):
+    return PowerSeries.constant(level, n, 900.0)
+
+
+def actual_with(deltas):
+    """Reference plus {interval_index: delta} perturbations."""
+    values = np.full(96, 5000.0)
+    for idx, delta in deltas.items():
+        values[idx] += delta
+    return PowerSeries(values, 900.0)
+
+
+class TestDetection:
+    def test_clean_match_no_deviations(self):
+        assert detect_deviations(reference(), reference(), 500.0) == []
+
+    def test_sustained_drop_detected(self):
+        deltas = {i: -2000.0 for i in range(20, 32)}  # 3 hours down
+        episodes = detect_deviations(actual_with(deltas), reference(), 500.0)
+        assert len(episodes) == 1
+        ep = episodes[0]
+        assert ep.direction == "down"
+        assert ep.start_s == 20 * 900.0
+        assert ep.duration_s == 12 * 900.0
+        assert ep.mean_delta_kw == pytest.approx(-2000.0)
+
+    def test_benchmark_spike_detected_up(self):
+        deltas = {i: 3000.0 for i in range(40, 48)}
+        episodes = detect_deviations(actual_with(deltas), reference(), 500.0)
+        assert episodes[0].direction == "up"
+        assert episodes[0].peak_delta_kw == pytest.approx(3000.0)
+
+    def test_short_blips_ignored(self):
+        deltas = {10: -2000.0}  # a single 15-min interval
+        episodes = detect_deviations(
+            actual_with(deltas), reference(), 500.0, min_duration_s=1800.0
+        )
+        assert episodes == []
+
+    def test_subthreshold_ignored(self):
+        deltas = {i: -300.0 for i in range(20, 40)}
+        assert detect_deviations(actual_with(deltas), reference(), 500.0) == []
+
+    def test_multiple_episodes(self):
+        deltas = {}
+        deltas.update({i: -2000.0 for i in range(10, 20)})
+        deltas.update({i: 2500.0 for i in range(60, 70)})
+        episodes = detect_deviations(actual_with(deltas), reference(), 500.0)
+        assert [e.direction for e in episodes] == ["down", "up"]
+
+    def test_alignment_enforced(self):
+        with pytest.raises(TimeSeriesError):
+            detect_deviations(reference(48), reference(96), 500.0)
+
+    def test_threshold_validated(self):
+        with pytest.raises(TimeSeriesError):
+            detect_deviations(reference(), reference(), 0.0)
+
+
+class TestTimelineConversion:
+    def _episodes(self):
+        deltas = {}
+        deltas.update({i: -2000.0 for i in range(10, 20)})
+        deltas.update({i: 2500.0 for i in range(60, 70)})
+        return detect_deviations(actual_with(deltas), reference(), 500.0)
+
+    def test_kinds_mapped(self):
+        timeline = deviations_to_timeline(self._episodes())
+        kinds = [e.kind for e in timeline]
+        assert kinds == [EventKind.MAINTENANCE, EventKind.BENCHMARK]
+
+    def test_notified_flag(self):
+        good = deviations_to_timeline(self._episodes(), notified=True)
+        assert good.notified_fraction() == 1.0
+        silent = deviations_to_timeline(self._episodes(), notified=False)
+        assert silent.notified_fraction() == 0.0
+
+    def test_deltas_carried(self):
+        timeline = deviations_to_timeline(self._episodes())
+        events = list(timeline)
+        assert events[0].delta_kw == pytest.approx(-2000.0)
+        assert events[1].delta_kw == pytest.approx(2500.0)
+
+    def test_empty_timeline(self):
+        assert len(deviations_to_timeline([])) == 0

@@ -1,0 +1,148 @@
+"""The DR controller: appraisal, participation, emergency compliance."""
+
+import numpy as np
+import pytest
+
+from repro.dr import CostModel, DRController, LoadShedStrategy, LoadShiftStrategy
+from repro.facility import Supercomputer
+from repro.grid import IncentiveBasedProgram, EmergencyProgram
+from repro.grid.events import DREvent, EmergencyEvent
+from repro.timeseries import PowerSeries
+
+HOUR = 3600.0
+
+
+def controller(capex=1e8, payment=0.25, always=False, strategy=None):
+    machine = Supercomputer("m", n_nodes=1000)
+    cm = CostModel(machine_capex=capex)
+    strategy = strategy or LoadShedStrategy(floor_kw=300.0)
+    return DRController(machine, cm, strategy, always_participate=always)
+
+
+def dr_event(reduction=200.0, payment_per_kwh=0.25, start=HOUR, end=2 * HOUR):
+    program = IncentiveBasedProgram(
+        name="il",
+        energy_payment_per_kwh=payment_per_kwh,
+        non_delivery_penalty_per_kwh=2 * payment_per_kwh,
+    )
+    return DREvent(start, end, reduction, program, notice_s=1800.0)
+
+
+def emergency_event(limit=500.0, start=HOUR, end=2 * HOUR):
+    return EmergencyEvent(start, end, limit, EmergencyProgram(name="em"))
+
+
+def flat(level=1000.0, hours=24):
+    return PowerSeries.constant(level, hours * 4, 900.0)
+
+
+class TestAppraisal:
+    def test_expensive_machine_declines(self):
+        c = controller(capex=5e8)
+        outcome = c.respond_dr(flat(), dr_event(payment_per_kwh=0.25))
+        assert not outcome.participated
+        assert outcome.response is None
+        assert outcome.payment == 0.0
+
+    def test_generous_payment_participates(self):
+        c = controller(capex=1e7)
+        outcome = c.respond_dr(flat(), dr_event(payment_per_kwh=10.0))
+        assert outcome.participated
+        assert outcome.payment > 0
+
+    def test_always_participate_override(self):
+        c = controller(capex=5e8, always=True)
+        outcome = c.respond_dr(flat(), dr_event(payment_per_kwh=0.25))
+        assert outcome.participated
+
+    def test_zero_request_declined(self):
+        c = controller(always=False)
+        outcome = c.respond_dr(flat(), dr_event(reduction=0.0))
+        assert not outcome.participated
+
+
+class TestSettlementFlow:
+    def test_incentive_settlement_with_shortfall(self):
+        # strategy can only shed to its floor; if that is less than the
+        # request, the settlement clawback applies
+        c = controller(always=True, strategy=LoadShedStrategy(floor_kw=900.0))
+        ev = dr_event(reduction=500.0, payment_per_kwh=0.25)
+        outcome = c.respond_dr(flat(1000.0), ev)
+        # delivered only 100 kW of the 500 kW commitment
+        assert outcome.response.delivered_reduction_kw == pytest.approx(100.0)
+        assert outcome.payment < 0  # penalties dominate
+
+    def test_full_delivery_paid(self):
+        c = controller(always=True, strategy=LoadShedStrategy(floor_kw=300.0))
+        ev = dr_event(reduction=500.0, payment_per_kwh=0.25)
+        outcome = c.respond_dr(flat(1000.0), ev)
+        assert outcome.response.delivered_reduction_kw >= 500.0
+        assert outcome.payment > 0
+
+    def test_shift_strategy_cheaper_than_shed(self):
+        shed = controller(always=True, strategy=LoadShedStrategy(floor_kw=300.0))
+        shift = controller(
+            always=True,
+            strategy=LoadShiftStrategy(floor_kw=300.0, max_power_kw=2000.0),
+        )
+        ev = dr_event(reduction=500.0)
+        shed_cost = shed.respond_dr(flat(), ev).curtailment_cost
+        shift_cost = shift.respond_dr(flat(), ev).curtailment_cost
+        assert shift_cost < shed_cost
+
+
+class TestEmergency:
+    def test_emergency_never_declined(self):
+        c = controller(capex=5e8)  # would decline any voluntary event
+        outcome = c.respond_emergency(flat(1000.0), emergency_event(limit=400.0))
+        assert outcome.participated
+        assert outcome.response is not None
+        window = outcome.response.modified.values_kw[4:8]
+        assert np.all(window <= 400.0 + 1e-9)
+
+    def test_emergency_pays_nothing(self):
+        c = controller()
+        outcome = c.respond_emergency(flat(), emergency_event())
+        assert outcome.payment == 0.0
+
+    def test_compliant_limit_no_cost(self):
+        c = controller()
+        outcome = c.respond_emergency(flat(1000.0), emergency_event(limit=5000.0))
+        assert outcome.curtailment_cost == 0.0
+
+
+class TestRun:
+    def test_events_processed_in_order(self):
+        c = controller(always=True)
+        final, outcomes = c.run(
+            flat(),
+            dr_events=[dr_event(start=5 * HOUR, end=6 * HOUR)],
+            emergency_events=[emergency_event(start=HOUR, end=2 * HOUR)],
+        )
+        assert [type(o.event).__name__ for o in outcomes] == [
+            "EmergencyEvent",
+            "DREvent",
+        ]
+
+    def test_final_load_reflects_all_events(self):
+        c = controller(always=True, strategy=LoadShedStrategy(floor_kw=300.0))
+        final, outcomes = c.run(
+            flat(1000.0),
+            dr_events=[dr_event(reduction=700.0, start=5 * HOUR, end=6 * HOUR)],
+            emergency_events=[emergency_event(limit=400.0, start=HOUR, end=2 * HOUR)],
+        )
+        assert final.values_kw[4] <= 400.0 + 1e-9    # emergency window
+        assert final.values_kw[5 * 4] <= 300.0 + 1e-9  # DR window
+
+    def test_no_events_identity(self):
+        c = controller()
+        final, outcomes = c.run(flat())
+        assert outcomes == []
+        assert final.approx_equal(flat())
+
+    def test_net_benefit_property(self):
+        c = controller(capex=1e7, always=True)
+        outcome = c.respond_dr(flat(), dr_event(payment_per_kwh=5.0))
+        assert outcome.net_benefit == pytest.approx(
+            outcome.payment - outcome.curtailment_cost
+        )

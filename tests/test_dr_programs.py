@@ -1,0 +1,124 @@
+"""The DR program taxonomy and its economics."""
+
+import pytest
+
+from repro.exceptions import DispatchError, GridError
+from repro.grid import (
+    DRCategory,
+    EmergencyProgram,
+    IncentiveBasedProgram,
+    PriceBasedProgram,
+    standard_program_catalog,
+)
+
+
+class TestTaxonomy:
+    def test_catalog_covers_all_categories(self):
+        catalog = standard_program_catalog()
+        categories = {p.category for p in catalog.values()}
+        assert categories == set(DRCategory)
+
+    def test_emergency_is_mandatory(self):
+        with pytest.raises(GridError):
+            EmergencyProgram(name="bad", voluntary=True)
+
+    def test_emergency_default_involuntary(self):
+        p = EmergencyProgram(name="em")
+        assert not p.voluntary
+
+    def test_duration_bounds_validated(self):
+        with pytest.raises(GridError):
+            PriceBasedProgram(name="bad", min_duration_s=0.0)
+        with pytest.raises(GridError):
+            PriceBasedProgram(name="bad", min_duration_s=100.0, max_duration_s=50.0)
+
+
+class TestPriceBased:
+    def test_shift_spread(self):
+        p = PriceBasedProgram(
+            name="tou", peak_price_per_kwh=0.20, offpeak_price_per_kwh=0.05
+        )
+        assert p.shift_spread_per_kwh == pytest.approx(0.15)
+
+    def test_event_payment_is_avoided_cost(self):
+        p = PriceBasedProgram(
+            name="tou", peak_price_per_kwh=0.20, offpeak_price_per_kwh=0.05
+        )
+        # 1000 kW for 2 h at the peak price
+        assert p.event_payment(1000.0, 7200.0) == pytest.approx(400.0)
+
+    def test_price_ordering_validated(self):
+        with pytest.raises(GridError):
+            PriceBasedProgram(
+                name="bad", peak_price_per_kwh=0.05, offpeak_price_per_kwh=0.20
+            )
+
+    def test_event_duration_enforced(self):
+        p = PriceBasedProgram(name="tou", min_duration_s=900.0, max_duration_s=3600.0)
+        with pytest.raises(DispatchError):
+            p.event_payment(100.0, 100.0)
+        with pytest.raises(DispatchError):
+            p.event_payment(100.0, 7200.0)
+
+
+class TestIncentiveBased:
+    def _program(self):
+        return IncentiveBasedProgram(
+            name="il",
+            capacity_payment_per_kw_year=40.0,
+            energy_payment_per_kwh=0.30,
+            non_delivery_penalty_per_kwh=0.60,
+        )
+
+    def test_event_payment(self):
+        assert self._program().event_payment(1000.0, 3600.0) == pytest.approx(300.0)
+
+    def test_capacity_payment(self):
+        assert self._program().annual_capacity_payment(500.0) == pytest.approx(
+            20_000.0
+        )
+
+    def test_settlement_full_delivery(self):
+        p = self._program()
+        assert p.settlement(1000.0, 1000.0, 3600.0) == pytest.approx(300.0)
+
+    def test_settlement_shortfall_penalized(self):
+        p = self._program()
+        # delivered half: paid 150, penalized 0.60 × 500 kWh = 300
+        assert p.settlement(1000.0, 500.0, 3600.0) == pytest.approx(150.0 - 300.0)
+
+    def test_settlement_overdelivery_paid(self):
+        p = self._program()
+        assert p.settlement(1000.0, 1200.0, 3600.0) == pytest.approx(360.0)
+
+    def test_penalty_exceeds_payment_asymmetry(self):
+        # committing and failing must cost more than never committing earns
+        p = self._program()
+        assert p.settlement(1000.0, 0.0, 3600.0) < 0
+
+    def test_negative_commitment_rejected(self):
+        with pytest.raises(DispatchError):
+            self._program().annual_capacity_payment(-1.0)
+        with pytest.raises(DispatchError):
+            self._program().settlement(-1.0, 0.0, 3600.0)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(GridError):
+            IncentiveBasedProgram(name="bad", energy_payment_per_kwh=-0.1)
+
+
+class TestCatalog:
+    def test_known_members(self):
+        catalog = standard_program_catalog()
+        assert "interruptible load" in catalog
+        assert "emergency load response" in catalog
+        assert "regulation service" in catalog
+
+    def test_regulation_fast_and_short(self):
+        p = standard_program_catalog()["regulation service"]
+        assert p.notice_time_s == 0.0
+        assert p.max_duration_s <= 3600.0
+
+    def test_names_match_keys(self):
+        for key, program in standard_program_catalog().items():
+            assert key == program.name

@@ -1,0 +1,140 @@
+"""Shed / shift / cap strategies."""
+
+import numpy as np
+import pytest
+
+from repro.dr import LoadShedStrategy, LoadShiftStrategy, PowerCapStrategy
+from repro.exceptions import DemandResponseError
+from repro.timeseries import PowerSeries
+
+HOUR = 3600.0
+
+
+def flat(level=1000.0, hours=24):
+    return PowerSeries.constant(level, hours * 4, 900.0)
+
+
+class TestShed:
+    def test_shed_to_floor(self):
+        shed = LoadShedStrategy(floor_kw=400.0)
+        r = shed.respond(flat(), HOUR, 2 * HOUR)
+        window = r.modified.values_kw[4:8]
+        assert np.all(window == 400.0)
+        assert r.delivered_reduction_kw == pytest.approx(600.0)
+        assert r.shed_energy_kwh == pytest.approx(600.0)
+
+    def test_max_shed_respected(self):
+        shed = LoadShedStrategy(floor_kw=0.0, max_shed_kw=100.0)
+        r = shed.respond(flat(), HOUR, 2 * HOUR)
+        assert r.delivered_reduction_kw == pytest.approx(100.0)
+
+    def test_no_rebound(self):
+        shed = LoadShedStrategy(floor_kw=400.0)
+        r = shed.respond(flat(), HOUR, 2 * HOUR)
+        assert r.rebound_energy_kwh == 0.0
+        assert r.shifted_energy_kwh == 0.0
+        # outside the window the profile is untouched
+        assert np.all(r.modified.values_kw[8:] == 1000.0)
+
+    def test_net_energy_is_negative(self):
+        shed = LoadShedStrategy(floor_kw=0.0)
+        r = shed.respond(flat(), 0.0, HOUR)
+        assert r.net_energy_change_kwh < 0
+
+    def test_already_below_floor_noop(self):
+        shed = LoadShedStrategy(floor_kw=2000.0)
+        r = shed.respond(flat(1000.0), 0.0, HOUR)
+        assert r.delivered_reduction_kw == 0.0
+        assert r.modified.approx_equal(flat(1000.0))
+
+    def test_event_outside_profile_rejected(self):
+        shed = LoadShedStrategy(floor_kw=0.0)
+        with pytest.raises(DemandResponseError):
+            shed.respond(flat(hours=1), 0.0, 2 * HOUR)
+
+    def test_validation(self):
+        with pytest.raises(DemandResponseError):
+            LoadShedStrategy(floor_kw=-1.0)
+        with pytest.raises(DemandResponseError):
+            LoadShedStrategy(floor_kw=0.0, max_shed_kw=0.0)
+
+    def test_input_not_mutated(self):
+        load = flat()
+        LoadShedStrategy(floor_kw=0.0).respond(load, 0.0, HOUR)
+        assert np.all(load.values_kw == 1000.0)
+
+
+class TestShift:
+    def _strategy(self, **kwargs):
+        defaults = dict(floor_kw=400.0, max_power_kw=2000.0, recovery_h=4.0,
+                        rebound_factor=1.0)
+        defaults.update(kwargs)
+        return LoadShiftStrategy(**defaults)
+
+    def test_energy_recovered_after_event(self):
+        r = self._strategy().respond(flat(), HOUR, 2 * HOUR)
+        assert r.shifted_energy_kwh == pytest.approx(600.0)
+        assert r.shed_energy_kwh == pytest.approx(0.0, abs=1e-9)
+        # recovery period runs above baseline
+        assert np.any(r.modified.values_kw[8:] > 1000.0)
+
+    def test_energy_conserved_without_rebound(self):
+        load = flat()
+        r = self._strategy(rebound_factor=1.0).respond(load, HOUR, 2 * HOUR)
+        assert r.modified.energy_kwh() == pytest.approx(load.energy_kwh())
+
+    def test_rebound_factor_adds_energy(self):
+        load = flat()
+        r = self._strategy(rebound_factor=1.10).respond(load, HOUR, 2 * HOUR)
+        assert r.modified.energy_kwh() > load.energy_kwh()
+        assert r.rebound_energy_kwh > 0
+
+    def test_ceiling_respected_in_recovery(self):
+        r = self._strategy(max_power_kw=1200.0).respond(flat(), HOUR, 2 * HOUR)
+        assert r.modified.max_kw() <= 1200.0 + 1e-9
+
+    def test_unreplayable_energy_becomes_shed(self):
+        # tight ceiling and short recovery: not everything comes back
+        r = self._strategy(max_power_kw=1050.0, recovery_h=1.0).respond(
+            flat(), HOUR, 2 * HOUR
+        )
+        assert r.shed_energy_kwh > 0
+        assert r.shifted_energy_kwh < 600.0
+
+    def test_event_at_end_no_recovery_room(self):
+        load = flat(hours=2)
+        r = self._strategy().respond(load, HOUR, 2 * HOUR)
+        # no intervals after the event: everything shed
+        assert r.shifted_energy_kwh == 0.0
+        assert r.shed_energy_kwh == pytest.approx(600.0)
+
+    def test_validation(self):
+        with pytest.raises(DemandResponseError):
+            self._strategy(max_power_kw=300.0)  # below floor
+        with pytest.raises(DemandResponseError):
+            self._strategy(rebound_factor=0.9)
+        with pytest.raises(DemandResponseError):
+            self._strategy(recovery_h=0.0)
+
+
+class TestCap:
+    def test_clips_only_window(self):
+        values = np.full(96, 1000.0)
+        values[4:8] = 1500.0
+        values[20:24] = 1500.0
+        load = PowerSeries(values, 900.0)
+        r = PowerCapStrategy(cap_kw=1200.0).respond(load, HOUR, 2 * HOUR)
+        assert np.all(r.modified.values_kw[4:8] == 1200.0)
+        assert np.all(r.modified.values_kw[20:24] == 1500.0)  # outside window
+
+    def test_no_excess_no_change(self):
+        r = PowerCapStrategy(cap_kw=5000.0).respond(flat(), 0.0, HOUR)
+        assert r.delivered_reduction_kw == 0.0
+
+    def test_shed_energy_accounting(self):
+        r = PowerCapStrategy(cap_kw=600.0).respond(flat(1000.0), 0.0, HOUR)
+        assert r.shed_energy_kwh == pytest.approx(400.0)
+
+    def test_validation(self):
+        with pytest.raises(DemandResponseError):
+            PowerCapStrategy(cap_kw=0.0)

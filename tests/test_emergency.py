@@ -1,0 +1,123 @@
+"""The mandatory emergency-DR obligation (§3.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import EmergencyCall, EmergencyDRObligation
+from repro.contracts.components import BillingContext, ChargeDomain
+from repro.exceptions import TariffError
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY = BillingPeriod("day", 0.0, 86_400.0)
+
+
+def load_at(level_kw=2000.0):
+    return PowerSeries.constant(level_kw, 96, 900.0)
+
+
+class TestEmergencyCall:
+    def test_duration(self):
+        call = EmergencyCall(0.0, 3600.0, 1000.0)
+        assert call.duration_s == 3600.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(TariffError):
+            EmergencyCall(10.0, 10.0, 1000.0)
+
+    def test_negative_limit(self):
+        with pytest.raises(TariffError):
+            EmergencyCall(0.0, 10.0, -5.0)
+
+
+class TestObligation:
+    def test_no_calls_just_credit(self):
+        ob = EmergencyDRObligation(availability_credit_per_period=100.0)
+        item = ob.charge(load_at(), DAY, BillingContext())
+        assert item.amount == pytest.approx(-100.0)  # a credit
+
+    def test_no_context_no_calls(self):
+        ob = EmergencyDRObligation()
+        item = ob.charge(load_at(), DAY, None)
+        assert item.amount == 0.0
+        assert item.details["n_calls"] == 0.0
+
+    def test_compliant_call_no_penalty(self):
+        ob = EmergencyDRObligation(noncompliance_penalty_per_kwh=1.0)
+        ctx = BillingContext(
+            emergency_calls=[EmergencyCall(3600.0, 7200.0, limit_kw=3000.0)]
+        )
+        item = ob.charge(load_at(2000.0), DAY, ctx)
+        assert item.amount == 0.0
+
+    def test_noncompliance_penalized(self):
+        ob = EmergencyDRObligation(noncompliance_penalty_per_kwh=2.0)
+        ctx = BillingContext(
+            emergency_calls=[EmergencyCall(3600.0, 7200.0, limit_kw=1500.0)]
+        )
+        # 500 kW over the limit for 1 h = 500 kWh excess
+        item = ob.charge(load_at(2000.0), DAY, ctx)
+        assert item.amount == pytest.approx(1000.0)
+        assert item.quantity == pytest.approx(500.0)
+
+    def test_partial_interval_weighted(self):
+        ob = EmergencyDRObligation(noncompliance_penalty_per_kwh=1.0)
+        # call covers only half of one 15-min interval
+        ctx = BillingContext(
+            emergency_calls=[EmergencyCall(0.0, 450.0, limit_kw=1000.0)]
+        )
+        item = ob.charge(load_at(2000.0), DAY, ctx)
+        # 1000 kW excess × 450 s = 125 kWh
+        assert item.quantity == pytest.approx(125.0)
+
+    def test_calls_outside_period_ignored(self):
+        ob = EmergencyDRObligation(noncompliance_penalty_per_kwh=1.0)
+        ctx = BillingContext(
+            emergency_calls=[EmergencyCall(100_000.0, 103_600.0, limit_kw=0.0)]
+        )
+        item = ob.charge(load_at(), DAY, ctx)
+        assert item.details["n_calls"] == 0.0
+
+    def test_max_calls_cap(self):
+        ob = EmergencyDRObligation(
+            noncompliance_penalty_per_kwh=1.0, max_calls_per_period=1
+        )
+        calls = [
+            EmergencyCall(0.0, 3600.0, limit_kw=0.0),
+            EmergencyCall(7200.0, 10_800.0, limit_kw=0.0),
+        ]
+        item = ob.charge(load_at(1000.0), DAY, BillingContext(emergency_calls=calls))
+        # only the first call is billable; the second is flagged
+        assert item.details["n_calls_billable"] == 1.0
+        assert item.details["n_calls_over_contract_max"] == 1.0
+        assert item.quantity == pytest.approx(1000.0)
+
+    def test_credit_net_of_penalty(self):
+        ob = EmergencyDRObligation(
+            availability_credit_per_period=200.0,
+            noncompliance_penalty_per_kwh=1.0,
+        )
+        ctx = BillingContext(
+            emergency_calls=[EmergencyCall(0.0, 3600.0, limit_kw=1900.0)]
+        )
+        item = ob.charge(load_at(2000.0), DAY, ctx)
+        assert item.amount == pytest.approx(100.0 - 200.0)
+
+    def test_domain_other(self):
+        assert EmergencyDRObligation().domain is ChargeDomain.OTHER
+
+    def test_typology_label(self):
+        assert tuple(EmergencyDRObligation().typology_labels()) == ("emergency_dr",)
+
+    def test_validation(self):
+        with pytest.raises(TariffError):
+            EmergencyDRObligation(availability_credit_per_period=-1.0)
+        with pytest.raises(TariffError):
+            EmergencyDRObligation(noncompliance_penalty_per_kwh=-1.0)
+        with pytest.raises(TariffError):
+            EmergencyDRObligation(max_calls_per_period=-1)
+
+    def test_excess_energy_exact(self):
+        ob = EmergencyDRObligation()
+        call = EmergencyCall(0.0, 7200.0, limit_kw=500.0)
+        excess = ob.excess_energy_kwh(load_at(2000.0), call)
+        assert excess == pytest.approx(1500.0 * 2.0)

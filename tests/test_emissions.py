@@ -1,0 +1,143 @@
+"""Carbon accounting for the supply mix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GridError
+from repro.grid import (
+    Generator,
+    SupplyStack,
+    consumer_footprint_kg,
+    emission_factor,
+    grid_intensity,
+    renewable_fraction_served,
+)
+from repro.timeseries import PowerSeries
+
+
+def stack():
+    return SupplyStack(
+        [
+            Generator("nuclear plant", 5_000.0, 0.01),
+            Generator("gas turbine", 3_000.0, 0.06),
+            Generator("coal unit", 2_000.0, 0.04),
+        ]
+    )
+
+
+class TestEmissionFactors:
+    def test_fuel_keywords(self):
+        assert emission_factor(Generator("coal unit", 1.0, 0.04)) == 0.95
+        assert emission_factor(Generator("nuclear plant", 1.0, 0.01)) == 0.012
+        assert emission_factor(Generator("wind farm", 1.0, 0.0)) == 0.011
+
+    def test_unknown_fuel_default(self):
+        assert emission_factor(Generator("mystery unit", 1.0, 0.1)) == 0.5
+
+    def test_first_match_wins(self):
+        # "gas peaker" matches "gas" before "peaker"
+        assert emission_factor(Generator("gas peaker", 1.0, 0.1)) == 0.45
+
+
+class TestGridIntensity:
+    def test_low_demand_is_clean(self):
+        # only nuclear runs
+        demand = PowerSeries([3_000.0], 3600.0)
+        profile = grid_intensity(stack(), demand)
+        assert profile.average_kg_per_kwh[0] == pytest.approx(0.012)
+        assert profile.marginal_kg_per_kwh[0] == pytest.approx(0.012)
+
+    def test_high_demand_dirtier(self):
+        low = grid_intensity(stack(), PowerSeries([3_000.0], 3600.0))
+        high = grid_intensity(stack(), PowerSeries([9_500.0], 3600.0))
+        assert high.average_kg_per_kwh[0] > low.average_kg_per_kwh[0]
+
+    def test_marginal_is_price_setting_unit(self):
+        # 6000 kW: nuclear full, coal partially — coal is marginal
+        # (merit order sorts by cost: nuclear 0.01, coal 0.04, gas 0.06)
+        demand = PowerSeries([6_000.0], 3600.0)
+        profile = grid_intensity(stack(), demand)
+        assert profile.marginal_kg_per_kwh[0] == pytest.approx(0.95)
+
+    def test_renewables_clean_the_margin(self):
+        demand = PowerSeries([6_000.0], 3600.0)
+        renewable = PowerSeries([6_000.0], 3600.0)
+        profile = grid_intensity(stack(), demand, renewable)
+        assert profile.marginal_kg_per_kwh[0] == pytest.approx(0.02)
+        assert profile.average_kg_per_kwh[0] == pytest.approx(0.02)
+
+    def test_average_between_extremes(self, rng):
+        demand = PowerSeries(rng.uniform(1_000.0, 9_000.0, 100), 3600.0)
+        profile = grid_intensity(stack(), demand)
+        assert np.all(profile.average_kg_per_kwh >= 0.012 - 1e-9)
+        assert np.all(profile.average_kg_per_kwh <= 0.95 + 1e-9)
+
+    def test_alignment_enforced(self):
+        demand = PowerSeries([1.0, 2.0], 3600.0)
+        with pytest.raises(GridError):
+            grid_intensity(stack(), demand, PowerSeries([1.0], 3600.0))
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(GridError):
+            grid_intensity(stack(), PowerSeries([-1.0], 3600.0))
+
+
+class TestConsumerFootprint:
+    def test_footprint_scales_with_load(self):
+        demand = PowerSeries([6_000.0, 6_000.0], 3600.0)
+        profile = grid_intensity(stack(), demand)
+        small = consumer_footprint_kg(PowerSeries([100.0, 100.0], 3600.0), profile)
+        big = consumer_footprint_kg(PowerSeries([200.0, 200.0], 3600.0), profile)
+        assert big == pytest.approx(2 * small)
+
+    def test_marginal_vs_average(self):
+        demand = PowerSeries([6_000.0], 3600.0)
+        profile = grid_intensity(stack(), demand)
+        load = PowerSeries([100.0], 3600.0)
+        # marginal (coal) is dirtier than the nuclear-weighted average
+        assert consumer_footprint_kg(load, profile, marginal=True) > (
+            consumer_footprint_kg(load, profile, marginal=False)
+        )
+
+    def test_alignment_enforced(self):
+        demand = PowerSeries([6_000.0], 3600.0)
+        profile = grid_intensity(stack(), demand)
+        with pytest.raises(GridError):
+            consumer_footprint_kg(PowerSeries([1.0, 2.0], 3600.0), profile)
+
+
+class TestRenewableFraction:
+    def test_full_renewable_hour(self):
+        load = PowerSeries([100.0], 3600.0)
+        renewable = PowerSeries([10_000.0], 3600.0)
+        total = PowerSeries([8_000.0], 3600.0)
+        assert renewable_fraction_served(load, renewable, total) == 1.0
+
+    def test_prorata_attribution(self):
+        load = PowerSeries([100.0, 100.0], 3600.0)
+        renewable = PowerSeries([4_000.0, 0.0], 3600.0)
+        total = PowerSeries([8_000.0, 8_000.0], 3600.0)
+        # 50 % renewable in hour 1, 0 % in hour 2, equal consumption
+        assert renewable_fraction_served(load, renewable, total) == pytest.approx(0.25)
+
+    def test_energy_weighted(self):
+        load = PowerSeries([300.0, 100.0], 3600.0)
+        renewable = PowerSeries([8_000.0, 0.0], 3600.0)
+        total = PowerSeries([8_000.0, 8_000.0], 3600.0)
+        # 3/4 of the energy lands in the fully renewable hour
+        assert renewable_fraction_served(load, renewable, total) == pytest.approx(0.75)
+
+    def test_cscs_policy_check(self):
+        # an 80 % requirement audited over a horizon
+        rng = np.random.default_rng(0)
+        load = PowerSeries(rng.uniform(500, 1500, 48), 3600.0)
+        renewable = PowerSeries(np.full(48, 9_000.0), 3600.0)
+        total = PowerSeries(np.full(48, 10_000.0), 3600.0)
+        frac = renewable_fraction_served(load, renewable, total)
+        assert frac == pytest.approx(0.9)
+        assert frac >= 0.8  # the CSCS clause holds
+
+    def test_zero_load_rejected(self):
+        z = PowerSeries.zeros(2, 3600.0)
+        with pytest.raises(GridError):
+            renewable_fraction_served(z, z, PowerSeries([1.0, 1.0], 3600.0))

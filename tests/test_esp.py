@@ -1,0 +1,168 @@
+"""The ESP actor: simulation, dispatch, settlement, collaboration."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import Contract, DemandCharge, EmergencyDRObligation, FixedTariff
+from repro.exceptions import GridError
+from repro.grid import (
+    ESP,
+    Generator,
+    GridLoadModel,
+    SupplyStack,
+    TariffOffer,
+    WindModel,
+    RenewablePortfolio,
+)
+from repro.grid.events import EmergencyEvent
+from repro.grid.dr_programs import EmergencyProgram
+from repro.timeseries import BillingPeriod, Event, EventTimeline, PowerSeries
+from repro.timeseries.events import EventKind
+
+DAY_S = 86_400.0
+
+
+def make_esp(base_kw=6_000.0, capacity_kw=10_000.0, renewables=False):
+    stack = SupplyStack(
+        [
+            Generator("base", capacity_kw * 0.6, 0.02),
+            Generator("mid", capacity_kw * 0.3, 0.06),
+            Generator("peak", capacity_kw * 0.1, 0.25),
+        ]
+    )
+    portfolio = (
+        RenewablePortfolio(wind=[WindModel(capacity_kw=2_000.0)])
+        if renewables
+        else None
+    )
+    return ESP(
+        name="test-esp",
+        stack=stack,
+        system_load_model=GridLoadModel(base_kw=base_kw),
+        renewables=portfolio,
+    )
+
+
+class TestSimulateSystem:
+    def test_keys_present(self):
+        out = make_esp().simulate_system(48, seed=0)
+        assert set(out) == {"load", "prices"}
+
+    def test_renewables_included(self):
+        out = make_esp(renewables=True).simulate_system(48, seed=0)
+        assert "renewable" in out
+
+    def test_prices_from_market_reflect_load(self):
+        esp = make_esp(base_kw=9_000.0)  # loads near capacity
+        out = esp.simulate_system(7 * 24, seed=0)
+        # peaky load must clear the expensive peaker at least sometimes
+        assert out["prices"].values_kw.max() >= 0.06
+
+    def test_requires_name(self):
+        with pytest.raises(GridError):
+            ESP(
+                name="",
+                stack=SupplyStack([Generator("g", 1.0, 0.1)]),
+                system_load_model=GridLoadModel(base_kw=1.0),
+            )
+
+
+class TestDispatch:
+    def test_stressed_system_dispatches(self):
+        esp = make_esp(base_kw=9_500.0)
+        load = esp.system_load_model.generate(7 * 24, seed=3)
+        events = esp.dispatch_events(load, customer_baseline_kw=1_000.0)
+        assert isinstance(events["dr"], list)
+        assert isinstance(events["emergency"], list)
+        assert len(events["dr"]) + len(events["emergency"]) > 0
+
+    def test_relaxed_system_quiet(self):
+        esp = make_esp(base_kw=2_000.0)
+        load = esp.system_load_model.generate(48, seed=0)
+        events = esp.dispatch_events(load, customer_baseline_kw=1_000.0)
+        assert events["dr"] == [] and events["emergency"] == []
+
+    def test_unknown_program_rejected(self):
+        esp = make_esp()
+        load = esp.system_load_model.generate(24, seed=0)
+        with pytest.raises(GridError):
+            esp.dispatch_events(load, 1000.0, dr_program_name="nonsense")
+
+
+class TestTariffOffer:
+    def test_to_contract(self):
+        offer = TariffOffer(
+            name="industrial", components=[FixedTariff(0.07), DemandCharge(12.0)]
+        )
+        c = offer.to_contract("SC-1")
+        assert c.name == "SC-1 / industrial"
+        assert c.has_component("demand_charge")
+
+
+class TestSettlement:
+    def _settle(self, swings=None, emergencies=()):
+        esp = make_esp()
+        contract = Contract(
+            "cust",
+            [FixedTariff(0.07), EmergencyDRObligation(noncompliance_penalty_per_kwh=1.0)],
+        )
+        load = PowerSeries.constant(1_000.0, 96, 900.0)
+        return esp, esp.settle(
+            customer="cust",
+            contract=contract,
+            load=load,
+            periods=[BillingPeriod("day", 0.0, DAY_S)],
+            emergency_events=emergencies,
+            swing_timeline=swings,
+        )
+
+    def test_record_stored(self):
+        esp, record = self._settle()
+        assert esp.settlements == [record]
+        assert record.total > 0
+
+    def test_emergency_flows_into_billing(self):
+        emergencies = [
+            EmergencyEvent(0.0, 3600.0, 500.0, EmergencyProgram(name="em"))
+        ]
+        _, record = self._settle(emergencies=emergencies)
+        assert record.n_emergency_calls == 1
+        assert record.bill.other_cost > 0  # 500 kW over the limit for 1 h
+
+    def test_swing_notification_recorded(self):
+        timeline = EventTimeline(
+            [
+                Event(EventKind.MAINTENANCE, 0.0, 3600.0, -500.0, notified=True),
+                Event(EventKind.BENCHMARK, 7200.0, 10_800.0, 500.0, notified=False),
+            ]
+        )
+        _, record = self._settle(swings=timeline)
+        assert record.notified_swing_fraction == 0.5
+
+    def test_collaboration_score_rewards_notification(self):
+        esp, good = self._settle(
+            swings=EventTimeline(
+                [Event(EventKind.MAINTENANCE, 0.0, 3600.0, -500.0, notified=True)]
+            )
+        )
+        _, bad = self._settle(
+            swings=EventTimeline(
+                [Event(EventKind.MAINTENANCE, 0.0, 3600.0, -500.0, notified=False)]
+            )
+        )
+        assert esp.collaboration_score(good) > esp.collaboration_score(bad)
+
+    def test_collaboration_score_neutral_prior(self):
+        esp, record = self._settle()
+        assert esp.collaboration_score(record) == pytest.approx(0.5)
+
+    def test_collaboration_penalizes_noncompliance(self):
+        emergencies = [
+            EmergencyEvent(0.0, 3600.0, 500.0, EmergencyProgram(name="em"))
+        ]
+        esp, violating = self._settle(emergencies=emergencies)
+        compliant_emergency = [
+            EmergencyEvent(0.0, 3600.0, 5_000.0, EmergencyProgram(name="em"))
+        ]
+        esp2, compliant = self._settle(emergencies=compliant_emergency)
+        assert esp2.collaboration_score(compliant) > esp.collaboration_score(violating)

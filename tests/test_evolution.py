@@ -1,0 +1,61 @@
+"""The §5 contract-evolution projection."""
+
+import pytest
+
+from repro.analysis import contract_evolution_study
+from repro.exceptions import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return contract_evolution_study(n_years=6, seed=0)
+
+
+class TestEvolution:
+    def test_year_count(self, study):
+        assert len(study.years) == 6
+        assert [y.year for y in study.years] == list(range(6))
+
+    def test_demand_rate_grows(self, study):
+        rates = [y.demand_rate_per_kw for y in study.years]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_demand_share_grows(self, study):
+        """The §5 premise: rising peak costs shift the bill toward the kW
+        branch year over year."""
+        shares = [y.passive_demand_share for y in study.years]
+        assert all(b > a for a, b in zip(shares, shares[1:]))
+
+    def test_adaptation_benefit_grows(self, study):
+        """The §5 conclusion: the value of adaptive capability grows with
+        the evolution — build it before the incentive arrives."""
+        assert study.benefit_growing
+        assert study.benefit_trajectory[-1] > study.benefit_trajectory[0]
+
+    def test_benefit_positive_every_year(self, study):
+        assert all(b > 0 for b in study.benefit_trajectory)
+
+    def test_crossover(self, study):
+        big = study.years[-1].adaptation_benefit
+        assert study.crossover_year(big * 2) is None
+        assert study.crossover_year(0.0) == 0
+
+    def test_flat_rates_flat_benefit(self):
+        flat = contract_evolution_study(
+            n_years=4, demand_rate_growth=0.0, seed=0
+        )
+        b = flat.benefit_trajectory
+        assert b[0] == pytest.approx(b[-1])
+
+    def test_deeper_cap_bigger_benefit(self):
+        mild = contract_evolution_study(n_years=3, adaptive_cap_fraction=0.95, seed=0)
+        deep = contract_evolution_study(n_years=3, adaptive_cap_fraction=0.85, seed=0)
+        assert deep.benefit_trajectory[0] > mild.benefit_trajectory[0]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            contract_evolution_study(n_years=0)
+        with pytest.raises(AnalysisError):
+            contract_evolution_study(adaptive_cap_fraction=0.0)
+        with pytest.raises(AnalysisError):
+            contract_evolution_study(demand_rate_growth=-0.1)

@@ -1,0 +1,45 @@
+"""The exception hierarchy contract: one root to catch them all."""
+
+import inspect
+
+import pytest
+
+import repro.exceptions as exc
+from repro.contracts import DemandCharge
+from repro.exceptions import MeteringError, ReproError
+from repro.timeseries import PowerSeries
+
+
+class TestHierarchy:
+    def test_every_library_error_derives_from_root(self):
+        for name in exc.__all__:
+            cls = getattr(exc, name)
+            assert issubclass(cls, ReproError), name
+
+    def test_all_exported_are_exception_types(self):
+        for name in exc.__all__:
+            assert inspect.isclass(getattr(exc, name))
+
+    def test_subsystem_nesting(self):
+        assert issubclass(exc.IntervalMismatchError, exc.TimeSeriesError)
+        assert issubclass(exc.TariffError, exc.ContractError)
+        assert issubclass(exc.MeteringError, exc.BillingError)
+        assert issubclass(exc.MarketError, exc.GridError)
+        assert issubclass(exc.DispatchError, exc.GridError)
+        assert issubclass(exc.SchedulerError, exc.FacilityError)
+        assert issubclass(exc.WorkloadError, exc.FacilityError)
+        assert issubclass(exc.FlexibilityError, exc.DemandResponseError)
+
+    def test_root_catches_everything(self):
+        """The documented embedding contract: catching ReproError is enough."""
+        with pytest.raises(ReproError):
+            PowerSeries([], 900.0)
+        with pytest.raises(ReproError):
+            DemandCharge(-1.0)
+
+    def test_metering_error_raised_on_coarse_telemetry(self):
+        # a demand charge cannot sharpen hourly telemetry to 15-min peaks
+        dc = DemandCharge(10.0, demand_interval_s=900.0)
+        hourly = PowerSeries([1_000.0] * 24, 3600.0)
+        with pytest.raises(MeteringError):
+            dc.metered(hourly)

@@ -1,0 +1,84 @@
+"""Structured export of bills and experiment reports."""
+
+import json
+
+import pytest
+
+from repro.contracts import BillingEngine, Contract, DemandCharge, FixedTariff
+from repro.exceptions import ReportingError
+from repro.reporting import bill_to_dict, bill_to_json, experiments_to_markdown
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY_S = 86_400.0
+
+
+@pytest.fixture
+def bill():
+    contract = Contract("exp", [FixedTariff(0.08), DemandCharge(10.0)],
+                        currency="EUR")
+    load = PowerSeries.constant(1_000.0, 2 * 96, 900.0)
+    periods = [
+        BillingPeriod("d1", 0.0, DAY_S),
+        BillingPeriod("d2", DAY_S, 2 * DAY_S),
+    ]
+    return BillingEngine().bill(contract, load, periods)
+
+
+class TestBillExport:
+    def test_totals_carried(self, bill):
+        data = bill_to_dict(bill)
+        assert data["total"] == pytest.approx(bill.total)
+        assert data["currency"] == "EUR"
+        assert data["format"] == "repro-bill-v1"
+
+    def test_periods_structured(self, bill):
+        data = bill_to_dict(bill)
+        assert len(data["periods"]) == 2
+        first = data["periods"][0]
+        assert first["label"] == "d1"
+        assert len(first["line_items"]) == 2
+        assert {i["component"] for i in first["line_items"]} == {
+            "fixed energy", "demand charge",
+        }
+
+    def test_period_totals_sum(self, bill):
+        data = bill_to_dict(bill)
+        assert sum(p["total"] for p in data["periods"]) == pytest.approx(
+            data["total"]
+        )
+
+    def test_json_parses(self, bill):
+        parsed = json.loads(bill_to_json(bill))
+        assert parsed["total"] == pytest.approx(bill.total)
+
+    def test_line_item_details_preserved(self, bill):
+        data = bill_to_dict(bill)
+        demand_item = [
+            i
+            for i in data["periods"][0]["line_items"]
+            if i["component"] == "demand charge"
+        ][0]
+        assert demand_item["details"]["measured_demand_kw"] == pytest.approx(
+            1_000.0
+        )
+
+
+class TestMarkdownExport:
+    def test_writes_selected_experiments(self, tmp_path):
+        target = tmp_path / "report.md"
+        results = experiments_to_markdown(target, ids=["table1", "figure1"])
+        text = target.read_text()
+        assert len(results) == 2
+        assert "## `table1`" in text
+        assert "## `figure1`" in text
+        assert "Oak Ridge" in text
+
+    def test_payload_serialized(self, tmp_path):
+        target = tmp_path / "report.md"
+        experiments_to_markdown(target, ids=["peak_ratio"])
+        text = target.read_text()
+        assert "monotone_increasing" in text
+
+    def test_unknown_id_rejected(self, tmp_path):
+        with pytest.raises(ReportingError):
+            experiments_to_markdown(tmp_path / "x.md", ids=["nope"])

@@ -1,0 +1,111 @@
+"""Flexibility estimation (§3.1.6)."""
+
+import pytest
+
+from repro.dr import estimate_flexibility
+from repro.exceptions import FlexibilityError
+from repro.facility import FacilityPowerModel, Job, Scheduler, Supercomputer
+
+HOUR = 3600.0
+DAY_S = 86_400.0
+
+
+def schedule_with(jobs, n_nodes=8):
+    m = Supercomputer("m", n_nodes=n_nodes)
+    return Scheduler(m).schedule(jobs, DAY_S), m
+
+
+def job(job_id, nodes, pf=1.0, checkpointable=True, runtime=2 * HOUR):
+    return Job(
+        job_id=job_id,
+        submit_s=0.0,
+        nodes=nodes,
+        runtime_s=runtime,
+        walltime_s=runtime,
+        power_fraction=pf,
+        checkpointable=checkpointable,
+    )
+
+
+class TestTiers:
+    def test_idle_machine_all_no_impact(self):
+        res, m = schedule_with([])
+        est = estimate_flexibility(res, 0.0, HOUR)
+        assert est.low_impact_kw == 0.0
+        assert est.high_impact_kw == 0.0
+        # all 8 nodes idle: sleepable
+        expected_it = 8 * (250.0 - 30.0) / 1000.0
+        assert est.no_impact_kw == pytest.approx(expected_it * 1.25)
+
+    def test_checkpointable_jobs_low_impact(self):
+        res, m = schedule_with([job(1, 4, checkpointable=True)])
+        est = estimate_flexibility(res, 0.0, HOUR)
+        expected_it = 4 * (700.0 - 250.0) / 1000.0
+        assert est.low_impact_kw == pytest.approx(expected_it * 1.25)
+        assert est.high_impact_kw == 0.0
+
+    def test_fixed_jobs_high_impact(self):
+        res, m = schedule_with([job(1, 4, checkpointable=False)])
+        est = estimate_flexibility(res, 0.0, HOUR)
+        assert est.high_impact_kw > 0
+        assert est.low_impact_kw == 0.0
+
+    def test_mixed_tiers(self):
+        res, m = schedule_with(
+            [job(1, 2, checkpointable=True), job(2, 2, checkpointable=False)]
+        )
+        est = estimate_flexibility(res, 0.0, HOUR)
+        assert est.low_impact_kw == pytest.approx(est.high_impact_kw)
+
+    def test_partial_overlap_weighted(self):
+        # job covers half the window: its tier contribution halves
+        res, m = schedule_with([job(1, 4, runtime=HOUR / 2)])
+        full = estimate_flexibility(res, 0.0, HOUR / 2)
+        half = estimate_flexibility(res, 0.0, HOUR)
+        assert half.low_impact_kw == pytest.approx(full.low_impact_kw / 2)
+
+
+class TestAggregates:
+    def test_total_sheddable(self):
+        res, _ = schedule_with([job(1, 4)])
+        est = estimate_flexibility(res, 0.0, HOUR)
+        assert est.total_sheddable_kw == pytest.approx(
+            est.no_impact_kw + est.low_impact_kw + est.high_impact_kw
+        )
+
+    def test_shiftable_fraction_in_bounds(self):
+        res, _ = schedule_with([job(1, 8)])
+        est = estimate_flexibility(res, 0.0, HOUR)
+        assert 0.0 < est.shiftable_fraction <= 1.0
+
+    def test_upward_headroom(self):
+        res, m = schedule_with([])  # idle machine
+        est = estimate_flexibility(res, 0.0, HOUR)
+        expected_it = m.peak_power_kw - m.idle_power_kw
+        assert est.upward_kw == pytest.approx(expected_it * 1.25)
+
+    def test_full_machine_no_upward(self):
+        res, _ = schedule_with([job(1, 8, pf=1.0)])
+        est = estimate_flexibility(res, 0.0, HOUR)
+        assert est.upward_kw == pytest.approx(0.0, abs=1e-9)
+
+    def test_custom_power_model(self):
+        res, _ = schedule_with([job(1, 4)])
+        lean = estimate_flexibility(
+            res, 0.0, HOUR, FacilityPowerModel(0.0, 1.0)
+        )
+        rich = estimate_flexibility(
+            res, 0.0, HOUR, FacilityPowerModel(0.0, 1.5)
+        )
+        assert rich.low_impact_kw == pytest.approx(1.5 * lean.low_impact_kw)
+
+
+class TestValidation:
+    def test_window_bounds(self):
+        res, _ = schedule_with([])
+        with pytest.raises(FlexibilityError):
+            estimate_flexibility(res, HOUR, HOUR)
+        with pytest.raises(FlexibilityError):
+            estimate_flexibility(res, -1.0, HOUR)
+        with pytest.raises(FlexibilityError):
+            estimate_flexibility(res, 0.0, 2 * DAY_S)

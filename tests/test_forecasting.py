@@ -1,0 +1,145 @@
+"""Load forecasting and its market value (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FacilityError
+from repro.facility import (
+    DayProfileForecaster,
+    EWMAForecaster,
+    PersistenceForecaster,
+    forecast_errors,
+    imbalance_cost_of_forecast,
+)
+from repro.grid import RealTimeMarket
+from repro.timeseries import PowerSeries
+
+PER_DAY = 24  # hourly
+
+
+def patterned_history(n_days=10, base=1000.0, swing=300.0):
+    """A load with a clean daily rhythm."""
+    t = np.arange(n_days * PER_DAY)
+    values = base + swing * np.sin(2 * np.pi * (t % PER_DAY) / PER_DAY)
+    return PowerSeries(values, 3600.0)
+
+
+class TestPersistence:
+    def test_holds_last_value(self):
+        history = PowerSeries([1.0, 2.0, 5.0], 3600.0)
+        f = PersistenceForecaster().forecast(history, 4)
+        assert np.all(f.values_kw == 5.0)
+        assert f.start_s == history.end_s
+
+    def test_validation(self):
+        history = PowerSeries([1.0], 3600.0)
+        with pytest.raises(FacilityError):
+            PersistenceForecaster().forecast(history, 0)
+
+
+class TestDayProfile:
+    def test_learns_the_rhythm(self):
+        history = patterned_history(10)
+        f = DayProfileForecaster(k_days=5).forecast(history, PER_DAY)
+        actual_next_day = patterned_history(11).slice_intervals(
+            10 * PER_DAY, 11 * PER_DAY
+        )
+        errors = forecast_errors(actual_next_day, f)
+        assert errors["rmse_kw"] < 1.0  # the pattern repeats exactly
+
+    def test_beats_persistence_on_rhythmic_load(self):
+        history = patterned_history(10)
+        actual = patterned_history(11).slice_intervals(10 * PER_DAY, 11 * PER_DAY)
+        day = DayProfileForecaster().forecast(history, PER_DAY)
+        naive = PersistenceForecaster().forecast(history, PER_DAY)
+        assert (
+            forecast_errors(actual, day)["rmse_kw"]
+            < forecast_errors(actual, naive)["rmse_kw"]
+        )
+
+    def test_phase_respected(self):
+        # forecast starting mid-day must continue the pattern in phase
+        history = patterned_history(10).slice_intervals(0, 10 * PER_DAY - 12)
+        f = DayProfileForecaster().forecast(history, 6)
+        actual = patterned_history(10).slice_intervals(
+            10 * PER_DAY - 12, 10 * PER_DAY - 6
+        )
+        assert forecast_errors(actual, f)["rmse_kw"] < 1.0
+
+    def test_needs_one_full_day(self):
+        history = PowerSeries(np.ones(5), 3600.0)
+        with pytest.raises(FacilityError):
+            DayProfileForecaster().forecast(history, 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(FacilityError):
+            DayProfileForecaster(k_days=0)
+
+
+class TestEWMA:
+    def test_level_between_min_max(self):
+        history = PowerSeries([100.0, 200.0, 300.0], 3600.0)
+        f = EWMAForecaster(alpha=0.5).forecast(history, 2)
+        assert 100.0 < f.values_kw[0] < 300.0
+
+    def test_high_alpha_tracks_recent(self):
+        history = PowerSeries([100.0] * 10 + [500.0], 3600.0)
+        fast = EWMAForecaster(alpha=0.9).forecast(history, 1).values_kw[0]
+        slow = EWMAForecaster(alpha=0.05).forecast(history, 1).values_kw[0]
+        assert fast > slow
+
+    def test_constant_history_exact(self):
+        history = PowerSeries(np.full(20, 777.0), 3600.0)
+        f = EWMAForecaster(alpha=0.3).forecast(history, 3)
+        assert f.values_kw == pytest.approx(np.full(3, 777.0))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(FacilityError):
+            EWMAForecaster(alpha=0.0)
+
+
+class TestErrors:
+    def test_perfect_forecast_zero_error(self):
+        s = patterned_history(2)
+        e = forecast_errors(s, s)
+        assert e["mae_kw"] == 0.0
+        assert e["rmse_kw"] == 0.0
+        assert e["mape"] == 0.0
+
+    def test_bias_signed(self):
+        actual = PowerSeries([100.0, 100.0], 3600.0)
+        over = PowerSeries([110.0, 110.0], 3600.0)
+        assert forecast_errors(actual, over)["bias_kw"] == pytest.approx(10.0)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(FacilityError):
+            forecast_errors(
+                PowerSeries([1.0], 3600.0), PowerSeries([1.0, 2.0], 3600.0)
+            )
+
+
+class TestMarketValue:
+    def test_perfect_forecast_costs_nothing(self):
+        actual = patterned_history(1)
+        prices = PowerSeries(np.full(PER_DAY, 0.05), 3600.0)
+        assert imbalance_cost_of_forecast(actual, actual, prices) == 0.0
+
+    def test_worse_forecast_costs_more(self):
+        history = patterned_history(10)
+        actual = patterned_history(11).slice_intervals(10 * PER_DAY, 11 * PER_DAY)
+        prices = PowerSeries(np.full(PER_DAY, 0.05), 3600.0, actual.start_s)
+        good = DayProfileForecaster().forecast(history, PER_DAY)
+        bad = PersistenceForecaster().forecast(history, PER_DAY)
+        cost_good = imbalance_cost_of_forecast(actual, good, prices)
+        cost_bad = imbalance_cost_of_forecast(actual, bad, prices)
+        assert cost_good < cost_bad
+
+    def test_custom_market_asymmetry(self):
+        actual = PowerSeries([1100.0], 3600.0)
+        predicted = PowerSeries([1000.0], 3600.0)
+        prices = PowerSeries([0.10], 3600.0)
+        harsh = RealTimeMarket(premium=2.0, discount=0.5)
+        mild = RealTimeMarket(premium=1.1, discount=0.95)
+        assert imbalance_cost_of_forecast(
+            actual, predicted, prices, harsh
+        ) > imbalance_cost_of_forecast(actual, predicted, prices, mild)

@@ -1,0 +1,132 @@
+"""Stress detection and event dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DispatchError
+from repro.grid import (
+    DREvent,
+    EmergencyEvent,
+    EmergencyProgram,
+    EventDispatcher,
+    IncentiveBasedProgram,
+    assess_reserves,
+)
+from repro.grid.events import _runs
+from repro.timeseries import PowerSeries
+
+
+def dispatcher(min_intervals=2, share=0.10):
+    return EventDispatcher(
+        dr_program=IncentiveBasedProgram(name="il"),
+        emergency_program=EmergencyProgram(name="em"),
+        min_event_intervals=min_intervals,
+        participant_share=share,
+    )
+
+
+class TestRuns:
+    def test_empty(self):
+        assert _runs(np.array([], dtype=int)) == []
+
+    def test_single_run(self):
+        assert _runs(np.array([3, 4, 5])) == [(3, 6)]
+
+    def test_multiple_runs(self):
+        assert _runs(np.array([1, 2, 7, 8, 9, 20])) == [(1, 3), (7, 10), (20, 21)]
+
+
+class TestStressEpisodes:
+    def test_short_transients_filtered(self):
+        load = PowerSeries([950.0, 500.0, 500.0, 950.0, 960.0, 500.0], 3600.0)
+        a = assess_reserves(load, 1000.0)
+        episodes = dispatcher(min_intervals=2).stress_episodes(a)
+        assert len(episodes) == 1
+        assert episodes[0].start_index == 3
+        assert episodes[0].n_intervals == 2
+
+    def test_min_margin_recorded(self):
+        load = PowerSeries([950.0, 980.0, 500.0], 3600.0)
+        a = assess_reserves(load, 1000.0)
+        ep = dispatcher().stress_episodes(a)[0]
+        assert ep.min_margin == pytest.approx(0.02)
+
+
+class TestDRDispatch:
+    def test_event_per_episode(self):
+        load = PowerSeries([500.0, 950.0, 960.0, 500.0], 3600.0)
+        a = assess_reserves(load, 1000.0)
+        events = dispatcher().dispatch_dr(a, load, 1000.0)
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.start_s == 3600.0
+        assert ev.requested_reduction_kw > 0
+
+    def test_request_is_participant_share(self):
+        load = PowerSeries([950.0, 950.0], 3600.0)
+        a = assess_reserves(load, 1000.0)
+        events = dispatcher(share=0.10).dispatch_dr(a, load, 1000.0)
+        # shortfall vs 900 kW target = 50 kW; 10 % share = 5 kW
+        assert events[0].requested_reduction_kw == pytest.approx(5.0)
+
+    def test_duration_respects_program_limits(self):
+        load = PowerSeries([950.0] * 24, 3600.0)  # one long day of stress
+        a = assess_reserves(load, 1000.0)
+        events = dispatcher().dispatch_dr(a, load, 1000.0)
+        assert events[0].duration_s <= dispatcher().dr_program.max_duration_s
+
+    def test_no_stress_no_events(self):
+        load = PowerSeries([100.0] * 4, 3600.0)
+        a = assess_reserves(load, 1000.0)
+        assert dispatcher().dispatch_dr(a, load, 1000.0) == []
+
+    def test_payment_if_delivered(self):
+        program = IncentiveBasedProgram(name="il", energy_payment_per_kwh=0.25)
+        ev = DREvent(0.0, 3600.0, 100.0, program, notice_s=0.0)
+        assert ev.payment_if_delivered() == pytest.approx(25.0)
+
+    def test_event_validation(self):
+        program = IncentiveBasedProgram(name="il")
+        with pytest.raises(DispatchError):
+            DREvent(0.0, 0.0, 100.0, program, 0.0)
+        with pytest.raises(DispatchError):
+            DREvent(0.0, 3600.0, -1.0, program, 0.0)
+
+
+class TestEmergencyDispatch:
+    def test_emergency_called_on_breach(self):
+        load = PowerSeries([990.0, 995.0, 500.0], 3600.0)
+        a = assess_reserves(load, 1000.0)
+        events = dispatcher().dispatch_emergencies(a, load, participant_baseline_kw=2000.0)
+        assert len(events) == 1
+        assert events[0].limit_kw == pytest.approx(1000.0)  # 50 % curtail
+
+    def test_as_contract_call(self):
+        ev = EmergencyEvent(0.0, 3600.0, 500.0, EmergencyProgram(name="em"))
+        call = ev.as_contract_call()
+        assert call.limit_kw == 500.0
+        assert call.duration_s == 3600.0
+
+    def test_curtail_fraction_bounds(self):
+        load = PowerSeries([990.0], 3600.0)
+        a = assess_reserves(load, 1000.0)
+        with pytest.raises(DispatchError):
+            dispatcher().dispatch_emergencies(a, load, 2000.0, curtail_fraction=1.5)
+
+    def test_negative_baseline_rejected(self):
+        load = PowerSeries([990.0], 3600.0)
+        a = assess_reserves(load, 1000.0)
+        with pytest.raises(DispatchError):
+            dispatcher().dispatch_emergencies(a, load, -1.0)
+
+
+class TestDispatcherValidation:
+    def test_invalid_min_intervals(self):
+        with pytest.raises(DispatchError):
+            dispatcher(min_intervals=0)
+
+    def test_invalid_share(self):
+        with pytest.raises(DispatchError):
+            dispatcher(share=0.0)
+        with pytest.raises(DispatchError):
+            dispatcher(share=1.5)

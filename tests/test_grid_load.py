@@ -1,0 +1,84 @@
+"""Aggregate grid load and reserve assessment."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GridError
+from repro.grid import GridLoadModel, assess_reserves
+from repro.timeseries import PowerSeries
+
+WEEK_HOURS = 7 * 24
+
+
+class TestGridLoadModel:
+    def test_positive(self):
+        load = GridLoadModel(base_kw=1e6).generate(WEEK_HOURS, seed=0)
+        assert load.min_kw() > 0
+
+    def test_evening_peak(self):
+        load = GridLoadModel(base_kw=1e6, noise_sigma=0.0).generate(24, seed=0)
+        assert np.argmax(load.values_kw) in range(16, 21)
+
+    def test_weekend_lower(self):
+        load = GridLoadModel(base_kw=1e6, noise_sigma=0.0, weekend_reduction=0.2)
+        week = load.generate(WEEK_HOURS, seed=0)
+        monday_noon = week.values_kw[12]
+        saturday_noon = week.values_kw[5 * 24 + 12]
+        assert saturday_noon < monday_noon
+
+    def test_reproducible(self):
+        m = GridLoadModel(base_kw=1e6)
+        assert m.generate(100, seed=9).approx_equal(m.generate(100, seed=9))
+
+    def test_invalid(self):
+        with pytest.raises(GridError):
+            GridLoadModel(base_kw=0.0)
+        with pytest.raises(GridError):
+            GridLoadModel(base_kw=1.0, diurnal_amplitude=1.5)
+        with pytest.raises(GridError):
+            GridLoadModel(base_kw=1.0).generate(0)
+
+
+class TestReserves:
+    def test_margin_formula(self):
+        load = PowerSeries([900.0, 500.0], 3600.0)
+        a = assess_reserves(load, capacity_kw=1000.0)
+        assert a.margin_fraction == pytest.approx([0.1, 0.5])
+
+    def test_stress_flagged(self):
+        load = PowerSeries([950.0, 500.0], 3600.0)
+        a = assess_reserves(load, 1000.0, stress_threshold=0.10)
+        assert list(a.stressed_intervals) == [0]
+
+    def test_emergency_flagged(self):
+        load = PowerSeries([990.0, 950.0, 500.0], 3600.0)
+        a = assess_reserves(load, 1000.0, emergency_threshold=0.03)
+        assert list(a.emergency_intervals) == [0]
+        assert a.any_emergency
+
+    def test_renewable_expands_supply(self):
+        load = PowerSeries([950.0], 3600.0)
+        calm = assess_reserves(load, 1000.0)
+        windy = assess_reserves(
+            load, 1000.0, renewable=PowerSeries([200.0], 3600.0)
+        )
+        assert windy.min_margin > calm.min_margin
+
+    def test_renewable_must_align(self):
+        load = PowerSeries([950.0, 900.0], 3600.0)
+        with pytest.raises(GridError):
+            assess_reserves(load, 1000.0, renewable=PowerSeries([1.0], 3600.0))
+
+    def test_threshold_ordering_enforced(self):
+        load = PowerSeries([1.0], 3600.0)
+        with pytest.raises(GridError):
+            assess_reserves(load, 1000.0, stress_threshold=0.02, emergency_threshold=0.05)
+
+    def test_nonpositive_capacity(self):
+        with pytest.raises(GridError):
+            assess_reserves(PowerSeries([1.0], 3600.0), 0.0)
+
+    def test_min_margin(self):
+        load = PowerSeries([100.0, 999.0], 3600.0)
+        a = assess_reserves(load, 1000.0)
+        assert a.min_margin == pytest.approx(0.001)

@@ -1,0 +1,136 @@
+"""DR economics: depreciation, break-even incentives, business cases."""
+
+import pytest
+
+from repro.dr import (
+    CostModel,
+    break_even_incentive_per_kwh,
+    dr_business_case,
+)
+from repro.exceptions import DemandResponseError
+from repro.facility import NodePowerModel, Supercomputer
+
+
+def machine(n_nodes=1000):
+    return Supercomputer(
+        "m", n_nodes=n_nodes,
+        node_power=NodePowerModel(idle_w=250.0, max_w=700.0),
+    )
+
+
+def cost_model(capex=1e8, **kwargs):
+    return CostModel(machine_capex=capex, **kwargs)
+
+
+class TestCostModel:
+    def test_node_hour_cost(self):
+        cm = cost_model(capex=1e8, lifetime_years=5.0, utilization=1.0)
+        m = machine(1000)
+        # 2e7 $/yr over 8.76e6 node-hours
+        assert cm.node_hour_cost(m) == pytest.approx(2e7 / (1000 * 8760))
+
+    def test_lower_utilization_raises_cost(self):
+        m = machine()
+        busy = cost_model(utilization=1.0).node_hour_cost(m)
+        slack = cost_model(utilization=0.5).node_hour_cost(m)
+        assert slack == pytest.approx(2 * busy)
+
+    def test_operations_cost_included(self):
+        m = machine()
+        bare = cost_model().node_hour_cost(m)
+        staffed = cost_model(annual_operations_cost=1e7).node_hour_cost(m)
+        assert staffed > bare
+
+    def test_curtailment_cost_linear(self):
+        m = machine()
+        cm = cost_model()
+        assert cm.curtailment_cost(m, 200.0) == pytest.approx(
+            2 * cm.curtailment_cost(m, 100.0)
+        )
+
+    def test_work_lost_adds_replay(self):
+        m = machine()
+        cm = cost_model()
+        clean = cm.curtailment_cost(m, 100.0, work_lost_fraction=0.0)
+        lossy = cm.curtailment_cost(m, 100.0, work_lost_fraction=0.5)
+        assert lossy > clean
+
+    def test_validation(self):
+        with pytest.raises(DemandResponseError):
+            CostModel(machine_capex=0.0)
+        with pytest.raises(DemandResponseError):
+            cost_model(utilization=0.0)
+        with pytest.raises(DemandResponseError):
+            cost_model().curtailment_cost(machine(), -1.0)
+
+
+class TestBreakEven:
+    def test_scales_with_capex(self):
+        m = machine()
+        cheap = break_even_incentive_per_kwh(m, cost_model(capex=1e7))
+        dear = break_even_incentive_per_kwh(m, cost_model(capex=1e9))
+        assert dear > 10 * cheap
+
+    def test_paper_conclusion_shape(self):
+        # a realistic leadership machine: break-even far above the
+        # 0.1–0.5 $/kWh range real DR programs pay (§4)
+        m = machine(5000)
+        be = break_even_incentive_per_kwh(m, cost_model(capex=2e8))
+        assert be > 1.0
+
+    def test_avoided_energy_offsets(self):
+        m = machine()
+        costly_power = break_even_incentive_per_kwh(
+            m, cost_model(electricity_rate_per_kwh=0.20)
+        )
+        cheap_power = break_even_incentive_per_kwh(
+            m, cost_model(electricity_rate_per_kwh=0.01)
+        )
+        assert costly_power < cheap_power
+
+    def test_no_dynamic_range_rejected(self):
+        m = Supercomputer(
+            "flat", n_nodes=10, node_power=NodePowerModel(idle_w=500.0, max_w=500.0)
+        )
+        with pytest.raises(DemandResponseError):
+            break_even_incentive_per_kwh(m, cost_model(), mean_power_fraction=1.0)
+
+
+class TestBusinessCase:
+    def test_generous_payment_wins(self):
+        m = machine()
+        cm = cost_model(capex=1e7)
+        be = break_even_incentive_per_kwh(m, cm)
+        case = dr_business_case(
+            m, cm, payment_per_kwh=be * 2, shed_kw=100.0, duration_h=1.0
+        )
+        assert case.worthwhile
+
+    def test_typical_payment_loses(self):
+        m = machine(5000)
+        cm = cost_model(capex=2e8)
+        case = dr_business_case(
+            m, cm, payment_per_kwh=0.30, shed_kw=1000.0, duration_h=1.0
+        )
+        assert not case.worthwhile
+        assert case.net_benefit < 0
+
+    def test_break_even_is_exactly_neutral(self):
+        m = machine()
+        cm = cost_model()
+        be = break_even_incentive_per_kwh(m, cm)
+        case = dr_business_case(m, cm, payment_per_kwh=be, shed_kw=500.0, duration_h=2.0)
+        assert case.net_benefit == pytest.approx(0.0, abs=1e-6)
+
+    def test_shed_energy_accounting(self):
+        case = dr_business_case(
+            machine(), cost_model(), payment_per_kwh=0.1, shed_kw=200.0, duration_h=3.0
+        )
+        assert case.shed_energy_kwh == pytest.approx(600.0)
+        assert case.payment == pytest.approx(60.0)
+
+    def test_validation(self):
+        with pytest.raises(DemandResponseError):
+            dr_business_case(machine(), cost_model(), -0.1, 100.0, 1.0)
+        with pytest.raises(DemandResponseError):
+            dr_business_case(machine(), cost_model(), 0.1, 100.0, 0.0)

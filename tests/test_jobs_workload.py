@@ -1,0 +1,155 @@
+"""Jobs and synthetic workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.facility import (
+    Job,
+    JobState,
+    ScheduledJob,
+    Supercomputer,
+    WorkloadModel,
+    benchmark_campaign,
+    maintenance_window,
+)
+
+DAY_S = 86_400.0
+
+
+def make_job(**kwargs):
+    defaults = dict(
+        job_id=1, submit_s=0.0, nodes=4, runtime_s=3600.0, walltime_s=7200.0
+    )
+    defaults.update(kwargs)
+    return Job(**defaults)
+
+
+class TestJob:
+    def test_node_seconds(self):
+        assert make_job().node_seconds == 4 * 3600.0
+
+    def test_walltime_must_cover_runtime(self):
+        with pytest.raises(WorkloadError):
+            make_job(runtime_s=7200.0, walltime_s=3600.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_job(nodes=0)
+        with pytest.raises(WorkloadError):
+            make_job(runtime_s=0.0)
+        with pytest.raises(WorkloadError):
+            make_job(submit_s=-1.0)
+        with pytest.raises(WorkloadError):
+            make_job(power_fraction=1.5)
+
+    def test_runtime_scaling(self):
+        slow = make_job().with_runtime_scaled(2.0)
+        assert slow.runtime_s == 7200.0
+        assert slow.walltime_s == 14_400.0
+
+    def test_power_fraction_change(self):
+        j = make_job().with_power_fraction(0.3)
+        assert j.power_fraction == 0.3
+        assert j.job_id == 1
+
+
+class TestScheduledJob:
+    def test_wait_and_slowdown(self):
+        sj = ScheduledJob(make_job(submit_s=100.0), start_s=400.0, end_s=4000.0)
+        assert sj.wait_s == 300.0
+        assert sj.slowdown == pytest.approx((300.0 + 3600.0) / 3600.0)
+
+    def test_active_at(self):
+        sj = ScheduledJob(make_job(), start_s=0.0, end_s=3600.0)
+        assert sj.active_at(0.0)
+        assert sj.active_at(3599.0)
+        assert not sj.active_at(3600.0)
+
+    def test_start_before_submit_rejected(self):
+        with pytest.raises(WorkloadError):
+            ScheduledJob(make_job(submit_s=100.0), start_s=50.0, end_s=4000.0)
+
+    def test_default_state(self):
+        sj = ScheduledJob(make_job(), 0.0, 3600.0)
+        assert sj.state is JobState.COMPLETED
+
+
+class TestWorkloadModel:
+    def _machine(self):
+        return Supercomputer("m", n_nodes=256)
+
+    def test_generates_jobs(self):
+        model = WorkloadModel(machine=self._machine())
+        jobs = model.generate(2 * DAY_S, seed=0)
+        assert len(jobs) > 10
+        assert all(0 <= j.submit_s < 2 * DAY_S for j in jobs)
+
+    def test_reproducible(self):
+        model = WorkloadModel(machine=self._machine())
+        a = model.generate(DAY_S, seed=5)
+        b = model.generate(DAY_S, seed=5)
+        assert [j.submit_s for j in a] == [j.submit_s for j in b]
+
+    def test_node_counts_powers_of_two_and_bounded(self):
+        model = WorkloadModel(machine=self._machine(), max_nodes_fraction=0.25)
+        jobs = model.generate(3 * DAY_S, seed=1)
+        for j in jobs:
+            assert j.nodes <= 64
+            assert j.nodes & (j.nodes - 1) == 0  # power of two
+
+    def test_walltime_padded(self):
+        model = WorkloadModel(machine=self._machine())
+        jobs = model.generate(2 * DAY_S, seed=2)
+        assert all(j.walltime_s >= j.runtime_s for j in jobs)
+        assert any(j.walltime_s > j.runtime_s for j in jobs)
+
+    def test_utilization_scaling(self):
+        lo = WorkloadModel(machine=self._machine(), target_utilization=0.3)
+        hi = WorkloadModel(machine=self._machine(), target_utilization=0.9)
+        lo_work = sum(j.node_seconds for j in lo.generate(5 * DAY_S, seed=3))
+        hi_work = sum(j.node_seconds for j in hi.generate(5 * DAY_S, seed=3))
+        assert hi_work > 1.5 * lo_work
+
+    def test_demanded_work_near_target(self):
+        machine = self._machine()
+        model = WorkloadModel(machine=machine, target_utilization=0.8)
+        horizon = 10 * DAY_S
+        jobs = model.generate(horizon, seed=4)
+        demanded = sum(j.node_seconds for j in jobs)
+        capacity = machine.n_nodes * horizon
+        assert 0.4 < demanded / capacity < 1.3  # loose: stochastic
+
+    def test_power_fraction_mix(self):
+        model = WorkloadModel(machine=self._machine(), mean_power_fraction=0.7)
+        jobs = model.generate(5 * DAY_S, seed=5)
+        fractions = np.array([j.power_fraction for j in jobs])
+        assert 0.6 < fractions.mean() < 0.8
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadModel(machine=self._machine(), target_utilization=0.0)
+        with pytest.raises(WorkloadError):
+            WorkloadModel(machine=self._machine(), walltime_overestimate=0.5)
+        with pytest.raises(WorkloadError):
+            WorkloadModel(machine=self._machine()).generate(0.0)
+
+
+class TestSpecialWorkloads:
+    def test_benchmark_fills_machine(self):
+        machine = Supercomputer("m", n_nodes=128)
+        jobs = benchmark_campaign(machine, submit_s=0.0)
+        assert len(jobs) == 1
+        assert jobs[0].nodes == 128
+        assert jobs[0].power_fraction > 0.9
+        assert not jobs[0].checkpointable
+
+    def test_maintenance_window(self):
+        w = maintenance_window(100.0, 3600.0)
+        assert w == {"start_s": 100.0, "end_s": 3700.0}
+
+    def test_maintenance_validation(self):
+        with pytest.raises(WorkloadError):
+            maintenance_window(0.0, 0.0)
+        with pytest.raises(WorkloadError):
+            maintenance_window(-10.0, 100.0)

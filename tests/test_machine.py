@@ -1,0 +1,87 @@
+"""Machine and node power models."""
+
+import pytest
+
+from repro.exceptions import FacilityError
+from repro.facility import NodePowerModel, Supercomputer
+
+
+class TestNodePowerModel:
+    def test_ordering_enforced(self):
+        with pytest.raises(FacilityError):
+            NodePowerModel(idle_w=300.0, max_w=200.0)
+        with pytest.raises(FacilityError):
+            NodePowerModel(sleep_w=500.0, idle_w=300.0, max_w=700.0)
+
+    def test_active_power_interpolates(self):
+        node = NodePowerModel(idle_w=200.0, max_w=600.0)
+        assert node.active_w(0.0) == 200.0
+        assert node.active_w(1.0) == 600.0
+        assert node.active_w(0.5) == 400.0
+
+    def test_active_fraction_bounds(self):
+        node = NodePowerModel()
+        with pytest.raises(FacilityError):
+            node.active_w(1.5)
+        with pytest.raises(FacilityError):
+            node.active_w(-0.1)
+
+    def test_dynamic_range(self):
+        assert NodePowerModel(idle_w=200.0, max_w=600.0).dynamic_range_w == 400.0
+
+
+class TestSupercomputer:
+    def _machine(self):
+        return Supercomputer(
+            "m",
+            n_nodes=100,
+            node_power=NodePowerModel(idle_w=200.0, max_w=600.0, sleep_w=20.0),
+            base_overhead_kw=10.0,
+        )
+
+    def test_peak_power(self):
+        assert self._machine().peak_power_kw == pytest.approx(10.0 + 60.0)
+
+    def test_idle_power(self):
+        assert self._machine().idle_power_kw == pytest.approx(10.0 + 20.0)
+
+    def test_sleep_power(self):
+        assert self._machine().sleep_power_kw == pytest.approx(10.0 + 2.0)
+
+    def test_power_decomposition(self):
+        m = self._machine()
+        # 50 busy at fraction 1.0, 25 idle, 25 asleep
+        p = m.power_kw(busy_nodes=50, mean_power_fraction=1.0, sleeping_nodes=25)
+        expected = 10.0 + (50 * 600 + 25 * 200 + 25 * 20) / 1000.0
+        assert p == pytest.approx(expected)
+
+    def test_power_bounds(self):
+        m = self._machine()
+        assert m.power_kw(0) == pytest.approx(m.idle_power_kw)
+        assert m.power_kw(m.n_nodes, 1.0) == pytest.approx(m.peak_power_kw)
+
+    def test_node_count_validation(self):
+        m = self._machine()
+        with pytest.raises(FacilityError):
+            m.power_kw(80, sleeping_nodes=30)
+        with pytest.raises(FacilityError):
+            m.power_kw(-1)
+
+    def test_machine_validation(self):
+        with pytest.raises(FacilityError):
+            Supercomputer("bad", n_nodes=0)
+        with pytest.raises(FacilityError):
+            Supercomputer("bad", n_nodes=1, base_overhead_kw=-1.0)
+
+    def test_dr_sheddable(self):
+        m = self._machine()
+        # at fraction 1.0: (600-200) W × 100 nodes = 40 kW
+        assert m.dr_sheddable_kw(1.0) == pytest.approx(40.0)
+        assert m.dr_sheddable_kw(0.5) == pytest.approx(20.0)
+
+    def test_paper_scale_range(self):
+        # §1: loads range from 40 kW to tens of MW — both representable
+        small = Supercomputer("small", n_nodes=64, base_overhead_kw=5.0)
+        big = Supercomputer("big", n_nodes=80_000, base_overhead_kw=2_000.0)
+        assert small.peak_power_kw < 100.0
+        assert big.peak_power_kw > 40_000.0

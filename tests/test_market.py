@@ -1,0 +1,139 @@
+"""Merit-order clearing and imbalance settlement."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MarketError
+from repro.grid import DayAheadMarket, Generator, RealTimeMarket, SupplyStack
+from repro.timeseries import PowerSeries
+
+
+def small_stack():
+    return SupplyStack(
+        [
+            Generator("peaker", 1_000.0, 0.20),
+            Generator("nuclear", 5_000.0, 0.01),
+            Generator("gas", 3_000.0, 0.06),
+        ]
+    )
+
+
+class TestSupplyStack:
+    def test_merit_order_sorted(self):
+        stack = small_stack()
+        costs = [g.marginal_cost_per_kwh for g in stack.generators]
+        assert costs == sorted(costs)
+
+    def test_total_capacity(self):
+        assert small_stack().total_capacity_kw == 9_000.0
+
+    def test_clearing_prices_step(self):
+        stack = small_stack()
+        prices = stack.clearing_prices(np.array([1_000.0, 6_000.0, 8_500.0]), 3.0)
+        assert prices[0] == 0.01   # nuclear marginal
+        assert prices[1] == 0.06   # gas marginal
+        assert prices[2] == 0.20   # peaker marginal
+
+    def test_scarcity_price_beyond_stack(self):
+        stack = small_stack()
+        prices = stack.clearing_prices(np.array([20_000.0]), 3.0)
+        assert prices[0] == 3.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(MarketError):
+            small_stack().clearing_prices(np.array([-1.0]), 3.0)
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(MarketError):
+            SupplyStack([])
+
+    def test_invalid_generator(self):
+        with pytest.raises(MarketError):
+            Generator("bad", 0.0, 0.1)
+        with pytest.raises(MarketError):
+            Generator("bad", 100.0, -0.1)
+
+
+class TestDayAheadMarket:
+    def test_peak_hours_price_higher(self):
+        market = DayAheadMarket(small_stack())
+        demand = PowerSeries([3_000.0, 8_500.0], 3600.0)
+        outcome = market.clear(demand)
+        assert outcome.prices.values_kw[1] > outcome.prices.values_kw[0]
+
+    def test_renewables_depress_prices(self):
+        market = DayAheadMarket(small_stack())
+        demand = PowerSeries([8_500.0, 8_500.0], 3600.0)
+        renewable = PowerSeries([0.0, 4_000.0], 3600.0)
+        outcome = market.clear(demand, renewable)
+        assert outcome.prices.values_kw[1] < outcome.prices.values_kw[0]
+
+    def test_scarcity_counted(self):
+        market = DayAheadMarket(small_stack())
+        demand = PowerSeries([10_000.0, 1_000.0], 3600.0)
+        outcome = market.clear(demand)
+        assert outcome.scarcity_intervals == 1
+
+    def test_misaligned_renewable_rejected(self):
+        market = DayAheadMarket(small_stack())
+        demand = PowerSeries([1.0, 2.0], 3600.0)
+        renewable = PowerSeries([1.0], 3600.0)
+        with pytest.raises(MarketError):
+            market.clear(demand, renewable)
+
+    def test_outcome_stats(self):
+        market = DayAheadMarket(small_stack())
+        outcome = market.clear(PowerSeries([1_000.0, 8_500.0], 3600.0))
+        assert outcome.mean_price_per_kwh > 0
+        assert outcome.max_price_per_kwh == 0.20
+
+    def test_invalid_scarcity_price(self):
+        with pytest.raises(MarketError):
+            DayAheadMarket(small_stack(), scarcity_price_per_kwh=0.0)
+
+
+class TestRealTimeMarket:
+    def _series(self, values):
+        return PowerSeries(values, 3600.0)
+
+    def test_perfect_schedule_costs_nothing(self):
+        rt = RealTimeMarket()
+        s = self._series([1000.0, 2000.0])
+        prices = self._series([0.05, 0.05])
+        assert rt.imbalance_cost(s, s, prices) == 0.0
+
+    def test_overconsumption_pays_premium(self):
+        rt = RealTimeMarket(premium=1.5, discount=0.7)
+        scheduled = self._series([1000.0])
+        realized = self._series([1500.0])
+        prices = self._series([0.10])
+        # 500 kWh extra at 0.10 × 1.5
+        assert rt.imbalance_cost(scheduled, realized, prices) == pytest.approx(75.0)
+
+    def test_underconsumption_credited_at_discount(self):
+        rt = RealTimeMarket(premium=1.5, discount=0.7)
+        scheduled = self._series([1000.0])
+        realized = self._series([500.0])
+        prices = self._series([0.10])
+        assert rt.imbalance_cost(scheduled, realized, prices) == pytest.approx(-35.0)
+
+    def test_asymmetry_penalizes_forecast_error(self):
+        # a symmetric error must cost money net: buy dear, sell cheap
+        rt = RealTimeMarket(premium=1.5, discount=0.7)
+        scheduled = self._series([1000.0, 1000.0])
+        realized = self._series([1500.0, 500.0])
+        prices = self._series([0.10, 0.10])
+        assert rt.imbalance_cost(scheduled, realized, prices) > 0
+
+    def test_alignment_enforced(self):
+        rt = RealTimeMarket()
+        with pytest.raises(MarketError):
+            rt.imbalance_cost(
+                self._series([1.0]), self._series([1.0, 2.0]), self._series([0.1])
+            )
+
+    def test_invalid_params(self):
+        with pytest.raises(MarketError):
+            RealTimeMarket(premium=0.9)
+        with pytest.raises(MarketError):
+            RealTimeMarket(discount=1.2)

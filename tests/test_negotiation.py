@@ -1,0 +1,121 @@
+"""RNP actors and the CSCS-style procurement tender."""
+
+import pytest
+
+from repro.contracts import (
+    NegotiatingActor,
+    PriceFormula,
+    ProcurementTender,
+    ResponsibleParty,
+    SupplyBid,
+    run_tender,
+)
+from repro.exceptions import ContractError
+from repro.timeseries import PowerSeries
+
+
+def bid(bidder="b", base=0.05, renewable=0.85, premium=0.01, vol=0.1, fee=0.003):
+    return SupplyBid(
+        bidder=bidder,
+        formula=PriceFormula(base, premium, vol, fee),
+        renewable_fraction=renewable,
+    )
+
+
+class TestActors:
+    def test_domain_knowledge_ordering(self):
+        sc = NegotiatingActor(ResponsibleParty.SC)
+        internal = NegotiatingActor(ResponsibleParty.INTERNAL)
+        external = NegotiatingActor(ResponsibleParty.EXTERNAL)
+        assert sc.domain_knowledge > internal.domain_knowledge > external.domain_knowledge
+
+    def test_tailoring_monotone_in_knowledge(self):
+        likelihoods = [
+            NegotiatingActor(k).tailoring_likelihood()
+            for k in (ResponsibleParty.EXTERNAL, ResponsibleParty.INTERNAL, ResponsibleParty.SC)
+        ]
+        assert likelihoods == sorted(likelihoods)
+
+    def test_multi_site_external_only(self):
+        NegotiatingActor(ResponsibleParty.EXTERNAL, sites_represented=5)
+        with pytest.raises(ContractError):
+            NegotiatingActor(ResponsibleParty.SC, sites_represented=2)
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ContractError):
+            NegotiatingActor(ResponsibleParty.SC, sites_represented=0)
+
+
+class TestPriceFormula:
+    def test_four_variables(self):
+        f = PriceFormula(0.05, 0.01, 0.2, 0.003)
+        rate = f.effective_rate_per_kwh(0.8, 0.01)
+        assert rate == pytest.approx(0.05 + 0.008 + 0.002 + 0.003)
+
+    def test_renewable_fraction_bounds(self):
+        f = PriceFormula(0.05, 0.01, 0.2, 0.003)
+        with pytest.raises(ContractError):
+            f.effective_rate_per_kwh(1.5, 0.0)
+
+    def test_negative_volatility_rejected(self):
+        f = PriceFormula(0.05, 0.01, 0.2, 0.003)
+        with pytest.raises(ContractError):
+            f.effective_rate_per_kwh(0.5, -0.01)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ContractError):
+            PriceFormula(-0.01, 0.0, 0.0, 0.0)
+
+
+class TestTender:
+    def test_cheapest_admissible_wins(self):
+        tender = ProcurementTender("t", min_renewable_fraction=0.8)
+        result = run_tender(
+            tender,
+            [bid("expensive", base=0.08), bid("cheap", base=0.04)],
+        )
+        assert result.winner.bidder == "cheap"
+
+    def test_renewable_requirement_filters(self):
+        # the cheapest bid fails the mix requirement and must lose
+        tender = ProcurementTender("t", min_renewable_fraction=0.8)
+        result = run_tender(
+            tender,
+            [bid("dirty-cheap", base=0.01, renewable=0.3), bid("clean", base=0.06)],
+        )
+        assert result.winner.bidder == "clean"
+        assert len(result.rejected_bids) == 1
+
+    def test_no_admissible_bids_raises(self):
+        tender = ProcurementTender("t", min_renewable_fraction=0.9)
+        with pytest.raises(ContractError):
+            run_tender(tender, [bid(renewable=0.5)])
+
+    def test_no_bids_raises(self):
+        with pytest.raises(ContractError):
+            run_tender(ProcurementTender("t"), [])
+
+    def test_volatility_punishes_exposed_formulas(self):
+        # at high volatility a formula with a large volatility share loses
+        calm = ProcurementTender("calm", market_volatility_per_kwh=0.0)
+        wild = ProcurementTender("wild", market_volatility_per_kwh=0.05)
+        hedged = bid("hedged", base=0.055, vol=0.0)
+        exposed = bid("exposed", base=0.050, vol=0.5)
+        assert run_tender(calm, [hedged, exposed]).winner.bidder == "exposed"
+        assert run_tender(wild, [hedged, exposed]).winner.bidder == "hedged"
+
+    def test_annual_cost(self):
+        tender = ProcurementTender("t")
+        result = run_tender(tender, [bid(base=0.05, premium=0.0, vol=0.0, fee=0.0)])
+        load = PowerSeries.constant(1000.0, 96, 900.0)  # 24 MWh
+        assert result.annual_cost(load) == pytest.approx(24_000.0 * 0.05)
+
+    def test_invalid_tender_params(self):
+        with pytest.raises(ContractError):
+            ProcurementTender("t", min_renewable_fraction=1.5)
+        with pytest.raises(ContractError):
+            ProcurementTender("t", market_volatility_per_kwh=-0.1)
+
+    def test_invalid_bid_renewable(self):
+        with pytest.raises(ContractError):
+            bid(renewable=1.2)

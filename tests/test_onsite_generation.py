@@ -1,0 +1,124 @@
+"""Backup generation as a DR asset (§3.1.4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FacilityError
+from repro.facility import BackupGenerator, dispatch_generation
+from repro.timeseries import PowerSeries
+
+HOUR = 3600.0
+
+
+def genset(**kwargs):
+    defaults = dict(
+        name="diesel-1",
+        capacity_kw=2_000.0,
+        fuel_cost_per_kwh=0.35,
+        start_time_s=120.0,
+        max_runtime_h_per_event=8.0,
+        min_load_fraction=0.3,
+    )
+    defaults.update(kwargs)
+    return BackupGenerator(**defaults)
+
+
+def flat_load(level=5_000.0, hours=24):
+    return PowerSeries.constant(level, hours * 4, 900.0)
+
+
+class TestGenerator:
+    def test_min_output(self):
+        assert genset().min_output_kw == 600.0
+
+    def test_can_serve_happy_path(self):
+        assert genset().can_serve(1_000.0, 2 * HOUR, notice_s=300.0)
+
+    def test_cannot_serve_below_stable_minimum(self):
+        assert not genset().can_serve(100.0, HOUR, notice_s=300.0)
+
+    def test_cannot_serve_above_capacity(self):
+        assert not genset().can_serve(3_000.0, HOUR, notice_s=300.0)
+
+    def test_cannot_serve_too_long(self):
+        assert not genset().can_serve(1_000.0, 10 * HOUR, notice_s=300.0)
+
+    def test_cannot_serve_without_start_notice(self):
+        assert not genset(start_time_s=600.0).can_serve(
+            1_000.0, HOUR, notice_s=60.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(FacilityError):
+            genset(capacity_kw=0.0)
+        with pytest.raises(FacilityError):
+            genset(min_load_fraction=1.5)
+
+
+class TestDispatch:
+    def test_net_load_reduced(self):
+        d = dispatch_generation(flat_load(), genset(), 1_000.0, HOUR, 3 * HOUR)
+        window = d.net_load.values_kw[4:12]
+        assert np.all(window == pytest.approx(4_000.0))
+        # outside the window the meter is untouched
+        assert d.net_load.values_kw[0] == 5_000.0
+
+    def test_request_clipped_into_stable_range(self):
+        d = dispatch_generation(flat_load(), genset(), 100.0, HOUR, 2 * HOUR,
+                                notice_s=HOUR)
+        assert d.output_kw == 600.0  # raised to stable minimum
+
+    def test_no_export(self):
+        # generating more than the site draws floors the meter at zero
+        d = dispatch_generation(
+            flat_load(level=400.0), genset(min_load_fraction=1.0),
+            2_000.0, HOUR, 2 * HOUR,
+        )
+        assert d.net_load.min_kw() == 0.0
+
+    def test_energy_and_fuel(self):
+        d = dispatch_generation(flat_load(), genset(), 1_000.0, HOUR, 3 * HOUR)
+        assert d.generated_kwh == pytest.approx(2_000.0)
+        assert d.fuel_cost == pytest.approx(700.0)
+        assert d.onsite_emissions_kg == pytest.approx(2_000.0 * 0.85)
+
+    def test_unserviceable_request_raises(self):
+        with pytest.raises(FacilityError):
+            dispatch_generation(
+                flat_load(), genset(), 1_000.0, HOUR, 12 * HOUR
+            )
+
+    def test_window_must_be_inside_profile(self):
+        with pytest.raises(FacilityError):
+            dispatch_generation(flat_load(hours=2), genset(), 1_000.0,
+                                HOUR, 5 * HOUR)
+
+
+class TestEconomics:
+    def test_pays_when_payment_beats_fuel(self):
+        d = dispatch_generation(flat_load(), genset(), 1_000.0, HOUR, 3 * HOUR)
+        # payment 0.30 + avoided tariff 0.08 > fuel 0.35
+        assert d.net_benefit(0.30, 0.08) > 0
+
+    def test_loses_when_fuel_dominates(self):
+        d = dispatch_generation(
+            flat_load(), genset(fuel_cost_per_kwh=0.60), 1_000.0, HOUR, 3 * HOUR
+        )
+        assert d.net_benefit(0.30, 0.08) < 0
+
+    def test_threshold_exact(self):
+        d = dispatch_generation(flat_load(), genset(), 1_000.0, HOUR, 3 * HOUR)
+        assert d.net_benefit(0.35, 0.0) == pytest.approx(0.0)
+
+    def test_no_depreciation_term(self):
+        """The §4 contrast: unlike machine-side DR, generation-backed DR has
+        no hardware-depreciation cost — its economics close at realistic
+        payments."""
+        d = dispatch_generation(flat_load(), genset(), 1_000.0, HOUR, 2 * HOUR)
+        # at the same 0.30 $/kWh payment that fails the machine case
+        assert d.net_benefit(0.30, 0.08) > 0
+
+    def test_negative_rates_rejected(self):
+        d = dispatch_generation(flat_load(), genset(), 1_000.0, HOUR, 2 * HOUR)
+        with pytest.raises(FacilityError):
+            d.net_benefit(-0.1)

@@ -1,0 +1,63 @@
+"""The survey-population portfolio study."""
+
+import pytest
+
+from repro.analysis import run_survey_portfolio
+from repro.exceptions import AnalysisError
+from repro.survey import SURVEYED_SITES
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_survey_portfolio(seed=0)
+
+
+class TestPortfolio:
+    def test_all_ten_settled(self, study):
+        assert len(study.entries) == 10
+        assert {e.site.label for e in study.entries} == {
+            s.label for s in SURVEYED_SITES
+        }
+
+    def test_rates_plausible(self, study):
+        for label, rate in study.effective_rates().items():
+            assert 0.02 < rate < 0.30, label
+
+    def test_kw_free_sites_pay_no_demand(self, study):
+        # sites 8 and 10 hold no kW-domain component at all
+        assert study.by_label("Site 8").demand_share == 0.0
+        assert study.by_label("Site 10").demand_share == 0.0
+
+    def test_exposure_gap_positive(self, study):
+        """The population-level [34] effect: kW-exposed sites carry a
+        materially higher kW-branch share than unexposed ones."""
+        assert study.demand_charge_exposure_gap() > 0.1
+
+    def test_post_tender_site_cheapest_among_fixed(self, study):
+        # Site 6 (the CSCS-like row: no demand charge) pays a lower
+        # effective rate than the fixed+demand sites of similar scale
+        site6 = study.by_label("Site 6").effective_rate_per_kwh
+        site5 = study.by_label("Site 5").effective_rate_per_kwh
+        assert site6 < site5
+
+    def test_by_label_unknown(self, study):
+        with pytest.raises(AnalysisError):
+            study.by_label("Site 99")
+
+    def test_mean_demand_share_filtered(self, study):
+        holders = study.mean_demand_share(with_component="demand_charge")
+        assert holders > 0.1
+        with pytest.raises(AnalysisError):
+            study.mean_demand_share(with_component="nonexistent")
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_survey_portfolio(sites=[])
+
+    def test_deterministic(self, study):
+        again = run_survey_portfolio(seed=0)
+        assert study.effective_rates() == again.effective_rates()
+
+    def test_seed_changes_loads(self, study):
+        other = run_survey_portfolio(seed=1)
+        assert study.effective_rates() != other.effective_rates()

@@ -1,0 +1,110 @@
+"""kW-domain: powerbands (§3.2.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.contracts import ChargeDomain, Powerband
+from repro.exceptions import TariffError
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY = BillingPeriod("day", 0.0, 86_400.0)
+
+
+class TestConstruction:
+    def test_upper_only(self):
+        pb = Powerband(upper_kw=10_000.0)
+        assert pb.lower_kw is None
+        assert math.isinf(pb.width_kw)
+
+    def test_both_bounds(self):
+        pb = Powerband(upper_kw=10_000.0, lower_kw=4_000.0)
+        assert pb.width_kw == 6_000.0
+
+    def test_lower_above_upper_rejected(self):
+        with pytest.raises(TariffError):
+            Powerband(upper_kw=5_000.0, lower_kw=6_000.0)
+
+    def test_nonpositive_upper_rejected(self):
+        with pytest.raises(TariffError):
+            Powerband(upper_kw=0.0)
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(TariffError):
+            Powerband(10_000.0, penalty_per_kwh_outside=-1.0)
+        with pytest.raises(TariffError):
+            Powerband(10_000.0, penalty_per_violation=-1.0)
+
+    def test_contains(self):
+        pb = Powerband(upper_kw=10.0, lower_kw=5.0)
+        assert pb.contains(7.0)
+        assert not pb.contains(11.0)
+        assert not pb.contains(4.0)
+        assert Powerband(upper_kw=10.0).contains(0.0)  # no lower bound
+
+    def test_typology_label(self):
+        assert tuple(Powerband(1.0).typology_labels()) == ("powerband",)
+
+    def test_domain(self):
+        assert Powerband(1.0).domain is ChargeDomain.POWER_KW
+
+
+class TestCharging:
+    def test_compliant_profile_costs_nothing(self):
+        pb = Powerband(upper_kw=2000.0, lower_kw=500.0, penalty_per_kwh_outside=1.0)
+        item = pb.charge(PowerSeries.constant(1000.0, 96, 900.0), DAY)
+        assert item.amount == 0.0
+        assert item.details["fraction_outside"] == 0.0
+
+    def test_over_band_energy_penalized(self):
+        pb = Powerband(upper_kw=1000.0, penalty_per_kwh_outside=2.0)
+        values = np.full(96, 800.0)
+        values[:4] = 1400.0  # one hour, 400 kW over
+        item = pb.charge(PowerSeries(values, 900.0), DAY)
+        assert item.amount == pytest.approx(400.0 * 1.0 * 2.0)  # 400 kWh-ish
+
+    def test_under_band_energy_penalized(self):
+        pb = Powerband(upper_kw=2000.0, lower_kw=1000.0, penalty_per_kwh_outside=2.0)
+        values = np.full(96, 1500.0)
+        values[:4] = 600.0  # one hour, 400 kW under
+        item = pb.charge(PowerSeries(values, 900.0), DAY)
+        assert item.amount == pytest.approx(800.0)
+
+    def test_per_violation_penalty(self):
+        pb = Powerband(upper_kw=1000.0, penalty_per_violation=50.0)
+        values = np.full(96, 800.0)
+        values[[3, 50]] = 1200.0
+        item = pb.charge(PowerSeries(values, 900.0), DAY)
+        assert item.amount == pytest.approx(2 * 50.0)
+
+    def test_no_lower_bound_no_under_violation(self):
+        pb = Powerband(upper_kw=1000.0, penalty_per_kwh_outside=1.0)
+        item = pb.charge(PowerSeries.zeros(96, 900.0), DAY)
+        assert item.amount == 0.0
+
+
+class TestContinuousSampling:
+    def test_fine_telemetry_resampled_to_sampling_interval(self):
+        pb = Powerband(upper_kw=1000.0, sampling_interval_s=60.0)
+        fine = PowerSeries(np.full(120, 900.0), 30.0)
+        metered = pb.metered(fine)
+        assert metered.interval_s == 60.0
+
+    def test_coarse_telemetry_used_natively(self):
+        pb = Powerband(upper_kw=1000.0, sampling_interval_s=60.0)
+        coarse = PowerSeries(np.full(4, 900.0), 900.0)
+        assert pb.metered(coarse) is coarse
+
+    def test_continuous_sampling_catches_short_excursions(self):
+        # a 1-minute excursion visible at 60 s sampling but invisible at
+        # 15-min demand metering — the §3.2.2 contrast with demand charges
+        pb = Powerband(upper_kw=1000.0, penalty_per_kwh_outside=1.0,
+                       sampling_interval_s=60.0)
+        values = np.full(15, 900.0)
+        values[7] = 5000.0  # one minute way over the band
+        fine = PowerSeries(values, 60.0)
+        item = pb.charge(pb.metered(fine), BillingPeriod("q", 0.0, 900.0))
+        assert item.amount > 0
+        # the 15-min mean stays inside the band
+        assert fine.mean_kw() < 1000.0 + 300.0

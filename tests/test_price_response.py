@@ -1,0 +1,124 @@
+"""Price-responsive operation: the strategy the surveyed sites decline."""
+
+import numpy as np
+import pytest
+
+from repro.dr import LoadShiftStrategy, PriceResponsePolicy
+from repro.exceptions import DemandResponseError
+from repro.grid import PriceModel
+from repro.timeseries import PowerSeries
+
+HOUR = 3600.0
+WEEK_HOURS = 7 * 24
+
+
+def policy(**kwargs):
+    defaults = dict(
+        strategy=LoadShiftStrategy(
+            floor_kw=500.0, max_power_kw=3000.0, recovery_h=6.0,
+            rebound_factor=1.0,
+        ),
+        top_k_windows=5,
+        min_window_h=1.0,
+        price_quantile=0.9,
+    )
+    defaults.update(kwargs)
+    return PriceResponsePolicy(**defaults)
+
+
+def spiky_prices(n=WEEK_HOURS, base=0.05, spike_hours=(30, 31, 100, 101, 102)):
+    values = np.full(n, base)
+    for h in spike_hours:
+        values[h] = 1.0
+    return PowerSeries(values, HOUR)
+
+
+def flat_load(n=WEEK_HOURS, level=2000.0):
+    return PowerSeries.constant(level, n, HOUR)
+
+
+class TestWindowDetection:
+    def test_finds_spike_runs(self):
+        windows = policy().expensive_windows(spiky_prices())
+        starts = sorted(w.start_s / HOUR for w in windows)
+        assert starts == [30.0, 100.0]
+
+    def test_window_lengths(self):
+        windows = policy().expensive_windows(spiky_prices())
+        by_start = {w.start_s / HOUR: w.duration_s / HOUR for w in windows}
+        assert by_start[30.0] == 2.0
+        assert by_start[100.0] == 3.0
+
+    def test_short_runs_filtered(self):
+        prices = spiky_prices(spike_hours=(50,))
+        windows = policy(min_window_h=2.0).expensive_windows(prices)
+        assert windows == []
+
+    def test_max_window_truncates(self):
+        prices = spiky_prices(spike_hours=tuple(range(40, 52)))
+        windows = policy(max_window_h=4.0).expensive_windows(prices)
+        assert max(w.duration_s for w in windows) <= 4 * HOUR
+
+    def test_top_k_ranked_by_price(self):
+        values = np.full(WEEK_HOURS, 0.05)
+        values[10:12] = 0.8
+        values[50:52] = 2.0
+        windows = policy(top_k_windows=1).expensive_windows(
+            PowerSeries(values, HOUR)
+        )
+        assert len(windows) == 1
+        assert windows[0].start_s / HOUR == 50.0
+
+    def test_flat_prices_no_windows(self):
+        flat = PowerSeries.constant(0.05, WEEK_HOURS, HOUR)
+        assert policy().expensive_windows(flat) == []
+
+    def test_validation(self):
+        with pytest.raises(DemandResponseError):
+            policy(top_k_windows=0)
+        with pytest.raises(DemandResponseError):
+            policy(min_window_h=0.0)
+        with pytest.raises(DemandResponseError):
+            policy(price_quantile=1.0)
+
+
+class TestEvaluation:
+    def test_shifting_saves_money(self):
+        result = policy().evaluate(flat_load(), spiky_prices())
+        assert result.saving > 0
+        assert 0 < result.saving_fraction < 1
+        assert result.shifted_energy_kwh > 0
+
+    def test_no_spikes_no_saving(self):
+        flat_prices = PowerSeries.constant(0.05, WEEK_HOURS, HOUR)
+        result = policy().evaluate(flat_load(), flat_prices)
+        assert result.saving == pytest.approx(0.0, abs=1e-6)
+
+    def test_energy_preserved_without_rebound(self):
+        result = policy().evaluate(flat_load(), spiky_prices())
+        modified, _, _, _ = policy().respond(flat_load(), spiky_prices())
+        assert modified.energy_kwh() == pytest.approx(
+            flat_load().energy_kwh(), rel=1e-6
+        )
+
+    def test_rebound_cost_reduces_saving(self):
+        lean = policy().evaluate(flat_load(), spiky_prices())
+        costly = policy(
+            strategy=LoadShiftStrategy(
+                floor_kw=500.0, max_power_kw=3000.0, recovery_h=6.0,
+                rebound_factor=1.3,
+            )
+        ).evaluate(flat_load(), spiky_prices())
+        assert costly.saving < lean.saving
+
+    def test_realistic_price_process(self):
+        prices = PriceModel().generate(WEEK_HOURS, seed=9)
+        result = policy().evaluate(flat_load(), prices)
+        # against a spiky stochastic process, shifting never loses money
+        # when rebound is free
+        assert result.saving >= -1e-6
+
+    def test_windows_reported(self):
+        result = policy().evaluate(flat_load(), spiky_prices())
+        assert len(result.windows) == 2
+        assert all(w.mean_price_per_kwh > 0.05 for w in result.windows)

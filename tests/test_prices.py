@@ -1,0 +1,129 @@
+"""Wholesale price processes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MarketError
+from repro.grid import (
+    DiurnalShape,
+    OUNoise,
+    PriceModel,
+    SeasonalShape,
+    SpikeProcess,
+    hourly_price_series,
+)
+
+YEAR_HOURS = 365 * 24
+
+
+class TestShapes:
+    def test_diurnal_mean_near_one(self):
+        hours = np.arange(24, dtype=float)
+        factors = DiurnalShape().factor(hours)
+        assert factors.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_diurnal_evening_above_night(self):
+        shape = DiurnalShape()
+        evening = shape.factor(np.array([19.0]))[0]
+        night = shape.factor(np.array([3.0]))[0]
+        assert evening > night
+
+    def test_seasonal_mean_near_one(self):
+        days = np.arange(365, dtype=float)
+        assert SeasonalShape().factor(days).mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_seasonal_winter_above_spring(self):
+        shape = SeasonalShape()
+        assert shape.factor(np.array([15.0]))[0] > shape.factor(np.array([105.0]))[0]
+
+
+class TestOUNoise:
+    def test_mean_near_one(self):
+        rng = np.random.default_rng(0)
+        f = OUNoise(sigma=0.1).factor(50_000, 3600.0, rng)
+        assert f.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_zero_sigma_is_ones(self):
+        rng = np.random.default_rng(0)
+        assert np.all(OUNoise(sigma=0.0).factor(100, 3600.0, rng) == 1.0)
+
+    def test_autocorrelated(self):
+        rng = np.random.default_rng(0)
+        f = np.log(OUNoise(sigma=0.2, correlation_time_h=24.0).factor(10_000, 3600.0, rng))
+        lag1 = np.corrcoef(f[:-1], f[1:])[0, 1]
+        assert lag1 > 0.9  # 24 h correlation at 1 h sampling
+
+
+class TestSpikes:
+    def test_spikes_only_raise(self):
+        rng = np.random.default_rng(3)
+        f = SpikeProcess(spikes_per_year=50).factor(YEAR_HOURS, 3600.0, rng)
+        assert f.min() >= 1.0
+
+    def test_expected_count_scale(self):
+        rng = np.random.default_rng(5)
+        f = SpikeProcess(spikes_per_year=100, duration_h=1.0).factor(
+            YEAR_HOURS, 3600.0, rng
+        )
+        spiked = np.count_nonzero(f > 1.0)
+        assert 30 < spiked < 400  # loose: ~100 spikes x ~1 h
+
+    def test_zero_rate_no_spikes(self):
+        rng = np.random.default_rng(0)
+        f = SpikeProcess(spikes_per_year=0.0).factor(1000, 3600.0, rng)
+        assert np.all(f == 1.0)
+
+
+class TestPriceModel:
+    def test_level_anchored(self):
+        model = PriceModel(mean_price_per_kwh=0.05, spikes=None)
+        series = model.generate(YEAR_HOURS, seed=0)
+        assert series.values_kw.mean() == pytest.approx(0.05, rel=0.05)
+
+    def test_reproducible(self):
+        model = PriceModel()
+        a = model.generate(1000, seed=42)
+        b = model.generate(1000, seed=42)
+        assert a.approx_equal(b)
+
+    def test_seed_changes_path(self):
+        model = PriceModel()
+        a = model.generate(1000, seed=1)
+        b = model.generate(1000, seed=2)
+        assert not a.approx_equal(b)
+
+    def test_spikes_raise_max(self):
+        base = PriceModel(spikes=None).generate(YEAR_HOURS, seed=7)
+        spiky = PriceModel(
+            spikes=SpikeProcess(spikes_per_year=40, magnitude=10.0)
+        ).generate(YEAR_HOURS, seed=7)
+        assert spiky.values_kw.max() > 3 * base.values_kw.max()
+
+    def test_without_spikes_ablation(self):
+        model = PriceModel()
+        ablated = model.without_spikes()
+        assert ablated.spikes is None
+        assert ablated.mean_price_per_kwh == model.mean_price_per_kwh
+
+    def test_floor_respected(self):
+        model = PriceModel(floor_per_kwh=0.02, noise=OUNoise(sigma=1.0))
+        series = model.generate(5000, seed=0)
+        assert series.values_kw.min() >= 0.02
+
+    def test_all_components_ablatable(self):
+        model = PriceModel(diurnal=None, seasonal=None, noise=None, spikes=None)
+        series = model.generate(100, seed=0)
+        assert np.all(series.values_kw == 0.05)
+
+    def test_invalid_params(self):
+        with pytest.raises(MarketError):
+            PriceModel(mean_price_per_kwh=0.0)
+        with pytest.raises(MarketError):
+            PriceModel(floor_per_kwh=-1.0)
+        with pytest.raises(MarketError):
+            PriceModel().generate(0)
+
+    def test_hourly_price_series_helper(self):
+        s = hourly_price_series(7, mean_price_per_kwh=0.06, seed=1)
+        assert len(s) == 7 * 24
+        assert s.interval_s == 3600.0

@@ -1,0 +1,140 @@
+"""Property-based tests: billing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.contracts import (
+    BillingEngine,
+    Contract,
+    DemandCharge,
+    FixedTariff,
+    Powerband,
+)
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY_S = 86_400.0
+
+day_loads = arrays(
+    np.float64,
+    96,
+    elements=st.floats(min_value=0.0, max_value=50_000.0, allow_nan=False),
+)
+
+rates = st.floats(min_value=0.0, max_value=1.0)
+demand_rates = st.floats(min_value=0.0, max_value=50.0)
+
+DAY = [BillingPeriod("day", 0.0, DAY_S)]
+
+
+def day_series(values):
+    return PowerSeries(values, 900.0)
+
+
+class TestBillingInvariants:
+    @given(day_loads, rates)
+    def test_energy_bill_proportional_to_rate(self, values, rate):
+        load = day_series(values)
+        c = Contract("f", [FixedTariff(rate)])
+        bill = BillingEngine().bill(c, load, DAY)
+        assert bill.total == pytest.approx(rate * load.energy_kwh(), rel=1e-9, abs=1e-9)
+
+    @given(day_loads, rates, demand_rates)
+    def test_bill_nonnegative(self, values, rate, demand_rate):
+        load = day_series(values)
+        c = Contract("fd", [FixedTariff(rate), DemandCharge(demand_rate)])
+        bill = BillingEngine().bill(c, load, DAY)
+        assert bill.total >= -1e-9
+
+    @given(day_loads, st.floats(min_value=1.1, max_value=3.0))
+    def test_bill_monotone_in_load(self, values, factor):
+        """Scaling the whole load up never lowers any branch of the bill."""
+        c = Contract("fd", [FixedTariff(0.1), DemandCharge(10.0)])
+        engine = BillingEngine()
+        small = engine.bill(c, day_series(values), DAY)
+        big = engine.bill(c, day_series(values * factor), DAY)
+        assert big.energy_cost >= small.energy_cost - 1e-9
+        assert big.demand_cost >= small.demand_cost - 1e-9
+
+    @given(day_loads)
+    def test_domain_totals_partition(self, values):
+        c = Contract(
+            "all",
+            [FixedTariff(0.1), DemandCharge(5.0),
+             Powerband(20_000.0, penalty_per_kwh_outside=0.3)],
+        )
+        bill = BillingEngine().bill(c, day_series(values), DAY)
+        assert bill.energy_cost + bill.demand_cost + bill.other_cost == pytest.approx(
+            bill.total, rel=1e-9, abs=1e-6
+        )
+
+    @given(day_loads)
+    def test_demand_charge_bills_peak(self, values):
+        c = Contract("d", [FixedTariff(0.0), DemandCharge(1.0)])
+        load = day_series(values)
+        bill = BillingEngine().bill(c, load, DAY)
+        assert bill.demand_cost == pytest.approx(load.max_kw(), rel=1e-9, abs=1e-9)
+
+    @given(day_loads)
+    def test_capping_never_raises_bill(self, values):
+        """Flattening a profile (clipping its top) can only help under a
+        fixed tariff + demand charge — the demand-charge defence."""
+        c = Contract("fd", [FixedTariff(0.1), DemandCharge(10.0)])
+        engine = BillingEngine()
+        load = day_series(values)
+        capped = load.clip(upper_kw=float(np.percentile(values, 90)) + 1.0)
+        full = engine.bill(c, load, DAY)
+        flat = engine.bill(c, capped, DAY)
+        assert flat.total <= full.total + 1e-6
+
+    @given(day_loads, st.floats(min_value=100.0, max_value=40_000.0))
+    def test_powerband_penalty_zero_iff_compliant(self, values, upper):
+        pb = Powerband(upper_kw=upper, penalty_per_kwh_outside=1.0)
+        c = Contract("p", [FixedTariff(0.0), pb])
+        load = day_series(values)
+        bill = BillingEngine().bill(c, load, DAY)
+        if load.max_kw() <= upper:
+            assert bill.other_cost == 0.0 and bill.demand_cost == 0.0
+        compliant = load.clip(upper_kw=upper)
+        bill2 = BillingEngine().bill(c, compliant, DAY)
+        assert bill2.total == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPeriodInvariance:
+    @given(day_loads)
+    def test_energy_cost_invariant_to_period_split(self, values):
+        """Splitting the horizon into more billing periods must not change
+        the kWh-domain total (it can change the kW-domain one)."""
+        load = day_series(values)
+        c = Contract("f", [FixedTariff(0.2)])
+        engine = BillingEngine()
+        one = engine.bill(c, load, [BillingPeriod("d", 0.0, DAY_S)])
+        halves = engine.bill(
+            c,
+            load,
+            [
+                BillingPeriod("am", 0.0, DAY_S / 2),
+                BillingPeriod("pm", DAY_S / 2, DAY_S),
+            ],
+        )
+        assert one.total == pytest.approx(halves.total, rel=1e-9, abs=1e-9)
+
+    @given(day_loads)
+    def test_more_periods_never_cheaper_for_demand(self, values):
+        """Each period bills its own peak, so splitting can only add
+        demand cost."""
+        load = day_series(values)
+        c = Contract("d", [FixedTariff(0.0), DemandCharge(10.0)])
+        engine = BillingEngine()
+        one = engine.bill(c, load, [BillingPeriod("d", 0.0, DAY_S)])
+        halves = engine.bill(
+            c,
+            load,
+            [
+                BillingPeriod("am", 0.0, DAY_S / 2),
+                BillingPeriod("pm", DAY_S / 2, DAY_S),
+            ],
+        )
+        assert halves.total >= one.total - 1e-9

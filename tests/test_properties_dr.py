@@ -1,0 +1,128 @@
+"""Property-based tests: CBL/M&V and price-response invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.contracts import CBLConfig, compute_cbl, measured_reduction_kwh
+from repro.dr import LoadShiftStrategy, PriceResponsePolicy
+from repro.timeseries import PowerSeries
+
+PER_DAY = 96
+DAY_S = 86_400.0
+
+
+@st.composite
+def metered_histories(draw):
+    """15 days of bounded noisy load at 15-minute metering."""
+    base = draw(st.floats(min_value=500.0, max_value=20_000.0))
+    noise = draw(
+        arrays(
+            np.float64,
+            15 * PER_DAY,
+            elements=st.floats(min_value=-100.0, max_value=100.0,
+                               allow_nan=False),
+        )
+    )
+    return PowerSeries(np.maximum(base + noise, 0.0), 900.0)
+
+
+EVENT_START = 14 * DAY_S + 14 * 3600.0
+EVENT_END = EVENT_START + 2 * 3600.0
+CONFIG = CBLConfig(window_days=10, top_days=5, weekdays_only=False,
+                   adjustment_hours=0.0)
+
+
+class TestCBLInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(metered_histories())
+    def test_baseline_within_lookback_envelope(self, load):
+        result = compute_cbl(load, EVENT_START, EVENT_END, CONFIG)
+        lo = load.values_kw[: 14 * PER_DAY].min()
+        hi = load.values_kw[: 14 * PER_DAY].max()
+        assert np.all(result.baseline_kw >= lo - 1e-9)
+        assert np.all(result.baseline_kw <= hi + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(metered_histories())
+    def test_lookback_days_precede_event(self, load):
+        result = compute_cbl(load, EVENT_START, EVENT_END, CONFIG)
+        assert all(d < 14 for d in result.lookback_days_used)
+        assert len(result.lookback_days_used) == CONFIG.top_days
+
+    @settings(max_examples=40, deadline=None)
+    @given(metered_histories(), st.floats(min_value=0.0, max_value=5_000.0))
+    def test_reduction_nonnegative_and_bounded(self, load, shed_kw):
+        # apply a genuine shed to the event window
+        values = load.values_kw.copy()
+        i0 = int(EVENT_START / 900.0)
+        i1 = int(EVENT_END / 900.0)
+        values[i0:i1] = np.maximum(values[i0:i1] - shed_kw, 0.0)
+        responded = PowerSeries(values, 900.0)
+        baseline = compute_cbl(responded, EVENT_START, EVENT_END, CONFIG)
+        paid = measured_reduction_kwh(responded, baseline, EVENT_START, EVENT_END)
+        assert paid >= 0.0
+        # cannot be paid for more than the baseline's entire energy
+        assert paid <= baseline.baseline_kw.sum() * 0.25 + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(metered_histories())
+    def test_deeper_shed_pays_at_least_as_much(self, load):
+        def paid_for(shed_kw):
+            values = load.values_kw.copy()
+            i0 = int(EVENT_START / 900.0)
+            i1 = int(EVENT_END / 900.0)
+            values[i0:i1] = np.maximum(values[i0:i1] - shed_kw, 0.0)
+            responded = PowerSeries(values, 900.0)
+            baseline = compute_cbl(responded, EVENT_START, EVENT_END, CONFIG)
+            return measured_reduction_kwh(
+                responded, baseline, EVENT_START, EVENT_END
+            )
+
+        assert paid_for(1_000.0) >= paid_for(200.0) - 1e-6
+
+
+price_arrays = arrays(
+    np.float64,
+    7 * 24,
+    elements=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+)
+
+
+class TestPriceResponseInvariants:
+    def _policy(self):
+        return PriceResponsePolicy(
+            strategy=LoadShiftStrategy(
+                floor_kw=500.0, max_power_kw=4_000.0, rebound_factor=1.0
+            ),
+            price_quantile=0.9,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(price_arrays)
+    def test_free_shifting_never_loses(self, price_values):
+        prices = PowerSeries(price_values, 3600.0)
+        load = PowerSeries.constant(2_000.0, 7 * 24, 3600.0)
+        result = self._policy().evaluate(load, prices)
+        assert result.saving >= -1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(price_arrays)
+    def test_windows_above_quantile(self, price_values):
+        prices = PowerSeries(price_values, 3600.0)
+        threshold = float(np.quantile(price_values, 0.9))
+        for window in self._policy().expensive_windows(prices):
+            assert window.mean_price_per_kwh > threshold - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(price_arrays)
+    def test_accounting_identity(self, price_values):
+        prices = PowerSeries(price_values, 3600.0)
+        load = PowerSeries.constant(2_000.0, 7 * 24, 3600.0)
+        modified, windows, shifted, shed = self._policy().respond(load, prices)
+        # rebound factor 1: total energy change equals −shed
+        assert modified.energy_kwh() - load.energy_kwh() == pytest.approx(
+            -shed, rel=1e-6, abs=1e-6
+        )

@@ -1,0 +1,110 @@
+"""Property-based tests: market, emissions and reliability invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.grid import (
+    Generator,
+    RealTimeMarket,
+    SupplyStack,
+    assess_adequacy,
+    grid_intensity,
+)
+from repro.timeseries import PowerSeries
+
+demand_arrays = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=96),
+    elements=st.floats(min_value=0.0, max_value=20_000.0, allow_nan=False),
+)
+
+
+def stack():
+    return SupplyStack(
+        [
+            Generator("nuclear", 5_000.0, 0.01),
+            Generator("coal", 3_000.0, 0.04),
+            Generator("gas", 4_000.0, 0.07),
+        ]
+    )
+
+
+class TestClearingInvariants:
+    @given(demand_arrays)
+    def test_prices_within_stack_range(self, demand):
+        prices = stack().clearing_prices(demand, scarcity_price_per_kwh=3.0)
+        in_stack = demand <= stack().total_capacity_kw
+        assert np.all(prices[in_stack] >= 0.01 - 1e-12)
+        assert np.all(prices[in_stack] <= 0.07 + 1e-12)
+        assert np.all(prices[~in_stack] == 3.0)
+
+    @given(demand_arrays)
+    def test_price_monotone_in_demand(self, demand):
+        s = stack()
+        base = s.clearing_prices(demand, 3.0)
+        higher = s.clearing_prices(demand * 1.2, 3.0)
+        assert np.all(higher >= base - 1e-12)
+
+    @given(demand_arrays)
+    def test_imbalance_zero_iff_perfect(self, demand):
+        market = RealTimeMarket()
+        load = PowerSeries(np.maximum(demand, 0.0), 3600.0)
+        prices = PowerSeries(np.full(len(load), 0.05), 3600.0)
+        assert market.imbalance_cost(load, load, prices) == 0.0
+
+    @given(demand_arrays, st.floats(min_value=10.0, max_value=2_000.0))
+    def test_symmetric_error_always_costs(self, demand, error_kw):
+        market = RealTimeMarket(premium=1.5, discount=0.7)
+        scheduled = PowerSeries(demand + error_kw, 3600.0)  # shift so >= 0
+        over = PowerSeries(demand + 2 * error_kw, 3600.0)
+        under = PowerSeries(demand, 3600.0)
+        prices = PowerSeries(np.full(len(demand), 0.05), 3600.0)
+        total = market.imbalance_cost(
+            scheduled, over, prices
+        ) + market.imbalance_cost(scheduled, under, prices)
+        assert total > 0
+
+
+class TestEmissionsInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(demand_arrays)
+    def test_intensity_bounded_by_fleet(self, demand):
+        load = PowerSeries(np.maximum(demand, 0.0), 3600.0)
+        profile = grid_intensity(stack(), load)
+        factors = (0.012, 0.95, 0.45)  # nuclear, coal, gas
+        served = demand <= stack().total_capacity_kw
+        assert np.all(profile.average_kg_per_kwh >= min(factors) - 0.02 - 1e-9)
+        assert np.all(profile.average_kg_per_kwh[served] <= max(factors) + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(demand_arrays)
+    def test_marginal_is_a_fleet_factor(self, demand):
+        load = PowerSeries(np.maximum(demand, 0.0), 3600.0)
+        profile = grid_intensity(stack(), load)
+        allowed = {0.012, 0.95, 0.45, 0.02}
+        for value in np.unique(profile.marginal_kg_per_kwh):
+            assert any(abs(value - a) < 1e-9 for a in allowed)
+
+
+class TestAdequacyInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(demand_arrays, st.floats(min_value=1_000.0, max_value=15_000.0))
+    def test_metrics_consistent(self, demand, capacity):
+        load = PowerSeries(np.maximum(demand, 0.0), 3600.0)
+        report = assess_adequacy(load, capacity)
+        assert 0.0 <= report.lolp <= 1.0
+        assert report.eens_kwh >= 0.0
+        assert (report.eens_kwh == 0.0) == (report.lolp == 0.0)
+        assert report.peak_shortfall_kw >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(demand_arrays, st.floats(min_value=1_000.0, max_value=15_000.0))
+    def test_more_capacity_never_worse(self, demand, capacity):
+        load = PowerSeries(np.maximum(demand, 0.0), 3600.0)
+        base = assess_adequacy(load, capacity)
+        better = assess_adequacy(load, capacity * 1.5)
+        assert better.eens_kwh <= base.eens_kwh + 1e-9
+        assert better.lolp <= base.lolp + 1e-12

@@ -1,0 +1,136 @@
+"""Property-based tests: scheduler and DR-strategy invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dr import LoadShedStrategy, LoadShiftStrategy, PowerCapStrategy
+from repro.facility import Job, Scheduler, SchedulerConfig, Supercomputer
+from repro.timeseries import PowerSeries
+
+HOUR = 3600.0
+DAY_S = 86_400.0
+
+
+@st.composite
+def job_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    jobs = []
+    for i in range(n):
+        runtime = draw(st.floats(min_value=300.0, max_value=6 * HOUR))
+        pad = draw(st.floats(min_value=1.0, max_value=3.0))
+        jobs.append(
+            Job(
+                job_id=i,
+                submit_s=draw(st.floats(min_value=0.0, max_value=DAY_S)),
+                nodes=draw(st.sampled_from([1, 2, 4, 8])),
+                runtime_s=runtime,
+                walltime_s=runtime * pad,
+                power_fraction=draw(st.floats(min_value=0.0, max_value=1.0)),
+            )
+        )
+    return jobs
+
+
+machine = Supercomputer("prop", n_nodes=8)
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(job_lists())
+    def test_all_jobs_placed_once(self, jobs):
+        res = Scheduler(machine).schedule(jobs, 2 * DAY_S)
+        assert sorted(sj.job.job_id for sj in res.scheduled) == sorted(
+            j.job_id for j in jobs
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(job_lists())
+    def test_no_start_before_submit(self, jobs):
+        res = Scheduler(machine).schedule(jobs, 2 * DAY_S)
+        for sj in res.scheduled:
+            assert sj.start_s >= sj.job.submit_s - 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(job_lists())
+    def test_nodes_never_oversubscribed(self, jobs):
+        res = Scheduler(machine).schedule(jobs, 2 * DAY_S)
+        events = []
+        for sj in res.scheduled:
+            events.append((sj.start_s, 1, sj.job.nodes))
+            events.append((sj.end_s, 0, -sj.job.nodes))
+        # process ends before starts at equal times
+        events.sort(key=lambda e: (e[0], e[1]))
+        level = 0
+        for _, _, delta in events:
+            level += delta
+            assert level <= machine.n_nodes
+
+    @settings(max_examples=30, deadline=None)
+    @given(job_lists())
+    def test_runtimes_preserved(self, jobs):
+        res = Scheduler(machine).schedule(jobs, 2 * DAY_S)
+        for sj in res.scheduled:
+            assert sj.duration_s == pytest.approx(sj.job.runtime_s)
+
+    @settings(max_examples=30, deadline=None)
+    @given(job_lists())
+    def test_backfill_does_not_materially_hurt_utilization(self, jobs):
+        on = Scheduler(machine, SchedulerConfig(backfill=True)).schedule(
+            jobs, 2 * DAY_S
+        )
+        off = Scheduler(machine, SchedulerConfig(backfill=False)).schedule(
+            jobs, 2 * DAY_S
+        )
+        # EASY's guarantee is about walltime-based reservations, not actual
+        # runtimes: early finishes can reorder starts and shave delivered
+        # node-seconds inside a fixed horizon by a sliver.  The invariant
+        # that does hold: backfill never *materially* reduces utilization.
+        assert on.utilization() >= off.utilization() - 0.01
+
+
+day_loads = arrays(
+    np.float64,
+    96,
+    elements=st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False),
+)
+
+
+class TestStrategyInvariants:
+    @given(day_loads, st.floats(min_value=0.0, max_value=5_000.0))
+    def test_shed_reduces_or_preserves_everywhere(self, values, floor):
+        load = PowerSeries(values, 900.0)
+        r = LoadShedStrategy(floor_kw=floor).respond(load, HOUR, 3 * HOUR)
+        assert np.all(r.modified.values_kw <= load.values_kw + 1e-9)
+        assert r.shed_energy_kwh >= -1e-9
+
+    @given(day_loads)
+    def test_cap_window_bounded(self, values):
+        load = PowerSeries(values, 900.0)
+        r = PowerCapStrategy(cap_kw=2_000.0).respond(load, HOUR, 3 * HOUR)
+        assert np.all(r.modified.values_kw[4:12] <= 2_000.0 + 1e-9)
+        # untouched outside the window
+        assert np.all(r.modified.values_kw[12:] == load.values_kw[12:])
+
+    @given(day_loads)
+    def test_shift_conserves_or_sheds(self, values):
+        load = PowerSeries(values, 900.0)
+        strategy = LoadShiftStrategy(
+            floor_kw=100.0, max_power_kw=12_000.0, rebound_factor=1.0
+        )
+        r = strategy.respond(load, HOUR, 3 * HOUR)
+        # accounting identity: moved = shifted + shed (within float noise)
+        moved = r.shifted_energy_kwh + r.shed_energy_kwh
+        window_drop = (
+            load.values_kw[4:12].sum() - r.modified.values_kw[4:12].sum()
+        ) * load.interval_h
+        assert moved == pytest.approx(window_drop, rel=1e-6, abs=1e-6)
+
+    @given(day_loads)
+    def test_shift_never_exceeds_ceiling(self, values):
+        load = PowerSeries(np.minimum(values, 8_000.0), 900.0)
+        strategy = LoadShiftStrategy(floor_kw=100.0, max_power_kw=9_000.0)
+        r = strategy.respond(load, HOUR, 3 * HOUR)
+        assert r.modified.max_kw() <= 9_000.0 + 1e-6

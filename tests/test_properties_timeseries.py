@@ -1,0 +1,133 @@
+"""Property-based tests: time-series invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.timeseries import (
+    PowerSeries,
+    excursions_outside_band,
+    load_duration_curve,
+    resample_mean,
+    top_k_peaks,
+)
+
+power_values = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=192),
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+intervals = st.sampled_from([60.0, 300.0, 900.0, 3600.0])
+
+
+@st.composite
+def power_series(draw):
+    values = draw(power_values)
+    interval = draw(intervals)
+    return PowerSeries(values, interval)
+
+
+@st.composite
+def resampleable_series(draw):
+    """A series whose length is a multiple of a chosen aggregation factor."""
+    k = draw(st.sampled_from([1, 2, 3, 4, 6]))
+    blocks = draw(st.integers(min_value=1, max_value=48))
+    values = draw(
+        arrays(
+            np.float64,
+            k * blocks,
+            elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        )
+    )
+    return PowerSeries(values, 900.0), k
+
+
+class TestSeriesInvariants:
+    @given(power_series())
+    def test_energy_equals_mean_times_duration(self, s):
+        expected = s.mean_kw() * s.duration_s / 3600.0
+        assert s.energy_kwh() == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @given(power_series(), st.floats(min_value=0.1, max_value=10.0))
+    def test_scaling_scales_energy(self, s, factor):
+        assert s.scale(factor).energy_kwh() == pytest.approx(
+            factor * s.energy_kwh(), rel=1e-9, abs=1e-6
+        )
+
+    @given(power_series())
+    def test_clip_bounds_respected(self, s):
+        lo, hi = 100.0, 1000.0
+        clipped = s.clip(lo, hi)
+        assert clipped.min_kw() >= lo - 1e-12
+        assert clipped.max_kw() <= hi + 1e-12
+
+    @given(power_series())
+    def test_addition_commutes(self, s):
+        other = s.scale(0.5)
+        assert (s + other).approx_equal(other + s)
+
+    @given(power_series())
+    def test_min_le_mean_le_max(self, s):
+        tol = 1e-9 * max(abs(s.max_kw()), 1.0)  # float summation rounding
+        assert s.min_kw() <= s.mean_kw() + tol
+        assert s.mean_kw() <= s.max_kw() + tol
+
+
+class TestResampleInvariants:
+    @given(resampleable_series())
+    def test_energy_conserved(self, pair):
+        s, k = pair
+        coarse = resample_mean(s, k * s.interval_s)
+        assert coarse.energy_kwh() == pytest.approx(
+            s.energy_kwh(), rel=1e-9, abs=1e-9
+        )
+
+    @given(resampleable_series())
+    def test_peak_never_increases(self, pair):
+        s, k = pair
+        coarse = resample_mean(s, k * s.interval_s)
+        assert coarse.max_kw() <= s.max_kw() + 1e-9
+
+    @given(resampleable_series())
+    def test_min_never_decreases(self, pair):
+        s, k = pair
+        coarse = resample_mean(s, k * s.interval_s)
+        assert coarse.min_kw() >= s.min_kw() - 1e-9
+
+
+class TestStatsInvariants:
+    @given(power_series(), st.integers(min_value=1, max_value=10))
+    def test_top_k_sorted_and_bounded(self, s, k):
+        peaks = top_k_peaks(s, k)
+        assert np.all(np.diff(peaks) <= 1e-12)
+        assert peaks[0] == pytest.approx(s.max_kw())
+        assert len(peaks) == min(k, len(s))
+
+    @given(power_series())
+    def test_top_k_mean_never_exceeds_max(self, s):
+        peaks = top_k_peaks(s, 3)
+        assert peaks.mean() <= s.max_kw() + 1e-9
+
+    @given(power_series())
+    def test_duration_curve_total_energy(self, s):
+        _, power = load_duration_curve(s)
+        assert power.sum() == pytest.approx(s.values_kw.sum(), rel=1e-9, abs=1e-6)
+
+    @given(
+        power_series(),
+        st.floats(min_value=0.0, max_value=5e5),
+        st.floats(min_value=0.0, max_value=5e5),
+    )
+    def test_band_excursion_consistency(self, s, a, b):
+        lo, hi = min(a, b), max(a, b) + 1.0
+        exc = excursions_outside_band(s, lo, hi)
+        assert exc.n_outside <= len(s)
+        assert exc.energy_over_kwh >= 0 and exc.energy_under_kwh >= 0
+        assert 0 <= exc.fraction_outside <= 1
+        # widening the band can only reduce excursion energy
+        wider = excursions_outside_band(s, max(lo - 100, 0.0), hi + 100)
+        assert wider.energy_over_kwh <= exc.energy_over_kwh + 1e-9
+        assert wider.energy_under_kwh <= exc.energy_under_kwh + 1e-9

@@ -1,0 +1,82 @@
+"""Resource-adequacy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GridError
+from repro.grid import (
+    GridLoadModel,
+    WindModel,
+    assess_adequacy,
+    renewable_capacity_credit,
+)
+from repro.timeseries import PowerSeries
+
+
+class TestAdequacy:
+    def test_adequate_system(self):
+        demand = PowerSeries([800.0, 900.0], 3600.0)
+        report = assess_adequacy(demand, 1_000.0)
+        assert report.adequate
+        assert report.lolp == 0.0
+        assert report.eens_kwh == 0.0
+
+    def test_shortfall_counted(self):
+        demand = PowerSeries([800.0, 1_200.0, 1_500.0, 700.0], 3600.0)
+        report = assess_adequacy(demand, 1_000.0)
+        assert report.lolp == pytest.approx(0.5)
+        assert report.lole_h == pytest.approx(2.0)
+        assert report.eens_kwh == pytest.approx(200.0 + 500.0)
+        assert report.peak_shortfall_kw == pytest.approx(500.0)
+
+    def test_renewables_relieve(self):
+        demand = PowerSeries([1_200.0], 3600.0)
+        bare = assess_adequacy(demand, 1_000.0)
+        helped = assess_adequacy(
+            demand, 1_000.0, renewable=PowerSeries([300.0], 3600.0)
+        )
+        assert helped.adequate and not bare.adequate
+
+    def test_forced_outage_derates(self):
+        demand = PowerSeries([950.0], 3600.0)
+        assert assess_adequacy(demand, 1_000.0).adequate
+        assert not assess_adequacy(demand, 1_000.0, forced_outage_rate=0.1).adequate
+
+    def test_validation(self):
+        demand = PowerSeries([1.0], 3600.0)
+        with pytest.raises(GridError):
+            assess_adequacy(demand, 0.0)
+        with pytest.raises(GridError):
+            assess_adequacy(demand, 1.0, forced_outage_rate=1.0)
+        with pytest.raises(GridError):
+            assess_adequacy(demand, 1.0, renewable=PowerSeries([1.0, 2.0], 3600.0))
+
+
+class TestCapacityCredit:
+    def test_firm_renewable_full_credit(self):
+        # a "renewable" that always produces is worth its nameplate
+        demand = PowerSeries(np.linspace(900.0, 1_400.0, 50), 3600.0)
+        firm_fleet = PowerSeries.constant(300.0, 50, 3600.0)
+        credit = renewable_capacity_credit(demand, 1_000.0, firm_fleet)
+        assert credit == pytest.approx(300.0, abs=2.0)
+
+    def test_useless_renewable_zero_credit(self):
+        # produces only when the system is already fine
+        demand = PowerSeries([1_500.0, 500.0], 3600.0)
+        fleet = PowerSeries([0.0, 400.0], 3600.0)
+        assert renewable_capacity_credit(demand, 1_000.0, fleet) == 0.0
+
+    def test_intermittent_below_nameplate(self):
+        """The §1 problem quantified: wind's firm value is a fraction of
+        its nameplate capacity."""
+        demand = GridLoadModel(base_kw=10_000.0).generate(30 * 24, seed=1)
+        wind = WindModel(capacity_kw=4_000.0).generate(30 * 24, seed=2)
+        # firm capacity sized to make shortfalls common without the fleet
+        credit = renewable_capacity_credit(demand, 9_500.0, wind)
+        assert 0.0 <= credit < 0.9 * 4_000.0
+
+    def test_tolerance_validated(self):
+        demand = PowerSeries([1.0], 3600.0)
+        fleet = PowerSeries([1.0], 3600.0)
+        with pytest.raises(GridError):
+            renewable_capacity_credit(demand, 1.0, fleet, tolerance_kw=0.0)

@@ -1,0 +1,117 @@
+"""Wind and solar generation models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GridError
+from repro.grid import RenewablePortfolio, SolarModel, WindModel
+
+WEEK_HOURS = 7 * 24
+YEAR_HOURS = 365 * 24
+
+
+class TestSolar:
+    def test_bounds(self):
+        s = SolarModel(capacity_kw=1000.0).generate(YEAR_HOURS, seed=0)
+        assert s.min_kw() >= 0.0
+        assert s.max_kw() <= 1000.0
+
+    def test_zero_at_night(self):
+        s = SolarModel(capacity_kw=1000.0).generate(WEEK_HOURS, seed=0)
+        # midnight hours are all zero
+        night = s.values_kw[::24]
+        assert np.all(night == 0.0)
+
+    def test_noon_above_morning(self):
+        s = SolarModel(capacity_kw=1000.0, cloud_sigma=0.0).generate(
+            WEEK_HOURS, seed=0
+        )
+        assert s.values_kw[12] > s.values_kw[7]
+
+    def test_summer_above_winter(self):
+        s = SolarModel(capacity_kw=1000.0, cloud_sigma=0.0, latitude_factor=0.5)
+        out = s.generate(YEAR_HOURS, seed=0)
+        january_noon = out.values_kw[15 * 24 + 12]
+        july_noon = out.values_kw[196 * 24 + 12]
+        assert july_noon > january_noon
+
+    def test_reproducible(self):
+        m = SolarModel(capacity_kw=500.0)
+        assert m.generate(100, seed=3).approx_equal(m.generate(100, seed=3))
+
+    def test_invalid_params(self):
+        with pytest.raises(GridError):
+            SolarModel(capacity_kw=0.0)
+        with pytest.raises(GridError):
+            SolarModel(capacity_kw=1.0, latitude_factor=1.5)
+        with pytest.raises(GridError):
+            SolarModel(capacity_kw=1.0).generate(0)
+
+
+class TestWind:
+    def test_bounds(self):
+        w = WindModel(capacity_kw=2000.0).generate(YEAR_HOURS, seed=1)
+        assert w.min_kw() >= 0.0
+        assert w.max_kw() <= 2000.0
+
+    def test_power_curve_regions(self):
+        w = WindModel(capacity_kw=1000.0)
+        frac = w.power_curve(np.array([0.0, 2.0, 12.0, 20.0, 30.0]))
+        assert frac[0] == 0.0          # calm
+        assert frac[1] == 0.0          # below cut-in
+        assert frac[2] == pytest.approx(1.0)  # rated
+        assert frac[3] == pytest.approx(1.0)  # above rated, below cut-out
+        assert frac[4] == 0.0          # cut-out
+
+    def test_power_curve_monotone_in_ramp(self):
+        w = WindModel(capacity_kw=1000.0)
+        speeds = np.linspace(3.0, 12.0, 20)
+        frac = w.power_curve(speeds)
+        assert np.all(np.diff(frac) >= 0)
+
+    def test_intermittency(self):
+        # the paper's premise: renewable output is intermittent and variable
+        w = WindModel(capacity_kw=1000.0).generate(YEAR_HOURS, seed=2)
+        assert w.values_kw.std() > 100.0
+        assert np.any(w.values_kw == 0.0)
+
+    def test_invalid_curve(self):
+        with pytest.raises(GridError):
+            WindModel(capacity_kw=1.0, cut_in_ms=5.0, rated_ms=4.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(GridError):
+            WindModel(capacity_kw=-5.0)
+
+
+class TestPortfolio:
+    def test_aggregate_capacity(self):
+        p = RenewablePortfolio(
+            solar=[SolarModel(1000.0)], wind=[WindModel(2000.0)]
+        )
+        assert p.capacity_kw == 3000.0
+
+    def test_aggregate_is_sum_bounded(self):
+        p = RenewablePortfolio(
+            solar=[SolarModel(1000.0)], wind=[WindModel(2000.0)]
+        )
+        out = p.generate(WEEK_HOURS, seed=0)
+        assert out.max_kw() <= 3000.0
+        assert out.min_kw() >= 0.0
+
+    def test_capacity_factor(self):
+        p = RenewablePortfolio(wind=[WindModel(1000.0)])
+        out = p.generate(YEAR_HOURS, seed=0)
+        cf = p.capacity_factor(out)
+        assert 0.05 < cf < 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(GridError):
+            RenewablePortfolio()
+
+    def test_plants_decorrelated(self):
+        p = RenewablePortfolio(wind=[WindModel(1000.0), WindModel(1000.0)])
+        out = p.generate(1000, seed=0)
+        single = WindModel(1000.0).generate(1000, seed=0)
+        # two decorrelated plants do not simply double one plant's trace
+        assert not np.allclose(out.values_kw, 2 * single.values_kw)

@@ -1,0 +1,102 @@
+"""Resampling: energy conservation and interval discipline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IntervalMismatchError, TimeSeriesError
+from repro.timeseries import PowerSeries, align, demand_intervals, resample_mean
+
+
+class TestResampleMean:
+    def test_block_mean(self):
+        s = PowerSeries([1.0, 3.0, 5.0, 7.0], 900.0)
+        coarse = resample_mean(s, 1800.0)
+        assert coarse.values_kw == pytest.approx([2.0, 6.0])
+        assert coarse.interval_s == 1800.0
+
+    def test_energy_conserved(self, rng):
+        s = PowerSeries(rng.uniform(0, 100, 96), 900.0)
+        coarse = resample_mean(s, 3600.0)
+        assert coarse.energy_kwh() == pytest.approx(s.energy_kwh())
+
+    def test_identity_when_same_interval(self):
+        s = PowerSeries([1.0, 2.0], 900.0)
+        assert resample_mean(s, 900.0) is s
+
+    def test_non_integer_ratio_rejected(self):
+        s = PowerSeries([1.0, 2.0], 900.0)
+        with pytest.raises(IntervalMismatchError):
+            resample_mean(s, 1350.0)
+
+    def test_non_tiling_length_rejected(self):
+        s = PowerSeries([1.0, 2.0, 3.0], 900.0)
+        with pytest.raises(IntervalMismatchError):
+            resample_mean(s, 1800.0)
+
+    def test_refine_rejected(self):
+        s = PowerSeries([1.0, 2.0], 3600.0)
+        with pytest.raises(IntervalMismatchError):
+            resample_mean(s, 900.0)
+
+    def test_nonpositive_target_rejected(self):
+        s = PowerSeries([1.0, 2.0], 900.0)
+        with pytest.raises(TimeSeriesError):
+            resample_mean(s, 0.0)
+
+    def test_start_preserved(self):
+        s = PowerSeries([1.0, 2.0], 900.0, start_s=1800.0)
+        assert resample_mean(s, 1800.0).start_s == 1800.0
+
+
+class TestDemandIntervals:
+    def test_averages_fine_telemetry(self):
+        # one minute at 15 000 kW inside an otherwise-idle quarter-hour
+        values = np.full(15, 1000.0)
+        values[0] = 15_000.0
+        s = PowerSeries(values, 60.0)
+        metered = demand_intervals(s, 900.0)
+        # the 15-minute mean demand smooths the one-minute spike
+        assert metered.values_kw[0] == pytest.approx((15_000 + 14 * 1000) / 15)
+
+    def test_native_passthrough(self):
+        s = PowerSeries([1.0] * 4, 900.0)
+        assert demand_intervals(s, 900.0) is s
+
+    def test_coarser_telemetry_rejected(self):
+        s = PowerSeries([1.0] * 4, 3600.0)
+        with pytest.raises(IntervalMismatchError):
+            demand_intervals(s, 900.0)
+
+
+class TestAlign:
+    def test_coarsens_the_finer(self):
+        a = PowerSeries([1.0] * 8, 900.0)
+        b = PowerSeries([2.0, 2.0], 3600.0)
+        a2, b2 = align(a, b)
+        assert a2.interval_s == b2.interval_s == 3600.0
+        assert len(a2) == len(b2) == 2
+
+    def test_crops_to_overlap(self):
+        a = PowerSeries([1.0] * 4, 900.0)                 # 0..3600
+        b = PowerSeries([2.0] * 4, 900.0, start_s=1800.0)  # 1800..5400
+        a2, b2 = align(a, b)
+        assert a2.start_s == 1800.0
+        assert a2.end_s == 3600.0
+
+    def test_disjoint_rejected(self):
+        a = PowerSeries([1.0], 900.0)
+        b = PowerSeries([2.0], 900.0, start_s=9000.0)
+        with pytest.raises(IntervalMismatchError):
+            align(a, b)
+
+    def test_incommensurate_rejected(self):
+        a = PowerSeries([1.0] * 4, 900.0)
+        b = PowerSeries([2.0] * 4, 1200.0)
+        with pytest.raises(IntervalMismatchError):
+            align(a, b)
+
+    def test_energy_conserved_over_overlap(self, rng):
+        a = PowerSeries(rng.uniform(0, 10, 8), 900.0)
+        b = PowerSeries(rng.uniform(0, 10, 2), 3600.0)
+        a2, _ = align(a, b)
+        assert a2.energy_kwh() == pytest.approx(a.energy_kwh())

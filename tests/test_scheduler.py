@@ -1,0 +1,240 @@
+"""The FCFS + EASY-backfill scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchedulerError
+from repro.facility import (
+    Job,
+    Scheduler,
+    SchedulerConfig,
+    Supercomputer,
+    WorkloadModel,
+    maintenance_window,
+)
+
+HOUR = 3600.0
+DAY_S = 86_400.0
+
+
+def machine(n_nodes=8):
+    return Supercomputer("m", n_nodes=n_nodes)
+
+
+def job(job_id, submit=0.0, nodes=1, runtime=HOUR, walltime=None, pf=0.7):
+    return Job(
+        job_id=job_id,
+        submit_s=submit,
+        nodes=nodes,
+        runtime_s=runtime,
+        walltime_s=walltime if walltime is not None else runtime,
+        power_fraction=pf,
+    )
+
+
+def starts(result):
+    return {sj.job.job_id: sj.start_s for sj in result.scheduled}
+
+
+class TestFCFS:
+    def test_immediate_start_when_free(self):
+        res = Scheduler(machine()).schedule([job(1)], DAY_S)
+        assert starts(res)[1] == 0.0
+
+    def test_fcfs_order_when_contended(self):
+        # two full-machine jobs: second waits for the first
+        jobs = [job(1, nodes=8), job(2, submit=1.0, nodes=8)]
+        res = Scheduler(machine()).schedule(jobs, DAY_S)
+        s = starts(res)
+        assert s[1] == 0.0
+        assert s[2] == pytest.approx(HOUR)
+
+    def test_parallel_when_fits(self):
+        jobs = [job(1, nodes=4), job(2, nodes=4)]
+        res = Scheduler(machine()).schedule(jobs, DAY_S)
+        s = starts(res)
+        assert s[1] == 0.0 and s[2] == 0.0
+
+    def test_all_jobs_scheduled(self, small_machine, small_workload):
+        res = Scheduler(small_machine).schedule(small_workload, 2 * DAY_S)
+        assert len(res.scheduled) == len(small_workload)
+
+    def test_no_oversubscription(self, small_machine, small_workload):
+        res = Scheduler(small_machine).schedule(small_workload, 2 * DAY_S)
+        events = []
+        for sj in res.scheduled:
+            events.append((sj.start_s, sj.job.nodes))
+            events.append((sj.end_s, -sj.job.nodes))
+        events.sort()
+        level = 0
+        for _, delta in events:
+            level += delta
+            assert level <= small_machine.n_nodes
+
+    def test_start_not_before_submit(self, small_machine, small_workload):
+        res = Scheduler(small_machine).schedule(small_workload, 2 * DAY_S)
+        for sj in res.scheduled:
+            assert sj.start_s >= sj.job.submit_s
+
+
+class TestBackfill:
+    def test_easy_backfill_fills_hole(self):
+        # J1 occupies 6/8 nodes for 2 h.  J2 (head, 8 nodes) must wait for
+        # J1.  J3 (2 nodes, 1 h) fits in the hole and ends before J2's
+        # guaranteed start → backfilled.
+        jobs = [
+            job(1, nodes=6, runtime=2 * HOUR),
+            job(2, submit=1.0, nodes=8, runtime=HOUR),
+            job(3, submit=2.0, nodes=2, runtime=HOUR),
+        ]
+        res = Scheduler(machine()).schedule(jobs, DAY_S)
+        s = starts(res)
+        assert s[2] == pytest.approx(2 * HOUR)
+        assert s[3] == pytest.approx(2.0)  # backfilled immediately
+
+    def test_backfill_cannot_delay_head(self):
+        # J3's walltime exceeds the head's shadow time and would occupy
+        # nodes the head needs → must NOT be backfilled.
+        jobs = [
+            job(1, nodes=6, runtime=2 * HOUR),
+            job(2, submit=1.0, nodes=8, runtime=HOUR),
+            job(3, submit=2.0, nodes=2, runtime=3 * HOUR),
+        ]
+        res = Scheduler(machine()).schedule(jobs, DAY_S)
+        s = starts(res)
+        assert s[2] == pytest.approx(2 * HOUR)  # head unharmed
+        assert s[3] >= s[2]
+
+    def test_backfill_on_extra_nodes_allowed(self):
+        # head needs 6 of 8; 2 nodes are "extra" at the shadow time, so a
+        # long 2-node job may run past the shadow on them
+        jobs = [
+            job(1, nodes=6, runtime=2 * HOUR),
+            job(2, submit=1.0, nodes=6, runtime=HOUR),
+            job(3, submit=2.0, nodes=2, runtime=10 * HOUR),
+        ]
+        res = Scheduler(machine()).schedule(jobs, DAY_S)
+        s = starts(res)
+        assert s[3] == pytest.approx(2.0)
+        assert s[2] == pytest.approx(2 * HOUR)
+
+    def test_backfill_off_is_strict_fcfs(self):
+        jobs = [
+            job(1, nodes=6, runtime=2 * HOUR),
+            job(2, submit=1.0, nodes=8, runtime=HOUR),
+            job(3, submit=2.0, nodes=2, runtime=HOUR),
+        ]
+        res = Scheduler(
+            machine(), SchedulerConfig(backfill=False)
+        ).schedule(jobs, DAY_S)
+        s = starts(res)
+        assert s[3] >= s[2]  # no backfill: J3 waits behind the head
+
+    def test_backfill_improves_utilization(self, small_machine):
+        wl = WorkloadModel(machine=small_machine, target_utilization=1.0)
+        jobs = wl.generate(2 * DAY_S, seed=11)
+        on = Scheduler(small_machine, SchedulerConfig(backfill=True)).schedule(
+            jobs, 2 * DAY_S
+        )
+        off = Scheduler(small_machine, SchedulerConfig(backfill=False)).schedule(
+            jobs, 2 * DAY_S
+        )
+        assert on.utilization() >= off.utilization()
+
+    def test_early_finish_opens_holes(self):
+        # actual runtime < walltime: freed nodes allow earlier starts than
+        # the walltime-based reservation suggested
+        jobs = [
+            job(1, nodes=8, runtime=HOUR, walltime=4 * HOUR),
+            job(2, submit=1.0, nodes=8, runtime=HOUR, walltime=HOUR),
+        ]
+        res = Scheduler(machine()).schedule(jobs, DAY_S)
+        assert starts(res)[2] == pytest.approx(HOUR)  # not 4 h
+
+
+class TestPowerCap:
+    def test_cap_delays_start(self):
+        m = machine(8)  # idle 8×250/1000 + 0 = 2 kW; max 8×700 = 5.6 kW
+        # two 4-node full-power jobs: each adds 4×(700−250)/1000 = 1.8 kW
+        cap = m.idle_power_kw + 2.0  # room for one job only
+        jobs = [job(1, nodes=4, pf=1.0), job(2, submit=1.0, nodes=4, pf=1.0)]
+        res = Scheduler(m, SchedulerConfig(power_cap_kw=cap)).schedule(jobs, DAY_S)
+        s = starts(res)
+        assert s[1] == 0.0
+        assert s[2] == pytest.approx(HOUR)  # waits for power, not nodes
+
+    def test_impossible_cap_detected(self):
+        m = machine(8)
+        jobs = [job(1, nodes=8, pf=1.0)]
+        cap = m.idle_power_kw + 0.5  # job adds 3.6 kW: can never start
+        with pytest.raises(SchedulerError):
+            Scheduler(m, SchedulerConfig(power_cap_kw=cap)).schedule(jobs, DAY_S)
+
+    def test_cap_below_idle_rejected_at_construction(self):
+        m = machine(8)
+        with pytest.raises(SchedulerError):
+            Scheduler(m, SchedulerConfig(power_cap_kw=m.idle_power_kw - 1.0))
+
+    def test_oversized_job_detected(self):
+        with pytest.raises(SchedulerError):
+            Scheduler(machine(4)).schedule([job(1, nodes=8)], DAY_S)
+
+
+class TestMaintenance:
+    def test_no_job_runs_in_window(self):
+        w = maintenance_window(HOUR, HOUR)
+        jobs = [job(1, submit=0.5 * HOUR, runtime=HOUR, walltime=HOUR)]
+        res = Scheduler(machine()).schedule(jobs, DAY_S, maintenance=[w])
+        s = starts(res)[1]
+        # starting at 0.5 h would overlap the window → deferred to 2 h
+        assert s == pytest.approx(2 * HOUR)
+
+    def test_job_before_window_ok(self):
+        w = maintenance_window(2 * HOUR, HOUR)
+        jobs = [job(1, runtime=HOUR, walltime=HOUR)]
+        res = Scheduler(machine()).schedule(jobs, DAY_S, maintenance=[w])
+        assert starts(res)[1] == 0.0
+
+    def test_short_job_backfills_before_window(self):
+        w = maintenance_window(2 * HOUR, HOUR)
+        jobs = [
+            job(1, runtime=4 * HOUR, walltime=4 * HOUR, nodes=8),  # must wait
+            job(2, submit=1.0, runtime=HOUR, walltime=HOUR, nodes=2),
+        ]
+        # head can't start (would overlap window); short job fits before it
+        res = Scheduler(machine()).schedule(jobs, DAY_S, maintenance=[w])
+        s = starts(res)
+        assert s[2] < w["start_s"]
+
+    def test_consecutive_windows(self):
+        windows = [maintenance_window(HOUR, HOUR), maintenance_window(2 * HOUR, HOUR)]
+        jobs = [job(1, submit=0.5 * HOUR, runtime=HOUR, walltime=HOUR)]
+        res = Scheduler(machine()).schedule(jobs, DAY_S, maintenance=windows)
+        assert starts(res)[1] == pytest.approx(3 * HOUR)
+
+
+class TestMetrics:
+    def test_utilization_bounds(self, small_machine, small_workload):
+        res = Scheduler(small_machine).schedule(small_workload, 2 * DAY_S)
+        assert 0.0 < res.utilization() <= 1.0
+
+    def test_mean_wait_nonnegative(self, small_schedule):
+        assert small_schedule.mean_wait_s() >= 0.0
+
+    def test_mean_slowdown_at_least_one(self, small_schedule):
+        assert small_schedule.mean_slowdown() >= 1.0
+
+    def test_jobs_started_by(self, small_schedule):
+        total = len(small_schedule.scheduled)
+        assert small_schedule.jobs_started_by(float("inf")) == total
+        assert small_schedule.jobs_started_by(-1.0) == 0
+
+    def test_empty_schedule_metrics_raise(self):
+        res = Scheduler(machine()).schedule([], DAY_S)
+        assert res.scheduled == []
+        with pytest.raises(SchedulerError):
+            res.mean_wait_s()
+
+    def test_invalid_horizon(self):
+        with pytest.raises(SchedulerError):
+            Scheduler(machine()).schedule([], 0.0)

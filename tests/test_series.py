@@ -1,0 +1,222 @@
+"""PowerSeries container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IntervalMismatchError, TimeSeriesError
+from repro.timeseries import PowerSeries
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = PowerSeries([1.0, 2.0, 3.0], 900.0)
+        assert len(s) == 3
+        assert s.interval_s == 900.0
+        assert s.start_s == 0.0
+
+    def test_values_are_readonly(self):
+        s = PowerSeries([1.0, 2.0], 900.0)
+        with pytest.raises(ValueError):
+            s.values_kw[0] = 99.0
+
+    def test_caller_array_not_aliased(self):
+        arr = np.array([1.0, 2.0])
+        s = PowerSeries(arr, 900.0)
+        arr[0] = 99.0
+        assert s.values_kw[0] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            PowerSeries([], 900.0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            PowerSeries(np.ones((2, 2)), 900.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            PowerSeries([1.0, float("nan")], 900.0)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            PowerSeries([1.0], 0.0)
+        with pytest.raises(TimeSeriesError):
+            PowerSeries([1.0], -900.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            PowerSeries([1.0], 900.0, start_s=-1.0)
+
+    def test_negative_power_allowed(self):
+        s = PowerSeries([-10.0, 5.0], 900.0)
+        assert s.min_kw() == -10.0
+
+    def test_constant_constructor(self):
+        s = PowerSeries.constant(500.0, 4, 900.0)
+        assert np.all(s.values_kw == 500.0)
+
+    def test_zeros_constructor(self):
+        assert PowerSeries.zeros(3, 900.0).energy_kwh() == 0.0
+
+    def test_constant_rejects_nonpositive_count(self):
+        with pytest.raises(TimeSeriesError):
+            PowerSeries.constant(1.0, 0, 900.0)
+
+
+class TestDerivedQuantities:
+    def test_energy_flat(self):
+        # 1000 kW × 24 h = 24 000 kWh
+        s = PowerSeries.constant(1000.0, 96, 900.0)
+        assert s.energy_kwh() == pytest.approx(24_000.0)
+
+    def test_energy_per_interval(self):
+        s = PowerSeries([400.0, 800.0], 900.0)
+        assert s.energy_per_interval_kwh() == pytest.approx([100.0, 200.0])
+
+    def test_mean_max_min(self):
+        s = PowerSeries([1.0, 2.0, 3.0], 900.0)
+        assert s.mean_kw() == 2.0
+        assert s.max_kw() == 3.0
+        assert s.min_kw() == 1.0
+
+    def test_times(self):
+        s = PowerSeries([1.0, 2.0, 3.0], 900.0, start_s=1800.0)
+        assert s.times_s() == pytest.approx([1800.0, 2700.0, 3600.0])
+
+    def test_end_and_duration(self):
+        s = PowerSeries([1.0] * 4, 900.0, start_s=900.0)
+        assert s.duration_s == 3600.0
+        assert s.end_s == 4500.0
+
+    def test_interval_h(self):
+        assert PowerSeries([1.0], 900.0).interval_h == 0.25
+
+
+class TestArithmetic:
+    def test_add_superposes(self):
+        a = PowerSeries([1.0, 2.0], 900.0)
+        b = PowerSeries([10.0, 20.0], 900.0)
+        assert (a + b).values_kw == pytest.approx([11.0, 22.0])
+
+    def test_subtract_nets(self):
+        a = PowerSeries([10.0, 20.0], 900.0)
+        b = PowerSeries([1.0, 2.0], 900.0)
+        assert (a - b).values_kw == pytest.approx([9.0, 18.0])
+
+    def test_add_interval_mismatch(self):
+        a = PowerSeries([1.0], 900.0)
+        b = PowerSeries([1.0], 3600.0)
+        with pytest.raises(IntervalMismatchError):
+            _ = a + b
+
+    def test_add_span_mismatch(self):
+        a = PowerSeries([1.0, 2.0], 900.0)
+        b = PowerSeries([1.0], 900.0)
+        with pytest.raises(IntervalMismatchError):
+            _ = a + b
+
+    def test_add_start_mismatch(self):
+        a = PowerSeries([1.0], 900.0, start_s=0.0)
+        b = PowerSeries([1.0], 900.0, start_s=900.0)
+        with pytest.raises(IntervalMismatchError):
+            _ = a + b
+
+    def test_scale(self):
+        s = PowerSeries([2.0, 4.0], 900.0).scale(0.5)
+        assert s.values_kw == pytest.approx([1.0, 2.0])
+
+    def test_shift_kw(self):
+        s = PowerSeries([2.0, 4.0], 900.0).shift_kw(10.0)
+        assert s.values_kw == pytest.approx([12.0, 14.0])
+
+    def test_clip(self):
+        s = PowerSeries([1.0, 5.0, 9.0], 900.0).clip(2.0, 8.0)
+        assert s.values_kw == pytest.approx([2.0, 5.0, 8.0])
+
+    def test_clip_invalid_bounds(self):
+        with pytest.raises(TimeSeriesError):
+            PowerSeries([1.0], 900.0).clip(5.0, 2.0)
+
+    def test_add_preserves_inputs(self):
+        a = PowerSeries([1.0, 2.0], 900.0)
+        b = PowerSeries([10.0, 20.0], 900.0)
+        _ = a + b
+        assert a.values_kw == pytest.approx([1.0, 2.0])
+        assert b.values_kw == pytest.approx([10.0, 20.0])
+
+
+class TestSlicing:
+    def test_slice_intervals(self):
+        s = PowerSeries([1.0, 2.0, 3.0, 4.0], 900.0)
+        sub = s.slice_intervals(1, 3)
+        assert sub.values_kw == pytest.approx([2.0, 3.0])
+        assert sub.start_s == 900.0
+
+    def test_slice_intervals_bounds(self):
+        s = PowerSeries([1.0, 2.0], 900.0)
+        with pytest.raises(TimeSeriesError):
+            s.slice_intervals(0, 3)
+        with pytest.raises(TimeSeriesError):
+            s.slice_intervals(1, 1)
+
+    def test_slice_seconds(self):
+        s = PowerSeries([1.0, 2.0, 3.0, 4.0], 900.0)
+        sub = s.slice_seconds(900.0, 2700.0)
+        assert sub.values_kw == pytest.approx([2.0, 3.0])
+
+    def test_slice_seconds_off_edge(self):
+        s = PowerSeries([1.0, 2.0], 900.0)
+        with pytest.raises(TimeSeriesError):
+            s.slice_seconds(450.0, 1800.0)
+
+    def test_concat(self):
+        a = PowerSeries([1.0, 2.0], 900.0)
+        b = PowerSeries([3.0], 900.0, start_s=1800.0)
+        c = a.concat(b)
+        assert c.values_kw == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_concat_gap_rejected(self):
+        a = PowerSeries([1.0], 900.0)
+        b = PowerSeries([2.0], 900.0, start_s=1800.0)
+        with pytest.raises(IntervalMismatchError):
+            a.concat(b)
+
+    def test_concat_preserves_energy(self):
+        a = PowerSeries([100.0, 200.0], 900.0)
+        b = PowerSeries([300.0], 900.0, start_s=1800.0)
+        assert a.concat(b).energy_kwh() == pytest.approx(
+            a.energy_kwh() + b.energy_kwh()
+        )
+
+    def test_with_values(self):
+        s = PowerSeries([1.0, 2.0], 900.0, start_s=900.0)
+        t = s.with_values([5.0, 6.0])
+        assert t.start_s == 900.0
+        assert t.values_kw == pytest.approx([5.0, 6.0])
+
+    def test_with_values_shape_mismatch(self):
+        with pytest.raises(TimeSeriesError):
+            PowerSeries([1.0, 2.0], 900.0).with_values([1.0])
+
+
+class TestEquality:
+    def test_approx_equal(self):
+        a = PowerSeries([1.0, 2.0], 900.0)
+        b = PowerSeries([1.0 + 1e-12, 2.0], 900.0)
+        assert a.approx_equal(b)
+
+    def test_approx_unequal_values(self):
+        a = PowerSeries([1.0, 2.0], 900.0)
+        b = PowerSeries([1.1, 2.0], 900.0)
+        assert not a.approx_equal(b)
+
+    def test_approx_unequal_shape(self):
+        a = PowerSeries([1.0, 2.0], 900.0)
+        b = PowerSeries([1.0], 900.0)
+        assert not a.approx_equal(b)
+
+    def test_as_tuple(self):
+        s = PowerSeries([1.0], 900.0, start_s=900.0)
+        values, interval, start = s.as_tuple()
+        assert interval == 900.0 and start == 900.0
+        assert values == pytest.approx([1.0])

@@ -1,0 +1,155 @@
+"""The ESP ↔ SC signaling channel (§3.1.4 two-way communication)."""
+
+import pytest
+
+from repro.exceptions import DispatchError
+from repro.grid import (
+    Acknowledgment,
+    DRSignal,
+    OptDecision,
+    SignalChannel,
+    SignalKind,
+)
+
+HOUR = 3600.0
+
+
+def channel(min_notice=900.0):
+    return SignalChannel("esp", "sc", min_notice_s=min_notice)
+
+
+def send_event(ch, issued=0.0, start=2 * HOUR, end=3 * HOUR, payload=500.0,
+               mandatory=False):
+    kind = (
+        SignalKind.EMERGENCY_DISPATCH if mandatory else SignalKind.EVENT_NOTIFICATION
+    )
+    return ch.send(kind, issued, start, end, payload, mandatory=mandatory)
+
+
+class TestSignal:
+    def test_notice(self):
+        ch = channel()
+        s = send_event(ch, issued=HOUR, start=3 * HOUR)
+        assert s.notice_s == 2 * HOUR
+
+    def test_ids_unique_and_ordered(self):
+        ch = channel()
+        a = send_event(ch)
+        b = send_event(ch)
+        assert b.signal_id > a.signal_id
+
+    def test_issued_after_start_rejected(self):
+        ch = channel()
+        with pytest.raises(DispatchError):
+            ch.send(SignalKind.EVENT_NOTIFICATION, 5 * HOUR, 2 * HOUR, 3 * HOUR, 1.0)
+
+    def test_only_emergencies_mandatory(self):
+        ch = channel()
+        with pytest.raises(DispatchError):
+            ch.send(SignalKind.EVENT_NOTIFICATION, 0.0, HOUR, 2 * HOUR, 1.0,
+                    mandatory=True)
+
+
+class TestProtocol:
+    def test_opt_in_recorded(self):
+        ch = channel()
+        s = send_event(ch)
+        ack = ch.respond(s, OptDecision.OPT_IN, replied_s=0.0, committed_kw=300.0)
+        assert ch.replies[s.signal_id] is ack
+        assert ack.committed_kw == 300.0
+
+    def test_double_reply_rejected(self):
+        ch = channel()
+        s = send_event(ch)
+        ch.respond(s, OptDecision.OPT_IN, 0.0)
+        with pytest.raises(DispatchError):
+            ch.respond(s, OptDecision.OPT_OUT, 0.0)
+
+    def test_mandatory_cannot_opt_out(self):
+        ch = channel()
+        s = send_event(ch, mandatory=True)
+        with pytest.raises(DispatchError):
+            ch.respond(s, OptDecision.OPT_OUT, 0.0)
+        ack = ch.respond(s, OptDecision.ACKNOWLEDGE, 0.0)
+        assert ack.decision is OptDecision.ACKNOWLEDGE
+
+    def test_cannot_opt_in_after_start(self):
+        ch = channel()
+        s = send_event(ch, start=HOUR)
+        with pytest.raises(DispatchError):
+            ch.respond(s, OptDecision.OPT_IN, replied_s=2 * HOUR)
+
+    def test_reply_before_issue_rejected(self):
+        ch = channel()
+        s = send_event(ch, issued=HOUR, start=3 * HOUR)
+        with pytest.raises(DispatchError):
+            ch.respond(s, OptDecision.OPT_IN, replied_s=0.0)
+
+    def test_negative_commitment_rejected(self):
+        with pytest.raises(DispatchError):
+            Acknowledgment(1, OptDecision.OPT_IN, 0.0, committed_kw=-1.0)
+
+
+class TestAutoRespond:
+    def test_sufficient_notice_opts_in(self):
+        ch = channel(min_notice=900.0)
+        s = send_event(ch, issued=0.0, start=HOUR)
+        ack = ch.auto_respond(s, committed_kw=200.0)
+        assert ack.decision is OptDecision.OPT_IN
+
+    def test_short_notice_opts_out(self):
+        # the SC cannot checkpoint in five minutes
+        ch = channel(min_notice=900.0)
+        s = send_event(ch, issued=0.0, start=300.0)
+        ack = ch.auto_respond(s)
+        assert ack.decision is OptDecision.OPT_OUT
+
+    def test_mandatory_acknowledged_regardless_of_notice(self):
+        ch = channel(min_notice=900.0)
+        s = send_event(ch, issued=0.0, start=60.0, mandatory=True)
+        assert ch.auto_respond(s).decision is OptDecision.ACKNOWLEDGE
+
+    def test_price_update_acknowledged(self):
+        ch = channel()
+        s = ch.send(SignalKind.PRICE_UPDATE, 0.0, 0.0, 0.0, 0.12)
+        assert ch.auto_respond(s).decision is OptDecision.ACKNOWLEDGE
+
+
+class TestAudit:
+    def test_unanswered(self):
+        ch = channel()
+        a = send_event(ch)
+        b = send_event(ch)
+        ch.auto_respond(a)
+        assert ch.unanswered() == [b]
+
+    def test_opt_in_rate(self):
+        ch = channel(min_notice=900.0)
+        good = send_event(ch, issued=0.0, start=2 * HOUR)
+        rushed = send_event(ch, issued=0.0, start=300.0)
+        ch.auto_respond(good)
+        ch.auto_respond(rushed)
+        assert ch.opt_in_rate() == 0.5
+
+    def test_opt_in_rate_requires_answered_events(self):
+        with pytest.raises(DispatchError):
+            channel().opt_in_rate()
+
+    def test_mean_notice(self):
+        ch = channel()
+        send_event(ch, issued=0.0, start=HOUR)
+        send_event(ch, issued=0.0, start=3 * HOUR)
+        assert ch.mean_notice_s() == 2 * HOUR
+
+    def test_cancellation_references_original(self):
+        ch = channel()
+        s = send_event(ch, issued=0.0, start=5 * HOUR, end=6 * HOUR)
+        cancel = ch.cancel(s, issued_s=HOUR)
+        assert cancel.kind is SignalKind.EVENT_CANCELLATION
+        assert cancel.payload == float(s.signal_id)
+
+    def test_cannot_cancel_foreign_signal(self):
+        ch1, ch2 = channel(), channel()
+        s = send_event(ch1)
+        with pytest.raises(DispatchError):
+            ch2.cancel(s, issued_s=0.0)

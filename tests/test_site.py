@@ -1,0 +1,88 @@
+"""Sites: SC plus co-located buildings (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FacilityError
+from repro.facility import Building, Site, Supercomputer
+from repro.facility.site import InstitutionType
+from repro.timeseries import PowerSeries
+
+WEEK_N = 7 * 96
+
+
+def office(base=200.0, extra=300.0):
+    return Building("office", base_kw=base, occupied_extra_kw=extra)
+
+
+class TestBuilding:
+    def test_base_around_clock(self):
+        b = office()
+        load = b.load_series(WEEK_N, 900.0, seed=0)
+        assert load.min_kw() >= b.base_kw
+
+    def test_occupancy_working_hours(self):
+        b = office()
+        load = b.load_series(96, 900.0, seed=0)  # day 0 = Monday
+        assert load.values_kw[12 * 4] == pytest.approx(500.0)  # noon occupied
+        assert load.values_kw[2 * 4] == pytest.approx(200.0)   # 2 am empty
+
+    def test_weekend_unoccupied(self):
+        b = office()
+        load = b.load_series(WEEK_N, 900.0, seed=0)
+        saturday_noon = load.values_kw[5 * 96 + 12 * 4]
+        assert saturday_noon == pytest.approx(200.0)
+
+    def test_equipment_spikes(self):
+        b = Building(
+            "accelerator", base_kw=100.0, spike_kw=5_000.0, spikes_per_week=20.0
+        )
+        load = b.load_series(WEEK_N, 900.0, seed=1)
+        assert load.max_kw() > 4_000.0
+
+    def test_validation(self):
+        with pytest.raises(FacilityError):
+            Building("bad", base_kw=-1.0)
+        with pytest.raises(FacilityError):
+            Building("bad", base_kw=1.0, work_start_hour=20, work_end_hour=8)
+        with pytest.raises(FacilityError):
+            office().load_series(0, 900.0)
+
+
+class TestSite:
+    def _site(self, buildings):
+        return Site(
+            name="site",
+            machine=Supercomputer("m", n_nodes=64),
+            country="Germany",
+            institution=InstitutionType.ACADEMIC,
+            buildings=buildings,
+        )
+
+    def test_total_load_superposes(self):
+        site = self._site([office()])
+        sc_load = PowerSeries.constant(1000.0, WEEK_N, 900.0)
+        total = site.total_load(sc_load, seed=0)
+        assert np.all(total.values_kw >= sc_load.values_kw + 200.0 - 1e-9)
+
+    def test_building_peak(self):
+        site = self._site([office(), Building("lab", 50.0, spike_kw=400.0)])
+        assert site.building_peak_kw() == pytest.approx(200 + 300 + 50 + 400)
+
+    def test_sc_share_of_peak_dominant_machine(self):
+        site = self._site([office(base=10.0, extra=10.0)])
+        sc_load = PowerSeries.constant(5_000.0, WEEK_N, 900.0)
+        assert site.sc_share_of_peak(sc_load, seed=0) > 0.95
+
+    def test_sc_share_with_bigger_equipment(self):
+        # §3.3: other equipment "consumes as much or even more electricity"
+        big_lab = Building("lab", base_kw=100.0, spike_kw=20_000.0,
+                           spikes_per_week=30.0)
+        site = self._site([big_lab])
+        sc_load = PowerSeries.constant(1_000.0, WEEK_N, 900.0)
+        assert site.sc_share_of_peak(sc_load, seed=2) < 0.5
+
+    def test_no_buildings_identity(self):
+        site = self._site([])
+        sc_load = PowerSeries.constant(1000.0, 96, 900.0)
+        assert site.total_load(sc_load).approx_equal(sc_load)

@@ -1,0 +1,154 @@
+"""Load-profile statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TimeSeriesError
+from repro.timeseries import (
+    PowerSeries,
+    coefficient_of_variation,
+    excursions_outside_band,
+    load_duration_curve,
+    load_factor,
+    max_ramp_kw_per_h,
+    peak_kw,
+    peak_to_average_ratio,
+    ramp_rates_kw_per_h,
+    top_k_peaks,
+)
+from repro.timeseries.stats import BandExcursions
+
+
+class TestPeaks:
+    def test_peak(self):
+        s = PowerSeries([1.0, 9.0, 3.0], 900.0)
+        assert peak_kw(s) == 9.0
+
+    def test_top_k(self):
+        s = PowerSeries([1.0, 9.0, 3.0, 7.0], 900.0)
+        assert top_k_peaks(s, 2) == pytest.approx([9.0, 7.0])
+
+    def test_top_k_larger_than_series(self):
+        s = PowerSeries([1.0, 2.0], 900.0)
+        assert top_k_peaks(s, 5) == pytest.approx([2.0, 1.0])
+
+    def test_top_k_invalid(self):
+        with pytest.raises(TimeSeriesError):
+            top_k_peaks(PowerSeries([1.0], 900.0), 0)
+
+    def test_paper_example_three_peaks(self):
+        # "a case with three 15 MW peaks in a billing period"
+        values = np.full(96, 10_000.0)
+        values[[10, 40, 70]] = 15_000.0
+        s = PowerSeries(values, 900.0)
+        assert top_k_peaks(s, 3) == pytest.approx([15_000.0] * 3)
+
+
+class TestRatios:
+    def test_load_factor_flat_is_one(self):
+        s = PowerSeries.constant(500.0, 10, 900.0)
+        assert load_factor(s) == pytest.approx(1.0)
+
+    def test_load_factor_half(self):
+        s = PowerSeries([0.0, 100.0], 900.0)
+        assert load_factor(s) == pytest.approx(0.5)
+
+    def test_peak_to_average_inverse_of_load_factor(self):
+        s = PowerSeries([50.0, 100.0, 150.0], 900.0)
+        assert peak_to_average_ratio(s) == pytest.approx(1.0 / load_factor(s))
+
+    def test_load_factor_zero_peak(self):
+        with pytest.raises(TimeSeriesError):
+            load_factor(PowerSeries.zeros(3, 900.0))
+
+    def test_par_zero_mean(self):
+        with pytest.raises(TimeSeriesError):
+            peak_to_average_ratio(PowerSeries.zeros(3, 900.0))
+
+
+class TestRamps:
+    def test_ramp_rates(self):
+        s = PowerSeries([100.0, 200.0, 150.0], 900.0)  # 15-min intervals
+        # +100 kW per 0.25 h = +400 kW/h
+        assert ramp_rates_kw_per_h(s) == pytest.approx([400.0, -200.0])
+
+    def test_max_ramp(self):
+        s = PowerSeries([100.0, 200.0, 150.0], 900.0)
+        assert max_ramp_kw_per_h(s) == pytest.approx(400.0)
+
+    def test_ramp_requires_two(self):
+        with pytest.raises(TimeSeriesError):
+            ramp_rates_kw_per_h(PowerSeries([1.0], 900.0))
+
+    def test_flat_has_zero_ramp(self):
+        assert max_ramp_kw_per_h(PowerSeries.constant(5.0, 10, 900.0)) == 0.0
+
+
+class TestVariation:
+    def test_cv_flat_is_zero(self):
+        assert coefficient_of_variation(PowerSeries.constant(5.0, 10, 900.0)) == 0.0
+
+    def test_cv_zero_mean(self):
+        with pytest.raises(TimeSeriesError):
+            coefficient_of_variation(PowerSeries([-1.0, 1.0], 900.0))
+
+    def test_cv_scale_free(self, rng):
+        v = rng.uniform(1, 2, 100)
+        a = PowerSeries(v, 900.0)
+        b = PowerSeries(10 * v, 900.0)
+        assert coefficient_of_variation(a) == pytest.approx(
+            coefficient_of_variation(b)
+        )
+
+
+class TestLoadDurationCurve:
+    def test_sorted_descending(self, rng):
+        s = PowerSeries(rng.uniform(0, 100, 50), 900.0)
+        _, power = load_duration_curve(s)
+        assert np.all(np.diff(power) <= 0)
+
+    def test_exceedance_range(self):
+        s = PowerSeries([1.0, 2.0, 3.0, 4.0], 900.0)
+        frac, _ = load_duration_curve(s)
+        assert frac[0] == pytest.approx(0.25)
+        assert frac[-1] == pytest.approx(1.0)
+
+
+class TestBandExcursions:
+    def test_compliant_profile(self):
+        s = PowerSeries([5.0, 6.0, 7.0], 900.0)
+        exc = excursions_outside_band(s, 4.0, 8.0)
+        assert exc.compliant
+        assert exc.n_outside == 0
+        assert exc.energy_over_kwh == 0.0
+        assert exc.fraction_outside == 0.0
+
+    def test_over_excursion(self):
+        s = PowerSeries([5.0, 10.0], 900.0)
+        exc = excursions_outside_band(s, 0.0, 8.0)
+        assert exc.n_over == 1
+        assert exc.worst_over_kw == pytest.approx(2.0)
+        assert exc.energy_over_kwh == pytest.approx(2.0 * 0.25)
+
+    def test_under_excursion(self):
+        s = PowerSeries([1.0, 5.0], 900.0)
+        exc = excursions_outside_band(s, 3.0, 8.0)
+        assert exc.n_under == 1
+        assert exc.worst_under_kw == pytest.approx(2.0)
+        assert exc.energy_under_kwh == pytest.approx(0.5)
+
+    def test_both_sides(self):
+        s = PowerSeries([1.0, 5.0, 10.0, 6.0], 900.0)
+        exc = excursions_outside_band(s, 3.0, 8.0)
+        assert exc.n_outside == 2
+        assert exc.fraction_outside == pytest.approx(0.5)
+
+    def test_invalid_band(self):
+        with pytest.raises(TimeSeriesError):
+            excursions_outside_band(PowerSeries([1.0], 900.0), 5.0, 2.0)
+
+    def test_infinite_lower_bound(self):
+        s = PowerSeries([1.0, 5.0], 900.0)
+        exc = excursions_outside_band(s, -np.inf, 4.0)
+        assert exc.n_under == 0
+        assert exc.n_over == 1

@@ -1,0 +1,118 @@
+"""Stress and failure-injection tests: pathological inputs, scale guards."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import BillingEngine, Contract, DemandCharge, FixedTariff
+from repro.exceptions import SchedulerError
+from repro.facility import (
+    Job,
+    Scheduler,
+    SchedulerConfig,
+    Supercomputer,
+    WorkloadModel,
+    it_power_series,
+)
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY_S = 86_400.0
+HOUR = 3600.0
+
+
+class TestSchedulerStress:
+    def test_thundering_herd_submission(self):
+        """Hundreds of jobs submitted at the same instant."""
+        machine = Supercomputer("herd", n_nodes=16)
+        jobs = [
+            Job(job_id=i, submit_s=0.0, nodes=1 + (i % 8),
+                runtime_s=HOUR, walltime_s=2 * HOUR)
+            for i in range(300)
+        ]
+        result = Scheduler(machine).schedule(jobs, 30 * DAY_S)
+        assert len(result.scheduled) == 300
+        # FCFS head discipline within the herd: no starvation
+        starts = [sj.start_s for sj in result.scheduled]
+        assert max(starts) < 30 * DAY_S
+
+    def test_one_giant_job_blocks_then_clears(self):
+        machine = Supercomputer("g", n_nodes=8)
+        jobs = [
+            Job(job_id=0, submit_s=0.0, nodes=8, runtime_s=10 * HOUR,
+                walltime_s=12 * HOUR),
+            *[
+                Job(job_id=i, submit_s=1.0, nodes=8, runtime_s=HOUR,
+                    walltime_s=HOUR)
+                for i in range(1, 20)
+            ],
+        ]
+        result = Scheduler(machine).schedule(jobs, 60 * DAY_S)
+        assert len(result.scheduled) == 20
+
+    def test_zero_length_workload(self):
+        machine = Supercomputer("z", n_nodes=4)
+        result = Scheduler(machine).schedule([], DAY_S)
+        assert result.scheduled == []
+        assert result.utilization() == 0.0
+
+    def test_tiny_backfill_window(self):
+        machine = Supercomputer("w", n_nodes=8)
+        jobs = WorkloadModel(machine=machine, target_utilization=1.0).generate(
+            2 * DAY_S, seed=5
+        )
+        config = SchedulerConfig(max_backfill_candidates=1)
+        result = Scheduler(machine, config).schedule(jobs, 2 * DAY_S)
+        assert len(result.scheduled) == len(jobs)
+
+    def test_duplicate_submit_times_deterministic(self):
+        machine = Supercomputer("d", n_nodes=8)
+        jobs = [
+            Job(job_id=i, submit_s=100.0, nodes=2, runtime_s=HOUR,
+                walltime_s=HOUR)
+            for i in range(10)
+        ]
+        a = Scheduler(machine).schedule(jobs, 7 * DAY_S)
+        b = Scheduler(machine).schedule(jobs, 7 * DAY_S)
+        assert [sj.start_s for sj in a.scheduled] == [
+            sj.start_s for sj in b.scheduled
+        ]
+
+
+class TestBillingScale:
+    def test_minute_metering_for_a_year(self):
+        """525 600 intervals settle without trouble — the vectorized path."""
+        rng = np.random.default_rng(0)
+        n = 365 * 24 * 60
+        load = PowerSeries(rng.uniform(900.0, 1_100.0, n), 60.0)
+        contract = Contract("fine", [FixedTariff(0.08), DemandCharge(10.0)])
+        bill = BillingEngine().annual_bill(contract, load)
+        assert bill.total > 0
+        assert len(bill.period_bills) == 12
+
+    def test_single_interval_period(self):
+        load = PowerSeries([1_000.0], 900.0)
+        contract = Contract("one", [FixedTariff(0.1)])
+        bill = BillingEngine().bill(
+            contract, load, [BillingPeriod("q", 0.0, 900.0)]
+        )
+        assert bill.total == pytest.approx(1_000.0 * 0.25 * 0.1)
+
+    def test_zero_load_bill(self):
+        load = PowerSeries.zeros(96, 900.0)
+        contract = Contract("z", [FixedTariff(0.1), DemandCharge(10.0)])
+        bill = BillingEngine().bill(
+            contract, load, [BillingPeriod("d", 0.0, DAY_S)]
+        )
+        assert bill.total == 0.0
+
+
+class TestTelemetryScale:
+    def test_dense_week_telemetry(self):
+        machine = Supercomputer("t", n_nodes=512)
+        jobs = WorkloadModel(machine=machine, target_utilization=0.95).generate(
+            7 * DAY_S, seed=9
+        )
+        result = Scheduler(machine).schedule(jobs, 7 * DAY_S)
+        fine = it_power_series(result, 60.0)  # one-minute metering
+        coarse = it_power_series(result, 900.0)
+        # both meterings agree on energy exactly (the integral is exact)
+        assert fine.energy_kwh() == pytest.approx(coarse.energy_kwh(), rel=1e-9)

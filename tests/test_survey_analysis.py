@@ -1,0 +1,147 @@
+"""Survey aggregates, text-claim reconciliation, geographic trends."""
+
+import pytest
+
+from repro.contracts import ResponsibleParty
+from repro.exceptions import SurveyError
+from repro.survey import (
+    SURVEYED_SITES,
+    SitePopulationModel,
+    component_counts,
+    geographic_trend_test,
+    rnp_counts,
+    swing_communication_count,
+    text_claims_report,
+)
+from repro.survey.analysis import (
+    both_fixed_and_variable_count,
+    dynamic_without_dr_count,
+)
+
+
+class TestAggregates:
+    def test_component_counts_table2_column_sums(self):
+        counts = component_counts()
+        assert counts == {
+            "fixed": 7,
+            "variable": 2,
+            "dynamic": 3,
+            "demand_charge": 7,
+            "powerband": 5,
+            "emergency_dr": 2,
+        }
+
+    def test_rnp_counts_match_paper(self):
+        counts = rnp_counts()
+        assert counts[ResponsibleParty.SC] == 1
+        assert counts[ResponsibleParty.INTERNAL] == 6
+        assert counts[ResponsibleParty.EXTERNAL] == 3
+
+    def test_swing_count_matches_paper(self):
+        assert swing_communication_count() == 6
+
+    def test_fixed_and_variable_overlap(self):
+        assert both_fixed_and_variable_count() == 2
+
+    def test_dynamic_without_dr(self):
+        assert dynamic_without_dr_count() == 3
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(SurveyError):
+            component_counts([])
+        with pytest.raises(SurveyError):
+            rnp_counts([])
+
+
+class TestTextClaims:
+    def test_twelve_claims(self):
+        assert len(text_claims_report()) == 12
+
+    def test_known_paper_inconsistencies_surfaced(self):
+        """The original paper's §3.2.4 text disagrees with its own Table 2
+        on four counts; the report must surface exactly those."""
+        mismatches = {
+            (c.claim, c.paper_value, c.computed_value)
+            for c in text_claims_report()
+            if not c.matches
+        }
+        assert mismatches == {
+            ("sites with a fixed kWh tariff", 8, 7),
+            ("sites with a time-of-use (variable) tariff", 3, 2),
+            ("sites with a dynamically variable tariff", 2, 3),
+            ("sites with a demand-charge component", 8, 7),
+        }
+
+    def test_all_other_claims_match(self):
+        matching = [c for c in text_claims_report() if c.matches]
+        assert len(matching) == 8
+
+    def test_rnp_claims_match(self):
+        for c in text_claims_report():
+            if c.source == "§3.3":
+                assert c.matches
+
+
+class TestGeographicTrends:
+    def test_no_significant_trend(self):
+        # §3: "the survey results did not show any geographic trends"
+        for result in geographic_trend_test():
+            assert not result.significant, result.component
+
+    def test_six_components_tested(self):
+        assert len(geographic_trend_test()) == 6
+
+    def test_counts_consistent(self):
+        for r in geographic_trend_test():
+            assert r.europe_total == 6
+            assert r.us_total == 4
+            assert 0 <= r.europe_with <= 6
+            assert 0 <= r.us_with <= 4
+
+    def test_one_region_rejected(self):
+        europe_only = [s for s in SURVEYED_SITES if s.region == "Europe"]
+        with pytest.raises(SurveyError):
+            geographic_trend_test(europe_only)
+
+
+class TestPopulationModel:
+    def test_calibrated_rates(self):
+        model = SitePopulationModel.from_survey()
+        assert model.component_rates["fixed"] == pytest.approx(0.7)
+        assert model.swing_rate == pytest.approx(0.6)
+        assert model.europe_fraction == pytest.approx(0.6)
+
+    def test_draw_count(self):
+        sites = SitePopulationModel.from_survey().draw(50, seed=0)
+        assert len(sites) == 50
+
+    def test_every_site_prices_energy(self):
+        sites = SitePopulationModel.from_survey().draw(200, seed=1)
+        for s in sites:
+            assert s.flags.has_any_tariff()
+
+    def test_rates_recovered_at_scale(self):
+        model = SitePopulationModel.from_survey()
+        sites = model.draw(2000, seed=2)
+        counts = component_counts(sites)
+        assert counts["powerband"] / 2000 == pytest.approx(0.5, abs=0.05)
+
+    def test_reproducible(self):
+        model = SitePopulationModel.from_survey()
+        a = model.draw(20, seed=9)
+        b = model.draw(20, seed=9)
+        assert [s.flags for s in a] == [s.flags for s in b]
+
+    def test_peaks_in_paper_range(self):
+        sites = SitePopulationModel.from_survey().draw(500, seed=3)
+        for s in sites:
+            assert 0.04 <= s.synthetic_peak_mw <= 60.0
+
+    def test_invalid_draw(self):
+        with pytest.raises(SurveyError):
+            SitePopulationModel.from_survey().draw(0)
+
+    def test_analysis_composes_with_synthetic_population(self):
+        sites = SitePopulationModel.from_survey().draw(100, seed=4)
+        report = geographic_trend_test(sites)
+        assert len(report) == 6

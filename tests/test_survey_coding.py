@@ -1,0 +1,119 @@
+"""Qualitative coding: free text → typology flags → Table 2."""
+
+import pytest
+
+from repro.contracts import ResponsibleParty
+from repro.exceptions import SurveyError
+from repro.survey import (
+    SURVEYED_SITES,
+    code_pricing_answer,
+    code_rnp_answer,
+    code_site_answers,
+    synthetic_answers,
+)
+
+
+class TestPricingCoding:
+    def test_fixed(self):
+        flags = code_pricing_answer("We pay a fixed rate per kWh.")
+        assert flags.leaves() == ("fixed",)
+
+    def test_tou(self):
+        flags = code_pricing_answer("There are day/night rates in our tariff.")
+        assert flags.variable
+
+    def test_dynamic(self):
+        flags = code_pricing_answer("We buy at the hourly market price.")
+        assert flags.dynamic
+
+    def test_demand_charge(self):
+        flags = code_pricing_answer("The utility bills a demand charge on peaks.")
+        assert flags.demand_charge
+
+    def test_powerband(self):
+        flags = code_pricing_answer("We must stay within an agreed power band.")
+        assert flags.powerband
+
+    def test_emergency(self):
+        flags = code_pricing_answer(
+            "In a grid emergency we must curtail to a set limit."
+        )
+        assert flags.emergency_dr
+
+    def test_negation_respected(self):
+        flags = code_pricing_answer(
+            "A fixed price per kWh; there are no demand charges in the contract."
+        )
+        assert flags.fixed
+        assert not flags.demand_charge
+
+    def test_removed_respected(self):
+        # the CSCS §4 situation: demand charges were removed
+        flags = code_pricing_answer(
+            "Since the re-procurement we have a fixed rate; the removed "
+            "demand charges no longer apply."
+        )
+        assert not flags.demand_charge
+
+    def test_multiple_components(self):
+        flags = code_pricing_answer(
+            "Fixed tariff, seasonal rates on top, a demand charge, and a "
+            "powerband obligation."
+        )
+        assert flags.count() == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(SurveyError):
+            code_pricing_answer("   ")
+
+
+class TestRNPCoding:
+    def test_sc(self):
+        assert code_rnp_answer("We negotiate the contract ourselves.") is (
+            ResponsibleParty.SC
+        )
+
+    def test_internal(self):
+        assert code_rnp_answer(
+            "The university facilities department holds the contract."
+        ) is ResponsibleParty.INTERNAL
+
+    def test_external_doe(self):
+        assert code_rnp_answer(
+            "The Department of Energy negotiates for several sites."
+        ) is ResponsibleParty.EXTERNAL
+
+    def test_self_negotiation_beats_parent_mention(self):
+        # precedence: explicit self-negotiation, even inside a larger org
+        answer = (
+            "Although we belong to a university, we negotiate the contract "
+            "ourselves."
+        )
+        assert code_rnp_answer(answer) is ResponsibleParty.SC
+
+    def test_unmatched_raises(self):
+        with pytest.raises(SurveyError):
+            code_rnp_answer("It is complicated.")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SurveyError):
+            code_rnp_answer("")
+
+
+class TestFullPipeline:
+    def test_corpus_exists_for_all_sites(self):
+        for site in SURVEYED_SITES:
+            answers = synthetic_answers(site.label)
+            assert set(answers) == {"pricing", "negotiation"}
+
+    def test_coding_reproduces_table2(self):
+        """Free text → flags must equal the registry's Table 2 row for
+        every site: the full qualitative pipeline is consistent."""
+        for site in SURVEYED_SITES:
+            flags, rnp = code_site_answers(site)
+            assert flags == site.flags, site.label
+            assert rnp is site.rnp, site.label
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(SurveyError):
+            synthetic_answers("Site 42")

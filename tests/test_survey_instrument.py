@@ -1,0 +1,68 @@
+"""The survey instrument (§3.1)."""
+
+import pytest
+
+from repro.contracts import ResponsibleParty
+from repro.contracts.typology import TypologyFlags
+from repro.exceptions import SurveyError
+from repro.survey import SURVEY_QUESTIONS, SurveyResponse
+
+
+class TestQuestions:
+    def test_six_questions(self):
+        assert len(SURVEY_QUESTIONS) == 6
+
+    def test_sections_in_paper_order(self):
+        sections = [q.section for q in SURVEY_QUESTIONS]
+        assert sections == sorted(sections)  # 3.1.1 .. 3.1.6
+
+    def test_keys_unique(self):
+        keys = [q.key for q in SURVEY_QUESTIONS]
+        assert len(set(keys)) == 6
+
+    def test_motivations_not_in_question_text(self):
+        # §3.1: sites "were not provided with these motivations"
+        for q in SURVEY_QUESTIONS:
+            assert q.motivation
+            assert q.motivation not in q.text
+
+    def test_expected_keys(self):
+        keys = {q.key for q in SURVEY_QUESTIONS}
+        assert keys == {
+            "negotiation", "pricing", "obligations",
+            "services", "future", "dr_potential",
+        }
+
+
+class TestResponse:
+    def _response(self, **kwargs):
+        defaults = dict(
+            site_label="Site 1",
+            flags=TypologyFlags(fixed=True),
+            rnp=ResponsibleParty.INTERNAL,
+            communicates_swings=True,
+        )
+        defaults.update(kwargs)
+        return SurveyResponse(**defaults)
+
+    def test_basic(self):
+        r = self._response()
+        assert r.site_label == "Site 1"
+        assert not r.employs_dr_strategies  # §3.4 default
+
+    def test_free_text_keys_validated(self):
+        with pytest.raises(SurveyError):
+            self._response(free_text={"nonsense": "blah"})
+
+    def test_answered(self):
+        r = self._response(free_text={"pricing": "fixed rate plus demand"})
+        assert r.answered("pricing")
+        assert not r.answered("future")
+
+    def test_answered_unknown_key(self):
+        with pytest.raises(SurveyError):
+            self._response().answered("nonsense")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(SurveyError):
+            self._response(site_label="")

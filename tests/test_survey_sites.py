@@ -1,0 +1,121 @@
+"""The site registry: Table 1 and Table 2 fidelity."""
+
+import pytest
+
+from repro.contracts import ResponsibleParty
+from repro.exceptions import SurveyError
+from repro.survey import (
+    SURVEYED_SITES,
+    TABLE1_ROWS,
+    site_by_label,
+    sites_by_region,
+)
+
+
+class TestTable1:
+    def test_ten_sites(self):
+        assert len(TABLE1_ROWS) == 10
+
+    def test_country_distribution(self):
+        countries = [c for _, c in TABLE1_ROWS]
+        assert countries.count("United States") == 4
+        assert countries.count("Germany") == 4
+        assert countries.count("Switzerland") == 1
+        assert countries.count("England") == 1
+
+    def test_named_institutions(self):
+        names = {n for n, _ in TABLE1_ROWS}
+        assert "Swiss National Supercomputing Centre" in names
+        assert "Oak Ridge National Laboratory" in names
+        assert "Jülich Supercomputing Centre" in names
+
+
+class TestTable2Fidelity:
+    """Checkmark-for-checkmark checks against the printed Table 2."""
+
+    def test_ten_rows(self):
+        assert len(SURVEYED_SITES) == 10
+
+    def test_site1_row(self):
+        s = site_by_label("Site 1")
+        assert s.flags.leaves() == ("fixed", "variable", "demand_charge")
+        assert s.rnp is ResponsibleParty.EXTERNAL
+
+    def test_site4_dynamic_only_tariff(self):
+        s = site_by_label("Site 4")
+        assert s.flags.dynamic and s.flags.demand_charge
+        assert not s.flags.fixed
+
+    def test_site6_sc_rnp(self):
+        s = site_by_label("Site 6")
+        assert s.rnp is ResponsibleParty.SC
+        assert s.flags.powerband and s.flags.fixed
+        assert not s.flags.demand_charge
+
+    def test_site7_richest_row(self):
+        s = site_by_label("Site 7")
+        assert s.flags.leaves() == (
+            "dynamic", "demand_charge", "powerband", "emergency_dr",
+        )
+
+    def test_site8_dynamic_only(self):
+        s = site_by_label("Site 8")
+        assert s.flags.leaves() == ("dynamic",)
+
+    def test_site10_fixed_only(self):
+        s = site_by_label("Site 10")
+        assert s.flags.leaves() == ("fixed",)
+
+    def test_emergency_sites(self):
+        em = [s.label for s in SURVEYED_SITES if s.flags.emergency_dr]
+        assert em == ["Site 3", "Site 7"]
+
+    def test_powerband_sites(self):
+        pb = [s.label for s in SURVEYED_SITES if s.flags.powerband]
+        assert pb == ["Site 2", "Site 5", "Site 6", "Site 7", "Site 9"]
+
+    def test_unknown_label(self):
+        with pytest.raises(SurveyError):
+            site_by_label("Site 11")
+
+
+class TestSyntheticMapping:
+    def test_all_institutions_from_table1(self):
+        names = {n for n, _ in TABLE1_ROWS}
+        for s in SURVEYED_SITES:
+            assert s.synthetic_institution in names
+
+    def test_mapping_is_a_bijection(self):
+        institutions = [s.synthetic_institution for s in SURVEYED_SITES]
+        assert len(set(institutions)) == 10
+
+    def test_cscs_is_the_sc_rnp_site(self):
+        # §4: CSCS drives its own procurement; §3.3: exactly one SC-RNP site
+        sc_sites = [s for s in SURVEYED_SITES if s.rnp is ResponsibleParty.SC]
+        assert len(sc_sites) == 1
+        assert sc_sites[0].synthetic_institution == (
+            "Swiss National Supercomputing Centre"
+        )
+
+    def test_lanl_negotiates_internally(self):
+        # §4: LANL's contract "is negotiated at an institutional level by
+        # their Utility Division"
+        lanl = [
+            s for s in SURVEYED_SITES
+            if s.synthetic_institution == "Los Alamos National Laboratory"
+        ][0]
+        assert lanl.rnp is ResponsibleParty.INTERNAL
+
+    def test_region_split(self):
+        regions = sites_by_region()
+        assert len(regions["Europe"]) == 6
+        assert len(regions["United States"]) == 4
+
+    def test_peak_range_spans_paper_scale(self):
+        peaks = [s.synthetic_peak_mw for s in SURVEYED_SITES]
+        assert min(peaks) < 1.0   # the small Top500 #167 site
+        assert max(peaks) >= 40.0  # the 40–60 MW giants
+
+    def test_no_site_employs_dr_strategies(self):
+        # §3.4: even dynamically-tariffed sites employ no DR strategies
+        assert all(not s.employs_dr_strategies for s in SURVEYED_SITES)

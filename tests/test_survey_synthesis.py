@@ -1,0 +1,71 @@
+"""Synthesis: Table 2 rows ↔ executable contracts."""
+
+import pytest
+
+from repro.contracts import Contract
+from repro.contracts.typology import TYPOLOGY_LEAVES
+from repro.survey import (
+    SURVEYED_SITES,
+    site_by_label,
+    site_contract,
+    table2_matrix,
+    verify_table2,
+)
+
+
+class TestSiteContract:
+    def test_every_site_builds(self):
+        for site in SURVEYED_SITES:
+            contract = site_contract(site)
+            assert isinstance(contract, Contract)
+
+    def test_components_match_flags(self):
+        for site in SURVEYED_SITES:
+            derived = site_contract(site).typology_flags()
+            assert derived == site.flags, site.label
+
+    def test_rnp_carried(self):
+        for site in SURVEYED_SITES:
+            assert site_contract(site).rnp is site.rnp
+
+    def test_metadata_carried(self):
+        c = site_contract(site_by_label("Site 6"))
+        assert c.metadata["country"] == "Switzerland"
+        assert c.metadata["region"] == "Europe"
+
+    def test_powerband_scaled_to_site(self):
+        small = site_contract(site_by_label("Site 6"))   # 8 MW
+        # find the powerband component
+        pb = [c for c in small.components if "powerband" in c.typology_labels()][0]
+        assert pb.upper_kw == pytest.approx(0.95 * 8000.0)
+        assert pb.lower_kw == pytest.approx(0.30 * 8000.0)
+
+    def test_emergency_obligation_unpaid(self):
+        # §3.2.3: "mandatory and imposed upon the SCs" — no credit
+        c = site_contract(site_by_label("Site 3"))
+        em = [x for x in c.components if "emergency_dr" in x.typology_labels()][0]
+        assert em.availability_credit_per_period == 0.0
+
+
+class TestTable2Matrix:
+    def test_ten_rows(self):
+        assert len(table2_matrix()) == 10
+
+    def test_row_schema(self):
+        row = table2_matrix()[0]
+        assert row["site"] == "Site 1"
+        for leaf in TYPOLOGY_LEAVES:
+            assert isinstance(row[leaf], bool)
+        assert row["rnp"] in ("SC", "Internal", "External")
+
+    def test_matrix_matches_registry(self):
+        for row, site in zip(table2_matrix(), SURVEYED_SITES):
+            for leaf in TYPOLOGY_LEAVES:
+                assert row[leaf] == getattr(site.flags, leaf)
+            assert row["rnp"] == site.rnp.value
+
+    def test_verify_roundtrip(self):
+        assert verify_table2()
+
+    def test_subset_verification(self):
+        assert verify_table2(SURVEYED_SITES[:3])

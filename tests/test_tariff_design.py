@@ -1,0 +1,80 @@
+"""ESP-side tariff design and the cross-subsidy audit."""
+
+import pytest
+
+from repro.analysis import (
+    cross_subsidy_check,
+    design_two_part_tariff,
+    shaped_load,
+    synthetic_sc_load,
+)
+from repro.exceptions import AnalysisError
+from repro.timeseries import PowerSeries
+
+
+def population(n_days=30):
+    return [
+        shaped_load(3_000.0, 1.2, n_days=n_days, seed=1),
+        shaped_load(5_000.0, 2.0, n_days=n_days, seed=2),
+        shaped_load(8_000.0, 1.5, n_days=n_days, seed=3),
+    ]
+
+
+class TestDesign:
+    def test_exact_recovery(self):
+        design = design_two_part_tariff(population(), 5e6, energy_share=0.75)
+        assert design.recovery_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_rates_positive(self):
+        design = design_two_part_tariff(population(), 5e6)
+        assert design.energy_rate_per_kwh > 0
+        assert design.demand_rate_per_kw > 0
+
+    def test_energy_share_trades_rates(self):
+        heavy_energy = design_two_part_tariff(population(), 5e6, energy_share=0.9)
+        heavy_demand = design_two_part_tariff(population(), 5e6, energy_share=0.5)
+        assert heavy_energy.energy_rate_per_kwh > heavy_demand.energy_rate_per_kwh
+        assert heavy_energy.demand_rate_per_kw < heavy_demand.demand_rate_per_kw
+
+    def test_annual_loads_use_monthly_peaks(self):
+        loads = [synthetic_sc_load(5.0, seed=0)]
+        design = design_two_part_tariff(loads, 1e7)
+        assert design.recovery_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            design_two_part_tariff([], 1e6)
+        with pytest.raises(AnalysisError):
+            design_two_part_tariff(population(), 0.0)
+        with pytest.raises(AnalysisError):
+            design_two_part_tariff(population(), 1e6, energy_share=1.0)
+
+
+class TestCrossSubsidy:
+    def test_peaky_pays_premium(self):
+        """§1's design intent: the peakier consumer shares the higher
+        peak-capacity cost."""
+        design = design_two_part_tariff(population(), 5e6)
+        result = cross_subsidy_check(design, peaky_ratio=3.0, n_days=30)
+        assert result.incentive_aligned
+        assert result.peaky_premium > 0.1
+
+    def test_premium_grows_with_peakiness(self):
+        design = design_two_part_tariff(population(), 5e6)
+        mild = cross_subsidy_check(design, peaky_ratio=1.5, n_days=30)
+        wild = cross_subsidy_check(design, peaky_ratio=4.0, n_days=30)
+        assert wild.peaky_premium > mild.peaky_premium
+
+    def test_premium_grows_with_demand_share(self):
+        energy_heavy = design_two_part_tariff(population(), 5e6, energy_share=0.9)
+        demand_heavy = design_two_part_tariff(population(), 5e6, energy_share=0.5)
+        a = cross_subsidy_check(energy_heavy, n_days=30)
+        b = cross_subsidy_check(demand_heavy, n_days=30)
+        assert b.peaky_premium > a.peaky_premium
+
+    def test_pure_energy_tariff_no_premium(self):
+        # energy_share → 1 collapses the demand rate and with it the
+        # incentive: the cross-subsidy a two-part tariff removes
+        design = design_two_part_tariff(population(), 5e6, energy_share=0.999)
+        result = cross_subsidy_check(design, n_days=30)
+        assert result.peaky_premium < 0.01

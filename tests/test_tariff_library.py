@@ -1,0 +1,133 @@
+"""The named contract archetypes."""
+
+import pytest
+
+from repro.contracts import (
+    BillingEngine,
+    Contract,
+    PriceFormula,
+    ResponsibleParty,
+    german_industrial,
+    nordic_spot_passthrough,
+    swiss_post_tender,
+    us_federal_with_emergency,
+    us_industrial_tou,
+)
+from repro.contracts.components import BillingContext
+from repro.exceptions import ContractError
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY_S = 86_400.0
+PEAK_KW = 5_000.0
+
+
+def settle(contract, load=None, prices=None):
+    load = load or PowerSeries.constant(3_000.0, 96, 900.0)
+    period = [BillingPeriod("day", 0.0, DAY_S)]
+    ctx = BillingContext(price_series=prices) if prices is not None else None
+    return BillingEngine().bill(contract, load, period, ctx)
+
+
+class TestUSIndustrialTOU:
+    def test_typology(self):
+        c = us_industrial_tou("sc", PEAK_KW)
+        assert c.typology_flags().leaves() == ("variable", "demand_charge")
+
+    def test_summer_peak_pricier_than_winter(self):
+        c = us_industrial_tou("sc", PEAK_KW)
+        tou = c.components[0]
+        import numpy as np
+
+        # a weekday-noon interval in January vs July (hourly grid)
+        jan_noon = PowerSeries(
+            np.full(24, 1000.0), 3600.0, start_s=0.0
+        )  # day 0 = Jan, Monday
+        rates_jan = tou.rates_for(jan_noon)
+        july_start = 182 * DAY_S  # early July, a Monday-ish weekday
+        july = PowerSeries(np.full(24, 1000.0), 3600.0, start_s=july_start)
+        rates_jul = tou.rates_for(july)
+        assert rates_jul[13] > rates_jan[13]
+
+    def test_ratchet_present(self):
+        c = us_industrial_tou("sc", PEAK_KW, ratchet_fraction=0.8)
+        dc = c.components[1]
+        assert dc.ratchet_fraction == 0.8
+
+    def test_bill_settles(self):
+        bill = settle(us_industrial_tou("sc", PEAK_KW))
+        assert bill.total > 0
+        assert bill.demand_cost > 0
+
+
+class TestGermanIndustrial:
+    def test_typology_matches_sites_2_and_5(self):
+        c = german_industrial("sc", PEAK_KW)
+        assert c.typology_flags().leaves() == (
+            "fixed", "demand_charge", "powerband",
+        )
+
+    def test_band_scaled_to_peak(self):
+        c = german_industrial("sc", PEAK_KW)
+        pb = [x for x in c.components if "powerband" in x.typology_labels()][0]
+        assert pb.upper_kw == pytest.approx(0.95 * PEAK_KW)
+        assert pb.lower_kw == pytest.approx(0.35 * PEAK_KW)
+
+    def test_currency_eur(self):
+        assert german_industrial("sc", PEAK_KW).currency == "EUR"
+
+    def test_flat_profile_avoids_band_penalty(self):
+        c = german_industrial("sc", PEAK_KW)
+        bill = settle(c, PowerSeries.constant(3_000.0, 96, 900.0))
+        assert bill.component_total("contracted powerband") == 0.0
+
+    def test_invalid_band_fractions(self):
+        with pytest.raises(ContractError):
+            german_industrial("sc", PEAK_KW, band_upper_fraction=0.3,
+                              band_lower_fraction=0.5)
+
+
+class TestNordicSpot:
+    def test_typology_matches_site_8(self):
+        c = nordic_spot_passthrough("sc")
+        assert c.typology_flags().leaves() == ("dynamic",)
+
+    def test_bill_tracks_prices(self):
+        c = nordic_spot_passthrough("sc", adder_per_kwh=0.0)
+        cheap = settle(c, prices=PowerSeries.constant(0.02, 24, 3600.0))
+        dear = settle(c, prices=PowerSeries.constant(0.20, 24, 3600.0))
+        assert dear.total == pytest.approx(10 * cheap.total)
+
+
+class TestSwissPostTender:
+    def test_typology_matches_redesigned_cscs(self):
+        c = swiss_post_tender("cscs")
+        assert c.typology_flags().leaves() == ("fixed",)
+        assert c.rnp is ResponsibleParty.SC
+
+    def test_formula_priced(self):
+        formula = PriceFormula(0.05, 0.01, 0.0, 0.002)
+        c = swiss_post_tender("cscs", formula=formula, renewable_fraction=0.8)
+        fixed = c.components[0]
+        assert fixed.rate_per_kwh == pytest.approx(0.05 + 0.008 + 0.002)
+
+    def test_mix_in_metadata(self):
+        c = swiss_post_tender("cscs", renewable_fraction=0.85)
+        assert c.metadata["renewable_fraction"] == "0.85"
+
+
+class TestUSFederal:
+    def test_typology_matches_site_3(self):
+        c = us_federal_with_emergency("lab", PEAK_KW)
+        assert c.typology_flags().leaves() == (
+            "fixed", "demand_charge", "emergency_dr",
+        )
+        assert c.rnp is ResponsibleParty.EXTERNAL
+
+    def test_emergency_unpaid(self):
+        c = us_federal_with_emergency("lab", PEAK_KW)
+        em = [x for x in c.components if "emergency_dr" in x.typology_labels()][0]
+        assert em.availability_credit_per_period == 0.0
+
+    def test_invalid_peak(self):
+        with pytest.raises(ContractError):
+            us_federal_with_emergency("lab", 0.0)

@@ -1,0 +1,180 @@
+"""kWh-domain components: fixed, TOU, dynamic tariffs."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    ChargeDomain,
+    DynamicTariff,
+    FixedTariff,
+    TOUServiceCharge,
+    TOUTariff,
+)
+from repro.contracts.components import BillingContext
+from repro.exceptions import BillingError, TariffError
+from repro.timeseries import BillingPeriod, PowerSeries, TOUWindow
+
+DAY = BillingPeriod("day", 0.0, 86_400.0)
+
+
+def flat_day(power_kw=1000.0):
+    return PowerSeries.constant(power_kw, 96, 900.0)
+
+
+class TestFixedTariff:
+    def test_charge_is_rate_times_energy(self):
+        t = FixedTariff(0.10)
+        item = t.charge(flat_day(), DAY)
+        assert item.amount == pytest.approx(24_000.0 * 0.10)
+        assert item.quantity == pytest.approx(24_000.0)
+        assert item.unit == "kWh"
+
+    def test_domain(self):
+        assert FixedTariff(0.1).domain is ChargeDomain.ENERGY_KWH
+
+    def test_typology_label(self):
+        assert tuple(FixedTariff(0.1).typology_labels()) == ("fixed",)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(TariffError):
+            FixedTariff(-0.1)
+
+    def test_zero_load_zero_charge(self):
+        item = FixedTariff(0.1).charge(PowerSeries.zeros(96, 900.0), DAY)
+        assert item.amount == 0.0
+
+    def test_describe_mentions_rate(self):
+        assert "0.1000" in FixedTariff(0.1).describe()
+
+
+class TestTOUTariff:
+    def _tariff(self, peak_rate=0.20, offpeak_rate=0.05):
+        return TOUTariff(
+            windows=[(TOUWindow("peak", 8, 20), peak_rate)],
+            default_rate_per_kwh=offpeak_rate,
+        )
+
+    def test_flat_load_weighted_price(self):
+        t = self._tariff()
+        item = t.charge(flat_day(), DAY)
+        # 12 h at 0.20, 12 h at 0.05 on 1 MW
+        expected = 1000.0 * 12 * 0.20 + 1000.0 * 12 * 0.05
+        assert item.amount == pytest.approx(expected)
+
+    def test_rates_for(self):
+        t = self._tariff()
+        rates = t.rates_for(flat_day())
+        assert rates[0] == 0.05          # midnight
+        assert rates[12 * 4] == 0.20     # noon
+
+    def test_first_matching_window_wins(self):
+        t = TOUTariff(
+            windows=[
+                (TOUWindow("morning", 6, 12), 0.30),
+                (TOUWindow("all-day", 0, 24), 0.10),
+            ],
+            default_rate_per_kwh=0.05,
+        )
+        rates = t.rates_for(flat_day())
+        assert rates[8 * 4] == 0.30
+        assert rates[20 * 4] == 0.10
+        assert 0.05 not in rates  # all-day window shadows the default
+
+    def test_load_shifted_to_offpeak_is_cheaper(self):
+        t = self._tariff()
+        n = 96
+        peak_heavy = np.where((np.arange(n) // 4 >= 8) & (np.arange(n) // 4 < 20), 2000.0, 0.0)
+        night_heavy = np.where((np.arange(n) // 4 >= 8) & (np.arange(n) // 4 < 20), 0.0, 2000.0)
+        a = t.charge(PowerSeries(peak_heavy, 900.0), DAY)
+        b = t.charge(PowerSeries(night_heavy, 900.0), DAY)
+        assert b.amount < a.amount
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(TariffError):
+            TOUTariff(windows=[], default_rate_per_kwh=0.1)
+
+    def test_negative_window_rate_rejected(self):
+        with pytest.raises(TariffError):
+            TOUTariff(
+                windows=[(TOUWindow("w", 0, 12), -0.1)], default_rate_per_kwh=0.1
+            )
+
+    def test_typology_label_is_variable(self):
+        assert tuple(self._tariff().typology_labels()) == ("variable",)
+
+    def test_effective_rate_detail(self):
+        item = self._tariff().charge(flat_day(), DAY)
+        assert 0.05 < item.details["effective_rate_per_kwh"] < 0.20
+
+
+class TestTOUServiceCharge:
+    def test_defaults_to_zero_offwindow(self):
+        sc = TOUServiceCharge(windows=[(TOUWindow("peak", 8, 20), 0.03)])
+        item = sc.charge(flat_day(), DAY)
+        # only the 12 peak hours are charged
+        assert item.amount == pytest.approx(1000.0 * 12 * 0.03)
+
+    def test_stacks_on_fixed(self):
+        # the §3.2.4 pattern: fixed tariff + variable service charge
+        fixed = FixedTariff(0.07)
+        sc = TOUServiceCharge(windows=[(TOUWindow("peak", 8, 20), 0.03)])
+        total = fixed.charge(flat_day(), DAY).amount + sc.charge(flat_day(), DAY).amount
+        assert total == pytest.approx(24_000 * 0.07 + 12_000 * 0.03)
+
+    def test_is_variable_in_typology(self):
+        sc = TOUServiceCharge(windows=[(TOUWindow("peak", 8, 20), 0.03)])
+        assert tuple(sc.typology_labels()) == ("variable",)
+
+
+class TestDynamicTariff:
+    def _context(self, price=0.05, n_hours=24):
+        return BillingContext(
+            price_series=PowerSeries.constant(price, n_hours, 3600.0)
+        )
+
+    def test_constant_price(self):
+        t = DynamicTariff()
+        item = t.charge(flat_day(), DAY, self._context(0.05))
+        assert item.amount == pytest.approx(24_000.0 * 0.05)
+
+    def test_adder_applied(self):
+        t = DynamicTariff(adder_per_kwh=0.01)
+        item = t.charge(flat_day(), DAY, self._context(0.05))
+        assert item.amount == pytest.approx(24_000.0 * 0.06)
+
+    def test_floor_applied(self):
+        t = DynamicTariff(floor_per_kwh=0.04)
+        item = t.charge(flat_day(), DAY, self._context(0.01))
+        assert item.amount == pytest.approx(24_000.0 * 0.04)
+
+    def test_missing_prices_rejected(self):
+        with pytest.raises(BillingError):
+            DynamicTariff().charge(flat_day(), DAY, None)
+        with pytest.raises(BillingError):
+            DynamicTariff().charge(flat_day(), DAY, BillingContext())
+
+    def test_short_price_series_rejected(self):
+        ctx = self._context(n_hours=12)
+        with pytest.raises(BillingError):
+            DynamicTariff().charge(flat_day(), DAY, ctx)
+
+    def test_expensive_hours_weighted(self):
+        # price spike in hour 0 only; load concentrated there costs more
+        prices = np.full(24, 0.05)
+        prices[0] = 1.0
+        ctx = BillingContext(price_series=PowerSeries(prices, 3600.0))
+        spiky = np.zeros(96)
+        spiky[:4] = 1000.0     # all load in hour 0
+        flat = np.full(96, 1000.0 / 24)
+        t = DynamicTariff()
+        a = t.charge(PowerSeries(spiky, 900.0), DAY, ctx)
+        b = t.charge(PowerSeries(flat, 900.0), DAY, ctx)
+        assert a.amount > b.amount
+
+    def test_details_report_prices(self):
+        item = DynamicTariff().charge(flat_day(), DAY, self._context(0.08))
+        assert item.details["mean_price_per_kwh"] == pytest.approx(0.08)
+        assert item.details["max_price_per_kwh"] == pytest.approx(0.08)
+
+    def test_typology_label_is_dynamic(self):
+        assert tuple(DynamicTariff().typology_labels()) == ("dynamic",)

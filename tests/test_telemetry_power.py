@@ -1,0 +1,229 @@
+"""Telemetry, facility power model and power-management policies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FacilityError
+from repro.facility import (
+    FacilityPowerModel,
+    FrequencyScalingPolicy,
+    IdleShutdownPolicy,
+    Job,
+    PowerCapPolicy,
+    Scheduler,
+    SchedulerConfig,
+    Supercomputer,
+    facility_power_series,
+    it_power_series,
+)
+
+HOUR = 3600.0
+DAY_S = 86_400.0
+
+
+def machine(n_nodes=8):
+    return Supercomputer("m", n_nodes=n_nodes)
+
+
+def single_job_schedule(nodes=4, runtime=HOUR, pf=1.0, m=None):
+    m = m or machine()
+    jobs = [
+        Job(
+            job_id=1,
+            submit_s=0.0,
+            nodes=nodes,
+            runtime_s=runtime,
+            walltime_s=runtime,
+            power_fraction=pf,
+        )
+    ]
+    return Scheduler(m).schedule(jobs, DAY_S), m
+
+
+class TestITPowerSeries:
+    def test_idle_baseline(self):
+        res, m = single_job_schedule()
+        it = it_power_series(res, 900.0)
+        # after the job ends the machine idles
+        assert it.values_kw[-1] == pytest.approx(m.idle_power_kw)
+
+    def test_job_power_added(self):
+        res, m = single_job_schedule(nodes=4, pf=1.0)
+        it = it_power_series(res, 900.0)
+        expected = m.idle_power_kw + 4 * (700.0 - 250.0) / 1000.0
+        assert it.values_kw[0] == pytest.approx(expected)
+
+    def test_energy_matches_exact_integral(self):
+        res, m = single_job_schedule(nodes=4, runtime=1.5 * 900.0, pf=1.0)
+        it = it_power_series(res, 900.0)
+        job_kw = 4 * (700.0 - 250.0) / 1000.0
+        expected_kwh = (
+            m.idle_power_kw * DAY_S / 3600.0 + job_kw * (1.5 * 900.0) / 3600.0
+        )
+        assert it.energy_kwh() == pytest.approx(expected_kwh)
+
+    def test_partial_interval_weighted(self):
+        res, m = single_job_schedule(nodes=8, runtime=450.0, pf=1.0)
+        it = it_power_series(res, 900.0)
+        job_kw = 8 * 0.45
+        assert it.values_kw[0] == pytest.approx(m.idle_power_kw + job_kw / 2)
+
+    def test_interval_must_tile_horizon(self):
+        res, _ = single_job_schedule()
+        with pytest.raises(FacilityError):
+            it_power_series(res, 7 * 3600.0)
+
+    def test_peak_bounded_by_machine(self, small_machine, small_schedule):
+        it = it_power_series(small_schedule, 900.0)
+        assert it.max_kw() <= small_machine.peak_power_kw + 1e-9
+        assert it.min_kw() >= small_machine.sleep_power_kw - 1e-9
+
+    def test_sleeping_nodes_reduce_power(self):
+        res, m = single_job_schedule()
+        n = int(DAY_S / 900.0)
+        asleep = np.zeros(n)
+        asleep[-4:] = m.n_nodes  # all asleep in the last hour
+        it = it_power_series(res, 900.0, sleeping_node_series=asleep)
+        assert it.values_kw[-1] == pytest.approx(m.sleep_power_kw)
+
+    def test_sleeping_series_validated(self):
+        res, m = single_job_schedule()
+        with pytest.raises(FacilityError):
+            it_power_series(res, 900.0, sleeping_node_series=np.zeros(3))
+
+
+class TestFacilityPowerModel:
+    def test_affine(self):
+        model = FacilityPowerModel(fixed_overhead_kw=100.0, proportional_factor=1.5)
+        assert model.facility_kw(1000.0) == pytest.approx(1600.0)
+
+    def test_pue_load_dependent(self):
+        model = FacilityPowerModel(fixed_overhead_kw=100.0, proportional_factor=1.2)
+        assert model.pue_at(100.0) > model.pue_at(10_000.0)
+
+    def test_marginal_pue(self):
+        assert FacilityPowerModel(proportional_factor=1.3).marginal_pue() == 1.3
+
+    def test_series_transform(self):
+        model = FacilityPowerModel(fixed_overhead_kw=10.0, proportional_factor=1.2)
+        from repro.timeseries import PowerSeries
+
+        it = PowerSeries([100.0, 200.0], 900.0)
+        fac = model.facility_series(it)
+        assert fac.values_kw == pytest.approx([130.0, 250.0])
+
+    def test_validation(self):
+        with pytest.raises(FacilityError):
+            FacilityPowerModel(proportional_factor=0.9)
+        with pytest.raises(FacilityError):
+            FacilityPowerModel(fixed_overhead_kw=-1.0)
+        with pytest.raises(FacilityError):
+            FacilityPowerModel().pue_at(0.0)
+
+    def test_facility_power_series_pipeline(self, small_schedule):
+        fac = facility_power_series(small_schedule)
+        it = it_power_series(small_schedule)
+        assert np.all(fac.values_kw >= it.values_kw)
+
+
+class TestPowerCapPolicy:
+    def test_cap_kw(self):
+        m = machine()
+        policy = PowerCapPolicy(cap_fraction=0.8)
+        assert policy.cap_kw(m) == pytest.approx(0.8 * m.peak_power_kw)
+
+    def test_cap_below_idle_rejected(self):
+        m = machine()
+        # idle/peak ratio for this machine is 250/700 ≈ 0.36
+        with pytest.raises(FacilityError):
+            PowerCapPolicy(cap_fraction=0.1).cap_kw(m)
+
+    def test_scheduler_config(self):
+        m = machine()
+        config = PowerCapPolicy(0.8).scheduler_config(m)
+        assert config.power_cap_kw == pytest.approx(0.8 * m.peak_power_kw)
+
+    def test_capped_telemetry_stays_under_cap(self, small_machine):
+        from repro.facility import WorkloadModel
+
+        wl = WorkloadModel(machine=small_machine, target_utilization=1.0)
+        jobs = wl.generate(DAY_S, seed=3)
+        policy = PowerCapPolicy(0.85)
+        res = Scheduler(
+            small_machine, policy.scheduler_config(small_machine)
+        ).schedule(jobs, DAY_S)
+        it = it_power_series(res, 900.0)
+        assert it.max_kw() <= policy.cap_kw(small_machine) + 1e-6
+
+    def test_invalid_fraction(self):
+        with pytest.raises(FacilityError):
+            PowerCapPolicy(0.0)
+
+
+class TestIdleShutdownPolicy:
+    def test_empty_schedule_all_sleep(self):
+        res = Scheduler(machine()).schedule([], DAY_S)
+        asleep = IdleShutdownPolicy(grace_delay_s=0.0, wake_lead_s=0.0).sleeping_nodes(
+            res, 900.0
+        )
+        assert np.all(asleep == 8)
+
+    def test_busy_nodes_never_slept(self):
+        res, m = single_job_schedule(nodes=8, runtime=DAY_S / 2)
+        asleep = IdleShutdownPolicy(grace_delay_s=0.0, wake_lead_s=0.0).sleeping_nodes(
+            res, 900.0
+        )
+        # while the full-machine job runs, zero nodes sleep
+        assert np.all(asleep[: int(DAY_S / 2 / 900.0)] == 0)
+
+    def test_grace_delay_defers_sleep(self):
+        res, _ = single_job_schedule(nodes=8, runtime=HOUR)
+        eager = IdleShutdownPolicy(grace_delay_s=0.0, wake_lead_s=0.0)
+        lazy = IdleShutdownPolicy(grace_delay_s=4 * HOUR, wake_lead_s=0.0)
+        assert lazy.sleeping_nodes(res, 900.0).sum() < eager.sleeping_nodes(res, 900.0).sum()
+
+    def test_energy_saved_positive_when_idle(self):
+        res, _ = single_job_schedule(nodes=4, runtime=HOUR)
+        policy = IdleShutdownPolicy()
+        assert policy.energy_saved_kwh(res, 900.0) > 0
+
+    def test_validation(self):
+        with pytest.raises(FacilityError):
+            IdleShutdownPolicy(grace_delay_s=-1.0)
+
+
+class TestFrequencyScaling:
+    def test_runtime_factor_cube_root(self):
+        policy = FrequencyScalingPolicy(power_scale=0.5)
+        assert policy.runtime_factor == pytest.approx(0.5 ** (-1 / 3))
+
+    def test_apply_transforms_jobs(self):
+        policy = FrequencyScalingPolicy(power_scale=0.8)
+        jobs = [
+            Job(job_id=1, submit_s=0.0, nodes=2, runtime_s=1000.0,
+                walltime_s=2000.0, power_fraction=0.9)
+        ]
+        out = policy.apply(jobs)
+        assert out[0].power_fraction == pytest.approx(0.72)
+        assert out[0].runtime_s > 1000.0
+
+    def test_energy_time_tradeoff(self):
+        # scaled workload: lower peak power, longer runtime
+        m = machine()
+        base_jobs = [
+            Job(job_id=i, submit_s=0.0, nodes=2, runtime_s=HOUR,
+                walltime_s=HOUR, power_fraction=0.9)
+            for i in range(4)
+        ]
+        scaled = FrequencyScalingPolicy(power_scale=0.6).apply(base_jobs)
+        base_res = Scheduler(m).schedule(base_jobs, DAY_S)
+        scaled_res = Scheduler(m).schedule(scaled, DAY_S)
+        assert it_power_series(scaled_res, 900.0).max_kw() < it_power_series(
+            base_res, 900.0
+        ).max_kw()
+
+    def test_validation(self):
+        with pytest.raises(FacilityError):
+            FrequencyScalingPolicy(power_scale=0.0)
+        with pytest.raises(FacilityError):
+            FrequencyScalingPolicy(power_scale=0.5, performance_exponent=2.0)

@@ -1,0 +1,115 @@
+"""Event timelines (maintenance / benchmark / DR events, §3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TimeSeriesError
+from repro.timeseries import Event, EventTimeline, PowerSeries
+from repro.timeseries.events import EventKind
+
+
+def make_event(start=0.0, end=900.0, delta=-100.0, notified=False, kind=EventKind.MAINTENANCE):
+    return Event(kind=kind, start_s=start, end_s=end, delta_kw=delta, notified=notified)
+
+
+class TestEvent:
+    def test_duration(self):
+        assert make_event(0.0, 1800.0).duration_s == 1800.0
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            make_event(900.0, 900.0)
+
+    def test_overlaps(self):
+        e = make_event(1000.0, 2000.0)
+        assert e.overlaps(1500.0, 3000.0)
+        assert e.overlaps(0.0, 1001.0)
+        assert not e.overlaps(2000.0, 3000.0)
+        assert not e.overlaps(0.0, 1000.0)
+
+
+class TestTimeline:
+    def test_sorted_iteration(self):
+        tl = EventTimeline([make_event(900.0, 1800.0), make_event(0.0, 900.0)])
+        starts = [e.start_s for e in tl]
+        assert starts == sorted(starts)
+
+    def test_add_keeps_order(self):
+        tl = EventTimeline([make_event(900.0, 1800.0)])
+        tl.add(make_event(0.0, 900.0))
+        assert [e.start_s for e in tl] == [0.0, 900.0]
+
+    def test_events_of_kind(self):
+        tl = EventTimeline(
+            [
+                make_event(kind=EventKind.MAINTENANCE),
+                make_event(kind=EventKind.BENCHMARK, delta=500.0),
+            ]
+        )
+        assert len(tl.events_of_kind(EventKind.BENCHMARK)) == 1
+
+    def test_active_during(self):
+        tl = EventTimeline([make_event(0.0, 900.0), make_event(5000.0, 6000.0)])
+        assert len(tl.active_during(0.0, 1000.0)) == 1
+
+    def test_notified_fraction(self):
+        tl = EventTimeline(
+            [make_event(notified=True), make_event(900.0, 1800.0, notified=False)]
+        )
+        assert tl.notified_fraction() == 0.5
+
+    def test_notified_fraction_empty(self):
+        with pytest.raises(TimeSeriesError):
+            EventTimeline().notified_fraction()
+
+    def test_unnotified_deviation_events(self):
+        tl = EventTimeline(
+            [
+                make_event(delta=-50.0, notified=False),
+                make_event(900.0, 1800.0, delta=-500.0, notified=False),
+                make_event(1800.0, 2700.0, delta=-500.0, notified=True),
+            ]
+        )
+        surprises = tl.unnotified_deviation_events(threshold_kw=100.0)
+        assert len(surprises) == 1
+        assert surprises[0].delta_kw == -500.0
+
+
+class TestApply:
+    def test_full_interval_event(self):
+        s = PowerSeries([1000.0] * 4, 900.0)
+        tl = EventTimeline([make_event(900.0, 1800.0, delta=-400.0)])
+        out = tl.apply(s)
+        assert out.values_kw == pytest.approx([1000.0, 600.0, 1000.0, 1000.0])
+
+    def test_partial_overlap_weighted(self):
+        s = PowerSeries([1000.0] * 2, 900.0)
+        # event covers half of the first interval
+        tl = EventTimeline([make_event(0.0, 450.0, delta=-400.0)])
+        out = tl.apply(s)
+        assert out.values_kw[0] == pytest.approx(1000.0 - 200.0)
+        assert out.values_kw[1] == pytest.approx(1000.0)
+
+    def test_floor_applied(self):
+        s = PowerSeries([100.0], 900.0)
+        tl = EventTimeline([make_event(0.0, 900.0, delta=-500.0)])
+        out = tl.apply(s, floor_kw=50.0)
+        assert out.values_kw[0] == 50.0
+
+    def test_positive_event_benchmark(self):
+        s = PowerSeries([1000.0] * 2, 900.0)
+        tl = EventTimeline(
+            [make_event(0.0, 1800.0, delta=800.0, kind=EventKind.BENCHMARK)]
+        )
+        out = tl.apply(s)
+        assert out.values_kw == pytest.approx([1800.0, 1800.0])
+
+    def test_input_not_mutated(self):
+        s = PowerSeries([1000.0], 900.0)
+        EventTimeline([make_event()]).apply(s)
+        assert s.values_kw[0] == 1000.0
+
+    def test_overlapping_events_superpose(self):
+        s = PowerSeries([1000.0], 900.0)
+        tl = EventTimeline([make_event(delta=-100.0), make_event(delta=-200.0)])
+        assert tl.apply(s).values_kw[0] == pytest.approx(700.0)

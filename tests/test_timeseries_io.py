@@ -1,0 +1,119 @@
+"""Serialization round-trips for power series."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TimeSeriesError
+from repro.timeseries import (
+    PowerSeries,
+    read_series_csv,
+    series_from_dict,
+    series_from_json,
+    series_to_dict,
+    series_to_json,
+    write_series_csv,
+)
+
+
+@pytest.fixture
+def sample(rng):
+    return PowerSeries(rng.uniform(0, 5000, 96), 900.0, start_s=86_400.0)
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_exact(self, sample):
+        restored = series_from_dict(series_to_dict(sample))
+        assert restored.approx_equal(sample, tol_kw=0.0)
+        assert restored.start_s == sample.start_s
+
+    def test_format_tag_required(self, sample):
+        data = series_to_dict(sample)
+        data["format"] = "something-else"
+        with pytest.raises(TimeSeriesError):
+            series_from_dict(data)
+
+    def test_missing_key_rejected(self, sample):
+        data = series_to_dict(sample)
+        del data["interval_s"]
+        with pytest.raises(TimeSeriesError):
+            series_from_dict(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            series_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+
+class TestJSONRoundtrip:
+    def test_roundtrip(self, sample):
+        restored = series_from_json(series_to_json(sample))
+        assert restored.approx_equal(sample, tol_kw=1e-9)
+
+    def test_invalid_json(self):
+        with pytest.raises(TimeSeriesError):
+            series_from_json("{not json")
+
+
+class TestCSVRoundtrip:
+    def _roundtrip(self, series):
+        buf = io.StringIO()
+        write_series_csv(series, buf)
+        buf.seek(0)
+        return read_series_csv(buf)
+
+    def test_roundtrip(self, sample):
+        restored = self._roundtrip(sample)
+        assert restored.interval_s == sample.interval_s
+        assert restored.start_s == sample.start_s
+        assert np.allclose(restored.values_kw, sample.values_kw, rtol=1e-9)
+
+    def test_energy_preserved(self, sample):
+        restored = self._roundtrip(sample)
+        assert restored.energy_kwh() == pytest.approx(sample.energy_kwh(), rel=1e-9)
+
+    def test_file_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_series_csv(sample, path)
+        restored = read_series_csv(path)
+        assert restored.approx_equal(sample, tol_kw=1e-6)
+
+    def test_missing_header_rejected(self):
+        buf = io.StringIO("time_s,power_kw\n0,100\n")
+        with pytest.raises(TimeSeriesError):
+            read_series_csv(buf)
+
+    def test_gap_in_rows_rejected(self):
+        buf = io.StringIO(
+            "# repro-power-series interval_s=900 start_s=0\n"
+            "time_s,power_kw\n"
+            "0,100\n"
+            "1800,100\n"  # 900-s row missing
+        )
+        with pytest.raises(TimeSeriesError):
+            read_series_csv(buf)
+
+    def test_malformed_row_rejected(self):
+        buf = io.StringIO(
+            "# repro-power-series interval_s=900 start_s=0\n"
+            "time_s,power_kw\n"
+            "0,100,extra\n"
+        )
+        with pytest.raises(TimeSeriesError):
+            read_series_csv(buf)
+
+    def test_empty_data_rejected(self):
+        buf = io.StringIO(
+            "# repro-power-series interval_s=900 start_s=0\n"
+            "time_s,power_kw\n"
+        )
+        with pytest.raises(TimeSeriesError):
+            read_series_csv(buf)
+
+    def test_wrong_columns_rejected(self):
+        buf = io.StringIO(
+            "# repro-power-series interval_s=900 start_s=0\n"
+            "timestamp,kw\n0,1\n"
+        )
+        with pytest.raises(TimeSeriesError):
+            read_series_csv(buf)

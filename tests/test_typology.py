@@ -1,0 +1,103 @@
+"""The Figure 1 typology tree and classification flags."""
+
+import pytest
+
+from repro.contracts import (
+    DSM_ENCOURAGEMENT,
+    TypologyBranch,
+    TypologyFlags,
+    build_typology_tree,
+)
+from repro.contracts.typology import TYPOLOGY_LEAVES
+from repro.exceptions import ContractError
+
+
+class TestTree:
+    def test_three_branches(self):
+        tree = build_typology_tree()
+        assert len(tree.children) == 3
+        labels = [c.label for c in tree.children]
+        assert labels == ["Tariffs", "Demand charges", "Other"]
+
+    def test_six_leaves(self):
+        tree = build_typology_tree()
+        leaves = tree.leaves()
+        assert len(leaves) == 6
+        assert {l.leaf_key for l in leaves} == set(TYPOLOGY_LEAVES)
+
+    def test_tariff_branch_has_three_leaves(self):
+        tariffs = build_typology_tree().find("Tariffs")
+        assert tariffs is not None
+        assert [c.label for c in tariffs.children] == [
+            "Fixed", "Time-of-use", "Dynamic",
+        ]
+
+    def test_demand_branch_has_two_leaves(self):
+        demand = build_typology_tree().find("Demand charges")
+        assert demand is not None
+        assert len(demand.children) == 2
+
+    def test_other_branch_emergency_only(self):
+        other = build_typology_tree().find("Other")
+        assert other is not None
+        assert [c.leaf_key for c in other.children] == ["emergency_dr"]
+
+    def test_find_missing(self):
+        assert build_typology_tree().find("Taxes") is None
+
+    def test_depth(self):
+        assert build_typology_tree().depth() == 3
+
+    def test_every_leaf_has_encouragement(self):
+        for leaf in TYPOLOGY_LEAVES:
+            assert leaf in DSM_ENCOURAGEMENT
+
+
+class TestFlags:
+    def test_from_leaves(self):
+        flags = TypologyFlags.from_leaves(["fixed", "demand_charge"])
+        assert flags.fixed and flags.demand_charge
+        assert not flags.dynamic
+
+    def test_unknown_leaf_rejected(self):
+        with pytest.raises(ContractError):
+            TypologyFlags.from_leaves(["taxes"])
+
+    def test_leaves_ordering(self):
+        flags = TypologyFlags(demand_charge=True, fixed=True)
+        assert flags.leaves() == ("fixed", "demand_charge")
+
+    def test_branches(self):
+        flags = TypologyFlags(fixed=True, emergency_dr=True)
+        assert flags.branches() == (TypologyBranch.TARIFFS, TypologyBranch.OTHER)
+
+    def test_has_any_tariff(self):
+        assert TypologyFlags(dynamic=True).has_any_tariff()
+        assert not TypologyFlags(demand_charge=True).has_any_tariff()
+
+    def test_has_kw_domain(self):
+        assert TypologyFlags(powerband=True).has_kw_domain()
+        assert not TypologyFlags(fixed=True).has_kw_domain()
+
+    def test_encourages_deduplicates(self):
+        flags = TypologyFlags(fixed=True)
+        assert flags.encourages() == ("energy efficiency",)
+
+    def test_encourages_multiple(self):
+        flags = TypologyFlags(fixed=True, dynamic=True, demand_charge=True)
+        assert "demand response" in flags.encourages()
+        assert len(flags.encourages()) == 3
+
+    def test_union(self):
+        a = TypologyFlags(fixed=True)
+        b = TypologyFlags(powerband=True)
+        u = a.union(b)
+        assert u.fixed and u.powerband
+
+    def test_count(self):
+        assert TypologyFlags().count() == 0
+        assert TypologyFlags(fixed=True, variable=True).count() == 2
+
+    def test_roundtrip_leaves(self):
+        flags = TypologyFlags(fixed=True, dynamic=True, emergency_dr=True)
+        assert TypologyFlags.from_leaves(flags.leaves()) == flags

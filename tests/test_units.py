@@ -1,0 +1,117 @@
+"""Unit and quantity conversions."""
+
+import math
+
+import pytest
+
+from repro.exceptions import UnitError
+from repro import units
+
+
+class TestConversions:
+    def test_kw_identity(self):
+        assert units.kw(15.0) == 15.0
+
+    def test_mw_to_kw(self):
+        assert units.mw(15.0) == 15_000.0
+
+    def test_watts_to_kw(self):
+        assert units.watts(700.0) == 0.7
+
+    def test_kwh_identity(self):
+        assert units.kwh(3.5) == 3.5
+
+    def test_mwh_to_kwh(self):
+        assert units.mwh(2.0) == 2_000.0
+
+    def test_hours_to_seconds(self):
+        assert units.hours(2.0) == 7200.0
+
+    def test_minutes_to_seconds(self):
+        assert units.minutes(15.0) == 900.0
+
+    def test_days_to_seconds(self):
+        assert units.days(1.0) == 86_400.0
+
+    def test_negative_power_allowed(self):
+        # net metering with on-site generation can be negative
+        assert units.kw(-500.0) == -500.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(UnitError):
+            units.hours(-1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(UnitError):
+            units.kw(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(UnitError):
+            units.mw(float("inf"))
+
+
+class TestEnergyPower:
+    def test_energy_of_constant_power(self):
+        # 100 kW for 2 hours = 200 kWh
+        assert units.energy_kwh(100.0, 7200.0) == pytest.approx(200.0)
+
+    def test_energy_of_15min(self):
+        assert units.energy_kwh(1000.0, 900.0) == pytest.approx(250.0)
+
+    def test_average_power_roundtrip(self):
+        e = units.energy_kwh(123.0, 4567.0)
+        assert units.average_power_kw(e, 4567.0) == pytest.approx(123.0)
+
+    def test_average_power_zero_duration(self):
+        with pytest.raises(UnitError):
+            units.average_power_kw(10.0, 0.0)
+
+    def test_energy_zero_duration(self):
+        assert units.energy_kwh(100.0, 0.0) == 0.0
+
+
+class TestMoney:
+    def test_add_same_currency(self):
+        assert (units.Money(1.0) + units.Money(2.0)).amount == 3.0
+
+    def test_subtract(self):
+        assert (units.Money(5.0) - units.Money(2.0)).amount == 3.0
+
+    def test_currency_mismatch(self):
+        with pytest.raises(UnitError):
+            units.Money(1.0, "USD") + units.Money(1.0, "EUR")
+
+    def test_scalar_multiply(self):
+        assert (units.Money(2.0) * 3).amount == 6.0
+        assert (3 * units.Money(2.0)).amount == 6.0
+
+    def test_divide(self):
+        assert (units.Money(6.0) / 3).amount == 2.0
+
+    def test_negate(self):
+        assert (-units.Money(4.0)).amount == -4.0
+
+    def test_ordering(self):
+        assert units.Money(1.0) < units.Money(2.0)
+        assert units.Money(2.0) >= units.Money(2.0)
+
+    def test_ordering_currency_mismatch(self):
+        with pytest.raises(UnitError):
+            _ = units.Money(1.0, "USD") < units.Money(2.0, "CHF")
+
+    def test_is_zero(self):
+        assert units.Money(0.0).is_zero()
+        assert units.Money(1e-12).is_zero()
+        assert not units.Money(0.01).is_zero()
+
+    def test_empty_currency_rejected(self):
+        with pytest.raises(UnitError):
+            units.Money(1.0, "")
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(UnitError):
+            units.Money(float("nan"))
+
+    def test_comparison_with_non_money(self):
+        with pytest.raises(UnitError):
+            units.Money(1.0) + 2.0  # type: ignore[operator]
