@@ -1,0 +1,64 @@
+"""Throughput: fault injection and VEE estimation on a year of telemetry.
+
+The robustness layer sits between raw metering and the billing engine, so
+its cost is paid on every estimated-bill settlement. This bench pins the
+two hot paths — corrupting a year of 15-minute data with the full fault
+menu, and repairing it back — and asserts the repair actually lands near
+the clean signal (the artifact shape behind the chaos harness's ≤ 3 %
+bill-error guarantee).
+"""
+
+import numpy as np
+
+from repro.robustness import (
+    EstimationMethod,
+    FaultInjector,
+    FaultSpec,
+    VEEngine,
+)
+
+# Full fault menu for the injector bench. Clock drift flags nearly every
+# interval over a year (the error accumulates), so fraction assertions
+# below use the bad-*value* mask rather than the any-flag fraction.
+_FULL_SPEC = FaultSpec(
+    dropout_rate=0.05,
+    stuck_rate=0.02,
+    spike_rate=0.01,
+    clock_drift_s_per_day=30.0,
+)
+
+# Value faults only for the repair benches: VEE repairs values, and a
+# year of accumulated drift would corrupt the neighbours it repairs from.
+_VALUE_SPEC = FaultSpec(dropout_rate=0.05, stuck_rate=0.02, spike_rate=0.01)
+
+
+def bench_fault_injection_year(benchmark, annual_sc_load):
+    injector = FaultInjector(_FULL_SPEC, seed=0)
+    faulted = benchmark(injector.inject, annual_sc_load)
+    assert len(faulted.corrupted) == len(annual_sc_load)
+    assert 0.0 < faulted.bad_mask.mean() < 0.25
+    assert np.all(np.isfinite(faulted.corrupted.values_kw))
+
+
+def bench_vee_linear_year(benchmark, annual_sc_load):
+    faulted = FaultInjector(_VALUE_SPEC, seed=0).inject(annual_sc_load)
+    engine = VEEngine(EstimationMethod.LINEAR_INTERPOLATION, outlier_z=None)
+    est = benchmark(engine.estimate, faulted)
+    bad = faulted.bad_mask
+    err_est = np.abs(est.series.values_kw[bad] - faulted.clean.values_kw[bad]).mean()
+    err_raw = np.abs(
+        faulted.corrupted.values_kw[bad] - faulted.clean.values_kw[bad]
+    ).mean()
+    assert err_est < 0.5 * err_raw  # repair moves toward truth
+    assert est.n_estimated == int(bad.sum())
+
+
+def bench_vee_like_day_year(benchmark, annual_sc_load):
+    """Like-day profiling: the heavier estimator, used for long gaps."""
+    faulted = FaultInjector(
+        FaultSpec(dropout_rate=0.05, dropout_burst_mean=24.0), seed=1
+    ).inject(annual_sc_load)
+    engine = VEEngine(EstimationMethod.LIKE_DAY_PROFILE, outlier_z=None)
+    est = benchmark(engine.estimate, faulted)
+    assert est.n_estimated == int(faulted.bad_mask.sum())
+    assert 0.0 < est.estimated_fraction < 0.25

@@ -13,6 +13,8 @@ subject matter executable:
 * :mod:`repro.facility` — the SC substrate: machine, workload, scheduler,
   power management, telemetry;
 * :mod:`repro.dr` — facility-side demand response and its economics;
+* :mod:`repro.robustness` — fault injection, VEE estimation, lossy signal
+  delivery and the chaos harness (imperfect infrastructure, handled);
 * :mod:`repro.survey` — the survey reconstruction (Tables 1 & 2 as data);
 * :mod:`repro.analysis` — the quantitative studies behind §2–§4's claims;
 * :mod:`repro.reporting` — regenerators for every table and figure.
@@ -28,7 +30,17 @@ Quickstart::
     print(bill.summary())
 """
 
-from . import analysis, contracts, dr, facility, grid, reporting, survey, timeseries
+from . import (
+    analysis,
+    contracts,
+    dr,
+    facility,
+    grid,
+    reporting,
+    robustness,
+    survey,
+    timeseries,
+)
 from .exceptions import ReproError
 from .units import Money
 
@@ -41,6 +53,7 @@ __all__ = [
     "facility",
     "grid",
     "reporting",
+    "robustness",
     "survey",
     "timeseries",
     "ReproError",

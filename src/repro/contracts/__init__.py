@@ -31,7 +31,7 @@ from .demand_charges import DemandCharge, PeakMetering
 from .powerband import Powerband
 from .emergency import EmergencyDRObligation, EmergencyCall
 from .contract import Contract
-from .billing import Bill, PeriodBill, BillingEngine
+from .billing import Bill, PeriodBill, BillingEngine, Reconciliation
 from .tariff_library import (
     us_industrial_tou,
     german_industrial,
@@ -77,6 +77,7 @@ __all__ = [
     "Bill",
     "PeriodBill",
     "BillingEngine",
+    "Reconciliation",
     "ResponsibleParty",
     "NegotiatingActor",
     "PriceFormula",

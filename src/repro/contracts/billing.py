@@ -20,7 +20,7 @@ from .components import BillingContext, ChargeDomain, LineItem
 from .contract import Contract
 from .demand_charges import DemandCharge
 
-__all__ = ["PeriodBill", "Bill", "BillingEngine"]
+__all__ = ["PeriodBill", "Bill", "Reconciliation", "BillingEngine"]
 
 
 @dataclass(frozen=True)
@@ -43,15 +43,38 @@ class PeriodBill:
 
 
 class Bill:
-    """A settled bill: per-period line items plus decomposition helpers."""
+    """A settled bill: per-period line items plus decomposition helpers.
+
+    Parameters
+    ----------
+    contract / period_bills:
+        What was priced, per period.
+    estimated:
+        True when the bill was settled against VEE-estimated meter data
+        rather than fully measured actuals (utility practice: an
+        *estimated bill*, to be trued up by a later reconciliation — see
+        :meth:`BillingEngine.reconcile`).
+    data_quality:
+        Optional data-quality metadata (estimated interval counts and
+        fractions, as produced by
+        :meth:`repro.robustness.vee.EstimatedSeries.data_quality`).
+    """
 
     def __init__(
-        self, contract: Contract, period_bills: Sequence[PeriodBill]
+        self,
+        contract: Contract,
+        period_bills: Sequence[PeriodBill],
+        estimated: bool = False,
+        data_quality: Optional[Dict[str, float]] = None,
     ) -> None:
         if not period_bills:
             raise BillingError("a bill requires at least one billing period")
         self.contract = contract
         self.period_bills: List[PeriodBill] = list(period_bills)
+        self.estimated = bool(estimated)
+        self.data_quality: Optional[Dict[str, float]] = (
+            dict(data_quality) if data_quality is not None else None
+        )
 
     # -- totals ---------------------------------------------------------------
 
@@ -143,6 +166,53 @@ class Bill:
             "total_energy_kwh": self.total_energy_kwh,
             "max_peak_kw": self.max_peak_kw,
             "effective_rate_per_kwh": self.effective_rate_per_kwh(),
+            "estimated": float(self.estimated),
+        }
+
+
+@dataclass(frozen=True)
+class Reconciliation:
+    """A true-up of an estimated bill against corrected meter data.
+
+    Utility practice: when actual (or VEE-corrected) reads arrive after an
+    estimated bill was issued, the next bill carries a *true-up adjustment*
+    — the difference between what the corrected data prices to and what was
+    estimated.  Positive ``total_adjustment`` means the customer owes more;
+    negative means a credit.
+    """
+
+    estimated_bill: Bill
+    true_bill: Bill
+    period_adjustments: Sequence[float] = field(default_factory=tuple)
+    component_adjustments: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_adjustment(self) -> float:
+        """True total minus estimated total (contract currency)."""
+        return self.true_bill.total - self.estimated_bill.total
+
+    @property
+    def absolute_error_fraction(self) -> float:
+        """|estimated − true| / |true| — the estimation-quality headline."""
+        true_total = self.true_bill.total
+        if true_total == 0.0:
+            return 0.0 if self.estimated_bill.total == 0.0 else float("inf")
+        return abs(self.total_adjustment) / abs(true_total)
+
+    def within_tolerance(self, fraction: float) -> bool:
+        """True when the estimated bill was within ``fraction`` of true."""
+        if fraction < 0:
+            raise BillingError("tolerance fraction must be non-negative")
+        return self.absolute_error_fraction <= fraction
+
+    def summary(self) -> Dict[str, float]:
+        """Headline true-up figures for reports."""
+        return {
+            "estimated_total": self.estimated_bill.total,
+            "true_total": self.true_bill.total,
+            "total_adjustment": self.total_adjustment,
+            "absolute_error_fraction": self.absolute_error_fraction,
+            "n_periods": float(len(self.period_adjustments)),
         }
 
 
@@ -164,6 +234,8 @@ class BillingEngine:
         load: PowerSeries,
         periods: Optional[Sequence[BillingPeriod]] = None,
         context: Optional[BillingContext] = None,
+        estimated: bool = False,
+        data_quality: Optional[Dict[str, float]] = None,
     ) -> Bill:
         """Settle ``load`` under ``contract`` over ``periods``.
 
@@ -179,6 +251,10 @@ class BillingEngine:
             then be 0, i.e. January 1st).
         context:
             Out-of-band billing facts (real-time prices, emergency calls).
+        estimated / data_quality:
+            Mark the bill as settled against VEE-estimated data (see
+            :mod:`repro.robustness.vee`); such bills should later be trued
+            up via :meth:`reconcile`.
         """
         if periods is None:
             periods = monthly_billing_periods(start_s=load.start_s)
@@ -208,7 +284,45 @@ class BillingEngine:
                     peak_kw=period_load.max_kw(),
                 )
             )
-        return Bill(contract, period_bills)
+        return Bill(contract, period_bills, estimated=estimated, data_quality=data_quality)
+
+    def reconcile(
+        self,
+        contract: Contract,
+        estimated_bill: Bill,
+        corrected_load: PowerSeries,
+        context: Optional[BillingContext] = None,
+    ) -> Reconciliation:
+        """True up an estimated bill against corrected meter data.
+
+        Re-settles ``corrected_load`` under the same contract over the
+        estimated bill's own billing periods, and returns the
+        :class:`Reconciliation` carrying per-period and per-component
+        adjustments (true − estimated).  This is the utility "estimated
+        bill, then true-up" cycle made explicit.
+        """
+        if not estimated_bill.estimated:
+            raise BillingError(
+                "reconcile() is for estimated bills; this bill was settled "
+                "against measured data"
+            )
+        periods = [pb.period for pb in estimated_bill.period_bills]
+        true_bill = self.bill(contract, corrected_load, periods, context)
+        period_adjustments = tuple(
+            t.total - e.total
+            for t, e in zip(true_bill.period_bills, estimated_bill.period_bills)
+        )
+        component_adjustments: Dict[str, float] = {}
+        for comp in contract.components:
+            component_adjustments[comp.name] = true_bill.component_total(
+                comp.name
+            ) - estimated_bill.component_total(comp.name)
+        return Reconciliation(
+            estimated_bill=estimated_bill,
+            true_bill=true_bill,
+            period_adjustments=period_adjustments,
+            component_adjustments=component_adjustments,
+        )
 
     def annual_bill(
         self,

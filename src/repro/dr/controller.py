@@ -14,14 +14,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
+import numpy as np
+
 from ..exceptions import DemandResponseError
+from ..facility.checkpointing import CheckpointModel
 from ..facility.machine import Supercomputer
 from ..facility.onsite_generation import BackupGenerator, dispatch_generation
 from ..grid.dr_programs import IncentiveBasedProgram
 from ..grid.events import DREvent, EmergencyEvent
 from ..timeseries.series import PowerSeries
 from .incentives import CostModel, dr_business_case
-from .strategies import DRResponse, LoadShedStrategy, LoadShiftStrategy, PowerCapStrategy
+from .strategies import (
+    DRResponse,
+    LoadShedStrategy,
+    LoadShiftStrategy,
+    PowerCapStrategy,
+    _event_indices,
+)
 
 Strategy = Union[LoadShedStrategy, LoadShiftStrategy, PowerCapStrategy]
 
@@ -43,6 +52,13 @@ class EventOutcome:
     payment: float
     curtailment_cost: float
     served_by: str = "machine"
+    #: True when the response was degraded by insufficient notice (the
+    #: signal arrived late through a lossy channel and the checkpoint ramp
+    #: could not complete before the event started).
+    degraded: bool = False
+    #: Fraction of the requested curtailment depth physically achievable
+    #: in the remaining notice (1.0 = full compliance possible).
+    achieved_fraction: float = 1.0
 
     @property
     def net_benefit(self) -> float:
@@ -76,6 +92,7 @@ class DRController:
         mean_power_fraction: float = 0.7,
         always_participate: bool = False,
         generator: Optional[BackupGenerator] = None,
+        checkpoint_model: Optional[CheckpointModel] = None,
     ) -> None:
         self.machine = machine
         self.cost_model = cost_model
@@ -83,6 +100,10 @@ class DRController:
         self.mean_power_fraction = float(mean_power_fraction)
         self.always_participate = bool(always_participate)
         self.generator = generator
+        #: Ramp physics for graceful degradation under short notice; when
+        #: ``None`` the controller assumes instantaneous response (the
+        #: seed's perfect-infrastructure behaviour).
+        self.checkpoint_model = checkpoint_model
 
     # -- voluntary DR -----------------------------------------------------
 
@@ -202,11 +223,52 @@ class DRController:
 
     # -- mandatory emergency DR ---------------------------------------------
 
+    def _achievable_fraction(self, remaining_notice_s: Optional[float]) -> float:
+        """Curtailment depth reachable in the remaining notice, from ramp physics.
+
+        With no checkpoint model (or no notice constraint) the controller
+        keeps the seed's perfect-infrastructure assumption and returns 1.
+        Otherwise the fraction is remaining notice over the full-machine
+        checkpoint ramp (:meth:`CheckpointModel.dr_ramp_time_s`) — the
+        §3.1.6 "15 min to 1 hour" physics applied to a late signal.
+        """
+        if remaining_notice_s is None or self.checkpoint_model is None:
+            return 1.0
+        if remaining_notice_s < 0:
+            raise DemandResponseError("remaining notice must be non-negative")
+        full_ramp_s = self.checkpoint_model.dr_ramp_time_s(self.machine, 1.0)
+        if full_ramp_s <= 0:  # pragma: no cover - model guarantees > 0
+            return 1.0
+        return float(min(remaining_notice_s / full_ramp_s, 1.0))
+
     def respond_emergency(
-        self, load: PowerSeries, event: EmergencyEvent
+        self,
+        load: PowerSeries,
+        event: EmergencyEvent,
+        remaining_notice_s: Optional[float] = None,
     ) -> EventOutcome:
-        """Comply with a mandatory emergency call (cap at the imposed limit)."""
-        cap = PowerCapStrategy(cap_kw=max(event.limit_kw, 1e-9))
+        """Comply with a mandatory emergency call (cap at the imposed limit).
+
+        When ``remaining_notice_s`` is given (the dispatch arrived through
+        a lossy channel — see :mod:`repro.robustness.delivery`) and a
+        checkpoint model is configured, the response degrades gracefully:
+        the facility can only checkpoint so many nodes before the event
+        starts, so the achieved cap sits between the pre-event load level
+        and the imposed limit, proportionally to the notice actually
+        received.  The shortfall is billed by
+        :class:`~repro.contracts.emergency.EmergencyDRObligation` as
+        non-compliance — under-delivery has a price, not a crash.
+        """
+        achieved = self._achievable_fraction(remaining_notice_s)
+        effective_limit_kw = event.limit_kw
+        if achieved < 1.0:
+            i0, i1 = _event_indices(load, event.start_s, event.end_s)
+            window_peak_kw = float(np.max(load.values_kw[i0:i1]))
+            if window_peak_kw > event.limit_kw:
+                effective_limit_kw = event.limit_kw + (1.0 - achieved) * (
+                    window_peak_kw - event.limit_kw
+                )
+        cap = PowerCapStrategy(cap_kw=max(effective_limit_kw, 1e-9))
         response = cap.respond(load, event.start_s, event.end_s)
         duration_h = (event.end_s - event.start_s) / 3600.0
         cost = self._operational_cost(response, duration_h)
@@ -216,6 +278,8 @@ class DRController:
             response=response,
             payment=0.0,
             curtailment_cost=cost,
+            degraded=achieved < 1.0,
+            achieved_fraction=achieved,
         )
 
     # -- shared ----------------------------------------------------------------

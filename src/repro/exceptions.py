@@ -28,6 +28,9 @@ __all__ = [
     "SurveyError",
     "AnalysisError",
     "ReportingError",
+    "RobustnessError",
+    "DataQualityError",
+    "SignalDeliveryError",
 ]
 
 
@@ -109,3 +112,15 @@ class AnalysisError(ReproError):
 
 class ReportingError(ReproError):
     """Errors raised while rendering tables or figures."""
+
+
+class RobustnessError(ReproError):
+    """Errors in the fault-injection / graceful-degradation layer."""
+
+
+class DataQualityError(RobustnessError):
+    """Metered data failed validation (VEE) beyond what can be estimated."""
+
+
+class SignalDeliveryError(RobustnessError):
+    """A DR/emergency signal could not be delivered or acknowledged."""

@@ -11,7 +11,13 @@
 from .tables import render_table, render_table1, render_table2, CHECK, BLANK
 from .figures import render_typology_tree, render_figure1, sparkline
 from .experiments import EXPERIMENTS, run_experiment, experiment_ids
-from .export import bill_to_dict, bill_to_json, experiments_to_markdown
+from .export import (
+    bill_to_dict,
+    bill_to_json,
+    experiments_to_markdown,
+    reconciliation_to_dict,
+    reconciliation_to_json,
+)
 
 __all__ = [
     "render_table",
@@ -27,5 +33,7 @@ __all__ = [
     "experiment_ids",
     "bill_to_dict",
     "bill_to_json",
+    "reconciliation_to_dict",
+    "reconciliation_to_json",
     "experiments_to_markdown",
 ]

@@ -14,11 +14,17 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..contracts.billing import Bill
+from ..contracts.billing import Bill, Reconciliation
 from ..exceptions import ReportingError
 from .experiments import EXPERIMENTS, ExperimentResult, experiment_ids, run_experiment
 
-__all__ = ["bill_to_dict", "bill_to_json", "experiments_to_markdown"]
+__all__ = [
+    "bill_to_dict",
+    "bill_to_json",
+    "reconciliation_to_dict",
+    "reconciliation_to_json",
+    "experiments_to_markdown",
+]
 
 
 def bill_to_dict(bill: Bill) -> Dict[str, object]:
@@ -27,6 +33,8 @@ def bill_to_dict(bill: Bill) -> Dict[str, object]:
         "format": "repro-bill-v1",
         "contract": bill.contract.name,
         "currency": bill.contract.currency,
+        "estimated": bill.estimated,
+        "data_quality": dict(bill.data_quality) if bill.data_quality else None,
         "total": bill.total,
         "energy_cost": bill.energy_cost,
         "demand_cost": bill.demand_cost,
@@ -61,6 +69,37 @@ def bill_to_dict(bill: Bill) -> Dict[str, object]:
 def bill_to_json(bill: Bill, indent: Optional[int] = None) -> str:
     """Serialize a bill to JSON."""
     return json.dumps(bill_to_dict(bill), indent=indent)
+
+
+def reconciliation_to_dict(reconciliation: Reconciliation) -> Dict[str, object]:
+    """A JSON-safe representation of an estimated-bill true-up.
+
+    Carries both bills in full plus the adjustment decomposition, so a
+    downstream consumer can render the utility-style "previous bill was
+    estimated; this bill trues it up" statement.
+    """
+    return {
+        "format": "repro-reconciliation-v1",
+        "estimated_bill": bill_to_dict(reconciliation.estimated_bill),
+        "true_bill": bill_to_dict(reconciliation.true_bill),
+        "total_adjustment": reconciliation.total_adjustment,
+        "absolute_error_fraction": reconciliation.absolute_error_fraction,
+        "period_adjustments": [
+            {"label": pb.period.label, "adjustment": adj}
+            for pb, adj in zip(
+                reconciliation.true_bill.period_bills,
+                reconciliation.period_adjustments,
+            )
+        ],
+        "component_adjustments": dict(reconciliation.component_adjustments),
+    }
+
+
+def reconciliation_to_json(
+    reconciliation: Reconciliation, indent: Optional[int] = None
+) -> str:
+    """Serialize a reconciliation to JSON."""
+    return json.dumps(reconciliation_to_dict(reconciliation), indent=indent)
 
 
 def experiments_to_markdown(

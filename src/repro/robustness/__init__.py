@@ -1,0 +1,72 @@
+"""Fault injection and graceful degradation for the ESP↔SC relationship.
+
+The rest of the library models perfect infrastructure: meters that never
+drop an interval, price feeds that never go stale, dispatch signals that
+always arrive inside the contractual notice window.  This subpackage is
+the production-reality layer on top:
+
+* :mod:`~repro.robustness.faults` — seeded, deterministic corruption of
+  power/price series (dropped intervals, stuck registers, spikes, clock
+  drift, stale price feeds) with per-interval :class:`QualityFlag` masks;
+* :mod:`~repro.robustness.vee` — the utility-standard validate/estimate/
+  edit pipeline that turns corrupted telemetry back into billable data
+  with full provenance, feeding estimated bills and the
+  :meth:`~repro.contracts.billing.BillingEngine.reconcile` true-up;
+* :mod:`~repro.robustness.delivery` — lossy, latent signal delivery with
+  exponential-backoff retries bounded by the §3.1.6 notice window,
+  acknowledgment tracking and a dead-letter log for missed events;
+* :mod:`~repro.robustness.chaos` — the sweep harness asserting the
+  layer's invariants under increasing fault intensity.
+"""
+
+from .faults import (
+    BAD_VALUE_FLAGS,
+    FaultInjector,
+    FaultSpec,
+    FaultedSeries,
+    QualityFlag,
+)
+from .vee import (
+    EstimatedSeries,
+    EstimationMethod,
+    GapReport,
+    VEEngine,
+    detect_gaps,
+)
+from .delivery import (
+    DeadLetter,
+    DeliveryAttempt,
+    DeliveryOutcome,
+    DeliveryPolicy,
+    LossySignalChannel,
+)
+from .chaos import (
+    ChaosRunResult,
+    ChaosScenario,
+    DegradationReport,
+    run_chaos_sweep,
+    run_scenario,
+)
+
+__all__ = [
+    "QualityFlag",
+    "BAD_VALUE_FLAGS",
+    "FaultSpec",
+    "FaultedSeries",
+    "FaultInjector",
+    "EstimationMethod",
+    "GapReport",
+    "EstimatedSeries",
+    "VEEngine",
+    "detect_gaps",
+    "DeliveryPolicy",
+    "DeliveryAttempt",
+    "DeliveryOutcome",
+    "DeadLetter",
+    "LossySignalChannel",
+    "ChaosScenario",
+    "ChaosRunResult",
+    "DegradationReport",
+    "run_scenario",
+    "run_chaos_sweep",
+]

@@ -1,0 +1,352 @@
+"""The chaos harness: sweep fault intensities across an ESP↔SC simulation.
+
+This is the layer's integration surface.  One scenario runs the whole
+story end-to-end under injected faults:
+
+1. an ESP (supply stack + system load) dispatches emergency events when
+   reserves breach the §3.2.3 threshold;
+2. the dispatch signals cross a lossy, latent channel
+   (:mod:`~repro.robustness.delivery`) — late arrivals degrade the SC's
+   curtailment via checkpoint ramp physics, misses land in the dead-letter
+   log with their penalty exposure;
+3. the SC's *actual* (post-response) load is metered through a fault
+   injector (:mod:`~repro.robustness.faults`), VEE-estimated
+   (:mod:`~repro.robustness.vee`), billed as an estimated bill, and trued
+   up against corrected data (:meth:`BillingEngine.reconcile`);
+4. the harness asserts the layer's invariants — nothing crashed, the
+   estimated bill's error is bounded, and signal accounting is conserved
+   (dispatched = delivered + dead-lettered, with every dead letter
+   penalty-stamped).
+
+:func:`run_chaos_sweep` grids fault intensities into a
+:class:`DegradationReport` — the "how hard can you hit it before the
+numbers stop being trustworthy" table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.scenarios import synthetic_sc_load
+from ..contracts import (
+    BillingContext,
+    BillingEngine,
+    Contract,
+    DemandCharge,
+    EmergencyDRObligation,
+    FixedTariff,
+    Reconciliation,
+)
+from ..dr import CostModel, DRController, LoadShedStrategy
+from ..exceptions import RobustnessError
+from ..facility import CheckpointModel, Supercomputer
+from ..grid import ESP, Generator, GridLoadModel, SupplyStack
+from ..timeseries.calendar import BillingPeriod
+from ..timeseries.series import PowerSeries
+from .delivery import DeadLetter, DeliveryOutcome, DeliveryPolicy, LossySignalChannel
+from .faults import FaultInjector, FaultSpec
+from .vee import EstimationMethod, VEEngine
+
+__all__ = [
+    "ChaosScenario",
+    "ChaosRunResult",
+    "DegradationReport",
+    "run_scenario",
+    "run_chaos_sweep",
+]
+
+DAY_S = 86_400.0
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One point in the fault-intensity grid."""
+
+    name: str
+    dropout_rate: float = 0.0
+    stuck_rate: float = 0.0
+    spike_rate: float = 0.0
+    signal_loss_probability: float = 0.0
+    seed: int = 0
+
+    def fault_spec(self) -> FaultSpec:
+        """The metering fault model this scenario injects."""
+        return FaultSpec(
+            dropout_rate=self.dropout_rate,
+            stuck_rate=self.stuck_rate,
+            spike_rate=self.spike_rate,
+        )
+
+
+@dataclass(frozen=True)
+class ChaosRunResult:
+    """Everything one scenario produced, plus its invariant verdicts."""
+
+    scenario: ChaosScenario
+    true_total: float
+    estimated_total: float
+    bill_error_fraction: float
+    n_dispatched: int
+    n_delivered: int
+    n_dead_letter: int
+    n_degraded: int
+    dead_letter_penalty: float
+    billed_noncompliance: float
+    invariants: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return all(self.invariants.values())
+
+    def failed_invariants(self) -> List[str]:
+        """Names of the invariants that failed."""
+        return [name for name, held in self.invariants.items() if not held]
+
+
+class DegradationReport:
+    """The sweep's output: per-scenario results and a renderable table."""
+
+    def __init__(self, results: Sequence[ChaosRunResult]) -> None:
+        if not results:
+            raise RobustnessError("a degradation report requires results")
+        self.results: List[ChaosRunResult] = list(results)
+
+    @property
+    def all_ok(self) -> bool:
+        """True when every scenario held every invariant."""
+        return all(r.ok for r in self.results)
+
+    @property
+    def worst_bill_error(self) -> float:
+        """Largest estimated-bill error across the sweep."""
+        return max(r.bill_error_fraction for r in self.results)
+
+    def assert_invariants(self) -> None:
+        """Raise :class:`RobustnessError` naming every failed invariant."""
+        failures = [
+            f"{r.scenario.name}: {', '.join(r.failed_invariants())}"
+            for r in self.results
+            if not r.ok
+        ]
+        if failures:
+            raise RobustnessError(
+                "chaos invariants violated — " + "; ".join(failures)
+            )
+
+    def to_markdown(self) -> str:
+        """The degradation table as GitHub-flavored markdown."""
+        lines = [
+            "| scenario | dropout | loss | bill error | dispatched | "
+            "delivered | dead | degraded | penalty exposure | ok |",
+            "|---|---|---|---|---|---|---|---|---|---|",
+        ]
+        for r in self.results:
+            lines.append(
+                f"| {r.scenario.name} "
+                f"| {r.scenario.dropout_rate:.1%} "
+                f"| {r.scenario.signal_loss_probability:.0%} "
+                f"| {r.bill_error_fraction:.2%} "
+                f"| {r.n_dispatched} | {r.n_delivered} | {r.n_dead_letter} "
+                f"| {r.n_degraded} "
+                f"| {r.dead_letter_penalty:,.0f} "
+                f"| {'yes' if r.ok else 'NO: ' + ','.join(r.failed_invariants())} |"
+            )
+        return "\n".join(lines)
+
+
+# -- world construction ---------------------------------------------------------
+
+
+def _build_esp(horizon_days: int, seed: int) -> Tuple[ESP, PowerSeries]:
+    """An ESP whose reserves get tight enough to dispatch emergencies."""
+    system_model = GridLoadModel(base_kw=800_000.0, diurnal_amplitude=0.25)
+    probe = system_model.generate(horizon_days * 24, 3600.0, 0.0, seed)
+    peak = probe.max_kw()
+    # capacity slightly above the realized peak: the top diurnal swings
+    # breach the 3 % emergency threshold, the rest of the day does not.
+    stack = SupplyStack(
+        [
+            Generator("baseload", 0.7 * peak * 1.02, 0.03),
+            Generator("mid-merit", 0.2 * peak * 1.02, 0.07),
+            Generator("peaker", 0.1 * peak * 1.02, 0.22),
+        ]
+    )
+    esp = ESP("chaos ESP", stack, system_model)
+    system_load = esp.simulate_system(horizon_days * 24, 3600.0, 0.0, seed)["load"]
+    return esp, system_load
+
+
+def _build_facility(peak_mw: float) -> Tuple[DRController, Contract]:
+    machine = Supercomputer("chaos SC", n_nodes=4000)
+    controller = DRController(
+        machine=machine,
+        cost_model=CostModel(machine_capex=1.5e8),
+        strategy=LoadShedStrategy(floor_kw=0.3 * peak_mw * 1000.0),
+        checkpoint_model=CheckpointModel(),
+    )
+    contract = Contract(
+        "chaos SC / robustness study",
+        [
+            FixedTariff(0.07),
+            DemandCharge(12.0),
+            EmergencyDRObligation(noncompliance_penalty_per_kwh=0.5),
+        ],
+    )
+    return controller, contract
+
+
+def _weekly_periods(horizon_days: int) -> List[BillingPeriod]:
+    n_weeks = max(horizon_days // 7, 1)
+    return [
+        BillingPeriod(f"week {w + 1}", w * 7 * DAY_S, (w + 1) * 7 * DAY_S)
+        for w in range(n_weeks)
+    ]
+
+
+# -- the scenario runner ----------------------------------------------------------
+
+
+def run_scenario(
+    scenario: ChaosScenario,
+    horizon_days: int = 28,
+    peak_mw: float = 8.0,
+    bill_error_tolerance: float = 0.03,
+    estimation_method: EstimationMethod = EstimationMethod.LINEAR_INTERPOLATION,
+    delivery_policy: Optional[DeliveryPolicy] = None,
+) -> ChaosRunResult:
+    """Run one fault-intensity point end-to-end.
+
+    ``bill_error_tolerance`` parameterizes the bounded-error invariant;
+    the acceptance figure (estimated bills within 3 % of fault-free at
+    ≤ 5 % dropout) uses the default.
+    """
+    if horizon_days < 7:
+        raise RobustnessError("the chaos harness needs at least one billing week")
+    horizon_days = (horizon_days // 7) * 7  # whole billing weeks
+    horizon_s = horizon_days * DAY_S
+
+    # 1. the world
+    esp, system_load = _build_esp(horizon_days, scenario.seed)
+    controller, contract = _build_facility(peak_mw)
+    sc_load = synthetic_sc_load(
+        peak_mw, n_days=horizon_days, interval_s=900.0, seed=scenario.seed
+    )
+    baseline_kw = sc_load.mean_kw()
+
+    # 2. ESP-side dispatch
+    dispatched = esp.dispatch_events(system_load, customer_baseline_kw=baseline_kw)
+    emergencies = [
+        e for e in dispatched["emergency"] if e.end_s <= horizon_s and e.start_s >= 0
+    ]
+
+    # 3. lossy delivery + graceful degradation
+    policy = delivery_policy or DeliveryPolicy(
+        loss_probability=scenario.signal_loss_probability
+    )
+    channel = LossySignalChannel(policy, seed=scenario.seed)
+    delivered, dead = channel.transmit_all(emergencies)
+    penalty_component = next(
+        c for c in contract.components if isinstance(c, EmergencyDRObligation)
+    )
+    dead_penalty = channel.assess_dead_letter_penalties(
+        baseline_kw=baseline_kw,
+        penalty_per_kwh=penalty_component.noncompliance_penalty_per_kwh,
+    )
+    actual_load = sc_load
+    n_degraded = 0
+    for outcome in delivered:
+        response = controller.respond_emergency(
+            actual_load, outcome.event, remaining_notice_s=outcome.remaining_notice_s
+        )
+        if response.response is not None:
+            actual_load = response.response.modified
+        n_degraded += int(response.degraded)
+
+    # 4. imperfect metering → VEE → estimated bill → true-up
+    injector = FaultInjector(scenario.fault_spec(), seed=scenario.seed)
+    faulted = injector.inject(actual_load)
+    # The injector plays the meter head end and pre-flags every corrupted
+    # interval, so the robust-z screen is disabled here: SC loads contain
+    # legitimate extremes (benchmarks, maintenance) that a generic screen
+    # would false-positive into estimates, breaking the zero-fault
+    # idempotence invariant (estimated bill == true bill at intensity 0).
+    estimated = VEEngine(method=estimation_method, outlier_z=None).estimate(faulted)
+    engine = BillingEngine()
+    periods = _weekly_periods(horizon_days)
+    context = BillingContext(
+        emergency_calls=tuple(e.as_contract_call() for e in emergencies)
+    )
+    estimated_bill = engine.bill(
+        contract,
+        estimated.series,
+        periods,
+        context,
+        estimated=True,
+        data_quality=estimated.data_quality(),
+    )
+    reconciliation: Reconciliation = engine.reconcile(
+        contract, estimated_bill, actual_load, context
+    )
+    true_bill = reconciliation.true_bill
+    billed_noncompliance = max(
+        true_bill.component_total(penalty_component.name), 0.0
+    )
+
+    # 5. invariants
+    invariants = {
+        "accounting_conserved": channel.accounting_conserved(len(emergencies)),
+        "bill_error_bounded": reconciliation.within_tolerance(bill_error_tolerance),
+        "dead_letters_penalized": all(
+            d.penalty_exposure > 0.0 or baseline_kw <= d.event.limit_kw
+            for d in channel.dead_letters
+        ),
+        "penalties_non_negative": billed_noncompliance >= 0.0
+        and dead_penalty >= 0.0,
+        "true_bill_positive": true_bill.total > 0.0,
+    }
+    return ChaosRunResult(
+        scenario=scenario,
+        true_total=true_bill.total,
+        estimated_total=estimated_bill.total,
+        bill_error_fraction=reconciliation.absolute_error_fraction,
+        n_dispatched=len(emergencies),
+        n_delivered=len(delivered),
+        n_dead_letter=len(dead),
+        n_degraded=n_degraded,
+        dead_letter_penalty=dead_penalty,
+        billed_noncompliance=billed_noncompliance,
+        invariants=invariants,
+    )
+
+
+def run_chaos_sweep(
+    dropout_rates: Sequence[float] = (0.0, 0.01, 0.05),
+    loss_probabilities: Sequence[float] = (0.0, 0.1, 0.2),
+    seed: int = 0,
+    horizon_days: int = 28,
+    peak_mw: float = 8.0,
+    bill_error_tolerance: float = 0.03,
+) -> DegradationReport:
+    """Grid the fault intensities and collect the degradation report."""
+    results: List[ChaosRunResult] = []
+    for dropout in dropout_rates:
+        for loss in loss_probabilities:
+            scenario = ChaosScenario(
+                name=f"dropout={dropout:.0%}, loss={loss:.0%}",
+                dropout_rate=dropout,
+                signal_loss_probability=loss,
+                seed=seed,
+            )
+            results.append(
+                run_scenario(
+                    scenario,
+                    horizon_days=horizon_days,
+                    peak_mw=peak_mw,
+                    bill_error_tolerance=bill_error_tolerance,
+                )
+            )
+    return DegradationReport(results)

@@ -1,0 +1,326 @@
+"""Lossy, latent DR-signal delivery with retries and dead letters.
+
+:mod:`repro.grid.signals` models the §3.1.4 two-way channel as perfectly
+reliable; this module is the same channel with the network put back in.
+Every transmission can be lost or delayed; the sender retries with
+exponential backoff + jitter, but only while the contractual notice window
+(§3.1.6's "15 min to 1 hour" answers) is still open — a retry scheduled
+past the event start is pointless, the SC can no longer ramp.  Signals that
+exhaust the window land in a **dead-letter log** with the penalty exposure
+they create, so the accounting invariant *dispatched = acknowledged +
+dead-lettered* always holds and the §3.4 relationship ledger has a record
+of every miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import SignalDeliveryError
+from ..grid.events import DREvent, EmergencyEvent
+
+GridEvent = Union[DREvent, EmergencyEvent]
+
+__all__ = [
+    "DeliveryPolicy",
+    "DeliveryAttempt",
+    "DeliveryOutcome",
+    "DeadLetter",
+    "LossySignalChannel",
+]
+
+
+@dataclass(frozen=True)
+class DeliveryPolicy:
+    """Loss / latency / retry model for one ESP→SC channel.
+
+    Parameters
+    ----------
+    loss_probability:
+        Per-attempt probability the message (or its acknowledgment) is
+        lost in flight.
+    latency_mean_s / latency_jitter_s:
+        Delivery latency: mean plus half-normal jitter.
+    ack_timeout_s:
+        How long the sender waits for an acknowledgment before declaring
+        the attempt failed and scheduling a retry.
+    max_retries:
+        Retries after the first attempt (total attempts = retries + 1).
+    base_backoff_s / backoff_factor / backoff_jitter:
+        Exponential backoff: retry ``k`` waits
+        ``base * factor**k * (1 + jitter * U[0,1))`` after the failed
+        attempt — the classic full-jitter scheme, capped so no attempt is
+        ever sent after the notice deadline.
+    """
+
+    loss_probability: float = 0.1
+    latency_mean_s: float = 20.0
+    latency_jitter_s: float = 10.0
+    ack_timeout_s: float = 60.0
+    max_retries: int = 5
+    base_backoff_s: float = 30.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise SignalDeliveryError("loss_probability must be in [0, 1)")
+        if self.latency_mean_s < 0 or self.latency_jitter_s < 0:
+            raise SignalDeliveryError("latency parameters must be non-negative")
+        if self.ack_timeout_s <= 0:
+            raise SignalDeliveryError("ack_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise SignalDeliveryError("max_retries must be non-negative")
+        if self.base_backoff_s <= 0 or self.backoff_factor < 1.0:
+            raise SignalDeliveryError(
+                "backoff requires base > 0 and factor >= 1"
+            )
+        if self.backoff_jitter < 0:
+            raise SignalDeliveryError("backoff_jitter must be non-negative")
+
+    def backoff_s(self, attempt: int, u: float) -> float:
+        """Backoff after failed attempt ``attempt`` (0-based), ``u``∈[0,1)."""
+        return (
+            self.base_backoff_s
+            * self.backoff_factor ** attempt
+            * (1.0 + self.backoff_jitter * u)
+        )
+
+
+@dataclass(frozen=True)
+class DeliveryAttempt:
+    """One transmission attempt."""
+
+    attempt: int        # 0-based
+    sent_s: float
+    latency_s: float
+    lost: bool
+    acked: bool
+
+    @property
+    def arrived_s(self) -> Optional[float]:
+        """Arrival time, or None when lost in flight."""
+        return None if self.lost else self.sent_s + self.latency_s
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """The channel's record for one dispatched event."""
+
+    event: GridEvent
+    issued_s: float
+    deadline_s: float
+    attempts: Tuple[DeliveryAttempt, ...]
+    delivered: bool
+    delivered_s: Optional[float] = None
+
+    @property
+    def remaining_notice_s(self) -> float:
+        """Notice left between delivery and the event start (>= 0)."""
+        if not self.delivered or self.delivered_s is None:
+            return 0.0
+        return max(self.deadline_s - self.delivered_s, 0.0)
+
+    @property
+    def n_attempts(self) -> int:
+        """Transmissions used."""
+        return len(self.attempts)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """An event the channel failed to deliver inside its notice window.
+
+    ``penalty_exposure`` is the worst-case non-compliance cost the miss
+    creates (the SC never heard the call, so it will consume at baseline
+    straight through the event); populated by the caller who knows the
+    baseline and the contract's penalty rate.
+    """
+
+    event: GridEvent
+    outcome: DeliveryOutcome
+    reason: str
+    penalty_exposure: float = 0.0
+
+    def with_penalty(self, penalty: float) -> "DeadLetter":
+        """A copy with the assessed penalty exposure."""
+        if penalty < 0:
+            raise SignalDeliveryError("penalty exposure must be non-negative")
+        return DeadLetter(
+            event=self.event,
+            outcome=self.outcome,
+            reason=self.reason,
+            penalty_exposure=float(penalty),
+        )
+
+
+class LossySignalChannel:
+    """A seeded, lossy, latent ESP→SC dispatch channel.
+
+    Deterministic given ``(policy, seed)`` and the transmit order, like
+    everything else in this layer.  The channel never *drops* an event
+    silently: :meth:`transmit` returns either a delivered
+    :class:`DeliveryOutcome` or a :class:`DeadLetter`, and both are kept in
+    the channel's logs so ``n_dispatched == n_delivered + n_dead`` by
+    construction (checked by :meth:`accounting_conserved`).
+    """
+
+    def __init__(self, policy: DeliveryPolicy, seed: int = 0) -> None:
+        if not isinstance(policy, DeliveryPolicy):
+            raise SignalDeliveryError(
+                f"expected DeliveryPolicy, got {type(policy).__name__}"
+            )
+        self.policy = policy
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+        self.delivered: List[DeliveryOutcome] = []
+        self.dead_letters: List[DeadLetter] = []
+
+    # -- single event --------------------------------------------------------
+
+    def _notice_s(self, event: GridEvent) -> float:
+        if isinstance(event, DREvent):
+            return event.notice_s
+        return event.program.notice_time_s
+
+    def transmit(
+        self, event: GridEvent, issued_s: Optional[float] = None
+    ) -> Union[DeliveryOutcome, DeadLetter]:
+        """Attempt delivery of one event's dispatch signal.
+
+        The signal is issued at the contractual notice point (event start
+        minus program notice) unless ``issued_s`` says otherwise.  Retries
+        follow the policy's backoff but are **never scheduled at or past
+        the event start** — the notice deadline bounds the whole retry
+        schedule.
+        """
+        policy = self.policy
+        deadline = event.start_s
+        if issued_s is None:
+            issued_s = event.start_s - self._notice_s(event)
+        if issued_s >= deadline:
+            raise SignalDeliveryError(
+                f"signal issued at {issued_s} s, at/after its own deadline "
+                f"{deadline} s — the dispatcher violated the notice window"
+            )
+        attempts: List[DeliveryAttempt] = []
+        t = float(issued_s)
+        outcome: Optional[DeliveryOutcome] = None
+        for k in range(policy.max_retries + 1):
+            latency = policy.latency_mean_s + policy.latency_jitter_s * abs(
+                float(self._rng.standard_normal())
+            )
+            lost = bool(self._rng.random() < policy.loss_probability)
+            arrived = t + latency
+            acked = (not lost) and arrived < event.end_s
+            attempts.append(
+                DeliveryAttempt(
+                    attempt=k, sent_s=t, latency_s=latency, lost=lost, acked=acked
+                )
+            )
+            if acked:
+                outcome = DeliveryOutcome(
+                    event=event,
+                    issued_s=issued_s,
+                    deadline_s=deadline,
+                    attempts=tuple(attempts),
+                    delivered=True,
+                    delivered_s=arrived,
+                )
+                break
+            if k == policy.max_retries:
+                break
+            wait = max(
+                policy.backoff_s(k, float(self._rng.random())),
+                policy.ack_timeout_s,
+            )
+            next_send = t + wait
+            if next_send >= deadline:
+                break  # the notice window is exhausted: no retry past it
+            t = next_send
+        if outcome is not None:
+            self.delivered.append(outcome)
+            return outcome
+        failed = DeliveryOutcome(
+            event=event,
+            issued_s=issued_s,
+            deadline_s=deadline,
+            attempts=tuple(attempts),
+            delivered=False,
+        )
+        reason = (
+            "retries exhausted"
+            if len(attempts) == policy.max_retries + 1
+            else "notice window exhausted"
+        )
+        letter = DeadLetter(event=event, outcome=failed, reason=reason)
+        self.dead_letters.append(letter)
+        return letter
+
+    # -- batch + accounting -----------------------------------------------------
+
+    def transmit_all(
+        self, events: Sequence[GridEvent]
+    ) -> Tuple[List[DeliveryOutcome], List[DeadLetter]]:
+        """Transmit a batch in time order; returns (delivered, dead letters)."""
+        delivered: List[DeliveryOutcome] = []
+        dead: List[DeadLetter] = []
+        for event in sorted(events, key=lambda e: e.start_s):
+            result = self.transmit(event)
+            if isinstance(result, DeadLetter):
+                dead.append(result)
+            else:
+                delivered.append(result)
+        return delivered, dead
+
+    def assess_dead_letter_penalties(
+        self, baseline_kw: float, penalty_per_kwh: float
+    ) -> float:
+        """Stamp every dead letter with its worst-case penalty exposure.
+
+        A missed emergency call means the SC consumes at baseline through
+        the event; the exposure is the above-limit energy times the
+        contract's non-compliance rate.  Missed voluntary DR events carry
+        no penalty (the SC simply was not there to opt in).  Returns the
+        total assessed.
+        """
+        if baseline_kw < 0 or penalty_per_kwh < 0:
+            raise SignalDeliveryError(
+                "baseline and penalty rate must be non-negative"
+            )
+        total = 0.0
+        stamped: List[DeadLetter] = []
+        for letter in self.dead_letters:
+            event = letter.event
+            if isinstance(event, EmergencyEvent):
+                excess_kw = max(baseline_kw - event.limit_kw, 0.0)
+                duration_h = (event.end_s - event.start_s) / 3600.0
+                penalty = excess_kw * duration_h * penalty_per_kwh
+            else:
+                penalty = 0.0
+            total += penalty
+            stamped.append(letter.with_penalty(penalty))
+        self.dead_letters = stamped
+        return total
+
+    def accounting_conserved(self, n_dispatched: int) -> bool:
+        """The layer's core invariant: nothing vanishes in the channel."""
+        return len(self.delivered) + len(self.dead_letters) == int(n_dispatched)
+
+    def summary(self) -> dict:
+        """Channel health figures for reports."""
+        n_total = len(self.delivered) + len(self.dead_letters)
+        attempts = [o.n_attempts for o in self.delivered] + [
+            d.outcome.n_attempts for d in self.dead_letters
+        ]
+        return {
+            "n_dispatched": n_total,
+            "n_delivered": len(self.delivered),
+            "n_dead_letter": len(self.dead_letters),
+            "delivery_rate": (len(self.delivered) / n_total) if n_total else 1.0,
+            "mean_attempts": float(np.mean(attempts)) if attempts else 0.0,
+            "penalty_exposure": sum(d.penalty_exposure for d in self.dead_letters),
+        }

@@ -1,0 +1,299 @@
+"""Deterministic fault injection for metering and price telemetry.
+
+The paper's DR story presumes infrastructure that never fails: interval
+meters that record every quarter hour, price feeds that never go stale,
+dispatch signals that always arrive.  Real utility metering is built around
+the opposite assumption — data arrives late, stuck, spiked or not at all,
+and the industry's VEE (validate / estimate / edit) pipelines exist to cope
+(:mod:`repro.robustness.vee` is ours).  This module produces those failures
+*on purpose*, deterministically, so every downstream layer can be tested
+against them.
+
+Because :class:`~repro.timeseries.PowerSeries` (rightly) rejects non-finite
+values, gaps are **not** represented as NaN: a corrupted series carries a
+finite sentinel in dropped intervals plus a per-interval
+:class:`QualityFlag` mask that records what happened where.  The clean
+series is kept alongside, so tests can measure exactly how much damage the
+estimation layer repaired.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import RobustnessError
+from ..timeseries.series import PowerSeries
+
+__all__ = ["QualityFlag", "FaultSpec", "FaultedSeries", "FaultInjector"]
+
+
+class QualityFlag(enum.IntFlag):
+    """Per-interval data-quality flags (combinable bit mask).
+
+    ``GOOD`` is the absence of all flags.  ``MISSING``/``STUCK``/``SPIKE``/
+    ``CLOCK_DRIFT``/``STALE`` are set by the injector (or, in production
+    use, by a meter-data head end); ``SUSPECT`` and ``ESTIMATED`` are set
+    by the VEE layer during screening and estimation.
+    """
+
+    GOOD = 0
+    MISSING = 1        # dropped metering interval, sentinel-filled
+    STUCK = 2          # meter repeating its last value
+    SPIKE = 4          # outlier spike (test pulse, register glitch)
+    CLOCK_DRIFT = 8    # interval boundary misaligned vs true time
+    STALE = 16         # price feed outage: last good tick held
+    SUSPECT = 32       # VEE screening flagged as implausible
+    ESTIMATED = 64     # value replaced by a VEE estimate
+
+
+#: Flags that mark an interval's *value* as untrustworthy (VEE estimates
+#: these).  ``CLOCK_DRIFT`` perturbs but does not invalidate; ``ESTIMATED``
+#: marks repairs.
+BAD_VALUE_FLAGS = (
+    QualityFlag.MISSING | QualityFlag.STUCK | QualityFlag.SPIKE
+    | QualityFlag.STALE | QualityFlag.SUSPECT
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Intensities of the injected fault models.
+
+    All rates are expected *fractions of intervals affected* (not episode
+    counts), so specs compose intuitively: ``dropout_rate=0.05`` corrupts
+    about 5 % of the horizon regardless of burst structure.
+
+    Parameters
+    ----------
+    dropout_rate / dropout_burst_mean:
+        Fraction of intervals lost to metering gaps, and the mean gap
+        length in intervals (gaps are geometric bursts — comms outages
+        drop runs of intervals, not coin-flip singles).
+    stuck_rate / stuck_burst_mean:
+        Fraction of intervals in stuck-at-last-value episodes, and their
+        mean length.
+    spike_rate / spike_magnitude:
+        Per-interval probability of an additive spike outlier, and its
+        magnitude as a multiple of the series' interquartile range.
+    clock_drift_s_per_day:
+        Meter clock drift.  Values are blended with their neighbor by the
+        accumulated fractional-interval misalignment; intervals whose
+        misalignment exceeds 1 % of the interval are flagged.
+    price_outage_rate / price_outage_burst_mean:
+        Price-feed outage intensity (used by :meth:`FaultInjector.inject_prices`);
+        during an outage the last good tick is held and flagged ``STALE``.
+    sentinel_kw:
+        Finite fill value for ``MISSING`` intervals.
+    """
+
+    dropout_rate: float = 0.0
+    dropout_burst_mean: float = 4.0
+    stuck_rate: float = 0.0
+    stuck_burst_mean: float = 8.0
+    spike_rate: float = 0.0
+    spike_magnitude: float = 8.0
+    clock_drift_s_per_day: float = 0.0
+    price_outage_rate: float = 0.0
+    price_outage_burst_mean: float = 12.0
+    sentinel_kw: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("dropout_rate", "stuck_rate", "spike_rate", "price_outage_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise RobustnessError(f"{name} must be in [0, 1], got {value!r}")
+        for name in ("dropout_burst_mean", "stuck_burst_mean", "price_outage_burst_mean"):
+            if getattr(self, name) < 1.0:
+                raise RobustnessError(f"{name} must be >= 1 interval")
+        if self.spike_magnitude <= 0:
+            raise RobustnessError("spike_magnitude must be positive")
+        if not np.isfinite(self.sentinel_kw):
+            raise RobustnessError("sentinel_kw must be finite")
+
+
+@dataclass(frozen=True)
+class FaultedSeries:
+    """A corrupted series with its provenance.
+
+    Attributes
+    ----------
+    clean:
+        The ground-truth series the faults were injected into.
+    corrupted:
+        What the meter actually reported (finite everywhere; ``MISSING``
+        intervals hold ``spec.sentinel_kw``).
+    flags:
+        Per-interval :class:`QualityFlag` bit mask (``uint8`` array, same
+        length as the series).
+    spec / seed:
+        The fault model and RNG seed that produced this corruption —
+        enough to reproduce it bit-for-bit.
+    """
+
+    clean: PowerSeries
+    corrupted: PowerSeries
+    flags: np.ndarray
+    spec: FaultSpec
+    seed: int
+
+    def __post_init__(self) -> None:
+        if len(self.flags) != len(self.clean) or len(self.flags) != len(self.corrupted):
+            raise RobustnessError(
+                f"flags length {len(self.flags)} does not match series length "
+                f"{len(self.clean)}"
+            )
+
+    @property
+    def bad_mask(self) -> np.ndarray:
+        """Boolean mask of intervals whose value is untrustworthy."""
+        return (self.flags & int(BAD_VALUE_FLAGS)) != 0
+
+    @property
+    def n_faulted(self) -> int:
+        """Number of intervals carrying any flag."""
+        return int(np.count_nonzero(self.flags))
+
+    @property
+    def faulted_fraction(self) -> float:
+        """Fraction of intervals carrying any flag."""
+        return self.n_faulted / len(self.flags)
+
+    def flagged(self, flag: QualityFlag) -> np.ndarray:
+        """Indices of intervals carrying ``flag``."""
+        return np.flatnonzero((self.flags & int(flag)) != 0)
+
+
+class FaultInjector:
+    """Seeded, deterministic corruption of power / price series.
+
+    The injector is a pure function of ``(spec, seed, series)``: the same
+    inputs always produce the same :class:`FaultedSeries` bit-for-bit,
+    which is what lets the chaos harness (:mod:`repro.robustness.chaos`)
+    sweep intensities reproducibly.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0) -> None:
+        if not isinstance(spec, FaultSpec):
+            raise RobustnessError(f"expected FaultSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self.seed = int(seed)
+
+    # -- episode machinery ---------------------------------------------------
+
+    @staticmethod
+    def _burst_episodes(
+        rng: np.random.Generator, n: int, rate: float, burst_mean: float
+    ) -> List[Tuple[int, int]]:
+        """Geometric-burst episodes covering ~``rate * n`` intervals."""
+        if rate <= 0.0 or n == 0:
+            return []
+        target = rate * n
+        n_episodes = max(1, int(round(target / burst_mean)))
+        starts = np.sort(rng.integers(0, n, size=n_episodes))
+        lengths = rng.geometric(min(1.0 / burst_mean, 1.0), size=n_episodes)
+        episodes: List[Tuple[int, int]] = []
+        for start, length in zip(starts, lengths):
+            episodes.append((int(start), int(min(start + length, n))))
+        return episodes
+
+    # -- metering faults -------------------------------------------------------
+
+    def inject(self, series: PowerSeries) -> FaultedSeries:
+        """Corrupt a metered power series per the spec.
+
+        Fault layering order is meter-physical: stuck registers first (the
+        meter still reports), spikes on top, then dropouts erase whatever
+        was there (a gap hides a stuck register), clock drift last (it
+        perturbs whatever got reported).
+        """
+        rng = np.random.default_rng(self.seed)
+        values = series.values_kw.copy()
+        n = len(values)
+        flags = np.zeros(n, dtype=np.uint8)
+        spec = self.spec
+
+        # 1. stuck-at-last-value episodes
+        for start, end in self._burst_episodes(
+            rng, n, spec.stuck_rate, spec.stuck_burst_mean
+        ):
+            if start == 0:
+                continue  # no prior value to stick to
+            values[start:end] = values[start - 1]
+            flags[start:end] |= int(QualityFlag.STUCK)
+
+        # 2. spike outliers
+        if spec.spike_rate > 0.0:
+            hits = np.flatnonzero(rng.random(n) < spec.spike_rate)
+            if hits.size:
+                q75, q25 = np.percentile(series.values_kw, [75.0, 25.0])
+                scale = max(q75 - q25, 1e-6 * max(abs(series.max_kw()), 1.0), 1e-9)
+                signs = rng.choice([-1.0, 1.0], size=hits.size)
+                values[hits] += signs * spec.spike_magnitude * scale
+                flags[hits] |= int(QualityFlag.SPIKE)
+
+        # 3. dropped metering intervals (sentinel fill)
+        for start, end in self._burst_episodes(
+            rng, n, spec.dropout_rate, spec.dropout_burst_mean
+        ):
+            values[start:end] = spec.sentinel_kw
+            flags[start:end] &= ~np.uint8(int(QualityFlag.STUCK | QualityFlag.SPIKE))
+            flags[start:end] |= int(QualityFlag.MISSING)
+
+        # 4. clock drift: blend with the neighbor by accumulated misalignment
+        if spec.clock_drift_s_per_day != 0.0:
+            drift_per_interval = (
+                spec.clock_drift_s_per_day * series.interval_s / 86_400.0
+            )
+            misalign_s = drift_per_interval * np.arange(1, n + 1)
+            frac = np.clip(np.abs(misalign_s) / series.interval_s, 0.0, 1.0)
+            shifted = np.empty_like(values)
+            if drift_per_interval > 0:  # meter clock fast: reads into the future
+                shifted[:-1] = values[1:]
+                shifted[-1] = values[-1]
+            else:  # meter clock slow: reads into the past
+                shifted[1:] = values[:-1]
+                shifted[0] = values[0]
+            values = (1.0 - frac) * values + frac * shifted
+            drifted = frac > 0.01
+            flags[drifted] |= int(QualityFlag.CLOCK_DRIFT)
+
+        return FaultedSeries(
+            clean=series,
+            corrupted=PowerSeries(values, series.interval_s, series.start_s),
+            flags=flags,
+            spec=spec,
+            seed=self.seed,
+        )
+
+    # -- price-feed faults ------------------------------------------------------
+
+    def inject_prices(self, prices: PowerSeries) -> FaultedSeries:
+        """Corrupt a price series with feed outages (stale ticks).
+
+        During an outage the subscriber keeps consuming the last good tick
+        — exactly what a dynamic-tariff optimizer sees when the ESP's feed
+        goes down — so outage intervals hold the pre-outage price and are
+        flagged ``STALE``.
+        """
+        rng = np.random.default_rng(self.seed + 104_729)  # decorrelate from meters
+        values = prices.values_kw.copy()
+        n = len(values)
+        flags = np.zeros(n, dtype=np.uint8)
+        for start, end in self._burst_episodes(
+            rng, n, self.spec.price_outage_rate, self.spec.price_outage_burst_mean
+        ):
+            if start == 0:
+                continue  # no last good tick before the horizon
+            values[start:end] = values[start - 1]
+            flags[start:end] |= int(QualityFlag.STALE)
+        return FaultedSeries(
+            clean=prices,
+            corrupted=PowerSeries(values, prices.interval_s, prices.start_s),
+            flags=flags,
+            spec=self.spec,
+            seed=self.seed,
+        )

@@ -1,0 +1,323 @@
+"""VEE — validate, estimate, edit — for imperfect interval-meter data.
+
+Utility meter-data management runs every interval read through a VEE
+pipeline before it may be billed: *validation* screens for gaps, stuck
+registers and implausible outliers; *estimation* fills what failed with a
+defensible substitute (linear interpolation, a like-day profile, or the
+last good value — the standard estimation methods in meter-data practice);
+*editing* records the provenance so a later true-up can replace estimates
+with corrected actuals.  This module is that pipeline for
+:class:`~repro.timeseries.PowerSeries`, feeding the estimated-bill /
+reconciliation path in :mod:`repro.contracts.billing`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DataQualityError
+from ..timeseries.series import PowerSeries
+from .faults import BAD_VALUE_FLAGS, FaultedSeries, FaultSpec, QualityFlag
+
+__all__ = [
+    "EstimationMethod",
+    "GapReport",
+    "EstimatedSeries",
+    "VEEngine",
+    "detect_gaps",
+]
+
+
+class EstimationMethod(enum.Enum):
+    """Estimation strategies for failed intervals (meter-data practice)."""
+
+    LINEAR_INTERPOLATION = "linear interpolation"
+    LIKE_DAY_PROFILE = "like-day profile"
+    LAST_GOOD_VALUE = "last good value"
+
+
+#: Provenance codes stored per interval in :class:`EstimatedSeries`.
+PROVENANCE_MEASURED = 0
+PROVENANCE_CODES: Dict[EstimationMethod, int] = {
+    EstimationMethod.LINEAR_INTERPOLATION: 1,
+    EstimationMethod.LIKE_DAY_PROFILE: 2,
+    EstimationMethod.LAST_GOOD_VALUE: 3,
+}
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """One maximal run of bad-value intervals."""
+
+    start_index: int
+    end_index: int  # exclusive
+
+    @property
+    def n_intervals(self) -> int:
+        """Gap length in intervals."""
+        return self.end_index - self.start_index
+
+
+def detect_gaps(bad_mask: np.ndarray) -> List[GapReport]:
+    """Group a boolean bad-value mask into maximal runs."""
+    indices = np.flatnonzero(np.asarray(bad_mask, dtype=bool))
+    if indices.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(indices) > 1)
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [indices.size - 1]])
+    return [
+        GapReport(start_index=int(indices[s]), end_index=int(indices[e]) + 1)
+        for s, e in zip(starts, ends)
+    ]
+
+
+@dataclass(frozen=True)
+class EstimatedSeries:
+    """A VEE'd series with full per-interval provenance.
+
+    Attributes
+    ----------
+    series:
+        The billable series: measured values where trusted, estimates
+        where not.
+    flags:
+        Post-VEE quality flags (``ESTIMATED`` set on repaired intervals,
+        ``SUSPECT`` on screened outliers).
+    provenance:
+        Per-interval provenance code: 0 = measured, else the
+        ``PROVENANCE_CODES`` value of the estimation method used.
+    method:
+        Primary estimation method requested.
+    """
+
+    series: PowerSeries
+    flags: np.ndarray
+    provenance: np.ndarray
+    method: EstimationMethod
+
+    @property
+    def n_estimated(self) -> int:
+        """Number of intervals whose value is an estimate."""
+        return int(np.count_nonzero(self.provenance))
+
+    @property
+    def estimated_fraction(self) -> float:
+        """Fraction of intervals estimated (the bill's data-quality figure)."""
+        return self.n_estimated / len(self.provenance)
+
+    @property
+    def is_fully_measured(self) -> bool:
+        """True when no interval needed estimation."""
+        return self.n_estimated == 0
+
+    def data_quality(self) -> Dict[str, float]:
+        """Data-quality metadata for estimated bills / exports."""
+        return {
+            "n_intervals": float(len(self.provenance)),
+            "n_estimated": float(self.n_estimated),
+            "estimated_fraction": self.estimated_fraction,
+            "n_gaps": float(len(detect_gaps(self.provenance != 0))),
+        }
+
+
+class VEEngine:
+    """The validate/estimate/edit pipeline.
+
+    Parameters
+    ----------
+    method:
+        Primary estimation strategy.  Like-day estimation falls back to
+        linear interpolation when fewer than two days of data exist or a
+        slot has no good same-time-of-day samples; edge gaps (no left/right
+        anchor) fall back to the nearest good value.
+    outlier_z:
+        Robust z-score (modified z via MAD) beyond which an *unflagged*
+        value is screened as ``SUSPECT`` and estimated too.  ``None``
+        disables screening.
+    max_estimated_fraction:
+        VEE refuses to fabricate more than this fraction of the horizon —
+        past it the data is unbillable and the pipeline raises
+        :class:`~repro.exceptions.DataQualityError` (a real MDM would fall
+        back to a fully estimated bill from history, which is exactly the
+        like-day path — but silently estimating 80 % of a month is how
+        billing disputes are born).
+    """
+
+    def __init__(
+        self,
+        method: EstimationMethod = EstimationMethod.LINEAR_INTERPOLATION,
+        outlier_z: Optional[float] = 6.0,
+        max_estimated_fraction: float = 0.5,
+    ) -> None:
+        if not isinstance(method, EstimationMethod):
+            raise DataQualityError(
+                f"expected EstimationMethod, got {type(method).__name__}"
+            )
+        if outlier_z is not None and outlier_z <= 0:
+            raise DataQualityError("outlier_z must be positive (or None)")
+        if not 0.0 < max_estimated_fraction <= 1.0:
+            raise DataQualityError("max_estimated_fraction must be in (0, 1]")
+        self.method = method
+        self.outlier_z = outlier_z
+        self.max_estimated_fraction = float(max_estimated_fraction)
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        """Screen unflagged values for implausible outliers.
+
+        Returns a new flag array with ``SUSPECT`` set on robust-z outliers
+        among the previously-good intervals.  Uses the modified z-score
+        (median / MAD), the standard screen in meter-data validation: the
+        ordinary z-score is itself corrupted by the outliers it hunts.
+        """
+        flags = flags.copy()
+        if self.outlier_z is None:
+            return flags
+        good = (flags & int(BAD_VALUE_FLAGS)) == 0
+        good_values = values[good]
+        if good_values.size < 8:
+            return flags  # too little data to screen against
+        median = np.median(good_values)
+        mad = np.median(np.abs(good_values - median))
+        if mad <= 0:
+            return flags  # constant data: nothing is an outlier
+        z = 0.6745 * np.abs(values - median) / mad
+        suspect = good & (z > self.outlier_z)
+        flags[suspect] |= int(QualityFlag.SUSPECT)
+        return flags
+
+    # -- estimation ---------------------------------------------------------------
+
+    @staticmethod
+    def _estimate_linear(
+        values: np.ndarray, bad: np.ndarray
+    ) -> np.ndarray:
+        good_idx = np.flatnonzero(~bad)
+        bad_idx = np.flatnonzero(bad)
+        out = values.copy()
+        # np.interp clamps to the edge values for out-of-range queries,
+        # which is exactly the nearest-good-value edge fallback.
+        out[bad_idx] = np.interp(bad_idx, good_idx, values[good_idx])
+        return out
+
+    @staticmethod
+    def _estimate_last_good(values: np.ndarray, bad: np.ndarray) -> np.ndarray:
+        idx = np.arange(len(values))
+        last_good = np.where(~bad, idx, -1)
+        np.maximum.accumulate(last_good, out=last_good)
+        out = values.copy()
+        fillable = bad & (last_good >= 0)
+        out[fillable] = values[last_good[fillable]]
+        # leading gap: back-fill from the first good value
+        leading = bad & (last_good < 0)
+        if leading.any():
+            first_good = int(np.flatnonzero(~bad)[0])
+            out[leading] = values[first_good]
+        return out
+
+    def _estimate_like_day(
+        self, values: np.ndarray, bad: np.ndarray, intervals_per_day: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Like-day profile: mean of good samples in the same daily slot.
+
+        Returns ``(estimates, used_like_day)`` — slots with no good
+        same-time sample fall back to linear interpolation and are
+        reported in the second array so provenance stays honest.
+        """
+        n = len(values)
+        slot = np.arange(n) % intervals_per_day
+        good = ~bad
+        slot_sum = np.bincount(
+            slot[good], weights=values[good], minlength=intervals_per_day
+        )
+        slot_count = np.bincount(slot[good], minlength=intervals_per_day)
+        have_profile = slot_count > 0
+        profile = np.where(have_profile, slot_sum / np.maximum(slot_count, 1), 0.0)
+        out = values.copy()
+        like_day = bad & have_profile[slot]
+        out[like_day] = profile[slot[like_day]]
+        # fall back for slots with no history
+        remaining = bad & ~like_day
+        if remaining.any():
+            out = np.where(remaining, self._estimate_linear(out, remaining), out)
+        return out, like_day
+
+    def estimate(self, faulted: FaultedSeries) -> EstimatedSeries:
+        """Run the full pipeline on a faulted series.
+
+        Idempotent on clean data: with no flags set and no screened
+        outliers, the output values are bit-identical to the input.
+        """
+        if not isinstance(faulted, FaultedSeries):
+            raise DataQualityError(
+                f"expected FaultedSeries, got {type(faulted).__name__}"
+            )
+        series = faulted.corrupted
+        values = series.values_kw.copy()
+        flags = self.validate(values, faulted.flags)
+        bad = (flags & int(BAD_VALUE_FLAGS)) != 0
+        n_bad = int(np.count_nonzero(bad))
+        provenance = np.zeros(len(values), dtype=np.uint8)
+
+        if n_bad == 0:
+            return EstimatedSeries(
+                series=series, flags=flags, provenance=provenance, method=self.method
+            )
+        if n_bad == len(values):
+            raise DataQualityError(
+                "every interval failed validation; nothing to estimate from"
+            )
+        estimated_fraction = n_bad / len(values)
+        if estimated_fraction > self.max_estimated_fraction:
+            raise DataQualityError(
+                f"{estimated_fraction:.1%} of intervals failed validation, "
+                f"above the billable limit of {self.max_estimated_fraction:.1%}"
+            )
+
+        method = self.method
+        if method is EstimationMethod.LIKE_DAY_PROFILE:
+            intervals_per_day = int(round(86_400.0 / series.interval_s))
+            if intervals_per_day < 1 or len(values) < 2 * intervals_per_day:
+                method = EstimationMethod.LINEAR_INTERPOLATION  # not enough days
+        if method is EstimationMethod.LIKE_DAY_PROFILE:
+            out, like_day = self._estimate_like_day(values, bad, intervals_per_day)
+            provenance[like_day] = PROVENANCE_CODES[EstimationMethod.LIKE_DAY_PROFILE]
+            provenance[bad & ~like_day] = PROVENANCE_CODES[
+                EstimationMethod.LINEAR_INTERPOLATION
+            ]
+        elif method is EstimationMethod.LAST_GOOD_VALUE:
+            out = self._estimate_last_good(values, bad)
+            provenance[bad] = PROVENANCE_CODES[EstimationMethod.LAST_GOOD_VALUE]
+        else:
+            out = self._estimate_linear(values, bad)
+            provenance[bad] = PROVENANCE_CODES[EstimationMethod.LINEAR_INTERPOLATION]
+
+        flags = flags.copy()
+        flags[bad] |= int(QualityFlag.ESTIMATED)
+        return EstimatedSeries(
+            series=series.with_values(out),
+            flags=flags,
+            provenance=provenance,
+            method=self.method,
+        )
+
+    def estimate_clean(self, series: PowerSeries) -> EstimatedSeries:
+        """Convenience: run the pipeline on a series with no prior flags."""
+        faulted = FaultedSeries(
+            clean=series,
+            corrupted=series,
+            flags=np.zeros(len(series), dtype=np.uint8),
+            spec=_NO_FAULTS,
+            seed=0,
+        )
+        return self.estimate(faulted)
+
+
+#: Module-level no-fault spec so :meth:`VEEngine.estimate_clean` is cheap.
+_NO_FAULTS = FaultSpec()

@@ -59,8 +59,16 @@ class PowerSeries:
             raise TimeSeriesError(f"values must be 1-D, got shape {arr.shape}")
         if arr.size == 0:
             raise TimeSeriesError("a PowerSeries must contain at least one interval")
-        if not np.all(np.isfinite(arr)):
-            raise TimeSeriesError("power values must be finite")
+        finite = np.isfinite(arr)
+        if not finite.all():
+            bad = np.flatnonzero(~finite)
+            first = int(bad[0])
+            raise TimeSeriesError(
+                f"power values must be finite: found {arr[first]!r} at index "
+                f"{first} ({bad.size} non-finite value(s) of {arr.size}); "
+                "represent metering gaps with QualityFlag masks + sentinel "
+                "fill (see repro.robustness.faults), not NaN"
+            )
         interval_s = float(interval_s)
         if not np.isfinite(interval_s) or interval_s <= 0.0:
             raise TimeSeriesError(f"interval_s must be positive, got {interval_s!r}")

@@ -1,0 +1,102 @@
+"""Chaos-harness acceptance: the ISSUE's end-to-end degradation guarantees.
+
+Deterministic seeded runs demonstrate that (a) at meter-dropout rates
+≤ 5 % the estimated bills stay within 3 % of fault-free bills, and (b) at
+signal loss ≤ 20 % every dispatched emergency event is either acknowledged
+(after retries) or lands in the dead-letter log with a penalty assessed.
+"""
+
+import pytest
+
+from repro.exceptions import RobustnessError
+from repro.robustness import (
+    ChaosScenario,
+    DegradationReport,
+    DeliveryPolicy,
+    run_chaos_sweep,
+    run_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """The canonical seeded sweep: dropout × signal-loss grid."""
+    return run_chaos_sweep(
+        dropout_rates=(0.0, 0.01, 0.05),
+        loss_probabilities=(0.0, 0.1, 0.2),
+        seed=0,
+        horizon_days=28,
+    )
+
+
+class TestAcceptance:
+    def test_sweep_runs_end_to_end_without_crashing(self, sweep):
+        assert len(sweep.results) == 9
+        assert all(r.n_dispatched > 0 for r in sweep.results)
+
+    def test_estimated_bills_within_3pct_at_5pct_dropout(self, sweep):
+        for r in sweep.results:
+            assert r.scenario.dropout_rate <= 0.05
+            assert r.bill_error_fraction <= 0.03, r.scenario.name
+            assert r.invariants["bill_error_bounded"], r.scenario.name
+
+    def test_every_event_acknowledged_or_dead_lettered(self, sweep):
+        for r in sweep.results:
+            assert r.n_delivered + r.n_dead_letter == r.n_dispatched, r.scenario.name
+            assert r.invariants["accounting_conserved"], r.scenario.name
+
+    def test_dead_letters_carry_penalties(self):
+        # force misses with a brutal channel so the dead-letter path is hot
+        result = run_scenario(
+            ChaosScenario("forced misses", signal_loss_probability=0.95, seed=0),
+            horizon_days=28,
+            delivery_policy=DeliveryPolicy(loss_probability=0.95, max_retries=1),
+        )
+        assert result.n_dead_letter > 0
+        assert result.dead_letter_penalty > 0.0
+        assert result.invariants["dead_letters_penalized"]
+        assert result.n_delivered + result.n_dead_letter == result.n_dispatched
+
+    def test_all_invariants_hold(self, sweep):
+        sweep.assert_invariants()  # raises RobustnessError on violation
+        assert sweep.all_ok
+
+    def test_deterministic_given_seed(self):
+        scenario = ChaosScenario("det", dropout_rate=0.05, signal_loss_probability=0.2, seed=7)
+        a = run_scenario(scenario, horizon_days=14)
+        b = run_scenario(scenario, horizon_days=14)
+        assert a.true_total == b.true_total
+        assert a.estimated_total == b.estimated_total
+        assert a.bill_error_fraction == b.bill_error_fraction
+        assert a.n_dead_letter == b.n_dead_letter
+
+
+class TestHarnessMechanics:
+    def test_zero_faults_zero_error(self):
+        result = run_scenario(ChaosScenario("clean", seed=0), horizon_days=14)
+        assert result.bill_error_fraction == pytest.approx(0.0, abs=1e-12)
+        assert result.estimated_total == pytest.approx(result.true_total)
+
+    def test_degradation_happens_under_short_notice(self, sweep):
+        # the emergency program's 10-min notice is shorter than a full
+        # machine checkpoint ramp, so delivered events degrade
+        assert any(r.n_degraded > 0 for r in sweep.results)
+
+    def test_report_table_renders(self, sweep):
+        table = sweep.to_markdown()
+        assert table.count("\n") >= len(sweep.results)
+        assert "| scenario |" in table
+        assert "yes" in table
+
+    def test_report_requires_results(self):
+        with pytest.raises(RobustnessError):
+            DegradationReport([])
+
+    def test_short_horizon_rejected(self):
+        with pytest.raises(RobustnessError):
+            run_scenario(ChaosScenario("tiny"), horizon_days=3)
+
+    def test_worst_bill_error_reported(self, sweep):
+        assert sweep.worst_bill_error == max(
+            r.bill_error_fraction for r in sweep.results
+        )

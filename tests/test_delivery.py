@@ -1,0 +1,202 @@
+"""Lossy signal delivery: retries, dead letters, graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.dr import CostModel, DRController, LoadShedStrategy
+from repro.exceptions import SignalDeliveryError
+from repro.facility import CheckpointModel, Supercomputer
+from repro.grid import EmergencyProgram, IncentiveBasedProgram
+from repro.grid.events import DREvent, EmergencyEvent
+from repro.robustness import DeadLetter, DeliveryPolicy, LossySignalChannel
+from repro.timeseries import PowerSeries
+
+HOUR = 3600.0
+
+
+def emergency(start=10 * HOUR, end=12 * HOUR, limit=500.0, notice=HOUR):
+    return EmergencyEvent(
+        start, end, limit, EmergencyProgram(name="em", notice_time_s=notice)
+    )
+
+
+def dr_event(start=10 * HOUR, end=12 * HOUR):
+    program = IncentiveBasedProgram(name="il", energy_payment_per_kwh=0.25)
+    return DREvent(start, end, 200.0, program, notice_s=1800.0)
+
+
+class TestDeliveryPolicy:
+    def test_rejects_certain_loss(self):
+        with pytest.raises(SignalDeliveryError):
+            DeliveryPolicy(loss_probability=1.0)
+
+    def test_rejects_shrinking_backoff(self):
+        with pytest.raises(SignalDeliveryError):
+            DeliveryPolicy(backoff_factor=0.5)
+
+    def test_backoff_grows_exponentially(self):
+        p = DeliveryPolicy(base_backoff_s=30.0, backoff_factor=2.0, backoff_jitter=0.0)
+        assert p.backoff_s(0, 0.0) == 30.0
+        assert p.backoff_s(3, 0.0) == 240.0
+
+
+class TestTransmission:
+    def test_lossless_channel_delivers_first_attempt(self):
+        channel = LossySignalChannel(DeliveryPolicy(loss_probability=0.0), seed=0)
+        outcome = channel.transmit(emergency())
+        assert outcome.delivered
+        assert outcome.n_attempts == 1
+        assert outcome.remaining_notice_s > 0
+
+    def test_delivery_deterministic_per_seed(self):
+        policy = DeliveryPolicy(loss_probability=0.5)
+        a = LossySignalChannel(policy, seed=42).transmit(emergency())
+        b = LossySignalChannel(policy, seed=42).transmit(emergency())
+        assert a.attempts == b.attempts if not isinstance(a, DeadLetter) else (
+            a.outcome.attempts == b.outcome.attempts
+        )
+
+    def test_heavy_loss_dead_letters(self):
+        policy = DeliveryPolicy(loss_probability=0.95, max_retries=2)
+        channel = LossySignalChannel(policy, seed=1)
+        results = [channel.transmit(emergency()) for _ in range(30)]
+        dead = [r for r in results if isinstance(r, DeadLetter)]
+        assert dead, "95% loss with 3 attempts must drop something in 30 tries"
+        assert all(d.reason in ("retries exhausted", "notice window exhausted") for d in dead)
+
+    def test_all_sends_respect_notice_deadline(self):
+        policy = DeliveryPolicy(loss_probability=0.9, max_retries=8)
+        channel = LossySignalChannel(policy, seed=5)
+        for _ in range(50):
+            result = channel.transmit(emergency(notice=15 * 60.0))
+        for record in channel.delivered + [d.outcome for d in channel.dead_letters]:
+            for attempt in record.attempts:
+                assert attempt.sent_s < record.deadline_s
+
+    def test_accounting_conserved(self):
+        policy = DeliveryPolicy(loss_probability=0.6, max_retries=1)
+        channel = LossySignalChannel(policy, seed=9)
+        events = [emergency(start=(10 + 3 * k) * HOUR, end=(11 + 3 * k) * HOUR) for k in range(12)]
+        delivered, dead = channel.transmit_all(events)
+        assert channel.accounting_conserved(len(events))
+        assert len(delivered) + len(dead) == len(events)
+
+    def test_issuing_after_deadline_rejected(self):
+        channel = LossySignalChannel(DeliveryPolicy(), seed=0)
+        with pytest.raises(SignalDeliveryError):
+            channel.transmit(emergency(), issued_s=11 * HOUR)
+
+    def test_dead_letter_penalty_assessment(self):
+        policy = DeliveryPolicy(loss_probability=0.95, max_retries=0)
+        channel = LossySignalChannel(policy, seed=3)
+        events = [emergency(start=(10 + 3 * k) * HOUR, end=(11 + 3 * k) * HOUR) for k in range(10)]
+        channel.transmit_all(events)
+        assert channel.dead_letters  # 95% loss, single attempt
+        total = channel.assess_dead_letter_penalties(
+            baseline_kw=1500.0, penalty_per_kwh=0.5
+        )
+        # each missed 1 h call: (1500 - 500) kW * 1 h * 0.5/kWh = 500
+        assert total == pytest.approx(500.0 * len(channel.dead_letters))
+        assert all(d.penalty_exposure == pytest.approx(500.0) for d in channel.dead_letters)
+
+    def test_missed_voluntary_dr_carries_no_penalty(self):
+        policy = DeliveryPolicy(loss_probability=0.95, max_retries=0)
+        channel = LossySignalChannel(policy, seed=3)
+        channel.transmit_all([dr_event(start=(10 + 3 * k) * HOUR, end=(11 + 3 * k) * HOUR) for k in range(10)])
+        total = channel.assess_dead_letter_penalties(1500.0, 0.5)
+        assert total == 0.0
+
+    def test_summary_counts(self):
+        channel = LossySignalChannel(DeliveryPolicy(loss_probability=0.0), seed=0)
+        channel.transmit_all([emergency()])
+        s = channel.summary()
+        assert s["n_dispatched"] == 1
+        assert s["delivery_rate"] == 1.0
+        assert s["mean_attempts"] == 1.0
+
+
+class TestGracefulDegradation:
+    def controller(self, with_checkpoint=True):
+        machine = Supercomputer("m", n_nodes=2000)
+        return DRController(
+            machine,
+            CostModel(machine_capex=1e8),
+            LoadShedStrategy(floor_kw=300.0),
+            checkpoint_model=CheckpointModel() if with_checkpoint else None,
+        )
+
+    def load(self, level=2000.0):
+        return PowerSeries.constant(level, 24 * 4, 900.0)
+
+    @staticmethod
+    def event_peak(outcome):
+        """Peak of the modified load *inside* the event window.
+
+        Outside the window the load sits at baseline by construction, so
+        the whole-series max never reflects the curtailment depth.
+        """
+        modified = outcome.response.modified
+        i0 = int(outcome.event.start_s // modified.interval_s)
+        i1 = int(outcome.event.end_s // modified.interval_s)
+        return float(modified.values_kw[i0:i1].max())
+
+    def test_full_notice_full_compliance(self):
+        c = self.controller()
+        ramp = c.checkpoint_model.dr_ramp_time_s(c.machine, 1.0)
+        outcome = c.respond_emergency(
+            self.load(), emergency(limit=500.0), remaining_notice_s=ramp
+        )
+        assert not outcome.degraded
+        assert outcome.achieved_fraction == 1.0
+        assert self.event_peak(outcome) <= 500.0 + 1e-9
+
+    def test_zero_notice_no_curtailment(self):
+        c = self.controller()
+        outcome = c.respond_emergency(
+            self.load(), emergency(limit=500.0), remaining_notice_s=0.0
+        )
+        assert outcome.degraded
+        assert outcome.achieved_fraction == 0.0
+        # the cap never bites: load stays at baseline through the event
+        assert self.event_peak(outcome) == pytest.approx(2000.0)
+
+    def test_partial_notice_partial_curtailment(self):
+        c = self.controller()
+        ramp = c.checkpoint_model.dr_ramp_time_s(c.machine, 1.0)
+        outcome = c.respond_emergency(
+            self.load(), emergency(limit=500.0), remaining_notice_s=0.5 * ramp
+        )
+        assert outcome.degraded
+        assert outcome.achieved_fraction == pytest.approx(0.5)
+        event_peak = self.event_peak(outcome)
+        assert 500.0 < event_peak < 2000.0
+        # halfway notice → halfway between limit and the pre-event level
+        assert event_peak == pytest.approx(0.5 * (2000.0 + 500.0))
+
+    def test_monotone_in_notice(self):
+        c = self.controller()
+        ramp = c.checkpoint_model.dr_ramp_time_s(c.machine, 1.0)
+        peaks = []
+        for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+            outcome = c.respond_emergency(
+                self.load(), emergency(limit=500.0), remaining_notice_s=frac * ramp
+            )
+            peaks.append(self.event_peak(outcome))
+        assert peaks == sorted(peaks, reverse=True)  # more notice, deeper cut
+
+    def test_no_checkpoint_model_keeps_seed_semantics(self):
+        c = self.controller(with_checkpoint=False)
+        outcome = c.respond_emergency(
+            self.load(), emergency(limit=500.0), remaining_notice_s=0.0
+        )
+        assert not outcome.degraded
+        assert self.event_peak(outcome) <= 500.0 + 1e-9
+
+    def test_negative_notice_rejected(self):
+        c = self.controller()
+        from repro.exceptions import DemandResponseError
+
+        with pytest.raises(DemandResponseError):
+            c.respond_emergency(
+                self.load(), emergency(limit=500.0), remaining_notice_s=-1.0
+            )

@@ -29,6 +29,8 @@ class TestHierarchy:
         assert issubclass(exc.SchedulerError, exc.FacilityError)
         assert issubclass(exc.WorkloadError, exc.FacilityError)
         assert issubclass(exc.FlexibilityError, exc.DemandResponseError)
+        assert issubclass(exc.DataQualityError, exc.RobustnessError)
+        assert issubclass(exc.SignalDeliveryError, exc.RobustnessError)
 
     def test_root_catches_everything(self):
         """The documented embedding contract: catching ReproError is enough."""

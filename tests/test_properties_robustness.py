@@ -1,0 +1,114 @@
+"""Property-based tests: robustness-layer invariants.
+
+Three properties the ISSUE pins down:
+
+* VEE estimation is idempotent on clean data — a pipeline run over
+  unflagged, unscreened telemetry returns it bit-identical;
+* fault injection with the same seed is bit-reproducible;
+* the retry schedule never sends past the notice deadline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.grid import EmergencyProgram
+from repro.grid.events import EmergencyEvent
+from repro.robustness import (
+    DeadLetter,
+    DeliveryPolicy,
+    FaultInjector,
+    FaultSpec,
+    LossySignalChannel,
+    VEEngine,
+)
+from repro.timeseries import PowerSeries
+
+power_values = arrays(
+    np.float64,
+    st.integers(min_value=16, max_value=384),
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+
+@st.composite
+def power_series(draw):
+    return PowerSeries(draw(power_values), draw(st.sampled_from([900.0, 3600.0])))
+
+
+@st.composite
+def fault_specs(draw):
+    return FaultSpec(
+        dropout_rate=draw(st.floats(min_value=0.0, max_value=0.3)),
+        stuck_rate=draw(st.floats(min_value=0.0, max_value=0.2)),
+        spike_rate=draw(st.floats(min_value=0.0, max_value=0.1)),
+        clock_drift_s_per_day=draw(st.floats(min_value=-120.0, max_value=120.0)),
+    )
+
+
+class TestVEEIdempotence:
+    @given(power_series())
+    def test_clean_data_passes_through_bitwise(self, series):
+        est = VEEngine(outlier_z=None).estimate_clean(series)
+        assert est.is_fully_measured
+        assert np.array_equal(est.series.values_kw, series.values_kw)
+        assert est.series.interval_s == series.interval_s
+
+    @given(power_series())
+    def test_estimating_twice_is_estimating_once(self, series):
+        """Running the pipeline on its own output changes nothing."""
+        engine = VEEngine(outlier_z=None)
+        once = engine.estimate_clean(series)
+        twice = engine.estimate_clean(once.series)
+        assert np.array_equal(once.series.values_kw, twice.series.values_kw)
+
+
+class TestInjectorReproducibility:
+    @given(power_series(), fault_specs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50)
+    def test_same_seed_bit_reproducible(self, series, spec, seed):
+        a = FaultInjector(spec, seed=seed).inject(series)
+        b = FaultInjector(spec, seed=seed).inject(series)
+        assert np.array_equal(a.corrupted.values_kw, b.corrupted.values_kw)
+        assert np.array_equal(a.flags, b.flags)
+
+    @given(power_series(), fault_specs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50)
+    def test_corrupted_always_finite_and_clean_untouched(self, series, spec, seed):
+        f = FaultInjector(spec, seed=seed).inject(series)
+        assert np.all(np.isfinite(f.corrupted.values_kw))
+        assert np.array_equal(f.clean.values_kw, series.values_kw)
+        assert len(f.flags) == len(series)
+
+
+class TestBackoffDeadline:
+    @given(
+        loss=st.floats(min_value=0.0, max_value=0.99),
+        notice_s=st.floats(min_value=60.0, max_value=7200.0),
+        max_retries=st.integers(min_value=0, max_value=10),
+        base_backoff_s=st.floats(min_value=1.0, max_value=600.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100)
+    def test_no_send_at_or_past_the_notice_deadline(
+        self, loss, notice_s, max_retries, base_backoff_s, seed
+    ):
+        policy = DeliveryPolicy(
+            loss_probability=loss,
+            max_retries=max_retries,
+            base_backoff_s=base_backoff_s,
+        )
+        channel = LossySignalChannel(policy, seed=seed)
+        event = EmergencyEvent(
+            start_s=10_000.0 + notice_s,
+            end_s=10_000.0 + notice_s + 3600.0,
+            limit_kw=500.0,
+            program=EmergencyProgram(name="em", notice_time_s=notice_s),
+        )
+        result = channel.transmit(event)
+        outcome = result.outcome if isinstance(result, DeadLetter) else result
+        for attempt in outcome.attempts:
+            assert attempt.sent_s < event.start_s  # the deadline bounds the schedule
+        assert channel.accounting_conserved(1)

@@ -1,0 +1,130 @@
+"""Estimated bills and the true-up reconciliation path."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    BillingEngine,
+    Contract,
+    DemandCharge,
+    FixedTariff,
+)
+from repro.exceptions import BillingError
+from repro.reporting import bill_to_dict, reconciliation_to_dict, reconciliation_to_json
+from repro.robustness import FaultInjector, FaultSpec, VEEngine
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY_S = 86_400.0
+
+
+@pytest.fixture
+def contract():
+    return Contract("rec", [FixedTariff(0.10), DemandCharge(12.0)])
+
+
+@pytest.fixture
+def engine():
+    return BillingEngine()
+
+
+@pytest.fixture
+def week_load():
+    t = np.arange(7 * 96)
+    return PowerSeries(4000.0 + 500.0 * np.sin(2 * np.pi * t / 96.0), 900.0)
+
+
+@pytest.fixture
+def periods():
+    return [BillingPeriod("week 1", 0.0, 7 * DAY_S)]
+
+
+class TestEstimatedBills:
+    def test_default_bill_is_measured(self, contract, engine, week_load, periods):
+        bill = engine.bill(contract, week_load, periods)
+        assert not bill.estimated
+        assert bill.data_quality is None
+        assert bill.summary()["estimated"] == 0.0
+
+    def test_estimated_flag_and_metadata_carried(self, contract, engine, week_load, periods):
+        bill = engine.bill(
+            contract, week_load, periods,
+            estimated=True, data_quality={"estimated_fraction": 0.04},
+        )
+        assert bill.estimated
+        assert bill.data_quality == {"estimated_fraction": 0.04}
+        assert bill.summary()["estimated"] == 1.0
+
+    def test_export_surfaces_estimation(self, contract, engine, week_load, periods):
+        bill = engine.bill(
+            contract, week_load, periods,
+            estimated=True, data_quality={"estimated_fraction": 0.04},
+        )
+        d = bill_to_dict(bill)
+        assert d["estimated"] is True
+        assert d["data_quality"]["estimated_fraction"] == 0.04
+
+
+class TestReconcile:
+    def test_true_up_against_corrected_data(self, contract, engine, week_load, periods):
+        faulted = FaultInjector(FaultSpec(dropout_rate=0.05), seed=2).inject(week_load)
+        est = VEEngine().estimate(faulted)
+        est_bill = engine.bill(
+            contract, est.series, periods,
+            estimated=True, data_quality=est.data_quality(),
+        )
+        rec = engine.reconcile(contract, est_bill, week_load)
+        assert not rec.true_bill.estimated
+        assert rec.total_adjustment == pytest.approx(
+            rec.true_bill.total - est_bill.total
+        )
+        assert rec.absolute_error_fraction < 0.03
+        assert rec.within_tolerance(0.03)
+        assert len(rec.period_adjustments) == 1
+        assert set(rec.component_adjustments) == {"fixed energy", "demand charge"}
+
+    def test_reconcile_identical_data_zero_adjustment(self, contract, engine, week_load, periods):
+        est_bill = engine.bill(contract, week_load, periods, estimated=True)
+        rec = engine.reconcile(contract, est_bill, week_load)
+        assert rec.total_adjustment == pytest.approx(0.0)
+        assert rec.absolute_error_fraction == pytest.approx(0.0)
+
+    def test_reconcile_rejects_measured_bill(self, contract, engine, week_load, periods):
+        measured = engine.bill(contract, week_load, periods)
+        with pytest.raises(BillingError):
+            engine.reconcile(contract, measured, week_load)
+
+    def test_reconcile_reuses_estimated_periods(self, contract, engine, week_load, periods):
+        est_bill = engine.bill(contract, week_load, periods, estimated=True)
+        rec = engine.reconcile(contract, est_bill, week_load)
+        assert [pb.period.label for pb in rec.true_bill.period_bills] == ["week 1"]
+
+    def test_negative_tolerance_rejected(self, contract, engine, week_load, periods):
+        est_bill = engine.bill(contract, week_load, periods, estimated=True)
+        rec = engine.reconcile(contract, est_bill, week_load)
+        with pytest.raises(BillingError):
+            rec.within_tolerance(-0.1)
+
+    def test_export_round_trips_to_json(self, contract, engine, week_load, periods):
+        faulted = FaultInjector(FaultSpec(dropout_rate=0.02), seed=1).inject(week_load)
+        est = VEEngine().estimate(faulted)
+        est_bill = engine.bill(
+            contract, est.series, periods,
+            estimated=True, data_quality=est.data_quality(),
+        )
+        rec = engine.reconcile(contract, est_bill, week_load)
+        d = reconciliation_to_dict(rec)
+        assert d["format"] == "repro-reconciliation-v1"
+        assert d["estimated_bill"]["estimated"] is True
+        assert d["true_bill"]["estimated"] is False
+        assert d["period_adjustments"][0]["label"] == "week 1"
+        parsed = json.loads(reconciliation_to_json(rec))
+        assert parsed["total_adjustment"] == pytest.approx(rec.total_adjustment)
+
+    def test_summary_figures(self, contract, engine, week_load, periods):
+        est_bill = engine.bill(contract, week_load, periods, estimated=True)
+        rec = engine.reconcile(contract, est_bill, week_load)
+        s = rec.summary()
+        assert s["n_periods"] == 1.0
+        assert s["estimated_total"] == pytest.approx(est_bill.total)

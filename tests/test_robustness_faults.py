@@ -1,0 +1,227 @@
+"""Fault injection and the VEE pipeline: flags, repair, provenance."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataQualityError, RobustnessError
+from repro.robustness import (
+    BAD_VALUE_FLAGS,
+    EstimationMethod,
+    FaultInjector,
+    FaultSpec,
+    FaultedSeries,
+    QualityFlag,
+    VEEngine,
+    detect_gaps,
+)
+from repro.timeseries import PowerSeries
+
+WEEK_INTERVALS = 7 * 96  # a week of 15-min data
+
+
+def wavy(n=WEEK_INTERVALS, level=5000.0, amp=800.0):
+    t = np.arange(n)
+    return PowerSeries(level + amp * np.sin(2 * np.pi * t / 96.0), 900.0)
+
+
+class TestFaultSpec:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(RobustnessError):
+            FaultSpec(dropout_rate=1.5)
+        with pytest.raises(RobustnessError):
+            FaultSpec(spike_rate=-0.1)
+
+    def test_rejects_sub_interval_bursts(self):
+        with pytest.raises(RobustnessError):
+            FaultSpec(dropout_burst_mean=0.5)
+
+    def test_rejects_nonfinite_sentinel(self):
+        with pytest.raises(RobustnessError):
+            FaultSpec(sentinel_kw=float("nan"))
+
+
+class TestFaultInjector:
+    def test_same_seed_bit_reproducible(self):
+        s = wavy()
+        spec = FaultSpec(dropout_rate=0.05, stuck_rate=0.02, spike_rate=0.01)
+        a = FaultInjector(spec, seed=7).inject(s)
+        b = FaultInjector(spec, seed=7).inject(s)
+        assert np.array_equal(a.corrupted.values_kw, b.corrupted.values_kw)
+        assert np.array_equal(a.flags, b.flags)
+
+    def test_different_seed_differs(self):
+        s = wavy()
+        spec = FaultSpec(dropout_rate=0.05)
+        a = FaultInjector(spec, seed=1).inject(s)
+        b = FaultInjector(spec, seed=2).inject(s)
+        assert not np.array_equal(a.flags, b.flags)
+
+    def test_no_faults_is_identity(self):
+        s = wavy()
+        f = FaultInjector(FaultSpec(), seed=0).inject(s)
+        assert np.array_equal(f.corrupted.values_kw, s.values_kw)
+        assert f.n_faulted == 0
+        assert f.faulted_fraction == 0.0
+
+    def test_dropouts_hold_sentinel_and_flag(self):
+        s = wavy()
+        spec = FaultSpec(dropout_rate=0.1, sentinel_kw=-1.0)
+        f = FaultInjector(spec, seed=3).inject(s)
+        missing = f.flagged(QualityFlag.MISSING)
+        assert missing.size > 0
+        assert np.all(f.corrupted.values_kw[missing] == -1.0)
+
+    def test_dropout_rate_roughly_respected(self):
+        s = wavy(n=365 * 96)
+        f = FaultInjector(FaultSpec(dropout_rate=0.05), seed=5).inject(s)
+        frac = f.flagged(QualityFlag.MISSING).size / len(s)
+        assert 0.02 < frac < 0.10  # geometric bursts: loose but honest band
+
+    def test_stuck_repeats_last_value(self):
+        s = wavy()
+        f = FaultInjector(FaultSpec(stuck_rate=0.05), seed=11).inject(s)
+        stuck = f.flagged(QualityFlag.STUCK)
+        assert stuck.size > 0
+        for i in stuck:
+            # each stuck interval equals the value before the episode began
+            j = i
+            while (f.flags[j - 1] & int(QualityFlag.STUCK)) and j > 0:
+                j -= 1
+            assert f.corrupted.values_kw[i] == pytest.approx(s.values_kw[j - 1])
+
+    def test_spikes_are_large_and_flagged(self):
+        s = wavy()
+        f = FaultInjector(FaultSpec(spike_rate=0.02, spike_magnitude=10.0), seed=2).inject(s)
+        spikes = f.flagged(QualityFlag.SPIKE)
+        assert spikes.size > 0
+        deltas = np.abs(f.corrupted.values_kw[spikes] - s.values_kw[spikes])
+        assert np.all(deltas > 1000.0)  # 10 IQRs of an 800-amp sine is big
+
+    def test_corrupted_series_stays_finite(self):
+        s = wavy()
+        spec = FaultSpec(
+            dropout_rate=0.1, stuck_rate=0.1, spike_rate=0.05, clock_drift_s_per_day=30.0
+        )
+        f = FaultInjector(spec, seed=9).inject(s)  # PowerSeries would raise otherwise
+        assert np.all(np.isfinite(f.corrupted.values_kw))
+
+    def test_clock_drift_flags_tail(self):
+        s = wavy(n=30 * 96)
+        f = FaultInjector(FaultSpec(clock_drift_s_per_day=60.0), seed=0).inject(s)
+        drifted = f.flagged(QualityFlag.CLOCK_DRIFT)
+        assert drifted.size > 0
+        # drift accumulates: the last interval is always among the worst
+        assert (len(s) - 1) in drifted
+
+    def test_price_outage_holds_last_tick(self):
+        prices = PowerSeries(0.05 + 0.01 * np.arange(500.0), 3600.0)
+        f = FaultInjector(FaultSpec(price_outage_rate=0.1), seed=4).inject_prices(prices)
+        stale = f.flagged(QualityFlag.STALE)
+        assert stale.size > 0
+        for i in stale:
+            j = i
+            while (f.flags[j - 1] & int(QualityFlag.STALE)) and j > 0:
+                j -= 1
+            assert f.corrupted.values_kw[i] == pytest.approx(prices.values_kw[j - 1])
+
+    def test_flag_length_mismatch_rejected(self):
+        s = wavy(n=10)
+        with pytest.raises(RobustnessError):
+            FaultedSeries(
+                clean=s, corrupted=s, flags=np.zeros(5, dtype=np.uint8),
+                spec=FaultSpec(), seed=0,
+            )
+
+
+class TestGapDetection:
+    def test_no_gaps_on_clean(self):
+        assert detect_gaps(np.zeros(10, dtype=bool)) == []
+
+    def test_runs_grouped(self):
+        mask = np.zeros(10, dtype=bool)
+        mask[[1, 2, 3, 7]] = True
+        gaps = detect_gaps(mask)
+        assert [(g.start_index, g.end_index) for g in gaps] == [(1, 4), (7, 8)]
+        assert gaps[0].n_intervals == 3
+
+
+class TestVEE:
+    def faulted(self, spec=None, seed=1, n=WEEK_INTERVALS):
+        spec = spec or FaultSpec(dropout_rate=0.05)
+        return FaultInjector(spec, seed=seed).inject(wavy(n=n))
+
+    def test_idempotent_on_clean_data(self):
+        s = wavy()
+        est = VEEngine(outlier_z=None).estimate_clean(s)
+        assert est.is_fully_measured
+        assert np.array_equal(est.series.values_kw, s.values_kw)
+
+    def test_linear_interpolation_repairs_toward_truth(self):
+        f = self.faulted()
+        est = VEEngine(EstimationMethod.LINEAR_INTERPOLATION).estimate(f)
+        bad = f.bad_mask
+        err_est = np.abs(est.series.values_kw[bad] - f.clean.values_kw[bad]).mean()
+        err_raw = np.abs(f.corrupted.values_kw[bad] - f.clean.values_kw[bad]).mean()
+        assert err_est < 0.2 * err_raw
+
+    def test_like_day_profile_beats_sentinel(self):
+        f = self.faulted(FaultSpec(dropout_rate=0.08, dropout_burst_mean=12.0))
+        est = VEEngine(EstimationMethod.LIKE_DAY_PROFILE).estimate(f)
+        bad = f.bad_mask
+        err = np.abs(est.series.values_kw[bad] - f.clean.values_kw[bad]).mean()
+        assert err < 200.0  # clean signal repeats daily; like-day nails it
+
+    def test_last_good_value_fills_forward(self):
+        s = wavy(n=96)
+        flags = np.zeros(96, dtype=np.uint8)
+        flags[10:13] |= int(QualityFlag.MISSING)
+        f = FaultedSeries(clean=s, corrupted=s, flags=flags, spec=FaultSpec(), seed=0)
+        est = VEEngine(EstimationMethod.LAST_GOOD_VALUE).estimate(f)
+        assert np.all(est.series.values_kw[10:13] == s.values_kw[9])
+
+    def test_provenance_marks_estimates_only(self):
+        f = self.faulted()
+        est = VEEngine(EstimationMethod.LINEAR_INTERPOLATION).estimate(f)
+        assert np.array_equal(est.provenance != 0, f.bad_mask)
+        assert est.n_estimated == int(f.bad_mask.sum())
+        assert 0.0 < est.estimated_fraction < 1.0
+
+    def test_estimated_flag_set(self):
+        f = self.faulted()
+        est = VEEngine().estimate(f)
+        repaired = (est.flags & int(QualityFlag.ESTIMATED)) != 0
+        assert np.array_equal(repaired, f.bad_mask)
+
+    def test_outlier_screening_catches_unflagged_spike(self):
+        s = wavy()
+        values = s.values_kw.copy()
+        values[40] = 1e6  # an unflagged register glitch
+        dirty = PowerSeries(values, 900.0)
+        f = FaultedSeries(
+            clean=s, corrupted=dirty, flags=np.zeros(len(s), dtype=np.uint8),
+            spec=FaultSpec(), seed=0,
+        )
+        est = VEEngine(outlier_z=6.0).estimate(f)
+        assert (est.flags[40] & int(QualityFlag.SUSPECT)) != 0
+        assert est.series.values_kw[40] < 1e5
+
+    def test_refuses_unbillable_fraction(self):
+        f = self.faulted(FaultSpec(dropout_rate=0.9, dropout_burst_mean=50.0))
+        with pytest.raises(DataQualityError):
+            VEEngine(max_estimated_fraction=0.3).estimate(f)
+
+    def test_data_quality_metadata(self):
+        f = self.faulted()
+        est = VEEngine().estimate(f)
+        dq = est.data_quality()
+        assert dq["n_intervals"] == float(WEEK_INTERVALS)
+        assert dq["n_estimated"] == float(est.n_estimated)
+        assert dq["n_gaps"] >= 1.0
+
+    def test_bad_value_flags_cover_injector_faults(self):
+        combined = int(BAD_VALUE_FLAGS)
+        for flag in (QualityFlag.MISSING, QualityFlag.STUCK, QualityFlag.SPIKE,
+                     QualityFlag.STALE, QualityFlag.SUSPECT):
+            assert combined & int(flag)
+        assert not combined & int(QualityFlag.ESTIMATED)
+        assert not combined & int(QualityFlag.CLOCK_DRIFT)

@@ -37,6 +37,17 @@ class TestConstruction:
         with pytest.raises(TimeSeriesError):
             PowerSeries([1.0, float("nan")], 900.0)
 
+    def test_nonfinite_message_names_index_value_and_count(self):
+        """The rejection names the offending index/value, not just 'not finite'."""
+        with pytest.raises(TimeSeriesError, match=r"nan.* at index 2") as exc:
+            PowerSeries([1.0, 2.0, float("nan"), float("inf")], 900.0)
+        message = str(exc.value)
+        assert "2 non-finite value(s) of 4" in message
+
+    def test_nonfinite_message_reports_first_offender(self):
+        with pytest.raises(TimeSeriesError, match=r"inf.* at index 0"):
+            PowerSeries([float("-inf"), 1.0], 900.0)
+
     def test_nonpositive_interval_rejected(self):
         with pytest.raises(TimeSeriesError):
             PowerSeries([1.0], 0.0)
