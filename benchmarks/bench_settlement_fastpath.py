@@ -1,0 +1,316 @@
+"""Settlement fast-path benchmark: old path vs new path, machine-readable.
+
+Times the pre-optimization settlement (legacy per-(component, period) loop
+with every cache disabled) against the single-pass shared-plan fast path,
+on the workloads the acceptance criteria name:
+
+* ``annual_bill_tou_demand`` — a 12-period annual bill under the
+  US-industrial TOU + ratcheted-demand reference contract;
+* ``bill_many_batch`` — the five-archetype tariff library settled on one
+  load, repeated single bills vs one batched plan;
+* ``compare_contracts_end_to_end`` — the paired contract comparison;
+* ``chaos_sweep_end_to_end`` — the 9-point robustness degradation sweep;
+* ``*_parallel`` — the same sweeps through the process-pool executor
+  (informational: they only beat serial on multi-core hosts).
+
+Every benchmark embeds an equivalence check (old and new totals within
+1e-6 relative) so a speedup can never come from computing something else.
+
+Results land in ``BENCH_settlement.json``.  ``--compare BASELINE
+--max-regression R`` fails (exit 1) when any benchmark's *speedup ratio*
+fell by more than ``R``× against the baseline — ratios, not wall times,
+so the gate is machine-independent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_settlement_fastpath.py \
+        [--days 365] [--repeat 5] [--out BENCH_settlement.json] \
+        [--compare BENCH_settlement.json --max-regression 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro import perfconfig
+from repro.analysis.comparison import compare_contracts
+from repro.analysis.scenarios import synthetic_sc_load
+from repro.contracts import BillingEngine, plan_for
+from repro.contracts.tariff_library import (
+    german_industrial,
+    nordic_spot_passthrough,
+    swiss_post_tender,
+    us_federal_with_emergency,
+    us_industrial_tou,
+)
+from repro.robustness.chaos import run_chaos_sweep
+from repro.timeseries.calendar import monthly_billing_periods
+
+PEAK_MW = 15.0
+PEAK_KW = PEAK_MW * 1000.0
+
+
+def _n_months(days: int) -> int:
+    """Whole canonical-year months covered by a ``days``-long load."""
+    if days >= 365:
+        return 12
+    if days < 31:
+        raise SystemExit("--days must be >= 31")
+    return max(1, days // 31)
+
+
+def _time(fn: Callable[[], object], repeat: int) -> Dict[str, float]:
+    """Best-of-``repeat`` wall time (plus per-run samples) for ``fn``."""
+    samples: List[float] = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "best_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+        "samples_s": samples,
+    }
+
+
+def _totals_close(old_total: float, new_total: float, what: str) -> None:
+    denom = max(abs(old_total), 1.0)
+    if abs(old_total - new_total) / denom > 1e-6:
+        raise AssertionError(
+            f"{what}: old/new disagree — old={old_total!r} new={new_total!r}"
+        )
+
+
+def _contracts():
+    return [
+        us_industrial_tou("bench SC", peak_kw=PEAK_KW),
+        german_industrial("bench SC", peak_kw=PEAK_KW),
+        nordic_spot_passthrough("bench SC"),
+        swiss_post_tender("bench SC"),
+        us_federal_with_emergency("bench SC", peak_kw=PEAK_KW),
+    ]
+
+
+def bench_annual_bill(days: int, repeat: int) -> Dict[str, object]:
+    """The reference 12-period bill: TOU + ratcheted demand charge."""
+    load = synthetic_sc_load(PEAK_MW, n_days=days, seed=42)
+    periods = monthly_billing_periods()[:_n_months(days)]
+    contract = us_industrial_tou("bench SC", peak_kw=PEAK_KW)
+    engine = BillingEngine()
+
+    def old() -> float:
+        with perfconfig.no_caching():
+            return engine.bill(contract, load, periods, fastpath=False).total
+
+    def new() -> float:
+        return engine.bill(contract, load, periods).total
+
+    _totals_close(old(), new(), "annual_bill_tou_demand")
+    plan_for(load, periods)  # warm the plan once, as every sweep harness does
+    t_old = _time(old, repeat)
+    t_new = _time(new, repeat)
+    return {
+        "n_periods": len(periods),
+        "n_intervals": len(load),
+        "old": t_old,
+        "new": t_new,
+        "speedup": t_old["best_s"] / t_new["best_s"],
+    }
+
+
+def bench_bill_many(days: int, repeat: int) -> Dict[str, object]:
+    """Five-archetype batch settlement vs five independent legacy bills."""
+    load = synthetic_sc_load(PEAK_MW, n_days=days, seed=43)
+    periods = monthly_billing_periods()[:_n_months(days)]
+    contracts = [c for c in _contracts() if not c.has_component("dynamic")]
+    engine = BillingEngine()
+
+    def old() -> float:
+        with perfconfig.no_caching():
+            return sum(
+                engine.bill(c, load, periods, fastpath=False).total
+                for c in contracts
+            )
+
+    def new() -> float:
+        return sum(b.total for b in engine.bill_many(contracts, load, periods))
+
+    _totals_close(old(), new(), "bill_many_batch")
+    t_old = _time(old, repeat)
+    t_new = _time(new, repeat)
+    return {
+        "n_contracts": len(contracts),
+        "old": t_old,
+        "new": t_new,
+        "speedup": t_old["best_s"] / t_new["best_s"],
+    }
+
+
+def bench_compare_contracts(days: int, repeat: int) -> Dict[str, object]:
+    """The §3.3 comparison harness end-to-end (incl. price generation)."""
+    load = synthetic_sc_load(PEAK_MW, n_days=days, seed=44)
+    contracts = _contracts()
+    periods = monthly_billing_periods()[:_n_months(days)]
+
+    def old() -> float:
+        with perfconfig.no_caching():
+            comp = compare_contracts(load, contracts, parallel=False, fastpath=False)
+        return comp.cheapest.total
+
+    def new() -> float:
+        return compare_contracts(load, contracts, parallel=False).cheapest.total
+
+    def new_parallel() -> float:
+        return compare_contracts(load, contracts, parallel=True).cheapest.total
+
+    _totals_close(old(), new(), "compare_contracts_end_to_end")
+    _totals_close(new(), new_parallel(), "compare_contracts_parallel")
+    t_old = _time(old, repeat)
+    t_new = _time(new, repeat)
+    t_par = _time(new_parallel, max(1, repeat // 2))
+    return {
+        "n_contracts": len(contracts),
+        "n_periods": len(periods),
+        "old": t_old,
+        "new": t_new,
+        "parallel": t_par,
+        "speedup": t_old["best_s"] / t_new["best_s"],
+        "parallel_speedup_vs_old": t_old["best_s"] / t_par["best_s"],
+    }
+
+
+def bench_chaos_sweep(days: int, repeat: int) -> Dict[str, object]:
+    """The 9-point robustness degradation sweep end-to-end."""
+    horizon = min(28, max(7, (days // 7) * 7))
+
+    def old() -> float:
+        with perfconfig.no_caching():
+            report = run_chaos_sweep(
+                horizon_days=horizon,
+                parallel=False,
+                fastpath=False,
+                use_world_cache=False,
+            )
+        return report.worst_bill_error
+
+    def new() -> float:
+        return run_chaos_sweep(horizon_days=horizon, parallel=False).worst_bill_error
+
+    def new_parallel() -> float:
+        return run_chaos_sweep(horizon_days=horizon, parallel=True).worst_bill_error
+
+    if abs(old() - new()) > 1e-9:
+        raise AssertionError("chaos sweep: old/new disagree")
+    t_old = _time(old, repeat)
+    t_new = _time(new, repeat)
+    t_par = _time(new_parallel, max(1, repeat // 2))
+    return {
+        "horizon_days": horizon,
+        "n_scenarios": 9,
+        "old": t_old,
+        "new": t_new,
+        "parallel": t_par,
+        "speedup": t_old["best_s"] / t_new["best_s"],
+        "parallel_speedup_vs_old": t_old["best_s"] / t_par["best_s"],
+    }
+
+
+def run_all(days: int, repeat: int) -> Dict[str, object]:
+    benchmarks = {
+        "annual_bill_tou_demand": bench_annual_bill(days, repeat),
+        "bill_many_batch": bench_bill_many(days, repeat),
+        "compare_contracts_end_to_end": bench_compare_contracts(days, repeat),
+        "chaos_sweep_end_to_end": bench_chaos_sweep(days, repeat),
+    }
+    return {
+        "schema": "bench_settlement/v1",
+        "generated_unix": int(time.time()),
+        "config": {"days": days, "repeat": repeat},
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def check_regression(
+    current: Dict[str, object], baseline_path: str, max_regression: float
+) -> List[str]:
+    """Speedup-ratio regressions of ``current`` against a baseline file.
+
+    A benchmark regresses when ``baseline_speedup / current_speedup``
+    exceeds ``max_regression``.  Ratios are dimensionless, so a slower CI
+    machine does not trip the gate — only a genuinely smaller optimization
+    margin does.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures: List[str] = []
+    for name, base_entry in baseline.get("benchmarks", {}).items():
+        cur_entry = current["benchmarks"].get(name)  # type: ignore[union-attr]
+        if cur_entry is None:
+            continue
+        base_speedup = float(base_entry["speedup"])
+        cur_speedup = float(cur_entry["speedup"])
+        if cur_speedup <= 0 or base_speedup / cur_speedup > max_regression:
+            failures.append(
+                f"{name}: speedup {cur_speedup:.2f}x vs baseline "
+                f"{base_speedup:.2f}x (allowed regression {max_regression:.1f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=365, help="load horizon (days)")
+    parser.add_argument("--repeat", type=int, default=5, help="timing repeats")
+    parser.add_argument(
+        "--out", default="BENCH_settlement.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--compare", default=None, help="baseline JSON to gate against"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="max allowed speedup-ratio regression vs baseline",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_all(args.days, args.repeat)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    print(f"settlement fast-path bench ({args.days} days, repeat={args.repeat})")
+    for name, entry in result["benchmarks"].items():
+        old_ms = entry["old"]["best_s"] * 1e3
+        new_ms = entry["new"]["best_s"] * 1e3
+        line = f"  {name:32s} old {old_ms:9.2f} ms  new {new_ms:8.2f} ms  {entry['speedup']:6.2f}x"
+        if "parallel" in entry:
+            line += f"  (pool {entry['parallel']['best_s'] * 1e3:8.2f} ms)"
+        print(line)
+    print(f"wrote {args.out}")
+
+    if args.compare:
+        failures = check_regression(result, args.compare, args.max_regression)
+        if failures:
+            print("REGRESSION vs baseline:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"no speedup regression vs {args.compare} (limit {args.max_regression}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,8 +16,15 @@ Each module implements one of the quantitative arguments the paper makes
 """
 
 from .cost import BillDecomposition, decompose_bill
-from .scenarios import ScenarioSpec, ScenarioResult, run_scenario, synthetic_sc_load
+from .scenarios import (
+    ScenarioSpec,
+    ScenarioResult,
+    generate_price_series,
+    run_scenario,
+    synthetic_sc_load,
+)
 from .comparison import ContractComparison, compare_contracts
+from .sweep import sweep_map
 from .peak_ratio import PeakRatioPoint, peak_ratio_study, shaped_load
 from .procurement import ProcurementStudy, cscs_procurement_study
 from .savings import IncentiveSweepPoint, incentive_threshold_sweep, lanl_office_dr_study
@@ -34,7 +41,9 @@ __all__ = [
     "decompose_bill",
     "ScenarioSpec",
     "ScenarioResult",
+    "generate_price_series",
     "run_scenario",
+    "sweep_map",
     "synthetic_sc_load",
     "ContractComparison",
     "compare_contracts",

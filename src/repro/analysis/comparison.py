@@ -8,6 +8,7 @@ each candidate contract.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -15,7 +16,13 @@ from ..contracts.contract import Contract
 from ..exceptions import AnalysisError
 from ..grid.prices import PriceModel
 from ..timeseries.series import PowerSeries
-from .scenarios import ScenarioResult, ScenarioSpec, run_scenario
+from .scenarios import (
+    ScenarioResult,
+    ScenarioSpec,
+    generate_price_series,
+    run_scenario,
+)
+from .sweep import sweep_map
 
 __all__ = ["ContractComparison", "compare_contracts"]
 
@@ -68,29 +75,44 @@ def compare_contracts(
     contracts: Sequence[Contract],
     price_model: Optional[PriceModel] = None,
     price_seed: int = 0,
+    parallel: Optional[bool] = None,
+    fastpath: bool = True,
 ) -> ContractComparison:
     """Settle ``load`` under each contract with a shared price realization.
 
     Sharing ``price_seed`` across scenarios makes the comparison paired:
     dynamic-tariff contracts see the same price path, so differences are
-    structural, not luck.
+    structural, not luck.  The shared realization is generated **once**
+    (when any candidate needs it) and handed to every scenario; the
+    scenarios themselves run through :func:`~repro.analysis.sweep.sweep_map`
+    (``parallel`` is forwarded) and settle on the shared-plan fast path
+    (``fastpath`` is forwarded to the billing engine).
     """
     if not contracts:
         raise AnalysisError("need at least one contract to compare")
     names = [c.name for c in contracts]
     if len(set(names)) != len(names):
         raise AnalysisError("contract names must be unique for comparison")
-    results = tuple(
-        run_scenario(
-            ScenarioSpec(
-                name=c.name,
-                contract=c,
-                load=load,
-                price_model=price_model,
-                price_seed=price_seed,
-            )
+    shared_prices: Optional[PowerSeries] = None
+    if price_model is not None or any(c.has_component("dynamic") for c in contracts):
+        shared_prices = generate_price_series(load, price_model, price_seed)
+    specs = [
+        ScenarioSpec(
+            name=c.name,
+            contract=c,
+            load=load,
+            price_model=price_model,
+            price_seed=price_seed,
+            price_series=shared_prices,
         )
         for c in contracts
+    ]
+    results = tuple(
+        sweep_map(
+            functools.partial(run_scenario, fastpath=fastpath),
+            specs,
+            parallel=parallel,
+        )
     )
     return ContractComparison(
         load_peak_kw=load.max_kw(),

@@ -23,6 +23,7 @@ build the capability is before the incentive arrives.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -32,8 +33,9 @@ from ..contracts.demand_charges import DemandCharge
 from ..contracts.tariffs import FixedTariff
 from ..exceptions import AnalysisError
 from ..timeseries.series import PowerSeries
-from .cost import decompose_bill
+from .cost import BillDecomposition, decompose_bill
 from .scenarios import synthetic_sc_load
+from .sweep import sweep_map
 
 __all__ = ["EvolutionYear", "EvolutionStudy", "contract_evolution_study"]
 
@@ -80,6 +82,27 @@ class EvolutionStudy:
         return None
 
 
+def _settle_trajectory(
+    load: PowerSeries, rates: Sequence[Tuple[float, float]]
+) -> List[BillDecomposition]:
+    """Settle one SC trajectory under every year's tariff, batched.
+
+    Module-level so :func:`~repro.analysis.sweep.sweep_map` can ship it to
+    worker processes; the per-year contracts share one settlement plan via
+    :meth:`~repro.contracts.billing.BillingEngine.bill_many` (the load-side
+    slicing/metering is identical across years — only rates change).
+    """
+    engine = BillingEngine()
+    contracts = [
+        Contract(
+            f"year-{year}",
+            [FixedTariff(energy_rate), DemandCharge(demand_rate)],
+        )
+        for year, (energy_rate, demand_rate) in enumerate(rates)
+    ]
+    return [decompose_bill(b) for b in engine.bill_many(contracts, load)]
+
+
 def contract_evolution_study(
     peak_mw: float = 15.0,
     n_years: int = 8,
@@ -90,6 +113,7 @@ def contract_evolution_study(
     adaptive_cap_fraction: float = 0.92,
     cap_energy_loss_fraction: float = 0.0,
     seed: int = 0,
+    parallel: Optional[bool] = None,
 ) -> EvolutionStudy:
     """Simulate ``n_years`` of tariff evolution and two SC responses.
 
@@ -106,6 +130,11 @@ def contract_evolution_study(
         the benefit a pure demand-charge effect; set it positive to model
         residual loss — the resulting energy-cost reduction is a billing
         saving, not a welfare gain, so interpret with care.
+    parallel:
+        Forwarded to :func:`~repro.analysis.sweep.sweep_map` over the two
+        trajectories; each trajectory settles all its years through one
+        batched :meth:`~repro.contracts.billing.BillingEngine.bill_many`
+        call either way.
     """
     if n_years < 1:
         raise AnalysisError("need at least one year")
@@ -115,20 +144,25 @@ def contract_evolution_study(
         raise AnalysisError("cap_energy_loss_fraction must be in [0, 1)")
     if demand_rate_growth < 0 or energy_rate_growth < 0:
         raise AnalysisError("growth rates must be non-negative")
-    engine = BillingEngine()
     load = synthetic_sc_load(peak_mw, seed=seed)
     cap_kw = adaptive_cap_fraction * load.max_kw()
     adapted = load.clip(upper_kw=cap_kw).scale(1.0 - cap_energy_loss_fraction)
-    years: List[EvolutionYear] = []
-    for year in range(n_years):
-        energy_rate = base_energy_rate * (1.0 + energy_rate_growth) ** year
-        demand_rate = base_demand_rate * (1.0 + demand_rate_growth) ** year
-        contract = Contract(
-            f"year-{year}",
-            [FixedTariff(energy_rate), DemandCharge(demand_rate)],
+    rates = [
+        (
+            base_energy_rate * (1.0 + energy_rate_growth) ** year,
+            base_demand_rate * (1.0 + demand_rate_growth) ** year,
         )
-        passive = decompose_bill(engine.annual_bill(contract, load))
-        adaptive = decompose_bill(engine.annual_bill(contract, adapted))
+        for year in range(n_years)
+    ]
+    passive_by_year, adaptive_by_year = sweep_map(
+        functools.partial(_settle_trajectory, rates=rates),
+        [load, adapted],
+        parallel=parallel,
+    )
+    years: List[EvolutionYear] = []
+    for year, (energy_rate, demand_rate) in enumerate(rates):
+        passive = passive_by_year[year]
+        adaptive = adaptive_by_year[year]
         years.append(
             EvolutionYear(
                 year=year,

@@ -16,6 +16,7 @@ Two studies:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,6 +24,7 @@ from ..dr.incentives import CostModel, break_even_incentive_per_kwh, dr_business
 from ..exceptions import AnalysisError
 from ..facility.machine import Supercomputer
 from ..grid.dr_programs import IncentiveBasedProgram, standard_program_catalog
+from .sweep import sweep_map
 
 __all__ = [
     "IncentiveSweepPoint",
@@ -47,17 +49,43 @@ class IncentiveSweepPoint:
         return self.best_program_payment_per_kwh >= self.break_even_per_kwh
 
 
+def _sweep_point(
+    capex: float,
+    machine: Supercomputer,
+    lifetime_years: float,
+    electricity_rate_per_kwh: float,
+    utilization: float,
+    best_payment: float,
+) -> IncentiveSweepPoint:
+    """One capex level's break-even figure (module-level for sweep_map)."""
+    cost_model = CostModel(
+        machine_capex=capex,
+        lifetime_years=lifetime_years,
+        electricity_rate_per_kwh=electricity_rate_per_kwh,
+        utilization=utilization,
+    )
+    return IncentiveSweepPoint(
+        machine_capex=float(capex),
+        node_hour_cost=cost_model.node_hour_cost(machine),
+        break_even_per_kwh=break_even_incentive_per_kwh(machine, cost_model),
+        best_program_payment_per_kwh=best_payment,
+    )
+
+
 def incentive_threshold_sweep(
     machine: Optional[Supercomputer] = None,
     capex_levels: Sequence[float] = (2e7, 5e7, 1e8, 2e8, 4e8),
     lifetime_years: float = 5.0,
     electricity_rate_per_kwh: float = 0.08,
     utilization: float = 0.9,
+    parallel: Optional[bool] = None,
 ) -> List[IncentiveSweepPoint]:
     """Sweep machine capex; compare DR break-even against program payments.
 
     ``best_program_payment_per_kwh`` is the highest per-kWh energy payment
     in the standard program catalog — the most generous realistic offer.
+    Capex levels map through :func:`~repro.analysis.sweep.sweep_map`
+    (``parallel`` is forwarded; point order is preserved either way).
     """
     if machine is None:
         machine = Supercomputer("sweep machine", n_nodes=4096, base_overhead_kw=300.0)
@@ -69,23 +97,18 @@ def incentive_threshold_sweep(
         for p in catalog.values()
         if isinstance(p, IncentiveBasedProgram)
     )
-    points: List[IncentiveSweepPoint] = []
-    for capex in capex_levels:
-        cost_model = CostModel(
-            machine_capex=capex,
+    return sweep_map(
+        functools.partial(
+            _sweep_point,
+            machine=machine,
             lifetime_years=lifetime_years,
             electricity_rate_per_kwh=electricity_rate_per_kwh,
             utilization=utilization,
-        )
-        points.append(
-            IncentiveSweepPoint(
-                machine_capex=float(capex),
-                node_hour_cost=cost_model.node_hour_cost(machine),
-                break_even_per_kwh=break_even_incentive_per_kwh(machine, cost_model),
-                best_program_payment_per_kwh=best_payment,
-            )
-        )
-    return points
+            best_payment=best_payment,
+        ),
+        [float(c) for c in capex_levels],
+        parallel=parallel,
+    )
 
 
 @dataclass(frozen=True)

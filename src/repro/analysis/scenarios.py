@@ -11,12 +11,15 @@ studies sweep many of them).
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 from scipy import signal
 
+from .. import perfconfig
 from ..contracts.billing import Bill, BillingContext, BillingEngine
 from ..contracts.contract import Contract
 from ..contracts.emergency import EmergencyCall
@@ -27,7 +30,13 @@ from ..timeseries.series import PowerSeries
 from ..units import SECONDS_PER_HOUR
 from .cost import BillDecomposition, decompose_bill
 
-__all__ = ["synthetic_sc_load", "ScenarioSpec", "ScenarioResult", "run_scenario"]
+__all__ = [
+    "synthetic_sc_load",
+    "generate_price_series",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "run_scenario",
+]
 
 
 def synthetic_sc_load(
@@ -83,7 +92,14 @@ def synthetic_sc_load(
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One scenario: a load under a contract in a grid context."""
+    """One scenario: a load under a contract in a grid context.
+
+    ``price_series`` short-circuits price generation: when set, it is used
+    verbatim as the real-time price signal and ``price_model`` /
+    ``price_seed`` are ignored.  Paired comparisons pre-generate one
+    realization and share it across every spec, so price generation is
+    paid once per sweep instead of once per scenario.
+    """
 
     name: str
     contract: Contract
@@ -92,6 +108,7 @@ class ScenarioSpec:
     price_seed: int = 0
     emergency_calls: Sequence[EmergencyCall] = ()
     periods: Optional[Sequence[BillingPeriod]] = None
+    price_series: Optional[PowerSeries] = None
 
 
 @dataclass(frozen=True)
@@ -108,21 +125,78 @@ class ScenarioResult:
         return self.bill.total
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+# load (weak) -> {price_seed: default-model hourly price realization}.
+# Price generation is deterministic given (span, seed), so repeated sweeps
+# over one load object — the shape of every comparison/chaos harness —
+# reuse the realization instead of re-synthesizing it per call.  Only the
+# default :class:`PriceModel` is cached; caller-supplied models may carry
+# arbitrary parameters and are regenerated each call.
+_PRICE_CACHE: "weakref.WeakKeyDictionary[PowerSeries, Dict[int, PowerSeries]]" = (
+    weakref.WeakKeyDictionary()
+)
+_PRICE_CACHE_LOCK = threading.Lock()
+_PRICE_SEEDS_PER_LOAD_MAX = 16
+
+
+def _clear_price_cache() -> None:
+    with _PRICE_CACHE_LOCK:
+        _PRICE_CACHE.clear()
+
+
+perfconfig.register_cache_clearer(_clear_price_cache)
+
+
+def generate_price_series(
+    load: PowerSeries,
+    price_model: Optional[PriceModel] = None,
+    price_seed: int = 0,
+) -> PowerSeries:
+    """One hourly real-time price realization covering ``load``'s span.
+
+    Default-model realizations are cached per ``(load, price_seed)`` (the
+    generator is deterministic), so sweeps that rebill one load do not pay
+    for price synthesis per scenario.  Disable via
+    :func:`repro.perfconfig.no_caching`.
+    """
+    n_hours = int(np.ceil(load.duration_s / SECONDS_PER_HOUR))
+    if price_model is not None or not perfconfig.caching_enabled():
+        model = price_model or PriceModel()
+        return model.generate(n_hours, 3600.0, load.start_s, seed=price_seed)
+    with _PRICE_CACHE_LOCK:
+        try:
+            per_load = _PRICE_CACHE.setdefault(load, {})
+        except TypeError:  # un-weakref-able load stand-in; skip caching
+            per_load = None
+        if per_load is not None:
+            cached = per_load.get(price_seed)
+            if cached is not None:
+                return cached
+    prices = PriceModel().generate(n_hours, 3600.0, load.start_s, seed=price_seed)
+    if per_load is not None:
+        with _PRICE_CACHE_LOCK:
+            if len(per_load) >= _PRICE_SEEDS_PER_LOAD_MAX:
+                per_load.clear()
+            per_load[price_seed] = prices
+    return prices
+
+
+def run_scenario(spec: ScenarioSpec, fastpath: bool = True) -> ScenarioResult:
     """Settle one scenario.
 
     A price series is generated (hourly, covering the load's span) only
     when the contract holds a dynamic component or a model is supplied —
-    price generation is not free and fixed-tariff scenarios do not need it.
+    price generation is not free and fixed-tariff scenarios do not need
+    it.  A pre-generated ``spec.price_series`` bypasses generation
+    entirely.  ``fastpath`` is forwarded to
+    :meth:`~repro.contracts.billing.BillingEngine.bill`.
     """
     context = BillingContext(emergency_calls=tuple(spec.emergency_calls))
-    needs_prices = spec.contract.has_component("dynamic")
-    if needs_prices or spec.price_model is not None:
-        model = spec.price_model or PriceModel()
-        n_hours = int(np.ceil(spec.load.duration_s / SECONDS_PER_HOUR))
-        context.price_series = model.generate(
-            n_hours, 3600.0, spec.load.start_s, seed=spec.price_seed
+    if spec.price_series is not None:
+        context.price_series = spec.price_series
+    elif spec.contract.has_component("dynamic") or spec.price_model is not None:
+        context.price_series = generate_price_series(
+            spec.load, spec.price_model, spec.price_seed
         )
     engine = BillingEngine()
-    bill = engine.bill(spec.contract, spec.load, spec.periods, context)
+    bill = engine.bill(spec.contract, spec.load, spec.periods, context, fastpath=fastpath)
     return ScenarioResult(spec=spec, bill=bill, decomposition=decompose_bill(bill))

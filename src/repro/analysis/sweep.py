@@ -1,0 +1,118 @@
+"""The shared sweep executor: one map, every harness.
+
+Every study in this package has the same outer shape — a grid of
+independent, seeded scenario points mapped through a pure settlement
+function.  Before this module each harness carried its own ``for`` loop;
+now they all route through :func:`sweep_map`, which decides between a
+serial loop and a chunked :class:`~concurrent.futures.ProcessPoolExecutor`
+and guarantees the same ordering either way.
+
+Determinism contract: ``sweep_map(fn, items)`` returns ``[fn(x) for x in
+items]`` — results in item order, independent of worker scheduling.  Each
+point must be self-seeded (all the harnesses here pass explicit seeds), so
+a parallel sweep is bit-identical to a serial one.
+
+Process pools only pay off when the per-item work dwarfs the fork/spawn
+and pickling overhead, so auto mode (``parallel=None``) stays serial for
+small sweeps and on single-CPU hosts; pass ``parallel=True`` to force a
+pool, ``parallel=False`` to force the loop.  Unpicklable work falls back
+to the serial loop rather than failing the study.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+__all__ = ["sweep_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Auto mode stays serial below this many items — pool startup would
+#: dominate the sweep.
+AUTO_PARALLEL_MIN_ITEMS = 16
+
+
+def _cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _picklable(*objects) -> bool:
+    """True when every object survives a pickle round trip requirement."""
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def sweep_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        The per-point work.  Must be pure per item (each point carries its
+        own seed) and, for parallel execution, picklable — a module-level
+        function or :func:`functools.partial` of one.
+    items:
+        Scenario points.  Consumed fully up front; results are returned in
+        the same order.
+    parallel:
+        ``None`` (default) — use processes only when the sweep is large
+        enough (≥ ``AUTO_PARALLEL_MIN_ITEMS``) and more than one CPU is
+        available; ``True`` — force a process pool (still falls back to
+        serial when the work is unpicklable or no pool can be spawned);
+        ``False`` — force the serial loop.
+    max_workers:
+        Pool size; defaults to ``min(cpu_count, n_items)``.
+    chunksize:
+        Items per task sent to a worker; defaults to splitting the sweep
+        into ~4 chunks per worker, amortizing pickling without starving
+        the pool.
+
+    Returns
+    -------
+    list
+        ``[fn(x) for x in items]`` — identical for serial and parallel
+        execution.
+    """
+    work = list(items)
+    if not work:
+        return []
+    cpus = _cpu_count()
+    if parallel is None:
+        parallel = len(work) >= AUTO_PARALLEL_MIN_ITEMS and cpus > 1
+    if parallel and not _picklable(fn, work[0]):
+        parallel = False
+    if not parallel:
+        return [fn(x) for x in work]
+    workers = max_workers or min(cpus, len(work))
+    workers = max(1, int(workers))
+    if chunksize is None:
+        chunksize = max(1, math.ceil(len(work) / (workers * 4)))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # executor.map preserves input order regardless of completion
+            # order, which is what keeps parallel == serial.
+            return list(pool.map(fn, work, chunksize=chunksize))
+    except (OSError, pickle.PicklingError):  # pragma: no cover - env-specific
+        # sandboxes without fork/spawn, or lazily-unpicklable payloads:
+        # degrade to the serial loop rather than failing the study.
+        return [fn(x) for x in work]

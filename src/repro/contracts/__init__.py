@@ -32,6 +32,7 @@ from .powerband import Powerband
 from .emergency import EmergencyDRObligation, EmergencyCall
 from .contract import Contract
 from .billing import Bill, PeriodBill, BillingEngine, Reconciliation
+from .settlement import SettlementPlan, plan_for
 from .tariff_library import (
     us_industrial_tou,
     german_industrial,
@@ -78,6 +79,8 @@ __all__ = [
     "PeriodBill",
     "BillingEngine",
     "Reconciliation",
+    "SettlementPlan",
+    "plan_for",
     "ResponsibleParty",
     "NegotiatingActor",
     "PriceFormula",

@@ -9,9 +9,11 @@ the share of the bill in the kWh domain vs the kW domain (the axis of the
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import perfconfig
 from ..exceptions import BillingError
 from ..timeseries.calendar import BillingPeriod, monthly_billing_periods
 from ..timeseries.series import PowerSeries
@@ -19,6 +21,7 @@ from ..units import Money
 from .components import BillingContext, ChargeDomain, LineItem
 from .contract import Contract
 from .demand_charges import DemandCharge
+from .settlement import SettlementPlan, plan_for
 
 __all__ = ["PeriodBill", "Bill", "Reconciliation", "BillingEngine"]
 
@@ -32,9 +35,13 @@ class PeriodBill:
     energy_kwh: float
     peak_kw: float
 
-    @property
+    @functools.cached_property
     def total(self) -> float:
-        """Sum of all line amounts (contract currency)."""
+        """Sum of all line amounts (contract currency).
+
+        Cached: line items are frozen and the sequence never changes after
+        settlement, and sweep harnesses read period totals repeatedly.
+        """
         return sum(item.amount for item in self.line_items)
 
     def domain_total(self, domain: ChargeDomain) -> float:
@@ -75,12 +82,17 @@ class Bill:
         self.data_quality: Optional[Dict[str, float]] = (
             dict(data_quality) if data_quality is not None else None
         )
+        self._domain_totals: Optional[Dict[ChargeDomain, float]] = None
 
     # -- totals ---------------------------------------------------------------
 
-    @property
+    @functools.cached_property
     def total(self) -> float:
-        """Grand total across all periods (contract currency)."""
+        """Grand total across all periods (contract currency).
+
+        Cached: a bill is immutable once settled, and reconciliation /
+        sweep code reads the grand total many times per bill.
+        """
         return sum(pb.total for pb in self.period_bills)
 
     def total_money(self) -> Money:
@@ -88,8 +100,21 @@ class Bill:
         return Money(self.total, self.contract.currency)
 
     def domain_total(self, domain: ChargeDomain) -> float:
-        """Grand total of one typology branch."""
-        return sum(pb.domain_total(domain) for pb in self.period_bills)
+        """Grand total of one typology branch.
+
+        Per-domain totals are computed once (a single pass over every line
+        item) and cached on the bill — line items are frozen dataclasses and
+        period bills never change after construction, so the cache can
+        never go stale.  ``domain_share`` previously recomputed every
+        branch total on every call; it now reads this cache.
+        """
+        if self._domain_totals is None:
+            totals = {d: 0.0 for d in ChargeDomain}
+            for pb in self.period_bills:
+                for item in pb.line_items:
+                    totals[item.domain] += item.amount
+            self._domain_totals = totals
+        return self._domain_totals[domain]
 
     @property
     def energy_cost(self) -> float:
@@ -228,6 +253,75 @@ class BillingEngine:
             raise BillingError("demand_interval_s must be positive")
         self.demand_interval_s = float(demand_interval_s)
 
+    def _resolve_periods(
+        self, load: PowerSeries, periods: Optional[Sequence[BillingPeriod]]
+    ) -> Sequence[BillingPeriod]:
+        """Default/validate billing periods for ``load``."""
+        if periods is None:
+            if load.start_s != 0.0:
+                raise BillingError(
+                    "default monthly billing periods require a load starting "
+                    "at the canonical year origin (start_s == 0, i.e. "
+                    f"January 1st); this load starts at start_s="
+                    f"{load.start_s!r} s — pass explicit billing periods "
+                    "(e.g. monthly_billing_periods(start_s=load.start_s))"
+                )
+            periods = monthly_billing_periods(start_s=load.start_s)
+        for period in periods:
+            if not period.covers(load):
+                raise BillingError(
+                    f"load profile [{load.start_s}, {load.end_s}) s does not "
+                    f"cover billing period {period.label!r} "
+                    f"[{period.start_s}, {period.end_s}) s"
+                )
+        return periods
+
+    def _settle(
+        self,
+        contract: Contract,
+        plan: SettlementPlan,
+        context: Optional[BillingContext],
+        estimated: bool,
+        data_quality: Optional[Dict[str, float]],
+    ) -> Bill:
+        """Single-pass settlement of one contract over a shared plan.
+
+        Settlement is a pure function of ``(plan, contract, context)`` —
+        ratchets are reset up front, so replaying the triple yields the
+        same line items.  The plan memoizes the resulting period bills
+        (they are immutable), so e.g. the estimated-bill/true-up cycle of
+        the chaos harness prices each distinct load exactly once; per-bill
+        metadata (``estimated`` / ``data_quality``) stays on the
+        :class:`Bill` wrapper, outside the memo.
+        """
+        caching = perfconfig.caching_enabled()
+        period_bills = plan.settlement_for(contract, context) if caching else None
+        if period_bills is None:
+            # reset per-bill component state (demand-charge ratchets)
+            for comp in contract.components:
+                if isinstance(comp, DemandCharge):
+                    comp.reset()
+            # one call per component (not per component × period);
+            # vectorizing components reduce full-horizon arrays, the rest
+            # fall back to the legacy loop over the plan's shared metered
+            # slices.
+            per_component: List[List[LineItem]] = [
+                comp.charge_periods(plan, context) for comp in contract.components
+            ]
+            period_bills = []
+            for k in range(plan.n_periods):
+                period_bills.append(
+                    PeriodBill(
+                        period=plan.periods[k],
+                        line_items=tuple(items[k] for items in per_component),
+                        energy_kwh=plan.period_energy_kwh(k),
+                        peak_kw=plan.period_peak_kw(k),
+                    )
+                )
+            if caching:
+                plan.store_settlement(contract, context, period_bills)
+        return Bill(contract, period_bills, estimated=estimated, data_quality=data_quality)
+
     def bill(
         self,
         contract: Contract,
@@ -236,6 +330,7 @@ class BillingEngine:
         context: Optional[BillingContext] = None,
         estimated: bool = False,
         data_quality: Optional[Dict[str, float]] = None,
+        fastpath: bool = True,
     ) -> Bill:
         """Settle ``load`` under ``contract`` over ``periods``.
 
@@ -248,24 +343,43 @@ class BillingEngine:
         periods:
             Billing periods; defaults to the twelve calendar months of the
             canonical year starting at the load's start time (which must
-            then be 0, i.e. January 1st).
+            then be 0, i.e. January 1st — a load starting elsewhere raises
+            :class:`~repro.exceptions.BillingError` naming the actual
+            start, rather than failing with an opaque coverage error).
         context:
             Out-of-band billing facts (real-time prices, emergency calls).
         estimated / data_quality:
             Mark the bill as settled against VEE-estimated data (see
             :mod:`repro.robustness.vee`); such bills should later be trued
             up via :meth:`reconcile`.
+        fastpath:
+            When true (the default), settle through a shared
+            :class:`~repro.contracts.settlement.SettlementPlan` — one
+            load-side precomputation reused by every component, with
+            vectorizing components pricing all periods in a single pass.
+            ``fastpath=False`` forces the legacy per-(component, period)
+            loop; the two paths agree on every line item to ≤ 1e-9
+            (enforced by ``tests/test_settlement_fastpath.py``).
         """
-        if periods is None:
-            periods = monthly_billing_periods(start_s=load.start_s)
-        for period in periods:
-            if not period.covers(load):
-                raise BillingError(
-                    f"load profile [{load.start_s}, {load.end_s}) s does not "
-                    f"cover billing period {period.label!r} "
-                    f"[{period.start_s}, {period.end_s}) s"
-                )
-        # reset per-bill component state (demand-charge ratchets)
+        periods = self._resolve_periods(load, periods)
+        if not fastpath:
+            return self._bill_legacy(
+                contract, load, periods, context, estimated, data_quality
+            )
+        plan = plan_for(load, periods)
+        return self._settle(contract, plan, context, estimated, data_quality)
+
+    def _bill_legacy(
+        self,
+        contract: Contract,
+        load: PowerSeries,
+        periods: Sequence[BillingPeriod],
+        context: Optional[BillingContext] = None,
+        estimated: bool = False,
+        data_quality: Optional[Dict[str, float]] = None,
+    ) -> Bill:
+        """The pre-fast-path settlement loop, kept as the reference
+        implementation for differential tests and benchmarks."""
         for comp in contract.components:
             if isinstance(comp, DemandCharge):
                 comp.reset()
@@ -286,12 +400,67 @@ class BillingEngine:
             )
         return Bill(contract, period_bills, estimated=estimated, data_quality=data_quality)
 
+    def bill_many(
+        self,
+        contracts: Sequence[Contract],
+        load: PowerSeries,
+        periods: Optional[Sequence[BillingPeriod]] = None,
+        context: Optional[BillingContext] = None,
+        contexts: Optional[Sequence[Optional[BillingContext]]] = None,
+        fastpath: bool = True,
+    ) -> List[Bill]:
+        """Settle one load under many contracts, sharing load-side work.
+
+        The load is sliced, resampled and reduced **once** into a
+        :class:`~repro.contracts.settlement.SettlementPlan`; every contract
+        then settles against the shared plan, so a five-contract comparison
+        pays for one load-side pass instead of five.  This is the batch
+        entry point the comparison/evolution harnesses use.
+
+        Parameters
+        ----------
+        contracts:
+            Contracts to price, in order (bills are returned in the same
+            order).
+        load / periods:
+            As for :meth:`bill` (the same period default and guard apply).
+        context:
+            A single context shared by every contract.
+        contexts:
+            Per-contract contexts (same length as ``contracts``); mutually
+            exclusive with ``context``.
+        fastpath:
+            As for :meth:`bill`.
+        """
+        if context is not None and contexts is not None:
+            raise BillingError("pass either context or contexts, not both")
+        if contexts is not None and len(contexts) != len(contracts):
+            raise BillingError(
+                f"contexts length {len(contexts)} != contracts length "
+                f"{len(contracts)}"
+            )
+        periods = self._resolve_periods(load, periods)
+        per_contract: Sequence[Optional[BillingContext]] = (
+            contexts if contexts is not None else [context] * len(contracts)
+        )
+        if not fastpath:
+            return [
+                self._bill_legacy(c, load, periods, ctx)
+                for c, ctx in zip(contracts, per_contract)
+            ]
+        plan = plan_for(load, periods)
+        return [
+            self._settle(c, plan, ctx, False, None)
+            for c, ctx in zip(contracts, per_contract)
+        ]
+
     def reconcile(
         self,
         contract: Contract,
         estimated_bill: Bill,
         corrected_load: PowerSeries,
         context: Optional[BillingContext] = None,
+        fastpath: bool = True,
     ) -> Reconciliation:
         """True up an estimated bill against corrected meter data.
 
@@ -307,7 +476,7 @@ class BillingEngine:
                 "against measured data"
             )
         periods = [pb.period for pb in estimated_bill.period_bills]
-        true_bill = self.bill(contract, corrected_load, periods, context)
+        true_bill = self.bill(contract, corrected_load, periods, context, fastpath=fastpath)
         period_adjustments = tuple(
             t.total - e.total
             for t, e in zip(true_bill.period_bills, estimated_bill.period_bills)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..exceptions import MeteringError
 from ..timeseries.calendar import BillingPeriod
@@ -20,6 +20,7 @@ from ..timeseries.series import PowerSeries
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .emergency import EmergencyCall
+    from .settlement import SettlementPlan
 
 __all__ = ["ChargeDomain", "LineItem", "BillingContext", "ContractComponent"]
 
@@ -129,6 +130,30 @@ class ContractComponent(abc.ABC):
         context:
             Optional out-of-band billing facts.
         """
+
+    def charge_periods(
+        self,
+        plan: "SettlementPlan",
+        context: Optional[BillingContext] = None,
+    ) -> List[LineItem]:
+        """Price every billing period of a settlement plan, in period order.
+
+        This is the multi-period settlement hook: the billing engine calls
+        it once per component instead of once per (component, period) pair.
+        The default implementation reproduces the legacy per-period path
+        exactly — ``charge`` over the plan's cached metered period slices —
+        so any component is automatically fast-path-compatible; vectorizing
+        components (tariffs, demand charges) override it with a single-pass
+        computation over full-horizon arrays.
+
+        Stateful components (the demand-charge ratchet) rely on periods
+        being visited in plan order, which both the default and every
+        override preserve.
+        """
+        return [
+            self.charge(plan.metered_period(self, k), plan.periods[k], context)
+            for k in range(plan.n_periods)
+        ]
 
     # -- typology hooks ------------------------------------------------------
 

@@ -23,7 +23,7 @@ avoid even a single peak.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from ..timeseries.calendar import BillingPeriod
 from ..timeseries.series import PowerSeries
 from ..timeseries.stats import top_k_peaks
 from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .settlement import SettlementPlan
 
 __all__ = ["PeakMetering", "DemandCharge"]
 
@@ -107,13 +110,8 @@ class DemandCharge(ContractComponent):
         peaks = top_k_peaks(series, self.k)
         return float(peaks.mean())
 
-    def charge(
-        self,
-        series: PowerSeries,
-        period: BillingPeriod,
-        context: Optional[BillingContext] = None,
-    ) -> LineItem:
-        measured = self.measured_demand_kw(series)
+    def _price(self, measured: float, mean_load_kw: float) -> LineItem:
+        """Apply the ratchet and price one period's measured demand."""
         ratchet_floor = self.ratchet_fraction * self._ratchet_base_kw
         billed = max(measured, ratchet_floor)
         self._ratchet_base_kw = max(self._ratchet_base_kw, measured)
@@ -127,9 +125,44 @@ class DemandCharge(ContractComponent):
                 "measured_demand_kw": measured,
                 "ratchet_floor_kw": ratchet_floor,
                 "rate_per_kw": self.rate_per_kw,
-                "mean_load_kw": series.mean_kw(),
+                "mean_load_kw": mean_load_kw,
             },
         )
+
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        return self._price(self.measured_demand_kw(series), series.mean_kw())
+
+    def charge_periods(
+        self,
+        plan: "SettlementPlan",
+        context: Optional[BillingContext] = None,
+    ) -> List[LineItem]:
+        """Single pass: one full-horizon demand-metering resample, then
+        per-period peak reductions over contiguous segment views.
+
+        The ratchet is applied sequentially in plan order, exactly as the
+        legacy per-period loop did.  Falls back to the per-period path when
+        a period edge does not land on the demand-metering grid (full-
+        horizon blocks would then differ from per-period blocks) or under
+        ``TOP_K_MEAN`` metering (the top-k selection takes a series).
+        """
+        if self.metering is not PeakMetering.SINGLE_MAX:
+            return super().charge_periods(plan, context)
+        fast = plan.metered_full(self)
+        if fast is None:
+            return super().charge_periods(plan, context)
+        full, bounds = fast
+        values = full.values_kw
+        items: List[LineItem] = []
+        for i0, i1 in bounds:
+            view = values[i0:i1]
+            items.append(self._price(float(view.max()), float(view.mean())))
+        return items
 
     def typology_labels(self) -> Sequence[str]:
         return ("demand_charge",)

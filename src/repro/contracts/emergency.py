@@ -13,7 +13,7 @@ Two of the ten surveyed sites carry such an element.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +21,9 @@ from ..exceptions import TariffError
 from ..timeseries.calendar import BillingPeriod
 from ..timeseries.series import PowerSeries
 from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .settlement import SettlementPlan
 
 __all__ = ["EmergencyCall", "EmergencyDRObligation"]
 
@@ -106,29 +109,68 @@ class EmergencyDRObligation(ContractComponent):
             if c.start_s < period.end_s and c.end_s > period.start_s
         ]
 
+    @staticmethod
+    def _excess_window(
+        values_kw: np.ndarray,
+        lo_idx: int,
+        hi_idx: int,
+        interval_s: float,
+        interval_h: float,
+        origin_s: float,
+        call: EmergencyCall,
+    ) -> float:
+        """Energy above ``call.limit_kw`` over ``values_kw[lo_idx:hi_idx]``.
+
+        The window covers simulation time ``origin_s + (i - lo_idx) *
+        interval_s`` per interval ``i``.  Only intervals overlapping
+        ``[call.start_s, call.end_s)`` can contribute (every other
+        interval's coverage fraction is exactly zero), and the grid is
+        uniform, so the overlapping index sub-window comes from plain
+        arithmetic — no full-horizon edge arrays, searches, or clips.
+        Calls last hours while billing periods last weeks: this is the
+        difference between O(call) and O(period) work per dispatch.
+        """
+        rel0 = (call.start_s - origin_s) / interval_s
+        rel1 = (call.end_s - origin_s) / interval_s
+        j0 = max(lo_idx, lo_idx + int(np.floor(rel0)))
+        j1 = min(hi_idx, lo_idx + int(np.ceil(rel1)))
+        if j1 <= j0:
+            return 0.0
+        excess_kw = np.maximum(values_kw[j0:j1] - call.limit_kw, 0.0)
+        total = float(excess_kw.sum())
+        # Every interior interval is fully covered (fraction exactly 1);
+        # only the two boundary intervals can be partial, so trim their
+        # uncovered fractions as scalars instead of building per-interval
+        # edge/fraction arrays.
+        first_left = origin_s + (j0 - lo_idx) * interval_s
+        f0 = (call.start_s - first_left) / interval_s
+        if f0 > 0.0:
+            total -= float(excess_kw[0]) * f0
+        last_right = origin_s + (j1 - lo_idx) * interval_s
+        f1 = (last_right - call.end_s) / interval_s
+        if f1 > 0.0:
+            total -= float(excess_kw[-1]) * f1
+        return total * interval_h
+
     def excess_energy_kwh(self, series: PowerSeries, call: EmergencyCall) -> float:
         """Energy consumed above ``call.limit_kw`` during the call (kWh).
 
         Partial interval overlaps are weighted by covered fraction, so a
         call that starts mid-interval is not over- or under-counted.
         """
-        edges = series.start_s + series.interval_s * np.arange(len(series) + 1)
-        lo = np.clip(call.start_s, edges[:-1], edges[1:])
-        hi = np.clip(call.end_s, edges[:-1], edges[1:])
-        frac = (hi - lo) / series.interval_s
-        excess_kw = np.maximum(series.values_kw - call.limit_kw, 0.0)
-        return float(np.dot(excess_kw, frac) * series.interval_h)
+        return self._excess_window(
+            series.values_kw,
+            0,
+            len(series),
+            series.interval_s,
+            series.interval_h,
+            series.start_s,
+            call,
+        )
 
-    def charge(
-        self,
-        series: PowerSeries,
-        period: BillingPeriod,
-        context: Optional[BillingContext] = None,
+    def _line_item(
+        self, excess: float, n_calls: int, n_billable: int, overflow: int
     ) -> LineItem:
-        calls = self._calls_in(period, context)
-        billable = calls[: self.max_calls_per_period]
-        overflow = len(calls) - len(billable)
-        excess = sum(self.excess_energy_kwh(series, c) for c in billable)
         amount = (
             excess * self.noncompliance_penalty_per_kwh
             - self.availability_credit_per_period
@@ -140,13 +182,68 @@ class EmergencyDRObligation(ContractComponent):
             quantity=excess,
             unit="kWh above limit",
             details={
-                "n_calls": float(len(calls)),
-                "n_calls_billable": float(len(billable)),
+                "n_calls": float(n_calls),
+                "n_calls_billable": float(n_billable),
                 "n_calls_over_contract_max": float(max(overflow, 0)),
                 "availability_credit": self.availability_credit_per_period,
                 "penalty_per_kwh": self.noncompliance_penalty_per_kwh,
             },
         )
+
+    def charge_periods(
+        self,
+        plan: "SettlementPlan",
+        context: Optional[BillingContext] = None,
+    ) -> List[LineItem]:
+        """Single pass: assess calls against plan-shared full-horizon data.
+
+        The default path would slice the load once per billing period just
+        to hand :meth:`charge` a period-local series; the obligation only
+        ever reads the intervals each call overlaps, so it can window
+        directly into the full-horizon value array using the plan's native
+        period bounds.  The per-call arithmetic is shared with
+        :meth:`excess_energy_kwh` (window origin = the period slice's
+        start, exactly what the legacy slice would carry), keeping the
+        fast path and the legacy path numerically identical.
+        """
+        if (
+            self.metering_interval_s is not None
+            or type(self).metered is not ContractComponent.metered
+        ):  # pragma: no cover - only reachable via exotic subclassing
+            return super().charge_periods(plan, context)
+        load = plan.load
+        values = load.values_kw
+        interval_s = load.interval_s
+        interval_h = load.interval_h
+        items: List[LineItem] = []
+        for k in range(plan.n_periods):
+            calls = self._calls_in(plan.periods[k], context)
+            billable = calls[: self.max_calls_per_period]
+            overflow = len(calls) - len(billable)
+            excess = 0.0
+            if billable:
+                i0, i1 = plan.native_bounds(k)
+                origin_s = load.start_s + i0 * interval_s
+                for c in billable:
+                    excess += self._excess_window(
+                        values, i0, i1, interval_s, interval_h, origin_s, c
+                    )
+            items.append(self._line_item(excess, len(calls), len(billable), overflow))
+        return items
+
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        calls = self._calls_in(period, context)
+        billable = calls[: self.max_calls_per_period]
+        overflow = len(calls) - len(billable)
+        excess = 0.0
+        for c in billable:
+            excess += self.excess_energy_kwh(series, c)
+        return self._line_item(excess, len(calls), len(billable), overflow)
 
     def typology_labels(self) -> Sequence[str]:
         return ("emergency_dr",)

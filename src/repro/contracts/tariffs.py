@@ -8,15 +8,27 @@ fixed tariff with a time-of-use *service charge* on top, which
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 import numpy as np
 
-from ..exceptions import BillingError, TariffError
+from .. import perfconfig
+from ..exceptions import (
+    BillingError,
+    IntervalMismatchError,
+    TariffError,
+    TimeSeriesError,
+)
 from ..timeseries.calendar import BillingPeriod, SimCalendar, TOUWindow
 from ..timeseries.resample import align
 from ..timeseries.series import PowerSeries
 from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .settlement import SettlementPlan
+
+#: Bound on distinct load geometries cached per tariff instance.
+_RATES_CACHE_MAX = 128
 
 __all__ = ["FixedTariff", "TOUTariff", "DynamicTariff", "TOUServiceCharge"]
 
@@ -41,21 +53,39 @@ class FixedTariff(ContractComponent):
         self.rate_per_kwh = _check_rate(rate_per_kwh, "fixed tariff rate")
         self.name = name
 
+    def _line_item(self, energy_kwh: float) -> LineItem:
+        return LineItem(
+            component=self.name,
+            domain=self.domain,
+            amount=energy_kwh * self.rate_per_kwh,
+            quantity=energy_kwh,
+            unit="kWh",
+            details={"rate_per_kwh": self.rate_per_kwh},
+        )
+
+    def charge_periods(
+        self,
+        plan: "SettlementPlan",
+        context: Optional[BillingContext] = None,
+    ) -> List[LineItem]:
+        """Single pass: per-period energies from the plan's shared views."""
+        if (
+            self.metering_interval_s is not None
+            or type(self).metered is not ContractComponent.metered
+        ):  # pragma: no cover - only reachable via exotic subclassing
+            return super().charge_periods(plan, context)
+        return [
+            self._line_item(plan.period_energy_kwh(k))
+            for k in range(plan.n_periods)
+        ]
+
     def charge(
         self,
         series: PowerSeries,
         period: BillingPeriod,
         context: Optional[BillingContext] = None,
     ) -> LineItem:
-        energy = series.energy_kwh()
-        return LineItem(
-            component=self.name,
-            domain=self.domain,
-            amount=energy * self.rate_per_kwh,
-            quantity=energy,
-            unit="kWh",
-            details={"rate_per_kwh": self.rate_per_kwh},
-        )
+        return self._line_item(series.energy_kwh())
 
     def typology_labels(self) -> Sequence[str]:
         return ("fixed",)
@@ -88,9 +118,29 @@ class TOUTariff(ContractComponent):
         ]
         self.default_rate_per_kwh = _check_rate(default_rate_per_kwh, "TOU default rate")
         self.name = name
+        # geometry-keyed rate-vector cache; valid because rates depend only
+        # on the calendar position of each interval, never on load values.
+        # The window list is treated as immutable once the tariff bills;
+        # call clear_rate_cache() after any (discouraged) in-place edit.
+        self._rates_cache: Dict[Tuple[float, float, int], np.ndarray] = {}
+
+    def clear_rate_cache(self) -> None:
+        """Drop memoized rate vectors (after in-place window edits)."""
+        self._rates_cache.clear()
 
     def rates_for(self, series: PowerSeries) -> np.ndarray:
-        """Per-interval $/kWh rates for ``series`` under this tariff."""
+        """Per-interval $/kWh rates for ``series`` under this tariff.
+
+        Memoized per load geometry ``(interval_s, start_s, n)`` — TOU/
+        seasonal masks are computed once per geometry, not once per billing
+        period per bill.  The returned array is read-only when cached.
+        """
+        key = (series.interval_s, series.start_s, len(series))
+        caching = perfconfig.caching_enabled()
+        if caching:
+            cached = self._rates_cache.get(key)
+            if cached is not None:
+                return cached
         calendar = SimCalendar.for_series(series)
         n = len(series)
         rates = np.full(n, self.default_rate_per_kwh)
@@ -99,18 +149,14 @@ class TOUTariff(ContractComponent):
             m = window.mask(calendar, n) & ~assigned
             rates[m] = rate
             assigned |= m
+        if caching:
+            rates.setflags(write=False)
+            if len(self._rates_cache) >= _RATES_CACHE_MAX:
+                self._rates_cache.clear()
+            self._rates_cache[key] = rates
         return rates
 
-    def charge(
-        self,
-        series: PowerSeries,
-        period: BillingPeriod,
-        context: Optional[BillingContext] = None,
-    ) -> LineItem:
-        rates = self.rates_for(series)
-        energy_per_interval = series.energy_per_interval_kwh()
-        amount = float(np.dot(rates, energy_per_interval))
-        energy = float(energy_per_interval.sum())
+    def _line_item(self, amount: float, energy: float) -> LineItem:
         return LineItem(
             component=self.name,
             domain=self.domain,
@@ -122,6 +168,49 @@ class TOUTariff(ContractComponent):
                 "n_windows": float(len(self.windows)),
             },
         )
+
+    def charge_periods(
+        self,
+        plan: "SettlementPlan",
+        context: Optional[BillingContext] = None,
+    ) -> List[LineItem]:
+        """Single pass: full-horizon rate/energy arrays, reduced per period.
+
+        The rate vector and per-interval energies are computed once over
+        the whole load (both cached), and every period's line item is a dot
+        product over a contiguous segment view — no per-period slicing,
+        calendar rebuild or mask computation.  Segment views contain the
+        same bits the legacy per-period arrays held, so amounts agree
+        bit-for-bit.
+        """
+        if (
+            self.metering_interval_s is not None
+            or type(self).metered is not ContractComponent.metered
+        ):  # pragma: no cover - only reachable via exotic subclassing
+            return super().charge_periods(plan, context)
+        load = plan.load
+        rates = self.rates_for(load)
+        energy_per_interval = load.energy_per_interval_kwh()
+        items: List[LineItem] = []
+        for k in range(plan.n_periods):
+            i0, i1 = plan.native_bounds(k)
+            seg_energy = energy_per_interval[i0:i1]
+            amount = float(np.dot(rates[i0:i1], seg_energy))
+            energy = float(seg_energy.sum())
+            items.append(self._line_item(amount, energy))
+        return items
+
+    def charge(
+        self,
+        series: PowerSeries,
+        period: BillingPeriod,
+        context: Optional[BillingContext] = None,
+    ) -> LineItem:
+        rates = self.rates_for(series)
+        energy_per_interval = series.energy_per_interval_kwh()
+        amount = float(np.dot(rates, energy_per_interval))
+        energy = float(energy_per_interval.sum())
+        return self._line_item(amount, energy)
 
     def typology_labels(self) -> Sequence[str]:
         return ("variable",)
@@ -172,6 +261,75 @@ class DynamicTariff(ContractComponent):
         self.floor_per_kwh = _check_rate(floor_per_kwh, "dynamic tariff floor")
         self.name = name
 
+    def _line_item(self, rate: np.ndarray, energy_per_interval: np.ndarray) -> LineItem:
+        """Price one period given its effective rate and energy vectors.
+
+        Both the legacy per-period path and the single-pass fast path feed
+        this with elementwise-identical arrays, so the dot products (and
+        therefore the line amounts) agree bit-for-bit.
+        """
+        amount = float(np.dot(rate, energy_per_interval))
+        energy = float(energy_per_interval.sum())
+        return LineItem(
+            component=self.name,
+            domain=self.domain,
+            amount=amount,
+            quantity=energy,
+            unit="kWh",
+            details={
+                "effective_rate_per_kwh": amount / energy if energy else 0.0,
+                "mean_price_per_kwh": float(rate.mean()),
+                "max_price_per_kwh": float(rate.max()),
+            },
+        )
+
+    def charge_periods(
+        self,
+        plan: "SettlementPlan",
+        context: Optional[BillingContext] = None,
+    ) -> List[LineItem]:
+        """Single pass: align load and prices once, reduce per period.
+
+        The legacy path re-sliced the price series and re-aligned (i.e.
+        resampled) the load for *every* billing period.  Here the full-
+        horizon load/price pair is aligned once and each period becomes a
+        pair of contiguous segment views.  Because block-mean resampling
+        anchors its blocks on interval edges, a period whose edges land on
+        the aligned (coarse) grid sees exactly the blocks the per-period
+        resample would have produced, so amounts agree bit-for-bit.  Any
+        geometry where that guarantee would not hold — misaligned period
+        edges, partial overlap, non-integer interval ratios — falls back
+        to the legacy per-period computation.
+        """
+        if (
+            self.metering_interval_s is not None
+            or type(self).metered is not ContractComponent.metered
+            or context is None
+            or context.price_series is None
+        ):
+            return super().charge_periods(plan, context)
+        prices = context.price_series
+        if any(
+            not (prices.start_s <= p.start_s and prices.end_s >= p.end_s)
+            for p in plan.periods
+        ):
+            # per-period path raises the exact coverage BillingError
+            return super().charge_periods(plan, context)
+        try:
+            load, price = align(plan.load, prices)
+            bounds = [load.interval_bounds(p.start_s, p.end_s) for p in plan.periods]
+        except (IntervalMismatchError, TimeSeriesError):
+            return super().charge_periods(plan, context)
+        n = len(load)
+        if any(not (0 <= i0 < i1 <= n) for i0, i1 in bounds):
+            return super().charge_periods(plan, context)
+        rate = np.maximum(price.values_kw + self.adder_per_kwh, self.floor_per_kwh)
+        energy_per_interval = load.energy_per_interval_kwh()
+        return [
+            self._line_item(rate[i0:i1], energy_per_interval[i0:i1])
+            for i0, i1 in bounds
+        ]
+
     def charge(
         self,
         series: PowerSeries,
@@ -190,21 +348,7 @@ class DynamicTariff(ContractComponent):
             )
         load, price = align(series, prices.slice_seconds(period.start_s, period.end_s))
         rate = np.maximum(price.values_kw + self.adder_per_kwh, self.floor_per_kwh)
-        energy_per_interval = load.energy_per_interval_kwh()
-        amount = float(np.dot(rate, energy_per_interval))
-        energy = float(energy_per_interval.sum())
-        return LineItem(
-            component=self.name,
-            domain=self.domain,
-            amount=amount,
-            quantity=energy,
-            unit="kWh",
-            details={
-                "effective_rate_per_kwh": amount / energy if energy else 0.0,
-                "mean_price_per_kwh": float(rate.mean()),
-                "max_price_per_kwh": float(rate.max()),
-            },
-        )
+        return self._line_item(rate, load.energy_per_interval_kwh())
 
     def typology_labels(self) -> Sequence[str]:
         return ("dynamic",)

@@ -1,0 +1,71 @@
+"""Process-wide performance-cache switchboard.
+
+The settlement fast path (see :mod:`repro.contracts.settlement`) leans on
+several memoization layers:
+
+* :class:`~repro.timeseries.calendar.SimCalendar` instances memoized by
+  ``(interval_s, start_s)`` plus per-calendar coordinate-array caches;
+* per-component TOU rate-vector caches keyed by load geometry
+  ``(interval_s, start_s, n)``;
+* lazy per-:class:`~repro.timeseries.series.PowerSeries` derived arrays
+  (``energy_per_interval_kwh`` / ``times_s``);
+* the global settlement-plan cache shared across bills of one load.
+
+All of those sites consult :func:`caching_enabled` before reading or
+writing a cache, so the whole stack can be switched off at once.  The only
+intended consumer of the off switch is differential testing and the
+old-vs-new settlement benchmark (``benchmarks/bench_settlement_fastpath.py``),
+which must time the *legacy* per-period path without any of the new caches
+silently accelerating it.
+
+This module is dependency-free on purpose: every layer of the library may
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List
+
+__all__ = ["caching_enabled", "no_caching", "register_cache_clearer", "clear_caches"]
+
+_CACHING_ENABLED: bool = True
+
+#: Callables that drop every entry of one cache layer (registered by the
+#: layers themselves at import time; called by :func:`clear_caches`).
+_CACHE_CLEARERS: List = []
+
+
+def caching_enabled() -> bool:
+    """True when the settlement caching layers are active (the default)."""
+    return _CACHING_ENABLED
+
+
+def register_cache_clearer(fn) -> None:
+    """Register a zero-argument callable that empties one cache layer."""
+    _CACHE_CLEARERS.append(fn)
+
+
+def clear_caches() -> None:
+    """Empty every registered cache layer (calendars, rates, plans)."""
+    for fn in _CACHE_CLEARERS:
+        fn()
+
+
+@contextmanager
+def no_caching() -> Iterator[None]:
+    """Disable and empty all settlement caches for the duration of the block.
+
+    Used by the differential tests and the settlement benchmark to time the
+    legacy path as it behaved before the fast path existed.  Caches are
+    cleared on entry *and* exit so no stale state leaks either way.
+    """
+    global _CACHING_ENABLED
+    previous = _CACHING_ENABLED
+    _CACHING_ENABLED = False
+    clear_caches()
+    try:
+        yield
+    finally:
+        _CACHING_ENABLED = previous
+        clear_caches()

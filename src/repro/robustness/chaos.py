@@ -25,12 +25,14 @@ numbers stop being trustworthy" table.
 
 from __future__ import annotations
 
+import functools
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from .. import perfconfig
 from ..analysis.scenarios import synthetic_sc_load
+from ..analysis.sweep import sweep_map
 from ..contracts import (
     BillingContext,
     BillingEngine,
@@ -180,7 +182,29 @@ def _build_esp(horizon_days: int, seed: int) -> Tuple[ESP, PowerSeries]:
     return esp, system_load
 
 
-def _build_facility(peak_mw: float) -> Tuple[DRController, Contract]:
+def _build_facility(peak_mw: float, use_cache: bool = True) -> Tuple[DRController, Contract]:
+    """The (controller, contract) pair for one facility size.
+
+    Cached per ``peak_mw``: the controller's strategy/cost/checkpoint
+    models are pure (no response state survives a call) and the contract's
+    only mutable element, the demand-charge ratchet, is reset at the start
+    of every settlement — so every scenario of a sweep can share one
+    facility.  A stable contract object is also what lets the settlement
+    memo on :class:`~repro.contracts.settlement.SettlementPlan` recognise
+    the chaos true-up cycle's repeat settlements.
+    """
+    if use_cache and perfconfig.caching_enabled():
+        key = float(peak_mw)
+        with _FACILITY_CACHE_LOCK:
+            cached = _FACILITY_CACHE.get(key)
+        if cached is not None:
+            return cached
+        facility = _build_facility(peak_mw, use_cache=False)
+        with _FACILITY_CACHE_LOCK:
+            if len(_FACILITY_CACHE) >= _FACILITY_CACHE_MAX:
+                _FACILITY_CACHE.clear()
+            _FACILITY_CACHE[key] = facility
+        return facility
     machine = Supercomputer("chaos SC", n_nodes=4000)
     controller = DRController(
         machine=machine,
@@ -207,6 +231,78 @@ def _weekly_periods(horizon_days: int) -> List[BillingPeriod]:
     ]
 
 
+# -- the world cache -------------------------------------------------------------
+#
+# A chaos sweep grids *fault* intensities while holding the world fixed:
+# every point with the same (horizon_days, peak_mw, seed) rebuilds the same
+# ESP, simulates the same system load, draws the same SC load and gets the
+# same emergency dispatches.  Memoizing that tuple turns the 9-point default
+# sweep's 9 world constructions into 1.  ``esp.dispatch_events`` does not
+# mutate the ESP and every cached object is treated as immutable downstream,
+# so sharing is safe; the cache honors the :mod:`repro.perfconfig` switch.
+
+_WORLD_CACHE: Dict[Tuple[int, float, int], Tuple] = {}
+_WORLD_CACHE_LOCK = threading.Lock()
+_WORLD_CACHE_MAX = 8
+
+# (world key, delivered-outcome signature) -> (post-response load, n_degraded).
+# The DR response chain is a pure function of the world's SC load, the
+# facility (deterministic per peak_mw) and the delivered outcomes; grid
+# points whose delivery outcomes coincide — e.g. every zero-signal-loss
+# scenario of a sweep, whatever its metering-fault intensities — replay an
+# identical chain, so it is memoized alongside the world.
+_RESPONSE_CACHE: Dict[Tuple, Tuple[PowerSeries, int]] = {}
+_RESPONSE_CACHE_LOCK = threading.Lock()
+_RESPONSE_CACHE_MAX = 32
+
+# peak_mw -> (DRController, Contract).  See :func:`_build_facility`.
+_FACILITY_CACHE: Dict[float, Tuple[DRController, Contract]] = {}
+_FACILITY_CACHE_LOCK = threading.Lock()
+_FACILITY_CACHE_MAX = 8
+
+
+def _clear_world_cache() -> None:
+    with _WORLD_CACHE_LOCK:
+        _WORLD_CACHE.clear()
+    with _RESPONSE_CACHE_LOCK:
+        _RESPONSE_CACHE.clear()
+    with _FACILITY_CACHE_LOCK:
+        _FACILITY_CACHE.clear()
+
+
+perfconfig.register_cache_clearer(_clear_world_cache)
+
+
+def _build_world(
+    horizon_days: int, peak_mw: float, seed: int, use_cache: bool = True
+) -> Tuple:
+    """(esp, sc_load, baseline_kw, emergencies) for one world tuple."""
+    key = (int(horizon_days), float(peak_mw), int(seed))
+    use_cache = use_cache and perfconfig.caching_enabled()
+    if use_cache:
+        with _WORLD_CACHE_LOCK:
+            world = _WORLD_CACHE.get(key)
+        if world is not None:
+            return world
+    horizon_s = horizon_days * DAY_S
+    esp, system_load = _build_esp(horizon_days, seed)
+    sc_load = synthetic_sc_load(
+        peak_mw, n_days=horizon_days, interval_s=900.0, seed=seed
+    )
+    baseline_kw = sc_load.mean_kw()
+    dispatched = esp.dispatch_events(system_load, customer_baseline_kw=baseline_kw)
+    emergencies = tuple(
+        e for e in dispatched["emergency"] if e.end_s <= horizon_s and e.start_s >= 0
+    )
+    world = (esp, sc_load, baseline_kw, emergencies)
+    if use_cache:
+        with _WORLD_CACHE_LOCK:
+            if len(_WORLD_CACHE) >= _WORLD_CACHE_MAX:
+                _WORLD_CACHE.clear()
+            _WORLD_CACHE[key] = world
+    return world
+
+
 # -- the scenario runner ----------------------------------------------------------
 
 
@@ -217,33 +313,30 @@ def run_scenario(
     bill_error_tolerance: float = 0.03,
     estimation_method: EstimationMethod = EstimationMethod.LINEAR_INTERPOLATION,
     delivery_policy: Optional[DeliveryPolicy] = None,
+    use_world_cache: bool = True,
+    fastpath: bool = True,
 ) -> ChaosRunResult:
     """Run one fault-intensity point end-to-end.
 
     ``bill_error_tolerance`` parameterizes the bounded-error invariant;
     the acceptance figure (estimated bills within 3 % of fault-free at
-    ≤ 5 % dropout) uses the default.
+    ≤ 5 % dropout) uses the default.  ``use_world_cache=False`` forces a
+    fresh world construction and ``fastpath=False`` the legacy settlement
+    loop (the benchmarks use both to time the pre-optimization path).
     """
     if horizon_days < 7:
         raise RobustnessError("the chaos harness needs at least one billing week")
     horizon_days = (horizon_days // 7) * 7  # whole billing weeks
-    horizon_s = horizon_days * DAY_S
 
-    # 1. the world
-    esp, system_load = _build_esp(horizon_days, scenario.seed)
-    controller, contract = _build_facility(peak_mw)
-    sc_load = synthetic_sc_load(
-        peak_mw, n_days=horizon_days, interval_s=900.0, seed=scenario.seed
+    # 1. the world (ESP + system load + SC load + dispatches; cached per
+    #    (horizon, peak, seed) — fault intensities never change the world)
+    esp, sc_load, baseline_kw, emergencies = _build_world(
+        horizon_days, peak_mw, scenario.seed, use_cache=use_world_cache
     )
-    baseline_kw = sc_load.mean_kw()
+    controller, contract = _build_facility(peak_mw, use_cache=use_world_cache)
+    emergencies = list(emergencies)
 
-    # 2. ESP-side dispatch
-    dispatched = esp.dispatch_events(system_load, customer_baseline_kw=baseline_kw)
-    emergencies = [
-        e for e in dispatched["emergency"] if e.end_s <= horizon_s and e.start_s >= 0
-    ]
-
-    # 3. lossy delivery + graceful degradation
+    # 2./3. lossy delivery + graceful degradation
     policy = delivery_policy or DeliveryPolicy(
         loss_probability=scenario.signal_loss_probability
     )
@@ -256,15 +349,36 @@ def run_scenario(
         baseline_kw=baseline_kw,
         penalty_per_kwh=penalty_component.noncompliance_penalty_per_kwh,
     )
-    actual_load = sc_load
-    n_degraded = 0
-    for outcome in delivered:
-        response = controller.respond_emergency(
-            actual_load, outcome.event, remaining_notice_s=outcome.remaining_notice_s
+    response_key = None
+    if use_world_cache and perfconfig.caching_enabled():
+        response_key = (
+            (int(horizon_days), float(peak_mw), int(scenario.seed)),
+            tuple(
+                (o.event.start_s, o.event.end_s, o.event.limit_kw, o.remaining_notice_s)
+                for o in delivered
+            ),
         )
-        if response.response is not None:
-            actual_load = response.response.modified
-        n_degraded += int(response.degraded)
+    cached_response = None
+    if response_key is not None:
+        with _RESPONSE_CACHE_LOCK:
+            cached_response = _RESPONSE_CACHE.get(response_key)
+    if cached_response is not None:
+        actual_load, n_degraded = cached_response
+    else:
+        actual_load = sc_load
+        n_degraded = 0
+        for outcome in delivered:
+            response = controller.respond_emergency(
+                actual_load, outcome.event, remaining_notice_s=outcome.remaining_notice_s
+            )
+            if response.response is not None:
+                actual_load = response.response.modified
+            n_degraded += int(response.degraded)
+        if response_key is not None:
+            with _RESPONSE_CACHE_LOCK:
+                if len(_RESPONSE_CACHE) >= _RESPONSE_CACHE_MAX:
+                    _RESPONSE_CACHE.clear()
+                _RESPONSE_CACHE[response_key] = (actual_load, n_degraded)
 
     # 4. imperfect metering → VEE → estimated bill → true-up
     injector = FaultInjector(scenario.fault_spec(), seed=scenario.seed)
@@ -287,9 +401,10 @@ def run_scenario(
         context,
         estimated=True,
         data_quality=estimated.data_quality(),
+        fastpath=fastpath,
     )
     reconciliation: Reconciliation = engine.reconcile(
-        contract, estimated_bill, actual_load, context
+        contract, estimated_bill, actual_load, context, fastpath=fastpath
     )
     true_bill = reconciliation.true_bill
     billed_noncompliance = max(
@@ -330,23 +445,37 @@ def run_chaos_sweep(
     horizon_days: int = 28,
     peak_mw: float = 8.0,
     bill_error_tolerance: float = 0.03,
+    parallel: Optional[bool] = None,
+    fastpath: bool = True,
+    use_world_cache: bool = True,
 ) -> DegradationReport:
-    """Grid the fault intensities and collect the degradation report."""
-    results: List[ChaosRunResult] = []
-    for dropout in dropout_rates:
-        for loss in loss_probabilities:
-            scenario = ChaosScenario(
-                name=f"dropout={dropout:.0%}, loss={loss:.0%}",
-                dropout_rate=dropout,
-                signal_loss_probability=loss,
-                seed=seed,
-            )
-            results.append(
-                run_scenario(
-                    scenario,
-                    horizon_days=horizon_days,
-                    peak_mw=peak_mw,
-                    bill_error_tolerance=bill_error_tolerance,
-                )
-            )
+    """Grid the fault intensities and collect the degradation report.
+
+    Scenario points are independent and self-seeded, so the grid runs
+    through :func:`~repro.analysis.sweep.sweep_map` (``parallel`` is
+    forwarded); results arrive in grid order either way.  All points of
+    one sweep share a single cached world construction.
+    """
+    scenarios = [
+        ChaosScenario(
+            name=f"dropout={dropout:.0%}, loss={loss:.0%}",
+            dropout_rate=dropout,
+            signal_loss_probability=loss,
+            seed=seed,
+        )
+        for dropout in dropout_rates
+        for loss in loss_probabilities
+    ]
+    results = sweep_map(
+        functools.partial(
+            run_scenario,
+            horizon_days=horizon_days,
+            peak_mw=peak_mw,
+            bill_error_tolerance=bill_error_tolerance,
+            fastpath=fastpath,
+            use_world_cache=use_world_cache,
+        ),
+        scenarios,
+        parallel=parallel,
+    )
     return DegradationReport(results)

@@ -209,7 +209,27 @@ class FaultInjector:
         meter still reports), spikes on top, then dropouts erase whatever
         was there (a gap hides a stuck register), clock drift last (it
         perturbs whatever got reported).
+
+        A spec with every intensity at zero cannot corrupt anything, so
+        the clean series is returned as-is (``PowerSeries`` is immutable;
+        no defensive copy is needed) — zero-fault baselines are the
+        reference point of every degradation sweep and should not pay for
+        array copies they never perturb.
         """
+        spec0 = self.spec
+        if (
+            spec0.dropout_rate == 0.0
+            and spec0.stuck_rate == 0.0
+            and spec0.spike_rate == 0.0
+            and spec0.clock_drift_s_per_day == 0.0
+        ):
+            return FaultedSeries(
+                clean=series,
+                corrupted=series,
+                flags=np.zeros(len(series), dtype=np.uint8),
+                spec=spec0,
+                seed=self.seed,
+            )
         rng = np.random.default_rng(self.seed)
         values = series.values_kw.copy()
         n = len(values)

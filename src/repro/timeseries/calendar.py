@@ -12,11 +12,13 @@ day 0 is a Monday.  All mappings are vectorized over interval index arrays.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import perfconfig
 from ..exceptions import CalendarError
 from ..units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from .series import PowerSeries
@@ -69,6 +71,26 @@ _SEASON_CODE_BY_MONTH = np.array(
 )
 
 
+# Memoized calendar instances, keyed by (interval_s, start_s).  Calendars
+# are immutable after construction, so sharing one instance per geometry is
+# safe; the per-instance coordinate caches below then amortize hour/weekend/
+# season arrays across every component that prices the same load geometry.
+_CALENDAR_CACHE: Dict[Tuple[float, float], "SimCalendar"] = {}
+_CALENDAR_CACHE_LOCK = threading.Lock()
+_CALENDAR_CACHE_MAX = 256
+
+#: Bound on distinct horizon lengths cached per calendar instance.
+_COORD_CACHE_MAX = 32
+
+
+def _clear_calendar_caches() -> None:
+    with _CALENDAR_CACHE_LOCK:
+        _CALENDAR_CACHE.clear()
+
+
+perfconfig.register_cache_clearer(_clear_calendar_caches)
+
+
 class SimCalendar:
     """Vectorized mappings from interval indices to calendar coordinates.
 
@@ -101,11 +123,33 @@ class SimCalendar:
         self._interval_s = interval_s
         self._start_index = int(round(offset))
         self._per_day = int(round(per_day))
+        # horizon-length-keyed caches of coordinate arrays (read-only)
+        self._coord_cache: Dict[Tuple[str, int], np.ndarray] = {}
+
+    @classmethod
+    def cached(cls, interval_s: float, start_s: float = 0.0) -> "SimCalendar":
+        """A memoized calendar for ``(interval_s, start_s)``.
+
+        Calendars are immutable, so one shared instance per geometry is
+        returned; with caching disabled (see :mod:`repro.perfconfig`) a
+        fresh instance is constructed instead.
+        """
+        if not perfconfig.caching_enabled():
+            return cls(interval_s, start_s)
+        key = (float(interval_s), float(start_s))
+        calendar = _CALENDAR_CACHE.get(key)
+        if calendar is None:
+            calendar = cls(interval_s, start_s)
+            with _CALENDAR_CACHE_LOCK:
+                if len(_CALENDAR_CACHE) >= _CALENDAR_CACHE_MAX:
+                    _CALENDAR_CACHE.clear()
+                _CALENDAR_CACHE[key] = calendar
+        return calendar
 
     @classmethod
     def for_series(cls, series: PowerSeries) -> "SimCalendar":
-        """Calendar matching a series' interval and origin."""
-        return cls(series.interval_s, series.start_s)
+        """Calendar matching a series' interval and origin (memoized)."""
+        return cls.cached(series.interval_s, series.start_s)
 
     @property
     def interval_s(self) -> float:
@@ -161,6 +205,33 @@ class SimCalendar:
     def season(self, index: int) -> Season:
         """Season of a single interval index (scalar convenience)."""
         return list(Season)[int(self.season_code(np.array([index]))[0])]
+
+    # -- cached coordinate arrays (settlement fast path) -------------------
+
+    def _coords(self, kind: str, n_intervals: int, compute) -> np.ndarray:
+        if not perfconfig.caching_enabled():
+            return compute(np.arange(int(n_intervals)))
+        key = (kind, int(n_intervals))
+        arr = self._coord_cache.get(key)
+        if arr is None:
+            arr = compute(np.arange(int(n_intervals)))
+            arr.setflags(write=False)
+            if len(self._coord_cache) >= _COORD_CACHE_MAX:
+                self._coord_cache.clear()
+            self._coord_cache[key] = arr
+        return arr
+
+    def hours_for(self, n_intervals: int) -> np.ndarray:
+        """Cached read-only :meth:`hour_of_day` over ``0..n_intervals-1``."""
+        return self._coords("hour", n_intervals, self.hour_of_day)
+
+    def weekend_for(self, n_intervals: int) -> np.ndarray:
+        """Cached read-only :meth:`is_weekend` over ``0..n_intervals-1``."""
+        return self._coords("weekend", n_intervals, self.is_weekend)
+
+    def season_codes_for(self, n_intervals: int) -> np.ndarray:
+        """Cached read-only :meth:`season_code` over ``0..n_intervals-1``."""
+        return self._coords("season", n_intervals, self.season_code)
 
 
 @dataclass(frozen=True)
@@ -276,19 +347,23 @@ class TOUWindow:
             raise CalendarError(f"window {self.name!r} has an empty season set")
 
     def mask(self, calendar: SimCalendar, n_intervals: int) -> np.ndarray:
-        """Boolean mask over interval indices ``0..n_intervals-1``."""
-        idx = np.arange(int(n_intervals))
-        hours = calendar.hour_of_day(idx)
+        """Boolean mask over interval indices ``0..n_intervals-1``.
+
+        The hour/weekend/season coordinate arrays are memoized on the
+        calendar (see :meth:`SimCalendar.hours_for`), so repeated masks over
+        the same load geometry skip the index arithmetic entirely.
+        """
+        hours = calendar.hours_for(n_intervals)
         if self.hour_start < self.hour_end:
             m = (hours >= self.hour_start) & (hours < self.hour_end)
         else:  # wrapping window, e.g. 22..6
             m = (hours >= self.hour_start) | (hours < self.hour_end)
         if self.weekdays_only:
-            m &= ~calendar.is_weekend(idx)
+            m &= ~calendar.weekend_for(n_intervals)
         if self.weekends_only:
-            m &= calendar.is_weekend(idx)
+            m &= calendar.weekend_for(n_intervals)
         if self.seasons is not None:
-            season_codes = calendar.season_code(idx)
+            season_codes = calendar.season_codes_for(n_intervals)
             allowed = np.array(
                 [list(Season).index(s) for s in self.seasons], dtype=np.int64
             )

@@ -14,6 +14,7 @@ from typing import Iterable, Tuple, Union
 
 import numpy as np
 
+from .. import perfconfig
 from ..exceptions import IntervalMismatchError, TimeSeriesError
 from ..units import SECONDS_PER_HOUR
 
@@ -46,7 +47,14 @@ class PowerSeries:
     arrays, never by mutating the input).
     """
 
-    __slots__ = ("_values", "_interval_s", "_start_s")
+    __slots__ = (
+        "_values",
+        "_interval_s",
+        "_start_s",
+        "_energy_per_interval_cache",
+        "_times_cache",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -83,6 +91,10 @@ class PowerSeries:
         self._values = arr
         self._interval_s = interval_s
         self._start_s = start_s
+        # lazy caches for the settlement fast path; populated on first use
+        # (see energy_per_interval_kwh / times_s) and always read-only.
+        self._energy_per_interval_cache = None
+        self._times_cache = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -128,16 +140,40 @@ class PowerSeries:
     # -- derived quantities --------------------------------------------------
 
     def times_s(self) -> np.ndarray:
-        """Left-edge simulation times of every interval (s)."""
-        return self._start_s + self._interval_s * np.arange(len(self._values))
+        """Left-edge simulation times of every interval (s).
+
+        The array is computed once per series and cached read-only; treat
+        it as immutable (copy before mutating).
+        """
+        if self._times_cache is not None and perfconfig.caching_enabled():
+            return self._times_cache
+        times = self._start_s + self._interval_s * np.arange(len(self._values))
+        if perfconfig.caching_enabled():
+            times.setflags(write=False)
+            self._times_cache = times
+        return times
 
     def energy_kwh(self) -> float:
         """Total energy over the series (kWh) — the paper's kWh domain."""
         return float(self._values.sum() * self.interval_h)
 
     def energy_per_interval_kwh(self) -> np.ndarray:
-        """Energy delivered in each interval (kWh)."""
-        return self._values * self.interval_h
+        """Energy delivered in each interval (kWh).
+
+        The array is computed once per series and cached read-only (the
+        settlement fast path takes per-period segment views of it); treat
+        it as immutable (copy before mutating).
+        """
+        if (
+            self._energy_per_interval_cache is not None
+            and perfconfig.caching_enabled()
+        ):
+            return self._energy_per_interval_cache
+        energy = self._values * self.interval_h
+        if perfconfig.caching_enabled():
+            energy.setflags(write=False)
+            self._energy_per_interval_cache = energy
+        return energy
 
     def mean_kw(self) -> float:
         """Mean power over the whole series (kW)."""
@@ -212,11 +248,12 @@ class PowerSeries:
             self._start_s + start * self._interval_s,
         )
 
-    def slice_seconds(self, start_s: float, stop_s: float) -> "PowerSeries":
-        """Return the sub-series covering simulation time ``[start_s, stop_s)``.
+    def interval_bounds(self, start_s: float, stop_s: float) -> Tuple[int, int]:
+        """Interval-index bounds ``[i0, i1)`` covering ``[start_s, stop_s)``.
 
         Bounds must land on interval edges; the billing engine always works
-        in whole metering intervals, as real interval meters do.
+        in whole metering intervals, as real interval meters do.  Raises
+        :class:`TimeSeriesError` when an edge falls off the interval grid.
         """
         for name, t in (("start_s", start_s), ("stop_s", stop_s)):
             rel = (t - self._start_s) / self._interval_s
@@ -227,6 +264,14 @@ class PowerSeries:
                 )
         i0 = int(round((start_s - self._start_s) / self._interval_s))
         i1 = int(round((stop_s - self._start_s) / self._interval_s))
+        return i0, i1
+
+    def slice_seconds(self, start_s: float, stop_s: float) -> "PowerSeries":
+        """Return the sub-series covering simulation time ``[start_s, stop_s)``.
+
+        Bounds must land on interval edges (see :meth:`interval_bounds`).
+        """
+        i0, i1 = self.interval_bounds(start_s, stop_s)
         return self.slice_intervals(i0, i1)
 
     def concat(self, other: "PowerSeries") -> "PowerSeries":

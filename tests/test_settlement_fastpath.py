@@ -1,0 +1,449 @@
+"""The settlement fast path's equivalence contract, enforced.
+
+The single-pass settlement (shared :class:`SettlementPlan`, vectorized
+``charge_periods``, calendar/rate caches) must be *indistinguishable* from
+the legacy per-(component, period) loop: every line item within 1e-9
+absolute, every audit figure identical, every decomposition identical.
+These tests compare the two paths differentially across the whole tariff
+library, several load geometries, and hypothesis-generated loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import perfconfig
+from repro.analysis.scenarios import synthetic_sc_load
+from repro.analysis.sweep import sweep_map
+from repro.contracts import (
+    Bill,
+    BillingContext,
+    BillingEngine,
+    ChargeDomain,
+    Contract,
+    DemandCharge,
+    EmergencyCall,
+    FixedTariff,
+    PeakMetering,
+    Powerband,
+    SettlementPlan,
+    TOUTariff,
+    german_industrial,
+    nordic_spot_passthrough,
+    plan_for,
+    swiss_post_tender,
+    us_federal_with_emergency,
+    us_industrial_tou,
+)
+from repro.exceptions import BillingError, MeteringError
+from repro.timeseries import BillingPeriod, PowerSeries, TOUWindow
+from repro.timeseries.calendar import SimCalendar, monthly_billing_periods
+
+DAY_S = 86_400.0
+TOL = 1e-9
+
+
+def _tariff_library():
+    return {
+        "us_industrial_tou": us_industrial_tou("SC", peak_kw=15_000.0),
+        "german_industrial": german_industrial("SC", peak_kw=15_000.0),
+        "nordic_spot_passthrough": nordic_spot_passthrough("SC"),
+        "swiss_post_tender": swiss_post_tender("SC"),
+        "us_federal_with_emergency": us_federal_with_emergency("SC", peak_kw=15_000.0),
+    }
+
+
+def _context(load: PowerSeries) -> BillingContext:
+    rng = np.random.default_rng(11)
+    prices = PowerSeries(
+        0.02 + 0.05 * rng.random(len(load)), load.interval_s, load.start_s
+    )
+    calls = (
+        EmergencyCall(2 * DAY_S + 3600.0, 2 * DAY_S + 3 * 3600.0, 9_000.0),
+        EmergencyCall(40 * DAY_S + 1800.0, 40 * DAY_S + 2 * 3600.0, 8_000.0),
+    )
+    return BillingContext(price_series=prices, emergency_calls=calls)
+
+
+def assert_bills_equivalent(fast: Bill, legacy: Bill, tol: float = TOL) -> None:
+    """Every period, line item, audit figure and share agrees to ``tol``."""
+    assert len(fast.period_bills) == len(legacy.period_bills)
+    for fp, lp in zip(fast.period_bills, legacy.period_bills):
+        assert fp.period == lp.period
+        assert fp.energy_kwh == pytest.approx(lp.energy_kwh, abs=tol)
+        assert fp.peak_kw == pytest.approx(lp.peak_kw, abs=tol)
+        assert len(fp.line_items) == len(lp.line_items)
+        for fi, li in zip(fp.line_items, lp.line_items):
+            assert fi.component == li.component
+            assert fi.domain is li.domain
+            assert abs(fi.amount - li.amount) <= tol, (
+                fi.component,
+                fi.amount,
+                li.amount,
+            )
+            assert abs(fi.quantity - li.quantity) <= tol
+    assert fast.total == pytest.approx(legacy.total, abs=tol * max(len(fast.period_bills), 1))
+    for domain in ChargeDomain:
+        assert fast.domain_total(domain) == pytest.approx(
+            legacy.domain_total(domain), rel=1e-12, abs=tol * 12
+        )
+    if legacy.total > 0:
+        for domain in ChargeDomain:
+            assert fast.domain_share(domain) == pytest.approx(
+                legacy.domain_share(domain), rel=1e-9
+            )
+
+
+class TestTariffLibraryDifferential:
+    """Fast vs legacy across every archetype × several load geometries."""
+
+    @pytest.mark.parametrize("interval_s", [900.0, 1800.0, 3600.0])
+    @pytest.mark.parametrize("name", sorted(_tariff_library()))
+    def test_archetype_equivalence(self, name, interval_s):
+        contract = _tariff_library()[name]
+        load = synthetic_sc_load(
+            15.0, n_days=91, interval_s=interval_s, seed=5
+        )
+        periods = [
+            BillingPeriod(f"m{m}", m * 7 * DAY_S, (m + 1) * 7 * DAY_S)
+            for m in range(13)
+        ]
+        ctx = _context(load)
+        engine = BillingEngine()
+        # a demand charge metering at 15 min legitimately rejects coarser
+        # telemetry — in which case both paths must reject identically.
+        try:
+            legacy = engine.bill(contract, load, periods, ctx, fastpath=False)
+        except MeteringError:
+            with pytest.raises(MeteringError):
+                engine.bill(contract, load, periods, ctx)
+            return
+        fast = engine.bill(contract, load, periods, ctx)
+        assert_bills_equivalent(fast, legacy)
+
+    def test_annual_monthly_equivalence(self):
+        """The reference configuration: annual load, monthly periods."""
+        load = synthetic_sc_load(15.0, n_days=365, seed=2)
+        periods = monthly_billing_periods()
+        ctx = _context(load)
+        engine = BillingEngine()
+        for contract in _tariff_library().values():
+            fast = engine.bill(contract, load, periods, ctx)
+            legacy = engine.bill(contract, load, periods, ctx, fastpath=False)
+            assert_bills_equivalent(fast, legacy)
+
+    def test_equivalence_with_caching_disabled(self):
+        """The caches are a speedup, never a semantic dependency."""
+        load = synthetic_sc_load(8.0, n_days=28, seed=9)
+        periods = [
+            BillingPeriod(f"w{w}", w * 7 * DAY_S, (w + 1) * 7 * DAY_S)
+            for w in range(4)
+        ]
+        contract = _tariff_library()["us_industrial_tou"]
+        engine = BillingEngine()
+        cached = engine.bill(contract, load, periods)
+        with perfconfig.no_caching():
+            uncached_fast = engine.bill(contract, load, periods)
+            uncached_legacy = engine.bill(contract, load, periods, fastpath=False)
+        assert_bills_equivalent(cached, uncached_fast)
+        assert_bills_equivalent(uncached_fast, uncached_legacy)
+
+    def test_top_k_and_ratchet_demand_paths(self):
+        """Demand-charge variants that exercise the per-period fallback."""
+        load = synthetic_sc_load(12.0, n_days=84, seed=4)
+        periods = [
+            BillingPeriod(f"w{w}", w * 7 * DAY_S, (w + 1) * 7 * DAY_S)
+            for w in range(12)
+        ]
+        engine = BillingEngine()
+        for charge in (
+            DemandCharge(10.0, metering=PeakMetering.TOP_K_MEAN, k=3),
+            DemandCharge(10.0, ratchet_fraction=0.8),
+            DemandCharge(10.0, demand_interval_s=1800.0, ratchet_fraction=0.6),
+        ):
+            contract = Contract("d", [FixedTariff(0.05), charge])
+            fast = engine.bill(contract, load, periods)
+            legacy = engine.bill(contract, load, periods, fastpath=False)
+            assert_bills_equivalent(fast, legacy)
+
+    def test_misaligned_period_edge_falls_back(self):
+        """Period edges off the full-horizon metered grid must not break.
+
+        Both periods are 36 h long (resampleable to 1-hour demand blocks on
+        their own) but start 900 s past the hour, so the full-horizon
+        single-pass shortcut is unavailable and the demand charge must fall
+        back to the per-period path — producing exactly the legacy items.
+        """
+        load = PowerSeries(
+            np.linspace(1000.0, 2000.0, 4 * 96), 900.0, 0.0
+        )
+        periods = [
+            BillingPeriod("a", 900.0, 900.0 + 1.5 * DAY_S),
+            BillingPeriod("b", 900.0 + 1.5 * DAY_S, 900.0 + 3.0 * DAY_S),
+        ]
+        contract = Contract(
+            "d", [FixedTariff(0.05), DemandCharge(9.0, demand_interval_s=3600.0)]
+        )
+        engine = BillingEngine()
+        fast = engine.bill(contract, load, periods)
+        legacy = engine.bill(contract, load, periods, fastpath=False)
+        assert_bills_equivalent(fast, legacy)
+
+
+# -- hypothesis property: arbitrary loads, mixed contracts --------------------
+
+week_loads = arrays(
+    np.float64,
+    7 * 96,
+    elements=st.floats(min_value=0.0, max_value=40_000.0, allow_nan=False),
+)
+
+WEEK_PERIODS = [
+    BillingPeriod(f"day{d}", d * DAY_S, (d + 1) * DAY_S) for d in range(7)
+]
+
+
+class TestFastpathProperty:
+    @given(
+        week_loads,
+        st.floats(min_value=0.0, max_value=0.5),
+        st.floats(min_value=0.0, max_value=30.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.sampled_from([900.0, 1800.0, 3600.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fast_equals_legacy(
+        self, values, energy_rate, demand_rate, ratchet, interval_s
+    ):
+        factor = int(interval_s / 900.0)
+        load = PowerSeries(values[:: factor], interval_s, 0.0)
+        tou = TOUTariff(
+            windows=[(TOUWindow("peak", 8, 20, weekdays_only=True), 2.0 * energy_rate)],
+            default_rate_per_kwh=energy_rate,
+        )
+        contract = Contract(
+            "property",
+            [
+                FixedTariff(energy_rate),
+                tou,
+                DemandCharge(
+                    demand_rate,
+                    demand_interval_s=interval_s,
+                    ratchet_fraction=ratchet,
+                ),
+                Powerband(30_000.0, 100.0, penalty_per_kwh_outside=0.25),
+            ],
+        )
+        engine = BillingEngine()
+        fast = engine.bill(contract, load, WEEK_PERIODS)
+        legacy = engine.bill(contract, load, WEEK_PERIODS, fastpath=False)
+        assert_bills_equivalent(fast, legacy)
+
+
+# -- batch API ----------------------------------------------------------------
+
+
+class TestBillMany:
+    def test_matches_repeated_bill(self):
+        load = synthetic_sc_load(15.0, n_days=182, seed=8)
+        periods = [
+            BillingPeriod(f"m{m}", m * 14 * DAY_S, (m + 1) * 14 * DAY_S)
+            for m in range(13)
+        ]
+        ctx = _context(load)
+        contracts = list(_tariff_library().values())
+        engine = BillingEngine()
+        batched = engine.bill_many(contracts, load, periods, context=ctx)
+        assert len(batched) == len(contracts)
+        for b, contract in zip(batched, contracts):
+            single = engine.bill(contract, load, periods, ctx)
+            assert_bills_equivalent(b, single)
+
+    def test_per_contract_contexts(self):
+        load = synthetic_sc_load(10.0, n_days=28, seed=1)
+        periods = [
+            BillingPeriod(f"w{w}", w * 7 * DAY_S, (w + 1) * 7 * DAY_S)
+            for w in range(4)
+        ]
+        contracts = [
+            us_federal_with_emergency("SC", peak_kw=10_000.0),
+            swiss_post_tender("SC"),
+        ]
+        contexts = [_context(load), None]
+        engine = BillingEngine()
+        bills = engine.bill_many(contracts, load, periods, contexts=contexts)
+        for b, contract, ctx in zip(bills, contracts, contexts):
+            assert_bills_equivalent(b, engine.bill(contract, load, periods, ctx))
+
+    def test_context_and_contexts_conflict(self):
+        load = synthetic_sc_load(10.0, n_days=7, seed=1)
+        contracts = [swiss_post_tender("SC")]
+        engine = BillingEngine()
+        with pytest.raises(BillingError):
+            engine.bill_many(
+                contracts,
+                load,
+                [BillingPeriod("w", 0.0, 7 * DAY_S)],
+                context=BillingContext(),
+                contexts=[BillingContext()],
+            )
+        with pytest.raises(BillingError):
+            engine.bill_many(
+                contracts, load, [BillingPeriod("w", 0.0, 7 * DAY_S)], contexts=[]
+            )
+
+
+# -- satellite guards ---------------------------------------------------------
+
+
+class TestDefaultPeriodGuard:
+    def test_nonzero_start_names_actual_start(self):
+        load = PowerSeries(np.ones(96), 900.0, start_s=86_400.0)
+        contract = swiss_post_tender("SC")
+        with pytest.raises(BillingError, match=r"86400"):
+            BillingEngine().bill(contract, load)
+
+    def test_zero_start_still_defaults_to_months(self):
+        load = synthetic_sc_load(10.0, n_days=365, seed=0)
+        bill = BillingEngine().bill(swiss_post_tender("SC"), load)
+        assert len(bill.period_bills) == 12
+
+
+class TestDomainTotalsCache:
+    def test_cached_totals_match_recomputation(self):
+        load = synthetic_sc_load(12.0, n_days=28, seed=6)
+        periods = [
+            BillingPeriod(f"w{w}", w * 7 * DAY_S, (w + 1) * 7 * DAY_S)
+            for w in range(4)
+        ]
+        contract = us_federal_with_emergency("SC", peak_kw=12_000.0)
+        bill = BillingEngine().bill(contract, load, periods, _context(load))
+        for domain in ChargeDomain:
+            manual = sum(pb.domain_total(domain) for pb in bill.period_bills)
+            assert bill.domain_total(domain) == pytest.approx(manual, rel=1e-12, abs=1e-9)
+        # repeated domain_share calls hit the cache and stay consistent
+        shares = [bill.domain_share(d) for d in ChargeDomain]
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares == [bill.domain_share(d) for d in ChargeDomain]
+
+
+# -- plan & calendar caching --------------------------------------------------
+
+
+class TestPlanAndCalendarCaches:
+    def test_plan_reused_per_load_and_periods(self):
+        load = synthetic_sc_load(10.0, n_days=28, seed=3)
+        periods = tuple(
+            BillingPeriod(f"w{w}", w * 7 * DAY_S, (w + 1) * 7 * DAY_S)
+            for w in range(4)
+        )
+        p1 = plan_for(load, periods)
+        p2 = plan_for(load, periods)
+        assert p1 is p2
+        with perfconfig.no_caching():
+            p3 = plan_for(load, periods)
+            assert p3 is not p1
+
+    def test_calendar_memoized_per_geometry(self):
+        load = synthetic_sc_load(10.0, n_days=14, seed=3)
+        c1 = SimCalendar.for_series(load)
+        c2 = SimCalendar.for_series(load)
+        assert c1 is c2
+        with perfconfig.no_caching():
+            assert SimCalendar.for_series(load) is not c1
+
+    def test_settlement_plan_requires_periods(self):
+        load = synthetic_sc_load(10.0, n_days=7, seed=3)
+        with pytest.raises(BillingError):
+            SettlementPlan(load, [])
+
+
+class TestSettlementMemo:
+    """The per-plan settled-bill memo (re-settling identical triples)."""
+
+    @staticmethod
+    def _setup():
+        load = synthetic_sc_load(10.0, n_days=28, seed=5)
+        periods = tuple(
+            BillingPeriod(f"w{w}", w * 7 * DAY_S, (w + 1) * 7 * DAY_S)
+            for w in range(4)
+        )
+        return load, periods, BillingEngine()
+
+    def test_identical_triple_shares_period_bills(self):
+        load, periods, engine = self._setup()
+        contract = us_industrial_tou("SC", peak_kw=12_000.0)
+        ctx = _context(load)
+        b1 = engine.bill(contract, load, periods, ctx)
+        b2 = engine.bill(contract, load, periods, ctx, estimated=True)
+        # period bills are memoized on the shared plan; metadata is not
+        assert all(p1 is p2 for p1, p2 in zip(b1.period_bills, b2.period_bills))
+        assert not b1.estimated and b2.estimated
+        assert b1.total == b2.total
+
+    def test_different_context_missed(self):
+        load, periods, engine = self._setup()
+        contract = us_federal_with_emergency("SC", peak_kw=12_000.0)
+        ctx = _context(load)
+        other = BillingContext(
+            price_series=ctx.price_series,
+            emergency_calls=ctx.emergency_calls[:1],
+        )
+        b1 = engine.bill(contract, load, periods, ctx)
+        b2 = engine.bill(contract, load, periods, other)
+        assert any(p1 is not p2 for p1, p2 in zip(b1.period_bills, b2.period_bills))
+        # and each is right: agrees with its own legacy settlement
+        assert_bills_equivalent(b2, engine.bill(contract, load, periods, other, fastpath=False))
+
+    def test_different_contract_missed(self):
+        load, periods, engine = self._setup()
+        c1 = us_industrial_tou("SC", peak_kw=12_000.0)
+        c2 = us_industrial_tou("SC", peak_kw=12_000.0)
+        b1 = engine.bill(c1, load, periods)
+        b2 = engine.bill(c2, load, periods)
+        assert all(p1 is not p2 for p1, p2 in zip(b1.period_bills, b2.period_bills))
+        assert b1.total == pytest.approx(b2.total, abs=TOL)
+
+    def test_no_caching_disables_memo(self):
+        load, periods, engine = self._setup()
+        contract = us_industrial_tou("SC", peak_kw=12_000.0)
+        with perfconfig.no_caching():
+            b1 = engine.bill(contract, load, periods)
+            b2 = engine.bill(contract, load, periods)
+        assert all(p1 is not p2 for p1, p2 in zip(b1.period_bills, b2.period_bills))
+        assert b1.total == pytest.approx(b2.total, abs=TOL)
+
+
+# -- sweep executor -----------------------------------------------------------
+
+
+def _square(x: float) -> float:
+    return x * x
+
+
+class TestSweepMap:
+    def test_serial_matches_list_comprehension(self):
+        xs = list(range(20))
+        assert sweep_map(_square, xs, parallel=False) == [x * x for x in xs]
+
+    def test_parallel_matches_serial(self):
+        xs = list(range(24))
+        assert sweep_map(_square, xs, parallel=True) == [x * x for x in xs]
+
+    def test_unpicklable_falls_back_to_serial(self):
+        xs = list(range(5))
+        assert sweep_map(lambda x: x + 1, xs, parallel=True) == [x + 1 for x in xs]
+
+    def test_empty(self):
+        assert sweep_map(_square, []) == []
+
+    def test_order_preserved_with_chunks(self):
+        xs = list(range(31))
+        assert (
+            sweep_map(_square, xs, parallel=True, max_workers=2, chunksize=3)
+            == [x * x for x in xs]
+        )
