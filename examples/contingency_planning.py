@@ -7,6 +7,10 @@ performs the impact analysis the paper calls for: for each grid-condition
 severity and required reduction, which rungs fire, what is delivered, how
 fast, and what it costs the mission in forfeited node-hours.
 
+Paper anchor: §5 Conclusion ("future need for contingency planning ...
+impact analysis of contingency planning on their operation"); builds on
+the §3.2.3 emergency-DR terms.
+
 Run:  python examples/contingency_planning.py
 """
 

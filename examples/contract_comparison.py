@@ -11,6 +11,10 @@ shows how the ranking flips with load shape:
 * the dynamic tariff's value depends on whether peaks coincide with price
   spikes (here they are independent, so it mostly adds variance).
 
+Paper anchor: Figure 1 (the contract typology supplies the four
+structures) and §3.2.1–§3.2.3 (what each tariff/charge encourages);
+framing per §3.3.
+
 Run:  python examples/contract_comparison.py
 """
 

@@ -8,6 +8,9 @@ capability *now*.  This example runs that forecast: eight years of
 annually rising demand rates, one passive SC and one that caps its billed
 peak at 92 % with off-peak recovery.
 
+Paper anchor: §5 Conclusion (the evolution forecast quoted above);
+demand-charge mechanics per §3.2.2 / Figure 1.
+
 Run:  python examples/contract_evolution.py
 """
 

@@ -7,6 +7,10 @@ DR controller (which appraises each voluntary event against hardware
 depreciation — the paper's missing business case), and settles the bill
 including emergency-DR compliance.
 
+Paper anchor: §3.2.3 emergency DR ("mandatory and imposed"), §2/§4
+economic-incentive discussion (hardware depreciation vs DR revenue),
+§1 grid-stress framing.
+
 Run:  python examples/dr_event_response.py
 """
 

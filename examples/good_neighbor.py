@@ -15,6 +15,9 @@ collaboration.  This example prices that behaviour end to end:
    measured reduction against an X-of-Y customer baseline, not the
    requested number.
 
+Paper anchor: §3.4 (six of ten sites communicate load swings; the
+"good neighbor" collaboration), Table 2's "communicates swings" column.
+
 Run:  python examples/good_neighbor.py
 """
 

@@ -8,6 +8,9 @@ qualitative matrix implies in money: who pays how much of their bill in
 the kW domain, and what the structure of a contract does to the all-in
 rate.
 
+Paper anchor: Table 2 (the ten-site contract matrix, §3.2.4) and
+Table 1 (site scales); each row's flags compile to the Figure 1 leaves.
+
 Run:  python examples/population_study.py
 """
 

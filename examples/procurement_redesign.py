@@ -7,6 +7,10 @@ price formula, demand charges forbidden), and reports the saving.  Then
 sweeps market volatility to show when the hedged bidder overtakes the
 exposed one — the risk trade the four-variable formula makes explicit.
 
+Paper anchor: §4 Discussion (the CSCS case study: public tender, demand
+charges removed, 80 % renewable mix, four-variable price formula); RNP
+context per §3.3.
+
 Run:  python examples/procurement_redesign.py
 """
 

@@ -7,6 +7,9 @@ surveyed sites), settles the annual bill, and prints the decomposition the
 paper's discussion revolves around: how much of the bill is energy, and how
 much is peak demand.
 
+Paper anchor: §3.2.1 (fixed tariff) + §3.2.2 (demand charges) — the
+most common Table 2 row; bill decomposition per the §1/§4 discussion.
+
 Run:  python examples/quickstart.py
 """
 

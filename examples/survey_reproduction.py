@@ -6,6 +6,9 @@ verified), Figure 1 (from the live typology tree), the §3.2.4–§3.4 in-text
 aggregates with the original paper's text-vs-table inconsistencies
 surfaced, and the quantitative studies behind the §2/§4 claims.
 
+Paper anchor: Table 1, Table 2, Figure 1, and the §3.2.4–§3.4 in-text
+aggregates — the complete artifact set of the paper's evaluation.
+
 Run:  python examples/survey_reproduction.py
 """
 

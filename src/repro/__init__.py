@@ -17,6 +17,8 @@ subject matter executable:
   delivery and the chaos harness (imperfect infrastructure, handled);
 * :mod:`repro.survey` — the survey reconstruction (Tables 1 & 2 as data);
 * :mod:`repro.analysis` — the quantitative studies behind §2–§4's claims;
+* :mod:`repro.observability` — structured tracing, the metrics registry
+  and run manifests (off by default; see ``docs/observability.md``);
 * :mod:`repro.reporting` — regenerators for every table and figure.
 
 Quickstart::
@@ -36,6 +38,7 @@ from . import (
     dr,
     facility,
     grid,
+    observability,
     reporting,
     robustness,
     survey,
@@ -52,6 +55,7 @@ __all__ = [
     "dr",
     "facility",
     "grid",
+    "observability",
     "reporting",
     "robustness",
     "survey",

@@ -7,6 +7,11 @@ settle the bill, decompose it.  :func:`run_scenario` is that skeleton;
 from a stochastic utilization model (the scheduler path is exact but
 week-scale; a year of 15-minute metering is 35 040 intervals and the
 studies sweep many of them).
+
+>>> from repro.analysis.scenarios import synthetic_sc_load
+>>> load = synthetic_sc_load(peak_mw=1.0, n_days=1, seed=0)
+>>> len(load)  # one day of 15-minute metering
+96
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from ..contracts.contract import Contract
 from ..contracts.emergency import EmergencyCall
 from ..exceptions import AnalysisError
 from ..grid.prices import PriceModel
+from ..observability import metrics as _metrics
 from ..timeseries.calendar import BillingPeriod
 from ..timeseries.series import PowerSeries
 from ..units import SECONDS_PER_HOUR
@@ -62,6 +68,45 @@ def synthetic_sc_load(
     swings.  Benchmarks pin the machine at ~peak for a few hours;
     maintenance drops it to the floor — the §3.4 events sites report to
     their ESPs.
+
+    Parameters
+    ----------
+    peak_mw:
+        Nameplate facility peak (MW); the paper's sites span 0.8–45 MW.
+    n_days, interval_s:
+        Horizon and metering cadence (default: a year at 15 minutes).
+    idle_fraction:
+        Idle floor as a fraction of peak.
+    mean_utilization, utilization_sigma, correlation_h:
+        AR(1) utilization process: mean, innovation scale, correlation
+        time (hours).
+    n_benchmarks, benchmark_h, n_maintenance, maintenance_h:
+        Count and duration of pinned-at-peak benchmark campaigns and
+        floor-level maintenance windows.
+    seed:
+        Seed for the load realization; equal seeds give equal series.
+
+    Returns
+    -------
+    PowerSeries
+        ``n_days × 86400 / interval_s`` intervals of kW at the meter.
+
+    Raises
+    ------
+    AnalysisError
+        On non-positive peak/horizon or out-of-range fractions.
+
+    Examples
+    --------
+    Determinism and the idle floor:
+
+    >>> import numpy as np
+    >>> a = synthetic_sc_load(peak_mw=2.0, n_days=1, seed=7)
+    >>> b = synthetic_sc_load(peak_mw=2.0, n_days=1, seed=7)
+    >>> np.array_equal(a.values_kw, b.values_kw)
+    True
+    >>> a.min_kw() >= 0.45 * 2000.0 - 1e-9  # never below the idle floor
+    True
     """
     if peak_mw <= 0:
         raise AnalysisError("peak must be positive")
@@ -157,8 +202,42 @@ def generate_price_series(
     generator is deterministic), so sweeps that rebill one load do not pay
     for price synthesis per scenario.  Disable via
     :func:`repro.perfconfig.no_caching`.
+
+    Parameters
+    ----------
+    load:
+        The metered load whose time span the prices must cover.
+    price_model:
+        Optional caller-supplied model; bypasses the cache (arbitrary
+        parameters cannot be keyed safely).
+    price_seed:
+        Seed for the price realization.
+
+    Returns
+    -------
+    PowerSeries
+        Hourly $/kWh prices spanning ``load`` (values carried in the
+        series' kW slot).
+
+    Notes
+    -----
+    With observability enabled (:func:`repro.perfconfig.observing`) each
+    lookup counts ``prices.realization_cache.hit`` or ``.miss``.
+
+    Examples
+    --------
+    Same load and seed → the cached realization is returned outright:
+
+    >>> load = synthetic_sc_load(peak_mw=1.0, n_days=1, seed=0)
+    >>> p1 = generate_price_series(load, price_seed=3)
+    >>> p2 = generate_price_series(load, price_seed=3)
+    >>> p1 is p2
+    True
+    >>> len(p1)  # hourly prices covering one day
+    24
     """
     n_hours = int(np.ceil(load.duration_s / SECONDS_PER_HOUR))
+    observed = perfconfig.observability_enabled()
     if price_model is not None or not perfconfig.caching_enabled():
         model = price_model or PriceModel()
         return model.generate(n_hours, 3600.0, load.start_s, seed=price_seed)
@@ -170,7 +249,11 @@ def generate_price_series(
         if per_load is not None:
             cached = per_load.get(price_seed)
             if cached is not None:
+                if observed:
+                    _metrics.inc("prices.realization_cache.hit")
                 return cached
+    if observed:
+        _metrics.inc("prices.realization_cache.miss")
     prices = PriceModel().generate(n_hours, 3600.0, load.start_s, seed=price_seed)
     if per_load is not None:
         with _PRICE_CACHE_LOCK:
@@ -189,6 +272,35 @@ def run_scenario(spec: ScenarioSpec, fastpath: bool = True) -> ScenarioResult:
     it.  A pre-generated ``spec.price_series`` bypasses generation
     entirely.  ``fastpath`` is forwarded to
     :meth:`~repro.contracts.billing.BillingEngine.bill`.
+
+    Parameters
+    ----------
+    spec:
+        The scenario: load, contract, grid context, billing periods.
+    fastpath:
+        ``False`` forces the legacy per-(component, period) settlement
+        loop (the reference implementation).
+
+    Returns
+    -------
+    ScenarioResult
+        The settled bill plus its component decomposition.
+
+    Examples
+    --------
+    A day of load under a flat tariff: the bill total equals energy ×
+    rate (one explicit period spanning the day):
+
+    >>> from repro.contracts.contract import Contract
+    >>> from repro.contracts.tariffs import FixedTariff
+    >>> from repro.timeseries.calendar import BillingPeriod
+    >>> load = synthetic_sc_load(peak_mw=1.0, n_days=1, seed=0)
+    >>> contract = Contract("flat", [FixedTariff(rate_per_kwh=0.10)])
+    >>> spec = ScenarioSpec("demo", contract, load,
+    ...                     periods=[BillingPeriod("day", 0.0, 86400.0)])
+    >>> result = run_scenario(spec)
+    >>> round(result.total, 2) == round(0.10 * load.energy_kwh(), 2)
+    True
     """
     context = BillingContext(emergency_calls=tuple(spec.emergency_calls))
     if spec.price_series is not None:

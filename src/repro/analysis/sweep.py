@@ -17,6 +17,10 @@ and pickling overhead, so auto mode (``parallel=None``) stays serial for
 small sweeps and on single-CPU hosts; pass ``parallel=True`` to force a
 pool, ``parallel=False`` to force the loop.  Unpicklable work falls back
 to the serial loop rather than failing the study.
+
+>>> from repro.analysis.sweep import sweep_map
+>>> sweep_map(abs, [-2, 3, -5], parallel=False)
+[2, 3, 5]
 """
 
 from __future__ import annotations
@@ -26,6 +30,10 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, TypeVar
+
+from .. import perfconfig
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 
 __all__ = ["sweep_map"]
 
@@ -92,19 +100,58 @@ def sweep_map(
     list
         ``[fn(x) for x in items]`` — identical for serial and parallel
         execution.
+
+    Notes
+    -----
+    While :func:`repro.perfconfig.observability_enabled` is true, each
+    batch opens a ``sweep_map`` trace span, counts
+    ``sweep.batches`` / ``sweep.items`` /
+    ``sweep.serial_batches``-vs-``sweep.parallel_batches``, sets the
+    ``sweep.workers`` gauge and times the whole map in the
+    ``sweep.batch_s`` timer.
+
+    Examples
+    --------
+    Order is preserved regardless of execution mode:
+
+    >>> sweep_map(lambda x: x * x, [3, 1, 2], parallel=False)
+    [9, 1, 4]
+    >>> sweep_map(len, [])
+    []
     """
     work = list(items)
     if not work:
         return []
+    observed = perfconfig.observability_enabled()
     cpus = _cpu_count()
     if parallel is None:
         parallel = len(work) >= AUTO_PARALLEL_MIN_ITEMS and cpus > 1
     if parallel and not _picklable(fn, work[0]):
         parallel = False
+    if not observed:
+        return _run(fn, work, parallel, max_workers, cpus, chunksize)
+    _metrics.inc("sweep.batches")
+    _metrics.inc("sweep.items", len(work))
+    _metrics.inc("sweep.parallel_batches" if parallel else "sweep.serial_batches")
+    with _trace.span("sweep_map", n_items=len(work), parallel=bool(parallel)):
+        with _metrics.registry().timer("sweep.batch_s").time():
+            return _run(fn, work, parallel, max_workers, cpus, chunksize)
+
+
+def _run(
+    fn: Callable[[T], R],
+    work: List[T],
+    parallel: bool,
+    max_workers: Optional[int],
+    cpus: int,
+    chunksize: Optional[int],
+) -> List[R]:
+    """The execution core of :func:`sweep_map` (post mode decision)."""
     if not parallel:
         return [fn(x) for x in work]
     workers = max_workers or min(cpus, len(work))
     workers = max(1, int(workers))
+    _metrics.set_gauge("sweep.workers", workers)
     if chunksize is None:
         chunksize = max(1, math.ceil(len(work) / (workers * 4)))
     try:

@@ -10,11 +10,15 @@ the share of the bill in the kWh domain vs the kW domain (the axis of the
 from __future__ import annotations
 
 import functools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from .. import perfconfig
 from ..exceptions import BillingError
+from ..observability import manifest as _manifest
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from ..timeseries.calendar import BillingPeriod, monthly_billing_periods
 from ..timeseries.series import PowerSeries
 from ..units import Money
@@ -246,6 +250,17 @@ class BillingEngine:
 
     The engine is stateless across bills; per-bill component state (the
     demand-charge ratchet) is reset at the start of every settlement.
+
+    Observability: while :func:`repro.perfconfig.observability_enabled` is
+    true, every :meth:`bill` / :meth:`bill_many` call opens a ``settle``
+    trace span, records per-charge-component settlement timers
+    (``billing.component.<name>``) and settled-bill memo hit/miss counters,
+    and emits a :class:`~repro.observability.manifest.RunManifest` whose
+    per-component payload totals reconcile exactly with the returned
+    :class:`Bill` (readable via
+    :func:`repro.observability.manifest.last_manifest`).  Disabled — the
+    default — the settlement fast path runs without any observability
+    allocations.
     """
 
     def __init__(self, demand_interval_s: float = 900.0) -> None:
@@ -295,7 +310,12 @@ class BillingEngine:
         :class:`Bill` wrapper, outside the memo.
         """
         caching = perfconfig.caching_enabled()
+        observed = perfconfig.observability_enabled()
         period_bills = plan.settlement_for(contract, context) if caching else None
+        if observed and caching:
+            _metrics.inc(
+                "settlement.memo.miss" if period_bills is None else "settlement.memo.hit"
+            )
         if period_bills is None:
             # reset per-bill component state (demand-charge ratchets)
             for comp in contract.components:
@@ -304,10 +324,18 @@ class BillingEngine:
             # one call per component (not per component × period);
             # vectorizing components reduce full-horizon arrays, the rest
             # fall back to the legacy loop over the plan's shared metered
-            # slices.
-            per_component: List[List[LineItem]] = [
-                comp.charge_periods(plan, context) for comp in contract.components
-            ]
+            # slices.  The observed variant wraps each component call in a
+            # span + per-component settlement timer; the default path stays
+            # allocation-free.
+            per_component: List[List[LineItem]]
+            if observed:
+                per_component = self._charge_components_observed(
+                    contract, plan, context
+                )
+            else:
+                per_component = [
+                    comp.charge_periods(plan, context) for comp in contract.components
+                ]
             period_bills = []
             for k in range(plan.n_periods):
                 period_bills.append(
@@ -321,6 +349,81 @@ class BillingEngine:
             if caching:
                 plan.store_settlement(contract, context, period_bills)
         return Bill(contract, period_bills, estimated=estimated, data_quality=data_quality)
+
+    def _charge_components_observed(
+        self,
+        contract: Contract,
+        plan: SettlementPlan,
+        context: Optional[BillingContext],
+    ) -> List[List[LineItem]]:
+        """The observability-enabled component loop of :meth:`_settle`.
+
+        Opens a ``settle`` span attributed with the contract, and records
+        one ``billing.component.<name>`` timer observation per component —
+        the per-charge-component cost attribution Borghesi-style pricing
+        analyses need.  Only reached while
+        :func:`repro.perfconfig.observability_enabled` is true.
+        """
+        registry = _metrics.registry()
+        per_component: List[List[LineItem]] = []
+        with _trace.span(
+            "settle", contract=contract.name, n_periods=plan.n_periods
+        ) as settle_span:
+            for comp in contract.components:
+                with registry.timer(f"billing.component.{comp.name}").time():
+                    per_component.append(comp.charge_periods(plan, context))
+            settle_span.event(
+                "components_priced", n_components=len(per_component)
+            )
+        return per_component
+
+    @staticmethod
+    def _bill_payload(bill: Bill) -> Dict[str, object]:
+        """Manifest payload for one bill: totals that reconcile exactly.
+
+        Every figure is read back from the returned :class:`Bill` itself
+        (not recomputed), so ``payload["components"][name] ==
+        bill.component_total(name)`` holds identically — the reconciliation
+        property ``tests/test_observability.py`` asserts.
+        """
+        return {
+            "contract": bill.contract.name,
+            "total": bill.total,
+            "components": {
+                comp.name: bill.component_total(comp.name)
+                for comp in bill.contract.components
+            },
+            "energy_cost": bill.energy_cost,
+            "demand_cost": bill.demand_cost,
+            "other_cost": bill.other_cost,
+            "total_energy_kwh": bill.total_energy_kwh,
+            "max_peak_kw": bill.max_peak_kw,
+            "n_periods": len(bill.period_bills),
+            "estimated": bill.estimated,
+        }
+
+    def _emit_manifest(
+        self,
+        kind: str,
+        name: str,
+        wall_s: float,
+        cpu_s: float,
+        params: Dict[str, object],
+        payload: Dict[str, object],
+    ) -> None:
+        """Record a :class:`~repro.observability.manifest.RunManifest`."""
+        _manifest.record(
+            _manifest.RunManifest(
+                kind=kind,
+                name=name,
+                created_unix=time.time(),
+                wall_s=wall_s,
+                cpu_s=cpu_s,
+                params=params,
+                metrics=_metrics.registry().snapshot(),
+                payload=payload,
+            )
+        )
 
     def bill(
         self,
@@ -362,12 +465,31 @@ class BillingEngine:
             (enforced by ``tests/test_settlement_fastpath.py``).
         """
         periods = self._resolve_periods(load, periods)
+        observed = perfconfig.observability_enabled()
+        t0_wall = time.perf_counter() if observed else 0.0
+        t0_cpu = time.process_time() if observed else 0.0
         if not fastpath:
-            return self._bill_legacy(
+            settled = self._bill_legacy(
                 contract, load, periods, context, estimated, data_quality
             )
-        plan = plan_for(load, periods)
-        return self._settle(contract, plan, context, estimated, data_quality)
+        else:
+            plan = plan_for(load, periods)
+            settled = self._settle(contract, plan, context, estimated, data_quality)
+        if observed:
+            self._emit_manifest(
+                kind="bill",
+                name=contract.name,
+                wall_s=time.perf_counter() - t0_wall,
+                cpu_s=time.process_time() - t0_cpu,
+                params={
+                    "n_periods": len(periods),
+                    "fastpath": fastpath,
+                    "n_intervals": len(load),
+                    "interval_s": load.interval_s,
+                },
+                payload=self._bill_payload(settled),
+            )
+        return settled
 
     def _bill_legacy(
         self,
@@ -443,16 +565,36 @@ class BillingEngine:
         per_contract: Sequence[Optional[BillingContext]] = (
             contexts if contexts is not None else [context] * len(contracts)
         )
+        observed = perfconfig.observability_enabled()
+        t0_wall = time.perf_counter() if observed else 0.0
+        t0_cpu = time.process_time() if observed else 0.0
         if not fastpath:
-            return [
+            bills = [
                 self._bill_legacy(c, load, periods, ctx)
                 for c, ctx in zip(contracts, per_contract)
             ]
-        plan = plan_for(load, periods)
-        return [
-            self._settle(c, plan, ctx, False, None)
-            for c, ctx in zip(contracts, per_contract)
-        ]
+        else:
+            plan = plan_for(load, periods)
+            bills = [
+                self._settle(c, plan, ctx, False, None)
+                for c, ctx in zip(contracts, per_contract)
+            ]
+        if observed:
+            self._emit_manifest(
+                kind="bill_many",
+                name=f"{len(contracts)} contracts",
+                wall_s=time.perf_counter() - t0_wall,
+                cpu_s=time.process_time() - t0_cpu,
+                params={
+                    "n_contracts": len(contracts),
+                    "n_periods": len(periods),
+                    "fastpath": fastpath,
+                    "n_intervals": len(load),
+                    "interval_s": load.interval_s,
+                },
+                payload={"bills": [self._bill_payload(b) for b in bills]},
+            )
+        return bills
 
     def reconcile(
         self,

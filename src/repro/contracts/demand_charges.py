@@ -18,6 +18,18 @@ A *ratchet* is optionally supported: the billed demand is at least a
 fraction of the highest demand billed in the preceding periods of the same
 bill, a common industrial-tariff feature that strengthens the incentive to
 avoid even a single peak.
+
+The paper's "three 15 MW peaks" example, directly:
+
+>>> import numpy as np
+>>> from repro.contracts.demand_charges import DemandCharge, PeakMetering
+>>> from repro.timeseries.series import PowerSeries
+>>> values = np.full(96, 10_000.0)          # one day at 10 MW...
+>>> values[[10, 40, 70]] = 15_000.0         # ...with three 15 MW peaks
+>>> load = PowerSeries(values, 900.0, 0.0)
+>>> charge = DemandCharge(rate_per_kw=12.0, metering=PeakMetering.TOP_K_MEAN, k=3)
+>>> charge.measured_demand_kw(load)         # mean of the top three peaks
+15000.0
 """
 
 from __future__ import annotations
@@ -40,7 +52,13 @@ __all__ = ["PeakMetering", "DemandCharge"]
 
 
 class PeakMetering(enum.Enum):
-    """How billing-period peaks are turned into a billed-demand figure."""
+    """How billing-period peaks are turned into a billed-demand figure.
+
+    >>> PeakMetering.SINGLE_MAX.value
+    'single_max'
+    >>> PeakMetering.TOP_K_MEAN.value
+    'top_k_mean'
+    """
 
     SINGLE_MAX = "single_max"
     TOP_K_MEAN = "top_k_mean"
@@ -63,6 +81,36 @@ class DemandCharge(ContractComponent):
         If positive, billed demand is at least ``ratchet_fraction`` times
         the highest demand billed so far in the same bill (state is carried
         by the billing engine via :meth:`reset` / sequential calls).
+    demand_interval_s:
+        See above; must be positive.
+    name:
+        Line-item label on the bill.
+
+    Raises
+    ------
+    TariffError
+        On a negative rate, ``k < 1`` under ``TOP_K_MEAN``, a ratchet
+        fraction outside ``[0, 1]``, or a non-positive metering interval.
+
+    Examples
+    --------
+    Single-max metering bills the one highest 15-minute mean:
+
+    >>> import numpy as np
+    >>> from repro.timeseries.series import PowerSeries
+    >>> values = np.full(96, 8_000.0); values[50] = 12_000.0
+    >>> load = PowerSeries(values, 900.0, 0.0)
+    >>> DemandCharge(rate_per_kw=10.0).measured_demand_kw(load)
+    12000.0
+
+    The ratchet keeps billed demand at a floor set by earlier periods:
+
+    >>> charge = DemandCharge(rate_per_kw=10.0, ratchet_fraction=0.8)
+    >>> charge.reset()
+    >>> first = charge._price(15_000.0, 9_000.0)   # establishes the base
+    >>> second = charge._price(10_000.0, 9_000.0)  # floored at 80% of 15 MW
+    >>> second.quantity
+    12000.0
     """
 
     domain = ChargeDomain.POWER_KW

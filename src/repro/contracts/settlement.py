@@ -29,6 +29,13 @@ Equivalence contract: every fast-path artifact is constructed by the same
 NumPy reductions over the same contiguous data as the legacy per-period
 path, so line items agree bit-for-bit (the differential test in
 ``tests/test_settlement_fastpath.py`` enforces ≤ 1e-9 absolute).
+
+Observability: while :func:`repro.perfconfig.observability_enabled` is
+true, the plan cache reports ``settlement.plan_cache.hit`` /
+``settlement.plan_cache.miss`` counters to
+:mod:`repro.observability.metrics` (the settled-bill memo's
+``settlement.memo.*`` counters are reported by the billing engine, which
+sees the hit/miss outcome).  Disabled, settlement pays one boolean read.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import perfconfig
 from ..exceptions import BillingError, IntervalMismatchError
+from ..observability import metrics as _metrics
 from ..timeseries.calendar import BillingPeriod
 from ..timeseries.series import PowerSeries
 from .components import ContractComponent
@@ -291,6 +299,7 @@ def plan_for(load: PowerSeries, periods: Sequence[BillingPeriod]) -> SettlementP
     """
     if not perfconfig.caching_enabled():
         return SettlementPlan(load, periods)
+    observed = perfconfig.observability_enabled()
     periods_key = tuple(periods)
     with _PLAN_CACHE_LOCK:
         try:
@@ -299,8 +308,12 @@ def plan_for(load: PowerSeries, periods: Sequence[BillingPeriod]) -> SettlementP
             return SettlementPlan(load, periods)
         plan = per_load.get(periods_key)
         if plan is None:
+            if observed:
+                _metrics.inc("settlement.plan_cache.miss")
             plan = SettlementPlan(load, periods)
             if len(per_load) >= _PLANS_PER_LOAD_MAX:
                 per_load.clear()
             per_load[periods_key] = plan
+        elif observed:
+            _metrics.inc("settlement.plan_cache.hit")
         return plan

@@ -19,6 +19,7 @@ from ..exceptions import (
     TariffError,
     TimeSeriesError,
 )
+from ..observability import metrics as _metrics
 from ..timeseries.calendar import BillingPeriod, SimCalendar, TOUWindow
 from ..timeseries.resample import align
 from ..timeseries.series import PowerSeries
@@ -137,10 +138,15 @@ class TOUTariff(ContractComponent):
         """
         key = (series.interval_s, series.start_s, len(series))
         caching = perfconfig.caching_enabled()
+        observed = perfconfig.observability_enabled()
         if caching:
             cached = self._rates_cache.get(key)
             if cached is not None:
+                if observed:
+                    _metrics.inc("tariff.rate_cache.hit")
                 return cached
+            if observed:
+                _metrics.inc("tariff.rate_cache.miss")
         calendar = SimCalendar.for_series(series)
         n = len(series)
         rates = np.full(n, self.default_rate_per_kwh)

@@ -31,6 +31,7 @@ __all__ = [
     "RobustnessError",
     "DataQualityError",
     "SignalDeliveryError",
+    "ObservabilityError",
 ]
 
 
@@ -124,3 +125,7 @@ class DataQualityError(RobustnessError):
 
 class SignalDeliveryError(RobustnessError):
     """A DR/emergency signal could not be delivered or acknowledged."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the observability layer (tracer, metrics registry, manifests)."""

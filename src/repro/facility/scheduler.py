@@ -28,7 +28,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import perfconfig
 from ..exceptions import SchedulerError
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from ..units import W_PER_KW
 from .jobs import Job, JobState, ScheduledJob
 from .machine import Supercomputer
@@ -187,6 +190,10 @@ class Scheduler:
         scheduled: List[ScheduledJob] = []
         next_submit = 0
         seq = 0
+        # backfill accounting (reported to the metrics registry at the end;
+        # plain int adds here so the disabled mode costs nothing)
+        n_started_fcfs = 0
+        n_started_backfill = 0
 
         def can_start(job: Job, t: float) -> bool:
             if job.nodes > free_nodes:
@@ -195,8 +202,8 @@ class Scheduler:
                 return False
             return self._maintenance_ok(t, job.walltime_s, maintenance)
 
-        def start(job: Job, t: float) -> None:
-            nonlocal free_nodes, it_power_kw, seq
+        def start(job: Job, t: float, backfilled: bool = False) -> None:
+            nonlocal free_nodes, it_power_kw, seq, n_started_fcfs, n_started_backfill
             free_nodes -= job.nodes
             it_power_kw += self._start_delta_kw(job)
             heapq.heappush(running, (t + job.runtime_s, seq, job))
@@ -205,6 +212,10 @@ class Scheduler:
                 ScheduledJob(job=job, start_s=t, end_s=t + job.runtime_s)
             )
             seq += 1
+            if backfilled:
+                n_started_backfill += 1
+            else:
+                n_started_fcfs += 1
 
         def shadow_and_extra(t: float) -> Tuple[float, int]:
             """Earliest guaranteed start of the queue head, and the node
@@ -262,7 +273,7 @@ class Scheduler:
                     fits_in_extra = job.nodes <= extra
                     if fits_before_shadow or fits_in_extra:
                         queue.remove(job)
-                        start(job, t)
+                        start(job, t, backfilled=True)
                         if not fits_before_shadow:
                             extra -= job.nodes
                         started_any = True
@@ -324,6 +335,23 @@ class Scheduler:
                     raise SchedulerError(
                         "queue is non-empty but no event can unblock it"
                     )
+
+        if perfconfig.observability_enabled():
+            registry = _metrics.registry()
+            registry.counter("scheduler.jobs_started.fcfs").inc(n_started_fcfs)
+            registry.counter("scheduler.jobs_started.backfill").inc(
+                n_started_backfill
+            )
+            wait_hist = registry.histogram("scheduler.wait_s")
+            for sj in scheduled:
+                wait_hist.observe(sj.wait_s)
+            _trace.emit(
+                "scheduler.schedule_done",
+                n_jobs=len(scheduled),
+                n_backfilled=n_started_backfill,
+                horizon_s=horizon_s,
+                power_cap_kw=cap,
+            )
 
         return ScheduleResult(
             machine=self.machine,

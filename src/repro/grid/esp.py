@@ -13,12 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import time as _time
+
 import numpy as np
 
+from .. import perfconfig
 from ..contracts.billing import Bill, BillingContext, BillingEngine
 from ..contracts.contract import Contract
 from ..contracts.components import ContractComponent
 from ..exceptions import GridError
+from ..observability import manifest as _manifest
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from ..timeseries.calendar import BillingPeriod
 from ..timeseries.events import EventTimeline
 from ..timeseries.series import PowerSeries
@@ -122,7 +128,65 @@ class ESP:
 
         Returns a dict with keys ``"load"``, ``"renewable"`` (absent when
         the ESP has no portfolio) and ``"prices"`` ($/kWh).
+
+        Observability (when enabled via
+        :func:`repro.perfconfig.set_observability`): the simulation runs
+        inside an ``esp.simulate_system`` trace span, bumps the
+        ``esp.simulations`` counter, and emits a ``simulate_system``
+        :class:`~repro.observability.manifest.RunManifest` recording the
+        derived seeds (``seed``/``seed+7``/``seed+13``), the horizon
+        parameters, and peak/energy/price summary figures read back from
+        the generated series.
         """
+        if not perfconfig.observability_enabled():
+            return self._simulate_system_impl(n_intervals, interval_s, start_s, seed)
+        wall0 = _time.perf_counter()
+        cpu0 = _time.process_time()
+        with _trace.span(
+            "esp.simulate_system", esp=self.name, n_intervals=int(n_intervals)
+        ):
+            out = self._simulate_system_impl(n_intervals, interval_s, start_s, seed)
+        _metrics.inc("esp.simulations")
+        load = out["load"]
+        prices = out["prices"]
+        payload = {
+            "esp": self.name,
+            "peak_kw": float(load.max_kw()),
+            "energy_kwh": float(load.energy_kwh()),
+            "mean_price_per_kwh": float(np.mean(prices.values_kw)),
+            "has_renewable": "renewable" in out,
+        }
+        _manifest.record(
+            _manifest.RunManifest(
+                kind="simulate_system",
+                name=f"{self.name}: {int(n_intervals)} intervals",
+                created_unix=_time.time(),
+                wall_s=_time.perf_counter() - wall0,
+                cpu_s=_time.process_time() - cpu0,
+                seeds={
+                    "system": int(seed),
+                    "renewable": int(seed) + 7,
+                    "prices": int(seed) + 13,
+                },
+                params={
+                    "n_intervals": int(n_intervals),
+                    "interval_s": float(interval_s),
+                    "start_s": float(start_s),
+                },
+                metrics=_metrics.registry().snapshot(),
+                payload=payload,
+            )
+        )
+        return out
+
+    def _simulate_system_impl(
+        self,
+        n_intervals: int,
+        interval_s: float,
+        start_s: float,
+        seed: int,
+    ) -> Dict[str, PowerSeries]:
+        """The simulation core of :meth:`simulate_system` (untraced)."""
         load = self.system_load_model.generate(n_intervals, interval_s, start_s, seed)
         renewable = None
         if self.renewables is not None:

@@ -1,0 +1,56 @@
+"""Observability: structured tracing, metrics and run manifests.
+
+The simulation stack settles bills, dispatches DR and sweeps chaos grids;
+this package makes those computations *inspectable* without slowing them
+down:
+
+* :mod:`~repro.observability.trace` — a structured event log with nested,
+  attributed spans (``span("settle", contract=...)``) and typed events;
+* :mod:`~repro.observability.metrics` — a registry of counters, gauges,
+  histograms and timers: cache hit/miss counts for every
+  :mod:`repro.perfconfig`-registered cache, per-charge-component
+  settlement timers, DR participation counters, scheduler backfill stats
+  and sweep-executor timings;
+* :mod:`~repro.observability.manifest` — run manifests: seeds, switch
+  state, versions, wall/CPU time, metric snapshot and headline payload for
+  every ``bill`` / ``bill_many`` / ``simulate_system`` / chaos sweep,
+  exportable as JSON or markdown through :mod:`repro.reporting.export`.
+
+Everything is **off by default** and gated through
+:func:`repro.perfconfig.observability_enabled`; the disabled mode costs
+one boolean read per instrumented site and allocates nothing.
+
+End to end::
+
+    >>> from repro import perfconfig
+    >>> from repro.observability import manifest, metrics, trace
+    >>> metrics.registry().reset(); manifest.clear()
+    >>> with perfconfig.observing():
+    ...     with trace.span("settle", contract="demo"):
+    ...         metrics.inc("settlement.plan_cache.miss")
+    >>> metrics.registry().snapshot()["counters"]
+    {'settlement.plan_cache.miss': 1.0}
+    >>> metrics.registry().reset(); trace.get_tracer().clear()
+"""
+
+from . import manifest, metrics, trace
+from .manifest import RunManifest, last_manifest, tracked_run
+from .metrics import MetricsRegistry, registry
+from .trace import NULL_SPAN, Span, Tracer, emit, get_tracer, span
+
+__all__ = [
+    "trace",
+    "metrics",
+    "manifest",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "get_tracer",
+    "span",
+    "emit",
+    "MetricsRegistry",
+    "registry",
+    "RunManifest",
+    "tracked_run",
+    "last_manifest",
+]

@@ -1,0 +1,374 @@
+"""The metrics registry: counters, gauges, histograms and timers.
+
+Where the tracer (:mod:`repro.observability.trace`) answers *why*, the
+metrics registry answers *how much*: cache hits and misses for every
+:mod:`repro.perfconfig`-registered cache layer, per-charge-component
+settlement timings, DR participation counts, scheduler backfill statistics
+and sweep-executor batch timings all accumulate here.
+
+Like the tracer, there are two entry modes:
+
+* **Explicit registry** — construct a :class:`MetricsRegistry` (or use the
+  process-wide one from :func:`registry`) and update metrics directly.
+  Always live.
+* **Module-level, gated** — the instrumented library calls :func:`inc`,
+  :func:`observe`, :func:`set_gauge` and :func:`time_block`, which are
+  no-ops unless :func:`repro.perfconfig.observability_enabled` is true.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain nested dicts with
+deterministically sorted keys, so two runs with identical seeds and cache
+state produce byte-identical snapshots — the property run manifests rely
+on.
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("settlement.plan_cache.hit").inc()
+>>> reg.counter("settlement.plan_cache.hit").value
+1.0
+>>> sorted(reg.snapshot())
+['counters', 'gauges', 'histograms', 'timers']
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from .. import perfconfig
+from ..exceptions import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "registry",
+    "inc",
+    "observe",
+    "set_gauge",
+    "time_block",
+]
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    >>> c = Counter("dr.events.participated")
+    >>> c.inc(); c.inc(2.0)
+    >>> c.value
+    3.0
+    """
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({n!r}))"
+            )
+        self._value += n
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, pool size, cache length).
+
+    >>> g = Gauge("sweep.workers")
+    >>> g.set(8)
+    >>> g.value
+    8.0
+    """
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Latest set value (0.0 before the first :meth:`set`)."""
+        return self._value
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Tracks count / sum / min / max (O(1) memory — sweeps observe millions
+    of values), from which mean is derived.
+
+    >>> h = Histogram("dr.achieved_fraction")
+    >>> for v in (0.5, 1.0, 0.75):
+    ...     h.observe(v)
+    >>> h.count, h.min, h.max, round(h.mean, 4)
+    (3, 0.5, 1.0, 0.75)
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The JSON-safe summary used in snapshots.
+
+        >>> h = Histogram("x"); h.observe(2.0)
+        >>> sorted(h.summary())
+        ['count', 'max', 'mean', 'min', 'total']
+        """
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "min": 0.0 if self.min is None else self.min,
+            "max": 0.0 if self.max is None else self.max,
+            "mean": self.mean,
+        }
+
+
+class Timer(Histogram):
+    """A histogram of wall durations with a context-manager entry point.
+
+    >>> t = Timer("billing.component.demand charge")
+    >>> with t.time():
+    ...     _ = sum(range(100))
+    >>> t.count, t.total >= 0.0
+    (1, True)
+    """
+
+    __slots__ = ()
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the wall duration of the ``with`` block (even on error)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - t0)
+
+
+class MetricsRegistry:
+    """A thread-safe, name-addressed collection of metrics.
+
+    Metric names are dotted, lowercase strings; requesting an existing name
+    with a different metric kind raises
+    :class:`~repro.exceptions.ObservabilityError` (one name, one meaning).
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("hits").inc()
+    >>> reg.gauge("depth").set(3)
+    >>> reg.histogram("err").observe(0.01)
+    >>> with reg.timer("settle_s").time():
+    ...     pass
+    >>> snap = reg.snapshot()
+    >>> snap["counters"]["hits"], snap["gauges"]["depth"]
+    (1.0, 3.0)
+    >>> reg.reset()
+    >>> reg.snapshot()["counters"]
+    {}
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind: type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name)
+                self._metrics[name] = metric
+            elif type(metric) is not kind:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, requested {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        """The timer registered under ``name`` (created on first use)."""
+        return self._get(name, Timer)
+
+    def names(self) -> list:
+        """All registered metric names, sorted.
+
+        >>> reg = MetricsRegistry()
+        >>> reg.counter("b").inc(); reg.gauge("a").set(1)
+        >>> reg.names()
+        ['a', 'b']
+        """
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All metric values as a nested, deterministically ordered dict.
+
+        Keys are sorted at every level, so snapshots of identical runs
+        compare (and serialize) identically — run manifests embed this.
+        """
+        with self._lock:
+            counters = {}
+            gauges = {}
+            histograms = {}
+            timers = {}
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if type(metric) is Counter:
+                    counters[name] = metric.value
+                elif type(metric) is Gauge:
+                    gauges[name] = metric.value
+                elif type(metric) is Timer:
+                    timers[name] = metric.summary()
+                else:
+                    histograms[name] = metric.summary()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "timers": timers,
+        }
+
+    def reset(self) -> None:
+        """Drop every registered metric (names and values)."""
+        with self._lock:
+            self._metrics = {}
+
+
+# -- the global, gated registry ----------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry the instrumented library writes to.
+
+    >>> from repro.observability import metrics
+    >>> metrics.registry() is metrics.registry()
+    True
+    """
+    return _REGISTRY
+
+
+def inc(name: str, n: float = 1.0) -> None:
+    """Gated counter increment on the global registry.
+
+    No-op while observability is disabled, so cache layers can call this
+    unconditionally on their hit/miss branches.
+
+    >>> from repro import perfconfig
+    >>> from repro.observability import metrics
+    >>> metrics.registry().reset()
+    >>> metrics.inc("ignored.when.off")
+    >>> with perfconfig.observing():
+    ...     metrics.inc("settlement.plan_cache.hit")
+    >>> metrics.registry().snapshot()["counters"]
+    {'settlement.plan_cache.hit': 1.0}
+    >>> metrics.registry().reset()
+    """
+    if not perfconfig.observability_enabled():
+        return
+    _REGISTRY.counter(name).inc(n)
+
+
+def observe(name: str, value: float) -> None:
+    """Gated histogram observation on the global registry.
+
+    >>> from repro import perfconfig
+    >>> from repro.observability import metrics
+    >>> metrics.registry().reset()
+    >>> with perfconfig.observing():
+    ...     metrics.observe("dr.achieved_fraction", 0.8)
+    >>> metrics.registry().histogram("dr.achieved_fraction").count
+    1
+    >>> metrics.registry().reset()
+    """
+    if not perfconfig.observability_enabled():
+        return
+    _REGISTRY.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Gated gauge update on the global registry.
+
+    >>> from repro import perfconfig
+    >>> from repro.observability import metrics
+    >>> metrics.registry().reset()
+    >>> with perfconfig.observing():
+    ...     metrics.set_gauge("sweep.workers", 4)
+    >>> metrics.registry().gauge("sweep.workers").value
+    4.0
+    >>> metrics.registry().reset()
+    """
+    if not perfconfig.observability_enabled():
+        return
+    _REGISTRY.gauge(name).set(value)
+
+
+@contextmanager
+def time_block(name: str) -> Iterator[None]:
+    """Gated timer around a ``with`` block on the global registry.
+
+    Times nothing (and allocates no metric) while observability is
+    disabled.
+
+    >>> from repro import perfconfig
+    >>> from repro.observability import metrics
+    >>> metrics.registry().reset()
+    >>> with metrics.time_block("off"):   # disabled: records nothing
+    ...     pass
+    >>> with perfconfig.observing():
+    ...     with metrics.time_block("billing.settle_s"):
+    ...         pass
+    >>> metrics.registry().names()
+    ['billing.settle_s']
+    >>> metrics.registry().reset()
+    """
+    if not perfconfig.observability_enabled():
+        yield
+        return
+    with _REGISTRY.timer(name).time():
+        yield

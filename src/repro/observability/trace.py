@@ -1,0 +1,496 @@
+"""Structured event log: nested spans and typed events.
+
+The tracer answers "*why* did this number come out" for the settlement,
+dispatch and sweep machinery: every instrumented operation opens a
+:class:`Span` (a named, attributed, timed scope; spans nest), and points of
+interest inside a span emit :class:`TraceEvent` records.  The result is a
+flat, ordered event log — easy to export, diff and assert on — with enough
+span/parent structure to reconstruct the call tree.
+
+Two usage modes:
+
+* **Explicit tracer** — construct a :class:`Tracer` and call
+  :meth:`Tracer.span` / :meth:`Tracer.event` on it.  Always records;
+  independent of the global switch.  This is what tests and notebooks use.
+* **Module-level, gated** — the library's instrumented hot paths call
+  :func:`span` / :func:`emit`, which consult
+  :func:`repro.perfconfig.observability_enabled` and degrade to the shared
+  :data:`NULL_SPAN` singleton / a no-op when observability is off.  The
+  disabled mode allocates nothing: the same null object is returned on
+  every call.
+
+>>> tracer = Tracer()
+>>> with tracer.span("settle", contract="demo"):
+...     tracer.event("period_priced", period="Jan")
+>>> [e.name for e in tracer.events]
+['settle', 'period_priced', 'settle']
+>>> [e.kind for e in tracer.events]
+['span_start', 'event', 'span_end']
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .. import perfconfig
+from ..exceptions import ObservabilityError
+
+__all__ = [
+    "TraceEvent",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "emit",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record in the event log.
+
+    Attributes
+    ----------
+    kind:
+        ``"span_start"``, ``"span_end"`` or ``"event"``.
+    name:
+        The span or event name (dotted, lowercase by convention —
+        ``"settle"``, ``"chaos.scenario"``).
+    t_s:
+        Wall-clock time of the record (Unix seconds).
+    span_id / parent_id:
+        Id of the owning span and of its parent (``None`` at the root).
+    depth:
+        Nesting depth (0 for root spans / events outside any span).
+    attrs:
+        Free-form, JSON-safe attributes.
+
+    >>> e = TraceEvent(kind="event", name="cache.hit", t_s=0.0,
+    ...                span_id=1, parent_id=None, depth=0,
+    ...                attrs={"layer": "plan"})
+    >>> e.name, e.attrs["layer"]
+    ('cache.hit', 'plan')
+    """
+
+    kind: str
+    name: str
+    t_s: float
+    span_id: Optional[int]
+    parent_id: Optional[int]
+    depth: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict of this record.
+
+        >>> e = TraceEvent(kind="event", name="x", t_s=1.5, span_id=None,
+        ...                parent_id=None, depth=0)
+        >>> sorted(e.to_dict())
+        ['attrs', 'depth', 'kind', 'name', 'parent_id', 'span_id', 't_s']
+        """
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "t_s": self.t_s,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Span:
+    """A named, timed, attributed scope in the event log.
+
+    Created by :meth:`Tracer.span`; use as a context manager.  On exit the
+    span records its wall duration, and — when the block raised — an
+    ``error`` attribute naming the exception type, *without* swallowing the
+    exception.  Exiting also restores the tracer's span stack, so a span
+    that dies mid-flight cannot corrupt the nesting of its siblings.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer") as outer:
+    ...     with tracer.span("inner") as inner:
+    ...         pass
+    >>> inner.parent_id == outer.span_id
+    True
+    >>> outer.duration_s >= inner.duration_s >= 0.0
+    True
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_s",
+        "end_s",
+        "error",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attrs = attrs
+        self.start_s: Optional[float] = None
+        self.end_s: Optional[float] = None
+        self.error: Optional[str] = None
+
+    @property
+    def duration_s(self) -> float:
+        """Wall seconds between enter and exit (0.0 while still open)."""
+        if self.start_s is None or self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit an event attributed to this span.
+
+        >>> tracer = Tracer()
+        >>> with tracer.span("settle") as s:
+        ...     s.event("ratchet_reset")
+        >>> tracer.events[1].parent_id == s.span_id
+        True
+        """
+        self._tracer._record("event", name, self.span_id, self.depth + 1, attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        self._tracer._exit_span(self)
+        return False
+
+
+class NullSpan:
+    """The zero-cost stand-in returned when observability is disabled.
+
+    A process-wide singleton (:data:`NULL_SPAN`): entering, exiting and
+    emitting through it do nothing and allocate nothing, so gated call
+    sites can use the same ``with span(...)`` shape in both modes.
+
+    >>> from repro.observability.trace import NULL_SPAN, span
+    >>> span("anything") is NULL_SPAN  # observability is off by default
+    True
+    >>> with NULL_SPAN as s:
+    ...     s.event("ignored")
+    >>> NULL_SPAN.duration_s
+    0.0
+    """
+
+    __slots__ = ()
+
+    duration_s = 0.0
+    error = None
+    span_id = None
+    parent_id = None
+    depth = 0
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Discard the event."""
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The shared disabled-mode span; identity-stable across calls.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """An in-memory structured event log with nested spans.
+
+    Thread-safe: each thread keeps its own span stack (so spans nest per
+    thread of execution), while all records land in one ordered log.  The
+    log is bounded by ``max_events``; once full, further records are
+    dropped and counted in :attr:`n_dropped` rather than growing without
+    bound inside a long sweep.
+
+    Parameters
+    ----------
+    max_events:
+        Hard bound on retained records.
+
+    >>> tracer = Tracer(max_events=2)
+    >>> for k in range(4):
+    ...     tracer.event(f"e{k}")
+    >>> len(tracer.events), tracer.n_dropped
+    (2, 2)
+    """
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events < 1:
+            raise ObservabilityError("max_events must be >= 1")
+        self.max_events = int(max_events)
+        self.events: List[TraceEvent] = []
+        self.n_dropped = 0
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- stack plumbing ---------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread, or ``None``.
+
+        >>> tracer = Tracer()
+        >>> tracer.current_span() is None
+        True
+        >>> with tracer.span("s") as s:
+        ...     tracer.current_span() is s
+        True
+        """
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _record(
+        self,
+        kind: str,
+        name: str,
+        parent_id: Optional[int],
+        depth: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        record = TraceEvent(
+            kind=kind,
+            name=name,
+            t_s=time.time(),
+            span_id=None,
+            parent_id=parent_id,
+            depth=depth,
+            attrs=attrs,
+        )
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.n_dropped += 1
+            else:
+                self.events.append(record)
+
+    def _enter_span(self, s: Span) -> None:
+        stack = self._stack()
+        stack.append(s)
+        s.start_s = time.time()
+        record = TraceEvent(
+            kind="span_start",
+            name=s.name,
+            t_s=s.start_s,
+            span_id=s.span_id,
+            parent_id=s.parent_id,
+            depth=s.depth,
+            attrs=dict(s.attrs),
+        )
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.n_dropped += 1
+            else:
+                self.events.append(record)
+
+    def _exit_span(self, s: Span) -> None:
+        stack = self._stack()
+        # restore the stack even if inner spans leaked (exception paths)
+        while stack and stack[-1] is not s:
+            stack.pop()
+        if stack:
+            stack.pop()
+        s.end_s = time.time()
+        attrs: Dict[str, Any] = {"duration_s": s.duration_s}
+        if s.error is not None:
+            attrs["error"] = s.error
+        record = TraceEvent(
+            kind="span_end",
+            name=s.name,
+            t_s=s.end_s,
+            span_id=s.span_id,
+            parent_id=s.parent_id,
+            depth=s.depth,
+            attrs=attrs,
+        )
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.n_dropped += 1
+            else:
+                self.events.append(record)
+
+    # -- public API -------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a new (not-yet-entered) span nested under the current one.
+
+        >>> tracer = Tracer()
+        >>> with tracer.span("settle", contract="demo SC"):
+        ...     pass
+        >>> tracer.events[0].attrs["contract"]
+        'demo SC'
+        """
+        parent = self.current_span()
+        return Span(
+            tracer=self,
+            name=name,
+            span_id=next(self._ids),
+            parent_id=None if parent is None else parent.span_id,
+            depth=0 if parent is None else parent.depth + 1,
+            attrs=attrs,
+        )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a standalone typed event (attributed to the open span).
+
+        >>> tracer = Tracer()
+        >>> tracer.event("cache.hit", layer="plan")
+        >>> tracer.events[0].kind
+        'event'
+        """
+        parent = self.current_span()
+        self._record(
+            "event",
+            name,
+            None if parent is None else parent.span_id,
+            0 if parent is None else parent.depth + 1,
+            attrs,
+        )
+
+    def clear(self) -> None:
+        """Drop every retained record (and the dropped-count).
+
+        >>> tracer = Tracer()
+        >>> tracer.event("x"); tracer.clear()
+        >>> tracer.events
+        []
+        """
+        with self._lock:
+            self.events = []
+            self.n_dropped = 0
+
+    def export(self) -> List[Dict[str, Any]]:
+        """The full log as JSON-safe dicts, in record order.
+
+        >>> tracer = Tracer()
+        >>> tracer.event("x")
+        >>> [r["name"] for r in tracer.export()]
+        ['x']
+        """
+        with self._lock:
+            return [e.to_dict() for e in self.events]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the log to JSON.
+
+        >>> import json
+        >>> tracer = Tracer()
+        >>> tracer.event("x")
+        >>> json.loads(tracer.to_json())[0]["name"]
+        'x'
+        """
+        return json.dumps(self.export(), indent=indent, default=str)
+
+
+# -- the global, gated tracer -------------------------------------------------
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer the instrumented library writes to.
+
+    >>> from repro import perfconfig
+    >>> from repro.observability import trace
+    >>> trace.get_tracer().clear()
+    >>> with perfconfig.observing():
+    ...     with trace.span("settle"):
+    ...         pass
+    >>> [e.kind for e in trace.get_tracer().events]
+    ['span_start', 'span_end']
+    >>> trace.get_tracer().clear()
+    """
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer; returns the previous one.
+
+    >>> from repro.observability.trace import Tracer, get_tracer, set_tracer
+    >>> mine = Tracer()
+    >>> previous = set_tracer(mine)
+    >>> get_tracer() is mine
+    True
+    >>> _ = set_tracer(previous)
+    """
+    global _GLOBAL_TRACER
+    if not isinstance(tracer, Tracer):
+        raise ObservabilityError("set_tracer requires a Tracer instance")
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+def span(name: str, **attrs: Any):
+    """Gated module-level span: real when observability is on, else null.
+
+    This is the form the instrumented hot paths use; with observability
+    disabled (the default) it returns the shared :data:`NULL_SPAN`
+    singleton — identical object every call, zero allocations.
+
+    >>> from repro import perfconfig
+    >>> from repro.observability.trace import span, NULL_SPAN
+    >>> span("settle") is span("settle") is NULL_SPAN
+    True
+    >>> with perfconfig.observing():
+    ...     s = span("settle")
+    ...     s is NULL_SPAN
+    False
+    """
+    if not perfconfig.observability_enabled():
+        return NULL_SPAN
+    return _GLOBAL_TRACER.span(name, **attrs)
+
+
+def emit(name: str, **attrs: Any) -> None:
+    """Gated module-level event: recorded only when observability is on.
+
+    >>> from repro import perfconfig
+    >>> from repro.observability import trace
+    >>> trace.get_tracer().clear()
+    >>> trace.emit("ignored.when.off")
+    >>> with perfconfig.observing():
+    ...     trace.emit("dr.event", kind="emergency")
+    >>> [e.name for e in trace.get_tracer().events]
+    ['dr.event']
+    >>> trace.get_tracer().clear()
+    """
+    if not perfconfig.observability_enabled():
+        return
+    _GLOBAL_TRACER.event(name, **attrs)

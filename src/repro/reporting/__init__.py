@@ -5,7 +5,9 @@
 * :mod:`~repro.reporting.figures` — text rendering of Figure 1's typology
   tree and simple series sparklines;
 * :mod:`~repro.reporting.experiments` — the registry mapping every
-  experiment id in DESIGN.md to the function that regenerates it.
+  experiment id in DESIGN.md to the function that regenerates it;
+* :mod:`~repro.reporting.export` — JSON/markdown export of bills,
+  reconciliations, experiment reports, and observability run manifests.
 """
 
 from .tables import render_table, render_table1, render_table2, CHECK, BLANK
@@ -15,8 +17,11 @@ from .export import (
     bill_to_dict,
     bill_to_json,
     experiments_to_markdown,
+    manifest_to_json,
+    manifest_to_markdown,
     reconciliation_to_dict,
     reconciliation_to_json,
+    write_manifests,
 )
 
 __all__ = [
@@ -36,4 +41,7 @@ __all__ = [
     "reconciliation_to_dict",
     "reconciliation_to_json",
     "experiments_to_markdown",
+    "manifest_to_json",
+    "manifest_to_markdown",
+    "write_manifests",
 ]

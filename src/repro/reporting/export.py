@@ -6,6 +6,12 @@ JSON-safe structure (per-period line items included), and
 :func:`experiments_to_markdown` writes the full experiment registry to a
 single report file — the programmatic version of
 ``examples/survey_reproduction.py``.
+
+Run manifests (see :mod:`repro.observability.manifest`) export through
+the same door: :func:`manifest_to_json` / :func:`manifest_to_markdown`
+render a single manifest, and :func:`write_manifests` drains the
+in-process emission log to one JSON file per run — the provenance
+sidecar for a study directory.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..contracts.billing import Bill, Reconciliation
 from ..exceptions import ReportingError
+from ..observability.manifest import RunManifest, emitted
 from .experiments import EXPERIMENTS, ExperimentResult, experiment_ids, run_experiment
 
 __all__ = [
@@ -24,6 +31,9 @@ __all__ = [
     "reconciliation_to_dict",
     "reconciliation_to_json",
     "experiments_to_markdown",
+    "manifest_to_json",
+    "manifest_to_markdown",
+    "write_manifests",
 ]
 
 
@@ -144,6 +154,72 @@ def experiments_to_markdown(
         lines.append("")
     Path(target).write_text("\n".join(lines), encoding="utf-8")
     return results
+
+
+def manifest_to_json(manifest: RunManifest, indent: Optional[int] = 2) -> str:
+    """Serialize a run manifest to JSON (schema ``repro-manifest-v1``).
+
+    Thin alias over :meth:`RunManifest.to_json`, re-exported here so the
+    reporting package is the one-stop shop for every export format.
+
+    >>> from repro.observability.manifest import RunManifest
+    >>> m = RunManifest(kind="demo", name="x", created_unix=0.0,
+    ...                 wall_s=0.0, cpu_s=0.0)
+    >>> '"format": "repro-manifest-v1"' in manifest_to_json(m)
+    True
+    """
+    return manifest.to_json(indent=indent)
+
+
+def manifest_to_markdown(manifest: RunManifest) -> str:
+    """Render a run manifest as a human-readable markdown section.
+
+    >>> from repro.observability.manifest import RunManifest
+    >>> m = RunManifest(kind="demo", name="x", created_unix=0.0,
+    ...                 wall_s=0.0, cpu_s=0.0)
+    >>> manifest_to_markdown(m).splitlines()[0]
+    '# Run manifest: demo — x'
+    """
+    return manifest.to_markdown()
+
+
+def write_manifests(
+    target_dir: Union[str, Path],
+    manifests: Optional[Sequence[RunManifest]] = None,
+) -> List[Path]:
+    """Write run manifests as JSON files under ``target_dir``.
+
+    Parameters
+    ----------
+    target_dir:
+        Directory for the manifest files (created if missing).  Each
+        manifest lands in ``<kind>-<index>.json``, index in emission
+        order.
+    manifests:
+        Manifests to write; defaults to the full in-process emission log
+        (:func:`repro.observability.manifest.emitted`).
+
+    Returns
+    -------
+    list of pathlib.Path
+        The files written, in order.
+
+    Raises
+    ------
+    ReportingError
+        When ``target_dir`` exists but is not a directory.
+    """
+    chosen = list(manifests) if manifests is not None else emitted()
+    root = Path(target_dir)
+    if root.exists() and not root.is_dir():
+        raise ReportingError(f"{root} exists and is not a directory")
+    root.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for i, manifest in enumerate(chosen):
+        path = root / f"{manifest.kind}-{i:03d}.json"
+        path.write_text(manifest.to_json(indent=2), encoding="utf-8")
+        written.append(path)
+    return written
 
 
 def _json_safe(value: object) -> object:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import functools
 import threading
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,6 +45,9 @@ from ..contracts import (
 )
 from ..dr import CostModel, DRController, LoadShedStrategy
 from ..exceptions import RobustnessError
+from ..observability import manifest as _manifest
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
 from ..facility import CheckpointModel, Supercomputer
 from ..grid import ESP, Generator, GridLoadModel, SupplyStack
 from ..timeseries.calendar import BillingPeriod
@@ -198,7 +202,9 @@ def _build_facility(peak_mw: float, use_cache: bool = True) -> Tuple[DRControlle
         with _FACILITY_CACHE_LOCK:
             cached = _FACILITY_CACHE.get(key)
         if cached is not None:
+            _metrics.inc("chaos.facility_cache.hit")
             return cached
+        _metrics.inc("chaos.facility_cache.miss")
         facility = _build_facility(peak_mw, use_cache=False)
         with _FACILITY_CACHE_LOCK:
             if len(_FACILITY_CACHE) >= _FACILITY_CACHE_MAX:
@@ -283,7 +289,9 @@ def _build_world(
         with _WORLD_CACHE_LOCK:
             world = _WORLD_CACHE.get(key)
         if world is not None:
+            _metrics.inc("chaos.world_cache.hit")
             return world
+        _metrics.inc("chaos.world_cache.miss")
     horizon_s = horizon_days * DAY_S
     esp, system_load = _build_esp(horizon_days, seed)
     sc_load = synthetic_sc_load(
@@ -323,7 +331,60 @@ def run_scenario(
     ≤ 5 % dropout) uses the default.  ``use_world_cache=False`` forces a
     fresh world construction and ``fastpath=False`` the legacy settlement
     loop (the benchmarks use both to time the pre-optimization path).
+
+    Observability (when enabled): the point runs inside a
+    ``chaos.scenario`` span — the billing engine's ``settle`` spans nest
+    under it — and reports signal-accounting counters
+    (``chaos.signals.*``), degradation counts and the per-layer cache
+    hit/miss counters (``chaos.world_cache.*`` etc.).
     """
+    if not perfconfig.observability_enabled():
+        return _run_scenario_impl(
+            scenario,
+            horizon_days,
+            peak_mw,
+            bill_error_tolerance,
+            estimation_method,
+            delivery_policy,
+            use_world_cache,
+            fastpath,
+        )
+    with _trace.span("chaos.scenario", scenario=scenario.name, seed=scenario.seed):
+        result = _run_scenario_impl(
+            scenario,
+            horizon_days,
+            peak_mw,
+            bill_error_tolerance,
+            estimation_method,
+            delivery_policy,
+            use_world_cache,
+            fastpath,
+        )
+    _metrics.inc("chaos.scenarios")
+    _metrics.inc("chaos.signals.dispatched", result.n_dispatched)
+    _metrics.inc("chaos.signals.delivered", result.n_delivered)
+    _metrics.inc("chaos.signals.dead_letter", result.n_dead_letter)
+    _metrics.inc("chaos.responses.degraded", result.n_degraded)
+    _trace.emit(
+        "chaos.scenario_done",
+        scenario=scenario.name,
+        ok=result.ok,
+        bill_error_fraction=result.bill_error_fraction,
+    )
+    return result
+
+
+def _run_scenario_impl(
+    scenario: ChaosScenario,
+    horizon_days: int = 28,
+    peak_mw: float = 8.0,
+    bill_error_tolerance: float = 0.03,
+    estimation_method: EstimationMethod = EstimationMethod.LINEAR_INTERPOLATION,
+    delivery_policy: Optional[DeliveryPolicy] = None,
+    use_world_cache: bool = True,
+    fastpath: bool = True,
+) -> ChaosRunResult:
+    """The body of :func:`run_scenario` (wrapped by its observability shim)."""
     if horizon_days < 7:
         raise RobustnessError("the chaos harness needs at least one billing week")
     horizon_days = (horizon_days // 7) * 7  # whole billing weeks
@@ -362,6 +423,11 @@ def run_scenario(
     if response_key is not None:
         with _RESPONSE_CACHE_LOCK:
             cached_response = _RESPONSE_CACHE.get(response_key)
+        _metrics.inc(
+            "chaos.response_cache.hit"
+            if cached_response is not None
+            else "chaos.response_cache.miss"
+        )
     if cached_response is not None:
         actual_load, n_degraded = cached_response
     else:
@@ -455,6 +521,12 @@ def run_chaos_sweep(
     through :func:`~repro.analysis.sweep.sweep_map` (``parallel`` is
     forwarded); results arrive in grid order either way.  All points of
     one sweep share a single cached world construction.
+
+    Observability (when enabled): the sweep emits a ``chaos_sweep``
+    :class:`~repro.observability.manifest.RunManifest` carrying the grid
+    parameters, the seed, and a payload with per-scenario verdicts and the
+    worst bill error (readable via
+    :func:`repro.observability.manifest.last_manifest`).
     """
     scenarios = [
         ChaosScenario(
@@ -466,6 +538,9 @@ def run_chaos_sweep(
         for dropout in dropout_rates
         for loss in loss_probabilities
     ]
+    observed = perfconfig.observability_enabled()
+    wall0 = _time.perf_counter() if observed else 0.0
+    cpu0 = _time.process_time() if observed else 0.0
     results = sweep_map(
         functools.partial(
             run_scenario,
@@ -478,4 +553,38 @@ def run_chaos_sweep(
         scenarios,
         parallel=parallel,
     )
-    return DegradationReport(results)
+    report = DegradationReport(results)
+    if observed:
+        _manifest.record(
+            _manifest.RunManifest(
+                kind="chaos_sweep",
+                name=f"{len(scenarios)}-point degradation sweep",
+                created_unix=_time.time(),
+                wall_s=_time.perf_counter() - wall0,
+                cpu_s=_time.process_time() - cpu0,
+                seeds={"world": int(seed)},
+                params={
+                    "dropout_rates": list(dropout_rates),
+                    "loss_probabilities": list(loss_probabilities),
+                    "horizon_days": int(horizon_days),
+                    "peak_mw": float(peak_mw),
+                    "bill_error_tolerance": float(bill_error_tolerance),
+                    "fastpath": bool(fastpath),
+                },
+                metrics=_metrics.registry().snapshot(),
+                payload={
+                    "all_ok": report.all_ok,
+                    "worst_bill_error": report.worst_bill_error,
+                    "scenarios": [
+                        {
+                            "name": r.scenario.name,
+                            "ok": r.ok,
+                            "bill_error_fraction": r.bill_error_fraction,
+                            "n_dead_letter": r.n_dead_letter,
+                        }
+                        for r in report.results
+                    ],
+                },
+            )
+        )
+    return report

@@ -20,6 +20,7 @@ import numpy as np
 
 from .. import perfconfig
 from ..exceptions import CalendarError
+from ..observability import metrics as _metrics
 from ..units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from .series import PowerSeries
 
@@ -136,8 +137,13 @@ class SimCalendar:
         """
         if not perfconfig.caching_enabled():
             return cls(interval_s, start_s)
+        observed = perfconfig.observability_enabled()
         key = (float(interval_s), float(start_s))
         calendar = _CALENDAR_CACHE.get(key)
+        if observed:
+            _metrics.inc(
+                "calendar.cache.hit" if calendar is not None else "calendar.cache.miss"
+            )
         if calendar is None:
             calendar = cls(interval_s, start_s)
             with _CALENDAR_CACHE_LOCK:

@@ -1,0 +1,369 @@
+"""Tests for the observability layer: tracer, metrics registry, manifests.
+
+Covers the acceptance properties of the layer itself (span nesting and
+exception-safe closure, null-span identity in disabled mode, registry
+kind collisions, deterministic snapshots under fixed seeds, lossless
+manifest JSON round-trips) plus the end-to-end contract the instrumented
+hot paths must honor: an annual ``bill_many`` emits a manifest whose
+per-component totals reconcile *exactly* with the returned bills, and
+disabled mode leaves the settlement fast path untouched.
+"""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro import perfconfig
+from repro.analysis.scenarios import synthetic_sc_load
+from repro.contracts import BillingEngine, Contract, DemandCharge, FixedTariff
+from repro.exceptions import ObservabilityError
+from repro.observability import NULL_SPAN, manifest, metrics, trace
+from repro.timeseries.calendar import monthly_billing_periods
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    """Every test starts and ends with a pristine, disabled layer."""
+    perfconfig.set_observability(False)
+    trace.set_tracer(trace.Tracer())
+    metrics.registry().reset()
+    manifest.clear()
+    perfconfig.clear_caches()
+    yield
+    perfconfig.set_observability(False)
+    trace.set_tracer(trace.Tracer())
+    metrics.registry().reset()
+    manifest.clear()
+    perfconfig.clear_caches()
+
+
+# -- tracer -----------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest_and_close(self):
+        tracer = trace.Tracer()
+        with tracer.span("outer", a=1) as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == outer.depth + 1
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["span_start", "span_start", "span_end", "span_end"]
+
+    def test_span_closes_on_exception_and_reraises(self):
+        tracer = trace.Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        assert tracer.current_span() is None
+        ends = [e for e in tracer.events if e.kind == "span_end"]
+        assert len(ends) == 2
+        failing_end = next(e for e in ends if e.name == "failing")
+        assert failing_end.attrs.get("error") == "ValueError"
+
+    def test_exit_pops_leaked_inner_spans(self):
+        tracer = trace.Tracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("leaked")
+        inner.__enter__()
+        # exiting the outer span must unwind the leaked inner one too
+        outer.__exit__(None, None, None)
+        assert tracer.current_span() is None
+
+    def test_event_log_is_bounded(self):
+        tracer = trace.Tracer(max_events=4)
+        for i in range(10):
+            tracer.event("tick", i=i)
+        assert len(tracer.events) == 4
+        assert tracer.n_dropped == 6
+
+    def test_disabled_mode_returns_identical_null_span(self):
+        assert not perfconfig.observability_enabled()
+        s1 = trace.span("settle", contract="x")
+        s2 = trace.span("other")
+        assert s1 is NULL_SPAN
+        assert s2 is NULL_SPAN
+        with s1 as s:
+            s.event("ignored")  # no-op, no error
+
+    def test_disabled_mode_emits_nothing(self):
+        trace.emit("event")
+        with trace.span("nope"):
+            pass
+        assert trace.get_tracer().events == []
+
+    def test_export_round_trips_json(self):
+        with perfconfig.observing():
+            with trace.span("a", x=1):
+                trace.emit("e", y="z")
+        payload = json.loads(trace.get_tracer().to_json())
+        assert [p["kind"] for p in payload] == ["span_start", "event", "span_end"]
+
+
+class TestDisabledModeAllocations:
+    def test_settle_fast_path_allocation_free_when_disabled(self):
+        """The disabled-mode guard must not allocate on re-settlement.
+
+        A repeated bill of the same (plan, contract, context) hits the
+        settlement memo; with observability off, the added instrumentation
+        is a boolean read, so the second-bill allocation count must not
+        grow measurably relative to pre-instrumentation behaviour.
+        """
+        load = synthetic_sc_load(peak_mw=2.0, n_days=31, seed=3)
+        contract = Contract(
+            "flat+demand", [FixedTariff(rate_per_kwh=0.1), DemandCharge(12.0)]
+        )
+        periods = monthly_billing_periods(n_months=1, start_s=0.0)
+        engine = BillingEngine()
+        engine.bill(contract, load, periods)  # warm all caches
+        tracemalloc.start()
+        engine.bill(contract, load, periods)
+        _, peak_kib = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # memoized re-bill allocates bill metadata only; anything above
+        # ~256 KiB would mean observability objects leaked into the path
+        assert peak_kib < 256 * 1024
+        assert trace.get_tracer().events == []
+        assert metrics.registry().names() == []
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_timer(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.0)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h").observe(1.0)
+        reg.histogram("h").observe(3.0)
+        with reg.timer("t").time():
+            pass
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 3.0
+        assert snap["gauges"]["g"] == 7.0
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["mean"] == 2.0
+        assert snap["timers"]["t"]["count"] == 1
+
+    def test_kind_collision_raises(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x")
+
+    def test_negative_increment_raises(self):
+        reg = metrics.MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("c").inc(-1.0)
+
+    def test_module_helpers_noop_when_disabled(self):
+        metrics.inc("nope")
+        metrics.observe("nope2", 1.0)
+        metrics.set_gauge("nope3", 1.0)
+        assert metrics.registry().names() == []
+
+    def test_snapshot_deterministic_under_fixed_seeds(self):
+        """Two identical seeded runs produce identical counter snapshots."""
+
+        def one_run():
+            metrics.registry().reset()
+            perfconfig.clear_caches()
+            load = synthetic_sc_load(peak_mw=1.0, n_days=31, seed=11)
+            contract = Contract(
+                "flat+demand", [FixedTariff(rate_per_kwh=0.1), DemandCharge(10.0)]
+            )
+            periods = monthly_billing_periods(n_months=1, start_s=0.0)
+            with perfconfig.observing():
+                BillingEngine().bill(contract, load, periods)
+                BillingEngine().bill(contract, load, periods)
+            snap = metrics.registry().snapshot()
+            return snap["counters"]
+
+        first = one_run()
+        second = one_run()
+        assert first == second
+        assert first["settlement.memo.hit"] >= 1.0
+        assert first["settlement.plan_cache.miss"] >= 1.0
+
+    def test_cache_counters_cover_registered_caches(self):
+        from repro.contracts.tariffs import TOUTariff
+        from repro.timeseries.calendar import TOUWindow
+
+        load = synthetic_sc_load(peak_mw=1.0, n_days=31, seed=5)
+        tou = TOUTariff(
+            [(TOUWindow("peak", 8, 20), 0.15)], default_rate_per_kwh=0.08
+        )
+        contract = Contract("tou+demand", [tou, DemandCharge(10.0)])
+        periods = monthly_billing_periods(n_months=1, start_s=0.0)
+        with perfconfig.observing():
+            BillingEngine().bill(contract, load, periods)
+            BillingEngine().bill(contract, load, periods)
+        counters = metrics.registry().snapshot()["counters"]
+        assert any(k.startswith("settlement.plan_cache.") for k in counters)
+        assert any(k.startswith("calendar.cache.") for k in counters)
+        assert any(k.startswith("tariff.rate_cache.") for k in counters)
+
+
+# -- manifests --------------------------------------------------------------
+
+
+class TestManifest:
+    def test_round_trip_through_json(self):
+        m = manifest.RunManifest(
+            kind="demo",
+            name="round-trip",
+            created_unix=123.0,
+            wall_s=1.5,
+            cpu_s=1.25,
+            seeds={"load": 3},
+            params={"n": 12, "flag": True},
+            payload={"total": 42.5, "names": ["a", "b"]},
+        )
+        again = manifest.RunManifest.from_json(m.to_json())
+        assert again == m
+        assert json.loads(m.to_json())["format"] == manifest.SCHEMA
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ObservabilityError):
+            manifest.RunManifest.from_dict({"format": "bogus"})
+
+    def test_emission_log_is_bounded_and_ordered(self):
+        with perfconfig.observing():
+            for i in range(70):
+                manifest.record(
+                    manifest.RunManifest(
+                        kind="k", name=str(i), created_unix=0.0, wall_s=0.0, cpu_s=0.0
+                    )
+                )
+        log = manifest.emitted()
+        assert len(log) == 64  # deque maxlen
+        assert log[-1].name == "69"
+        assert manifest.last_manifest().name == "69"
+
+    def test_tracked_run_captures_payload_and_metrics(self):
+        with perfconfig.observing():
+            with manifest.tracked_run("study", "demo", seeds={"s": 1}) as payload:
+                metrics.inc("study.points", 3)
+                payload["answer"] = 42
+        m = manifest.last_manifest()
+        assert m.kind == "study"
+        assert m.payload["answer"] == 42
+        assert m.seeds == {"s": 1}
+        assert m.metrics["counters"]["study.points"] == 3.0
+        assert m.wall_s >= 0.0
+
+    def test_no_emission_when_disabled(self):
+        load = synthetic_sc_load(peak_mw=1.0, n_days=31, seed=2)
+        contract = Contract("flat", [FixedTariff(rate_per_kwh=0.1)])
+        periods = monthly_billing_periods(n_months=1, start_s=0.0)
+        BillingEngine().bill(contract, load, periods)
+        assert manifest.emitted() == []
+
+
+class TestBillManifestReconciliation:
+    def test_bill_many_manifest_reconciles_exactly(self):
+        """The annual acceptance property from the issue: per-component
+        totals in the manifest equal the returned bills', exactly."""
+        load = synthetic_sc_load(peak_mw=2.0, n_days=365, seed=1)
+        contracts = [
+            Contract("annual-a", [FixedTariff(rate_per_kwh=0.09), DemandCharge(15.0)]),
+            Contract("annual-b", [FixedTariff(rate_per_kwh=0.12)]),
+        ]
+        periods = monthly_billing_periods(n_months=12, start_s=0.0)
+        engine = BillingEngine()
+        with perfconfig.observing():
+            bills = engine.bill_many(contracts, load, periods)
+        m = manifest.last_manifest()
+        assert m is not None and m.kind == "bill_many"
+        assert len(m.payload["bills"]) == len(bills)
+        for contract, bill, entry in zip(contracts, bills, m.payload["bills"]):
+            assert entry["contract"] == contract.name
+            assert entry["total"] == bill.total
+            assert entry["energy_cost"] == bill.energy_cost
+            assert entry["demand_cost"] == bill.demand_cost
+            for comp in contract.components:
+                assert entry["components"][comp.name] == bill.component_total(comp.name)
+            assert entry["n_periods"] == len(bill.period_bills)
+        # and the manifest round-trips with the payload intact
+        again = manifest.RunManifest.from_json(m.to_json())
+        assert again.payload["bills"][0]["total"] == bills[0].total
+
+    def test_single_bill_manifest_reconciles(self):
+        load = synthetic_sc_load(peak_mw=1.5, n_days=31, seed=9)
+        contract = Contract(
+            "monthly", [FixedTariff(rate_per_kwh=0.11), DemandCharge(9.0)]
+        )
+        periods = monthly_billing_periods(n_months=1, start_s=0.0)
+        with perfconfig.observing():
+            bill = BillingEngine().bill(contract, load, periods)
+        m = manifest.last_manifest()
+        assert m.kind == "bill"
+        assert m.payload["total"] == bill.total
+        assert m.payload["max_peak_kw"] == bill.max_peak_kw
+
+
+# -- instrumented subsystems -------------------------------------------------
+
+
+class TestSubsystemInstrumentation:
+    def test_sweep_map_counts_batches(self):
+        from repro.analysis.sweep import sweep_map
+
+        with perfconfig.observing():
+            out = sweep_map(abs, [-1, 2, -3], parallel=False)
+        assert out == [1, 2, 3]
+        counters = metrics.registry().snapshot()["counters"]
+        assert counters["sweep.batches"] == 1.0
+        assert counters["sweep.items"] == 3.0
+        assert counters["sweep.serial_batches"] == 1.0
+
+    def test_chaos_sweep_emits_manifest(self):
+        from repro.robustness.chaos import run_chaos_sweep
+
+        with perfconfig.observing():
+            report = run_chaos_sweep(
+                dropout_rates=[0.0],
+                loss_probabilities=[0.0],
+                horizon_days=7,
+                parallel=False,
+            )
+        m = manifest.last_manifest()
+        assert m.kind == "chaos_sweep"
+        assert m.payload["all_ok"] == report.all_ok
+        assert m.wall_s > 0.0
+        counters = metrics.registry().snapshot()["counters"]
+        assert counters["chaos.scenarios"] == 1.0
+
+    def test_esp_simulate_system_manifest_seeds(self):
+        from repro.grid import ESP, Generator, GridLoadModel, SupplyStack
+
+        stack = SupplyStack([Generator("g", 500_000.0, 0.03)])
+        esp = ESP("esp-x", stack, system_load_model=GridLoadModel(base_kw=200_000.0))
+        with perfconfig.observing():
+            out = esp.simulate_system(24, 3600.0, seed=5)
+        m = manifest.last_manifest()
+        assert m.kind == "simulate_system"
+        assert m.seeds == {"system": 5, "renewable": 12, "prices": 18}
+        assert m.payload["peak_kw"] == out["load"].max_kw()
+
+    def test_write_manifests_exports_emission_log(self, tmp_path):
+        from repro.reporting import write_manifests
+
+        with perfconfig.observing():
+            with manifest.tracked_run("study", "a"):
+                pass
+            with manifest.tracked_run("study", "b"):
+                pass
+        paths = write_manifests(tmp_path)
+        assert [p.name for p in paths] == ["study-000.json", "study-001.json"]
+        loaded = manifest.RunManifest.from_json(paths[1].read_text())
+        assert loaded.name == "b"

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Check markdown links in README.md and docs/ for dead targets.
+
+A docs-archetype repo earns its keep only while the docs stay navigable,
+so CI runs this checker over every tracked markdown file.  It validates:
+
+* relative file links — the target must exist relative to the linking
+  file (query strings are rejected, ``#anchor`` suffixes are split off);
+* intra-file and cross-file heading anchors — ``#some-heading`` must
+  match a heading slug or an explicit ``<a id="...">`` in the target;
+* bare ``http(s)://`` links are *not* fetched (CI must stay offline) but
+  are counted so the summary shows coverage.
+
+Usage:
+
+    python tools/check_doc_links.py            # check default file set
+    python tools/check_doc_links.py FILE...    # check specific files
+
+Exit status 0 when every link resolves, 1 otherwise (each failure is
+printed as ``file: [text](target): reason``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — ignores images' leading ``!`` by matching it off.
+LINK_RE = re.compile(r"!?\[([^\]]*)\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+ANCHOR_ID_RE = re.compile(r'<a\s+id="([^"]+)"')
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def default_files() -> List[Path]:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading.
+
+    Lowercase, spaces to hyphens, punctuation (except hyphens/underscores)
+    dropped; backticks and markdown emphasis stripped first.
+    """
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
+    """All heading slugs and explicit ``<a id>`` anchors in ``path``."""
+    if path in cache:
+        return cache[path]
+    slugs: Set[str] = set()
+    seen: Dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slug = slugify(m.group(1))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        for aid in ANCHOR_ID_RE.findall(line):
+            slugs.add(aid)
+    cache[path] = slugs
+    return slugs
+
+
+def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[str]:
+    """Return a list of failure strings for ``path``."""
+    failures: List[str] = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for text, target in LINK_RE.findall(line):
+            reason = check_link(path, target, cache)
+            if reason:
+                failures.append(f"{path.relative_to(REPO)}:{lineno}: [{text}]({target}): {reason}")
+    return failures
+
+
+def check_link(source: Path, target: str, cache: Dict[Path, Set[str]]) -> str:
+    """Empty string when the link resolves, else a failure reason."""
+    if target.startswith(("http://", "https://", "mailto:")):
+        return ""  # external; not fetched offline
+    if target.startswith("#"):
+        anchor = target[1:]
+        if anchor not in anchors_of(source, cache):
+            return f"no heading with anchor #{anchor} in this file"
+        return ""
+    file_part, _, anchor = target.partition("#")
+    resolved = (source.parent / file_part).resolve()
+    if not resolved.exists():
+        return f"target file {file_part} does not exist"
+    if anchor:
+        if resolved.suffix.lower() != ".md":
+            return ""
+        if anchor not in anchors_of(resolved, cache):
+            return f"no heading with anchor #{anchor} in {file_part}"
+    return ""
+
+
+def main(argv: List[str]) -> int:
+    files = [Path(a).resolve() for a in argv] if argv else default_files()
+    cache: Dict[Path, Set[str]] = {}
+    failures: List[str] = []
+    n_links = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        n_links += len(LINK_RE.findall(text))
+        failures.extend(check_file(path, cache))
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"{len(failures)} broken link(s) across {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"{len(files)} file(s), {n_links} link(s): all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Generate the observability reference manual from docstrings.
+
+The manual (``docs/reference_observability.md``) is *derived* — every
+section is extracted from the live docstrings of the public API of
+:mod:`repro.observability` (tracer, metrics registry, run manifests) and
+the :mod:`repro.perfconfig` switchboard that gates them.  Editing the
+markdown by hand is futile; edit the docstring and regenerate:
+
+    PYTHONPATH=src python tools/gen_reference.py
+
+CI runs the same script with ``--check`` and fails when the committed
+manual drifts from the docstrings, and this generator itself fails when
+any public symbol is missing a docstring or a runnable ``>>>`` example —
+the docs archetype's contract: every public observability API is
+documented *and* doctested.
+
+The output is deterministic: modules and symbols appear in a fixed
+declaration-driven order (``__all__``), no timestamps, no machine state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import textwrap
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+OUTPUT = REPO / "docs" / "reference_observability.md"
+
+#: Modules documented by the manual, in manual order.
+MODULE_NAMES = [
+    "repro.perfconfig",
+    "repro.observability",
+    "repro.observability.trace",
+    "repro.observability.metrics",
+    "repro.observability.manifest",
+]
+
+#: perfconfig symbols outside the observability remit (cache switchboard)
+#: still get entries — the two switches share one control surface.
+HEADER = """\
+# Observability reference manual
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python tools/gen_reference.py -->
+
+This manual is generated from the docstrings of the public observability
+API.  Every entry below carries at least one runnable example; the whole
+manual is exercised by `pytest --doctest-modules` in CI.
+
+See [docs/observability.md](observability.md) for the narrative guide and
+[docs/index.md](index.md) for the documentation map.
+"""
+
+
+class ReferenceError_(RuntimeError):
+    """A public symbol violates the documented-and-doctested contract."""
+
+
+def _public_symbols(module) -> List[Tuple[str, object]]:
+    """(name, object) pairs for the module's public API, in __all__ order."""
+    names = getattr(module, "__all__", None)
+    if names is None:
+        raise ReferenceError_(f"{module.__name__} has no __all__")
+    out = []
+    for name in names:
+        try:
+            out.append((name, getattr(module, name)))
+        except AttributeError as exc:  # pragma: no cover - broken __all__
+            raise ReferenceError_(f"{module.__name__}.{name} in __all__ but missing") from exc
+    return out
+
+
+def _docstring(obj, qualname: str) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc or not doc.strip():
+        raise ReferenceError_(f"{qualname} has no docstring")
+    return doc
+
+
+def _requires_doctest(obj) -> bool:
+    """Constants/exception classes are exempt; callables and classes are not."""
+    if isinstance(obj, type) and issubclass(obj, BaseException):
+        return False
+    return inspect.isfunction(obj) or inspect.isclass(obj) or inspect.ismethod(obj)
+
+
+def _check_doctest(doc: str, qualname: str, obj) -> None:
+    if not _requires_doctest(obj):
+        return
+    if ">>>" not in doc:
+        raise ReferenceError_(f"{qualname} docstring has no >>> doctest example")
+
+
+def _signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return ""
+
+
+def _entry(module_name: str, name: str, obj) -> List[str]:
+    qualname = f"{module_name}.{name}"
+    doc = _docstring(obj, qualname)
+    _check_doctest(doc, qualname, obj)
+    lines = [f"### `{name}`", ""]
+    if inspect.isfunction(obj):
+        lines += ["```python", f"{name}{_signature(obj)}", "```", ""]
+    elif inspect.isclass(obj) and not issubclass(obj, BaseException):
+        sig = _signature(obj)
+        if sig and sig != "()":
+            lines += ["```python", f"{name}{sig}", "```", ""]
+    lines += [doc, ""]
+    if inspect.isclass(obj) and not issubclass(obj, BaseException):
+        methods = _public_methods(obj)
+        for mname, mobj in methods:
+            mdoc = _docstring(mobj, f"{qualname}.{mname}")
+            lines += [f"#### `{name}.{mname}`", ""]
+            lines += [textwrap.indent(mdoc, ""), ""]
+    return lines
+
+
+def _public_methods(cls) -> List[Tuple[str, object]]:
+    """Public methods/properties defined by ``cls`` itself (declaration order)."""
+    out = []
+    for mname, mobj in vars(cls).items():
+        if mname.startswith("_"):
+            continue
+        if isinstance(mobj, (staticmethod, classmethod)):
+            mobj = mobj.__func__
+        if isinstance(mobj, property):
+            if mobj.fget is not None and inspect.getdoc(mobj.fget):
+                out.append((mname, mobj.fget))
+            continue
+        if inspect.isfunction(mobj):
+            out.append((mname, mobj))
+    return out
+
+
+def generate() -> str:
+    """Build the full manual text (deterministic)."""
+    import importlib
+
+    parts: List[str] = [HEADER]
+    toc: List[str] = ["## Contents", ""]
+    bodies: List[str] = []
+    for module_name in MODULE_NAMES:
+        module = importlib.import_module(module_name)
+        mdoc = _docstring(module, module_name)
+        anchor = module_name.replace(".", "")
+        toc.append(f"- [`{module_name}`](#{anchor})")
+        bodies.append(f'<a id="{anchor}"></a>')
+        bodies.append(f"## `{module_name}`")
+        bodies.append("")
+        bodies.append(mdoc)
+        bodies.append("")
+        for name, obj in _public_symbols(module):
+            if inspect.ismodule(obj):
+                continue  # submodule re-exports documented in their own section
+            bodies.extend(_entry(module_name, name, obj))
+    toc.append("")
+    return "\n".join(parts + toc + bodies).rstrip() + "\n"
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when the committed manual differs from the "
+        "docstring-derived text instead of rewriting it",
+    )
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        text = generate()
+    except ReferenceError_ as exc:
+        print(f"reference contract violated: {exc}", file=sys.stderr)
+        return 2
+    if args.check:
+        on_disk = args.output.read_text(encoding="utf-8") if args.output.exists() else ""
+        if on_disk != text:
+            print(
+                f"{args.output} is stale; regenerate with "
+                "PYTHONPATH=src python tools/gen_reference.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.output} is up to date")
+        return 0
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(text, encoding="utf-8")
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
