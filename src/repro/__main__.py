@@ -5,12 +5,15 @@ Regenerates the paper's artifacts from the terminal::
     python -m repro list                 # experiment ids + descriptions
     python -m repro run table2           # one experiment
     python -m repro run all              # everything, in registry order
+    python -m repro lint                 # static analysis (tools.reprolint)
+    python -m repro lint -- --list-rules # forward flags to the analyzer
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .reporting.experiments import EXPERIMENTS, experiment_ids, run_experiment
 
@@ -27,6 +30,29 @@ _DESCRIPTIONS = {
 }
 
 
+def _run_lint(forwarded: list) -> int:
+    """Dispatch ``repro lint`` to :mod:`tools.reprolint`.
+
+    The analyzer lives beside ``src/`` in the repo checkout, not inside
+    the installed package, so the repo root is added to ``sys.path``
+    when needed.  Missing analyzer (e.g. a bare site-packages install)
+    is a usage error, not a crash.
+    """
+    root = Path(__file__).resolve().parents[2]
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    try:
+        from tools.reprolint.cli import main as lint_main
+    except ImportError:
+        print(
+            "tools.reprolint not found; `repro lint` requires a repository "
+            f"checkout (looked beside {root})",
+            file=sys.stderr,
+        )
+        return 2
+    return lint_main(forwarded)
+
+
 def main(argv: list = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -37,12 +63,26 @@ def main(argv: list = None) -> int:
     sub.add_parser("list", help="list experiment ids")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment id or 'all'")
+    lint = sub.add_parser(
+        "lint", help="run the reprolint static analyzer (tools.reprolint)"
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m tools.reprolint "
+        "(prefix flags with `--`)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for eid in experiment_ids():
             print(f"{eid:<20} {_DESCRIPTIONS.get(eid, '')}")
         return 0
+
+    if args.command == "lint":
+        forwarded = list(args.lint_args)
+        if forwarded[:1] == ["--"]:
+            forwarded = forwarded[1:]
+        return _run_lint(forwarded)
 
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
     for eid in targets:

@@ -119,6 +119,9 @@ def contract_evolution_study(
 
     Parameters
     ----------
+    base_energy_rate / base_demand_rate:
+        Year-0 rates: ``base_energy_rate`` in USD per kWh,
+        ``base_demand_rate`` in USD per kW of billed monthly peak.
     demand_rate_growth / energy_rate_growth:
         Annual growth of the two rates; the defaults encode the paper's
         premise (peak costs rising, energy roughly flat).

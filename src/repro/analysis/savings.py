@@ -82,6 +82,8 @@ def incentive_threshold_sweep(
 ) -> List[IncentiveSweepPoint]:
     """Sweep machine capex; compare DR break-even against program payments.
 
+    ``capex_levels`` are machine prices in USD; ``utilization`` is the
+    dimensionless busy fraction of the machine's lifetime in [0, 1].
     ``best_program_payment_per_kwh`` is the highest per-kWh energy payment
     in the standard program catalog — the most generous realistic offer.
     Capex levels map through :func:`~repro.analysis.sweep.sweep_map`
@@ -139,6 +141,7 @@ def lanl_office_dr_study(
 ) -> OfficeDRStudy:
     """Same DR event, two sources of flexibility.
 
+    ``machine_capex`` is the machine's acquisition price in USD.
     Machine side: shedding ``shed_kw`` forfeits node-hours priced by the
     depreciation model.  Office side: shedding HVAC/lighting costs only a
     small comfort/productivity allowance per kWh (and avoids buying the

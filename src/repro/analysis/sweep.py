@@ -54,11 +54,18 @@ def _cpu_count() -> int:
 
 
 def _picklable(*objects) -> bool:
-    """True when every object survives a pickle round trip requirement."""
+    """True when every object survives a pickle round trip requirement.
+
+    Pickling rejects objects through a small, known set of exception
+    types (closures/lambdas raise ``PicklingError`` or ``AttributeError``,
+    extension types ``TypeError``, recursive structures ``ValueError`` /
+    ``RecursionError``); anything else is a real bug and propagates.
+    """
     try:
         for obj in objects:
             pickle.dumps(obj)
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError, ValueError,
+            RecursionError):
         return False
     return True
 
@@ -151,7 +158,8 @@ def _run(
         return [fn(x) for x in work]
     workers = max_workers or min(cpus, len(work))
     workers = max(1, int(workers))
-    _metrics.set_gauge("sweep.workers", workers)
+    if perfconfig.observability_enabled():
+        _metrics.set_gauge("sweep.workers", workers)
     if chunksize is None:
         chunksize = max(1, math.ceil(len(work) / (workers * 4)))
     try:

@@ -364,7 +364,9 @@ class BillingEngine:
         analyses need.  Only reached while
         :func:`repro.perfconfig.observability_enabled` is true.
         """
-        registry = _metrics.registry()
+        # only reached from _settle's observed branch; the one-boolean-read
+        # gate already happened at the call site
+        registry = _metrics.registry()  # reprolint: disable=RPL030
         per_component: List[List[LineItem]] = []
         with _trace.span(
             "settle", contract=contract.name, n_periods=plan.n_periods
@@ -411,7 +413,13 @@ class BillingEngine:
         params: Dict[str, object],
         payload: Dict[str, object],
     ) -> None:
-        """Record a :class:`~repro.observability.manifest.RunManifest`."""
+        """Record a :class:`~repro.observability.manifest.RunManifest`.
+
+        Defensively re-checks the observability switch (callers already
+        gate on it) so a disabled run can never pay for manifest assembly.
+        """
+        if not perfconfig.observability_enabled():
+            return
         _manifest.record(
             _manifest.RunManifest(
                 kind=kind,

@@ -63,8 +63,11 @@ def us_industrial_tou(
 ) -> Contract:
     """US large-industrial schedule: seasonal TOU energy + ratcheted demand.
 
-    Peak windows are weekday 12:00–20:00; summer (Jun–Aug) peaks price
-    higher than winter ones, the standard cooling-driven pattern.
+    ``summer_peak_rate`` / ``winter_peak_rate`` / ``offpeak_rate`` are
+    energy prices in USD per kWh; ``demand_rate_per_kw`` is USD per kW of
+    billed monthly peak.  Peak windows are weekday 12:00–20:00; summer
+    (Jun–Aug) peaks price higher than winter ones, the standard
+    cooling-driven pattern.
     """
     _check_peak(peak_kw)
     summer_window = TOUWindow(

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import perfconfig
 from ..exceptions import DemandResponseError
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
@@ -192,20 +193,22 @@ class DRController:
         """
         generation = self._try_generation(load, event)
         if generation is not None:
-            _metrics.inc("dr.events.generator_served")
-            _trace.emit(
-                "dr.event",
-                kind="voluntary",
-                served_by="generator",
-                start_s=event.start_s,
-            )
+            if perfconfig.observability_enabled():
+                _metrics.inc("dr.events.generator_served")
+                _trace.emit(
+                    "dr.event",
+                    kind="voluntary",
+                    served_by="generator",
+                    start_s=event.start_s,
+                )
             return generation
         participate = self.always_participate or self._appraise(event)
         if not participate:
-            _metrics.inc("dr.events.declined")
-            _trace.emit(
-                "dr.event", kind="voluntary", served_by="none", start_s=event.start_s
-            )
+            if perfconfig.observability_enabled():
+                _metrics.inc("dr.events.declined")
+                _trace.emit(
+                    "dr.event", kind="voluntary", served_by="none", start_s=event.start_s
+                )
             return EventOutcome(
                 event=event,
                 participated=False,
@@ -226,15 +229,16 @@ class DRController:
         else:
             payment = event.program.event_payment(delivered, event.duration_s)
         cost = self._operational_cost(response, duration_h)
-        _metrics.inc("dr.events.participated")
-        _metrics.inc("dr.curtailed_kwh", response.shed_energy_kwh)
-        _trace.emit(
-            "dr.event",
-            kind="voluntary",
-            served_by="machine",
-            delivered_kw=delivered,
-            payment=payment,
-        )
+        if perfconfig.observability_enabled():
+            _metrics.inc("dr.events.participated")
+            _metrics.inc("dr.curtailed_kwh", response.shed_energy_kwh)
+            _trace.emit(
+                "dr.event",
+                kind="voluntary",
+                served_by="machine",
+                delivered_kw=delivered,
+                payment=payment,
+            )
         return EventOutcome(
             event=event,
             participated=True,
@@ -294,18 +298,19 @@ class DRController:
         response = cap.respond(load, event.start_s, event.end_s)
         duration_h = (event.end_s - event.start_s) / 3600.0
         cost = self._operational_cost(response, duration_h)
-        _metrics.inc("dr.events.emergency")
-        if achieved < 1.0:
-            _metrics.inc("dr.events.degraded")
-        _metrics.observe("dr.achieved_fraction", achieved)
-        _metrics.inc("dr.curtailed_kwh", response.shed_energy_kwh)
-        _trace.emit(
-            "dr.event",
-            kind="emergency",
-            limit_kw=event.limit_kw,
-            achieved_fraction=achieved,
-            degraded=achieved < 1.0,
-        )
+        if perfconfig.observability_enabled():
+            _metrics.inc("dr.events.emergency")
+            if achieved < 1.0:
+                _metrics.inc("dr.events.degraded")
+            _metrics.observe("dr.achieved_fraction", achieved)
+            _metrics.inc("dr.curtailed_kwh", response.shed_energy_kwh)
+            _trace.emit(
+                "dr.event",
+                kind="emergency",
+                limit_kw=event.limit_kw,
+                achieved_fraction=achieved,
+                degraded=achieved < 1.0,
+            )
         return EventOutcome(
             event=event,
             participated=True,

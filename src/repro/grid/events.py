@@ -162,9 +162,11 @@ class EventDispatcher:
     ) -> List[DREvent]:
         """One DR event per qualifying stress episode.
 
-        The requested reduction is this participant's share of the power
-        needed to restore the stress-threshold margin at the episode's
-        worst interval, clipped into the program's duration limits.
+        ``stress_threshold`` is the reserve-margin fraction in [0, 1]
+        below which the grid counts as stressed.  The requested reduction
+        is this participant's share of the power needed to restore the
+        stress-threshold margin at the episode's worst interval, clipped
+        into the program's duration limits.
         """
         events: List[DREvent] = []
         for episode in self.stress_episodes(assessment):

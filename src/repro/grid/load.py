@@ -120,7 +120,9 @@ def assess_reserves(
 ) -> ReserveAssessment:
     """Compute reserve margins and flag stressed / emergency intervals.
 
-    ``capacity_kw`` is dispatchable capacity; ``renewable`` output (if
+    ``stress_threshold`` and ``emergency_threshold`` are reserve-margin
+    fractions in [0, 1] (stressed below the first, emergency below the
+    second).  ``capacity_kw`` is dispatchable capacity; ``renewable`` output (if
     given, aligned with ``load``) adds to supply but its intermittency is
     exactly what erodes the margin on calm, dark evenings.
     """

@@ -53,7 +53,8 @@ def assess_adequacy(
 ) -> AdequacyReport:
     """Deterministic adequacy assessment of a demand trace.
 
-    ``forced_outage_rate`` derates firm capacity uniformly (the expected-
+    ``forced_outage_rate`` is a dimensionless fraction in [0, 1) that
+    derates firm capacity uniformly (the expected-
     value treatment of random outages; a full probabilistic convolution is
     overkill for the studies here and would obscure the comparisons).
     """

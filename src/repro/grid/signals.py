@@ -140,7 +140,12 @@ class SignalChannel:
         payload: float,
         mandatory: bool = False,
     ) -> DRSignal:
-        """Issue a signal; returns it with its assigned id."""
+        """Issue a signal; returns it with its assigned id.
+
+        ``payload`` is kind-dependent: a requested reduction or limit in
+        kW for event signals, a price in USD per kWh for price signals,
+        or a referenced signal id for cancellations.
+        """
         signal = DRSignal(
             signal_id=next(self._ids),
             kind=kind,

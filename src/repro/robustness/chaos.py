@@ -198,13 +198,16 @@ def _build_facility(peak_mw: float, use_cache: bool = True) -> Tuple[DRControlle
     the chaos true-up cycle's repeat settlements.
     """
     if use_cache and perfconfig.caching_enabled():
+        observed = perfconfig.observability_enabled()
         key = float(peak_mw)
         with _FACILITY_CACHE_LOCK:
             cached = _FACILITY_CACHE.get(key)
         if cached is not None:
-            _metrics.inc("chaos.facility_cache.hit")
+            if observed:
+                _metrics.inc("chaos.facility_cache.hit")
             return cached
-        _metrics.inc("chaos.facility_cache.miss")
+        if observed:
+            _metrics.inc("chaos.facility_cache.miss")
         facility = _build_facility(peak_mw, use_cache=False)
         with _FACILITY_CACHE_LOCK:
             if len(_FACILITY_CACHE) >= _FACILITY_CACHE_MAX:
@@ -286,12 +289,15 @@ def _build_world(
     key = (int(horizon_days), float(peak_mw), int(seed))
     use_cache = use_cache and perfconfig.caching_enabled()
     if use_cache:
+        observed = perfconfig.observability_enabled()
         with _WORLD_CACHE_LOCK:
             world = _WORLD_CACHE.get(key)
         if world is not None:
-            _metrics.inc("chaos.world_cache.hit")
+            if observed:
+                _metrics.inc("chaos.world_cache.hit")
             return world
-        _metrics.inc("chaos.world_cache.miss")
+        if observed:
+            _metrics.inc("chaos.world_cache.miss")
     horizon_s = horizon_days * DAY_S
     esp, system_load = _build_esp(horizon_days, seed)
     sc_load = synthetic_sc_load(
@@ -326,9 +332,10 @@ def run_scenario(
 ) -> ChaosRunResult:
     """Run one fault-intensity point end-to-end.
 
-    ``bill_error_tolerance`` parameterizes the bounded-error invariant;
-    the acceptance figure (estimated bills within 3 % of fault-free at
-    ≤ 5 % dropout) uses the default.  ``use_world_cache=False`` forces a
+    ``bill_error_tolerance`` is a dimensionless relative-error fraction in
+    [0, 1] parameterizing the bounded-error invariant; the acceptance
+    figure (estimated bills within 3 % of fault-free at ≤ 5 % dropout)
+    uses the default.  ``use_world_cache=False`` forces a
     fresh world construction and ``fastpath=False`` the legacy settlement
     loop (the benchmarks use both to time the pre-optimization path).
 
@@ -423,11 +430,12 @@ def _run_scenario_impl(
     if response_key is not None:
         with _RESPONSE_CACHE_LOCK:
             cached_response = _RESPONSE_CACHE.get(response_key)
-        _metrics.inc(
-            "chaos.response_cache.hit"
-            if cached_response is not None
-            else "chaos.response_cache.miss"
-        )
+        if perfconfig.observability_enabled():
+            _metrics.inc(
+                "chaos.response_cache.hit"
+                if cached_response is not None
+                else "chaos.response_cache.miss"
+            )
     if cached_response is not None:
         actual_load, n_degraded = cached_response
     else:
@@ -517,6 +525,8 @@ def run_chaos_sweep(
 ) -> DegradationReport:
     """Grid the fault intensities and collect the degradation report.
 
+    ``bill_error_tolerance`` is a dimensionless relative-error fraction in
+    [0, 1] forwarded to each scenario point (see :func:`run_scenario`).
     Scenario points are independent and self-seeded, so the grid runs
     through :func:`~repro.analysis.sweep.sweep_map` (``parallel`` is
     forwarded); results arrive in grid order either way.  All points of

@@ -146,7 +146,7 @@ class DeadLetter:
     penalty_exposure: float = 0.0
 
     def with_penalty(self, penalty: float) -> "DeadLetter":
-        """A copy with the assessed penalty exposure."""
+        """A copy with the assessed penalty exposure (``penalty`` in USD)."""
         if penalty < 0:
             raise SignalDeliveryError("penalty exposure must be non-negative")
         return DeadLetter(

@@ -32,3 +32,24 @@ class TestCLI:
     def test_payload_printed(self, capsys):
         main(["run", "peak_ratio"])
         assert "payload" in capsys.readouterr().out
+
+
+class TestLintSubcommand:
+    """``python -m repro lint`` forwards to tools.reprolint."""
+
+    def test_lint_clean_against_committed_baseline(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "reprolint:" in out
+        assert "0 new finding(s)" in out
+
+    def test_lint_forwards_flags(self, capsys):
+        assert main(["lint", "--", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPL001" in out and "RPL050" in out
+
+    def test_lint_reports_fixture_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(acc=[]):\n    return acc\n")
+        assert main(["lint", "--", "--no-baseline", str(bad)]) == 1
+        assert "RPL020" in capsys.readouterr().out

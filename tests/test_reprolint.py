@@ -1,0 +1,430 @@
+"""Fixture tests for the :mod:`tools.reprolint` static analyzer.
+
+Each rule family gets positive fixtures (the bug fires), negative
+fixtures (the sanctioned idiom stays silent) and a suppression fixture
+(the inline comment wins).  Scoped rules (RPL002/RPL011/RPL042/RPL050
+apply only under ``src/repro``) are exercised through virtual path
+labels.  The final class pins the committed baseline to a fresh run of
+the tree, so the lint debt ledger can never silently drift.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import Baseline, all_rules, run_paths, run_source
+
+REPO = Path(__file__).resolve().parent.parent
+SIM = "src/repro/fixture.py"  # virtual label opting snippets into sim-path rules
+
+
+def codes(source: str, path: str = SIM):
+    return [f.code for f in run_source(source, path=path)]
+
+
+# -- engine ------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_registry_covers_every_family(self):
+        families = {r.family for r in all_rules()}
+        assert families == {
+            "determinism", "units", "cache-safety", "observability",
+            "exceptions", "float-compare",
+        }
+
+    def test_findings_sorted_and_keyed(self):
+        src = "def g(b={}):\n    return b\n\ndef f(a=[]):\n    return a\n"
+        findings = run_source(src, path="x.py")
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        assert all(f.key == f"x.py:{f.code}" for f in findings)
+
+    def test_syntax_error_surfaces_as_rpl000(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        findings = run_paths([str(tmp_path)], root=tmp_path)
+        assert [f.code for f in findings] == ["RPL000"]
+
+    def test_disable_all_suppresses_everything(self):
+        src = "def f(a=[]):  # reprolint: disable=all\n    return a\n"
+        assert codes(src, path="x.py") == []
+
+    def test_disable_next_applies_to_following_line(self):
+        src = (
+            "# reprolint: disable-next=RPL020\n"
+            "def f(a=[]):\n"
+            "    return a\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_suppression_is_code_specific(self):
+        src = "def f(a=[]):  # reprolint: disable=RPL040\n    return a\n"
+        assert codes(src, path="x.py") == ["RPL020"]
+
+
+# -- determinism (RPL001 / RPL002) -------------------------------------------
+
+
+class TestDeterminism:
+    def test_random_module_draw_fires(self):
+        src = "import random\nx = random.random()\n"
+        assert "RPL001" in codes(src)
+
+    def test_numpy_legacy_draw_fires_through_alias(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert "RPL001" in codes(src)
+
+    def test_unseeded_default_rng_fires(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert "RPL001" in codes(src)
+
+    def test_seeded_default_rng_is_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert codes(src) == []
+
+    def test_wall_clock_fires_in_sim_path(self):
+        src = "import time\nt = time.time()\n"
+        assert "RPL002" in codes(src)
+
+    def test_wall_clock_ignored_outside_src_repro(self):
+        src = "import time\nt = time.time()\n"
+        assert codes(src, path="tools/x.py") == []
+
+    def test_wall_clock_ignored_in_observability_package(self):
+        src = "import time\nt = time.time()\n"
+        assert codes(src, path="src/repro/observability/trace.py") == []
+
+    def test_manifest_created_unix_capture_allowlisted(self):
+        src = (
+            "import time\n"
+            "def emit(M):\n"
+            "    return M(created_unix=time.time())\n"
+        )
+        assert "RPL002" not in codes(src)
+
+    def test_datetime_now_fires(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert "RPL002" in codes(src)
+
+    def test_suppression_comment_wins(self):
+        src = "import random\nx = random.random()  # reprolint: disable=RPL001\n"
+        assert codes(src) == []
+
+
+# -- units (RPL010 / RPL011) -------------------------------------------------
+
+
+class TestUnits:
+    def test_cross_dimension_addition_fires(self):
+        src = "def f(peak_kw, energy_kwh):\n    return peak_kw + energy_kwh\n"
+        found = run_source(src, path=SIM)
+        assert [f.code for f in found] == ["RPL010"]
+        assert "mixes dimensions" in found[0].message
+
+    def test_scale_mix_fires(self):
+        src = "def f(a_kw, b_mw):\n    return a_kw - b_mw\n"
+        found = run_source(src, path=SIM)
+        assert [f.code for f in found] == ["RPL010"]
+        assert "mixes scales" in found[0].message
+
+    def test_comparison_mix_fires(self):
+        src = "def f(limit_kw, used_kwh):\n    return limit_kw < used_kwh\n"
+        assert "RPL010" in codes(src)
+
+    def test_augassign_mix_fires(self):
+        src = "def f(total_usd, extra_kwh):\n    total_usd += extra_kwh\n    return total_usd\n"
+        assert "RPL010" in codes(src)
+
+    def test_same_unit_addition_is_clean(self):
+        src = "def f(a_kw, b_kw):\n    return a_kw + b_kw\n"
+        assert codes(src) == []
+
+    def test_multiplication_is_exempt(self):
+        src = "def f(power_kw, interval_s):\n    return power_kw * interval_s\n"
+        assert codes(src) == []
+
+    def test_canonical_constructor_carries_canonical_unit(self):
+        # mw(5) normalizes to kW at the boundary -> adding to _kw is correct
+        src = "from repro.units import mw\ndef f(total_kw):\n    return total_kw + mw(5)\n"
+        assert codes(src) == []
+
+    def test_unitless_float_param_fires(self):
+        src = "def settle(amount: float) -> float:\n    return amount\n"
+        found = run_source(src, path=SIM)
+        assert [f.code for f in found] == ["RPL011"]
+
+    def test_suffix_declares_unit(self):
+        src = "def settle(amount_usd: float) -> float:\n    return amount_usd\n"
+        assert codes(src) == []
+
+    def test_docstring_declares_unit(self):
+        src = (
+            "def settle(amount: float) -> float:\n"
+            '    """Settle.\n\n    ``amount`` is money in USD.\n    """\n'
+            "    return amount\n"
+        )
+        assert codes(src) == []
+
+    def test_private_and_nested_functions_exempt(self):
+        src = (
+            "def _internal(x: float):\n    return x\n"
+            "def outer(n: int):\n"
+            "    def helper(x: float):\n        return x\n"
+            "    return helper(n)\n"
+        )
+        assert codes(src) == []
+
+    def test_rpl011_scoped_to_src_repro(self):
+        src = "def settle(amount: float) -> float:\n    return amount\n"
+        assert codes(src, path="tools/x.py") == []
+
+
+# -- cache safety (RPL020 / RPL021 / RPL022) ---------------------------------
+
+
+class TestCacheSafety:
+    def test_mutable_default_list_fires(self):
+        src = "def f(acc=[]):\n    return acc\n"
+        assert codes(src, path="x.py") == ["RPL020"]
+
+    def test_mutable_default_factory_call_fires(self):
+        src = "def f(acc=dict()):\n    return acc\n"
+        assert codes(src, path="x.py") == ["RPL020"]
+
+    def test_none_default_is_clean(self):
+        src = "def f(acc=None):\n    return acc or []\n"
+        assert codes(src, path="x.py") == []
+
+    def test_unhashable_memo_param_fires(self):
+        src = (
+            "import functools\n"
+            "@functools.lru_cache(maxsize=8)\n"
+            "def f(xs: list):\n    return sum(xs)\n"
+        )
+        assert codes(src, path="x.py") == ["RPL021"]
+
+    def test_hashable_memo_param_is_clean(self):
+        src = (
+            "import functools\n"
+            "@functools.lru_cache(maxsize=8)\n"
+            "def f(xs: tuple):\n    return sum(xs)\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_shared_mutable_return_fires(self):
+        src = "_CACHE = {}\ndef snapshot():\n    return _CACHE\n"
+        assert codes(src, path="x.py") == ["RPL022"]
+
+    def test_copied_return_is_clean(self):
+        src = "_CACHE = {}\ndef snapshot():\n    return dict(_CACHE)\n"
+        assert codes(src, path="x.py") == []
+
+    def test_suppression_comment_wins(self):
+        src = "_CACHE = {}\ndef snapshot():\n    return _CACHE  # reprolint: disable=RPL022\n"
+        assert codes(src, path="x.py") == []
+
+
+# -- observability gating (RPL030 / RPL031) ----------------------------------
+
+_OBS_IMPORT = "from ..observability import metrics as _metrics\n"
+
+
+class TestObservability:
+    def test_ungated_metrics_call_fires(self):
+        src = _OBS_IMPORT + "def f():\n    _metrics.inc('x')\n"
+        assert codes(src) == ["RPL030"]
+
+    def test_direct_if_guard_is_clean(self):
+        src = _OBS_IMPORT + (
+            "from .. import perfconfig\n"
+            "def f():\n"
+            "    if perfconfig.observability_enabled():\n"
+            "        _metrics.inc('x')\n"
+        )
+        assert codes(src) == []
+
+    def test_observed_local_guard_is_clean(self):
+        src = _OBS_IMPORT + (
+            "from .. import perfconfig\n"
+            "def f():\n"
+            "    observed = perfconfig.observability_enabled()\n"
+            "    if observed:\n"
+            "        _metrics.inc('x')\n"
+        )
+        assert codes(src) == []
+
+    def test_early_return_guard_is_clean(self):
+        src = _OBS_IMPORT + (
+            "from .. import perfconfig\n"
+            "def f():\n"
+            "    if not perfconfig.observability_enabled():\n"
+            "        return\n"
+            "    _metrics.inc('x')\n"
+        )
+        assert codes(src) == []
+
+    def test_span_exempt_from_gating_rule(self):
+        src = (
+            "from ..observability import trace as _trace\n"
+            "def f():\n"
+            "    with _trace.span('settle'):\n"
+            "        pass\n"
+        )
+        assert codes(src) == []
+
+    def test_span_outside_with_fires(self):
+        src = (
+            "from ..observability import trace as _trace\n"
+            "def f():\n"
+            "    s = _trace.span('settle')\n"
+            "    return s\n"
+        )
+        assert codes(src) == ["RPL031"]
+
+    def test_suppression_comment_wins(self):
+        src = _OBS_IMPORT + (
+            "def f():\n"
+            "    _metrics.inc('x')  # reprolint: disable=RPL030\n"
+        )
+        assert codes(src) == []
+
+
+# -- exception discipline (RPL040 / RPL041 / RPL042) -------------------------
+
+
+class TestExceptions:
+    def test_bare_except_fires(self):
+        src = "try:\n    x = 1\nexcept:\n    x = 2\n"
+        assert codes(src, path="x.py") == ["RPL040"]
+
+    def test_swallowed_exception_fires(self):
+        src = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        assert codes(src, path="x.py") == ["RPL041"]
+
+    def test_handled_broad_exception_is_clean(self):
+        src = (
+            "try:\n    x = 1\n"
+            "except Exception as exc:\n"
+            "    log(exc)\n    raise\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_narrow_except_is_clean(self):
+        src = "try:\n    x = 1\nexcept KeyError:\n    x = 2\n"
+        assert codes(src, path="x.py") == []
+
+    def test_builtin_raise_fires_in_src_repro(self):
+        src = "def f(x):\n    if x < 0:\n        raise ValueError('no')\n    return x\n"
+        found = run_source(src, path="src/repro/contracts/fixture.py")
+        assert [f.code for f in found] == ["RPL042"]
+        assert "ContractError" in found[0].message
+
+    def test_domain_raise_is_clean(self):
+        src = (
+            "from ..exceptions import ContractError\n"
+            "def f(x):\n"
+            "    if x < 0:\n        raise ContractError('no')\n"
+            "    return x\n"
+        )
+        assert codes(src, path="src/repro/contracts/fixture.py") == []
+
+    def test_builtin_raise_ignored_outside_src_repro(self):
+        src = "raise ValueError('fine in tools')\n"
+        assert codes(src, path="tools/x.py") == []
+
+    def test_suppression_comment_wins(self):
+        src = "def f():\n    raise ValueError('x')  # reprolint: disable=RPL042\n"
+        assert codes(src) == []
+
+
+# -- float / money comparison (RPL050) ---------------------------------------
+
+
+class TestFloatCompare:
+    def test_money_suffix_equality_fires(self):
+        src = "def f(a_usd, b_usd):\n    return a_usd == b_usd\n"
+        assert codes(src) == ["RPL050"]
+
+    def test_float_call_inequality_fires(self):
+        src = "def f(a, b):\n    return float(a) != b\n"
+        assert codes(src) == ["RPL050"]
+
+    def test_zero_guard_is_exempt(self):
+        src = "def f(duration_s, total_usd):\n    return total_usd == 0.0\n"
+        assert codes(src) == []
+
+    def test_infinity_sentinel_is_exempt(self):
+        src = "def f(cap_kw):\n    return cap_kw == float('inf')\n"
+        assert codes(src) == []
+
+    def test_tolerance_helper_function_is_exempt(self):
+        src = (
+            "def approx_equal(a_usd, b_usd):\n"
+            "    return a_usd == b_usd\n"
+        )
+        assert codes(src) == []
+
+    def test_ordering_comparisons_are_fine(self):
+        src = "def f(a_usd, b_usd):\n    return a_usd < b_usd\n"
+        assert codes(src) == []
+
+    def test_scoped_to_src_repro(self):
+        src = "def f(a_usd, b_usd):\n    return a_usd == b_usd\n"
+        assert codes(src, path="tests/x.py") == []
+
+    def test_suppression_comment_wins(self):
+        src = "def f(a_usd, b_usd):\n    return a_usd == b_usd  # reprolint: disable=RPL050\n"
+        assert codes(src) == []
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+class TestBaseline:
+    def _finding(self):
+        return run_source("def f(a=[]):\n    return a\n", path="x.py")[0]
+
+    def test_grandfathered_finding_is_clean(self):
+        f = self._finding()
+        cmp = Baseline({f.key: 1}).compare([f])
+        assert cmp.clean and cmp.grandfathered == 1
+
+    def test_excess_count_is_new(self):
+        f = self._finding()
+        cmp = Baseline({f.key: 1}).compare([f, f])
+        assert [n.code for n in cmp.new] == [f.code]
+
+    def test_paid_off_debt_is_drift(self):
+        f = self._finding()
+        cmp = Baseline({f.key: 2}).compare([])
+        assert cmp.drift == {f.key: 2} and not cmp.clean
+
+    def test_round_trip(self, tmp_path):
+        f = self._finding()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([f, f]).save(path)
+        assert Baseline.load(path).entries == {f.key: 2}
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": {}}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestCommittedBaseline:
+    """The committed ledger must match a fresh run of the tree."""
+
+    def test_baseline_matches_fresh_run(self):
+        committed = Baseline.load(REPO / ".reprolint-baseline.json")
+        findings = run_paths(["src/repro"], root=REPO)
+        comparison = committed.compare(findings)
+        assert comparison.new == [], [f.render() for f in comparison.new]
+        assert comparison.drift == {}
+
+    def test_burned_down_families_stay_at_zero(self):
+        """ISSUE acceptance: determinism / mutable-default / bare-except
+        debt is paid off — no grandfathered entries for those codes."""
+        committed = Baseline.load(REPO / ".reprolint-baseline.json")
+        for key in committed.entries:
+            code = key.rsplit(":", 1)[1]
+            assert code not in {"RPL001", "RPL002", "RPL020", "RPL040"}, key

@@ -9,7 +9,12 @@ so CI runs this checker over every tracked markdown file.  It validates:
 * intra-file and cross-file heading anchors — ``#some-heading`` must
   match a heading slug or an explicit ``<a id="...">`` in the target;
 * bare ``http(s)://`` links are *not* fetched (CI must stay offline) but
-  are counted so the summary shows coverage.
+  are counted so the summary shows coverage;
+* backtick-quoted ``file:line`` anchors — ``` `src/repro/x.py:42` ``` must
+  name an existing file (relative to the repo root) with at least that
+  many lines, and a bare continuation ``` `:42` ``` reuses the most recent
+  file named earlier on the same line (the table idiom in
+  ``docs/paper_mapping.md``).
 
 Usage:
 
@@ -34,6 +39,9 @@ LINK_RE = re.compile(r"!?\[([^\]]*)\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
 ANCHOR_ID_RE = re.compile(r'<a\s+id="([^"]+)"')
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+#: ``` `path/to/file.py:42` ``` or a bare continuation ``` `:42` ``` that
+#: reuses the most recent file named earlier on the same line.
+FILE_LINE_RE = re.compile(r"`([A-Za-z0-9_./\-]+\.(?:py|md|toml|yml|yaml|json))?:(\d+)`")
 
 
 def default_files() -> List[Path]:
@@ -78,6 +86,14 @@ def anchors_of(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
     return slugs
 
 
+def _display(path: Path) -> Path:
+    """``path`` relative to the repo when inside it, absolute otherwise."""
+    try:
+        return path.relative_to(REPO)
+    except ValueError:
+        return path
+
+
 def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[str]:
     """Return a list of failure strings for ``path``."""
     failures: List[str] = []
@@ -91,7 +107,37 @@ def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[str]:
         for text, target in LINK_RE.findall(line):
             reason = check_link(path, target, cache)
             if reason:
-                failures.append(f"{path.relative_to(REPO)}:{lineno}: [{text}]({target}): {reason}")
+                failures.append(f"{_display(path)}:{lineno}: [{text}]({target}): {reason}")
+        for anchor, reason in check_file_line_anchors(line):
+            failures.append(f"{_display(path)}:{lineno}: `{anchor}`: {reason}")
+    return failures
+
+
+def check_file_line_anchors(line: str) -> List[Tuple[str, str]]:
+    """``(anchor, reason)`` pairs for every broken ``file:line`` anchor.
+
+    A continuation anchor (``` `:42` ```) binds to the most recent file
+    named earlier on the same line; one with no antecedent is itself a
+    failure.  Line counts come from the current working tree, so the check
+    catches anchors gone stale after an edit shrinks the target file.
+    """
+    failures: List[Tuple[str, str]] = []
+    last_file: str = ""
+    for m in FILE_LINE_RE.finditer(line):
+        file_part, line_no = m.group(1), int(m.group(2))
+        if file_part:
+            last_file = file_part
+        elif not last_file:
+            failures.append((m.group(0).strip("`"), "continuation `:N` anchor has no preceding file on this line"))
+            continue
+        anchor = f"{file_part or last_file}:{line_no}"
+        target = REPO / (file_part or last_file)
+        if not target.exists():
+            failures.append((anchor, f"target file {file_part or last_file} does not exist"))
+            continue
+        n_lines = len(target.read_text(encoding="utf-8").splitlines())
+        if line_no < 1 or line_no > n_lines:
+            failures.append((anchor, f"line {line_no} out of range ({file_part or last_file} has {n_lines} lines)"))
     return failures
 
 
@@ -121,15 +167,17 @@ def main(argv: List[str]) -> int:
     cache: Dict[Path, Set[str]] = {}
     failures: List[str] = []
     n_links = 0
+    n_anchors = 0
     for path in files:
         text = path.read_text(encoding="utf-8")
         n_links += len(LINK_RE.findall(text))
+        n_anchors += len(FILE_LINE_RE.findall(text))
         failures.extend(check_file(path, cache))
     if failures:
         print("\n".join(failures), file=sys.stderr)
         print(f"{len(failures)} broken link(s) across {len(files)} file(s)", file=sys.stderr)
         return 1
-    print(f"{len(files)} file(s), {n_links} link(s): all resolve")
+    print(f"{len(files)} file(s), {n_links} link(s), {n_anchors} file:line anchor(s): all resolve")
     return 0
 
 

@@ -1,19 +1,20 @@
 #!/usr/bin/env python
-"""Generate the observability reference manual from docstrings.
+"""Generate the docstring-derived reference manuals.
 
-The manual (``docs/reference_observability.md``) is *derived* — every
-section is extracted from the live docstrings of the public API of
-:mod:`repro.observability` (tracer, metrics registry, run manifests) and
-the :mod:`repro.perfconfig` switchboard that gates them.  Editing the
+Two manuals are *derived* rather than written: the observability manual
+(``docs/reference_observability.md``, the public API of
+:mod:`repro.observability` plus the :mod:`repro.perfconfig` switchboard)
+and the static-analysis manual (``docs/reference_reprolint.md``, the
+public engine/baseline API of :mod:`tools.reprolint`).  Editing the
 markdown by hand is futile; edit the docstring and regenerate:
 
     PYTHONPATH=src python tools/gen_reference.py
 
-CI runs the same script with ``--check`` and fails when the committed
+CI runs the same script with ``--check`` and fails when any committed
 manual drifts from the docstrings, and this generator itself fails when
 any public symbol is missing a docstring or a runnable ``>>>`` example —
-the docs archetype's contract: every public observability API is
-documented *and* doctested.
+the docs archetype's contract: every generated-manual API is documented
+*and* doctested.
 
 The output is deterministic: modules and symbols appear in a fixed
 declaration-driven order (``__all__``), no timestamps, no machine state.
@@ -26,25 +27,13 @@ import inspect
 import sys
 import textwrap
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))  # for the tools.reprolint manual
 
-OUTPUT = REPO / "docs" / "reference_observability.md"
-
-#: Modules documented by the manual, in manual order.
-MODULE_NAMES = [
-    "repro.perfconfig",
-    "repro.observability",
-    "repro.observability.trace",
-    "repro.observability.metrics",
-    "repro.observability.manifest",
-]
-
-#: perfconfig symbols outside the observability remit (cache switchboard)
-#: still get entries — the two switches share one control surface.
-HEADER = """\
+_OBS_HEADER = """\
 # Observability reference manual
 
 <!-- GENERATED FILE - do not edit by hand.
@@ -57,6 +46,46 @@ manual is exercised by `pytest --doctest-modules` in CI.
 See [docs/observability.md](observability.md) for the narrative guide and
 [docs/index.md](index.md) for the documentation map.
 """
+
+_LINT_HEADER = """\
+# Static-analysis (reprolint) reference manual
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python tools/gen_reference.py -->
+
+This manual is generated from the docstrings of the public
+`tools.reprolint` API — the engine types used by the fixture tests and
+the baseline ledger format.  See
+[docs/static_analysis.md](static_analysis.md) for the narrative guide and
+the rule catalog (RPL001–RPL050).
+"""
+
+#: Every generated manual: output path -> (header, modules in manual order).
+MANUALS: Dict[Path, Tuple[str, List[str]]] = {
+    REPO / "docs" / "reference_observability.md": (
+        _OBS_HEADER,
+        [
+            "repro.perfconfig",
+            "repro.observability",
+            "repro.observability.trace",
+            "repro.observability.metrics",
+            "repro.observability.manifest",
+        ],
+    ),
+    REPO / "docs" / "reference_reprolint.md": (
+        _LINT_HEADER,
+        [
+            "tools.reprolint",
+            "tools.reprolint.engine",
+            "tools.reprolint.baseline",
+        ],
+    ),
+}
+
+#: Back-compat aliases for the single-manual era (kept for callers/tests).
+OUTPUT = REPO / "docs" / "reference_observability.md"
+MODULE_NAMES = MANUALS[OUTPUT][1]
+HEADER = _OBS_HEADER
 
 
 class ReferenceError_(RuntimeError):
@@ -143,14 +172,14 @@ def _public_methods(cls) -> List[Tuple[str, object]]:
     return out
 
 
-def generate() -> str:
-    """Build the full manual text (deterministic)."""
+def generate(header: str = HEADER, module_names: List[str] | None = None) -> str:
+    """Build one manual's full text (deterministic)."""
     import importlib
 
-    parts: List[str] = [HEADER]
+    parts: List[str] = [header]
     toc: List[str] = ["## Contents", ""]
     bodies: List[str] = []
-    for module_name in MODULE_NAMES:
+    for module_name in module_names if module_names is not None else MODULE_NAMES:
         module = importlib.import_module(module_name)
         mdoc = _docstring(module, module_name)
         anchor = module_name.replace(".", "")
@@ -173,31 +202,33 @@ def main(argv: Iterable[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="fail (exit 1) when the committed manual differs from the "
+        help="fail (exit 1) when any committed manual differs from the "
         "docstring-derived text instead of rewriting it",
     )
-    parser.add_argument("--output", type=Path, default=OUTPUT)
     args = parser.parse_args(list(argv) if argv is not None else None)
-    try:
-        text = generate()
-    except ReferenceError_ as exc:
-        print(f"reference contract violated: {exc}", file=sys.stderr)
-        return 2
-    if args.check:
-        on_disk = args.output.read_text(encoding="utf-8") if args.output.exists() else ""
-        if on_disk != text:
-            print(
-                f"{args.output} is stale; regenerate with "
-                "PYTHONPATH=src python tools/gen_reference.py",
-                file=sys.stderr,
-            )
-            return 1
-        print(f"{args.output} is up to date")
-        return 0
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(text, encoding="utf-8")
-    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
-    return 0
+    stale = False
+    for output, (header, module_names) in MANUALS.items():
+        try:
+            text = generate(header, module_names)
+        except ReferenceError_ as exc:
+            print(f"reference contract violated: {exc}", file=sys.stderr)
+            return 2
+        if args.check:
+            on_disk = output.read_text(encoding="utf-8") if output.exists() else ""
+            if on_disk != text:
+                print(
+                    f"{output} is stale; regenerate with "
+                    "PYTHONPATH=src python tools/gen_reference.py",
+                    file=sys.stderr,
+                )
+                stale = True
+            else:
+                print(f"{output} is up to date")
+            continue
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text, encoding="utf-8")
+        print(f"wrote {output} ({len(text.splitlines())} lines)")
+    return 1 if stale else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,48 @@
+"""reprolint — domain-aware static analysis for the repro codebase.
+
+An AST-based lint suite (stdlib :mod:`ast` only, zero third-party
+dependencies) enforcing the invariants the reproduction's correctness
+rests on but ordinary linters cannot see:
+
+* **determinism** — seeded-only randomness, no wall-clock reads inside
+  simulation paths (RPL001–RPL002);
+* **units discipline** — the ``_kw``/``_kwh``/``_s``/``_usd`` suffix
+  convention of :mod:`repro.units` (RPL010–RPL011);
+* **cache safety** — hashable memo keys and no shared mutable state
+  around the settlement fast path's caches (RPL020–RPL022);
+* **observability gating** — the one-boolean-read
+  ``perfconfig.observability_enabled()`` pattern and ``with``-scoped
+  spans (RPL030–RPL031);
+* **exception discipline** — no bare/swallowing excepts, domain
+  exceptions over builtins (RPL040–RPL042);
+* **float/money comparison** — tolerance helpers instead of raw ``==``
+  (RPL050).
+
+Inline suppression: ``# reprolint: disable=RPL003`` (or ``disable=all``,
+or ``disable-next=...`` on the preceding line).  Grandfathered findings
+live in the committed ``.reprolint-baseline.json``; see
+:mod:`tools.reprolint.baseline` and ``docs/static_analysis.md``.
+
+Programmatic use:
+
+>>> from tools.reprolint import run_source
+>>> findings = run_source("def f(acc=[]):\\n    return acc\\n", path="demo.py")
+>>> [(f.code, f.line) for f in findings]
+[('RPL020', 1)]
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, Rule, all_rules, run_paths, run_source
+from . import rules as _rules  # noqa: F401  (imports register every rule)
+from .baseline import Baseline, BaselineComparison
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Baseline",
+    "BaselineComparison",
+    "all_rules",
+    "run_source",
+    "run_paths",
+]

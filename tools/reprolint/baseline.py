@@ -1,0 +1,135 @@
+"""Baseline (grandfathered-findings) support for reprolint.
+
+A baseline freezes the findings that existed when a rule landed, so the
+suite can gate **new** findings immediately while the backlog is burned
+down file by file.  The committed baseline lives at
+``.reprolint-baseline.json`` and is keyed by ``path:code`` fingerprints
+with per-key counts — line numbers are deliberately absent so unrelated
+edits do not invalidate it.
+
+Two failure modes are distinguished when checking against a baseline:
+
+* **new findings** — a fingerprint's current count exceeds its
+  grandfathered count (or is absent from the baseline entirely);
+* **drift** — a grandfathered fingerprint no longer occurs (the debt was
+  paid off).  Drift also fails ``--check`` so the baseline shrinks in
+  the same commit that fixes the finding, keeping it honest.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .engine import Finding
+
+__all__ = ["Baseline", "BaselineComparison"]
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineComparison:
+    """Result of comparing current findings to a baseline.
+
+    ``new`` holds findings beyond the grandfathered counts;
+    ``drift`` maps stale fingerprints to how many grandfathered findings
+    disappeared; ``grandfathered`` counts findings absorbed by the
+    baseline.
+
+    >>> BaselineComparison(new=[], drift={}, grandfathered=3).clean
+    True
+    """
+
+    new: List[Finding] = field(default_factory=list)
+    drift: Dict[str, int] = field(default_factory=dict)
+    grandfathered: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when there is nothing to report: no new findings, no drift."""
+        return not self.new and not self.drift
+
+
+class Baseline:
+    """A committed map of grandfathered finding counts.
+
+    >>> b = Baseline({"src/x.py:RPL011": 1})
+    >>> f = Finding(path="src/x.py", line=9, col=0, code="RPL011",
+    ...             name="unitless-param", family="units", message="m")
+    >>> b.compare([f]).clean
+    True
+    >>> b.compare([f, f]).new[0].code   # second occurrence is new
+    'RPL011'
+    >>> b.compare([]).drift             # debt paid off -> drift
+    {'src/x.py:RPL011': 1}
+    """
+
+    def __init__(self, entries: Dict[str, int] | None = None) -> None:
+        self.entries: Dict[str, int] = dict(entries or {})
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Build a baseline that grandfathers exactly ``findings``.
+
+        >>> Baseline.from_findings([]).entries
+        {}
+        """
+        return cls(dict(Counter(f.key for f in findings)))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline.
+
+        >>> import tempfile, pathlib
+        >>> Baseline.load(pathlib.Path(tempfile.mkdtemp()) / "none.json").entries
+        {}
+        """
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries = {str(k): int(v) for k, v in data.get("entries", {}).items()}
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline deterministically (sorted keys, stable JSON).
+
+        >>> import tempfile, pathlib
+        >>> p = pathlib.Path(tempfile.mkdtemp()) / "b.json"
+        >>> Baseline({"a.py:RPL050": 2}).save(p)
+        >>> Baseline.load(p).entries
+        {'a.py:RPL050': 2}
+        """
+        payload = {
+            "version": _VERSION,
+            "tool": "reprolint",
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def compare(self, findings: Sequence[Finding]) -> BaselineComparison:
+        """Split ``findings`` into grandfathered vs new, and detect drift.
+
+        Within one fingerprint, the first ``n`` findings (source order)
+        are grandfathered and the rest are new — deterministic because
+        findings arrive sorted.
+        """
+        result = BaselineComparison()
+        seen: Counter = Counter()
+        for f in sorted(findings):
+            seen[f.key] += 1
+            if seen[f.key] <= self.entries.get(f.key, 0):
+                result.grandfathered += 1
+            else:
+                result.new.append(f)
+        for key, allowed in sorted(self.entries.items()):
+            if seen.get(key, 0) < allowed:
+                result.drift[key] = allowed - seen.get(key, 0)
+        return result

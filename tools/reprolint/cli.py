@@ -1,0 +1,166 @@
+"""Command-line interface for reprolint.
+
+Usage (from the repo root, or anywhere — paths resolve against the
+checkout containing this file)::
+
+    python -m tools.reprolint                       # lint src/repro
+    python -m tools.reprolint src/repro tools       # explicit targets
+    python -m tools.reprolint --format json         # machine-readable
+    python -m tools.reprolint --list-rules          # rule catalog
+    python -m tools.reprolint --select RPL001,RPL040
+    python -m tools.reprolint --check --baseline .reprolint-baseline.json
+    python -m tools.reprolint --update-baseline     # refreeze the backlog
+
+Exit status: 0 clean (all findings grandfathered), 1 findings / new
+findings / baseline drift, 2 usage errors.
+
+When ``.reprolint-baseline.json`` exists at the repo root it is applied
+by default, so the bare invocation answers the only question a developer
+has: *did I add a finding?*  Pass ``--no-baseline`` for the raw list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline
+from .engine import Finding, all_rules, run_paths
+
+__all__ = ["main"]
+
+#: Repo root: this file lives at <root>/tools/reprolint/cli.py.
+ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_BASELINE = ROOT / ".reprolint-baseline.json"
+DEFAULT_TARGETS = ["src/repro"]
+
+
+def _family_summary(findings: Sequence[Finding]) -> str:
+    counts = Counter(f.family for f in findings)
+    parts = [f"{family}={n}" for family, n in sorted(counts.items())]
+    return ", ".join(parts) if parts else "none"
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name:<24} [{rule.family}]")
+        print(f"        {rule.description}")
+
+
+def _select_rules(select: Optional[str], ignore: Optional[str]):
+    rules = all_rules()
+    if select:
+        wanted = {c.strip().upper() for c in select.split(",") if c.strip()}
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            raise SystemExit(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.code in wanted]
+    if ignore:
+        dropped = {c.strip().upper() for c in ignore.split(",") if c.strip()}
+        rules = [r for r in rules if r.code not in dropped]
+    return rules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the analyzer; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_TARGETS)})",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON of grandfathered findings "
+        "(default: .reprolint-baseline.json at the repo root, if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; report every finding",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: fail on new findings AND on baseline drift "
+        "(grandfathered entries that no longer occur)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument("--select", help="comma-separated rule codes to run")
+    parser.add_argument("--ignore", help="comma-separated rule codes to skip")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    rules = _select_rules(args.select, args.ignore)
+    targets = args.paths or DEFAULT_TARGETS
+    findings = run_paths(targets, root=ROOT, rules=rules)
+
+    baseline_path = args.baseline
+    if baseline_path is None and DEFAULT_BASELINE.exists() and not args.no_baseline:
+        baseline_path = DEFAULT_BASELINE
+    if args.no_baseline:
+        baseline_path = None
+
+    if args.update_baseline:
+        out = args.baseline or DEFAULT_BASELINE
+        Baseline.from_findings(findings).save(out)
+        print(f"wrote {out} ({len(findings)} grandfathered finding(s))")
+        return 0
+
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        comparison = baseline.compare(findings)
+        report = comparison.new
+        drift = comparison.drift if args.check else {}
+        grandfathered = comparison.grandfathered
+    else:
+        report, drift, grandfathered = list(findings), {}, 0
+
+    if args.format == "json":
+        payload = {
+            "tool": "reprolint",
+            "targets": targets,
+            "baseline": str(baseline_path) if baseline_path else None,
+            "findings": [f.to_dict() for f in report],
+            "drift": drift,
+            "grandfathered": grandfathered,
+            "summary": dict(sorted(Counter(f.family for f in report).items())),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for f in report:
+            print(f.render())
+        for key, n in sorted(drift.items()):
+            print(
+                f"baseline drift: {key} grandfathers {n} finding(s) that no "
+                "longer occur — remove them (run --update-baseline)"
+            )
+        label = "new finding(s)" if baseline_path is not None else "finding(s)"
+        print(
+            f"reprolint: {len(report)} {label}, {grandfathered} grandfathered, "
+            f"{len(drift)} stale baseline entr{'y' if len(drift) == 1 else 'ies'} "
+            f"[{_family_summary(report)}]"
+        )
+
+    return 1 if report or drift else 0

@@ -1,0 +1,385 @@
+"""Core machinery of the :mod:`tools.reprolint` static analyzer.
+
+The engine is deliberately small and dependency-free (stdlib :mod:`ast`
+only).  It owns four concerns:
+
+* :class:`Finding` — one immutable diagnostic, sortable and JSON-ready;
+* :class:`Rule` — the base class every rule family subclasses, plus the
+  :func:`register` decorator and :func:`all_rules` registry accessor;
+* :class:`FileContext` — a parsed file with the cross-rule facts every
+  rule needs (parent links, import alias resolution, suppression
+  comments, path-based scoping);
+* :func:`run_source` / :func:`run_paths` — the two entry points used by
+  the CLI, the test suite and ``python -m repro lint``.
+
+Suppression syntax (checked per physical line of the finding)::
+
+    x = random.random()          # reprolint: disable=RPL001
+    y = eval_thing()             # reprolint: disable=RPL001,RPL050
+    # reprolint: disable-next=RPL020
+    def f(acc=[]): ...
+    anything_at_all()            # reprolint: disable=all
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "FileContext",
+    "register",
+    "all_rules",
+    "run_source",
+    "run_paths",
+]
+
+#: ``# reprolint: disable=RPL001,RPL002`` (or ``disable=all``) — applies to
+#: the physical line it appears on.
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9,\s]+)")
+#: ``# reprolint: disable-next=...`` — applies to the following line.
+_SUPPRESS_NEXT_RE = re.compile(r"#\s*reprolint:\s*disable-next=([A-Za-z0-9,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a rule.
+
+    Sortable (by path, then line/column, then code) so reports and
+    baselines are deterministic.
+
+    >>> f = Finding(path="src/x.py", line=3, col=0, code="RPL040",
+    ...             name="bare-except", family="exceptions",
+    ...             message="bare 'except:' swallows SystemExit")
+    >>> f.key
+    'src/x.py:RPL040'
+    >>> f.to_dict()["code"]
+    'RPL040'
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    name: str
+    family: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Baseline fingerprint: ``path:code`` (line numbers may drift)."""
+        return f"{self.path}:{self.code}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping of every field."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "name": self.name,
+            "family": self.family,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line human-readable form used by the CLI."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.name}] {self.message}"
+
+
+#: Registry of rule classes, keyed by code (populated by :func:`register`).
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the global registry.
+
+    >>> @register
+    ... class _Demo(Rule):
+    ...     code, name, family = "RPL999", "demo", "demo"
+    ...     description = "demo rule"
+    ...     def check(self, ctx):
+    ...         return iter(())
+    >>> all_rules()[-1].code
+    'RPL999'
+    >>> _ = _REGISTRY.pop("RPL999")  # undo the demo registration
+    """
+    instance = cls()
+    if instance.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {instance.code}")
+    _REGISTRY[instance.code] = instance
+    return cls
+
+
+def all_rules() -> List["Rule"]:
+    """Every registered rule, sorted by code.
+
+    >>> codes = [r.code for r in all_rules()]
+    >>> codes == sorted(codes)
+    True
+    """
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Finding` objects (usually via the :meth:`finding`
+    helper, which fills in position and identity fields).
+
+    >>> class _R(Rule):
+    ...     code, name, family = "RPL998", "noop", "demo"
+    ...     description = "never fires"
+    ...     def check(self, ctx):
+    ...         return iter(())
+    >>> _R().code
+    'RPL998'
+    """
+
+    #: Stable diagnostic code, e.g. ``"RPL001"``.
+    code: str = ""
+    #: Short kebab-case name, e.g. ``"unseeded-random"``.
+    name: str = ""
+    #: Family grouping used in reports, e.g. ``"determinism"``.
+    family: str = ""
+    #: One-sentence rationale shown by ``--list-rules`` and the docs.
+    description: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` at ``node``'s position."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            name=self.name,
+            family=self.family,
+            message=message,
+        )
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, 1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            codes = {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+            out.setdefault(i, set()).update(codes)
+        m = _SUPPRESS_NEXT_RE.search(line)
+        if m:
+            codes = {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+            out.setdefault(i + 1, set()).update(codes)
+    return out
+
+
+class FileContext:
+    """One parsed source file plus the shared facts rules query.
+
+    ``path`` is a repo-relative POSIX path label; rules use it for
+    scoping decisions (``in_repro_src``, ``in_observability``), so fixture
+    tests can opt snippets into sim-path rules by passing a virtual
+    ``src/repro/...`` label.
+
+    >>> ctx = FileContext("src/repro/demo.py", "import time\\n")
+    >>> ctx.in_repro_src
+    True
+    >>> ctx.in_observability
+    False
+    """
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = ast.parse(source)
+        self.lines = source.splitlines()
+        self.suppressions = _parse_suppressions(self.lines)
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        #: ``alias -> dotted module/symbol`` from import statements.
+        self.imports: Dict[str, str] = {}
+        #: ``alias -> submodule name`` for repro.observability submodules.
+        self.obs_aliases: Dict[str, str] = {}
+        self._collect_imports()
+
+    # -- path scoping ------------------------------------------------------
+
+    @property
+    def in_repro_src(self) -> bool:
+        """True for files under ``src/repro/`` (the simulation library)."""
+        return self.path.startswith("src/repro/")
+
+    @property
+    def in_observability(self) -> bool:
+        """True for the observability package itself (exempt from gating)."""
+        return self.path.startswith("src/repro/observability/")
+
+    # -- tree navigation ---------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """Immediate parent of ``node`` (None for the module)."""
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of ``node``, innermost first, up to the module."""
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Nearest enclosing function/async-function definition, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    # -- imports -----------------------------------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    self.imports[bound] = alias.name if alias.asname else bound
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    if ".observability." in f".{alias.name}.":
+                        tail = alias.name.rsplit(".", 1)[-1]
+                        if tail in ("metrics", "trace", "manifest"):
+                            self.obs_aliases[alias.asname or alias.name] = tail
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                base = ("." * node.level) + module
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+                    if module.split(".")[-1] == "observability" or module.endswith(
+                        ".observability"
+                    ):
+                        if alias.name in ("metrics", "trace", "manifest"):
+                            self.obs_aliases[bound] = alias.name
+
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of a Name/Attribute chain with aliases resolved.
+
+        ``np.random.rand`` (after ``import numpy as np``) resolves to
+        ``"numpy.random.rand"``; ``datetime.now`` after ``from datetime
+        import datetime`` resolves to ``"datetime.datetime.now"``.
+        Returns None for anything that is not a plain dotted chain.
+        """
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        base = self.imports.get(cur.id, cur.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    # -- suppression -------------------------------------------------------
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when an inline comment disables this finding's code."""
+        codes = self.suppressions.get(finding.line)
+        if not codes:
+            return False
+        return "ALL" in codes or finding.code.upper() in codes
+
+
+def run_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[Rule]] = None,
+) -> List[Finding]:
+    """Run the rule set over one source string; returns sorted findings.
+
+    The workhorse behind both the CLI and the fixture tests.  Inline
+    suppression comments are honored here, so a suppressed finding never
+    reaches a report or a baseline.
+
+    >>> run_source("def f(acc=[]):\\n    return acc\\n", path="x.py")[0].code
+    'RPL020'
+    >>> run_source("def f(acc=[]):  # reprolint: disable=RPL020\\n    return acc\\n",
+    ...            path="x.py")
+    []
+    """
+    ctx = FileContext(path, source)
+    chosen = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for rule in chosen:
+        for f in rule.check(ctx):
+            if not ctx.suppressed(f):
+                findings.append(f)
+    return sorted(findings)
+
+
+def iter_py_files(paths: Sequence[str], root: Path) -> Iterator[Tuple[str, Path]]:
+    """Yield ``(label, path)`` for every ``.py`` file under ``paths``.
+
+    Labels are POSIX-style and relative to ``root`` when possible, so
+    findings and baselines are machine-independent.
+    """
+    for raw in paths:
+        p = Path(raw)
+        if not p.is_absolute():
+            p = root / p
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for c in candidates:
+            if "__pycache__" in c.parts:
+                continue
+            try:
+                label = c.resolve().relative_to(root).as_posix()
+            except ValueError:
+                label = c.as_posix()
+            yield label, c
+
+
+def run_paths(
+    paths: Sequence[str],
+    root: Optional[Path] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> List[Finding]:
+    """Run the rule set over files/directories; returns sorted findings.
+
+    >>> import pathlib, tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> _ = pathlib.Path(d, "bad.py").write_text("def f(x={}):\\n    return x\\n")
+    >>> [f.code for f in run_paths([d], root=pathlib.Path(d))]
+    ['RPL020']
+    """
+    root = (root or Path.cwd()).resolve()
+    findings: List[Finding] = []
+    for label, p in iter_py_files(paths, root):
+        source = p.read_text(encoding="utf-8")
+        try:
+            findings.extend(run_source(source, path=label, rules=rules))
+        except SyntaxError as exc:  # surface, don't crash the whole run
+            findings.append(
+                Finding(
+                    path=label,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    code="RPL000",
+                    name="syntax-error",
+                    family="engine",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    return sorted(findings)

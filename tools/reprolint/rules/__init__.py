@@ -1,0 +1,29 @@
+"""Rule families of the reprolint analyzer.
+
+Importing this package registers every rule with the engine's registry
+(see :func:`tools.reprolint.engine.all_rules`).  Families and codes:
+
+========  ====================  ==============================================
+family    codes                 enforced invariant
+========  ====================  ==============================================
+determinism    RPL001–RPL002   seeded-only randomness; no wall clock in sims
+units          RPL010–RPL011   suffix unit discipline (kW/kWh/s/USD)
+cache-safety   RPL020–RPL022   hashable memo keys, no shared mutables
+observability  RPL030–RPL031   one-boolean-read gating; spans in ``with``
+exceptions     RPL040–RPL042   no bare/swallowing excepts; domain raises
+float-compare  RPL050          tolerance helpers, not ``==``, for floats
+========  ====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from . import cache_safety, determinism, exceptions, floatcmp, observability, units
+
+__all__ = [
+    "cache_safety",
+    "determinism",
+    "exceptions",
+    "floatcmp",
+    "observability",
+    "units",
+]

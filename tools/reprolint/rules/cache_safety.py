@@ -1,0 +1,186 @@
+"""Cache-safety rules (RPL020–RPL022).
+
+The settlement fast path (PR 2) memoizes aggressively: settlement plans
+are weak-cached per load, tariff rate vectors per geometry, calendars
+per ``(interval_s, start_s)``.  Memoization is only sound when keys are
+hashable and cached values are never mutated by callers — these rules
+enforce the static half of that contract.
+
+* **RPL020 (mutable-default)** — mutable default argument values
+  (``[]``, ``{}``, ``set()``, ``list()``, ``dict()``).  One shared
+  instance per *function object* is exactly the aliasing bug class that
+  poisons memo tables.
+* **RPL021 (unhashable-memo-param)** — a ``functools.lru_cache`` /
+  ``functools.cache`` decorated function whose parameter annotation is a
+  known-unhashable type (``list``/``dict``/``set``/``np.ndarray``):
+  every call raises ``TypeError`` at runtime, or worse, forces callers
+  to tuple-ify ad hoc.
+* **RPL022 (shared-mutable-return)** — ``return`` of a module-level
+  list/dict/set by name without a defensive copy; callers mutate shared
+  state that other callers (and memo tables) observe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from ..engine import FileContext, Finding, Rule, register
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+_UNHASHABLE_ANNOTATIONS = {"list", "dict", "set", "List", "Dict", "Set", "ndarray"}
+_MEMO_DECORATORS = {"lru_cache", "cache", "functools.lru_cache", "functools.cache"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_FACTORIES and not node.args and not node.keywords
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RPL020: no mutable default argument values."""
+
+    code = "RPL020"
+    name = "mutable-default"
+    family = "cache-safety"
+    description = (
+        "A mutable default ([] / {} / set()) is evaluated once and shared "
+        "across every call; use None and construct inside the body."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in {label!r} is shared "
+                        "across calls; default to None and build inside",
+                    )
+
+
+@register
+class UnhashableMemoParamRule(Rule):
+    """RPL021: memoized functions must take hashable parameters."""
+
+    code = "RPL021"
+    name = "unhashable-memo-param"
+    family = "cache-safety"
+    description = (
+        "functools.lru_cache/cache keys every call by its arguments; a "
+        "list/dict/set/ndarray parameter raises TypeError on first call — "
+        "take a tuple/frozenset or key by identity instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._is_memoized(ctx, node):
+                continue
+            args = list(node.args.posonlyargs) + list(node.args.args) + list(
+                node.args.kwonlyargs
+            )
+            for arg in args:
+                if arg.arg in ("self", "cls"):
+                    continue
+                if self._is_unhashable(arg.annotation):
+                    yield self.finding(
+                        ctx, arg,
+                        f"memoized function {node.name!r} takes unhashable "
+                        f"parameter {arg.arg!r}; lru_cache keys must be "
+                        "hashable (use tuple/frozenset)",
+                    )
+
+    @staticmethod
+    def _is_memoized(ctx: FileContext, node: ast.AST) -> bool:
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            qual = ctx.qualified_name(target)
+            if qual in _MEMO_DECORATORS:
+                return True
+        return False
+
+    @staticmethod
+    def _is_unhashable(annotation) -> bool:
+        if annotation is None:
+            return False
+        node = annotation
+        if isinstance(node, ast.Subscript):  # List[int], Dict[str, float], ...
+            node = node.value
+        if isinstance(node, ast.Attribute):  # np.ndarray, typing.List
+            return node.attr in _UNHASHABLE_ANNOTATIONS
+        return isinstance(node, ast.Name) and node.id in _UNHASHABLE_ANNOTATIONS
+
+
+@register
+class SharedMutableReturnRule(Rule):
+    """RPL022: never return module-level mutables by reference."""
+
+    code = "RPL022"
+    name = "shared-mutable-return"
+    family = "cache-safety"
+    description = (
+        "Returning a module-level list/dict/set by name hands every caller "
+        "the same object; mutate-after-return corrupts global state and any "
+        "cache built on it — return a copy or an immutable view."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_mutables = self._module_mutables(ctx)
+        if not module_mutables:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in module_mutables:
+                if ctx.enclosing_function(node) is None:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"returns module-level {module_mutables[value.id]} "
+                    f"{value.id!r} by reference; return a copy "
+                    f"(list(...)/dict(...)) or an immutable view",
+                )
+
+    @staticmethod
+    def _module_mutables(ctx: FileContext) -> Dict[str, str]:
+        """Names assigned a mutable literal at module scope, -> kind."""
+        out: Dict[str, str] = {}
+        reassigned: Set[str] = set()
+        for stmt in ctx.tree.body:
+            targets = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id in out:
+                    reassigned.add(target.id)
+                if isinstance(value, (ast.List, ast.ListComp)):
+                    out[target.id] = "list"
+                elif isinstance(value, (ast.Dict, ast.DictComp)):
+                    out[target.id] = "dict"
+                elif isinstance(value, (ast.Set, ast.SetComp)):
+                    out[target.id] = "set"
+                elif isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
+                        and value.func.id in _MUTABLE_FACTORIES:
+                    out[target.id] = value.func.id
+        for name in reassigned:
+            out.pop(name, None)
+        return out

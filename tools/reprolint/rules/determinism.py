@@ -1,0 +1,150 @@
+"""Determinism rules (RPL001–RPL002).
+
+The whole reproduction is seeded: the survey generator, the chaos
+harness, synthetic workloads and price processes all take explicit seeds
+and derive every draw from ``numpy.random.default_rng(seed)``.  One
+unseeded draw — or one wall-clock read inside a simulation path — makes
+bills non-replayable and breaks the differential tests that pin the
+settlement fast path to the legacy reference.
+
+* **RPL001 (unseeded-random)** — draws through module-level RNG state
+  (``random.random()``, ``numpy.random.rand()``, ``np.random.seed``) or
+  unseeded generator construction (``default_rng()`` / ``random.Random()``
+  with no arguments).
+* **RPL002 (wall-clock)** — ``time.time()``, ``datetime.now()``,
+  ``os.urandom``, ``uuid.uuid4`` … inside ``src/repro`` simulation
+  paths.  The observability layer's wall-clock capture is allowlisted:
+  the package itself is exempt, as is any call passed as the
+  ``created_unix=`` keyword of a run-manifest constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: Drawing functions on the stdlib ``random`` module's hidden global state.
+_RANDOM_MODULE_DRAWS = {
+    "random", "randint", "randrange", "uniform", "triangular", "choice",
+    "choices", "sample", "shuffle", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "paretovariate",
+    "vonmisesvariate", "weibullvariate", "getrandbits", "randbytes", "seed",
+}
+
+#: Legacy ``numpy.random`` module-level functions (global RandomState).
+_NUMPY_LEGACY_DRAWS = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "seed", "normal",
+    "uniform", "poisson", "exponential", "beta", "gamma", "binomial",
+    "lognormal", "standard_normal", "get_state", "set_state",
+}
+
+#: Wall-clock / entropy reads disallowed in simulation paths.
+_WALL_CLOCK_CALLS = {
+    "time.time": "time.time() reads the wall clock",
+    "time.time_ns": "time.time_ns() reads the wall clock",
+    "datetime.datetime.now": "datetime.now() reads the wall clock",
+    "datetime.datetime.utcnow": "datetime.utcnow() reads the wall clock",
+    "datetime.datetime.today": "datetime.today() reads the wall clock",
+    "datetime.date.today": "date.today() reads the wall clock",
+    "os.urandom": "os.urandom() reads OS entropy",
+    "uuid.uuid1": "uuid.uuid1() depends on host clock/MAC",
+    "uuid.uuid4": "uuid.uuid4() reads OS entropy",
+    "secrets.token_bytes": "secrets reads OS entropy",
+    "secrets.token_hex": "secrets reads OS entropy",
+    "secrets.token_urlsafe": "secrets reads OS entropy",
+    "secrets.randbits": "secrets reads OS entropy",
+}
+
+
+@register
+class UnseededRandomRule(Rule):
+    """RPL001: no module-level RNG state, no unseeded generators."""
+
+    code = "RPL001"
+    name = "unseeded-random"
+    family = "determinism"
+    description = (
+        "Draws through random/numpy.random module-level state, or generator "
+        "construction without an explicit seed, are not replayable; use "
+        "numpy.random.default_rng(seed) and thread the generator through."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual is None:
+                continue
+            if qual.startswith("random."):
+                attr = qual.split(".", 1)[1]
+                if attr in _RANDOM_MODULE_DRAWS:
+                    yield self.finding(
+                        ctx, node,
+                        f"random.{attr}() draws from module-level RNG state; "
+                        "use an explicitly seeded numpy Generator",
+                    )
+                elif attr == "Random" and not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node,
+                        "random.Random() without a seed is not replayable",
+                    )
+            elif qual.startswith("numpy.random."):
+                attr = qual.split(".")[-1]
+                if attr in _NUMPY_LEGACY_DRAWS:
+                    yield self.finding(
+                        ctx, node,
+                        f"numpy.random.{attr}() uses the legacy global "
+                        "RandomState; use numpy.random.default_rng(seed)",
+                    )
+                elif attr == "default_rng" and not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node,
+                        "default_rng() without a seed draws fresh OS entropy; "
+                        "pass an explicit seed",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """RPL002: no wall-clock / OS-entropy reads in simulation paths."""
+
+    code = "RPL002"
+    name = "wall-clock"
+    family = "determinism"
+    description = (
+        "Simulation paths under src/repro must be pure functions of their "
+        "inputs; wall-clock and entropy reads belong to the observability "
+        "layer only (manifest created_unix capture is allowlisted)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_repro_src or ctx.in_observability:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual is None or qual not in _WALL_CLOCK_CALLS:
+                continue
+            if self._is_manifest_capture(ctx, node):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"{_WALL_CLOCK_CALLS[qual]}; simulation paths must be "
+                "deterministic (manifest created_unix= capture is exempt)",
+            )
+
+    @staticmethod
+    def _is_manifest_capture(ctx: FileContext, node: ast.Call) -> bool:
+        """True when the call is passed as a ``created_unix=`` keyword.
+
+        That is the run-manifest wall-clock capture pattern
+        (``RunManifest(..., created_unix=time.time())``), the one
+        sanctioned wall-clock read outside the observability package.
+        """
+        parent = ctx.parent(node)
+        return isinstance(parent, ast.keyword) and parent.arg == "created_unix"

@@ -1,0 +1,167 @@
+"""Exception-discipline rules (RPL040–RPL042).
+
+:mod:`repro.exceptions` gives the library a single-rooted hierarchy —
+``ReproError`` down through per-subsystem subclasses — so embedders can
+catch one type and tests can assert precise failure modes.  Bare and
+over-broad handlers defeat that design (they also swallow
+``KeyboardInterrupt``/``SystemExit`` in the bare case), and raising
+builtins from library code forces callers back to ``except Exception``.
+
+* **RPL040 (bare-except)** — ``except:`` with no exception type.
+* **RPL041 (swallowed-exception)** — ``except Exception`` /
+  ``except BaseException`` whose handler silently discards the error
+  (body is only ``pass``/``...``/``continue``, or a bare constant
+  ``return`` with the caught exception unused).
+* **RPL042 (builtin-raise)** — ``raise ValueError/TypeError/...`` under
+  ``src/repro`` where a :mod:`repro.exceptions` subclass exists for the
+  subsystem.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import FileContext, Finding, Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+#: Builtins that should be a ReproError subclass when raised from src/repro.
+_BUILTIN_RAISES = {
+    "ValueError", "TypeError", "RuntimeError", "KeyError", "IndexError",
+    "ArithmeticError", "ZeroDivisionError", "Exception", "OSError",
+}
+
+#: src/repro/<subpackage> -> suggested domain exception.
+_SUGGESTED = {
+    "units.py": "UnitError",
+    "timeseries": "TimeSeriesError",
+    "contracts": "ContractError (or TariffError/BillingError/MeteringError)",
+    "grid": "GridError (or MarketError/DispatchError)",
+    "facility": "FacilityError (or SchedulerError/WorkloadError)",
+    "dr": "DemandResponseError (or FlexibilityError)",
+    "survey": "SurveyError",
+    "analysis": "AnalysisError",
+    "reporting": "ReportingError",
+    "robustness": "RobustnessError (or DataQualityError/SignalDeliveryError)",
+    "observability": "ObservabilityError",
+}
+
+
+def _handler_type_name(handler: ast.ExceptHandler) -> Optional[str]:
+    t = handler.type
+    if t is None:
+        return None
+    if isinstance(t, ast.Name):
+        return t.id
+    if isinstance(t, ast.Attribute):
+        return t.attr
+    return "<tuple>"
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler discards the exception without a trace."""
+    body = handler.body
+    if all(
+        isinstance(stmt, ast.Pass)
+        or isinstance(stmt, ast.Continue)
+        or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+        for stmt in body
+    ):
+        return True
+    if (
+        len(body) == 1
+        and isinstance(body[0], ast.Return)
+        and (body[0].value is None or isinstance(body[0].value, ast.Constant))
+        and handler.name is None
+    ):
+        return True
+    return False
+
+
+@register
+class BareExceptRule(Rule):
+    """RPL040: no bare ``except:`` clauses."""
+
+    code = "RPL040"
+    name = "bare-except"
+    family = "exceptions"
+    description = (
+        "`except:` catches KeyboardInterrupt and SystemExit too; name the "
+        "exception — ideally a repro.exceptions subclass."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' also swallows KeyboardInterrupt/"
+                    "SystemExit; catch a named exception type",
+                )
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """RPL041: broad handlers must not silently discard errors."""
+
+    code = "RPL041"
+    name = "swallowed-exception"
+    family = "exceptions"
+    description = (
+        "`except Exception` whose body is pass/`return <const>` hides real "
+        "failures (including bugs in our own kernels); narrow the type or "
+        "record why discarding is safe."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            tname = _handler_type_name(node)
+            if tname in _BROAD and _swallows(node):
+                yield self.finding(
+                    ctx, node,
+                    f"'except {tname}' silently discards the error; narrow "
+                    "the exception type or handle it explicitly",
+                )
+
+
+@register
+class BuiltinRaiseRule(Rule):
+    """RPL042: raise domain exceptions from library code."""
+
+    code = "RPL042"
+    name = "builtin-raise"
+    family = "exceptions"
+    description = (
+        "Library code under src/repro raising ValueError/TypeError/... "
+        "breaks the single-rooted ReproError contract; raise the "
+        "subsystem's repro.exceptions subclass."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_repro_src:
+            return
+        suggestion = self._suggestion(ctx.path)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in _BUILTIN_RAISES:
+                yield self.finding(
+                    ctx, node,
+                    f"raises builtin {name}; raise {suggestion} instead so "
+                    "callers can catch ReproError",
+                )
+
+    @staticmethod
+    def _suggestion(path: str) -> str:
+        parts = path.split("/")
+        key = parts[2] if len(parts) > 2 else ""
+        return _SUGGESTED.get(key, "a repro.exceptions.ReproError subclass")

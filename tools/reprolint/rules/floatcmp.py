@@ -1,0 +1,121 @@
+"""Float / money comparison rule (RPL050).
+
+Settled bills are sums of thousands of interval products; two
+mathematically equal totals routinely differ in the last ulp.  The
+library therefore compares settled quantities through tolerance helpers
+(``PowerSeries.approx_equal``, ``Reconciliation.within_tolerance``,
+``Money.is_zero``) — never with raw ``==``.
+
+**RPL050 (float-equality)** flags ``==`` / ``!=`` in ``src/repro``
+where either side is visibly float-typed: a non-zero float literal, a
+``float(...)`` conversion, arithmetic over such, or a name carrying a
+money/energy/power unit suffix (``_usd``/``_kwh``/``_kw``/...).
+
+Deliberate exemptions, documented in the rule catalog:
+
+* comparisons against the literal ``0.0`` — the exact-zero *guard*
+  pattern (``if duration_s == 0.0: raise``) protects divisions and is
+  exact by construction;
+* comparisons against ``float("inf")`` / ``float("-inf")`` — infinities
+  are exactly representable sentinels;
+* time-suffixed names (``_s``) — metering geometry (intervals, period
+  edges) is constructed, not accumulated, and identity checks on it are
+  the library's interval-mismatch guards;
+* tolerance helpers themselves (functions whose name contains
+  ``approx`` / ``close`` / ``tolerance`` / ``is_zero``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import FileContext, Finding, Rule, register
+
+_FLOAT_SUFFIXES = (
+    "_usd", "_eur", "_chf", "_kwh", "_mwh", "_wh", "_kw", "_mw", "_w",
+)
+_HELPER_MARKERS = ("approx", "close", "tolerance", "is_zero", "isclose")
+
+
+def _is_zero_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value == 0.0 and not isinstance(
+        node.value, bool
+    )
+
+
+def _is_inf_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    )
+
+
+def _floaty(node: ast.AST) -> bool:
+    """True when ``node`` is visibly a computed float expression."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float) and node.value != 0.0
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "float":
+        return not _is_inf_call(node)
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        ident = node.id if isinstance(node, ast.Name) else node.attr
+        low = ident.lower()
+        return "_per_" not in low and low.endswith(_FLOAT_SUFFIXES)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)
+    ):
+        return _floaty(node.left) or _floaty(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _floaty(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RPL050: no raw ``==``/``!=`` on computed float quantities."""
+
+    code = "RPL050"
+    name = "float-equality"
+    family = "float-compare"
+    description = (
+        "Direct ==/!= between float-typed expressions in src/repro is "
+        "last-ulp roulette for settled money/energy; use the tolerance "
+        "helpers (approx_equal, within_tolerance, math.isclose). Exact "
+        "zero/infinity guards are exempt."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_repro_src:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            func = ctx.enclosing_function(node)
+            if func is not None and self._is_tolerance_helper(func.name):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_zero_literal(left) or _is_zero_literal(right):
+                    continue
+                if _is_inf_call(left) or _is_inf_call(right):
+                    continue
+                if _floaty(left) or _floaty(right):
+                    yield self.finding(
+                        ctx, node,
+                        "direct ==/!= on a float-typed expression; compare "
+                        "through a tolerance helper (approx_equal / "
+                        "within_tolerance / math.isclose)",
+                    )
+                    break
+
+    @staticmethod
+    def _is_tolerance_helper(name: Optional[str]) -> bool:
+        low = (name or "").lower()
+        return any(marker in low for marker in _HELPER_MARKERS)

@@ -1,0 +1,177 @@
+"""Observability-gating rules (RPL030–RPL031).
+
+PR 3's contract: the observability layer is **off by default** and every
+instrumented call site pays exactly one boolean read
+(:func:`repro.perfconfig.observability_enabled`) when disabled.  That
+only holds if call sites actually check the switch before building
+argument tuples and calling into :mod:`repro.observability` — and if
+spans are always opened as context managers, so exception paths close
+them.
+
+* **RPL030 (ungated-observability)** — a call through an alias of a
+  ``repro.observability`` submodule (``_metrics.inc(...)``,
+  ``_trace.emit(...)``, ``_manifest.record(...)``) with no enclosing
+  guard.  Recognized guards, matching the idioms already in tree:
+
+  - an ancestor ``if`` whose test calls ``observability_enabled()``;
+  - an ancestor ``if`` whose test reads a local previously assigned from
+    ``observability_enabled()`` (the ``observed = ...`` pattern);
+  - an earlier early-return ``if`` in the same function whose test reads
+    the switch and whose body ends in ``return``/``raise``.
+
+  ``.span(...)`` is exempt here (it self-gates by returning the shared
+  ``NULL_SPAN``) and governed by RPL031 instead.
+* **RPL031 (span-outside-with)** — ``span(...)`` used anywhere but as a
+  ``with`` context expression.  A span held in a variable leaks open on
+  exceptions and skews every enclosing duration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..engine import FileContext, Finding, Rule, register
+
+
+def _calls_switch(node: ast.AST) -> bool:
+    """True when ``node`` contains a call to ``*observability_enabled``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            attr = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if attr == "observability_enabled":
+                return True
+    return False
+
+
+def _switch_locals(func: ast.AST) -> Set[str]:
+    """Local names bound from ``observability_enabled()`` in ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and _calls_switch(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _reads_switch(test: ast.AST, switch_names: Set[str]) -> bool:
+    if _calls_switch(test):
+        return True
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Name) and sub.id in switch_names:
+            return True
+    return False
+
+
+@register
+class UngatedObservabilityRule(Rule):
+    """RPL030: observability call sites pay one boolean read when off."""
+
+    code = "RPL030"
+    name = "ungated-observability"
+    family = "observability"
+    description = (
+        "Calls into repro.observability (metrics/trace/manifest) must sit "
+        "behind an observability_enabled() check — an `if observed:` block "
+        "or an early-return guard — so the disabled mode costs one boolean "
+        "read and zero allocations per site."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_observability or not ctx.obs_aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)):
+                continue
+            alias = func.value.id
+            if alias not in ctx.obs_aliases or func.attr == "span":
+                continue
+            if self._guarded(ctx, node):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"{alias}.{func.attr}(...) is not guarded by an "
+                "observability_enabled() read (`if observed:` block or "
+                "early-return guard); disabled runs would pay for it",
+            )
+
+    def _guarded(self, ctx: FileContext, call: ast.Call) -> bool:
+        func = ctx.enclosing_function(call)
+        switch_names = _switch_locals(func) if func is not None else set()
+        # ancestor if / ternary reading the switch
+        child: ast.AST = call
+        for anc in ctx.ancestors(call):
+            if isinstance(anc, ast.If) and _reads_switch(anc.test, switch_names):
+                return True
+            if isinstance(anc, ast.IfExp) and _reads_switch(anc.test, switch_names):
+                return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            child = anc
+        # early-return guard earlier in the same function
+        if func is not None:
+            for stmt in self._statements(func):
+                if stmt.lineno >= call.lineno:
+                    break
+                if (
+                    isinstance(stmt, ast.If)
+                    and _reads_switch(stmt.test, switch_names)
+                    and stmt.body
+                    and isinstance(stmt.body[-1], (ast.Return, ast.Raise))
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _statements(func: ast.AST) -> List[ast.stmt]:
+        return list(func.body)
+
+
+@register
+class SpanOutsideWithRule(Rule):
+    """RPL031: spans must be opened in a ``with`` block."""
+
+    code = "RPL031"
+    name = "span-outside-with"
+    family = "observability"
+    description = (
+        "span(...) returns a context manager; holding it in a variable or "
+        "passing it around leaks the span open on exception paths — always "
+        "`with _trace.span(...):`."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_observability:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_span_call(ctx, node):
+                continue
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.withitem) and parent.context_expr is node:
+                continue
+            yield self.finding(
+                ctx, node,
+                "span(...) opened outside a `with` block; exception paths "
+                "leak it open",
+            )
+
+    @staticmethod
+    def _is_span_call(ctx: FileContext, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            return func.value.id in ctx.obs_aliases and func.attr == "span"
+        if isinstance(func, ast.Name):
+            qual = ctx.imports.get(func.id, "")
+            return qual.endswith("trace.span") or (
+                "observability" in qual and qual.endswith(".span")
+            )
+        return False

@@ -1,0 +1,256 @@
+"""Units-discipline rules (RPL010–RPL011).
+
+The library's canonical-unit convention (see :mod:`repro.units`) encodes
+physical dimension and scale in variable-name suffixes: ``peak_kw`` is
+power in kilowatts, ``energy_kwh`` energy in kilowatt-hours,
+``interval_s`` seconds, ``total_usd`` money.  The Xu & Li demand-charge
+line of work (and the paper's own Figure-1 typology) mixes kW and kWh
+terms in one bill — which is exactly why silently adding a ``_kw`` to a
+``_kwh`` is the highest-severity unit bug this codebase can have.
+
+* **RPL010 (mixed-units)** — additive arithmetic (``+``/``-``, including
+  augmented assignment) or comparison between expressions whose name
+  suffixes carry *different* units.  Cross-dimension mixes (power vs
+  energy) and same-dimension scale mixes (``_kw`` vs ``_mw``) are both
+  flagged.  Multiplication/division is exempt (that is how units are
+  legitimately combined), as are names containing ``_per_`` (rates).
+  Calls to the canonical constructors in :mod:`repro.units` carry their
+  *canonical* unit, so ``total_kw + mw(5)`` is correct and not flagged.
+* **RPL011 (unitless-param)** — a public function under ``src/repro``
+  with a ``float``-annotated parameter whose name has no recognized unit
+  suffix, no dimensionless marker, and no unit mention in the docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: suffix -> (unit label, physical dimension)
+_UNIT_SUFFIXES = {
+    "_w": ("W", "power"),
+    "_kw": ("kW", "power"),
+    "_mw": ("MW", "power"),
+    "_wh": ("Wh", "energy"),
+    "_kwh": ("kWh", "energy"),
+    "_mwh": ("MWh", "energy"),
+    "_ms": ("ms", "time"),
+    "_s": ("s", "time"),
+    "_min": ("min", "time"),
+    "_usd": ("USD", "money"),
+    "_eur": ("EUR", "money"),
+    "_chf": ("CHF", "money"),
+}
+
+#: repro.units constructors normalize to canonical units at the boundary.
+_CANONICAL_CONSTRUCTORS = {
+    "kw": "_kw", "mw": "_kw", "watts": "_kw",
+    "kwh": "_kwh", "mwh": "_kwh",
+    "hours": "_s", "minutes": "_s", "days": "_s",
+    "energy_kwh": "_kwh", "average_power_kw": "_kw",
+}
+
+#: Dimensionless / structural suffixes and names exempt from RPL011.
+_DIMENSIONLESS_SUFFIXES = (
+    "_frac", "_fraction", "_ratio", "_pct", "_share", "_factor", "_scale",
+    "_seed", "_tol", "_weight", "_prob", "_probability", "_exponent",
+    "_sigma", "_mu", "_count", "_n", "_index", "_id", "_level", "_quantile",
+)
+
+#: Spelled-out time suffixes: unambiguous units, accepted by RPL011 but not
+#: tracked by RPL010 (no canonical-form confusion to catch).
+_TIME_WORD_SUFFIXES = ("_years", "_year", "_days", "_day", "_hours", "_hour",
+                       "_minutes", "_h")
+_PARAM_ALLOWLIST = {
+    "seed", "n", "count", "size", "tol", "rtol", "atol", "fraction", "frac",
+    "ratio", "share", "scale", "factor", "quantile", "percentile", "prob",
+    "probability", "weight", "alpha", "beta", "gamma", "sigma", "mu",
+    "exponent", "level", "lo", "hi", "growth", "slack", "headroom",
+}
+
+#: Unit / dimension vocabulary accepted as a docstring annotation.
+_DOC_UNIT_TOKEN = re.compile(
+    r"(\bk?W\b|\bkWh\b|\bMWh?\b|watt|kilowatt|megawatt|\bsecond|\bhour"
+    r"|\bminute|\bday|\byear|\bUSD\b|\$|/kWh|/kW\b|per kWh|per kW\b"
+    r"|currency|\bmoney\b|dimensionless|unitless|\bfraction|\bratio\b"
+    r"|\bshare\b|\bpercent|\bprobability\b|\bmultiplier\b|\bscalar\b"
+    r"|\bweight\b|\bfactor\b|\bquantile\b|\bseed\b|\bin \[0, ?1\]|\[0, ?1\))",
+)
+
+
+def _suffix_of(identifier: str) -> Optional[str]:
+    """The recognized unit suffix of ``identifier``, if any."""
+    low = identifier.lower()
+    if "_per_" in low:
+        return None  # rates carry compound units; out of scope
+    for suffix in _UNIT_SUFFIXES:
+        if low.endswith(suffix):
+            return suffix
+    return None
+
+
+def unit_of(node: ast.AST) -> Optional[str]:
+    """Best-effort unit suffix of an expression, or None when unknown.
+
+    Conservative by design: anything not obviously unit-bearing returns
+    None, and None never participates in a mismatch.
+    """
+    if isinstance(node, ast.Name):
+        return _suffix_of(node.id)
+    if isinstance(node, ast.Attribute):
+        return _suffix_of(node.attr)
+    if isinstance(node, ast.Subscript):
+        return unit_of(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return unit_of(node.operand)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            canonical = _CANONICAL_CONSTRUCTORS.get(node.func.id)
+            if canonical is not None:
+                return canonical
+        if isinstance(node.func, ast.Attribute):
+            # accessor methods named by unit (load.mean_kw(), b.total_usd())
+            return _suffix_of(node.func.attr)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left, right = unit_of(node.left), unit_of(node.right)
+        if left is not None and right is not None and left == right:
+            return left
+        return left if right is None else right if left is None else None
+    return None
+
+
+def _describe(suffix: str) -> str:
+    label, dim = _UNIT_SUFFIXES[suffix]
+    return f"{label} ({dim})"
+
+
+@register
+class MixedUnitsRule(Rule):
+    """RPL010: additive arithmetic / comparison across unit suffixes."""
+
+    code = "RPL010"
+    name = "mixed-units"
+    family = "units"
+    description = (
+        "Adding, subtracting or comparing quantities whose name suffixes "
+        "carry different units (kW vs kWh vs s vs USD, or kW vs MW) silently "
+        "corrupts bills; convert via repro.units at the boundary first."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._pairwise(ctx, node, node.left, node.right, "arithmetic")
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._pairwise(ctx, node, node.target, node.value, "arithmetic")
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._pairwise(ctx, node, left, right, "comparison")
+
+    def _pairwise(
+        self,
+        ctx: FileContext,
+        site: ast.AST,
+        left: ast.AST,
+        right: ast.AST,
+        what: str,
+    ) -> Iterator[Finding]:
+        lu, ru = unit_of(left), unit_of(right)
+        if lu is None or ru is None or lu == ru:
+            return
+        _, ldim = _UNIT_SUFFIXES[lu]
+        _, rdim = _UNIT_SUFFIXES[ru]
+        kind = "mixes dimensions" if ldim != rdim else "mixes scales"
+        yield self.finding(
+            ctx, site,
+            f"{what} {kind}: {_describe(lu)} vs {_describe(ru)}; "
+            "convert via repro.units first",
+        )
+
+
+@register
+class UnitlessParamRule(Rule):
+    """RPL011: public float params must declare their unit."""
+
+    code = "RPL011"
+    name = "unitless-param"
+    family = "units"
+    description = (
+        "Public functions under src/repro taking float parameters must name "
+        "the unit in a suffix (_kw/_kwh/_s/_usd/...), use a dimensionless "
+        "marker (_frac/_ratio/...), or state the unit in the docstring."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_repro_src or ctx.in_observability:
+            # metric values are dimensionless by design; the observability
+            # API is documented in its own generated manual
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if ctx.enclosing_function(node) is not None:
+                continue  # nested helpers are not public API
+            if self._enclosing_class_private(ctx, node):
+                continue
+            doc = ast.get_docstring(node) or ""
+            args = list(node.args.posonlyargs) + list(node.args.args) + list(
+                node.args.kwonlyargs
+            )
+            for arg in args:
+                if arg.arg in ("self", "cls"):
+                    continue
+                if not self._is_float_annotation(arg.annotation):
+                    continue
+                if self._declares_unit(arg.arg, doc):
+                    continue
+                yield Finding(
+                    path=ctx.path,
+                    line=arg.lineno,
+                    col=arg.col_offset,
+                    code=self.code,
+                    name=self.name,
+                    family=self.family,
+                    message=(
+                        f"float parameter {arg.arg!r} of public function "
+                        f"{node.name!r} declares no unit (suffix, "
+                        "dimensionless marker, or docstring annotation)"
+                    ),
+                )
+
+    @staticmethod
+    def _enclosing_class_private(ctx: FileContext, node: ast.AST) -> bool:
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, ast.ClassDef) and anc.name.startswith("_"):
+                return True
+        return False
+
+    @staticmethod
+    def _is_float_annotation(annotation: Optional[ast.AST]) -> bool:
+        return isinstance(annotation, ast.Name) and annotation.id == "float"
+
+    @staticmethod
+    def _declares_unit(name: str, doc: str) -> bool:
+        low = name.lower()
+        if low in _PARAM_ALLOWLIST:
+            return True
+        if "_per_" in low:
+            return True  # compound rate unit spelled out (usd_per_kwh, ...)
+        if _suffix_of(name) is not None:
+            return True
+        if low.endswith(_DIMENSIONLESS_SUFFIXES) or low.endswith(_TIME_WORD_SUFFIXES):
+            return True
+        if any(tok in low for tok in ("fraction", "ratio", "share", "scale", "seed")):
+            return True
+        if name in doc and _DOC_UNIT_TOKEN.search(doc):
+            return True
+        return False
