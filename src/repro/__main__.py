@@ -7,6 +7,8 @@ Regenerates the paper's artifacts from the terminal::
     python -m repro run all              # everything, in registry order
     python -m repro lint                 # static analysis (tools.reprolint)
     python -m repro lint -- --list-rules # forward flags to the analyzer
+    python -m repro sweep --journal J    # supervised chaos sweep, checkpointed
+    python -m repro sweep --resume J     # finish an interrupted sweep
 """
 
 from __future__ import annotations
@@ -53,6 +55,80 @@ def _run_lint(forwarded: list) -> int:
     return lint_main(forwarded)
 
 
+def _run_sweep(args) -> int:
+    """Dispatch ``repro sweep``: a supervised, journaled chaos sweep.
+
+    ``--resume`` rebuilds the grid from the journal header's stored
+    recipe (written by :func:`repro.robustness.chaos.run_chaos_sweep`),
+    so an interrupted sweep finishes from the checkpoint alone — no
+    re-specification, no recomputation of completed points, and (because
+    every point is self-seeded) bit-identical results.
+    """
+    from .exceptions import ReproError
+    from .robustness.chaos import run_chaos_sweep
+    from .robustness.journal import read_journal
+
+    if args.resume:
+        try:
+            state = read_journal(args.resume)
+        except (ReproError, OSError) as exc:
+            print(f"cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        params = dict(state.header.params)
+        if params.pop("kind", None) != "chaos_sweep":
+            print(
+                f"journal {args.resume} was not written by a chaos sweep "
+                "(header lacks kind='chaos_sweep')",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"resuming sweep {state.header.sweep_id!r}: "
+            f"{state.n_completed}/{state.header.n_items} items journaled"
+        )
+        report = run_chaos_sweep(
+            dropout_rates=params["dropout_rates"],
+            loss_probabilities=params["loss_probabilities"],
+            seed=params["seed"],
+            horizon_days=params["horizon_days"],
+            peak_mw=params["peak_mw"],
+            bill_error_tolerance=params["bill_error_tolerance"],
+            fastpath=params["fastpath"],
+            use_world_cache=params["use_world_cache"],
+            supervised=True,
+            journal=args.resume,
+            parallel=False if args.serial else None,
+            slow_s=params.get("slow_s", 0.0),
+            kill_marker=params.get("kill_marker"),
+        )
+    else:
+        report = run_chaos_sweep(
+            dropout_rates=args.dropout,
+            loss_probabilities=args.loss,
+            seed=args.seed,
+            horizon_days=args.horizon_days,
+            peak_mw=args.peak_mw,
+            supervised=True,
+            journal=args.journal,
+            parallel=False if args.serial else None,
+        )
+    print(report.to_markdown())
+    if report.recovery:
+        rec = report.recovery
+        print(
+            f"\nrecovery: {rec['n_ok']}/{rec['n_items']} ok, "
+            f"{rec['n_resumed']} resumed, {rec['n_retries']} retries, "
+            f"{rec['n_timeouts']} timeouts, "
+            f"{rec['n_pool_rebuilds']} pool rebuilds, "
+            f"{rec['n_quarantined']} quarantined"
+        )
+    if report.quarantined:
+        for q in report.quarantined:
+            print(f"quarantined item {q.index}: {q.reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -71,6 +147,37 @@ def main(argv: list = None) -> int:
         help="arguments forwarded to python -m tools.reprolint "
         "(prefix flags with `--`)",
     )
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a supervised, journaled chaos sweep (resumable)",
+    )
+    sweep.add_argument(
+        "--journal", help="journal path for a fresh supervised sweep"
+    )
+    sweep.add_argument(
+        "--resume", metavar="JOURNAL",
+        help="resume an interrupted sweep from its journal "
+        "(the grid recipe is read from the journal header)",
+    )
+    sweep.add_argument(
+        "--dropout", type=float, nargs="+", default=[0.0, 0.01, 0.05],
+        help="metering dropout rates to grid (fractions)",
+    )
+    sweep.add_argument(
+        "--loss", type=float, nargs="+", default=[0.0, 0.1, 0.2],
+        help="signal loss probabilities to grid (fractions)",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="world seed")
+    sweep.add_argument(
+        "--horizon-days", type=int, default=28, help="simulation horizon"
+    )
+    sweep.add_argument(
+        "--peak-mw", type=float, default=8.0, help="facility peak load (MW)"
+    )
+    sweep.add_argument(
+        "--serial", action="store_true",
+        help="force the serial in-process path (no worker pool)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -83,6 +190,16 @@ def main(argv: list = None) -> int:
         if forwarded[:1] == ["--"]:
             forwarded = forwarded[1:]
         return _run_lint(forwarded)
+
+    if args.command == "sweep":
+        if bool(args.resume) == bool(args.journal):
+            print(
+                "repro sweep needs exactly one of --journal (fresh run) "
+                "or --resume (finish an interrupted one)",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_sweep(args)
 
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
     for eid in targets:

@@ -77,6 +77,9 @@ def compare_contracts(
     price_seed: int = 0,
     parallel: Optional[bool] = None,
     fastpath: bool = True,
+    supervised: bool = False,
+    retry=None,
+    journal: Optional[str] = None,
 ) -> ContractComparison:
     """Settle ``load`` under each contract with a shared price realization.
 
@@ -86,7 +89,11 @@ def compare_contracts(
     (when any candidate needs it) and handed to every scenario; the
     scenarios themselves run through :func:`~repro.analysis.sweep.sweep_map`
     (``parallel`` is forwarded) and settle on the shared-plan fast path
-    (``fastpath`` is forwarded to the billing engine).
+    (``fastpath`` is forwarded to the billing engine).  ``supervised`` /
+    ``retry`` / ``journal`` route the scenarios through the resilient
+    runtime of :class:`~repro.robustness.supervisor.SweepSupervisor` —
+    timeouts, retries, crash recovery and (with ``journal``) a resumable
+    checkpoint; results are identical to the plain path.
     """
     if not contracts:
         raise AnalysisError("need at least one contract to compare")
@@ -112,6 +119,10 @@ def compare_contracts(
             functools.partial(run_scenario, fastpath=fastpath),
             specs,
             parallel=parallel,
+            supervised=supervised,
+            retry=retry,
+            journal=journal,
+            sweep_id="compare_contracts",
         )
     )
     return ContractComparison(

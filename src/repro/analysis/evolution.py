@@ -114,6 +114,9 @@ def contract_evolution_study(
     cap_energy_loss_fraction: float = 0.0,
     seed: int = 0,
     parallel: Optional[bool] = None,
+    supervised: bool = False,
+    retry=None,
+    journal: Optional[str] = None,
 ) -> EvolutionStudy:
     """Simulate ``n_years`` of tariff evolution and two SC responses.
 
@@ -137,7 +140,10 @@ def contract_evolution_study(
         Forwarded to :func:`~repro.analysis.sweep.sweep_map` over the two
         trajectories; each trajectory settles all its years through one
         batched :meth:`~repro.contracts.billing.BillingEngine.bill_many`
-        call either way.
+        call either way.  ``supervised`` / ``retry`` / ``journal`` route
+        the trajectories through the fault-tolerant
+        :class:`~repro.robustness.supervisor.SweepSupervisor` runtime
+        (same results, plus crash recovery and resumability).
     """
     if n_years < 1:
         raise AnalysisError("need at least one year")
@@ -161,6 +167,10 @@ def contract_evolution_study(
         functools.partial(_settle_trajectory, rates=rates),
         [load, adapted],
         parallel=parallel,
+        supervised=supervised,
+        retry=retry,
+        journal=journal,
+        sweep_id="contract_evolution_study",
     )
     years: List[EvolutionYear] = []
     for year, (energy_rate, demand_rate) in enumerate(rates):

@@ -79,6 +79,9 @@ def incentive_threshold_sweep(
     electricity_rate_per_kwh: float = 0.08,
     utilization: float = 0.9,
     parallel: Optional[bool] = None,
+    supervised: bool = False,
+    retry=None,
+    journal: Optional[str] = None,
 ) -> List[IncentiveSweepPoint]:
     """Sweep machine capex; compare DR break-even against program payments.
 
@@ -88,6 +91,9 @@ def incentive_threshold_sweep(
     in the standard program catalog — the most generous realistic offer.
     Capex levels map through :func:`~repro.analysis.sweep.sweep_map`
     (``parallel`` is forwarded; point order is preserved either way).
+    ``supervised`` / ``retry`` / ``journal`` route the sweep through the
+    fault-tolerant :class:`~repro.robustness.supervisor.SweepSupervisor`
+    runtime without changing any result.
     """
     if machine is None:
         machine = Supercomputer("sweep machine", n_nodes=4096, base_overhead_kw=300.0)
@@ -110,6 +116,10 @@ def incentive_threshold_sweep(
         ),
         [float(c) for c in capex_levels],
         parallel=parallel,
+        supervised=supervised,
+        retry=retry,
+        journal=journal,
+        sweep_id="incentive_threshold_sweep",
     )
 
 

@@ -54,7 +54,13 @@ def _cpu_count() -> int:
 
 
 def _picklable(*objects) -> bool:
-    """True when every object survives a pickle round trip requirement.
+    """True when the objects survive pickling (probed once, as one tuple).
+
+    A sweep only needs to know *whether* its payload can cross a process
+    boundary, so all candidates are serialized in a single
+    :func:`pickle.dumps` call — one probe per sweep (the function plus the
+    first item), not a round trip per object, which matters when items
+    carry megabyte-scale scenario state.
 
     Pickling rejects objects through a small, known set of exception
     types (closures/lambdas raise ``PicklingError`` or ``AttributeError``,
@@ -62,8 +68,7 @@ def _picklable(*objects) -> bool:
     ``RecursionError``); anything else is a real bug and propagates.
     """
     try:
-        for obj in objects:
-            pickle.dumps(obj)
+        pickle.dumps(objects)
     except (pickle.PicklingError, TypeError, AttributeError, ValueError,
             RecursionError):
         return False
@@ -77,6 +82,11 @@ def sweep_map(
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    supervised: bool = False,
+    retry: Optional["object"] = None,
+    journal: Optional[str] = None,
+    sweep_id: str = "sweep",
+    journal_params: Optional[dict] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -100,13 +110,32 @@ def sweep_map(
     chunksize:
         Items per task sent to a worker; defaults to splitting the sweep
         into ~4 chunks per worker, amortizing pickling without starving
-        the pool.
+        the pool.  Ignored on the supervised path (which dispatches items
+        individually so it can time them out and retry them).
+    supervised:
+        Route the sweep through
+        :class:`repro.robustness.supervisor.SweepSupervisor`: per-item
+        timeouts, capped-backoff retries, broken-pool recovery and
+        quarantine.  Implied by ``retry`` or ``journal``.  A quarantined
+        item raises :class:`~repro.exceptions.QuarantinedItemError` —
+        callers that prefer partial results should use the supervisor
+        directly and inspect its :class:`~repro.robustness.supervisor.\
+SweepReport`.
+    retry:
+        A :class:`~repro.robustness.supervisor.RetryPolicy` for the
+        supervised path (defaults to ``RetryPolicy()``).
+    journal:
+        Path of a durable :class:`~repro.robustness.journal.SweepJournal`
+        checkpoint for the supervised path; an existing journal resumes
+        the sweep where it stopped.
+    sweep_id / journal_params:
+        Identity and resume recipe stored in a fresh journal's header.
 
     Returns
     -------
     list
-        ``[fn(x) for x in items]`` — identical for serial and parallel
-        execution.
+        ``[fn(x) for x in items]`` — identical for serial, parallel and
+        supervised execution.
 
     Notes
     -----
@@ -115,7 +144,10 @@ def sweep_map(
     ``sweep.batches`` / ``sweep.items`` /
     ``sweep.serial_batches``-vs-``sweep.parallel_batches``, sets the
     ``sweep.workers`` gauge and times the whole map in the
-    ``sweep.batch_s`` timer.
+    ``sweep.batch_s`` timer.  An unpicklable payload additionally counts
+    ``sweep.pickle_fallback`` and a failed pool spawn
+    ``sweep.pool_fallback``, so silent degradation to the serial loop is
+    visible in the metrics report.
 
     Examples
     --------
@@ -125,8 +157,30 @@ def sweep_map(
     [9, 1, 4]
     >>> sweep_map(len, [])
     []
+
+    The supervised path tolerates flaky items (and proves the ordering
+    contract holds there too):
+
+    >>> sweep_map(abs, [-2, 3, -5], parallel=False, supervised=True)
+    [2, 3, 5]
     """
     work = list(items)
+    if supervised or retry is not None or journal is not None:
+        # Lazy import: repro.robustness.supervisor imports helpers from
+        # this module, so the dependency must stay one-directional at
+        # import time.
+        from ..robustness.supervisor import SweepSupervisor
+
+        sup = SweepSupervisor(
+            retry,
+            parallel=parallel,
+            max_workers=max_workers,
+            journal=journal,
+            sweep_id=sweep_id,
+            journal_params=journal_params,
+        )
+        report = sup.run(fn, work)
+        return report.require_complete()
     if not work:
         return []
     observed = perfconfig.observability_enabled()
@@ -135,6 +189,8 @@ def sweep_map(
         parallel = len(work) >= AUTO_PARALLEL_MIN_ITEMS and cpus > 1
     if parallel and not _picklable(fn, work[0]):
         parallel = False
+        if observed:
+            _metrics.inc("sweep.pickle_fallback")
     if not observed:
         return _run(fn, work, parallel, max_workers, cpus, chunksize)
     _metrics.inc("sweep.batches")
@@ -156,9 +212,10 @@ def _run(
     """The execution core of :func:`sweep_map` (post mode decision)."""
     if not parallel:
         return [fn(x) for x in work]
+    observed = perfconfig.observability_enabled()
     workers = max_workers or min(cpus, len(work))
     workers = max(1, int(workers))
-    if perfconfig.observability_enabled():
+    if observed:
         _metrics.set_gauge("sweep.workers", workers)
     if chunksize is None:
         chunksize = max(1, math.ceil(len(work) / (workers * 4)))
@@ -170,4 +227,6 @@ def _run(
     except (OSError, pickle.PicklingError):  # pragma: no cover - env-specific
         # sandboxes without fork/spawn, or lazily-unpicklable payloads:
         # degrade to the serial loop rather than failing the study.
+        if observed:
+            _metrics.inc("sweep.pool_fallback")
         return [fn(x) for x in work]

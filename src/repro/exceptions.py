@@ -27,6 +27,8 @@ __all__ = [
     "FlexibilityError",
     "SurveyError",
     "AnalysisError",
+    "SweepExecutionError",
+    "QuarantinedItemError",
     "ReportingError",
     "RobustnessError",
     "DataQualityError",
@@ -109,6 +111,26 @@ class SurveyError(ReproError):
 
 class AnalysisError(ReproError):
     """Errors raised by the evaluation / analysis studies."""
+
+
+class SweepExecutionError(AnalysisError):
+    """The supervised sweep runtime failed.
+
+    Raised for invalid retry policies, corrupted or mismatched resume
+    journals, and unrecoverable executor states — anything that makes a
+    supervised sweep's result set untrustworthy rather than merely
+    incomplete.
+    """
+
+
+class QuarantinedItemError(SweepExecutionError):
+    """A sweep item exhausted its retry budget and was quarantined.
+
+    Raised when a caller demands the complete result list
+    (:meth:`repro.robustness.supervisor.SweepReport.require_complete`)
+    but one or more items ended in the quarantine log instead of the
+    results.
+    """
 
 
 class ReportingError(ReproError):

@@ -16,7 +16,13 @@ the production-reality layer on top:
   exponential-backoff retries bounded by the §3.1.6 notice window,
   acknowledgment tracking and a dead-letter log for missed events;
 * :mod:`~repro.robustness.chaos` — the sweep harness asserting the
-  layer's invariants under increasing fault intensity.
+  layer's invariants under increasing fault intensity;
+* :mod:`~repro.robustness.supervisor` — the resilient sweep runtime:
+  per-item timeouts, capped-backoff retries, broken-pool recovery, a
+  serial-degradation circuit breaker and poison-item quarantine;
+* :mod:`~repro.robustness.journal` — the append-only, fsync'd JSONL
+  checkpoint (``repro-journal-v1``) that makes an interrupted supervised
+  sweep resumable, bit-identically.
 """
 
 from .faults import (
@@ -47,6 +53,22 @@ from .chaos import (
     run_chaos_sweep,
     run_scenario,
 )
+from .journal import (
+    JOURNAL_SCHEMA,
+    JournalHeader,
+    JournalState,
+    SweepJournal,
+    item_fingerprint,
+    read_journal,
+)
+from .supervisor import (
+    ItemAttempt,
+    ItemRecord,
+    QuarantinedItem,
+    RetryPolicy,
+    SweepReport,
+    SweepSupervisor,
+)
 
 __all__ = [
     "QualityFlag",
@@ -69,4 +91,16 @@ __all__ = [
     "DegradationReport",
     "run_scenario",
     "run_chaos_sweep",
+    "JOURNAL_SCHEMA",
+    "JournalHeader",
+    "JournalState",
+    "SweepJournal",
+    "item_fingerprint",
+    "read_journal",
+    "RetryPolicy",
+    "ItemAttempt",
+    "ItemRecord",
+    "QuarantinedItem",
+    "SweepReport",
+    "SweepSupervisor",
 ]

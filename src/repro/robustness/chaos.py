@@ -26,10 +26,12 @@ numbers stop being trustworthy" table.
 from __future__ import annotations
 
 import functools
+import multiprocessing
+import os
 import threading
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import perfconfig
 from ..analysis.scenarios import synthetic_sc_load
@@ -69,7 +71,25 @@ DAY_S = 86_400.0
 
 @dataclass(frozen=True)
 class ChaosScenario:
-    """One point in the fault-intensity grid."""
+    """One point in the fault-intensity grid.
+
+    Beyond the metering / signal-channel intensities, two *runtime*
+    fault modes exercise the supervised sweep executor itself:
+
+    ``slow_s``
+        Sleep this many seconds before the scenario's real work — a
+        hung-worker stand-in that a
+        :class:`~repro.robustness.supervisor.RetryPolicy` per-item
+        timeout should reap.
+    ``kill_marker``
+        Path of a marker file.  The first scenario to run while the
+        marker does not exist creates it atomically and then kills its
+        own worker process (``os._exit``), breaking the pool exactly
+        once; on the serial path it raises
+        :class:`~repro.exceptions.RobustnessError` instead.  Because the
+        marker persists, retries and pool rebuilds proceed cleanly — the
+        fault is a one-shot crash, not a poison item.
+    """
 
     name: str
     dropout_rate: float = 0.0
@@ -77,6 +97,8 @@ class ChaosScenario:
     spike_rate: float = 0.0
     signal_loss_probability: float = 0.0
     seed: int = 0
+    slow_s: float = 0.0
+    kill_marker: Optional[str] = None
 
     def fault_spec(self) -> FaultSpec:
         """The metering fault model this scenario injects."""
@@ -84,6 +106,34 @@ class ChaosScenario:
             dropout_rate=self.dropout_rate,
             stuck_rate=self.stuck_rate,
             spike_rate=self.spike_rate,
+        )
+
+
+def _apply_runtime_faults(scenario: ChaosScenario) -> None:
+    """Fire the scenario's runtime fault modes (slow item, worker kill).
+
+    The kill marker is created with ``O_CREAT | O_EXCL`` so exactly one
+    process fires the crash no matter how many workers, retries or
+    resumed runs race past it.
+    """
+    if scenario.slow_s > 0.0:
+        _time.sleep(scenario.slow_s)
+    if scenario.kill_marker:
+        try:
+            fd = os.open(
+                scenario.kill_marker,
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return  # the one-shot crash already happened
+        os.close(fd)
+        if multiprocessing.parent_process() is not None:
+            # Worker process: die hard, taking the pool with us — the
+            # supervisor must rebuild and re-dispatch unfinished items.
+            os._exit(137)
+        raise RobustnessError(
+            f"chaos kill fault fired (marker {scenario.kill_marker!r} "
+            "created); the retry will run clean"
         )
 
 
@@ -114,29 +164,53 @@ class ChaosRunResult:
 
 
 class DegradationReport:
-    """The sweep's output: per-scenario results and a renderable table."""
+    """The sweep's output: per-scenario results and a renderable table.
 
-    def __init__(self, results: Sequence[ChaosRunResult]) -> None:
-        if not results:
+    A supervised sweep (``run_chaos_sweep(supervised=True, ...)``) also
+    carries ``quarantined`` — scenario points that exhausted their retry
+    budget, as :class:`~repro.robustness.supervisor.QuarantinedItem`
+    entries — and ``recovery``, the supervisor's JSON-safe recovery
+    summary (retries, timeouts, pool rebuilds, resumes).  Both are empty
+    on the plain path.
+    """
+
+    def __init__(
+        self,
+        results: Sequence[ChaosRunResult],
+        quarantined: Sequence = (),
+        recovery: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not results and not quarantined:
             raise RobustnessError("a degradation report requires results")
         self.results: List[ChaosRunResult] = list(results)
+        self.quarantined = tuple(quarantined)
+        self.recovery: Dict[str, Any] = dict(recovery or {})
 
     @property
     def all_ok(self) -> bool:
-        """True when every scenario held every invariant."""
-        return all(r.ok for r in self.results)
+        """True when every scenario held every invariant and none was quarantined."""
+        return all(r.ok for r in self.results) and not self.quarantined
 
     @property
     def worst_bill_error(self) -> float:
-        """Largest estimated-bill error across the sweep."""
+        """Largest estimated-bill error across the completed scenarios."""
+        if not self.results:
+            raise RobustnessError("no completed scenarios (all quarantined)")
         return max(r.bill_error_fraction for r in self.results)
 
     def assert_invariants(self) -> None:
-        """Raise :class:`RobustnessError` naming every failed invariant."""
+        """Raise :class:`RobustnessError` naming every failed invariant.
+
+        Quarantined scenario points count as failures: an unfinished
+        point cannot vouch for its invariants.
+        """
         failures = [
             f"{r.scenario.name}: {', '.join(r.failed_invariants())}"
             for r in self.results
             if not r.ok
+        ]
+        failures += [
+            f"quarantined item {q.index}: {q.reason}" for q in self.quarantined
         ]
         if failures:
             raise RobustnessError(
@@ -392,6 +466,7 @@ def _run_scenario_impl(
     fastpath: bool = True,
 ) -> ChaosRunResult:
     """The body of :func:`run_scenario` (wrapped by its observability shim)."""
+    _apply_runtime_faults(scenario)
     if horizon_days < 7:
         raise RobustnessError("the chaos harness needs at least one billing week")
     horizon_days = (horizon_days // 7) * 7  # whole billing weeks
@@ -522,6 +597,11 @@ def run_chaos_sweep(
     parallel: Optional[bool] = None,
     fastpath: bool = True,
     use_world_cache: bool = True,
+    supervised: bool = False,
+    retry=None,
+    journal: Optional[str] = None,
+    slow_s: float = 0.0,
+    kill_marker: Optional[str] = None,
 ) -> DegradationReport:
     """Grid the fault intensities and collect the degradation report.
 
@@ -532,10 +612,23 @@ def run_chaos_sweep(
     forwarded); results arrive in grid order either way.  All points of
     one sweep share a single cached world construction.
 
+    ``supervised`` / ``retry`` / ``journal`` route the grid through the
+    resilient :class:`~repro.robustness.supervisor.SweepSupervisor`
+    runtime (same executor behind ``sweep_map(supervised=True)``, kept
+    explicit here so the report can carry quarantine and recovery
+    provenance): per-item timeouts, capped-backoff retries, broken-pool
+    recovery, and — with ``journal`` — a durable checkpoint that resumes
+    an interrupted sweep bit-identically.  The journal header stores the
+    full grid recipe, so ``python -m repro sweep --resume <journal>``
+    can finish the sweep without re-specifying it.  ``slow_s`` and
+    ``kill_marker`` arm the runtime fault modes on every scenario (see
+    :class:`ChaosScenario`) to exercise exactly that machinery.
+
     Observability (when enabled): the sweep emits a ``chaos_sweep``
     :class:`~repro.observability.manifest.RunManifest` carrying the grid
-    parameters, the seed, and a payload with per-scenario verdicts and the
-    worst bill error (readable via
+    parameters, the seed, and a payload with per-scenario verdicts, the
+    worst bill error and — for supervised runs — the supervisor's
+    recovery summary and quarantine count (readable via
     :func:`repro.observability.manifest.last_manifest`).
     """
     scenarios = [
@@ -544,6 +637,8 @@ def run_chaos_sweep(
             dropout_rate=dropout,
             signal_loss_probability=loss,
             seed=seed,
+            slow_s=slow_s,
+            kill_marker=kill_marker,
         )
         for dropout in dropout_rates
         for loss in loss_probabilities
@@ -551,19 +646,46 @@ def run_chaos_sweep(
     observed = perfconfig.observability_enabled()
     wall0 = _time.perf_counter() if observed else 0.0
     cpu0 = _time.process_time() if observed else 0.0
-    results = sweep_map(
-        functools.partial(
-            run_scenario,
-            horizon_days=horizon_days,
-            peak_mw=peak_mw,
-            bill_error_tolerance=bill_error_tolerance,
-            fastpath=fastpath,
-            use_world_cache=use_world_cache,
-        ),
-        scenarios,
-        parallel=parallel,
+    point_fn = functools.partial(
+        run_scenario,
+        horizon_days=horizon_days,
+        peak_mw=peak_mw,
+        bill_error_tolerance=bill_error_tolerance,
+        fastpath=fastpath,
+        use_world_cache=use_world_cache,
     )
-    report = DegradationReport(results)
+    sweep_report = None
+    if supervised or retry is not None or journal is not None:
+        from .supervisor import SweepSupervisor
+
+        supervisor = SweepSupervisor(
+            retry,
+            parallel=parallel,
+            journal=journal,
+            sweep_id="chaos_sweep",
+            journal_params={
+                "kind": "chaos_sweep",
+                "dropout_rates": [float(d) for d in dropout_rates],
+                "loss_probabilities": [float(p) for p in loss_probabilities],
+                "seed": int(seed),
+                "horizon_days": int(horizon_days),
+                "peak_mw": float(peak_mw),
+                "bill_error_tolerance": float(bill_error_tolerance),
+                "fastpath": bool(fastpath),
+                "use_world_cache": bool(use_world_cache),
+                "slow_s": float(slow_s),
+                "kill_marker": kill_marker,
+            },
+        )
+        sweep_report = supervisor.run(point_fn, scenarios)
+        results = [r for r in sweep_report.results if r is not None]
+    else:
+        results = sweep_map(point_fn, scenarios, parallel=parallel)
+    report = DegradationReport(
+        results,
+        quarantined=() if sweep_report is None else sweep_report.quarantined,
+        recovery=None if sweep_report is None else sweep_report.recovery_summary(),
+    )
     if observed:
         _manifest.record(
             _manifest.RunManifest(
@@ -584,7 +706,11 @@ def run_chaos_sweep(
                 metrics=_metrics.registry().snapshot(),
                 payload={
                     "all_ok": report.all_ok,
-                    "worst_bill_error": report.worst_bill_error,
+                    "worst_bill_error": (
+                        report.worst_bill_error if report.results else None
+                    ),
+                    "recovery": report.recovery or None,
+                    "n_quarantined": len(report.quarantined),
                     "scenarios": [
                         {
                             "name": r.scenario.name,

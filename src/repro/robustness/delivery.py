@@ -178,6 +178,9 @@ class LossySignalChannel:
         self._rng = np.random.default_rng(self.seed)
         self.delivered: List[DeliveryOutcome] = []
         self.dead_letters: List[DeadLetter] = []
+        # high-water mark of penalty assessment: letters before this index
+        # are already stamped and must never be charged again.
+        self._n_penalties_assessed = 0
 
     # -- single event --------------------------------------------------------
 
@@ -279,13 +282,20 @@ class LossySignalChannel:
     def assess_dead_letter_penalties(
         self, baseline_kw: float, penalty_per_kwh: float
     ) -> float:
-        """Stamp every dead letter with its worst-case penalty exposure.
+        """Stamp each dead letter with its worst-case penalty exposure — once.
 
         A missed emergency call means the SC consumes at baseline through
         the event; the exposure is the above-limit energy times the
         contract's non-compliance rate.  Missed voluntary DR events carry
-        no penalty (the SC simply was not there to opt in).  Returns the
-        total assessed.
+        no penalty (the SC simply was not there to opt in).
+
+        The assessment is **idempotent per letter**: every dead letter is
+        charged exactly once, and the return value is only the *newly*
+        assessed total, so callers that accumulate
+        ``total += channel.assess_dead_letter_penalties(...)`` across
+        repeated calls (e.g. a retrying settlement loop) never
+        double-charge.  Letters dead-lettered after an earlier assessment
+        are picked up by the next call.
         """
         if baseline_kw < 0 or penalty_per_kwh < 0:
             raise SignalDeliveryError(
@@ -293,7 +303,7 @@ class LossySignalChannel:
             )
         total = 0.0
         stamped: List[DeadLetter] = []
-        for letter in self.dead_letters:
+        for letter in self.dead_letters[self._n_penalties_assessed:]:
             event = letter.event
             if isinstance(event, EmergencyEvent):
                 excess_kw = max(baseline_kw - event.limit_kw, 0.0)
@@ -303,12 +313,27 @@ class LossySignalChannel:
                 penalty = 0.0
             total += penalty
             stamped.append(letter.with_penalty(penalty))
-        self.dead_letters = stamped
+        self.dead_letters[self._n_penalties_assessed:] = stamped
+        self._n_penalties_assessed = len(self.dead_letters)
         return total
 
     def accounting_conserved(self, n_dispatched: int) -> bool:
-        """The layer's core invariant: nothing vanishes in the channel."""
-        return len(self.delivered) + len(self.dead_letters) == int(n_dispatched)
+        """The layer's core invariant: nothing vanishes in the channel.
+
+        ``n_dispatched`` is the caller's count of signals handed to the
+        channel; a negative count is a caller bug, not a conservation
+        verdict, so it raises a descriptive
+        :class:`~repro.exceptions.SignalDeliveryError` instead of
+        returning a misleading ``False``.
+        """
+        n_dispatched = int(n_dispatched)
+        if n_dispatched < 0:
+            raise SignalDeliveryError(
+                f"n_dispatched must be non-negative, got {n_dispatched} — "
+                "the dispatch count is a tally of signals handed to the "
+                "channel and cannot be negative"
+            )
+        return len(self.delivered) + len(self.dead_letters) == n_dispatched
 
     def summary(self) -> dict:
         """Channel health figures for reports."""

@@ -1,0 +1,424 @@
+"""Durable sweep journals: crash-safe checkpoints for supervised sweeps.
+
+A long sweep that dies at item 197 of 200 should not owe the operator 197
+re-settlements.  The journal is the supervisor's write-ahead record: an
+**append-only, fsync'd JSONL file** holding one header line plus one line
+per *completed* item — its index, a content fingerprint of the input, and
+the pickled result.  Because every sweep item is self-seeded and pure, a
+resumed run replays recorded results verbatim and recomputes only the
+missing tail, producing output **bit-identical** to an uninterrupted run.
+
+Format ``repro-journal-v1``::
+
+    {"format": "repro-journal-v1", "kind": "header", "sweep_id": "...",
+     "n_items": 9, "params": {...}, "created_unix": 1754...}
+    {"kind": "item", "index": 0, "fingerprint": "sha256:...",
+     "result": "<base64 pickle>"}
+
+Crash semantics are asymmetric by design:
+
+* a **truncated final line** (the writer died mid-``write``) is expected
+  damage — it is dropped, the file is truncated back to the last complete
+  record, and the resume proceeds;
+* **corruption anywhere earlier** means the file was edited or the disk
+  lied, and the journal refuses to vouch for any of it:
+  :func:`read_journal` raises
+  :class:`~repro.exceptions.SweepExecutionError` naming the bad line.
+
+Fingerprints (:func:`item_fingerprint`) guard the other failure mode — a
+journal replayed against a *different* sweep definition.  A mismatch
+raises instead of silently splicing stale results into a new study.
+
+>>> import os, tempfile
+>>> path = os.path.join(tempfile.mkdtemp(), "sweep.jsonl")
+>>> with SweepJournal.open(path, n_items=2, sweep_id="demo") as journal:
+...     journal.record(0, item_fingerprint(-2), 4)
+>>> read_journal(path).results
+{0: 4}
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..exceptions import SweepExecutionError
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalHeader",
+    "JournalState",
+    "SweepJournal",
+    "item_fingerprint",
+    "read_journal",
+]
+
+#: Format tag embedded in every journal's header line.
+JOURNAL_SCHEMA = "repro-journal-v1"
+
+#: Pinned pickle protocol so fingerprints and payloads are stable across
+#: interpreter minor versions within a resume window.
+_PICKLE_PROTOCOL = 4
+
+
+def item_fingerprint(item: Any) -> str:
+    """Content fingerprint of one sweep item (``sha256:<hex>``).
+
+    The fingerprint is the SHA-256 of the item's pickle under a pinned
+    protocol — stable across processes for the plain dataclasses and
+    primitives sweep grids are made of, which is what lets a resumed run
+    prove it is replaying results for the *same* inputs.
+
+    >>> item_fingerprint(("scenario", 3))[:7]
+    'sha256:'
+    >>> item_fingerprint(1) == item_fingerprint(1)
+    True
+    >>> item_fingerprint(1) == item_fingerprint(2)
+    False
+    """
+    try:
+        payload = pickle.dumps(item, protocol=_PICKLE_PROTOCOL)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        raise SweepExecutionError(
+            f"sweep item {item!r} is not picklable and cannot be "
+            f"journaled: {exc}"
+        ) from exc
+    return "sha256:" + hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalHeader:
+    """The journal's first line: identity and resume recipe of one sweep.
+
+    ``params`` is caller-defined JSON-safe data; harnesses that want
+    ``python -m repro sweep --resume`` to work store their full grid
+    parameters here so the CLI can rebuild the item list from the journal
+    alone.
+
+    >>> h = JournalHeader(sweep_id="chaos", n_items=9, created_unix=0.0)
+    >>> h.sweep_id, h.n_items
+    ('chaos', 9)
+    """
+
+    sweep_id: str
+    n_items: int
+    created_unix: float
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class JournalState:
+    """Everything a resume needs, recovered from one journal file.
+
+    ``results`` maps item index to the recorded result; ``fingerprints``
+    holds the matching input fingerprints for validation; ``n_dropped``
+    is 1 when a truncated final line was discarded (0 otherwise) and
+    ``clean_size`` the byte length of the valid prefix.
+
+    >>> s = JournalState(header=JournalHeader("x", 1, 0.0), results={},
+    ...                  fingerprints={}, n_dropped=0, clean_size=42)
+    >>> s.n_completed
+    0
+    """
+
+    header: JournalHeader
+    results: Dict[int, Any]
+    fingerprints: Dict[int, str]
+    n_dropped: int
+    clean_size: int
+
+    @property
+    def n_completed(self) -> int:
+        """Number of items with a recorded result."""
+        return len(self.results)
+
+
+def _parse_line(line: str, lineno: int, path: str) -> Dict[str, Any]:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SweepExecutionError(
+            f"journal {path} corrupted at line {lineno}: not valid JSON "
+            f"({exc.msg})"
+        ) from exc
+    if not isinstance(obj, dict):
+        raise SweepExecutionError(
+            f"journal {path} corrupted at line {lineno}: expected an "
+            f"object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def _decode_item(obj: Dict[str, Any], lineno: int, path: str) -> tuple:
+    try:
+        index = int(obj["index"])
+        fingerprint = str(obj["fingerprint"])
+        blob = base64.b64decode(obj["result"].encode("ascii"), validate=True)
+        result = pickle.loads(blob)
+    except SweepExecutionError:
+        raise
+    except Exception as exc:  # malformed record: missing key / bad base64
+        raise SweepExecutionError(
+            f"journal {path} corrupted at line {lineno}: malformed item "
+            f"record ({type(exc).__name__}: {exc})"
+        ) from exc
+    return index, fingerprint, result
+
+
+def read_journal(path: Union[str, Path]) -> JournalState:
+    """Recover the completed-item state from a journal file.
+
+    Tolerates exactly one kind of damage — a truncated *final* line,
+    the signature of a writer killed mid-append — which is dropped
+    (``n_dropped=1``).  Any unparsable line that is **not** the last one
+    raises :class:`~repro.exceptions.SweepExecutionError` naming the
+    line, as does a foreign/absent format tag, an out-of-range item
+    index, or a duplicate index whose recorded result differs.
+
+    >>> import os, tempfile
+    >>> path = os.path.join(tempfile.mkdtemp(), "j.jsonl")
+    >>> with SweepJournal.open(path, n_items=3) as j:
+    ...     j.record(1, item_fingerprint("b"), "B")
+    >>> state = read_journal(path)
+    >>> state.results, state.n_dropped
+    ({1: 'B'}, 0)
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SweepExecutionError(f"cannot read journal {path}: {exc}") from exc
+    if not raw:
+        raise SweepExecutionError(f"journal {path} is empty (no header line)")
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # trailing newline after the last complete record
+    label = str(path)
+    n_dropped = 0
+    clean_size = 0
+    header: Optional[JournalHeader] = None
+    results: Dict[int, Any] = {}
+    fingerprints: Dict[int, str] = {}
+    for i, line in enumerate(lines, 1):
+        is_last = i == len(lines)
+        try:
+            obj = _parse_line(line, i, label)
+            if i == 1:
+                if obj.get("format") != JOURNAL_SCHEMA:
+                    raise SweepExecutionError(
+                        f"journal {label} line 1 is not a {JOURNAL_SCHEMA} "
+                        f"header (format={obj.get('format')!r})"
+                    )
+                header = JournalHeader(
+                    sweep_id=str(obj.get("sweep_id", "sweep")),
+                    n_items=int(obj["n_items"]),
+                    created_unix=float(obj.get("created_unix", 0.0)),
+                    params=dict(obj.get("params") or {}),
+                )
+            else:
+                index, fingerprint, result = _decode_item(obj, i, label)
+                assert header is not None
+                if not 0 <= index < header.n_items:
+                    raise SweepExecutionError(
+                        f"journal {label} line {i}: item index {index} out "
+                        f"of range for a {header.n_items}-item sweep"
+                    )
+                if index in fingerprints and fingerprints[index] != fingerprint:
+                    raise SweepExecutionError(
+                        f"journal {label} line {i}: item {index} recorded "
+                        f"twice with different fingerprints"
+                    )
+                results[index] = result
+                fingerprints[index] = fingerprint
+        except SweepExecutionError:
+            if is_last and i > 1:
+                # a writer died mid-append: expected damage, drop the tail.
+                n_dropped = 1
+                break
+            raise
+        clean_size += len(line.encode("utf-8")) + 1
+    if header is None:  # pragma: no cover - unreachable (line 1 raises)
+        raise SweepExecutionError(f"journal {label} has no header")
+    return JournalState(
+        header=header,
+        results=results,
+        fingerprints=fingerprints,
+        n_dropped=n_dropped,
+        clean_size=clean_size,
+    )
+
+
+class SweepJournal:
+    """Append-only, fsync'd writer for one sweep's completion records.
+
+    Open with :meth:`open` (creates a fresh journal or attaches to an
+    existing one, recovering its state into :attr:`recovered`); record
+    each completed item with :meth:`record`; every record is flushed
+    *and* fsync'd before the call returns, so a SIGKILL between items
+    loses at most the item in flight.  Usable as a context manager.
+
+    >>> import os, tempfile
+    >>> path = os.path.join(tempfile.mkdtemp(), "j.jsonl")
+    >>> with SweepJournal.open(path, n_items=2, sweep_id="demo") as j:
+    ...     j.record(0, item_fingerprint(10), 100)
+    >>> with SweepJournal.open(path, n_items=2, sweep_id="demo") as j:
+    ...     sorted(j.recovered.results.items())
+    [(0, 100)]
+    """
+
+    def __init__(self, path: Path, header: JournalHeader, recovered: JournalState):
+        self.path = path
+        self.header = header
+        self.recovered = recovered
+        self._handle = None
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        *,
+        n_items: int,
+        sweep_id: str = "sweep",
+        params: Optional[Dict[str, Any]] = None,
+    ) -> "SweepJournal":
+        """Create a fresh journal, or attach to an existing one for resume.
+
+        A fresh file gets the ``repro-journal-v1`` header (fsync'd before
+        any item can be recorded).  An existing file is recovered via
+        :func:`read_journal` — its ``sweep_id`` and ``n_items`` must
+        match, and a truncated final line is cut off so appends start on
+        a clean record boundary.
+
+        >>> import os, tempfile
+        >>> path = os.path.join(tempfile.mkdtemp(), "j.jsonl")
+        >>> j = SweepJournal.open(path, n_items=1, sweep_id="s")
+        >>> j.recovered.n_completed
+        0
+        >>> j.close()
+        """
+        path = Path(path)
+        if n_items < 0:
+            raise SweepExecutionError("n_items must be non-negative")
+        if path.exists() and path.stat().st_size > 0:
+            state = read_journal(path)
+            if state.header.sweep_id != sweep_id:
+                raise SweepExecutionError(
+                    f"journal {path} belongs to sweep "
+                    f"{state.header.sweep_id!r}, not {sweep_id!r}"
+                )
+            if state.header.n_items != n_items:
+                raise SweepExecutionError(
+                    f"journal {path} records a {state.header.n_items}-item "
+                    f"sweep; the current sweep has {n_items} items"
+                )
+            if state.n_dropped:
+                # cut the torn tail so the next append starts cleanly.
+                with open(path, "r+b") as fh:
+                    fh.truncate(state.clean_size)
+            journal = cls(path, state.header, state)
+            journal._handle = open(path, "a", encoding="utf-8")
+            return journal
+        header = JournalHeader(
+            sweep_id=sweep_id,
+            n_items=int(n_items),
+            created_unix=time.time(),
+            params=dict(params or {}),
+        )
+        state = JournalState(
+            header=header, results={}, fingerprints={}, n_dropped=0,
+            clean_size=0,
+        )
+        journal = cls(path, header, state)
+        journal._handle = open(path, "a", encoding="utf-8")
+        journal._write_line(
+            {
+                "format": JOURNAL_SCHEMA,
+                "kind": "header",
+                "sweep_id": header.sweep_id,
+                "n_items": header.n_items,
+                "created_unix": header.created_unix,
+                "params": header.params,
+            }
+        )
+        return journal
+
+    # -- writing -----------------------------------------------------------
+
+    def _write_line(self, obj: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise SweepExecutionError(f"journal {self.path} is closed")
+        self._handle.write(json.dumps(obj, sort_keys=True, ensure_ascii=True))
+        self._handle.write("\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record(self, index: int, fingerprint: str, result: Any) -> None:
+        """Durably append one completed item (flushed and fsync'd).
+
+        >>> import os, tempfile
+        >>> path = os.path.join(tempfile.mkdtemp(), "j.jsonl")
+        >>> with SweepJournal.open(path, n_items=1) as j:
+        ...     j.record(0, item_fingerprint(7), 49)
+        >>> read_journal(path).results[0]
+        49
+        """
+        if not 0 <= int(index) < self.header.n_items:
+            raise SweepExecutionError(
+                f"item index {index} out of range for a "
+                f"{self.header.n_items}-item sweep"
+            )
+        try:
+            blob = pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise SweepExecutionError(
+                f"result for item {index} is not picklable and cannot be "
+                f"journaled: {exc}"
+            ) from exc
+        self._write_line(
+            {
+                "kind": "item",
+                "index": int(index),
+                "fingerprint": str(fingerprint),
+                "result": base64.b64encode(blob).decode("ascii"),
+            }
+        )
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent).
+
+        >>> import os, tempfile
+        >>> path = os.path.join(tempfile.mkdtemp(), "j.jsonl")
+        >>> j = SweepJournal.open(path, n_items=0)
+        >>> j.close(); j.close()
+        """
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        """Context-manager entry: the journal itself.
+
+        >>> import os, tempfile
+        >>> path = os.path.join(tempfile.mkdtemp(), "j.jsonl")
+        >>> with SweepJournal.open(path, n_items=0) as j:
+        ...     j.header.n_items
+        0
+        """
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the handle, propagate exceptions.
+
+        >>> import os, tempfile
+        >>> path = os.path.join(tempfile.mkdtemp(), "j.jsonl")
+        >>> with SweepJournal.open(path, n_items=0):
+        ...     pass
+        """
+        self.close()

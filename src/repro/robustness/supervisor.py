@@ -1,0 +1,779 @@
+"""Supervised, fault-tolerant execution for scenario sweeps.
+
+:func:`repro.analysis.sweep.sweep_map` is the library's throughput layer:
+fast, order-preserving, and trusting.  This module is the layer that stops
+trusting — a :class:`SweepSupervisor` wraps every sweep item in
+
+* **per-item wall-clock timeouts** (pool mode; a hung worker cannot stall
+  the study forever),
+* **capped exponential-backoff retries** with seeded jitter — the same
+  discipline as :meth:`repro.robustness.delivery.DeliveryPolicy.backoff_s`,
+  parameterized by :class:`RetryPolicy`,
+* **broken-pool recovery** — a killed worker (OOM reaper, SIGKILL, a
+  segfaulting extension) breaks the whole
+  :class:`~concurrent.futures.ProcessPoolExecutor`; the supervisor
+  rebuilds it and re-dispatches *only* the unfinished items,
+* a **circuit breaker** that degrades to the serial in-process path after
+  repeated pool failures rather than thrashing,
+* **poison-item quarantine** — an item that exhausts its attempt budget
+  lands in the report's quarantine log with full attempt provenance
+  instead of crashing the sweep or silently vanishing, and
+* an optional **durable journal**
+  (:class:`~repro.robustness.journal.SweepJournal`) so an interrupted
+  sweep resumes exactly where it stopped.
+
+The output is a :class:`SweepReport`: results in item order, a per-item
+attempt history, the quarantine log, and recovery counters.  The
+accounting invariant mirrors the delivery layer's: **every input item is
+either a result or an explicit quarantine entry** — nothing is dropped.
+
+Determinism contract: each item is pure and self-seeded, so retries,
+pool rebuilds, degradation to serial, and journal resumes never change a
+result — a supervised sweep is bit-identical to ``[fn(x) for x in items]``
+restricted to the non-quarantined items.
+
+>>> report = SweepSupervisor(parallel=False).run(abs, [-2, 3, -5])
+>>> report.require_complete()
+[2, 3, 5]
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import perfconfig
+from ..exceptions import QuarantinedItemError, SweepExecutionError
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
+from .journal import SweepJournal, item_fingerprint
+
+__all__ = [
+    "RetryPolicy",
+    "ItemAttempt",
+    "ItemRecord",
+    "QuarantinedItem",
+    "SweepReport",
+    "SweepSupervisor",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget, per-item timeout and backoff law for one sweep.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total executions allowed per item (first try included) before it
+        is quarantined.  Only *counted* failures — the item raising, or
+        timing out — consume the budget; collateral damage (the pool
+        breaking under a different item) does not.
+    timeout_s:
+        Per-item wall-clock limit, enforced on the process-pool path
+        (measured from dispatch to a worker).  ``None`` disables it.  The
+        serial path cannot preempt running Python code, so there the
+        timeout is recorded as provenance but not enforced.
+    base_backoff_s / backoff_factor / backoff_jitter / max_backoff_s:
+        Retry ``k`` (0-based failed attempt) waits
+        ``min(base * factor**k, max_backoff_s) * (1 + jitter * u)`` with
+        ``u ~ U[0, 1)`` drawn from a generator seeded with ``seed`` — the
+        full-jitter scheme of
+        :meth:`~repro.robustness.delivery.DeliveryPolicy.backoff_s`, plus
+        a hard cap so a deep retry never sleeps unboundedly.
+    seed:
+        Seed for the jitter generator (timing only; results never depend
+        on it).
+
+    >>> p = RetryPolicy(base_backoff_s=1.0, backoff_factor=2.0,
+    ...                 backoff_jitter=0.0, max_backoff_s=3.0)
+    >>> [p.backoff_s(k, 0.0) for k in range(4)]
+    [1.0, 2.0, 3.0, 3.0]
+    """
+
+    max_attempts: int = 3
+    timeout_s: Optional[float] = None
+    base_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    max_backoff_s: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SweepExecutionError("max_attempts must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise SweepExecutionError("timeout_s must be positive (or None)")
+        if self.base_backoff_s < 0:
+            raise SweepExecutionError("base_backoff_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise SweepExecutionError("backoff_factor must be >= 1")
+        if self.backoff_jitter < 0:
+            raise SweepExecutionError("backoff_jitter must be non-negative")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise SweepExecutionError(
+                "max_backoff_s must be >= base_backoff_s"
+            )
+
+    def backoff_s(self, attempt: int, u: float) -> float:
+        """Backoff after failed attempt ``attempt`` (0-based), ``u``∈[0,1).
+
+        Monotone non-decreasing in ``attempt`` for fixed ``u`` and capped
+        at ``max_backoff_s * (1 + backoff_jitter)``.
+
+        >>> RetryPolicy(backoff_jitter=0.0).backoff_s(0, 0.0)
+        0.05
+        """
+        if attempt < 0:
+            raise SweepExecutionError("attempt must be non-negative")
+        if not 0.0 <= u < 1.0:
+            raise SweepExecutionError("jitter draw u must be in [0, 1)")
+        base = min(
+            self.base_backoff_s * self.backoff_factor ** attempt,
+            self.max_backoff_s,
+        )
+        return base * (1.0 + self.backoff_jitter * u)
+
+
+@dataclass(frozen=True)
+class ItemAttempt:
+    """One execution attempt of one sweep item.
+
+    ``outcome`` is ``"ok"``, ``"error"``, ``"timeout"``, ``"pool-broken"``
+    (the worker pool died while this item was in flight) or
+    ``"interrupted"`` (the pool was torn down because a *different* item
+    timed out).  Only ``error`` and ``timeout`` count against the
+    :class:`RetryPolicy` attempt budget (``counted``).
+
+    >>> ItemAttempt(attempt=0, outcome="error", duration_s=0.1,
+    ...             error="ValueError('boom')").counted
+    True
+    """
+
+    attempt: int
+    outcome: str
+    duration_s: float
+    error: Optional[str] = None
+
+    @property
+    def counted(self) -> bool:
+        """True when this attempt consumed retry budget."""
+        return self.outcome in ("error", "timeout")
+
+
+@dataclass(frozen=True)
+class ItemRecord:
+    """Per-item provenance: every attempt plus the final status.
+
+    ``status`` is ``"ok"``, ``"quarantined"`` or ``"resumed"`` (result
+    replayed from a journal, zero attempts this run).
+
+    >>> r = ItemRecord(index=0, fingerprint="sha256:ab", status="ok",
+    ...                attempts=(ItemAttempt(0, "ok", 0.01),))
+    >>> r.n_attempts
+    1
+    """
+
+    index: int
+    fingerprint: str
+    status: str
+    attempts: Tuple[ItemAttempt, ...] = ()
+
+    @property
+    def n_attempts(self) -> int:
+        """Executions this run (0 for resumed items)."""
+        return len(self.attempts)
+
+
+@dataclass(frozen=True)
+class QuarantinedItem:
+    """An item that exhausted its attempt budget.
+
+    Carries enough to reproduce the failure offline: the item's repr and
+    fingerprint, the terminal reason, and the full attempt history.
+
+    >>> q = QuarantinedItem(index=2, item_repr="Scenario('x')",
+    ...                     fingerprint="sha256:cd", reason="error: boom",
+    ...                     attempts=())
+    >>> q.index
+    2
+    """
+
+    index: int
+    item_repr: str
+    fingerprint: str
+    reason: str
+    attempts: Tuple[ItemAttempt, ...] = ()
+
+    def raise_(self) -> None:
+        """Raise this entry as a :class:`~repro.exceptions.QuarantinedItemError`.
+
+        >>> q = QuarantinedItem(0, "x", "sha256:ee", "error: boom")
+        >>> try:
+        ...     q.raise_()
+        ... except Exception as exc:
+        ...     print(type(exc).__name__)
+        QuarantinedItemError
+        """
+        raise QuarantinedItemError(
+            f"sweep item {self.index} ({self.item_repr}) quarantined after "
+            f"{len(self.attempts)} attempt(s): {self.reason}"
+        )
+
+
+@dataclass
+class SweepReport:
+    """The supervised sweep's structured output.
+
+    ``results`` is in item order with ``None`` at quarantined indices;
+    ``records`` carries per-item attempt provenance; ``quarantined`` the
+    poison log.  The accounting invariant — every index appears either in
+    the results or the quarantine — is checked by :meth:`accounted`.
+
+    >>> report = SweepSupervisor(parallel=False).run(abs, [-1, 2])
+    >>> report.ok, report.results
+    (True, [1, 2])
+    """
+
+    results: List[Optional[Any]]
+    records: Tuple[ItemRecord, ...] = ()
+    quarantined: Tuple[QuarantinedItem, ...] = ()
+    resumed_indices: Tuple[int, ...] = ()
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_pool_rebuilds: int = 0
+    degraded_serial: bool = False
+    journal_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing was quarantined."""
+        return not self.quarantined
+
+    @property
+    def n_resumed(self) -> int:
+        """Items replayed from the journal instead of recomputed."""
+        return len(self.resumed_indices)
+
+    def accounted(self) -> bool:
+        """The core invariant: results ∪ quarantine covers every item."""
+        bad = {q.index for q in self.quarantined}
+        return all(
+            (self.results[i] is None) == (i in bad)
+            for i in range(len(self.results))
+        )
+
+    def require_complete(self) -> List[Any]:
+        """The full result list, or raise on any quarantined item.
+
+        >>> SweepSupervisor(parallel=False).run(len, ["ab"]).require_complete()
+        [2]
+        """
+        if self.quarantined:
+            indices = ", ".join(str(q.index) for q in self.quarantined)
+            raise QuarantinedItemError(
+                f"{len(self.quarantined)} sweep item(s) quarantined "
+                f"(indices {indices}); first: {self.quarantined[0].reason}"
+            )
+        return list(self.results)
+
+    def recovery_summary(self) -> Dict[str, Any]:
+        """JSON-safe recovery figures for manifests and reports.
+
+        >>> s = SweepSupervisor(parallel=False).run(abs, [-1]).recovery_summary()
+        >>> s["n_items"], s["n_quarantined"]
+        (1, 0)
+        """
+        return {
+            "n_items": len(self.results),
+            "n_ok": sum(1 for r in self.results if r is not None),
+            "n_quarantined": len(self.quarantined),
+            "n_resumed": self.n_resumed,
+            "n_retries": self.n_retries,
+            "n_timeouts": self.n_timeouts,
+            "n_pool_rebuilds": self.n_pool_rebuilds,
+            "degraded_serial": self.degraded_serial,
+            "journal": self.journal_path,
+        }
+
+
+# -- internal mutable per-item state -------------------------------------------
+
+
+class _ItemState:
+    __slots__ = (
+        "index", "item", "fingerprint", "attempts", "counted_attempts",
+        "eligible_at", "status", "result", "reason",
+    )
+
+    def __init__(self, index: int, item: Any, fingerprint: str) -> None:
+        self.index = index
+        self.item = item
+        self.fingerprint = fingerprint
+        self.attempts: List[ItemAttempt] = []
+        self.counted_attempts = 0
+        self.eligible_at = 0.0   # monotonic time before which no re-dispatch
+        self.status = "pending"  # pending | running | ok | quarantined | resumed
+        self.result: Optional[Any] = None
+        self.reason: Optional[str] = None
+
+
+class _PoolVerdict:
+    DONE = "done"
+    BROKEN = "broken"
+    TIMEOUT = "timeout"
+    UNAVAILABLE = "unavailable"
+
+
+class SweepSupervisor:
+    """Supervised executor: timeouts, retries, pool recovery, journaling.
+
+    Parameters
+    ----------
+    retry:
+        The :class:`RetryPolicy` (defaults to ``RetryPolicy()``).
+    parallel:
+        ``None`` — auto (pool for large sweeps on multi-CPU hosts, like
+        :func:`~repro.analysis.sweep.sweep_map`); ``True`` — force the
+        pool; ``False`` — force the serial in-process path.
+    max_workers:
+        Pool size; defaults to ``min(cpu_count, n_pending)``.
+    max_pool_rebuilds:
+        Circuit breaker: after this many pool failures (broken pool or
+        timeout teardown) the supervisor stops rebuilding and degrades
+        the remaining items to the serial path.
+    journal:
+        Path of a :class:`~repro.robustness.journal.SweepJournal`.  If
+        the file exists, completed items are replayed (fingerprints are
+        validated first); every newly completed item is fsync'd to it.
+    sweep_id / journal_params:
+        Identity and resume recipe stored in a fresh journal's header.
+    poll_interval_s:
+        Scheduler tick of the pool dispatch loop.
+
+    >>> SweepSupervisor(parallel=False).run(abs, [-4]).results
+    [4]
+    """
+
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        *,
+        parallel: Optional[bool] = None,
+        max_workers: Optional[int] = None,
+        max_pool_rebuilds: int = 2,
+        journal: Optional[Union[str, Path]] = None,
+        sweep_id: str = "sweep",
+        journal_params: Optional[Dict[str, Any]] = None,
+        poll_interval_s: float = 0.02,
+    ) -> None:
+        if max_pool_rebuilds < 0:
+            raise SweepExecutionError("max_pool_rebuilds must be non-negative")
+        if poll_interval_s <= 0:
+            raise SweepExecutionError("poll_interval_s must be positive")
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
+        self.journal_path = None if journal is None else Path(journal)
+        self.sweep_id = sweep_id
+        self.journal_params = dict(journal_params or {})
+        self.poll_interval_s = float(poll_interval_s)
+
+    # -- public entry ------------------------------------------------------
+
+    def run(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> SweepReport:
+        """Map ``fn`` over ``items`` under supervision; returns the report.
+
+        While :func:`repro.perfconfig.observability_enabled` is true the
+        run executes inside a ``sweep.supervised`` trace span, counts
+        ``supervisor.retries`` / ``supervisor.timeouts`` /
+        ``supervisor.quarantined`` / ``supervisor.pool_rebuilds`` /
+        ``supervisor.resumed_items`` / ``supervisor.circuit_open`` and
+        emits a ``sweep.supervised_done`` event carrying the recovery
+        summary.
+
+        >>> SweepSupervisor(parallel=False).run(abs, [-1, -2]).results
+        [1, 2]
+        """
+        work = list(items)
+        observed = perfconfig.observability_enabled()
+        if not observed:
+            return self._run_impl(fn, work)
+        _metrics.inc("supervisor.sweeps")
+        with _trace.span("sweep.supervised", n_items=len(work)):
+            report = self._run_impl(fn, work)
+        _trace.emit("sweep.supervised_done", **report.recovery_summary())
+        return report
+
+    # -- the run body ------------------------------------------------------
+
+    def _run_impl(
+        self, fn: Callable[[Any], Any], work: List[Any]
+    ) -> SweepReport:
+        observed = perfconfig.observability_enabled()
+        states = [
+            _ItemState(i, item, item_fingerprint(item))
+            for i, item in enumerate(work)
+        ]
+        journal: Optional[SweepJournal] = None
+        resumed: List[int] = []
+        counters = {"retries": 0, "timeouts": 0, "rebuilds": 0}
+        degraded = False
+        try:
+            if self.journal_path is not None:
+                journal = SweepJournal.open(
+                    self.journal_path,
+                    n_items=len(work),
+                    sweep_id=self.sweep_id,
+                    params=self.journal_params,
+                )
+                for idx in sorted(journal.recovered.results):
+                    if journal.recovered.fingerprints[idx] != states[idx].fingerprint:
+                        raise SweepExecutionError(
+                            f"journal {self.journal_path} item {idx} "
+                            "fingerprint mismatch — the sweep definition "
+                            "changed since the journal was written"
+                        )
+                    states[idx].status = "resumed"
+                    states[idx].result = journal.recovered.results[idx]
+                    resumed.append(idx)
+                if observed and resumed:
+                    _metrics.inc("supervisor.resumed_items", len(resumed))
+
+            pending = [s for s in states if s.status == "pending"]
+            rng = np.random.default_rng(self.retry.seed)
+            parallel = self._decide_parallel(fn, pending)
+            pool_failures = 0
+            while any(s.status == "pending" for s in states):
+                if not parallel or degraded:
+                    self._serial_phase(fn, states, rng, journal, counters)
+                    break
+                verdict = self._pool_phase(fn, states, rng, journal, counters)
+                if verdict == _PoolVerdict.DONE:
+                    break
+                if verdict == _PoolVerdict.UNAVAILABLE:
+                    degraded = True
+                    if observed:
+                        _metrics.inc("supervisor.circuit_open")
+                    continue
+                pool_failures += 1
+                if pool_failures > self.max_pool_rebuilds:
+                    degraded = True
+                    if observed:
+                        _metrics.inc("supervisor.circuit_open")
+                else:
+                    counters["rebuilds"] += 1
+                    if observed:
+                        _metrics.inc("supervisor.pool_rebuilds")
+        finally:
+            if journal is not None:
+                journal.close()
+        return self._build_report(states, resumed, counters, degraded)
+
+    # -- mode decision -----------------------------------------------------
+
+    def _decide_parallel(
+        self, fn: Callable, pending: List[_ItemState]
+    ) -> bool:
+        from ..analysis.sweep import (
+            AUTO_PARALLEL_MIN_ITEMS,
+            _cpu_count,
+            _picklable,
+        )
+
+        observed = perfconfig.observability_enabled()
+        parallel = self.parallel
+        cpus = _cpu_count()
+        if parallel is None:
+            parallel = len(pending) >= AUTO_PARALLEL_MIN_ITEMS and cpus > 1
+        if parallel and pending and not _picklable(fn, pending[0].item):
+            parallel = False
+            if observed:
+                _metrics.inc("supervisor.pickle_fallback")
+        return bool(parallel)
+
+    def _n_workers(self, n_pending: int) -> int:
+        from ..analysis.sweep import _cpu_count
+
+        workers = self.max_workers or min(_cpu_count(), n_pending)
+        return max(1, int(workers))
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _record_success(
+        self,
+        state: _ItemState,
+        result: Any,
+        duration_s: float,
+        journal: Optional[SweepJournal],
+    ) -> None:
+        state.attempts.append(
+            ItemAttempt(
+                attempt=len(state.attempts), outcome="ok",
+                duration_s=duration_s,
+            )
+        )
+        state.status = "ok"
+        state.result = result
+        if journal is not None:
+            journal.record(state.index, state.fingerprint, result)
+            observed = perfconfig.observability_enabled()
+            if observed:
+                _metrics.inc("supervisor.journal_records")
+
+    def _fail(
+        self,
+        state: _ItemState,
+        outcome: str,
+        reason: str,
+        duration_s: float,
+        error: Optional[str],
+        rng: np.random.Generator,
+        counters: Dict[str, int],
+    ) -> None:
+        """Record a *counted* failure; retry with backoff or quarantine."""
+        observed = perfconfig.observability_enabled()
+        state.attempts.append(
+            ItemAttempt(
+                attempt=len(state.attempts), outcome=outcome,
+                duration_s=duration_s, error=error,
+            )
+        )
+        state.counted_attempts += 1
+        if state.counted_attempts >= self.retry.max_attempts:
+            state.status = "quarantined"
+            state.reason = reason
+            if observed:
+                _metrics.inc("supervisor.quarantined")
+            return
+        counters["retries"] += 1
+        if observed:
+            _metrics.inc("supervisor.retries")
+        wait_s = self.retry.backoff_s(
+            state.counted_attempts - 1, float(rng.random())
+        )
+        state.status = "pending"
+        state.eligible_at = time.monotonic() + wait_s
+
+    def _record_uncounted(
+        self, state: _ItemState, outcome: str, duration_s: float
+    ) -> None:
+        """Collateral damage (pool broke / teardown): requeue, no budget."""
+        state.attempts.append(
+            ItemAttempt(
+                attempt=len(state.attempts), outcome=outcome,
+                duration_s=duration_s,
+            )
+        )
+        state.status = "pending"
+        state.eligible_at = 0.0
+
+    # -- pool phase --------------------------------------------------------
+
+    def _next_dispatchable(
+        self, states: List[_ItemState], now: float
+    ) -> Optional[_ItemState]:
+        for s in states:
+            if s.status == "pending" and s.eligible_at <= now:
+                return s
+        return None
+
+    def _min_backoff_delay(
+        self, states: List[_ItemState], now: float
+    ) -> Optional[float]:
+        delays = [
+            s.eligible_at - now for s in states if s.status == "pending"
+        ]
+        return max(min(delays), 0.0) if delays else None
+
+    def _pool_phase(
+        self,
+        fn: Callable,
+        states: List[_ItemState],
+        rng: np.random.Generator,
+        journal: Optional[SweepJournal],
+        counters: Dict[str, int],
+    ) -> str:
+        observed = perfconfig.observability_enabled()
+        n_pending = sum(1 for s in states if s.status == "pending")
+        if not n_pending:
+            return _PoolVerdict.DONE
+        workers = self._n_workers(n_pending)
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError):  # pragma: no cover - env-specific
+            return _PoolVerdict.UNAVAILABLE
+        if observed:
+            _metrics.set_gauge("sweep.workers", workers)
+        timeout_s = self.retry.timeout_s
+        inflight: Dict[Any, Tuple[_ItemState, float]] = {}
+        verdict: Optional[str] = None
+        try:
+            while verdict is None:
+                now = time.monotonic()
+                while len(inflight) < workers:
+                    nxt = self._next_dispatchable(states, now)
+                    if nxt is None:
+                        break
+                    try:
+                        fut = pool.submit(fn, nxt.item)
+                    except RuntimeError:  # pool already broken under us
+                        verdict = _PoolVerdict.BROKEN
+                        break
+                    nxt.status = "running"
+                    inflight[fut] = (nxt, time.monotonic())
+                if verdict is not None:
+                    break
+                if not inflight:
+                    delay = self._min_backoff_delay(states, time.monotonic())
+                    if delay is None:
+                        verdict = _PoolVerdict.DONE
+                        break
+                    time.sleep(min(delay, self.poll_interval_s) or 0.0)
+                    continue
+                done, _ = wait(
+                    set(inflight),
+                    timeout=self.poll_interval_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for fut in done:
+                    item_state, t0 = inflight.pop(fut)
+                    duration = time.monotonic() - t0
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        self._record_uncounted(item_state, "pool-broken", duration)
+                    except Exception as exc:  # the item's own failure
+                        self._fail(
+                            item_state, "error", f"error: {exc!r}", duration,
+                            repr(exc), rng, counters,
+                        )
+                    else:
+                        self._record_success(
+                            item_state, result, duration, journal
+                        )
+                if broken:
+                    for fut, (item_state, t0) in inflight.items():
+                        self._record_uncounted(
+                            item_state, "pool-broken", time.monotonic() - t0
+                        )
+                    inflight.clear()
+                    verdict = _PoolVerdict.BROKEN
+                    break
+                if timeout_s is not None:
+                    now = time.monotonic()
+                    late = {
+                        fut for fut, (_, t0) in inflight.items()
+                        if now - t0 >= timeout_s
+                    }
+                    if late:
+                        for fut, (item_state, t0) in inflight.items():
+                            if fut in late:
+                                counters["timeouts"] += 1
+                                if observed:
+                                    _metrics.inc("supervisor.timeouts")
+                                self._fail(
+                                    item_state, "timeout",
+                                    f"timeout: exceeded {timeout_s} s "
+                                    "wall-clock limit",
+                                    now - t0, None, rng, counters,
+                                )
+                            else:
+                                self._record_uncounted(
+                                    item_state, "interrupted", now - t0
+                                )
+                        inflight.clear()
+                        verdict = _PoolVerdict.TIMEOUT
+                        break
+            # Drain any leftovers (e.g. submit() raised on a broken pool)
+            # so no item is stranded in the "running" state.
+            for fut, (item_state, t0) in inflight.items():
+                self._record_uncounted(
+                    item_state, "pool-broken", time.monotonic() - t0
+                )
+            inflight.clear()
+        finally:
+            # Timeout/broken teardowns must not block on hung workers.
+            abandon = verdict in (_PoolVerdict.BROKEN, _PoolVerdict.TIMEOUT)
+            pool.shutdown(wait=not abandon, cancel_futures=abandon)
+        return verdict or _PoolVerdict.DONE
+
+    # -- serial phase ------------------------------------------------------
+
+    def _serial_phase(
+        self,
+        fn: Callable,
+        states: List[_ItemState],
+        rng: np.random.Generator,
+        journal: Optional[SweepJournal],
+        counters: Dict[str, int],
+    ) -> None:
+        for item_state in states:
+            while item_state.status == "pending":
+                now = time.monotonic()
+                if item_state.eligible_at > now:
+                    time.sleep(item_state.eligible_at - now)
+                t0 = time.monotonic()
+                try:
+                    result = fn(item_state.item)
+                except Exception as exc:  # the item's own failure
+                    self._fail(
+                        item_state, "error", f"error: {exc!r}",
+                        time.monotonic() - t0, repr(exc), rng, counters,
+                    )
+                else:
+                    self._record_success(
+                        item_state, result, time.monotonic() - t0, journal,
+                    )
+
+    # -- report ------------------------------------------------------------
+
+    def _build_report(
+        self,
+        states: List[_ItemState],
+        resumed: List[int],
+        counters: Dict[str, int],
+        degraded: bool,
+    ) -> SweepReport:
+        quarantined = tuple(
+            QuarantinedItem(
+                index=s.index,
+                item_repr=repr(s.item),
+                fingerprint=s.fingerprint,
+                reason=s.reason or "unknown",
+                attempts=tuple(s.attempts),
+            )
+            for s in states
+            if s.status == "quarantined"
+        )
+        records = tuple(
+            ItemRecord(
+                index=s.index,
+                fingerprint=s.fingerprint,
+                status=s.status,
+                attempts=tuple(s.attempts),
+            )
+            for s in states
+        )
+        return SweepReport(
+            results=[s.result for s in states],
+            records=records,
+            quarantined=quarantined,
+            resumed_indices=tuple(resumed),
+            n_retries=counters["retries"],
+            n_timeouts=counters["timeouts"],
+            n_pool_rebuilds=counters["rebuilds"],
+            degraded_serial=degraded,
+            journal_path=(
+                None if self.journal_path is None else str(self.journal_path)
+            ),
+        )

@@ -53,3 +53,49 @@ class TestLintSubcommand:
         bad.write_text("def f(acc=[]):\n    return acc\n")
         assert main(["lint", "--", "--no-baseline", str(bad)]) == 1
         assert "RPL020" in capsys.readouterr().out
+
+
+class TestSweepSubcommand:
+    """``python -m repro sweep``: supervised, journaled, resumable."""
+
+    ARGS = [
+        "--dropout", "0.0", "0.01", "--loss", "0.0",
+        "--horizon-days", "7", "--serial",
+    ]
+
+    def test_requires_exactly_one_of_journal_or_resume(self, capsys, tmp_path):
+        assert main(["sweep"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        journal = str(tmp_path / "j.jsonl")
+        assert main(["sweep", "--journal", journal, "--resume", journal]) == 2
+
+    def test_fresh_run_writes_journal_and_prints_recovery(self, capsys, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(["sweep", "--journal", journal] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "| scenario |" in out
+        assert "recovery:" in out
+        from repro.robustness.journal import read_journal
+
+        assert read_journal(journal).n_completed == 2
+
+    def test_resume_rebuilds_grid_from_header(self, capsys, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(["sweep", "--journal", journal] + self.ARGS) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--resume", journal]) == 0
+        out = capsys.readouterr().out
+        assert "resuming sweep 'chaos_sweep': 2/2 items journaled" in out
+        assert "2 resumed" in out
+
+    def test_resume_missing_journal_fails_cleanly(self, capsys, tmp_path):
+        assert main(["sweep", "--resume", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_resume_foreign_journal_fails_cleanly(self, capsys, tmp_path):
+        from repro.robustness.journal import SweepJournal
+
+        journal = tmp_path / "foreign.jsonl"
+        SweepJournal.open(journal, n_items=1, sweep_id="other").close()
+        assert main(["sweep", "--resume", str(journal)]) == 2
+        assert "chaos_sweep" in capsys.readouterr().err

@@ -114,6 +114,53 @@ class TestTransmission:
         assert s["delivery_rate"] == 1.0
         assert s["mean_attempts"] == 1.0
 
+    def test_penalty_assessment_is_idempotent(self):
+        """Assessing twice must not double-charge a single dead letter."""
+        policy = DeliveryPolicy(loss_probability=0.95, max_retries=0)
+        channel = LossySignalChannel(policy, seed=3)
+        events = [
+            emergency(start=(10 + 3 * k) * HOUR, end=(11 + 3 * k) * HOUR)
+            for k in range(10)
+        ]
+        channel.transmit_all(events)
+        assert channel.dead_letters
+        first = channel.assess_dead_letter_penalties(1500.0, 0.5)
+        second = channel.assess_dead_letter_penalties(1500.0, 0.5)
+        assert first == pytest.approx(500.0 * len(channel.dead_letters))
+        assert second == 0.0
+        # the accumulated-total idiom a retrying caller would use
+        assert first + second == pytest.approx(first)
+        # stamps are assessed exactly once and keep their value
+        assert all(
+            d.penalty_exposure == pytest.approx(500.0)
+            for d in channel.dead_letters
+        )
+
+    def test_penalty_assessment_picks_up_new_dead_letters(self):
+        policy = DeliveryPolicy(loss_probability=0.95, max_retries=0)
+        channel = LossySignalChannel(policy, seed=3)
+        channel.transmit_all(
+            [emergency(start=(10 + 3 * k) * HOUR, end=(11 + 3 * k) * HOUR) for k in range(5)]
+        )
+        n_before = len(channel.dead_letters)
+        assert n_before
+        first = channel.assess_dead_letter_penalties(1500.0, 0.5)
+        channel.transmit_all(
+            [emergency(start=(40 + 3 * k) * HOUR, end=(41 + 3 * k) * HOUR) for k in range(5)]
+        )
+        n_new = len(channel.dead_letters) - n_before
+        assert n_new
+        second = channel.assess_dead_letter_penalties(1500.0, 0.5)
+        assert first == pytest.approx(500.0 * n_before)
+        assert second == pytest.approx(500.0 * n_new)
+
+    def test_accounting_conserved_rejects_negative_count(self):
+        channel = LossySignalChannel(DeliveryPolicy(loss_probability=0.0), seed=0)
+        channel.transmit_all([emergency()])
+        with pytest.raises(SignalDeliveryError, match="non-negative"):
+            channel.accounting_conserved(-1)
+        assert channel.accounting_conserved(1)
+
 
 class TestGracefulDegradation:
     def controller(self, with_checkpoint=True):

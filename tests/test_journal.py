@@ -1,0 +1,165 @@
+"""The durable sweep journal: format, crash tolerance, corruption refusal."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SweepExecutionError
+from repro.robustness.journal import (
+    JOURNAL_SCHEMA,
+    SweepJournal,
+    item_fingerprint,
+    read_journal,
+)
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "sweep.jsonl"
+
+
+class TestFingerprint:
+    def test_stable_and_discriminating(self):
+        assert item_fingerprint(("a", 1)) == item_fingerprint(("a", 1))
+        assert item_fingerprint(("a", 1)) != item_fingerprint(("a", 2))
+        assert item_fingerprint(0).startswith("sha256:")
+
+    def test_unpicklable_item_raises(self):
+        with pytest.raises(SweepExecutionError, match="not picklable"):
+            item_fingerprint(lambda x: x)
+
+
+class TestWriteReadRoundTrip:
+    def test_header_then_items(self, path):
+        with SweepJournal.open(
+            path, n_items=3, sweep_id="s", params={"grid": [1, 2]}
+        ) as journal:
+            journal.record(0, item_fingerprint("a"), {"total": 1.5})
+            journal.record(2, item_fingerprint("c"), {"total": 2.5})
+        state = read_journal(path)
+        assert state.header.sweep_id == "s"
+        assert state.header.n_items == 3
+        assert state.header.params == {"grid": [1, 2]}
+        assert state.results == {0: {"total": 1.5}, 2: {"total": 2.5}}
+        assert state.n_dropped == 0
+        assert state.n_completed == 2
+
+    def test_first_line_is_tagged_header(self, path):
+        with SweepJournal.open(path, n_items=1):
+            pass
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["format"] == JOURNAL_SCHEMA
+        assert first["kind"] == "header"
+
+    def test_reopen_resumes_state(self, path):
+        with SweepJournal.open(path, n_items=2, sweep_id="s") as journal:
+            journal.record(0, item_fingerprint(0), "r0")
+        with SweepJournal.open(path, n_items=2, sweep_id="s") as journal:
+            assert journal.recovered.results == {0: "r0"}
+            journal.record(1, item_fingerprint(1), "r1")
+        assert read_journal(path).results == {0: "r0", 1: "r1"}
+
+    def test_out_of_range_index_rejected_on_write(self, path):
+        with SweepJournal.open(path, n_items=1) as journal:
+            with pytest.raises(SweepExecutionError, match="out of range"):
+                journal.record(5, item_fingerprint(5), "x")
+
+    def test_record_after_close_raises(self, path):
+        journal = SweepJournal.open(path, n_items=1)
+        journal.close()
+        with pytest.raises(SweepExecutionError, match="closed"):
+            journal.record(0, item_fingerprint(0), "x")
+
+
+class TestIdentityValidation:
+    def test_sweep_id_mismatch(self, path):
+        SweepJournal.open(path, n_items=1, sweep_id="a").close()
+        with pytest.raises(SweepExecutionError, match="belongs to sweep"):
+            SweepJournal.open(path, n_items=1, sweep_id="b")
+
+    def test_n_items_mismatch(self, path):
+        SweepJournal.open(path, n_items=1, sweep_id="a").close()
+        with pytest.raises(SweepExecutionError, match="1-item"):
+            SweepJournal.open(path, n_items=9, sweep_id="a")
+
+
+class TestCrashTolerance:
+    """A writer killed mid-append loses at most the line in flight."""
+
+    def _journal_with_two_items(self, path):
+        with SweepJournal.open(path, n_items=3, sweep_id="s") as journal:
+            journal.record(0, item_fingerprint(0), "r0")
+            journal.record(1, item_fingerprint(1), "r1")
+
+    def test_truncated_final_line_is_dropped(self, path):
+        self._journal_with_two_items(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])  # tear the tail of the last record
+        state = read_journal(path)
+        assert state.n_dropped == 1
+        assert state.results == {0: "r0"}
+
+    def test_reopen_truncates_torn_tail(self, path):
+        self._journal_with_two_items(path)
+        raw = path.read_bytes()
+        clean = read_journal(path).clean_size
+        path.write_bytes(raw[:-7])
+        with SweepJournal.open(path, n_items=3, sweep_id="s") as journal:
+            assert journal.recovered.n_dropped == 1
+            journal.record(1, item_fingerprint(1), "r1-again")
+        state = read_journal(path)
+        assert state.n_dropped == 0
+        assert state.results == {0: "r0", 1: "r1-again"}
+        assert path.stat().st_size > 0
+        # the torn bytes are gone: the valid prefix was cut before the
+        # append, and the rewritten record 1 is longer than the original.
+        assert clean <= path.stat().st_size
+
+    def test_midfile_corruption_raises_naming_line(self, path):
+        self._journal_with_two_items(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-9] + "@corrupt@"  # middle line, not the last
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SweepExecutionError, match="line 2"):
+            read_journal(path)
+
+    def test_empty_file_raises(self, path):
+        path.write_text("")
+        with pytest.raises(SweepExecutionError, match="empty"):
+            read_journal(path)
+
+    def test_foreign_header_raises(self, path):
+        path.write_text('{"format": "not-a-journal", "n_items": 1}\n')
+        with pytest.raises(SweepExecutionError, match="line 1 is not"):
+            read_journal(path)
+
+    def test_truncated_header_of_header_only_file_raises(self, path):
+        # A torn *header* means there is nothing to vouch for at all.
+        SweepJournal.open(path, n_items=1).close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(SweepExecutionError):
+            read_journal(path)
+
+    def test_out_of_range_index_raises_on_read(self, path):
+        with SweepJournal.open(path, n_items=1) as journal:
+            journal.record(0, item_fingerprint(0), "r0")
+        lines = path.read_text().splitlines()
+        bad = json.loads(lines[1])
+        bad["index"] = 7
+        # keep it mid-file by appending a valid record after it
+        path.write_text("\n".join([lines[0], json.dumps(bad), lines[1]]) + "\n")
+        with pytest.raises(SweepExecutionError, match="out of range"):
+            read_journal(path)
+
+    def test_conflicting_duplicate_fingerprint_raises(self, path):
+        with SweepJournal.open(path, n_items=1) as journal:
+            journal.record(0, item_fingerprint(0), "r0")
+        lines = path.read_text().splitlines()
+        dup = json.loads(lines[1])
+        dup["fingerprint"] = "sha256:deadbeef"
+        path.write_text(
+            "\n".join([lines[0], lines[1], json.dumps(dup), lines[1]]) + "\n"
+        )
+        with pytest.raises(SweepExecutionError, match="different fingerprints"):
+            read_journal(path)

@@ -1,0 +1,120 @@
+"""Property-based tests: the retry/backoff discipline of the sweep runtime.
+
+The ISSUE pins three laws shared by
+:class:`repro.robustness.supervisor.RetryPolicy` and
+:meth:`repro.robustness.delivery.DeliveryPolicy.backoff_s`:
+
+* the schedule is monotone non-decreasing in the attempt number (and for
+  ``RetryPolicy`` capped at ``max_backoff_s * (1 + jitter)``);
+* jitter only ever stretches a wait inside its declared band
+  ``[base, base * (1 + jitter))``;
+* under a fixed seed the whole supervised run — backoff draws included —
+  is deterministic, and jitter never changes *results*.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.robustness.delivery import DeliveryPolicy
+from repro.robustness.supervisor import RetryPolicy, SweepSupervisor
+
+attempts = st.integers(min_value=0, max_value=40)
+draws = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+retry_policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=10),
+    base_backoff_s=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    backoff_factor=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    backoff_jitter=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    max_backoff_s=st.floats(min_value=2.0, max_value=60.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+delivery_policies = st.builds(
+    DeliveryPolicy,
+    base_backoff_s=st.floats(min_value=0.01, max_value=60.0, allow_nan=False),
+    backoff_factor=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    backoff_jitter=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+
+
+class TestRetryPolicyBackoffLaws:
+    @given(policy=retry_policies, k=attempts, u=draws)
+    @settings(max_examples=200)
+    def test_capped_and_within_jitter_band(self, policy, k, u):
+        wait = policy.backoff_s(k, u)
+        base = min(
+            policy.base_backoff_s * policy.backoff_factor**k,
+            policy.max_backoff_s,
+        )
+        assert wait >= base  # jitter only stretches
+        assert wait <= base * (1.0 + policy.backoff_jitter)
+        # the hard ceiling no attempt depth can pierce
+        assert wait <= policy.max_backoff_s * (1.0 + policy.backoff_jitter)
+
+    @given(policy=retry_policies, k=st.integers(min_value=0, max_value=39), u=draws)
+    @settings(max_examples=200)
+    def test_monotone_in_attempt_for_fixed_draw(self, policy, k, u):
+        assert policy.backoff_s(k + 1, u) >= policy.backoff_s(k, u)
+
+    @given(policy=retry_policies, k=attempts)
+    @settings(max_examples=100)
+    def test_zero_draw_is_pure_exponential_with_cap(self, policy, k):
+        expected = min(
+            policy.base_backoff_s * policy.backoff_factor**k,
+            policy.max_backoff_s,
+        )
+        assert policy.backoff_s(k, 0.0) == pytest.approx(expected)
+
+
+class TestDeliveryPolicyBackoffLaws:
+    @given(policy=delivery_policies, k=st.integers(min_value=0, max_value=20), u=draws)
+    @settings(max_examples=200)
+    def test_monotone_in_attempt_for_fixed_draw(self, policy, k, u):
+        assert policy.backoff_s(k + 1, u) >= policy.backoff_s(k, u)
+
+    @given(policy=delivery_policies, k=st.integers(min_value=0, max_value=20), u=draws)
+    @settings(max_examples=200)
+    def test_jitter_band(self, policy, k, u):
+        wait = policy.backoff_s(k, u)
+        base = policy.base_backoff_s * policy.backoff_factor**k
+        assert base <= wait <= base * (1.0 + policy.backoff_jitter)
+
+    @given(
+        policy=delivery_policies,
+        k=st.integers(min_value=0, max_value=20),
+        u=draws,
+    )
+    @settings(max_examples=100)
+    def test_pure_function_of_inputs(self, policy, k, u):
+        assert policy.backoff_s(k, u) == policy.backoff_s(k, u)
+
+
+# Module-level so the (occasionally parallel) supervisor can pickle it.
+def _flaky(x):
+    if x % 3 == 0 and x > 0:
+        raise ValueError("periodic failure")
+    return x * x
+
+
+class TestSeededDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_jitter_draws_are_reproducible(self, seed):
+        a = np.random.default_rng(seed).random(8)
+        b = np.random.default_rng(seed).random(8)
+        assert a.tolist() == b.tolist()
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_supervised_results_independent_of_retry_seed(self, seed):
+        """Jitter affects timing only — results never depend on the seed."""
+        items = list(range(7))
+        retry = RetryPolicy(max_attempts=2, base_backoff_s=0.0, seed=seed)
+        report = SweepSupervisor(retry, parallel=False).run(_flaky, items)
+        expected = [None if (x % 3 == 0 and x > 0) else x * x for x in items]
+        assert report.results == expected
+        assert {q.index for q in report.quarantined} == {3, 6}

@@ -336,6 +336,117 @@ class TestExceptions:
         assert codes(src) == []
 
 
+# -- uncapped retry loops (RPL043) -------------------------------------------
+
+
+class TestUncappedRetry:
+    def test_hot_retry_loop_fires(self):
+        src = (
+            "def f():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return do_work()\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        assert codes(src, path="x.py") == ["RPL043"]
+
+    def test_fallthrough_retry_fires(self):
+        # No explicit continue: the handler just falls back into the loop.
+        src = (
+            "def f():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return do_work()\n"
+            "        except OSError as exc:\n"
+            "            log(exc)\n"
+        )
+        assert codes(src, path="x.py") == ["RPL043"]
+
+    def test_attempt_cap_is_clean(self):
+        src = (
+            "def f():\n"
+            "    attempts = 0\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return do_work()\n"
+            "        except OSError:\n"
+            "            attempts += 1\n"
+            "            if attempts >= 3:\n"
+            "                raise\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_backoff_sleep_is_clean(self):
+        src = (
+            "import time\n"
+            "def f():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return do_work()\n"
+            "        except OSError:\n"
+            "            time.sleep(0.1)\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_policy_backoff_call_is_clean(self):
+        src = (
+            "def f(policy):\n"
+            "    k = 0\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return do_work()\n"
+            "        except OSError:\n"
+            "            pause(policy.backoff_s(k, 0.5))\n"
+            "            k += 1\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_reraising_handler_is_clean(self):
+        src = (
+            "def f():\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return do_work()\n"
+            "        except OSError:\n"
+            "            raise\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_bounded_for_loop_is_clean(self):
+        src = (
+            "def f():\n"
+            "    for _ in range(3):\n"
+            "        try:\n"
+            "            return do_work()\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_conditional_while_is_clean(self):
+        src = (
+            "def f(item):\n"
+            "    while item.status == 'pending':\n"
+            "        try:\n"
+            "            work(item)\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_suppression_comment_wins(self):
+        src = (
+            "def f():\n"
+            "    while True:  # reprolint: disable=RPL043\n"
+            "        try:\n"
+            "            return do_work()\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        assert codes(src, path="x.py") == []
+
+
 # -- float / money comparison (RPL050) ---------------------------------------
 
 

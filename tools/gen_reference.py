@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """Generate the docstring-derived reference manuals.
 
-Two manuals are *derived* rather than written: the observability manual
-(``docs/reference_observability.md``, the public API of
-:mod:`repro.observability` plus the :mod:`repro.perfconfig` switchboard)
-and the static-analysis manual (``docs/reference_reprolint.md``, the
+Three manuals are *derived* rather than written: the observability
+manual (``docs/reference_observability.md``, the public API of
+:mod:`repro.observability` plus the :mod:`repro.perfconfig` switchboard),
+the resilience manual (``docs/reference_resilience.md``, the supervised
+sweep executor and crash-safe journal of :mod:`repro.robustness`), and
+the static-analysis manual (``docs/reference_reprolint.md``, the
 public engine/baseline API of :mod:`tools.reprolint`).  Editing the
 markdown by hand is futile; edit the docstring and regenerate:
 
@@ -47,6 +49,22 @@ See [docs/observability.md](observability.md) for the narrative guide and
 [docs/index.md](index.md) for the documentation map.
 """
 
+_RES_HEADER = """\
+# Resilience reference manual
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python tools/gen_reference.py -->
+
+This manual is generated from the docstrings of the resilient sweep
+runtime — the supervised executor (:mod:`repro.robustness.supervisor`)
+and the crash-safe journal (:mod:`repro.robustness.journal`).  Every
+entry below carries at least one runnable example; the whole manual is
+exercised by `pytest --doctest-modules` in CI.
+
+See [docs/resilience.md](resilience.md) for the narrative guide and
+[docs/index.md](index.md) for the documentation map.
+"""
+
 _LINT_HEADER = """\
 # Static-analysis (reprolint) reference manual
 
@@ -70,6 +88,13 @@ MANUALS: Dict[Path, Tuple[str, List[str]]] = {
             "repro.observability.trace",
             "repro.observability.metrics",
             "repro.observability.manifest",
+        ],
+    ),
+    REPO / "docs" / "reference_resilience.md": (
+        _RES_HEADER,
+        [
+            "repro.robustness.supervisor",
+            "repro.robustness.journal",
         ],
     ),
     REPO / "docs" / "reference_reprolint.md": (

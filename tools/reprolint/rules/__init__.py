@@ -10,7 +10,8 @@ determinism    RPL001–RPL002   seeded-only randomness; no wall clock in sims
 units          RPL010–RPL011   suffix unit discipline (kW/kWh/s/USD)
 cache-safety   RPL020–RPL022   hashable memo keys, no shared mutables
 observability  RPL030–RPL031   one-boolean-read gating; spans in ``with``
-exceptions     RPL040–RPL042   no bare/swallowing excepts; domain raises
+exceptions     RPL040–RPL043   no bare/swallowing excepts; domain raises;
+                               bounded, backing-off retry loops
 float-compare  RPL050          tolerance helpers, not ``==``, for floats
 ========  ====================  ==============================================
 """

@@ -1,4 +1,4 @@
-"""Exception-discipline rules (RPL040–RPL042).
+"""Exception-discipline rules (RPL040–RPL043).
 
 :mod:`repro.exceptions` gives the library a single-rooted hierarchy —
 ``ReproError`` down through per-subsystem subclasses — so embedders can
@@ -15,6 +15,13 @@ builtins from library code forces callers back to ``except Exception``.
 * **RPL042 (builtin-raise)** — ``raise ValueError/TypeError/...`` under
   ``src/repro`` where a :mod:`repro.exceptions` subclass exists for the
   subsystem.
+* **RPL043 (uncapped-retry)** — a ``while True`` loop that retries on a
+  caught exception without an attempt cap or a backoff sleep.  The
+  resilient-runtime discipline
+  (:class:`repro.robustness.supervisor.RetryPolicy`,
+  :meth:`repro.robustness.delivery.DeliveryPolicy.backoff_s`) bounds
+  every retry loop; an unbounded hot retry spins forever on a permanent
+  failure and hammers whatever it is retrying against.
 """
 
 from __future__ import annotations
@@ -165,3 +172,104 @@ class BuiltinRaiseRule(Rule):
         parts = path.split("/")
         key = parts[2] if len(parts) > 2 else ""
         return _SUGGESTED.get(key, "a repro.exceptions.ReproError subclass")
+
+
+#: Substrings of a Name that mark it as an attempt/retry counter.
+_ATTEMPT_NAMES = ("attempt", "retry", "retries", "tries", "failures")
+
+
+def _is_forever(test: ast.expr) -> bool:
+    """True for a ``while True`` (or other truthy-constant) loop test."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _names_attempt_counter(node: ast.AST) -> bool:
+    """Any Name/Attribute under ``node`` that looks like an attempt tally."""
+    for sub in ast.walk(node):
+        ident = None
+        if isinstance(sub, ast.Name):
+            ident = sub.id
+        elif isinstance(sub, ast.Attribute):
+            ident = sub.attr
+        if ident is not None:
+            low = ident.lower()
+            if any(marker in low for marker in _ATTEMPT_NAMES):
+                return True
+    return False
+
+
+def _has_attempt_cap(loop: ast.While) -> bool:
+    """A comparison against an attempt-like counter anywhere in the loop."""
+    for sub in ast.walk(loop):
+        if isinstance(sub, ast.Compare) and _names_attempt_counter(sub):
+            return True
+    return False
+
+
+def _has_backoff_call(loop: ast.While) -> bool:
+    """A ``sleep``/``backoff*``/``wait*`` call anywhere in the loop body."""
+    for sub in ast.walk(loop):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None:
+            continue
+        low = name.lower()
+        if low == "sleep" or low.startswith("backoff") or low.startswith("wait"):
+            return True
+    return False
+
+
+def _retries_on_exception(loop: ast.While) -> bool:
+    """The loop body catches an exception and keeps looping.
+
+    True when a handler (directly inside the loop, not in a nested loop)
+    either ``continue``-s explicitly or falls through without leaving the
+    loop (no ``break``/``return``/``raise`` in its body) — both shapes
+    re-enter the ``while`` and re-try the guarded work.
+    """
+    for sub in ast.walk(loop):
+        if not isinstance(sub, ast.ExceptHandler):
+            continue
+        leaves = False
+        for stmt in sub.body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, (ast.Break, ast.Return, ast.Raise)):
+                    leaves = True
+        if not leaves:
+            return True
+    return False
+
+
+@register
+class UncappedRetryRule(Rule):
+    """RPL043: retry loops must bound attempts or back off."""
+
+    code = "RPL043"
+    name = "uncapped-retry"
+    family = "exceptions"
+    description = (
+        "`while True` retrying on a caught exception without an attempt "
+        "cap or a backoff sleep spins forever on permanent failures; "
+        "bound the attempts (RetryPolicy-style) or back off between tries."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While) or not _is_forever(node.test):
+                continue
+            if not _retries_on_exception(node):
+                continue
+            if _has_attempt_cap(node) or _has_backoff_call(node):
+                continue
+            yield self.finding(
+                ctx, node,
+                "unbounded retry: 'while True' re-tries on a caught "
+                "exception with no attempt cap and no backoff; add a "
+                "bounded attempt counter or a sleep/backoff between tries",
+            )
