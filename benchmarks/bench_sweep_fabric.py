@@ -1,0 +1,395 @@
+"""Sharded sweep fabric benchmark: dispatch cost, scaling, memory high-water.
+
+Three claims of the fabric PR, measured end-to-end and machine-readable:
+
+* ``settlement_sweep_fabric`` — the settlement sweep (five archetype
+  contracts on one load) through the PR-5 runtime vs the fabric.  The
+  *old* path is the serial journaled ``SweepSupervisor`` over heavy
+  ``ScenarioSpec`` items — every item pays a content fingerprint and a
+  journal record proportional to the full load series.  The *new* path
+  is ``run_sharded``: light ``(index, name)`` items, the load shipped
+  once per worker as the shared payload (inherited over fork, never
+  pickled per item), journal-backed shards, deterministic merge.  The
+  ``parallel_speedup_vs_old`` figure this repo's BENCH_settlement.json
+  historically recorded below 1 must come out ≥ 1 here.
+* ``worker_scaling`` — the 1/2/4-worker scaling curve over grid sizes
+  (wall time per configuration; on a single-core host the curve is flat
+  by construction and the interesting number is the dispatch overhead).
+* ``streaming_memory`` — peak retained bytes of a ≥100k-point sweep,
+  materialized list vs ``sweep_stream`` online reducers (tracemalloc
+  high-water, so the O(items) vs O(chunk) difference is measured, not
+  asserted).
+
+Every benchmark embeds an equivalence check (old and new totals within
+1e-6 relative), so a speedup can never come from computing something
+else.  Results land in ``BENCH_sweep_fabric.json``; ``--compare BASELINE
+--max-regression R`` fails (exit 1) when any benchmark's speedup ratio
+fell by more than ``R``× — ratios, not wall times, so the gate is
+machine-independent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_fabric.py \
+        [--days 90] [--repeat 3] [--out BENCH_sweep_fabric.json] \
+        [--compare BENCH_sweep_fabric.json --max-regression 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import functools
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.analysis.scenarios import (
+    ScenarioSpec,
+    generate_price_series,
+    run_scenario,
+    synthetic_sc_load,
+)
+from repro.analysis.streaming import Count, Max, Mean
+from repro.analysis.sweep import shared_payload, sweep_stream
+from repro.contracts.tariff_library import (
+    german_industrial,
+    nordic_spot_passthrough,
+    swiss_post_tender,
+    us_federal_with_emergency,
+    us_industrial_tou,
+)
+from repro.robustness.shards import merge_shard_journals, run_sharded
+from repro.robustness.supervisor import SweepSupervisor
+from repro.timeseries.calendar import monthly_billing_periods
+
+PEAK_MW = 15.0
+PEAK_KW = PEAK_MW * 1000.0
+
+
+def _n_months(days: int) -> int:
+    """Whole canonical-year months covered by a ``days``-long load."""
+    if days >= 365:
+        return 12
+    if days < 31:
+        raise SystemExit("--days must be >= 31")
+    return max(1, days // 31)
+
+
+def _time(fn: Callable[[], object], repeat: int) -> Dict[str, float]:
+    """Best-of-``repeat`` wall time (plus per-run samples) for ``fn``."""
+    samples: List[float] = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "best_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+        "samples_s": samples,
+    }
+
+
+def _contracts():
+    return [
+        us_industrial_tou("bench SC", peak_kw=PEAK_KW),
+        german_industrial("bench SC", peak_kw=PEAK_KW),
+        nordic_spot_passthrough("bench SC"),
+        swiss_post_tender("bench SC"),
+        us_federal_with_emergency("bench SC", peak_kw=PEAK_KW),
+    ]
+
+
+def _fabric_point(item):
+    """Settle one contract index against the fabric's shared payload.
+
+    Mirrors :func:`repro.analysis.comparison._compare_point`: the heavy
+    load/price state arrives once per worker, the shipped-back result is
+    slimmed so journaling it costs O(bill), not O(load series).
+    """
+    contracts, load, prices, periods = shared_payload()
+    contract = contracts[item[0]]
+    spec = ScenarioSpec(
+        name=contract.name, contract=contract, load=load,
+        price_series=prices, periods=periods,
+    )
+    result = run_scenario(spec)
+    slim = dataclasses.replace(result.spec, load=None, price_series=None)
+    return dataclasses.replace(result, spec=slim)
+
+
+def bench_settlement_fabric(days: int, repeat: int) -> Dict[str, object]:
+    """Heavy-item serial supervisor (PR 5) vs sharded fabric dispatch."""
+    load = synthetic_sc_load(PEAK_MW, n_days=days, seed=44)
+    contracts = _contracts()
+    prices = generate_price_series(load, None, 0)
+    periods = tuple(monthly_billing_periods()[: _n_months(days)])
+    heavy_specs = [
+        ScenarioSpec(
+            name=c.name, contract=c, load=load,
+            price_series=prices, periods=periods,
+        )
+        for c in contracts
+    ]
+    payload = (tuple(contracts), load, prices, periods)
+    items = [(i, c.name) for i, c in enumerate(contracts)]
+    point = functools.partial(run_scenario, fastpath=True)
+
+    def old() -> List[float]:
+        with tempfile.TemporaryDirectory() as tmp:
+            supervisor = SweepSupervisor(
+                parallel=False,
+                journal=str(Path(tmp) / "sweep.jsonl"),
+                sweep_id="bench_settlement",
+            )
+            report = supervisor.run(point, heavy_specs)
+        return [r.total for r in report.results]
+
+    def fabric(n_workers: int) -> List[float]:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_sharded(
+                _fabric_point,
+                items,
+                Path(tmp) / "sweep",
+                n_shards=max(n_workers, 1),
+                n_workers=n_workers,
+                shared=payload,
+            )
+        return [r.total for r in report.results]
+
+    old_totals, new_totals = old(), fabric(2)
+    for a, b in zip(old_totals, new_totals):
+        if abs(a - b) / max(abs(a), 1.0) > 1e-6:
+            raise AssertionError(
+                f"settlement fabric: old/new disagree — {a!r} vs {b!r}"
+            )
+
+    t_old = _time(old, repeat)
+    t_workers = {
+        str(w): _time(lambda w=w: fabric(w), repeat) for w in (1, 2, 4)
+    }
+    best_fabric = min(entry["best_s"] for entry in t_workers.values())
+    return {
+        "n_contracts": len(contracts),
+        "n_intervals": len(load),
+        "old": t_old,
+        "workers": t_workers,
+        # gate on the best fabric configuration for this host: on a
+        # single-core runner that is the 1-worker in-process path, and
+        # the dispatch win (light items, shared payload) is still real
+        "speedup": t_old["best_s"] / best_fabric,
+        "parallel_speedup_vs_old": t_old["best_s"] / best_fabric,
+    }
+
+
+def _busy_point(x: int) -> float:
+    """A synthetic grid point: deterministic, a few ms of real compute."""
+    rng = np.random.default_rng(x)
+    m = rng.standard_normal((96, 96))
+    return float(np.linalg.norm(m @ m.T))
+
+
+def bench_worker_scaling(repeat: int) -> Dict[str, object]:
+    """Wall time of 1/2/4 workers across grid sizes (sharded end-to-end)."""
+    sizes = (8, 24, 48)
+    curve: Dict[str, Dict[str, Dict[str, float]]] = {}
+    reference = None
+    for size in sizes:
+        items = list(range(size))
+        by_workers: Dict[str, Dict[str, float]] = {}
+        for n_workers in (1, 2, 4):
+            def run(n_workers=n_workers, items=items):
+                with tempfile.TemporaryDirectory() as tmp:
+                    report = run_sharded(
+                        _busy_point,
+                        items,
+                        Path(tmp) / "sweep",
+                        n_shards=max(n_workers * 2, 2),
+                        n_workers=n_workers,
+                    )
+                return report.results
+
+            results = run()
+            if reference is None:
+                reference = results[0]
+            elif results[0] != reference:
+                raise AssertionError("worker scaling: results drifted")
+            by_workers[str(n_workers)] = _time(run, repeat)
+        curve[str(size)] = by_workers
+    # informational only (no "speedup" key): multi-worker wall time on an
+    # oversubscribed single-core host is dominated by lease-wait polling
+    # and fork startup, which would make a ratio gate pure noise
+    return {"grid_sizes": list(sizes), "curve": curve}
+
+
+def bench_streaming_memory(n_items: int, chunksize: int) -> Dict[str, object]:
+    """tracemalloc high-water: materialized result list vs online reducers."""
+    aggregators = lambda: {  # noqa: E731 - tiny factory, reads best inline
+        "n": Count(),
+        "mean": Mean(),
+        "hi": Max(),
+    }
+
+    def materialized() -> Dict[str, object]:
+        results = [float(x) for x in range(n_items)]
+        out = {
+            "n": len(results),
+            "mean": sum(results) / len(results),
+            "hi": max(results),
+        }
+        del results
+        return out
+
+    def streamed() -> Dict[str, object]:
+        return sweep_stream(
+            float, iter(range(n_items)), aggregators(),
+            chunksize=chunksize, parallel=False,
+        )
+
+    tracemalloc.start()
+    mat = materialized()
+    _, mat_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    stream = streamed()
+    _, stream_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    if mat["n"] != stream["n"] or abs(mat["mean"] - stream["mean"]) > 1e-9:
+        raise AssertionError("streaming memory: materialized/streamed disagree")
+    ratio = mat_peak / max(stream_peak, 1)
+    return {
+        "n_items": n_items,
+        "chunksize": chunksize,
+        "materialized_peak_bytes": mat_peak,
+        "streaming_peak_bytes": stream_peak,
+        "peak_ratio": ratio,
+        "speedup": ratio,  # memory ratio, gated like the time ratios
+    }
+
+
+def run_all(days: int, repeat: int) -> Dict[str, object]:
+    benchmarks = {
+        "settlement_sweep_fabric": bench_settlement_fabric(days, repeat),
+        "worker_scaling": bench_worker_scaling(max(1, repeat // 2)),
+        "streaming_memory": bench_streaming_memory(
+            n_items=200_000, chunksize=1024
+        ),
+    }
+    return {
+        "schema": "bench_sweep_fabric/v1",
+        "generated_unix": int(time.time()),
+        "config": {"days": days, "repeat": repeat},
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def check_regression(
+    current: Dict[str, object], baseline_path: str, max_regression: float
+) -> List[str]:
+    """Speedup-ratio regressions of ``current`` against a baseline file.
+
+    Same contract as the settlement bench: a benchmark regresses when
+    ``baseline_speedup / current_speedup`` exceeds ``max_regression``;
+    ratios are dimensionless so a slower CI host cannot trip the gate.
+    The fabric bench additionally hard-fails when the settlement sweep's
+    ``parallel_speedup_vs_old`` drops below 1 — the figure this PR
+    exists to fix must not regress past parity regardless of baseline.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures: List[str] = []
+    for name, base_entry in baseline.get("benchmarks", {}).items():
+        cur_entry = current["benchmarks"].get(name)  # type: ignore[union-attr]
+        if cur_entry is None or "speedup" not in base_entry:
+            continue
+        base_speedup = float(base_entry["speedup"])
+        cur_speedup = float(cur_entry["speedup"])
+        if cur_speedup <= 0 or base_speedup / cur_speedup > max_regression:
+            failures.append(
+                f"{name}: speedup {cur_speedup:.2f}x vs baseline "
+                f"{base_speedup:.2f}x (allowed regression {max_regression:.1f}x)"
+            )
+    fabric = current["benchmarks"].get("settlement_sweep_fabric")
+    if fabric is not None and float(fabric["parallel_speedup_vs_old"]) < 1.0:
+        failures.append(
+            "settlement_sweep_fabric: parallel_speedup_vs_old "
+            f"{fabric['parallel_speedup_vs_old']:.2f}x fell below parity"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=90, help="load horizon (days)")
+    parser.add_argument("--repeat", type=int, default=3, help="timing repeats")
+    parser.add_argument(
+        "--out", default="BENCH_sweep_fabric.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--compare", default=None, help="baseline JSON to gate against"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="max allowed speedup-ratio regression vs baseline",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_all(args.days, args.repeat)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    print(f"sweep fabric bench ({args.days} days, repeat={args.repeat})")
+    fab = result["benchmarks"]["settlement_sweep_fabric"]
+    print(
+        f"  settlement sweep: old {fab['old']['best_s'] * 1e3:9.2f} ms  "
+        + "  ".join(
+            f"{w}w {entry['best_s'] * 1e3:8.2f} ms"
+            for w, entry in fab["workers"].items()
+        )
+        + f"  -> {fab['parallel_speedup_vs_old']:.2f}x vs old"
+    )
+    mem = result["benchmarks"]["streaming_memory"]
+    print(
+        f"  streaming memory: materialized {mem['materialized_peak_bytes'] / 1e6:.1f} MB"
+        f"  streamed {mem['streaming_peak_bytes'] / 1e6:.3f} MB"
+        f"  ({mem['peak_ratio']:.0f}x smaller high-water)"
+    )
+    scaling = result["benchmarks"]["worker_scaling"]
+    for size, by_workers in scaling["curve"].items():
+        row = "  ".join(
+            f"{w}w {entry['best_s'] * 1e3:8.2f} ms"
+            for w, entry in by_workers.items()
+        )
+        print(f"  scaling {size:>3s} points: {row}")
+    print(f"wrote {args.out}")
+
+    if args.compare:
+        failures = check_regression(result, args.compare, args.max_regression)
+        if failures:
+            print("REGRESSION vs baseline:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"no speedup regression vs {args.compare} (limit {args.max_regression}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,9 @@ Regenerates the paper's artifacts from the terminal::
     python -m repro lint -- --list-rules # forward flags to the analyzer
     python -m repro sweep --journal J    # supervised chaos sweep, checkpointed
     python -m repro sweep --resume J     # finish an interrupted sweep
+    python -m repro sweep --fabric D --shards 4   # shard a sweep directory
+    python -m repro sweep --fabric D --worker     # claim/steal shards until done
+    python -m repro sweep --fabric D --merge      # fold shards into one report
 """
 
 from __future__ import annotations
@@ -129,6 +132,101 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _run_fabric(args) -> int:
+    """Dispatch the sharded modes of ``repro sweep --fabric DIR``.
+
+    Three verbs share one sweep directory:
+
+    * ``--shards N`` (alone) partitions the chaos grid into ``N``
+      journal-backed shard files plus a manifest holding the full grid
+      recipe — after this, workers need only the directory;
+    * ``--worker`` rebuilds the grid from the manifest
+      (:func:`repro.robustness.chaos.chaos_grid`) and runs one
+      :class:`~repro.robustness.shards.ShardWorker` to completion,
+      claiming, stealing and resuming shards as leases allow — run it
+      from as many terminals/hosts-sharing-the-directory as you like;
+    * ``--merge`` folds the shard journals into one deterministic
+      report and prints it, exit 1 on quarantined points and exit 2
+      while the sweep is still incomplete.
+    """
+    from .exceptions import ReproError
+    from .robustness.chaos import DegradationReport, chaos_grid
+    from .robustness.shards import (
+        ShardWorker,
+        create_sweep,
+        merge_shard_journals,
+        read_manifest,
+    )
+
+    directory = Path(args.fabric)
+    try:
+        if not (args.worker or args.merge):
+            recipe = {
+                "kind": "chaos_sweep",
+                "dropout_rates": [float(d) for d in args.dropout],
+                "loss_probabilities": [float(p) for p in args.loss],
+                "seed": int(args.seed),
+                "horizon_days": int(args.horizon_days),
+                "peak_mw": float(args.peak_mw),
+            }
+            scenarios, _ = chaos_grid(recipe)
+            manifest = create_sweep(
+                directory,
+                scenarios,
+                n_shards=args.shards,
+                sweep_id="chaos_sweep",
+                params=recipe,
+            )
+            print(
+                f"sharded sweep {manifest.sweep_id!r} created at {directory}: "
+                f"{manifest.n_items} points in {manifest.n_shards} shards"
+            )
+            return 0
+        manifest = read_manifest(directory)
+        if manifest.params.get("kind") != "chaos_sweep":
+            print(
+                f"sweep directory {directory} was not created for a chaos "
+                "sweep (manifest lacks kind='chaos_sweep')",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios, point_fn = chaos_grid(manifest.params)
+        if args.worker:
+            worker = ShardWorker(
+                directory,
+                point_fn,
+                scenarios,
+                owner=args.owner,
+                lease_s=args.lease_s,
+            )
+            summary = worker.run(wait=True)
+            print(
+                f"worker {summary.owner}: {summary.n_shards_completed} shard(s) "
+                f"completed ({summary.n_steals} stolen), "
+                f"{summary.n_items_computed} point(s) computed"
+            )
+            return 0
+        report = merge_shard_journals(directory, items=scenarios)
+    except (ReproError, OSError) as exc:
+        print(f"sweep fabric error: {exc}", file=sys.stderr)
+        return 2
+    results = [r for r in report.results if r is not None]
+    print(DegradationReport(results, quarantined=report.quarantined).to_markdown())
+    rec = report.recovery_summary()
+    print(
+        f"\nmerged {rec['n_shards']} shard(s): {rec['n_ok']}/{rec['n_items']} ok, "
+        f"{rec['n_shards_claimed']} first claim(s), "
+        f"{rec['n_leases_stolen']} steal(s), "
+        f"{rec['n_leases_resumed']} resume(s), "
+        f"{rec['n_quarantined']} quarantined"
+    )
+    if report.quarantined:
+        for q in report.quarantined:
+            print(f"quarantined item {q.index}: {q.reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -178,6 +276,32 @@ def main(argv: list = None) -> int:
         "--serial", action="store_true",
         help="force the serial in-process path (no worker pool)",
     )
+    sweep.add_argument(
+        "--fabric", metavar="DIR",
+        help="sweep directory for the sharded fabric "
+        "(combine with --shards, --worker or --merge)",
+    )
+    sweep.add_argument(
+        "--shards", type=int, default=4,
+        help="number of shard journals when creating a --fabric directory",
+    )
+    sweep.add_argument(
+        "--worker", action="store_true",
+        help="run one shard worker against --fabric DIR until the sweep "
+        "is complete (claims, steals and resumes shards via leases)",
+    )
+    sweep.add_argument(
+        "--merge", action="store_true",
+        help="merge the shard journals of --fabric DIR into one report",
+    )
+    sweep.add_argument(
+        "--owner", help="lease owner id for --worker (default: host-pid)"
+    )
+    sweep.add_argument(
+        "--lease-s", type=float, default=30.0,
+        help="lease duration for --worker; a worker silent this long "
+        "forfeits its shard",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -192,6 +316,25 @@ def main(argv: list = None) -> int:
         return _run_lint(forwarded)
 
     if args.command == "sweep":
+        if args.fabric:
+            if args.worker and args.merge:
+                print(
+                    "repro sweep --fabric takes at most one of --worker "
+                    "and --merge",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.shards < 1:
+                print("--shards must be >= 1", file=sys.stderr)
+                return 2
+            return _run_fabric(args)
+        if args.worker or args.merge:
+            print(
+                "--worker/--merge need a sweep directory: "
+                "repro sweep --fabric DIR ...",
+                file=sys.stderr,
+            )
+            return 2
         if bool(args.resume) == bool(args.journal):
             print(
                 "repro sweep needs exactly one of --journal (fresh run) "

@@ -8,13 +8,14 @@ each candidate contract.
 
 from __future__ import annotations
 
-import functools
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..contracts.contract import Contract
 from ..exceptions import AnalysisError
 from ..grid.prices import PriceModel
+from ..robustness.journal import item_fingerprint
 from ..timeseries.series import PowerSeries
 from .scenarios import (
     ScenarioResult,
@@ -22,7 +23,7 @@ from .scenarios import (
     generate_price_series,
     run_scenario,
 )
-from .sweep import sweep_map
+from .sweep import shared_payload, sweep_map
 
 __all__ = ["ContractComparison", "compare_contracts"]
 
@@ -70,6 +71,36 @@ class ContractComparison:
         return (self.most_expensive.total - cheapest) / cheapest
 
 
+def _compare_point(item: Tuple[int, str, str]) -> ScenarioResult:
+    """Settle one contract index against the sweep's shared payload.
+
+    The grid item is a light ``(index, contract_name, grid_token)``
+    triple; the heavy state — contracts, load, shared price realization
+    — travels once per worker via
+    :func:`~repro.analysis.sweep.shared_payload` instead of being
+    pickled into every item.  The returned result carries a slimmed
+    spec (no load, no price series) so shipping it back — and
+    journaling it — stays cheap; :func:`compare_contracts` reattaches
+    the heavy fields in the parent.
+    """
+    idx = item[0]
+    contracts, load, price_model, price_seed, shared_prices, fastpath = (
+        shared_payload()
+    )
+    contract = contracts[idx]
+    spec = ScenarioSpec(
+        name=contract.name,
+        contract=contract,
+        load=load,
+        price_model=price_model,
+        price_seed=price_seed,
+        price_series=shared_prices,
+    )
+    result = run_scenario(spec, fastpath=fastpath)
+    slim_spec = dataclasses.replace(result.spec, load=None, price_series=None)
+    return dataclasses.replace(result, spec=slim_spec)
+
+
 def compare_contracts(
     load: PowerSeries,
     contracts: Sequence[Contract],
@@ -94,6 +125,14 @@ def compare_contracts(
     runtime of :class:`~repro.robustness.supervisor.SweepSupervisor` —
     timeouts, retries, crash recovery and (with ``journal``) a resumable
     checkpoint; results are identical to the plain path.
+
+    Dispatch is chunk-friendly: the grid items are light
+    ``(index, name, grid_token)`` triples and the load / contracts /
+    shared price realization travel once per worker as the sweep's
+    shared payload, so per-item cost no longer includes pickling the
+    full load series.  The ``grid_token`` fingerprints the heavy state,
+    keeping journaled resumes safe: a journal written against one load
+    cannot be replayed against another.
     """
     if not contracts:
         raise AnalysisError("need at least one contract to compare")
@@ -103,27 +142,27 @@ def compare_contracts(
     shared_prices: Optional[PowerSeries] = None
     if price_model is not None or any(c.has_component("dynamic") for c in contracts):
         shared_prices = generate_price_series(load, price_model, price_seed)
-    specs = [
-        ScenarioSpec(
-            name=c.name,
-            contract=c,
-            load=load,
-            price_model=price_model,
-            price_seed=price_seed,
-            price_series=shared_prices,
-        )
-        for c in contracts
-    ]
+    contracts = tuple(contracts)
+    payload = (contracts, load, price_model, price_seed, shared_prices, fastpath)
+    # One fingerprint over the heavy state, not one pickle per item.
+    grid_token = item_fingerprint((load, price_model, price_seed, fastpath))
+    items = [(i, c.name, grid_token) for i, c in enumerate(contracts)]
+    slim = sweep_map(
+        _compare_point,
+        items,
+        parallel=parallel,
+        supervised=supervised,
+        retry=retry,
+        journal=journal,
+        sweep_id="compare_contracts",
+        shared=payload,
+    )
     results = tuple(
-        sweep_map(
-            functools.partial(run_scenario, fastpath=fastpath),
-            specs,
-            parallel=parallel,
-            supervised=supervised,
-            retry=retry,
-            journal=journal,
-            sweep_id="compare_contracts",
+        dataclasses.replace(
+            r,
+            spec=dataclasses.replace(r.spec, load=load, price_series=shared_prices),
         )
+        for r in slim
     )
     return ContractComparison(
         load_peak_kw=load.max_kw(),

@@ -23,7 +23,6 @@ build the capability is before the incentive arrives.
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -32,10 +31,11 @@ from ..contracts.contract import Contract
 from ..contracts.demand_charges import DemandCharge
 from ..contracts.tariffs import FixedTariff
 from ..exceptions import AnalysisError
+from ..robustness.journal import item_fingerprint
 from ..timeseries.series import PowerSeries
 from .cost import BillDecomposition, decompose_bill
 from .scenarios import synthetic_sc_load
-from .sweep import sweep_map
+from .sweep import shared_payload, sweep_map
 
 __all__ = ["EvolutionYear", "EvolutionStudy", "contract_evolution_study"]
 
@@ -103,6 +103,18 @@ def _settle_trajectory(
     return [decompose_bill(b) for b in engine.bill_many(contracts, load)]
 
 
+def _settle_indexed(item: Tuple[int, str]) -> List[BillDecomposition]:
+    """Settle trajectory ``item[0]`` against the sweep's shared payload.
+
+    The grid items are light ``(index, grid_token)`` pairs; the two
+    load series and the rate schedule travel once per worker via
+    :func:`~repro.analysis.sweep.shared_payload` instead of a full
+    :class:`~repro.timeseries.series.PowerSeries` pickled per item.
+    """
+    trajectories, rates = shared_payload()
+    return _settle_trajectory(trajectories[item[0]], rates=rates)
+
+
 def contract_evolution_study(
     peak_mw: float = 15.0,
     n_years: int = 8,
@@ -163,14 +175,18 @@ def contract_evolution_study(
         )
         for year in range(n_years)
     ]
+    # Light items + shared payload: the grid token fingerprints the heavy
+    # state so a journaled resume cannot replay a different study's bills.
+    grid_token = item_fingerprint((rates, load, adapted))
     passive_by_year, adaptive_by_year = sweep_map(
-        functools.partial(_settle_trajectory, rates=rates),
-        [load, adapted],
+        _settle_indexed,
+        [(0, grid_token), (1, grid_token)],
         parallel=parallel,
         supervised=supervised,
         retry=retry,
         journal=journal,
         sweep_id="contract_evolution_study",
+        shared=((load, adapted), rates),
     )
     years: List[EvolutionYear] = []
     for year, (energy_rate, demand_rate) in enumerate(rates):

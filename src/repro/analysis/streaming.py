@@ -1,0 +1,365 @@
+"""Streaming (online) aggregation for grid sweeps.
+
+Population-scale sweeps — the paper's survey generalized to millions of
+synthetic customers — cannot materialize a result list per grid point.
+This module provides online reducers that are fed one record at a time
+and retain O(1) state each, so a million-point sweep runs in O(chunk)
+memory: :func:`repro.analysis.sweep.sweep_stream` pulls the grid through
+a chunked executor and feeds every result straight into the reducers.
+
+Two determinism contracts hold throughout:
+
+* ``update`` order is the grid's index order, so a streamed sweep
+  reduces in exactly the same order as a materialized one — equal grids
+  give bit-equal reducer state.
+* ``merge`` folds partial aggregates (for example one per shard journal)
+  left-to-right in shard order, so a merged result is a pure function of
+  the partition — rerunning the same sharded sweep reproduces it.
+
+>>> agg = Mean()
+>>> for x in [1.0, 2.0, 3.0]:
+...     agg.update(x)
+>>> agg.result()
+2.0
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..exceptions import AnalysisError
+
+__all__ = [
+    "OnlineAggregator",
+    "Count",
+    "Sum",
+    "Min",
+    "Max",
+    "Mean",
+    "Histogram",
+    "aggregate",
+]
+
+
+def _identity(record: Any) -> Any:
+    return record
+
+
+class OnlineAggregator:
+    """Base class for online reducers fed one record at a time.
+
+    Subclasses hold O(1) state (the histogram holds O(bins)) and
+    implement :meth:`update`, :meth:`merge` and :meth:`result`.  A
+    ``key`` callable projects the swept record to the reduced value —
+    by default the record itself — so one sweep can feed several
+    reducers over different fields of the same result.
+
+    >>> class First(OnlineAggregator):
+    ...     def __init__(self):
+    ...         super().__init__()
+    ...         self.value = None
+    ...     def update(self, record):
+    ...         if self.value is None:
+    ...             self.value = self.key(record)
+    ...     def merge(self, other):
+    ...         if self.value is None:
+    ...             self.value = other.value
+    ...         return self
+    ...     def result(self):
+    ...         return self.value
+    >>> f = First(); f.update(7); f.update(9); f.result()
+    7
+    """
+
+    def __init__(self, key: Optional[Callable[[Any], Any]] = None):
+        self.key = key if key is not None else _identity
+
+    def update(self, record: Any) -> None:
+        """Fold one swept record into the aggregate state."""
+        raise NotImplementedError
+
+    def merge(self, other: "OnlineAggregator") -> "OnlineAggregator":
+        """Fold another partial aggregate of the same type into this one."""
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        """The reduced value over every record seen so far."""
+        raise NotImplementedError
+
+    def _check_mergeable(self, other: "OnlineAggregator") -> None:
+        """Refuse to merge aggregates of different concrete types."""
+        if type(other) is not type(self):
+            raise AnalysisError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}; "
+                "partial aggregates must be of the same reducer type"
+            )
+
+
+class Count(OnlineAggregator):
+    """Number of records seen.
+
+    >>> c = Count()
+    >>> for x in "abc":
+    ...     c.update(x)
+    >>> c.result()
+    3
+    """
+
+    def __init__(self, key: Optional[Callable[[Any], Any]] = None):
+        super().__init__(key)
+        self.n = 0
+
+    def update(self, record: Any) -> None:
+        """Count one record (the key projection is not evaluated)."""
+        self.n += 1
+
+    def merge(self, other: "OnlineAggregator") -> "Count":
+        """Add another partial count."""
+        self._check_mergeable(other)
+        self.n += other.n
+        return self
+
+    def result(self) -> int:
+        """Total number of records."""
+        return self.n
+
+
+class Sum(OnlineAggregator):
+    """Running sum of ``key(record)``.
+
+    >>> s = Sum(key=lambda r: r["kwh"])
+    >>> for r in [{"kwh": 1.5}, {"kwh": 2.5}]:
+    ...     s.update(r)
+    >>> s.result()
+    4.0
+    """
+
+    def __init__(self, key: Optional[Callable[[Any], Any]] = None):
+        super().__init__(key)
+        self.total = 0.0
+        self.n = 0
+
+    def update(self, record: Any) -> None:
+        """Add ``key(record)`` to the running total."""
+        self.total += float(self.key(record))
+        self.n += 1
+
+    def merge(self, other: "OnlineAggregator") -> "Sum":
+        """Add another partial sum (left-to-right, order-deterministic)."""
+        self._check_mergeable(other)
+        self.total += other.total
+        self.n += other.n
+        return self
+
+    def result(self) -> float:
+        """The sum over every record seen."""
+        return self.total
+
+
+class Min(OnlineAggregator):
+    """Minimum of ``key(record)``; ``None`` when no records were seen.
+
+    >>> m = Min()
+    >>> for x in [3.0, 1.0, 2.0]:
+    ...     m.update(x)
+    >>> m.result()
+    1.0
+    """
+
+    def __init__(self, key: Optional[Callable[[Any], Any]] = None):
+        super().__init__(key)
+        self.value: Optional[float] = None
+
+    def update(self, record: Any) -> None:
+        """Lower the running minimum if ``key(record)`` is smaller."""
+        x = float(self.key(record))
+        if self.value is None or x < self.value:
+            self.value = x
+
+    def merge(self, other: "OnlineAggregator") -> "Min":
+        """Take the smaller of two partial minima."""
+        self._check_mergeable(other)
+        if other.value is not None and (self.value is None or other.value < self.value):
+            self.value = other.value
+        return self
+
+    def result(self) -> Optional[float]:
+        """The minimum, or ``None`` for an empty stream."""
+        return self.value
+
+
+class Max(OnlineAggregator):
+    """Maximum of ``key(record)``; ``None`` when no records were seen.
+
+    >>> m = Max()
+    >>> for x in [3.0, 1.0, 2.0]:
+    ...     m.update(x)
+    >>> m.result()
+    3.0
+    """
+
+    def __init__(self, key: Optional[Callable[[Any], Any]] = None):
+        super().__init__(key)
+        self.value: Optional[float] = None
+
+    def update(self, record: Any) -> None:
+        """Raise the running maximum if ``key(record)`` is larger."""
+        x = float(self.key(record))
+        if self.value is None or x > self.value:
+            self.value = x
+
+    def merge(self, other: "OnlineAggregator") -> "Max":
+        """Take the larger of two partial maxima."""
+        self._check_mergeable(other)
+        if other.value is not None and (self.value is None or other.value > self.value):
+            self.value = other.value
+        return self
+
+    def result(self) -> Optional[float]:
+        """The maximum, or ``None`` for an empty stream."""
+        return self.value
+
+
+class Mean(OnlineAggregator):
+    """Arithmetic mean of ``key(record)``; ``None`` when no records were seen.
+
+    Internally a (sum, count) pair, so merging partial means loses no
+    precision relative to summing the partials directly.
+
+    >>> m = Mean()
+    >>> for x in [1.0, 2.0, 3.0, 4.0]:
+    ...     m.update(x)
+    >>> m.result()
+    2.5
+    """
+
+    def __init__(self, key: Optional[Callable[[Any], Any]] = None):
+        super().__init__(key)
+        self.total = 0.0
+        self.n = 0
+
+    def update(self, record: Any) -> None:
+        """Accumulate ``key(record)`` into the (sum, count) pair."""
+        self.total += float(self.key(record))
+        self.n += 1
+
+    def merge(self, other: "OnlineAggregator") -> "Mean":
+        """Fold another partial (sum, count) pair into this one."""
+        self._check_mergeable(other)
+        self.total += other.total
+        self.n += other.n
+        return self
+
+    def result(self) -> Optional[float]:
+        """``sum / count``, or ``None`` for an empty stream."""
+        if self.n == 0:
+            return None
+        return self.total / self.n
+
+
+class Histogram(OnlineAggregator):
+    """Fixed-bin histogram of ``key(record)`` over ``[lo, hi)``.
+
+    ``n_bins`` equal-width bins span ``[lo, hi)``; values below ``lo``
+    land in an underflow counter, values at or above ``hi`` in an
+    overflow counter, so no record is silently dropped.  State is
+    O(bins) regardless of stream length.
+
+    >>> h = Histogram(lo=0.0, hi=10.0, n_bins=5)
+    >>> for x in [1.0, 1.5, 9.0, -3.0, 42.0]:
+    ...     h.update(x)
+    >>> h.result()["counts"]
+    [2, 0, 0, 0, 1]
+    >>> (h.result()["underflow"], h.result()["overflow"])
+    (1, 1)
+    """
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        n_bins: int,
+        key: Optional[Callable[[Any], Any]] = None,
+    ):
+        super().__init__(key)
+        if not (math.isfinite(lo) and math.isfinite(hi)) or hi <= lo:
+            raise AnalysisError(f"histogram range must be finite with hi > lo, got [{lo}, {hi})")
+        if n_bins <= 0:
+            raise AnalysisError(f"histogram needs a positive bin count, got {n_bins}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.n_bins = int(n_bins)
+        self.counts: List[int] = [0] * self.n_bins
+        self.underflow = 0
+        self.overflow = 0
+
+    def update(self, record: Any) -> None:
+        """Drop ``key(record)`` into its bin (or under-/overflow)."""
+        x = float(self.key(record))
+        if x < self.lo:
+            self.underflow += 1
+            return
+        if x >= self.hi:
+            self.overflow += 1
+            return
+        idx = int((x - self.lo) / (self.hi - self.lo) * self.n_bins)
+        # float rounding at the upper edge can compute idx == n_bins
+        self.counts[min(idx, self.n_bins - 1)] += 1
+
+    def merge(self, other: "OnlineAggregator") -> "Histogram":
+        """Add another partial histogram with identical binning."""
+        self._check_mergeable(other)
+        if (other.lo, other.hi, other.n_bins) != (self.lo, self.hi, self.n_bins):
+            raise AnalysisError(
+                "cannot merge histograms with different binning: "
+                f"[{self.lo}, {self.hi})x{self.n_bins} vs "
+                f"[{other.lo}, {other.hi})x{other.n_bins}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        return self
+
+    def result(self) -> Dict[str, Any]:
+        """Bin edges, per-bin counts, and under-/overflow tallies."""
+        width = (self.hi - self.lo) / self.n_bins
+        edges = [self.lo + i * width for i in range(self.n_bins)] + [self.hi]
+        return {
+            "edges": edges,
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+
+def aggregate(records: Iterable[Any], aggregators: Dict[str, OnlineAggregator]) -> Dict[str, Any]:
+    """Feed ``records`` through named reducers and collect their results.
+
+    The streaming counterpart of building a result list and reducing it
+    afterwards: records are consumed one at a time (any iterable works,
+    including a generator over shard journals) and never retained.
+
+    Parameters
+    ----------
+    records:
+        The swept results, in grid index order.
+    aggregators:
+        Name -> reducer.  Each reducer's ``key`` projects the record.
+
+    Returns
+    -------
+    dict
+        Name -> ``reducer.result()``.
+
+    Examples
+    --------
+    >>> out = aggregate(iter(range(5)), {"n": Count(), "mean": Mean()})
+    >>> (out["n"], out["mean"])
+    (5, 2.0)
+    """
+    aggs = list(aggregators.values())
+    for record in records:
+        for agg in aggs:
+            agg.update(record)
+    return {name: agg.result() for name, agg in aggregators.items()}

@@ -18,6 +18,18 @@ small sweeps and on single-CPU hosts; pass ``parallel=True`` to force a
 pool, ``parallel=False`` to force the loop.  Unpicklable work falls back
 to the serial loop rather than failing the study.
 
+Two additions keep dispatch overhead off the per-item path:
+
+* ``shared=`` installs a read-only payload once per worker (via the pool
+  initializer — zero-copy under ``fork``) instead of pickling it into
+  every item; the per-point function reads it back through
+  :func:`shared_payload`.  This is how the comparison harness passes one
+  822 KB load array to a sweep of light scenario specs.
+* :func:`sweep_stream` pulls an arbitrarily long grid through the
+  executor chunk by chunk and feeds each result straight into
+  :mod:`repro.analysis.streaming` reducers, so million-point sweeps run
+  in O(chunksize) memory instead of materializing a result list.
+
 >>> from repro.analysis.sweep import sweep_map
 >>> sweep_map(abs, [-2, 3, -5], parallel=False)
 [2, 3, 5]
@@ -29,13 +41,17 @@ import math
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from contextlib import contextmanager
+from itertools import islice
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, TypeVar
 
 from .. import perfconfig
+from ..exceptions import SweepExecutionError
 from ..observability import metrics as _metrics
 from ..observability import trace as _trace
+from .streaming import OnlineAggregator
 
-__all__ = ["sweep_map"]
+__all__ = ["sweep_map", "sweep_stream", "shared_payload"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -51,6 +67,67 @@ def _cpu_count() -> int:
         return len(os.sched_getaffinity(0)) or 1
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+#: Module-level slot for the sweep-wide shared payload.  In a pool worker
+#: it is set once by the pool initializer (under ``fork`` the payload is
+#: inherited, never pickled); on the serial path it is installed around
+#: the loop.  The sentinel distinguishes "nothing installed" from a
+#: legitimately falsy payload.
+_SHARED_UNSET: Any = object()
+_SHARED: Any = _SHARED_UNSET
+
+
+def _install_shared(payload: Any) -> None:
+    """Install the sweep-wide shared payload (pool initializer target)."""
+    global _SHARED
+    _SHARED = payload
+
+
+def shared_payload() -> Any:
+    """The read-only payload installed by a ``shared=`` sweep.
+
+    Per-point functions call this instead of carrying the payload in
+    every item, so megabyte-scale state (a year of metered load, a
+    shared price realization) crosses the process boundary once per
+    worker rather than once per grid point.
+
+    Returns
+    -------
+    Any
+        Whatever the driving sweep passed as ``shared=``.
+
+    Raises
+    ------
+    SweepExecutionError
+        When called outside a ``shared=`` sweep — the payload is only
+        installed for the duration of the map that declared it.
+
+    Examples
+    --------
+    >>> from repro.analysis.sweep import sweep_map, shared_payload
+    >>> def scaled(x):
+    ...     return x * shared_payload()["scale"]
+    >>> sweep_map(scaled, [1, 2, 3], parallel=False, shared={"scale": 10})
+    [10, 20, 30]
+    """
+    if _SHARED is _SHARED_UNSET:
+        raise SweepExecutionError(
+            "no shared payload installed: shared_payload() is only valid "
+            "inside a sweep_map/sweep_stream call that passed shared=..."
+        )
+    return _SHARED
+
+
+@contextmanager
+def _shared_installed(payload: Any) -> Iterator[None]:
+    """Install ``payload`` for the duration of a serial (in-process) map."""
+    prev = _SHARED
+    _install_shared(payload)
+    try:
+        yield
+    finally:
+        _install_shared(prev)
 
 
 def _picklable(*objects) -> bool:
@@ -87,6 +164,7 @@ def sweep_map(
     journal: Optional[str] = None,
     sweep_id: str = "sweep",
     journal_params: Optional[dict] = None,
+    shared: Any = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -130,6 +208,12 @@ SweepReport`.
         the sweep where it stopped.
     sweep_id / journal_params:
         Identity and resume recipe stored in a fresh journal's header.
+    shared:
+        Optional read-only payload made available to ``fn`` through
+        :func:`shared_payload` instead of being pickled into every item.
+        Installed once per worker by the pool initializer (zero-copy
+        under ``fork``), or around the loop on the serial path.  Must be
+        picklable on platforms whose pools ``spawn``.
 
     Returns
     -------
@@ -178,6 +262,7 @@ SweepReport`.
             journal=journal,
             sweep_id=sweep_id,
             journal_params=journal_params,
+            shared=shared,
         )
         report = sup.run(fn, work)
         return report.require_complete()
@@ -192,13 +277,28 @@ SweepReport`.
         if observed:
             _metrics.inc("sweep.pickle_fallback")
     if not observed:
-        return _run(fn, work, parallel, max_workers, cpus, chunksize)
+        return _run(fn, work, parallel, max_workers, cpus, chunksize, shared)
     _metrics.inc("sweep.batches")
     _metrics.inc("sweep.items", len(work))
     _metrics.inc("sweep.parallel_batches" if parallel else "sweep.serial_batches")
     with _trace.span("sweep_map", n_items=len(work), parallel=bool(parallel)):
         with _metrics.registry().timer("sweep.batch_s").time():
-            return _run(fn, work, parallel, max_workers, cpus, chunksize)
+            return _run(fn, work, parallel, max_workers, cpus, chunksize, shared)
+
+
+def _pool_kwargs(shared: Any) -> Dict[str, Any]:
+    """Executor kwargs installing ``shared`` once per worker (if any)."""
+    if shared is None:
+        return {}
+    return {"initializer": _install_shared, "initargs": (shared,)}
+
+
+def _serial_map(fn: Callable[[T], R], work: Iterable[T], shared: Any) -> List[R]:
+    """The serial loop, with the shared payload installed around it."""
+    if shared is None:
+        return [fn(x) for x in work]
+    with _shared_installed(shared):
+        return [fn(x) for x in work]
 
 
 def _run(
@@ -208,10 +308,11 @@ def _run(
     max_workers: Optional[int],
     cpus: int,
     chunksize: Optional[int],
+    shared: Any = None,
 ) -> List[R]:
     """The execution core of :func:`sweep_map` (post mode decision)."""
     if not parallel:
-        return [fn(x) for x in work]
+        return _serial_map(fn, work, shared)
     observed = perfconfig.observability_enabled()
     workers = max_workers or min(cpus, len(work))
     workers = max(1, int(workers))
@@ -220,7 +321,7 @@ def _run(
     if chunksize is None:
         chunksize = max(1, math.ceil(len(work) / (workers * 4)))
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(max_workers=workers, **_pool_kwargs(shared)) as pool:
             # executor.map preserves input order regardless of completion
             # order, which is what keeps parallel == serial.
             return list(pool.map(fn, work, chunksize=chunksize))
@@ -229,4 +330,137 @@ def _run(
         # degrade to the serial loop rather than failing the study.
         if observed:
             _metrics.inc("sweep.pool_fallback")
-        return [fn(x) for x in work]
+        return _serial_map(fn, work, shared)
+
+
+def sweep_stream(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    aggregators: Dict[str, OnlineAggregator],
+    *,
+    chunksize: int = 1024,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    shared: Any = None,
+) -> Dict[str, Any]:
+    """Stream ``fn`` over ``items`` into online reducers, in O(chunksize) memory.
+
+    The streaming counterpart of :func:`sweep_map` for grids too large to
+    materialize: ``items`` may be any iterable (including a generator)
+    and is consumed ``chunksize`` points at a time; each chunk's results
+    are fed straight into the reducers and dropped, so peak retained
+    state is one chunk of items plus one chunk of results regardless of
+    grid length.
+
+    The reducers see results in grid index order — the same order a
+    materialized :func:`sweep_map` would produce — so a streamed sweep
+    reduces bit-identically to list-then-reduce on the same grid.
+
+    Parameters
+    ----------
+    fn:
+        The per-point work; same purity/picklability contract as
+        :func:`sweep_map`.
+    items:
+        Scenario points; consumed lazily, never materialized in full.
+    aggregators:
+        Name -> :class:`~repro.analysis.streaming.OnlineAggregator`; each
+        result is folded into every reducer.
+    chunksize:
+        Points pulled (and retained) per dispatch round.
+    parallel:
+        As :func:`sweep_map`, but the auto decision cannot see the grid
+        length (the grid is not materialized), so auto mode uses a pool
+        whenever more than one CPU is available and the payload pickles.
+    max_workers:
+        Pool size; defaults to the available CPU count.
+    shared:
+        Read-only payload exposed to ``fn`` via :func:`shared_payload`,
+        as in :func:`sweep_map`.
+
+    Returns
+    -------
+    dict
+        Name -> ``aggregator.result()``.
+
+    Raises
+    ------
+    SweepExecutionError
+        On a non-positive ``chunksize``.
+
+    Examples
+    --------
+    >>> from repro.analysis.streaming import Count, Mean
+    >>> out = sweep_stream(
+    ...     abs, iter(range(-500, 500)), {"n": Count(), "mean": Mean()},
+    ...     chunksize=64, parallel=False)
+    >>> (out["n"], round(out["mean"], 3))
+    (1000, 249.75)
+    """
+    if chunksize <= 0:
+        raise SweepExecutionError(f"chunksize must be positive, got {chunksize}")
+    observed = perfconfig.observability_enabled()
+    cpus = _cpu_count()
+    aggs = list(aggregators.values())
+    it = iter(items)
+    first_chunk = list(islice(it, chunksize))
+    if parallel is None:
+        parallel = cpus > 1 and len(first_chunk) >= AUTO_PARALLEL_MIN_ITEMS
+    if parallel and first_chunk and not _picklable(fn, first_chunk[0]):
+        parallel = False
+        if observed:
+            _metrics.inc("sweep.pickle_fallback")
+    workers = max(1, int(max_workers or cpus))
+    n_items = 0
+    n_chunks = 0
+
+    def _consume(pool: Optional[ProcessPoolExecutor]) -> None:
+        nonlocal n_items, n_chunks
+        chunk = first_chunk
+        while chunk:
+            if pool is not None:
+                inner = max(1, math.ceil(len(chunk) / (workers * 4)))
+                results: Iterable[R] = pool.map(fn, chunk, chunksize=inner)
+            else:
+                results = (fn(x) for x in chunk)
+            for r in results:
+                for agg in aggs:
+                    agg.update(r)
+            n_items += len(chunk)
+            n_chunks += 1
+            chunk = list(islice(it, chunksize))
+
+    def _serial_stream() -> None:
+        if shared is None:
+            _consume(None)
+        else:
+            with _shared_installed(shared):
+                _consume(None)
+
+    def _stream() -> None:
+        if not parallel:
+            _serial_stream()
+            return
+        # Only pool *creation* degrades to the serial loop: once chunks
+        # start feeding the reducers, a restart would double-count.
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers, **_pool_kwargs(shared))
+        except OSError:  # pragma: no cover - env-specific (no fork/spawn)
+            # Cold path: re-read the switch rather than close over it, so
+            # this nested function is self-contained for the RPL030 gate.
+            if perfconfig.observability_enabled():
+                _metrics.inc("sweep.pool_fallback")
+            _serial_stream()
+            return
+        with pool:
+            _consume(pool)
+
+    if not observed:
+        _stream()
+    else:
+        with _trace.span("sweep_stream", parallel=bool(parallel), chunksize=chunksize):
+            with _metrics.registry().timer("sweep.stream_s").time():
+                _stream()
+        _metrics.inc("sweep.stream_chunks", n_chunks)
+        _metrics.inc("sweep.stream_items", n_items)
+    return {name: agg.result() for name, agg in aggregators.items()}

@@ -183,7 +183,7 @@ class RunManifest:
         >>> RunManifest.from_json(m.to_json(indent=2)) == m
         True
         """
-        return json.dumps(self.to_dict(), indent=indent, default=str)
+        return json.dumps(self.to_dict(), indent=indent, default=str, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "RunManifest":

@@ -22,7 +22,11 @@ the production-reality layer on top:
   serial-degradation circuit breaker and poison-item quarantine;
 * :mod:`~repro.robustness.journal` — the append-only, fsync'd JSONL
   checkpoint (``repro-journal-v1``) that makes an interrupted supervised
-  sweep resumable, bit-identically.
+  sweep resumable, bit-identically;
+* :mod:`~repro.robustness.shards` — the sharded sweep fabric: one sweep
+  directory, one journal per shard, lease-based claims with heartbeat
+  renewal and work-stealing across independent worker processes, and a
+  deterministic merge back into a single :class:`SweepReport`.
 """
 
 from .faults import (
@@ -50,6 +54,7 @@ from .chaos import (
     ChaosRunResult,
     ChaosScenario,
     DegradationReport,
+    chaos_grid,
     run_chaos_sweep,
     run_scenario,
 )
@@ -68,6 +73,22 @@ from .supervisor import (
     RetryPolicy,
     SweepReport,
     SweepSupervisor,
+)
+from .shards import (
+    MANIFEST_SCHEMA,
+    SHARD_SCHEMA,
+    ShardState,
+    ShardWorker,
+    ShardWorkerSummary,
+    SweepManifest,
+    create_sweep,
+    iter_merged_results,
+    merge_shard_journals,
+    read_manifest,
+    read_shard_journal,
+    resolve_leases,
+    run_sharded,
+    shard_ranges,
 )
 
 __all__ = [
@@ -91,6 +112,7 @@ __all__ = [
     "DegradationReport",
     "run_scenario",
     "run_chaos_sweep",
+    "chaos_grid",
     "JOURNAL_SCHEMA",
     "JournalHeader",
     "JournalState",
@@ -103,4 +125,18 @@ __all__ = [
     "QuarantinedItem",
     "SweepReport",
     "SweepSupervisor",
+    "SHARD_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "SweepManifest",
+    "ShardState",
+    "ShardWorker",
+    "ShardWorkerSummary",
+    "shard_ranges",
+    "create_sweep",
+    "read_manifest",
+    "read_shard_journal",
+    "resolve_leases",
+    "run_sharded",
+    "iter_merged_results",
+    "merge_shard_journals",
 ]

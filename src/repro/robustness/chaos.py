@@ -31,7 +31,7 @@ import os
 import threading
 import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import perfconfig
 from ..analysis.scenarios import synthetic_sc_load
@@ -64,6 +64,7 @@ __all__ = [
     "DegradationReport",
     "run_scenario",
     "run_chaos_sweep",
+    "chaos_grid",
 ]
 
 DAY_S = 86_400.0
@@ -587,6 +588,52 @@ def _run_scenario_impl(
     )
 
 
+def chaos_grid(
+    params: Dict[str, Any],
+) -> Tuple[List[ChaosScenario], Callable[[ChaosScenario], ChaosRunResult]]:
+    """Rebuild a chaos sweep's grid and point function from its recipe.
+
+    ``params`` is the recipe dict :func:`run_chaos_sweep` stores in
+    journal headers and sharded-sweep manifests (``dropout_rates``,
+    ``loss_probabilities``, ``seed``, ``horizon_days``, ``peak_mw``,
+    ``bill_error_tolerance``, ``fastpath``, ``use_world_cache``,
+    ``slow_s``, ``kill_marker``; a ``kind`` key is ignored).  Scenario
+    order is the grid's row-major order — dropout outer, loss inner —
+    so a rebuilt grid fingerprints identically to the original, which
+    is what lets ``python -m repro sweep --fabric DIR --worker``
+    attach to a sweep directory from the manifest alone.
+
+    >>> grid, point_fn = chaos_grid({
+    ...     "dropout_rates": [0.0, 0.01], "loss_probabilities": [0.1]})
+    >>> [s.name for s in grid]
+    ['dropout=0%, loss=10%', 'dropout=1%, loss=10%']
+    """
+    p = dict(params)
+    p.pop("kind", None)
+    seed = int(p.get("seed", 0))
+    scenarios = [
+        ChaosScenario(
+            name=f"dropout={dropout:.0%}, loss={loss:.0%}",
+            dropout_rate=float(dropout),
+            signal_loss_probability=float(loss),
+            seed=seed,
+            slow_s=float(p.get("slow_s", 0.0)),
+            kill_marker=p.get("kill_marker"),
+        )
+        for dropout in p.get("dropout_rates", (0.0, 0.01, 0.05))
+        for loss in p.get("loss_probabilities", (0.0, 0.1, 0.2))
+    ]
+    point_fn = functools.partial(
+        run_scenario,
+        horizon_days=int(p.get("horizon_days", 28)),
+        peak_mw=float(p.get("peak_mw", 8.0)),
+        bill_error_tolerance=float(p.get("bill_error_tolerance", 0.03)),
+        fastpath=bool(p.get("fastpath", True)),
+        use_world_cache=bool(p.get("use_world_cache", True)),
+    )
+    return scenarios, point_fn
+
+
 def run_chaos_sweep(
     dropout_rates: Sequence[float] = (0.0, 0.01, 0.05),
     loss_probabilities: Sequence[float] = (0.0, 0.1, 0.2),
@@ -631,29 +678,22 @@ def run_chaos_sweep(
     recovery summary and quarantine count (readable via
     :func:`repro.observability.manifest.last_manifest`).
     """
-    scenarios = [
-        ChaosScenario(
-            name=f"dropout={dropout:.0%}, loss={loss:.0%}",
-            dropout_rate=dropout,
-            signal_loss_probability=loss,
-            seed=seed,
-            slow_s=slow_s,
-            kill_marker=kill_marker,
-        )
-        for dropout in dropout_rates
-        for loss in loss_probabilities
-    ]
+    recipe = {
+        "dropout_rates": [float(d) for d in dropout_rates],
+        "loss_probabilities": [float(p) for p in loss_probabilities],
+        "seed": int(seed),
+        "horizon_days": int(horizon_days),
+        "peak_mw": float(peak_mw),
+        "bill_error_tolerance": float(bill_error_tolerance),
+        "fastpath": bool(fastpath),
+        "use_world_cache": bool(use_world_cache),
+        "slow_s": float(slow_s),
+        "kill_marker": kill_marker,
+    }
+    scenarios, point_fn = chaos_grid(recipe)
     observed = perfconfig.observability_enabled()
     wall0 = _time.perf_counter() if observed else 0.0
     cpu0 = _time.process_time() if observed else 0.0
-    point_fn = functools.partial(
-        run_scenario,
-        horizon_days=horizon_days,
-        peak_mw=peak_mw,
-        bill_error_tolerance=bill_error_tolerance,
-        fastpath=fastpath,
-        use_world_cache=use_world_cache,
-    )
     sweep_report = None
     if supervised or retry is not None or journal is not None:
         from .supervisor import SweepSupervisor
@@ -663,19 +703,7 @@ def run_chaos_sweep(
             parallel=parallel,
             journal=journal,
             sweep_id="chaos_sweep",
-            journal_params={
-                "kind": "chaos_sweep",
-                "dropout_rates": [float(d) for d in dropout_rates],
-                "loss_probabilities": [float(p) for p in loss_probabilities],
-                "seed": int(seed),
-                "horizon_days": int(horizon_days),
-                "peak_mw": float(peak_mw),
-                "bill_error_tolerance": float(bill_error_tolerance),
-                "fastpath": bool(fastpath),
-                "use_world_cache": bool(use_world_cache),
-                "slow_s": float(slow_s),
-                "kill_marker": kill_marker,
-            },
+            journal_params={"kind": "chaos_sweep", **recipe},
         )
         sweep_report = supervisor.run(point_fn, scenarios)
         results = [r for r in sweep_report.results if r is not None]

@@ -1,0 +1,1318 @@
+"""Sharded sweep fabric: journal leases, work-stealing, deterministic merge.
+
+The PR-5 runtime (:mod:`~repro.robustness.supervisor` +
+:mod:`~repro.robustness.journal`) makes *one* process's sweep crash-safe.
+This module scales that contract out: a grid is partitioned into
+contiguous **shards**, each backed by its own append-only fsync'd journal
+file under one sweep directory, and any number of **independent worker
+processes** — started at different times, on different terminals, even
+after a crash — cooperate through the journals alone.  There is no
+coordinator process and no lock server; the filesystem is the protocol.
+
+Coordination is lease-based:
+
+* a worker **claims** a shard by appending a lease record (owner id,
+  wall-clock deadline) to the shard journal and re-reading it — if its
+  claim is the winning one under :func:`resolve_leases`, the shard is
+  his; otherwise another worker got there first and he moves on;
+* while working, the owner **heartbeats** (appends a fresh deadline), so
+  a live worker on a slow shard is never preempted;
+* a worker that vanishes — SIGKILL, OOM, power loss — simply stops
+  heart-beating.  Once its deadline passes, the shard is **stolen**: any
+  other worker claims it and resumes from the last fsync'd record, re-
+  computing only the unrecorded tail.
+
+Because every grid point is pure and self-seeded, recovery never changes
+a result: :func:`merge_shard_journals` folds the shard journals into one
+:class:`~repro.robustness.supervisor.SweepReport` whose results are
+**bit-identical** to the uninterrupted serial run, with the recovery
+story (claims, steals, resumes, quarantines) preserved as provenance.
+
+>>> import tempfile
+>>> d = tempfile.mkdtemp()
+>>> manifest = create_sweep(d, [-3, 1, -2, 5], n_shards=2)
+>>> ShardWorker(d, abs, [-3, 1, -2, 5], owner="w0").run().n_items_computed
+4
+>>> merge_shard_journals(d).results
+[3, 1, 2, 5]
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from .. import perfconfig
+from ..exceptions import SweepExecutionError
+from ..observability import metrics as _metrics
+from ..observability import trace as _trace
+from .journal import _PICKLE_PROTOCOL, _decode_item, _parse_line, item_fingerprint
+from .supervisor import ItemRecord, QuarantinedItem, RetryPolicy, SweepReport
+
+__all__ = [
+    "SHARD_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_NAME",
+    "shard_ranges",
+    "shard_path",
+    "grid_fingerprint",
+    "SweepManifest",
+    "create_sweep",
+    "read_manifest",
+    "Lease",
+    "LeaseEvent",
+    "LeaseAccounting",
+    "resolve_leases",
+    "ShardState",
+    "read_shard_journal",
+    "ShardWorkerSummary",
+    "ShardWorker",
+    "run_sharded",
+    "iter_merged_results",
+    "merge_shard_journals",
+]
+
+#: Format tag embedded in every shard journal's header line.
+SHARD_SCHEMA = "repro-shard-journal-v1"
+
+#: Format tag embedded in the sweep directory's manifest file.
+MANIFEST_SCHEMA = "repro-sweep-manifest-v1"
+
+#: File name of the sweep manifest inside the sweep directory.
+MANIFEST_NAME = "manifest.json"
+
+
+# -- partition ---------------------------------------------------------------
+
+
+def shard_ranges(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous ``[start, stop)`` ranges covering the grid.
+
+    The first ``n_items % n_shards`` shards carry one extra point, so no
+    two shards differ in size by more than one and concatenating the
+    ranges in shard order reproduces ``range(n_items)`` exactly — the
+    property the deterministic merge relies on.
+
+    >>> shard_ranges(7, 3)
+    [(0, 3), (3, 5), (5, 7)]
+    >>> shard_ranges(2, 4)
+    [(0, 1), (1, 2), (2, 2), (2, 2)]
+    """
+    if n_items < 0:
+        raise SweepExecutionError("n_items must be non-negative")
+    if n_shards < 1:
+        raise SweepExecutionError("n_shards must be >= 1")
+    base, rem = divmod(n_items, n_shards)
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for k in range(n_shards):
+        size = base + (1 if k < rem else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def shard_path(directory: Union[str, Path], shard_index: int) -> Path:
+    """The journal file of shard ``shard_index`` in a sweep directory.
+
+    >>> shard_path("/tmp/sweep", 3).name
+    'shard-0003.jsonl'
+    """
+    return Path(directory) / f"shard-{int(shard_index):04d}.jsonl"
+
+
+def grid_fingerprint(items: Sequence[Any]) -> str:
+    """Order-sensitive fingerprint of a whole grid (``sha256:<hex>``).
+
+    The streaming SHA-256 over every item's
+    :func:`~repro.robustness.journal.item_fingerprint`, so a worker can
+    prove it is attaching the *same* grid the sweep directory was created
+    for without the manifest storing per-item fingerprints (a million-
+    point grid would make that 64 MB of manifest).
+
+    >>> grid_fingerprint([1, 2]) == grid_fingerprint([1, 2])
+    True
+    >>> grid_fingerprint([1, 2]) == grid_fingerprint([2, 1])
+    False
+    """
+    digest = hashlib.sha256()
+    for item in items:
+        digest.update(item_fingerprint(item).encode("ascii"))
+    return "sha256:" + digest.hexdigest()
+
+
+# -- manifest ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepManifest:
+    """The sweep directory's identity: grid size, partition, resume recipe.
+
+    ``params`` is caller-defined JSON-safe data (harnesses store their
+    full grid recipe so ``python -m repro sweep --fabric DIR --worker``
+    can rebuild the item list from the directory alone);
+    ``grid_fingerprint`` pins the grid contents so a worker cannot
+    attach a different sweep definition to recorded results.
+
+    >>> m = SweepManifest(sweep_id="s", n_items=5, n_shards=2,
+    ...                   created_unix=0.0, grid_fingerprint="sha256:00")
+    >>> m.ranges()
+    [(0, 3), (3, 5)]
+    """
+
+    sweep_id: str
+    n_items: int
+    n_shards: int
+    created_unix: float
+    grid_fingerprint: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def ranges(self) -> List[Tuple[int, int]]:
+        """The shard partition (:func:`shard_ranges` of this manifest).
+
+        >>> SweepManifest("s", 4, 2, 0.0, "sha256:00").ranges()
+        [(0, 2), (2, 4)]
+        """
+        return shard_ranges(self.n_items, self.n_shards)
+
+
+def create_sweep(
+    directory: Union[str, Path],
+    items: Sequence[Any],
+    *,
+    n_shards: int,
+    sweep_id: str = "sweep",
+    params: Optional[Dict[str, Any]] = None,
+    clock: Callable[[], float] = time.time,
+) -> SweepManifest:
+    """Initialize a sweep directory: manifest plus one header-only journal per shard.
+
+    Creating is not racy the way claiming is — it happens once, before
+    workers attach — so an existing manifest is an error rather than a
+    resume (workers attach with :class:`ShardWorker`; re-initializing
+    a directory that already holds results would orphan them).
+
+    >>> import tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> create_sweep(d, [1, 2, 3], n_shards=2).n_shards
+    2
+    >>> sorted(p.name for p in Path(d).iterdir())
+    ['manifest.json', 'shard-0000.jsonl', 'shard-0001.jsonl']
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_file = directory / MANIFEST_NAME
+    if manifest_file.exists():
+        raise SweepExecutionError(
+            f"sweep directory {directory} already holds a manifest; "
+            "attach a ShardWorker to resume it, or point at a fresh directory"
+        )
+    work = list(items)
+    manifest = SweepManifest(
+        sweep_id=str(sweep_id),
+        n_items=len(work),
+        n_shards=int(n_shards),
+        created_unix=clock(),
+        grid_fingerprint=grid_fingerprint(work),
+        params=dict(params or {}),
+    )
+    ranges = manifest.ranges()  # validates n_shards >= 1
+    payload = {
+        "format": MANIFEST_SCHEMA,
+        "sweep_id": manifest.sweep_id,
+        "n_items": manifest.n_items,
+        "n_shards": manifest.n_shards,
+        "created_unix": manifest.created_unix,
+        "grid_fingerprint": manifest.grid_fingerprint,
+        "params": manifest.params,
+    }
+    manifest_file.write_text(
+        json.dumps(payload, sort_keys=True, ensure_ascii=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    for k in range(len(ranges)):
+        _write_shard_header(directory, manifest, k)
+    return manifest
+
+
+def _write_shard_header(
+    directory: Path, manifest: SweepManifest, k: int
+) -> bool:
+    """Create shard ``k``'s header-only journal; False if it already exists.
+
+    The header derives entirely from the manifest (including the
+    creation timestamp), so a recreated file is byte-identical to the
+    original — deleting a damaged shard and re-running a worker yields
+    the same bytes an uninterrupted sweep would have produced.
+    """
+    start, stop = manifest.ranges()[k]
+    header = {
+        "format": SHARD_SCHEMA,
+        "kind": "header",
+        "sweep_id": manifest.sweep_id,
+        "shard_index": k,
+        "n_shards": manifest.n_shards,
+        "start": start,
+        "stop": stop,
+        "created_unix": manifest.created_unix,
+    }
+    try:
+        with open(shard_path(directory, k), "x", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True, ensure_ascii=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+    except FileExistsError:
+        return False
+    return True
+
+
+def read_manifest(directory: Union[str, Path]) -> SweepManifest:
+    """Load and validate the sweep directory's manifest.
+
+    >>> import tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> _ = create_sweep(d, [1, 2], n_shards=1, sweep_id="demo")
+    >>> read_manifest(d).sweep_id
+    'demo'
+    """
+    directory = Path(directory)
+    manifest_file = directory / MANIFEST_NAME
+    try:
+        raw = manifest_file.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SweepExecutionError(
+            f"sweep directory {directory} has no readable {MANIFEST_NAME}: {exc}"
+        ) from exc
+    try:
+        obj = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SweepExecutionError(
+            f"sweep manifest {manifest_file} is not valid JSON ({exc.msg})"
+        ) from exc
+    if not isinstance(obj, dict) or obj.get("format") != MANIFEST_SCHEMA:
+        raise SweepExecutionError(
+            f"sweep manifest {manifest_file} is not a {MANIFEST_SCHEMA} "
+            f"manifest (format={obj.get('format') if isinstance(obj, dict) else None!r})"
+        )
+    try:
+        return SweepManifest(
+            sweep_id=str(obj["sweep_id"]),
+            n_items=int(obj["n_items"]),
+            n_shards=int(obj["n_shards"]),
+            created_unix=float(obj.get("created_unix", 0.0)),
+            grid_fingerprint=str(obj["grid_fingerprint"]),
+            params=dict(obj.get("params") or {}),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SweepExecutionError(
+            f"sweep manifest {manifest_file} is malformed "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+# -- leases ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lease:
+    """The shard's current holder: owner id and wall-clock deadline.
+
+    >>> Lease(owner="host-1", deadline_unix=100.0).owner
+    'host-1'
+    """
+
+    owner: str
+    deadline_unix: float
+
+    def active(self, now_unix: float) -> bool:
+        """True while ``now_unix`` (epoch seconds) is before the deadline.
+
+        >>> Lease("w", 10.0).active(9.0), Lease("w", 10.0).active(10.0)
+        (True, False)
+        """
+        return now_unix < self.deadline_unix
+
+
+@dataclass(frozen=True)
+class LeaseEvent:
+    """One lease record from a shard journal, in append order.
+
+    ``action`` is ``"claim"``, ``"heartbeat"`` or ``"release"``;
+    ``t_unix`` is the appender's clock at append time and
+    ``deadline_unix`` the lease expiry the record asserts.
+
+    >>> LeaseEvent(action="claim", owner="w0", t_unix=1.0,
+    ...            deadline_unix=31.0).action
+    'claim'
+    """
+
+    action: str
+    owner: str
+    t_unix: float
+    deadline_unix: float
+
+
+@dataclass(frozen=True)
+class LeaseAccounting:
+    """What :func:`resolve_leases` concluded from one shard's lease log.
+
+    ``holder`` is the lease in force after the last event (``None`` after
+    a release or when never claimed) and ``holder_kind`` how it was
+    acquired (``"first"``, ``"steal"`` or ``"resume"``).  The counters
+    partition every *accepted* claim:
+    ``n_claims == n_first + n_steals + n_resumes`` — the conservation law
+    :meth:`repro.robustness.supervisor.SweepReport.accounted` checks
+    after a merge.  ``n_rejected`` counts claims that lost the
+    append-and-verify race (appended while another owner's lease was
+    still active); they take nothing and count toward nothing.
+
+    >>> LeaseAccounting(holder=None, holder_kind=None, n_claims=0,
+    ...                 n_first=0, n_steals=0, n_resumes=0,
+    ...                 n_rejected=0).n_claims
+    0
+    """
+
+    holder: Optional[Lease]
+    holder_kind: Optional[str]
+    n_claims: int
+    n_first: int
+    n_steals: int
+    n_resumes: int
+    n_rejected: int
+
+
+def resolve_leases(events: Sequence[LeaseEvent]) -> LeaseAccounting:
+    """Replay a shard's lease log and decide who holds the lease.
+
+    The protocol is append-and-verify: appending a claim does not grant
+    the lease — winning this replay does, and every worker replays the
+    same log, so all of them reach the same verdict.  In file order:
+
+    * a **claim** is *rejected* when a different owner's lease is still
+      active at the claim's own append timestamp; otherwise it takes the
+      lease — as a *first* claim (shard never claimed before), a *steal*
+      (previous lease expired un-released, different owner) or a
+      *resume* (same owner again, or any claim after a clean release);
+    * a **heartbeat** refreshes the deadline, but only the current
+      holder's (a stale worker heart-beating a stolen shard is ignored);
+    * a **release** by the current holder clears the lease.
+
+    The verdict is a pure function of the event list, so it is stable
+    under re-reads and identical across workers.
+
+    >>> ev = [LeaseEvent("claim", "a", 0.0, 10.0),
+    ...       LeaseEvent("claim", "b", 5.0, 15.0),
+    ...       LeaseEvent("claim", "b", 20.0, 30.0)]
+    >>> acc = resolve_leases(ev)
+    >>> acc.holder.owner, acc.holder_kind, acc.n_rejected
+    ('b', 'steal', 1)
+    """
+    holder: Optional[Lease] = None
+    holder_kind: Optional[str] = None
+    claimed_once = False
+    n_claims = n_first = n_steals = n_resumes = n_rejected = 0
+    for ev in events:
+        if ev.action == "claim":
+            if (
+                holder is not None
+                and ev.owner != holder.owner
+                and holder.active(ev.t_unix)
+            ):
+                n_rejected += 1
+                continue
+            n_claims += 1
+            if not claimed_once:
+                kind = "first"
+                n_first += 1
+            elif holder is not None and ev.owner != holder.owner:
+                kind = "steal"
+                n_steals += 1
+            else:
+                kind = "resume"
+                n_resumes += 1
+            holder = Lease(owner=ev.owner, deadline_unix=ev.deadline_unix)
+            holder_kind = kind
+            claimed_once = True
+        elif ev.action == "heartbeat":
+            if holder is not None and ev.owner == holder.owner:
+                holder = Lease(owner=ev.owner, deadline_unix=ev.deadline_unix)
+        elif ev.action == "release":
+            if holder is not None and ev.owner == holder.owner:
+                holder = None
+                holder_kind = None
+        else:
+            raise SweepExecutionError(
+                f"unknown lease action {ev.action!r} in shard journal"
+            )
+    return LeaseAccounting(
+        holder=holder,
+        holder_kind=holder_kind,
+        n_claims=n_claims,
+        n_first=n_first,
+        n_steals=n_steals,
+        n_resumes=n_resumes,
+        n_rejected=n_rejected,
+    )
+
+
+# -- shard journal I/O -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardState:
+    """Everything recovered from one shard journal file.
+
+    ``results`` / ``fingerprints`` / ``attempts`` are keyed by *global*
+    grid index; ``quarantined`` maps index to the terminal reason;
+    ``lease_events`` is the full lease log in append order.
+    ``n_dropped`` is 1 when a torn final line was discarded and
+    ``clean_size`` the byte length of the valid prefix (the attach point
+    for the next append).
+
+    >>> s = ShardState(sweep_id="s", shard_index=0, n_shards=1, start=0,
+    ...                stop=2, results={}, fingerprints={}, attempts={},
+    ...                quarantined={}, lease_events=(), n_dropped=0,
+    ...                clean_size=10)
+    >>> s.pending()
+    [0, 1]
+    """
+
+    sweep_id: str
+    shard_index: int
+    n_shards: int
+    start: int
+    stop: int
+    results: Dict[int, Any]
+    fingerprints: Dict[int, str]
+    attempts: Dict[int, int]
+    quarantined: Dict[int, str]
+    lease_events: Tuple[LeaseEvent, ...]
+    n_dropped: int
+    clean_size: int
+
+    def pending(self) -> List[int]:
+        """Global indices of this shard not yet settled or quarantined.
+
+        >>> ShardState("s", 0, 1, 0, 3, {1: "r"}, {1: "f"}, {1: 1},
+        ...            {2: "boom"}, (), 0, 0).pending()
+        [0]
+        """
+        done = set(self.results) | set(self.quarantined)
+        return [i for i in range(self.start, self.stop) if i not in done]
+
+    @property
+    def complete(self) -> bool:
+        """True when every index of the shard is settled or quarantined."""
+        return not self.pending()
+
+
+def _corruption_hint(path: Path) -> str:
+    """The operator remedy appended to mid-file shard corruption errors."""
+    return (
+        f"; quarantine or delete shard file {path.name} and re-run a worker "
+        f"— other shards in {path.parent} are unaffected"
+    )
+
+
+def read_shard_journal(path: Union[str, Path]) -> ShardState:
+    """Recover one shard's state from its journal file.
+
+    Same crash asymmetry as :func:`~repro.robustness.journal.read_journal`:
+    a torn *final* line is expected damage and is dropped; corruption
+    anywhere earlier raises :class:`~repro.exceptions.SweepExecutionError`
+    naming **this shard's path and line** plus the remedy — quarantine
+    the one shard file and re-run a worker; the rest of the sweep
+    directory stays valid.
+
+    >>> import tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> _ = create_sweep(d, [4, 9], n_shards=1)
+    >>> state = read_shard_journal(shard_path(d, 0))
+    >>> (state.start, state.stop, state.pending())
+    (0, 2, [0, 1])
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SweepExecutionError(
+            f"cannot read shard journal {path}: {exc}"
+        ) from exc
+    if not raw:
+        raise SweepExecutionError(
+            f"shard journal {path} is empty (no header line)"
+            + _corruption_hint(path)
+        )
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    label = str(path)
+    n_dropped = 0
+    clean_size = 0
+    header: Optional[Dict[str, Any]] = None
+    results: Dict[int, Any] = {}
+    fingerprints: Dict[int, str] = {}
+    attempts: Dict[int, int] = {}
+    quarantined: Dict[int, str] = {}
+    events: List[LeaseEvent] = []
+    for i, line in enumerate(lines, 1):
+        is_last = i == len(lines)
+        try:
+            obj = _parse_line(line, i, label)
+            if i == 1:
+                if obj.get("format") != SHARD_SCHEMA:
+                    raise SweepExecutionError(
+                        f"shard journal {label} line 1 is not a "
+                        f"{SHARD_SCHEMA} header (format={obj.get('format')!r})"
+                    )
+                header = obj
+                start, stop = int(obj["start"]), int(obj["stop"])
+            elif obj.get("kind") == "lease":
+                events.append(
+                    LeaseEvent(
+                        action=str(obj["action"]),
+                        owner=str(obj["owner"]),
+                        t_unix=float(obj["t_unix"]),
+                        deadline_unix=float(obj["deadline_unix"]),
+                    )
+                )
+            elif obj.get("kind") == "quarantine":
+                index = int(obj["index"])
+                if not start <= index < stop:
+                    raise SweepExecutionError(
+                        f"shard journal {label} line {i}: index {index} "
+                        f"outside this shard's range [{start}, {stop})"
+                    )
+                quarantined[index] = str(obj.get("reason", "unknown"))
+                fingerprints[index] = str(obj.get("fingerprint", ""))
+                attempts[index] = int(obj.get("attempts", 1))
+            else:
+                index, fingerprint, result = _decode_item(obj, i, label)
+                assert header is not None
+                if not start <= index < stop:
+                    raise SweepExecutionError(
+                        f"shard journal {label} line {i}: index {index} "
+                        f"outside this shard's range [{start}, {stop})"
+                    )
+                if index in fingerprints and fingerprints[index] != fingerprint:
+                    raise SweepExecutionError(
+                        f"shard journal {label} line {i}: item {index} "
+                        "recorded twice with different fingerprints"
+                    )
+                results[index] = result
+                fingerprints[index] = fingerprint
+                attempts[index] = int(obj.get("attempts", 1))
+        except SweepExecutionError as exc:
+            if is_last and i > 1:
+                n_dropped = 1
+                break
+            raise SweepExecutionError(str(exc) + _corruption_hint(path)) from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            if is_last and i > 1:
+                n_dropped = 1
+                break
+            raise SweepExecutionError(
+                f"shard journal {label} corrupted at line {i}: malformed "
+                f"record ({type(exc).__name__}: {exc})" + _corruption_hint(path)
+            ) from exc
+        clean_size += len(line.encode("utf-8")) + 1
+    if header is None:  # pragma: no cover - unreachable (line 1 raises)
+        raise SweepExecutionError(f"shard journal {label} has no header")
+    return ShardState(
+        sweep_id=str(header.get("sweep_id", "sweep")),
+        shard_index=int(header["shard_index"]),
+        n_shards=int(header["n_shards"]),
+        start=int(header["start"]),
+        stop=int(header["stop"]),
+        results=results,
+        fingerprints=fingerprints,
+        attempts=attempts,
+        quarantined=quarantined,
+        lease_events=tuple(events),
+        n_dropped=n_dropped,
+        clean_size=clean_size,
+    )
+
+
+class _ShardAppender:
+    """Append-side handle on one shard journal (truncates a torn tail)."""
+
+    def __init__(self, path: Path, clean_size: int, n_dropped: int) -> None:
+        self.path = path
+        if n_dropped:
+            with open(path, "r+b") as fh:
+                fh.truncate(clean_size)
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def append(self, obj: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(obj, sort_keys=True, ensure_ascii=True))
+        self._handle.write("\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+# -- the worker --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardWorkerSummary:
+    """What one :meth:`ShardWorker.run` call did.
+
+    ``n_steals`` counts shards this worker took over from an expired
+    lease; ``aborted`` is True when the run stopped early because the
+    ``max_items`` crash-simulation budget ran out (the lease is left
+    un-released on purpose, exactly like a killed worker).
+
+    >>> ShardWorkerSummary(owner="w0", n_shards_completed=2,
+    ...                    n_items_computed=10, n_claims=2, n_steals=0,
+    ...                    aborted=False).n_claims
+    2
+    """
+
+    owner: str
+    n_shards_completed: int
+    n_items_computed: int
+    n_claims: int
+    n_steals: int
+    aborted: bool
+
+
+class ShardWorker:
+    """One worker process of a sharded sweep.
+
+    The worker scans the shard journals in shard order, claims the first
+    claimable one (never claimed, released, or expired — the latter is a
+    **steal**), settles its pending points one fsync'd record at a time,
+    heart-beats its lease while doing so, releases the shard and moves
+    on.  With ``wait=True`` (the default for :meth:`run`) it keeps
+    polling until every shard is complete, sleeping until the earliest
+    foreign lease can expire — so a fleet of workers self-heals around
+    any member that dies.
+
+    Parameters
+    ----------
+    directory:
+        The sweep directory (:func:`create_sweep`).
+    fn:
+        The per-point function; pure and self-seeded, like every sweep.
+    items:
+        The full grid, identical across workers; verified against the
+        manifest's ``grid_fingerprint`` before any work happens.
+    owner:
+        Lease owner id; must be unique per worker process (defaults to
+        ``<hostname>-<pid>``).
+    lease_s:
+        Lease duration; a worker silent for this long forfeits its shard.
+    heartbeat_s:
+        Deadline-refresh cadence (default ``lease_s / 3``).
+    retry:
+        :class:`~repro.robustness.supervisor.RetryPolicy` applied to
+        each point (serial, in-process): a failing point is retried with
+        capped backoff and quarantined — recorded in the shard journal —
+        when its attempt budget runs out.
+    clock:
+        Wall-clock source (injectable for deterministic lease tests).
+    poll_s:
+        Idle re-scan cadence while waiting on foreign leases.
+    max_items:
+        Crash simulation: stop (without releasing!) after recording this
+        many items, like a worker killed mid-shard.
+    shared:
+        Payload installed via
+        :func:`repro.analysis.sweep.shared_payload` while ``fn`` runs.
+
+    >>> import tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> _ = create_sweep(d, [-1, -2, -3], n_shards=3)
+    >>> ShardWorker(d, abs, [-1, -2, -3], owner="w0").run().n_shards_completed
+    3
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        owner: Optional[str] = None,
+        lease_s: float = 30.0,
+        heartbeat_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        clock: Callable[[], float] = time.time,
+        poll_s: float = 0.2,
+        max_items: Optional[int] = None,
+        shared: Any = None,
+    ) -> None:
+        if lease_s <= 0:
+            raise SweepExecutionError("lease_s must be positive")
+        if poll_s <= 0:
+            raise SweepExecutionError("poll_s must be positive")
+        self.directory = Path(directory)
+        self.fn = fn
+        self.items = list(items)
+        self.owner = owner or f"{socket.gethostname()}-{os.getpid()}"
+        self.lease_s = float(lease_s)
+        self.heartbeat_s = float(heartbeat_s) if heartbeat_s else self.lease_s / 3.0
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.clock = clock
+        self.poll_s = float(poll_s)
+        self.max_items = max_items
+        self.shared = shared
+        self.manifest = read_manifest(self.directory)
+        if self.manifest.n_items != len(self.items):
+            raise SweepExecutionError(
+                f"sweep directory {self.directory} records a "
+                f"{self.manifest.n_items}-item grid; this worker was given "
+                f"{len(self.items)} items"
+            )
+        if self.manifest.grid_fingerprint != grid_fingerprint(self.items):
+            raise SweepExecutionError(
+                f"sweep directory {self.directory} grid fingerprint mismatch "
+                "— the sweep definition changed since the directory was created"
+            )
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, wait: bool = True) -> ShardWorkerSummary:
+        """Claim-and-settle shards until the sweep is complete.
+
+        With ``wait=True`` the call returns only when every shard is
+        complete (this worker steals expired foreign leases along the
+        way); with ``wait=False`` it returns as soon as nothing is
+        claimable, leaving actively-leased shards to their owners.
+
+        While :func:`repro.perfconfig.observability_enabled` is true the
+        run executes inside a ``sweep.shard_worker`` trace span and
+        counts ``supervisor.leases_claimed`` / ``supervisor.leases_stolen``
+        per acquisition.
+
+        >>> import tempfile
+        >>> d = tempfile.mkdtemp()
+        >>> _ = create_sweep(d, [3, -4], n_shards=2)
+        >>> ShardWorker(d, abs, [3, -4], owner="w0").run().n_items_computed
+        2
+        """
+        observed = perfconfig.observability_enabled()
+        if not observed:
+            return self._run_impl(wait)
+        with _trace.span(
+            "sweep.shard_worker", owner=self.owner,
+            n_shards=self.manifest.n_shards,
+        ):
+            return self._run_impl(wait)
+
+    def _run_impl(self, wait: bool) -> ShardWorkerSummary:
+        # The shared payload stays installed for the whole run: this
+        # worker is the process that executes fn, no pool underneath.
+        from ..analysis.sweep import _shared_installed
+
+        if self.shared is None:
+            return self._scan_loop(wait)
+        with _shared_installed(self.shared):
+            return self._scan_loop(wait)
+
+    def _scan_loop(self, wait: bool) -> ShardWorkerSummary:
+        n_done = 0
+        n_items = 0
+        n_claims = 0
+        n_steals = 0
+        budget = self.max_items
+        while True:
+            progress = False
+            all_complete = True
+            foreign_deadlines: List[float] = []
+            for k in range(self.manifest.n_shards):
+                if not shard_path(self.directory, k).exists():
+                    # A quarantined (deleted) shard file: rebuild the
+                    # header from the manifest and recompute the shard.
+                    # open("x") makes concurrent rebuilders race safely.
+                    _write_shard_header(self.directory, self.manifest, k)
+                state = read_shard_journal(shard_path(self.directory, k))
+                self._check_shard_header(state, k)
+                if state.complete:
+                    continue
+                all_complete = False
+                claim = self._try_claim(state, k)
+                if claim is None:
+                    acc = resolve_leases(state.lease_events)
+                    if acc.holder is not None:
+                        foreign_deadlines.append(acc.holder.deadline_unix)
+                    continue
+                appender, stolen = claim
+                n_claims += 1
+                if stolen:
+                    n_steals += 1
+                try:
+                    done, budget = self._settle_shard(state, appender, budget)
+                finally:
+                    appender.close()
+                n_items += done
+                progress = True
+                if budget is not None and budget <= 0:
+                    # Simulated crash: lease stays un-released.
+                    return ShardWorkerSummary(
+                        owner=self.owner,
+                        n_shards_completed=n_done,
+                        n_items_computed=n_items,
+                        n_claims=n_claims,
+                        n_steals=n_steals,
+                        aborted=True,
+                    )
+                n_done += 1
+            if all_complete:
+                break
+            if not progress:
+                if not wait:
+                    break
+                now = self.clock()
+                sleep_s = self.poll_s
+                if foreign_deadlines:
+                    sleep_s = min(sleep_s, max(min(foreign_deadlines) - now, 0.01))
+                time.sleep(sleep_s)
+        return ShardWorkerSummary(
+            owner=self.owner,
+            n_shards_completed=n_done,
+            n_items_computed=n_items,
+            n_claims=n_claims,
+            n_steals=n_steals,
+            aborted=False,
+        )
+
+    # -- claim protocol ----------------------------------------------------
+
+    def _check_shard_header(self, state: ShardState, k: int) -> None:
+        start, stop = self.manifest.ranges()[k]
+        if (
+            state.sweep_id != self.manifest.sweep_id
+            or state.shard_index != k
+            or state.n_shards != self.manifest.n_shards
+            or (state.start, state.stop) != (start, stop)
+        ):
+            raise SweepExecutionError(
+                f"shard journal {shard_path(self.directory, k)} header does "
+                f"not match the sweep manifest (sweep {self.manifest.sweep_id!r}, "
+                f"shard {k} of {self.manifest.n_shards}, range [{start}, {stop}))"
+            )
+
+    def _try_claim(
+        self, state: ShardState, k: int
+    ) -> Optional[Tuple[_ShardAppender, bool]]:
+        """Append-and-verify a claim on shard ``k``; None when lost/held."""
+        now = self.clock()
+        acc = resolve_leases(state.lease_events)
+        holder = acc.holder
+        if holder is not None and holder.owner != self.owner and holder.active(now):
+            return None
+        stolen = (
+            holder is not None
+            and holder.owner != self.owner
+            and not holder.active(now)
+        )
+        path = shard_path(self.directory, k)
+        appender = _ShardAppender(path, state.clean_size, state.n_dropped)
+        appender.append(
+            {
+                "kind": "lease",
+                "action": "claim",
+                "owner": self.owner,
+                "t_unix": now,
+                "deadline_unix": now + self.lease_s,
+            }
+        )
+        # Verify: replay the log we just appended to.  Every contender
+        # runs the same replay, so exactly one of a racing pair proceeds.
+        verify = read_shard_journal(path)
+        acc = resolve_leases(verify.lease_events)
+        if acc.holder is None or acc.holder.owner != self.owner:
+            appender.close()
+            return None
+        observed = perfconfig.observability_enabled()
+        if observed:
+            _metrics.inc("supervisor.leases_claimed")
+            if stolen:
+                _metrics.inc("supervisor.leases_stolen")
+        return appender, stolen
+
+    # -- settling ----------------------------------------------------------
+
+    def _settle_shard(
+        self,
+        state: ShardState,
+        appender: _ShardAppender,
+        budget: Optional[int],
+    ) -> Tuple[int, Optional[int]]:
+        """Settle the shard's pending points; returns (n_done, budget left)."""
+        rng = np.random.default_rng(self.retry.seed)
+        renew_at = self.clock() + self.heartbeat_s
+        n_done = 0
+        for idx in state.pending():
+            if budget is not None and budget <= 0:
+                return n_done, budget
+            now = self.clock()
+            if now >= renew_at:
+                appender.append(
+                    {
+                        "kind": "lease",
+                        "action": "heartbeat",
+                        "owner": self.owner,
+                        "t_unix": now,
+                        "deadline_unix": now + self.lease_s,
+                    }
+                )
+                renew_at = now + self.heartbeat_s
+            item = self.items[idx]
+            fingerprint = item_fingerprint(item)
+            record = self._settle_item(idx, item, fingerprint, rng)
+            appender.append(record)
+            n_done += 1
+            if budget is not None:
+                budget -= 1
+        now = self.clock()
+        appender.append(
+            {
+                "kind": "lease",
+                "action": "release",
+                "owner": self.owner,
+                "t_unix": now,
+                "deadline_unix": now,
+            }
+        )
+        return n_done, budget
+
+    def _settle_item(
+        self,
+        idx: int,
+        item: Any,
+        fingerprint: str,
+        rng: np.random.Generator,
+    ) -> Dict[str, Any]:
+        """Run one point under the retry policy; item or quarantine record."""
+        last_error = "unknown"
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                time.sleep(self.retry.backoff_s(attempt - 1, float(rng.random())))
+            try:
+                result = self.fn(item)
+            except Exception as exc:  # the point's own failure
+                last_error = f"error: {exc!r}"
+                continue
+            try:
+                blob = pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                raise SweepExecutionError(
+                    f"result for item {idx} is not picklable and cannot be "
+                    f"journaled: {exc}"
+                ) from exc
+            return {
+                "kind": "item",
+                "index": idx,
+                "fingerprint": fingerprint,
+                "result": base64.b64encode(blob).decode("ascii"),
+                "attempts": attempt + 1,
+            }
+        return {
+            "kind": "quarantine",
+            "index": idx,
+            "fingerprint": fingerprint,
+            "reason": last_error,
+            "attempts": self.retry.max_attempts,
+        }
+
+
+# -- multi-process convenience ----------------------------------------------
+
+
+def _worker_entry(
+    directory: str,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    owner: str,
+    lease_s: float,
+    retry: Optional[RetryPolicy],
+    shared: Any,
+) -> None:
+    """Process target for :func:`run_sharded` (fork-inherited arguments)."""
+    worker = ShardWorker(
+        directory, fn, items,
+        owner=owner, lease_s=lease_s, retry=retry, shared=shared,
+    )
+    worker.run(wait=True)
+
+
+def run_sharded(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    directory: Union[str, Path],
+    *,
+    n_shards: int,
+    n_workers: int = 1,
+    lease_s: float = 30.0,
+    sweep_id: str = "sweep",
+    params: Optional[Dict[str, Any]] = None,
+    retry: Optional[RetryPolicy] = None,
+    shared: Any = None,
+) -> SweepReport:
+    """One-call sharded sweep: create, run ``n_workers`` processes, merge.
+
+    The convenience wrapper for harnesses and benchmarks: initializes
+    the sweep directory (unless it already has a manifest — then the
+    call *resumes* it), forks ``n_workers`` worker processes that claim
+    and settle shards cooperatively, joins them, and merges the shard
+    journals into one deterministic
+    :class:`~repro.robustness.supervisor.SweepReport`.
+
+    Worker processes are forked, so ``fn``, ``items`` and ``shared``
+    are inherited, not pickled — the whole point of the fabric's
+    dispatch model (one shard claim amortizes dispatch over the whole
+    chunk of points).
+
+    >>> import tempfile
+    >>> report = run_sharded(abs, [-5, 2, -1], tempfile.mkdtemp(),
+    ...                      n_shards=2, n_workers=1)
+    >>> report.results, report.n_shards
+    ([5, 2, 1], 2)
+    """
+    import multiprocessing
+
+    directory = Path(directory)
+    if not (directory / MANIFEST_NAME).exists():
+        create_sweep(
+            directory, items, n_shards=n_shards, sweep_id=sweep_id,
+            params=params,
+        )
+    if n_workers < 1:
+        raise SweepExecutionError("n_workers must be >= 1")
+    if n_workers == 1:
+        # No point forking a single worker: run it in-process.
+        ShardWorker(
+            directory, fn, items,
+            owner=f"{socket.gethostname()}-{os.getpid()}-w0",
+            lease_s=lease_s, retry=retry, shared=shared,
+        ).run(wait=True)
+    else:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = multiprocessing.get_context()
+        procs = []
+        for w in range(n_workers):
+            p = ctx.Process(
+                target=_worker_entry,
+                args=(
+                    str(directory), fn, list(items),
+                    f"{socket.gethostname()}-{os.getpid()}-w{w}",
+                    lease_s, retry, shared,
+                ),
+            )
+            p.start()
+            procs.append(p)
+        for p in procs:
+            p.join()
+    return merge_shard_journals(directory, items=items)
+
+
+# -- merge -------------------------------------------------------------------
+
+
+def iter_merged_results(directory: Union[str, Path]) -> Iterator[Any]:
+    """Yield a completed sharded sweep's results in global grid order.
+
+    Reads one shard journal at a time, so peak memory is O(largest
+    shard) no matter how large the grid — the streaming feed for
+    :mod:`repro.analysis.streaming` reducers over a merged sweep.
+    Raises when any index is missing or quarantined (a stream cannot
+    represent holes); use :func:`merge_shard_journals` with
+    ``allow_partial=True`` to inspect incomplete sweeps.
+
+    >>> import tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> _ = run_sharded(abs, [-1, -2, -3, -4], d, n_shards=2)
+    >>> list(iter_merged_results(d))
+    [1, 2, 3, 4]
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    for k, (start, stop) in enumerate(manifest.ranges()):
+        path = shard_path(directory, k)
+        state = read_shard_journal(path)
+        missing = [i for i in range(start, stop) if i not in state.results]
+        if missing:
+            raise SweepExecutionError(
+                f"sweep directory {directory} is incomplete: shard {k} "
+                f"({path.name}) is missing result(s) for "
+                f"{_fmt_indices(missing)}; run a worker to completion first"
+            )
+        for idx in range(start, stop):
+            yield state.results[idx]
+
+
+def _fmt_indices(indices: Sequence[int], limit: int = 8) -> str:
+    shown = ", ".join(str(i) for i in indices[:limit])
+    extra = len(indices) - limit
+    return f"indices [{shown}{f', … +{extra} more' if extra > 0 else ''}]"
+
+
+def merge_shard_journals(
+    directory: Union[str, Path],
+    *,
+    items: Optional[Sequence[Any]] = None,
+    allow_partial: bool = False,
+) -> SweepReport:
+    """Fold a sweep directory's shard journals into one :class:`SweepReport`.
+
+    The merge is deterministic: results land at their global indices in
+    grid order, item records carry the journaled fingerprints, and the
+    lease logs are replayed (:func:`resolve_leases`) into the report's
+    claim/steal/resume counters — so
+    :meth:`~repro.robustness.supervisor.SweepReport.accounted` can check
+    the lease conservation law after any recovery story.  Two runs of
+    the same grid — three workers with one killed and stolen, or one
+    serial worker — merge to bit-identical results.
+
+    Parameters
+    ----------
+    directory:
+        The sweep directory.
+    items:
+        Optional grid for validation: the manifest's fingerprint is
+        checked and quarantine entries get real item reprs.
+    allow_partial:
+        Keep ``None`` holes for unsettled indices instead of raising.
+
+    >>> import tempfile
+    >>> d = tempfile.mkdtemp()
+    >>> report = run_sharded(abs, [-1, 2], d, n_shards=1)
+    >>> merge_shard_journals(d).results
+    [1, 2]
+    """
+    directory = Path(directory)
+    observed = perfconfig.observability_enabled()
+    manifest = read_manifest(directory)
+    if items is not None:
+        work = list(items)
+        if manifest.grid_fingerprint != grid_fingerprint(work):
+            raise SweepExecutionError(
+                f"sweep directory {directory} grid fingerprint mismatch — "
+                "these items are not the grid this sweep directory was "
+                "created for"
+            )
+    else:
+        work = None
+    results: List[Optional[Any]] = [None] * manifest.n_items
+    records: List[ItemRecord] = []
+    quarantined: List[QuarantinedItem] = []
+    missing: List[int] = []
+    n_retries = 0
+    n_claims = n_first = n_steals = n_resumes = 0
+    for k, (start, stop) in enumerate(manifest.ranges()):
+        path = shard_path(directory, k)
+        state = read_shard_journal(path)
+        if (
+            state.sweep_id != manifest.sweep_id
+            or state.shard_index != k
+            or state.n_shards != manifest.n_shards
+            or (state.start, state.stop) != (start, stop)
+        ):
+            raise SweepExecutionError(
+                f"shard journal {path} header does not match the sweep "
+                f"manifest (sweep {manifest.sweep_id!r}, shard {k} of "
+                f"{manifest.n_shards}, range [{start}, {stop}))"
+            )
+        acc = resolve_leases(state.lease_events)
+        n_claims += acc.n_claims
+        n_first += acc.n_first
+        n_steals += acc.n_steals
+        n_resumes += acc.n_resumes
+        for idx in range(start, stop):
+            if idx in state.results:
+                results[idx] = state.results[idx]
+                records.append(
+                    ItemRecord(
+                        index=idx,
+                        fingerprint=state.fingerprints[idx],
+                        status="ok",
+                        attempts=(),
+                    )
+                )
+                n_retries += max(0, state.attempts.get(idx, 1) - 1)
+            elif idx in state.quarantined:
+                records.append(
+                    ItemRecord(
+                        index=idx,
+                        fingerprint=state.fingerprints[idx],
+                        status="quarantined",
+                        attempts=(),
+                    )
+                )
+                quarantined.append(
+                    QuarantinedItem(
+                        index=idx,
+                        item_repr=(
+                            repr(work[idx]) if work is not None
+                            else "<journaled item>"
+                        ),
+                        fingerprint=state.fingerprints[idx],
+                        reason=state.quarantined[idx],
+                        attempts=(),
+                    )
+                )
+                n_retries += max(0, state.attempts.get(idx, 1) - 1)
+            else:
+                missing.append(idx)
+                records.append(
+                    ItemRecord(
+                        index=idx, fingerprint="", status="pending", attempts=(),
+                    )
+                )
+    if missing and not allow_partial:
+        raise SweepExecutionError(
+            f"sweep directory {directory} is incomplete: "
+            f"{_fmt_indices(missing)} have no journaled result; run a "
+            "worker to completion or merge with allow_partial=True"
+        )
+    if observed:
+        _metrics.inc("supervisor.shards_merged", manifest.n_shards)
+        with _trace.span(
+            "sweep.shard_merge", n_shards=manifest.n_shards,
+            n_items=manifest.n_items, n_steals=n_steals,
+        ):
+            pass
+    return SweepReport(
+        results=results,
+        records=tuple(records),
+        quarantined=tuple(quarantined),
+        resumed_indices=(),
+        n_retries=n_retries,
+        n_timeouts=0,
+        n_pool_rebuilds=0,
+        degraded_serial=False,
+        journal_path=str(directory),
+        n_shards=manifest.n_shards,
+        n_shards_claimed=n_first,
+        n_leases_claimed=n_claims,
+        n_leases_stolen=n_steals,
+        n_leases_resumed=n_resumes,
+    )

@@ -236,6 +236,16 @@ class SweepReport:
     poison log.  The accounting invariant — every index appears either in
     the results or the quarantine — is checked by :meth:`accounted`.
 
+    Reports merged from a sharded sweep directory
+    (:func:`repro.robustness.shards.merge_shard_journals`) additionally
+    carry lease provenance: ``n_shards`` / ``n_shards_claimed`` count the
+    partition, ``n_leases_claimed`` every valid lease acquisition, and
+    ``n_leases_stolen`` / ``n_leases_resumed`` split the re-acquisitions
+    into steals (expired lease taken by a *different* owner) and resumes
+    (same owner re-claiming, or claiming after a clean release).  For
+    such reports :meth:`accounted` also checks the lease conservation
+    law: every valid claim is exactly one first claim, steal, or resume.
+
     >>> report = SweepSupervisor(parallel=False).run(abs, [-1, 2])
     >>> report.ok, report.results
     (True, [1, 2])
@@ -250,6 +260,11 @@ class SweepReport:
     n_pool_rebuilds: int = 0
     degraded_serial: bool = False
     journal_path: Optional[str] = None
+    n_shards: int = 0
+    n_shards_claimed: int = 0
+    n_leases_claimed: int = 0
+    n_leases_stolen: int = 0
+    n_leases_resumed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -262,12 +277,30 @@ class SweepReport:
         return len(self.resumed_indices)
 
     def accounted(self) -> bool:
-        """The core invariant: results ∪ quarantine covers every item."""
+        """The core invariant: results ∪ quarantine covers every item.
+
+        For sharded reports (``n_shards > 0``) the lease conservation
+        law is checked too: ``n_leases_claimed == n_shards_claimed +
+        n_leases_stolen + n_leases_resumed`` with ``n_shards_claimed <=
+        n_shards`` — a steal that is not offset by a matching claim (or
+        vice versa) means lease provenance was lost in a merge.
+        """
         bad = {q.index for q in self.quarantined}
-        return all(
+        covered = all(
             (self.results[i] is None) == (i in bad)
             for i in range(len(self.results))
         )
+        if not covered:
+            return False
+        if self.n_shards:
+            return (
+                0 <= self.n_shards_claimed <= self.n_shards
+                and self.n_leases_stolen >= 0
+                and self.n_leases_resumed >= 0
+                and self.n_leases_claimed
+                == self.n_shards_claimed + self.n_leases_stolen + self.n_leases_resumed
+            )
+        return True
 
     def require_complete(self) -> List[Any]:
         """The full result list, or raise on any quarantined item.
@@ -290,7 +323,7 @@ class SweepReport:
         >>> s["n_items"], s["n_quarantined"]
         (1, 0)
         """
-        return {
+        summary = {
             "n_items": len(self.results),
             "n_ok": sum(1 for r in self.results if r is not None),
             "n_quarantined": len(self.quarantined),
@@ -301,6 +334,17 @@ class SweepReport:
             "degraded_serial": self.degraded_serial,
             "journal": self.journal_path,
         }
+        if self.n_shards:
+            summary.update(
+                {
+                    "n_shards": self.n_shards,
+                    "n_shards_claimed": self.n_shards_claimed,
+                    "n_leases_claimed": self.n_leases_claimed,
+                    "n_leases_stolen": self.n_leases_stolen,
+                    "n_leases_resumed": self.n_leases_resumed,
+                }
+            )
+        return summary
 
 
 # -- internal mutable per-item state -------------------------------------------
@@ -356,6 +400,11 @@ class SweepSupervisor:
         Identity and resume recipe stored in a fresh journal's header.
     poll_interval_s:
         Scheduler tick of the pool dispatch loop.
+    shared:
+        Optional read-only payload exposed to ``fn`` through
+        :func:`repro.analysis.sweep.shared_payload` — installed once per
+        pool worker by the initializer (zero-copy under ``fork``) or
+        around the serial loop, never pickled per item.
 
     >>> SweepSupervisor(parallel=False).run(abs, [-4]).results
     [4]
@@ -372,6 +421,7 @@ class SweepSupervisor:
         sweep_id: str = "sweep",
         journal_params: Optional[Dict[str, Any]] = None,
         poll_interval_s: float = 0.02,
+        shared: Any = None,
     ) -> None:
         if max_pool_rebuilds < 0:
             raise SweepExecutionError("max_pool_rebuilds must be non-negative")
@@ -385,6 +435,7 @@ class SweepSupervisor:
         self.sweep_id = sweep_id
         self.journal_params = dict(journal_params or {})
         self.poll_interval_s = float(poll_interval_s)
+        self.shared = shared
 
     # -- public entry ------------------------------------------------------
 
@@ -605,9 +656,11 @@ class SweepSupervisor:
         n_pending = sum(1 for s in states if s.status == "pending")
         if not n_pending:
             return _PoolVerdict.DONE
+        from ..analysis.sweep import _pool_kwargs
+
         workers = self._n_workers(n_pending)
         try:
-            pool = ProcessPoolExecutor(max_workers=workers)
+            pool = ProcessPoolExecutor(max_workers=workers, **_pool_kwargs(self.shared))
         except (OSError, ValueError):  # pragma: no cover - env-specific
             return _PoolVerdict.UNAVAILABLE
         if observed:
@@ -717,23 +770,29 @@ class SweepSupervisor:
         journal: Optional[SweepJournal],
         counters: Dict[str, int],
     ) -> None:
-        for item_state in states:
-            while item_state.status == "pending":
-                now = time.monotonic()
-                if item_state.eligible_at > now:
-                    time.sleep(item_state.eligible_at - now)
-                t0 = time.monotonic()
-                try:
-                    result = fn(item_state.item)
-                except Exception as exc:  # the item's own failure
-                    self._fail(
-                        item_state, "error", f"error: {exc!r}",
-                        time.monotonic() - t0, repr(exc), rng, counters,
-                    )
-                else:
-                    self._record_success(
-                        item_state, result, time.monotonic() - t0, journal,
-                    )
+        from contextlib import nullcontext
+
+        from ..analysis.sweep import _shared_installed
+
+        ctx = nullcontext() if self.shared is None else _shared_installed(self.shared)
+        with ctx:
+            for item_state in states:
+                while item_state.status == "pending":
+                    now = time.monotonic()
+                    if item_state.eligible_at > now:
+                        time.sleep(item_state.eligible_at - now)
+                    t0 = time.monotonic()
+                    try:
+                        result = fn(item_state.item)
+                    except Exception as exc:  # the item's own failure
+                        self._fail(
+                            item_state, "error", f"error: {exc!r}",
+                            time.monotonic() - t0, repr(exc), rng, counters,
+                        )
+                    else:
+                        self._record_success(
+                            item_state, result, time.monotonic() - t0, journal,
+                        )
 
     # -- report ------------------------------------------------------------
 

@@ -99,3 +99,60 @@ class TestSweepSubcommand:
         SweepJournal.open(journal, n_items=1, sweep_id="other").close()
         assert main(["sweep", "--resume", str(journal)]) == 2
         assert "chaos_sweep" in capsys.readouterr().err
+
+
+class TestFabricSubcommand:
+    """``python -m repro sweep --fabric DIR``: create, worker, merge."""
+
+    ARGS = [
+        "--dropout", "0.0", "0.01", "--loss", "0.0",
+        "--horizon-days", "7", "--peak-mw", "2",
+    ]
+
+    def test_create_worker_merge_roundtrip(self, capsys, tmp_path):
+        fabric = str(tmp_path / "sweep")
+        assert main(["sweep", "--fabric", fabric, "--shards", "3"] + self.ARGS) == 0
+        assert "2 points in 3 shards" in capsys.readouterr().out
+
+        assert main(["sweep", "--fabric", fabric, "--worker",
+                     "--owner", "cli-test", "--lease-s", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "worker cli-test" in out and "2 point(s) computed" in out
+
+        assert main(["sweep", "--fabric", fabric, "--merge"]) == 0
+        out = capsys.readouterr().out
+        assert "| scenario |" in out
+        assert "merged 3 shard(s): 2/2 ok" in out
+
+    def test_merge_before_completion_is_a_clean_error(self, capsys, tmp_path):
+        fabric = str(tmp_path / "sweep")
+        assert main(["sweep", "--fabric", fabric, "--shards", "2"] + self.ARGS) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--fabric", fabric, "--merge"]) == 2
+        assert "incomplete" in capsys.readouterr().err
+
+    def test_worker_and_merge_are_exclusive(self, capsys, tmp_path):
+        fabric = str(tmp_path / "sweep")
+        assert main(["sweep", "--fabric", fabric, "--worker", "--merge"]) == 2
+        assert "at most one" in capsys.readouterr().err
+
+    def test_worker_without_fabric_is_usage_error(self, capsys):
+        assert main(["sweep", "--worker"]) == 2
+        assert "--fabric" in capsys.readouterr().err
+
+    def test_invalid_shard_count(self, capsys, tmp_path):
+        fabric = str(tmp_path / "sweep")
+        assert main(["sweep", "--fabric", fabric, "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_worker_on_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        assert main(["sweep", "--fabric", str(tmp_path / "nope"), "--worker"]) == 2
+        assert "sweep fabric error" in capsys.readouterr().err
+
+    def test_worker_on_foreign_manifest_fails_cleanly(self, capsys, tmp_path):
+        from repro.robustness.shards import create_sweep
+
+        fabric = tmp_path / "foreign"
+        create_sweep(fabric, [1, 2], n_shards=1, params={"kind": "other"})
+        assert main(["sweep", "--fabric", str(fabric), "--worker"]) == 2
+        assert "chaos_sweep" in capsys.readouterr().err

@@ -1,0 +1,149 @@
+"""Property tests for the sharded fabric's recovery determinism.
+
+The ISSUE property, stated directly: for *any* grid, *any* shard
+partition, *any* kill point (a worker aborting mid-shard with its lease
+un-released), and *any* lease-expiry interleaving (expired → steal by a
+different owner; same owner or post-release → resume),
+``merge_shard_journals`` output is bit-identical to the uninterrupted
+single-worker run, and the lease counters obey the conservation law
+checked by ``SweepReport.accounted()``.
+
+Kill points are simulated with ``max_items`` (stop without releasing,
+exactly the observable state a SIGKILL leaves) and lease timing with
+injected clocks, so every drawn interleaving is exact and deterministic
+— no sleeps, no wall-clock races.
+"""
+
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.robustness.shards import (
+    LeaseEvent,
+    ShardWorker,
+    create_sweep,
+    merge_shard_journals,
+    resolve_leases,
+    shard_ranges,
+)
+
+
+def _cube(x):
+    return x * x * x
+
+
+def _comparable(report):
+    """Results + provenance records; lease counters excluded (they are
+    recovery history, legitimately different between interleavings)."""
+    return (
+        [pickle.dumps(r, protocol=4) for r in report.results],
+        report.records,
+        report.quarantined,
+    )
+
+
+grids = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=24
+)
+
+interleavings = st.fixed_dictionaries(
+    {
+        # how many items the first worker records before "dying"
+        "kill_after": st.integers(min_value=0, max_value=30),
+        "n_shards": st.integers(min_value=1, max_value=5),
+        "lease_s": st.floats(min_value=0.5, max_value=120.0),
+        # second worker attaches after expiry (steal) or as the same
+        # owner (resume) — both must merge identically
+        "same_owner": st.booleans(),
+        # clock skew of the recovery worker past the expiry boundary
+        "skew_s": st.floats(min_value=0.001, max_value=1e6),
+    }
+)
+
+
+class TestMergeBitIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(grids, interleavings)
+    def test_any_kill_point_merges_bit_identical(self, grid, weave):
+        tmp = Path(tempfile.mkdtemp(prefix="shards-prop-"))
+        try:
+            killed_dir = tmp / "killed"
+            create_sweep(killed_dir, grid, n_shards=weave["n_shards"])
+            t0 = 1_000_000.0
+            ShardWorker(
+                killed_dir, _cube, grid, owner="first",
+                lease_s=weave["lease_s"], clock=lambda: t0,
+                max_items=weave["kill_after"],
+            ).run(wait=False)
+            recovery_owner = "first" if weave["same_owner"] else "second"
+            t1 = t0 + weave["lease_s"] + weave["skew_s"]  # past expiry
+            ShardWorker(
+                killed_dir, _cube, grid, owner=recovery_owner,
+                lease_s=weave["lease_s"], clock=lambda: t1,
+            ).run(wait=True)
+            merged = merge_shard_journals(killed_dir, items=grid)
+
+            clean_dir = tmp / "clean"
+            create_sweep(clean_dir, grid, n_shards=weave["n_shards"])
+            ShardWorker(
+                clean_dir, _cube, grid, owner="solo",
+                lease_s=weave["lease_s"], clock=lambda: t0,
+            ).run(wait=True)
+            clean = merge_shard_journals(clean_dir, items=grid)
+
+            assert merged.results == [_cube(x) for x in grid]
+            assert _comparable(merged) == _comparable(clean)
+
+            # steal counts conserved through the merge
+            assert merged.accounted() and clean.accounted()
+            assert (
+                merged.n_leases_claimed
+                == merged.n_shards_claimed
+                + merged.n_leases_stolen
+                + merged.n_leases_resumed
+            )
+            assert merged.n_shards_claimed <= merged.n_shards
+            if weave["same_owner"]:
+                assert merged.n_leases_stolen == 0
+            else:
+                # steals happen iff the first worker died holding a lease
+                touched_mid_shard = any(
+                    0 < len(state)  # recorded something on some shard…
+                    for state in [grid[start:stop][: weave["kill_after"]]
+                                  for start, stop in
+                                  shard_ranges(len(grid), weave["n_shards"])]
+                ) and weave["kill_after"] < len(grid)
+                if not touched_mid_shard:
+                    assert merged.n_leases_stolen <= 1
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+class TestLeaseConservationPure:
+    """resolve_leases conserves claims under arbitrary event sequences."""
+
+    events = st.lists(
+        st.builds(
+            LeaseEvent,
+            action=st.sampled_from(["claim", "heartbeat", "release"]),
+            owner=st.sampled_from(["a", "b", "c"]),
+            t_unix=st.floats(min_value=0.0, max_value=1000.0),
+            deadline_unix=st.floats(min_value=0.0, max_value=2000.0),
+        ),
+        max_size=40,
+    )
+
+    @settings(max_examples=200, deadline=None)
+    @given(events)
+    def test_claims_partition_exactly(self, events):
+        acc = resolve_leases(events)
+        assert acc.n_claims == acc.n_first + acc.n_steals + acc.n_resumes
+        assert acc.n_first <= 1  # one shard log → at most one first claim
+        n_claim_events = sum(1 for e in events if e.action == "claim")
+        assert acc.n_claims + acc.n_rejected == n_claim_events
+        if acc.holder is not None:
+            assert acc.holder_kind in ("first", "steal", "resume")

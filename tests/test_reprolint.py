@@ -30,7 +30,7 @@ class TestEngine:
         families = {r.family for r in all_rules()}
         assert families == {
             "determinism", "units", "cache-safety", "observability",
-            "exceptions", "float-compare",
+            "exceptions", "serialization", "float-compare",
         }
 
     def test_findings_sorted_and_keyed(self):
@@ -485,6 +485,50 @@ class TestFloatCompare:
     def test_suppression_comment_wins(self):
         src = "def f(a_usd, b_usd):\n    return a_usd == b_usd  # reprolint: disable=RPL050\n"
         assert codes(src) == []
+
+
+# -- unsorted json dumps in durable writers (RPL044) -------------------------
+
+
+JOURNAL = "src/repro/robustness/journal.py"
+
+
+class TestUnsortedJsonDump:
+    def test_dumps_without_sort_keys_fires(self):
+        src = "import json\ndef w(obj):\n    return json.dumps(obj)\n"
+        assert codes(src, path=JOURNAL) == ["RPL044"]
+
+    def test_dump_without_sort_keys_fires(self):
+        src = "import json\ndef w(obj, fh):\n    json.dump(obj, fh)\n"
+        assert codes(src, path="src/repro/robustness/shards.py") == ["RPL044"]
+
+    def test_sort_keys_false_fires(self):
+        src = "import json\ndef w(obj):\n    return json.dumps(obj, sort_keys=False)\n"
+        assert codes(src, path=JOURNAL) == ["RPL044"]
+
+    def test_sorted_writer_is_clean(self):
+        src = "import json\ndef w(obj):\n    return json.dumps(obj, sort_keys=True)\n"
+        assert codes(src, path=JOURNAL) == []
+
+    def test_from_import_alias_resolved(self):
+        src = "from json import dumps\ndef w(obj):\n    return dumps(obj)\n"
+        assert codes(src, path="src/repro/observability/manifest.py") == ["RPL044"]
+
+    def test_non_writer_module_exempt(self):
+        src = "import json\ndef w(obj):\n    return json.dumps(obj)\n"
+        assert codes(src, path="src/repro/analysis/sweep.py") == []
+
+    def test_outside_src_repro_exempt(self):
+        src = "import json\ndef w(obj):\n    return json.dumps(obj)\n"
+        assert codes(src, path="tools/gen_manifest.py") == []
+
+    def test_suppression_comment_wins(self):
+        src = (
+            "import json\n"
+            "def w(obj):\n"
+            "    return json.dumps(obj)  # reprolint: disable=RPL044\n"
+        )
+        assert codes(src, path=JOURNAL) == []
 
 
 # -- baseline ----------------------------------------------------------------

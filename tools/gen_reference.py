@@ -56,10 +56,12 @@ _RES_HEADER = """\
      Regenerate with: PYTHONPATH=src python tools/gen_reference.py -->
 
 This manual is generated from the docstrings of the resilient sweep
-runtime — the supervised executor (:mod:`repro.robustness.supervisor`)
-and the crash-safe journal (:mod:`repro.robustness.journal`).  Every
-entry below carries at least one runnable example; the whole manual is
-exercised by `pytest --doctest-modules` in CI.
+runtime — the supervised executor (:mod:`repro.robustness.supervisor`),
+the crash-safe journal (:mod:`repro.robustness.journal`), the sharded
+multi-worker fabric (:mod:`repro.robustness.shards`), and the streaming
+aggregators (:mod:`repro.analysis.streaming`).  Every entry below
+carries at least one runnable example; the whole manual is exercised by
+`pytest --doctest-modules` in CI.
 
 See [docs/resilience.md](resilience.md) for the narrative guide and
 [docs/index.md](index.md) for the documentation map.
@@ -95,6 +97,8 @@ MANUALS: Dict[Path, Tuple[str, List[str]]] = {
         [
             "repro.robustness.supervisor",
             "repro.robustness.journal",
+            "repro.robustness.shards",
+            "repro.analysis.streaming",
         ],
     ),
     REPO / "docs" / "reference_reprolint.md": (

@@ -12,13 +12,23 @@ cache-safety   RPL020–RPL022   hashable memo keys, no shared mutables
 observability  RPL030–RPL031   one-boolean-read gating; spans in ``with``
 exceptions     RPL040–RPL043   no bare/swallowing excepts; domain raises;
                                bounded, backing-off retry loops
+serialization  RPL044          sort_keys=True in journal/manifest writers
+                               (merge determinism needs stable bytes)
 float-compare  RPL050          tolerance helpers, not ``==``, for floats
 ========  ====================  ==============================================
 """
 
 from __future__ import annotations
 
-from . import cache_safety, determinism, exceptions, floatcmp, observability, units
+from . import (
+    cache_safety,
+    determinism,
+    exceptions,
+    floatcmp,
+    observability,
+    serialization,
+    units,
+)
 
 __all__ = [
     "cache_safety",
@@ -26,5 +36,6 @@ __all__ = [
     "exceptions",
     "floatcmp",
     "observability",
+    "serialization",
     "units",
 ]

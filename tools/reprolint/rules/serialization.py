@@ -1,0 +1,76 @@
+"""Serialization-determinism rules (RPL044).
+
+The crash-safe journal (``repro-journal-v1``), the shard journals and
+sweep manifests of the sharded fabric, and the observability run
+manifests all promise *stable* on-disk bytes: resuming a sweep, merging
+shard journals bit-identically, and diffing manifests across runs all
+depend on the same object serializing to the same line every time.
+Python dicts preserve insertion order, so ``json.dumps`` without
+``sort_keys=True`` silently couples the written bytes to code paths —
+two writers that build the same mapping in different orders produce
+different journals for identical state.
+
+* **RPL044 (unsorted-json-dump)** — a ``json.dumps``/``json.dump`` call
+  in a journal/manifest/shard writer module under ``src/repro`` that
+  does not pass ``sort_keys=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: Path fragments (POSIX, relative) that mark a durable-format writer
+#: module: the sweep journal, the sharded fabric, and run manifests.
+_WRITER_PATH_MARKERS = ("journal", "manifest", "shards")
+
+
+def _is_writer_path(path: str) -> bool:
+    name = path.rsplit("/", 1)[-1]
+    return any(marker in name for marker in _WRITER_PATH_MARKERS)
+
+
+def _sort_keys_is_true(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "sort_keys":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+        if kw.arg is None:
+            # **kwargs may carry sort_keys=True; give it the benefit of
+            # the doubt rather than flag a call we cannot see into.
+            return True
+    return False
+
+
+@register
+class UnsortedJsonDumpRule(Rule):
+    """RPL044: journal/manifest writers must serialize with sorted keys."""
+
+    code = "RPL044"
+    name = "unsorted-json-dump"
+    family = "serialization"
+    description = (
+        "json.dumps/json.dump without sort_keys=True in a journal/"
+        "manifest/shard writer couples the on-disk bytes to dict "
+        "insertion order; merge determinism and bit-identical resume "
+        "require stable serialization."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_repro_src or not _is_writer_path(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual not in ("json.dumps", "json.dump"):
+                continue
+            if _sort_keys_is_true(node):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"{qual} without sort_keys=True in a durable-format writer; "
+                "journal/manifest bytes must not depend on dict insertion "
+                "order — pass sort_keys=True",
+            )
