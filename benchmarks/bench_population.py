@@ -1,0 +1,376 @@
+"""Population-scale billing benchmark: columnar settlement throughput.
+
+Measures the tentpole claim of the columnar-billing PR end-to-end: a
+site-major ``(n_sites, n_intervals)`` population priced through
+``BillingEngine.bill_population`` sustains ≥ 20x the per-site scalar
+throughput of ``bill_many`` at 10k+ sites, and a full 1M-site-year run
+(hourly, twelve monthly periods, all five archetype contract families)
+completes on one box with O(chunk) peak memory.
+
+* ``population_<N>`` — stream ``N`` synthetic site-years in 1024-site
+  chunks (``synthetic_load_matrix``: each chunk a pure function of its
+  identity), settle every chunk under all five archetype contracts, and
+  record generation time, billing time, billed sites/s, and the process
+  peak RSS after the scale finished.  Chunked streaming means memory is
+  bounded by the chunk, not the population — the bench asserts RSS grew
+  by less than 4 GB between the smallest and largest scale.
+* ``scalar_baseline`` — per-site ``bill_many`` over a fresh sample of
+  sites from the same population law (the five contracts share one
+  ``SettlementPlan`` per site, the scalar engine's own fast path), best
+  of ``--repeat``.  Each ``population_<N>`` entry carries
+  ``columnar_speedup_vs_bill_many`` = scalar seconds/site over columnar
+  seconds/site, billing time only on both sides.
+* ``equivalence`` — before any timing, a fresh small population is
+  settled both ways and every per-site total must agree within 1e-9
+  (relative, floored at 1.0 absolute) — the differential contract of
+  ``tests/test_columnar.py``, embedded so a speedup can never come from
+  computing something else.
+
+Results land in ``BENCH_population.json``; ``--compare BASELINE
+--max-regression R`` fails (exit 1) when any scale's speedup ratio fell
+by more than ``R``× against the baseline, and hard-fails whenever a
+recorded ``columnar_speedup_vs_bill_many`` is below parity — ratios,
+not wall times, so the gate is machine-independent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_population.py \
+        [--scales 1000,10000,100000,1000000] [--chunk 1024] \
+        [--repeat 3] [--scalar-sample 192] \
+        [--out BENCH_population.json] \
+        [--compare BENCH_population.json --max-regression 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.population import population_archetypes, population_context
+from repro.contracts.billing import BillingEngine
+from repro.contracts.columnar import SitePopulation
+from repro.survey.population import synthetic_load_matrix
+from repro.timeseries.calendar import monthly_billing_periods
+
+N_INTERVALS = 8760          # one hourly site-year
+INTERVAL_S = 3600.0
+SEED = 0
+RSS_GROWTH_LIMIT_MB = 4096.0  # streaming must keep RSS O(chunk), not O(sites)
+
+
+def _time(fn: Callable[[], object], repeat: int) -> Dict[str, float]:
+    """Best-of-``repeat`` wall time (plus per-run samples) for ``fn``."""
+    samples: List[float] = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "best_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+        "samples_s": samples,
+    }
+
+
+def _peak_rss_mb() -> float:
+    """Process high-water RSS in MB (ru_maxrss is KB on Linux)."""
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        rss_kb /= 1024.0
+    return rss_kb / 1024.0
+
+
+def _warm_allocator() -> None:
+    """Pre-fault the allocator's large-arena pages before any timing.
+
+    On fresh VMs the first few hundred MB of numpy allocations pay
+    first-touch page faults that are orders of magnitude slower than
+    steady state; a few chunk-sized throwaway passes absorb that cost so
+    it lands in neither the generation nor the billing timings.
+    """
+    for _ in range(3):
+        a = np.ones((1024, N_INTERVALS)) * 0.5
+        np.clip(a, 0.25, 0.75)
+
+
+def _chunk_population(lo: int, hi: int) -> SitePopulation:
+    """Generate sites ``[lo, hi)`` of the benchmark population."""
+    loads, _ = synthetic_load_matrix(
+        hi - lo, N_INTERVALS, INTERVAL_S, seed=SEED, start_index=lo
+    )
+    return SitePopulation(loads, INTERVAL_S, 0.0)
+
+
+def check_equivalence(engine, contracts, periods, context, n_sites=24):
+    """Columnar vs scalar totals on a fresh population; max relative error.
+
+    Raises ``AssertionError`` beyond the 1e-9 differential contract, so
+    the throughput numbers below are guaranteed to price the same bills.
+    """
+    pop = _chunk_population(0, n_sites)
+    max_rel = 0.0
+    for contract in contracts:
+        columnar = engine.bill_population(pop, contract, periods, context)
+        totals = columnar.totals()
+        for i in range(n_sites):
+            scalar = engine.bill(contract, pop.site_series(i), periods, context)
+            denom = max(1.0, abs(scalar.total), abs(float(totals[i])))
+            rel = abs(float(totals[i]) - scalar.total) / denom
+            max_rel = max(max_rel, rel)
+            if rel > 1e-9:
+                raise AssertionError(
+                    f"columnar/scalar disagree on {contract.name!r} site {i}: "
+                    f"{totals[i]!r} vs {scalar.total!r} (rel {rel:.3e})"
+                )
+    return {"n_sites": n_sites, "n_contracts": len(contracts), "max_rel_err": max_rel}
+
+
+def bench_scalar_baseline(engine, contracts, periods, context, sample, repeat):
+    """Per-site ``bill_many`` seconds/site over fresh population samples.
+
+    Every repetition bills sites it has never seen (fresh ``PowerSeries``
+    objects from a disjoint chunk of the same population law), so the
+    scalar settlement-plan cache cannot turn later repetitions into
+    lookups — the baseline prices fresh sites exactly as the streaming
+    columnar side does.
+    """
+    sample_sets = []
+    for r in range(repeat):
+        pop = _chunk_population(r * sample, (r + 1) * sample)
+        sample_sets.append([pop.site_series(i) for i in range(sample)])
+    runs = iter(sample_sets)
+
+    def run() -> float:
+        total = 0.0
+        for s in next(runs):
+            for bill in engine.bill_many(contracts, s, periods, context):
+                total += bill.total
+        return total
+
+    timing = _time(run, repeat)
+    s_per_site = timing["best_s"] / sample
+    return {
+        "n_sites_sampled": sample,
+        "timing": timing,
+        "s_per_site": s_per_site,
+        "sites_per_s": 1.0 / s_per_site,
+    }
+
+
+def bench_population_scale(
+    engine, contracts, periods, context, n_sites, chunk, repeat, scalar_s_per_site
+):
+    """Stream ``n_sites`` site-years through the columnar engine, chunked."""
+    effective_repeat = repeat if n_sites <= 10_000 else 1
+    best: Optional[Dict[str, object]] = None
+    for _ in range(effective_repeat):
+        gen_s = 0.0
+        bill_s = 0.0
+        totals = {c.name: 0.0 for c in contracts}
+        t_start = time.perf_counter()
+        for lo in range(0, n_sites, chunk):
+            t0 = time.perf_counter()
+            pop = _chunk_population(lo, min(lo + chunk, n_sites))
+            gen_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for contract in contracts:
+                bills = engine.bill_population(pop, contract, periods, context)
+                totals[contract.name] += float(bills.totals().sum())
+            bill_s += time.perf_counter() - t0
+        end_to_end_s = time.perf_counter() - t_start
+        if best is None or bill_s < best["bill_s"]:  # type: ignore[index]
+            best = {
+                "gen_s": gen_s,
+                "bill_s": bill_s,
+                "end_to_end_s": end_to_end_s,
+                "population_total": totals,
+            }
+    assert best is not None
+    speedup = scalar_s_per_site / (float(best["bill_s"]) / n_sites)
+    return {
+        "n_sites": n_sites,
+        "n_intervals": N_INTERVALS,
+        "chunk": chunk,
+        "repeat": effective_repeat,
+        **best,
+        "sites_per_s": n_sites / float(best["bill_s"]),
+        "sites_per_s_end_to_end": n_sites / float(best["end_to_end_s"]),
+        "peak_rss_mb": _peak_rss_mb(),
+        "columnar_speedup_vs_bill_many": speedup,
+        "speedup": speedup,
+    }
+
+
+def run_all(scales: Sequence[int], chunk: int, repeat: int, sample: int):
+    engine = BillingEngine()
+    contracts = population_archetypes(INTERVAL_S)
+    periods = monthly_billing_periods(start_s=0.0)
+    context = population_context(N_INTERVALS, INTERVAL_S, seed=SEED)
+
+    _warm_allocator()
+    equivalence = check_equivalence(engine, contracts, periods, context)
+    scalar = bench_scalar_baseline(
+        engine, contracts, periods, context, sample, repeat
+    )
+
+    benchmarks: Dict[str, object] = {
+        "equivalence": equivalence,
+        "scalar_baseline": scalar,
+    }
+    rss_floor_mb = _peak_rss_mb()
+    for n_sites in scales:
+        benchmarks[f"population_{n_sites}"] = bench_population_scale(
+            engine, contracts, periods, context,
+            n_sites, chunk, repeat, scalar["s_per_site"],
+        )
+    rss_growth_mb = _peak_rss_mb() - rss_floor_mb
+    if rss_growth_mb > RSS_GROWTH_LIMIT_MB:
+        raise AssertionError(
+            f"streaming RSS bound violated: RSS grew {rss_growth_mb:.0f} MB "
+            f"across scales (limit {RSS_GROWTH_LIMIT_MB:.0f} MB)"
+        )
+    benchmarks["rss_growth_mb"] = rss_growth_mb
+
+    return {
+        "schema": "bench_population/v1",
+        "generated_unix": int(time.time()),
+        "config": {
+            "scales": list(scales),
+            "chunk": chunk,
+            "repeat": repeat,
+            "scalar_sample": sample,
+            "n_intervals": N_INTERVALS,
+            "interval_s": INTERVAL_S,
+            "seed": SEED,
+            "n_contracts": len(contracts),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def check_regression(current, baseline_path: str, max_regression: float):
+    """Speedup-ratio regressions of ``current`` against a baseline file.
+
+    Same contract as the other benches: a scale regresses when
+    ``baseline_speedup / current_speedup`` exceeds ``max_regression``;
+    ratios are dimensionless so a slower CI host cannot trip the gate.
+    Additionally every recorded ``columnar_speedup_vs_bill_many`` must
+    stay at or above 1 — the figure this PR exists to establish must not
+    fall below parity regardless of baseline.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures: List[str] = []
+    for name, base_entry in baseline.get("benchmarks", {}).items():
+        if not isinstance(base_entry, dict) or "speedup" not in base_entry:
+            continue
+        cur_entry = current["benchmarks"].get(name)
+        if cur_entry is None:
+            continue
+        base_speedup = float(base_entry["speedup"])
+        cur_speedup = float(cur_entry["speedup"])
+        if cur_speedup <= 0 or base_speedup / cur_speedup > max_regression:
+            failures.append(
+                f"{name}: speedup {cur_speedup:.2f}x vs baseline "
+                f"{base_speedup:.2f}x (allowed regression {max_regression:.1f}x)"
+            )
+    for name, entry in current["benchmarks"].items():
+        if isinstance(entry, dict) and "columnar_speedup_vs_bill_many" in entry:
+            ratio = float(entry["columnar_speedup_vs_bill_many"])
+            if ratio < 1.0:
+                failures.append(
+                    f"{name}: columnar_speedup_vs_bill_many {ratio:.2f}x "
+                    "fell below parity"
+                )
+    return failures
+
+
+def _parse_scales(text: str) -> List[int]:
+    scales = [int(part) for part in text.split(",") if part.strip()]
+    if not scales or any(s <= 0 for s in scales):
+        raise SystemExit(f"--scales must be positive integers, got {text!r}")
+    return scales
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scales",
+        default="1000,10000,100000,1000000",
+        help="comma-separated population sizes (site-years)",
+    )
+    parser.add_argument("--chunk", type=int, default=1024, help="sites per chunk")
+    parser.add_argument("--repeat", type=int, default=3, help="timing repeats")
+    parser.add_argument(
+        "--scalar-sample",
+        type=int,
+        default=192,
+        help="sites sampled for the per-site bill_many baseline",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_population.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--compare", default=None, help="baseline JSON to gate against"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="max allowed speedup-ratio regression vs baseline",
+    )
+    args = parser.parse_args(argv)
+    scales = _parse_scales(args.scales)
+
+    result = run_all(scales, args.chunk, args.repeat, args.scalar_sample)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    scalar = result["benchmarks"]["scalar_baseline"]
+    print(
+        f"population bench (chunk={args.chunk}, repeat={args.repeat}, "
+        f"{result['config']['n_contracts']} contracts, hourly year)"
+    )
+    print(
+        f"  scalar bill_many: {scalar['s_per_site'] * 1e3:7.3f} ms/site "
+        f"({scalar['sites_per_s']:,.0f} sites/s, "
+        f"{scalar['n_sites_sampled']} sampled)"
+    )
+    for n in scales:
+        entry = result["benchmarks"][f"population_{n}"]
+        print(
+            f"  {n:>9,d} sites: bill {entry['bill_s']:8.2f} s "
+            f"({entry['sites_per_s']:>9,.0f} sites/s)  "
+            f"gen {entry['gen_s']:8.2f} s  rss {entry['peak_rss_mb']:7.1f} MB  "
+            f"-> {entry['columnar_speedup_vs_bill_many']:.1f}x vs bill_many"
+        )
+    print(f"  rss growth across scales: {result['benchmarks']['rss_growth_mb']:.1f} MB")
+    print(f"wrote {args.out}")
+
+    if args.compare:
+        failures = check_regression(result, args.compare, args.max_regression)
+        if failures:
+            print("REGRESSION vs baseline:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"no speedup regression vs {args.compare} (limit {args.max_regression}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,12 @@ from .tariff_design import (
 )
 from .portfolio import SitePortfolioEntry, PortfolioStudy, run_survey_portfolio
 from .evolution import EvolutionYear, EvolutionStudy, contract_evolution_study
+from .population import (
+    PopulationStudyResult,
+    population_archetypes,
+    population_bill_study,
+    population_context,
+)
 
 __all__ = [
     "BillDecomposition",
@@ -64,4 +70,8 @@ __all__ = [
     "EvolutionYear",
     "EvolutionStudy",
     "contract_evolution_study",
+    "PopulationStudyResult",
+    "population_archetypes",
+    "population_bill_study",
+    "population_context",
 ]

@@ -38,6 +38,8 @@ __all__ = [
     "Max",
     "Mean",
     "Histogram",
+    "Quantile",
+    "Percentile",
     "aggregate",
 ]
 
@@ -331,6 +333,134 @@ class Histogram(OnlineAggregator):
             "underflow": self.underflow,
             "overflow": self.overflow,
         }
+
+
+class Quantile(OnlineAggregator):
+    """Streaming quantile estimates from a fixed-bin sketch.
+
+    Fixed-bin (rather than P²) on purpose: two partial sketches with the
+    same binning merge *exactly* (bin counts add), so a sharded population
+    study reports the same percentiles as a serial run no matter how the
+    stream was partitioned — the determinism contract every streaming
+    reducer here honours.  The price is resolution: a quantile is linearly
+    interpolated inside its bin, so the error is bounded by one bin width
+    ``(hi - lo) / n_bins``.  Exact minimum and maximum are tracked
+    separately, and estimates are clamped to the observed ``[min, max]``;
+    values outside ``[lo, hi)`` land in under-/overflow and resolve to the
+    observed extremes.
+
+    >>> q = Quantile([0.5, 0.95], lo=0.0, hi=100.0, n_bins=1000)
+    >>> for x in range(101):
+    ...     q.update(float(x))
+    >>> r = q.result()
+    >>> (abs(r["p50"] - 50.0) < 0.2, abs(r["p95"] - 95.0) < 0.2)
+    (True, True)
+    """
+
+    def __init__(
+        self,
+        qs: Sequence[float],
+        lo: float,
+        hi: float,
+        n_bins: int = 4096,
+        key: Optional[Callable[[Any], Any]] = None,
+    ):
+        super().__init__(key)
+        if not qs:
+            raise AnalysisError("Quantile needs at least one quantile in (0, 1)")
+        for q in qs:
+            if not 0.0 < float(q) < 1.0:
+                raise AnalysisError(f"quantiles must lie in (0, 1), got {q!r}")
+        self.qs: List[float] = [float(q) for q in qs]
+        self._hist = Histogram(lo, hi, n_bins)
+        self._min = Min()
+        self._max = Max()
+        self.n = 0
+
+    def update(self, record: Any) -> None:
+        """Sketch ``key(record)`` (bin count + exact running min/max)."""
+        x = float(self.key(record))
+        self._hist.update(x)
+        self._min.update(x)
+        self._max.update(x)
+        self.n += 1
+
+    def merge(self, other: "OnlineAggregator") -> "Quantile":
+        """Fold another partial sketch with identical binning — exact.
+
+        Raises :class:`~repro.exceptions.AnalysisError` when the other
+        sketch tracks different quantiles or bins, since the merged result
+        would silently answer a different question.
+        """
+        self._check_mergeable(other)
+        if other.qs != self.qs:
+            raise AnalysisError(
+                f"cannot merge quantile sketches over different quantiles: "
+                f"{self.qs} vs {other.qs}"
+            )
+        self._hist.merge(other._hist)
+        self._min.merge(other._min)
+        self._max.merge(other._max)
+        self.n += other.n
+        return self
+
+    def _estimate(self, q: float) -> float:
+        """Interpolated estimate of one quantile from the sketch."""
+        target = q * self.n
+        lo_v = self._min.value
+        hi_v = self._max.value
+        assert lo_v is not None and hi_v is not None  # caller checked n > 0
+        seen = float(self._hist.underflow)
+        if target <= seen:
+            return lo_v
+        width = (self._hist.hi - self._hist.lo) / self._hist.n_bins
+        for i, count in enumerate(self._hist.counts):
+            if count and target <= seen + count:
+                left = self._hist.lo + i * width
+                frac = (target - seen) / count
+                return min(max(left + frac * width, lo_v), hi_v)
+            seen += count
+        return hi_v  # target lies in the overflow tail
+
+    def result(self) -> Optional[Dict[str, float]]:
+        """``{"p50": ..., "p95": ...}`` estimates, ``None`` if no records.
+
+        Keys are ``p{100q:g}`` (``0.5`` → ``"p50"``, ``0.999`` →
+        ``"p99.9"``), in the order the quantiles were given.
+        """
+        if self.n == 0:
+            return None
+        return {f"p{100.0 * q:g}": self._estimate(q) for q in self.qs}
+
+
+class Percentile(Quantile):
+    """A single streaming percentile; ``result`` is the scalar estimate.
+
+    Convenience wrapper over :class:`Quantile` for the common "give me
+    the p95" reducer in an :func:`aggregate` dictionary.
+
+    >>> p = Percentile(0.95, lo=0.0, hi=100.0, n_bins=1000)
+    >>> for x in range(101):
+    ...     p.update(float(x))
+    >>> abs(p.result() - 95.0) < 0.2
+    True
+    """
+
+    def __init__(
+        self,
+        q: float,
+        lo: float,
+        hi: float,
+        n_bins: int = 4096,
+        key: Optional[Callable[[Any], Any]] = None,
+    ):
+        super().__init__([q], lo, hi, n_bins, key=key)
+
+    def result(self) -> Optional[float]:
+        """The percentile estimate, or ``None`` for an empty stream."""
+        if self.n == 0:
+            return None
+        return self._estimate(self.qs[0])
 
 
 def aggregate(records: Iterable[Any], aggregators: Dict[str, OnlineAggregator]) -> Dict[str, Any]:

@@ -18,7 +18,19 @@ A :class:`Contract` composes components with responsible-negotiating-party
 :class:`Bill` whose line items decompose by typology branch.
 """
 
-from .components import ChargeDomain, LineItem, BillingContext, ContractComponent
+from .components import (
+    ChargeDomain,
+    LineItem,
+    BillingContext,
+    ComponentMatrix,
+    ContractComponent,
+)
+from .columnar import (
+    SitePopulation,
+    PopulationPlan,
+    PopulationBills,
+    population_plan_for,
+)
 from .typology import (
     TypologyBranch,
     TypologyNode,
@@ -59,7 +71,12 @@ __all__ = [
     "ChargeDomain",
     "LineItem",
     "BillingContext",
+    "ComponentMatrix",
     "ContractComponent",
+    "SitePopulation",
+    "PopulationPlan",
+    "PopulationBills",
+    "population_plan_for",
     "TypologyBranch",
     "TypologyNode",
     "TypologyFlags",

@@ -13,16 +13,25 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
-from ..exceptions import MeteringError
+import numpy as np
+
+from ..exceptions import MeteringError, TimeSeriesError
 from ..timeseries.calendar import BillingPeriod
 from ..timeseries.resample import resample_mean
 from ..timeseries.series import PowerSeries
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .columnar import PopulationPlan
     from .emergency import EmergencyCall
     from .settlement import SettlementPlan
 
-__all__ = ["ChargeDomain", "LineItem", "BillingContext", "ContractComponent"]
+__all__ = [
+    "ChargeDomain",
+    "LineItem",
+    "BillingContext",
+    "ComponentMatrix",
+    "ContractComponent",
+]
 
 
 class ChargeDomain(enum.Enum):
@@ -80,6 +89,47 @@ class BillingContext:
 # but the values are $/kWh.  An alias keeps signatures honest without a
 # parallel class hierarchy.
 PriceSeries = PowerSeries
+
+
+@dataclass(frozen=True)
+class ComponentMatrix:
+    """One component's charges across a whole site population.
+
+    The columnar counterpart of a column of per-period
+    :class:`LineItem` objects: ``amounts[i, k]`` is what site ``i`` owes
+    this component for billing period ``k``, ``quantities[i, k]`` the
+    billed physical quantity (energy, demand, ...), and ``unit`` its unit.
+    Produced by :meth:`ContractComponent.charge_matrix` kernels and
+    assembled into a :class:`~repro.contracts.columnar.PopulationBills`
+    by :meth:`~repro.contracts.billing.BillingEngine.bill_population`.
+
+    >>> import numpy as np
+    >>> m = ComponentMatrix(np.ones((2, 3)), np.full((2, 3), 10.0), "kWh")
+    >>> (m.n_sites, m.n_periods, m.unit)
+    (2, 3, 'kWh')
+    """
+
+    amounts: np.ndarray
+    quantities: np.ndarray
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.amounts.ndim != 2 or self.amounts.shape != self.quantities.shape:
+            raise TimeSeriesError(
+                "a ComponentMatrix requires matching 2-D (n_sites, n_periods) "
+                f"amount/quantity arrays, got {self.amounts.shape} and "
+                f"{self.quantities.shape}"
+            )
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites (rows)."""
+        return int(self.amounts.shape[0])
+
+    @property
+    def n_periods(self) -> int:
+        """Number of billing periods (columns)."""
+        return int(self.amounts.shape[1])
 
 
 class ContractComponent(abc.ABC):
@@ -154,6 +204,44 @@ class ContractComponent(abc.ABC):
             self.charge(plan.metered_period(self, k), plan.periods[k], context)
             for k in range(plan.n_periods)
         ]
+
+    def charge_matrix(
+        self,
+        plan: "PopulationPlan",
+        context: Optional[BillingContext] = None,
+    ) -> Optional["ComponentMatrix"]:
+        """Price a whole site population in one vectorized pass, or refuse.
+
+        The columnar settlement hook:
+        :meth:`~repro.contracts.billing.BillingEngine.bill_population` calls
+        it once per component with a shared
+        :class:`~repro.contracts.columnar.PopulationPlan` and expects a
+        ``(n_sites, n_periods)`` :class:`ComponentMatrix`.  Returning
+        ``None`` — the base behavior — tells the engine this component has
+        no columnar kernel (or that this particular geometry cannot be
+        vectorized equivalently), and the engine falls back to the exact
+        per-site scalar settlement for this component only.  Kernels must
+        agree with the scalar fast path within the differential tolerance
+        enforced by ``tests/test_columnar.py``.
+        """
+        return None
+
+    def _columnar_eligible(self, base: type) -> bool:
+        """True when no subclass override can change ``base``'s pricing.
+
+        A kernel written for ``base`` replicates ``base``'s scalar pricing
+        law; a subclass that overrides any scalar pricing hook breaks that
+        equivalence, so its kernel must decline and let the engine take the
+        exact (virtually-dispatched) scalar path.
+        """
+        cls = type(self)
+        if cls is base:
+            return True
+        return (
+            cls.metered is base.metered
+            and cls.charge is base.charge
+            and cls.charge_periods is base.charge_periods
+        )
 
     # -- typology hooks ------------------------------------------------------
 

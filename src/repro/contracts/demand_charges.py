@@ -43,9 +43,16 @@ from ..exceptions import TariffError
 from ..timeseries.calendar import BillingPeriod
 from ..timeseries.series import PowerSeries
 from ..timeseries.stats import top_k_peaks
-from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+from .components import (
+    BillingContext,
+    ChargeDomain,
+    ComponentMatrix,
+    ContractComponent,
+    LineItem,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .columnar import PopulationPlan
     from .settlement import SettlementPlan
 
 __all__ = ["PeakMetering", "DemandCharge"]
@@ -211,6 +218,63 @@ class DemandCharge(ContractComponent):
             view = values[i0:i1]
             items.append(self._price(float(view.max()), float(view.mean())))
         return items
+
+    def charge_matrix(
+        self,
+        plan: "PopulationPlan",
+        context: Optional[BillingContext] = None,
+    ) -> Optional[ComponentMatrix]:
+        """Columnar kernel: per-period peak reductions + vectorized ratchet.
+
+        One block-mean resample puts the whole population on the demand-
+        metering grid; each period reduces a segment of that matrix with a
+        row-wise ``max`` (``SINGLE_MAX``) or a row-wise partition of the top
+        ``k`` values (``TOP_K_MEAN``).  The sequential ratchet becomes a
+        shifted running maximum along the period axis — same arithmetic as
+        the scalar per-period recurrence, applied to every site at once.
+        The kernel never touches the instance's scalar ratchet state.
+
+        Geometries the shared resample cannot reproduce (period edges off
+        the demand grid, telemetry coarser than the demand interval, a
+        non-integer interval ratio) return ``None``; the scalar fallback
+        then reproduces the legacy numerics and its exact metering errors.
+        """
+        if not self._columnar_eligible(
+            DemandCharge
+        ):  # pragma: no cover - only reachable via exotic subclassing
+            return None
+        pop = plan.population
+        if pop.interval_s > self.metering_interval_s + 1e-9:
+            return None  # scalar fallback raises the exact MeteringError
+        resampled = plan.resampled(self.metering_interval_s)
+        if resampled is None:
+            return None
+        matrix, _, bounds = resampled
+        if self.metering is PeakMetering.SINGLE_MAX and matrix is pop.loads_kw:
+            # native-grid single-max is exactly the plan's cached peak
+            # reduction; sharing it prices every demand charge on the
+            # telemetry grid with one max pass per population.
+            measured = plan.period_peak_kw().copy()
+        else:
+            measured = np.empty((pop.n_sites, plan.n_periods))
+            for j, (i0, i1) in enumerate(bounds):
+                seg = matrix[:, i0:i1]
+                if self.metering is PeakMetering.SINGLE_MAX:
+                    measured[:, j] = seg.max(axis=1)
+                else:
+                    length = i1 - i0
+                    kk = min(self.k, length)
+                    top = np.partition(seg, length - kk, axis=1)[:, length - kk :]
+                    measured[:, j] = top.mean(axis=1)
+        if self.ratchet_fraction > 0.0:
+            running = np.maximum.accumulate(measured, axis=1)
+            floor = np.empty_like(running)
+            floor[:, 0] = 0.0
+            floor[:, 1:] = running[:, :-1]
+            billed = np.maximum(measured, self.ratchet_fraction * floor)
+        else:
+            billed = measured
+        return ComponentMatrix(billed * self.rate_per_kw, billed, "kW")
 
     def typology_labels(self) -> Sequence[str]:
         return ("demand_charge",)

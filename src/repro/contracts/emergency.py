@@ -20,9 +20,16 @@ import numpy as np
 from ..exceptions import TariffError
 from ..timeseries.calendar import BillingPeriod
 from ..timeseries.series import PowerSeries
-from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+from .components import (
+    BillingContext,
+    ChargeDomain,
+    ComponentMatrix,
+    ContractComponent,
+    LineItem,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .columnar import PopulationPlan
     from .settlement import SettlementPlan
 
 __all__ = ["EmergencyCall", "EmergencyDRObligation"]
@@ -230,6 +237,62 @@ class EmergencyDRObligation(ContractComponent):
                     )
             items.append(self._line_item(excess, len(calls), len(billable), overflow))
         return items
+
+    def charge_matrix(
+        self,
+        plan: "PopulationPlan",
+        context: Optional[BillingContext] = None,
+    ) -> Optional[ComponentMatrix]:
+        """Columnar kernel: vectorized excess-windowing across all sites.
+
+        Calls are ESP-side events shared by the whole population, so the
+        per-call index window and boundary coverage fractions are computed
+        once (the same arithmetic as :meth:`_excess_window`) and the
+        above-limit excess reduces a ``(n_sites, window)`` block of the
+        load matrix per call — O(calls) windowed reductions total, each
+        mirroring the scalar recurrence term by term.
+        """
+        if self.metering_interval_s is not None or not self._columnar_eligible(
+            EmergencyDRObligation
+        ):  # pragma: no cover - only reachable via exotic subclassing
+            return None
+        pop = plan.population
+        loads = pop.loads_kw
+        interval_s = pop.interval_s
+        interval_h = pop.interval_h
+        amounts = np.empty((pop.n_sites, plan.n_periods))
+        quantities = np.empty((pop.n_sites, plan.n_periods))
+        for k in range(plan.n_periods):
+            calls = self._calls_in(plan.periods[k], context)
+            billable = calls[: self.max_calls_per_period]
+            excess = np.zeros(pop.n_sites)
+            if billable:
+                i0, i1 = plan.native_bounds(k)
+                origin_s = pop.start_s + i0 * interval_s
+                for c in billable:
+                    rel0 = (c.start_s - origin_s) / interval_s
+                    rel1 = (c.end_s - origin_s) / interval_s
+                    j0 = max(i0, i0 + int(np.floor(rel0)))
+                    j1 = min(i1, i0 + int(np.ceil(rel1)))
+                    if j1 <= j0:
+                        continue
+                    excess_kw = np.maximum(loads[:, j0:j1] - c.limit_kw, 0.0)
+                    total = excess_kw.sum(axis=1)
+                    first_left = origin_s + (j0 - i0) * interval_s
+                    f0 = (c.start_s - first_left) / interval_s
+                    if f0 > 0.0:
+                        total -= excess_kw[:, 0] * f0
+                    last_right = origin_s + (j1 - i0) * interval_s
+                    f1 = (last_right - c.end_s) / interval_s
+                    if f1 > 0.0:
+                        total -= excess_kw[:, -1] * f1
+                    excess += total * interval_h
+            amounts[:, k] = (
+                excess * self.noncompliance_penalty_per_kwh
+                - self.availability_credit_per_period
+            )
+            quantities[:, k] = excess
+        return ComponentMatrix(amounts, quantities, "kWh above limit")
 
     def charge(
         self,

@@ -14,13 +14,24 @@ obligation.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
 
 from ..exceptions import TariffError
 from ..timeseries.calendar import BillingPeriod
 from ..timeseries.series import PowerSeries
 from ..timeseries.stats import excursions_outside_band
-from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+from .components import (
+    BillingContext,
+    ChargeDomain,
+    ComponentMatrix,
+    ContractComponent,
+    LineItem,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .columnar import PopulationPlan
 
 __all__ = ["Powerband"]
 
@@ -141,6 +152,57 @@ class Powerband(ContractComponent):
                 "fraction_outside": exc.fraction_outside,
             },
         )
+
+    def charge_matrix(
+        self,
+        plan: "PopulationPlan",
+        context: Optional[BillingContext] = None,
+    ) -> Optional[ComponentMatrix]:
+        """Columnar kernel: band excursions for all sites in one pass.
+
+        The band test is elementwise, so each period reduces over/under
+        clip matrices with row-wise sums and non-zero counts — the same
+        quantities :func:`~repro.timeseries.stats.excursions_outside_band`
+        computes per site.  Telemetry at or coarser than the sampling
+        interval is used as-is (the continuous-sampling identity rule of
+        :meth:`metered`); finer telemetry goes through the shared
+        block-mean resample, or falls back when period edges miss that grid.
+        """
+        if not self._columnar_eligible(
+            Powerband
+        ):  # pragma: no cover - only reachable via exotic subclassing
+            return None
+        pop = plan.population
+        if pop.interval_s >= self.metering_interval_s:
+            matrix = pop.loads_kw
+            bounds = [plan.native_bounds(k) for k in range(plan.n_periods)]
+            h = pop.interval_h
+        else:
+            resampled = plan.resampled(self.metering_interval_s)
+            if resampled is None:
+                return None
+            matrix, coarse_interval_s, bounds = resampled
+            h = coarse_interval_s / 3600.0
+        lower = self.lower_kw if self.lower_kw is not None else -math.inf
+        amounts = np.empty((pop.n_sites, plan.n_periods))
+        quantities = np.empty((pop.n_sites, plan.n_periods))
+        scratch = np.empty_like(matrix[:, : max(i1 - i0 for i0, i1 in bounds)])
+        for j, (i0, i1) in enumerate(bounds):
+            seg = matrix[:, i0:i1]
+            # |seg - clip(seg)| is over+under elementwise (disjoint
+            # support, both subtractions exact), so one clipped scratch
+            # view reused in place replaces the two excess matrices.
+            outside = scratch[:, : i1 - i0]
+            np.clip(seg, lower, self.upper_kw, out=outside)
+            np.subtract(seg, outside, out=outside)
+            np.abs(outside, out=outside)
+            energy_outside = outside.sum(axis=1) * h
+            amounts[:, j] = energy_outside * self.penalty_per_kwh_outside
+            if self.penalty_per_violation != 0.0:
+                n_outside = np.count_nonzero(outside, axis=1)
+                amounts[:, j] += n_outside * self.penalty_per_violation
+            quantities[:, j] = energy_outside
+        return ComponentMatrix(amounts, quantities, "kWh outside band")
 
     def typology_labels(self) -> Sequence[str]:
         return ("powerband",)

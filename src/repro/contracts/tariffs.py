@@ -23,9 +23,16 @@ from ..observability import metrics as _metrics
 from ..timeseries.calendar import BillingPeriod, SimCalendar, TOUWindow
 from ..timeseries.resample import align
 from ..timeseries.series import PowerSeries
-from .components import BillingContext, ChargeDomain, ContractComponent, LineItem
+from .components import (
+    BillingContext,
+    ChargeDomain,
+    ComponentMatrix,
+    ContractComponent,
+    LineItem,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .columnar import PopulationPlan
     from .settlement import SettlementPlan
 
 #: Bound on distinct load geometries cached per tariff instance.
@@ -79,6 +86,23 @@ class FixedTariff(ContractComponent):
             self._line_item(plan.period_energy_kwh(k))
             for k in range(plan.n_periods)
         ]
+
+    def charge_matrix(
+        self,
+        plan: "PopulationPlan",
+        context: Optional[BillingContext] = None,
+    ) -> Optional[ComponentMatrix]:
+        """Columnar kernel: the whole population is one scaled energy matrix.
+
+        Each entry of the cached per-(site, period) energy matrix times the
+        flat rate — the same multiply the scalar path performs per period.
+        """
+        if self.metering_interval_s is not None or not self._columnar_eligible(
+            FixedTariff
+        ):
+            return None
+        energy = plan.period_energy_kwh()
+        return ComponentMatrix(energy * self.rate_per_kwh, energy, "kWh")
 
     def charge(
         self,
@@ -205,6 +229,31 @@ class TOUTariff(ContractComponent):
             energy = float(seg_energy.sum())
             items.append(self._line_item(amount, energy))
         return items
+
+    def charge_matrix(
+        self,
+        plan: "PopulationPlan",
+        context: Optional[BillingContext] = None,
+    ) -> Optional[ComponentMatrix]:
+        """Columnar kernel: period-partitioned matmul against shared rates.
+
+        The rate vector depends only on the calendar geometry, so one
+        ``rates_for`` call on the population's zero template series prices
+        every site (sharing the geometry-keyed cache with scalar bills on
+        the same grid).  Each period is then a matrix–vector product of the
+        energy-segment matrix with the rate segment.
+        """
+        if self.metering_interval_s is not None or not self._columnar_eligible(
+            TOUTariff
+        ):  # pragma: no cover - only reachable via exotic subclassing
+            return None
+        rates = self.rates_for(plan.template_series())
+        energy = plan.energy_matrix_kwh()
+        amounts = np.empty((plan.n_sites, plan.n_periods))
+        for k in range(plan.n_periods):
+            i0, i1 = plan.native_bounds(k)
+            amounts[:, k] = energy[:, i0:i1] @ rates[i0:i1]
+        return ComponentMatrix(amounts, plan.period_energy_kwh(), "kWh")
 
     def charge(
         self,
@@ -335,6 +384,74 @@ class DynamicTariff(ContractComponent):
             self._line_item(rate[i0:i1], energy_per_interval[i0:i1])
             for i0, i1 in bounds
         ]
+
+    def charge_matrix(
+        self,
+        plan: "PopulationPlan",
+        context: Optional[BillingContext] = None,
+    ) -> Optional[ComponentMatrix]:
+        """Columnar kernel: align the price signal once, price all sites.
+
+        Mirrors the scalar fast path's align-once strategy: the population's
+        zero template series is aligned against the price series to learn
+        the settlement grid, then the population matrix is cropped/block-
+        meaned onto that grid and each period priced as a matrix–vector
+        product with the effective rate segment.  Any geometry the aligned
+        reshape cannot reproduce exactly — non-integer interval ratios,
+        crop offsets off the coarse grid, missing price coverage — returns
+        ``None`` so the scalar fallback reproduces the legacy numerics (and
+        its exact coverage errors).
+        """
+        if (
+            self.metering_interval_s is not None
+            or not self._columnar_eligible(DynamicTariff)
+            or context is None
+            or context.price_series is None
+        ):
+            return None
+        prices = context.price_series
+        if any(
+            not (prices.start_s <= p.start_s and prices.end_s >= p.end_s)
+            for p in plan.periods
+        ):
+            return None  # scalar fallback raises the exact coverage error
+        pop = plan.population
+        try:
+            load, price = align(plan.template_series(), prices)
+            bounds = [load.interval_bounds(p.start_s, p.end_s) for p in plan.periods]
+        except (IntervalMismatchError, TimeSeriesError):
+            return None
+        n = len(load)
+        if any(not (0 <= i0 < i1 <= n) for i0, i1 in bounds):
+            return None
+        ratio = load.interval_s / pop.interval_s
+        k = int(round(ratio))
+        rel = (load.start_s - pop.start_s) / pop.interval_s
+        off = int(round(rel))
+        if (
+            abs(ratio - k) > 1e-9
+            or k < 1
+            or abs(rel - off) > 1e-9
+            or off < 0
+            or off % k != 0
+            or off + n * k > pop.n_intervals
+        ):
+            return None
+        if k == 1 and off == 0 and n == pop.n_intervals:
+            energy = plan.energy_matrix_kwh()
+        else:
+            window = pop.loads_kw[:, off : off + n * k]
+            if k > 1:
+                window = window.reshape(pop.n_sites, n, k).mean(axis=2)
+            energy = window * (load.interval_s / 3600.0)
+        rate = np.maximum(price.values_kw + self.adder_per_kwh, self.floor_per_kwh)
+        amounts = np.empty((pop.n_sites, plan.n_periods))
+        quantities = np.empty((pop.n_sites, plan.n_periods))
+        for j, (i0, i1) in enumerate(bounds):
+            seg = energy[:, i0:i1]
+            amounts[:, j] = seg @ rate[i0:i1]
+            quantities[:, j] = seg.sum(axis=1)
+        return ComponentMatrix(amounts, quantities, "kWh")
 
     def charge(
         self,

@@ -23,6 +23,13 @@ from .sites import (
 )
 from .synthesis import site_contract, table2_matrix, verify_table2
 from .generator import SitePopulationModel
+from .population import (
+    PopulationChunk,
+    synthetic_peaks_kw,
+    synthetic_load_matrix,
+    population_chunks,
+    assemble_population,
+)
 from .robustness import (
     enumerate_clue_consistent_mappings,
     MappingTrendReport,
@@ -57,6 +64,11 @@ __all__ = [
     "table2_matrix",
     "verify_table2",
     "SitePopulationModel",
+    "PopulationChunk",
+    "synthetic_peaks_kw",
+    "synthetic_load_matrix",
+    "population_chunks",
+    "assemble_population",
     "component_counts",
     "rnp_counts",
     "swing_communication_count",

@@ -10,7 +10,7 @@ prevalences default to the surveyed empirical rates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 import numpy as np
 
@@ -96,6 +96,50 @@ class SitePopulationModel:
             raise SurveyError("europe_fraction must be in [0, 1]")
         return model
 
+    @staticmethod
+    def _draw_site(
+        rng: np.random.Generator,
+        model: "SitePopulationModel",
+        parties: List[ResponsibleParty],
+        probs: np.ndarray,
+        index: int,
+    ) -> SurveySite:
+        """Draw synthetic site number ``index`` from an advancing ``rng``.
+
+        The draw order (leaf presences, region, country, party, swing
+        flag, peak) is the population model's sampling law: both
+        :meth:`draw` and :meth:`draw_chunks` consume the stream through
+        this one body, which is what keeps chunked generation bit-identical
+        to the monolithic draw.
+        """
+        present = {
+            leaf: bool(rng.uniform() < model.component_rates[leaf])
+            for leaf in TYPOLOGY_LEAVES
+        }
+        if not (present["fixed"] or present["variable"] or present["dynamic"]):
+            present["fixed"] = True
+        region = (
+            "Europe" if rng.uniform() < model.europe_fraction else "United States"
+        )
+        country = str(rng.choice(_COUNTRIES[region]))
+        party = parties[int(rng.choice(len(parties), p=probs))]
+        peak_mw = float(
+            np.clip(
+                rng.lognormal(model.peak_mw_log_mean, model.peak_mw_log_sigma),
+                0.04,  # the 40 kW floor of the §1 range
+                60.0,  # the 60 MW theoretical peak of the largest sites
+            )
+        )
+        return SurveySite(
+            label=f"Synthetic {index + 1}",
+            flags=TypologyFlags(**present),
+            rnp=party,
+            communicates_swings=bool(rng.uniform() < model.swing_rate),
+            synthetic_institution=_PLACEHOLDER_INSTITUTION,
+            synthetic_country=country,
+            synthetic_peak_mw=peak_mw,
+        )
+
     def draw(self, n_sites: int, seed: int = 0) -> List[SurveySite]:
         """Draw ``n_sites`` synthetic sites.
 
@@ -103,41 +147,37 @@ class SitePopulationModel:
         contract that prices no energy is not a contract): sites drawing
         none get a fixed tariff, the survey's dominant component.
         """
+        return [
+            site
+            for chunk in self.draw_chunks(n_sites, n_sites, seed=seed)
+            for site in chunk
+        ]
+
+    def draw_chunks(
+        self, n_sites: int, chunk: int, seed: int = 0
+    ) -> Iterator[List[SurveySite]]:
+        """Draw ``n_sites`` synthetic sites in chunks of ``chunk``.
+
+        Yields lists of at most ``chunk`` sites until ``n_sites`` have been
+        produced, holding O(``chunk``) site objects live at a time — the
+        population-scale entry point: a million-site population streams
+        through without ever materializing a million
+        :class:`~repro.survey.sites.SurveySite` objects at once.  The
+        underlying random stream is shared across chunks, so the
+        concatenation of all chunks is bit-identical to
+        ``draw(n_sites, seed)`` regardless of the chunk size.
+        """
         if n_sites <= 0:
             raise SurveyError("n_sites must be positive")
+        if chunk <= 0:
+            raise SurveyError("chunk must be positive")
         model = self._validated()
         rng = np.random.default_rng(seed)
         parties = list(model.rnp_rates)
         probs = np.array([model.rnp_rates[p] for p in parties])
-        sites: List[SurveySite] = []
-        for i in range(n_sites):
-            present = {
-                leaf: bool(rng.uniform() < model.component_rates[leaf])
-                for leaf in TYPOLOGY_LEAVES
-            }
-            if not (present["fixed"] or present["variable"] or present["dynamic"]):
-                present["fixed"] = True
-            region = (
-                "Europe" if rng.uniform() < model.europe_fraction else "United States"
-            )
-            country = str(rng.choice(_COUNTRIES[region]))
-            party = parties[int(rng.choice(len(parties), p=probs))]
-            peak_mw = float(
-                np.clip(
-                    rng.lognormal(model.peak_mw_log_mean, model.peak_mw_log_sigma),
-                    0.04,  # the 40 kW floor of the §1 range
-                    60.0,  # the 60 MW theoretical peak of the largest sites
-                )
-            )
-            sites.append(
-                SurveySite(
-                    label=f"Synthetic {i + 1}",
-                    flags=TypologyFlags(**present),
-                    rnp=party,
-                    communicates_swings=bool(rng.uniform() < model.swing_rate),
-                    synthetic_institution=_PLACEHOLDER_INSTITUTION,
-                    synthetic_country=country,
-                    synthetic_peak_mw=peak_mw,
-                )
-            )
-        return sites
+        for lo in range(0, n_sites, chunk):
+            hi = min(lo + chunk, n_sites)
+            yield [
+                self._draw_site(rng, model, parties, probs, i)
+                for i in range(lo, hi)
+            ]

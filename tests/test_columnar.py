@@ -1,0 +1,393 @@
+"""The columnar population engine's equivalence contract, enforced.
+
+``BillingEngine.bill_population`` must be *indistinguishable* from billing
+each site through the scalar fast path: every per-site total within a
+relative 1e-9, every materialized audit bill identical, every fallback
+(exotic metering, coarse telemetry, missing context) taking the exact
+scalar path with the exact scalar errors.  These tests compare the two
+paths differentially across the whole tariff library, adversarial load
+geometries (all-zero sites, single-interval horizons), and
+hypothesis-generated populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.contracts import (
+    BillingContext,
+    BillingEngine,
+    ComponentMatrix,
+    Contract,
+    DemandCharge,
+    EmergencyCall,
+    FixedTariff,
+    PeakMetering,
+    Powerband,
+    PopulationBills,
+    PopulationPlan,
+    SitePopulation,
+    german_industrial,
+    nordic_spot_passthrough,
+    swiss_post_tender,
+    us_federal_with_emergency,
+    us_industrial_tou,
+)
+from repro.exceptions import BillingError, MeteringError, TimeSeriesError
+from repro.survey.population import synthetic_load_matrix
+from repro.timeseries import BillingPeriod, PowerSeries
+
+DAY_S = 86_400.0
+RTOL = 1e-9
+
+
+def rel_close(a: float, b: float, tol: float = RTOL) -> bool:
+    """Relative closeness with an absolute floor of 1.0 (USD-scale)."""
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def _tariff_library():
+    return {
+        "us_industrial_tou": us_industrial_tou("SC", peak_kw=15_000.0),
+        "german_industrial": german_industrial("SC", peak_kw=15_000.0),
+        "nordic_spot_passthrough": nordic_spot_passthrough("SC"),
+        "swiss_post_tender": swiss_post_tender("SC"),
+        "us_federal_with_emergency": us_federal_with_emergency("SC", peak_kw=15_000.0),
+    }
+
+
+def _context(population: SitePopulation) -> BillingContext:
+    rng = np.random.default_rng(11)
+    prices = PowerSeries(
+        0.02 + 0.05 * rng.random(population.n_intervals),
+        population.interval_s,
+        population.start_s,
+    )
+    horizon = population.end_s
+    calls = [
+        c
+        for c in (
+            EmergencyCall(2 * DAY_S + 3600.0, 2 * DAY_S + 3 * 3600.0, 9_000.0),
+            EmergencyCall(40 * DAY_S + 1800.0, 40 * DAY_S + 2 * 3600.0, 8_000.0),
+        )
+        if c.end_s <= horizon
+    ]
+    return BillingContext(price_series=prices, emergency_calls=calls)
+
+
+def _population(n_sites=6, n_days=45, interval_s=900.0) -> SitePopulation:
+    n_intervals = int(n_days * DAY_S / interval_s)
+    loads, _ = synthetic_load_matrix(n_sites, n_intervals, interval_s, seed=3)
+    loads[1, :] = 0.0  # one dark site
+    if n_sites > 2:
+        loads[2, :] = 12_000.0  # one flat site
+    return SitePopulation(loads, interval_s)
+
+
+def _periods(population: SitePopulation):
+    mid = (population.n_intervals // 2) * population.interval_s
+    return [
+        BillingPeriod("first half", 0.0, mid),
+        BillingPeriod("second half", mid, population.end_s),
+    ]
+
+
+def assert_population_matches_scalar(population, contract, periods, context):
+    """Every site's columnar settlement agrees with the scalar fast path."""
+    engine = BillingEngine()
+    bills = engine.bill_population(population, contract, periods, context)
+    totals = bills.totals()
+    period_totals = bills.period_totals()
+    for i in range(population.n_sites):
+        scalar = engine.bill(contract, population.site_series(i), periods, context)
+        assert rel_close(float(totals[i]), scalar.total), (
+            f"site {i}: columnar {totals[i]!r} != scalar {scalar.total!r}"
+        )
+        for k, pb in enumerate(scalar.period_bills):
+            assert rel_close(float(period_totals[i, k]), pb.total)
+    return bills
+
+
+class TestDifferentialLibrary:
+    @pytest.mark.parametrize("name", sorted(_tariff_library()))
+    def test_archetype_population_matches_scalar(self, name):
+        contract = _tariff_library()[name]
+        population = _population()
+        assert_population_matches_scalar(
+            population, contract, _periods(population), _context(population)
+        )
+
+    @pytest.mark.parametrize("name", sorted(_tariff_library()))
+    def test_materialized_bill_is_the_scalar_bill(self, name):
+        contract = _tariff_library()[name]
+        population = _population(n_sites=3)
+        periods = _periods(population)
+        context = _context(population)
+        engine = BillingEngine()
+        bills = engine.bill_population(population, contract, periods, context)
+        for i in range(population.n_sites):
+            audit = bills.materialize(i)
+            scalar = engine.bill(contract, population.site_series(i), periods, context)
+            assert audit.total == scalar.total
+            assert [li.amount for pb in audit.period_bills for li in pb.line_items] == [
+                li.amount for pb in scalar.period_bills for li in pb.line_items
+            ]
+
+    def test_iter_bills_covers_every_site(self):
+        population = _population(n_sites=3)
+        engine = BillingEngine()
+        bills = engine.bill_population(
+            population,
+            _tariff_library()["german_industrial"],
+            _periods(population),
+            _context(population),
+        )
+        assert len(list(bills.iter_bills())) == 3
+
+    def test_summary_is_consistent(self):
+        population = _population(n_sites=4)
+        bills = BillingEngine().bill_population(
+            population,
+            _tariff_library()["us_industrial_tou"],
+            _periods(population),
+            _context(population),
+        )
+        s = bills.summary()
+        assert s["n_sites"] == 4.0
+        assert rel_close(s["population_total"], float(bills.totals().sum()))
+        assert s["min_total"] <= s["mean_total"] <= s["max_total"]
+
+
+class TestEdgeGeometries:
+    def test_zero_load_population(self):
+        loads = np.zeros((4, 96))
+        population = SitePopulation(loads, 900.0)
+        periods = [BillingPeriod("day", 0.0, DAY_S)]
+        contract = Contract(
+            "z",
+            [
+                FixedTariff(0.08),
+                DemandCharge(10.0),
+                Powerband(
+                    5_000.0,
+                    lower_kw=100.0,
+                    penalty_per_kwh_outside=0.5,
+                    sampling_interval_s=900.0,
+                ),
+            ],
+        )
+        bills = assert_population_matches_scalar(population, contract, periods, None)
+        # no consumption → no energy or demand dollars; powerband penalizes
+        # the under-band idle identically for all four dark sites.
+        assert np.allclose(bills.component_amounts(contract.components[0].name), 0.0)
+
+    def test_single_interval_population(self):
+        loads = np.array([[1_000.0], [0.0], [25_000.0]])
+        population = SitePopulation(loads, 3600.0)
+        periods = [BillingPeriod("hour", 0.0, 3600.0)]
+        contract = Contract(
+            "one",
+            [FixedTariff(0.1), DemandCharge(8.0, demand_interval_s=3600.0)],
+        )
+        assert_population_matches_scalar(population, contract, periods, None)
+
+    def test_coarse_telemetry_falls_back_with_the_scalar_error(self):
+        # hourly telemetry, 900 s demand metering: the kernel must decline
+        # and the scalar fallback must raise the exact MeteringError.
+        loads, _ = synthetic_load_matrix(2, 24, 3600.0, seed=1)
+        population = SitePopulation(loads, 3600.0)
+        contract = Contract("m", [FixedTariff(0.05), DemandCharge(12.0)])
+        periods = [BillingPeriod("day", 0.0, DAY_S)]
+        with pytest.raises(MeteringError):
+            BillingEngine().bill_population(population, contract, periods)
+
+    def test_dynamic_without_prices_raises_scalar_error(self):
+        population = _population(n_sites=2, n_days=2)
+        contract = _tariff_library()["nordic_spot_passthrough"]
+        with pytest.raises(BillingError):
+            BillingEngine().bill_population(
+                population, contract, _periods(population), BillingContext()
+            )
+
+
+class TestFallbackParity:
+    def test_exotic_subclass_takes_scalar_path(self):
+        import dataclasses
+
+        class SurchargedTariff(FixedTariff):
+            def charge_periods(self, plan, context=None):
+                return [
+                    dataclasses.replace(c, amount=c.amount + 1.0)
+                    for c in super().charge_periods(plan, context)
+                ]
+
+        population = _population(n_sites=3, n_days=2)
+        contract = Contract("exotic", [SurchargedTariff(0.07)])
+        assert_population_matches_scalar(
+            population, contract, _periods(population), None
+        )
+
+    def test_base_component_matrix_hook_declines(self):
+        from repro.contracts.components import ContractComponent, LineItem
+
+        class Minimal(ContractComponent):
+            name = "minimal"
+
+            def charge(self, series, period, context=None):
+                return LineItem(self.name, self.domain, 0.0)
+
+            def typology_labels(self):
+                return ()
+
+        population = _population(n_sites=2, n_days=2)
+        plan = PopulationPlan(population, _periods(population))
+        assert Minimal().charge_matrix(plan, None) is None
+
+
+class TestSitePopulationValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(TimeSeriesError):
+            SitePopulation(np.zeros(8), 900.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TimeSeriesError):
+            SitePopulation(np.zeros((0, 4)), 900.0)
+
+    def test_rejects_non_finite_with_site_index(self):
+        loads = np.ones((3, 4))
+        loads[2, 1] = np.nan
+        with pytest.raises(TimeSeriesError, match="site 2"):
+            SitePopulation(loads, 900.0)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(TimeSeriesError):
+            SitePopulation(np.ones((2, 4)), 0.0)
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(TimeSeriesError):
+            SitePopulation(np.ones((2, 4)), 900.0, labels=("only one",))
+
+    def test_matrix_is_read_only(self):
+        population = SitePopulation(np.ones((2, 4)), 900.0)
+        with pytest.raises(ValueError):
+            population.loads_kw[0, 0] = 5.0
+
+    def test_from_series_roundtrip(self):
+        series = [
+            PowerSeries(np.full(8, 100.0 * (i + 1)), 900.0) for i in range(3)
+        ]
+        population = SitePopulation.from_series(series)
+        for i in range(3):
+            back = population.site_series(i)
+            assert np.array_equal(back.values_kw, series[i].values_kw)
+            assert back.interval_s == 900.0
+
+    def test_from_series_rejects_mixed_grids(self):
+        series = [
+            PowerSeries(np.ones(8), 900.0),
+            PowerSeries(np.ones(8), 1800.0),
+        ]
+        with pytest.raises(TimeSeriesError):
+            SitePopulation.from_series(series)
+
+
+class TestPopulationPlanGeometry:
+    def test_out_of_span_period_rejected(self):
+        population = SitePopulation(np.ones((2, 8)), 900.0)
+        with pytest.raises(BillingError):
+            PopulationPlan(population, [BillingPeriod("long", 0.0, 10 * DAY_S)])
+
+    def test_resampled_identity(self):
+        population = _population(n_sites=2, n_days=1)
+        plan = PopulationPlan(population, [BillingPeriod("day", 0.0, DAY_S)])
+        matrix, interval_s, bounds = plan.resampled(900.0)
+        assert interval_s == 900.0
+        assert matrix is population.loads_kw
+
+    def test_resampled_non_integer_ratio_declines(self):
+        population = SitePopulation(np.ones((2, 96)), 900.0)
+        plan = PopulationPlan(population, [BillingPeriod("day", 0.0, DAY_S)])
+        assert plan.resampled(1234.0) is None
+
+    def test_resampled_coarsens_by_block_mean(self):
+        loads = np.arange(16, dtype=float).reshape(2, 8)
+        population = SitePopulation(loads, 900.0)
+        plan = PopulationPlan(population, [BillingPeriod("p", 0.0, 8 * 900.0)])
+        matrix, interval_s, bounds = plan.resampled(1800.0)
+        assert interval_s == 1800.0
+        assert np.array_equal(matrix, loads.reshape(2, 4, 2).mean(axis=2))
+
+    def test_period_energy_matches_scalar_sums(self):
+        population = _population(n_sites=3, n_days=2)
+        periods = _periods(population)
+        plan = PopulationPlan(population, periods)
+        energy = plan.period_energy_kwh()
+        for i in range(3):
+            series = population.site_series(i)
+            for k, p in enumerate(periods):
+                expected = p.slice(series).energy_kwh()
+                assert rel_close(float(energy[i, k]), expected)
+
+
+class TestComponentMatrixValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            ComponentMatrix(np.zeros((2, 3)), np.zeros((3, 2)), "kWh")
+
+    def test_rejects_1d(self):
+        with pytest.raises(TimeSeriesError):
+            ComponentMatrix(np.zeros(3), np.zeros(3), "kWh")
+
+
+ARCHETYPES = sorted(_tariff_library())
+
+population_loads = arrays(
+    np.float64,
+    (3, 96),
+    elements=st.floats(min_value=0.0, max_value=50_000.0, allow_nan=False),
+)
+
+
+class TestHypothesisDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(loads=population_loads, name=st.sampled_from(ARCHETYPES))
+    def test_columnar_agrees_with_scalar(self, loads, name):
+        population = SitePopulation(loads, 900.0)
+        periods = [
+            BillingPeriod("am", 0.0, DAY_S / 2),
+            BillingPeriod("pm", DAY_S / 2, DAY_S),
+        ]
+        assert_population_matches_scalar(
+            population, _tariff_library()[name], periods, _context(population)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        loads=population_loads,
+        rate=st.floats(min_value=0.0, max_value=1.0),
+        demand_rate=st.floats(min_value=0.0, max_value=50.0),
+        ratchet=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_custom_contract_agrees_with_scalar(self, loads, rate, demand_rate, ratchet):
+        population = SitePopulation(loads, 900.0)
+        contract = Contract(
+            "hyp",
+            [
+                FixedTariff(rate),
+                DemandCharge(
+                    demand_rate,
+                    metering=PeakMetering.TOP_K_MEAN,
+                    k=3,
+                    ratchet_fraction=ratchet,
+                ),
+            ],
+        )
+        periods = [
+            BillingPeriod("am", 0.0, DAY_S / 2),
+            BillingPeriod("pm", DAY_S / 2, DAY_S),
+        ]
+        assert_population_matches_scalar(population, contract, periods, None)

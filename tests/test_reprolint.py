@@ -30,7 +30,7 @@ class TestEngine:
         families = {r.family for r in all_rules()}
         assert families == {
             "determinism", "units", "cache-safety", "observability",
-            "exceptions", "serialization", "float-compare",
+            "exceptions", "serialization", "float-compare", "perf",
         }
 
     def test_findings_sorted_and_keyed(self):
@@ -529,6 +529,94 @@ class TestUnsortedJsonDump:
             "    return json.dumps(obj)  # reprolint: disable=RPL044\n"
         )
         assert codes(src, path=JOURNAL) == []
+
+
+# -- python loops over the site axis in columnar kernels (RPL045) -------------
+
+KERNEL = "src/repro/contracts/columnar.py"
+
+
+class TestSiteAxisLoop:
+    def test_loop_over_loads_rows_fires(self):
+        src = (
+            "def charge_matrix(plan):\n"
+            "    out = []\n"
+            "    for row in plan.population.loads_kw:\n"
+            "        out.append(row.sum())\n"
+            "    return out\n"
+        )
+        assert codes(src, path=KERNEL) == ["RPL045"]
+
+    def test_loop_over_site_range_fires(self):
+        src = (
+            "def period_totals(self):\n"
+            "    for i in range(self.population.n_sites):\n"
+            "        self._one(i)\n"
+        )
+        assert codes(src, path=KERNEL) == ["RPL045"]
+
+    def test_loop_over_matrix_suffix_fires(self):
+        src = (
+            "def fold(energy_matrix):\n"
+            "    for row in energy_matrix:\n"
+            "        yield row\n"
+        )
+        assert codes(src, path=KERNEL) == ["RPL045"]
+
+    def test_period_axis_loop_is_clean(self):
+        src = (
+            "def period_energy(self):\n"
+            "    for k, (i0, i1) in enumerate(self._bounds):\n"
+            "        self._fill(k, i0, i1)\n"
+        )
+        assert codes(src, path=KERNEL) == []
+
+    def test_materializer_allowlisted(self):
+        src = (
+            "def materialize(self, i):\n"
+            "    for i in range(self.population.n_sites):\n"
+            "        yield self._bill(i)\n"
+            "def iter_bills(self):\n"
+            "    for i in range(self.population.n_sites):\n"
+            "        yield self.materialize(i)\n"
+        )
+        assert codes(src, path=KERNEL) == []
+
+    def test_scalar_fallback_allowlisted(self):
+        src = (
+            "def _scalar_component_matrix(component, population):\n"
+            "    for i in range(population.n_sites):\n"
+            "        component.charge(population.site_series(i))\n"
+        )
+        assert codes(src, path=KERNEL) == []
+
+    def test_nested_allowlisted_function_does_not_leak(self):
+        # The loop belongs to the inner allowlisted function, not to the
+        # enclosing kernel.
+        src = (
+            "def kernel(plan):\n"
+            "    def materialize_all():\n"
+            "        for i in range(plan.population.n_sites):\n"
+            "            yield i\n"
+            "    return list(materialize_all())\n"
+        )
+        assert codes(src, path=KERNEL) == []
+
+    def test_other_modules_exempt(self):
+        src = (
+            "def walk(population):\n"
+            "    for row in population.loads_kw:\n"
+            "        yield row\n"
+        )
+        assert codes(src, path="src/repro/contracts/billing.py") == []
+
+    def test_suppression_comment_wins(self):
+        src = (
+            "def kernel(plan):\n"
+            "    for row in plan.population.loads_kw:  # reprolint: disable=RPL045\n"
+            "        pass\n"
+        )
+        assert codes(src, path=KERNEL) == []
 
 
 # -- baseline ----------------------------------------------------------------

@@ -219,3 +219,104 @@ class TestCustomAggregator:
                      lambda: base.result()):
             with pytest.raises(NotImplementedError):
                 call()
+
+
+class TestQuantile:
+    """Fixed-bin quantile sketches: merge-exact, clamped, picklable."""
+
+    @staticmethod
+    def _values(n=5000, seed=3):
+        import numpy as np
+
+        return (1000.0 * np.random.default_rng(seed).random(n)).tolist()
+
+    def test_estimates_within_bin_resolution(self):
+        from repro.analysis.streaming import Quantile
+
+        values = self._values()
+        q = Quantile([0.5, 0.95, 0.99], lo=0.0, hi=1000.0)
+        for x in values:
+            q.update(x)
+        import numpy as np
+
+        out = q.result()
+        for prob, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+            true = float(np.quantile(values, prob))
+            assert abs(out[key] - true) < 2.0  # within a few 1000/4096 bins
+
+    def test_merge_is_exact(self):
+        # Fixed bins mean partial sketches merge by adding counts: the
+        # merged estimate equals the serial estimate exactly, whatever the
+        # partition — the property sharded studies rely on.
+        from repro.analysis.streaming import Quantile
+
+        values = self._values()
+        serial = Quantile([0.5, 0.9], lo=0.0, hi=1000.0)
+        for x in values:
+            serial.update(x)
+        partials = [Quantile([0.5, 0.9], lo=0.0, hi=1000.0) for _ in range(7)]
+        for i, x in enumerate(values):
+            partials[i % 7].update(x)
+        merged = partials[0]
+        for p in partials[1:]:
+            merged = merged.merge(p)
+        assert merged.result() == serial.result()
+
+    def test_estimates_clamped_to_observed_range(self):
+        from repro.analysis.streaming import Quantile
+
+        q = Quantile([0.01, 0.99], lo=0.0, hi=1e6)
+        for x in (400.0, 500.0, 600.0):
+            q.update(x)
+        out = q.result()
+        assert 400.0 <= out["p1"] <= 600.0
+        assert 400.0 <= out["p99"] <= 600.0
+
+    def test_empty_stream_returns_none(self):
+        from repro.analysis.streaming import Percentile, Quantile
+
+        assert Quantile([0.5], lo=0.0, hi=1.0).result() is None
+        assert Percentile(0.5, lo=0.0, hi=1.0).result() is None
+
+    def test_invalid_probabilities_refused(self):
+        from repro.analysis.streaming import Quantile
+
+        for bad in ([], [0.0], [1.0], [-0.1], [0.5, 2.0]):
+            with pytest.raises(AnalysisError):
+                Quantile(bad, lo=0.0, hi=1.0)
+
+    def test_merge_requires_same_probabilities(self):
+        from repro.analysis.streaming import Quantile
+
+        a = Quantile([0.5], lo=0.0, hi=1.0)
+        b = Quantile([0.9], lo=0.0, hi=1.0)
+        with pytest.raises(AnalysisError):
+            a.merge(b)
+
+    def test_merge_requires_same_binning(self):
+        from repro.analysis.streaming import Quantile
+
+        a = Quantile([0.5], lo=0.0, hi=1.0)
+        b = Quantile([0.5], lo=0.0, hi=2.0)
+        with pytest.raises(AnalysisError):
+            a.merge(b)
+
+    def test_percentile_scalar_result(self):
+        from repro.analysis.streaming import Percentile
+
+        p = Percentile(0.95, lo=0.0, hi=100.0)
+        for x in range(101):
+            p.update(float(x))
+        assert abs(p.result() - 95.0) < 1.0
+
+    def test_picklable(self):
+        from repro.analysis.streaming import Percentile, Quantile
+
+        q = Quantile([0.5, 0.9], lo=0.0, hi=10.0)
+        for x in (1.0, 5.0, 9.0):
+            q.update(x)
+        clone = pickle.loads(pickle.dumps(q))
+        assert clone.result() == q.result()
+        p = Percentile(0.5, lo=0.0, hi=10.0)
+        p.update(3.0)
+        assert pickle.loads(pickle.dumps(p)).result() == p.result()

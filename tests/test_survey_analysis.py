@@ -145,3 +145,31 @@ class TestPopulationModel:
         sites = SitePopulationModel.from_survey().draw(100, seed=4)
         report = geographic_trend_test(sites)
         assert len(report) == 6
+
+
+class TestDrawChunks:
+    def test_concatenation_matches_monolithic_draw(self):
+        model = SitePopulationModel.from_survey()
+        whole = model.draw(57, seed=9)
+        chunked = [
+            site
+            for chunk in model.draw_chunks(57, chunk=10, seed=9)
+            for site in chunk
+        ]
+        assert len(chunked) == 57
+        assert [s.flags for s in chunked] == [s.flags for s in whole]
+        assert [s.synthetic_peak_mw for s in chunked] == [
+            s.synthetic_peak_mw for s in whole
+        ]
+
+    def test_chunk_sizes(self):
+        model = SitePopulationModel.from_survey()
+        sizes = [len(c) for c in model.draw_chunks(23, chunk=5, seed=0)]
+        assert sizes == [5, 5, 5, 5, 3]
+
+    def test_invalid_arguments(self):
+        model = SitePopulationModel.from_survey()
+        with pytest.raises(SurveyError):
+            list(model.draw_chunks(0, chunk=5))
+        with pytest.raises(SurveyError):
+            list(model.draw_chunks(5, chunk=0))

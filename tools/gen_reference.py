@@ -67,6 +67,24 @@ See [docs/resilience.md](resilience.md) for the narrative guide and
 [docs/index.md](index.md) for the documentation map.
 """
 
+_COL_HEADER = """\
+# Population-scale billing reference manual
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python tools/gen_reference.py -->
+
+This manual is generated from the docstrings of the public columnar
+billing API: the site-major population containers and vectorized
+settlement plan (:mod:`repro.contracts.columnar`), the chunked synthetic
+population generators (:mod:`repro.survey.population`), and the
+streaming population bill study (:mod:`repro.analysis.population`).
+Every entry below carries at least one runnable example; the whole
+manual is exercised by `pytest --doctest-modules` in CI.
+
+See [docs/population.md](population.md) for the narrative guide and
+[docs/index.md](index.md) for the documentation map.
+"""
+
 _LINT_HEADER = """\
 # Static-analysis (reprolint) reference manual
 
@@ -99,6 +117,14 @@ MANUALS: Dict[Path, Tuple[str, List[str]]] = {
             "repro.robustness.journal",
             "repro.robustness.shards",
             "repro.analysis.streaming",
+        ],
+    ),
+    REPO / "docs" / "reference_columnar.md": (
+        _COL_HEADER,
+        [
+            "repro.contracts.columnar",
+            "repro.survey.population",
+            "repro.analysis.population",
         ],
     ),
     REPO / "docs" / "reference_reprolint.md": (

@@ -14,6 +14,8 @@ exceptions     RPL040–RPL043   no bare/swallowing excepts; domain raises;
                                bounded, backing-off retry loops
 serialization  RPL044          sort_keys=True in journal/manifest writers
                                (merge determinism needs stable bytes)
+perf           RPL045          no Python loops over the site axis in the
+                               columnar billing kernels
 float-compare  RPL050          tolerance helpers, not ``==``, for floats
 ========  ====================  ==============================================
 """
@@ -26,6 +28,7 @@ from . import (
     exceptions,
     floatcmp,
     observability,
+    perf,
     serialization,
     units,
 )
@@ -36,6 +39,7 @@ __all__ = [
     "exceptions",
     "floatcmp",
     "observability",
+    "perf",
     "serialization",
     "units",
 ]

@@ -1,0 +1,119 @@
+"""Performance rules for the columnar billing kernels (RPL045).
+
+The whole point of :mod:`repro.contracts.columnar` is that pricing a
+population costs a handful of NumPy passes over the site-major matrix.
+A Python-level ``for`` loop that walks the site axis inside a kernel
+silently reintroduces the O(n_sites) interpreter overhead the columnar
+representation exists to eliminate — it still produces correct numbers,
+which is exactly why only a lint catches it before the benchmark gate
+does.
+
+* **RPL045 (python-loop-over-site-axis)** — a ``for``/``async for``
+  inside a kernel function of ``contracts/columnar.py`` whose iterable
+  mentions a site-axis quantity (``loads_kw``, ``n_sites``, per-site
+  ``totals``/``amounts``/``quantities``, or any ``*_matrix``).  The
+  audit-grade materializers (``materialize``/``iter_bills``/
+  ``site_series``) and the ``_scalar``-prefixed fallback replicas are
+  per-site *by contract* and are allowlisted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: Terminal identifiers that name site-axis data: iterating any of these
+#: in Python walks one element per site (or per site-row of the matrix).
+_SITE_AXIS_NAMES = {
+    "loads_kw",
+    "n_sites",
+    "sites",
+    "totals",
+    "amounts",
+    "quantities",
+    "site_peaks_kw",
+}
+
+#: Identifier suffixes that name whole site-major matrices.
+_SITE_AXIS_SUFFIXES = ("_matrix",)
+
+#: Function names that are per-site by contract: the audit-grade
+#: materializers and the exact scalar fallback replicas.
+_ALLOWLISTED_FUNCTIONS = {"iter_bills", "site_series", "from_series"}
+
+
+def _is_kernel_path(path: str) -> bool:
+    return path.endswith("contracts/columnar.py")
+
+
+def _is_allowlisted(name: str) -> bool:
+    return (
+        name in _ALLOWLISTED_FUNCTIONS
+        or name.startswith("_scalar")
+        or "materialize" in name
+    )
+
+
+def _site_axis_names(iterable: ast.AST) -> Set[str]:
+    """Site-axis identifiers mentioned anywhere in the loop's iterable."""
+    hits: Set[str] = set()
+    for node in ast.walk(iterable):
+        if isinstance(node, ast.Name):
+            ident = node.id
+        elif isinstance(node, ast.Attribute):
+            ident = node.attr
+        else:
+            continue
+        if ident in _SITE_AXIS_NAMES or ident.endswith(_SITE_AXIS_SUFFIXES):
+            hits.add(ident)
+    return hits
+
+
+@register
+class PythonLoopOverSiteAxisRule(Rule):
+    """RPL045: columnar kernels must not walk the site axis in Python."""
+
+    code = "RPL045"
+    name = "python-loop-over-site-axis"
+    family = "perf"
+    description = (
+        "a Python for-loop over the site axis inside a columnar kernel "
+        "reintroduces the O(n_sites) interpreter overhead the site-major "
+        "matrix eliminates; express the reduction as a vectorized NumPy "
+        "pass (materializers and _scalar fallbacks are exempt)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _is_kernel_path(ctx.path):
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if _is_allowlisted(func.name):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, (ast.For, ast.AsyncFor)):
+                    continue
+                # A loop nested in an allowlisted inner function belongs
+                # to that function, not to `func`.
+                owner = next(
+                    (
+                        a
+                        for a in ctx.ancestors(node)
+                        if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    ),
+                    None,
+                )
+                if owner is not func:
+                    continue
+                hits = _site_axis_names(node.iter)
+                if not hits:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"kernel function {func.name!r} iterates the site axis "
+                    f"in Python (over {', '.join(sorted(hits))}); columnar "
+                    "kernels must price all sites per NumPy pass",
+                )
