@@ -12,6 +12,8 @@ Regenerates the paper's artifacts from the terminal::
     python -m repro sweep --fabric D --shards 4   # shard a sweep directory
     python -m repro sweep --fabric D --worker     # claim/steal shards until done
     python -m repro sweep --fabric D --merge      # fold shards into one report
+    python -m repro serve                # pricing service on 127.0.0.1:8765
+    python -m repro serve --rate 1000 --observe   # rate-limited, audited
 """
 
 from __future__ import annotations
@@ -302,6 +304,55 @@ def main(argv: list = None) -> int:
         help="lease duration for --worker; a worker silent this long "
         "forfeits its shard",
     )
+    srv = sub.add_parser(
+        "serve",
+        help="serve the pricing catalog over a local socket "
+        "(line-delimited JSON; see docs/service.md)",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    srv.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="micro-batch latency window in milliseconds (0 = no wait)",
+    )
+    srv.add_argument(
+        "--max-batch", type=int, default=256,
+        help="flush a batch as soon as this many requests are pending",
+    )
+    srv.add_argument(
+        "--columnar", action="store_true",
+        help="route large same-contract batches through bill_population "
+        "(equivalent within 1e-9, not bit-identical)",
+    )
+    srv.add_argument(
+        "--rate", type=float, default=None,
+        help="sustained admission rate in requests/s (default: unlimited)",
+    )
+    srv.add_argument(
+        "--burst", type=int, default=16, help="token-bucket burst size"
+    )
+    srv.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="shed load beyond this many in-flight requests",
+    )
+    srv.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="per-request deadline in seconds (default: none)",
+    )
+    srv.add_argument(
+        "--sites", type=int, default=8,
+        help="synthetic loads in the default catalog",
+    )
+    srv.add_argument(
+        "--days", type=int, default=28,
+        help="load horizon in days (multiple of 7; weekly billing periods)",
+    )
+    srv.add_argument(
+        "--observe", action="store_true",
+        help="enable observability (metrics + per-request audit manifests)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -343,6 +394,32 @@ def main(argv: list = None) -> int:
             )
             return 2
         return _run_sweep(args)
+
+    if args.command == "serve":
+        from .exceptions import ReproError
+        from .service.server import serve
+
+        try:
+            serve(
+                host=args.host,
+                port=args.port,
+                window_ms=args.window_ms,
+                max_batch=args.max_batch,
+                columnar=args.columnar,
+                rate_per_s=args.rate,
+                burst=args.burst,
+                max_pending=args.max_pending,
+                timeout_s=args.timeout_s,
+                n_sites=args.sites,
+                days=args.days,
+                observability=args.observe,
+            )
+        except KeyboardInterrupt:
+            print("\nservice stopped")
+        except ReproError as exc:
+            print(f"cannot serve: {exc}", file=sys.stderr)
+            return 2
+        return 0
 
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
     for eid in targets:

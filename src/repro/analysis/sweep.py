@@ -395,7 +395,7 @@ def sweep_stream(
     ...     abs, iter(range(-500, 500)), {"n": Count(), "mean": Mean()},
     ...     chunksize=64, parallel=False)
     >>> (out["n"], round(out["mean"], 3))
-    (1000, 249.75)
+    (1000, 250.0)
     """
     if chunksize <= 0:
         raise SweepExecutionError(f"chunksize must be positive, got {chunksize}")

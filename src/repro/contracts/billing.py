@@ -95,6 +95,22 @@ class Bill:
             dict(data_quality) if data_quality is not None else None
         )
         self._domain_totals: Optional[Dict[ChargeDomain, float]] = None
+        # The settled bill keeps its settlement plan alive: plan_for
+        # memoizes plans only weakly (a strong global table would pin
+        # every load ever billed), so the bills themselves are what keep
+        # re-billing the same load a cache hit.  Never pickled — see
+        # __getstate__.
+        self._plan: Optional[SettlementPlan] = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle state without the settlement plan.
+
+        Plans hold a lock and the full load geometry; results shipped
+        back from sweep workers (and journaled) must stay slim.
+        """
+        state = dict(self.__dict__)
+        state["_plan"] = None
+        return state
 
     # -- totals ---------------------------------------------------------------
 
@@ -356,7 +372,9 @@ class BillingEngine:
                 )
             if caching:
                 plan.store_settlement(contract, context, period_bills)
-        return Bill(contract, period_bills, estimated=estimated, data_quality=data_quality)
+        bill = Bill(contract, period_bills, estimated=estimated, data_quality=data_quality)
+        bill._plan = plan
+        return bill
 
     def _charge_components_observed(
         self,

@@ -20,10 +20,18 @@ artifacts **once** per ``(load, periods)`` pair and shares them:
   pair over the same plan (the chaos harness' estimated-bill/true-up
   cycle) reuses the immutable period bills outright.
 
-Plans are cached per load object (weakly — a dead load drops its plans),
-so repeated bills of the same load and period structure, and
+Plans are memoized on the load instance itself with weak values — the
+same treatment :func:`~repro.contracts.columnar.population_plan_for`
+gives population plans.  A plan holds its load strongly (it is load-side
+geometry), so any global load → plan table — even weak-keyed — would
+make every load strongly reachable through its own value and pin it for
+the life of the process; a service pricing a stream of distinct loads
+would leak ~70 KB per load billed.  Instead the memo rides on the load
+and its values are weak: a plan lives exactly as long as someone holds
+it — and the natural consumer, :class:`~repro.contracts.billing.Bill`,
+does, so repeated bills of the same load and period structure, and
 :meth:`~repro.contracts.billing.BillingEngine.bill_many` batches across
-contracts, all share one plan.
+contracts, all share one plan while any of their bills is alive.
 
 Equivalence contract: every fast-path artifact is constructed by the same
 NumPy reductions over the same contiguous data as the legacy per-period
@@ -271,23 +279,34 @@ class SettlementPlan:
         self._settlements = entries
 
 
-# -- the plan cache ----------------------------------------------------------
+# -- the plan memo -----------------------------------------------------------
 
-# load (weak) -> {periods tuple: SettlementPlan}.  Plans hold only
-# load-derived immutable data, so sharing across bills and engines is safe.
-_PLAN_CACHE: "weakref.WeakKeyDictionary[PowerSeries, Dict[Tuple, SettlementPlan]]" = (
-    weakref.WeakKeyDictionary()
-)
-_PLAN_CACHE_LOCK = threading.Lock()
+#: Loads that currently own a plan memo, so the perfconfig cache clearer
+#: can reach memos that live on the load instances themselves.  The memo
+#: is an instance attribute rather than a global mapping because a plan
+#: references its load strongly: any global load → plan table — even
+#: weak-keyed — would make every key strongly reachable through its own
+#: value and pin every load ever billed for the life of the process
+#: (~70 KB per load; fatal for a service pricing a stream of loads).
+#: The memo's values are weak too: a strong entry would close a
+#: load → memo → plan → load cycle that only periodic gc breaks.  The
+#: plan therefore lives exactly as long as someone holds it — and the
+#: natural consumer, :class:`~repro.contracts.billing.Bill`, does, so
+#: sweeps that keep their bills (all of them do) stay cache hits.
+_PLAN_MEMO_OWNERS: "weakref.WeakSet[PowerSeries]" = weakref.WeakSet()
+_PLAN_MEMO_LOCK = threading.Lock()
+
+#: Distinct period tuples cached per load before the memo resets.
 _PLANS_PER_LOAD_MAX = 32
 
 
-def _clear_plan_cache() -> None:
-    with _PLAN_CACHE_LOCK:
-        _PLAN_CACHE.clear()
+def _clear_plan_memos() -> None:
+    with _PLAN_MEMO_LOCK:
+        for load in list(_PLAN_MEMO_OWNERS):
+            load._plan_memo.clear()
 
 
-perfconfig.register_cache_clearer(_clear_plan_cache)
+perfconfig.register_cache_clearer(_clear_plan_memos)
 
 
 def plan_for(load: PowerSeries, periods: Sequence[BillingPeriod]) -> SettlementPlan:
@@ -295,25 +314,35 @@ def plan_for(load: PowerSeries, periods: Sequence[BillingPeriod]) -> SettlementP
 
     Keyed by load identity and the period tuple: re-billing the same load
     object over the same periods — the shape of every sweep harness —
-    reuses all slices, resamples and derived arrays.
+    reuses all slices, resamples and derived arrays.  The memo lives on
+    the load instance and holds the plan weakly (see the module note), so
+    a dead load — or a plan nobody's bill holds any more — frees its
+    geometry immediately instead of pinning it through a global table.
     """
     if not perfconfig.caching_enabled():
         return SettlementPlan(load, periods)
     observed = perfconfig.observability_enabled()
     periods_key = tuple(periods)
-    with _PLAN_CACHE_LOCK:
-        try:
-            per_load = _PLAN_CACHE.setdefault(load, {})
-        except TypeError:  # un-weakref-able load stand-in; skip caching
-            return SettlementPlan(load, periods)
-        plan = per_load.get(periods_key)
+    with _PLAN_MEMO_LOCK:
+        memo = getattr(load, "_plan_memo", None)
+        if memo is None:
+            memo = {}
+            try:
+                load._plan_memo = memo
+                _PLAN_MEMO_OWNERS.add(load)
+            except (AttributeError, TypeError):
+                # slotted stand-in without the memo slot, or an
+                # un-weakref-able load double; skip caching
+                return SettlementPlan(load, periods)
+        ref = memo.get(periods_key)
+        plan = ref() if ref is not None else None
         if plan is None:
             if observed:
                 _metrics.inc("settlement.plan_cache.miss")
             plan = SettlementPlan(load, periods)
-            if len(per_load) >= _PLANS_PER_LOAD_MAX:
-                per_load.clear()
-            per_load[periods_key] = plan
+            if len(memo) >= _PLANS_PER_LOAD_MAX:
+                memo.clear()
+            memo[periods_key] = weakref.ref(plan)
         elif observed:
             _metrics.inc("settlement.plan_cache.hit")
         return plan

@@ -34,6 +34,8 @@ __all__ = [
     "DataQualityError",
     "SignalDeliveryError",
     "ObservabilityError",
+    "ServiceError",
+    "AdmissionError",
 ]
 
 
@@ -151,3 +153,30 @@ class SignalDeliveryError(RobustnessError):
 
 class ObservabilityError(ReproError):
     """Misuse of the observability layer (tracer, metrics registry, manifests)."""
+
+
+class ServiceError(ReproError):
+    """Errors raised by the contract-pricing service layer.
+
+    Covers protocol violations (malformed requests, unknown operations or
+    tools, bad parameters) and server lifecycle misuse.  Admission-control
+    rejections use the :class:`AdmissionError` subclass so clients can
+    distinguish "retry later" from "fix your request".
+    """
+
+
+class AdmissionError(ServiceError):
+    """A request was refused (or expired) by service admission control.
+
+    Carries a structured, JSON-safe :attr:`payload` naming the limit that
+    fired (``code`` is ``"rate_limited"``, ``"overloaded"`` or
+    ``"deadline_exceeded"``) so clients can react programmatically —
+    rate-limit rejections include a ``retry_after_s`` hint derived from
+    the :class:`~repro.robustness.supervisor.RetryPolicy` backoff law.
+    """
+
+    def __init__(self, payload):
+        super().__init__(payload.get("message", payload.get("code", "rejected")))
+        #: Structured rejection record: ``code``, ``message``, ``limit``
+        #: (the numeric limit that fired) and optionally ``retry_after_s``.
+        self.payload = dict(payload)

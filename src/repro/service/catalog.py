@@ -1,0 +1,296 @@
+"""Process-shared, read-only pricing catalog for the service layer.
+
+A long-running pricing service must never pay catalog-construction costs
+on the request path, and must never *mutate* the :mod:`repro.perfconfig`
+caches from concurrent request handlers.  :class:`ServiceCatalog` solves
+both at once: contracts, loads, billing periods, price-series contexts
+and settlement plans are all built **once** at startup and held strongly
+for the life of the service.  After construction every request-path
+lookup is a read of a frozen dict — the settlement plans are already in
+each load's weak-value memo (see
+:func:`repro.contracts.settlement.plan_for`), so billing a catalog load
+is always a warm-path settle.
+
+:func:`default_catalog` assembles the five archetype contracts of
+:mod:`repro.contracts.tariff_library` over a pool of synthetic
+supercomputing-center loads — the same generators the scenario studies
+use — which is what ``python -m repro serve`` starts with.
+
+>>> cat = default_catalog(n_sites=1, days=7)
+>>> len(cat.contract_names())
+5
+>>> cat.load_names()
+['site00']
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.scenarios import generate_price_series, synthetic_sc_load
+from ..contracts import tariff_library
+from ..contracts.billing import Bill, BillingEngine
+from ..contracts.columnar import SitePopulation
+from ..contracts.components import BillingContext
+from ..contracts.contract import Contract
+from ..contracts.settlement import SettlementPlan, plan_for
+from ..exceptions import ServiceError
+from ..timeseries.calendar import BillingPeriod
+from ..timeseries.series import PowerSeries
+
+__all__ = ["ServiceCatalog", "default_catalog"]
+
+DAY_S = 86_400.0
+
+#: Stacked-population memo bound (distinct load-name tuples kept).
+_POPULATIONS_MAX = 32
+
+
+class ServiceCatalog:
+    """Frozen pricing state shared by every request handler.
+
+    Parameters
+    ----------
+    contracts:
+        The priceable contracts, in catalog order.  Names must be unique
+        (they are the wire identifiers).
+    loads:
+        Mapping of load name to metered :class:`~repro.timeseries.series.PowerSeries`.
+        Every load must share one metering grid (interval, start, length)
+        so batches can be stacked columnar.
+    periods:
+        The billing periods every bill settles over.
+    price_seed:
+        Seed for the shared real-time price realization handed to dynamic
+        tariffs — one realization per load, generated at construction,
+        never on the request path.
+
+    >>> from repro.contracts.tariff_library import swiss_post_tender
+    >>> from repro.timeseries.calendar import BillingPeriod
+    >>> from repro.timeseries.series import PowerSeries
+    >>> load = PowerSeries.constant(1000.0, 24 * 7, 3600.0)
+    >>> cat = ServiceCatalog(
+    ...     [swiss_post_tender("svc")], {"lab": load},
+    ...     [BillingPeriod("w0", 0.0, 7 * 86400.0)])
+    >>> round(cat.price("svc / post-tender formula", "lab").total, 2)
+    10718.4
+    """
+
+    def __init__(
+        self,
+        contracts: Sequence[Contract],
+        loads: Mapping[str, PowerSeries],
+        periods: Sequence[BillingPeriod],
+        price_seed: int = 0,
+    ) -> None:
+        if not contracts:
+            raise ServiceError("a service catalog needs at least one contract")
+        if not loads:
+            raise ServiceError("a service catalog needs at least one load")
+        if not periods:
+            raise ServiceError("a service catalog needs at least one billing period")
+        names = [c.name for c in contracts]
+        if len(set(names)) != len(names):
+            raise ServiceError("contract names must be unique (they are wire ids)")
+        self._contracts: Dict[str, Contract] = {c.name: c for c in contracts}
+        self._loads: Dict[str, PowerSeries] = dict(loads)
+        self._periods: Tuple[BillingPeriod, ...] = tuple(periods)
+        self._price_seed = int(price_seed)
+        self._engine = BillingEngine()
+        first = next(iter(self._loads.values()))
+        for name, load in self._loads.items():
+            if (
+                load.interval_s != first.interval_s
+                or load.start_s != first.start_s
+                or len(load) != len(first)
+            ):
+                raise ServiceError(
+                    f"catalog loads must share one metering grid; load {name!r} "
+                    f"differs from the first"
+                )
+        needs_prices = any(c.has_component("dynamic") for c in contracts)
+        self._contexts: Dict[str, Optional[BillingContext]] = {}
+        self._plans: Dict[str, SettlementPlan] = {}
+        for name, load in self._loads.items():
+            ctx: Optional[BillingContext] = None
+            if needs_prices:
+                ctx = BillingContext(
+                    price_series=generate_price_series(load, None, self._price_seed)
+                )
+            self._contexts[name] = ctx
+            # Built once, held strongly: the load's weak-value plan memo
+            # now stays warm for the life of the catalog.
+            self._plans[name] = plan_for(load, self._periods)
+        self._populations: Dict[Tuple[str, ...], SitePopulation] = {}
+        self._populations_lock = threading.Lock()
+
+    # -- lookups ----------------------------------------------------------
+
+    @property
+    def periods(self) -> Tuple[BillingPeriod, ...]:
+        """The billing periods every service bill settles over."""
+        return self._periods
+
+    @property
+    def engine(self) -> BillingEngine:
+        """The shared :class:`~repro.contracts.billing.BillingEngine`."""
+        return self._engine
+
+    @property
+    def price_seed(self) -> int:
+        """Seed of the shared price realization handed to dynamic tariffs."""
+        return self._price_seed
+
+    def contract_names(self) -> List[str]:
+        """Wire identifiers of the priceable contracts, in catalog order."""
+        return list(self._contracts)
+
+    def load_names(self) -> List[str]:
+        """Wire identifiers of the metered loads, in catalog order."""
+        return list(self._loads)
+
+    def contract(self, name: str) -> Contract:
+        """The named contract; unknown names raise a listing error."""
+        try:
+            return self._contracts[name]
+        except KeyError:
+            raise ServiceError(
+                f"unknown contract {name!r}; catalog has {sorted(self._contracts)}"
+            ) from None
+
+    def load(self, name: str) -> PowerSeries:
+        """The named metered load; unknown names raise a listing error."""
+        try:
+            return self._loads[name]
+        except KeyError:
+            raise ServiceError(
+                f"unknown load {name!r}; catalog has {sorted(self._loads)}"
+            ) from None
+
+    def context(self, load_name: str) -> Optional[BillingContext]:
+        """The load's pre-built billing context (``None`` when no contract
+        in the catalog needs real-time prices)."""
+        self.load(load_name)  # raise the listing error for unknown names
+        return self._contexts[load_name]
+
+    def plan(self, load_name: str) -> SettlementPlan:
+        """The load's strongly-held settlement plan (built at startup)."""
+        self.load(load_name)
+        return self._plans[load_name]
+
+    def population(self, load_names: Sequence[str]) -> SitePopulation:
+        """A site-major stack of the named loads, memoized per name tuple.
+
+        Used by the micro-batcher's columnar mode; all catalog loads
+        share one metering grid by construction so stacking never fails.
+        """
+        key = tuple(load_names)
+        with self._populations_lock:
+            pop = self._populations.get(key)
+            if pop is None:
+                pop = SitePopulation.from_series([self.load(n) for n in key])
+                if len(self._populations) >= _POPULATIONS_MAX:
+                    self._populations.clear()
+                self._populations[key] = pop
+            return pop
+
+    # -- pricing ----------------------------------------------------------
+
+    def price(self, contract_name: str, load_name: str) -> Bill:
+        """Settle one catalog load under one catalog contract.
+
+        This is the *direct-call reference path*: the served responses are
+        bit-identical to encoding the bill this method returns (the
+        differential test in ``tests/test_service.py`` enforces it).
+        """
+        return self._engine.bill(
+            self.contract(contract_name),
+            self.load(load_name),
+            self._periods,
+            context=self.context(load_name),
+        )
+
+    def price_many(self, contract_names: Sequence[str], load_name: str) -> List[Bill]:
+        """Settle one catalog load under many contracts (shared plan)."""
+        return self._engine.bill_many(
+            [self.contract(n) for n in contract_names],
+            self.load(load_name),
+            self._periods,
+            context=self.context(load_name),
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-safe summary of the catalog (the ``catalog`` wire op)."""
+        first = next(iter(self._loads.values()))
+        return {
+            "contracts": [
+                {
+                    "name": c.name,
+                    "currency": c.currency,
+                    "components": [comp.name for comp in c.components],
+                    "dynamic": c.has_component("dynamic"),
+                }
+                for c in self._contracts.values()
+            ],
+            "loads": [
+                {
+                    "name": name,
+                    "n_intervals": len(load),
+                    "interval_s": load.interval_s,
+                    "peak_kw": float(load.max_kw()),
+                    "energy_kwh": float(load.energy_kwh()),
+                }
+                for name, load in self._loads.items()
+            ],
+            "periods": [
+                {"label": p.label, "start_s": p.start_s, "end_s": p.end_s}
+                for p in self._periods
+            ],
+            "price_seed": self._price_seed,
+        }
+
+
+def default_catalog(
+    n_sites: int = 8,
+    days: int = 28,
+    interval_s: float = 900.0,
+    peak_mw: float = 2.0,
+    seed: int = 0,
+    price_seed: int = 0,
+) -> ServiceCatalog:
+    """The catalog ``python -m repro serve`` starts with.
+
+    Five archetype contracts (one per
+    :mod:`~repro.contracts.tariff_library` constructor) over ``n_sites``
+    synthetic supercomputing-center loads and weekly billing periods.
+    ``days`` must be a multiple of 7 so the weekly calendar tiles the
+    load exactly.
+
+    >>> cat = default_catalog(n_sites=2, days=7)
+    >>> [p.label for p in cat.periods]
+    ['w0']
+    >>> sorted(cat.load_names())
+    ['site00', 'site01']
+    """
+    if days % 7 != 0 or days <= 0:
+        raise ServiceError(f"days must be a positive multiple of 7, got {days}")
+    peak_kw = peak_mw * 1000.0
+    contracts = [
+        tariff_library.us_industrial_tou("svc", peak_kw),
+        tariff_library.german_industrial("svc", peak_kw),
+        tariff_library.nordic_spot_passthrough("svc"),
+        tariff_library.swiss_post_tender("svc"),
+        tariff_library.us_federal_with_emergency("svc", peak_kw),
+    ]
+    loads = {
+        f"site{i:02d}": synthetic_sc_load(
+            peak_mw, n_days=days, interval_s=interval_s, seed=seed + i
+        )
+        for i in range(n_sites)
+    }
+    periods = [
+        BillingPeriod(f"w{w}", w * 7 * DAY_S, (w + 1) * 7 * DAY_S)
+        for w in range(days // 7)
+    ]
+    return ServiceCatalog(contracts, loads, periods, price_seed=price_seed)

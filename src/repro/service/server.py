@@ -1,0 +1,561 @@
+"""The asyncio socket server: line-delimited JSON over a local socket.
+
+Wire protocol (``repro-service-v1``): one JSON object per line, UTF-8.
+Requests carry ``{"id": ..., "op": ..., "params": {...}}``; responses
+echo the ``id`` with either ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": {"code": ..., "message": ...}}``.  Responses
+are serialized with ``sort_keys=True`` so equal results are equal bytes.
+Requests on one connection may be pipelined; responses are matched by
+``id`` and may arrive out of order.
+
+Operations: ``ping``, ``catalog``, ``price`` (micro-batched single
+bill), ``price_many`` (one load under many contracts, with
+partial-result deadline semantics), ``compare`` (paired comparison),
+``study`` (a named experiment), ``tool`` / ``tools`` (the MCP-style
+dispatch table), ``metrics``, and ``shutdown``.  Work ops pass through
+admission control first; rejections surface the structured
+:class:`~repro.exceptions.AdmissionError` payload verbatim (``code`` is
+``rate_limited`` / ``overloaded`` / ``deadline_exceeded``).
+
+All settlement runs on one dedicated pricing thread (shared with the
+micro-batcher), so serving never mutates the :mod:`repro.perfconfig`
+caches concurrently.
+
+>>> import asyncio
+>>> from repro.service.catalog import default_catalog
+>>> async def demo():
+...     server = ContractPricingServer(default_catalog(n_sites=1, days=7))
+...     await server.start()
+...     client = await ServiceClient.connect(*server.address)
+...     enc = await client.call(
+...         "price", {"contract": "svc / post-tender formula",
+...                   "load": "site00"})
+...     await client.close()
+...     await server.stop()
+...     return enc["currency"]
+>>> asyncio.run(demo())
+'CHF'
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import perfconfig
+from ..exceptions import AdmissionError, ReproError, ServiceError
+from ..observability.manifest import RunManifest, record
+from .admission import AdmissionController, AdmissionPolicy, Ticket
+from .batching import MicroBatcher, encode_bill
+from .catalog import ServiceCatalog, default_catalog
+from .tools import ToolRegistry, default_registry
+
+__all__ = ["ContractPricingServer", "ServiceClient", "serve"]
+
+PROTOCOL = "repro-service-v1"
+
+#: Per-line size limit (1 MiB) — a full-detail bill response fits easily.
+_LIMIT = 1 << 20
+
+
+def _error(code: str, message: str, **extra: object) -> Dict[str, object]:
+    err: Dict[str, object] = {"code": code, "message": message}
+    err.update(extra)
+    return err
+
+
+class ContractPricingServer:
+    """Serve a :class:`~repro.service.catalog.ServiceCatalog` over TCP.
+
+    Parameters
+    ----------
+    catalog:
+        The frozen pricing state (defaults to :func:`default_catalog`).
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from :attr:`address` after :meth:`start`).
+    window_s / max_batch / columnar:
+        Micro-batcher knobs (see
+        :class:`~repro.service.batching.MicroBatcher`).
+    admission:
+        The :class:`~repro.service.admission.AdmissionPolicy`; ``None``
+        means no rate limit, 1024 pending, no deadline.
+    registry:
+        The tool table; ``None`` mounts
+        :func:`~repro.service.tools.default_registry`.
+
+    >>> import asyncio
+    >>> from repro.service.catalog import default_catalog
+    >>> async def demo():
+    ...     server = ContractPricingServer(default_catalog(n_sites=1, days=7))
+    ...     await server.start()
+    ...     host, port = server.address
+    ...     await server.stop()
+    ...     return host
+    >>> asyncio.run(demo())
+    '127.0.0.1'
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[ServiceCatalog] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_s: float = 0.002,
+        max_batch: int = 256,
+        columnar: bool = False,
+        admission: Optional[AdmissionPolicy] = None,
+        registry: Optional[ToolRegistry] = None,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self._host = host
+        self._port = port
+        self.batcher = MicroBatcher(
+            self.catalog, window_s=window_s, max_batch=max_batch, columnar=columnar
+        )
+        self.admission = AdmissionController(admission)
+        self.registry = (
+            registry if registry is not None else default_registry(self.catalog)
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: set = set()
+        self._stopped = asyncio.Event()
+        self._ops = {
+            "ping": self._op_ping,
+            "catalog": self._op_catalog,
+            "price": self._op_price,
+            "price_many": self._op_price_many,
+            "compare": self._op_compare,
+            "study": self._op_study,
+            "tool": self._op_tool,
+            "tools": self._op_tools,
+            "metrics": self._op_metrics,
+            "shutdown": self._op_shutdown,
+        }
+        #: Ops that consume admission tokens (the ones that do real work).
+        self._gated = {"price", "price_many", "compare", "study", "tool"}
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("server is not running")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the socket and start the micro-batcher."""
+        if self._server is not None:
+            raise ServiceError("server already started")
+        await self.batcher.start()
+        self._stopped.clear()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port, limit=_LIMIT
+        )
+
+    async def stop(self) -> None:
+        """Close the socket, drain the batcher, release all connections."""
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        await self.batcher.stop()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` completes (for ``serve`` loops)."""
+        await self._stopped.wait()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(
+                        writer,
+                        write_lock,
+                        {
+                            "id": None,
+                            "ok": False,
+                            "error": _error(
+                                "bad_request", f"request line over {_LIMIT} bytes"
+                            ),
+                        },
+                    )
+                    break
+                if not line:
+                    break
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            for task in list(tasks):
+                task.cancel()
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _write(self, writer, write_lock, response: Dict[str, object]) -> None:
+        payload = (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+    async def _handle_line(self, line: bytes, writer, write_lock) -> None:
+        request_id: object = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServiceError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            params = request.get("params", {})
+            if not isinstance(op, str):
+                raise ServiceError("request needs a string 'op'")
+            if not isinstance(params, dict):
+                raise ServiceError("'params' must be an object")
+            handler = self._ops.get(op)
+            if handler is None:
+                response = {
+                    "id": request_id,
+                    "ok": False,
+                    "error": _error(
+                        "unknown_op",
+                        f"unknown op {op!r}; protocol {PROTOCOL} has "
+                        f"{sorted(self._ops)}",
+                    ),
+                }
+            else:
+                response = await self._dispatch(op, handler, params, request_id)
+        except json.JSONDecodeError as exc:
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": _error("bad_request", f"invalid JSON: {exc}"),
+            }
+        except ServiceError as exc:
+            response = {
+                "id": request_id,
+                "ok": False,
+                "error": _error("bad_request", str(exc)),
+            }
+        await self._write(writer, write_lock, response)
+
+    async def _dispatch(self, op, handler, params, request_id) -> Dict[str, object]:
+        ticket: Optional[Ticket] = None
+        timed_out = False
+        try:
+            if op in self._gated:
+                ticket = self.admission.admit()
+            result = await handler(params, ticket)
+            if isinstance(result, dict):
+                timed_out = bool(result.get("partial"))
+            return {"id": request_id, "ok": True, "result": result}
+        except AdmissionError as exc:
+            timed_out = exc.payload.get("code") == "deadline_exceeded"
+            return {"id": request_id, "ok": False, "error": dict(exc.payload)}
+        except ReproError as exc:
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": _error("invalid_params", str(exc)),
+            }
+        except Exception as exc:  # pragma: no cover - defensive
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": _error("internal_error", f"{type(exc).__name__}: {exc}"),
+            }
+        finally:
+            if ticket is not None:
+                ticket.finish(timed_out=timed_out)
+
+    # -- executor plumbing -------------------------------------------------
+
+    async def _on_pricing_thread(self, fn, *args):
+        """Run ``fn`` on the batcher's single pricing thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.batcher._executor, fn, *args)
+
+    # -- ops ---------------------------------------------------------------
+
+    async def _op_ping(self, params, ticket):
+        return {"ok": True, "protocol": PROTOCOL}
+
+    async def _op_catalog(self, params, ticket):
+        return self.catalog.describe()
+
+    async def _op_price(self, params, ticket):
+        contract = params.get("contract")
+        load = params.get("load")
+        detail = params.get("detail", "summary")
+        if not isinstance(contract, str) or not isinstance(load, str):
+            raise ServiceError("price needs string 'contract' and 'load' params")
+        if ticket is not None and ticket.expired():
+            raise self.admission.deadline_error("price")
+        return await self.batcher.price(contract, load, detail)
+
+    async def _op_price_many(self, params, ticket):
+        load = params.get("load")
+        if not isinstance(load, str):
+            raise ServiceError("price_many needs a string 'load' param")
+        contracts = params.get("contracts")
+        if contracts is None:
+            names = self.catalog.contract_names()
+        elif isinstance(contracts, list) and all(
+            isinstance(n, str) for n in contracts
+        ):
+            names = list(contracts)
+        else:
+            raise ServiceError("'contracts' must be a list of contract names")
+        for name in names:
+            self.catalog.contract(name)  # fail fast before pricing
+        self.catalog.load(load)
+        return await self._on_pricing_thread(
+            self._price_partial, load, names, ticket
+        )
+
+    def _price_partial(
+        self, load: str, names: Sequence[str], ticket: Optional[Ticket]
+    ) -> Dict[str, object]:
+        """Price contract-by-contract, honoring the deadline mid-batch.
+
+        Accounting conserves: ``n_requested == n_priced + n_timed_out``.
+        """
+        t0 = time.perf_counter()
+        t_cpu = time.process_time()
+        bills: List[Dict[str, object]] = []
+        left_out: List[str] = []
+        for name in names:
+            if ticket is not None and ticket.expired():
+                left_out.append(name)
+                continue
+            bills.append(encode_bill(self.catalog.price(name, load)))
+        result: Dict[str, object] = {
+            "load": load,
+            "bills": bills,
+            "partial": bool(left_out),
+            "n_requested": len(names),
+            "n_priced": len(bills),
+            "n_timed_out": len(left_out),
+            "timed_out": left_out,
+        }
+        if perfconfig.observability_enabled():
+            record(
+                RunManifest(
+                    kind="service_request",
+                    name=f"price_many|{load}",
+                    created_unix=time.time(),
+                    wall_s=time.perf_counter() - t0,
+                    cpu_s=time.process_time() - t_cpu,
+                    seeds={"price": self.catalog.price_seed},
+                    params={
+                        "op": "price_many",
+                        "load": load,
+                        "contracts": list(names),
+                        "partial": bool(left_out),
+                    },
+                    payload={
+                        "total": sum(b["total"] for b in bills),
+                        "n_priced": len(bills),
+                        "n_timed_out": len(left_out),
+                    },
+                )
+            )
+        return result
+
+    async def _op_compare(self, params, ticket):
+        return await self._op_named_tool("compare_contracts", params)
+
+    async def _op_study(self, params, ticket):
+        return await self._op_named_tool("run_study", params)
+
+    async def _op_tool(self, params, ticket):
+        name = params.get("name")
+        if not isinstance(name, str):
+            raise ServiceError("tool needs a string 'name' param")
+        arguments = params.get("arguments", {})
+        return await self._on_pricing_thread(self.registry.call, name, arguments)
+
+    async def _op_named_tool(self, tool_name, arguments):
+        return await self._on_pricing_thread(self.registry.call, tool_name, arguments)
+
+    async def _op_tools(self, params, ticket):
+        return self.registry.describe()
+
+    async def _op_metrics(self, params, ticket):
+        return self.registry.call("metrics", {})
+
+    async def _op_shutdown(self, params, ticket):
+        asyncio.ensure_future(self.stop())
+        return {"stopping": True}
+
+
+class ServiceClient:
+    """A pipelining line-protocol client (responses matched by ``id``).
+
+    >>> import asyncio
+    >>> from repro.service.catalog import default_catalog
+    >>> async def demo():
+    ...     server = ContractPricingServer(default_catalog(n_sites=1, days=7))
+    ...     await server.start()
+    ...     client = await ServiceClient.connect(*server.address)
+    ...     names = await client.call("tools")
+    ...     await client.close()
+    ...     await server.stop()
+    ...     return names[0]["name"]
+    >>> asyncio.run(demo())
+    'catalog'
+    """
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._futures: Dict[object, asyncio.Future] = {}
+        self._read_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        """Open a connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port, limit=_LIMIT)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                future = self._futures.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (ConnectionError, asyncio.CancelledError, json.JSONDecodeError):
+            pass
+        finally:
+            for future in self._futures.values():
+                if not future.done():
+                    future.set_exception(ServiceError("connection closed"))
+            self._futures.clear()
+
+    async def request(self, op: str, params: Optional[Dict] = None) -> Dict:
+        """Send one request; resolves to the full response envelope."""
+        self._next_id += 1
+        request_id = self._next_id
+        future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        payload = {"id": request_id, "op": op}
+        if params:
+            payload["params"] = params
+        self._writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await self._writer.drain()
+        return await future
+
+    async def call(self, op: str, params: Optional[Dict] = None) -> object:
+        """Send one request; returns ``result`` or raises the wire error.
+
+        Admission rejections come back as
+        :class:`~repro.exceptions.AdmissionError` (structured payload
+        preserved); every other error as
+        :class:`~repro.exceptions.ServiceError`.
+        """
+        response = await self.request(op, params)
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error", {})
+        if error.get("code") in ("rate_limited", "overloaded", "deadline_exceeded"):
+            raise AdmissionError(error)
+        raise ServiceError(f"{error.get('code')}: {error.get('message')}")
+
+    async def close(self) -> None:
+        """Close the connection and stop the reader task."""
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    window_ms: float = 2.0,
+    max_batch: int = 256,
+    columnar: bool = False,
+    rate_per_s: Optional[float] = None,
+    burst: int = 16,
+    max_pending: int = 1024,
+    timeout_s: Optional[float] = None,
+    n_sites: int = 8,
+    days: int = 28,
+    observability: bool = False,
+) -> None:
+    """Blocking entry point behind ``python -m repro serve``.
+
+    Builds :func:`~repro.service.catalog.default_catalog`, starts a
+    :class:`ContractPricingServer` and runs until interrupted.
+
+    >>> callable(serve)
+    True
+    """
+    policy = AdmissionPolicy(
+        rate_per_s=rate_per_s,
+        burst=burst,
+        max_pending=max_pending,
+        timeout_s=timeout_s,
+    )
+
+    async def _run() -> None:
+        catalog = default_catalog(n_sites=n_sites, days=days)
+        server = ContractPricingServer(
+            catalog,
+            host=host,
+            port=port,
+            window_s=window_ms / 1000.0,
+            max_batch=max_batch,
+            columnar=columnar,
+            admission=policy,
+        )
+        await server.start()
+        bound_host, bound_port = server.address
+        print(f"repro service ({PROTOCOL}) listening on {bound_host}:{bound_port}")
+        print(
+            f"catalog: {len(catalog.contract_names())} contracts x "
+            f"{len(catalog.load_names())} loads x "
+            f"{len(catalog.periods)} periods"
+        )
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop()
+
+    if observability:
+        with perfconfig.observing():
+            asyncio.run(_run())
+    else:
+        asyncio.run(_run())

@@ -53,6 +53,7 @@ class PowerSeries:
         "_start_s",
         "_energy_per_interval_cache",
         "_times_cache",
+        "_plan_memo",
         "__weakref__",
     )
 
@@ -130,6 +131,22 @@ class PowerSeries:
 
     def __len__(self) -> int:
         return len(self._values)
+
+    def __getstate__(self):
+        """Canonical pickle state: data only, never the lazy caches.
+
+        The settlement-plan memo (``_plan_memo``, see
+        :func:`repro.contracts.settlement.plan_for`) holds weak references,
+        which do not pickle; and including any lazily populated cache would
+        make a series' pickle bytes — and therefore its sweep-journal
+        ``item_fingerprint`` — depend on whether it had been billed yet.
+        """
+        return (self._values, self._interval_s, self._start_s)
+
+    def __setstate__(self, state) -> None:
+        self._values, self._interval_s, self._start_s = state
+        self._energy_per_interval_cache = None
+        self._times_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -183,8 +183,14 @@ class TestMetrics:
             )
             periods = monthly_billing_periods(n_months=1, start_s=0.0)
             with perfconfig.observing():
-                BillingEngine().bill(contract, load, periods)
-                BillingEngine().bill(contract, load, periods)
+                # Hold the first bill: plans are memoized weakly on the
+                # load and live exactly as long as a bill holds them, so
+                # the second settle is a plan + settlement-memo hit.
+                bills = [
+                    BillingEngine().bill(contract, load, periods)
+                    for _ in range(2)
+                ]
+            assert bills[0].total == bills[1].total
             snap = metrics.registry().snapshot()
             return snap["counters"]
 

@@ -619,6 +619,76 @@ class TestSiteAxisLoop:
         assert codes(src, path=KERNEL) == []
 
 
+# -- blocking calls inside async defs in the service layer (RPL046) -----------
+
+SERVICE = "src/repro/service/server.py"
+
+
+class TestBlockingCallInAsync:
+    def test_time_sleep_in_coroutine_fires(self):
+        src = (
+            "import time\n"
+            "async def handler(self):\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert codes(src, path=SERVICE) == ["RPL046"]
+
+    def test_subprocess_in_coroutine_fires(self):
+        src = (
+            "import subprocess\n"
+            "async def handler(self):\n"
+            "    subprocess.run(['ls'])\n"
+        )
+        assert codes(src, path=SERVICE) == ["RPL046"]
+
+    def test_sync_file_io_in_coroutine_fires(self):
+        src = (
+            "async def handler(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+        )
+        assert codes(src, path=SERVICE) == ["RPL046"]
+        src = (
+            "async def handler(path):\n"
+            "    return path.read_text()\n"
+        )
+        assert codes(src, path=SERVICE) == ["RPL046"]
+
+    def test_asyncio_counterparts_are_clean(self):
+        src = (
+            "import asyncio\n"
+            "async def handler(self, loop):\n"
+            "    await asyncio.sleep(0.1)\n"
+            "    return await loop.run_in_executor(None, self._settle)\n"
+        )
+        assert codes(src, path=SERVICE) == []
+
+    def test_nested_sync_def_is_that_functions_business(self):
+        # The sync inner function may legitimately run on the executor.
+        src = (
+            "async def handler(loop, path):\n"
+            "    def read():\n"
+            "        with open(path) as fh:\n"
+            "            return fh.read()\n"
+            "    return await loop.run_in_executor(None, read)\n"
+        )
+        assert codes(src, path=SERVICE) == []
+
+    def test_sync_def_and_non_service_paths_are_clean(self):
+        src = "import time\ndef slow():\n    time.sleep(1.0)\n"
+        assert codes(src, path=SERVICE) == []
+        src = "import time\nasync def slow():\n    time.sleep(1.0)\n"
+        assert codes(src, path="src/repro/robustness/supervisor.py") == []
+
+    def test_suppression_comment_wins(self):
+        src = (
+            "import time\n"
+            "async def handler(self):\n"
+            "    time.sleep(0.1)  # reprolint: disable=RPL046\n"
+        )
+        assert codes(src, path=SERVICE) == []
+
+
 # -- baseline ----------------------------------------------------------------
 
 

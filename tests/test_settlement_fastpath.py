@@ -447,3 +447,114 @@ class TestSweepMap:
             sweep_map(_square, xs, parallel=True, max_workers=2, chunksize=3)
             == [x * x for x in xs]
         )
+
+
+class TestPlanMemoLifetime:
+    """The weak-value plan memo: plans live with their bills, loads die free.
+
+    The previous global weak-key table made each load strongly reachable
+    through its own plan's back-reference (plans hold their load), so
+    every load ever billed stayed pinned for the life of the process —
+    harmless in a one-shot study, fatal for a service pricing a stream
+    of loads.  These tests enforce the replacement semantics: bills own
+    their plan (so re-billing a live load stays a cache hit), and a dead
+    bill + dead load free the geometry immediately.
+    """
+
+    def _weekly(self, n_weeks: int):
+        return tuple(
+            BillingPeriod(f"w{w}", w * 7 * DAY_S, (w + 1) * 7 * DAY_S)
+            for w in range(n_weeks)
+        )
+
+    def test_dead_bills_free_their_loads(self):
+        import gc
+        import weakref
+
+        engine = BillingEngine()
+        contract = us_industrial_tou("SC", peak_kw=2_000.0)
+        periods = self._weekly(2)
+        refs = []
+        for i in range(8):
+            load = synthetic_sc_load(2.0, n_days=14, seed=100 + i)
+            bill = engine.bill(contract, load, periods)
+            assert bill._plan is not None and bill._plan.load is load
+            refs.append(weakref.ref(load))
+            del load, bill
+        gc.collect()  # belt and braces; refcounting alone should suffice
+        assert all(r() is None for r in refs)
+
+    def test_live_bill_keeps_the_plan_shared(self):
+        engine = BillingEngine()
+        periods = self._weekly(2)
+        load = synthetic_sc_load(2.0, n_days=14, seed=5)
+        first = engine.bill(us_industrial_tou("SC", peak_kw=2_000.0), load, periods)
+        second = engine.bill(german_industrial("SC", peak_kw=2_000.0), load, periods)
+        assert second._plan is first._plan
+
+    def test_load_churn_memory_is_bounded(self):
+        """RSS-oriented regression: billing N loads must not retain O(N) bytes.
+
+        Uses tracemalloc (deterministic, allocation-exact) rather than OS
+        RSS so the bound holds on any allocator: after billing 160 loads
+        of ~21 KB each (≈ 3.4 MB of load arrays alone, more with plan
+        slices), retained growth must stay under a handful of loads —
+        the old pinned-cache behavior retained all of them.
+        """
+        import gc
+        import tracemalloc
+
+        engine = BillingEngine()
+        contract = us_industrial_tou("SC", peak_kw=2_000.0)
+        periods = self._weekly(4)
+
+        def churn(n: int, seed0: int) -> None:
+            for i in range(n):
+                load = synthetic_sc_load(2.0, n_days=28, seed=seed0 + i)
+                engine.bill(contract, load, periods)
+
+        churn(8, 0)  # warm calendars / rate-vector caches outside the probe
+        gc.collect()
+        tracemalloc.start()
+        try:
+            base, _ = tracemalloc.get_traced_memory()
+            churn(160, 1000)
+            gc.collect()
+            current, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        growth = current - base
+        assert growth < 512 * 1024, (
+            f"billing 160 transient loads retained {growth} bytes; "
+            "the plan memo is pinning loads again"
+        )
+
+    def test_fingerprint_stable_across_billing(self):
+        """A load's journal fingerprint must not depend on cache state."""
+        from repro.robustness.journal import item_fingerprint
+
+        engine = BillingEngine()
+        load = synthetic_sc_load(2.0, n_days=14, seed=9)
+        before = item_fingerprint(load)
+        engine.bill(us_industrial_tou("SC", peak_kw=2_000.0), load, self._weekly(2))
+        assert item_fingerprint(load) == before
+
+    def test_bill_pickles_without_its_plan(self):
+        import pickle
+
+        engine = BillingEngine()
+        load = synthetic_sc_load(2.0, n_days=14, seed=11)
+        bill = engine.bill(
+            us_industrial_tou("SC", peak_kw=2_000.0), load, self._weekly(2)
+        )
+        clone = pickle.loads(pickle.dumps(bill))
+        assert clone._plan is None
+        assert clone.total == bill.total
+
+    def test_perfconfig_clearer_reaches_instance_memos(self):
+        load = synthetic_sc_load(2.0, n_days=14, seed=13)
+        periods = self._weekly(2)
+        p1 = plan_for(load, periods)
+        perfconfig.clear_caches()
+        p2 = plan_for(load, periods)
+        assert p2 is not p1

@@ -98,6 +98,25 @@ the baseline ledger format.  See
 the rule catalog (RPL001–RPL050).
 """
 
+_SVC_HEADER = """\
+# Contract-pricing service reference manual
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python tools/gen_reference.py -->
+
+This manual is generated from the docstrings of the public service-layer
+API: the frozen pricing catalog (:mod:`repro.service.catalog`), admission
+control (:mod:`repro.service.admission`), the micro-batcher and wire
+encodings (:mod:`repro.service.batching`), the tool registry
+(:mod:`repro.service.tools`), and the line-delimited JSON server and
+client (:mod:`repro.service.server`).  Every entry below carries at
+least one runnable example; the whole manual is exercised by
+`pytest --doctest-modules` in CI.
+
+See [docs/service.md](service.md) for the operator's manual and
+[docs/index.md](index.md) for the documentation map.
+"""
+
 #: Every generated manual: output path -> (header, modules in manual order).
 MANUALS: Dict[Path, Tuple[str, List[str]]] = {
     REPO / "docs" / "reference_observability.md": (
@@ -125,6 +144,17 @@ MANUALS: Dict[Path, Tuple[str, List[str]]] = {
             "repro.contracts.columnar",
             "repro.survey.population",
             "repro.analysis.population",
+        ],
+    ),
+    REPO / "docs" / "reference_service.md": (
+        _SVC_HEADER,
+        [
+            "repro.service",
+            "repro.service.catalog",
+            "repro.service.admission",
+            "repro.service.batching",
+            "repro.service.tools",
+            "repro.service.server",
         ],
     ),
     REPO / "docs" / "reference_reprolint.md": (

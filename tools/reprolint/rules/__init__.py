@@ -14,8 +14,9 @@ exceptions     RPL040–RPL043   no bare/swallowing excepts; domain raises;
                                bounded, backing-off retry loops
 serialization  RPL044          sort_keys=True in journal/manifest writers
                                (merge determinism needs stable bytes)
-perf           RPL045          no Python loops over the site axis in the
-                               columnar billing kernels
+perf           RPL045–RPL046   no Python loops over the site axis in the
+                               columnar billing kernels; no blocking calls
+                               inside async defs in the service layer
 float-compare  RPL050          tolerance helpers, not ``==``, for floats
 ========  ====================  ==============================================
 """
@@ -23,6 +24,7 @@ float-compare  RPL050          tolerance helpers, not ``==``, for floats
 from __future__ import annotations
 
 from . import (
+    async_blocking,
     cache_safety,
     determinism,
     exceptions,
@@ -34,6 +36,7 @@ from . import (
 )
 
 __all__ = [
+    "async_blocking",
     "cache_safety",
     "determinism",
     "exceptions",

@@ -1,0 +1,121 @@
+"""Event-loop protection for the service layer (RPL046).
+
+The pricing service runs on a single asyncio event loop: one blocked
+coroutine stalls *every* connection, the micro-batcher's flush clock and
+the admission deadlines all at once.  The service package therefore has
+a hard rule: anything that can block — sleeping, synchronous file I/O,
+spawning processes — either happens on the pricing executor thread
+(``run_in_executor``) or not at all.
+
+* **RPL046 (blocking-call-in-async)** — a call to ``time.sleep``, a
+  synchronous file-I/O entry point (builtin ``open``, ``Path.read_text``
+  / ``write_text`` / ``read_bytes`` / ``write_bytes``), anything in
+  ``subprocess`` / ``os.system`` / ``os.popen``, or blocking socket
+  helpers (``socket.create_connection``) lexically inside an
+  ``async def`` in ``src/repro/service/``.  The asyncio-native
+  counterparts (``asyncio.sleep``, ``run_in_executor``,
+  ``asyncio.open_connection``) are the sanctioned idiom and never match.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: Fully-qualified callables that block the thread they run on.
+_BLOCKING_QUALNAMES = {
+    "time.sleep": "time.sleep blocks the event loop; await asyncio.sleep "
+    "or move the wait to the pricing executor",
+    "os.system": "os.system blocks on a child process; the service layer "
+    "must not shell out from a coroutine",
+    "os.popen": "os.popen blocks on a child process pipe",
+    "socket.create_connection": "socket.create_connection blocks on "
+    "connect; use asyncio.open_connection",
+}
+
+#: Any call whose qualified name starts with one of these prefixes.
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+#: Method names that perform synchronous file I/O regardless of receiver
+#: (Path.read_text() and friends cannot be alias-resolved statically).
+_BLOCKING_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+
+def _in_service(path: str) -> bool:
+    return "repro/service/" in path
+
+
+def _blocking_reason(ctx: FileContext, call: ast.Call) -> Optional[str]:
+    qualname = ctx.qualified_name(call.func)
+    if qualname is not None:
+        if qualname in _BLOCKING_QUALNAMES:
+            return _BLOCKING_QUALNAMES[qualname]
+        for prefix in _BLOCKING_PREFIXES:
+            if qualname.startswith(prefix):
+                return (
+                    f"{qualname} spawns and waits on a child process; "
+                    "the service event loop must never block on one"
+                )
+        if qualname == "open":
+            return (
+                "builtin open() is synchronous file I/O; do it on the "
+                "pricing executor (run_in_executor), not in a coroutine"
+            )
+    if isinstance(call.func, ast.Name) and call.func.id == "open":
+        return (
+            "builtin open() is synchronous file I/O; do it on the "
+            "pricing executor (run_in_executor), not in a coroutine"
+        )
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in _BLOCKING_METHODS
+    ):
+        return (
+            f".{call.func.attr}() is synchronous file I/O; do it on the "
+            "pricing executor, not in a coroutine"
+        )
+    return None
+
+
+@register
+class BlockingCallInAsyncRule(Rule):
+    """RPL046: no blocking calls inside ``async def`` in the service layer."""
+
+    code = "RPL046"
+    name = "blocking-call-in-async"
+    family = "perf"
+    description = (
+        "a blocking call (time.sleep, sync file I/O, subprocess) inside an "
+        "async def in src/repro/service/ stalls every connection sharing "
+        "the event loop; await the asyncio counterpart or run it on the "
+        "pricing executor thread."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_service(ctx.path):
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                # A call inside a nested *sync* def is that function's
+                # business (it may legitimately run on the executor).
+                owner = ctx.enclosing_function(node)
+                if owner is not func:
+                    continue
+                reason = _blocking_reason(ctx, node)
+                if reason is None:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"async function {func.name!r}: {reason}",
+                )
