@@ -1,0 +1,286 @@
+"""reprolint engine benchmark: cold vs warm cache vs parallel, machine-readable.
+
+Times the full-tree lint (``src/repro`` through
+:func:`tools.reprolint.analyze_paths`, the same call the CLI makes) in
+the three configurations the acceptance criteria name:
+
+* ``cold`` — empty content-hash cache: every file is parsed, every rule
+  runs, the project pass rebuilds the symbol table and taint fixpoint;
+* ``warm`` — second run against the populated cache: per-file findings
+  and module summaries replay from ``.reprolint-cache.json`` and the
+  project pass replays from the project-hash entry.  The warm run must
+  be **at least 5x** faster than cold — a hard floor, not a gate ratio;
+* ``parallel`` — cold analysis fanned out over a process pool
+  (``--jobs``), informational on small hosts.
+
+Every configuration embeds an equivalence check (identical findings,
+byte-for-byte after JSON canonicalization) so a speedup can never come
+from analyzing something else, and a seeded fixture tree with known
+violations proves serial-vs-parallel identity on *non-empty* output.
+
+Results land in ``BENCH_lint.json``.  ``--compare BASELINE
+--max-regression R`` fails (exit 1) when the warm-cache *speedup ratio*
+fell by more than ``R``x against the baseline — ratios, not wall times,
+so the gate is machine-independent.  The parallel entry reports
+``speedup_informational`` instead of ``speedup`` and is never gated.
+
+Usage::
+
+    python benchmarks/bench_reprolint.py \
+        [--repeat 3] [--jobs 4] [--out BENCH_lint.json] \
+        [--compare BENCH_lint.json --max-regression 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+REPO = Path(__file__).resolve().parents[1]
+if str(REPO) not in sys.path:  # ``tools`` is imported relative to repo root
+    sys.path.insert(0, str(REPO))
+
+from tools.reprolint import analyze_paths  # noqa: E402
+from tools.reprolint.cache import LintCache  # noqa: E402
+
+TARGETS = ["src/repro"]
+
+# A tiny tree with known violations across three rule families, so the
+# serial-vs-parallel identity check is exercised on non-empty findings
+# (the real tree is kept clean, which would make the check vacuous).
+_FIXTURE_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/helpers.py": (
+        "import random\n"
+        "\n"
+        "def noisy():\n"
+        "    return random.random()\n"
+    ),
+    "pkg/sim.py": (
+        "from . import helpers\n"
+        "\n"
+        "def step(power_kw, dt_h):\n"
+        "    energy_kwh = power_kw * dt_h\n"
+        "    bad_kwh = power_kw + energy_kwh\n"
+        "    return bad_kwh + helpers.noisy()\n"
+    ),
+    "pkg/state.py": "def f(acc=[]):\n    return acc\n",
+}
+
+
+def _time(fn: Callable[[], object], repeat: int) -> Dict[str, float]:
+    """Best-of-``repeat`` wall time (plus per-run samples) for ``fn``."""
+    samples: List[float] = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "best_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+        "samples_s": samples,
+    }
+
+
+def _canonical(result) -> str:
+    """Byte-stable JSON for a result's findings (the identity check)."""
+    return json.dumps(
+        [f.to_dict() for f in result.findings], sort_keys=True, separators=(",", ":")
+    )
+
+
+def bench_full_tree(repeat: int, jobs: int) -> Dict[str, object]:
+    """Cold/warm/parallel timings of the full ``src/repro`` lint."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = Path(tmp) / ".reprolint-cache.json"
+
+        def cold():
+            if cache_path.exists():
+                cache_path.unlink()
+            cache = LintCache(cache_path)
+            result = analyze_paths(TARGETS, root=REPO, jobs=1, cache=cache)
+            cache.save()
+            return result
+
+        def warm():
+            cache = LintCache(cache_path)
+            result = analyze_paths(TARGETS, root=REPO, jobs=1, cache=cache)
+            cache.save()
+            return result
+
+        def parallel():
+            return analyze_paths(TARGETS, root=REPO, jobs=jobs, cache=None)
+
+        cold_result = cold()  # also populates the cache for warm()
+        warm_result = warm()
+        par_result = parallel()
+        serial_bytes = _canonical(cold_result)
+        if _canonical(warm_result) != serial_bytes:
+            raise AssertionError("warm-cache findings differ from cold findings")
+        if _canonical(par_result) != serial_bytes:
+            raise AssertionError("parallel findings differ from serial findings")
+        if warm_result.stats["cache_misses"] != 0:
+            raise AssertionError(
+                f"warm run missed cache: {warm_result.stats['cache_misses']} misses"
+            )
+
+        t_cold = _time(cold, repeat)
+        cold()  # leave a populated cache behind for the warm timings
+        t_warm = _time(warm, repeat)
+        t_par = _time(parallel, max(1, repeat // 2))
+
+    warm_speedup = t_cold["best_s"] / t_warm["best_s"]
+    if warm_speedup < 5.0:
+        raise AssertionError(
+            f"warm cache only {warm_speedup:.2f}x faster than cold (floor: 5x)"
+        )
+    return {
+        "n_target_files": cold_result.stats["n_target_files"],
+        "n_files_in_context": cold_result.stats["n_files"],
+        "n_findings": len(cold_result.findings),
+        "findings_identical_cold_warm_parallel": True,
+        "old": t_cold,  # cold (no cache) plays the "old" role in the schema
+        "new": t_warm,  # warm (cache replay) is the optimized path
+        "speedup": warm_speedup,
+    }, {
+        "jobs": jobs,
+        "n_target_files": cold_result.stats["n_target_files"],
+        "serial": t_cold,
+        "parallel": t_par,
+        "speedup_informational": t_cold["best_s"] / t_par["best_s"],
+    }
+
+
+def bench_fixture_identity(jobs: int) -> Dict[str, object]:
+    """Serial vs parallel on a fixture tree with *known* violations."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        for rel, source in _FIXTURE_FILES.items():
+            path = root / "src" / "repro" / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        serial = analyze_paths(TARGETS, root=root, jobs=1)
+        par = analyze_paths(TARGETS, root=root, jobs=jobs)
+    if not serial.findings:
+        raise AssertionError("fixture tree produced no findings — check is vacuous")
+    if _canonical(serial) != _canonical(par):
+        raise AssertionError("fixture: parallel findings differ from serial")
+    return {
+        "jobs": jobs,
+        "n_findings": len(serial.findings),
+        "codes": sorted({f.code for f in serial.findings}),
+        "identical": True,
+    }
+
+
+def run_all(repeat: int, jobs: int) -> Dict[str, object]:
+    full_tree, parallel_entry = bench_full_tree(repeat, jobs)
+    benchmarks = {
+        "full_tree_cold_vs_warm": full_tree,
+        "full_tree_serial_vs_parallel": parallel_entry,
+        "fixture_serial_vs_parallel_identity": bench_fixture_identity(jobs),
+    }
+    return {
+        "schema": "bench_lint/v1",
+        "generated_unix": int(time.time()),
+        "config": {"repeat": repeat, "jobs": jobs, "targets": TARGETS},
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def check_regression(
+    current: Dict[str, object], baseline_path: str, max_regression: float
+) -> List[str]:
+    """Speedup-ratio regressions of ``current`` against a baseline file.
+
+    Only benchmarks exposing a ``speedup`` key are gated (the parallel
+    entry publishes ``speedup_informational`` and is exempt — pool
+    overhead on a 2-core CI runner is not a lint regression).  A
+    benchmark regresses when ``baseline_speedup / current_speedup``
+    exceeds ``max_regression``; ratios are dimensionless, so a slower CI
+    machine does not trip the gate — only a genuinely smaller cache
+    margin does.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures: List[str] = []
+    for name, base_entry in baseline.get("benchmarks", {}).items():
+        cur_entry = current["benchmarks"].get(name)  # type: ignore[union-attr]
+        if cur_entry is None or "speedup" not in base_entry:
+            continue
+        base_speedup = float(base_entry["speedup"])
+        cur_speedup = float(cur_entry["speedup"])
+        if cur_speedup <= 0 or base_speedup / cur_speedup > max_regression:
+            failures.append(
+                f"{name}: speedup {cur_speedup:.2f}x vs baseline "
+                f"{base_speedup:.2f}x (allowed regression {max_regression:.1f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3, help="timing repeats")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="worker count for the parallel runs",
+    )
+    parser.add_argument("--out", default="BENCH_lint.json", help="output JSON path")
+    parser.add_argument(
+        "--compare", default=None, help="baseline JSON to gate against"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="max allowed speedup-ratio regression vs baseline",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_all(args.repeat, args.jobs)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    entry = result["benchmarks"]["full_tree_cold_vs_warm"]
+    par = result["benchmarks"]["full_tree_serial_vs_parallel"]
+    print(f"reprolint bench (repeat={args.repeat}, jobs={args.jobs})")
+    print(
+        f"  full-tree lint   cold {entry['old']['best_s'] * 1e3:9.2f} ms"
+        f"  warm {entry['new']['best_s'] * 1e3:8.2f} ms"
+        f"  {entry['speedup']:6.2f}x  (floor 5x)"
+    )
+    print(
+        f"  pool jobs={par['jobs']}      serial {par['serial']['best_s'] * 1e3:7.2f} ms"
+        f"  pool {par['parallel']['best_s'] * 1e3:8.2f} ms"
+        f"  {par['speedup_informational']:6.2f}x  (informational)"
+    )
+    print(f"wrote {args.out}")
+
+    if args.compare:
+        failures = check_regression(result, args.compare, args.max_regression)
+        if failures:
+            print("REGRESSION vs baseline:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"no speedup regression vs {args.compare} (limit {args.max_regression}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

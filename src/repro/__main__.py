@@ -245,7 +245,9 @@ def main(argv: list = None) -> int:
     lint.add_argument(
         "lint_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to python -m tools.reprolint "
-        "(prefix flags with `--`)",
+        "(prefix flags with `--`): --jobs N, --format human|json|sarif, "
+        "--explain RPLNNN, --no-cache, --select/--ignore, ...; the "
+        "analyzer's exit code is propagated unchanged",
     )
     sweep = sub.add_parser(
         "sweep",

@@ -430,6 +430,7 @@ class ServiceClient:
     def __init__(self, reader, writer) -> None:
         self._reader = reader
         self._writer = writer
+        self._write_lock = asyncio.Lock()
         self._next_id = 0
         self._futures: Dict[object, asyncio.Future] = {}
         self._read_task = asyncio.ensure_future(self._read_loop())
@@ -467,8 +468,9 @@ class ServiceClient:
         payload = {"id": request_id, "op": op}
         if params:
             payload["params"] = params
-        self._writer.write((json.dumps(payload) + "\n").encode("utf-8"))
-        await self._writer.drain()
+        async with self._write_lock:
+            self._writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+            await self._writer.drain()
         return await future
 
     async def call(self, op: str, params: Optional[Dict] = None) -> object:

@@ -31,6 +31,7 @@ class TestEngine:
         assert families == {
             "determinism", "units", "cache-safety", "observability",
             "exceptions", "serialization", "float-compare", "perf",
+            "concurrency",
         }
 
     def test_findings_sorted_and_keyed(self):
@@ -728,11 +729,23 @@ class TestCommittedBaseline:
     """The committed ledger must match a fresh run of the tree."""
 
     def test_baseline_matches_fresh_run(self):
+        """Full engine (per-file AND cross-module passes), no cache."""
+        from tools.reprolint.project import analyze_paths
+
         committed = Baseline.load(REPO / ".reprolint-baseline.json")
-        findings = run_paths(["src/repro"], root=REPO)
-        comparison = committed.compare(findings)
+        result = analyze_paths(["src/repro"], root=REPO)
+        comparison = committed.compare(result.findings)
         assert comparison.new == [], [f.render() for f in comparison.new]
         assert comparison.drift == {}
+        # build artifacts are accounted, never silently dropped — and
+        # nothing else (every real source file analyzes cleanly)
+        assert all(
+            s.reason in (
+                "build artifact in __pycache__",
+                "compiled bytecode, not source",
+            )
+            for s in result.skipped
+        ), [s.to_dict() for s in result.skipped]
 
     def test_burned_down_families_stay_at_zero(self):
         """ISSUE acceptance: determinism / mutable-default / bare-except

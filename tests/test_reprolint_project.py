@@ -1,0 +1,838 @@
+"""Tests for the reprolint v2 project engine.
+
+Covers the cross-module layers added on top of the per-file analyzer:
+the symbol table and call graph (:mod:`tools.reprolint.project`), the
+interprocedural determinism taint (RPL003), the unit-dimension dataflow
+(RPL012), the concurrency rules (RPL047–RPL049), the content-hash cache
+(:mod:`tools.reprolint.cache`), the ``--jobs`` process pool, the SARIF
+serialization, and the CLI plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import run_source
+from tools.reprolint.cache import LintCache, ruleset_fingerprint
+from tools.reprolint.dataflow import analyze_function, dim_of_name
+from tools.reprolint.engine import Finding, discover_files
+from tools.reprolint.project import (
+    ModuleSummary,
+    ProjectContext,
+    analyze_paths,
+    summarize,
+)
+from tools.reprolint.rules.interprocedural import TaintedCallRule
+from tools.reprolint.sarif import to_sarif
+
+REPO = Path(__file__).resolve().parent.parent
+SIM = "src/repro/fixture.py"
+
+
+def codes(source: str, path: str = SIM):
+    return [f.code for f in run_source(source, path=path)]
+
+
+def project_codes(sources):
+    project = ProjectContext.from_sources(sources)
+    return [f.code for f in TaintedCallRule().check_project(project)]
+
+
+# -- module summaries --------------------------------------------------------
+
+
+class TestModuleSummary:
+    def test_module_names_strip_src_and_map_packages(self):
+        from tools.reprolint.engine import FileContext
+
+        s = summarize(FileContext("src/repro/contracts/billing.py", "x = 1\n"))
+        assert s.module == "repro.contracts.billing" and not s.is_package
+        s = summarize(FileContext("tools/reprolint/__init__.py", "x = 1\n"))
+        assert s.module == "tools.reprolint" and s.is_package
+
+    def test_round_trips_through_json(self):
+        from tools.reprolint.engine import FileContext
+
+        src = (
+            "import random\n"
+            "class Site:\n"
+            "    def sample(self):\n"
+            "        return random.random()\n"
+            "def top():\n"
+            "    return Site().sample()\n"
+        )
+        s = summarize(FileContext("src/repro/m.py", src))
+        restored = ModuleSummary.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert restored.to_dict() == s.to_dict()
+        assert restored.functions["Site.sample"].taint_sources
+        # Site().sample() is not a plain dotted chain; only the
+        # constructor call itself is recorded as a call site
+        assert [c.name for c in restored.functions["top"].calls] == ["Site"]
+
+    def test_calls_attributed_to_top_level_owner(self):
+        from tools.reprolint.engine import FileContext
+
+        src = (
+            "def outer():\n"
+            "    def inner():\n"
+            "        return helper()\n"
+            "    return inner\n"
+            "def helper():\n"
+            "    return 1\n"
+        )
+        s = summarize(FileContext("m.py", src))
+        assert [c.name for c in s.functions["outer"].calls] == ["helper"]
+
+
+# -- cross-module resolution -------------------------------------------------
+
+
+class TestResolution:
+    def test_import_as_chain_resolves(self):
+        p = ProjectContext.from_sources({
+            "src/repro/a.py": (
+                "from repro.helpers import draw as d\n"
+                "def f():\n"
+                "    return d()\n"
+            ),
+            "src/repro/helpers.py": "def draw():\n    return 1\n",
+        })
+        s = p.summaries["src/repro/a.py"]
+        assert p.resolve_call(s, "f", s.functions["f"].calls[0]) == (
+            "repro.helpers.draw"
+        )
+
+    def test_reexport_through_init_resolves(self):
+        p = ProjectContext.from_sources({
+            "src/repro/pkg/__init__.py": "from .impl import helper\n",
+            "src/repro/pkg/impl.py": "def helper():\n    return 1\n",
+            "src/repro/user.py": (
+                "from repro.pkg import helper\n"
+                "def f():\n"
+                "    return helper()\n"
+            ),
+        })
+        s = p.summaries["src/repro/user.py"]
+        assert p.resolve_call(s, "f", s.functions["f"].calls[0]) == (
+            "repro.pkg.impl.helper"
+        )
+
+    def test_reexport_with_alias_through_init(self):
+        p = ProjectContext.from_sources({
+            "pkg/__init__.py": "from .b import helper as h2\n",
+            "pkg/b.py": "def helper():\n    return 1\n",
+            "main.py": (
+                "from pkg import h2\n"
+                "def f():\n"
+                "    return h2()\n"
+            ),
+        })
+        assert p.resolve(p.summaries["main.py"], "pkg.h2") == "pkg.b.helper"
+
+    def test_relative_import_resolves_against_home_package(self):
+        p = ProjectContext.from_sources({
+            "src/repro/contracts/billing.py": (
+                "from ..grid.prices import spot\n"
+                "def bill():\n"
+                "    return spot()\n"
+            ),
+            "src/repro/grid/prices.py": "def spot():\n    return 1\n",
+        })
+        s = p.summaries["src/repro/contracts/billing.py"]
+        assert p.resolve_call(s, "bill", s.functions["bill"].calls[0]) == (
+            "repro.grid.prices.spot"
+        )
+
+    def test_from_dot_import_module_resolves_sibling(self):
+        # `from . import helpers` binds the sibling *module*; the level
+        # dot must not double up when the ImportFrom has no module part.
+        p = ProjectContext.from_sources({
+            "src/repro/pkg/__init__.py": "",
+            "src/repro/pkg/helpers.py": "def noisy():\n    return 1\n",
+            "src/repro/pkg/sim.py": (
+                "from . import helpers\n"
+                "def step():\n"
+                "    return helpers.noisy()\n"
+            ),
+        })
+        s = p.summaries["src/repro/pkg/sim.py"]
+        assert p.resolve_call(s, "step", s.functions["step"].calls[0]) == (
+            "repro.pkg.helpers.noisy"
+        )
+
+    def test_self_method_resolves_through_base_class(self):
+        p = ProjectContext.from_sources({
+            "m.py": (
+                "from base import Base\n"
+                "class Child(Base):\n"
+                "    def run(self):\n"
+                "        return self.step()\n"
+            ),
+            "base.py": (
+                "class Base:\n"
+                "    def step(self):\n"
+                "        return 1\n"
+            ),
+        })
+        s = p.summaries["m.py"]
+        call = s.functions["Child.run"].calls[0]
+        assert p.resolve_call(s, "Child.run", call) == "base.Base.step"
+
+    def test_unresolvable_names_resolve_to_none(self):
+        p = ProjectContext.from_sources({
+            "m.py": "import numpy as np\ndef f():\n    return np.sum([1])\n",
+        })
+        s = p.summaries["m.py"]
+        assert p.resolve_call(s, "f", s.functions["f"].calls[0]) is None
+
+
+# -- taint fixpoint ----------------------------------------------------------
+
+
+class TestTaintFixpoint:
+    def test_two_file_chain_taints_caller(self):
+        p = ProjectContext.from_sources({
+            "src/repro/a.py": (
+                "from repro.b import helper\n"
+                "def sim():\n"
+                "    return helper()\n"
+            ),
+            "src/repro/b.py": (
+                "import random\n"
+                "def helper():\n"
+                "    return random.random()\n"
+            ),
+        })
+        taint = p.taint()
+        assert set(taint) == {"repro.a.sim", "repro.b.helper"}
+        assert taint["repro.a.sim"].chain == ("repro.a.sim", "repro.b.helper")
+        assert taint["repro.a.sim"].source_label == "src/repro/b.py"
+
+    def test_call_cycle_reaches_fixpoint(self):
+        p = ProjectContext.from_sources({
+            "m.py": (
+                "import time\n"
+                "def a():\n"
+                "    return b()\n"
+                "def b():\n"
+                "    return a() or c()\n"
+                "def c():\n"
+                "    return b() or time.time()\n"
+            ),
+        })
+        taint = p.taint()
+        assert set(taint) == {"m.a", "m.b", "m.c"}
+
+    def test_clean_cycle_stays_clean(self):
+        p = ProjectContext.from_sources({
+            "m.py": (
+                "def a(n):\n"
+                "    return b(n - 1) if n else 0\n"
+                "def b(n):\n"
+                "    return a(n - 1) if n else 1\n"
+            ),
+        })
+        assert p.taint() == {}
+
+    def test_seeded_constructions_do_not_taint(self):
+        p = ProjectContext.from_sources({
+            "m.py": (
+                "import random\n"
+                "import numpy as np\n"
+                "def a(seed):\n"
+                "    return random.Random(seed).random()\n"
+                "def b(seed):\n"
+                "    return np.random.default_rng(seed).random()\n"
+            ),
+        })
+        assert p.taint() == {}
+
+    def test_observability_wall_clock_does_not_taint(self):
+        p = ProjectContext.from_sources({
+            "src/repro/observability/manifest.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "src/repro/a.py": (
+                "from repro.observability.manifest import stamp\n"
+                "def sim():\n"
+                "    return stamp()\n"
+            ),
+        })
+        assert p.taint() == {}
+
+    def test_suppressed_source_does_not_taint(self):
+        p = ProjectContext.from_sources({
+            "src/repro/b.py": (
+                "import random\n"
+                "def helper():\n"
+                "    return random.random()  # reprolint: disable=RPL001\n"
+            ),
+            "src/repro/a.py": (
+                "from repro.b import helper\n"
+                "def sim():\n"
+                "    return helper()\n"
+            ),
+        })
+        assert p.taint() == {}
+
+
+# -- RPL003 ------------------------------------------------------------------
+
+
+class TestTaintedCall:
+    ACCEPTANCE = {
+        "src/repro/a.py": (
+            "from repro.b import helper\n"
+            "def sim(load_kw):\n"
+            "    return load_kw * helper()\n"
+        ),
+        "src/repro/b.py": (
+            "import random\n"
+            "def helper():\n"
+            "    return random.random()\n"
+        ),
+    }
+
+    def test_sim_path_caller_of_rng_helper_fires(self):
+        project = ProjectContext.from_sources(self.ACCEPTANCE)
+        findings = list(TaintedCallRule().check_project(project))
+        assert [f.code for f in findings] == ["RPL003"]
+        f = findings[0]
+        assert f.path == "src/repro/a.py" and f.line == 3
+        assert "random.random" in f.message
+        assert "repro.b.helper" in f.message
+
+    def test_same_fixture_seeded_is_clean(self):
+        seeded = dict(self.ACCEPTANCE)
+        seeded["src/repro/b.py"] = (
+            "import random\n"
+            "def helper(seed=0):\n"
+            "    return random.Random(seed).random()\n"
+        )
+        assert project_codes(seeded) == []
+
+    def test_non_sim_path_caller_is_not_flagged(self):
+        sources = {
+            "tools/x.py": (
+                "from tools.y import helper\n"
+                "def f():\n"
+                "    return helper()\n"
+            ),
+            "tools/y.py": (
+                "import random\n"
+                "def helper():\n"
+                "    return random.random()\n"
+            ),
+        }
+        assert project_codes(sources) == []
+
+    def test_wall_clock_taint_propagates(self):
+        sources = {
+            "src/repro/a.py": (
+                "from repro.clock import now_s\n"
+                "def sim():\n"
+                "    return now_s()\n"
+            ),
+            "src/repro/clock.py": (
+                "import time\n"
+                "def now_s():\n"
+                "    return time.time()\n"
+            ),
+        }
+        # now_s holds the direct read (RPL002's business in the per-file
+        # pass); RPL003 flags the *caller* at its call site
+        project = ProjectContext.from_sources(sources)
+        findings = list(TaintedCallRule().check_project(project))
+        assert [(f.code, f.path) for f in findings] == [
+            ("RPL003", "src/repro/a.py")
+        ]
+        assert "time.time" in findings[0].message
+
+    def test_method_taint_through_self_call(self):
+        sources = {
+            "src/repro/m.py": (
+                "import random\n"
+                "class Sampler:\n"
+                "    def draw(self):\n"
+                "        return random.random()\n"
+                "    def run(self):\n"
+                "        return self.draw()\n"
+            ),
+        }
+        project = ProjectContext.from_sources(sources)
+        findings = list(TaintedCallRule().check_project(project))
+        assert [f.line for f in findings] == [6]
+
+    def test_project_finding_suppressible_at_call_site(self, tmp_path):
+        tree = tmp_path / "src" / "repro"
+        tree.mkdir(parents=True)
+        (tree / "a.py").write_text(
+            "from repro.b import helper\n"
+            "def sim():\n"
+            "    return helper()  # reprolint: disable=RPL003\n"
+        )
+        (tree / "b.py").write_text(
+            "import random\n"
+            "def helper():\n"
+            "    return random.random()  # reprolint: disable=RPL001\n"
+        )
+        result = analyze_paths([str(tree)], root=tmp_path)
+        assert [f.code for f in result.findings] == []
+
+
+# -- dataflow / RPL012 -------------------------------------------------------
+
+
+class TestDimensionAlgebra:
+    def test_suffix_vectors(self):
+        assert dim_of_name("peak_kw") == (1, -1, 0)
+        assert dim_of_name("total_kwh") == (1, 0, 0)
+        assert dim_of_name("interval_s") == (0, 1, 0)
+        assert dim_of_name("cost_usd") == (0, 0, 1)
+        assert dim_of_name("rate_usd_per_kwh") == (-1, 0, 1)
+        assert dim_of_name("DAY_S") is None  # conversion factor
+        assert dim_of_name("site_count") is None
+
+    @staticmethod
+    def _mismatches(src: str):
+        import ast
+
+        return analyze_function(ast.parse(src).body[0])
+
+    def test_kw_times_h_is_kwh(self):
+        src = (
+            "def f(peak_kw: float, dur_h: float, total_kwh: float):\n"
+            "    energy = peak_kw * dur_h\n"
+            "    return total_kwh + energy\n"
+        )
+        assert self._mismatches(src) == []
+
+    def test_kwh_over_h_is_kw(self):
+        src = (
+            "def f(total_kwh: float, dur_h: float, cap_kw: float):\n"
+            "    mean = total_kwh / dur_h\n"
+            "    return cap_kw - mean\n"
+        )
+        assert self._mismatches(src) == []
+
+    def test_price_times_energy_is_money(self):
+        src = (
+            "def f(rate_usd_per_kwh: float, use_kwh: float, fee_usd: float):\n"
+            "    cost = rate_usd_per_kwh * use_kwh\n"
+            "    return fee_usd + cost\n"
+        )
+        assert self._mismatches(src) == []
+
+    def test_zero_seed_does_not_poison_accumulator(self):
+        src = (
+            "def f(items, load_kwh: float):\n"
+            "    total = 0.0\n"
+            "    total = total + load_kwh\n"
+            "    return total\n"
+        )
+        assert self._mismatches(src) == []
+
+
+class TestUnitFlowMismatch:
+    def test_acceptance_kw_through_two_assignments_and_helper(self):
+        src = (
+            "class Settler:\n"
+            "    def derate_kw(self, power):\n"
+            "        return power * 0.9\n"
+            "    def settle(self, peak_kw: float, total_kwh: float):\n"
+            "        power = peak_kw\n"
+            "        adjusted = self.derate_kw(power)\n"
+            "        total_kwh = total_kwh + adjusted\n"
+            "        return total_kwh\n"
+        )
+        assert codes(src) == ["RPL012"]
+
+    def test_direct_suffix_mix_is_rpl010_not_rpl012(self):
+        src = "def f(a_kw, b_kwh):\n    return a_kw + b_kwh\n"
+        assert codes(src, path="x.py") == ["RPL010"]
+
+    def test_comparison_after_flow_fires(self):
+        src = (
+            "def f(peak_kw: float, cap_kwh: float):\n"
+            "    level = peak_kw\n"
+            "    if level > cap_kwh:\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        assert codes(src, path="x.py") == ["RPL012"]
+
+    def test_assignment_into_suffixed_name_fires(self):
+        src = (
+            "def f(peak_kw: float):\n"
+            "    power = peak_kw\n"
+            "    energy_kwh = power\n"
+            "    return energy_kwh\n"
+        )
+        assert codes(src, path="x.py") == ["RPL012"]
+
+    def test_reassignment_clears_stale_dimension(self):
+        src = (
+            "def f(peak_kw: float, items, total_kwh: float):\n"
+            "    x = peak_kw\n"
+            "    x = unknown_thing(items)\n"
+            "    return total_kwh + x\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_conversion_factor_constant_is_clean(self):
+        src = (
+            "def f(horizon_days: int):\n"
+            "    horizon_s = horizon_days * DAY_S\n"
+            "    return horizon_s\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_suppression_comment_wins(self):
+        src = (
+            "def f(peak_kw: float, total_kwh: float):\n"
+            "    power = peak_kw\n"
+            "    return total_kwh + power  # reprolint: disable=RPL012\n"
+        )
+        assert codes(src, path="x.py") == []
+
+
+# -- concurrency rules -------------------------------------------------------
+
+
+class TestClosureToWorker:
+    def test_mutating_lambda_to_pool_map_fires(self):
+        src = (
+            "def sweep(pool, items):\n"
+            "    results = []\n"
+            "    pool.map(lambda x: results.append(x * 2), items)\n"
+            "    return results\n"
+        )
+        assert codes(src, path="x.py") == ["RPL047"]
+
+    def test_mutating_nested_def_to_run_sharded_fires(self):
+        src = (
+            "def sweep(items, out_dir):\n"
+            "    seen = {}\n"
+            "    def job(item):\n"
+            "        seen[item] = True\n"
+            "        return item\n"
+            "    run_sharded(job, items, out_dir)\n"
+        )
+        assert codes(src, path="x.py") == ["RPL047"]
+
+    def test_pure_lambda_is_clean(self):
+        src = (
+            "def sweep(pool, items):\n"
+            "    return list(pool.map(lambda x: x * 2, items))\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_module_level_worker_is_clean(self):
+        src = (
+            "def job(item):\n"
+            "    return item * 2\n"
+            "def sweep(items, out_dir):\n"
+            "    run_sharded(job, items, out_dir)\n"
+        )
+        assert codes(src, path="x.py") == []
+
+    def test_builtin_map_not_confused_with_pool_map(self):
+        src = (
+            "def f(items):\n"
+            "    acc = []\n"
+            "    list(map(lambda x: acc.append(x), items))\n"
+            "    return acc\n"
+        )
+        assert codes(src, path="x.py") == []
+
+
+class TestStreamWriterDiscipline:
+    SVC = "src/repro/service/fixture.py"
+
+    def test_unlocked_writer_write_fires(self):
+        src = (
+            "async def send(self, payload):\n"
+            "    self._writer.write(payload)\n"
+            "    await self._writer.drain()\n"
+        )
+        assert codes(src, path=self.SVC) == ["RPL048"]
+
+    def test_locked_write_and_drain_is_clean(self):
+        src = (
+            "async def send(self, payload):\n"
+            "    async with self._write_lock:\n"
+            "        self._writer.write(payload)\n"
+            "        await self._writer.drain()\n"
+        )
+        assert codes(src, path=self.SVC) == []
+
+    def test_sleep_under_lock_fires(self):
+        src = (
+            "import asyncio\n"
+            "async def tick(self):\n"
+            "    async with self._lock:\n"
+            "        await asyncio.sleep(1.0)\n"
+        )
+        assert codes(src, path=self.SVC) == ["RPL048"]
+
+    def test_outside_service_layer_is_exempt(self):
+        src = (
+            "async def send(self, payload):\n"
+            "    self._writer.write(payload)\n"
+        )
+        assert codes(src, path="src/repro/robustness/x.py") == []
+
+
+class TestJournalFsync:
+    ROB = "src/repro/robustness/fixture.py"
+
+    def test_buffered_write_fires(self):
+        src = (
+            "def append(self, record):\n"
+            "    self._handle.write(record)\n"
+        )
+        assert codes(src, path=self.ROB) == ["RPL049"]
+
+    def test_flush_without_fsync_fires(self):
+        src = (
+            "def append(self, record):\n"
+            "    self._handle.write(record)\n"
+            "    self._handle.flush()\n"
+        )
+        assert codes(src, path=self.ROB) == ["RPL049"]
+
+    def test_flush_plus_fsync_is_clean(self):
+        src = (
+            "import os\n"
+            "def append(self, record):\n"
+            "    self._handle.write(record)\n"
+            "    self._handle.flush()\n"
+            "    os.fsync(self._handle.fileno())\n"
+        )
+        assert codes(src, path=self.ROB) == []
+
+    def test_outside_robustness_is_exempt(self):
+        src = (
+            "def append(self, record):\n"
+            "    self._handle.write(record)\n"
+        )
+        assert codes(src, path="src/repro/timeseries/io2.py") == []
+
+
+# -- discovery hygiene -------------------------------------------------------
+
+
+class TestDiscoveryHygiene:
+    def test_pycache_and_pyc_are_skipped_with_reasons(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        cachedir = tmp_path / "__pycache__"
+        cachedir.mkdir()
+        (cachedir / "ok.cpython-312.pyc").write_bytes(b"\x00\x01")
+        (tmp_path / "stray.pyc").write_bytes(b"\x00")
+        files, skipped = discover_files([str(tmp_path)], tmp_path)
+        assert [label for label, _ in files] == ["ok.py"]
+        assert sorted(s.reason for s in skipped) == [
+            "build artifact in __pycache__",
+            "compiled bytecode, not source",
+        ]
+
+    def test_non_utf8_file_is_skipped_not_fatal(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_bytes(b"x = '\xff\xfe'\n")
+        result = analyze_paths([str(tmp_path)], root=tmp_path)
+        assert result.stats["n_target_files"] == 1
+        assert [s.reason for s in result.skipped] == ["not valid UTF-8"]
+
+
+# -- cache -------------------------------------------------------------------
+
+
+def _tree(tmp_path: Path) -> Path:
+    tree = tmp_path / "src" / "repro"
+    tree.mkdir(parents=True)
+    (tree / "a.py").write_text("def f(x):\n    return x\n")
+    (tree / "b.py").write_text("def g(x):\n    return x\n")
+    return tree
+
+
+class TestCache:
+    def test_warm_run_hits_every_file(self, tmp_path):
+        tree = _tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cold = analyze_paths(
+            [str(tree)], root=tmp_path, cache=LintCache(cache_path)
+        )
+        assert cold.stats["cache_misses"] == 2
+        warm = analyze_paths(
+            [str(tree)], root=tmp_path, cache=LintCache(cache_path)
+        )
+        assert warm.stats == {**cold.stats, "cache_hits": 2,
+                              "cache_misses": 0, "project_cache_hit": 1}
+        assert warm.findings == cold.findings
+
+    def test_file_edit_invalidates_only_that_file(self, tmp_path):
+        tree = _tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        analyze_paths([str(tree)], root=tmp_path, cache=LintCache(cache_path))
+        (tree / "a.py").write_text("def f(x=[]):\n    return x\n")
+        result = analyze_paths(
+            [str(tree)], root=tmp_path, cache=LintCache(cache_path)
+        )
+        assert result.stats["cache_hits"] == 1
+        assert result.stats["cache_misses"] == 1
+        # the cross-file pass reruns: the project hash changed
+        assert result.stats["project_cache_hit"] == 0
+        assert [f.code for f in result.findings] == ["RPL020"]
+
+    def test_ruleset_change_invalidates_everything(self, tmp_path):
+        tree = _tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        analyze_paths(
+            [str(tree)], root=tmp_path,
+            cache=LintCache(cache_path, fingerprint="ruleset-v1"),
+        )
+        result = analyze_paths(
+            [str(tree)], root=tmp_path,
+            cache=LintCache(cache_path, fingerprint="ruleset-v2"),
+        )
+        assert result.stats["cache_hits"] == 0
+        assert result.stats["cache_misses"] == 2
+        assert result.stats["project_cache_hit"] == 0
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        tree = _tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        result = analyze_paths(
+            [str(tree)], root=tmp_path, cache=LintCache(cache_path)
+        )
+        assert result.stats["cache_misses"] == 2
+
+    def test_fingerprint_is_stable_and_hex(self):
+        a, b = ruleset_fingerprint(), ruleset_fingerprint()
+        assert a == b and len(a) == 64
+        int(a, 16)
+
+
+# -- parallel execution ------------------------------------------------------
+
+
+class TestParallel:
+    def test_jobs_output_identical_to_serial(self, tmp_path):
+        tree = tmp_path / "src" / "repro"
+        tree.mkdir(parents=True)
+        for i in range(6):
+            (tree / f"m{i}.py").write_text(
+                f"def f{i}(acc=[]):\n    return acc\n"
+                "def g(a_kw, b_kwh):\n    return a_kw + b_kwh\n"
+            )
+        serial = analyze_paths([str(tree)], root=tmp_path, jobs=1)
+        parallel = analyze_paths([str(tree)], root=tmp_path, jobs=3)
+        assert serial.findings == parallel.findings
+        assert serial.skipped == parallel.skipped
+        assert len(serial.findings) == 12
+        blob = lambda r: json.dumps(  # noqa: E731
+            [f.to_dict() for f in r.findings], sort_keys=True
+        )
+        assert blob(serial) == blob(parallel)
+
+    def test_syntax_error_survives_the_pool(self, tmp_path):
+        tree = tmp_path / "src" / "repro"
+        tree.mkdir(parents=True)
+        (tree / "broken.py").write_text("def f(:\n")
+        (tree / "fine.py").write_text("def g(x):\n    return x\n")
+        result = analyze_paths([str(tree)], root=tmp_path, jobs=2)
+        assert [f.code for f in result.findings] == ["RPL000"]
+
+
+# -- SARIF -------------------------------------------------------------------
+
+
+class TestSarif:
+    def test_document_has_required_fields(self):
+        findings = run_source(
+            "def f(acc=[]):\n    return acc\n", path="src/x.py"
+        )
+        doc = to_sarif(findings)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert driver["informationUri"]
+        rule = driver["rules"][0]
+        for field in ("id", "name", "shortDescription", "fullDescription"):
+            assert rule[field]
+        result = run["results"][0]
+        assert result["ruleId"] == "RPL020"
+        assert result["ruleIndex"] == 0
+        assert result["message"]["text"]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/x.py"
+        assert loc["region"]["startLine"] == 1
+        assert loc["region"]["startColumn"] >= 1  # SARIF is 1-based
+
+    def test_results_reference_rules_by_index(self):
+        findings = run_source(
+            "import random\n"
+            "def f(acc=[]):\n"
+            "    return acc or random.random()\n",
+            path="src/repro/x.py",
+        )
+        doc = to_sarif(findings)
+        driver_rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        for result in doc["runs"][0]["results"]:
+            assert driver_rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_empty_findings_is_valid_document(self):
+        doc = to_sarif([])
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+class TestCli:
+    def test_explain_prints_rule_and_examples(self, capsys):
+        from tools.reprolint.cli import main
+
+        assert main(["--explain", "RPL047"]) == 0
+        out = capsys.readouterr().out
+        assert "RPL047" in out and "Bad:" in out and "Good:" in out
+
+    def test_explain_unknown_code_is_usage_error(self, capsys):
+        from tools.reprolint.cli import main
+
+        assert main(["--explain", "RPL999"]) == 2
+
+    def test_bad_jobs_is_usage_error(self):
+        from tools.reprolint.cli import main
+
+        assert main(["--jobs", "0"]) == 2
+
+    def test_repro_lint_forwards_flags_and_exit_code(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--",
+             "--explain", "RPL012"],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "RPL012" in proc.stdout and "Bad:" in proc.stdout
+
+    def test_repro_lint_propagates_usage_error(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--",
+             "--explain", "RPL999"],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 2

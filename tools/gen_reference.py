@@ -92,10 +92,13 @@ _LINT_HEADER = """\
      Regenerate with: PYTHONPATH=src python tools/gen_reference.py -->
 
 This manual is generated from the docstrings of the public
-`tools.reprolint` API — the engine types used by the fixture tests and
-the baseline ledger format.  See
-[docs/static_analysis.md](static_analysis.md) for the narrative guide and
-the rule catalog (RPL001–RPL050).
+`tools.reprolint` API — the per-file engine types, the cross-module
+project engine (:mod:`tools.reprolint.project`), the unit-dimension
+dataflow interpreter (:mod:`tools.reprolint.dataflow`), the content-hash
+incremental cache (:mod:`tools.reprolint.cache`), the SARIF 2.1.0
+exporter (:mod:`tools.reprolint.sarif`), and the baseline ledger format.
+See [docs/static_analysis.md](static_analysis.md) for the narrative
+guide and the rule catalog (RPL001–RPL050).
 """
 
 _SVC_HEADER = """\
@@ -162,6 +165,10 @@ MANUALS: Dict[Path, Tuple[str, List[str]]] = {
         [
             "tools.reprolint",
             "tools.reprolint.engine",
+            "tools.reprolint.project",
+            "tools.reprolint.dataflow",
+            "tools.reprolint.cache",
+            "tools.reprolint.sarif",
             "tools.reprolint.baseline",
         ],
     ),

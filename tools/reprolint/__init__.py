@@ -5,9 +5,12 @@ dependencies) enforcing the invariants the reproduction's correctness
 rests on but ordinary linters cannot see:
 
 * **determinism** — seeded-only randomness, no wall-clock reads inside
-  simulation paths (RPL001–RPL002);
+  simulation paths, and *interprocedural* taint: a sim-path call into a
+  helper that transitively reaches an unseeded draw is flagged at the
+  call site (RPL001–RPL003);
 * **units discipline** — the ``_kw``/``_kwh``/``_s``/``_usd`` suffix
-  convention of :mod:`repro.units` (RPL010–RPL011);
+  convention of :mod:`repro.units`, plus dimension *dataflow* through
+  assignments, arithmetic and helper returns (RPL010–RPL012);
 * **cache safety** — hashable memo keys and no shared mutable state
   around the settlement fast path's caches (RPL020–RPL022);
 * **observability gating** — the one-boolean-read
@@ -15,8 +18,17 @@ rests on but ordinary linters cannot see:
   spans (RPL030–RPL031);
 * **exception discipline** — no bare/swallowing excepts, domain
   exceptions over builtins (RPL040–RPL042);
+* **concurrency discipline** — no mutating closures shipped to pool
+  workers, locked ``StreamWriter`` writes, fsync'd journal writes
+  (RPL047–RPL049);
 * **float/money comparison** — tolerance helpers instead of raw ``==``
   (RPL050).
+
+The engine is two-tier: per-file rules run through a content-hash cache
+(``.reprolint-cache.json``) and an optional ``--jobs`` process pool,
+then the project pass (:mod:`tools.reprolint.project`) builds the
+cross-module symbol table and call graph and runs the whole-program
+rules on top.  Output formats: human, JSON, SARIF 2.1.0.
 
 Inline suppression: ``# reprolint: disable=RPL003`` (or ``disable=all``,
 or ``disable-next=...`` on the preceding line).  Grandfathered findings
@@ -33,16 +45,21 @@ Programmatic use:
 
 from __future__ import annotations
 
-from .engine import Finding, Rule, all_rules, run_paths, run_source
+from .engine import Finding, ProjectRule, Rule, all_rules, run_paths, run_source
 from . import rules as _rules  # noqa: F401  (imports register every rule)
 from .baseline import Baseline, BaselineComparison
+from .project import AnalysisResult, ProjectContext, analyze_paths
 
 __all__ = [
     "Finding",
     "Rule",
+    "ProjectRule",
     "Baseline",
     "BaselineComparison",
+    "AnalysisResult",
+    "ProjectContext",
     "all_rules",
+    "analyze_paths",
     "run_source",
     "run_paths",
 ]

@@ -1,0 +1,215 @@
+"""Incremental result cache for the reprolint engine.
+
+The cache file (``.reprolint-cache.json`` at the repo root by default)
+memoizes two things per run:
+
+* per-file entries — findings + :class:`~tools.reprolint.project.ModuleSummary`
+  keyed by the sha256 of the file's bytes, so an unchanged file is never
+  re-parsed, re-linted, or re-summarized;
+* the project entry — the cross-file pass's findings keyed by the
+  *project hash* (sha256 over every ``label:file-hash`` pair), so the
+  interprocedural fixpoint reruns exactly when any file in the symbol
+  table changes.
+
+The whole cache is fenced by a **rule-set fingerprint**: the sha256 of
+every ``tools/reprolint/**/*.py`` source.  Editing any analyzer code —
+a rule, the engine, the dataflow tables — changes the fingerprint and
+drops the cache wholesale, so stale findings can never survive a rule
+change.  A corrupt or unreadable cache file degrades to an empty cache,
+never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LintCache", "ruleset_fingerprint", "DEFAULT_CACHE_NAME"]
+
+#: Default cache file name, created at the analysis root.
+DEFAULT_CACHE_NAME = ".reprolint-cache.json"
+
+_CACHE_VERSION = 1
+
+_fingerprint_memo: Optional[str] = None
+
+
+def ruleset_fingerprint() -> str:
+    """sha256 over every analyzer source file (rules, engine, passes).
+
+    Any edit under ``tools/reprolint/`` changes this value, which
+    invalidates the whole cache — findings are a function of both the
+    file contents *and* the analyzer, so both belong in the key.
+
+    >>> a = ruleset_fingerprint()
+    >>> a == ruleset_fingerprint(), len(a)
+    (True, 64)
+    """
+    global _fingerprint_memo
+    if _fingerprint_memo is not None:
+        return _fingerprint_memo
+    pkg_root = Path(__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(pkg_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        h.update(path.relative_to(pkg_root).as_posix().encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    _fingerprint_memo = h.hexdigest()
+    return _fingerprint_memo
+
+
+class LintCache:
+    """Content-addressed memo of per-file and project-level results.
+
+    ``get``/``put`` operate on plain JSON-able dicts (the engine owns
+    (de)serialization of findings and summaries); :meth:`save` writes the
+    file atomically-enough for a lint cache (single rename-free write —
+    a torn file just reads as a cold cache next run).
+
+    >>> import pathlib, tempfile
+    >>> p = pathlib.Path(tempfile.mkdtemp()) / "c.json"
+    >>> c = LintCache(p)
+    >>> c.get("a.py", "h1") is None
+    True
+    >>> c.put("a.py", "h1", [], {"label": "a.py", "module": "a"})
+    >>> c.save()
+    >>> warm = LintCache(p)
+    >>> warm.get("a.py", "h1")[1]["module"]
+    'a'
+    >>> warm.get("a.py", "h2") is None  # content changed -> miss
+    True
+    """
+
+    def __init__(self, path: Path, fingerprint: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint or ruleset_fingerprint()
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._project: Dict[str, List[Dict[str, object]]] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("version") != _CACHE_VERSION:
+            return
+        if raw.get("ruleset") != self.fingerprint:
+            # analyzer changed: every memo is stale, start cold
+            return
+        files = raw.get("files")
+        project = raw.get("project")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(project, dict):
+            self._project = project
+
+    # -- per-file entries ---------------------------------------------------
+
+    def get(
+        self, label: str, file_hash: str
+    ) -> Optional[Tuple[List[Dict[str, object]], Dict[str, object]]]:
+        """Cached ``(findings, summary)`` for a file, or None on miss.
+
+        >>> import pathlib, tempfile
+        >>> c = LintCache(pathlib.Path(tempfile.mkdtemp()) / "c.json")
+        >>> c.get("missing.py", "h") is None
+        True
+        """
+        entry = self._files.get(label)
+        if not isinstance(entry, dict) or entry.get("hash") != file_hash:
+            return None
+        findings = entry.get("findings")
+        summary = entry.get("summary")
+        if not isinstance(findings, list) or not isinstance(summary, dict):
+            return None
+        return findings, summary
+
+    def put(
+        self,
+        label: str,
+        file_hash: str,
+        findings: List[Dict[str, object]],
+        summary: Dict[str, object],
+    ) -> None:
+        """Memoize one file's results under its content hash.
+
+        >>> import pathlib, tempfile
+        >>> c = LintCache(pathlib.Path(tempfile.mkdtemp()) / "c.json")
+        >>> c.put("a.py", "h", [], {"label": "a.py", "module": "a"})
+        >>> c.get("a.py", "h")[0]
+        []
+        """
+        self._files[label] = {
+            "hash": file_hash,
+            "findings": findings,
+            "summary": summary,
+        }
+        self._dirty = True
+
+    # -- project entry ------------------------------------------------------
+
+    def get_project(self, project_hash: str) -> Optional[List[Dict[str, object]]]:
+        """Cached cross-file findings for this exact project state.
+
+        >>> import pathlib, tempfile
+        >>> c = LintCache(pathlib.Path(tempfile.mkdtemp()) / "c.json")
+        >>> c.get_project("ph") is None
+        True
+        """
+        entry = self._project.get(project_hash)
+        return entry if isinstance(entry, list) else None
+
+    def put_project(
+        self, project_hash: str, findings: List[Dict[str, object]]
+    ) -> None:
+        """Memoize the project pass keyed by the whole-tree hash.
+
+        Only the latest project state is kept — a lint cache is a memo,
+        not a history.
+
+        >>> import pathlib, tempfile
+        >>> c = LintCache(pathlib.Path(tempfile.mkdtemp()) / "c.json")
+        >>> c.put_project("ph", [])
+        >>> c.get_project("ph")
+        []
+        """
+        self._project = {project_hash: findings}
+        self._dirty = True
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self) -> None:
+        """Write the cache file (no-op when nothing changed).
+
+        >>> import pathlib, tempfile
+        >>> p = pathlib.Path(tempfile.mkdtemp()) / "c.json"
+        >>> c = LintCache(p)
+        >>> c.save(); p.exists()  # nothing dirty -> nothing written
+        False
+        """
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "tool": "reprolint",
+            "ruleset": self.fingerprint,
+            "files": {k: self._files[k] for k in sorted(self._files)},
+            "project": self._project,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, indent=None, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            return
+        self._dirty = False

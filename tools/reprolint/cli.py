@@ -6,13 +6,23 @@ checkout containing this file)::
     python -m tools.reprolint                       # lint src/repro
     python -m tools.reprolint src/repro tools       # explicit targets
     python -m tools.reprolint --format json         # machine-readable
+    python -m tools.reprolint --format sarif        # CI annotations
+    python -m tools.reprolint --jobs 4              # process-pool fan-out
     python -m tools.reprolint --list-rules          # rule catalog
+    python -m tools.reprolint --explain RPL003      # one rule, in depth
     python -m tools.reprolint --select RPL001,RPL040
     python -m tools.reprolint --check --baseline .reprolint-baseline.json
     python -m tools.reprolint --update-baseline     # refreeze the backlog
+    python -m tools.reprolint --no-cache            # ignore the memo file
 
 Exit status: 0 clean (all findings grandfathered), 1 findings / new
 findings / baseline drift, 2 usage errors.
+
+Every invocation runs the full engine — per-file rules *and* the
+cross-module project pass (symbol table, call graph, determinism taint)
+— through the content-hash cache at ``.reprolint-cache.json``, so warm
+reruns skip parsing entirely.  ``--select``/``--ignore`` filter the
+*report*, not the analysis, which keeps the cache valid across runs.
 
 When ``.reprolint-baseline.json`` exists at the repo root it is applied
 by default, so the bare invocation answers the only question a developer
@@ -26,16 +36,20 @@ import json
 import sys
 from collections import Counter
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence, Set
 
 from .baseline import Baseline
-from .engine import Finding, all_rules, run_paths
+from .cache import DEFAULT_CACHE_NAME, LintCache
+from .engine import Finding, all_rules
+from .project import analyze_paths
+from .sarif import render_sarif
 
 __all__ = ["main"]
 
 #: Repo root: this file lives at <root>/tools/reprolint/cli.py.
 ROOT = Path(__file__).resolve().parents[2]
 DEFAULT_BASELINE = ROOT / ".reprolint-baseline.json"
+DEFAULT_CACHE = ROOT / DEFAULT_CACHE_NAME
 DEFAULT_TARGETS = ["src/repro"]
 
 
@@ -47,22 +61,53 @@ def _family_summary(findings: Sequence[Finding]) -> str:
 
 def _print_rules() -> None:
     for rule in all_rules():
-        print(f"{rule.code}  {rule.name:<24} [{rule.family}]")
+        kind = "project" if rule.project else "file"
+        print(f"{rule.code}  {rule.name:<24} [{rule.family}] ({kind})")
         print(f"        {rule.description}")
 
 
-def _select_rules(select: Optional[str], ignore: Optional[str]):
-    rules = all_rules()
+def _explain(code: str) -> int:
+    code = code.strip().upper()
+    for rule in all_rules():
+        if rule.code != code:
+            continue
+        print(f"{rule.code} [{rule.name}] family={rule.family}")
+        doc = (type(rule).__doc__ or "").strip()
+        if doc:
+            print(doc)
+        print()
+        print(rule.description)
+        if rule.example_bad:
+            print("\nBad:")
+            for line in rule.example_bad.splitlines():
+                print(f"    {line}")
+        if rule.example_good:
+            print("\nGood:")
+            for line in rule.example_good.splitlines():
+                print(f"    {line}")
+        return 0
+    print(f"unknown rule code: {code}", file=sys.stderr)
+    return 2
+
+
+def _selected_codes(
+    select: Optional[str], ignore: Optional[str]
+) -> Optional[Set[str]]:
+    """The report's code filter, or None for everything."""
+    known = {r.code for r in all_rules()}
+    chosen = set(known)
     if select:
         wanted = {c.strip().upper() for c in select.split(",") if c.strip()}
-        unknown = wanted - {r.code for r in rules}
+        unknown = wanted - known
         if unknown:
             raise SystemExit(f"unknown rule code(s): {', '.join(sorted(unknown))}")
-        rules = [r for r in rules if r.code in wanted]
+        chosen = wanted
     if ignore:
-        dropped = {c.strip().upper() for c in ignore.split(",") if c.strip()}
-        rules = [r for r in rules if r.code not in dropped]
-    return rules
+        chosen -= {c.strip().upper() for c in ignore.split(",") if c.strip()}
+    # RPL000 (syntax error) always reports: a file that does not parse
+    # invalidates every other answer
+    chosen.add("RPL000")
+    return None if chosen >= known else chosen
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -94,23 +139,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write the current findings as the new baseline and exit 0",
     )
     parser.add_argument(
-        "--format", choices=("human", "json"), default="human",
+        "--format", choices=("human", "json", "sarif"), default="human",
         help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool workers for the per-file pass (default: 1); "
+        "output is byte-identical to serial",
+    )
+    parser.add_argument(
+        "--cache", type=Path, default=None, metavar="PATH",
+        help=f"cache file (default: {DEFAULT_CACHE_NAME} at the repo root)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="analyze everything fresh; neither read nor write the cache",
     )
     parser.add_argument("--select", help="comma-separated rule codes to run")
     parser.add_argument("--ignore", help="comma-separated rule codes to skip")
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
+    parser.add_argument(
+        "--explain", metavar="RPLNNN",
+        help="print one rule's documentation and bad/good example, then exit",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
 
     if args.list_rules:
         _print_rules()
         return 0
+    if args.explain:
+        return _explain(args.explain)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
 
-    rules = _select_rules(args.select, args.ignore)
+    codes = _selected_codes(args.select, args.ignore)
     targets = args.paths or DEFAULT_TARGETS
-    findings = run_paths(targets, root=ROOT, rules=rules)
+
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache = LintCache(args.cache or DEFAULT_CACHE)
+
+    result = analyze_paths(targets, root=ROOT, jobs=args.jobs, cache=cache)
+    findings = result.findings
+    if codes is not None:
+        findings = [f for f in findings if f.code in codes]
 
     baseline_path = args.baseline
     if baseline_path is None and DEFAULT_BASELINE.exists() and not args.no_baseline:
@@ -145,12 +220,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "findings": [f.to_dict() for f in report],
             "drift": drift,
             "grandfathered": grandfathered,
+            "skipped": [s.to_dict() for s in result.skipped],
+            "n_skipped": len(result.skipped),
+            "stats": result.stats,
             "summary": dict(sorted(Counter(f.family for f in report).items())),
         }
         print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(report))
     else:
         for f in report:
             print(f.render())
+        # routine build artifacts are only counted here (the JSON format
+        # carries the full ledger); surprising skips print individually
+        for s in result.skipped:
+            if "__pycache__" not in s.reason and "bytecode" not in s.reason:
+                print(f"skipped {s.path}: {s.reason}")
         for key, n in sorted(drift.items()):
             print(
                 f"baseline drift: {key} grandfathers {n} finding(s) that no "
@@ -159,7 +244,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         label = "new finding(s)" if baseline_path is not None else "finding(s)"
         print(
             f"reprolint: {len(report)} {label}, {grandfathered} grandfathered, "
-            f"{len(drift)} stale baseline entr{'y' if len(drift) == 1 else 'ies'} "
+            f"{len(drift)} stale baseline entr{'y' if len(drift) == 1 else 'ies'}, "
+            f"{len(result.skipped)} skipped file(s) "
             f"[{_family_summary(report)}]"
         )
 

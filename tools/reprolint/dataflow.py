@@ -1,0 +1,425 @@
+"""Unit-dimension dataflow: intraprocedural abstract interpretation.
+
+RPL010 (:mod:`tools.reprolint.rules.units`) matches unit *suffixes*
+within one expression — ``total_kw + total_kwh`` is caught because both
+operands spell their unit.  This module catches the mismatch after the
+unit has flowed through a variable or a call: a ``_kw`` value copied
+into a plain local, passed through a helper whose name ends in ``_kw``,
+and finally added to a ``_kwh`` accumulator.
+
+The abstract domain is the **dimension vector** — integer exponents over
+the basis ``(energy, time, money)``:
+
+=============  ==================  ==========================
+quantity       vector              example suffixes
+=============  ==================  ==========================
+power (kW)     ``(1, -1, 0)``      ``_w  _kw  _mw``
+energy (kWh)   ``(1, 0, 0)``       ``_wh _kwh _mwh``
+time (h)       ``(0, 1, 0)``       ``_ms _s _min _h _hours``
+money (USD)    ``(0, 0, 1)``       ``_usd _eur _chf``
+price          ``(-1, 0, 1)``      ``_usd_per_kwh``
+=============  ==================  ==========================
+
+Multiplication adds vectors, division subtracts — so the algebra
+kW·h→kWh, kWh/h→kW and USD/kWh·kWh→USD falls out of arithmetic on
+exponents.  Addition, subtraction and comparison require equal vectors;
+an unequal pair is a :class:`DimMismatch`.
+
+Everything unknown is ⊤ (``None``) and never participates in a
+mismatch; numeric literals are dimensionless *wildcards* (identity under
+``*``/``/``, compatible with anything under ``+``), so ``total_kwh = 0.0``
+seeds an accumulator without poisoning it.  Scale differences within a
+dimension (kW vs MW) stay RPL010's business — this pass reasons about
+dimensions only.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .rules.units import _CANONICAL_CONSTRUCTORS, _UNIT_SUFFIXES
+
+__all__ = [
+    # the ``Dim`` vector alias itself is importable but not in __all__:
+    # a bare typing alias cannot carry the docstring the manual requires
+    "DimMismatch",
+    "dim_of_name",
+    "describe_dim",
+    "analyze_function",
+]
+
+#: A dimension vector: integer exponents over (energy, time, money).
+Dim = Tuple[int, int, int]
+
+DIM_ENERGY: Dim = (1, 0, 0)
+DIM_TIME: Dim = (0, 1, 0)
+DIM_MONEY: Dim = (0, 0, 1)
+DIM_POWER: Dim = (1, -1, 0)
+DIM_SCALAR: Dim = (0, 0, 0)
+
+#: RPL010's physical-dimension labels -> vectors.
+_DIMENSION_VECTORS: Dict[str, Dim] = {
+    "power": DIM_POWER,
+    "energy": DIM_ENERGY,
+    "time": DIM_TIME,
+    "money": DIM_MONEY,
+}
+
+#: Bare unit tokens accepted on either side of ``_per_``.
+_UNIT_TOKENS: Dict[str, Dim] = {
+    "w": DIM_POWER, "kw": DIM_POWER, "mw": DIM_POWER,
+    "wh": DIM_ENERGY, "kwh": DIM_ENERGY, "mwh": DIM_ENERGY,
+    "ms": DIM_TIME, "s": DIM_TIME, "sec": DIM_TIME, "min": DIM_TIME,
+    "h": DIM_TIME, "hr": DIM_TIME, "hour": DIM_TIME, "hours": DIM_TIME,
+    "day": DIM_TIME, "days": DIM_TIME, "month": DIM_TIME, "year": DIM_TIME,
+    "years": DIM_TIME,
+    "usd": DIM_MONEY, "eur": DIM_MONEY, "chf": DIM_MONEY,
+}
+
+#: Spelled-out time suffixes the dataflow tracks (RPL010 does not).
+_TIME_SUFFIX_TOKENS = ("_h", "_hr", "_hours", "_hour", "_days", "_day",
+                       "_years", "_year", "_months", "_month")
+
+#: Stems that make ``<stem>_s``-style names *conversion factors* (seconds
+#: per day, per hour, ...), which are dimensionless ratios, not times.
+_CONVERSION_STEMS = {
+    "day", "days", "hour", "hours", "minute", "minutes", "min",
+    "week", "weeks", "month", "months", "year", "years",
+}
+
+_PRETTY = {
+    DIM_POWER: "kW (power)",
+    DIM_ENERGY: "kWh (energy)",
+    DIM_TIME: "h (time)",
+    DIM_MONEY: "USD (money)",
+    (-1, 0, 1): "USD/kWh (price)",
+    (1, -1, 1): "USD/h (power price)",
+    DIM_SCALAR: "dimensionless",
+}
+
+
+def _vec_add(a: Dim, b: Dim) -> Dim:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def _vec_sub(a: Dim, b: Dim) -> Dim:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def describe_dim(dim: Dim) -> str:
+    """Human-readable name of a dimension vector.
+
+    >>> describe_dim((1, -1, 0))
+    'kW (power)'
+    >>> describe_dim((2, 0, 0))
+    'energy^2·time^0·money^0'
+    """
+    if dim in _PRETTY:
+        return _PRETTY[dim]
+    return f"energy^{dim[0]}·time^{dim[1]}·money^{dim[2]}"
+
+
+def dim_of_name(identifier: str) -> Optional[Dim]:
+    """Dimension declared by an identifier's unit suffix, if any.
+
+    Handles the canonical suffixes, spelled-out time suffixes, and
+    compound ``_per_`` rates (``price_usd_per_kwh``).
+
+    >>> dim_of_name("peak_kw")
+    (1, -1, 0)
+    >>> dim_of_name("rate_usd_per_kwh")
+    (-1, 0, 1)
+    >>> dim_of_name("site_id") is None
+    True
+    >>> dim_of_name("DAY_S") is None  # seconds-per-day conversion factor
+    True
+    """
+    low = identifier.lower()
+    parts = low.split("_")
+    if (
+        len(parts) == 2
+        and parts[0] in _CONVERSION_STEMS
+        and parts[1] in ("ms", "s", "min", "h")
+    ):
+        # DAY_S / HOUR_S etc: "seconds per day" — a dimensionless ratio
+        return None
+    if "_per_" in low:
+        left, _, right = low.partition("_per_")
+        num = dim_of_name(left)
+        den: Optional[Dim] = None
+        for token, vec in _UNIT_TOKENS.items():
+            if right == token:
+                den = vec
+                break
+        if num is not None and den is not None:
+            return _vec_sub(num, den)
+        return None
+    for suffix, (_, dimension) in _UNIT_SUFFIXES.items():
+        if low.endswith(suffix):
+            return _DIMENSION_VECTORS[dimension]
+    for suffix in _TIME_SUFFIX_TOKENS:
+        if low.endswith(suffix):
+            return DIM_TIME
+    return None
+
+
+@dataclass(frozen=True)
+class DimMismatch:
+    """One additive/comparison/assignment site mixing dimensions.
+
+    ``what`` is the operation kind (``"arithmetic"``, ``"comparison"``,
+    ``"assignment"``); ``left``/``right`` the two inferred vectors.
+
+    >>> m = DimMismatch(node=ast.parse("x").body[0], left=(1, -1, 0),
+    ...                 right=(1, 0, 0), what="arithmetic")
+    >>> m.what
+    'arithmetic'
+    """
+
+    node: ast.AST
+    left: Dim
+    right: Dim
+    what: str
+
+
+class _FunctionDimInterpreter:
+    """Single linear pass over one function body.
+
+    Statements are interpreted in source order; compound statements
+    (``if``/``for``/``while``/``with``/``try``) are entered with the
+    current environment and their assignments persist — a deliberate
+    approximation that keeps the pass one-shot.  Anything ambiguous
+    degrades to ⊤, never to a wrong dimension.
+    """
+
+    def __init__(self) -> None:
+        self.env: Dict[str, Dim] = {}
+        self.mismatches: List[DimMismatch] = []
+
+    # -- expression dimension ----------------------------------------------
+
+    def dim_of(self, node: ast.AST) -> Optional[Dim]:
+        if isinstance(node, ast.Name):
+            declared = dim_of_name(node.id)
+            if declared is not None:
+                return declared
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return dim_of_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self.dim_of(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.dim_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            a, b = self.dim_of(node.body), self.dim_of(node.orelse)
+            return a if a == b else None
+        if isinstance(node, ast.Call):
+            return self._dim_of_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._dim_of_binop(node)
+        return None
+
+    @staticmethod
+    def _is_numeric_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp):
+            return _FunctionDimInterpreter._is_numeric_literal(node.operand)
+        return isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        ) and not isinstance(node.value, bool)
+
+    def _dim_of_call(self, node: ast.Call) -> Optional[Dim]:
+        func = node.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            canonical = _CANONICAL_CONSTRUCTORS.get(func.id)
+            if canonical is not None:
+                return dim_of_name(canonical)
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None:
+            return None
+        if name in ("sum", "abs", "min", "max"):
+            # aggregation preserves the (single) argument's dimension
+            if len(node.args) >= 1:
+                return self.dim_of(node.args[0])
+            return None
+        return dim_of_name(name)
+
+    def _dim_of_binop(self, node: ast.BinOp) -> Optional[Dim]:
+        left, right = self.dim_of(node.left), self.dim_of(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if (
+                left is not None
+                and right is not None
+                and left != right
+                and not self._is_numeric_literal(node.left)
+                and not self._is_numeric_literal(node.right)
+            ):
+                self.mismatches.append(
+                    DimMismatch(node=node, left=left, right=right, what="arithmetic")
+                )
+            if left is not None and right is not None:
+                return left if left == right else None
+            return left if left is not None else right
+        if isinstance(node.op, ast.Mult):
+            if left is not None and right is not None:
+                return _vec_add(left, right)
+            if left is not None and self._is_numeric_literal(node.right):
+                return left
+            if right is not None and self._is_numeric_literal(node.left):
+                return right
+            return None
+        if isinstance(node.op, ast.Div):
+            if left is not None and right is not None:
+                return _vec_sub(left, right)
+            if left is not None and self._is_numeric_literal(node.right):
+                return left
+            return None
+        return None
+
+    # -- mismatch recording -------------------------------------------------
+
+    def _check_additive(
+        self, site: ast.AST, left: ast.AST, right: ast.AST, what: str
+    ) -> None:
+        if self._is_numeric_literal(left) or self._is_numeric_literal(right):
+            return
+        l, r = self.dim_of(left), self.dim_of(right)
+        if l is None or r is None or l == r:
+            return
+        self.mismatches.append(DimMismatch(node=site, left=l, right=r, what=what))
+
+    # -- statement interpretation -------------------------------------------
+
+    def run(self, func: ast.AST) -> None:
+        for arg in self._all_args(func):
+            declared = dim_of_name(arg.arg)
+            if declared is not None:
+                self.env[arg.arg] = declared
+        self._block(func.body)
+
+    @staticmethod
+    def _all_args(func: ast.AST) -> List[ast.arg]:
+        a = func.args
+        return list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+
+    def _block(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_dim = self.dim_of(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, value_dim, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, stmt.value, self.dim_of(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                self._check_additive(stmt, stmt.target, stmt.value, "arithmetic")
+            elif isinstance(stmt.op, (ast.Mult, ast.Div)):
+                synthetic = ast.BinOp(
+                    left=stmt.target, op=stmt.op, right=stmt.value
+                )
+                new = self._dim_of_binop(synthetic)
+                if isinstance(stmt.target, ast.Name):
+                    if new is not None and dim_of_name(stmt.target.id) is None:
+                        self.env[stmt.target.id] = new
+                    elif new is None:
+                        self.env.pop(stmt.target.id, None)
+        elif isinstance(stmt, ast.Expr):
+            self.dim_of(stmt.value)  # records mismatches inside the expression
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            self.dim_of(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.dim_of(stmt.test)
+            self._compare(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._clear_target(stmt.target)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._compare(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        # nested defs/classes are separate scopes: not entered
+
+    def _compare(self, expr: ast.AST) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for left, right in zip(operands, operands[1:]):
+                    self._check_additive(node, left, right, "comparison")
+
+    def _bind(
+        self,
+        target: ast.AST,
+        value: ast.AST,
+        value_dim: Optional[Dim],
+        site: ast.stmt,
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._clear_target(elt)
+            return
+        if not isinstance(target, ast.Name):
+            return
+        declared = dim_of_name(target.id)
+        if declared is not None:
+            if (
+                value_dim is not None
+                and value_dim != declared
+                and not self._is_numeric_literal(value)
+            ):
+                self.mismatches.append(
+                    DimMismatch(
+                        node=site, left=declared, right=value_dim, what="assignment"
+                    )
+                )
+            return
+        if value_dim is not None:
+            self.env[target.id] = value_dim
+        else:
+            self.env.pop(target.id, None)
+
+    def _clear_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._clear_target(elt)
+
+
+def analyze_function(func: ast.AST) -> List[DimMismatch]:
+    """Run the dimension interpreter over one function definition.
+
+    Returns every additive / comparison / suffix-assignment site whose
+    two inferred dimension vectors disagree, in source order.
+
+    >>> tree = ast.parse(
+    ...     "def f(peak_kw: float, total_kwh: float):\\n"
+    ...     "    power = peak_kw\\n"
+    ...     "    return total_kwh + power\\n")
+    >>> [(m.node.lineno, describe_dim(m.left), describe_dim(m.right))
+    ...  for m in analyze_function(tree.body[0])]
+    [(3, 'kWh (energy)', 'kW (power)')]
+    """
+    interp = _FunctionDimInterpreter()
+    interp.run(func)
+    return sorted(
+        interp.mismatches,
+        key=lambda m: (getattr(m.node, "lineno", 0), getattr(m.node, "col_offset", 0)),
+    )

@@ -32,11 +32,16 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 __all__ = [
     "Finding",
     "Rule",
+    "ProjectRule",
     "FileContext",
+    "SkippedFile",
     "register",
     "all_rules",
+    "file_rules",
+    "project_rules",
     "run_source",
     "run_paths",
+    "discover_files",
 ]
 
 #: ``# reprolint: disable=RPL001,RPL002`` (or ``disable=all``) — applies to
@@ -126,6 +131,24 @@ def all_rules() -> List["Rule"]:
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
+def file_rules() -> List["Rule"]:
+    """The per-file rules only (everything that is not a project rule).
+
+    >>> all(not r.project for r in file_rules())
+    True
+    """
+    return [r for r in all_rules() if not r.project]
+
+
+def project_rules() -> List["Rule"]:
+    """The whole-program rules (run once per project, not per file).
+
+    >>> all(r.project for r in project_rules())
+    True
+    """
+    return [r for r in all_rules() if r.project]
+
+
 class Rule:
     """Base class for one lint rule.
 
@@ -150,6 +173,12 @@ class Rule:
     family: str = ""
     #: One-sentence rationale shown by ``--list-rules`` and the docs.
     description: str = ""
+    #: True for whole-program rules that implement :meth:`check_project`.
+    project: bool = False
+    #: Minimal snippet that trips the rule (shown by ``--explain``).
+    example_bad: str = ""
+    #: The sanctioned counterpart that stays clean (shown by ``--explain``).
+    example_good: str = ""
 
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
         """Yield findings for one parsed file."""
@@ -166,6 +195,38 @@ class Rule:
             family=self.family,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    A project rule sees the cross-module
+    :class:`~tools.reprolint.project.ProjectContext` (symbol table, call
+    graph, taint fixpoint) instead of one file, so it runs once per
+    analysis — after every per-file pass — via :meth:`check_project`.
+    Its per-file :meth:`check` is deliberately inert, which keeps
+    :func:`run_source` fixture tests for per-file rules unaffected.
+
+    >>> class _P(ProjectRule):
+    ...     code, name, family = "RPL997", "demo-project", "demo"
+    ...     description = "never fires"
+    ...     def check_project(self, project):
+    ...         return iter(())
+    >>> _P().project
+    True
+    >>> list(_P().check(None))
+    []
+    """
+
+    project = True
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Project rules yield nothing in the per-file pass."""
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings for the whole project (see ``project.py``)."""
+        raise NotImplementedError
 
 
 def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
@@ -264,7 +325,14 @@ class FileContext:
                 base = ("." * node.level) + module
                 for alias in node.names:
                     bound = alias.asname or alias.name
-                    self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+                    if not base:
+                        self.imports[bound] = alias.name
+                    elif base.endswith("."):
+                        # ``from . import x`` / ``from .. import x`` — the
+                        # level dots already end the base; no separator
+                        self.imports[bound] = base + alias.name
+                    else:
+                        self.imports[bound] = f"{base}.{alias.name}"
                     if module.split(".")[-1] == "observability" or module.endswith(
                         ".observability"
                     ):
@@ -327,28 +395,114 @@ def run_source(
     return sorted(findings)
 
 
-def iter_py_files(paths: Sequence[str], root: Path) -> Iterator[Tuple[str, Path]]:
-    """Yield ``(label, path)`` for every ``.py`` file under ``paths``.
+@dataclass(frozen=True, order=True)
+class SkippedFile:
+    """One target file that discovery declined to analyze, with the reason.
 
-    Labels are POSIX-style and relative to ``root`` when possible, so
-    findings and baselines are machine-independent.
+    Stray build artifacts (``__pycache__`` trees, ``.pyc`` bytecode) and
+    files that do not decode as UTF-8 are skipped *explicitly* — the
+    JSON report carries the count and the list, so a partial analysis is
+    never silent.
+
+    >>> SkippedFile(path="src/x.pyc", reason="compiled bytecode").to_dict()
+    {'path': 'src/x.pyc', 'reason': 'compiled bytecode'}
     """
+
+    path: str
+    reason: str
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-ready mapping of both fields."""
+        return {"path": self.path, "reason": self.reason}
+
+
+def _label_for(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def discover_files(
+    paths: Sequence[str], root: Path
+) -> Tuple[List[Tuple[str, Path]], List[SkippedFile]]:
+    """Find the ``.py`` files under ``paths``, and account for the rest.
+
+    Returns ``(files, skipped)``: ``files`` is a sorted list of
+    ``(label, path)`` pairs (labels POSIX-style and relative to ``root``
+    when possible, so findings and baselines are machine-independent);
+    ``skipped`` records every explicitly-named non-``.py`` target
+    (``.pyc`` bytecode, other stray artifacts) and every candidate that
+    sits in a ``__pycache__`` tree.  Undecodable files are detected at
+    read time (see :func:`run_paths` and the project driver) because
+    discovery never opens files.
+
+    >>> import pathlib, tempfile
+    >>> d = pathlib.Path(tempfile.mkdtemp())
+    >>> _ = (d / "ok.py").write_text("x = 1\\n")
+    >>> _ = (d / "stray.pyc").write_bytes(b"\\x00")
+    >>> files, skipped = discover_files([str(d), str(d / "stray.pyc")], d)
+    >>> [label for label, _ in files], [s.reason for s in skipped]
+    (['ok.py'], ['compiled bytecode, not source'])
+    """
+    files: List[Tuple[str, Path]] = []
+    skipped: List[SkippedFile] = []
+    seen: Set[str] = set()
     for raw in paths:
         p = Path(raw)
         if not p.is_absolute():
             p = root / p
         if p.is_dir():
-            candidates = sorted(p.rglob("*.py"))
+            # *.pyc (and anything in __pycache__) is collected too so the
+            # skip accounting is explicit, not silent
+            candidates = sorted(set(p.rglob("*.py")) | set(p.rglob("*.pyc")))
         else:
             candidates = [p]
         for c in candidates:
-            if "__pycache__" in c.parts:
+            label = _label_for(c, root)
+            if label in seen:
                 continue
-            try:
-                label = c.resolve().relative_to(root).as_posix()
-            except ValueError:
-                label = c.as_posix()
-            yield label, c
+            if "__pycache__" in c.parts:
+                seen.add(label)
+                skipped.append(SkippedFile(label, "build artifact in __pycache__"))
+                continue
+            if c.suffix == ".pyc":
+                seen.add(label)
+                skipped.append(SkippedFile(label, "compiled bytecode, not source"))
+                continue
+            if c.suffix != ".py":
+                seen.add(label)
+                skipped.append(SkippedFile(label, "not a Python source file"))
+                continue
+            seen.add(label)
+            files.append((label, c))
+    return sorted(files), sorted(skipped)
+
+
+def iter_py_files(paths: Sequence[str], root: Path) -> Iterator[Tuple[str, Path]]:
+    """Yield ``(label, path)`` for every ``.py`` file under ``paths``.
+
+    Back-compat wrapper over :func:`discover_files` (which also accounts
+    for the files it skips).
+    """
+    files, _ = discover_files(paths, root)
+    yield from files
+
+
+def read_source(label: str, path: Path) -> Tuple[Optional[str], Optional[SkippedFile]]:
+    """Read one target as UTF-8; a non-UTF-8 file becomes a skip record.
+
+    >>> import pathlib, tempfile
+    >>> d = pathlib.Path(tempfile.mkdtemp())
+    >>> _ = (d / "bad.py").write_bytes(b"x = '\\xff\\xfe'\\n")
+    >>> source, skip = read_source("bad.py", d / "bad.py")
+    >>> source is None, skip.reason
+    (True, 'not valid UTF-8')
+    """
+    try:
+        return path.read_text(encoding="utf-8"), None
+    except UnicodeDecodeError:
+        return None, SkippedFile(label, "not valid UTF-8")
 
 
 def run_paths(
@@ -356,7 +510,11 @@ def run_paths(
     root: Optional[Path] = None,
     rules: Optional[Iterable[Rule]] = None,
 ) -> List[Finding]:
-    """Run the rule set over files/directories; returns sorted findings.
+    """Run the per-file rule set over files/directories; sorted findings.
+
+    Project rules (cross-file analysis) are not run here — use
+    :func:`tools.reprolint.project.analyze_paths` for the full engine
+    with the symbol-table pass, the cache and the process pool.
 
     >>> import pathlib, tempfile
     >>> d = tempfile.mkdtemp()
@@ -366,20 +524,33 @@ def run_paths(
     """
     root = (root or Path.cwd()).resolve()
     findings: List[Finding] = []
-    for label, p in iter_py_files(paths, root):
-        source = p.read_text(encoding="utf-8")
+    files, _ = discover_files(paths, root)
+    for label, p in files:
+        source, skip = read_source(label, p)
+        if skip is not None:
+            continue
         try:
             findings.extend(run_source(source, path=label, rules=rules))
         except SyntaxError as exc:  # surface, don't crash the whole run
-            findings.append(
-                Finding(
-                    path=label,
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    code="RPL000",
-                    name="syntax-error",
-                    family="engine",
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
+            findings.append(syntax_error_finding(label, exc))
     return sorted(findings)
+
+
+def syntax_error_finding(label: str, exc: SyntaxError) -> Finding:
+    """The RPL000 finding for a file that failed to parse.
+
+    >>> try:
+    ...     compile("def f(:", "x.py", "exec")
+    ... except SyntaxError as e:
+    ...     syntax_error_finding("x.py", e).code
+    'RPL000'
+    """
+    return Finding(
+        path=label,
+        line=exc.lineno or 1,
+        col=exc.offset or 0,
+        code="RPL000",
+        name="syntax-error",
+        family="engine",
+        message=f"file does not parse: {exc.msg}",
+    )

@@ -1,0 +1,966 @@
+"""Cross-file analysis: module summaries, call graph, taint, driver.
+
+This module turns reprolint from a per-file pattern matcher into a
+project-level engine.  Four layers:
+
+* :func:`summarize` — distills one parsed file into a picklable,
+  JSON-serializable :class:`ModuleSummary` (imports, top-level functions
+  and methods with their call sites, direct nondeterminism sources,
+  suppression lines).  Summaries are what the incremental cache stores
+  and what process-pool workers ship back, so the expensive AST walk
+  happens at most once per file content.
+* :class:`ProjectContext` — the cross-module symbol table built from
+  summaries: import/alias resolution across files (including ``import
+  x as y`` chains and re-exports through ``__init__.py``), method
+  resolution through class definitions (``self.``/``cls.``/
+  ``ClassName.`` and base-class walks), and the resolved call graph.
+* :meth:`ProjectContext.taint` — the interprocedural determinism pass:
+  a worklist fixpoint that marks every function transitively reaching
+  an unseeded RNG draw or wall-clock read, with a witness chain for the
+  diagnostics.  Cycles in the call graph converge because taint only
+  ever grows.
+* :func:`analyze_paths` — the engine driver used by the CLI and the
+  benchmark: discovery (with explicit skip accounting), the
+  content-hash cache, the optional ``--jobs`` process pool, per-file
+  rules, and the project rules on top.
+
+The symbol table is built over the analysis targets *plus* the standing
+project roots (``src/repro`` and ``tools``) when they exist under the
+analysis root, so a sim-path caller is connected to a helper two
+packages away even when only one directory is being linted.  Findings
+are only ever reported for target files.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .engine import (
+    FileContext,
+    Finding,
+    Rule,
+    SkippedFile,
+    discover_files,
+    file_rules,
+    project_rules,
+    run_source,
+    syntax_error_finding,
+)
+
+__all__ = [
+    "CallSite",
+    "TaintSource",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleSummary",
+    "ProjectContext",
+    "TaintInfo",
+    "AnalysisResult",
+    "summarize",
+    "analyze_paths",
+]
+
+#: Directories that always contribute to the symbol table when present
+#: under the analysis root (even when they are not lint targets).
+CONTEXT_ROOTS: Tuple[str, ...] = ("src/repro", "tools")
+
+_MAX_RESOLVE_DEPTH = 16
+
+
+def _module_name(label: str) -> Tuple[str, bool]:
+    """Dotted module name (and is-package flag) for a repo-relative label.
+
+    ``src/`` is the import root of the library (``PYTHONPATH=src``), so
+    it is stripped; every other label maps positionally.
+
+    >>> _module_name("src/repro/contracts/billing.py")
+    ('repro.contracts.billing', False)
+    >>> _module_name("tools/reprolint/__init__.py")
+    ('tools.reprolint', True)
+    >>> _module_name("scratch.py")
+    ('scratch', False)
+    """
+    parts = label.split("/")
+    if parts[0] == "src" and len(parts) > 1:
+        parts = parts[1:]
+    is_package = parts[-1] == "__init__.py"
+    if is_package:
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [parts[-1][: -len(".py")] if parts[-1].endswith(".py") else parts[-1]]
+    return ".".join(p for p in parts if p), is_package
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function, with its resolved-alias name.
+
+    ``name`` is the dotted chain :meth:`FileContext.qualified_name`
+    produced (possibly still package-relative, e.g. ``..helpers.draw``);
+    the :class:`ProjectContext` resolves it to a concrete function.
+
+    >>> CallSite(name="repro.units.kw", line=3, col=4).name
+    'repro.units.kw'
+    """
+
+    name: str
+    line: int
+    col: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping."""
+        return {"name": self.name, "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "CallSite":
+        """Inverse of :meth:`to_dict`.
+
+        >>> CallSite.from_dict({"name": "f", "line": 1, "col": 0}).line
+        1
+        """
+        return cls(name=str(d["name"]), line=int(d["line"]), col=int(d["col"]))
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One direct nondeterminism source inside a function body.
+
+    >>> TaintSource(message="random.random() ...", line=7).line
+    7
+    """
+
+    message: str
+    line: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping."""
+        return {"message": self.message, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "TaintSource":
+        """Inverse of :meth:`to_dict`.
+
+        >>> TaintSource.from_dict({"message": "m", "line": 2}).message
+        'm'
+        """
+        return cls(message=str(d["message"]), line=int(d["line"]))
+
+
+@dataclass
+class FunctionInfo:
+    """Summary of one top-level function or method.
+
+    ``qualname`` is ``"name"`` for module-level functions and
+    ``"Class.name"`` for methods; nested defs and lambdas are attributed
+    to their enclosing top-level function (a conservative approximation
+    that keeps the call graph finite).
+
+    >>> FunctionInfo(qualname="Site.sample", line=3).qualname
+    'Site.sample'
+    """
+
+    qualname: str
+    line: int
+    col: int = 0
+    calls: List[CallSite] = field(default_factory=list)
+    taint_sources: List[TaintSource] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (stable field order)."""
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "col": self.col,
+            "calls": [c.to_dict() for c in self.calls],
+            "taint_sources": [t.to_dict() for t in self.taint_sources],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "FunctionInfo":
+        """Inverse of :meth:`to_dict`.
+
+        >>> FunctionInfo.from_dict(FunctionInfo("f", 1).to_dict()).qualname
+        'f'
+        """
+        return cls(
+            qualname=str(d["qualname"]),
+            line=int(d["line"]),
+            col=int(d.get("col", 0)),
+            calls=[CallSite.from_dict(c) for c in d.get("calls", [])],
+            taint_sources=[TaintSource.from_dict(t) for t in d.get("taint_sources", [])],
+        )
+
+
+@dataclass
+class ClassInfo:
+    """Summary of one top-level class: its bases and method names.
+
+    Bases are recorded as alias-resolved dotted names so the method
+    resolver can walk inheritance across modules.
+
+    >>> ClassInfo(name="ShardWorker", bases=["Worker"], methods=["run"]).name
+    'ShardWorker'
+    """
+
+    name: str
+    bases: List[str] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping."""
+        return {"name": self.name, "bases": list(self.bases), "methods": list(self.methods)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ClassInfo":
+        """Inverse of :meth:`to_dict`.
+
+        >>> ClassInfo.from_dict({"name": "C", "bases": [], "methods": []}).name
+        'C'
+        """
+        return cls(
+            name=str(d["name"]),
+            bases=[str(b) for b in d.get("bases", [])],
+            methods=[str(m) for m in d.get("methods", [])],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project pass needs to know about one file.
+
+    Deliberately flat and JSON-serializable: this is the unit the
+    incremental cache stores and process-pool workers return, so a warm
+    run rebuilds the whole symbol table without parsing a single file.
+
+    >>> s = ModuleSummary(label="src/repro/x.py", module="repro.x")
+    >>> ModuleSummary.from_dict(s.to_dict()).module
+    'repro.x'
+    """
+
+    label: str
+    module: str
+    is_package: bool = False
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    suppressions: Dict[int, List[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (keys sorted by the cache writer)."""
+        return {
+            "label": self.label,
+            "module": self.module,
+            "is_package": self.is_package,
+            "imports": dict(sorted(self.imports.items())),
+            "functions": {q: f.to_dict() for q, f in sorted(self.functions.items())},
+            "classes": {n: c.to_dict() for n, c in sorted(self.classes.items())},
+            "suppressions": {str(k): sorted(v) for k, v in sorted(self.suppressions.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ModuleSummary":
+        """Inverse of :meth:`to_dict`.
+
+        >>> ModuleSummary.from_dict({"label": "a.py", "module": "a"}).label
+        'a.py'
+        """
+        return cls(
+            label=str(d["label"]),
+            module=str(d["module"]),
+            is_package=bool(d.get("is_package", False)),
+            imports={str(k): str(v) for k, v in d.get("imports", {}).items()},
+            functions={
+                str(q): FunctionInfo.from_dict(f)
+                for q, f in d.get("functions", {}).items()
+            },
+            classes={
+                str(n): ClassInfo.from_dict(c) for n, c in d.get("classes", {}).items()
+            },
+            suppressions={
+                int(k): [str(c) for c in v]
+                for k, v in d.get("suppressions", {}).items()
+            },
+        )
+
+    def suppressed_at(self, line: int, code: str) -> bool:
+        """True when an inline comment disables ``code`` on ``line``.
+
+        >>> s = ModuleSummary(label="a.py", module="a",
+        ...                   suppressions={4: ["RPL003"]})
+        >>> s.suppressed_at(4, "RPL003"), s.suppressed_at(5, "RPL003")
+        (True, False)
+        """
+        codes = self.suppressions.get(line)
+        if not codes:
+            return False
+        return "ALL" in codes or code.upper() in codes
+
+
+def summarize(ctx: FileContext) -> ModuleSummary:
+    """Distill a parsed file into its :class:`ModuleSummary`.
+
+    Call sites keep the alias-resolved dotted names of
+    :meth:`FileContext.qualified_name`; direct nondeterminism sources
+    come from the shared RPL001/RPL002 detectors (honoring the
+    ``created_unix=`` exemption and inline suppressions, so a vetted
+    suppression never taints its callers).
+
+    >>> ctx = FileContext("src/repro/demo.py",
+    ...     "import random\\ndef draw():\\n    return random.random()\\n")
+    >>> s = summarize(ctx)
+    >>> s.functions["draw"].taint_sources[0].line
+    3
+    """
+    from .rules.determinism import iter_rng_draws, iter_wall_clock_reads
+
+    module, is_package = _module_name(ctx.path)
+    summary = ModuleSummary(
+        label=ctx.path,
+        module=module,
+        is_package=is_package,
+        imports=dict(ctx.imports),
+        suppressions={line: sorted(codes) for line, codes in ctx.suppressions.items()},
+    )
+
+    sources: Dict[int, List[Tuple[ast.Call, str, str]]] = {}
+    for node, message in iter_rng_draws(ctx):
+        if not _suppressed(ctx, node, ("RPL001", "RPL003")):
+            sources.setdefault(id(node), []).append((node, message, "RPL001"))
+    if not ctx.in_observability:
+        # the observability layer's wall-clock capture is sanctioned
+        # (RPL002 exempts it), so it must not taint its callers either
+        for node, message in iter_wall_clock_reads(ctx):
+            if not _suppressed(ctx, node, ("RPL002", "RPL003")):
+                sources.setdefault(id(node), []).append((node, message, "RPL002"))
+
+    def owner_of(node: ast.AST) -> Optional[str]:
+        """Qualname of the top-level function/method lexically owning ``node``."""
+        chain = [node] + list(ctx.ancestors(node))
+        chain.reverse()  # module first
+        qual: Optional[str] = None
+        cls: Optional[str] = None
+        for item in chain[1:]:  # skip the module
+            if isinstance(item, ast.ClassDef):
+                if qual is None:
+                    cls = item.name
+            elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if qual is None:
+                    qual = f"{cls}.{item.name}" if cls else item.name
+        return qual
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.Module):
+                summary.functions[node.name] = FunctionInfo(
+                    qualname=node.name, line=node.lineno, col=node.col_offset
+                )
+            elif isinstance(parent, ast.ClassDef) and isinstance(
+                ctx.parent(parent), ast.Module
+            ):
+                qual = f"{parent.name}.{node.name}"
+                summary.functions[qual] = FunctionInfo(
+                    qualname=qual, line=node.lineno, col=node.col_offset
+                )
+        elif isinstance(node, ast.ClassDef) and isinstance(
+            ctx.parent(node), ast.Module
+        ):
+            bases = []
+            for b in node.bases:
+                dotted = ctx.qualified_name(b)
+                if dotted:
+                    bases.append(dotted)
+            methods = [
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            summary.classes[node.name] = ClassInfo(
+                name=node.name, bases=bases, methods=methods
+            )
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = owner_of(node)
+        if qual is None or qual not in summary.functions:
+            continue
+        info = summary.functions[qual]
+        for _, message, _code in sources.get(id(node), []):
+            info.taint_sources.append(TaintSource(message=message, line=node.lineno))
+        name = ctx.qualified_name(node.func)
+        if name:
+            info.calls.append(
+                CallSite(name=name, line=node.lineno, col=node.col_offset)
+            )
+
+    for info in summary.functions.values():
+        info.calls.sort(key=lambda c: (c.line, c.col, c.name))
+        info.taint_sources.sort(key=lambda t: (t.line, t.message))
+    return summary
+
+
+def _suppressed(ctx: FileContext, node: ast.AST, codes: Tuple[str, ...]) -> bool:
+    line_codes = ctx.suppressions.get(getattr(node, "lineno", 0))
+    if not line_codes:
+        return False
+    return "ALL" in line_codes or any(c in line_codes for c in codes)
+
+
+@dataclass(frozen=True)
+class TaintInfo:
+    """Why a function is transitively nondeterministic.
+
+    ``chain`` runs from the tainted function down to the function
+    holding the direct source; ``source_*`` locate and describe that
+    source for the diagnostic.
+
+    >>> TaintInfo(chain=("a.f", "b.g"), source_message="m",
+    ...           source_label="b.py", source_line=2).chain
+    ('a.f', 'b.g')
+    """
+
+    chain: Tuple[str, ...]
+    source_message: str
+    source_label: str
+    source_line: int
+
+
+class ProjectContext:
+    """The cross-module symbol table and call graph.
+
+    Built from :class:`ModuleSummary` objects (fresh, cached, or shipped
+    back from pool workers).  Resolution is conservative: a dotted name
+    that cannot be pinned to a project-local function resolves to
+    ``None`` and never participates in taint propagation.
+
+    >>> project = ProjectContext.from_sources({
+    ...     "src/repro/a.py": "from repro.b import helper\\n"
+    ...                       "def sim():\\n    return helper()\\n",
+    ...     "src/repro/b.py": "import random\\n"
+    ...                       "def helper():\\n    return random.random()\\n",
+    ... })
+    >>> sorted(project.taint())
+    ['repro.a.sim', 'repro.b.helper']
+    """
+
+    def __init__(
+        self,
+        summaries: Dict[str, ModuleSummary],
+        targets: Optional[Set[str]] = None,
+    ) -> None:
+        self.summaries = dict(summaries)
+        self.targets = set(targets) if targets is not None else set(summaries)
+        #: dotted module name -> summary (sorted labels, last wins on clash)
+        self.modules: Dict[str, ModuleSummary] = {}
+        for label in sorted(self.summaries):
+            s = self.summaries[label]
+            self.modules[s.module] = s
+        self._taint: Optional[Dict[str, TaintInfo]] = None
+        self._edges: Optional[Dict[str, List[Tuple[str, CallSite]]]] = None
+
+    @classmethod
+    def from_sources(
+        cls,
+        sources: Dict[str, str],
+        targets: Optional[Set[str]] = None,
+    ) -> "ProjectContext":
+        """Build a project straight from ``{label: source}`` (tests, docs).
+
+        >>> p = ProjectContext.from_sources({"a.py": "def f():\\n    pass\\n"})
+        >>> list(p.modules)
+        ['a']
+        """
+        summaries = {
+            label: summarize(FileContext(label, text))
+            for label, text in sources.items()
+        }
+        return cls(summaries, targets=targets)
+
+    # -- name resolution ---------------------------------------------------
+
+    @staticmethod
+    def _absolutize(dotted: str, module: str, is_package: bool) -> str:
+        """Resolve a leading-dots relative name against its home module.
+
+        >>> ProjectContext._absolutize("..units.kw", "repro.contracts.billing",
+        ...                            False)
+        'repro.units.kw'
+        >>> ProjectContext._absolutize(".b.helper", "pkg", True)
+        'pkg.b.helper'
+        """
+        if not dotted.startswith("."):
+            return dotted
+        n = len(dotted) - len(dotted.lstrip("."))
+        rest = dotted[n:]
+        base = module.split(".") if is_package else module.split(".")[:-1]
+        up = n - 1
+        if up:
+            base = base[:-up] if up <= len(base) else []
+        return ".".join([p for p in base if p] + ([rest] if rest else []))
+
+    def resolve(self, summary: ModuleSummary, dotted: str) -> Optional[str]:
+        """Resolve a dotted call name to a project function id, if any.
+
+        A function id is ``module.qualname`` — e.g.
+        ``repro.robustness.shards.ShardWorker.run``.
+
+        >>> p = ProjectContext.from_sources({
+        ...     "pkg/__init__.py": "from .b import helper as h2\\n",
+        ...     "pkg/b.py": "def helper():\\n    pass\\n",
+        ...     "main.py": "from pkg import h2\\ndef f():\\n    return h2()\\n",
+        ... })
+        >>> p.resolve(p.summaries["main.py"], "pkg.h2")
+        'pkg.b.helper'
+        """
+        return self._resolve_dotted(summary, dotted, 0)
+
+    def _resolve_dotted(
+        self, summary: ModuleSummary, dotted: str, depth: int
+    ) -> Optional[str]:
+        if depth > _MAX_RESOLVE_DEPTH or not dotted:
+            return None
+        dotted = self._absolutize(dotted, summary.module, summary.is_package)
+        parts = [p for p in dotted.split(".") if p]
+        if not parts:
+            return None
+        for i in range(len(parts), 0, -1):
+            mod = ".".join(parts[:i])
+            if mod in self.modules and parts[i:]:
+                found = self._resolve_attrs(self.modules[mod], parts[i:], depth)
+                if found:
+                    return found
+        # bare/local name: look it up in the calling module itself
+        return self._resolve_attrs(summary, parts, depth)
+
+    def _resolve_attrs(
+        self, summary: ModuleSummary, attrs: List[str], depth: int
+    ) -> Optional[str]:
+        if not attrs or depth > _MAX_RESOLVE_DEPTH:
+            return None
+        head = attrs[0]
+        if head in summary.functions and len(attrs) == 1:
+            return f"{summary.module}.{head}"
+        if head in summary.classes:
+            if len(attrs) == 1:
+                # bare constructor call -> the class's own __init__, if any
+                return self._resolve_method(summary, head, "__init__", depth)
+            if len(attrs) == 2:
+                return self._resolve_method(summary, head, attrs[1], depth)
+            return None
+        if head in summary.imports:
+            target = summary.imports[head]
+            if target == head and len(attrs) > 1:
+                # plain `import pkg.mod` binds the root name to itself;
+                # the dotted chain already carries the real path
+                target_dotted = ".".join(attrs)
+            else:
+                target_dotted = ".".join([target] + attrs[1:])
+            resolved = self._absolutize(
+                target_dotted, summary.module, summary.is_package
+            )
+            return self._resolve_global(resolved, depth + 1)
+        return None
+
+    def _resolve_global(self, dotted: str, depth: int) -> Optional[str]:
+        """Resolve an absolute dotted chain with no home-module fallback."""
+        if depth > _MAX_RESOLVE_DEPTH or not dotted:
+            return None
+        parts = [p for p in dotted.split(".") if p]
+        for i in range(len(parts), 0, -1):
+            mod = ".".join(parts[:i])
+            if mod in self.modules and parts[i:]:
+                found = self._resolve_attrs(self.modules[mod], parts[i:], depth)
+                if found:
+                    return found
+        return None
+
+    def _resolve_method(
+        self,
+        summary: ModuleSummary,
+        cls_name: str,
+        method: str,
+        depth: int,
+        _seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[str]:
+        """Find ``method`` on ``cls_name`` or its resolvable base classes."""
+        if depth > _MAX_RESOLVE_DEPTH:
+            return None
+        seen = _seen or set()
+        key = (summary.module, cls_name)
+        if key in seen:
+            return None
+        seen.add(key)
+        cls = summary.classes.get(cls_name)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return f"{summary.module}.{cls_name}.{method}"
+        for base in cls.bases:
+            located = self._locate_class(summary, base, depth + 1)
+            if located is None:
+                continue
+            base_summary, base_name = located
+            found = self._resolve_method(
+                base_summary, base_name, method, depth + 1, seen
+            )
+            if found:
+                return found
+        return None
+
+    def _locate_class(
+        self, summary: ModuleSummary, dotted: str, depth: int
+    ) -> Optional[Tuple[ModuleSummary, str]]:
+        """Resolve a dotted class reference to ``(module_summary, class)``."""
+        if depth > _MAX_RESOLVE_DEPTH:
+            return None
+        dotted = self._absolutize(dotted, summary.module, summary.is_package)
+        parts = [p for p in dotted.split(".") if p]
+        if not parts:
+            return None
+        # local class name
+        if len(parts) == 1 and parts[0] in summary.classes:
+            return summary, parts[0]
+        # imported alias
+        if parts[0] in summary.imports:
+            target = summary.imports[parts[0]]
+            if target != parts[0]:
+                return self._locate_class(
+                    summary, ".".join([target] + parts[1:]), depth + 1
+                )
+        for i in range(len(parts) - 1, 0, -1):
+            mod = ".".join(parts[:i])
+            if mod in self.modules:
+                rest = parts[i:]
+                target_summary = self.modules[mod]
+                if len(rest) == 1:
+                    if rest[0] in target_summary.classes:
+                        return target_summary, rest[0]
+                    if rest[0] in target_summary.imports:
+                        return self._locate_class(
+                            target_summary,
+                            target_summary.imports[rest[0]],
+                            depth + 1,
+                        )
+        return None
+
+    # -- call graph and taint ---------------------------------------------
+
+    def _function_ids(self) -> List[Tuple[str, ModuleSummary, FunctionInfo]]:
+        out = []
+        for label in sorted(self.summaries):
+            s = self.summaries[label]
+            for qual in sorted(s.functions):
+                out.append((f"{s.module}.{qual}", s, s.functions[qual]))
+        return out
+
+    def resolve_call(
+        self, summary: ModuleSummary, caller_qualname: str, call: CallSite
+    ) -> Optional[str]:
+        """Resolve one call site of ``caller_qualname`` to a function id.
+
+        ``self.``/``cls.`` receivers resolve through the caller's own
+        class (and its bases); everything else goes through the module
+        symbol table.
+
+        >>> p = ProjectContext.from_sources({"m.py":
+        ...     "class C:\\n"
+        ...     "    def a(self):\\n        return self.b()\\n"
+        ...     "    def b(self):\\n        pass\\n"})
+        >>> s = p.summaries["m.py"]
+        >>> p.resolve_call(s, "C.a", s.functions["C.a"].calls[0])
+        'm.C.b'
+        """
+        name = call.name
+        if name.startswith(("self.", "cls.")) and "." in caller_qualname:
+            cls_name = caller_qualname.split(".", 1)[0]
+            attrs = name.split(".")[1:]
+            if len(attrs) == 1:
+                return self._resolve_method(summary, cls_name, attrs[0], 0)
+            return None
+        return self._resolve_dotted(summary, name, 0)
+
+    def edges(self) -> Dict[str, List[Tuple[str, CallSite]]]:
+        """The resolved call graph: function id -> [(callee id, site)].
+
+        >>> p = ProjectContext.from_sources({"m.py":
+        ...     "def a():\\n    return b()\\n"
+        ...     "def b():\\n    pass\\n"})
+        >>> [(callee, site.line) for callee, site in p.edges()["m.a"]]
+        [('m.b', 2)]
+        """
+        if self._edges is None:
+            edges: Dict[str, List[Tuple[str, CallSite]]] = {}
+            for fid, summary, info in self._function_ids():
+                resolved = []
+                for call in info.calls:
+                    callee = self.resolve_call(summary, info.qualname, call)
+                    if callee is not None:
+                        resolved.append((callee, call))
+                edges[fid] = resolved
+            self._edges = edges
+        return self._edges
+
+    def taint(self) -> Dict[str, TaintInfo]:
+        """The determinism-taint fixpoint over the call graph.
+
+        A function is tainted when its body holds a direct unseeded-RNG
+        draw or wall-clock read, or when it calls (transitively) a
+        tainted function.  The worklist iterates to fixpoint, so call
+        cycles converge; each entry keeps a witness chain for messages.
+
+        >>> p = ProjectContext.from_sources({"m.py":
+        ...     "import time\\n"
+        ...     "def a():\\n    return b()\\n"
+        ...     "def b():\\n    return a() or time.time()\\n"})
+        >>> p.taint()["m.a"].chain
+        ('m.a', 'm.b')
+        """
+        if self._taint is not None:
+            return self._taint
+        infos: Dict[str, TaintInfo] = {}
+        functions = self._function_ids()
+        for fid, summary, info in functions:
+            if info.taint_sources:
+                src = info.taint_sources[0]
+                infos[fid] = TaintInfo(
+                    chain=(fid,),
+                    source_message=src.message,
+                    source_label=summary.label,
+                    source_line=src.line,
+                )
+        edges = self.edges()
+        changed = True
+        while changed:
+            changed = False
+            for fid, _summary, _info in functions:
+                if fid in infos:
+                    continue
+                for callee, _site in sorted(
+                    edges.get(fid, ()), key=lambda e: (e[0], e[1].line)
+                ):
+                    if callee in infos and callee != fid:
+                        base = infos[callee]
+                        infos[fid] = TaintInfo(
+                            chain=(fid,) + base.chain,
+                            source_message=base.source_message,
+                            source_label=base.source_label,
+                            source_line=base.source_line,
+                        )
+                        changed = True
+                        break
+        self._taint = infos
+        return infos
+
+    def iter_target_functions(
+        self,
+    ) -> Iterator[Tuple[str, ModuleSummary, FunctionInfo]]:
+        """Functions of target files only, in deterministic order.
+
+        >>> p = ProjectContext.from_sources(
+        ...     {"a.py": "def f():\\n    pass\\n", "b.py": "def g():\\n    pass\\n"},
+        ...     targets={"a.py"})
+        >>> [fid for fid, _, _ in p.iter_target_functions()]
+        ['a.f']
+        """
+        for fid, summary, info in self._function_ids():
+            if summary.label in self.targets:
+                yield fid, summary, info
+
+
+# -- engine driver ---------------------------------------------------------
+
+
+@dataclass
+class AnalysisResult:
+    """What one full engine run produced.
+
+    ``findings`` carries per-file and project findings for target files
+    only, sorted; ``skipped`` the explicit skip records; ``stats`` the
+    cache/pool accounting the CLI and the benchmark report.
+
+    >>> AnalysisResult(findings=[], skipped=[], stats={"n_files": 0}).stats
+    {'n_files': 0}
+    """
+
+    findings: List[Finding]
+    skipped: List[SkippedFile]
+    stats: Dict[str, int]
+
+
+def _analyze_one(item: Tuple[str, str]) -> Tuple[str, Dict[str, object]]:
+    """Worker: per-file findings + module summary for one source blob.
+
+    Top-level so a process pool can pickle it; also the serial path, so
+    ``--jobs 1`` and ``--jobs N`` run byte-identical code.
+
+    >>> label, payload = _analyze_one(("x.py", "def f(a=[]):\\n    return a\\n"))
+    >>> [f["code"] for f in payload["findings"]]
+    ['RPL020']
+    """
+    label, source = item
+    try:
+        ctx = FileContext(label, source)
+    except SyntaxError as exc:
+        return label, {
+            "findings": [syntax_error_finding(label, exc).to_dict()],
+            "summary": ModuleSummary(
+                label=label, module=_module_name(label)[0]
+            ).to_dict(),
+        }
+    findings: List[Finding] = []
+    for rule in file_rules():
+        for f in rule.check(ctx):
+            if not ctx.suppressed(f):
+                findings.append(f)
+    return label, {
+        "findings": [f.to_dict() for f in sorted(findings)],
+        "summary": summarize(ctx).to_dict(),
+    }
+
+
+def _finding_from_dict(d: Dict[str, object]) -> Finding:
+    return Finding(
+        path=str(d["path"]),
+        line=int(d["line"]),
+        col=int(d["col"]),
+        code=str(d["code"]),
+        name=str(d["name"]),
+        family=str(d["family"]),
+        message=str(d["message"]),
+    )
+
+
+def _project_findings(project: ProjectContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in project_rules():
+        for f in rule.check_project(project):
+            summary = project.summaries.get(f.path)
+            if summary is not None and summary.suppressed_at(f.line, f.code):
+                continue
+            findings.append(f)
+    return sorted(findings)
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    root: Optional[Path] = None,
+    jobs: int = 1,
+    cache=None,
+    context_roots: Sequence[str] = CONTEXT_ROOTS,
+) -> AnalysisResult:
+    """Run the full engine: per-file rules, project rules, cache, pool.
+
+    ``cache`` is a :class:`tools.reprolint.cache.LintCache` (or None to
+    analyze everything fresh).  ``jobs > 1`` fans cache-miss files out
+    to a process pool; results are assembled in sorted label order, so
+    parallel output is byte-identical to serial.  The symbol table
+    additionally covers ``context_roots`` under ``root`` so cross-file
+    resolution sees the whole project even for partial targets.
+
+    >>> import pathlib, tempfile
+    >>> d = pathlib.Path(tempfile.mkdtemp())
+    >>> _ = (d / "a.py").write_text("def f(x=[]):\\n    return x\\n")
+    >>> result = analyze_paths([str(d)], root=d)
+    >>> [f.code for f in result.findings], result.stats["n_target_files"]
+    (['RPL020'], 1)
+    """
+    root = (root or Path.cwd()).resolve()
+    target_files, skipped = discover_files(paths, root)
+    target_labels = {label for label, _ in target_files}
+
+    all_files: List[Tuple[str, Path]] = list(target_files)
+    known = set(target_labels)
+    for extra_root in context_roots:
+        p = root / extra_root
+        if not p.is_dir():
+            continue
+        extra_files, _extra_skipped = discover_files([str(p)], root)
+        for label, path in extra_files:
+            if label not in known:
+                known.add(label)
+                all_files.append((label, path))
+    all_files.sort()
+
+    sources: Dict[str, str] = {}
+    hashes: Dict[str, str] = {}
+    for label, path in all_files:
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            if label in target_labels:
+                skipped.append(SkippedFile(label, "unreadable"))
+                target_labels.discard(label)
+            continue
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            if label in target_labels:
+                skipped.append(SkippedFile(label, "not valid UTF-8"))
+                target_labels.discard(label)
+            continue
+        sources[label] = text
+        hashes[label] = hashlib.sha256(raw).hexdigest()
+    skipped = sorted(skipped)
+
+    per_file: Dict[str, List[Finding]] = {}
+    summaries: Dict[str, ModuleSummary] = {}
+    misses: List[Tuple[str, str]] = []
+    hits = 0
+    for label in sorted(sources):
+        entry = cache.get(label, hashes[label]) if cache is not None else None
+        if entry is not None:
+            findings_dicts, summary_dict = entry
+            per_file[label] = [_finding_from_dict(d) for d in findings_dicts]
+            summaries[label] = ModuleSummary.from_dict(summary_dict)
+            hits += 1
+        else:
+            misses.append((label, sources[label]))
+
+    if misses:
+        if jobs > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(_analyze_one, misses, chunksize=8))
+        else:
+            results = [_analyze_one(item) for item in misses]
+        for label, payload in results:
+            per_file[label] = [_finding_from_dict(d) for d in payload["findings"]]
+            summaries[label] = ModuleSummary.from_dict(payload["summary"])
+            if cache is not None:
+                cache.put(label, hashes[label], payload["findings"], payload["summary"])
+
+    project_hash = hashlib.sha256(
+        "\n".join(f"{label}:{hashes[label]}" for label in sorted(hashes)).encode()
+    ).hexdigest()
+    project_cached = cache.get_project(project_hash) if cache is not None else None
+    if project_cached is not None:
+        project_found = [_finding_from_dict(d) for d in project_cached]
+        project_hit = 1
+    else:
+        project = ProjectContext(summaries, targets=target_labels)
+        project_found = _project_findings(project)
+        project_hit = 0
+        if cache is not None:
+            cache.put_project(project_hash, [f.to_dict() for f in project_found])
+
+    if cache is not None:
+        cache.save()
+
+    findings = sorted(
+        [f for label in target_labels for f in per_file.get(label, [])]
+        + [f for f in project_found if f.path in target_labels]
+    )
+    stats = {
+        "n_files": len(sources),
+        "n_target_files": len(target_labels),
+        "cache_hits": hits,
+        "cache_misses": len(misses),
+        "project_cache_hit": project_hit,
+        "jobs": jobs,
+    }
+    return AnalysisResult(findings=findings, skipped=skipped, stats=stats)

@@ -6,8 +6,11 @@ Importing this package registers every rule with the engine's registry
 ========  ====================  ==============================================
 family    codes                 enforced invariant
 ========  ====================  ==============================================
-determinism    RPL001–RPL002   seeded-only randomness; no wall clock in sims
-units          RPL010–RPL011   suffix unit discipline (kW/kWh/s/USD)
+determinism    RPL001–RPL003   seeded-only randomness; no wall clock in sims;
+                               no sim-path calls into transitively tainted
+                               helpers (cross-module taint fixpoint)
+units          RPL010–RPL012   suffix unit discipline (kW/kWh/s/USD) and
+                               dimension dataflow through variables and calls
 cache-safety   RPL020–RPL022   hashable memo keys, no shared mutables
 observability  RPL030–RPL031   one-boolean-read gating; spans in ``with``
 exceptions     RPL040–RPL043   no bare/swallowing excepts; domain raises;
@@ -17,6 +20,9 @@ serialization  RPL044          sort_keys=True in journal/manifest writers
 perf           RPL045–RPL046   no Python loops over the site axis in the
                                columnar billing kernels; no blocking calls
                                inside async defs in the service layer
+concurrency    RPL047–RPL049   no mutating closures shipped to pool workers;
+                               locked StreamWriter writes; journal writes
+                               flushed + fsynced
 float-compare  RPL050          tolerance helpers, not ``==``, for floats
 ========  ====================  ==============================================
 """
@@ -26,23 +32,29 @@ from __future__ import annotations
 from . import (
     async_blocking,
     cache_safety,
+    concurrency,
     determinism,
     exceptions,
     floatcmp,
+    interprocedural,
     observability,
     perf,
     serialization,
+    unit_flow,
     units,
 )
 
 __all__ = [
     "async_blocking",
     "cache_safety",
+    "concurrency",
     "determinism",
     "exceptions",
     "floatcmp",
+    "interprocedural",
     "observability",
     "perf",
     "serialization",
+    "unit_flow",
     "units",
 ]

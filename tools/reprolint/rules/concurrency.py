@@ -1,0 +1,367 @@
+"""Concurrency-discipline rules (RPL047–RPL049).
+
+PR 6–8 added the layers these rules guard: the sharded sweep fabric
+(``run_sharded`` + process pools), the asyncio pricing service, and the
+fsync-disciplined journals that make resume bit-identical.  Each has a
+failure mode that type checkers and per-expression linters cannot see:
+
+* **RPL047 (closure-to-worker)** — a lambda or nested function shipped
+  to ``run_sharded`` / ``pool.submit`` / ``pool.map`` that *mutates* a
+  captured outer variable.  Under a process pool the mutation happens in
+  the child and is silently lost; under threads it is a data race.
+  Workers must be module-level functions returning their results.
+* **RPL048 (stream-writer-discipline)** — in the service layer:
+  a ``StreamWriter`` ``.write()`` outside an ``async with <lock>``
+  block (concurrent coroutines interleave partial frames on the wire),
+  or awaiting a scheduling call (``asyncio.sleep`` / ``gather`` /
+  ``wait`` / ``wait_for``) while holding a lock (serializes every
+  connection behind one sleeper).  ``await writer.drain()`` under the
+  lock is the sanctioned idiom and never matches.
+* **RPL049 (journal-write-no-fsync)** — in ``robustness/`` writer
+  modules, a file-handle ``.write()`` in a function that never calls
+  ``.flush()`` on the same handle plus ``os.fsync``.  The crash-safety
+  contract of the journals is that an acknowledged record is durable;
+  a buffered write that is not fsynced breaks exactly the replay
+  guarantee the chaos tests exercise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: Receiver attr calls that mutate the receiver in place.
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+}
+
+#: Awaited calls that yield to the scheduler for an unbounded time.
+_SCHEDULING_AWAITS = {"sleep", "gather", "wait", "wait_for"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _is_pool_dispatch(ctx: FileContext, call: ast.Call) -> Optional[str]:
+    """The dispatch kind when ``call`` ships work to workers, else None."""
+    qual = ctx.qualified_name(call.func)
+    if qual is not None and (qual == "run_sharded" or qual.endswith(".run_sharded")):
+        return "run_sharded"
+    if isinstance(call.func, ast.Attribute):
+        receiver = _dotted(call.func.value) or ""
+        low = receiver.lower()
+        pool_like = any(tok in low for tok in ("pool", "executor"))
+        if call.func.attr == "submit" and pool_like:
+            return f"{receiver}.submit"
+        if call.func.attr == "map" and pool_like:
+            return f"{receiver}.map"
+    return None
+
+
+def _bound_names(func: ast.AST) -> Set[str]:
+    """Names bound inside a lambda/def: params, assignments, targets."""
+    bound: Set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        a = func.args
+        for arg in list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs):
+            bound.add(arg.arg)
+        if a.vararg:
+            bound.add(a.vararg.arg)
+        if a.kwarg:
+            bound.add(a.kwarg.arg)
+    body = func.body if isinstance(func.body, list) else [func.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                bound.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.comprehension):
+                for t in ast.walk(node.target):
+                    if isinstance(t, ast.Name):
+                        bound.add(t.id)
+    return bound
+
+
+def _captured_mutations(func: ast.AST) -> List[str]:
+    """Free variables the callable mutates (the shared-state hazard)."""
+    bound = _bound_names(func)
+    hit: List[str] = []
+    body = func.body if isinstance(func.body, list) else [func.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Nonlocal):
+                hit.extend(n for n in node.names if n not in hit)
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                if isinstance(target, ast.Name) and target.id not in bound:
+                    if target.id not in hit:
+                        hit.append(target.id)
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ) and target.value.id not in bound:
+                    if target.value.id not in hit:
+                        hit.append(target.value.id)
+            elif isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Subscript) and isinstance(
+                        t.value, ast.Name
+                    ) and t.value.id not in bound:
+                        if t.value.id not in hit:
+                            hit.append(t.value.id)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                receiver = node.func.value
+                if (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id not in bound
+                    and node.func.attr in _MUTATOR_METHODS
+                ):
+                    if receiver.id not in hit:
+                        hit.append(receiver.id)
+    return hit
+
+
+@register
+class ClosureToWorkerRule(Rule):
+    """RPL047: no mutating closures shipped to sharded/pool workers."""
+
+    code = "RPL047"
+    name = "closure-to-worker"
+    family = "concurrency"
+    description = (
+        "A lambda or nested function passed to run_sharded/pool.submit/"
+        "pool.map that mutates a captured variable loses the mutation in a "
+        "process pool (the child mutates its copy) and races under threads; "
+        "use a module-level worker that returns its results."
+    )
+    example_bad = (
+        "def sweep(items):\n"
+        "    results = []\n"
+        "    pool.map(lambda x: results.append(x * 2), items)  # lost!"
+    )
+    example_good = (
+        "def _double(x):\n"
+        "    return x * 2\n"
+        "def sweep(items):\n"
+        "    results = list(pool.map(_double, items))"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in ast.walk(ctx.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            dispatch = _is_pool_dispatch(ctx, call)
+            if dispatch is None:
+                continue
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                shipped = self._shipped_callable(ctx, call, arg)
+                if shipped is None:
+                    continue
+                mutated = _captured_mutations(shipped)
+                if not mutated:
+                    continue
+                what = (
+                    "lambda" if isinstance(shipped, ast.Lambda)
+                    else f"nested function {shipped.name!r}"
+                )
+                yield self.finding(
+                    ctx, arg if hasattr(arg, "lineno") else call,
+                    f"{what} shipped to {dispatch} mutates captured "
+                    f"state ({', '.join(sorted(mutated))}); worker processes "
+                    "mutate a copy — return results instead",
+                )
+
+    @staticmethod
+    def _shipped_callable(
+        ctx: FileContext, call: ast.Call, arg: ast.AST
+    ) -> Optional[ast.AST]:
+        if isinstance(arg, ast.Lambda):
+            return arg
+        if isinstance(arg, ast.Name):
+            # a nested def in the dispatching function's own scope
+            owner = ctx.enclosing_function(call)
+            if owner is None:
+                return None
+            for node in ast.walk(owner):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == arg.id
+                    and node is not owner
+                ):
+                    return node
+        return None
+
+
+def _lock_context_name(item: ast.withitem) -> Optional[str]:
+    dotted = _dotted(item.context_expr)
+    if dotted is None and isinstance(item.context_expr, ast.Call):
+        dotted = _dotted(item.context_expr.func)
+    if dotted is not None and "lock" in dotted.lower():
+        return dotted
+    return None
+
+
+def _enclosing_lock(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, (ast.AsyncWith, ast.With)):
+            for item in anc.items:
+                name = _lock_context_name(item)
+                if name is not None:
+                    return name
+    return None
+
+
+@register
+class StreamWriterDisciplineRule(Rule):
+    """RPL048: locked StreamWriter writes; no scheduling awaits under locks."""
+
+    code = "RPL048"
+    name = "stream-writer-discipline"
+    family = "concurrency"
+    description = (
+        "In src/repro/service/, StreamWriter .write() must happen inside "
+        "'async with <lock>' (concurrent coroutines interleave partial "
+        "frames otherwise), and a lock body must not await asyncio.sleep/"
+        "gather/wait/wait_for (one sleeper serializes every connection); "
+        "await writer.drain() under the lock is the sanctioned idiom."
+    )
+    example_bad = (
+        "async def send(self, payload):\n"
+        "    self._writer.write(payload)   # interleaves with other senders\n"
+        "    await self._writer.drain()"
+    )
+    example_good = (
+        "async def send(self, payload):\n"
+        "    async with self._write_lock:\n"
+        "        self._writer.write(payload)\n"
+        "        await self._writer.drain()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if "repro/service/" not in ctx.path:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr != "write":
+                    continue
+                receiver = _dotted(node.func.value)
+                if receiver is None or "writer" not in receiver.lower():
+                    continue
+                if ctx.enclosing_function(node) is None:
+                    continue
+                if _enclosing_lock(ctx, node) is None:
+                    yield self.finding(
+                        ctx, node,
+                        f"{receiver}.write() outside 'async with <lock>': "
+                        "concurrent coroutines interleave partial frames; "
+                        "guard the write+drain pair with the write lock",
+                    )
+            elif isinstance(node, ast.Await):
+                value = node.value
+                if not isinstance(value, ast.Call):
+                    continue
+                qual = ctx.qualified_name(value.func)
+                attr = qual.rsplit(".", 1)[-1] if qual else None
+                if attr not in _SCHEDULING_AWAITS:
+                    continue
+                lock = _enclosing_lock(ctx, node)
+                if lock is None:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"awaiting {attr}() while holding {lock!r} serializes "
+                    "every coroutine behind this one; release the lock "
+                    "before yielding to the scheduler",
+                )
+
+
+def _is_robustness_writer(path: str) -> bool:
+    return "repro/robustness/" in path
+
+
+@register
+class JournalFsyncRule(Rule):
+    """RPL049: journal writes must be followed by flush+fsync."""
+
+    code = "RPL049"
+    name = "journal-write-no-fsync"
+    family = "concurrency"
+    description = (
+        "In robustness/ writer modules, a file-handle .write() in a function "
+        "that never flushes the same handle and os.fsync()s it leaves "
+        "acknowledged records in userspace buffers; a crash then violates "
+        "the journal's replay guarantee (records ack'd => records durable)."
+    )
+    example_bad = (
+        "def append(self, record):\n"
+        "    self._handle.write(json.dumps(record) + '\\n')  # buffered only"
+    )
+    example_good = (
+        "def append(self, record):\n"
+        "    self._handle.write(json.dumps(record) + '\\n')\n"
+        "    self._handle.flush()\n"
+        "    os.fsync(self._handle.fileno())"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _is_robustness_writer(ctx.path):
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            writes: List[ast.Call] = []
+            flushed: Set[str] = set()
+            fsynced = False
+            for node in ast.walk(func):
+                if ctx.enclosing_function(node) is not func:
+                    continue
+                if not isinstance(node, ast.Call):
+                    continue
+                qual = ctx.qualified_name(node.func)
+                if qual == "os.fsync":
+                    fsynced = True
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                receiver = _dotted(node.func.value)
+                if receiver is None:
+                    continue
+                if node.func.attr == "write" and self._is_handle(receiver):
+                    writes.append(node)
+                elif node.func.attr == "flush":
+                    flushed.add(receiver)
+            for call in writes:
+                receiver = _dotted(call.func.value)
+                if receiver in flushed and fsynced:
+                    continue
+                missing = (
+                    "flush+fsync" if receiver not in flushed
+                    else "os.fsync"
+                )
+                yield self.finding(
+                    ctx, call,
+                    f"{receiver}.write() without {missing} in the same "
+                    "function; buffered journal records are not durable "
+                    "across a crash",
+                )
+
+    @staticmethod
+    def _is_handle(receiver: str) -> bool:
+        low = receiver.rsplit(".", 1)[-1].lower()
+        return any(
+            tok in low for tok in ("handle", "fh", "file", "journal", "wal")
+        ) or low in ("f", "out", "fp")

@@ -59,6 +59,71 @@ _WALL_CLOCK_CALLS = {
 }
 
 
+def iter_rng_draws(ctx: FileContext):
+    """Yield ``(call_node, message)`` for every unseeded-RNG call site.
+
+    The shared detector behind RPL001 and the interprocedural taint pass
+    (:mod:`tools.reprolint.project`): module-level ``random`` /
+    legacy ``numpy.random`` draws, plus unseeded generator construction.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = ctx.qualified_name(node.func)
+        if qual is None:
+            continue
+        if qual.startswith("random."):
+            attr = qual.split(".", 1)[1]
+            if attr in _RANDOM_MODULE_DRAWS:
+                yield node, (
+                    f"random.{attr}() draws from module-level RNG state; "
+                    "use an explicitly seeded numpy Generator"
+                )
+            elif attr == "Random" and not node.args and not node.keywords:
+                yield node, "random.Random() without a seed is not replayable"
+        elif qual.startswith("numpy.random."):
+            attr = qual.split(".")[-1]
+            if attr in _NUMPY_LEGACY_DRAWS:
+                yield node, (
+                    f"numpy.random.{attr}() uses the legacy global "
+                    "RandomState; use numpy.random.default_rng(seed)"
+                )
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                yield node, (
+                    "default_rng() without a seed draws fresh OS entropy; "
+                    "pass an explicit seed"
+                )
+
+
+def iter_wall_clock_reads(ctx: FileContext):
+    """Yield ``(call_node, message)`` for every wall-clock/entropy read.
+
+    Path-agnostic (scoping is the rule's business, not the detector's);
+    the ``created_unix=`` manifest-capture idiom is exempt here too, so
+    the taint pass never taints through the one sanctioned read.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = ctx.qualified_name(node.func)
+        if qual is None or qual not in _WALL_CLOCK_CALLS:
+            continue
+        if _is_manifest_capture(ctx, node):
+            continue
+        yield node, _WALL_CLOCK_CALLS[qual]
+
+
+def _is_manifest_capture(ctx: FileContext, node: ast.Call) -> bool:
+    """True when the call is passed as a ``created_unix=`` keyword.
+
+    That is the run-manifest wall-clock capture pattern
+    (``RunManifest(..., created_unix=time.time())``), the one
+    sanctioned wall-clock read outside the observability package.
+    """
+    parent = ctx.parent(node)
+    return isinstance(parent, ast.keyword) and parent.arg == "created_unix"
+
+
 @register
 class UnseededRandomRule(Rule):
     """RPL001: no module-level RNG state, no unseeded generators."""
@@ -71,41 +136,16 @@ class UnseededRandomRule(Rule):
         "construction without an explicit seed, are not replayable; use "
         "numpy.random.default_rng(seed) and thread the generator through."
     )
+    example_bad = "import random\njitter = random.random()"
+    example_good = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(seed)\n"
+        "jitter = rng.random()"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            qual = ctx.qualified_name(node.func)
-            if qual is None:
-                continue
-            if qual.startswith("random."):
-                attr = qual.split(".", 1)[1]
-                if attr in _RANDOM_MODULE_DRAWS:
-                    yield self.finding(
-                        ctx, node,
-                        f"random.{attr}() draws from module-level RNG state; "
-                        "use an explicitly seeded numpy Generator",
-                    )
-                elif attr == "Random" and not node.args and not node.keywords:
-                    yield self.finding(
-                        ctx, node,
-                        "random.Random() without a seed is not replayable",
-                    )
-            elif qual.startswith("numpy.random."):
-                attr = qual.split(".")[-1]
-                if attr in _NUMPY_LEGACY_DRAWS:
-                    yield self.finding(
-                        ctx, node,
-                        f"numpy.random.{attr}() uses the legacy global "
-                        "RandomState; use numpy.random.default_rng(seed)",
-                    )
-                elif attr == "default_rng" and not node.args and not node.keywords:
-                    yield self.finding(
-                        ctx, node,
-                        "default_rng() without a seed draws fresh OS entropy; "
-                        "pass an explicit seed",
-                    )
+        for node, message in iter_rng_draws(ctx):
+            yield self.finding(ctx, node, message)
 
 
 @register
@@ -120,31 +160,17 @@ class WallClockRule(Rule):
         "inputs; wall-clock and entropy reads belong to the observability "
         "layer only (manifest created_unix capture is allowlisted)."
     )
+    example_bad = "import time\nstamp = time.time()  # inside src/repro"
+    example_good = (
+        "manifest = RunManifest(..., created_unix=time.time())  # allowlisted"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.in_repro_src or ctx.in_observability:
             return
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            qual = ctx.qualified_name(node.func)
-            if qual is None or qual not in _WALL_CLOCK_CALLS:
-                continue
-            if self._is_manifest_capture(ctx, node):
-                continue
+        for node, message in iter_wall_clock_reads(ctx):
             yield self.finding(
                 ctx, node,
-                f"{_WALL_CLOCK_CALLS[qual]}; simulation paths must be "
-                "deterministic (manifest created_unix= capture is exempt)",
+                f"{message}; simulation paths must be deterministic "
+                "(manifest created_unix= capture is exempt)",
             )
-
-    @staticmethod
-    def _is_manifest_capture(ctx: FileContext, node: ast.Call) -> bool:
-        """True when the call is passed as a ``created_unix=`` keyword.
-
-        That is the run-manifest wall-clock capture pattern
-        (``RunManifest(..., created_unix=time.time())``), the one
-        sanctioned wall-clock read outside the observability package.
-        """
-        parent = ctx.parent(node)
-        return isinstance(parent, ast.keyword) and parent.arg == "created_unix"

@@ -1,0 +1,91 @@
+"""Interprocedural determinism rule (RPL003).
+
+RPL001/RPL002 flag the draw or clock read *where it happens*.  That is
+not enough once helpers are layered: a pricing kernel that calls a
+helper two modules away which calls ``random.random()`` is just as
+non-replayable as one that draws inline, yet per-file analysis cannot
+see it.  This rule runs on the cross-module call graph
+(:class:`tools.reprolint.project.ProjectContext`) after the taint
+fixpoint has marked every function that *transitively* reaches an
+unseeded draw or a wall-clock read.
+
+* **RPL003 (tainted-call)** — a function in a simulation path
+  (``src/repro`` outside ``observability``) calls a tainted function.
+  The finding lands on the call site and carries the witness chain down
+  to the original source, so the diagnostic reads like a stack trace.
+  Seeded constructions (``random.Random(seed)``,
+  ``default_rng(seed)``) never taint; the observability layer's
+  sanctioned wall-clock capture does not either.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import Finding, ProjectRule, register
+
+
+def _in_sim_path(label: str) -> bool:
+    return label.startswith("src/repro/") and not label.startswith(
+        "src/repro/observability/"
+    )
+
+
+@register
+class TaintedCallRule(ProjectRule):
+    """RPL003: sim-path callers of transitively nondeterministic helpers."""
+
+    code = "RPL003"
+    name = "tainted-call"
+    family = "determinism"
+    description = (
+        "A simulation-path function calls a helper that transitively reaches "
+        "an unseeded random/numpy draw or a wall-clock read (cross-module "
+        "taint fixpoint); every bill computed through it is non-replayable. "
+        "Seed the helper explicitly and thread the generator through."
+    )
+    example_bad = (
+        "# a.py (sim path)\n"
+        "from .b import jitter\n"
+        "def simulate(load_kw):\n"
+        "    return load_kw * jitter()   # RPL003: jitter -> random.random\n"
+        "# b.py\n"
+        "import random\n"
+        "def jitter():\n"
+        "    return random.random()"
+    )
+    example_good = (
+        "# b.py\n"
+        "import numpy as np\n"
+        "def jitter(rng):\n"
+        "    return rng.random()\n"
+        "# a.py\n"
+        "def simulate(load_kw, seed):\n"
+        "    return load_kw * jitter(np.random.default_rng(seed))"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        taint = project.taint()
+        edges = project.edges()
+        for fid, summary, info in project.iter_target_functions():
+            if not _in_sim_path(summary.label):
+                continue
+            for callee, site in edges.get(fid, ()):
+                if callee == fid or callee not in taint:
+                    continue
+                reason = taint[callee]
+                chain = " -> ".join(reason.chain)
+                yield Finding(
+                    path=summary.label,
+                    line=site.line,
+                    col=site.col,
+                    code=self.code,
+                    name=self.name,
+                    family=self.family,
+                    message=(
+                        f"{info.qualname!r} calls tainted {callee!r}: "
+                        f"{reason.source_message} "
+                        f"({reason.source_label}:{reason.source_line}, "
+                        f"via {chain})"
+                    ),
+                )

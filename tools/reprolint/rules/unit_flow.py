@@ -1,0 +1,80 @@
+"""Unit-dimension dataflow rule (RPL012).
+
+RPL010 needs both operands of an additive expression to *spell* their
+unit in a suffix.  RPL012 closes the gap it leaves: the unit that flowed
+through an unsuffixed local, an assignment chain, or a helper call
+before reaching the mixing site.  The inference engine is the abstract
+interpreter in :mod:`tools.reprolint.dataflow` (dimension vectors over
+energy/time/money with kW·h→kWh, kWh/h→kW, USD/kWh·kWh→USD algebra).
+
+* **RPL012 (unit-flow-mismatch)** — an addition, subtraction,
+  comparison, or suffix-named assignment whose two sides carry
+  *different inferred dimension vectors* after dataflow.  Sites where
+  both operands already carry explicit unit suffixes are RPL010's
+  territory and are skipped here, so one bug never produces two codes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..dataflow import DimMismatch, analyze_function, describe_dim
+from ..engine import FileContext, Finding, Rule, register
+from .units import unit_of
+
+
+def _covered_by_rpl010(mismatch: DimMismatch) -> bool:
+    """True when RPL010's same-expression suffix matching already fires."""
+    node = mismatch.node
+    if isinstance(node, ast.BinOp):
+        operands = [node.left, node.right]
+    elif isinstance(node, ast.AugAssign):
+        operands = [node.target, node.value]
+    elif isinstance(node, ast.Compare):
+        operands = [node.left] + list(node.comparators)
+    else:
+        return False
+    units = [unit_of(op) for op in operands]
+    return all(u is not None for u in units) and len(set(units)) > 1
+
+
+@register
+class UnitFlowMismatchRule(Rule):
+    """RPL012: dimension mismatch after flow through variables and calls."""
+
+    code = "RPL012"
+    name = "unit-flow-mismatch"
+    family = "units"
+    description = (
+        "A value's inferred dimension (tracked through assignments, "
+        "arithmetic and helper-call returns) disagrees with the dimension "
+        "of the quantity it is added to, compared with, or assigned into; "
+        "kW flowing into a kWh sum corrupts every bill downstream."
+    )
+    example_bad = (
+        "def settle(peak_kw: float, total_kwh: float):\n"
+        "    power = peak_kw          # dimension kW flows into 'power'\n"
+        "    return total_kwh + power # RPL012: kWh (energy) + kW (power)"
+    )
+    example_good = (
+        "def settle(peak_kw: float, total_kwh: float, interval_h: float):\n"
+        "    energy = peak_kw * interval_h   # kW x h -> kWh\n"
+        "    return total_kwh + energy"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for mismatch in analyze_function(func):
+                if _covered_by_rpl010(mismatch):
+                    continue
+                yield self.finding(
+                    ctx,
+                    mismatch.node,
+                    f"{mismatch.what} mixes inferred dimensions: "
+                    f"{describe_dim(mismatch.left)} vs "
+                    f"{describe_dim(mismatch.right)}; "
+                    "convert via repro.units at the boundary",
+                )

@@ -1,0 +1,122 @@
+"""SARIF 2.1.0 serialization of reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what CI platforms ingest to annotate findings inline on diffs.  The
+document produced here is deliberately minimal but complete against the
+2.1.0 required fields:
+
+* ``version`` / ``$schema`` at the top level;
+* one run with ``tool.driver`` (``name``, ``informationUri``,
+  ``rules`` — one ``reportingDescriptor`` per distinct rule, with
+  ``id``, ``name``, ``shortDescription``, ``fullDescription``);
+* one ``result`` per finding with ``ruleId``, ``ruleIndex``, ``level``,
+  ``message.text`` and a ``physicalLocation`` (URI + line/column
+  region, 1-based as the spec requires — reprolint's 0-based columns
+  are shifted by one).
+
+Everything is emitted in sorted order so serial and parallel runs
+produce byte-identical documents.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .engine import Finding, all_rules
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "https://github.com/paper-repro/contracts-hpc-epp"
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, object]:
+    """Build the SARIF 2.1.0 document (as a plain dict) for findings.
+
+    Rules are listed for every registered rule that appears in the
+    findings, indexed deterministically by code; results reference them
+    through ``ruleIndex``.
+
+    >>> f = Finding(path="src/x.py", line=3, col=0, code="RPL020",
+    ...             name="mutable-default", family="interface",
+    ...             message="mutable default")
+    >>> doc = to_sarif([f])
+    >>> doc["version"], doc["runs"][0]["results"][0]["ruleId"]
+    ('2.1.0', 'RPL020')
+    >>> doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+    ...     "region"]["startColumn"]
+    1
+    """
+    by_code = {r.code: r for r in all_rules()}
+    used_codes = sorted({f.code for f in findings})
+    rules: List[Dict[str, object]] = []
+    index: Dict[str, int] = {}
+    for i, code in enumerate(used_codes):
+        index[code] = i
+        rule = by_code.get(code)
+        name = rule.name if rule is not None else code.lower()
+        description = rule.description if rule is not None else ""
+        rules.append(
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": name},
+                "fullDescription": {"text": description or name},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results: List[Dict[str, object]] = []
+    for f in sorted(findings):
+        results.append(
+            {
+                "ruleId": f.code,
+                "ruleIndex": index[f.code],
+                "level": "error",
+                "message": {"text": f"[{f.name}] {f.message}"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(f.line, 1),
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The SARIF document as a deterministic JSON string.
+
+    >>> out = render_sarif([])
+    >>> json.loads(out)["runs"][0]["results"]
+    []
+    """
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True) + "\n"
