@@ -14,6 +14,8 @@ Regenerates the paper's artifacts from the terminal::
     python -m repro sweep --fabric D --merge      # fold shards into one report
     python -m repro serve                # pricing service on 127.0.0.1:8765
     python -m repro serve --rate 1000 --observe   # rate-limited, audited
+    python -m repro chaos-serve          # wire-fault grid against a live server
+    python -m repro chaos-serve --resume J        # finish an interrupted grid
 """
 
 from __future__ import annotations
@@ -229,6 +231,78 @@ def _run_fabric(args) -> int:
     return 0
 
 
+def _run_chaos_serve(args) -> int:
+    """Dispatch ``repro chaos-serve``: the wire-fault grid.
+
+    Mirrors ``repro sweep``: ``--journal`` runs a fresh supervised,
+    checkpointed grid; ``--resume`` rebuilds the grid from the journal
+    header's stored ``kind: service_chaos`` recipe and finishes it.
+    Without either flag the grid runs unsupervised in-process.
+    """
+    from .exceptions import ReproError
+    from .robustness.chaos_service import run_service_chaos
+    from .robustness.journal import read_journal
+
+    if args.resume:
+        try:
+            state = read_journal(args.resume)
+        except (ReproError, OSError) as exc:
+            print(f"cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        params = dict(state.header.params)
+        if params.pop("kind", None) != "service_chaos":
+            print(
+                f"journal {args.resume} was not written by a chaos-serve grid "
+                "(header lacks kind='service_chaos')",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"resuming chaos-serve grid {state.header.sweep_id!r}: "
+            f"{state.n_completed}/{state.header.n_items} points journaled"
+        )
+        report = run_service_chaos(
+            modes=params["modes"],
+            rates=params["rates"],
+            concurrency=params["concurrency"],
+            n_requests=params["n_requests"],
+            seed=params["seed"],
+            n_sites=params["n_sites"],
+            days=params["days"],
+            retry_attempts=params["retry_attempts"],
+            supervised=True,
+            journal=args.resume,
+            parallel=False if args.serial else None,
+        )
+    else:
+        report = run_service_chaos(
+            modes=args.modes,
+            rates=args.rates,
+            concurrency=args.concurrency,
+            n_requests=args.requests,
+            seed=args.seed,
+            n_sites=args.sites,
+            days=args.days,
+            supervised=args.journal is not None,
+            journal=args.journal,
+            parallel=False if args.serial else None,
+        )
+    print(report.to_markdown())
+    if report.recovery:
+        rec = report.recovery
+        print(
+            f"\nrecovery: {rec['n_ok']}/{rec['n_items']} ok, "
+            f"{rec['n_resumed']} resumed, {rec['n_retries']} retries, "
+            f"{rec['n_timeouts']} timeouts, "
+            f"{rec['n_pool_rebuilds']} pool rebuilds, "
+            f"{rec['n_quarantined']} quarantined"
+        )
+    if report.quarantined:
+        for q in report.quarantined:
+            print(f"quarantined item {q.index}: {q.reason}", file=sys.stderr)
+    return 0 if report.all_ok else 1
+
+
 def main(argv: list = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -355,6 +429,54 @@ def main(argv: list = None) -> int:
         "--observe", action="store_true",
         help="enable observability (metrics + per-request audit manifests)",
     )
+    srv.add_argument(
+        "--drain-s", type=float, default=5.0,
+        help="graceful-drain deadline on shutdown: in-flight requests get "
+        "this many seconds to finish before being cancelled",
+    )
+    chaos = sub.add_parser(
+        "chaos-serve",
+        help="run the wire-fault chaos grid against a live pricing server "
+        "(seeded, journaled, resumable; see docs/service.md)",
+    )
+    chaos.add_argument(
+        "--modes", nargs="+",
+        default=["clean", "reset", "tear", "disconnect"],
+        help="fault modes to grid (clean reset tear disconnect delay slowloris)",
+    )
+    chaos.add_argument(
+        "--rates", type=float, nargs="+", default=[0.25, 0.5],
+        help="per-connection fault probabilities to grid (fractions)",
+    )
+    chaos.add_argument(
+        "--concurrency", type=int, default=4,
+        help="simultaneous in-flight requests per scenario",
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=24,
+        help="pricing requests fired per scenario",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="wire-fault seed")
+    chaos.add_argument(
+        "--sites", type=int, default=2,
+        help="synthetic loads in each scenario's catalog",
+    )
+    chaos.add_argument(
+        "--days", type=int, default=7,
+        help="load horizon in days (multiple of 7)",
+    )
+    chaos.add_argument(
+        "--journal", help="journal path for a fresh supervised grid"
+    )
+    chaos.add_argument(
+        "--resume", metavar="JOURNAL",
+        help="resume an interrupted grid from its journal "
+        "(the recipe is read from the journal header)",
+    )
+    chaos.add_argument(
+        "--serial", action="store_true",
+        help="force the serial in-process path (no worker pool)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -397,6 +519,16 @@ def main(argv: list = None) -> int:
             return 2
         return _run_sweep(args)
 
+    if args.command == "chaos-serve":
+        if args.resume and args.journal:
+            print(
+                "repro chaos-serve takes at most one of --journal (fresh "
+                "run) and --resume (finish an interrupted one)",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_chaos_serve(args)
+
     if args.command == "serve":
         from .exceptions import ReproError
         from .service.server import serve
@@ -415,6 +547,7 @@ def main(argv: list = None) -> int:
                 n_sites=args.sites,
                 days=args.days,
                 observability=args.observe,
+                drain_s=args.drain_s,
             )
         except KeyboardInterrupt:
             print("\nservice stopped")

@@ -36,6 +36,8 @@ __all__ = [
     "ObservabilityError",
     "ServiceError",
     "AdmissionError",
+    "FrameError",
+    "ServiceConnectionError",
 ]
 
 
@@ -180,3 +182,32 @@ class AdmissionError(ServiceError):
         #: Structured rejection record: ``code``, ``message``, ``limit``
         #: (the numeric limit that fired) and optionally ``retry_after_s``.
         self.payload = dict(payload)
+
+
+class FrameError(ServiceError):
+    """A wire frame violated the ``repro-service-v1`` framing rules.
+
+    Carries a machine-readable :attr:`code` from the malformed-frame
+    taxonomy so clients (and tests) can react to the precise violation:
+    ``frame_too_large`` (line over the connection's frame-size limit),
+    ``frame_invalid_json``, ``frame_not_object``, ``frame_bad_op``,
+    ``frame_bad_params``, ``frame_bad_idem``.
+    """
+
+    def __init__(self, code, message, request_id=None):
+        super().__init__(message)
+        #: Taxonomy code naming the framing rule that was violated.
+        self.code = str(code)
+        #: The frame's ``id``, when it was parsed before the violation —
+        #: echoed in the error response so pipelined clients can match it.
+        self.request_id = request_id
+
+
+class ServiceConnectionError(ServiceError):
+    """The client's connection to the pricing service was lost.
+
+    Raised (or set on pending response futures) when the server goes
+    away mid-dialogue — EOF, TCP reset, or a write onto a closed socket.
+    Distinct from :class:`ServiceError` so callers and the self-healing
+    client can tell "reconnect and retry" apart from "fix your request".
+    """

@@ -17,6 +17,14 @@ the production-reality layer on top:
   acknowledgment tracking and a dead-letter log for missed events;
 * :mod:`~repro.robustness.chaos` — the sweep harness asserting the
   layer's invariants under increasing fault intensity;
+* :mod:`~repro.robustness.netfaults` — a seeded TCP man-in-the-middle
+  proxy injecting wire pathologies (resets, torn frames, mid-response
+  disconnects, per-frame delays, slow-loris trickle) deterministically
+  per connection;
+* :mod:`~repro.robustness.chaos_service` — the chaos-serve harness:
+  drive the pricing service through the faulty wire and prove the
+  serving invariants (terminal accounting, byte-identical answers,
+  conserved admission and drain);
 * :mod:`~repro.robustness.supervisor` — the resilient sweep runtime:
   per-item timeouts, capped-backoff retries, broken-pool recovery, a
   serial-degradation circuit breaker and poison-item quarantine;
@@ -57,6 +65,20 @@ from .chaos import (
     chaos_grid,
     run_chaos_sweep,
     run_scenario,
+)
+from .netfaults import (
+    FaultPlan,
+    FaultyProxy,
+    ProxyReport,
+    WireFaultSpec,
+)
+from .chaos_service import (
+    ServiceChaosReport,
+    ServiceChaosResult,
+    ServiceChaosScenario,
+    run_service_chaos,
+    run_service_scenario,
+    service_chaos_grid,
 )
 from .journal import (
     JOURNAL_SCHEMA,
@@ -113,6 +135,16 @@ __all__ = [
     "run_scenario",
     "run_chaos_sweep",
     "chaos_grid",
+    "WireFaultSpec",
+    "FaultPlan",
+    "FaultyProxy",
+    "ProxyReport",
+    "ServiceChaosScenario",
+    "ServiceChaosResult",
+    "ServiceChaosReport",
+    "run_service_scenario",
+    "run_service_chaos",
+    "service_chaos_grid",
     "JOURNAL_SCHEMA",
     "JournalHeader",
     "JournalState",

@@ -1,0 +1,420 @@
+"""Seeded wire-level fault injection: a TCP man-in-the-middle proxy.
+
+:mod:`~repro.robustness.faults` corrupts *data* (metered series); this
+module corrupts the *wire* the pricing service speaks over.  A
+:class:`FaultyProxy` sits between a client and an upstream server and —
+driven by the same seeding discipline as
+:class:`~repro.robustness.faults.FaultInjector` (every decision a pure
+function of ``(spec, seed, connection index)``) — injects the classic
+transport pathologies:
+
+* **reset** — the connection is aborted (RST) after a chosen number of
+  client frames, killing every request in flight;
+* **tear** — one server response line is forwarded only as a prefix,
+  then the stream ends cleanly: the client sees a torn frame + EOF;
+* **disconnect** — the connection is aborted mid-response stream,
+  between or during server frames;
+* **delay** — every forwarded line waits ``delay_s`` first (latency,
+  not loss);
+* **slowloris** — server bytes trickle out ``trickle_bytes`` at a time
+  with ``delay_s`` gaps, stretching one response over many reads.
+
+Determinism: the per-connection :class:`FaultPlan` is drawn from
+``random.Random(seed * 1_000_003 + connection_index)``, so a chaos run
+replays bit-for-bit — same seed, same connections, same faults — which
+is what makes the chaos-serve grid
+(:mod:`~repro.robustness.chaos_service`) journalable and resumable.
+
+>>> spec = WireFaultSpec(tear_rate=1.0)
+>>> spec.any_faults()
+True
+>>> FaultyProxy(("127.0.0.1", 9), spec, seed=7).plan_for(0).mode
+'tear'
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import RobustnessError
+
+__all__ = ["WireFaultSpec", "FaultPlan", "FaultyProxy", "ProxyReport"]
+
+#: The fault modes a connection plan can carry (``clean`` = passthrough).
+FAULT_MODES = ("clean", "reset", "tear", "disconnect", "delay", "slowloris")
+
+
+@dataclass(frozen=True)
+class WireFaultSpec:
+    """Per-connection fault mix for a :class:`FaultyProxy`.
+
+    Each ``*_rate`` is the probability (per accepted connection) that the
+    connection's plan is that fault mode; the rates must sum to at most
+    1, and the remainder is clean passthrough.  ``fault_frame`` pins the
+    frame index at which reset/tear/disconnect fire (``None`` = drawn
+    from the seeded RNG, 0–2), which tests use to force e.g. "tear the
+    very first response".
+
+    >>> WireFaultSpec(delay_rate=0.5, delay_s=0.001).any_faults()
+    True
+    >>> WireFaultSpec().any_faults()
+    False
+    """
+
+    reset_rate: float = 0.0
+    tear_rate: float = 0.0
+    disconnect_rate: float = 0.0
+    delay_rate: float = 0.0
+    slowloris_rate: float = 0.0
+    delay_s: float = 0.005
+    trickle_bytes: int = 7
+    fault_frame: Optional[int] = None
+    max_frame_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        rates = {
+            "reset_rate": self.reset_rate,
+            "tear_rate": self.tear_rate,
+            "disconnect_rate": self.disconnect_rate,
+            "delay_rate": self.delay_rate,
+            "slowloris_rate": self.slowloris_rate,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise RobustnessError(f"{name} must be in [0, 1], got {rate}")
+        if sum(rates.values()) > 1.0 + 1e-12:
+            raise RobustnessError("fault rates must sum to at most 1")
+        if self.delay_s < 0.0:
+            raise RobustnessError("delay_s must be >= 0")
+        if self.trickle_bytes < 1:
+            raise RobustnessError("trickle_bytes must be >= 1")
+        if self.fault_frame is not None and self.fault_frame < 0:
+            raise RobustnessError("fault_frame must be >= 0 (or None)")
+        if self.max_frame_bytes < 256:
+            raise RobustnessError("max_frame_bytes must be >= 256")
+
+    def any_faults(self) -> bool:
+        """True when any fault mode has nonzero probability."""
+        return (
+            self.reset_rate
+            + self.tear_rate
+            + self.disconnect_rate
+            + self.delay_rate
+            + self.slowloris_rate
+        ) > 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The fate of one proxied connection, fixed at accept time.
+
+    ``mode`` is one of ``clean`` / ``reset`` / ``tear`` / ``disconnect``
+    / ``delay`` / ``slowloris``; ``at_frame`` is the frame index the
+    one-shot modes fire at; ``tear_fraction`` is the prefix fraction of
+    the torn line that still gets through.
+
+    >>> FaultPlan(mode="tear", at_frame=0, tear_fraction=0.5).mode
+    'tear'
+    """
+
+    mode: str
+    at_frame: int = 0
+    tear_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise RobustnessError(
+                f"unknown fault mode {self.mode!r}; known: {FAULT_MODES}"
+            )
+        if self.at_frame < 0:
+            raise RobustnessError("at_frame must be >= 0")
+        if not 0.0 < self.tear_fraction < 1.0:
+            raise RobustnessError("tear_fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class ProxyReport:
+    """Counters of what a :class:`FaultyProxy` actually did.
+
+    ``n_frames_in`` counts client→server lines forwarded,
+    ``n_frames_out`` server→client; the per-mode counters tally fired
+    faults (a planned fault only counts once it actually triggers).
+
+    >>> ProxyReport(n_connections=2, n_clean=1, n_resets=1).to_dict()["n_resets"]
+    1
+    """
+
+    n_connections: int = 0
+    n_clean: int = 0
+    n_resets: int = 0
+    n_torn: int = 0
+    n_disconnects: int = 0
+    n_delayed_frames: int = 0
+    n_slowloris: int = 0
+    n_frames_in: int = 0
+    n_frames_out: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe counter dict (for chaos results and benchmarks)."""
+        return {
+            "n_connections": self.n_connections,
+            "n_clean": self.n_clean,
+            "n_resets": self.n_resets,
+            "n_torn": self.n_torn,
+            "n_disconnects": self.n_disconnects,
+            "n_delayed_frames": self.n_delayed_frames,
+            "n_slowloris": self.n_slowloris,
+            "n_frames_in": self.n_frames_in,
+            "n_frames_out": self.n_frames_out,
+        }
+
+
+class FaultyProxy:
+    """A seeded TCP man-in-the-middle between a client and ``upstream``.
+
+    Accepts connections, opens one upstream connection per downstream
+    one, and pumps line frames both ways while executing the
+    connection's :class:`FaultPlan` (see :meth:`plan_for`).  With an
+    all-zero :class:`WireFaultSpec` it is a transparent passthrough —
+    the clean-wire baseline the chaos benchmark measures overhead
+    against.
+
+    >>> import asyncio
+    >>> async def demo():
+    ...     async def echo(reader, writer):
+    ...         while True:
+    ...             data = await reader.readline()
+    ...             if not data:
+    ...                 break
+    ...             writer.write(data)
+    ...             await writer.drain()
+    ...         writer.close()
+    ...     upstream = await asyncio.start_server(
+    ...         echo, "127.0.0.1", 0, limit=1 << 16)
+    ...     addr = upstream.sockets[0].getsockname()[:2]
+    ...     proxy = FaultyProxy(addr, WireFaultSpec(), seed=0)
+    ...     await proxy.start()
+    ...     reader, writer = await asyncio.open_connection(
+    ...         *proxy.address, limit=1 << 16)
+    ...     writer.write(b"ping\\n")
+    ...     await writer.drain()
+    ...     line = await reader.readline()
+    ...     writer.close()
+    ...     await proxy.stop()
+    ...     upstream.close()
+    ...     await upstream.wait_closed()
+    ...     return line
+    >>> asyncio.run(demo())
+    b'ping\\n'
+    """
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        spec: Optional[WireFaultSpec] = None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream = (str(upstream[0]), int(upstream[1]))
+        self.spec = spec if spec is not None else WireFaultSpec()
+        self.seed = int(seed)
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_seq = 0
+        self._tasks: set = set()
+        # mutable counters; frozen into a ProxyReport on demand
+        self._counts: Dict[str, int] = {
+            key: 0 for key in ProxyReport().to_dict()
+        }
+
+    # -- seeding ------------------------------------------------------------
+
+    def plan_for(self, conn_index: int) -> FaultPlan:
+        """The deterministic :class:`FaultPlan` of connection ``conn_index``.
+
+        Pure function of ``(spec, seed, conn_index)`` — callable before,
+        during or after a run, which is how tests pick seeds that place a
+        fault on a specific connection."""
+        rng = random.Random(self.seed * 1_000_003 + int(conn_index))
+        u = rng.random()
+        ladder = (
+            ("reset", self.spec.reset_rate),
+            ("tear", self.spec.tear_rate),
+            ("disconnect", self.spec.disconnect_rate),
+            ("delay", self.spec.delay_rate),
+            ("slowloris", self.spec.slowloris_rate),
+        )
+        threshold = 0.0
+        mode = "clean"
+        for name, rate in ladder:
+            threshold += rate
+            if u < threshold:
+                mode = name
+                break
+        at_frame = (
+            self.spec.fault_frame
+            if self.spec.fault_frame is not None
+            else rng.randint(0, 2)
+        )
+        tear_fraction = 0.25 + 0.5 * rng.random()
+        return FaultPlan(mode=mode, at_frame=at_frame, tear_fraction=tear_fraction)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` the proxy listens on (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RobustnessError("proxy is not running")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the listening socket."""
+        if self._server is not None:
+            raise RobustnessError("proxy already started")
+        self._server = await asyncio.start_server(
+            self._handle,
+            self._host,
+            self._port,
+            limit=self.spec.max_frame_bytes,
+        )
+
+    async def stop(self) -> None:
+        """Close the listener and abort every live proxied connection."""
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def report(self) -> ProxyReport:
+        """Snapshot of the fault/frame counters as a :class:`ProxyReport`."""
+        return ProxyReport(**self._counts)
+
+    # -- pumping ----------------------------------------------------------
+
+    async def _handle(self, down_reader, down_writer) -> None:
+        conn_index = self._conn_seq
+        self._conn_seq += 1
+        self._counts["n_connections"] += 1
+        plan = self.plan_for(conn_index)
+        if plan.mode == "clean":
+            self._counts["n_clean"] += 1
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                *self.upstream, limit=self.spec.max_frame_bytes
+            )
+        except OSError:
+            down_writer.transport.abort()
+            return
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        c2s = asyncio.ensure_future(
+            self._pump(down_reader, up_writer, plan, "c2s")
+        )
+        s2c = asyncio.ensure_future(
+            self._pump(up_reader, down_writer, plan, "s2c")
+        )
+        # Absorb our own cancellation (proxy.stop()) so the streams
+        # machinery never sees a cancelled client-connected task — the
+        # writers still get closed on the way out.
+        try:
+            await asyncio.wait({c2s, s2c}, return_when=asyncio.FIRST_COMPLETED)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for pump in (c2s, s2c):
+                pump.cancel()
+            try:
+                await asyncio.gather(c2s, s2c, return_exceptions=True)
+            except asyncio.CancelledError:
+                pass
+            for writer in (up_writer, down_writer):
+                try:
+                    writer.close()
+                except RuntimeError:  # pragma: no cover - loop teardown
+                    pass
+
+    async def _pump(self, reader, writer, plan: FaultPlan, direction: str) -> None:
+        frame = 0
+        frame_key = "n_frames_in" if direction == "c2s" else "n_frames_out"
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError, ConnectionError):
+                    writer.transport.abort()
+                    return
+                if not line:
+                    break
+                fired = await self._apply_faults(
+                    line, writer, plan, direction, frame
+                )
+                if fired:
+                    return
+                writer.write(line)
+                await writer.drain()
+                self._counts[frame_key] += 1
+                frame += 1
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        finally:
+            if not writer.is_closing():
+                try:
+                    writer.write_eof()
+                except (OSError, RuntimeError, NotImplementedError):
+                    pass
+
+    async def _apply_faults(
+        self, line: bytes, writer, plan: FaultPlan, direction: str, frame: int
+    ) -> bool:
+        """Execute the plan for this frame; True when the stream ended."""
+        if plan.mode == "delay" and self.spec.delay_s > 0.0:
+            await asyncio.sleep(self.spec.delay_s)
+            self._counts["n_delayed_frames"] += 1
+            return False
+        if plan.mode == "reset" and direction == "c2s" and frame >= plan.at_frame:
+            self._counts["n_resets"] += 1
+            writer.transport.abort()
+            return True
+        if direction != "s2c":
+            return False
+        if plan.mode == "tear" and frame == plan.at_frame:
+            cut = max(1, min(len(line) - 1, int(len(line) * plan.tear_fraction)))
+            self._counts["n_torn"] += 1
+            writer.write(line[:cut])
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+            writer.close()
+            return True
+        if plan.mode == "disconnect" and frame == plan.at_frame:
+            cut = max(1, min(len(line) - 1, int(len(line) * plan.tear_fraction)))
+            self._counts["n_disconnects"] += 1
+            writer.write(line[:cut])
+            writer.transport.abort()
+            return True
+        if plan.mode == "slowloris":
+            self._counts["n_slowloris"] += 1
+            step = self.spec.trickle_bytes
+            for start in range(0, len(line), step):
+                writer.write(line[start : start + step])
+                await writer.drain()
+                if self.spec.delay_s > 0.0:
+                    await asyncio.sleep(self.spec.delay_s)
+            self._counts["n_frames_out"] += 1
+            return False
+        return False

@@ -20,6 +20,10 @@ Layering (bottom up):
 * :mod:`~repro.service.batching` — the micro-batcher and the canonical
   wire encoding of a settled bill.
 * :mod:`~repro.service.tools` — the named-tool dispatch table.
+* :mod:`~repro.service.resilience` — the imperfect-world toolkit:
+  graceful-drain accounting, the pricing-thread watchdog, brownout
+  (degraded mode under sustained admission pressure), the idempotency
+  replay cache, and the self-healing reconnecting client.
 * :mod:`~repro.service.server` — the asyncio socket server, the wire
   protocol, and a small line-protocol client.
 
@@ -45,6 +49,15 @@ from __future__ import annotations
 from .admission import AdmissionController, AdmissionPolicy, Ticket
 from .batching import MicroBatcher, encode_bill
 from .catalog import ServiceCatalog, default_catalog
+from .resilience import (
+    BrownoutController,
+    BrownoutPolicy,
+    DrainReport,
+    IdempotencyCache,
+    PricingWatchdog,
+    SelfHealingClient,
+    parse_frame,
+)
 from .server import ContractPricingServer, ServiceClient
 from .tools import ToolRegistry, ToolSpec, default_registry
 
@@ -61,4 +74,11 @@ __all__ = [
     "default_registry",
     "ContractPricingServer",
     "ServiceClient",
+    "SelfHealingClient",
+    "DrainReport",
+    "PricingWatchdog",
+    "BrownoutPolicy",
+    "BrownoutController",
+    "IdempotencyCache",
+    "parse_frame",
 ]

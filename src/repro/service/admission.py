@@ -209,6 +209,7 @@ class AdmissionController:
             now = self.clock()
             self._n_submitted += 1
             if self._pending >= self.policy.max_pending:
+                self._reject_streak += 1
                 self._n_overloaded += 1
                 if observed:
                     _metrics.inc("service.admission.overloaded")
@@ -261,6 +262,17 @@ class AdmissionController:
                 else None
             )
             return Ticket(self, deadline)
+
+    def reject_streak(self) -> int:
+        """Consecutive rejections (any limit) since the last admission.
+
+        Grows on every ``rate_limited`` *and* ``overloaded`` rejection and
+        resets to zero the moment a request is admitted — the pressure
+        signal the server's brownout controller
+        (:class:`~repro.service.resilience.BrownoutController`) watches.
+        """
+        with self._lock:
+            return self._reject_streak
 
     def deadline_error(self, op: str) -> AdmissionError:
         """The structured error for a request that outlived its deadline."""

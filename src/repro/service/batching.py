@@ -228,7 +228,10 @@ class MicroBatcher:
         await self._task
         self._task = None
         if self._own_executor and self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # wait=False: a drain that *cancelled* a straggler must not
+            # block the event loop until the abandoned executor job ends
+            # (it finishes in its thread; queued jobs are cancelled).
+            self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
     # -- request path -----------------------------------------------------

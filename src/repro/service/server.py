@@ -8,14 +8,28 @@ are serialized with ``sort_keys=True`` so equal results are equal bytes.
 Requests on one connection may be pipelined; responses are matched by
 ``id`` and may arrive out of order.
 
-Operations: ``ping``, ``catalog``, ``price`` (micro-batched single
-bill), ``price_many`` (one load under many contracts, with
-partial-result deadline semantics), ``compare`` (paired comparison),
-``study`` (a named experiment), ``tool`` / ``tools`` (the MCP-style
-dispatch table), ``metrics``, and ``shutdown``.  Work ops pass through
-admission control first; rejections surface the structured
+Operations: ``ping``, ``health`` (readiness + pricing-thread liveness),
+``catalog``, ``price`` (micro-batched single bill), ``price_many`` (one
+load under many contracts, with partial-result deadline semantics),
+``compare`` (paired comparison), ``study`` (a named experiment),
+``tool`` / ``tools`` (the MCP-style dispatch table), ``metrics``, and
+``shutdown`` (graceful drain).  Work ops pass through admission control
+first; rejections surface the structured
 :class:`~repro.exceptions.AdmissionError` payload verbatim (``code`` is
-``rate_limited`` / ``overloaded`` / ``deadline_exceeded``).
+``rate_limited`` / ``overloaded`` / ``deadline_exceeded``, plus
+``brownout`` when degraded mode sheds the op).  Malformed frames are
+answered with the taxonomy codes of
+:func:`~repro.service.resilience.parse_frame` (``frame_invalid_json``,
+``frame_not_object``, ``frame_bad_op``, ``frame_bad_params``,
+``frame_bad_idem``) or ``frame_too_large`` when a line exceeds the
+per-connection frame limit.
+
+Resilience (see :mod:`repro.service.resilience` and docs/service.md):
+:meth:`ContractPricingServer.stop` drains gracefully and returns a
+:class:`~repro.service.resilience.DrainReport`; requests may carry an
+``idem`` key for at-most-once replay across client retries; sustained
+admission pressure engages brownout, shedding expensive ops while
+``price`` summaries stay alive.
 
 All settlement runs on one dedicated pricing thread (shared with the
 micro-batcher), so serving never mutates the :mod:`repro.perfconfig`
@@ -45,11 +59,27 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import perfconfig
-from ..exceptions import AdmissionError, ReproError, ServiceError
+from ..exceptions import (
+    AdmissionError,
+    FrameError,
+    ReproError,
+    ServiceConnectionError,
+    ServiceError,
+)
+from ..observability import metrics as _metrics
 from ..observability.manifest import RunManifest, record
 from .admission import AdmissionController, AdmissionPolicy, Ticket
 from .batching import MicroBatcher, encode_bill
 from .catalog import ServiceCatalog, default_catalog
+from .resilience import (
+    _RETRYABLE_CODES,
+    BrownoutController,
+    BrownoutPolicy,
+    DrainReport,
+    IdempotencyCache,
+    PricingWatchdog,
+    parse_frame,
+)
 from .tools import ToolRegistry, default_registry
 
 __all__ = ["ContractPricingServer", "ServiceClient", "serve"]
@@ -85,6 +115,21 @@ class ContractPricingServer:
     registry:
         The tool table; ``None`` mounts
         :func:`~repro.service.tools.default_registry`.
+    drain_s:
+        Default graceful-drain deadline for :meth:`stop` / the
+        ``shutdown`` op: in-flight requests get this long to finish
+        before being cancelled (the :class:`DrainReport` accounts both).
+    max_frame_bytes:
+        Per-connection request-line limit; oversized frames are answered
+        with a structured ``frame_too_large`` error.
+    brownout:
+        The :class:`~repro.service.resilience.BrownoutPolicy` for
+        degraded mode (``None`` = defaults: engage after 8 consecutive
+        admission rejections, shed ``study``/``tool``/``compare`` and
+        full-detail bills).
+    idempotency_capacity:
+        Size of the bounded server-side dedup cache behind client
+        ``idem`` keys (at-most-once replay across retries).
 
     >>> import asyncio
     >>> from repro.service.catalog import default_catalog
@@ -108,7 +153,15 @@ class ContractPricingServer:
         columnar: bool = False,
         admission: Optional[AdmissionPolicy] = None,
         registry: Optional[ToolRegistry] = None,
+        drain_s: float = 5.0,
+        max_frame_bytes: int = _LIMIT,
+        brownout: Optional[BrownoutPolicy] = None,
+        idempotency_capacity: int = 1024,
     ) -> None:
+        if drain_s < 0:
+            raise ServiceError("drain_s must be >= 0")
+        if max_frame_bytes < 256:
+            raise ServiceError("max_frame_bytes must be >= 256")
         self.catalog = catalog if catalog is not None else default_catalog()
         self._host = host
         self._port = port
@@ -119,11 +172,21 @@ class ContractPricingServer:
         self.registry = (
             registry if registry is not None else default_registry(self.catalog)
         )
+        self.drain_s = float(drain_s)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.brownout = BrownoutController(brownout)
+        self.idempotency = IdempotencyCache(idempotency_capacity)
+        self.watchdog: Optional[PricingWatchdog] = None
+        self.drain_report: Optional[DrainReport] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: set = set()
+        self._inflight: set = set()
+        self._draining = False
+        self._stop_task: Optional[asyncio.Task] = None
         self._stopped = asyncio.Event()
         self._ops = {
             "ping": self._op_ping,
+            "health": self._op_health,
             "catalog": self._op_catalog,
             "price": self._op_price,
             "price_many": self._op_price_many,
@@ -152,22 +215,77 @@ class ContractPricingServer:
         if self._server is not None:
             raise ServiceError("server already started")
         await self.batcher.start()
+        self.watchdog = PricingWatchdog(self.batcher._executor)
+        self._draining = False
+        self._stop_task = None
         self._stopped.clear()
         self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port, limit=_LIMIT
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=self.max_frame_bytes,
         )
 
-    async def stop(self) -> None:
-        """Close the socket, drain the batcher, release all connections."""
-        if self._server is None:
-            return
+    async def stop(self, drain_s: Optional[float] = None) -> DrainReport:
+        """Gracefully drain and stop; returns the :class:`DrainReport`.
+
+        Stops accepting connections first, gives in-flight requests
+        ``drain_s`` seconds (default: the server's ``drain_s``) to
+        finish, cancels the stragglers, then closes every connection and
+        drains the micro-batcher.  Idempotent: concurrent and repeated
+        calls await the same drain and return the same report.
+        """
+        if self._stop_task is None:
+            if self._server is None:
+                # never started (or a pre-start stop): nothing in flight
+                return self.drain_report or DrainReport(
+                    n_inflight_at_drain=0,
+                    n_completed_during_drain=0,
+                    n_cancelled=0,
+                    deadline_s=0.0,
+                    drain_wall_s=0.0,
+                )
+            deadline = max(0.0, self.drain_s if drain_s is None else float(drain_s))
+            self._stop_task = asyncio.ensure_future(self._stop_impl(deadline))
+        return await asyncio.shield(self._stop_task)
+
+    async def _stop_impl(self, deadline_s: float) -> DrainReport:
+        t0 = time.monotonic()
+        self._draining = True
         server, self._server = self._server, None
-        server.close()
-        await server.wait_closed()
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        inflight = [task for task in self._inflight if not task.done()]
+        n_at_drain = len(inflight)
+        if inflight and deadline_s > 0:
+            await asyncio.wait(inflight, timeout=deadline_s)
+        stragglers = [task for task in inflight if not task.done()]
+        for task in stragglers:
+            task.cancel()
+        if stragglers:
+            await asyncio.gather(*stragglers, return_exceptions=True)
+        n_cancelled = sum(1 for task in inflight if task.cancelled())
+        n_completed = sum(
+            1 for task in inflight if task.done() and not task.cancelled()
+        )
         for writer in list(self._writers):
             writer.close()
         await self.batcher.stop()
+        report = DrainReport(
+            n_inflight_at_drain=n_at_drain,
+            n_completed_during_drain=n_completed,
+            n_cancelled=n_cancelled,
+            deadline_s=deadline_s,
+            drain_wall_s=time.monotonic() - t0,
+        )
+        self.drain_report = report
+        if perfconfig.observability_enabled():
+            _metrics.inc("service.drain.inflight", report.n_inflight_at_drain)
+            _metrics.inc("service.drain.completed", report.n_completed_during_drain)
+            _metrics.inc("service.drain.cancelled", report.n_cancelled)
         self._stopped.set()
+        return report
 
     async def wait_stopped(self) -> None:
         """Block until :meth:`stop` completes (for ``serve`` loops)."""
@@ -176,6 +294,9 @@ class ContractPricingServer:
     # -- connection handling ----------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        if self._draining:
+            writer.close()
+            return
         self._writers.add(writer)
         write_lock = asyncio.Lock()
         tasks: set = set()
@@ -191,7 +312,9 @@ class ContractPricingServer:
                             "id": None,
                             "ok": False,
                             "error": _error(
-                                "bad_request", f"request line over {_LIMIT} bytes"
+                                "frame_too_large",
+                                f"request line over {self.max_frame_bytes} "
+                                "bytes (max_frame_bytes)",
                             ),
                         },
                     )
@@ -202,10 +325,17 @@ class ContractPricingServer:
                     self._handle_line(line, writer, write_lock)
                 )
                 tasks.add(task)
+                self._inflight.add(task)
                 task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._inflight.discard)
         finally:
-            for task in list(tasks):
-                task.cancel()
+            if not self._draining:
+                # the peer vanished: cancel its in-flight work (tickets
+                # are finished by _dispatch's finally, conserving the
+                # admission accounting).  During drain the tasks outlive
+                # the read loop on purpose — _stop_impl settles them.
+                for task in list(tasks):
+                    task.cancel()
             self._writers.discard(writer)
             writer.close()
 
@@ -223,16 +353,7 @@ class ContractPricingServer:
     async def _handle_line(self, line: bytes, writer, write_lock) -> None:
         request_id: object = None
         try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ServiceError("request must be a JSON object")
-            request_id = request.get("id")
-            op = request.get("op")
-            params = request.get("params", {})
-            if not isinstance(op, str):
-                raise ServiceError("request needs a string 'op'")
-            if not isinstance(params, dict):
-                raise ServiceError("'params' must be an object")
+            request_id, op, params, idem = parse_frame(line)
             handler = self._ops.get(op)
             if handler is None:
                 response = {
@@ -245,26 +366,69 @@ class ContractPricingServer:
                     ),
                 }
             else:
-                response = await self._dispatch(op, handler, params, request_id)
-        except json.JSONDecodeError as exc:
+                response = await self._dispatch(
+                    op, handler, params, request_id, idem
+                )
+        except FrameError as exc:
             response = {
-                "id": request_id,
+                "id": exc.request_id if exc.request_id is not None else request_id,
                 "ok": False,
-                "error": _error("bad_request", f"invalid JSON: {exc}"),
-            }
-        except ServiceError as exc:
-            response = {
-                "id": request_id,
-                "ok": False,
-                "error": _error("bad_request", str(exc)),
+                "error": _error(exc.code, str(exc)),
             }
         await self._write(writer, write_lock, response)
 
-    async def _dispatch(self, op, handler, params, request_id) -> Dict[str, object]:
+    async def _dispatch(
+        self, op, handler, params, request_id, idem=None
+    ) -> Dict[str, object]:
+        if idem is None or op not in self._gated:
+            return await self._dispatch_new(op, handler, params, request_id)
+        found = self.idempotency.claim(idem)
+        if found is not None:
+            try:
+                if isinstance(found, asyncio.Future):
+                    found = await found
+            except ServiceError as exc:  # the owner was abandoned mid-drain
+                return {
+                    "id": request_id,
+                    "ok": False,
+                    "error": _error("idempotency_abandoned", str(exc)),
+                }
+            if perfconfig.observability_enabled():
+                _metrics.inc("service.idempotency.replayed")
+            replay = dict(found)
+            replay["id"] = request_id
+            return replay
+        try:
+            response = await self._dispatch_new(op, handler, params, request_id)
+        except BaseException:
+            # cancellation (drain) or a defensive-path failure: never
+            # strand duplicate waiters on the claim
+            self.idempotency.abandon(idem)
+            raise
+        code = None
+        if not response.get("ok"):
+            error = response.get("error")
+            if isinstance(error, dict):
+                code = error.get("code")
+        settled = {k: v for k, v in response.items() if k != "id"}
+        self.idempotency.resolve(idem, settled, cache=code not in _RETRYABLE_CODES)
+        return response
+
+    async def _dispatch_new(self, op, handler, params, request_id) -> Dict[str, object]:
         ticket: Optional[Ticket] = None
         timed_out = False
         try:
             if op in self._gated:
+                if self.brownout.observe(
+                    self.admission.reject_streak()
+                ) and self.brownout.should_shed(op, params):
+                    if perfconfig.observability_enabled():
+                        _metrics.inc("service.brownout.shed")
+                    return {
+                        "id": request_id,
+                        "ok": False,
+                        "error": self.brownout.shed(op),
+                    }
                 ticket = self.admission.admit()
             result = await handler(params, ticket)
             if isinstance(result, dict):
@@ -279,6 +443,8 @@ class ContractPricingServer:
                 "ok": False,
                 "error": _error("invalid_params", str(exc)),
             }
+        except asyncio.CancelledError:
+            raise
         except Exception as exc:  # pragma: no cover - defensive
             return {
                 "id": request_id,
@@ -300,6 +466,20 @@ class ContractPricingServer:
 
     async def _op_ping(self, params, ticket):
         return {"ok": True, "protocol": PROTOCOL}
+
+    async def _op_health(self, params, ticket):
+        alive = await self.watchdog.beat() if self.watchdog is not None else False
+        accounting = self.admission.accounting()
+        return {
+            "ready": self._server is not None and not self._draining,
+            "draining": self._draining,
+            "brownout": self.brownout.active,
+            "pricing_thread_alive": alive,
+            "pending": accounting["pending"],
+            "reject_streak": self.admission.reject_streak(),
+            "idempotency": self.idempotency.stats(),
+            "protocol": PROTOCOL,
+        }
 
     async def _op_catalog(self, params, ticket):
         return self.catalog.describe()
@@ -406,8 +586,14 @@ class ContractPricingServer:
         return self.registry.call("metrics", {})
 
     async def _op_shutdown(self, params, ticket):
-        asyncio.ensure_future(self.stop())
-        return {"stopping": True}
+        drain_s = params.get("drain_s")
+        if drain_s is not None and not isinstance(drain_s, (int, float)):
+            raise ServiceError("'drain_s' must be a number when present")
+        asyncio.ensure_future(self.stop(drain_s=drain_s))
+        response = {"stopping": True}
+        if drain_s is not None:
+            response["drain_s"] = float(drain_s)
+        return response
 
 
 class ServiceClient:
@@ -432,14 +618,25 @@ class ServiceClient:
         self._writer = writer
         self._write_lock = asyncio.Lock()
         self._next_id = 0
-        self._futures: Dict[object, asyncio.Future] = {}
+        #: request id -> (future, op name) so a torn connection can fail
+        #: every pending call with a *descriptive* error.
+        self._futures: Dict[object, Tuple[asyncio.Future, str]] = {}
         self._read_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
-        """Open a connection to a running server."""
-        reader, writer = await asyncio.open_connection(host, port, limit=_LIMIT)
+    async def connect(
+        cls, host: str, port: int, max_frame_bytes: int = _LIMIT
+    ) -> "ServiceClient":
+        """Open a connection to a running server (bounded response frames)."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=max_frame_bytes
+        )
         return cls(reader, writer)
+
+    @property
+    def connected(self) -> bool:
+        """True while the reader task lives and the socket accepts writes."""
+        return not self._read_task.done() and not self._writer.is_closing()
 
     async def _read_loop(self) -> None:
         try:
@@ -448,44 +645,83 @@ class ServiceClient:
                 if not line:
                     break
                 message = json.loads(line)
-                future = self._futures.pop(message.get("id"), None)
-                if future is not None and not future.done():
-                    future.set_result(message)
-        except (ConnectionError, asyncio.CancelledError, json.JSONDecodeError):
+                entry = self._futures.pop(message.get("id"), None)
+                if entry is not None and not entry[0].done():
+                    entry[0].set_result(message)
+        except (
+            ConnectionError,
+            asyncio.CancelledError,
+            asyncio.LimitOverrunError,
+            ValueError,
+        ):
+            # ValueError covers both oversized frames (bounded readline)
+            # and undecodable JSON; either way the stream is unusable.
             pass
         finally:
-            for future in self._futures.values():
+            pending, self._futures = dict(self._futures), {}
+            for request_id, (future, op) in pending.items():
                 if not future.done():
-                    future.set_exception(ServiceError("connection closed"))
-            self._futures.clear()
+                    future.set_exception(
+                        ServiceConnectionError(
+                            f"connection closed before the response to "
+                            f"{op!r} request id={request_id}"
+                        )
+                    )
 
-    async def request(self, op: str, params: Optional[Dict] = None) -> Dict:
-        """Send one request; resolves to the full response envelope."""
+    async def request(
+        self, op: str, params: Optional[Dict] = None, idem: Optional[str] = None
+    ) -> Dict:
+        """Send one request; resolves to the full response envelope.
+
+        Fails fast with :class:`~repro.exceptions.ServiceConnectionError`
+        when the connection is already gone (instead of stranding the
+        caller); ``idem`` stamps the at-most-once replay key."""
+        if self._read_task.done():
+            raise ServiceConnectionError(
+                f"cannot send {op!r}: the connection is closed (reconnect "
+                "or use SelfHealingClient)"
+            )
         self._next_id += 1
         request_id = self._next_id
         future = asyncio.get_running_loop().create_future()
-        self._futures[request_id] = future
+        self._futures[request_id] = (future, op)
         payload = {"id": request_id, "op": op}
         if params:
             payload["params"] = params
-        async with self._write_lock:
-            self._writer.write((json.dumps(payload) + "\n").encode("utf-8"))
-            await self._writer.drain()
+        if idem is not None:
+            payload["idem"] = idem
+        try:
+            async with self._write_lock:
+                self._writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+                await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._futures.pop(request_id, None)
+            raise ServiceConnectionError(
+                f"connection lost while sending {op!r} request "
+                f"id={request_id}: {exc}"
+            ) from exc
         return await future
 
-    async def call(self, op: str, params: Optional[Dict] = None) -> object:
+    async def call(
+        self, op: str, params: Optional[Dict] = None, idem: Optional[str] = None
+    ) -> object:
         """Send one request; returns ``result`` or raises the wire error.
 
-        Admission rejections come back as
+        Admission rejections (including brownout sheds) come back as
         :class:`~repro.exceptions.AdmissionError` (structured payload
         preserved); every other error as
         :class:`~repro.exceptions.ServiceError`.
         """
-        response = await self.request(op, params)
+        response = await self.request(op, params, idem=idem)
         if response.get("ok"):
             return response["result"]
         error = response.get("error", {})
-        if error.get("code") in ("rate_limited", "overloaded", "deadline_exceeded"):
+        if error.get("code") in (
+            "rate_limited",
+            "overloaded",
+            "deadline_exceeded",
+            "brownout",
+        ):
             raise AdmissionError(error)
         raise ServiceError(f"{error.get('code')}: {error.get('message')}")
 
@@ -516,11 +752,15 @@ def serve(
     n_sites: int = 8,
     days: int = 28,
     observability: bool = False,
+    drain_s: float = 5.0,
 ) -> None:
     """Blocking entry point behind ``python -m repro serve``.
 
     Builds :func:`~repro.service.catalog.default_catalog`, starts a
-    :class:`ContractPricingServer` and runs until interrupted.
+    :class:`ContractPricingServer` and runs until interrupted; shutdown
+    (``shutdown`` op or Ctrl-C) drains in-flight requests for up to
+    ``drain_s`` seconds and prints the
+    :class:`~repro.service.resilience.DrainReport`.
 
     >>> callable(serve)
     True
@@ -542,6 +782,7 @@ def serve(
             max_batch=max_batch,
             columnar=columnar,
             admission=policy,
+            drain_s=drain_s,
         )
         await server.start()
         bound_host, bound_port = server.address
@@ -554,7 +795,13 @@ def serve(
         try:
             await server.wait_stopped()
         finally:
-            await server.stop()
+            report = await server.stop()
+            print(
+                f"drained: {report.n_completed_during_drain} completed, "
+                f"{report.n_cancelled} cancelled of "
+                f"{report.n_inflight_at_drain} in flight "
+                f"(deadline {report.deadline_s:g}s)"
+            )
 
     if observability:
         with perfconfig.observing():

@@ -1,0 +1,255 @@
+"""The chaos-serve harness: grids, invariants, determinism, resume, CLI.
+
+The acceptance contract: every request fired through the faulty wire
+reaches exactly one terminal outcome (``accounted()``), answered
+responses are byte-identical to direct engine calls, and the whole grid
+is deterministic per seed — which is what makes the journaled runs
+resumable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+from repro.exceptions import RobustnessError
+from repro.robustness import (
+    ServiceChaosReport,
+    ServiceChaosResult,
+    ServiceChaosScenario,
+    run_service_chaos,
+    run_service_scenario,
+    service_chaos_grid,
+)
+from repro.robustness.journal import read_journal
+
+FAST = dict(n_requests=8, concurrency=3, seed=3)
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(RobustnessError, match="unknown fault mode"):
+            ServiceChaosScenario("x", fault_mode="gremlin")
+        with pytest.raises(RobustnessError, match="fault_rate"):
+            ServiceChaosScenario("x", fault_mode="tear", fault_rate=1.5)
+        with pytest.raises(RobustnessError, match="clean"):
+            ServiceChaosScenario("x", fault_mode="clean", fault_rate=0.5)
+        with pytest.raises(RobustnessError, match="concurrency"):
+            ServiceChaosScenario("x", concurrency=0)
+        with pytest.raises(RobustnessError, match="n_requests"):
+            ServiceChaosScenario("x", n_requests=0)
+
+    def test_wire_spec_maps_mode_to_rate(self):
+        spec = ServiceChaosScenario(
+            "x", fault_mode="disconnect", fault_rate=0.3
+        ).wire_spec()
+        assert spec.disconnect_rate == 0.3
+        assert spec.reset_rate == spec.tear_rate == spec.slowloris_rate == 0.0
+        clean = ServiceChaosScenario("x").wire_spec()
+        assert not clean.any_faults()
+
+
+class TestGridRecipe:
+    def test_round_trip_names_and_order(self):
+        grid, _ = service_chaos_grid(
+            {"modes": ["clean", "reset", "tear"], "rates": [0.25, 0.5]}
+        )
+        assert [s.name for s in grid] == [
+            "clean",
+            "reset @ 25%",
+            "reset @ 50%",
+            "tear @ 25%",
+            "tear @ 50%",
+        ]
+
+    def test_clean_mode_contributes_one_point(self):
+        grid, _ = service_chaos_grid({"modes": ["clean"], "rates": [0.1, 0.9]})
+        assert len(grid) == 1 and grid[0].fault_rate == 0.0
+
+    def test_kind_key_is_ignored_and_params_forwarded(self):
+        grid, point_fn = service_chaos_grid(
+            {
+                "kind": "service_chaos",
+                "modes": ["tear"],
+                "rates": [0.5],
+                "concurrency": 2,
+                "n_requests": 6,
+                "seed": 9,
+                "retry_attempts": 7,
+            }
+        )
+        assert grid[0].concurrency == 2
+        assert grid[0].n_requests == 6
+        assert grid[0].seed == 9
+        assert grid[0].retry_attempts == 7
+        assert point_fn.keywords == {"n_sites": 2, "days": 7}
+
+
+class TestScenarioRuns:
+    def test_clean_wire_all_answered_and_byte_identical(self):
+        result = run_service_scenario(
+            ServiceChaosScenario("clean", **FAST), n_sites=1
+        )
+        assert result.accounted()
+        assert result.ok, result.failed_invariants()
+        assert result.n_answered == 8
+        assert result.n_reconnects == 0
+        assert result.wire["n_resets"] == 0
+        assert result.wire["n_torn"] == 0
+        assert result.drain["n_cancelled"] == 0
+
+    def test_torn_wire_still_answers_everything(self):
+        result = run_service_scenario(
+            ServiceChaosScenario(
+                "tear", fault_mode="tear", fault_rate=0.5, **FAST
+            ),
+            n_sites=1,
+        )
+        assert result.accounted()
+        assert result.ok, result.failed_invariants()
+        assert result.invariants["byte_identical"]
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "mode", ["reset", "disconnect", "delay", "slowloris"]
+    )
+    def test_every_fault_mode_holds_invariants(self, mode):
+        result = run_service_scenario(
+            ServiceChaosScenario(
+                mode, fault_mode=mode, fault_rate=0.5, **FAST
+            ),
+            n_sites=1,
+        )
+        assert result.accounted()
+        assert result.ok, result.failed_invariants()
+
+    def test_outcome_is_deterministic_per_seed(self):
+        scenario = ServiceChaosScenario(
+            "tear", fault_mode="tear", fault_rate=0.5, **FAST
+        )
+        a = run_service_scenario(scenario, n_sites=1)
+        b = run_service_scenario(scenario, n_sites=1)
+        assert (a.n_answered, a.n_rejected, a.n_failed) == (
+            b.n_answered,
+            b.n_rejected,
+            b.n_failed,
+        )
+        assert a.invariants == b.invariants
+
+
+class TestReport:
+    def _result(self, ok=True):
+        return ServiceChaosResult(
+            scenario=ServiceChaosScenario("x"),
+            n_requests=4,
+            n_answered=4 if ok else 3,
+            n_rejected=0,
+            n_failed=0 if ok else 1,
+            n_reconnects=0,
+            n_retries=0,
+            n_replayed=0,
+            invariants={"all_answered": ok},
+        )
+
+    def test_requires_results(self):
+        with pytest.raises(RobustnessError, match="requires results"):
+            ServiceChaosReport([])
+
+    def test_assert_invariants_names_failures(self):
+        report = ServiceChaosReport([self._result(ok=False)])
+        assert not report.all_ok
+        with pytest.raises(RobustnessError, match="x: all_answered"):
+            report.assert_invariants()
+
+    def test_markdown_table_shape(self):
+        table = ServiceChaosReport([self._result()]).to_markdown()
+        lines = table.splitlines()
+        assert lines[0].startswith("| scenario | mode | rate |")
+        assert "| 4/4 |" in lines[2]
+
+
+class TestGridRuns:
+    def test_small_grid_all_ok(self):
+        report = run_service_chaos(
+            modes=["clean", "tear"],
+            rates=[0.4],
+            n_requests=6,
+            concurrency=3,
+            seed=3,
+            n_sites=1,
+            parallel=False,
+        )
+        assert report.all_ok
+        assert len(report.results) == 2
+        assert all(r.accounted() for r in report.results)
+        report.assert_invariants()  # must not raise
+
+    @pytest.mark.slow
+    def test_journaled_grid_resumes_from_checkpoint(self, tmp_path):
+        journal = str(tmp_path / "chaos_serve.jsonl")
+        kwargs = dict(
+            modes=["clean", "tear"],
+            rates=[0.5],
+            n_requests=6,
+            concurrency=3,
+            seed=3,
+            n_sites=1,
+            parallel=False,
+        )
+        first = run_service_chaos(journal=journal, **kwargs)
+        assert first.all_ok
+        state = read_journal(journal)
+        assert state.header.params["kind"] == "service_chaos"
+        assert state.n_completed == 2
+        # resuming a complete journal recomputes nothing
+        resumed = run_service_chaos(journal=journal, **kwargs)
+        assert resumed.all_ok
+        assert resumed.recovery["n_resumed"] == 2
+        assert [r.scenario.name for r in resumed.results] == [
+            r.scenario.name for r in first.results
+        ]
+
+
+class TestChaosServeCLI:
+    ARGS = [
+        "chaos-serve",
+        "--modes", "clean", "tear",
+        "--rates", "0.4",
+        "--requests", "6",
+        "--concurrency", "3",
+        "--seed", "3",
+        "--sites", "1",
+        "--serial",
+    ]
+
+    def test_grid_prints_table_and_exits_zero(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "| clean |" in out and "tear @ 40%" in out
+
+    def test_journal_then_resume(self, capsys, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(self.ARGS + ["--journal", journal]) == 0
+        assert read_journal(journal).n_completed == 2
+        capsys.readouterr()
+        assert main(["chaos-serve", "--resume", journal, "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming chaos-serve grid 'service_chaos': 2/2" in out
+
+    def test_journal_and_resume_together_rejected(self, capsys, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(
+            ["chaos-serve", "--journal", journal, "--resume", journal]
+        ) == 2
+
+    def test_resume_missing_or_foreign_journal_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        assert main(["chaos-serve", "--resume", str(tmp_path / "nope")]) == 2
+        from repro.robustness.journal import SweepJournal
+
+        foreign = tmp_path / "foreign.jsonl"
+        SweepJournal.open(foreign, n_items=1, sweep_id="other").close()
+        assert main(["chaos-serve", "--resume", str(foreign)]) == 2
+        err = capsys.readouterr().err
+        assert "kind='service_chaos'" in err

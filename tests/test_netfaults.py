@@ -1,0 +1,324 @@
+"""The wire-fault proxy: seeded plans, per-mode behavior, passthrough fidelity.
+
+Every fault decision is a pure function of ``(spec, seed, connection
+index)`` — :meth:`FaultyProxy.plan_for` is public precisely so these
+tests (and the chaos-serve harness) can *predict* which connection gets
+which pathology before a single byte moves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import RobustnessError
+from repro.robustness import FaultPlan, FaultyProxy, ProxyReport, WireFaultSpec
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+async def _echo_upstream():
+    """A line-echo server standing in for the pricing service."""
+
+    async def echo(reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                writer.write(line)
+                await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    server = await asyncio.start_server(echo, "127.0.0.1", 0, limit=1 << 16)
+    return server, server.sockets[0].getsockname()[:2]
+
+
+async def _through_proxy(spec, seed, payloads, n_connections=1):
+    """Send ``payloads`` through one proxied connection per list entry.
+
+    Returns ``(per-connection received bytes, proxy report, plans)``.
+    """
+    upstream, addr = await _echo_upstream()
+    proxy = FaultyProxy(addr, spec, seed=seed)
+    await proxy.start()
+    received = []
+    try:
+        for conn in range(n_connections):
+            reader, writer = await asyncio.open_connection(
+                *proxy.address, limit=1 << 16
+            )
+            got = b""
+            try:
+                for payload in payloads:
+                    writer.write(payload)
+                    await writer.drain()
+                    got += await asyncio.wait_for(reader.read(4096), timeout=2.0)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                got += b"<reset>"
+            finally:
+                received.append(got)
+                try:
+                    writer.close()
+                except RuntimeError:
+                    pass
+        plans = [proxy.plan_for(i) for i in range(n_connections)]
+        report = proxy.report()
+    finally:
+        await proxy.stop()
+        upstream.close()
+        await upstream.wait_closed()
+    return received, report, plans
+
+
+class TestWireFaultSpec:
+    def test_rate_out_of_range_raises(self):
+        with pytest.raises(RobustnessError, match="reset_rate"):
+            WireFaultSpec(reset_rate=1.5)
+        with pytest.raises(RobustnessError, match="tear_rate"):
+            WireFaultSpec(tear_rate=-0.1)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(RobustnessError, match="sum"):
+            WireFaultSpec(reset_rate=0.6, tear_rate=0.6)
+
+    def test_other_field_validation(self):
+        with pytest.raises(RobustnessError, match="delay_s"):
+            WireFaultSpec(delay_s=-1.0)
+        with pytest.raises(RobustnessError, match="trickle_bytes"):
+            WireFaultSpec(trickle_bytes=0)
+        with pytest.raises(RobustnessError, match="fault_frame"):
+            WireFaultSpec(fault_frame=-1)
+        with pytest.raises(RobustnessError, match="max_frame_bytes"):
+            WireFaultSpec(max_frame_bytes=16)
+
+    def test_any_faults(self):
+        assert not WireFaultSpec().any_faults()
+        assert WireFaultSpec(slowloris_rate=0.1).any_faults()
+
+
+class TestFaultPlan:
+    def test_mode_and_bounds_validated(self):
+        with pytest.raises(RobustnessError, match="unknown fault mode"):
+            FaultPlan(mode="gremlin")
+        with pytest.raises(RobustnessError, match="at_frame"):
+            FaultPlan(mode="tear", at_frame=-1)
+        with pytest.raises(RobustnessError, match="tear_fraction"):
+            FaultPlan(mode="tear", tear_fraction=1.0)
+
+
+class TestSeededPlans:
+    def test_plans_are_deterministic_per_seed(self):
+        spec = WireFaultSpec(reset_rate=0.3, tear_rate=0.3, delay_rate=0.3)
+        a = FaultyProxy(("h", 1), spec, seed=42)
+        b = FaultyProxy(("h", 1), spec, seed=42)
+        assert [a.plan_for(i) for i in range(64)] == [
+            b.plan_for(i) for i in range(64)
+        ]
+
+    def test_different_seeds_draw_different_plans(self):
+        spec = WireFaultSpec(reset_rate=0.5, tear_rate=0.5)
+        a = FaultyProxy(("h", 1), spec, seed=0)
+        b = FaultyProxy(("h", 1), spec, seed=1)
+        assert [a.plan_for(i).mode for i in range(64)] != [
+            b.plan_for(i).mode for i in range(64)
+        ]
+
+    def test_rate_one_pins_the_mode(self):
+        for mode in ("reset", "tear", "disconnect", "delay", "slowloris"):
+            spec = WireFaultSpec(**{f"{mode}_rate": 1.0})
+            proxy = FaultyProxy(("h", 1), spec, seed=7)
+            assert all(proxy.plan_for(i).mode == mode for i in range(16))
+
+    def test_zero_rates_are_always_clean(self):
+        proxy = FaultyProxy(("h", 1), WireFaultSpec(), seed=7)
+        assert all(proxy.plan_for(i).mode == "clean" for i in range(16))
+
+    def test_mode_frequencies_track_rates(self):
+        spec = WireFaultSpec(reset_rate=0.5)
+        proxy = FaultyProxy(("h", 1), spec, seed=0)
+        modes = [proxy.plan_for(i).mode for i in range(400)]
+        assert 0.4 < modes.count("reset") / 400 < 0.6
+
+    def test_fault_frame_pins_at_frame(self):
+        spec = WireFaultSpec(tear_rate=1.0, fault_frame=2)
+        proxy = FaultyProxy(("h", 1), spec, seed=0)
+        assert all(proxy.plan_for(i).at_frame == 2 for i in range(8))
+
+
+class TestCleanPassthrough:
+    def test_lines_round_trip_unmodified(self):
+        received, report, plans = asyncio.run(
+            _through_proxy(WireFaultSpec(), 0, [b"alpha\n", b"beta\n"])
+        )
+        assert received == [b"alpha\nbeta\n"]
+        assert plans[0].mode == "clean"
+        assert report.n_connections == 1
+        assert report.n_clean == 1
+        assert report.n_frames_in == 2
+        assert report.n_frames_out == 2
+        assert report.n_resets == report.n_torn == report.n_disconnects == 0
+
+    def test_address_requires_running_proxy(self):
+        proxy = FaultyProxy(("127.0.0.1", 9), WireFaultSpec())
+        with pytest.raises(RobustnessError, match="not running"):
+            proxy.address
+
+
+class TestFaultModes:
+    def test_reset_aborts_the_connection(self):
+        spec = WireFaultSpec(reset_rate=1.0, fault_frame=0)
+        received, report, _ = asyncio.run(
+            _through_proxy(spec, 3, [b"alpha\n"])
+        )
+        assert received[0] in (b"<reset>", b"")  # RST or bare EOF
+        assert report.n_resets == 1
+        assert report.n_frames_in == 0  # the frame was never forwarded
+
+    def test_tear_forwards_a_strict_prefix_then_eof(self):
+        spec = WireFaultSpec(tear_rate=1.0, fault_frame=0)
+        payload = b"0123456789abcdefghijklmnopqrstuvwxyz\n"
+
+        async def run():
+            upstream, addr = await _echo_upstream()
+            proxy = FaultyProxy(addr, spec, seed=5)
+            await proxy.start()
+            reader, writer = await asyncio.open_connection(
+                *proxy.address, limit=1 << 16
+            )
+            writer.write(payload)
+            await writer.drain()
+            got = await asyncio.wait_for(reader.read(4096), timeout=2.0)
+            eof = await asyncio.wait_for(reader.read(4096), timeout=2.0)
+            writer.close()
+            report = proxy.report()
+            await proxy.stop()
+            upstream.close()
+            await upstream.wait_closed()
+            return got, eof, report
+
+        got, eof, report = asyncio.run(run())
+        assert got and got != payload and payload.startswith(got)
+        assert eof == b""  # clean EOF after the torn prefix
+        assert report.n_torn == 1
+
+    def test_disconnect_aborts_mid_response(self):
+        spec = WireFaultSpec(disconnect_rate=1.0, fault_frame=0)
+        received, report, _ = asyncio.run(
+            _through_proxy(spec, 9, [b"0123456789abcdefghij\n"])
+        )
+        assert b"\n" not in received[0].replace(b"<reset>", b"")
+        assert report.n_disconnects == 1
+
+    def test_delay_forwards_intact(self):
+        spec = WireFaultSpec(delay_rate=1.0, delay_s=0.01)
+        received, report, _ = asyncio.run(
+            _through_proxy(spec, 1, [b"alpha\n", b"beta\n"])
+        )
+        assert received == [b"alpha\nbeta\n"]
+        assert report.n_delayed_frames >= 2
+
+    def test_slowloris_trickles_but_delivers(self):
+        spec = WireFaultSpec(slowloris_rate=1.0, delay_s=0.001, trickle_bytes=3)
+
+        async def run():
+            upstream, addr = await _echo_upstream()
+            proxy = FaultyProxy(addr, spec, seed=2)
+            await proxy.start()
+            reader, writer = await asyncio.open_connection(
+                *proxy.address, limit=1 << 16
+            )
+            writer.write(b"one two three four five\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            writer.close()
+            report = proxy.report()
+            await proxy.stop()
+            upstream.close()
+            await upstream.wait_closed()
+            return line, report
+
+        line, report = asyncio.run(run())
+        assert line == b"one two three four five\n"
+        assert report.n_slowloris >= 1
+
+    def test_mixed_connections_follow_their_plans(self):
+        # at 50/50 tear rate, some of 6 connections tear and some don't —
+        # and which is which matches plan_for exactly.
+        spec = WireFaultSpec(tear_rate=0.5, fault_frame=0)
+        received, report, plans = asyncio.run(
+            _through_proxy(spec, 11, [b"payload line\n"], n_connections=6)
+        )
+        modes = [p.mode for p in plans]
+        assert set(modes) == {"clean", "tear"}
+        for got, mode in zip(received, modes):
+            if mode == "clean":
+                assert got == b"payload line\n"
+            else:
+                assert got != b"payload line\n"
+        assert report.n_torn == modes.count("tear")
+
+
+class TestLifecycle:
+    def test_stop_aborts_live_connections(self):
+        async def run():
+            upstream, addr = await _echo_upstream()
+            proxy = FaultyProxy(addr, WireFaultSpec(), seed=0)
+            await proxy.start()
+            reader, writer = await asyncio.open_connection(
+                *proxy.address, limit=1 << 16
+            )
+            writer.write(b"ping\n")
+            await writer.drain()
+            assert await reader.readline() == b"ping\n"
+            await proxy.stop()
+            leftover = await asyncio.wait_for(reader.read(64), timeout=2.0)
+            upstream.close()
+            await upstream.wait_closed()
+            return leftover
+
+        assert asyncio.run(run()) == b""
+
+    def test_double_start_raises_and_stop_is_idempotent(self):
+        async def run():
+            upstream, addr = await _echo_upstream()
+            proxy = FaultyProxy(addr, WireFaultSpec())
+            await proxy.start()
+            with pytest.raises(RobustnessError, match="already started"):
+                await proxy.start()
+            await proxy.stop()
+            await proxy.stop()  # no-op
+            upstream.close()
+            await upstream.wait_closed()
+
+        asyncio.run(run())
+
+    def test_unreachable_upstream_aborts_downstream(self):
+        async def run():
+            proxy = FaultyProxy(("127.0.0.1", 1), WireFaultSpec())  # closed port
+            await proxy.start()
+            reader, writer = await asyncio.open_connection(
+                *proxy.address, limit=1 << 16
+            )
+            try:
+                data = await asyncio.wait_for(reader.read(64), timeout=2.0)
+            except ConnectionError:
+                data = b""
+            writer.close()
+            await proxy.stop()
+            return data
+
+        assert asyncio.run(run()) == b""
+
+    def test_report_is_json_safe(self):
+        report = ProxyReport(n_connections=3, n_torn=1)
+        d = report.to_dict()
+        assert d["n_connections"] == 3 and d["n_torn"] == 1
+        assert all(isinstance(v, int) for v in d.values())

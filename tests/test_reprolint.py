@@ -690,6 +690,66 @@ class TestBlockingCallInAsync:
         assert codes(src, path=SERVICE) == []
 
 
+# -- unbounded readline (RPL051) ----------------------------------------------
+
+
+class TestUnboundedReadline:
+    UNBOUNDED = (
+        "import asyncio\n"
+        "async def connect(host, port):\n"
+        "    reader, writer = await asyncio.open_connection(host, port)\n"
+        "    return await reader.readline()\n"
+    )
+
+    def test_open_connection_without_limit_fires(self):
+        assert codes(self.UNBOUNDED, path=SERVICE) == ["RPL051"]
+
+    def test_start_server_without_limit_fires(self):
+        src = (
+            "import asyncio\n"
+            "async def serve(handler):\n"
+            "    server = await asyncio.start_server(handler, 'h', 0)\n"
+            "async def handler(reader, writer):\n"
+            "    return await reader.readline()\n"
+        )
+        assert codes(
+            src, path="src/repro/robustness/netfaults.py"
+        ) == ["RPL051"]
+
+    def test_explicit_limit_is_clean(self):
+        src = (
+            "import asyncio\n"
+            "async def connect(host, port, bound):\n"
+            "    reader, writer = await asyncio.open_connection(\n"
+            "        host, port, limit=bound)\n"
+            "    return await reader.readline()\n"
+        )
+        assert codes(src, path=SERVICE) == []
+
+    def test_file_without_readline_is_clean(self):
+        # No line reads: the stream may be length-prefixed or write-only.
+        src = (
+            "import asyncio\n"
+            "async def connect(host, port):\n"
+            "    reader, writer = await asyncio.open_connection(host, port)\n"
+            "    return await reader.readexactly(4)\n"
+        )
+        assert codes(src, path=SERVICE) == []
+
+    def test_out_of_scope_paths_are_clean(self):
+        assert codes(self.UNBOUNDED, path=SIM) == []
+        assert codes(self.UNBOUNDED, path="examples/client.py") == []
+
+    def test_suppression_comment_wins(self):
+        src = (
+            "import asyncio\n"
+            "async def connect(h, p):\n"
+            "    r, w = await asyncio.open_connection(h, p)  # reprolint: disable=RPL051\n"
+            "    return await r.readline()\n"
+        )
+        assert codes(src, path=SERVICE) == []
+
+
 # -- baseline ----------------------------------------------------------------
 
 

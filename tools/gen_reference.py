@@ -58,9 +58,11 @@ _RES_HEADER = """\
 This manual is generated from the docstrings of the resilient sweep
 runtime — the supervised executor (:mod:`repro.robustness.supervisor`),
 the crash-safe journal (:mod:`repro.robustness.journal`), the sharded
-multi-worker fabric (:mod:`repro.robustness.shards`), and the streaming
-aggregators (:mod:`repro.analysis.streaming`).  Every entry below
-carries at least one runnable example; the whole manual is exercised by
+multi-worker fabric (:mod:`repro.robustness.shards`), the streaming
+aggregators (:mod:`repro.analysis.streaming`), the seeded wire-fault
+proxy (:mod:`repro.robustness.netfaults`), and the chaos-serve harness
+(:mod:`repro.robustness.chaos_service`).  Every entry below carries at
+least one runnable example; the whole manual is exercised by
 `pytest --doctest-modules` in CI.
 
 See [docs/resilience.md](resilience.md) for the narrative guide and
@@ -98,7 +100,7 @@ dataflow interpreter (:mod:`tools.reprolint.dataflow`), the content-hash
 incremental cache (:mod:`tools.reprolint.cache`), the SARIF 2.1.0
 exporter (:mod:`tools.reprolint.sarif`), and the baseline ledger format.
 See [docs/static_analysis.md](static_analysis.md) for the narrative
-guide and the rule catalog (RPL001–RPL050).
+guide and the rule catalog (RPL001–RPL051).
 """
 
 _SVC_HEADER = """\
@@ -111,8 +113,10 @@ This manual is generated from the docstrings of the public service-layer
 API: the frozen pricing catalog (:mod:`repro.service.catalog`), admission
 control (:mod:`repro.service.admission`), the micro-batcher and wire
 encodings (:mod:`repro.service.batching`), the tool registry
-(:mod:`repro.service.tools`), and the line-delimited JSON server and
-client (:mod:`repro.service.server`).  Every entry below carries at
+(:mod:`repro.service.tools`), the line-delimited JSON server and
+client (:mod:`repro.service.server`), and the resilience layer — drain
+reports, frame taxonomy, brownout, idempotency, self-healing client
+(:mod:`repro.service.resilience`).  Every entry below carries at
 least one runnable example; the whole manual is exercised by
 `pytest --doctest-modules` in CI.
 
@@ -139,6 +143,8 @@ MANUALS: Dict[Path, Tuple[str, List[str]]] = {
             "repro.robustness.journal",
             "repro.robustness.shards",
             "repro.analysis.streaming",
+            "repro.robustness.netfaults",
+            "repro.robustness.chaos_service",
         ],
     ),
     REPO / "docs" / "reference_columnar.md": (
@@ -158,6 +164,7 @@ MANUALS: Dict[Path, Tuple[str, List[str]]] = {
             "repro.service.batching",
             "repro.service.tools",
             "repro.service.server",
+            "repro.service.resilience",
         ],
     ),
     REPO / "docs" / "reference_reprolint.md": (

@@ -19,8 +19,9 @@ rests on but ordinary linters cannot see:
 * **exception discipline** — no bare/swallowing excepts, domain
   exceptions over builtins (RPL040–RPL042);
 * **concurrency discipline** — no mutating closures shipped to pool
-  workers, locked ``StreamWriter`` writes, fsync'd journal writes
-  (RPL047–RPL049);
+  workers, locked ``StreamWriter`` writes, fsync'd journal writes,
+  explicit ``limit=`` bounds on streams that feed ``readline()``
+  (RPL047–RPL049, RPL051);
 * **float/money comparison** — tolerance helpers instead of raw ``==``
   (RPL050).
 

@@ -20,9 +20,11 @@ serialization  RPL044          sort_keys=True in journal/manifest writers
 perf           RPL045–RPL046   no Python loops over the site axis in the
                                columnar billing kernels; no blocking calls
                                inside async defs in the service layer
-concurrency    RPL047–RPL049   no mutating closures shipped to pool workers;
-                               locked StreamWriter writes; journal writes
-                               flushed + fsynced
+concurrency    RPL047–RPL049,  no mutating closures shipped to pool workers;
+               RPL051          locked StreamWriter writes; journal writes
+                               flushed + fsynced; asyncio streams that feed
+                               readline() constructed with an explicit
+                               ``limit=`` frame bound
 float-compare  RPL050          tolerance helpers, not ``==``, for floats
 ========  ====================  ==============================================
 """
@@ -39,6 +41,7 @@ from . import (
     interprocedural,
     observability,
     perf,
+    readline_bound,
     serialization,
     unit_flow,
     units,
@@ -54,6 +57,7 @@ __all__ = [
     "interprocedural",
     "observability",
     "perf",
+    "readline_bound",
     "serialization",
     "unit_flow",
     "units",

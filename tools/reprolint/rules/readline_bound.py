@@ -1,0 +1,83 @@
+"""Bounded wire reads in the serving and chaos layers (RPL051).
+
+``StreamReader.readline()`` buffers until it sees a newline — with the
+default 64 KiB stream limit a hostile or faulty peer can still force a
+surprising amount of buffering, and more importantly the *chosen* frame
+bound is invisible at the read site.  The service and robustness layers
+therefore construct every stream with an explicit ``limit=`` (the
+server's ``max_frame_bytes``, the proxy's spec bound), which turns an
+oversized frame into a catchable ``LimitOverrunError`` with a known
+threshold instead of unbounded memory growth.
+
+* **RPL051 (unbounded-readline)** — a call to
+  ``asyncio.open_connection(...)`` or ``asyncio.start_server(...)``
+  without a ``limit=`` keyword, in a file under ``src/repro/service/``
+  or ``src/repro/robustness/`` that also awaits ``.readline()``.  The
+  construction site is flagged (that is where the bound belongs); files
+  that never read lines are exempt, as are readers obtained elsewhere
+  (the bound is their constructor's responsibility).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: Stream constructors whose ``limit=`` bounds every later ``readline()``.
+_STREAM_CONSTRUCTORS = {"asyncio.open_connection", "asyncio.start_server"}
+
+
+def _in_scope(path: str) -> bool:
+    return "repro/service/" in path or "repro/robustness/" in path
+
+
+def _awaits_readline(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Await)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "readline"
+        ):
+            return True
+    return False
+
+
+@register
+class UnboundedReadlineRule(Rule):
+    """RPL051: line-reading streams must be constructed with ``limit=``."""
+
+    code = "RPL051"
+    name = "unbounded-readline"
+    family = "concurrency"
+    description = (
+        "an asyncio stream constructed without limit= in a file that "
+        "awaits readline() leaves the frame size bound implicit (64 KiB "
+        "default); pass limit=<max frame bytes> at open_connection/"
+        "start_server so oversized frames fail loudly and boundedly."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx.path):
+            return
+        unbounded: List[ast.Call] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = ctx.qualified_name(node.func)
+            if qualname not in _STREAM_CONSTRUCTORS:
+                continue
+            if not any(kw.arg == "limit" for kw in node.keywords):
+                unbounded.append(node)
+        if not unbounded or not _awaits_readline(ctx.tree):
+            return
+        for call in unbounded:
+            qualname = ctx.qualified_name(call.func)
+            yield self.finding(
+                ctx, call,
+                f"{qualname}(...) without limit= feeds an unbounded "
+                "readline(); pass limit=<max frame bytes> so oversized "
+                "frames raise LimitOverrunError instead of buffering",
+            )
